@@ -1,0 +1,86 @@
+// Ablations of the paper's methodology choices (§3.1 / §3.2):
+//   (a) port-insensitive rule evaluation vs vendor port constraints,
+//   (b) root-cause analysis on vs off,
+//   (c) interactive (DSCOPE) vs passive (darknet) collection.
+// Each quantifies what the design choice buys.
+#include <iostream>
+#include <set>
+
+#include "common.h"
+#include "ids/matcher.h"
+#include "ids/rule_gen.h"
+#include "report/table.h"
+#include "telescope/darknet.h"
+
+int main() {
+  using namespace cvewb;
+  const auto& study = bench::the_study();
+  const auto& sessions = study.traffic.sessions;
+
+  bench::header("Ablation (a): port-insensitive matching (on in the paper)");
+  {
+    pipeline::ReconstructOptions port_bound;
+    port_bound.port_insensitive = false;
+    const auto strict = pipeline::reconstruct(sessions, study.ruleset, port_bound);
+    const auto& loose = study.reconstruction;
+    report::TextTable table({"metric", "port-insensitive", "port-bound", "lost"});
+    table.add_row({"sessions matched", std::to_string(loose.sessions_matched),
+                   std::to_string(strict.sessions_matched),
+                   std::to_string(loose.sessions_matched - strict.sessions_matched)});
+    table.add_row({"exploit events", std::to_string(loose.events.size()),
+                   std::to_string(strict.events.size()),
+                   std::to_string(loose.events.size() - strict.events.size())});
+    table.add_row({"CVEs recovered", std::to_string(loose.timelines.size()),
+                   std::to_string(strict.timelines.size()),
+                   std::to_string(loose.timelines.size() - strict.timelines.size())});
+    std::cout << table.render();
+    std::cout << "Scanners spray non-standard ports; vendor port constraints silently drop\n"
+                 "that traffic, which is why §3.1 rewrites every rule to be port-agnostic.\n";
+  }
+
+  bench::header("Ablation (b): root-cause analysis off");
+  {
+    // Without §3.2's review, the over-broad decoy rule's CVE enters the
+    // dataset and credential stuffing masquerades as zero-day traffic.
+    const ids::Matcher matcher(study.ruleset.rules());
+    std::set<std::string> cves_without_rca;
+    std::size_t decoy_sessions = 0;
+    for (const auto& session : sessions) {
+      const ids::Rule* rule = matcher.earliest_published_match(session);
+      if (rule == nullptr) continue;
+      cves_without_rca.insert(rule->cve);
+      if (rule->cve == ids::kDecoyCveId) ++decoy_sessions;
+    }
+    std::cout << "CVEs without review: " << cves_without_rca.size() << " (with review: "
+              << study.reconstruction.rca.kept_cves() << ")\n";
+    std::cout << "false exploit events admitted: " << decoy_sessions
+              << " (all credential stuffing against /api/v1/auth)\n";
+  }
+
+  bench::header("Ablation (c): passive darknet vs interactive telescope");
+  {
+    telescope::Darknet darknet(net::Prefix(net::IPv4(0, 0, 0, 0), 0));
+    const auto observations = darknet.observe_all(sessions);
+    // A darknet never completes the handshake: no payloads, no signature
+    // matches, no CVE attribution.
+    const ids::Matcher matcher(study.ruleset.rules());
+    std::size_t darknet_matched = 0;
+    for (const auto& obs : observations) {
+      net::TcpSession stripped;
+      stripped.open_time = obs.time;
+      stripped.src = obs.src;
+      stripped.dst = obs.dst;
+      stripped.dst_port = obs.dst_port;
+      darknet_matched += matcher.earliest_published_match(stripped) != nullptr ? 1 : 0;
+    }
+    report::TextTable table({"vantage", "sessions seen", "CVEs identifiable"});
+    table.add_row({"darknet (SYN metadata only)", std::to_string(observations.size()),
+                   std::to_string(darknet_matched)});
+    table.add_row({"DSCOPE (client banners)", std::to_string(sessions.size()),
+                   std::to_string(study.reconstruction.timelines.size())});
+    std::cout << table.render();
+    std::cout << "Interactivity is the whole game: identical traffic, zero attributable\n"
+                 "CVEs without the application-layer bytes.\n";
+  }
+  return 0;
+}

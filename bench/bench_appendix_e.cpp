@@ -1,0 +1,42 @@
+// Appendix E: re-derive the per-CVE table from the simulated pipeline and
+// compare row-by-row with the paper's printed values.
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+  const auto& study = bench::the_study();
+  report::TextTable table({"CVE", "P", "events (paper)", "events (measured)", "A-P (paper)",
+                           "A-P (measured)", "D-P"});
+  int rows_matching_first_attack = 0;
+  int rows_with_attack = 0;
+  for (const auto& rec : data::appendix_e()) {
+    const auto it = study.reconstruction.per_cve.find(rec.id);
+    std::string measured_events = "-";
+    std::string measured_a_p = "-";
+    if (it != study.reconstruction.per_cve.end() && it->second.exploit_events > 0) {
+      measured_events = std::to_string(it->second.exploit_events);
+      measured_a_p = util::format_offset(it->second.first_attack - rec.published);
+      if (rec.a_minus_p) {
+        ++rows_with_attack;
+        const auto expected = std::max(*rec.first_attack(), data::study_begin());
+        if (it->second.first_attack == expected) ++rows_matching_first_attack;
+      }
+    }
+    table.add_row({rec.id, util::format_date(rec.published), std::to_string(rec.events),
+                   measured_events,
+                   rec.a_minus_p ? util::format_offset(*rec.a_minus_p) : std::string("-"),
+                   measured_a_p,
+                   rec.d_minus_p ? util::format_offset(*rec.d_minus_p) : std::string("-")});
+  }
+  std::cout << "=== Appendix E -- studied CVEs, paper vs pipeline ===\n" << table.render();
+  std::cout << "\nfirst-attack instants reproduced exactly: " << rows_matching_first_attack
+            << " of " << rows_with_attack << " CVEs with observed attacks\n";
+  std::cout << "vendors: " << data::distinct_vendors() << " (paper: 40), CWEs: "
+            << data::distinct_cwes() << " (paper: 25), total events: " << data::total_events()
+            << "\n";
+  return 0;
+}

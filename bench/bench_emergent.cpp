@@ -1,0 +1,81 @@
+// Recommendation 3 operationalized: signature-free emergent-threat
+// detection over the telescope stream, with detection latency measured
+// against ground-truth onsets and against CISA KEV's documented dates.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "common.h"
+#include "data/kev.h"
+#include "lifecycle/emergent.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+  const auto& study = bench::the_study();
+
+  lifecycle::EmergentDetector detector;
+  // Which fingerprints belong to which CVE (ground truth, used only for
+  // scoring the detector -- the detector itself never sees tags).
+  std::map<std::string, std::string> fingerprint_cve;
+  for (std::size_t i = 0; i < study.traffic.sessions.size(); ++i) {
+    const auto& session = study.traffic.sessions[i];
+    const auto& tag = study.traffic.tags[i];
+    if (tag.kind == traffic::TrafficTag::Kind::kExploit) {
+      fingerprint_cve.emplace(lifecycle::payload_fingerprint(session), tag.cve_id);
+    }
+    detector.observe(session);
+  }
+
+  std::cout << "=== signature-free emergent-threat detection ===\n";
+  std::cout << "fingerprints tracked: " << detector.tracked_fingerprints() << "\n";
+  std::cout << "alerts raised: " << detector.alerts().size() << "\n\n";
+
+  std::set<std::string> alerted_cves;
+  std::size_t noise_alerts = 0;
+  report::TextTable table({"CVE", "onset", "alert latency", "sessions", "sources"});
+  for (const auto& alert : detector.alerts()) {
+    const auto it = fingerprint_cve.find(alert.fingerprint);
+    if (it == fingerprint_cve.end()) {
+      ++noise_alerts;
+      continue;
+    }
+    if (!alerted_cves.insert(it->second).second) continue;  // first alert per CVE
+    table.add_row({it->second, util::format_date(alert.first_seen),
+                   util::format_offset(alert.detection_latency()),
+                   std::to_string(alert.sessions), std::to_string(alert.distinct_sources)});
+  }
+  std::cout << table.render();
+  std::cout << "\nstudied CVEs alerted without any signature: " << alerted_cves.size() << " of "
+            << study.reconstruction.timelines.size()
+            << " (low-volume CVEs stay under the outbreak thresholds)\n";
+  std::cout << "non-CVE alerts (credential stuffing, scanner noise): " << noise_alerts << "\n";
+
+  // Lead over KEV: alert_time vs the catalog's documented date.
+  const auto catalog = data::synthesize_kev();
+  std::map<std::string, util::TimePoint> kev_added;
+  for (const auto& entry : catalog.entries) kev_added.emplace(entry.cve_id, entry.date_added);
+  std::size_t earlier = 0;
+  std::size_t compared = 0;
+  double total_lead_days = 0;
+  for (const auto& alert : detector.alerts()) {
+    const auto fp = fingerprint_cve.find(alert.fingerprint);
+    if (fp == fingerprint_cve.end()) continue;
+    const auto added = kev_added.find(fp->second);
+    if (added == kev_added.end()) continue;
+    ++compared;
+    const double lead = (added->second - alert.alert_time).total_days();
+    if (lead > 0) {
+      ++earlier;
+      total_lead_days += lead;
+    }
+  }
+  if (compared > 0) {
+    std::cout << "\nvs CISA KEV: automated alerts precede the catalog for " << earlier << " of "
+              << compared << " shared CVEs, by "
+              << report::fmt(total_lead_days / std::max<std::size_t>(earlier, 1), 0)
+              << " days on average -- the situational-awareness gap Finding 17 measured,\n"
+                 "closable without waiting for signatures.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 2: CDF of CVSS impact -- studied CVEs vs CISA KEV vs all CVEs.
+#include <iostream>
+
+#include "data/appendix_e.h"
+#include "data/kev.h"
+#include "data/nvd.h"
+#include "report/figures.h"
+#include "stats/ecdf.h"
+
+int main() {
+  using namespace cvewb;
+  std::vector<double> studied;
+  for (const auto& rec : data::appendix_e()) studied.push_back(rec.impact);
+  const auto catalog = data::synthesize_kev();
+  std::vector<double> kev;
+  for (const auto& entry : catalog.entries) kev.push_back(entry.impact);
+  const std::vector<double> population = data::population_impacts(20000);
+
+  const stats::Ecdf studied_cdf(studied);
+  const stats::Ecdf kev_cdf(kev);
+  const stats::Ecdf population_cdf(population);
+
+  util::PlotOptions options;
+  options.x_label = "CVSS base score";
+  options.y_unit_interval = true;
+  report::print_figure(std::cout, "Figure 2: CDF of CVE impact",
+                       {report::ecdf_series("studied (DSCOPE)", studied_cdf),
+                        report::ecdf_series("CISA KEV", kev_cdf),
+                        report::ecdf_series("all CVEs 2021-2023", population_cdf)},
+                       options);
+
+  // Finding 1 / Finding 15: studied skew highest, KEV in between.
+  const auto critical = [](const stats::Ecdf& cdf) { return 1.0 - cdf.at(8.99); };
+  std::cout << "share >= 9.0: studied=" << critical(studied_cdf) << " kev=" << critical(kev_cdf)
+            << " population=" << critical(population_cdf)
+            << "  (expected ordering: studied > kev > population)\n";
+  std::cout << "median: studied=" << studied_cdf.quantile(0.5)
+            << " (paper: 9.8), population=" << population_cdf.quantile(0.5) << "\n";
+  return 0;
+}

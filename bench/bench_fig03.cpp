@@ -1,0 +1,49 @@
+// Figure 3: timeline of CVE exploit events during the study (monthly).
+// The paper notes an increasing rate over time and a late spike caused by
+// a single CVE.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common.h"
+#include "report/figures.h"
+#include "stats/histogram.h"
+
+int main() {
+  using namespace cvewb;
+  const auto& study = bench::the_study();
+  const auto begin = data::study_begin();
+  const double window_days = (data::study_end() - begin).total_days();
+  stats::Histogram monthly(0.0, window_days, 24);
+  for (const auto& event : study.reconstruction.events) {
+    monthly.add((event.time - begin).total_days());
+  }
+  util::PlotOptions options;
+  options.x_label = "days since 2021-03-01";
+  report::print_figure(std::cout, "Figure 3: CVE exploit events during study (monthly)",
+                       {report::histogram_series("exploit events", monthly)}, options);
+
+  // Identify the dominant CVE in the busiest month (the paper's late spike).
+  std::size_t peak_bin = 0;
+  for (std::size_t i = 1; i < monthly.bin_count(); ++i) {
+    if (monthly.count(i) > monthly.count(peak_bin)) peak_bin = i;
+  }
+  std::map<std::string, int> in_peak;
+  for (const auto& event : study.reconstruction.events) {
+    const double d = (event.time - begin).total_days();
+    if (d >= monthly.bin_lo(peak_bin) && d < monthly.bin_hi(peak_bin)) ++in_peak[event.cve_id];
+  }
+  const auto top = std::max_element(in_peak.begin(), in_peak.end(),
+                                    [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::cout << "peak month starts day " << monthly.bin_lo(peak_bin) << " with "
+            << monthly.count(peak_bin) << " events; dominated by " << top->first << " ("
+            << top->second << " events)\n";
+  std::cout << "second-half/first-half event ratio: ";
+  double first = 0;
+  double second = 0;
+  for (std::size_t i = 0; i < monthly.bin_count(); ++i) {
+    (i < monthly.bin_count() / 2 ? first : second) += monthly.count(i);
+  }
+  std::cout << second / std::max(1.0, first) << " (paper: increasing rate over time)\n";
+  return 0;
+}

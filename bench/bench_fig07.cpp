@@ -1,0 +1,30 @@
+// Figure 7: CDF of exploit events over time since disclosure, segmented by
+// whether a deployed IDS signature would have blocked the traffic.
+#include <iostream>
+
+#include "common.h"
+#include "report/figures.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+  const auto& study = bench::the_study();
+  const auto& exposure = study.exposure;
+
+  util::PlotOptions options;
+  options.y_unit_interval = true;
+  options.x_label = "days since public disclosure";
+  report::print_figure(std::cout,
+                       "Figure 7: exploit events since disclosure, by mitigation status",
+                       {report::ecdf_series("mitigated", stats::Ecdf(exposure.mitigated_days)),
+                        report::ecdf_series("unmitigated", stats::Ecdf(exposure.unmitigated_days))},
+                       options);
+
+  report::print_comparison(std::cout, "mitigated share of all events (Finding 10)", 0.95,
+                           exposure.mitigated_fraction());
+  report::print_comparison(std::cout, "unmitigated exposure within 30 days (Finding 12)", 0.50,
+                           exposure.unmitigated_within(30.0));
+  std::cout << "unmitigated events: " << exposure.unmitigated_days.size() << " of "
+            << exposure.total() << "\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 8: CDF of Log4Shell TCP sessions over time -- rapid exploitation
+// after disclosure, reduced targeting, and a resurgence ~a year later
+// (Finding 13).
+#include <iostream>
+
+#include "common.h"
+#include "report/figures.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+  const auto& study = bench::the_study();
+  const auto* rec = data::find_cve("CVE-2021-44228");
+  std::vector<double> days;
+  for (const auto& event : study.reconstruction.events) {
+    if (event.cve_id != "CVE-2021-44228") continue;
+    days.push_back((event.time - rec->published).total_days());
+  }
+  const stats::Ecdf cdf(days);
+  util::PlotOptions options;
+  options.y_unit_interval = true;
+  options.x_label = "days since Log4Shell publication (2021-12-10)";
+  report::print_figure(std::cout, "Figure 8: CDF of Log4Shell sessions over time",
+                       {report::ecdf_series("Log4Shell sessions", cdf)}, options);
+
+  std::cout << "sessions: " << days.size() << " (paper row: 6254 exploit events)\n";
+  std::cout << "share within 30 days of publication: " << report::fmt(cdf.at(30.0)) << "\n";
+  // Finding 13's resurgence: mass between days 300 and 360 should exceed
+  // the surrounding plateau.
+  const double resurgence = cdf.at(365.0) - cdf.at(300.0);
+  const double plateau = cdf.at(300.0) - cdf.at(235.0);
+  std::cout << "resurgence mass (day 300-365): " << report::fmt(resurgence)
+            << " vs preceding 65-day plateau: " << report::fmt(plateau)
+            << (resurgence > plateau ? "  [resurgence visible]" : "") << "\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figures 13-18 (Appendix D): CDFs of the remaining desiderata time
+// differences: A-V, P-F, X-F, A-F, X-D, A-X.
+#include <iostream>
+
+#include "lifecycle/windows.h"
+#include "report/figures.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+  using lifecycle::Event;
+  const auto timelines = lifecycle::study_timelines();
+
+  struct FigureSpec {
+    const char* title;
+    Event before;
+    Event after;
+    double paper_rate;
+  };
+  const FigureSpec figures[] = {
+      {"Figure 13: A - V", Event::kVendorAwareness, Event::kAttacks, 0.90},
+      {"Figure 14: P - F", Event::kFixReady, Event::kPublicAwareness, 0.13},
+      {"Figure 15: X - F", Event::kFixReady, Event::kExploitPublic, 0.74},
+      {"Figure 16: A - F", Event::kFixReady, Event::kAttacks, 0.56},
+      {"Figure 17: X - D", Event::kFixDeployed, Event::kExploitPublic, 0.74},
+      {"Figure 18: A - X", Event::kExploitPublic, Event::kAttacks, 0.39},
+  };
+  util::PlotOptions options;
+  options.y_unit_interval = true;
+  options.x_label = "days";
+  for (const auto& figure : figures) {
+    const auto days = lifecycle::window_days(figure.before, figure.after, timelines);
+    report::print_figure(std::cout, figure.title,
+                         {report::ecdf_series("diff", stats::Ecdf(days))}, options);
+    const double rate = 1.0 - stats::Ecdf(days).at(-1e-9);
+    report::print_comparison(std::cout,
+                             std::string("P(") +
+                                 std::string(lifecycle::event_letter(figure.before)) + " < " +
+                                 std::string(lifecycle::event_letter(figure.after)) + ")",
+                             figure.paper_rate, rate);
+    std::cout << "n=" << days.size() << "\n";
+  }
+  return 0;
+}

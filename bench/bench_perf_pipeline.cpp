@@ -1,0 +1,83 @@
+// Performance benchmarks for the simulation and analysis pipeline.
+#include <benchmark/benchmark.h>
+
+#include "data/kev.h"
+#include "lifecycle/markov.h"
+#include "lifecycle/skill.h"
+#include "pipeline/study.h"
+
+namespace {
+
+using namespace cvewb;
+
+pipeline::StudyConfig tiny_config() {
+  pipeline::StudyConfig config;
+  config.seed = 7;
+  config.event_scale = 0.01;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 20;
+  config.pool_size = 100000;
+  return config;
+}
+
+void BM_TelescopeSchedule(benchmark::State& state) {
+  const auto dscope = pipeline::make_study_telescope(tiny_config());
+  util::Rng rng(3);
+  const auto begin = dscope.config().begin;
+  for (auto _ : state) {
+    const auto t = begin + util::Duration(rng.uniform_int(0, 86400 * 700));
+    benchmark::DoNotOptimize(dscope.sample_active(t, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelescopeSchedule);
+
+void BM_TrafficGeneration(benchmark::State& state) {
+  const auto dscope = pipeline::make_study_telescope(tiny_config());
+  traffic::InternetConfig config;
+  config.event_scale = 0.01;
+  config.background_per_day = 5.0;
+  for (auto _ : state) {
+    const auto generated = traffic::generate_traffic(dscope, config);
+    benchmark::DoNotOptimize(generated.sessions.size());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(generated.sessions.size()));
+  }
+}
+BENCHMARK(BM_TrafficGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_FullStudy(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = pipeline::run_study(tiny_config());
+    benchmark::DoNotOptimize(result.table4.mean_skill());
+  }
+}
+BENCHMARK(BM_FullStudy)->Unit(benchmark::kMillisecond);
+
+void BM_MarkovExactBaselines(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lifecycle::pair_probabilities(lifecycle::cert_model()));
+  }
+}
+BENCHMARK(BM_MarkovExactBaselines);
+
+void BM_SkillTable(benchmark::State& state) {
+  const auto timelines = lifecycle::study_timelines();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lifecycle::skill_table(timelines));
+  }
+}
+BENCHMARK(BM_SkillTable);
+
+void BM_KevSynthesis(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::synthesize_kev(seed++));
+  }
+}
+BENCHMARK(BM_KevSynthesis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Stratified CVD skill: the paper attributes its lower-than-Microsoft
+// skill to vendor/vulnerability heterogeneity (§5, Finding 4).  This bench
+// makes that concrete by recomputing D < A satisfaction and skill within
+// strata: CVSS severity band, weakness family, and vendor class.
+#include <functional>
+#include <iostream>
+#include <map>
+
+#include "data/appendix_e.h"
+#include "lifecycle/skill.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace cvewb;
+
+std::string cwe_family(const std::string& cwe) {
+  static const std::map<std::string, std::string> kFamilies = {
+      {"CWE-77", "injection"},  {"CWE-78", "injection"},  {"CWE-89", "injection"},
+      {"CWE-94", "injection"},  {"CWE-917", "injection"}, {"CWE-74", "injection"},
+      {"CWE-79", "injection"},  {"CWE-611", "injection"},
+      {"CWE-22", "traversal"},
+      {"CWE-287", "auth"},      {"CWE-288", "auth"},      {"CWE-306", "auth"},
+      {"CWE-862", "auth"},      {"CWE-798", "auth"},
+      {"CWE-119", "memory"},    {"CWE-121", "memory"},    {"CWE-787", "memory"},
+      {"CWE-416", "memory"},    {"CWE-400", "memory"},
+  };
+  const auto it = kFamilies.find(cwe);
+  return it == kFamilies.end() ? "other" : it->second;
+}
+
+std::string vendor_class(const std::string& vendor) {
+  static const std::map<std::string, std::string> kClasses = {
+      {"Arcadyan", "router/IoT"}, {"Buffalo", "router/IoT"},   {"Tenda", "router/IoT"},
+      {"TP-Link", "router/IoT"},  {"D-Link", "router/IoT"},    {"NETGEAR", "router/IoT"},
+      {"Realtek", "router/IoT"},  {"Hikvision", "router/IoT"}, {"Dahua", "router/IoT"},
+      {"Yealink", "router/IoT"},  {"Zyxel", "router/IoT"},
+      {"Microsoft", "enterprise"}, {"Cisco", "enterprise"},     {"VMware", "enterprise"},
+      {"F5", "enterprise"},        {"Fortinet", "enterprise"},  {"SonicWall", "enterprise"},
+      {"Ivanti", "enterprise"},    {"Adobe", "enterprise"},     {"Zoho", "enterprise"},
+      {"Atlassian", "oss/web"},    {"Apache", "oss/web"},       {"Grafana Labs", "oss/web"},
+      {"Redis", "oss/web"},        {"WSO2", "oss/web"},         {"GLPI Project", "oss/web"},
+      {"WebSVN", "oss/web"},       {"ExifTool", "oss/web"},
+  };
+  const auto it = kClasses.find(vendor);
+  return it == kClasses.end() ? "other" : it->second;
+}
+
+void stratify(const char* title,
+              const std::function<std::string(const data::CveRecord&)>& key_of) {
+  std::map<std::string, std::vector<lifecycle::Timeline>> strata;
+  for (const auto& rec : data::appendix_e()) {
+    strata[key_of(rec)].push_back(lifecycle::timeline_from_record(rec));
+  }
+  std::cout << "\n=== " << title << " ===\n";
+  report::TextTable table({"stratum", "CVEs", "D<A satisfied", "skill"});
+  const lifecycle::Desideratum d{lifecycle::Event::kFixDeployed, lifecycle::Event::kAttacks,
+                                 0.187};
+  for (const auto& [key, timelines] : strata) {
+    const auto sat = lifecycle::evaluate(d, timelines);
+    if (sat.evaluated == 0) continue;
+    table.add_row({key, std::to_string(timelines.size()), report::fmt(sat.rate()),
+                   report::fmt(lifecycle::skill(sat.rate(), d.cert_baseline))});
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main() {
+  stratify("D < A by CVSS severity band", [](const data::CveRecord& rec) {
+    return rec.impact >= 9.0 ? std::string("critical (>=9.0)")
+           : rec.impact >= 7.0 ? std::string("high (7.0-8.9)")
+                               : std::string("medium/low (<7.0)");
+  });
+  stratify("D < A by weakness family",
+           [](const data::CveRecord& rec) { return cwe_family(rec.cwe); });
+  stratify("D < A by vendor class",
+           [](const data::CveRecord& rec) { return vendor_class(rec.vendor); });
+  std::cout << "\nHeterogeneity in one view: coordinated disclosure performs unevenly across\n"
+               "product classes, which is why the broad-vendor skill (0.37 mean) sits far\n"
+               "below the Microsoft-only figure (0.969) cited in Finding 4.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 1: prior empirical CVE-lifecycle studies and the events each could
+// observe.  Context table (no measurement); reproduced for completeness,
+// with this work's row cross-checked against the library's actual event
+// coverage.
+#include <array>
+#include <iostream>
+
+#include "data/appendix_e.h"
+#include "lifecycle/timeline.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+  report::TextTable table(
+      {"Study", "Attack traffic", "# CVEs", "Vantage point", "Dates", "V", "F", "P", "D", "X",
+       "A"});
+  table.add_row({"Arbaugh et al. [3]", "yes", "3", "Common vulnerabilities", "1996-1999", "x",
+                 "x", "x", "-", "x", "x"});
+  table.add_row({"Frei et al. [16]", "", "27k", "Commodity CVEs", "1996-2008", "-", "x", "x", "-",
+                 "x", "-"});
+  table.add_row({"Bilge & Dumitras [5]", "yes", "18", "Antivirus signatures", "2008-2011", "-",
+                 "-", "x", "-", "x", "x"});
+  table.add_row({"Zhang et al. [51]", "", "9", "Cloud OS CVEs", "2012", "-", "-", "x", "x", "-",
+                 "-"});
+  table.add_row({"Li & Paxson [24]", "", "3.1k", "Open source CVEs", "2005-2016", "-", "x", "x",
+                 "-", "-", "-"});
+  table.add_row({"Alexopoulos et al. [1]", "", "12k", "Open source CVEs", "2011-2020", "-", "x",
+                 "x", "-", "-", "-"});
+  table.add_row({"Householder et al. [19,20]", "", "2.7k/73k", "Microsoft / commodity",
+                 "2015-2020", "-", "x", "x", "-", "x", "x"});
+
+  // This work's row, derived from the library itself.
+  const auto timelines = lifecycle::study_timelines();
+  std::array<int, lifecycle::kEventCount> coverage{};
+  for (const auto& tl : timelines) {
+    for (lifecycle::Event e : lifecycle::kAllEvents) {
+      coverage[lifecycle::index_of(e)] += tl.has(e) ? 1 : 0;
+    }
+  }
+  const auto mark = [&](lifecycle::Event e) {
+    return coverage[lifecycle::index_of(e)] > 0 ? std::string("x") : std::string("-");
+  };
+  table.add_row({"This work (DSCOPE)", "yes", std::to_string(timelines.size()),
+                 "DSCOPE-observed CVEs", "2021-2023", mark(lifecycle::Event::kVendorAwareness),
+                 mark(lifecycle::Event::kFixReady), mark(lifecycle::Event::kPublicAwareness),
+                 mark(lifecycle::Event::kFixDeployed), mark(lifecycle::Event::kExploitPublic),
+                 mark(lifecycle::Event::kAttacks)});
+
+  std::cout << "=== Table 1 -- empirical studies of CVE lifecycles ===\n" << table.render();
+  std::cout << "\nThis work covers all six lifecycle events on " << timelines.size()
+            << " CVEs (paper: 63).\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 4: per-CVE desideratum satisfaction, baseline, and skill.
+//
+// Regenerated twice: "dataset mode" computes directly from the embedded
+// Appendix-E joined dataset; "pipeline mode" reruns the full telescope ->
+// IDS -> RCA -> reconstruction pipeline and recomputes from what the
+// simulated measurement recovered.  Both are printed against the paper's
+// columns, plus the Markov-baseline verification and Finding 3/4 stats.
+#include <iostream>
+
+#include "common.h"
+#include "lifecycle/markov.h"
+#include "report/figures.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+  bench::header("Table 4 -- CVD skill on studied CVEs (dataset mode)");
+  const auto dataset_table = lifecycle::skill_table(lifecycle::study_timelines());
+  std::cout << report::render_skill_table(dataset_table, &report::paper_table4_satisfied(),
+                                          &report::paper_table4_skill());
+  report::print_comparison(std::cout, "mean skill (Finding 3)", 0.37, dataset_table.mean_skill());
+
+  bench::header("Table 4 -- pipeline mode (reconstructed from simulated traffic)");
+  const auto& study = bench::the_study();
+  std::cout << report::render_skill_table(study.table4, &report::paper_table4_satisfied(),
+                                          &report::paper_table4_skill());
+
+  bench::header("Baseline verification (CERT uniform-transition Markov model)");
+  const auto probs = lifecycle::pair_probabilities(lifecycle::cert_model());
+  for (const auto& d : lifecycle::studied_desiderata()) {
+    report::print_comparison(std::cout, "baseline " + d.label(), d.cert_baseline,
+                             probs[lifecycle::index_of(d.before)][lifecycle::index_of(d.after)]);
+  }
+
+  int above = 0;
+  for (const auto& row : dataset_table.rows) above += row.skill > 0 ? 1 : 0;
+  std::cout << "\nFinding 3: " << above << " of 9 desiderata beat the baseline (paper: 8)\n";
+  std::cout << "Finding 4: prior Microsoft-only F<P skill was 0.969; measured broad-vendor "
+               "mean skill "
+            << report::fmt(dataset_table.mean_skill()) << "\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench_* binary regenerates one table or figure from the paper and
+// prints paper-vs-measured rows.  The full-scale study (≈117 k exploit
+// events through the telescope + IDS pipeline) is run once per binary;
+// set CVEWB_SCALE (e.g. "0.1") to down-sample for quick runs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "pipeline/study.h"
+
+namespace cvewb::bench {
+
+inline double env_scale() {
+  const char* raw = std::getenv("CVEWB_SCALE");
+  if (raw == nullptr) return 1.0;
+  const double v = std::atof(raw);
+  return v > 0 && v <= 1.0 ? v : 1.0;
+}
+
+inline pipeline::StudyConfig study_config() {
+  pipeline::StudyConfig config;
+  config.seed = 2023;
+  config.event_scale = env_scale();
+  config.background_per_day = 100.0;
+  config.credstuff_per_day = 5.0;
+  return config;
+}
+
+/// The memoized full study for this process.
+inline const pipeline::StudyResult& the_study() {
+  static const pipeline::StudyResult result = pipeline::run_study(study_config());
+  return result;
+}
+
+inline void header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace cvewb::bench

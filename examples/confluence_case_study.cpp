@@ -1,0 +1,67 @@
+// Appendix C: the Atlassian Confluence OGNL-injection CVE (2022-26134) --
+// rapid post-disclosure exploitation, highly effective IDS coverage, and
+// the untargeted-exploitation phenomenon (Finding 19): generic OGNL
+// scanning that exploited Confluence *before the CVE existed*.
+#include <iostream>
+
+#include "ids/matcher.h"
+#include "ids/rule_gen.h"
+#include "pipeline/study.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+
+  pipeline::StudyConfig config;
+  config.seed = 26134;
+  config.event_scale = 0.1;
+  config.background_per_day = 10.0;
+  const auto result = pipeline::run_study(config);
+  const auto* rec = data::find_cve("CVE-2022-26134");
+
+  std::cout << "=== CVE-2022-26134 (Atlassian Confluence OGNL injection) ===\n";
+  std::cout << "published:       " << util::format_date(rec->published) << "\n";
+  std::cout << "IDS coverage:    " << util::format_offset(*rec->d_minus_p)
+            << " after publication\n";
+  std::cout << "public exploit:  " << util::format_offset(*rec->x_minus_p) << "\n\n";
+
+  const auto& per_cve = result.reconstruction.per_cve.at(rec->id);
+  std::cout << "targeted exploit sessions captured: " << per_cve.exploit_events << "\n";
+  std::cout << "untargeted OGNL sessions before publication: " << per_cve.untargeted_sessions
+            << "\n\n";
+
+  // Finding 19's punchline: inspect one untargeted session and show that
+  // the Confluence signature matches it even though the scanner aimed at
+  // a random port long before the CVE was known.
+  const ids::Matcher matcher(result.ruleset.rules());
+  for (const auto& session : result.traffic.sessions) {
+    if (session.open_time >= rec->published) break;
+    const ids::Rule* rule = matcher.earliest_published_match(session);
+    if (rule == nullptr || rule->cve != rec->id) continue;
+    std::cout << "example untargeted session (" << util::format_date(session.open_time)
+              << ", dst port " << session.dst_port << " -- not Confluence's "
+              << rec->service_port << "):\n"
+              << session.payload.substr(0, 160) << "...\n\n";
+    std::cout << "The payload is a general-purpose OGNL probe, yet it would achieve RCE\n"
+                 "on vulnerable Confluence: exploits transfer to products that embed the\n"
+                 "same parsing behaviour.  Telescopes can surface such novel-victim\n"
+                 "exposure before a CVE is ever assigned (Finding 19).\n\n";
+    break;
+  }
+
+  // Mitigation effectiveness (Finding 18: 99.6 % in the paper's data).
+  std::size_t mitigated = 0;
+  std::size_t total = 0;
+  const auto deployed = *rec->fix_deployed();
+  for (const auto& event : result.reconstruction.events) {
+    if (event.cve_id != rec->id) continue;
+    ++total;
+    mitigated += event.time >= deployed ? 1 : 0;
+  }
+  std::cout << "sessions arriving after IDS coverage: " << mitigated << " of " << total << " ("
+            << report::fmt(100.0 * static_cast<double>(mitigated) /
+                               static_cast<double>(total ? total : 1),
+                           1)
+            << "%)\n";
+  return 0;
+}

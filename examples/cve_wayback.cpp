@@ -1,0 +1,73 @@
+// The "wayback" workflow that names the paper: capture traffic once, write
+// it to pcap, then -- months later, when a new CVE and its signature
+// appear -- re-evaluate the archive post-facto and reconstruct the
+// vulnerability's full lifecycle retroactively.
+#include <iostream>
+#include <sstream>
+
+#include "lifecycle/windows.h"
+#include "ids/rule_gen.h"
+#include "net/pcap.h"
+#include "pipeline/study.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+
+  // --- Phase 1 (collection time): the telescope records everything it
+  // sees to a pcap archive.  Nobody knows yet which sessions matter.
+  pipeline::StudyConfig config;
+  config.seed = 1388;
+  config.event_scale = 0.2;
+  config.background_per_day = 10.0;
+  const auto dscope = pipeline::make_study_telescope(config);
+  traffic::InternetConfig internet;
+  internet.seed = config.seed;
+  internet.event_scale = config.event_scale;
+  internet.background_per_day = config.background_per_day;
+  const auto traffic = traffic::generate_traffic(dscope, internet);
+
+  std::stringstream archive;
+  {
+    net::PcapWriter writer(archive);
+    for (const auto& session : traffic.sessions) writer.write_session(session);
+    std::cout << "archived " << writer.packets_written() << " sessions to pcap ("
+              << archive.str().size() / 1024 << " KiB)\n";
+  }
+
+  // --- Phase 2 (analysis time): signatures published since -- including
+  // ones released long after the traffic was captured -- are evaluated
+  // over the archive.
+  net::PcapReader reader(archive);
+  std::cout << "replayed " << reader.sessions().size() << " sessions from the archive\n";
+
+  const auto ruleset = ids::generate_study_ruleset();
+  const auto reconstruction = pipeline::reconstruct(reader.sessions(), ruleset);
+  std::cout << "lifecycles reconstructed: " << reconstruction.timelines.size() << " CVEs\n";
+
+  // --- Phase 3: time-travel into one vulnerability.  F5 BIG-IP iControl
+  // (CVE-2022-1388) is the study's starkest case: both the IDS rule and
+  // in-the-wild exploitation predate the CVE's publication by more than a
+  // year.
+  const std::string target = "CVE-2022-1388";
+  for (const auto& tl : reconstruction.timelines) {
+    if (tl.cve_id() != target) continue;
+    std::cout << "\n=== lifecycle of " << target << " ===\n";
+    report::TextTable table({"event", "instant", "relative to publication"});
+    const auto published = *tl.at(lifecycle::Event::kPublicAwareness);
+    for (lifecycle::Event e : lifecycle::kAllEvents) {
+      const auto t = tl.at(e);
+      table.add_row({std::string(lifecycle::event_name(e)),
+                     t ? util::format_datetime(*t) : std::string("-"),
+                     t ? util::format_offset(*t - published) : std::string("-")});
+    }
+    std::cout << table.render();
+    const auto window = tl.diff(lifecycle::Event::kAttacks, lifecycle::Event::kFixDeployed);
+    if (window) {
+      std::cout << "\nwindow of vulnerability (A -> D): " << util::format_offset(*window)
+                << " -- attacks ran for days before coverage existed, a year before the\n"
+                   "CVE became public.  Only a retrospective archive can see this.\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Compare telescope-observed exploitation with CISA's Known Exploited
+// Vulnerabilities catalog (§7.2): can an interactive telescope provide
+// earlier situational awareness than manual reporting?
+#include <algorithm>
+#include <iostream>
+
+#include "data/kev.h"
+#include "lifecycle/kev_compare.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+
+  const data::KevCatalog catalog = data::synthesize_kev();
+  const auto timelines = lifecycle::study_timelines();
+  const auto cmp = lifecycle::compare_with_kev(catalog, timelines);
+
+  std::cout << "=== DSCOPE vs CISA KEV ===\n";
+  std::cout << "KEV entries published in-window: " << catalog.entries.size() << "\n";
+  std::cout << "studied CVEs also in KEV: " << cmp.shared << " ("
+            << report::fmt(cmp.shared_fraction() * 100, 0) << "%)\n";
+  std::cout << "telescope observed exploitation first: " << cmp.dscope_first << " ("
+            << report::fmt(cmp.dscope_first_fraction() * 100, 0) << "%)\n";
+  std::cout << "telescope lead exceeded 30 days: " << cmp.dscope_first_30d << " ("
+            << report::fmt(cmp.dscope_first_30d_fraction() * 100, 0) << "%)\n";
+
+  // The CVEs where the telescope's lead was largest -- the cases where
+  // automated traffic analysis would have accelerated KEV the most.
+  auto deltas = lifecycle::shared_deltas(catalog, timelines);
+  std::sort(deltas.begin(), deltas.end(),
+            [](const auto& a, const auto& b) { return a.delta_days < b.delta_days; });
+  std::cout << "\nlargest telescope leads (days before KEV addition):\n";
+  report::TextTable table({"CVE", "lead (days)"});
+  for (std::size_t i = 0; i < 8 && i < deltas.size(); ++i) {
+    table.add_row({deltas[i].cve_id, report::fmt(-deltas[i].delta_days, 0)});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nRecommendation 3 (paper): feed interactive-telescope detections into\n"
+               "exploited-vulnerability catalogs to cut the reporting lag.\n";
+  return 0;
+}

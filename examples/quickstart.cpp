@@ -1,0 +1,45 @@
+// Quickstart: run a down-scaled two-year study end-to-end and print the
+// headline result (Table 4's CVD skill).
+//
+//   $ ./examples/quickstart
+//
+// The pipeline: a DSCOPE-style telescope simulator collects synthetic
+// Internet scanning traffic -> a Snort-subset IDS matches it post-facto ->
+// root-cause analysis weeds out unsound signatures -> the surviving
+// exploit events are joined with the public datasets into CVE lifecycles
+// -> the CERT skill model scores coordinated disclosure.
+#include <iostream>
+
+#include "pipeline/study.h"
+#include "report/table.h"
+
+int main() {
+  using namespace cvewb;
+
+  pipeline::StudyConfig config;
+  config.seed = 42;
+  config.event_scale = 0.1;  // 10 % of the full ~117 k exploit events
+  config.background_per_day = 20.0;
+
+  std::cout << "Running the CVE Wayback Machine study (scale "
+            << config.event_scale << ")...\n";
+  const pipeline::StudyResult result = pipeline::run_study(config);
+
+  std::cout << "\nsessions captured:  " << result.traffic.sessions.size() << "\n";
+  std::cout << "sessions matched:   " << result.reconstruction.sessions_matched << "\n";
+  std::cout << "CVEs reconstructed: " << result.reconstruction.timelines.size()
+            << " (after root-cause analysis dropped "
+            << result.reconstruction.rca.dropped_cves() << " unsound signature group)\n";
+
+  std::cout << "\nTable 4 -- CVD skill across the studied CVEs:\n";
+  std::cout << report::render_skill_table(result.table4, &report::paper_table4_satisfied(),
+                                          &report::paper_table4_skill());
+  std::cout << "mean skill: " << report::fmt(result.table4.mean_skill())
+            << " (paper: 0.37)\n";
+
+  std::cout << "\nQuantitative exposure (Table 5 headline): "
+            << report::fmt(result.exposure.mitigated_fraction() * 100, 1)
+            << "% of exploit sessions arrived after an IDS mitigation was deployed "
+               "(paper: 95%).\n";
+  return 0;
+}

@@ -1,0 +1,271 @@
+#include "data/appendix_e.h"
+
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cvewb::data {
+
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+struct RawRow {
+  const char* id;
+  const char* published;  // YYYY-MM-DD
+  int events;
+  const char* description;
+  double impact;
+  const char* d_p;  // Appendix-E offset notation or "-"
+  const char* x_p;
+  const char* a_p;
+  int exploitability;  // -1 when missing
+  const char* vendor;
+  const char* cwe;
+  Protocol proto;
+  std::uint16_t port;
+  bool talos;
+};
+
+// Rows transcribed from Appendix E in publication order.  CVE-id typos in
+// the supplied text are fixed (see DESIGN.md §1); offsets kept as printed.
+constexpr RawRow kRows[] = {
+    {"CVE-2021-22893", "2021-04-21", 2, "Pulse Connect Secure vulnerable URI access attempt", 10.0,
+     "1d 0h", "-", "47d 15h", 100, "Ivanti", "CWE-416", Protocol::kHttp, 443, false},
+    {"CVE-2021-22204", "2021-04-23", 16, "ExifTool DjVu metadata command injection attempt", 7.8,
+     "90d 12h", "20d 0h", "280d 22h", 100, "ExifTool", "CWE-94", Protocol::kHttp, 80, false},
+    {"CVE-2021-29441", "2021-04-27", 411, "Alibaba Nacos potential authentication bypass attempt",
+     9.8, "168d 17h", "-", "263d 8h", 85, "Alibaba", "CWE-287", Protocol::kHttp, 8848, false},
+    {"CVE-2021-20090", "2021-04-29", 956, "Arcadyan routers path traversal attempt", 9.8,
+     "194d 22h", "-", "96d 21h", 88, "Arcadyan", "CWE-22", Protocol::kHttp, 80, false},
+    {"CVE-2021-20091", "2021-04-29", 19, "Buffalo WSR router configuration injection attempt", 8.8,
+     "194d 7h", "-", "352d 10h", -1, "Buffalo", "CWE-74", Protocol::kHttp, 80, false},
+    {"CVE-2021-1497", "2021-05-06", 7, "Cisco HyperFlex HX Installer command injection attempt",
+     9.8, "0d 13h", "-", "188d 5h", 92, "Cisco", "CWE-78", Protocol::kHttp, 80, false},
+    {"CVE-2021-1498", "2021-05-06", 4, "Cisco HyperFlex HX Data Platform command injection attempt",
+     9.8, "0d 13h", "-", "110d 3h", 95, "Cisco", "CWE-78", Protocol::kHttp, 80, false},
+    {"CVE-2021-31755", "2021-05-07", 1, "Tenda Router AC11 stack buffer overflow attempt", 9.8,
+     "248d 21h", "-", "186d 6h", 92, "Tenda", "CWE-121", Protocol::kHttp, 80, false},
+    {"CVE-2021-31166", "2021-05-10", 1,
+     "Microsoft Windows HTTP protocol stack remote code execution attempt", 9.8, "-", "313d 0h",
+     "152d 4h", 100, "Microsoft", "CWE-787", Protocol::kHttp, 80, false},
+    {"CVE-2021-31207", "2021-05-10", 15,
+     "Microsoft Exchange autodiscover server side request forgery attempt", 7.2, "64d 17h", "-",
+     "104d 5h", 91, "Microsoft", "CWE-918", Protocol::kHttp, 443, false},
+    {"CVE-2021-32305", "2021-05-18", 1, "WebSVN search command injection attempt", 9.8, "226d 15h",
+     "-", "518d 12h", 93, "WebSVN", "CWE-78", Protocol::kHttp, 80, false},
+    {"CVE-2021-21985", "2021-05-26", 32, "VMware vSphere Client remote code execution attempt", 9.8,
+     "10d 3h", "50d 0h", "31d 4h", 99, "VMware", "CWE-20", Protocol::kHttp, 443, false},
+    {"CVE-2021-35464", "2021-07-01", 5, "ForgeRock Open Access Manager remote code execution",
+     9.8, "14d 12h", "11d 0h", "1d 21h", 100, "ForgeRock", "CWE-502", Protocol::kHttp, 8080, false},
+    {"CVE-2021-21799", "2021-07-16", 1, "TRUFFLEHUNTER TALOS-2021-1270 attack attempt", 6.1,
+     "-121d 10h", "1d 0h", "474d 4h", 99, "Talos-coordinated vendor A", "CWE-79", Protocol::kHttp,
+     80, true},
+    {"CVE-2021-21801", "2021-07-16", 2, "TRUFFLEHUNTER TALOS-2021-1272 attack attempt", 6.1,
+     "-119d 11h", "1d 0h", "354d 18h", 91, "Talos-coordinated vendor B", "CWE-79", Protocol::kHttp,
+     80, true},
+    {"CVE-2021-21816", "2021-07-16", 4, "TRUFFLEHUNTER TALOS-2021-1281 attack attempt", 4.3,
+     "-79d 11h", "-", "165d 21h", 68, "Talos-coordinated vendor C", "CWE-200", Protocol::kHttp, 80,
+     true},
+    {"CVE-2021-26085", "2021-07-30", 4, "Atlassian Confluence information disclosure attempt", 5.3,
+     "410d 17h", "-", "68d 19h", 78, "Atlassian", "CWE-200", Protocol::kHttp, 8090, false},
+    {"CVE-2021-35395", "2021-08-16", 66, "Realtek Jungle SDK command injection attempt", 9.8,
+     "10d 13h", "-", "462d 22h", 85, "Realtek", "CWE-77", Protocol::kHttp, 80, false},
+    {"CVE-2021-26084", "2021-08-26", 3179,
+     "Atlassian Confluence OGNL injection remote code execution attempt", 9.8, "7d 12h", "15d 0h",
+     "6d 6h", 100, "Atlassian", "CWE-917", Protocol::kHttp, 8090, false},
+    {"CVE-2021-40539", "2021-09-07", 6,
+     "Zoho ManageEngine ADSelfService Plus RestAPI authentication bypass attempt", 9.8, "21d 17h",
+     "80d 0h", "113d 19h", 100, "Zoho", "CWE-287", Protocol::kHttp, 9251, false},
+    {"CVE-2021-33045", "2021-09-09", 29,
+     "Dahua Console Loopback potential authentication bypass attempt", 9.8, "70d 18h", "-",
+     "523d 6h", 79, "Dahua", "CWE-287", Protocol::kRawTcp, 37777, false},
+    {"CVE-2021-33044", "2021-09-09", 34,
+     "Dahua Console NetKeyboard potential authentication bypass attempt", 9.8, "70d 18h", "-",
+     "47d 4h", 78, "Dahua", "CWE-287", Protocol::kRawTcp, 37777, false},
+    {"CVE-2021-40870", "2021-09-13", 2, "Aviatrix Controller PHP file injection attempt", 9.8,
+     "141d 14h", "-", "265d 11h", 92, "Aviatrix", "CWE-434", Protocol::kHttp, 443, false},
+    {"CVE-2021-38647", "2021-09-15", 28,
+     "Microsoft Windows Open Management Infrastructure remote code execution attempt", 9.8,
+     "6d 13h", "44d 0h", "4d 20h", 100, "Microsoft", "CWE-287", Protocol::kHttp, 5986, false},
+    {"CVE-2021-40438", "2021-09-16", 5, "Apache HTTP server SSRF attempt", 9.0, "105d 15h",
+     "125d 0h", "32d 20h", 91, "Apache", "CWE-918", Protocol::kHttp, 80, false},
+    {"CVE-2021-22005", "2021-09-22", 5, "VMware vCenter Server file upload attempt", 9.8, "6d 17h",
+     "16d 0h", "19d 6h", 100, "VMware", "CWE-434", Protocol::kHttp, 443, false},
+    {"CVE-2021-36260", "2021-09-22", 31117,
+     "Hikvision webLanguage command injection vulnerability attempt", 9.8, "49d 21h", "158d 0h",
+     "30d 4h", 100, "Hikvision", "CWE-78", Protocol::kHttp, 80, false},
+    {"CVE-2021-39226", "2021-10-05", 3, "Grafana authentication bypass attempt", 7.3, "336d 23h",
+     "329d 0h", "330d 5h", 55, "Grafana Labs", "CWE-287", Protocol::kHttp, 3000, false},
+    {"CVE-2021-41773", "2021-10-05", 969, "Apache HTTP Server httpd directory traversal attempt",
+     7.5, "2d 13h", "21d 0h", "1d 2h", 100, "Apache", "CWE-22", Protocol::kHttp, 80, false},
+    {"CVE-2021-27561", "2021-10-15", 724, "Yealink Device Management server side request forgery",
+     9.8, "-198d 11h", "-", "-220d 6h", 83, "Yealink", "CWE-918", Protocol::kHttp, 443, false},
+    {"CVE-2021-20837", "2021-10-21", 2, "Movable Type CMS command injection attempt", 9.8,
+     "47d 17h", "9d 0h", "93d 8h", 91, "Six Apart", "CWE-78", Protocol::kHttp, 80, false},
+    {"CVE-2021-40117", "2021-10-27", 19074, "Cisco ASA and FTD denial of service attempt", 7.5,
+     "1d 12h", "-", "355d 11h", 19, "Cisco", "CWE-400", Protocol::kHttp, 443, false},
+    {"CVE-2021-41653", "2021-11-13", 354, "TP-Link TL-WR840N EU v5 command injection attempt", 9.8,
+     "30d 21h", "-", "8d 18h", 84, "TP-Link", "CWE-78", Protocol::kHttp, 80, false},
+    {"CVE-2021-43798", "2021-12-07", 11, "Grafana getPluginAssets path traversal attempt", 7.5,
+     "3d 19h", "15d 0h", "2d 19h", 100, "Grafana Labs", "CWE-22", Protocol::kHttp, 3000, false},
+    {"CVE-2021-44515", "2021-12-07", 2,
+     "ManageEngine Desktop Central authentication bypass attempt", 9.8, "35d 20h", "46d 0h",
+     "212d 9h", 95, "Zoho", "CWE-288", Protocol::kHttp, 8383, false},
+    {"CVE-2021-20038", "2021-12-08", 4,
+     "SonicWall SMA 100 remote unauthenticated buffer overflow attempt", 9.8, "188d 17h", "-",
+     "65d 1h", 64, "SonicWall", "CWE-787", Protocol::kHttp, 443, false},
+    {"CVE-2021-44228", "2021-12-10", 6254, "Apache Log4j logging remote code execution attempt",
+     10.0, "0d 19h", "4d 0h", "0d 13h", 100, "Apache", "CWE-502", Protocol::kHttp, 80, false},
+    {"CVE-2021-45232", "2021-12-27", 2, "Apache APISIX Dashboard authentication bypass attempt",
+     9.8, "106d 19h", "-", "9d 17h", 74, "Apache", "CWE-306", Protocol::kHttp, 9000, false},
+    {"CVE-2022-21796", "2022-01-28", 218, "TRUFFLEHUNTER TALOS-2022-1451 attack attempt", 8.2,
+     "-0d 7h", "-", "47d 16h", 61, "Talos-coordinated vendor D", "CWE-119", Protocol::kHttp, 80,
+     true},
+    {"CVE-2022-21199", "2022-01-28", 1, "TRUFFLEHUNTER TALOS-2022-1446 attack attempt", 5.9,
+     "-2d 11h", "-", "383d 19h", 68, "Talos-coordinated vendor E", "CWE-20", Protocol::kHttp, 80,
+     true},
+    {"CVE-2021-45382", "2022-02-17", 67, "D-Link router command injection attempt", 9.8,
+     "112d 14h", "-", "1d 5h", 87, "D-Link", "CWE-78", Protocol::kHttp, 80, false},
+    {"CVE-2022-0543", "2022-02-18", 863, "Debian Redis Lua sandbox escape attempt", 10.0,
+     "95d 21h", "40d 0h", "21d 20h", 100, "Redis", "CWE-693", Protocol::kRawTcp, 6379, false},
+    {"CVE-2022-22947", "2022-03-03", 6,
+     "Spring Cloud Gateway Spring Expression Language injection attempt", 10.0, "21d 12h",
+     "150d 0h", "21d 21h", 100, "VMware", "CWE-917", Protocol::kHttp, 8080, false},
+    {"CVE-2022-22963", "2022-03-31", 14,
+     "Spring Cloud Function Spring Expression Language injection attempt", 9.8, "0d 14h", "1d 0h",
+     "-1d 9h", 100, "VMware", "CWE-917", Protocol::kHttp, 8080, false},
+    {"CVE-2022-22965", "2022-04-01", 107, "Java ClassLoader access attempt", 9.8, "-", "8d 0h",
+     "-387d 14h", 100, "VMware", "CWE-94", Protocol::kHttp, 8080, false},
+    {"CVE-2022-28219", "2022-04-05", 1,
+     "Zoho ManageEngine ADAudit Plus XML external entity injection attempt", 9.8, "92d 20h", "-",
+     "138d 14h", 100, "Zoho", "CWE-611", Protocol::kHttp, 8081, false},
+    {"CVE-2022-22954", "2022-04-07", 859,
+     "VMware Workspace ONE Access server side template injection attempt", 9.8, "42d 17h",
+     "27d 0h", "10d 17h", 91, "VMware", "CWE-94", Protocol::kHttp, 443, false},
+    {"CVE-2022-29464", "2022-04-18", 5, "WSO2 multiple products directory traversal attempt", 9.8,
+     "9d 14h", "11d 1h", "19d 3h", 100, "WSO2", "CWE-22", Protocol::kHttp, 9443, false},
+    {"CVE-2022-0540", "2022-04-20", 1, "Atlassian Jira Seraph authentication bypass attempt", 9.8,
+     "99d 13h", "-", "298d 7h", 94, "Atlassian", "CWE-862", Protocol::kHttp, 8080, false},
+    {"CVE-2022-27925", "2022-04-21", 5, "Zimbra directory traversal remote code execution attempt",
+     7.2, "119d 15h", "-", "131d 6h", 100, "Zimbra", "CWE-22", Protocol::kHttp, 443, false},
+    {"CVE-2022-29499", "2022-04-26", 8, "MiVoice Connect command injection attempt", 9.8,
+     "70d 22h", "-", "61d 15h", 88, "Mitel", "CWE-78", Protocol::kHttp, 443, false},
+    {"CVE-2022-1388", "2022-05-05", 501,
+     "F5 iControl REST interface tm.util.bash invocation attempt", 9.8, "-407d 11h", "8d 0h",
+     "-410d 16h", 100, "F5", "CWE-306", Protocol::kHttp, 443, false},
+    {"CVE-2022-28818", "2022-05-11", 7, "Adobe ColdFusion cross-site scripting attempt", 6.1,
+     "1d 13h", "-", "-299d 2h", 92, "Adobe", "CWE-79", Protocol::kHttp, 8500, false},
+    {"CVE-2022-30525", "2022-05-12", 136, "Zyxel Firewall command injection attempt", 9.8,
+     "26d 14h", "3d 0h", "15d 17h", 100, "Zyxel", "CWE-78", Protocol::kHttp, 443, false},
+    {"CVE-2022-29583", "2022-05-13", 1, "NETGEAR ProSafe SSL VPN SQL injection attempt", 9.8,
+     "41d 14h", "-", "198d 17h", 91, "NETGEAR", "CWE-89", Protocol::kHttp, 443, false},
+    {"CVE-2022-28938", "2022-05-18", 20,
+     "Atlassian Confluence OGNL expression injection attempt", 9.8, "0d 23h", "2d 0h", "-444d 19h",
+     100, "Atlassian", "CWE-917", Protocol::kHttp, 8090, false},
+    {"CVE-2022-26134", "2022-06-03", 50575,
+     "Atlassian Confluence OGNL expression injection remote code execution attempt", 8.8,
+     "17d 14h", "52d 0h", "17d 16h", 100, "Atlassian", "CWE-917", Protocol::kHttp, 8090, false},
+    {"CVE-2022-33891", "2022-07-18", 46, "Apache Spark command injection attempt", 9.8, "6d 14h",
+     "11d 0h", "15d 7h", 100, "Apache", "CWE-78", Protocol::kHttp, 8080, false},
+    {"CVE-2022-26138", "2022-07-20", 2, "Atlassian Confluence hardcoded credentials use attempt",
+     9.8, "45d 14h", "36d 0h", "65d 23h", 100, "Atlassian", "CWE-798", Protocol::kHttp, 8090,
+     false},
+    {"CVE-2022-35914", "2022-09-19", 6, "GLPI htmLawed php remote code execution attempt", 8.8,
+     "-0d 4h", "13d 0h", "89d 2h", 95, "GLPI Project", "CWE-94", Protocol::kHttp, 80, false},
+    {"CVE-2022-41040", "2022-10-01", 2, "Microsoft Exchange Server remote code execution attempt",
+     9.8, "6d 17h", "10d 0h", "7d 15h", 100, "Microsoft", "CWE-918", Protocol::kHttp, 443, false},
+    {"CVE-2022-40684", "2022-10-08", 14,
+     "Fortinet FortiOS and FortiProxy authentication bypass attempt", 9.8, "20d 14h", "26d 0h",
+     "25d 23h", 100, "Fortinet", "CWE-288", Protocol::kHttp, 443, false},
+    {"CVE-2022-44877", "2023-01-05", 8,
+     "CentOS Web Panel 7 unauthenticated command injection attempt", 9.8, "-", "-", "-", -1,
+     "Control Web Panel", "CWE-78", Protocol::kHttp, 2031, false},
+};
+
+std::optional<Duration> offset_of(const char* text) {
+  return util::parse_offset(text);
+}
+
+std::vector<CveRecord> build_rows() {
+  std::vector<CveRecord> rows;
+  rows.reserve(std::size(kRows));
+  for (const auto& raw : kRows) {
+    CveRecord rec;
+    rec.id = raw.id;
+    const auto published = util::parse_date(raw.published);
+    if (!published) throw std::logic_error(std::string("bad embedded date for ") + raw.id);
+    rec.published = *published;
+    rec.events = raw.events;
+    rec.description = raw.description;
+    rec.impact = raw.impact;
+    rec.d_minus_p = offset_of(raw.d_p);
+    rec.x_minus_p = offset_of(raw.x_p);
+    rec.a_minus_p = offset_of(raw.a_p);
+    if (raw.exploitability >= 0) rec.exploitability = raw.exploitability;
+    rec.vendor = raw.vendor;
+    rec.cwe = raw.cwe;
+    rec.protocol = raw.proto;
+    rec.service_port = raw.port;
+    rec.talos_disclosed = raw.talos;
+    rows.push_back(std::move(rec));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::optional<TimePoint> CveRecord::fix_deployed() const {
+  if (!d_minus_p) return std::nullopt;
+  return published + *d_minus_p;
+}
+
+std::optional<TimePoint> CveRecord::exploit_public() const {
+  if (!x_minus_p) return std::nullopt;
+  return published + *x_minus_p;
+}
+
+std::optional<TimePoint> CveRecord::first_attack() const {
+  if (!a_minus_p) return std::nullopt;
+  return published + *a_minus_p;
+}
+
+const std::vector<CveRecord>& appendix_e() {
+  static const std::vector<CveRecord> rows = build_rows();
+  return rows;
+}
+
+const CveRecord* find_cve(const std::string& id) {
+  static const std::unordered_map<std::string, const CveRecord*> index = [] {
+    std::unordered_map<std::string, const CveRecord*> m;
+    for (const auto& rec : appendix_e()) m.emplace(rec.id, &rec);
+    return m;
+  }();
+  const auto it = index.find(id);
+  return it == index.end() ? nullptr : it->second;
+}
+
+TimePoint study_begin() { return *util::parse_date("2021-03-01"); }
+TimePoint study_end() { return *util::parse_date("2023-03-01"); }
+
+int total_events() {
+  int total = 0;
+  for (const auto& rec : appendix_e()) total += rec.events;
+  return total;
+}
+
+int distinct_vendors() {
+  std::set<std::string> vendors;
+  for (const auto& rec : appendix_e()) vendors.insert(rec.vendor);
+  return static_cast<int>(vendors.size());
+}
+
+int distinct_cwes() {
+  std::set<std::string> cwes;
+  for (const auto& rec : appendix_e()) cwes.insert(rec.cwe);
+  return static_cast<int>(cwes.size());
+}
+
+}  // namespace cvewb::data

@@ -1,0 +1,70 @@
+// The paper's Appendix E: the complete listing of the 63 studied CVEs.
+//
+// This table *is* the study's joined dataset: for every CVE it gives the
+// NVD publication instant P, the number of DSCOPE-observed exploit events,
+// the CVSS impact, the event offsets D-P (IDS rule deployment), X-P
+// (public exploit) and A-P (first observed attack), and Suciu et al.'s
+// expected-exploitability percentile.  We embed it verbatim (with the
+// PDF-extraction fixups documented in DESIGN.md §1) and use it both as the
+// direct input for "dataset mode" analyses and as ground truth for the
+// synthetic traffic generator in "pipeline mode".
+//
+// Vendor, CWE, protocol, and default service port columns are our own
+// annotations (derived from the rule descriptions) used by the generator
+// and the representativity analyses of Section 4 (40 vendors / 25 CWEs).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/datetime.h"
+
+namespace cvewb::data {
+
+/// Application protocol the exploit travels over.
+enum class Protocol { kHttp, kSmtp, kRawTcp };
+
+/// One row of Appendix E plus annotations.
+struct CveRecord {
+  std::string id;                 // "CVE-2021-44228"
+  util::TimePoint published;      // P: NVD publication (midnight UTC of the listed day)
+  int events = 0;                 // DSCOPE exploit events observed
+  std::string description;        // IDS rule message
+  double impact = 0;              // CVSS base score
+  std::optional<util::Duration> d_minus_p;  // IDS rule deployment offset (D = F)
+  std::optional<util::Duration> x_minus_p;  // public exploit offset
+  std::optional<util::Duration> a_minus_p;  // first observed attack offset
+  std::optional<int> exploitability;        // Suciu et al. percentile (0-100)
+  // --- annotations ---
+  std::string vendor;
+  std::string cwe;                // "CWE-78" etc.
+  Protocol protocol = Protocol::kHttp;
+  std::uint16_t service_port = 80;  // port the vulnerable service usually runs on
+  bool talos_disclosed = false;     // originally disclosed by the IDS vendor
+
+  /// Absolute event instants (nullopt when the offset is unknown).
+  std::optional<util::TimePoint> fix_deployed() const;   // D (= F in the main model)
+  std::optional<util::TimePoint> exploit_public() const; // X
+  std::optional<util::TimePoint> first_attack() const;   // A (first event)
+};
+
+/// The full 63-row table, ordered by publication date as in the paper.
+/// The returned reference is to an immutable process-lifetime singleton.
+const std::vector<CveRecord>& appendix_e();
+
+/// Lookup by CVE id; nullptr when absent.
+const CveRecord* find_cve(const std::string& id);
+
+/// Study collection window: 2021-03-01 .. 2023-03-01 UTC.
+util::TimePoint study_begin();
+util::TimePoint study_end();
+
+/// Total exploit events across all rows (paper: ~146 k).
+int total_events();
+
+/// Number of distinct vendors / CWEs among the studied CVEs.
+int distinct_vendors();
+int distinct_cwes();
+
+}  // namespace cvewb::data

@@ -1,0 +1,163 @@
+#include "data/cve_table_io.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace cvewb::data {
+
+namespace {
+
+constexpr const char* kHeader[] = {"cve",  "published", "events",   "description",
+                                   "impact", "d_minus_p", "x_minus_p", "a_minus_p",
+                                   "exploitability", "vendor", "cwe", "protocol",
+                                   "service_port", "talos_disclosed"};
+constexpr std::size_t kColumns = std::size(kHeader);
+
+std::string offset_or_dash(const std::optional<util::Duration>& d) {
+  return d ? util::format_offset(*d) : std::string("-");
+}
+
+std::string protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kHttp: return "http";
+    case Protocol::kSmtp: return "smtp";
+    case Protocol::kRawTcp: return "raw";
+  }
+  return "?";
+}
+
+std::optional<Protocol> protocol_from(const std::string& name) {
+  if (name == "http") return Protocol::kHttp;
+  if (name == "smtp") return Protocol::kSmtp;
+  if (name == "raw") return Protocol::kRawTcp;
+  return std::nullopt;
+}
+
+bool parse_int_field(const std::string& text, long& out) {
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && p == text.data() + text.size();
+}
+
+}  // namespace
+
+std::string cve_table_to_csv(const std::vector<CveRecord>& records) {
+  std::ostringstream out;
+  util::CsvWriter csv(out);
+  for (const char* column : kHeader) csv.field(std::string_view(column));
+  csv.end_row();
+  for (const auto& rec : records) {
+    csv.field(rec.id)
+        .field(util::format_date(rec.published))
+        .field(static_cast<std::int64_t>(rec.events))
+        .field(rec.description)
+        .field(rec.impact, 3)
+        .field(offset_or_dash(rec.d_minus_p))
+        .field(offset_or_dash(rec.x_minus_p))
+        .field(offset_or_dash(rec.a_minus_p))
+        .field(rec.exploitability ? std::to_string(*rec.exploitability) : std::string("-"))
+        .field(rec.vendor)
+        .field(rec.cwe)
+        .field(protocol_name(rec.protocol))
+        .field(static_cast<std::int64_t>(rec.service_port))
+        .field(rec.talos_disclosed ? "1" : "0");
+    csv.end_row();
+  }
+  return out.str();
+}
+
+std::optional<std::vector<CveRecord>> cve_table_from_csv(std::string_view csv,
+                                                         std::string& error) {
+  error.clear();
+  const auto rows = util::parse_csv(csv);
+  if (!rows) {
+    error = "malformed CSV quoting";
+    return std::nullopt;
+  }
+  if (rows->empty()) {
+    error = "missing header row";
+    return std::nullopt;
+  }
+  const auto& header = (*rows)[0];
+  if (header.size() != kColumns) {
+    error = "expected " + std::to_string(kColumns) + " columns";
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < kColumns; ++i) {
+    if (header[i] != kHeader[i]) {
+      error = "unexpected column '" + header[i] + "'";
+      return std::nullopt;
+    }
+  }
+
+  std::vector<CveRecord> records;
+  for (std::size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    const std::string where = " at data row " + std::to_string(r);
+    if (row.size() != kColumns) {
+      error = "wrong field count" + where;
+      return std::nullopt;
+    }
+    CveRecord rec;
+    rec.id = row[0];
+    const auto published = util::parse_date(row[1]);
+    if (!published) {
+      error = "bad published date" + where;
+      return std::nullopt;
+    }
+    rec.published = *published;
+    long events = 0;
+    if (!parse_int_field(row[2], events) || events < 0) {
+      error = "bad events count" + where;
+      return std::nullopt;
+    }
+    rec.events = static_cast<int>(events);
+    rec.description = row[3];
+    try {
+      rec.impact = std::stod(row[4]);
+    } catch (...) {
+      error = "bad impact" + where;
+      return std::nullopt;
+    }
+    if (rec.impact < 0 || rec.impact > 10) {
+      error = "impact out of range" + where;
+      return std::nullopt;
+    }
+    rec.d_minus_p = util::parse_offset(row[5]);
+    rec.x_minus_p = util::parse_offset(row[6]);
+    rec.a_minus_p = util::parse_offset(row[7]);
+    if (row[8] != "-") {
+      long exploitability = 0;
+      if (!parse_int_field(row[8], exploitability) || exploitability < 0 ||
+          exploitability > 100) {
+        error = "bad exploitability" + where;
+        return std::nullopt;
+      }
+      rec.exploitability = static_cast<int>(exploitability);
+    }
+    rec.vendor = row[9];
+    rec.cwe = row[10];
+    const auto protocol = protocol_from(row[11]);
+    if (!protocol) {
+      error = "unknown protocol '" + row[11] + "'" + where;
+      return std::nullopt;
+    }
+    rec.protocol = *protocol;
+    long port = 0;
+    if (!parse_int_field(row[12], port) || port < 1 || port > 65535) {
+      error = "bad service port" + where;
+      return std::nullopt;
+    }
+    rec.service_port = static_cast<std::uint16_t>(port);
+    if (row[13] != "0" && row[13] != "1") {
+      error = "bad talos flag" + where;
+      return std::nullopt;
+    }
+    rec.talos_disclosed = row[13] == "1";
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace cvewb::data

@@ -1,0 +1,27 @@
+// CSV interchange for the studied-CVE table.
+//
+// The embedded Appendix-E dataset drives everything; this module lets a
+// downstream user export it, edit or extend it (their own telescope's
+// CVEs, a third year of data), and run the whole pipeline on the modified
+// table.  The format is one header row plus one row per CVE, offsets in
+// Appendix-E "Nd Nh" notation, "-" for unknown.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/appendix_e.h"
+
+namespace cvewb::data {
+
+/// Serialize records to CSV (includes the header row).
+std::string cve_table_to_csv(const std::vector<CveRecord>& records);
+
+/// Parse a CSV produced by cve_table_to_csv (or hand-edited in the same
+/// schema).  Returns nullopt and sets `error` on malformed input: wrong
+/// header, bad dates/offsets, unknown protocol, out-of-range numbers.
+std::optional<std::vector<CveRecord>> cve_table_from_csv(std::string_view csv,
+                                                         std::string& error);
+
+}  // namespace cvewb::data

@@ -1,0 +1,187 @@
+#include "data/cvss.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cvewb::data {
+
+namespace {
+
+double av_weight(AttackVector v) {
+  switch (v) {
+    case AttackVector::kNetwork: return 0.85;
+    case AttackVector::kAdjacent: return 0.62;
+    case AttackVector::kLocal: return 0.55;
+    case AttackVector::kPhysical: return 0.2;
+  }
+  return 0;
+}
+
+double ac_weight(AttackComplexity v) {
+  return v == AttackComplexity::kLow ? 0.77 : 0.44;
+}
+
+double pr_weight(PrivilegesRequired v, Scope scope) {
+  switch (v) {
+    case PrivilegesRequired::kNone: return 0.85;
+    case PrivilegesRequired::kLow: return scope == Scope::kChanged ? 0.68 : 0.62;
+    case PrivilegesRequired::kHigh: return scope == Scope::kChanged ? 0.5 : 0.27;
+  }
+  return 0;
+}
+
+double ui_weight(UserInteraction v) { return v == UserInteraction::kNone ? 0.85 : 0.62; }
+
+double cia_weight(ImpactLevel v) {
+  switch (v) {
+    case ImpactLevel::kHigh: return 0.56;
+    case ImpactLevel::kLow: return 0.22;
+    case ImpactLevel::kNone: return 0.0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+double cvss_roundup(double value) {
+  // Reference implementation from the v3.1 spec: operate on int(value*1e5)
+  // to dodge binary floating-point representation artifacts.
+  const auto scaled = static_cast<long long>(std::llround(value * 100000.0));
+  if (scaled % 10000 == 0) return static_cast<double>(scaled) / 100000.0;
+  return (std::floor(static_cast<double>(scaled) / 10000.0) + 1) / 10.0;
+}
+
+double cvss_base_score(const CvssVector& v) {
+  const double iss = 1.0 - (1.0 - cia_weight(v.confidentiality)) *
+                               (1.0 - cia_weight(v.integrity)) *
+                               (1.0 - cia_weight(v.availability));
+  double impact = 0;
+  if (v.scope == Scope::kUnchanged) {
+    impact = 6.42 * iss;
+  } else {
+    impact = 7.52 * (iss - 0.029) - 3.25 * std::pow(iss - 0.02, 15.0);
+  }
+  const double exploitability = 8.22 * av_weight(v.attack_vector) *
+                                ac_weight(v.attack_complexity) *
+                                pr_weight(v.privileges_required, v.scope) *
+                                ui_weight(v.user_interaction);
+  if (impact <= 0) return 0.0;
+  if (v.scope == Scope::kUnchanged) {
+    return cvss_roundup(std::min(impact + exploitability, 10.0));
+  }
+  return cvss_roundup(std::min(1.08 * (impact + exploitability), 10.0));
+}
+
+std::string CvssVector::to_string() const {
+  std::string out = "CVSS:3.1";
+  const auto metric = [&](const char* key, char value) {
+    out += "/";
+    out += key;
+    out += ":";
+    out += value;
+  };
+  metric("AV", attack_vector == AttackVector::kNetwork    ? 'N'
+              : attack_vector == AttackVector::kAdjacent  ? 'A'
+              : attack_vector == AttackVector::kLocal     ? 'L'
+                                                          : 'P');
+  metric("AC", attack_complexity == AttackComplexity::kLow ? 'L' : 'H');
+  metric("PR", privileges_required == PrivilegesRequired::kNone  ? 'N'
+               : privileges_required == PrivilegesRequired::kLow ? 'L'
+                                                                 : 'H');
+  metric("UI", user_interaction == UserInteraction::kNone ? 'N' : 'R');
+  metric("S", scope == Scope::kUnchanged ? 'U' : 'C');
+  const auto cia = [](ImpactLevel level) {
+    return level == ImpactLevel::kHigh ? 'H' : level == ImpactLevel::kLow ? 'L' : 'N';
+  };
+  metric("C", cia(confidentiality));
+  metric("I", cia(integrity));
+  metric("A", cia(availability));
+  return out;
+}
+
+std::optional<CvssVector> parse_cvss(std::string_view text) {
+  CvssVector vector;
+  bool seen_av = false;
+  bool seen_ac = false;
+  bool seen_pr = false;
+  bool seen_ui = false;
+  bool seen_s = false;
+  bool seen_c = false;
+  bool seen_i = false;
+  bool seen_a = false;
+
+  for (auto part : util::split_trim(text, '/')) {
+    if (util::starts_with(part, "CVSS:")) {
+      if (part != "CVSS:3.1" && part != "CVSS:3.0") return std::nullopt;
+      continue;
+    }
+    const auto colon = part.find(':');
+    if (colon == std::string_view::npos || colon + 2 != part.size()) return std::nullopt;
+    const std::string_view key = part.substr(0, colon);
+    const char value = part[colon + 1];
+    if (key == "AV") {
+      seen_av = true;
+      switch (value) {
+        case 'N': vector.attack_vector = AttackVector::kNetwork; break;
+        case 'A': vector.attack_vector = AttackVector::kAdjacent; break;
+        case 'L': vector.attack_vector = AttackVector::kLocal; break;
+        case 'P': vector.attack_vector = AttackVector::kPhysical; break;
+        default: return std::nullopt;
+      }
+    } else if (key == "AC") {
+      seen_ac = true;
+      if (value == 'L') vector.attack_complexity = AttackComplexity::kLow;
+      else if (value == 'H') vector.attack_complexity = AttackComplexity::kHigh;
+      else return std::nullopt;
+    } else if (key == "PR") {
+      seen_pr = true;
+      if (value == 'N') vector.privileges_required = PrivilegesRequired::kNone;
+      else if (value == 'L') vector.privileges_required = PrivilegesRequired::kLow;
+      else if (value == 'H') vector.privileges_required = PrivilegesRequired::kHigh;
+      else return std::nullopt;
+    } else if (key == "UI") {
+      seen_ui = true;
+      if (value == 'N') vector.user_interaction = UserInteraction::kNone;
+      else if (value == 'R') vector.user_interaction = UserInteraction::kRequired;
+      else return std::nullopt;
+    } else if (key == "S") {
+      seen_s = true;
+      if (value == 'U') vector.scope = Scope::kUnchanged;
+      else if (value == 'C') vector.scope = Scope::kChanged;
+      else return std::nullopt;
+    } else if (key == "C" || key == "I" || key == "A") {
+      ImpactLevel level;
+      if (value == 'H') level = ImpactLevel::kHigh;
+      else if (value == 'L') level = ImpactLevel::kLow;
+      else if (value == 'N') level = ImpactLevel::kNone;
+      else return std::nullopt;
+      if (key == "C") {
+        vector.confidentiality = level;
+        seen_c = true;
+      } else if (key == "I") {
+        vector.integrity = level;
+        seen_i = true;
+      } else {
+        vector.availability = level;
+        seen_a = true;
+      }
+    } else {
+      return std::nullopt;  // temporal/environmental metrics unsupported
+    }
+  }
+  if (!(seen_av && seen_ac && seen_pr && seen_ui && seen_s && seen_c && seen_i && seen_a)) {
+    return std::nullopt;
+  }
+  return vector;
+}
+
+std::string_view cvss_severity(double score) {
+  if (score <= 0.0) return "None";
+  if (score < 4.0) return "Low";
+  if (score < 7.0) return "Medium";
+  if (score < 9.0) return "High";
+  return "Critical";
+}
+
+}  // namespace cvewb::data

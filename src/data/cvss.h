@@ -1,0 +1,53 @@
+// CVSS v3.1 base-metric vectors and scoring.
+//
+// The Appendix-E "Impact" column and Fig. 2's CDFs are CVSS v3.1 base
+// scores.  This module parses standard vector strings
+// ("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H") and implements the
+// first.org scoring equations exactly (including the spec's Roundup
+// function), so synthetic records can carry well-formed provenance and
+// tests can pin famous scores (Log4Shell = 10.0, the ubiquitous
+// network-RCE vector = 9.8).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cvewb::data {
+
+enum class AttackVector : std::uint8_t { kNetwork, kAdjacent, kLocal, kPhysical };
+enum class AttackComplexity : std::uint8_t { kLow, kHigh };
+enum class PrivilegesRequired : std::uint8_t { kNone, kLow, kHigh };
+enum class UserInteraction : std::uint8_t { kNone, kRequired };
+enum class Scope : std::uint8_t { kUnchanged, kChanged };
+enum class ImpactLevel : std::uint8_t { kHigh, kLow, kNone };
+
+struct CvssVector {
+  AttackVector attack_vector = AttackVector::kNetwork;
+  AttackComplexity attack_complexity = AttackComplexity::kLow;
+  PrivilegesRequired privileges_required = PrivilegesRequired::kNone;
+  UserInteraction user_interaction = UserInteraction::kNone;
+  Scope scope = Scope::kUnchanged;
+  ImpactLevel confidentiality = ImpactLevel::kHigh;
+  ImpactLevel integrity = ImpactLevel::kHigh;
+  ImpactLevel availability = ImpactLevel::kHigh;
+
+  /// Canonical vector string, e.g. "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".
+  std::string to_string() const;
+};
+
+/// Parse a v3.0/v3.1 vector string (prefix optional, metric order free).
+/// Returns nullopt on unknown metrics/values or missing base metrics.
+std::optional<CvssVector> parse_cvss(std::string_view text);
+
+/// CVSS v3.1 base score in [0.0, 10.0], one decimal.
+double cvss_base_score(const CvssVector& vector);
+
+/// Spec §Appendix A Roundup: smallest number with one decimal >= input
+/// (with the floating-point guard from the reference implementation).
+double cvss_roundup(double value);
+
+/// Severity rating per the spec's qualitative scale.
+std::string_view cvss_severity(double score);
+
+}  // namespace cvewb::data

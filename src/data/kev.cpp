@@ -1,0 +1,160 @@
+#include "data/kev.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "data/appendix_e.h"
+
+namespace cvewb::data {
+
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+constexpr int kCatalogSize = 424;
+constexpr int kSharedWithStudy = 44;
+constexpr int kDscopeFirst = 26;          // Fig. 11: 59 % of shared CVEs
+constexpr int kDscopeFirstBy30d = 22;     // Fig. 11: 50 % more than 30 d earlier
+constexpr double kAddedBeforePublished = 0.18;  // Fig. 10: 18 % A < P
+
+/// Impact mixture for KEV entries: biased high, but less extreme than the
+/// DSCOPE-studied set (Finding 15).
+double kev_impact_quantile(double u) {
+  static const std::vector<std::pair<double, double>> mix = {
+      {5.4, 0.02}, {6.1, 0.03}, {7.2, 0.05}, {7.5, 0.12}, {7.8, 0.15}, {8.1, 0.06},
+      {8.8, 0.17}, {9.1, 0.06}, {9.6, 0.04}, {9.8, 0.28}, {10.0, 0.02},
+  };
+  double acc = 0;
+  for (const auto& [score, weight] : mix) {
+    acc += weight;
+    if (u <= acc) return score;
+  }
+  return mix.back().first;
+}
+
+/// Stratified quantile u for index i of n.
+double stratum(int i, int n) { return (static_cast<double>(i) + 0.5) / static_cast<double>(n); }
+
+/// The 44 DSCOPE-vs-KEV deltas (dscope_first_attack - kev_date_added), in
+/// days, constructed to satisfy Fig. 11's exact counts: 26 negative of
+/// which 22 below -30 d; 18 positive.
+std::vector<double> shared_delta_days() {
+  std::vector<double> deltas;
+  deltas.reserve(kSharedWithStudy);
+  // 22 leads of more than 30 days, log-spaced out to ~400 days.
+  for (int i = 0; i < kDscopeFirstBy30d; ++i) {
+    const double u = stratum(i, kDscopeFirstBy30d);
+    deltas.push_back(-(31.0 * std::pow(400.0 / 31.0, u)));
+  }
+  // 4 leads inside (0, 30) days.
+  for (int i = 0; i < kDscopeFirst - kDscopeFirstBy30d; ++i) {
+    deltas.push_back(-(2.0 + 7.0 * i));
+  }
+  // 18 lags: KEV documented exploitation first; exponential-ish out to 120 d.
+  const int lags = kSharedWithStudy - kDscopeFirst;
+  for (int i = 0; i < lags; ++i) {
+    const double u = stratum(i, lags);
+    deltas.push_back(-45.0 * std::log(1.0 - 0.93 * u));
+  }
+  return deltas;
+}
+
+}  // namespace
+
+TimePoint kev_launch() { return *util::parse_date("2021-11-03"); }
+
+std::vector<const KevEntry*> KevCatalog::shared_with_study() const {
+  std::vector<const KevEntry*> out;
+  for (const auto& entry : entries) {
+    if (entry.studied) out.push_back(&entry);
+  }
+  return out;
+}
+
+KevCatalog synthesize_kev(std::uint64_t seed) {
+  util::Rng rng(seed);
+  KevCatalog catalog;
+  catalog.entries.reserve(kCatalogSize);
+
+  // --- Shared entries: 44 of the 63 studied CVEs (those with observed A).
+  std::vector<const CveRecord*> candidates;
+  for (const auto& rec : appendix_e()) {
+    if (rec.a_minus_p) candidates.push_back(&rec);
+  }
+  if (static_cast<int>(candidates.size()) < kSharedWithStudy) {
+    throw std::logic_error("appendix table too small for KEV overlap");
+  }
+  // Deterministic Fisher-Yates choice of the overlap set.
+  for (std::size_t i = candidates.size() - 1; i > 0; --i) {
+    std::swap(candidates[i], candidates[rng.uniform_u64(i + 1)]);
+  }
+  candidates.resize(kSharedWithStudy);
+  // Earliest-attacked CVEs must take the DSCOPE-first (negative) deltas;
+  // sort by attack time and pair with deltas sorted ascending.
+  std::sort(candidates.begin(), candidates.end(), [](const CveRecord* a, const CveRecord* b) {
+    return *a->first_attack() < *b->first_attack();
+  });
+  std::vector<double> deltas = shared_delta_days();
+  std::sort(deltas.begin(), deltas.end());
+
+  int shared_added_before_published = 0;
+  for (int i = 0; i < kSharedWithStudy; ++i) {
+    const CveRecord& rec = *candidates[static_cast<std::size_t>(i)];
+    KevEntry entry;
+    entry.cve_id = rec.id;
+    entry.nvd_published = rec.published;
+    entry.impact = rec.impact;
+    entry.studied = true;
+    const TimePoint attack = *rec.first_attack();
+    entry.date_added = attack - Duration::days(static_cast<std::int64_t>(std::llround(deltas[static_cast<std::size_t>(i)])));
+    if (entry.date_added < entry.nvd_published) ++shared_added_before_published;
+    catalog.entries.push_back(std::move(entry));
+  }
+
+  // --- Synthetic remainder, constructed so exactly 18 % of the catalog has
+  // date_added < nvd_published.
+  const int synthetic = kCatalogSize - kSharedWithStudy;
+  const int target_neg = static_cast<int>(std::lround(kAddedBeforePublished * kCatalogSize));
+  const int neg_needed = std::max(0, target_neg - shared_added_before_published);
+
+  std::vector<double> offsets_days;  // date_added - nvd_published, days
+  offsets_days.reserve(static_cast<std::size_t>(synthetic));
+  for (int i = 0; i < neg_needed; ++i) {
+    // Pre-publication exploitation documented by KEV: up to ~300 d early.
+    const double u = stratum(i, neg_needed);
+    offsets_days.push_back(-(1.0 + 299.0 * u * u));
+  }
+  for (int i = 0; i < synthetic - neg_needed; ++i) {
+    // Post-publication additions: exponential-ish, median ~1 month.
+    const double u = stratum(i, synthetic - neg_needed);
+    offsets_days.push_back(-45.0 * std::log(1.0 - 0.9997 * u));
+  }
+  // Shuffle offsets so publication date and offset are independent.
+  for (std::size_t i = offsets_days.size() - 1; i > 0; --i) {
+    std::swap(offsets_days[i], offsets_days[rng.uniform_u64(i + 1)]);
+  }
+
+  const auto begin = study_begin();
+  const auto span_days = (study_end() - begin).total_seconds() / 86400;
+  for (int i = 0; i < synthetic; ++i) {
+    KevEntry entry;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "CVE-KEV-%04d", i);
+    entry.cve_id = buf;
+    entry.nvd_published = begin + Duration::days(rng.uniform_int(0, span_days - 1));
+    entry.date_added = entry.nvd_published +
+                       Duration::seconds(static_cast<std::int64_t>(
+                           offsets_days[static_cast<std::size_t>(i)] * 86400.0));
+    entry.impact = kev_impact_quantile(stratum(i, synthetic));
+    catalog.entries.push_back(std::move(entry));
+  }
+
+  std::sort(catalog.entries.begin(), catalog.entries.end(),
+            [](const KevEntry& a, const KevEntry& b) { return a.nvd_published < b.nvd_published; });
+  return catalog;
+}
+
+}  // namespace cvewb::data

@@ -1,0 +1,92 @@
+#include "data/log4shell_variants.h"
+
+namespace cvewb::data {
+
+namespace {
+
+using util::Duration;
+
+constexpr std::int64_t h(int days, int hours) {
+  return static_cast<std::int64_t>(days) * 86400 + static_cast<std::int64_t>(hours) * 3600;
+}
+
+struct Raw {
+  char group;
+  int sid;
+  std::int64_t d_p;  // seconds
+  std::int64_t a_d;
+  InjectionContext ctx;
+  MatchKind match;
+  const char* adaptation;
+};
+
+constexpr Raw kRaw[] = {
+    {'A', 58722, h(0, 9), h(0, 4), InjectionContext::kHttpUri, MatchKind::kJndi, ""},
+    {'A', 58723, h(0, 9), -h(0, 6), InjectionContext::kHttpHeader, MatchKind::kJndi, ""},
+    {'A', 58724, h(0, 9), h(0, 22), InjectionContext::kHttpHeader, MatchKind::kLower, ""},
+    {'A', 58725, h(0, 9), h(105, 5), InjectionContext::kHttpUri, MatchKind::kLower, ""},
+    {'A', 58727, h(0, 9), h(4, 14), InjectionContext::kHttpBody, MatchKind::kJndi, ""},
+    {'A', 58731, h(0, 9), h(8, 21), InjectionContext::kHttpHeader, MatchKind::kUpper, ""},
+    {'B', 300057, h(0, 17), h(21, 10), InjectionContext::kHttpCookie, MatchKind::kJndi, ""},
+    {'B', 58738, h(0, 17), h(11, 7), InjectionContext::kHttpHeader, MatchKind::kUpper,
+     "Escape sequence for $"},
+    {'C', 58739, h(1, 15), h(8, 12), InjectionContext::kHttpHeader, MatchKind::kLower,
+     "Escape sequence for $"},
+    {'C', 58741, h(1, 15), h(136, 16), InjectionContext::kHttpBody, MatchKind::kJndi,
+     "Escape sequence for jndi"},
+    {'C', 58742, h(1, 15), h(5, 0), InjectionContext::kHttpHeader, MatchKind::kJndi,
+     "Escape sequence for jndi"},
+    {'C', 58744, h(1, 15), h(4, 19), InjectionContext::kHttpUri, MatchKind::kJndi,
+     "Escape sequence for jndi"},
+    {'D', 300058, h(3, 11), h(5, 0), InjectionContext::kHttpCookie, MatchKind::kJndi,
+     "Escape sequence for jndi"},
+    {'D', 58751, h(3, 11), -h(3, 8), InjectionContext::kSmtp, MatchKind::kAny,
+     "Extraneous ignored text before jndi"},
+    {'E', 59246, h(90, 3), -h(88, 22), InjectionContext::kHttpMethod, MatchKind::kJndi, ""},
+};
+
+}  // namespace
+
+const std::vector<Log4ShellVariant>& log4shell_variants() {
+  static const std::vector<Log4ShellVariant> variants = [] {
+    std::vector<Log4ShellVariant> out;
+    out.reserve(std::size(kRaw));
+    for (const auto& raw : kRaw) {
+      Log4ShellVariant v;
+      v.group = raw.group;
+      v.sid = raw.sid;
+      v.group_d_minus_p = Duration(raw.d_p);
+      v.a_minus_d = Duration(raw.a_d);
+      v.context = raw.ctx;
+      v.match = raw.match;
+      v.adaptation = raw.adaptation;
+      out.push_back(std::move(v));
+    }
+    return out;
+  }();
+  return variants;
+}
+
+std::string to_string(InjectionContext c) {
+  switch (c) {
+    case InjectionContext::kHttpUri: return "HTTP URI";
+    case InjectionContext::kHttpHeader: return "HTTP Header";
+    case InjectionContext::kHttpBody: return "HTTP Body";
+    case InjectionContext::kHttpCookie: return "HTTP Cookie";
+    case InjectionContext::kHttpMethod: return "HTTP Request Method";
+    case InjectionContext::kSmtp: return "SMTP";
+  }
+  return "?";
+}
+
+std::string to_string(MatchKind m) {
+  switch (m) {
+    case MatchKind::kJndi: return "jndi";
+    case MatchKind::kLower: return "lower";
+    case MatchKind::kUpper: return "upper";
+    case MatchKind::kAny: return "jndi/lower/upper";
+  }
+  return "?";
+}
+
+}  // namespace cvewb::data

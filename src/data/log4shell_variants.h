@@ -1,0 +1,51 @@
+// Table 6: Log4Shell mitigation variants.
+//
+// The Log4Shell case study (§7.1, Appendix B) tracks 15 Snort signatures
+// released in five groups (A-E) as adversaries adapted payload obfuscation
+// (case-mapping lookups, escape sequences, SMTP carriers) to evade earlier
+// coverage.  Each row carries the group-level rule release offset D-P, the
+// per-signature first-match offset A-D, the HTTP context the signature
+// inspects, the jndi lookup form it matches, and the adversarial
+// adaptation it responds to.  The IDS rule generator turns these rows into
+// executable signatures and the traffic generator emits matching payloads,
+// regenerating Fig. 9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/datetime.h"
+
+namespace cvewb::data {
+
+/// Where a Log4Shell signature looks for the injected lookup string.
+enum class InjectionContext {
+  kHttpUri,
+  kHttpHeader,
+  kHttpBody,
+  kHttpCookie,
+  kHttpMethod,
+  kSmtp,
+};
+
+/// Which jndi lookup form the payload uses.
+enum class MatchKind { kJndi, kLower, kUpper, kAny };
+
+struct Log4ShellVariant {
+  char group = 'A';                 // signature release group A..E
+  int sid = 0;                      // Snort signature id
+  util::Duration group_d_minus_p;   // rule release relative to publication
+  util::Duration a_minus_d;         // first matching traffic relative to release
+  InjectionContext context = InjectionContext::kHttpUri;
+  MatchKind match = MatchKind::kJndi;
+  std::string adaptation;           // adversarial adaptation ("" if none)
+};
+
+/// All 15 variants of Table 6 in print order.
+const std::vector<Log4ShellVariant>& log4shell_variants();
+
+/// Human-readable labels.
+std::string to_string(InjectionContext c);
+std::string to_string(MatchKind m);
+
+}  // namespace cvewb::data

@@ -1,0 +1,110 @@
+#include "data/nvd.h"
+
+#include "data/cvss.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cvewb::data {
+
+const std::vector<std::pair<double, double>>& nvd_score_mixture() {
+  // Discrete CVSS v3 base-score mass function for the 2021-2023 window.
+  // CVSS v3 scores are vector-derived, so the population concentrates on a
+  // small set of values; weights approximate the published NVD histogram
+  // (median ~7.1, ~15 % >= 9.0, ~10 % < 4.0).
+  static const std::vector<std::pair<double, double>> mixture = {
+      {2.7, 0.02}, {3.3, 0.03}, {3.7, 0.03}, {4.3, 0.06}, {4.9, 0.04},
+      {5.4, 0.07}, {5.5, 0.06}, {6.1, 0.09}, {6.5, 0.06}, {7.2, 0.05},
+      {7.5, 0.11}, {7.8, 0.10}, {8.1, 0.04}, {8.8, 0.09}, {9.1, 0.03},
+      {9.8, 0.11}, {10.0, 0.01},
+  };
+  return mixture;
+}
+
+double nvd_score_quantile(double u) {
+  u = std::clamp(u, 0.0, 1.0);
+  double acc = 0;
+  for (const auto& [score, weight] : nvd_score_mixture()) {
+    acc += weight;
+    if (u <= acc) return score;
+  }
+  return nvd_score_mixture().back().first;
+}
+
+std::vector<NvdRecord> synthesize_population(int n, util::Rng& rng) {
+  std::vector<NvdRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const auto begin = util::parse_date("2021-01-01").value();
+  const auto end = util::parse_date("2023-03-01").value();
+  const auto span = (end - begin).total_seconds();
+  for (int i = 0; i < n; ++i) {
+    NvdRecord rec;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "CVE-SYN-%05d", i);
+    rec.id = buf;
+    rec.published = begin + util::Duration(rng.uniform_int(0, span - 1));
+    rec.impact = nvd_score_quantile(rng.uniform());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<NvdRecord> synthesize_population_with_vectors(int n, util::Rng& rng) {
+  // Common base-metric vectors with NVD-shaped frequencies.  Scores span
+  // the 2.7-10.0 range the mixture models; here they come out of the
+  // scoring equations instead of being asserted.
+  struct WeightedVector {
+    const char* vector;
+    double weight;
+  };
+  static const WeightedVector kVectors[] = {
+      {"AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 0.13},  // 9.8 network RCE
+      {"AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 0.02},  // 10.0
+      {"AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 0.08},  // 8.8
+      {"AV:N/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H", 0.07},  // 8.8 (UI)
+      {"AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 0.12},  // 7.5 info leak
+      {"AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 0.06},  // 7.5 DoS
+      {"AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 0.09},  // 7.8 local
+      {"AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", 0.04},  // 8.1
+      {"AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 0.10},  // 6.1 XSS
+      {"AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N", 0.07},  // 6.5
+      {"AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", 0.06},  // 5.3
+      {"AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N", 0.06},  // 5.5
+      {"AV:N/AC:L/PR:L/UI:N/S:U/C:L/I:L/A:N", 0.04},  // 5.4
+      {"AV:L/AC:L/PR:L/UI:R/S:U/C:L/I:L/A:L", 0.03},  // 4.9-ish
+      {"AV:N/AC:H/PR:L/UI:R/S:U/C:L/I:N/A:N", 0.02},  // 3.5 band
+      {"AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 0.01},  // low band
+  };
+  std::vector<double> weights;
+  for (const auto& wv : kVectors) weights.push_back(wv.weight);
+
+  std::vector<NvdRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const auto begin = util::parse_date("2021-01-01").value();
+  const auto end = util::parse_date("2023-03-01").value();
+  const auto span = (end - begin).total_seconds();
+  for (int i = 0; i < n; ++i) {
+    const auto& chosen = kVectors[rng.weighted_index(weights)];
+    const auto vector = parse_cvss(chosen.vector);
+    NvdRecord rec;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "CVE-SYNV-%05d", i);
+    rec.id = buf;
+    rec.published = begin + util::Duration(rng.uniform_int(0, span - 1));
+    rec.cvss_vector = vector->to_string();
+    rec.impact = cvss_base_score(*vector);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<double> population_impacts(int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(nvd_score_quantile((static_cast<double>(i) + 0.5) / static_cast<double>(n)));
+  }
+  return out;
+}
+
+}  // namespace cvewb::data

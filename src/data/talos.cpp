@@ -1,0 +1,59 @@
+#include "data/talos.h"
+
+#include <stdexcept>
+
+#include "data/appendix_e.h"
+
+namespace cvewb::data {
+
+namespace {
+
+struct RawReport {
+  const char* cve;
+  const char* report;
+  int disclosed_before_rule_days;  // private vendor report precedes coverage
+};
+
+// Report ids follow Appendix E's rule descriptions.  Talos's published
+// process reports vulnerabilities to vendors ~90 days before coordinated
+// release; rule release times come from the Appendix-E D-P offsets.
+constexpr RawReport kReports[] = {
+    {"CVE-2021-21799", "TALOS-2021-1270", 90},
+    {"CVE-2021-21801", "TALOS-2021-1272", 90},
+    {"CVE-2021-21816", "TALOS-2021-1281", 90},
+    {"CVE-2022-21796", "TALOS-2022-1451", 90},
+    {"CVE-2022-21199", "TALOS-2022-1446", 90},
+};
+
+std::vector<TalosReport> build() {
+  std::vector<TalosReport> out;
+  for (const auto& raw : kReports) {
+    const CveRecord* rec = find_cve(raw.cve);
+    if (rec == nullptr) throw std::logic_error("talos report for unknown CVE");
+    const auto rule = rec->fix_deployed();
+    if (!rule) throw std::logic_error("talos-disclosed CVE without rule date");
+    TalosReport report;
+    report.cve_id = raw.cve;
+    report.report_id = raw.report;
+    report.rule_released = *rule;
+    report.disclosed = *rule - util::Duration::days(raw.disclosed_before_rule_days);
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<TalosReport>& talos_reports() {
+  static const std::vector<TalosReport> reports = build();
+  return reports;
+}
+
+std::optional<util::TimePoint> talos_disclosure(const std::string& cve_id) {
+  for (const auto& report : talos_reports()) {
+    if (report.cve_id == cve_id) return report.disclosed;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cvewb::data

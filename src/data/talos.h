@@ -1,0 +1,31 @@
+// Talos (IDS vendor) disclosure-report history.
+//
+// Five of the 63 studied CVEs were originally disclosed by the IDS vendor
+// itself (Finding 2 / Finding 6): for those, vendor awareness V predates
+// public disclosure and IDS rules shipped before CVE publication.  The §5
+// heuristic sets V = min(P, F, known disclosure date); this module carries
+// the known disclosure dates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/datetime.h"
+
+namespace cvewb::data {
+
+struct TalosReport {
+  std::string cve_id;
+  std::string report_id;          // e.g. "TALOS-2021-1270"
+  util::TimePoint disclosed;      // private report to the affected vendor
+  util::TimePoint rule_released;  // coverage released (== fix_deployed())
+};
+
+/// All Talos-originated disclosure reports among the studied CVEs.
+const std::vector<TalosReport>& talos_reports();
+
+/// Disclosure date for a CVE if Talos originated it.
+std::optional<util::TimePoint> talos_disclosure(const std::string& cve_id);
+
+}  // namespace cvewb::data

@@ -1,0 +1,72 @@
+#include "ids/aho_corasick.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace cvewb::ids {
+
+std::size_t AhoCorasick::add(std::string_view pattern) {
+  if (built_) throw std::logic_error("AhoCorasick: add after build");
+  if (pattern.empty()) throw std::invalid_argument("AhoCorasick: empty pattern");
+  std::int32_t state = 0;
+  for (char raw : pattern) {
+    const unsigned char c = fold(raw);
+    std::int32_t next = nodes_[static_cast<std::size_t>(state)].next[c];
+    if (next < 0) {
+      next = static_cast<std::int32_t>(nodes_.size());
+      nodes_[static_cast<std::size_t>(state)].next[c] = next;
+      nodes_.emplace_back();  // may reallocate; no references held across it
+    }
+    state = next;
+  }
+  nodes_[static_cast<std::size_t>(state)].outputs.push_back(patterns_);
+  return patterns_++;
+}
+
+void AhoCorasick::build() {
+  if (built_) return;
+  // BFS to install failure links, then convert to a dense goto automaton
+  // (missing transitions follow failure links at build time).
+  std::deque<std::int32_t> queue;
+  for (int c = 0; c < 256; ++c) {
+    auto& slot = nodes_[0].next[c];
+    if (slot < 0) {
+      slot = 0;
+    } else {
+      nodes_[static_cast<std::size_t>(slot)].fail = 0;
+      queue.push_back(slot);
+    }
+  }
+  while (!queue.empty()) {
+    const std::int32_t state = queue.front();
+    queue.pop_front();
+    const std::int32_t fail = nodes_[static_cast<std::size_t>(state)].fail;
+    // Inherit outputs from the failure state (suffix matches).
+    const auto& fail_outputs = nodes_[static_cast<std::size_t>(fail)].outputs;
+    auto& outputs = nodes_[static_cast<std::size_t>(state)].outputs;
+    outputs.insert(outputs.end(), fail_outputs.begin(), fail_outputs.end());
+    for (int c = 0; c < 256; ++c) {
+      auto& slot = nodes_[static_cast<std::size_t>(state)].next[c];
+      const std::int32_t via_fail = nodes_[static_cast<std::size_t>(fail)].next[c];
+      if (slot < 0) {
+        slot = via_fail;
+      } else {
+        nodes_[static_cast<std::size_t>(slot)].fail = via_fail;
+        queue.push_back(slot);
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::vector<std::size_t> AhoCorasick::find_all(std::string_view text) const {
+  if (!built_) throw std::logic_error("AhoCorasick: find_all before build");
+  std::vector<std::size_t> hits;
+  scan(text, [&](std::size_t id, std::size_t) { hits.push_back(id); });
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+}  // namespace cvewb::ids

@@ -1,0 +1,69 @@
+// Aho-Corasick multi-pattern string matching.
+//
+// The real study evaluates >48 k signatures over 3 TB of traffic; a
+// per-rule scan would be quadratic in ruleset size.  Like Snort's fast
+// pattern matcher, we build one automaton over every rule's longest
+// content (lowercased) and use hits as candidates for full verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvewb::ids {
+
+/// Case-insensitive multi-pattern matcher.  Patterns are indexed by
+/// insertion order; empty patterns are rejected.
+class AhoCorasick {
+ public:
+  /// Add a pattern; returns its id.  Must be called before build().
+  std::size_t add(std::string_view pattern);
+
+  /// Finalize the automaton (computes failure links).  Idempotent.
+  void build();
+
+  /// Collect ids of all patterns occurring in `text` (deduplicated,
+  /// ascending).  Requires build().
+  std::vector<std::size_t> find_all(std::string_view text) const;
+
+  /// Invoke `fn(pattern_id, end_offset)` for every occurrence.
+  template <typename Fn>
+  void scan(std::string_view text, Fn&& fn) const;
+
+  std::size_t pattern_count() const { return patterns_; }
+  bool built() const { return built_; }
+
+ private:
+  struct Node {
+    std::int32_t next[256];
+    std::int32_t fail = 0;
+    std::vector<std::size_t> outputs;
+    Node() {
+      for (auto& n : next) n = -1;
+    }
+  };
+
+  static unsigned char fold(char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<unsigned char>(c - 'A' + 'a')
+                                  : static_cast<unsigned char>(c);
+  }
+
+  std::vector<Node> nodes_{1};
+  std::size_t patterns_ = 0;
+  bool built_ = false;
+};
+
+template <typename Fn>
+void AhoCorasick::scan(std::string_view text, Fn&& fn) const {
+  std::int32_t state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const unsigned char c = fold(text[i]);
+    state = nodes_[static_cast<std::size_t>(state)].next[c];
+    for (std::size_t id : nodes_[static_cast<std::size_t>(state)].outputs) {
+      fn(id, i + 1);
+    }
+  }
+}
+
+}  // namespace cvewb::ids

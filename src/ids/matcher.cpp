@@ -1,0 +1,182 @@
+#include "ids/matcher.h"
+
+#include <algorithm>
+
+#include "net/http.h"
+#include "util/strings.h"
+
+namespace cvewb::ids {
+
+namespace {
+
+/// Case-(in)sensitive search of `pattern` in `text[from..]`; npos if absent.
+std::size_t search(std::string_view text, std::string_view pattern, std::size_t from,
+                   bool nocase) {
+  if (from > text.size()) return std::string_view::npos;
+  if (nocase) return util::ifind(text, pattern, from);
+  return text.find(pattern, from);
+}
+
+std::string_view buffer_for(const SessionBuffers& buffers, Buffer b) {
+  switch (b) {
+    case Buffer::kRaw: return buffers.raw;
+    case Buffer::kHttpUri: return buffers.uri_decoded;
+    case Buffer::kHttpRawUri: return buffers.uri_raw;
+    case Buffer::kHttpHeader: return buffers.headers;
+    case Buffer::kHttpCookie: return buffers.cookie;
+    case Buffer::kHttpClientBody: return buffers.body;
+    case Buffer::kHttpMethod: return buffers.method;
+  }
+  return {};
+}
+
+}  // namespace
+
+SessionBuffers extract_buffers(const net::TcpSession& session) {
+  SessionBuffers buffers;
+  buffers.raw = session.payload;
+  const auto parsed = net::parse_payload(session.payload);
+  if (!parsed.http) return buffers;
+  const auto& req = *parsed.http;
+  buffers.is_http = true;
+  buffers.method = req.method;
+  buffers.uri_raw = req.uri;
+  buffers.uri_decoded = util::percent_decode(req.uri);
+  for (const auto& [name, value] : req.headers) {
+    if (util::iequals(name, "Cookie")) {
+      buffers.cookie = value;
+      continue;
+    }
+    buffers.headers += name;
+    buffers.headers += ": ";
+    buffers.headers += value;
+    buffers.headers += '\n';
+  }
+  buffers.body = req.body;
+  return buffers;
+}
+
+Matcher::Matcher(std::vector<Rule> rules, MatcherOptions options)
+    : rules_(std::move(rules)), options_(options) {
+  pattern_to_rules_.reserve(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const ContentMatch* fast = rules_[i].longest_positive_content();
+    if (fast == nullptr) {
+      unfiltered_rules_.push_back(i);
+      continue;
+    }
+    const std::size_t id = prefilter_.add(fast->pattern);
+    if (id >= pattern_to_rules_.size()) pattern_to_rules_.resize(id + 1);
+    pattern_to_rules_[id].push_back(i);
+  }
+  if (prefilter_.pattern_count() > 0) prefilter_.build();
+}
+
+bool Matcher::rule_matches(const Rule& rule, const net::TcpSession& session,
+                           const SessionBuffers& buffers, bool port_insensitive) {
+  if (!port_insensitive) {
+    if (!rule.src_ports.permits(session.src_port)) return false;
+    if (!rule.dst_ports.permits(session.dst_port)) return false;
+  }
+  // Content verification: contents are checked in order; `distance` and
+  // `within` are relative to the end of the previous match in the same
+  // buffer; switching buffers resets relative anchoring.
+  Buffer prev_buffer = Buffer::kRaw;
+  std::size_t prev_end = 0;
+  bool have_prev = false;
+  for (const auto& c : rule.contents) {
+    const std::string_view text = buffer_for(buffers, c.buffer);
+    if (c.buffer != Buffer::kRaw && !buffers.is_http) {
+      // HTTP sticky buffers never match non-HTTP payloads...
+      if (!c.negated) return false;
+      continue;  // ...so a negated HTTP content trivially holds.
+    }
+    std::size_t lo = 0;
+    std::size_t hi = text.size();
+    const bool relative = have_prev && c.buffer == prev_buffer &&
+                          (c.distance != std::numeric_limits<int>::min() || c.within >= 0);
+    if (relative) {
+      const long base = static_cast<long>(prev_end);
+      const long dist = c.distance == std::numeric_limits<int>::min() ? 0 : c.distance;
+      lo = static_cast<std::size_t>(std::max(0L, base + dist));
+      if (c.within >= 0) {
+        hi = std::min(hi, lo + static_cast<std::size_t>(c.within) + c.pattern.size());
+      }
+    } else {
+      if (c.offset >= 0) lo = static_cast<std::size_t>(c.offset);
+      if (c.depth >= 0) {
+        hi = std::min(hi, lo + static_cast<std::size_t>(c.depth));
+      }
+    }
+    std::size_t found = std::string_view::npos;
+    if (lo <= text.size()) {
+      const std::string_view window = text.substr(lo, hi > lo ? hi - lo : 0);
+      const std::size_t pos = search(window, c.pattern, 0, c.nocase);
+      if (pos != std::string_view::npos) found = lo + pos;
+    }
+    if (c.negated) {
+      if (found != std::string_view::npos) return false;
+      // Negated matches do not move the relative anchor.
+      continue;
+    }
+    if (found == std::string_view::npos) return false;
+    prev_buffer = c.buffer;
+    prev_end = found + c.pattern.size();
+    have_prev = true;
+  }
+  if (rule.pcre) {
+    if (rule.pcre->buffer != Buffer::kRaw && !buffers.is_http) return false;
+    if (!rule.pcre->regex.search(buffer_for(buffers, rule.pcre->buffer))) return false;
+  }
+  return true;
+}
+
+std::vector<const Rule*> Matcher::match_all(const net::TcpSession& session) const {
+  const SessionBuffers buffers = extract_buffers(session);
+  std::vector<std::size_t> candidates;
+  if (options_.use_prefilter && prefilter_.pattern_count() > 0) {
+    // The prefilter text must contain every buffer a fast pattern might
+    // live in; the decoded URI is the only buffer not literally a
+    // substring of the raw payload.
+    std::string text(buffers.raw);
+    if (buffers.is_http) {
+      text += '\n';
+      text += buffers.uri_decoded;
+    }
+    for (std::size_t id : prefilter_.find_all(text)) {
+      for (std::size_t rule_idx : pattern_to_rules_[id]) candidates.push_back(rule_idx);
+    }
+    candidates.insert(candidates.end(), unfiltered_rules_.begin(), unfiltered_rules_.end());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  } else {
+    candidates.resize(rules_.size());
+    for (std::size_t i = 0; i < rules_.size(); ++i) candidates[i] = i;
+  }
+  std::vector<const Rule*> matches;
+  for (std::size_t idx : candidates) {
+    if (rule_matches(rules_[idx], session, buffers, options_.port_insensitive)) {
+      matches.push_back(&rules_[idx]);
+    }
+  }
+  return matches;
+}
+
+const Rule* Matcher::earliest_published_match(const net::TcpSession& session) const {
+  const Rule* best = nullptr;
+  for (const Rule* rule : match_all(session)) {
+    if (best == nullptr) {
+      best = rule;
+      continue;
+    }
+    const auto key = [](const Rule* r) {
+      const std::int64_t t = r->published ? r->published->unix_seconds()
+                                          : std::numeric_limits<std::int64_t>::max();
+      return std::pair<std::int64_t, int>(t, r->sid);
+    };
+    if (key(rule) < key(best)) best = rule;
+  }
+  return best;
+}
+
+}  // namespace cvewb::ids

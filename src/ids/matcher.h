@@ -1,0 +1,67 @@
+// Post-facto signature evaluation over captured sessions (§3.1).
+//
+// Mirrors Snort's architecture: a fast-pattern Aho-Corasick prefilter over
+// every rule's longest content, followed by full verification of the
+// candidate rules against the session's parsed HTTP buffers.  Two
+// methodology details from the paper are implemented here:
+//   * port-insensitive matching -- all rules are evaluated as if their
+//     port constraints were `any`, so exploits against non-standard ports
+//     are still detected (on by default, §3.1);
+//   * earliest-published-match selection -- when several signatures match
+//     a session, the one with the earliest publication time is retained.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ids/aho_corasick.h"
+#include "ids/rule.h"
+#include "net/tcp_session.h"
+
+namespace cvewb::ids {
+
+struct MatcherOptions {
+  bool port_insensitive = true;
+  bool use_prefilter = true;
+};
+
+/// Extracted per-session match buffers (exposed for tests).
+struct SessionBuffers {
+  std::string_view raw;
+  std::string method;
+  std::string uri_raw;
+  std::string uri_decoded;
+  std::string headers;  // all header lines except Cookie, '\n'-joined
+  std::string cookie;
+  std::string body;
+  bool is_http = false;
+};
+SessionBuffers extract_buffers(const net::TcpSession& session);
+
+class Matcher {
+ public:
+  explicit Matcher(std::vector<Rule> rules, MatcherOptions options = {});
+
+  /// All rules matching the session, in ruleset order.
+  std::vector<const Rule*> match_all(const net::TcpSession& session) const;
+
+  /// The retained match per §3.1: earliest publication time (unpublished
+  /// rules sort last), ties broken by sid.  nullptr when nothing matches.
+  const Rule* earliest_published_match(const net::TcpSession& session) const;
+
+  /// Verify a single rule against a session (no prefilter).
+  static bool rule_matches(const Rule& rule, const net::TcpSession& session,
+                           const SessionBuffers& buffers, bool port_insensitive);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  std::vector<Rule> rules_;
+  MatcherOptions options_;
+  AhoCorasick prefilter_;
+  std::vector<std::vector<std::size_t>> pattern_to_rules_;  // AC id -> rule indices
+  std::vector<std::size_t> unfiltered_rules_;  // rules without a positive content
+};
+
+}  // namespace cvewb::ids

@@ -1,0 +1,439 @@
+#include "ids/pcre_lite.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cvewb::ids {
+
+namespace {
+
+constexpr int kMaxDepth = 4096;
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void fill_class(std::bitset<256>& cls, char kind) {
+  switch (kind) {
+    case 'd':
+      for (int c = '0'; c <= '9'; ++c) cls.set(static_cast<std::size_t>(c));
+      break;
+    case 'w':
+      for (int c = '0'; c <= '9'; ++c) cls.set(static_cast<std::size_t>(c));
+      for (int c = 'a'; c <= 'z'; ++c) cls.set(static_cast<std::size_t>(c));
+      for (int c = 'A'; c <= 'Z'; ++c) cls.set(static_cast<std::size_t>(c));
+      cls.set('_');
+      break;
+    case 's':
+      cls.set(' ');
+      cls.set('\t');
+      cls.set('\n');
+      cls.set('\r');
+      cls.set('\f');
+      cls.set('\v');
+      break;
+    default: break;
+  }
+}
+
+struct ParseState {
+  std::string_view pattern;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  bool eof() const { return pos >= pattern.size(); }
+  char peek() const { return pattern[pos]; }
+  char take() { return pattern[pos++]; }
+  void fail() { failed = true; }
+};
+
+}  // namespace
+
+// --- compilation ----------------------------------------------------------
+
+std::optional<Regex> Regex::compile(std::string_view pattern, std::string_view flags) {
+  Regex regex;
+  regex.pattern_ = std::string(pattern);
+  regex.flags_ = std::string(flags);
+  for (char f : flags) {
+    if (f == 'i') regex.nocase_ = true;
+    else if (f == 's') regex.dotall_ = true;
+    else return std::nullopt;
+  }
+
+  ParseState state{pattern};
+
+  // Recursive-descent: alternation -> sequence -> atom [quantifier].
+  struct Compiler {
+    ParseState& s;
+    const Regex& rx;
+
+    std::optional<std::vector<Sequence>> alternation(bool top_level) {
+      std::vector<Sequence> alts;
+      Sequence current;
+      while (!s.eof() && !s.failed) {
+        const char c = s.peek();
+        if (c == ')') {
+          if (top_level) {
+            s.fail();
+            return std::nullopt;
+          }
+          break;
+        }
+        if (c == '|') {
+          s.take();
+          alts.push_back(std::move(current));
+          current.clear();
+          continue;
+        }
+        auto atom = parse_atom();
+        if (!atom) return std::nullopt;
+        parse_quantifier(*atom);
+        if (s.failed) return std::nullopt;
+        current.push_back(std::move(*atom));
+      }
+      if (s.failed) return std::nullopt;
+      alts.push_back(std::move(current));
+      return alts;
+    }
+
+    std::optional<Atom> parse_atom() {
+      Atom atom;
+      const char c = s.take();
+      switch (c) {
+        case '^':
+          atom.kind = Atom::Kind::kAnchorStart;
+          return atom;
+        case '$':
+          atom.kind = Atom::Kind::kAnchorEnd;
+          return atom;
+        case '.':
+          atom.kind = Atom::Kind::kAny;
+          return atom;
+        case '(': {
+          atom.kind = Atom::Kind::kGroup;
+          // Tolerate the non-capturing marker.
+          if (!s.eof() && s.peek() == '?') {
+            s.take();
+            if (s.eof() || s.take() != ':') {
+              s.fail();
+              return std::nullopt;
+            }
+          }
+          auto inner = alternation(false);
+          if (!inner) return std::nullopt;
+          if (s.eof() || s.take() != ')') {
+            s.fail();
+            return std::nullopt;
+          }
+          atom.alternatives = std::make_shared<std::vector<Sequence>>(std::move(*inner));
+          return atom;
+        }
+        case '[': {
+          atom.kind = Atom::Kind::kClass;
+          auto cls = std::make_shared<std::bitset<256>>();
+          bool negate = false;
+          if (!s.eof() && s.peek() == '^') {
+            s.take();
+            negate = true;
+          }
+          bool first = true;
+          while (!s.eof() && (s.peek() != ']' || first)) {
+            first = false;
+            unsigned char lo = static_cast<unsigned char>(s.take());
+            if (lo == '\\' && !s.eof()) {
+              const char esc = s.take();
+              if (esc == 'd' || esc == 'w' || esc == 's') {
+                fill_class(*cls, esc);
+                continue;
+              }
+              lo = escape_char(esc);
+            }
+            if (!s.eof() && s.peek() == '-' && s.pos + 1 < s.pattern.size() &&
+                s.pattern[s.pos + 1] != ']') {
+              s.take();  // '-'
+              unsigned char hi = static_cast<unsigned char>(s.take());
+              if (hi == '\\' && !s.eof()) hi = escape_char(s.take());
+              for (unsigned int v = lo; v <= hi; ++v) cls->set(v);
+            } else {
+              cls->set(lo);
+            }
+          }
+          if (s.eof() || s.take() != ']') {
+            s.fail();
+            return std::nullopt;
+          }
+          if (negate) cls->flip();
+          atom.char_class = std::move(cls);
+          return atom;
+        }
+        case '\\': {
+          if (s.eof()) {
+            s.fail();
+            return std::nullopt;
+          }
+          const char esc = s.take();
+          if (esc == 'd' || esc == 'w' || esc == 's' || esc == 'D' || esc == 'W' || esc == 'S') {
+            atom.kind = Atom::Kind::kClass;
+            auto cls = std::make_shared<std::bitset<256>>();
+            fill_class(*cls, static_cast<char>(std::tolower(static_cast<unsigned char>(esc))));
+            if (std::isupper(static_cast<unsigned char>(esc)) != 0) cls->flip();
+            atom.char_class = std::move(cls);
+            return atom;
+          }
+          if (esc == 'x') {
+            if (s.pos + 2 > s.pattern.size()) {
+              s.fail();
+              return std::nullopt;
+            }
+            const int hi = hex_digit(s.take());
+            const int lo = hex_digit(s.take());
+            if (hi < 0 || lo < 0) {
+              s.fail();
+              return std::nullopt;
+            }
+            atom.kind = Atom::Kind::kChar;
+            atom.ch = static_cast<unsigned char>(hi * 16 + lo);
+            return atom;
+          }
+          atom.kind = Atom::Kind::kChar;
+          atom.ch = escape_char(esc);
+          return atom;
+        }
+        case '*':
+        case '+':
+        case '?':
+        case '{':
+          s.fail();  // quantifier with nothing to repeat
+          return std::nullopt;
+        default:
+          atom.kind = Atom::Kind::kChar;
+          atom.ch = static_cast<unsigned char>(c);
+          return atom;
+      }
+    }
+
+    static unsigned char escape_char(char esc) {
+      switch (esc) {
+        case 'n': return '\n';
+        case 'r': return '\r';
+        case 't': return '\t';
+        case '0': return '\0';
+        default: return static_cast<unsigned char>(esc);  // \. \$ \\ etc.
+      }
+    }
+
+    void parse_quantifier(Atom& atom) {
+      if (s.eof()) return;
+      const char c = s.peek();
+      if (c == '*') {
+        s.take();
+        atom.min = 0;
+        atom.max = -1;
+      } else if (c == '+') {
+        s.take();
+        atom.min = 1;
+        atom.max = -1;
+      } else if (c == '?') {
+        s.take();
+        atom.min = 0;
+        atom.max = 1;
+      } else if (c == '{') {
+        s.take();
+        int lo = 0;
+        bool any_digit = false;
+        while (!s.eof() && std::isdigit(static_cast<unsigned char>(s.peek())) != 0) {
+          lo = lo * 10 + (s.take() - '0');
+          any_digit = true;
+        }
+        if (!any_digit) {
+          s.fail();
+          return;
+        }
+        int hi = lo;
+        if (!s.eof() && s.peek() == ',') {
+          s.take();
+          if (!s.eof() && s.peek() == '}') {
+            hi = -1;
+          } else {
+            hi = 0;
+            while (!s.eof() && std::isdigit(static_cast<unsigned char>(s.peek())) != 0) {
+              hi = hi * 10 + (s.take() - '0');
+            }
+          }
+        }
+        if (s.eof() || s.take() != '}') {
+          s.fail();
+          return;
+        }
+        atom.min = lo;
+        atom.max = hi;
+      }
+      if ((atom.kind == Atom::Kind::kAnchorStart || atom.kind == Atom::Kind::kAnchorEnd) &&
+          (atom.min != 1 || atom.max != 1)) {
+        s.fail();
+      }
+    }
+  };
+
+  Compiler compiler{state, regex};
+  auto alts = compiler.alternation(true);
+  if (!alts || state.failed) return std::nullopt;
+  regex.alternatives_ = std::move(*alts);
+  // A pattern is start-anchored if every alternative begins with ^.
+  regex.anchored_start_ = !regex.alternatives_.empty();
+  for (const auto& seq : regex.alternatives_) {
+    if (seq.empty() || seq.front().kind != Atom::Kind::kAnchorStart) {
+      regex.anchored_start_ = false;
+    }
+  }
+  return regex;
+}
+
+// --- matching --------------------------------------------------------------
+
+bool Regex::atom_matches_char(const Atom& atom, unsigned char c) const {
+  switch (atom.kind) {
+    case Atom::Kind::kAny:
+      return dotall_ || c != '\n';
+    case Atom::Kind::kChar: {
+      if (atom.ch == c) return true;
+      if (!nocase_) return false;
+      return std::tolower(atom.ch) == std::tolower(c);
+    }
+    case Atom::Kind::kClass: {
+      if (atom.char_class->test(c)) return true;
+      if (!nocase_) return false;
+      const auto lower = static_cast<unsigned char>(std::tolower(c));
+      const auto upper = static_cast<unsigned char>(std::toupper(c));
+      return atom.char_class->test(lower) || atom.char_class->test(upper);
+    }
+    default:
+      return false;
+  }
+}
+
+bool Regex::match_here(const Sequence& seq, std::size_t atom_idx, std::string_view text,
+                       std::size_t pos, std::size_t start, int depth) const {
+  if (depth > kMaxDepth) return false;  // pathological pattern guard
+  if (atom_idx == seq.size()) return true;
+  const Atom& atom = seq[atom_idx];
+  (void)start;
+
+  if (atom.kind == Atom::Kind::kAnchorStart) {
+    // Positions are absolute into `text`, so ^ means offset zero.
+    return pos == 0 && match_here(seq, atom_idx + 1, text, pos, start, depth + 1);
+  }
+  if (atom.kind == Atom::Kind::kAnchorEnd) {
+    return pos == text.size() && match_here(seq, atom_idx + 1, text, pos, start, depth + 1);
+  }
+
+  // Enumerate repetition counts greedily with backtracking.  For groups
+  // the set of reachable positions per repetition can branch, so track a
+  // frontier of positions.
+  std::vector<std::size_t> frontier = {pos};
+  std::vector<std::vector<std::size_t>> by_count = {frontier};
+  const int max = atom.max < 0 ? static_cast<int>(text.size() - pos) + 1 : atom.max;
+  for (int count = 1; count <= max; ++count) {
+    std::vector<std::size_t> next;
+    for (std::size_t p : by_count.back()) {
+      if (atom.kind == Atom::Kind::kGroup) {
+        // Collect every end position one repetition of the group can reach
+        // from p by testing each candidate span for an exact match.
+        for (const auto& alt : *atom.alternatives) {
+          for (std::size_t end = p; end <= text.size(); ++end) {
+            if (matches_exact(alt, text.substr(p, end - p), depth + 1)) {
+              next.push_back(end);
+            }
+          }
+        }
+      } else {
+        if (p < text.size() && atom_matches_char(atom, static_cast<unsigned char>(text[p]))) {
+          next.push_back(p + 1);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    if (next.empty()) break;
+    by_count.push_back(std::move(next));
+  }
+
+  // Greedy: try the highest repetition counts first.
+  for (int count = static_cast<int>(by_count.size()) - 1; count >= 0; --count) {
+    if (count < atom.min) break;
+    const auto& positions = by_count[static_cast<std::size_t>(count)];
+    for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
+      if (match_here(seq, atom_idx + 1, text, *it, start, depth + 1)) return true;
+    }
+  }
+  return false;
+}
+
+bool Regex::matches_exact(const Sequence& seq, std::string_view text, int depth) const {
+  if (depth > kMaxDepth) return false;
+  Sequence exact = seq;
+  Atom end;
+  end.kind = Atom::Kind::kAnchorEnd;
+  exact.push_back(end);
+  return match_here(exact, 0, text, 0, 0, depth);
+}
+
+bool Regex::search(std::string_view text) const {
+  // Unanchored substring search: try each start offset.  Positions stay
+  // absolute so ^/$ anchors see the true boundaries; alternatives that
+  // start with ^ simply fail at interior offsets.
+  const std::size_t limit = anchored_start_ ? 0 : text.size();
+  for (std::size_t start = 0; start <= limit; ++start) {
+    for (const auto& seq : alternatives_) {
+      // Matching at `start` means skipping the first `start` characters:
+      // emulate by matching the suffix but reporting absolute positions.
+      if (match_from(seq, text, start)) return true;
+    }
+  }
+  return false;
+}
+
+bool Regex::match_from(const Sequence& seq, std::string_view text, std::size_t start) const {
+  // Wrap: match_here uses absolute positions; we just begin at `start`.
+  return match_here(seq, 0, text, start, start, 0);
+}
+
+// --- pcre option parsing ----------------------------------------------------
+
+std::optional<PcreOption> parse_pcre_option(std::string_view value) {
+  if (value.size() < 2 || value.front() != '/') return std::nullopt;
+  const auto close = value.rfind('/');
+  if (close == 0) return std::nullopt;
+  const std::string_view pattern = value.substr(1, close - 1);
+  const std::string_view raw_flags = value.substr(close + 1);
+  std::string regex_flags;
+  char buffer_flag = 0;
+  for (char f : raw_flags) {
+    switch (f) {
+      case 'i':
+      case 's':
+        regex_flags.push_back(f);
+        break;
+      case 'U':
+      case 'H':
+      case 'P':
+      case 'C':
+      case 'M':
+        if (buffer_flag != 0) return std::nullopt;
+        buffer_flag = f;
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  auto regex = Regex::compile(pattern, regex_flags);
+  if (!regex) return std::nullopt;
+  PcreOption option{std::move(*regex), buffer_flag};
+  return option;
+}
+
+}  // namespace cvewb::ids

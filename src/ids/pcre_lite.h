@@ -1,0 +1,84 @@
+// A compact backtracking regex engine for rule `pcre` options.
+//
+// Real Talos signatures lean on pcre for what content matches can't
+// express (alternation, classes, bounded repetition).  This implements the
+// subset those rules actually use:
+//
+//   literals, escapes (\d \D \w \W \s \S \n \r \t \xHH and escaped
+//   metacharacters), '.', character classes [a-z^-...], groups (...),
+//   alternation |, quantifiers * + ? {n} {n,} {n,m} (greedy, backtracking),
+//   anchors ^ and $.
+//
+// Flags: i (case-insensitive), s (dot matches newline).  Matching is
+// unanchored substring search unless ^ is present.  Patterns are compiled
+// to an AST and matched by recursive backtracking -- rule-sized patterns
+// only; no ReDoS hardening beyond a recursion cap.
+#pragma once
+
+#include <bitset>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvewb::ids {
+
+class Regex {
+ public:
+  /// Compile a pattern; nullopt on syntax errors or unsupported constructs.
+  static std::optional<Regex> compile(std::string_view pattern, std::string_view flags = "");
+
+  /// True if the pattern matches anywhere in `text`.
+  bool search(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+  const std::string& flags() const { return flags_; }
+
+ private:
+  struct Atom;
+  using Sequence = std::vector<Atom>;
+  struct Atom {
+    enum class Kind : std::uint8_t {
+      kChar,
+      kAny,
+      kClass,
+      kGroup,
+      kAnchorStart,
+      kAnchorEnd,
+    };
+    Kind kind = Kind::kChar;
+    unsigned char ch = 0;
+    std::shared_ptr<std::bitset<256>> char_class;
+    std::shared_ptr<std::vector<Sequence>> alternatives;  // for kGroup
+    int min = 1;
+    int max = 1;  // -1 = unbounded
+  };
+
+  Regex() = default;
+
+  bool match_here(const Sequence& seq, std::size_t atom_idx, std::string_view text,
+                  std::size_t pos, std::size_t start, int depth) const;
+  bool matches_exact(const Sequence& seq, std::string_view text, int depth) const;
+  bool match_from(const Sequence& seq, std::string_view text, std::size_t start) const;
+  bool atom_matches_char(const Atom& atom, unsigned char c) const;
+
+  std::vector<Sequence> alternatives_;
+  std::string pattern_;
+  std::string flags_;
+  bool nocase_ = false;
+  bool dotall_ = false;
+  bool anchored_start_ = false;
+};
+
+/// Parse a Snort-style pcre option value: "/pattern/flags" (quotes already
+/// stripped).  Supported trailing flags: i, s, plus buffer selectors U
+/// (normalized URI), H (headers), P (client body), C (cookie), M (method);
+/// the buffer selector is returned separately.
+struct PcreOption {
+  Regex regex;
+  char buffer_flag = 0;  // 0 = raw
+};
+std::optional<PcreOption> parse_pcre_option(std::string_view value);
+
+}  // namespace cvewb::ids

@@ -1,0 +1,100 @@
+#include "ids/rca.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace cvewb::ids {
+
+PayloadClassifier default_payload_classifier() {
+  return [](std::string_view payload) {
+    // Markers of targeted exploitation: template/expression injection,
+    // shell metacharacters in parameters, traversal, SQL/XML injection,
+    // raw shellcode padding.  Credential stuffing and endpoint probing
+    // contain none of these.
+    static constexpr std::array<std::string_view, 24> kMarkers = {
+        "${",       "%24%7b",   "%7b",        "#{",
+        "$(",       "../",      "..%2f",      "%2e%2e",
+        ";wget",    "%3b",      "/etc/passwd", "<!entity",
+        "' or '",   "<script",  "%3cscript",  "jndi",
+        "AAAAAAAAAAAAAAAA",     "classloader", "utilcmdargs",
+        "java.lang.runtime",    "luaopen",     "169.254.169.254",
+        "skip_auth",            "dhip",
+    };
+    // "=;" -- a parameter value beginning with a shell separator -- is an
+    // injection tell on its own (e.g. "ddnsHostName=;telnetd;").
+    if (payload.find("=;") != std::string_view::npos) return true;
+    for (const auto marker : kMarkers) {
+      if (util::ifind(payload, marker) != std::string_view::npos) return true;
+    }
+    return false;
+  };
+}
+
+std::size_t RcaReport::kept_cves() const {
+  std::size_t n = 0;
+  for (const auto& v : verdicts) n += v.kept ? 1 : 0;
+  return n;
+}
+
+std::size_t RcaReport::dropped_cves() const { return verdicts.size() - kept_cves(); }
+
+RcaReport root_cause_analysis(const std::vector<Detection>& detections,
+                              const PayloadClassifier& classify, double exploit_threshold) {
+  // Group detections by CVE.
+  std::map<std::string, std::vector<const Detection*>> by_cve;
+  for (const auto& d : detections) {
+    if (d.rule == nullptr || d.session == nullptr) continue;
+    by_cve[d.rule->cve].push_back(&d);
+  }
+
+  RcaReport report;
+  for (const auto& [cve, group] : by_cve) {
+    RcaVerdict verdict;
+    verdict.cve_id = cve;
+    verdict.detections = group.size();
+    bool any_broad = false;
+    std::size_t pre_pub = 0;
+    std::size_t pre_pub_exploit = 0;
+    for (const Detection* d : group) {
+      if (d->rule->broad) any_broad = true;
+      const bool before_publication =
+          !d->rule->published || d->session->open_time < *d->rule->published;
+      if (!before_publication) continue;
+      ++pre_pub;
+      if (classify(d->session->payload)) ++pre_pub_exploit;
+    }
+    verdict.pre_publication = pre_pub;
+    verdict.reviewed_exploit = pre_pub_exploit;
+
+    if (pre_pub > 0) {
+      const double exploit_rate =
+          static_cast<double>(pre_pub_exploit) / static_cast<double>(pre_pub);
+      if (exploit_rate < exploit_threshold) {
+        verdict.kept = false;
+        verdict.reason = "pre-publication matches judged untargeted on review";
+      } else {
+        verdict.reason = "pre-publication matches confirmed as targeted exploitation";
+      }
+    } else if (any_broad) {
+      // Broad rules with no pre-publication traffic still get a payload
+      // review of their overall matches.
+      std::size_t exploit = 0;
+      for (const Detection* d : group) {
+        if (classify(d->session->payload)) ++exploit;
+      }
+      if (static_cast<double>(exploit) <
+          exploit_threshold * static_cast<double>(group.size())) {
+        verdict.kept = false;
+        verdict.reason = "over-broad signature; matches fail payload review";
+      }
+    }
+    if (verdict.kept) {
+      for (const Detection* d : group) report.kept_detections.push_back(*d);
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+}  // namespace cvewb::ids

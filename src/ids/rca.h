@@ -1,0 +1,63 @@
+// CVE root-cause analysis (§3.2).
+//
+// IDS rules can be unsound: the paper found rules that fired on any access
+// to an API endpoint, so credential-stuffing traffic masqueraded as
+// zero-day exploitation.  The methodology was: for signatures matching
+// traffic *before their publication*, manually review payloads and drop
+// CVEs whose matches are false positives.  We mechanize the "manual
+// review" as a payload classifier (exploit-marker heuristics by default,
+// injectable for tests) applied to each CVE's pre-publication matches.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ids/rule.h"
+#include "net/tcp_session.h"
+#include "util/datetime.h"
+
+namespace cvewb::ids {
+
+/// One IDS detection: a session attributed to a rule.
+struct Detection {
+  const Rule* rule = nullptr;
+  const net::TcpSession* session = nullptr;
+};
+
+/// Returns true when a payload looks like targeted exploitation (rather
+/// than benign probing / credential stuffing).  The default heuristic
+/// looks for injection and traversal markers.
+using PayloadClassifier = std::function<bool(std::string_view payload)>;
+
+PayloadClassifier default_payload_classifier();
+
+/// Outcome for one CVE.
+struct RcaVerdict {
+  std::string cve_id;
+  std::size_t detections = 0;
+  std::size_t pre_publication = 0;  // matches before rule publication
+  std::size_t reviewed_exploit = 0; // pre-publication matches judged targeted
+  bool kept = true;
+  std::string reason;
+};
+
+struct RcaReport {
+  std::vector<RcaVerdict> verdicts;
+  /// Detections for CVEs that survived review.
+  std::vector<Detection> kept_detections;
+
+  std::size_t kept_cves() const;
+  std::size_t dropped_cves() const;
+};
+
+/// Run root-cause analysis over a detection set.  A CVE is dropped when it
+/// has pre-publication matches and fewer than `exploit_threshold` of them
+/// are judged targeted by the classifier, or when the only covering rule
+/// is flagged `policy broad` and its matches fail review.
+RcaReport root_cause_analysis(const std::vector<Detection>& detections,
+                              const PayloadClassifier& classify = default_payload_classifier(),
+                              double exploit_threshold = 0.5);
+
+}  // namespace cvewb::ids

@@ -1,0 +1,36 @@
+#include "ids/rule.h"
+
+#include <algorithm>
+
+namespace cvewb::ids {
+
+std::string to_string(Buffer b) {
+  switch (b) {
+    case Buffer::kRaw: return "raw";
+    case Buffer::kHttpUri: return "http_uri";
+    case Buffer::kHttpRawUri: return "http_raw_uri";
+    case Buffer::kHttpHeader: return "http_header";
+    case Buffer::kHttpCookie: return "http_cookie";
+    case Buffer::kHttpClientBody: return "http_client_body";
+    case Buffer::kHttpMethod: return "http_method";
+  }
+  return "?";
+}
+
+bool PortSpec::permits(std::uint16_t port) const {
+  if (any) return true;
+  const bool listed = std::find(ports.begin(), ports.end(), port) != ports.end();
+  return negated ? !listed : listed;
+}
+
+const ContentMatch* Rule::longest_positive_content() const {
+  const ContentMatch* best = nullptr;
+  for (const auto& c : contents) {
+    if (c.negated) continue;
+    if (c.fast_pattern) return &c;  // explicit designation wins outright
+    if (best == nullptr || c.pattern.size() > best->pattern.size()) best = &c;
+  }
+  return best;
+}
+
+}  // namespace cvewb::ids

@@ -1,0 +1,83 @@
+// NIDS rule model: the Snort subset needed for the paper's methodology.
+//
+// The study evaluates Cisco/Talos Snort signatures over captured sessions
+// §3.1: content matches against HTTP sticky buffers, publication metadata
+// driving the F/D lifecycle events, and a port-insensitivity rewrite so
+// attacks on non-standard ports are still detected.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ids/pcre_lite.h"
+#include "util/datetime.h"
+
+namespace cvewb::ids {
+
+/// Buffer a content match inspects (Snort sticky-buffer subset).
+enum class Buffer : std::uint8_t {
+  kRaw,            // whole client payload
+  kHttpUri,        // normalized (percent-decoded) URI
+  kHttpRawUri,     // URI exactly as sent
+  kHttpHeader,     // all header lines except Cookie
+  kHttpCookie,     // Cookie header value
+  kHttpClientBody, // request body
+  kHttpMethod,     // request method token
+};
+
+std::string to_string(Buffer b);
+
+/// A single `content` option with its modifiers.
+struct ContentMatch {
+  std::string pattern;         // bytes after |hex| unescaping
+  Buffer buffer = Buffer::kRaw;
+  bool nocase = false;
+  bool negated = false;        // content:!"..."
+  bool fast_pattern = false;   // explicit prefilter designation
+  int offset = -1;             // -1: unset
+  int depth = -1;
+  int distance = std::numeric_limits<int>::min();  // relative to previous match
+  int within = -1;
+};
+
+/// Source/destination port constraint: `any` or an explicit list.
+struct PortSpec {
+  bool any = true;
+  bool negated = false;
+  std::vector<std::uint16_t> ports;
+
+  bool permits(std::uint16_t port) const;
+};
+
+/// A compiled `pcre` option: the regex plus the buffer it inspects.
+struct PcreMatch {
+  Regex regex;
+  Buffer buffer = Buffer::kRaw;
+  std::string source;  // original "/pattern/flags" text (for serialization)
+};
+
+/// A parsed rule.
+struct Rule {
+  std::string action = "alert";
+  std::string protocol = "tcp";
+  PortSpec src_ports;
+  PortSpec dst_ports;
+  std::string msg;
+  std::vector<ContentMatch> contents;
+  std::optional<PcreMatch> pcre;
+  int sid = 0;
+  int rev = 1;
+  std::vector<std::string> references;
+  // --- metadata the study depends on ---
+  std::string cve;                              // "CVE-2021-44228" ("" if none)
+  std::optional<util::TimePoint> published;     // rule release instant (drives F/D)
+  bool broad = false;                           // flagged over-general (RCA candidate)
+
+  /// Longest positive content pattern (prefilter key); empty if none.
+  const ContentMatch* longest_positive_content() const;
+};
+
+}  // namespace cvewb::ids

@@ -1,0 +1,141 @@
+#include "ids/rule_file.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace cvewb::ids {
+
+namespace {
+
+constexpr int kMaxExpansionDepth = 8;
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+struct LoadContext {
+  VariableMap variables;
+  RuleSet rules;
+  int include_depth = 0;
+};
+
+void load_stream(std::istream& in, LoadContext& context,
+                 const std::filesystem::path* base_directory);
+
+void handle_line(std::string_view line, std::size_t line_number, LoadContext& context,
+                 const std::filesystem::path* base_directory) {
+  line = util::trim(line);
+  if (line.empty() || line.front() == '#') return;
+
+  // Variable definitions: var/portvar/ipvar NAME VALUE.
+  for (const char* keyword : {"var ", "portvar ", "ipvar "}) {
+    if (util::starts_with(line, keyword)) {
+      const auto rest = util::trim(line.substr(std::string_view(keyword).size()));
+      const auto space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        throw ParseError(line_number, "variable definition needs a value");
+      }
+      const std::string name(util::trim(rest.substr(0, space)));
+      const std::string value(util::trim(rest.substr(space + 1)));
+      if (name.empty()) throw ParseError(line_number, "empty variable name");
+      // Values may reference earlier variables; expand eagerly.
+      context.variables[name] = expand_variables(value, context.variables, line_number);
+      return;
+    }
+  }
+
+  if (util::starts_with(line, "include ")) {
+    if (base_directory == nullptr) {
+      throw ParseError(line_number, "include not supported without a file context");
+    }
+    if (context.include_depth >= 8) throw ParseError(line_number, "include depth exceeded");
+    const std::filesystem::path target =
+        *base_directory / std::string(util::trim(line.substr(8)));
+    std::ifstream nested(target);
+    if (!nested) throw ParseError(line_number, "cannot open include " + target.string());
+    ++context.include_depth;
+    const std::filesystem::path nested_dir = target.parent_path();
+    load_stream(nested, context, &nested_dir);
+    --context.include_depth;
+    return;
+  }
+
+  const std::string expanded = expand_variables(std::string(line), context.variables, line_number);
+  context.rules.add(parse_rule(expanded, line_number));
+}
+
+void load_stream(std::istream& in, LoadContext& context,
+                 const std::filesystem::path* base_directory) {
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    handle_line(line, line_number, context, base_directory);
+  }
+}
+
+}  // namespace
+
+VariableMap default_variables() {
+  return {
+      {"EXTERNAL_NET", "any"}, {"HOME_NET", "any"},       {"HTTP_SERVERS", "any"},
+      {"HTTP_PORTS", "[80,443,8080,8443]"},               {"SSH_PORTS", "[22]"},
+      {"FILE_DATA_PORTS", "[80,110,143]"},                {"ORACLE_PORTS", "[1521]"},
+  };
+}
+
+std::string expand_variables(const std::string& line, const VariableMap& variables,
+                             std::size_t line_number) {
+  std::string current = line;
+  for (int depth = 0; depth < kMaxExpansionDepth; ++depth) {
+    std::string next;
+    bool changed = false;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (current[i] != '$') {
+        next.push_back(current[i]);
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < current.size() && is_name_char(current[j])) ++j;
+      const std::string name = current.substr(i + 1, j - i - 1);
+      if (name.empty()) {
+        next.push_back('$');
+        continue;
+      }
+      const auto it = variables.find(name);
+      if (it == variables.end()) {
+        throw ParseError(line_number, "undefined variable $" + name);
+      }
+      next += it->second;
+      changed = true;
+      i = j - 1;
+    }
+    current = std::move(next);
+    if (!changed) return current;
+  }
+  throw ParseError(line_number, "variable expansion too deep (cycle?)");
+}
+
+RuleSet load_ruleset(std::istream& in, VariableMap variables) {
+  LoadContext context;
+  context.variables = std::move(variables);
+  load_stream(in, context, nullptr);
+  return std::move(context.rules);
+}
+
+RuleSet load_ruleset_file(const std::filesystem::path& path, VariableMap variables,
+                          int max_include_depth) {
+  (void)max_include_depth;  // fixed internal limit; parameter kept for API stability
+  std::ifstream in(path);
+  if (!in) throw ParseError(0, "cannot open " + path.string());
+  LoadContext context;
+  context.variables = std::move(variables);
+  const std::filesystem::path directory = path.parent_path();
+  load_stream(in, context, &directory);
+  return std::move(context.rules);
+}
+
+}  // namespace cvewb::ids

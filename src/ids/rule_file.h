@@ -1,0 +1,47 @@
+// Rule-file loading with Snort configuration conventions.
+//
+// Real rulesets ship as files full of `var`/`portvar`/`ipvar` definitions,
+// `$VARIABLE` references in rule headers ($EXTERNAL_NET, $HTTP_PORTS, ...)
+// and `include` directives.  This loader resolves all three on top of the
+// core parser, so a Talos-style rules file drops in unmodified.
+//
+// Semantics notes: the matcher constrains on ports only, so IP variables
+// resolve for substitution purposes but any IP expression is accepted
+// verbatim in the two address columns.
+#pragma once
+
+#include <filesystem>
+#include <istream>
+#include <map>
+#include <string>
+
+#include "ids/rule_parser.h"
+#include "ids/ruleset.h"
+
+namespace cvewb::ids {
+
+/// Variable bindings ($NAME -> replacement text).  Pre-seeded with the
+/// conventional defaults; `var`/`portvar`/`ipvar` lines override.
+using VariableMap = std::map<std::string, std::string>;
+VariableMap default_variables();
+
+/// Load rules from a stream.  Handles blank lines, '#' comments,
+/// variable definitions, and `$NAME` expansion (recursive definitions up
+/// to a small depth).  Throws ParseError on malformed input, including
+/// undefined variables.  `include` directives are rejected here (no
+/// filesystem context) -- use load_ruleset_file.
+RuleSet load_ruleset(std::istream& in, VariableMap variables = default_variables());
+
+/// Load rules from a file, resolving `include <relative-path>` directives
+/// against the file's directory (depth-limited).  Variables accumulate
+/// across includes, as in Snort.
+RuleSet load_ruleset_file(const std::filesystem::path& path,
+                          VariableMap variables = default_variables(),
+                          int max_include_depth = 8);
+
+/// Expand $NAME references using `variables` (exposed for tests).
+/// Throws ParseError when a referenced variable is undefined.
+std::string expand_variables(const std::string& line, const VariableMap& variables,
+                             std::size_t line_number);
+
+}  // namespace cvewb::ids

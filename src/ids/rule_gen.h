@@ -1,0 +1,66 @@
+// Synthesis of the study ruleset (the Talos-ruleset substitution).
+//
+// For every Appendix-E CVE we derive an ExploitSpec -- the distinctive
+// request shape an exploit scanner sends -- and from it both an IDS rule
+// (this module) and matching attack payloads (traffic/payload).  Rules get
+// publication timestamps from the Appendix-E D-P offsets, so coverage
+// history is faithful to the paper's dataset.  Log4Shell is covered by the
+// 15 Table-6 variant signatures instead of a single generic rule, and a
+// deliberately over-broad "decoy" rule is included to exercise the §3.2
+// root-cause-analysis pipeline (it fires on benign credential-stuffing
+// traffic and must be weeded out).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/appendix_e.h"
+#include "data/log4shell_variants.h"
+#include "ids/rule.h"
+#include "ids/ruleset.h"
+
+namespace cvewb::ids {
+
+/// The request shape shared by the rule generator and the traffic
+/// generator for one CVE.
+struct ExploitSpec {
+  std::string cve_id;
+  int sid = 0;
+  data::Protocol protocol = data::Protocol::kHttp;
+  std::uint16_t service_port = 80;
+  // HTTP shape (ignored for kRawTcp/kSmtp):
+  std::string method = "GET";
+  std::string uri = "/";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  // Raw shape for non-HTTP protocols:
+  std::string raw_payload;
+  // Signature: tokens the rule matches, with their buffers.
+  std::vector<std::pair<std::string, Buffer>> tokens;
+};
+
+/// Deterministic spec for a studied CVE.  Well-known CVEs get handcrafted
+/// payloads (Apache traversal, F5 iControl, Redis Lua, Confluence OGNL,
+/// Hikvision, ...); the long tail uses a CWE-templated shape.  Log4Shell
+/// traffic is generated per Table-6 variant, but this still returns the
+/// generic jndi spec for API completeness.
+ExploitSpec spec_for(const data::CveRecord& record);
+
+/// IDS rule for a spec (ports constrained to the service port, as vendor
+/// rules usually are; §3.1's rewrite widens them later).
+Rule rule_from_spec(const ExploitSpec& spec, const data::CveRecord& record);
+
+/// One Table-6 Log4Shell variant rule.
+Rule rule_for_log4shell_variant(const data::Log4ShellVariant& variant);
+
+/// The deliberately over-broad rule for the RCA pipeline: any POST to an
+/// /api/v1/auth endpoint.  Tagged `policy broad` and bound to a bogus CVE.
+Rule decoy_broad_rule();
+inline constexpr const char* kDecoyCveId = "CVE-2021-90001";
+
+/// The full synthetic study ruleset: one rule per non-Log4Shell CVE, the
+/// 15 Log4Shell variant rules, and the decoy.
+RuleSet generate_study_ruleset();
+
+}  // namespace cvewb::ids

@@ -1,0 +1,332 @@
+#include "ids/rule_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace cvewb::ids {
+
+namespace {
+
+using util::trim;
+
+int to_int(std::string_view s, std::size_t line, const char* what) {
+  int v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) {
+    throw ParseError(line, std::string("bad integer for ") + what);
+  }
+  return v;
+}
+
+/// Unescape a Snort content pattern: "foo|3a 3B|bar" -> "foo:;bar".
+std::string unescape_content(std::string_view s, std::size_t line) {
+  std::string out;
+  bool in_hex = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '|') {
+      in_hex = !in_hex;
+      continue;
+    }
+    if (!in_hex) {
+      if (c == '\\' && i + 1 < s.size()) {  // \" \; \\ escapes
+        out.push_back(s[++i]);
+      } else {
+        out.push_back(c);
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    if (i + 1 >= s.size()) throw ParseError(line, "truncated hex escape");
+    const auto hex = [&](char h) -> int {
+      if (h >= '0' && h <= '9') return h - '0';
+      if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+      if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+      throw ParseError(line, "bad hex digit in content");
+    };
+    out.push_back(static_cast<char>(hex(c) * 16 + hex(s[i + 1])));
+    ++i;
+  }
+  if (in_hex) throw ParseError(line, "unterminated hex escape");
+  return out;
+}
+
+std::string escape_content(std::string_view raw) {
+  std::string out;
+  for (char c : raw) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == ';' || c == '\\' || c == '|' || u < 0x20 || u > 0x7e) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "|%02X|", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+PortSpec parse_ports(std::string_view s, std::size_t line) {
+  PortSpec spec;
+  s = trim(s);
+  if (s.empty()) throw ParseError(line, "empty port spec");
+  if (s == "any") return spec;
+  spec.any = false;
+  if (s.front() == '!') {
+    spec.negated = true;
+    s.remove_prefix(1);
+  }
+  if (!s.empty() && s.front() == '[') {
+    if (s.back() != ']') throw ParseError(line, "unterminated port list");
+    s = s.substr(1, s.size() - 2);
+  }
+  for (auto part : util::split_trim(s, ',')) {
+    const int port = to_int(part, line, "port");
+    if (port < 0 || port > 65535) throw ParseError(line, "port out of range");
+    spec.ports.push_back(static_cast<std::uint16_t>(port));
+  }
+  if (spec.ports.empty()) throw ParseError(line, "empty port list");
+  return spec;
+}
+
+std::string ports_to_string(const PortSpec& spec) {
+  if (spec.any) return "any";
+  std::string out = spec.negated ? "![" : "[";
+  for (std::size_t i = 0; i < spec.ports.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(spec.ports[i]);
+  }
+  out += ']';
+  return out;
+}
+
+void parse_metadata(Rule& rule, std::string_view value, std::size_t line) {
+  for (auto item : util::split_trim(value, ',')) {
+    const auto space = item.find(' ');
+    const std::string_view key = space == std::string_view::npos ? item : item.substr(0, space);
+    const std::string_view val =
+        space == std::string_view::npos ? std::string_view{} : trim(item.substr(space + 1));
+    if (key == "cve") {
+      rule.cve = std::string(val);
+    } else if (key == "published") {
+      const auto t = util::parse_date(val);
+      if (!t) throw ParseError(line, "bad published timestamp in metadata");
+      rule.published = *t;
+    } else if (key == "policy") {
+      if (val == "broad") rule.broad = true;
+    }
+    // Unknown metadata keys are tolerated, as in Snort.
+  }
+}
+
+/// Apply an option to the rule; `current` is the content being modified.
+void apply_option(Rule& rule, ContentMatch*& current, std::string_view key, std::string_view value,
+                  std::size_t line) {
+  const auto need_content = [&]() -> ContentMatch& {
+    if (current == nullptr) throw ParseError(line, std::string(key) + " without content");
+    return *current;
+  };
+  if (key == "msg") {
+    rule.msg = std::string(value);
+  } else if (key == "content") {
+    ContentMatch match;
+    std::string_view v = value;
+    if (!v.empty() && v.front() == '!') {
+      match.negated = true;
+      v.remove_prefix(1);
+      v = trim(v);
+    }
+    if (v.size() < 2 || v.front() != '"' || v.back() != '"') {
+      throw ParseError(line, "content pattern must be quoted");
+    }
+    match.pattern = unescape_content(v.substr(1, v.size() - 2), line);
+    if (match.pattern.empty()) throw ParseError(line, "empty content pattern");
+    rule.contents.push_back(std::move(match));
+    current = &rule.contents.back();
+  } else if (key == "nocase") {
+    need_content().nocase = true;
+  } else if (key == "offset") {
+    need_content().offset = to_int(value, line, "offset");
+  } else if (key == "depth") {
+    need_content().depth = to_int(value, line, "depth");
+  } else if (key == "distance") {
+    need_content().distance = to_int(value, line, "distance");
+  } else if (key == "within") {
+    need_content().within = to_int(value, line, "within");
+  } else if (key == "http_uri") {
+    need_content().buffer = Buffer::kHttpUri;
+  } else if (key == "http_raw_uri") {
+    need_content().buffer = Buffer::kHttpRawUri;
+  } else if (key == "http_header") {
+    need_content().buffer = Buffer::kHttpHeader;
+  } else if (key == "http_cookie") {
+    need_content().buffer = Buffer::kHttpCookie;
+  } else if (key == "http_client_body") {
+    need_content().buffer = Buffer::kHttpClientBody;
+  } else if (key == "http_method") {
+    need_content().buffer = Buffer::kHttpMethod;
+  } else if (key == "pcre") {
+    std::string_view v = value;
+    if (v.size() >= 2 && v.front() == '"' && v.back() == '"') v = v.substr(1, v.size() - 2);
+    auto option = parse_pcre_option(v);
+    if (!option) throw ParseError(line, "bad pcre option");
+    PcreMatch match{std::move(option->regex), Buffer::kRaw, std::string(v)};
+    switch (option->buffer_flag) {
+      case 0: match.buffer = Buffer::kRaw; break;
+      case 'U': match.buffer = Buffer::kHttpUri; break;
+      case 'H': match.buffer = Buffer::kHttpHeader; break;
+      case 'P': match.buffer = Buffer::kHttpClientBody; break;
+      case 'C': match.buffer = Buffer::kHttpCookie; break;
+      case 'M': match.buffer = Buffer::kHttpMethod; break;
+      default: throw ParseError(line, "bad pcre buffer flag");
+    }
+    rule.pcre = std::move(match);
+  } else if (key == "sid") {
+    rule.sid = to_int(value, line, "sid");
+  } else if (key == "rev") {
+    rule.rev = to_int(value, line, "rev");
+  } else if (key == "reference") {
+    rule.references.emplace_back(value);
+  } else if (key == "metadata") {
+    parse_metadata(rule, value, line);
+  } else if (key == "fast_pattern") {
+    need_content().fast_pattern = true;
+  } else if (key == "flow" || key == "classtype" || key == "priority" || key == "service") {
+    // Accepted and ignored: not needed for post-facto payload matching.
+  } else {
+    throw ParseError(line, "unknown option '" + std::string(key) + "'");
+  }
+}
+
+/// Split the option body on ';' respecting quotes and backslash escapes.
+std::vector<std::string_view> split_options(std::string_view body, std::size_t line) {
+  std::vector<std::string_view> out;
+  bool in_quote = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '\\' && i + 1 < body.size()) {
+      ++i;
+      continue;
+    }
+    if (c == '"') in_quote = !in_quote;
+    if (c == ';' && !in_quote) {
+      const auto piece = trim(body.substr(start, i - start));
+      if (!piece.empty()) out.push_back(piece);
+      start = i + 1;
+    }
+  }
+  const auto piece = trim(body.substr(start));
+  if (!piece.empty()) out.push_back(piece);
+  if (in_quote) throw ParseError(line, "unterminated quote in options");
+  return out;
+}
+
+}  // namespace
+
+Rule parse_rule(std::string_view text, std::size_t line_number) {
+  text = trim(text);
+  const auto open = text.find('(');
+  const auto close = text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    throw ParseError(line_number, "missing option parentheses");
+  }
+  const auto header = util::split_trim(text.substr(0, open), ' ');
+  if (header.size() != 7) {
+    throw ParseError(line_number, "header must be: action proto src sports -> dst dports");
+  }
+  Rule rule;
+  rule.action = std::string(header[0]);
+  rule.protocol = std::string(header[1]);
+  if (rule.action != "alert" && rule.action != "drop" && rule.action != "log") {
+    throw ParseError(line_number, "unsupported action '" + rule.action + "'");
+  }
+  if (rule.protocol != "tcp") {
+    throw ParseError(line_number, "unsupported protocol '" + rule.protocol + "'");
+  }
+  rule.src_ports = parse_ports(header[3], line_number);
+  if (header[4] != "->") throw ParseError(line_number, "expected '->'");
+  rule.dst_ports = parse_ports(header[6], line_number);
+
+  ContentMatch* current = nullptr;
+  for (const auto option : split_options(text.substr(open + 1, close - open - 1), line_number)) {
+    const auto colon = option.find(':');
+    std::string_view key = colon == std::string_view::npos ? option : option.substr(0, colon);
+    std::string_view value =
+        colon == std::string_view::npos ? std::string_view{} : trim(option.substr(colon + 1));
+    key = trim(key);
+    // msg values keep their quotes stripped here for convenience.
+    if (key == "msg") {
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+    }
+    apply_option(rule, current, key, value, line_number);
+  }
+  if (rule.sid == 0) throw ParseError(line_number, "rule has no sid");
+  if (rule.contents.empty() && !rule.pcre) {
+    throw ParseError(line_number, "rule has no content or pcre match");
+  }
+  return rule;
+}
+
+std::vector<Rule> parse_rules(std::string_view text) {
+  std::vector<Rule> rules;
+  std::size_t line_number = 0;
+  for (auto line : util::split(text, '\n')) {
+    ++line_number;
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    rules.push_back(parse_rule(line, line_number));
+  }
+  return rules;
+}
+
+std::string serialize_rule(const Rule& rule) {
+  std::string out = rule.action + " " + rule.protocol + " any " + ports_to_string(rule.src_ports) +
+                    " -> any " + ports_to_string(rule.dst_ports) + " (";
+  out += "msg:\"" + rule.msg + "\"; ";
+  for (const auto& c : rule.contents) {
+    out += "content:";
+    if (c.negated) out += "!";
+    out += "\"" + escape_content(c.pattern) + "\"; ";
+    switch (c.buffer) {
+      case Buffer::kRaw: break;
+      case Buffer::kHttpUri: out += "http_uri; "; break;
+      case Buffer::kHttpRawUri: out += "http_raw_uri; "; break;
+      case Buffer::kHttpHeader: out += "http_header; "; break;
+      case Buffer::kHttpCookie: out += "http_cookie; "; break;
+      case Buffer::kHttpClientBody: out += "http_client_body; "; break;
+      case Buffer::kHttpMethod: out += "http_method; "; break;
+    }
+    if (c.nocase) out += "nocase; ";
+    if (c.fast_pattern) out += "fast_pattern; ";
+    if (c.offset >= 0) out += "offset:" + std::to_string(c.offset) + "; ";
+    if (c.depth >= 0) out += "depth:" + std::to_string(c.depth) + "; ";
+    if (c.distance != std::numeric_limits<int>::min()) {
+      out += "distance:" + std::to_string(c.distance) + "; ";
+    }
+    if (c.within >= 0) out += "within:" + std::to_string(c.within) + "; ";
+  }
+  if (rule.pcre) out += "pcre:\"" + rule.pcre->source + "\"; ";
+  for (const auto& ref : rule.references) out += "reference:" + ref + "; ";
+  if (!rule.cve.empty() || rule.published || rule.broad) {
+    out += "metadata:";
+    bool first = true;
+    const auto item = [&](const std::string& s) {
+      out += (first ? std::string(" ") : std::string(", ")) + s;
+      first = false;
+    };
+    if (!rule.cve.empty()) item("cve " + rule.cve);
+    if (rule.published) item("published " + util::format_datetime(*rule.published));
+    if (rule.broad) item("policy broad");
+    out += "; ";
+  }
+  out += "sid:" + std::to_string(rule.sid) + "; rev:" + std::to_string(rule.rev) + ";)";
+  return out;
+}
+
+}  // namespace cvewb::ids

@@ -1,0 +1,52 @@
+// Parser for the Snort-subset rule language.
+//
+// Grammar (one rule per line; '#' comments and blank lines ignored):
+//
+//   alert tcp <src> <sports> -> <dst> <dports> ( <options> )
+//
+// where <sports>/<dports> are `any`, a port, a comma list `[80,8080]`, or
+// a negated list `![22]`, and the supported options are:
+//
+//   msg:"...";            content:"..." / content:!"...";
+//   nocase; offset:N; depth:N; distance:N; within:N;
+//   http_uri; http_raw_uri; http_header; http_cookie;
+//   http_client_body; http_method;          (modify the preceding content)
+//   reference:...; flow:...; classtype:...; (stored / ignored)
+//   metadata: cve CVE-..., published <ISO8601>, policy broad;
+//   sid:N; rev:N;
+//
+// Content patterns support Snort's |xx yy| hex escapes.  Parse errors
+// throw ParseError with the offending line number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ids/rule.h"
+
+namespace cvewb::ids {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("rule parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a single rule (no comments).
+Rule parse_rule(std::string_view text, std::size_t line_number = 1);
+
+/// Parse a rule file: one rule per non-comment line.
+std::vector<Rule> parse_rules(std::string_view text);
+
+/// Serialize a rule back to the language above (round-trips through
+/// parse_rule; used for ruleset export and tests).
+std::string serialize_rule(const Rule& rule);
+
+}  // namespace cvewb::ids

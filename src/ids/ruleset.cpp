@@ -1,0 +1,63 @@
+#include "ids/ruleset.h"
+
+#include "ids/rule_parser.h"
+
+namespace cvewb::ids {
+
+const Rule* RuleSet::find_sid(int sid) const {
+  for (const auto& rule : rules_) {
+    if (rule.sid == sid) return &rule;
+  }
+  return nullptr;
+}
+
+std::vector<const Rule*> RuleSet::rules_for_cve(const std::string& cve_id) const {
+  std::vector<const Rule*> out;
+  for (const auto& rule : rules_) {
+    if (rule.cve == cve_id) out.push_back(&rule);
+  }
+  return out;
+}
+
+std::optional<util::TimePoint> RuleSet::coverage_available(const std::string& cve_id) const {
+  std::optional<util::TimePoint> earliest;
+  for (const Rule* rule : rules_for_cve(cve_id)) {
+    if (!rule->published) continue;
+    if (!earliest || *rule->published < *earliest) earliest = rule->published;
+  }
+  return earliest;
+}
+
+RuleSet RuleSet::filtered_to_cve_window(util::TimePoint begin, util::TimePoint end,
+                                        const std::map<std::string, util::TimePoint>&
+                                            cve_published) const {
+  RuleSet out;
+  for (const auto& rule : rules_) {
+    if (rule.cve.empty()) continue;
+    const auto it = cve_published.find(rule.cve);
+    if (it == cve_published.end()) continue;
+    if (util::in_window(it->second, begin, end)) out.add(rule);
+  }
+  return out;
+}
+
+RuleSet RuleSet::port_insensitive() const {
+  RuleSet out;
+  for (Rule rule : rules_) {
+    rule.src_ports = PortSpec{};
+    rule.dst_ports = PortSpec{};
+    out.add(std::move(rule));
+  }
+  return out;
+}
+
+std::string RuleSet::serialize() const {
+  std::string out;
+  for (const auto& rule : rules_) {
+    out += serialize_rule(rule);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cvewb::ids

@@ -1,0 +1,54 @@
+// Ruleset management with publication history (the Talos-ruleset stand-in).
+//
+// §3.1's methodology needs three ruleset-level operations: filtering
+// signatures to CVEs published inside the study window, rewriting rules to
+// be port-insensitive, and answering "when did coverage for this CVE become
+// available" (which drives the F and D lifecycle events).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ids/rule.h"
+#include "util/datetime.h"
+
+namespace cvewb::ids {
+
+class RuleSet {
+ public:
+  RuleSet() = default;
+  explicit RuleSet(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  void add(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+
+  const Rule* find_sid(int sid) const;
+  std::vector<const Rule*> rules_for_cve(const std::string& cve_id) const;
+
+  /// Earliest publication time among rules covering `cve_id` (the F/D
+  /// instant); nullopt when no dated rule covers it.
+  std::optional<util::TimePoint> coverage_available(const std::string& cve_id) const;
+
+  /// Rules whose CVE annotation falls inside [begin, end) by rule
+  /// publication of the *CVE* window; rules without CVE metadata drop out.
+  RuleSet filtered_to_cve_window(util::TimePoint begin, util::TimePoint end,
+                                 const std::map<std::string, util::TimePoint>&
+                                     cve_published) const;
+
+  /// Copy of this ruleset with every port constraint widened to `any`
+  /// (§3.1: "we additionally modify all rules so they are
+  /// port-insensitive").
+  RuleSet port_insensitive() const;
+
+  /// Serialize all rules (one per line) in the parser's language.
+  std::string serialize() const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace cvewb::ids

@@ -1,0 +1,110 @@
+#include "lifecycle/desiderata.h"
+
+#include <stdexcept>
+
+namespace cvewb::lifecycle {
+
+namespace {
+
+// Compact construction of Table 3's matrices.  Each string is a row of
+// cells over columns V F D P X A using the paper's glyphs.
+OrderingMatrix from_rows(const std::array<const char*, kEventCount>& rows) {
+  OrderingMatrix m{};
+  for (std::size_t r = 0; r < kEventCount; ++r) {
+    const std::string_view row = rows[r];
+    if (row.size() != kEventCount) throw std::logic_error("bad matrix row");
+    for (std::size_t c = 0; c < kEventCount; ++c) {
+      switch (row[c]) {
+        case '-': m[r][c] = Ordering::kNone; break;
+        case 'd': m[r][c] = Ordering::kDesired; break;
+        case 'u': m[r][c] = Ordering::kUndesired; break;
+        case 'r': m[r][c] = Ordering::kRequired; break;
+        default: throw std::logic_error("bad matrix glyph");
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+const OrderingMatrix& cert_matrix() {
+  // Table 3a (rows/cols: V F D P X A).
+  static const OrderingMatrix m = from_rows({
+      "-rrddd",  // V
+      "--rddd",  // F
+      "---ddd",  // D
+      "uuu-dd",  // P
+      "uuuu-d",  // X
+      "uuuuu-",  // A
+  });
+  return m;
+}
+
+const OrderingMatrix& this_work_matrix() {
+  // Table 3b: collection methodology adds V<P, V<X as requirements
+  // (public knowledge implies vendor knowledge) and P<X as a requirement
+  // (a public exploit implies public knowledge).
+  static const OrderingMatrix m = from_rows({
+      "-rrrrd",  // V
+      "--rddd",  // F
+      "---ddd",  // D
+      "-uu-rd",  // P
+      "-uu--d",  // X
+      "uuuuu-",  // A
+  });
+  return m;
+}
+
+std::string Desideratum::label() const {
+  return std::string(event_letter(before)) + " < " + std::string(event_letter(after));
+}
+
+const std::vector<Desideratum>& studied_desiderata() {
+  // Baselines are Householder & Spring's published f_d values (Table 4's
+  // "Baseline" column), reproduced exactly by lifecycle/markov's
+  // cert_model(); see the markov tests.
+  static const std::vector<Desideratum> list = {
+      {Event::kVendorAwareness, Event::kAttacks, 0.75},
+      {Event::kFixReady, Event::kPublicAwareness, 0.111},
+      {Event::kFixReady, Event::kExploitPublic, 0.333},
+      {Event::kFixReady, Event::kAttacks, 0.375},
+      {Event::kFixDeployed, Event::kPublicAwareness, 0.037},
+      {Event::kFixDeployed, Event::kExploitPublic, 0.167},
+      {Event::kFixDeployed, Event::kAttacks, 0.187},
+      {Event::kPublicAwareness, Event::kAttacks, 0.667},
+      {Event::kExploitPublic, Event::kAttacks, 0.50},
+  };
+  return list;
+}
+
+Satisfaction evaluate(const Desideratum& d, const std::vector<Timeline>& timelines) {
+  Satisfaction out;
+  for (const auto& tl : timelines) {
+    const auto ok = tl.precedes(d.before, d.after);
+    if (!ok) {
+      ++out.unknown;
+      continue;
+    }
+    ++out.evaluated;
+    if (*ok) ++out.satisfied;
+  }
+  return out;
+}
+
+WeightedSatisfaction evaluate_weighted(const Desideratum& d, const std::vector<Timeline>& timelines,
+                                       const std::vector<double>& weights) {
+  if (timelines.size() != weights.size()) {
+    throw std::invalid_argument("evaluate_weighted: size mismatch");
+  }
+  WeightedSatisfaction out;
+  for (std::size_t i = 0; i < timelines.size(); ++i) {
+    const auto ok = timelines[i].precedes(d.before, d.after);
+    if (!ok) continue;
+    out.evaluated += weights[i];
+    if (*ok) out.satisfied += weights[i];
+  }
+  return out;
+}
+
+}  // namespace cvewb::lifecycle

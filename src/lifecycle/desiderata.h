@@ -1,0 +1,71 @@
+// Event-ordering desiderata (Table 3) and their evaluation over measured
+// timelines (the satisfaction column of Tables 4 and 5).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lifecycle/events.h"
+#include "lifecycle/timeline.h"
+
+namespace cvewb::lifecycle {
+
+/// Desirability of the row event preceding the column event.
+enum class Ordering : std::uint8_t {
+  kNone,       // '-' : no preference / impossible
+  kDesired,    // 'd'
+  kUndesired,  // 'u'
+  kRequired,   // 'r' : enforced by the model's causality
+};
+
+/// 6x6 matrix indexed [row][col]: preference for row-event < col-event.
+using OrderingMatrix = std::array<std::array<Ordering, kEventCount>, kEventCount>;
+
+/// Table 3a: Householder & Spring's matrix.
+const OrderingMatrix& cert_matrix();
+
+/// Table 3b: this work's matrix (public knowledge implies vendor
+/// knowledge, public exploit implies public knowledge).
+const OrderingMatrix& this_work_matrix();
+
+/// One evaluated desideratum (a row of Table 4).
+struct Desideratum {
+  Event before;
+  Event after;
+  double cert_baseline;  // f_d under the CERT baseline model (prior work)
+
+  std::string label() const;  // e.g. "V < A"
+};
+
+/// The nine desiderata evaluated in Tables 4/5, with the baseline
+/// satisfaction frequencies published by Householder & Spring.
+const std::vector<Desideratum>& studied_desiderata();
+
+/// Aggregated satisfaction of one desideratum over a set of timelines.
+struct Satisfaction {
+  std::size_t satisfied = 0;   // timelines where before < after
+  std::size_t evaluated = 0;   // timelines where both events are known
+  std::size_t unknown = 0;     // timelines skipped for missing events
+
+  double rate() const {
+    return evaluated == 0 ? 0.0 : static_cast<double>(satisfied) / static_cast<double>(evaluated);
+  }
+};
+
+/// Evaluate a desideratum across timelines (per-CVE basis, Table 4).
+Satisfaction evaluate(const Desideratum& d, const std::vector<Timeline>& timelines);
+
+/// Weighted variant (per-event basis, Table 5): each timeline contributes
+/// `weights[i]` observations instead of one.
+struct WeightedSatisfaction {
+  double satisfied = 0;
+  double evaluated = 0;
+
+  double rate() const { return evaluated == 0 ? 0.0 : satisfied / evaluated; }
+};
+WeightedSatisfaction evaluate_weighted(const Desideratum& d, const std::vector<Timeline>& timelines,
+                                       const std::vector<double>& weights);
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,92 @@
+#include "lifecycle/emergent.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "net/http.h"
+
+namespace cvewb::lifecycle {
+
+namespace {
+
+/// Normalize a URI for fingerprinting: strip the query string's values
+/// (keep parameter names), collapse digit runs, lowercase.
+std::string normalize_uri(std::string_view uri) {
+  std::string out;
+  bool in_digits = false;
+  bool in_value = false;  // inside a query parameter value
+  for (char c : uri) {
+    if (c == '?' || c == '&') {
+      in_value = false;
+      out.push_back(c);
+      continue;
+    }
+    if (c == '=') {
+      in_value = true;
+      out.push_back(c);
+      continue;
+    }
+    if (in_value) continue;  // parameter values are campaign-volatile
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      if (!in_digits) out.push_back('#');
+      in_digits = true;
+      continue;
+    }
+    in_digits = false;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out.substr(0, 48);
+}
+
+}  // namespace
+
+std::string payload_fingerprint(const net::TcpSession& session) {
+  const auto parsed = net::parse_payload(session.payload);
+  if (parsed.http) {
+    return parsed.http->method + " " + normalize_uri(parsed.http->uri);
+  }
+  if (session.payload.empty()) return "<empty>";
+  std::string out = "raw:";
+  for (std::size_t i = 0; i < session.payload.size() && i < 12; ++i) {
+    char buf[4];
+    std::snprintf(buf, sizeof buf, "%02x",
+                  static_cast<unsigned char>(session.payload[i]));
+    out += buf;
+  }
+  return out;
+}
+
+const EmergentAlert* EmergentDetector::observe(const net::TcpSession& session) {
+  const std::string fingerprint = payload_fingerprint(session);
+  Cluster& cluster = clusters_[fingerprint];
+  if (cluster.sessions == 0) {
+    cluster.first_seen = session.open_time;
+    cluster.sample_payload = session.payload.substr(0, 256);
+  }
+  ++cluster.sessions;
+  const std::uint32_t src = session.src.value();
+  const auto it = std::lower_bound(cluster.sources.begin(), cluster.sources.end(), src);
+  if (it == cluster.sources.end() || *it != src) cluster.sources.insert(it, src);
+
+  if (cluster.alerted || cluster.expired) return nullptr;
+  if (session.open_time - cluster.first_seen > config_.window) {
+    cluster.expired = true;  // slow-burn ambient pattern, not an outbreak
+    return nullptr;
+  }
+  if (cluster.sessions < config_.min_sessions || cluster.sources.size() < config_.min_sources) {
+    return nullptr;
+  }
+  cluster.alerted = true;
+  EmergentAlert alert;
+  alert.fingerprint = fingerprint;
+  alert.first_seen = cluster.first_seen;
+  alert.alert_time = session.open_time;
+  alert.sessions = cluster.sessions;
+  alert.distinct_sources = cluster.sources.size();
+  alert.sample_payload = cluster.sample_payload;
+  alerts_.push_back(std::move(alert));
+  return &alerts_.back();
+}
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,75 @@
+// Emergent-threat detection from raw telescope traffic (Recommendation 3).
+//
+// The paper closes by recommending that interactive telescopes feed
+// exploited-vulnerability catalogs *automatically*.  Doing that requires
+// noticing novel exploitation without a signature for it yet.  This module
+// implements the simplest credible detector: fingerprint each session's
+// payload shape, track per-fingerprint first-seen time, volume, and source
+// diversity, and raise an alert when a new fingerprint crosses thresholds
+// (many sessions from several distinct sources within a bounded window).
+// bench_emergent measures detection latency against the ground-truth onset
+// and against CISA KEV's documented dates.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/tcp_session.h"
+#include "util/datetime.h"
+
+namespace cvewb::lifecycle {
+
+/// A stable shape-key for a payload: HTTP requests map to
+/// "METHOD <normalized-path-prefix>"; other protocols to a hex prefix of
+/// the raw bytes.  Volatile parts (query values, host octets) are
+/// normalized away so one campaign maps to one fingerprint.
+std::string payload_fingerprint(const net::TcpSession& session);
+
+struct EmergentAlert {
+  std::string fingerprint;
+  util::TimePoint first_seen;
+  util::TimePoint alert_time;     // when thresholds were crossed
+  std::size_t sessions = 0;       // sessions at alert time
+  std::size_t distinct_sources = 0;
+  std::string sample_payload;     // first payload (for the analyst)
+
+  util::Duration detection_latency() const { return alert_time - first_seen; }
+};
+
+struct EmergentDetectorConfig {
+  std::size_t min_sessions = 8;
+  std::size_t min_sources = 3;
+  /// Thresholds must be crossed within this window of first-seen, or the
+  /// cluster is considered ambient and ignored for alerting.
+  util::Duration window = util::Duration::days(14);
+};
+
+/// Streaming detector: feed sessions in chronological order.
+class EmergentDetector {
+ public:
+  explicit EmergentDetector(EmergentDetectorConfig config = {}) : config_(config) {}
+
+  /// Process one session; returns a pointer to a newly raised alert (valid
+  /// until the next call) or nullptr.
+  const EmergentAlert* observe(const net::TcpSession& session);
+
+  const std::vector<EmergentAlert>& alerts() const { return alerts_; }
+  std::size_t tracked_fingerprints() const { return clusters_.size(); }
+
+ private:
+  struct Cluster {
+    util::TimePoint first_seen;
+    std::size_t sessions = 0;
+    std::vector<std::uint32_t> sources;  // sorted-unique
+    std::string sample_payload;
+    bool alerted = false;
+    bool expired = false;  // window passed without crossing thresholds
+  };
+
+  EmergentDetectorConfig config_;
+  std::map<std::string, Cluster> clusters_;
+  std::vector<EmergentAlert> alerts_;
+};
+
+}  // namespace cvewb::lifecycle

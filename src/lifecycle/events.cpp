@@ -1,0 +1,42 @@
+#include "lifecycle/events.h"
+
+namespace cvewb::lifecycle {
+
+std::string_view event_letter(Event e) {
+  switch (e) {
+    case Event::kVendorAwareness: return "V";
+    case Event::kFixReady: return "F";
+    case Event::kFixDeployed: return "D";
+    case Event::kPublicAwareness: return "P";
+    case Event::kExploitPublic: return "X";
+    case Event::kAttacks: return "A";
+  }
+  return "?";
+}
+
+std::string_view event_name(Event e) {
+  switch (e) {
+    case Event::kVendorAwareness: return "Vendor Awareness";
+    case Event::kFixReady: return "Fix Ready";
+    case Event::kFixDeployed: return "Fix Deployed";
+    case Event::kPublicAwareness: return "Public Awareness";
+    case Event::kExploitPublic: return "Exploit Public";
+    case Event::kAttacks: return "Attacks";
+  }
+  return "?";
+}
+
+std::optional<Event> event_from_letter(std::string_view letter) {
+  if (letter.size() != 1) return std::nullopt;
+  switch (letter.front()) {
+    case 'V': return Event::kVendorAwareness;
+    case 'F': return Event::kFixReady;
+    case 'D': return Event::kFixDeployed;
+    case 'P': return Event::kPublicAwareness;
+    case 'X': return Event::kExploitPublic;
+    case 'A': return Event::kAttacks;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace cvewb::lifecycle

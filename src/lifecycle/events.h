@@ -1,0 +1,40 @@
+// The six CVE lifecycle events of the CERT (Householder & Spring) model.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cvewb::lifecycle {
+
+/// Lifecycle events, §2.2.  The enumerator order is the "ideal" order.
+enum class Event : std::uint8_t {
+  kVendorAwareness = 0,  // V
+  kFixReady = 1,         // F
+  kFixDeployed = 2,      // D
+  kPublicAwareness = 3,  // P
+  kExploitPublic = 4,    // X
+  kAttacks = 5,          // A
+};
+
+inline constexpr std::size_t kEventCount = 6;
+
+inline constexpr std::array<Event, kEventCount> kAllEvents = {
+    Event::kVendorAwareness, Event::kFixReady,      Event::kFixDeployed,
+    Event::kPublicAwareness, Event::kExploitPublic, Event::kAttacks,
+};
+
+/// Single-letter label used throughout the paper ("V", "F", ...).
+std::string_view event_letter(Event e);
+
+/// Long name ("Vendor Awareness", ...).
+std::string_view event_name(Event e);
+
+/// Parse a single-letter label; nullopt for anything else.
+std::optional<Event> event_from_letter(std::string_view letter);
+
+constexpr std::size_t index_of(Event e) { return static_cast<std::size_t>(e); }
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,126 @@
+#include "lifecycle/exposure.h"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cvewb::lifecycle {
+
+namespace {
+
+std::unordered_map<std::string, const Timeline*> index_timelines(
+    const std::vector<Timeline>& timelines) {
+  std::unordered_map<std::string, const Timeline*> idx;
+  for (const auto& tl : timelines) idx.emplace(tl.cve_id(), &tl);
+  return idx;
+}
+
+}  // namespace
+
+bool is_mitigated(const ExploitEvent& event, const Timeline& timeline) {
+  const auto deployed = timeline.at(Event::kFixDeployed);
+  return deployed.has_value() && *deployed <= event.time;
+}
+
+SkillTable per_event_skill(const std::vector<ExploitEvent>& events,
+                           const std::vector<Timeline>& timelines) {
+  const auto idx = index_timelines(timelines);
+  SkillTable table;
+  for (const auto& d : studied_desiderata()) {
+    double satisfied = 0;
+    double evaluated = 0;
+    for (const auto& event : events) {
+      const auto it = idx.find(event.cve_id);
+      if (it == idx.end()) continue;
+      const Timeline& tl = *it->second;
+      // Substitute the event's own timestamp when the desideratum touches
+      // A; otherwise the event inherits its CVE's ordering.
+      const auto time_of = [&](Event e) -> std::optional<util::TimePoint> {
+        if (e == Event::kAttacks) return event.time;
+        return tl.at(e);
+      };
+      const auto tb = time_of(d.before);
+      const auto ta = time_of(d.after);
+      if (!tb || !ta) continue;
+      evaluated += 1;
+      if (*tb <= *ta) satisfied += 1;
+    }
+    SkillRow row;
+    row.desideratum = d.label();
+    row.satisfied = evaluated > 0 ? satisfied / evaluated : 0.0;
+    row.baseline = d.cert_baseline;
+    row.skill = skill(row.satisfied, row.baseline);
+    row.evaluated = static_cast<std::size_t>(evaluated);
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+double ExposureSplit::mitigated_fraction() const {
+  const auto n = total();
+  return n == 0 ? 0.0 : static_cast<double>(mitigated_days.size()) / static_cast<double>(n);
+}
+
+double ExposureSplit::unmitigated_within(double days) const {
+  if (unmitigated_days.empty()) return 0.0;
+  std::size_t k = 0;
+  for (double d : unmitigated_days) {
+    if (d >= 0 && d <= days) ++k;
+  }
+  return static_cast<double>(k) / static_cast<double>(unmitigated_days.size());
+}
+
+ExposureSplit split_exposure(const std::vector<ExploitEvent>& events,
+                             const std::vector<Timeline>& timelines) {
+  const auto idx = index_timelines(timelines);
+  ExposureSplit split;
+  for (const auto& event : events) {
+    const auto it = idx.find(event.cve_id);
+    if (it == idx.end()) continue;
+    const Timeline& tl = *it->second;
+    const auto published = tl.at(Event::kPublicAwareness);
+    if (!published) continue;
+    const double days = (event.time - *published).total_days();
+    if (is_mitigated(event, tl)) {
+      split.mitigated_days.push_back(days);
+    } else {
+      split.unmitigated_days.push_back(days);
+    }
+  }
+  return split;
+}
+
+CveBinSeries cves_per_bin(const std::vector<ExploitEvent>& events,
+                          const std::vector<Timeline>& timelines, double bin_days, double lo_days,
+                          double hi_days) {
+  if (!(lo_days < hi_days) || bin_days <= 0) throw std::invalid_argument("bad bin range");
+  const auto idx = index_timelines(timelines);
+  const auto bins = static_cast<std::size_t>(std::ceil((hi_days - lo_days) / bin_days));
+  std::vector<std::set<std::string>> with_rule(bins);
+  std::vector<std::set<std::string>> without_rule(bins);
+  for (const auto& event : events) {
+    const auto it = idx.find(event.cve_id);
+    if (it == idx.end()) continue;
+    const Timeline& tl = *it->second;
+    const auto published = tl.at(Event::kPublicAwareness);
+    if (!published) continue;
+    const double days = (event.time - *published).total_days();
+    if (days < lo_days || days >= hi_days) continue;
+    const auto bin = static_cast<std::size_t>((days - lo_days) / bin_days);
+    if (is_mitigated(event, tl)) {
+      with_rule[bin].insert(event.cve_id);
+    } else {
+      without_rule[bin].insert(event.cve_id);
+    }
+  }
+  CveBinSeries series;
+  for (std::size_t i = 0; i < bins; ++i) {
+    series.bin_start_days.push_back(lo_days + bin_days * static_cast<double>(i));
+    series.with_rule.push_back(with_rule[i].size());
+    series.without_rule.push_back(without_rule[i].size());
+  }
+  return series;
+}
+
+}  // namespace cvewb::lifecycle

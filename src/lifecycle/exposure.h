@@ -1,0 +1,65 @@
+// Quantitative system exposure (§6.2).
+//
+// The per-CVE model treats "Attacks" as a single instant; in reality every
+// captured exploit session is an exposure sample.  Here desiderata that
+// involve A are re-evaluated per *event* -- each session's own timestamp
+// substitutes for A -- which yields Table 5, and events are segmented by
+// whether an IDS mitigation was deployed at the time they arrived, which
+// yields Figs. 6 and 7 and Findings 9-12.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lifecycle/skill.h"
+#include "lifecycle/timeline.h"
+#include "stats/ecdf.h"
+#include "util/datetime.h"
+
+namespace cvewb::lifecycle {
+
+/// One observed exploit event (an IDS-matched session targeting a CVE).
+struct ExploitEvent {
+  std::string cve_id;
+  util::TimePoint time;
+};
+
+/// Table 5: desideratum satisfaction on a per-exploit-event basis.  For
+/// desiderata whose second event is A, each exploit event's timestamp is
+/// used as the attack instant; other desiderata are weighted by the
+/// per-CVE event count.
+SkillTable per_event_skill(const std::vector<ExploitEvent>& events,
+                           const std::vector<Timeline>& timelines);
+
+/// Whether an event was mitigated: the CVE's fix was deployed at or before
+/// the event's arrival.  Events for CVEs without any deployed fix are
+/// unmitigated.
+bool is_mitigated(const ExploitEvent& event, const Timeline& timeline);
+
+/// Fig. 7 inputs: days-since-publication for every event, split by
+/// mitigation status.
+struct ExposureSplit {
+  std::vector<double> mitigated_days;    // event time - P, days
+  std::vector<double> unmitigated_days;
+
+  std::size_t total() const { return mitigated_days.size() + unmitigated_days.size(); }
+  double mitigated_fraction() const;
+  /// Fraction of unmitigated exposure within `days` after publication
+  /// (Finding 12: ~50 % within 30 days).
+  double unmitigated_within(double days) const;
+};
+ExposureSplit split_exposure(const std::vector<ExploitEvent>& events,
+                             const std::vector<Timeline>& timelines);
+
+/// Fig. 6: number of distinct CVEs targeted in each `bin_days` window
+/// around publication, split by rule availability during the bin.
+struct CveBinSeries {
+  std::vector<double> bin_start_days;  // left edge relative to P
+  std::vector<std::size_t> with_rule;
+  std::vector<std::size_t> without_rule;
+};
+CveBinSeries cves_per_bin(const std::vector<ExploitEvent>& events,
+                          const std::vector<Timeline>& timelines, double bin_days = 5.0,
+                          double lo_days = -50.0, double hi_days = 400.0);
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,67 @@
+#include "lifecycle/kev_compare.h"
+
+#include <unordered_map>
+
+namespace cvewb::lifecycle {
+
+std::vector<double> kev_attack_minus_publication_days(const data::KevCatalog& catalog) {
+  std::vector<double> out;
+  out.reserve(catalog.entries.size());
+  for (const auto& entry : catalog.entries) {
+    out.push_back((entry.date_added - entry.nvd_published).total_days());
+  }
+  return out;
+}
+
+double kev_pre_publication_rate(const data::KevCatalog& catalog) {
+  if (catalog.entries.empty()) return 0.0;
+  std::size_t early = 0;
+  for (const auto& entry : catalog.entries) {
+    if (entry.date_added < entry.nvd_published) ++early;
+  }
+  return static_cast<double>(early) / static_cast<double>(catalog.entries.size());
+}
+
+std::vector<SharedCveDelta> shared_deltas(const data::KevCatalog& catalog,
+                                          const std::vector<Timeline>& timelines) {
+  std::unordered_map<std::string, const Timeline*> idx;
+  for (const auto& tl : timelines) idx.emplace(tl.cve_id(), &tl);
+  std::vector<SharedCveDelta> out;
+  for (const auto& entry : catalog.entries) {
+    const auto it = idx.find(entry.cve_id);
+    if (it == idx.end()) continue;
+    const auto attack = it->second->at(Event::kAttacks);
+    if (!attack) continue;
+    SharedCveDelta delta;
+    delta.cve_id = entry.cve_id;
+    delta.delta_days = (*attack - entry.date_added).total_days();
+    out.push_back(std::move(delta));
+  }
+  return out;
+}
+
+double KevComparison::shared_fraction() const {
+  return studied_cves == 0 ? 0.0 : static_cast<double>(shared) / static_cast<double>(studied_cves);
+}
+
+double KevComparison::dscope_first_fraction() const {
+  return shared == 0 ? 0.0 : static_cast<double>(dscope_first) / static_cast<double>(shared);
+}
+
+double KevComparison::dscope_first_30d_fraction() const {
+  return shared == 0 ? 0.0 : static_cast<double>(dscope_first_30d) / static_cast<double>(shared);
+}
+
+KevComparison compare_with_kev(const data::KevCatalog& catalog,
+                               const std::vector<Timeline>& timelines) {
+  KevComparison cmp;
+  cmp.studied_cves = timelines.size();
+  for (const auto& delta : shared_deltas(catalog, timelines)) {
+    ++cmp.shared;
+    if (delta.delta_days < 0) ++cmp.dscope_first;
+    if (delta.delta_days < -30) ++cmp.dscope_first_30d;
+  }
+  return cmp;
+}
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,47 @@
+// Comparison against CISA's Known Exploited Vulnerabilities (§7.2).
+//
+// Two views: (a) the KEV catalog's own publication-to-documented-attack
+// distribution (Fig. 10, Finding 16), and (b) the head-to-head first
+// exploitation timing for CVEs in both KEV and the DSCOPE study (Fig. 11,
+// Finding 17).
+#pragma once
+
+#include <vector>
+
+#include "data/kev.h"
+#include "lifecycle/timeline.h"
+#include "stats/ecdf.h"
+
+namespace cvewb::lifecycle {
+
+/// Fig. 10: A - P in days for every KEV entry (A = date added to KEV).
+std::vector<double> kev_attack_minus_publication_days(const data::KevCatalog& catalog);
+
+/// Fraction of KEV entries with documented exploitation before NVD
+/// publication (paper: 18 %, vs 10 % for DSCOPE).
+double kev_pre_publication_rate(const data::KevCatalog& catalog);
+
+/// One shared CVE's head-to-head timing.
+struct SharedCveDelta {
+  std::string cve_id;
+  double delta_days = 0;  // dscope first attack - kev date added (< 0: DSCOPE first)
+};
+
+/// Fig. 11 input: deltas for CVEs present in both datasets.
+std::vector<SharedCveDelta> shared_deltas(const data::KevCatalog& catalog,
+                                          const std::vector<Timeline>& timelines);
+
+/// Finding 17 statistics.
+struct KevComparison {
+  std::size_t studied_cves = 0;      // 63
+  std::size_t shared = 0;            // 44 (70 %)
+  std::size_t dscope_first = 0;      // 26 (59 %)
+  std::size_t dscope_first_30d = 0;  // 22 (50 %): lead > 30 days
+  double shared_fraction() const;
+  double dscope_first_fraction() const;
+  double dscope_first_30d_fraction() const;
+};
+KevComparison compare_with_kev(const data::KevCatalog& catalog,
+                               const std::vector<Timeline>& timelines);
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,178 @@
+#include "lifecycle/markov.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace cvewb::lifecycle {
+
+namespace {
+
+constexpr std::uint8_t kAllMask = (1u << kEventCount) - 1;
+
+/// Apply causal propagation: after `occurred |= trigger`, any event whose
+/// propagation is triggered and hasn't occurred fires immediately, in
+/// enumerator order, recursively.  Returns the events fired (in order).
+void propagate(const OrderingModel& model, std::uint8_t& occurred, Event trigger,
+               std::vector<Event>& fired) {
+  const std::uint8_t effects = model.propagation[index_of(trigger)];
+  for (Event e : kAllEvents) {
+    const std::uint8_t bit = event_bit(e);
+    if ((effects & bit) != 0 && (occurred & bit) == 0) {
+      occurred |= bit;
+      fired.push_back(e);
+      propagate(model, occurred, e, fired);
+    }
+  }
+}
+
+std::vector<Event> eligible(const OrderingModel& model, std::uint8_t occurred) {
+  std::vector<Event> out;
+  for (Event e : kAllEvents) {
+    const std::uint8_t bit = event_bit(e);
+    if ((occurred & bit) == 0 && (model.preconditions[index_of(e)] & ~occurred) == 0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OrderingModel cert_model() {
+  OrderingModel m;
+  m.preconditions[index_of(Event::kFixReady)] = event_bit(Event::kVendorAwareness);
+  m.preconditions[index_of(Event::kFixDeployed)] = event_bit(Event::kFixReady);
+  m.propagation[index_of(Event::kExploitPublic)] = event_bit(Event::kPublicAwareness);
+  m.propagation[index_of(Event::kPublicAwareness)] = event_bit(Event::kVendorAwareness);
+  return m;
+}
+
+OrderingModel unconstrained_model() { return OrderingModel{}; }
+
+PairProbabilities pair_probabilities(const OrderingModel& model) {
+  PairProbabilities probs{};
+  // Exact enumeration over all stochastic paths; the tree has at most
+  // 6! = 720 leaves, so recursion is cheap.
+  std::vector<Event> order;
+  order.reserve(kEventCount);
+  std::function<void(std::uint8_t, double)> rec = [&](std::uint8_t occurred, double p) {
+    if (occurred == kAllMask) {
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        for (std::size_t j = i + 1; j < order.size(); ++j) {
+          probs[index_of(order[i])][index_of(order[j])] += p;
+        }
+      }
+      return;
+    }
+    const auto choices = eligible(model, occurred);
+    if (choices.empty()) return;  // deadlocked model: contributes nothing
+    const double share = p / static_cast<double>(choices.size());
+    for (Event e : choices) {
+      std::uint8_t next = occurred | event_bit(e);
+      const std::size_t mark = order.size();
+      order.push_back(e);
+      std::vector<Event> fired;
+      propagate(model, next, e, fired);
+      for (Event f : fired) order.push_back(f);
+      rec(next, share);
+      order.resize(mark);
+    }
+  };
+  rec(0, 1.0);
+  return probs;
+}
+
+PairProbabilities extension_probabilities(const OrderingModel& model) {
+  PairProbabilities probs{};
+  std::array<Event, kEventCount> perm = kAllEvents;
+  std::sort(perm.begin(), perm.end());
+  long count = 0;
+  PairProbabilities sums{};
+  do {
+    // A permutation is a valid history if every precondition and every
+    // propagation cause precedes its dependent event.
+    std::array<std::size_t, kEventCount> pos{};
+    for (std::size_t i = 0; i < kEventCount; ++i) pos[index_of(perm[i])] = i;
+    bool valid = true;
+    for (Event e : kAllEvents) {
+      const std::uint8_t req = model.preconditions[index_of(e)];
+      for (Event q : kAllEvents) {
+        if ((req & event_bit(q)) != 0 && pos[index_of(q)] > pos[index_of(e)]) valid = false;
+      }
+      const std::uint8_t effects = model.propagation[index_of(e)];
+      for (Event q : kAllEvents) {
+        if ((effects & event_bit(q)) != 0 && pos[index_of(e)] > pos[index_of(q)]) valid = false;
+      }
+    }
+    if (!valid) continue;
+    ++count;
+    for (std::size_t i = 0; i < kEventCount; ++i) {
+      for (std::size_t j = i + 1; j < kEventCount; ++j) {
+        sums[index_of(perm[i])][index_of(perm[j])] += 1.0;
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  if (count == 0) return probs;
+  for (auto& row : sums) {
+    for (auto& cell : row) cell /= static_cast<double>(count);
+  }
+  return sums;
+}
+
+int count_valid_histories(const OrderingModel& model) {
+  std::array<Event, kEventCount> perm = kAllEvents;
+  std::sort(perm.begin(), perm.end());
+  int count = 0;
+  do {
+    std::array<std::size_t, kEventCount> pos{};
+    for (std::size_t i = 0; i < kEventCount; ++i) pos[index_of(perm[i])] = i;
+    bool valid = true;
+    for (Event e : kAllEvents) {
+      const std::uint8_t req = model.preconditions[index_of(e)];
+      for (Event q : kAllEvents) {
+        if ((req & event_bit(q)) != 0 && pos[index_of(q)] > pos[index_of(e)]) valid = false;
+      }
+      const std::uint8_t effects = model.propagation[index_of(e)];
+      for (Event q : kAllEvents) {
+        if ((effects & event_bit(q)) != 0 && pos[index_of(e)] > pos[index_of(q)]) valid = false;
+      }
+    }
+    if (valid) ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return count;
+}
+
+std::vector<Event> sample_history(const OrderingModel& model, util::Rng& rng) {
+  std::vector<Event> order;
+  order.reserve(kEventCount);
+  std::uint8_t occurred = 0;
+  while (occurred != kAllMask) {
+    const auto choices = eligible(model, occurred);
+    if (choices.empty()) break;  // deadlocked model
+    const Event e = choices[rng.uniform_u64(choices.size())];
+    occurred |= event_bit(e);
+    order.push_back(e);
+    std::vector<Event> fired;
+    propagate(model, occurred, e, fired);
+    for (Event f : fired) order.push_back(f);
+  }
+  return order;
+}
+
+PairProbabilities sample_probabilities(const OrderingModel& model, util::Rng& rng, int histories) {
+  PairProbabilities probs{};
+  for (int h = 0; h < histories; ++h) {
+    const auto order = sample_history(model, rng);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (std::size_t j = i + 1; j < order.size(); ++j) {
+        probs[index_of(order[i])][index_of(order[j])] += 1.0;
+      }
+    }
+  }
+  for (auto& row : probs) {
+    for (auto& cell : row) cell /= static_cast<double>(histories);
+  }
+  return probs;
+}
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,66 @@
+// The CERT baseline model: what desideratum satisfaction looks like under
+// "luck" (§2.2).
+//
+// Householder & Spring model a vulnerability history as a Markov process
+// that repeatedly picks the next event uniformly among those whose causal
+// preconditions are met, with *causal propagation*: publishing an exploit
+// (X) immediately makes the vulnerability public (P), and public awareness
+// immediately makes the vendor aware (V).  With preconditions
+// F requires V, D requires F, this process reproduces every baseline
+// frequency published in their paper (and copied into the paper's Table 4):
+// 0.75, 1/9, 1/3, 3/8, 1/27, 1/6, 3/16, 2/3, 1/2.  We implement the model
+// generically (configurable preconditions and propagation) with three
+// evaluation backends: exact path enumeration, uniform linear-extension
+// counting, and Monte-Carlo sampling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lifecycle/events.h"
+#include "util/rng.h"
+
+namespace cvewb::lifecycle {
+
+/// A random-history model over the six lifecycle events.
+struct OrderingModel {
+  /// preconditions[e]: bitmask of events that must have occurred before e
+  /// becomes eligible (conjunctive).
+  std::array<std::uint8_t, kEventCount> preconditions{};
+  /// propagation[e]: bitmask of events that occur *immediately* after e
+  /// (recursively applied), modelling causation rather than choice.
+  std::array<std::uint8_t, kEventCount> propagation{};
+};
+
+constexpr std::uint8_t event_bit(Event e) { return static_cast<std::uint8_t>(1u << index_of(e)); }
+
+/// The CERT model described above.
+OrderingModel cert_model();
+
+/// A "pure chance" model with no structure at all (uniform permutations).
+OrderingModel unconstrained_model();
+
+/// P(a occurs before b) for every ordered pair, under the model's
+/// uniform-transition Markov process.  Exact (enumerates all paths).
+using PairProbabilities = std::array<std::array<double, kEventCount>, kEventCount>;
+PairProbabilities pair_probabilities(const OrderingModel& model);
+
+/// P(a before b) under a uniform distribution over *valid event orderings*
+/// (linear extensions of the precondition partial order; propagation is
+/// interpreted as a hard ordering constraint "cause <= effect... effect
+/// immediately after" relaxed to "cause before effect").
+PairProbabilities extension_probabilities(const OrderingModel& model);
+
+/// Monte-Carlo estimate of pair_probabilities (cross-check; also usable
+/// for models too large for exact enumeration).
+PairProbabilities sample_probabilities(const OrderingModel& model, util::Rng& rng,
+                                       int histories = 100000);
+
+/// Draw one complete history (an ordering of all six events).
+std::vector<Event> sample_history(const OrderingModel& model, util::Rng& rng);
+
+/// Number of distinct valid orderings (linear extensions) of the model.
+int count_valid_histories(const OrderingModel& model);
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,59 @@
+#include "lifecycle/scenario.h"
+
+#include <cmath>
+
+namespace cvewb::lifecycle {
+
+std::vector<Timeline> ids_in_disclosure_scenario(const std::vector<Timeline>& timelines,
+                                                 double window_days) {
+  std::vector<Timeline> out = timelines;
+  for (auto& tl : out) {
+    const auto published = tl.at(Event::kPublicAwareness);
+    const auto deployed = tl.at(Event::kFixDeployed);
+    if (!published || !deployed) continue;
+    const double days = (*deployed - *published).total_days();
+    if (days > 0 && days <= window_days) {
+      tl.set(Event::kFixDeployed, *published);
+      // The rule is necessarily ready no later than it is deployed.
+      const auto ready = tl.at(Event::kFixReady);
+      if (ready && *published < *ready) tl.set(Event::kFixReady, *published);
+    }
+  }
+  return out;
+}
+
+std::vector<Timeline> delayed_deployment_scenario(const std::vector<Timeline>& timelines,
+                                                  double delay_days) {
+  std::vector<Timeline> out = timelines;
+  const auto delay = util::Duration::seconds(static_cast<std::int64_t>(delay_days * 86400.0));
+  for (auto& tl : out) {
+    const auto deployed = tl.at(Event::kFixDeployed);
+    if (deployed) tl.set(Event::kFixDeployed, *deployed + delay);
+  }
+  return out;
+}
+
+double ScenarioImpact::skill_improvement() const {
+  if (std::abs(before.skill) < 1e-12) return 0.0;
+  return (after.skill - before.skill) / std::abs(before.skill);
+}
+
+ScenarioImpact compare_scenario(const std::vector<Timeline>& baseline,
+                                const std::vector<Timeline>& scenario, const Desideratum& d) {
+  const auto row_for = [&](const std::vector<Timeline>& set) {
+    const Satisfaction sat = evaluate(d, set);
+    SkillRow row;
+    row.desideratum = d.label();
+    row.satisfied = sat.rate();
+    row.baseline = d.cert_baseline;
+    row.skill = skill(row.satisfied, row.baseline);
+    row.evaluated = sat.evaluated;
+    return row;
+  };
+  ScenarioImpact impact;
+  impact.before = row_for(baseline);
+  impact.after = row_for(scenario);
+  return impact;
+}
+
+}  // namespace cvewb::lifecycle

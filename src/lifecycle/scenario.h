@@ -1,0 +1,41 @@
+// Hypothetical disclosure scenarios (§6.1.1, Finding 7).
+//
+// When IDS coverage lands within a month of public disclosure, the vendor
+// almost certainly reacted to publication rather than being included in
+// coordinated disclosure.  The paper's counterfactual moves those rule
+// releases to the publication instant, modelling "IDS vendors included in
+// CVD", and re-evaluates D < A.  A second scenario models §5 footnote 2:
+// non-commercial rule consumers get updates 30 days late.
+#pragma once
+
+#include <vector>
+
+#include "lifecycle/skill.h"
+#include "lifecycle/timeline.h"
+
+namespace cvewb::lifecycle {
+
+/// Move D (and F) to publication time for every CVE whose fix deployed
+/// within (0, window_days] after publication.  CVEs already deploying
+/// before publication, or slower than the window, are untouched.
+std::vector<Timeline> ids_in_disclosure_scenario(const std::vector<Timeline>& timelines,
+                                                 double window_days = 30.0);
+
+/// Delay D by `delay_days` for every CVE with a deployed fix (registered
+/// non-commercial ruleset consumers).
+std::vector<Timeline> delayed_deployment_scenario(const std::vector<Timeline>& timelines,
+                                                  double delay_days = 30.0);
+
+/// Before/after comparison of one desideratum under a scenario.
+struct ScenarioImpact {
+  SkillRow before;
+  SkillRow after;
+  double satisfaction_delta() const { return after.satisfied - before.satisfied; }
+  /// Relative skill improvement (Finding 7 reports +32 %).
+  double skill_improvement() const;
+};
+
+ScenarioImpact compare_scenario(const std::vector<Timeline>& baseline,
+                                const std::vector<Timeline>& scenario, const Desideratum& d);
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,52 @@
+#include "lifecycle/skill.h"
+
+namespace cvewb::lifecycle {
+
+double skill(double observed, double baseline) {
+  if (baseline >= 1.0) return 0.0;
+  return (observed - baseline) / (1.0 - baseline);
+}
+
+double observed_for_skill(double target_skill, double baseline) {
+  return baseline + target_skill * (1.0 - baseline);
+}
+
+double SkillTable::mean_skill() const {
+  if (rows.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& row : rows) sum += row.skill;
+  return sum / static_cast<double>(rows.size());
+}
+
+SkillTable skill_table(const std::vector<Timeline>& timelines) {
+  SkillTable table;
+  for (const auto& d : studied_desiderata()) {
+    const Satisfaction sat = evaluate(d, timelines);
+    SkillRow row;
+    row.desideratum = d.label();
+    row.satisfied = sat.rate();
+    row.baseline = d.cert_baseline;
+    row.skill = skill(row.satisfied, row.baseline);
+    row.evaluated = sat.evaluated;
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+SkillTable skill_table_weighted(const std::vector<Timeline>& timelines,
+                                const std::vector<double>& weights) {
+  SkillTable table;
+  for (const auto& d : studied_desiderata()) {
+    const WeightedSatisfaction sat = evaluate_weighted(d, timelines, weights);
+    SkillRow row;
+    row.desideratum = d.label();
+    row.satisfied = sat.rate();
+    row.baseline = d.cert_baseline;
+    row.skill = skill(row.satisfied, row.baseline);
+    row.evaluated = static_cast<std::size_t>(sat.evaluated);
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,44 @@
+// The CVD skill metric and Table 4 assembly.
+//
+// Skill a_d = (f_obs - f_d) / (1 - f_d): 0 at the baseline frequency, 1 at
+// perfect satisfaction, negative when worse than chance (§2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lifecycle/desiderata.h"
+#include "lifecycle/timeline.h"
+
+namespace cvewb::lifecycle {
+
+/// Skill for an observed frequency against a baseline.  Defined for
+/// baseline < 1; returns 0 when baseline >= 1 (degenerate desideratum).
+double skill(double observed, double baseline);
+
+/// Observed frequency needed to achieve a given skill.
+double observed_for_skill(double target_skill, double baseline);
+
+/// One row of Table 4 / Table 5.
+struct SkillRow {
+  std::string desideratum;  // "V < A"
+  double satisfied = 0;     // observed frequency
+  double baseline = 0;      // f_d
+  double skill = 0;         // a_d
+  std::size_t evaluated = 0;  // CVEs (or weight) contributing
+};
+
+struct SkillTable {
+  std::vector<SkillRow> rows;
+  double mean_skill() const;
+};
+
+/// Table 4: per-CVE satisfaction over the studied timelines.
+SkillTable skill_table(const std::vector<Timeline>& timelines);
+
+/// Table 5: per-event satisfaction, each timeline weighted by its number
+/// of observed exploit events.
+SkillTable skill_table_weighted(const std::vector<Timeline>& timelines,
+                                const std::vector<double>& weights);
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,157 @@
+#include "lifecycle/state_machine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <functional>
+#include <map>
+
+namespace cvewb::lifecycle {
+
+namespace {
+
+void propagate(const OrderingModel& model, std::uint8_t& mask, Event trigger,
+               std::vector<Event>* fired) {
+  const std::uint8_t effects = model.propagation[index_of(trigger)];
+  for (Event e : kAllEvents) {
+    const std::uint8_t bit = event_bit(e);
+    if ((effects & bit) != 0 && (mask & bit) == 0) {
+      mask |= bit;
+      if (fired != nullptr) fired->push_back(e);
+      propagate(model, mask, e, fired);
+    }
+  }
+}
+
+}  // namespace
+
+std::string CvdState::label() const {
+  std::string out;
+  for (Event e : kAllEvents) {
+    const char letter = event_letter(e).front();
+    out.push_back(occurred(e) ? letter
+                              : static_cast<char>(std::tolower(static_cast<unsigned char>(letter))));
+  }
+  return out;
+}
+
+StateRisk classify_state(CvdState state) {
+  const bool defended = state.occurred(Event::kFixDeployed);
+  const bool attackable =
+      state.occurred(Event::kExploitPublic) || state.occurred(Event::kAttacks);
+  const bool public_knowledge = state.occurred(Event::kPublicAwareness);
+  if (attackable && !defended) return StateRisk::kExposed;
+  if (attackable && defended) return StateRisk::kDefendedLate;
+  if (public_knowledge && !defended) return StateRisk::kRacing;
+  return StateRisk::kQuiet;
+}
+
+std::string_view to_string(StateRisk risk) {
+  switch (risk) {
+    case StateRisk::kQuiet: return "quiet";
+    case StateRisk::kRacing: return "racing";
+    case StateRisk::kExposed: return "exposed";
+    case StateRisk::kDefendedLate: return "defended-late";
+  }
+  return "?";
+}
+
+StateMachine::StateMachine(const OrderingModel& model) : model_(model) {
+  std::deque<CvdState> queue{CvdState()};
+  std::map<std::uint8_t, bool> seen{{0, true}};
+  while (!queue.empty()) {
+    const CvdState state = queue.front();
+    queue.pop_front();
+    states_.push_back(state);
+    for (Event e : eligible(state)) {
+      const CvdState next = apply(state, e);
+      transitions_.push_back({state, e, next});
+      if (!seen[next.mask()]) {
+        seen[next.mask()] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  std::sort(states_.begin(), states_.end());
+}
+
+std::vector<Event> StateMachine::eligible(CvdState state) const {
+  std::vector<Event> out;
+  for (Event e : kAllEvents) {
+    if (state.occurred(e)) continue;
+    if ((model_.preconditions[index_of(e)] & ~state.mask()) == 0) out.push_back(e);
+  }
+  return out;
+}
+
+CvdState StateMachine::apply(CvdState state, Event event) const {
+  std::uint8_t mask = state.mask() | event_bit(event);
+  propagate(model_, mask, event, nullptr);
+  return CvdState(mask);
+}
+
+std::vector<std::vector<Event>> StateMachine::histories() const {
+  std::vector<std::vector<Event>> out;
+  std::vector<Event> current;
+  std::function<void(CvdState)> rec = [&](CvdState state) {
+    if (state.is_terminal()) {
+      out.push_back(current);
+      return;
+    }
+    for (Event e : eligible(state)) {
+      std::uint8_t mask = state.mask() | event_bit(e);
+      const std::size_t mark = current.size();
+      current.push_back(e);
+      std::vector<Event> fired;
+      propagate(model_, mask, e, &fired);
+      for (Event f : fired) current.push_back(f);
+      rec(CvdState(mask));
+      current.resize(mark);
+    }
+  };
+  rec(CvdState());
+  return out;
+}
+
+std::size_t StateMachine::history_count() const {
+  // Memoized path counting over the DAG of states.
+  std::map<std::uint8_t, std::size_t> memo;
+  std::function<std::size_t(CvdState)> rec = [&](CvdState state) -> std::size_t {
+    if (state.is_terminal()) return 1;
+    const auto it = memo.find(state.mask());
+    if (it != memo.end()) return it->second;
+    std::size_t total = 0;
+    for (Event e : eligible(state)) total += rec(apply(state, e));
+    memo[state.mask()] = total;
+    return total;
+  };
+  return rec(CvdState());
+}
+
+double StateMachine::visit_probability(CvdState target) const {
+  // Forward probability flow under uniform transitions.
+  std::map<std::uint8_t, double> prob{{0, 1.0}};
+  double visited = target.is_initial() ? 1.0 : 0.0;
+  // Process states in increasing popcount (topological for this DAG).
+  std::vector<CvdState> order = states_;
+  std::sort(order.begin(), order.end(), [](CvdState a, CvdState b) {
+    return std::pair(a.occurred_count(), a.mask()) < std::pair(b.occurred_count(), b.mask());
+  });
+  for (const CvdState state : order) {
+    const double p = prob[state.mask()];
+    if (p == 0.0) continue;
+    const auto moves = eligible(state);
+    if (moves.empty()) continue;
+    const double share = p / static_cast<double>(moves.size());
+    for (Event e : moves) {
+      const CvdState next = apply(state, e);
+      if (next == target && !target.is_initial()) visited += share;
+      // Accumulate only first-entry probability into the flow map; since
+      // the DAG is acyclic by popcount, summing shares is exact.
+      prob[next.mask()] += share;
+    }
+  }
+  return std::min(visited, 1.0);
+}
+
+}  // namespace cvewb::lifecycle

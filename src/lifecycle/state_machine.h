@@ -1,0 +1,92 @@
+// The CERT state-based CVD model ([19], Householder & Spring's MPCVD
+// formalism): a vulnerability's status is the *set* of lifecycle events
+// that have occurred, transitions add one event at a time subject to
+// causal rules, and a history is a path from the empty state to the full
+// state.  This module materializes that state space for an OrderingModel:
+// reachable states, legal transitions, full history enumeration, and a
+// per-state risk classification used to reason about windows of
+// vulnerability symbolically (complementing lifecycle/windows' empirical
+// view).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lifecycle/markov.h"
+
+namespace cvewb::lifecycle {
+
+/// A CVD state: bitmask over the six events (bit i = event i occurred).
+class CvdState {
+ public:
+  constexpr CvdState() = default;
+  constexpr explicit CvdState(std::uint8_t mask) : mask_(mask) {}
+
+  constexpr std::uint8_t mask() const { return mask_; }
+  constexpr bool occurred(Event e) const { return (mask_ & event_bit(e)) != 0; }
+  constexpr CvdState with(Event e) const { return CvdState(mask_ | event_bit(e)); }
+  constexpr bool is_initial() const { return mask_ == 0; }
+  constexpr bool is_terminal() const { return mask_ == (1u << kEventCount) - 1; }
+  constexpr std::size_t occurred_count() const { return std::popcount(mask_); }
+
+  /// Compact label, e.g. "Vfdpxa" (upper = occurred), matching the CERT
+  /// papers' notation.
+  std::string label() const;
+
+  constexpr auto operator<=>(const CvdState&) const = default;
+
+ private:
+  std::uint8_t mask_ = 0;
+};
+
+/// Qualitative risk of a state, per the model's discussion: a state is
+/// *exposed* when attacks are possible against undefended systems
+/// (X or A occurred without D), *racing* when the public knows but the
+/// fix is not deployed (P without D), and *safe* once D occurred before
+/// any of those, or nothing risky has happened yet.
+enum class StateRisk : std::uint8_t { kQuiet, kRacing, kExposed, kDefendedLate };
+StateRisk classify_state(CvdState state);
+std::string_view to_string(StateRisk risk);
+
+/// One legal transition: `from` plus event `via` (and any causal
+/// propagation) yields `to`.
+struct Transition {
+  CvdState from;
+  Event via;
+  CvdState to;
+};
+
+/// The materialized state machine for an ordering model.
+class StateMachine {
+ public:
+  explicit StateMachine(const OrderingModel& model);
+
+  const std::vector<CvdState>& states() const { return states_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Events eligible to fire in `state` under the model's preconditions.
+  std::vector<Event> eligible(CvdState state) const;
+
+  /// Apply `event` with causal propagation; `event` must be eligible.
+  CvdState apply(CvdState state, Event event) const;
+
+  /// All complete histories (event orderings as emitted, including
+  /// propagated events) from the initial to the terminal state.
+  std::vector<std::vector<Event>> histories() const;
+
+  /// Number of distinct histories (== histories().size(), cheaper).
+  std::size_t history_count() const;
+
+  /// Probability of traversing `state` at some point under the
+  /// uniform-transition process.
+  double visit_probability(CvdState state) const;
+
+ private:
+  OrderingModel model_;
+  std::vector<CvdState> states_;         // reachable, BFS order
+  std::vector<Transition> transitions_;  // all legal moves
+};
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,67 @@
+#include "lifecycle/timeline.h"
+
+#include <algorithm>
+
+#include "data/talos.h"
+
+namespace cvewb::lifecycle {
+
+using util::Duration;
+using util::TimePoint;
+
+std::optional<Duration> Timeline::diff(Event a, Event b) const {
+  const auto ta = at(a);
+  const auto tb = at(b);
+  if (!ta || !tb) return std::nullopt;
+  return *tb - *ta;
+}
+
+std::optional<bool> Timeline::precedes(Event a, Event b) const {
+  const auto d = diff(a, b);
+  if (!d) return std::nullopt;
+  return d->total_seconds() >= 0;
+}
+
+std::size_t Timeline::known_count() const {
+  std::size_t n = 0;
+  for (const auto& t : times_) n += t.has_value() ? 1 : 0;
+  return n;
+}
+
+Timeline timeline_from_record(const data::CveRecord& record, const TimelineOptions& options) {
+  Timeline tl(record.id);
+  tl.set(Event::kPublicAwareness, record.published);
+
+  if (const auto fix = record.fix_deployed()) {
+    tl.set(Event::kFixReady, *fix);
+    tl.set(Event::kFixDeployed, *fix + options.deployment_delay);
+  }
+  if (const auto exploit = record.exploit_public()) {
+    tl.set(Event::kExploitPublic, *exploit);
+  }
+  if (const auto attack = record.first_attack()) {
+    tl.set(Event::kAttacks, *attack);
+  }
+
+  // V = earliest of public awareness, fix availability, and any known
+  // vendor-coordinated disclosure date (§5 heuristic (1)).
+  TimePoint vendor = record.published;
+  if (const auto fix = tl.at(Event::kFixReady)) vendor = std::min(vendor, *fix);
+  if (options.use_talos_disclosures) {
+    if (const auto disclosed = data::talos_disclosure(record.id)) {
+      vendor = std::min(vendor, *disclosed);
+    }
+  }
+  tl.set(Event::kVendorAwareness, vendor);
+  return tl;
+}
+
+std::vector<Timeline> study_timelines(const TimelineOptions& options) {
+  std::vector<Timeline> out;
+  const auto& rows = data::appendix_e();
+  out.reserve(rows.size());
+  for (const auto& record : rows) out.push_back(timeline_from_record(record, options));
+  return out;
+}
+
+}  // namespace cvewb::lifecycle

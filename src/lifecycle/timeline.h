@@ -1,0 +1,69 @@
+// A CVE's lifecycle timeline: the (partial) assignment of instants to the
+// six events, plus the §5 heuristics that build timelines from the joined
+// datasets.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/appendix_e.h"
+#include "lifecycle/events.h"
+#include "util/datetime.h"
+
+namespace cvewb::lifecycle {
+
+/// Partial event → instant map for one vulnerability.
+class Timeline {
+ public:
+  Timeline() = default;
+  explicit Timeline(std::string cve_id) : cve_id_(std::move(cve_id)) {}
+
+  const std::string& cve_id() const { return cve_id_; }
+
+  void set(Event e, util::TimePoint t) { times_[index_of(e)] = t; }
+  void clear(Event e) { times_[index_of(e)].reset(); }
+  std::optional<util::TimePoint> at(Event e) const { return times_[index_of(e)]; }
+  bool has(Event e) const { return times_[index_of(e)].has_value(); }
+
+  /// time(b) - time(a); nullopt when either is unknown.
+  std::optional<util::Duration> diff(Event a, Event b) const;
+
+  /// Whether a strictly precedes b; nullopt when either is unknown.
+  /// Ties (equal timestamps) count as satisfied, matching the model's
+  /// "a <= b" desiderata semantics for simultaneous events.
+  std::optional<bool> precedes(Event a, Event b) const;
+
+  /// Number of events with known instants.
+  std::size_t known_count() const;
+
+ private:
+  std::string cve_id_;
+  std::array<std::optional<util::TimePoint>, kEventCount> times_;
+};
+
+/// Options for the §5 timeline-construction heuristics.
+struct TimelineOptions {
+  /// Use known IDS-vendor disclosure dates when deriving V (default on).
+  bool use_talos_disclosures = true;
+  /// Extra delay between rule availability (F) and deployment (D).  The
+  /// main model assumes immediate deployment (0); §5 fn. 2's non-commercial
+  /// ruleset delay is 30 days.
+  util::Duration deployment_delay = util::Duration(0);
+};
+
+/// Build a timeline from an Appendix-E row using the paper's heuristics:
+///   P  = NVD publication;
+///   F  = IDS rule availability (P + (D-P));
+///   D  = F + deployment_delay;
+///   X  = public exploit offset;
+///   A  = first observed attack;
+///   V  = earliest of {P, F, vendor-disclosure date}.
+Timeline timeline_from_record(const data::CveRecord& record,
+                              const TimelineOptions& options = {});
+
+/// Timelines for the whole studied population.
+std::vector<Timeline> study_timelines(const TimelineOptions& options = {});
+
+}  // namespace cvewb::lifecycle

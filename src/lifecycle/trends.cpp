@@ -1,0 +1,65 @@
+#include "lifecycle/trends.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvewb::lifecycle {
+
+std::vector<TrendPoint> skill_trend(const std::vector<Timeline>& timelines,
+                                    const Desideratum& desideratum, util::TimePoint begin,
+                                    util::TimePoint end, double bucket_days, util::Rng& rng,
+                                    int replicates) {
+  std::vector<TrendPoint> trend;
+  const auto bucket = util::Duration::seconds(static_cast<std::int64_t>(bucket_days * 86400.0));
+  for (util::TimePoint start = begin; start < end; start += bucket) {
+    const util::TimePoint stop = std::min(end, start + bucket);
+    TrendPoint point;
+    point.period_start = start;
+    point.period_end = stop;
+    std::vector<bool> outcomes;
+    for (const auto& tl : timelines) {
+      const auto published = tl.at(Event::kPublicAwareness);
+      if (!published || !util::in_window(*published, start, stop)) continue;
+      const auto ok = tl.precedes(desideratum.before, desideratum.after);
+      if (!ok) continue;
+      outcomes.push_back(*ok);
+    }
+    point.cves = outcomes.size();
+    if (!outcomes.empty()) {
+      point.satisfied_ci = stats::bootstrap_proportion(outcomes, rng, replicates);
+      point.satisfied = point.satisfied_ci.point;
+      point.skill = skill(point.satisfied, desideratum.cert_baseline);
+    }
+    trend.push_back(std::move(point));
+  }
+  return trend;
+}
+
+double trend_slope_per_year(const std::vector<TrendPoint>& trend) {
+  // Least squares over bucket midpoints (x in years) vs satisfaction,
+  // weighted by CVE count.
+  double sw = 0;
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  for (const auto& point : trend) {
+    if (point.cves == 0) continue;
+    const double w = static_cast<double>(point.cves);
+    const double mid = (static_cast<double>(point.period_start.unix_seconds()) +
+                        static_cast<double>(point.period_end.unix_seconds())) /
+                       2.0;
+    const double x = mid / (365.25 * 86400.0);
+    const double y = point.satisfied;
+    sw += w;
+    sx += w * x;
+    sy += w * y;
+    sxx += w * x * x;
+    sxy += w * x * y;
+  }
+  const double denom = sw * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12 || sw == 0) return 0.0;
+  return (sw * sxy - sx * sy) / denom;
+}
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,41 @@
+// CVD-effectiveness trends over time.
+//
+// §4 anticipates that the dataset "will be useful for analyzing the
+// evolution of CVD effectiveness over time as more years of data are
+// collected."  This module does that analysis on whatever data exists:
+// bucket CVEs by publication period and track desideratum satisfaction and
+// skill per bucket, with bootstrap confidence intervals (essential at
+// ~16 CVEs per half-year).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lifecycle/skill.h"
+#include "lifecycle/timeline.h"
+#include "stats/bootstrap.h"
+
+namespace cvewb::lifecycle {
+
+struct TrendPoint {
+  util::TimePoint period_start;
+  util::TimePoint period_end;
+  std::size_t cves = 0;
+  double satisfied = 0;  // desideratum satisfaction in this period
+  double skill = 0;
+  stats::Interval satisfied_ci;  // bootstrap CI of the satisfaction rate
+};
+
+/// Satisfaction/skill of one desideratum per publication-time bucket.
+/// Buckets are `bucket_days` wide, spanning [begin, end); CVEs without the
+/// needed events are skipped.  `replicates` controls the bootstrap.
+std::vector<TrendPoint> skill_trend(const std::vector<Timeline>& timelines,
+                                    const Desideratum& desideratum, util::TimePoint begin,
+                                    util::TimePoint end, double bucket_days, util::Rng& rng,
+                                    int replicates = 500);
+
+/// Linear-regression slope of satisfaction over time (per year), for a
+/// one-number "is CVD improving?" answer.  Returns 0 with < 2 buckets.
+double trend_slope_per_year(const std::vector<TrendPoint>& trend);
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,41 @@
+#include "lifecycle/windows.h"
+
+namespace cvewb::lifecycle {
+
+std::vector<double> window_days(Event before, Event after,
+                                const std::vector<Timeline>& timelines) {
+  std::vector<double> out;
+  out.reserve(timelines.size());
+  for (const auto& tl : timelines) {
+    const auto d = tl.diff(before, after);
+    if (d) out.push_back(d->total_days());
+  }
+  return out;
+}
+
+stats::Ecdf window_ecdf(Event before, Event after, const std::vector<Timeline>& timelines) {
+  return stats::Ecdf(window_days(before, after, timelines));
+}
+
+double shifted_satisfaction(const stats::Ecdf& windows, double shift_days) {
+  // diff >= -shift after moving the "before" event earlier by shift days;
+  // satisfaction = 1 - F(-shift) evaluated just below the threshold.
+  if (windows.empty()) return 0.0;
+  return 1.0 - windows.at(-shift_days - 1e-9);
+}
+
+ViolationProfile violation_profile(const std::vector<double>& window_days, double threshold_days) {
+  ViolationProfile profile;
+  for (double d : window_days) {
+    if (d < 0) {
+      ++profile.violations;
+      if (d >= -threshold_days) ++profile.narrow_violations;
+    } else {
+      ++profile.satisfied;
+      if (d <= threshold_days) ++profile.narrow_satisfied;
+    }
+  }
+  return profile;
+}
+
+}  // namespace cvewb::lifecycle

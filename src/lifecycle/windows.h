@@ -1,0 +1,41 @@
+// Windows of vulnerability (§6.1): the time-series view of desiderata.
+//
+// For a desideratum a < b the signed difference t(b) - t(a) is a buffer
+// when positive and a window of exposure when negative; the CDFs of these
+// differences are Figs. 5a-c and 13-18.  The module also implements the
+// "hypothetical shift" reading of those CDFs: moving the CDF right by x
+// days models improving CVD performance by x days.
+#pragma once
+
+#include <vector>
+
+#include "lifecycle/desiderata.h"
+#include "lifecycle/timeline.h"
+#include "stats/ecdf.h"
+
+namespace cvewb::lifecycle {
+
+/// Signed event-time differences t(after) - t(before) in days, one entry
+/// per timeline where both events are known.
+std::vector<double> window_days(Event before, Event after,
+                                const std::vector<Timeline>& timelines);
+
+/// ECDF of the window distribution (the paper's figures plot the CDF of
+/// e.g. A - D; positive mass right of zero = desideratum satisfied).
+stats::Ecdf window_ecdf(Event before, Event after, const std::vector<Timeline>& timelines);
+
+/// Satisfaction rate if the "before" event were moved `shift_days` earlier
+/// for every CVE (§6.1 interpretation (2): CDF value at diff = shift).
+double shifted_satisfaction(const stats::Ecdf& windows, double shift_days);
+
+/// Quantitative summary of a window distribution used in the findings:
+/// the fraction of *violations* that are narrow (|window| <= threshold).
+struct ViolationProfile {
+  std::size_t violations = 0;       // diff < 0
+  std::size_t narrow_violations = 0;  // -threshold <= diff < 0
+  std::size_t satisfied = 0;        // diff >= 0
+  std::size_t narrow_satisfied = 0;   // 0 <= diff <= threshold
+};
+ViolationProfile violation_profile(const std::vector<double>& window_days, double threshold_days);
+
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,114 @@
+#include "net/http.h"
+
+#include "util/strings.h"
+
+namespace cvewb::net {
+
+using util::iequals;
+using util::trim;
+
+std::optional<std::string_view> HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::string_view HttpRequest::cookie() const {
+  const auto v = header("Cookie");
+  return v.value_or(std::string_view{});
+}
+
+void HttpRequest::add_header(std::string name, std::string value) {
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out;
+  out.reserve(128 + uri.size() + body.size());
+  out += method;
+  out += ' ';
+  out += uri;
+  out += ' ';
+  out += version;
+  out += "\r\n";
+  bool has_content_length = false;
+  for (const auto& [key, value] : headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+    if (iequals(key, "Content-Length")) has_content_length = true;
+  }
+  if (!body.empty() && !has_content_length) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+bool looks_like_http(std::string_view bytes) {
+  static constexpr std::string_view kMethods[] = {"GET ",    "POST ",  "PUT ",     "HEAD ",
+                                                  "DELETE ", "PATCH ", "OPTIONS ", "TRACE ",
+                                                  "CONNECT "};
+  for (auto m : kMethods) {
+    if (util::starts_with(bytes, m)) return true;
+  }
+  // Scanners occasionally send non-standard methods (Log4Shell payloads
+  // were seen in the method token itself); accept TOKEN SP ... HTTP/
+  const auto sp = bytes.find(' ');
+  if (sp != std::string_view::npos && sp > 0 && sp <= 64) {
+    const auto line_end = bytes.find("\r\n");
+    if (line_end != std::string_view::npos && bytes.substr(0, line_end).find("HTTP/") !=
+                                                  std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ParsedPayload parse_payload(std::string_view bytes) {
+  ParsedPayload out;
+  out.raw = bytes;
+  if (!looks_like_http(bytes)) return out;
+
+  const auto line_end = bytes.find("\r\n");
+  if (line_end == std::string_view::npos) return out;
+  const std::string_view request_line = bytes.substr(0, line_end);
+  const auto sp1 = request_line.find(' ');
+  const auto sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return out;
+
+  HttpRequest req;
+  req.method = std::string(request_line.substr(0, sp1));
+  req.uri = std::string(trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  req.version = std::string(request_line.substr(sp2 + 1));
+
+  std::size_t pos = line_end + 2;
+  while (pos < bytes.size()) {
+    const auto eol = bytes.find("\r\n", pos);
+    if (eol == std::string_view::npos) {
+      // Truncated header section: keep what parsed so far, no body.
+      out.http = std::move(req);
+      return out;
+    }
+    if (eol == pos) {  // blank line: end of headers
+      pos = eol + 2;
+      req.body = std::string(bytes.substr(pos));
+      out.http = std::move(req);
+      return out;
+    }
+    const std::string_view line = bytes.substr(pos, eol - pos);
+    const auto colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      req.add_header(std::string(trim(line.substr(0, colon))),
+                     std::string(trim(line.substr(colon + 1))));
+    }
+    pos = eol + 2;
+  }
+  out.http = std::move(req);
+  return out;
+}
+
+}  // namespace cvewb::net

@@ -1,0 +1,59 @@
+// HTTP/1.x request model.
+//
+// DSCOPE collects client banners: the bytes a scanner sends after the TCP
+// handshake, which for the studied CVEs are almost always HTTP requests
+// (plus a handful of SMTP and raw-TCP exploits).  The IDS sticky buffers
+// (http_uri, http_header, http_cookie, http_client_body, http_method)
+// require a parsed view of the request, so both the traffic generator and
+// the matcher share this parser.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cvewb::net {
+
+/// A parsed (or under-construction) HTTP/1.x request.
+struct HttpRequest {
+  std::string method = "GET";
+  std::string uri = "/";
+  std::string version = "HTTP/1.1";
+  /// Ordered header list; duplicate names preserved as sent.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header value matching `name` (ASCII case-insensitive).
+  std::optional<std::string_view> header(std::string_view name) const;
+
+  /// Value of the Cookie header ("" when absent).
+  std::string_view cookie() const;
+
+  /// Add (or append) a header.
+  void add_header(std::string name, std::string value);
+
+  /// Serialize to wire bytes.  Sets Content-Length when a body is present
+  /// and no explicit Content-Length header exists.
+  std::string serialize() const;
+};
+
+/// Result of attempting to parse raw client bytes.
+struct ParsedPayload {
+  /// Present when the payload parsed as an HTTP request.
+  std::optional<HttpRequest> http;
+  /// The raw bytes, always available (non-HTTP exploits match on these).
+  std::string_view raw;
+};
+
+/// Parse the bytes a client sent.  Never throws: a malformed payload
+/// yields ParsedPayload{.http = nullopt, .raw = bytes}.  Tolerates missing
+/// bodies and truncated requests, which are common in scanner traffic.
+ParsedPayload parse_payload(std::string_view bytes);
+
+/// True when the bytes look like an HTTP request line (used to fast-path
+/// non-HTTP traffic around the HTTP-buffer rules).
+bool looks_like_http(std::string_view bytes);
+
+}  // namespace cvewb::net

@@ -1,0 +1,56 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace cvewb::net {
+
+std::string IPv4::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<IPv4> IPv4::parse(std::string_view dotted) {
+  std::uint32_t out = 0;
+  const char* p = dotted.data();
+  const char* end = dotted.data() + dotted.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc() || octet > 255) return std::nullopt;
+    out = (out << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return IPv4(out);
+}
+
+IPv4 Prefix::sample(util::Rng& rng) const {
+  const std::uint64_t offset = rng.uniform_u64(size());
+  return IPv4(base_.value() + static_cast<std::uint32_t>(offset));
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view cidr) {
+  const auto slash = cidr.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IPv4::parse(cidr.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = -1;
+  const auto* first = cidr.data() + slash + 1;
+  const auto* last = cidr.data() + cidr.size();
+  auto [p, ec] = std::from_chars(first, last, length);
+  if (ec != std::errc() || p != last || length < 0 || length > 32) return std::nullopt;
+  return Prefix(*addr, length);
+}
+
+}  // namespace cvewb::net

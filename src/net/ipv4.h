@@ -1,0 +1,69 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// DSCOPE's collection machinery is keyed on IPv4: telescope instances hold
+// pseudorandomly-allocated cloud addresses, and source-IP diversity is one
+// of the paper's representativity arguments (3.6 k sources of CVE traffic
+// out of 15 M contacts).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace cvewb::net {
+
+/// An IPv4 address stored host-order.
+class IPv4 {
+ public:
+  constexpr IPv4() = default;
+  constexpr explicit IPv4(std::uint32_t host_order) : value_(host_order) {}
+  constexpr IPv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr auto operator<=>(const IPv4&) const = default;
+
+  std::string to_string() const;
+  static std::optional<IPv4> parse(std::string_view dotted);
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix, e.g. 3.208.0.0/12.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// Host bits of `base` below the prefix length are masked off.
+  constexpr Prefix(IPv4 base, int length)
+      : base_(IPv4(length == 0 ? 0 : (base.value() & mask_for(length)))), length_(length) {}
+
+  constexpr IPv4 base() const { return base_; }
+  constexpr int length() const { return length_; }
+  constexpr std::uint64_t size() const { return 1ULL << (32 - length_); }
+
+  constexpr bool contains(IPv4 addr) const {
+    if (length_ == 0) return true;
+    return (addr.value() & mask_for(length_)) == base_.value();
+  }
+
+  /// Uniformly random address inside the prefix.
+  IPv4 sample(util::Rng& rng) const;
+
+  std::string to_string() const;
+  static std::optional<Prefix> parse(std::string_view cidr);
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+
+  IPv4 base_;
+  int length_ = 0;
+};
+
+}  // namespace cvewb::net

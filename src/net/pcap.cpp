@@ -1,0 +1,213 @@
+#include "net/pcap.h"
+
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace cvewb::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kLinkTypeRaw = 101;  // raw IPv4
+
+void put_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v >> 8));
+  buf.push_back(static_cast<char>(v & 0xff));
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  put_u16(buf, static_cast<std::uint16_t>(v >> 16));
+  put_u16(buf, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+template <typename T>
+void write_le(std::ostream& out, T v) {
+  char bytes[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(bytes, sizeof(T));
+}
+
+template <typename T>
+bool read_le(std::istream& in, T& v) {
+  unsigned char bytes[sizeof(T)];
+  if (!in.read(reinterpret_cast<char*>(bytes), sizeof(T))) return false;
+  v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) v |= static_cast<T>(bytes[i]) << (8 * i);
+  return true;
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+/// Build an IPv4+TCP packet carrying `payload` (checksums left zero; the
+/// reader does not validate them, matching offline-analysis practice).
+std::string build_packet(const TcpSession& s, std::string_view payload, std::uint32_t seq) {
+  std::string pkt;
+  const std::size_t total_len = 20 + 20 + payload.size();
+  // IPv4 header
+  pkt.push_back(0x45);  // version 4, IHL 5
+  pkt.push_back(0);     // DSCP/ECN
+  put_u16(pkt, static_cast<std::uint16_t>(total_len));
+  put_u16(pkt, static_cast<std::uint16_t>(s.id & 0xffff));  // identification
+  put_u16(pkt, 0x4000);                                     // DF
+  pkt.push_back(64);                                        // TTL
+  pkt.push_back(6);                                         // TCP
+  put_u16(pkt, 0);                                          // header checksum (unvalidated)
+  put_u32(pkt, s.src.value());
+  put_u32(pkt, s.dst.value());
+  // TCP header
+  put_u16(pkt, s.src_port);
+  put_u16(pkt, s.dst_port);
+  put_u32(pkt, seq);
+  put_u32(pkt, 1);           // ack
+  pkt.push_back(0x50);       // data offset 5
+  pkt.push_back(0x18);       // PSH|ACK
+  put_u16(pkt, 0xffff);      // window
+  put_u16(pkt, 0);           // checksum
+  put_u16(pkt, 0);           // urgent
+  pkt += payload;
+  return pkt;
+}
+
+/// Flow key for reassembly: the TCP 5-tuple (protocol fixed).
+struct FlowKey {
+  std::uint32_t src;
+  std::uint32_t dst;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+
+  bool operator<(const FlowKey& o) const {
+    return std::tie(src, dst, src_port, dst_port) < std::tie(o.src, o.dst, o.src_port, o.dst_port);
+  }
+};
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::size_t max_segment)
+    : out_(out), max_segment_(max_segment) {
+  write_le<std::uint32_t>(out_, kMagic);
+  write_le<std::uint16_t>(out_, 2);   // version major
+  write_le<std::uint16_t>(out_, 4);   // version minor
+  write_le<std::int32_t>(out_, 0);    // thiszone
+  write_le<std::uint32_t>(out_, 0);   // sigfigs
+  write_le<std::uint32_t>(out_, 65535);  // snaplen
+  write_le<std::uint32_t>(out_, kLinkTypeRaw);
+}
+
+void PcapWriter::write_session(const TcpSession& session) {
+  const std::string_view payload = session.payload;
+  const std::size_t segment =
+      max_segment_ == 0 ? std::max<std::size_t>(payload.size(), 1) : max_segment_;
+  std::size_t offset = 0;
+  do {
+    const std::string_view chunk = payload.substr(offset, segment);
+    const std::string pkt =
+        build_packet(session, chunk, static_cast<std::uint32_t>(1 + offset));
+    write_le<std::uint32_t>(out_, static_cast<std::uint32_t>(session.open_time.unix_seconds()));
+    write_le<std::uint32_t>(out_, static_cast<std::uint32_t>(session.id % 1000000));
+    write_le<std::uint32_t>(out_, static_cast<std::uint32_t>(pkt.size()));
+    write_le<std::uint32_t>(out_, static_cast<std::uint32_t>(pkt.size()));
+    out_.write(pkt.data(), static_cast<std::streamsize>(pkt.size()));
+    ++packets_;
+    offset += chunk.size();
+  } while (offset < payload.size());
+}
+
+PcapReader::PcapReader(std::istream& in) {
+  std::uint32_t magic = 0;
+  if (!read_le(in, magic) || magic != kMagic) {
+    throw std::runtime_error("pcap: bad magic (only little-endian classic pcap supported)");
+  }
+  std::uint16_t vmaj = 0;
+  std::uint16_t vmin = 0;
+  std::int32_t zone = 0;
+  std::uint32_t sigfigs = 0;
+  std::uint32_t snaplen = 0;
+  std::uint32_t linktype = 0;
+  if (!read_le(in, vmaj) || !read_le(in, vmin) || !read_le(in, zone) || !read_le(in, sigfigs) ||
+      !read_le(in, snaplen) || !read_le(in, linktype)) {
+    throw std::runtime_error("pcap: truncated global header");
+  }
+  if (linktype != kLinkTypeRaw) {
+    throw std::runtime_error("pcap: unsupported link type " + std::to_string(linktype));
+  }
+
+  // In-order TCP reassembly state: one pending session per active flow.
+  std::map<FlowKey, std::size_t> open_flows;  // flow -> index into sessions_
+  std::uint64_t next_id = 0;
+  for (;;) {
+    std::uint32_t ts_sec = 0;
+    std::uint32_t ts_usec = 0;
+    std::uint32_t incl = 0;
+    std::uint32_t orig = 0;
+    if (!read_le(in, ts_sec)) break;  // clean EOF
+    if (!read_le(in, ts_usec) || !read_le(in, incl) || !read_le(in, orig)) {
+      throw std::runtime_error("pcap: truncated record header");
+    }
+    std::string pkt(incl, '\0');
+    if (!in.read(pkt.data(), static_cast<std::streamsize>(incl))) {
+      throw std::runtime_error("pcap: truncated packet body");
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(pkt.data());
+    if (incl < 20 || (p[0] >> 4) != 4) {
+      ++skipped_;
+      continue;
+    }
+    const std::size_t ihl = static_cast<std::size_t>(p[0] & 0x0f) * 4;
+    if (ihl < 20 || incl < ihl + 20 || p[9] != 6) {
+      ++skipped_;
+      continue;
+    }
+    const auto* tcp = p + ihl;
+    const std::size_t doff = static_cast<std::size_t>(tcp[12] >> 4) * 4;
+    if (doff < 20 || incl < ihl + doff) {
+      ++skipped_;
+      continue;
+    }
+    const FlowKey key{get_u32(p + 12), get_u32(p + 16), get_u16(tcp), get_u16(tcp + 2)};
+    const std::uint32_t seq = get_u32(tcp + 4);
+    const std::string_view segment(pkt.data() + ihl + doff, pkt.size() - ihl - doff);
+
+    auto flow = open_flows.find(key);
+    if (seq <= 1 || flow == open_flows.end()) {
+      // Sequence 1 opens a fresh session on this flow (the same 5-tuple
+      // may recur later under cloud address reuse).
+      TcpSession s;
+      s.id = next_id++;
+      s.open_time = util::TimePoint(static_cast<std::int64_t>(ts_sec));
+      s.src = IPv4(key.src);
+      s.dst = IPv4(key.dst);
+      s.src_port = key.src_port;
+      s.dst_port = key.dst_port;
+      s.payload.assign(segment);
+      open_flows[key] = sessions_.size();
+      sessions_.push_back(std::move(s));
+      continue;
+    }
+    // Later in-order segment: append at its sequence offset (tolerating
+    // retransmissions of already-seen data).
+    TcpSession& session = sessions_[flow->second];
+    const std::size_t offset = static_cast<std::size_t>(seq - 1);
+    if (offset <= session.payload.size()) {
+      const std::size_t new_end = offset + segment.size();
+      if (new_end > session.payload.size()) {
+        session.payload.resize(offset);
+        session.payload.append(segment);
+      }
+    } else {
+      ++skipped_;  // out-of-order gap: not supported, count and drop
+    }
+  }
+}
+
+}  // namespace cvewb::net

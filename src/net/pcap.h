@@ -1,0 +1,58 @@
+// Classic libpcap file format (TCPDUMP format, magic 0xa1b2c3d4).
+//
+// The original study retained 3 TB of pcap and re-evaluated IDS signatures
+// post-facto over it.  We implement the same interchange: captured sessions
+// can be written to a .pcap file (one synthetic TCP data packet per
+// session, raw-IP link type) and read back for post-facto matching, so the
+// analysis pipeline is decoupled from the collection run exactly as in the
+// paper.  Timestamps use microsecond resolution.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/tcp_session.h"
+
+namespace cvewb::net {
+
+/// Writes sessions as raw-IPv4 (LINKTYPE_RAW = 101) packets.
+class PcapWriter {
+ public:
+  /// `max_segment` bounds the TCP payload per packet; payloads larger than
+  /// that are split into multiple in-order segments with advancing
+  /// sequence numbers (0 = never split).  1460 models an Ethernet MSS.
+  explicit PcapWriter(std::ostream& out, std::size_t max_segment = 0);
+
+  /// Emit the session payload as one or more TCP PSH+ACK packets.
+  void write_session(const TcpSession& session);
+
+  std::size_t packets_written() const { return packets_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t max_segment_;
+  std::size_t packets_ = 0;
+};
+
+/// Reads a pcap file produced by PcapWriter (or any raw-IP pcap of
+/// in-order TCP segments).  Segments are reassembled into sessions by
+/// 5-tuple: a packet with sequence number 1 opens a new session (flushing
+/// any previous one on the same flow, modelling address reuse); later
+/// segments append at their sequence offset.
+class PcapReader {
+ public:
+  /// Parses the stream; throws std::runtime_error on malformed headers.
+  /// Packets that are not parseable IPv4/TCP are skipped and counted.
+  explicit PcapReader(std::istream& in);
+
+  const std::vector<TcpSession>& sessions() const { return sessions_; }
+  std::size_t skipped_packets() const { return skipped_; }
+
+ private:
+  std::vector<TcpSession> sessions_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace cvewb::net

@@ -1,0 +1,3 @@
+#include "net/tcp_session.h"
+
+// TcpSession is a plain record; implementation intentionally empty.

@@ -1,0 +1,28 @@
+// TCP session records: the unit of capture.
+//
+// DSCOPE instances accept TCP on every port, never respond above layer 4,
+// and record the client's initial bytes ("client banner").  One session =
+// one (time, 5-tuple, payload) record; the paper's 146 k exploit events and
+// all case-study session CDFs are computed over these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.h"
+#include "util/datetime.h"
+
+namespace cvewb::net {
+
+/// A captured TCP session (client side only).
+struct TcpSession {
+  std::uint64_t id = 0;          // unique within a capture
+  util::TimePoint open_time;     // SYN arrival
+  IPv4 src;
+  IPv4 dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::string payload;           // client banner bytes (may be empty)
+};
+
+}  // namespace cvewb::net

@@ -1,0 +1,94 @@
+#include "pipeline/reconstruct.h"
+
+#include <algorithm>
+
+#include "data/appendix_e.h"
+#include "data/exploit_db.h"
+#include "data/talos.h"
+
+namespace cvewb::pipeline {
+
+namespace {
+
+using lifecycle::Event;
+using lifecycle::Timeline;
+
+/// Appendix-C style review: pre-publication traffic that does not aim at
+/// the vulnerable service's port is general-purpose scanning that happens
+/// to trip the signature, not targeted exploitation of this CVE.
+bool is_untargeted(const net::TcpSession& session, const data::CveRecord& record) {
+  return session.open_time < record.published && session.dst_port != record.service_port;
+}
+
+}  // namespace
+
+Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
+                           const ids::RuleSet& ruleset, const ReconstructOptions& options) {
+  Reconstruction out;
+  out.sessions_scanned = sessions.size();
+
+  // 1. Post-facto signature evaluation, earliest-published match retained.
+  ids::MatcherOptions matcher_options;
+  matcher_options.port_insensitive = options.port_insensitive;
+  const ids::Matcher matcher(ruleset.rules(), matcher_options);
+  std::vector<ids::Detection> detections;
+  for (const auto& session : sessions) {
+    const ids::Rule* rule = matcher.earliest_published_match(session);
+    if (rule == nullptr) continue;
+    detections.push_back(ids::Detection{rule, &session});
+  }
+  out.sessions_matched = detections.size();
+
+  // 2. Root-cause analysis drops CVEs whose matches are false positives.
+  out.rca = ids::root_cause_analysis(detections);
+
+  // 3. Separate untargeted pre-publication scanning; collect exploit
+  //    events per CVE.
+  for (const auto& detection : out.rca.kept_detections) {
+    const data::CveRecord* record = data::find_cve(detection.rule->cve);
+    if (record == nullptr) continue;  // CVE outside the study population
+    auto& cve = out.per_cve[record->id];
+    cve.cve_id = record->id;
+    if (is_untargeted(*detection.session, *record)) {
+      ++cve.untargeted_sessions;
+      continue;
+    }
+    const util::TimePoint t = detection.session->open_time;
+    if (cve.exploit_events == 0 || t < cve.first_attack) cve.first_attack = t;
+    ++cve.exploit_events;
+    out.events.push_back(lifecycle::ExploitEvent{record->id, t});
+  }
+
+  // 4. Join with the public datasets into full lifecycles.  A comes from
+  //    the reconstruction; everything else follows the §5 heuristics.
+  for (const auto& [cve_id, rec_cve] : out.per_cve) {
+    if (rec_cve.exploit_events == 0) continue;
+    const data::CveRecord* record = data::find_cve(cve_id);
+    Timeline tl(cve_id);
+    tl.set(Event::kPublicAwareness, record->published);
+    if (const auto fix = ruleset.coverage_available(cve_id)) {
+      tl.set(Event::kFixReady, *fix);
+      tl.set(Event::kFixDeployed, *fix + options.deployment_delay);
+    }
+    if (const auto exploit = data::exploit_public_date(cve_id)) {
+      tl.set(Event::kExploitPublic, *exploit);
+    }
+    tl.set(Event::kAttacks, rec_cve.first_attack);
+    util::TimePoint vendor = record->published;
+    if (const auto fix = tl.at(Event::kFixReady)) vendor = std::min(vendor, *fix);
+    if (const auto disclosed = data::talos_disclosure(cve_id)) {
+      vendor = std::min(vendor, *disclosed);
+    }
+    tl.set(Event::kVendorAwareness, vendor);
+    out.timelines.push_back(std::move(tl));
+  }
+  std::sort(out.timelines.begin(), out.timelines.end(),
+            [](const Timeline& a, const Timeline& b) { return a.cve_id() < b.cve_id(); });
+  std::sort(out.events.begin(), out.events.end(),
+            [](const lifecycle::ExploitEvent& a, const lifecycle::ExploitEvent& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+}  // namespace cvewb::pipeline

@@ -1,0 +1,59 @@
+// Lifecycle reconstruction: captured sessions -> CVE timelines.
+//
+// This is the paper's end-to-end methodology (§3): evaluate the (port-
+// insensitive) ruleset post-facto over every captured session, retain the
+// earliest-published matching signature per session, weed out unsound
+// signatures via root-cause analysis, separate pre-publication traffic
+// that was not aimed at the vulnerable service (Appendix C's untargeted
+// OGNL scanning), and join the surviving exploit events with the NVD /
+// exploit-availability / vendor-disclosure datasets into full lifecycles.
+//
+// The reconstruction never looks at generator ground truth; tests compare
+// its output against both the ground-truth tags and the embedded
+// Appendix-E dataset ("dataset mode" vs "pipeline mode" agreement).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ids/matcher.h"
+#include "ids/rca.h"
+#include "ids/ruleset.h"
+#include "lifecycle/exposure.h"
+#include "lifecycle/timeline.h"
+#include "net/tcp_session.h"
+
+namespace cvewb::pipeline {
+
+struct ReconstructedCve {
+  std::string cve_id;
+  std::size_t exploit_events = 0;
+  std::size_t untargeted_sessions = 0;
+  util::TimePoint first_attack;
+};
+
+struct Reconstruction {
+  /// Timelines for every CVE with surviving exploit traffic, with A taken
+  /// from the reconstructed first attack.
+  std::vector<lifecycle::Timeline> timelines;
+  /// Every surviving exploit event (IDS-matched, RCA-kept, targeted).
+  std::vector<lifecycle::ExploitEvent> events;
+  std::map<std::string, ReconstructedCve> per_cve;
+  ids::RcaReport rca;
+
+  std::size_t sessions_scanned = 0;
+  std::size_t sessions_matched = 0;
+};
+
+struct ReconstructOptions {
+  /// §3.1: evaluate rules as port-insensitive.
+  bool port_insensitive = true;
+  /// §5 fn.2 ablation: deployment delay added to rule availability.
+  util::Duration deployment_delay = util::Duration(0);
+};
+
+Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
+                           const ids::RuleSet& ruleset, const ReconstructOptions& options = {});
+
+}  // namespace cvewb::pipeline

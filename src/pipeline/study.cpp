@@ -1,0 +1,51 @@
+#include "pipeline/study.h"
+
+#include <set>
+
+#include "data/appendix_e.h"
+#include "ids/rule_gen.h"
+
+namespace cvewb::pipeline {
+
+telescope::Dscope make_study_telescope(const StudyConfig& config) {
+  telescope::DscopeConfig dscope_config;
+  dscope_config.lanes = config.telescope_lanes;
+  dscope_config.seed = config.seed ^ 0xd5c09eULL;
+  dscope_config.begin = data::study_begin();
+  dscope_config.end = data::study_end();
+  return telescope::Dscope(dscope_config, telescope::IpPool::aws_like(config.pool_size));
+}
+
+StudyResult run_study(const StudyConfig& config) {
+  StudyResult result;
+  const telescope::Dscope dscope = make_study_telescope(config);
+
+  traffic::InternetConfig internet;
+  internet.seed = config.seed;
+  internet.event_scale = config.event_scale;
+  internet.background_per_day = config.background_per_day;
+  internet.credstuff_per_day = config.credstuff_per_day;
+  result.traffic = traffic::generate_traffic(dscope, internet);
+
+  result.ruleset = ids::generate_study_ruleset();
+  result.reconstruction =
+      reconstruct(result.traffic.sessions, result.ruleset, config.reconstruct);
+
+  result.table4 = lifecycle::skill_table(result.reconstruction.timelines);
+  result.table5 =
+      lifecycle::per_event_skill(result.reconstruction.events, result.reconstruction.timelines);
+  result.exposure =
+      lifecycle::split_exposure(result.reconstruction.events, result.reconstruction.timelines);
+
+  std::set<std::uint32_t> dst_ips;
+  std::set<std::uint32_t> src_ips;
+  for (const auto& session : result.traffic.sessions) {
+    dst_ips.insert(session.dst.value());
+    src_ips.insert(session.src.value());
+  }
+  result.unique_telescope_ips = dst_ips.size();
+  result.unique_source_ips = src_ips.size();
+  return result;
+}
+
+}  // namespace cvewb::pipeline

@@ -1,0 +1,48 @@
+// End-to-end study driver: one call reruns the whole measurement.
+//
+// Builds the telescope, synthesizes two years of Internet traffic,
+// evaluates the synthetic Talos ruleset post-facto, reconstructs CVE
+// lifecycles, and computes the headline analyses (Tables 4/5, exposure
+// splits).  Every bench and example sits on top of this.
+#pragma once
+
+#include <cstdint>
+
+#include "lifecycle/exposure.h"
+#include "lifecycle/skill.h"
+#include "pipeline/reconstruct.h"
+#include "telescope/dscope.h"
+#include "traffic/internet.h"
+
+namespace cvewb::pipeline {
+
+struct StudyConfig {
+  std::uint64_t seed = 1;
+  /// Scale on Appendix-E event counts (1.0 = the paper's ~117 k events;
+  /// tests use smaller scales).
+  double event_scale = 1.0;
+  double background_per_day = 100.0;
+  double credstuff_per_day = 5.0;
+  int telescope_lanes = 300;
+  std::uint64_t pool_size = 5'000'000;
+  ReconstructOptions reconstruct;
+};
+
+struct StudyResult {
+  traffic::GeneratedTraffic traffic;
+  ids::RuleSet ruleset;
+  Reconstruction reconstruction;
+  lifecycle::SkillTable table4;          // per-CVE skill (reconstructed)
+  lifecycle::SkillTable table5;          // per-event skill (reconstructed)
+  lifecycle::ExposureSplit exposure;     // Figs. 6/7 input
+
+  std::size_t unique_telescope_ips = 0;
+  std::size_t unique_source_ips = 0;
+};
+
+StudyResult run_study(const StudyConfig& config = {});
+
+/// The telescope used by run_study (exposed so examples can inspect it).
+telescope::Dscope make_study_telescope(const StudyConfig& config);
+
+}  // namespace cvewb::pipeline

@@ -1,0 +1,143 @@
+#include "report/disclosure_artifact.h"
+
+#include "data/appendix_e.h"
+#include "data/exploit_db.h"
+#include "data/talos.h"
+
+namespace cvewb::report {
+
+namespace {
+
+using lifecycle::Event;
+using util::Json;
+using util::TimePoint;
+
+Json events_to_json(const std::vector<PartyEvent>& events) {
+  Json array{util::JsonArray{}};
+  for (const auto& event : events) {
+    Json item{util::JsonObject{}};
+    item.set("party", event.party);
+    item.set("date", util::format_datetime(event.date));
+    if (!event.note.empty()) item.set("note", event.note);
+    array.push_back(std::move(item));
+  }
+  return array;
+}
+
+std::optional<std::vector<PartyEvent>> events_from_json(const Json* json) {
+  std::vector<PartyEvent> events;
+  if (json == nullptr) return events;  // absent = empty
+  if (json->type() != Json::Type::kArray) return std::nullopt;
+  for (const auto& item : json->as_array()) {
+    const Json* party = item.find("party");
+    const Json* date = item.find("date");
+    if (party == nullptr || date == nullptr) return std::nullopt;
+    const auto when = util::parse_date(date->as_string());
+    if (!when) return std::nullopt;
+    PartyEvent event;
+    event.party = party->as_string();
+    event.date = *when;
+    if (const Json* note = item.find("note")) event.note = note->as_string();
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace
+
+Json DisclosureArtifact::to_json() const {
+  Json out{util::JsonObject{}};
+  out.set("cve", cve_id);
+  out.set("disclosures", events_to_json(disclosures));
+  out.set("fixes", events_to_json(fixes));
+  out.set("deployments", events_to_json(deployments));
+  if (public_awareness) out.set("public_awareness", util::format_datetime(*public_awareness));
+  if (exploit_public) out.set("exploit_public", util::format_datetime(*exploit_public));
+  out.set("known_exploitation", events_to_json(known_exploitation));
+  return out;
+}
+
+std::optional<DisclosureArtifact> DisclosureArtifact::from_json(const Json& json) {
+  const Json* cve = json.find("cve");
+  if (cve == nullptr || cve->type() != Json::Type::kString) return std::nullopt;
+  DisclosureArtifact artifact;
+  artifact.cve_id = cve->as_string();
+  const auto read_events = [&](const char* key, std::vector<PartyEvent>& out) {
+    auto events = events_from_json(json.find(key));
+    if (!events) return false;
+    out = std::move(*events);
+    return true;
+  };
+  if (!read_events("disclosures", artifact.disclosures)) return std::nullopt;
+  if (!read_events("fixes", artifact.fixes)) return std::nullopt;
+  if (!read_events("deployments", artifact.deployments)) return std::nullopt;
+  if (!read_events("known_exploitation", artifact.known_exploitation)) return std::nullopt;
+  if (const Json* p = json.find("public_awareness")) {
+    const auto when = util::parse_date(p->as_string());
+    if (!when) return std::nullopt;
+    artifact.public_awareness = when;
+  }
+  if (const Json* x = json.find("exploit_public")) {
+    const auto when = util::parse_date(x->as_string());
+    if (!when) return std::nullopt;
+    artifact.exploit_public = when;
+  }
+  return artifact;
+}
+
+DisclosureArtifact artifact_for(const lifecycle::Timeline& timeline) {
+  DisclosureArtifact artifact;
+  artifact.cve_id = timeline.cve_id();
+
+  if (const auto talos = data::talos_disclosure(timeline.cve_id())) {
+    artifact.disclosures.push_back({"ids-vendor", *talos, "coordinated vendor report"});
+  }
+  if (const auto vendor = timeline.at(Event::kVendorAwareness)) {
+    artifact.disclosures.push_back({"vendor", *vendor, "earliest inferred awareness"});
+  }
+  if (const auto fix = timeline.at(Event::kFixReady)) {
+    artifact.fixes.push_back({"ids-vendor", *fix, "detection signature released"});
+  }
+  if (const auto deployed = timeline.at(Event::kFixDeployed)) {
+    artifact.deployments.push_back({"ids-fleet", *deployed, "assumed immediate rule adoption"});
+  }
+  artifact.public_awareness = timeline.at(Event::kPublicAwareness);
+  artifact.exploit_public = timeline.at(Event::kExploitPublic);
+  if (const auto attack = timeline.at(Event::kAttacks)) {
+    const bool retrospective =
+        artifact.public_awareness && *attack < *artifact.public_awareness;
+    artifact.known_exploitation.push_back(
+        {"telescope", *attack,
+         retrospective ? "retrospectively identified pre-publication exploitation"
+                       : "first captured exploit session"});
+  }
+  return artifact;
+}
+
+Json artifacts_document(const std::vector<lifecycle::Timeline>& timelines) {
+  Json artifacts{util::JsonArray{}};
+  for (const auto& timeline : timelines) {
+    artifacts.push_back(artifact_for(timeline).to_json());
+  }
+  Json doc{util::JsonObject{}};
+  doc.set("schema", "cvewb-disclosure-artifact/1");
+  doc.set("artifacts", std::move(artifacts));
+  return doc;
+}
+
+std::optional<std::vector<DisclosureArtifact>> parse_artifacts_document(
+    std::string_view json_text) {
+  const auto doc = util::parse_json(json_text);
+  if (!doc) return std::nullopt;
+  const Json* artifacts = doc->find("artifacts");
+  if (artifacts == nullptr || artifacts->type() != Json::Type::kArray) return std::nullopt;
+  std::vector<DisclosureArtifact> out;
+  for (const auto& item : artifacts->as_array()) {
+    auto artifact = DisclosureArtifact::from_json(item);
+    if (!artifact) return std::nullopt;
+    out.push_back(std::move(*artifact));
+  }
+  return out;
+}
+
+}  // namespace cvewb::report

@@ -1,0 +1,55 @@
+// Machine-readable disclosure artifacts (§8.2).
+//
+// The paper's closing recommendation: researchers should publish, next to
+// the code artifact, a machine-readable record of the disclosure process
+// itself -- who was told when (V), when fixes were developed and by whom
+// (F), deployment characterization (D), and known exploitation adjusted
+// for retrospective evidence (A).  This module defines that record, builds
+// it from a reconstructed lifecycle plus the joined datasets, and
+// round-trips it through JSON so future studies can consume it directly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lifecycle/timeline.h"
+#include "util/json.h"
+
+namespace cvewb::report {
+
+/// A dated event attributed to a party ("vendor", "ids-vendor", "cert",
+/// "public", ...).
+struct PartyEvent {
+  std::string party;
+  util::TimePoint date;
+  std::string note;  // free-form ("rule SID 58722", "NVD entry", ...)
+};
+
+/// The §8.2 disclosure artifact for one vulnerability.
+struct DisclosureArtifact {
+  std::string cve_id;
+  std::vector<PartyEvent> disclosures;        // (V) who was told, when
+  std::vector<PartyEvent> fixes;              // (F) fix development timeline
+  std::vector<PartyEvent> deployments;        // (D) deployment characterization
+  std::optional<util::TimePoint> public_awareness;   // (P)
+  std::optional<util::TimePoint> exploit_public;     // (X)
+  std::vector<PartyEvent> known_exploitation; // (A) incl. retrospective evidence
+
+  util::Json to_json() const;
+  static std::optional<DisclosureArtifact> from_json(const util::Json& json);
+};
+
+/// Build the artifact for a studied CVE from its timeline plus the
+/// Talos-disclosure and exploit-availability datasets.
+DisclosureArtifact artifact_for(const lifecycle::Timeline& timeline);
+
+/// All artifacts for a set of timelines, as one JSON document
+/// ({"artifacts": [...]}).
+util::Json artifacts_document(const std::vector<lifecycle::Timeline>& timelines);
+
+/// Parse a document produced by artifacts_document.
+std::optional<std::vector<DisclosureArtifact>> parse_artifacts_document(
+    std::string_view json_text);
+
+}  // namespace cvewb::report

@@ -1,0 +1,133 @@
+#include "report/export.h"
+
+#include <fstream>
+
+#include "lifecycle/windows.h"
+#include "report/disclosure_artifact.h"
+#include "report/figures.h"
+#include "report/table.h"
+#include "util/csv.h"
+
+namespace cvewb::report {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void ensure_directory(const fs::path& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) throw std::runtime_error("export: cannot create " + directory.string());
+}
+
+std::ofstream open_for_write(const fs::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("export: cannot write " + path.string());
+  return out;
+}
+
+}  // namespace
+
+fs::path write_figure(const fs::path& directory, const ExportedFigure& figure) {
+  ensure_directory(directory);
+  const fs::path csv_path = directory / (figure.name + ".csv");
+  {
+    auto out = open_for_write(csv_path);
+    util::CsvWriter csv(out);
+    csv.field("series").field("x").field("y");
+    csv.end_row();
+    for (const auto& series : figure.series) {
+      for (std::size_t i = 0; i < series.x.size(); ++i) {
+        csv.field(series.name).field(series.x[i]).field(series.y[i]);
+        csv.end_row();
+      }
+    }
+  }
+  const fs::path gp_path = directory / (figure.name + ".gp");
+  {
+    auto out = open_for_write(gp_path);
+    out << "# gnuplot script regenerating \"" << figure.title << "\"\n";
+    out << "set datafile separator ','\n";
+    out << "set title \"" << figure.title << "\"\n";
+    out << "set xlabel \"" << figure.x_label << "\"\n";
+    if (figure.cdf) out << "set yrange [0:1]\nset ylabel \"CDF\"\n";
+    out << "set key bottom right\n";
+    out << "set terminal pngcairo size 900,540\n";
+    out << "set output '" << figure.name << ".png'\n";
+    out << "plot ";
+    for (std::size_t i = 0; i < figure.series.size(); ++i) {
+      if (i) out << ", \\\n     ";
+      out << "'" << csv_path.filename().string() << "' using 2:($1 eq \""
+          << figure.series[i].name << "\" ? $3 : NaN) with steps title \""
+          << figure.series[i].name << "\"";
+    }
+    out << "\n";
+  }
+  return csv_path;
+}
+
+fs::path write_table(const fs::path& directory, const std::string& name,
+                     const std::string& markdown) {
+  ensure_directory(directory);
+  const fs::path path = directory / (name + ".md");
+  auto out = open_for_write(path);
+  out << markdown;
+  return path;
+}
+
+std::vector<fs::path> export_study(const fs::path& directory,
+                                   const pipeline::StudyResult& study) {
+  std::vector<fs::path> written;
+  written.push_back(write_table(directory, "table4",
+                                render_skill_table(study.table4, &paper_table4_satisfied(),
+                                                   &paper_table4_skill())));
+  written.push_back(write_table(directory, "table5",
+                                render_skill_table(study.table5, &paper_table5_satisfied(),
+                                                   &paper_table5_skill())));
+
+  // Fig. 5 series (windows of vulnerability).
+  {
+    using lifecycle::Event;
+    const auto& timelines = study.reconstruction.timelines;
+    ExportedFigure figure;
+    figure.name = "fig05_windows";
+    figure.title = "Windows of vulnerability (CDFs of A-D, P-D, A-P)";
+    figure.x_label = "days";
+    figure.cdf = true;
+    figure.series = {
+        ecdf_series("A-D", lifecycle::window_ecdf(Event::kFixDeployed, Event::kAttacks,
+                                                  timelines)),
+        ecdf_series("P-D", lifecycle::window_ecdf(Event::kFixDeployed, Event::kPublicAwareness,
+                                                  timelines)),
+        ecdf_series("A-P", lifecycle::window_ecdf(Event::kPublicAwareness, Event::kAttacks,
+                                                  timelines)),
+    };
+    written.push_back(write_figure(directory, figure));
+  }
+
+  // Fig. 7 series (exposure split).
+  {
+    ExportedFigure figure;
+    figure.name = "fig07_exposure";
+    figure.title = "Exploit events since disclosure, by mitigation status";
+    figure.x_label = "days since public disclosure";
+    figure.cdf = true;
+    figure.series = {
+        ecdf_series("mitigated", stats::Ecdf(study.exposure.mitigated_days)),
+        ecdf_series("unmitigated", stats::Ecdf(study.exposure.unmitigated_days)),
+    };
+    written.push_back(write_figure(directory, figure));
+  }
+
+  // §8.2 disclosure artifacts.
+  {
+    ensure_directory(directory);
+    const fs::path path = directory / "disclosure_artifacts.json";
+    auto out = open_for_write(path);
+    out << artifacts_document(study.reconstruction.timelines).dump(2) << "\n";
+    written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace cvewb::report

@@ -1,0 +1,41 @@
+// File export: regenerate the paper's artifacts on disk.
+//
+// Writes each figure's data as CSV plus a ready-to-run gnuplot script, and
+// each table as markdown, into an output directory -- the workflow a
+// downstream user wants when rebuilding the paper's plots with their own
+// tooling.  Used by `cvewb export` and the export tests.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pipeline/study.h"
+#include "util/ascii_plot.h"
+
+namespace cvewb::report {
+
+/// One exported figure: CSV of all series + a gnuplot script referencing it.
+struct ExportedFigure {
+  std::string name;        // file stem, e.g. "fig07_exposure"
+  std::string title;
+  std::vector<util::Series> series;
+  std::string x_label;
+  bool cdf = false;        // y in [0,1]
+};
+
+/// Write `figure` into `directory` as <name>.csv and <name>.gp.
+/// Returns the CSV path.  Throws std::runtime_error on I/O failure.
+std::filesystem::path write_figure(const std::filesystem::path& directory,
+                                   const ExportedFigure& figure);
+
+/// Write a markdown table file; returns its path.
+std::filesystem::path write_table(const std::filesystem::path& directory,
+                                  const std::string& name, const std::string& markdown);
+
+/// Export the full study artifact set (Tables 4/5, Figs. 5/7 series,
+/// disclosure artifacts JSON) into `directory`; returns written paths.
+std::vector<std::filesystem::path> export_study(const std::filesystem::path& directory,
+                                                const pipeline::StudyResult& study);
+
+}  // namespace cvewb::report

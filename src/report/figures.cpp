@@ -1,0 +1,53 @@
+#include "report/figures.h"
+
+#include <cmath>
+
+#include "report/table.h"
+#include "util/csv.h"
+
+namespace cvewb::report {
+
+util::Series ecdf_series(const std::string& name, const stats::Ecdf& ecdf,
+                         std::size_t max_points) {
+  util::Series series;
+  series.name = name;
+  for (const auto& [x, y] : ecdf.curve(max_points)) {
+    series.x.push_back(x);
+    series.y.push_back(y);
+  }
+  return series;
+}
+
+util::Series histogram_series(const std::string& name, const stats::Histogram& hist) {
+  util::Series series;
+  series.name = name;
+  for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+    series.x.push_back(hist.bin_center(i));
+    series.y.push_back(hist.count(i));
+  }
+  return series;
+}
+
+void print_figure(std::ostream& out, const std::string& title,
+                  const std::vector<util::Series>& series, const util::PlotOptions& options) {
+  out << "== " << title << " ==\n";
+  util::CsvWriter csv(out);
+  csv.field("series").field("x").field("y");
+  csv.end_row();
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      csv.field(s.name).field(s.x[i]).field(s.y[i]);
+      csv.end_row();
+    }
+  }
+  out << util::render_lines(series, options) << "\n";
+}
+
+void print_comparison(std::ostream& out, const std::string& metric, double paper,
+                      double measured) {
+  const double delta = measured - paper;
+  out << "  " << metric << ": paper=" << fmt(paper) << " measured=" << fmt(measured)
+      << " (delta " << (delta >= 0 ? "+" : "") << fmt(delta) << ")\n";
+}
+
+}  // namespace cvewb::report

@@ -1,0 +1,28 @@
+// Figure emission: lifecycle analyses -> plot series + CSV + ASCII.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "stats/histogram.h"
+#include "util/ascii_plot.h"
+
+namespace cvewb::report {
+
+/// Convert an ECDF to a plottable series.
+util::Series ecdf_series(const std::string& name, const stats::Ecdf& ecdf,
+                         std::size_t max_points = 200);
+
+/// Convert a histogram to a (bin-center, count) series.
+util::Series histogram_series(const std::string& name, const stats::Histogram& hist);
+
+/// Print a figure: title, CSV of all series, and an ASCII rendering.
+void print_figure(std::ostream& out, const std::string& title,
+                  const std::vector<util::Series>& series, const util::PlotOptions& options);
+
+/// Print a one-line paper-vs-measured comparison.
+void print_comparison(std::ostream& out, const std::string& metric, double paper, double measured);
+
+}  // namespace cvewb::report

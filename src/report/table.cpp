@@ -1,0 +1,82 @@
+#include "report/table.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cvewb::report {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) throw std::invalid_argument("TextTable: column mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string render_skill_table(const lifecycle::SkillTable& table,
+                               const std::vector<double>* paper_satisfied,
+                               const std::vector<double>* paper_skill) {
+  std::vector<std::string> headers = {"Desideratum", "Satisfied", "Baseline", "Skill"};
+  if (paper_satisfied != nullptr) headers.push_back("Paper satisfied");
+  if (paper_skill != nullptr) headers.push_back("Paper skill");
+  TextTable text(std::move(headers));
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& row = table.rows[i];
+    std::vector<std::string> cells = {row.desideratum, fmt(row.satisfied), fmt(row.baseline),
+                                      fmt(row.skill)};
+    if (paper_satisfied != nullptr) cells.push_back(fmt((*paper_satisfied)[i]));
+    if (paper_skill != nullptr) cells.push_back(fmt((*paper_skill)[i]));
+    text.add_row(std::move(cells));
+  }
+  return text.render();
+}
+
+const std::vector<double>& paper_table4_satisfied() {
+  static const std::vector<double> v = {0.90, 0.13, 0.74, 0.56, 0.13, 0.74, 0.56, 0.90, 0.39};
+  return v;
+}
+
+const std::vector<double>& paper_table4_skill() {
+  static const std::vector<double> v = {0.62, 0.02, 0.61, 0.29, 0.10, 0.69, 0.46, 0.71, -0.21};
+  return v;
+}
+
+const std::vector<double>& paper_table5_satisfied() {
+  static const std::vector<double> v = {1.00, 0.01, 0.54, 0.95, 0.01, 0.54, 0.95, 0.99, 0.95};
+  return v;
+}
+
+const std::vector<double>& paper_table5_skill() {
+  static const std::vector<double> v = {0.99, -0.11, 0.31, 0.92, -0.02, 0.45, 0.94, 0.98, 0.91};
+  return v;
+}
+
+}  // namespace cvewb::report

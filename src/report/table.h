@@ -1,0 +1,40 @@
+// Table rendering for bench output and EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lifecycle/skill.h"
+
+namespace cvewb::report {
+
+/// Generic text table (markdown-ish, monospace aligned).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals.
+std::string fmt(double v, int decimals = 2);
+
+/// Render a SkillTable as the paper's Table 4/5 layout, with an optional
+/// column of paper-reported values for side-by-side comparison.
+std::string render_skill_table(const lifecycle::SkillTable& table,
+                               const std::vector<double>* paper_satisfied = nullptr,
+                               const std::vector<double>* paper_skill = nullptr);
+
+/// Paper-reported values for Table 4 and Table 5 (satisfied column), in
+/// studied_desiderata() order; used by benches and tests.
+const std::vector<double>& paper_table4_satisfied();
+const std::vector<double>& paper_table4_skill();
+const std::vector<double>& paper_table5_satisfied();
+const std::vector<double>& paper_table5_skill();
+
+}  // namespace cvewb::report

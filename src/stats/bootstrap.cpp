@@ -1,0 +1,46 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cvewb::stats {
+
+Interval bootstrap_ci(const std::vector<double>& sample,
+                      const std::function<double(const std::vector<double>&)>& statistic,
+                      util::Rng& rng, int replicates, double level) {
+  if (sample.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  if (replicates < 2) throw std::invalid_argument("bootstrap: need >= 2 replicates");
+  Interval ci;
+  ci.point = statistic(sample);
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(replicates));
+  std::vector<double> resample(sample.size());
+  for (int r = 0; r < replicates; ++r) {
+    for (auto& v : resample) v = sample[rng.uniform_u64(sample.size())];
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - level) / 2.0;
+  const auto n = stats.size();
+  const auto lo_idx = static_cast<std::size_t>(alpha * static_cast<double>(n - 1));
+  const auto hi_idx = static_cast<std::size_t>((1.0 - alpha) * static_cast<double>(n - 1));
+  ci.lo = stats[lo_idx];
+  ci.hi = stats[hi_idx];
+  return ci;
+}
+
+Interval bootstrap_proportion(const std::vector<bool>& outcomes, util::Rng& rng, int replicates,
+                              double level) {
+  std::vector<double> numeric(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) numeric[i] = outcomes[i] ? 1.0 : 0.0;
+  return bootstrap_ci(
+      numeric,
+      [](const std::vector<double>& s) {
+        double sum = 0;
+        for (double v : s) sum += v;
+        return sum / static_cast<double>(s.size());
+      },
+      rng, replicates, level);
+}
+
+}  // namespace cvewb::stats

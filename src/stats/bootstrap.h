@@ -1,0 +1,32 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// The paper reports point estimates over 63 CVEs; with a sample that small,
+// quantifying uncertainty matters when we compare "measured" against
+// "paper" numbers in EXPERIMENTS.md.  We provide percentile bootstrap CIs
+// for arbitrary sample statistics.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cvewb::stats {
+
+struct Interval {
+  double point = 0;  // statistic on the original sample
+  double lo = 0;     // lower percentile bound
+  double hi = 0;     // upper percentile bound
+};
+
+/// Percentile-bootstrap CI of `statistic` over `sample`.
+/// `level` is the two-sided confidence level (e.g. 0.95).
+Interval bootstrap_ci(const std::vector<double>& sample,
+                      const std::function<double(const std::vector<double>&)>& statistic,
+                      util::Rng& rng, int replicates = 1000, double level = 0.95);
+
+/// Bootstrap CI of a proportion of boolean outcomes.
+Interval bootstrap_proportion(const std::vector<bool>& outcomes, util::Rng& rng,
+                              int replicates = 1000, double level = 0.95);
+
+}  // namespace cvewb::stats

@@ -1,0 +1,109 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cvewb::stats {
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("pearson: need >= 2 points");
+  const auto n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0;
+  double sxx = 0;
+  double syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(const std::vector<double>& values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> out(values.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie group [i, j] (ranks are 1-based).
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = rank;
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  return pearson(ranks(x), ranks(y));
+}
+
+double chi_square_upper_tail(double x, std::size_t dof) {
+  // P(X >= x) = Q(k/2, x/2), the regularized upper incomplete gamma.
+  if (x <= 0) return 1.0;
+  const double a = static_cast<double>(dof) / 2.0;
+  const double z = x / 2.0;
+  // Series for the lower incomplete gamma when z < a + 1; continued
+  // fraction (Lentz) otherwise.  Standard numerical recipes forms.
+  const double gln = std::lgamma(a);
+  if (z < a + 1.0) {
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 200; ++i) {
+      ap += 1.0;
+      del *= z / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-14) break;
+    }
+    const double p_lower = sum * std::exp(-z + a * std::log(z) - gln);
+    return std::clamp(1.0 - p_lower, 0.0, 1.0);
+  }
+  double b = z + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 200; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-z + a * std::log(z) - gln) * h;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+ChiSquare chi_square_uniform(const std::vector<std::size_t>& counts) {
+  if (counts.size() < 2) throw std::invalid_argument("chi_square_uniform: need >= 2 bins");
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total == 0) throw std::invalid_argument("chi_square_uniform: empty sample");
+  const double expected = static_cast<double>(total) / static_cast<double>(counts.size());
+  ChiSquare result;
+  for (std::size_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    result.statistic += diff * diff / expected;
+  }
+  result.dof = counts.size() - 1;
+  result.p_value = chi_square_upper_tail(result.statistic, result.dof);
+  return result;
+}
+
+}  // namespace cvewb::stats

@@ -1,0 +1,42 @@
+// Correlation and uniformity statistics.
+//
+// Two uses in the reproduction: (1) Suciu et al.'s "expected
+// exploitability" percentile should predict how quickly a CVE gets
+// attacked after disclosure -- Spearman rank correlation quantifies that;
+// (2) DSCOPE's representativity argument rests on scanning traffic being
+// uniformly distributed across the telescope's address space -- a
+// chi-square goodness-of-fit test against the uniform makes the claim
+// checkable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cvewb::stats {
+
+/// Pearson product-moment correlation; throws std::invalid_argument on
+/// size mismatch or n < 2.  Returns 0 when either sample is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+std::vector<double> ranks(const std::vector<double>& values);
+
+/// Spearman rank correlation (Pearson over average ranks).
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Chi-square goodness-of-fit result.
+struct ChiSquare {
+  double statistic = 0;
+  std::size_t dof = 0;
+  double p_value = 1.0;  // upper-tail probability
+};
+
+/// Test observed category counts against the uniform distribution.
+/// Requires >= 2 categories and a positive total.
+ChiSquare chi_square_uniform(const std::vector<std::size_t>& counts);
+
+/// Upper-tail probability P(X >= x) for a chi-square distribution with
+/// `dof` degrees of freedom (regularized incomplete gamma).
+double chi_square_upper_tail(double x, std::size_t dof);
+
+}  // namespace cvewb::stats

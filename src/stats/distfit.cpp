@@ -1,0 +1,42 @@
+#include "stats/distfit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvewb::stats {
+
+double exponential_cdf(double x, double mean) {
+  if (x <= 0) return 0.0;
+  return 1.0 - std::exp(-x / mean);
+}
+
+ExponentialFit fit_exponential(const std::vector<double>& sample) {
+  if (sample.empty()) throw std::invalid_argument("fit_exponential: empty sample");
+  double sum = 0;
+  for (double v : sample) {
+    if (v < 0) throw std::invalid_argument("fit_exponential: negative value");
+    sum += v;
+  }
+  ExponentialFit fit;
+  fit.n = sample.size();
+  fit.mean = sum / static_cast<double>(sample.size());
+  if (fit.mean <= 0) {
+    fit.ks = 1.0;
+    return fit;
+  }
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  double ks = 0;
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double model = exponential_cdf(sorted[i], fit.mean);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    ks = std::max({ks, std::abs(model - lo), std::abs(model - hi)});
+  }
+  fit.ks = ks;
+  return fit;
+}
+
+}  // namespace cvewb::stats

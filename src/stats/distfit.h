@@ -1,0 +1,25 @@
+// Parametric distribution fitting.
+//
+// Finding 8 observes that publication-to-attack delays "follow a rough
+// exponential distribution"; we fit an exponential by maximum likelihood
+// and report the KS goodness-of-fit so the bench can quantify "rough".
+#pragma once
+
+#include <vector>
+
+namespace cvewb::stats {
+
+struct ExponentialFit {
+  double mean = 0;   // MLE of the mean (1/lambda)
+  double ks = 0;     // KS distance between sample ECDF and fitted CDF
+  std::size_t n = 0;
+};
+
+/// Fit Exp(mean) to a non-negative sample (negative values are rejected
+/// with std::invalid_argument).
+ExponentialFit fit_exponential(const std::vector<double>& sample);
+
+/// CDF of the exponential distribution with the given mean.
+double exponential_cdf(double x, double mean);
+
+}  // namespace cvewb::stats

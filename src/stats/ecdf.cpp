@@ -1,0 +1,59 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cvewb::stats {
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  if (sorted_.empty()) throw std::logic_error("quantile of empty ECDF");
+  p = std::clamp(p, 0.0, 1.0);
+  const auto n = sorted_.size();
+  const std::size_t idx =
+      std::min(n - 1, static_cast<std::size_t>(std::ceil(p * static_cast<double>(n))) -
+                          (p > 0 ? 1 : 0));
+  return sorted_[idx];
+}
+
+double Ecdf::min() const {
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN() : sorted_.front();
+}
+
+double Ecdf::max() const {
+  return sorted_.empty() ? std::numeric_limits<double>::quiet_NaN() : sorted_.back();
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  const std::size_t n = sorted_.size();
+  if (n == 0) return out;
+  const std::size_t stride = std::max<std::size_t>(1, n / std::max<std::size_t>(1, max_points));
+  for (std::size_t i = 0; i < n; i += stride) {
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().first != sorted_.back()) {
+    out.emplace_back(sorted_.back(), 1.0);
+  }
+  return out;
+}
+
+double Ecdf::ks_distance(const Ecdf& f, const Ecdf& g) {
+  double d = 0.0;
+  for (double x : f.sorted_) d = std::max(d, std::abs(f.at(x) - g.at(x)));
+  for (double x : g.sorted_) d = std::max(d, std::abs(f.at(x) - g.at(x)));
+  return d;
+}
+
+}  // namespace cvewb::stats

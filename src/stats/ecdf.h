@@ -1,0 +1,47 @@
+// Empirical cumulative distribution functions.
+//
+// Every CDF figure in the paper (Figs. 2, 5, 7-18) is an ECDF over either
+// per-CVE event-time differences or per-event timestamps; this type is the
+// common currency between the lifecycle analyses and the figure emitters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cvewb::stats {
+
+/// Immutable empirical CDF built from a sample.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  /// Builds from an arbitrary sample (copied and sorted).
+  explicit Ecdf(std::vector<double> sample);
+
+  /// Number of sample points.
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// F(x) = fraction of sample <= x.  Returns 0 for an empty sample.
+  double at(double x) const;
+
+  /// p-quantile via the inverse ECDF (p in [0,1]; clamped).
+  double quantile(double p) const;
+
+  double min() const;
+  double max() const;
+
+  /// The sorted sample (support of the step function).
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Evaluation points (x_i, F(x_i)) suitable for plotting; when the sample
+  /// is larger than `max_points`, the curve is uniformly thinned.
+  std::vector<std::pair<double, double>> curve(std::size_t max_points = 256) const;
+
+  /// Kolmogorov-Smirnov distance sup_x |F(x) - G(x)| between two ECDFs.
+  static double ks_distance(const Ecdf& f, const Ecdf& g);
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace cvewb::stats

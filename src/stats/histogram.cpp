@@ -1,0 +1,62 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cvewb::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi) || bins == 0) throw std::invalid_argument("bad histogram range");
+}
+
+void Histogram::add(double x, double weight) {
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const double f = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(f * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0) + underflow_ + overflow_;
+}
+
+DistinctPerBin::DistinctPerBin(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), bins_(bins), dirty_(bins, false) {
+  if (!(lo < hi) || bins == 0) throw std::invalid_argument("bad range");
+}
+
+void DistinctPerBin::add(double x, std::int64_t category) {
+  if (x < lo_) return;
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= bins_.size()) return;
+  bins_[idx].push_back(category);
+  dirty_[idx] = true;
+}
+
+std::size_t DistinctPerBin::distinct(std::size_t i) const {
+  auto& v = const_cast<std::vector<std::int64_t>&>(bins_.at(i));
+  if (dirty_.at(i)) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    dirty_[i] = false;
+  }
+  return v.size();
+}
+
+}  // namespace cvewb::stats

@@ -1,0 +1,60 @@
+// Fixed-width binned histograms (Figs. 1, 3, 4, 6 are all fixed-bin counts
+// over time: quarterly CVE counts, monthly event counts, 5-day exposure
+// bins).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cvewb::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins.  Values outside
+/// the range are counted in underflow/overflow and excluded from bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const { return (bin_lo(i) + bin_hi(i)) / 2; }
+  double count(std::size_t i) const { return counts_.at(i); }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const;
+
+  const std::vector<double>& counts() const { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double underflow_ = 0;
+  double overflow_ = 0;
+};
+
+/// Count distinct categories (e.g., "# unique CVEs targeted per 5-day bin"
+/// in Fig. 6: each category counted at most once per bin).
+class DistinctPerBin {
+ public:
+  DistinctPerBin(double lo, double hi, std::size_t bins);
+
+  /// Record that `category` was observed at `x`.
+  void add(double x, std::int64_t category);
+
+  std::size_t bin_count() const { return static_cast<std::size_t>(bins_.size()); }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  /// Number of distinct categories seen in bin i.
+  std::size_t distinct(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::vector<std::int64_t>> bins_;  // sorted-unique lazily on query
+  mutable std::vector<bool> dirty_;
+};
+
+}  // namespace cvewb::stats

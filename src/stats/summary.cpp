@@ -1,0 +1,53 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cvewb::stats {
+
+Summary summarize(const std::vector<double>& sample) {
+  if (sample.empty()) throw std::invalid_argument("summarize: empty sample");
+  Summary s;
+  s.n = sample.size();
+  double sum = 0;
+  s.min = sample.front();
+  s.max = sample.front();
+  for (double v : sample) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  double ss = 0;
+  for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(ss / static_cast<double>(s.n - 1)) : 0.0;
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 ? sorted[mid] : (sorted[mid - 1] + sorted[mid]) / 2;
+  return s;
+}
+
+double fraction_below(const std::vector<double>& sample, double threshold) {
+  if (sample.empty()) return 0.0;
+  std::size_t k = 0;
+  for (double v : sample) {
+    if (v < threshold) ++k;
+  }
+  return static_cast<double>(k) / static_cast<double>(sample.size());
+}
+
+double weighted_fraction_below(const std::vector<double>& values,
+                               const std::vector<double>& weights, double threshold) {
+  if (values.size() != weights.size()) throw std::invalid_argument("size mismatch");
+  double below = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    total += weights[i];
+    if (values[i] < threshold) below += weights[i];
+  }
+  return total > 0 ? below / total : 0.0;
+}
+
+}  // namespace cvewb::stats

@@ -1,0 +1,28 @@
+// Descriptive statistics over a sample.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cvewb::stats {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n-1 denominator)
+  double min = 0;
+  double median = 0;
+  double max = 0;
+};
+
+/// Compute a Summary; throws std::invalid_argument on an empty sample.
+Summary summarize(const std::vector<double>& sample);
+
+/// Fraction of the sample strictly less than `threshold`.
+double fraction_below(const std::vector<double>& sample, double threshold);
+
+/// Weighted fraction: sum of weights where value < threshold over total.
+double weighted_fraction_below(const std::vector<double>& values,
+                               const std::vector<double>& weights, double threshold);
+
+}  // namespace cvewb::stats

@@ -1,0 +1,64 @@
+#include "stats/survival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cvewb::stats {
+
+std::vector<SurvivalStep> kaplan_meier(std::vector<SurvivalObservation> observations) {
+  for (const auto& obs : observations) {
+    if (obs.duration < 0) throw std::invalid_argument("kaplan_meier: negative duration");
+  }
+  // Sort by time; at tied times, events before censorings (the censored
+  // subject is considered at risk through the event).
+  std::sort(observations.begin(), observations.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              if (a.duration != b.duration) return a.duration < b.duration;
+              return a.event && !b.event;
+            });
+  std::vector<SurvivalStep> curve;
+  double survival = 1.0;
+  std::size_t at_risk = observations.size();
+  std::size_t i = 0;
+  while (i < observations.size()) {
+    const double t = observations[i].duration;
+    std::size_t events = 0;
+    std::size_t removed = 0;
+    while (i < observations.size() && observations[i].duration == t) {
+      events += observations[i].event ? 1 : 0;
+      ++removed;
+      ++i;
+    }
+    if (events > 0) {
+      survival *= 1.0 - static_cast<double>(events) / static_cast<double>(at_risk);
+      SurvivalStep step;
+      step.time = t;
+      step.survival = survival;
+      step.at_risk = at_risk;
+      step.events = events;
+      curve.push_back(step);
+    }
+    at_risk -= removed;
+  }
+  return curve;
+}
+
+double survival_at(const std::vector<SurvivalStep>& curve, double t) {
+  double survival = 1.0;
+  for (const auto& step : curve) {
+    if (step.time > t) break;
+    survival = step.survival;
+  }
+  return survival;
+}
+
+double median_survival(const std::vector<SurvivalStep>& curve) {
+  for (const auto& step : curve) {
+    if (step.survival <= 0.5) return step.time;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace cvewb::stats

@@ -1,0 +1,42 @@
+// Kaplan-Meier survival estimation.
+//
+// "Time from publication to mitigation deployment" is a textbook
+// right-censored duration: three studied CVEs never received a rule inside
+// the window, and treating them as missing (as plain CDFs must) biases the
+// deployment-speed picture optimistic.  The product-limit estimator
+// handles the censoring properly; bench_survival applies it to the D-P
+// durations.
+#pragma once
+
+#include <vector>
+
+namespace cvewb::stats {
+
+/// One subject: observed duration, and whether the event occurred
+/// (event=false means right-censored at `duration`).
+struct SurvivalObservation {
+  double duration = 0;
+  bool event = true;
+};
+
+/// A step of the Kaplan-Meier curve: S(t) drops to `survival` at `time`.
+struct SurvivalStep {
+  double time = 0;
+  double survival = 1.0;
+  std::size_t at_risk = 0;
+  std::size_t events = 0;
+};
+
+/// Product-limit estimate.  Observations with negative durations are
+/// rejected (std::invalid_argument); ties are handled per the standard
+/// estimator (censored ties counted at risk through the tied event time).
+std::vector<SurvivalStep> kaplan_meier(std::vector<SurvivalObservation> observations);
+
+/// S(t) from a fitted curve (1.0 before the first step).
+double survival_at(const std::vector<SurvivalStep>& curve, double t);
+
+/// Median survival time; returns NaN when S never reaches 0.5 (more than
+/// half the population is censored before the median).
+double median_survival(const std::vector<SurvivalStep>& curve);
+
+}  // namespace cvewb::stats

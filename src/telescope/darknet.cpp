@@ -1,0 +1,24 @@
+#include "telescope/darknet.h"
+
+namespace cvewb::telescope {
+
+bool Darknet::observe(const net::TcpSession& session, DarknetObservation& out) const {
+  if (!prefix_.contains(session.dst)) return false;
+  out.time = session.open_time;
+  out.src = session.src;
+  out.dst = session.dst;
+  out.dst_port = session.dst_port;
+  return true;
+}
+
+std::vector<DarknetObservation> Darknet::observe_all(
+    const std::vector<net::TcpSession>& sessions) const {
+  std::vector<DarknetObservation> out;
+  DarknetObservation observation;
+  for (const auto& session : sessions) {
+    if (observe(session, observation)) out.push_back(observation);
+  }
+  return out;
+}
+
+}  // namespace cvewb::telescope

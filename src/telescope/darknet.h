@@ -1,0 +1,49 @@
+// A conventional (passive) darknet telescope, for comparison with DSCOPE.
+//
+// §3.1 motivates the interactive design: darknet telescopes never complete
+// the TCP handshake, so they observe connection *attempts* (SYN metadata)
+// but no application-layer payload -- which makes signature-based CVE
+// identification impossible.  This model captures exactly that: the same
+// probe stream, stripped to layer-4 metadata.  bench_ablation quantifies
+// the difference (63 identifiable CVEs vs 0).
+#pragma once
+
+#include <vector>
+
+#include "net/tcp_session.h"
+#include "net/ipv4.h"
+#include "util/datetime.h"
+
+namespace cvewb::telescope {
+
+/// A SYN observed by a passive telescope: no payload, ever.
+struct DarknetObservation {
+  util::TimePoint time;
+  net::IPv4 src;
+  net::IPv4 dst;
+  std::uint16_t dst_port = 0;
+};
+
+class Darknet {
+ public:
+  /// Monitors `prefix`; observes any session whose destination falls
+  /// inside it.  Pass the full pool as a prefix to model "the same traffic
+  /// without interactivity".
+  explicit Darknet(net::Prefix prefix) : prefix_(prefix) {}
+
+  const net::Prefix& prefix() const { return prefix_; }
+
+  /// Strip a captured session to what a passive telescope would have seen.
+  /// Returns false (not observed) when the destination is outside the
+  /// monitored prefix.
+  bool observe(const net::TcpSession& session, DarknetObservation& out) const;
+
+  /// Batch helper: observations for every in-prefix session.
+  std::vector<DarknetObservation> observe_all(
+      const std::vector<net::TcpSession>& sessions) const;
+
+ private:
+  net::Prefix prefix_;
+};
+
+}  // namespace cvewb::telescope

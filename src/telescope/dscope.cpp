@@ -1,0 +1,91 @@
+#include "telescope/dscope.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace cvewb::telescope {
+
+Dscope::Dscope(DscopeConfig config, IpPool pool)
+    : config_(config), pool_(std::move(pool)) {
+  if (config_.lanes <= 0) throw std::invalid_argument("Dscope: lanes must be > 0");
+  if (config_.lifetime.total_seconds() <= 0) {
+    throw std::invalid_argument("Dscope: lifetime must be positive");
+  }
+  if (!(config_.begin < config_.end)) throw std::invalid_argument("Dscope: empty window");
+}
+
+std::int64_t Dscope::slot_of(util::TimePoint t) const {
+  const std::int64_t rel = (t - config_.begin).total_seconds();
+  const std::int64_t lifetime = config_.lifetime.total_seconds();
+  // Floor division (times before `begin` land in negative slots).
+  std::int64_t slot = rel / lifetime;
+  if (rel < 0 && rel % lifetime != 0) --slot;
+  return slot;
+}
+
+std::uint64_t Dscope::pool_index(int lane, std::int64_t slot) const {
+  std::uint64_t h = config_.seed;
+  h ^= static_cast<std::uint64_t>(lane) * 0x9e3779b97f4a7c15ULL;
+  util::splitmix64(h);
+  h ^= static_cast<std::uint64_t>(slot) * 0xbf58476d1ce4e5b9ULL;
+  return util::splitmix64(h) % pool_.size();
+}
+
+Instance Dscope::instance_at(int lane, util::TimePoint t) const {
+  if (lane < 0 || lane >= config_.lanes) throw std::out_of_range("Dscope: bad lane");
+  const std::int64_t slot = slot_of(t);
+  Instance inst;
+  inst.lane = lane;
+  inst.slot = slot;
+  inst.ip = pool_.address_at(pool_index(lane, slot));
+  inst.start = config_.begin + util::Duration(slot * config_.lifetime.total_seconds());
+  inst.end = inst.start + config_.lifetime;
+  return inst;
+}
+
+Instance Dscope::sample_active(util::TimePoint t, util::Rng& rng) const {
+  const int lane = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(config_.lanes)));
+  return instance_at(lane, t);
+}
+
+std::optional<Instance> Dscope::holder_of(net::IPv4 addr, util::TimePoint t) const {
+  for (int lane = 0; lane < config_.lanes; ++lane) {
+    const Instance inst = instance_at(lane, t);
+    if (inst.ip == addr) return inst;
+  }
+  return std::nullopt;
+}
+
+std::int64_t Dscope::total_instance_slots() const {
+  const std::int64_t window = (config_.end - config_.begin).total_seconds();
+  const std::int64_t per_lane =
+      (window + config_.lifetime.total_seconds() - 1) / config_.lifetime.total_seconds();
+  return per_lane * config_.lanes;
+}
+
+void SessionStore::add(net::TcpSession session) {
+  session.id = sessions_.size();
+  sessions_.push_back(std::move(session));
+}
+
+void SessionStore::sort_by_time() {
+  std::sort(sessions_.begin(), sessions_.end(),
+            [](const net::TcpSession& a, const net::TcpSession& b) {
+              return std::pair(a.open_time, a.id) < std::pair(b.open_time, b.id);
+            });
+}
+
+std::size_t SessionStore::unique_sources() const {
+  std::set<std::uint32_t> ips;
+  for (const auto& s : sessions_) ips.insert(s.src.value());
+  return ips.size();
+}
+
+std::size_t SessionStore::unique_destinations() const {
+  std::set<std::uint32_t> ips;
+  for (const auto& s : sessions_) ips.insert(s.dst.value());
+  return ips.size();
+}
+
+}  // namespace cvewb::telescope

@@ -1,0 +1,84 @@
+// The DSCOPE interactive telescope simulator.
+//
+// Reproduces the collection geometry of the real deployment: `lanes`
+// concurrent instances churning every `lifetime` across a rotating cloud
+// IP pool.  The schedule is a pure function of (lane, slot, seed), so the
+// full two-year deployment (tens of millions of instance-slots) is never
+// materialized; arbitrary instants can be queried directly.
+//
+// Two collection modes mirror how we generate traffic:
+//  * sample mode -- scanners that *do* reach the telescope are assigned a
+//    concrete receiving instance via `sample_active(t)`; this is how the
+//    calibrated study traffic is placed (Appendix-E event counts are
+//    counts of *captured* events, so capture is certain by construction);
+//  * physical mode -- a scanner probes an arbitrary pool address and
+//    `capture(session)` decides whether a telescope instance happened to
+//    hold that address at that instant (used to validate the capture
+//    fraction ≈ lanes / pool size).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/tcp_session.h"
+#include "telescope/instance.h"
+#include "telescope/ip_pool.h"
+#include "util/rng.h"
+
+namespace cvewb::telescope {
+
+struct DscopeConfig {
+  int lanes = 300;
+  util::Duration lifetime = util::Duration::minutes(10);
+  std::uint64_t seed = 0xd5c09e;
+  util::TimePoint begin;
+  util::TimePoint end;
+};
+
+class Dscope {
+ public:
+  Dscope(DscopeConfig config, IpPool pool);
+
+  const DscopeConfig& config() const { return config_; }
+  const IpPool& pool() const { return pool_; }
+
+  std::int64_t slot_of(util::TimePoint t) const;
+
+  /// The instance occupying `lane` during the slot containing `t`.
+  Instance instance_at(int lane, util::TimePoint t) const;
+
+  /// A uniformly random active instance at time `t`.
+  Instance sample_active(util::TimePoint t, util::Rng& rng) const;
+
+  /// The active instance holding `addr` at `t`, if any (physical mode).
+  std::optional<Instance> holder_of(net::IPv4 addr, util::TimePoint t) const;
+
+  /// Number of instance-slots over the whole deployment window.
+  std::int64_t total_instance_slots() const;
+
+ private:
+  std::uint64_t pool_index(int lane, std::int64_t slot) const;
+
+  DscopeConfig config_;
+  IpPool pool_;
+};
+
+/// Append-only capture store with the §4 representativity counters.
+class SessionStore {
+ public:
+  void add(net::TcpSession session);
+
+  const std::vector<net::TcpSession>& sessions() const { return sessions_; }
+  std::size_t size() const { return sessions_.size(); }
+
+  /// Sorts sessions by (time, id); analyses assume chronological order.
+  void sort_by_time();
+
+  std::size_t unique_sources() const;
+  std::size_t unique_destinations() const;
+
+ private:
+  std::vector<net::TcpSession> sessions_;
+};
+
+}  // namespace cvewb::telescope

@@ -1,0 +1,3 @@
+#include "telescope/instance.h"
+
+// Instance is a plain record; implementation intentionally empty.

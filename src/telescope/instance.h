@@ -1,0 +1,27 @@
+// Telescope instance identity.
+//
+// DSCOPE keeps ~300 cloud instances alive at any moment; each accepts TCP
+// on all ports for a fixed lifetime (~10 minutes, the optimum found in the
+// DSCOPE paper) and is then replaced, landing on a new pseudorandom IP.
+// An instance is identified by its (lane, slot): lane = which of the ~300
+// concurrent positions, slot = lifetime-sized time bucket.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+#include "util/datetime.h"
+
+namespace cvewb::telescope {
+
+struct Instance {
+  int lane = 0;
+  std::int64_t slot = 0;
+  net::IPv4 ip;
+  util::TimePoint start;
+  util::TimePoint end;  // exclusive
+
+  bool active_at(util::TimePoint t) const { return start <= t && t < end; }
+};
+
+}  // namespace cvewb::telescope

@@ -1,0 +1,66 @@
+#include "telescope/ip_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cvewb::telescope {
+
+IpPool::IpPool(std::vector<net::Prefix> prefixes, std::uint64_t virtual_size)
+    : prefixes_(std::move(prefixes)) {
+  if (prefixes_.empty()) throw std::invalid_argument("IpPool: no prefixes");
+  cumulative_.reserve(prefixes_.size());
+  for (const auto& prefix : prefixes_) {
+    capacity_ += prefix.size();
+    cumulative_.push_back(capacity_);
+  }
+  virtual_size_ = std::min(virtual_size, capacity_);
+  if (virtual_size_ == 0) throw std::invalid_argument("IpPool: empty pool");
+}
+
+IpPool IpPool::aws_like(std::uint64_t virtual_size) {
+  // Representative provider blocks (us-east-ish /14s and /15s plus a
+  // couple of EU/APAC blocks); ~4.3 M addresses of capacity.
+  std::vector<net::Prefix> prefixes = {
+      *net::Prefix::parse("3.208.0.0/13"),
+      *net::Prefix::parse("18.204.0.0/14"),
+      *net::Prefix::parse("34.192.0.0/14"),
+      *net::Prefix::parse("52.20.0.0/14"),
+      *net::Prefix::parse("54.144.0.0/14"),
+      *net::Prefix::parse("13.36.0.0/14"),
+      *net::Prefix::parse("35.152.0.0/14"),
+  };
+  return IpPool(std::move(prefixes), virtual_size);
+}
+
+net::IPv4 IpPool::address_at(std::uint64_t index) const {
+  if (index >= virtual_size_) throw std::out_of_range("IpPool::address_at");
+  // Spread the virtual pool uniformly across the full prefix capacity so
+  // reused addresses are not clustered in the first prefix.
+  const std::uint64_t spread = capacity_ / virtual_size_;
+  const std::uint64_t offset = (index * spread) % capacity_;
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), offset);
+  const auto prefix_idx = static_cast<std::size_t>(it - cumulative_.begin());
+  const std::uint64_t base = prefix_idx == 0 ? 0 : cumulative_[prefix_idx - 1];
+  const auto& prefix = prefixes_[prefix_idx];
+  return net::IPv4(prefix.base().value() + static_cast<std::uint32_t>(offset - base));
+}
+
+bool IpPool::contains(net::IPv4 addr) const {
+  for (const auto& prefix : prefixes_) {
+    if (prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> IpPool::offset_of(net::IPv4 addr) const {
+  std::uint64_t base = 0;
+  for (const auto& prefix : prefixes_) {
+    if (prefix.contains(addr)) {
+      return base + (addr.value() - prefix.base().value());
+    }
+    base += prefix.size();
+  }
+  return std::nullopt;
+}
+
+}  // namespace cvewb::telescope

@@ -1,0 +1,54 @@
+// Cloud IPv4 address pool.
+//
+// DSCOPE leans on the pseudorandom nature of cloud IPv4 allocation: each
+// new instance receives an address drawn from the provider's pool, and
+// addresses are reused across tenants over time (which is why telescope
+// IPs inherit traffic aimed at prior holders).  The pool maps a virtual
+// address index onto a set of CIDR prefixes; allocation is a deterministic
+// hash of (lane, slot, seed) so the 2-year schedule never needs to be
+// materialized.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace cvewb::telescope {
+
+class IpPool {
+ public:
+  /// `prefixes` must be non-empty; `virtual_size` bounds the number of
+  /// distinct addresses handed out (the "pool the provider rotates
+  /// through"), clamped to the total prefix capacity.
+  IpPool(std::vector<net::Prefix> prefixes, std::uint64_t virtual_size);
+
+  /// Default pool: a realistic slice of cloud provider space, 5 M
+  /// rotating addresses (the paper's unique-IP count).
+  static IpPool aws_like(std::uint64_t virtual_size = 5'000'000);
+
+  /// Address for a virtual index in [0, size()).
+  net::IPv4 address_at(std::uint64_t index) const;
+
+  /// True if `addr` belongs to one of the pool's prefixes.
+  bool contains(net::IPv4 addr) const;
+
+  /// Position of `addr` within the concatenated prefix space
+  /// [0, prefix_capacity()); nullopt when outside the pool.  This is the
+  /// coordinate in which allocation is uniform (raw IPv4 space has dead
+  /// gaps between provider blocks).
+  std::optional<std::uint64_t> offset_of(net::IPv4 addr) const;
+
+  std::uint64_t size() const { return virtual_size_; }
+  std::uint64_t prefix_capacity() const { return capacity_; }
+  const std::vector<net::Prefix>& prefixes() const { return prefixes_; }
+
+ private:
+  std::vector<net::Prefix> prefixes_;
+  std::vector<std::uint64_t> cumulative_;  // cumulative prefix sizes
+  std::uint64_t capacity_ = 0;
+  std::uint64_t virtual_size_ = 0;
+};
+
+}  // namespace cvewb::telescope

@@ -1,0 +1,43 @@
+#include "traffic/background.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "traffic/payload.h"
+
+namespace cvewb::traffic {
+
+std::uint32_t heavy_tailed_source(std::uint32_t population, util::Rng& rng) {
+  // Inverse-CDF of a truncated Pareto over ranks: rank ~ u^alpha scaled to
+  // the population, alpha > 1 concentrating mass on low ranks.
+  const double u = rng.uniform();
+  const double rank = std::pow(u, 3.0) * static_cast<double>(population);
+  return std::min(population - 1, static_cast<std::uint32_t>(rank));
+}
+
+std::vector<BackgroundProbe> generate_background(util::TimePoint begin, util::TimePoint end,
+                                                 const BackgroundConfig& config, util::Rng& rng) {
+  std::vector<BackgroundProbe> probes;
+  const double window_days = (end - begin).total_days();
+  const auto expected = static_cast<std::size_t>(config.probes_per_day * window_days);
+  probes.reserve(expected);
+  // Poisson process via exponential inter-arrivals.
+  const double mean_gap_days = 1.0 / config.probes_per_day;
+  static constexpr std::array<std::uint16_t, 10> kPorts = {22,   23,   80,   443,  445,
+                                                           3389, 8080, 5900, 6379, 8443};
+  double t_days = rng.exponential(mean_gap_days);
+  while (t_days < window_days) {
+    BackgroundProbe probe;
+    probe.time = begin + util::Duration::seconds(static_cast<std::int64_t>(t_days * 86400.0));
+    probe.source_index = heavy_tailed_source(config.scanner_population, rng);
+    probe.dst_port = rng.chance(0.8) ? kPorts[rng.uniform_u64(kPorts.size())]
+                                     : static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    probe.payload = background_payload(rng);
+    probes.push_back(std::move(probe));
+    t_days += rng.exponential(mean_gap_days);
+  }
+  return probes;
+}
+
+}  // namespace cvewb::traffic

@@ -1,0 +1,37 @@
+// Background Internet radiation.
+//
+// The overwhelming majority of telescope traffic targets longstanding
+// weaknesses, not fresh CVEs (§4: only 3.6 k of 15 M contacting sources
+// sent CVE-targeted traffic).  This actor produces that ambient noise:
+// Poisson arrivals over the study window, heavy-tailed scanner sources,
+// payloads that match no study signature.
+#pragma once
+
+#include <vector>
+
+#include "util/datetime.h"
+#include "util/rng.h"
+
+namespace cvewb::traffic {
+
+struct BackgroundProbe {
+  util::TimePoint time;
+  std::uint32_t source_index = 0;  // index into a scanner population
+  std::uint16_t dst_port = 0;
+  std::string payload;
+};
+
+struct BackgroundConfig {
+  double probes_per_day = 100.0;  // down-sampled from reality; see DESIGN.md
+  std::uint32_t scanner_population = 200'000;
+};
+
+/// Generate ambient probes over [begin, end), sorted by time.
+std::vector<BackgroundProbe> generate_background(util::TimePoint begin, util::TimePoint end,
+                                                 const BackgroundConfig& config, util::Rng& rng);
+
+/// Heavy-tailed (Zipf-ish) pick of a scanner index: a few sources scan
+/// constantly, most appear once.
+std::uint32_t heavy_tailed_source(std::uint32_t population, util::Rng& rng);
+
+}  // namespace cvewb::traffic

@@ -1,0 +1,127 @@
+#include "traffic/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvewb::traffic {
+
+namespace {
+
+using data::CveRecord;
+
+struct WindowShape {
+  bool has_fix = false;
+  bool pre_publication_window = false;  // fix deployed before publication
+  double window_days = 0;      // (D - A) when positive: exposure window length
+  double onset_days = 0;       // max(A - P, 0): how late exposure opens
+  double tail_days = 1;        // study_end - A
+};
+
+WindowShape shape_of(const CveRecord& rec) {
+  WindowShape shape;
+  const auto attack = rec.first_attack();
+  if (!attack) return shape;
+  shape.tail_days = std::max(1.0, (data::study_end() - *attack).total_days());
+  if (rec.a_minus_p) shape.onset_days = std::max(0.0, rec.a_minus_p->total_days());
+  const auto fix = rec.fix_deployed();
+  if (fix) {
+    shape.has_fix = true;
+    shape.window_days = (*fix - *attack).total_days();
+    shape.pre_publication_window = *fix < rec.published;
+  }
+  return shape;
+}
+
+/// Burst weight before global scaling: full strength when exposure opens
+/// right at publication, decaying sharply as the window opens later (the
+/// publication rush is over within days; late windows see only the long
+/// tail).  Windows that close before publication (rule shipped pre-P) sit
+/// in the low-rate pre-disclosure scanning regime.
+double base_burst_weight(const WindowShape& shape) {
+  if (shape.pre_publication_window) return 0.2;
+  const double onset = std::max(shape.onset_days, 0.5);
+  const double falloff = std::min(1.0, 10.0 / onset);
+  return 0.9 * falloff * falloff * falloff;
+}
+
+double burst_mean_for(const WindowShape& shape) {
+  if (shape.has_fix && shape.window_days > 0) {
+    return std::clamp(shape.window_days, 2.0, 15.0);
+  }
+  return shape.onset_days <= 30.0 ? 3.0 : 20.0;
+}
+
+}  // namespace
+
+double expected_unmitigated_fraction(const CveRecord& record, const TimingModel& model) {
+  const WindowShape shape = shape_of(record);
+  if (!record.first_attack()) return 0.0;
+  if (!shape.has_fix) return 1.0;          // no rule ever deployed
+  if (shape.window_days <= 0) return 0.0;  // mitigated before first attack
+  const double burst_part = 1.0 - std::exp(-shape.window_days / model.burst_mean_days);
+  const double tail_part = std::min(1.0, shape.window_days / shape.tail_days);
+  return model.burst_weight * burst_part + (1.0 - model.burst_weight) * tail_part;
+}
+
+std::map<std::string, TimingModel> calibrate_timing(const CalibrationTargets& targets) {
+  const auto& rows = data::appendix_e();
+
+  // Events that are unmitigated no matter what: CVEs with no deployed fix.
+  double fixed_unmitigated = 0;
+  double total_events = 0;
+  for (const auto& rec : rows) {
+    if (!rec.first_attack()) continue;
+    total_events += rec.events;
+    if (!rec.fix_deployed()) fixed_unmitigated += rec.events;
+  }
+  const double target_unmitigated =
+      std::max(0.0, (1.0 - targets.mitigated_fraction) * total_events - fixed_unmitigated);
+
+  // Expected unmitigated events as a function of the global burst scale.
+  const auto unmitigated_at = [&](double scale) {
+    double sum = 0;
+    for (const auto& rec : rows) {
+      const WindowShape shape = shape_of(rec);
+      if (!rec.first_attack() || !shape.has_fix || shape.window_days <= 0) continue;
+      TimingModel model;
+      model.burst_mean_days = burst_mean_for(shape);
+      model.burst_weight = std::clamp(scale * base_burst_weight(shape), 0.0, 1.0);
+      sum += rec.events * expected_unmitigated_fraction(rec, model);
+    }
+    return sum;
+  };
+
+  // Monotone in scale: bisect.
+  double lo = 0.0;
+  double hi = 1.0;
+  double scale = 1.0;
+  if (unmitigated_at(1.0) > target_unmitigated) {
+    for (int iter = 0; iter < 60; ++iter) {
+      scale = (lo + hi) / 2;
+      if (unmitigated_at(scale) > target_unmitigated) {
+        hi = scale;
+      } else {
+        lo = scale;
+      }
+    }
+    scale = (lo + hi) / 2;
+  }
+
+  std::map<std::string, TimingModel> models;
+  for (const auto& rec : rows) {
+    const WindowShape shape = shape_of(rec);
+    TimingModel model;
+    model.burst_mean_days = burst_mean_for(shape);
+    if (shape.has_fix && shape.window_days > 0) {
+      model.burst_weight = std::clamp(scale * base_burst_weight(shape), 0.0, 1.0);
+    } else {
+      // No exposure window: burst strength only shapes figures 3/4/7, so
+      // keep the publication rush.
+      model.burst_weight = base_burst_weight(shape);
+    }
+    models.emplace(rec.id, model);
+  }
+  return models;
+}
+
+}  // namespace cvewb::traffic

@@ -1,0 +1,25 @@
+#include "traffic/credstuff.h"
+
+#include "traffic/payload.h"
+
+namespace cvewb::traffic {
+
+std::vector<CredStuffProbe> generate_credential_stuffing(util::TimePoint begin,
+                                                         util::TimePoint end,
+                                                         double probes_per_day, util::Rng& rng) {
+  std::vector<CredStuffProbe> probes;
+  const double window_days = (end - begin).total_days();
+  const double mean_gap_days = 1.0 / probes_per_day;
+  double t_days = rng.exponential(mean_gap_days);
+  while (t_days < window_days) {
+    CredStuffProbe probe;
+    probe.time = begin + util::Duration::seconds(static_cast<std::int64_t>(t_days * 86400.0));
+    probe.source_index = static_cast<std::uint32_t>(rng.uniform_u64(64));  // small botnet
+    probe.payload = credential_stuffing_payload(rng);
+    probes.push_back(std::move(probe));
+    t_days += rng.exponential(mean_gap_days);
+  }
+  return probes;
+}
+
+}  // namespace cvewb::traffic

@@ -1,0 +1,26 @@
+// Credential-stuffing actor (§3.2's false-positive source).
+//
+// A steady drip of POST /api/v1/auth guesses across the study window.
+// These sessions match the deliberately over-broad decoy rule and must be
+// weeded out by root-cause analysis, reproducing the paper's observation
+// that some IDS rules "triggered on any access to an API endpoint".
+#pragma once
+
+#include <vector>
+
+#include "util/datetime.h"
+#include "util/rng.h"
+
+namespace cvewb::traffic {
+
+struct CredStuffProbe {
+  util::TimePoint time;
+  std::uint32_t source_index = 0;
+  std::string payload;
+};
+
+std::vector<CredStuffProbe> generate_credential_stuffing(util::TimePoint begin,
+                                                         util::TimePoint end,
+                                                         double probes_per_day, util::Rng& rng);
+
+}  // namespace cvewb::traffic

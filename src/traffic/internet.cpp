@@ -1,0 +1,223 @@
+#include "traffic/internet.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "data/log4shell_variants.h"
+#include "net/http.h"
+#include "ids/rule_gen.h"
+#include "traffic/background.h"
+#include "traffic/credstuff.h"
+#include "traffic/exploit_scanner.h"
+#include "traffic/obfuscation.h"
+#include "traffic/payload.h"
+
+namespace cvewb::traffic {
+
+namespace {
+
+using net::IPv4;
+using net::TcpSession;
+using util::TimePoint;
+
+/// Scanner source address pools.  Exploit scanners draw from a small
+/// dedicated pool (the paper saw just 3.6 k sources of CVE traffic);
+/// background noise draws from a much larger population.
+IPv4 exploit_source(int pool, util::Rng& rng) {
+  // One shared pool for all CVE scanners: §4 observed just 3.6 k sources
+  // of CVE-targeted traffic in total.
+  const auto idx = rng.uniform_u64(static_cast<std::uint64_t>(pool));
+  std::uint64_t h = idx * 0x9e3779b97f4a7c15ULL;
+  const std::uint32_t v = static_cast<std::uint32_t>(util::splitmix64(h));
+  // Spread over public-ish space, avoiding the telescope's own pool.
+  return IPv4(0x65000000u + (v % 0x30000000u));  // 101.0.0.0 .. ~149.x
+}
+
+IPv4 background_source(std::uint32_t index) {
+  std::uint64_t h = index * 0xbf58476d1ce4e5b9ULL;
+  const std::uint32_t v = static_cast<std::uint32_t>(util::splitmix64(h));
+  return IPv4(0xC8000000u + (v % 0x20000000u));  // 200.0.0.0 ..
+}
+
+struct PendingProbe {
+  TimePoint time;
+  IPv4 src;
+  std::uint16_t dst_port;
+  std::string payload;
+  TrafficTag tag;
+};
+
+std::uint16_t exploit_dst_port(const data::CveRecord& rec, TimePoint when, util::Rng& rng) {
+  // Pre-publication exploitation is precisely aimed: whoever holds an
+  // undisclosed exploit knows the service it targets.  After publication,
+  // commodity scanners mostly aim at the service port but also spray (the
+  // reason §3.1 makes rules port-insensitive).
+  if (when < rec.published) return rec.service_port;
+  if (rng.chance(0.85)) return rec.service_port;
+  static constexpr std::array<std::uint16_t, 6> kSpray = {80, 443, 8080, 8443, 8000, 8888};
+  if (rng.chance(0.7)) return kSpray[rng.uniform_u64(kSpray.size())];
+  return static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+}
+
+}  // namespace
+
+std::size_t GeneratedTraffic::count_of(TrafficTag::Kind kind) const {
+  std::size_t n = 0;
+  for (const auto& tag : tags) n += tag.kind == kind ? 1 : 0;
+  return n;
+}
+
+GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const InternetConfig& config) {
+  util::Rng rng(config.seed);
+  const TimePoint begin = dscope.config().begin;
+  const TimePoint end = dscope.config().end;
+  std::vector<PendingProbe> probes;
+
+  // --- Exploit scanners, one actor per studied CVE.
+  const auto timing = calibrate_timing();
+  std::uint64_t cve_index = 0;
+  for (const auto& rec : data::appendix_e()) {
+    util::Rng actor_rng = rng.fork(cve_index++);
+    if (rec.id == "CVE-2021-44228") {
+      // Table-6 variant traffic.
+      const int total =
+          std::max(1, static_cast<int>(std::lround(rec.events * config.event_scale)));
+      const auto counts = log4shell_variant_counts(total);
+      const auto& variants = data::log4shell_variants();
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        for (const TimePoint t : log4shell_variant_times(variants[v], counts[v], actor_rng)) {
+          if (!util::in_window(t, begin, end)) continue;
+          PendingProbe probe;
+          probe.time = t;
+          probe.src = exploit_source(config.exploit_source_pool, actor_rng);
+          probe.dst_port = exploit_dst_port(rec, t, actor_rng);
+          probe.payload = log4shell_payload(variants[v], actor_rng);
+          probe.tag = {TrafficTag::Kind::kExploit, rec.id, variants[v].sid};
+          probes.push_back(std::move(probe));
+        }
+      }
+      continue;
+    }
+    const auto it = timing.find(rec.id);
+    const TimingModel model = it == timing.end() ? TimingModel{} : it->second;
+    const ids::ExploitSpec spec = ids::spec_for(rec);
+    for (const TimePoint t : exploit_event_times(rec, model, actor_rng, config.event_scale)) {
+      if (!util::in_window(t, begin, end)) continue;
+      PendingProbe probe;
+      probe.time = t;
+      probe.src = exploit_source(config.exploit_source_pool, actor_rng);
+      probe.dst_port = exploit_dst_port(rec, t, actor_rng);
+      probe.payload = render_exploit_payload(spec, actor_rng);
+      probe.tag = {TrafficTag::Kind::kExploit, rec.id, 0};
+      probes.push_back(std::move(probe));
+    }
+  }
+
+  // --- Untargeted OGNL scanning (Appendix C): generic probes from the
+  // start of the study until Confluence's publication, on arbitrary ports.
+  if (config.include_untargeted_ognl) {
+    const data::CveRecord* confluence = data::find_cve("CVE-2022-26134");
+    if (confluence != nullptr) {
+      util::Rng ognl_rng = rng.fork(0x09171);
+      const double span_days = (confluence->published - begin).total_days();
+      const int count = std::max(1, static_cast<int>(span_days / 4.0));  // ~2 per week
+      for (int i = 0; i < count; ++i) {
+        PendingProbe probe;
+        probe.time = begin + util::Duration::seconds(static_cast<std::int64_t>(
+                                 ognl_rng.uniform(0.0, span_days) * 86400.0));
+        probe.src = exploit_source(config.exploit_source_pool, ognl_rng);
+        // Deliberately not the Confluence port: these scanners are after
+        // OGNL endpoints generally (Finding 19).
+        std::uint16_t port = 0;
+        do {
+          port = static_cast<std::uint16_t>(ognl_rng.uniform_int(80, 10000));
+        } while (port == confluence->service_port);
+        probe.dst_port = port;
+        probe.payload = untargeted_ognl_payload(ognl_rng);
+        probe.tag = {TrafficTag::Kind::kUntargetedOgnl, confluence->id, 0};
+        probes.push_back(std::move(probe));
+      }
+    }
+  }
+
+  // --- Follow-on traffic: interactivity elicits second-stage connections
+  // from *different* source addresses shortly after an exploit lands
+  // (§3.1's observation about DSCOPE's interactive design).
+  if (config.followon_probability > 0) {
+    util::Rng fo_rng = rng.fork(0xf0110);
+    std::vector<PendingProbe> followons;
+    for (const auto& probe : probes) {
+      if (probe.tag.kind != TrafficTag::Kind::kExploit) continue;
+      if (!fo_rng.chance(config.followon_probability)) continue;
+      PendingProbe second;
+      second.time = probe.time + util::Duration::seconds(fo_rng.uniform_int(30, 1800));
+      if (second.time >= end) continue;
+      second.src = background_source(static_cast<std::uint32_t>(fo_rng.uniform_u64(1 << 20)));
+      second.dst_port = probe.dst_port;
+      net::HttpRequest req;
+      req.uri = "/" + std::to_string(fo_rng.uniform_int(100000, 999999)) + ".sh";
+      req.add_header("Host", "198.51.100.77");
+      req.add_header("User-Agent", "Wget/1.20.3 (linux-gnu)");
+      second.payload = req.serialize();
+      second.tag = {TrafficTag::Kind::kFollowOn, probe.tag.cve_id, 0};
+      followons.push_back(std::move(second));
+    }
+    for (auto& probe : followons) probes.push_back(std::move(probe));
+  }
+
+  // --- Ambient background radiation.
+  {
+    util::Rng bg_rng = rng.fork(0xb46);
+    BackgroundConfig bg;
+    bg.probes_per_day = config.background_per_day;
+    for (auto& raw : generate_background(begin, end, bg, bg_rng)) {
+      PendingProbe probe;
+      probe.time = raw.time;
+      probe.src = background_source(raw.source_index);
+      probe.dst_port = raw.dst_port;
+      probe.payload = std::move(raw.payload);
+      probe.tag = {TrafficTag::Kind::kBackground, "", 0};
+      probes.push_back(std::move(probe));
+    }
+  }
+
+  // --- Credential stuffing (matches the decoy rule; §3.2).
+  {
+    util::Rng cs_rng = rng.fork(0xc4ed);
+    for (auto& raw :
+         generate_credential_stuffing(begin, end, config.credstuff_per_day, cs_rng)) {
+      PendingProbe probe;
+      probe.time = raw.time;
+      probe.src = IPv4(0xCB007100u + raw.source_index);  // 203.0.113.x botnet
+      probe.dst_port = 443;
+      probe.payload = std::move(raw.payload);
+      probe.tag = {TrafficTag::Kind::kCredentialStuffing, "", 0};
+      probes.push_back(std::move(probe));
+    }
+  }
+
+  // --- Place captures on telescope instances and materialize sessions.
+  std::sort(probes.begin(), probes.end(),
+            [](const PendingProbe& a, const PendingProbe& b) { return a.time < b.time; });
+  GeneratedTraffic traffic;
+  traffic.sessions.reserve(probes.size());
+  traffic.tags.reserve(probes.size());
+  util::Rng placement_rng = rng.fork(0x91ace);
+  for (auto& probe : probes) {
+    const telescope::Instance instance = dscope.sample_active(probe.time, placement_rng);
+    TcpSession session;
+    session.id = traffic.sessions.size();
+    session.open_time = probe.time;
+    session.src = probe.src;
+    session.dst = instance.ip;
+    session.src_port = static_cast<std::uint16_t>(placement_rng.uniform_int(1024, 65535));
+    session.dst_port = probe.dst_port;
+    session.payload = std::move(probe.payload);
+    traffic.sessions.push_back(std::move(session));
+    traffic.tags.push_back(std::move(probe.tag));
+  }
+  return traffic;
+}
+
+}  // namespace cvewb::traffic

@@ -1,0 +1,57 @@
+// The synthetic Internet: orchestrates every scanner actor against the
+// telescope and produces the captured session corpus with ground truth.
+//
+// Capture placement uses the telescope's sample mode: Appendix-E event
+// counts are counts of *captured* events, so each generated probe is
+// assigned a concrete receiving instance active at its arrival time.
+// Ground-truth tags ride alongside each session for validation; the
+// reconstruction pipeline never reads them (it must rediscover everything
+// from payloads + rules), but tests compare against them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/tcp_session.h"
+#include "telescope/dscope.h"
+#include "traffic/calibration.h"
+#include "util/rng.h"
+
+namespace cvewb::traffic {
+
+struct TrafficTag {
+  enum class Kind : std::uint8_t {
+    kExploit,          // targeted exploitation of a studied CVE
+    kUntargetedOgnl,   // Finding 19: generic OGNL probe (hits the
+                       // Confluence signature without targeting Confluence)
+    kBackground,       // ambient radiation
+    kCredentialStuffing,
+    kFollowOn,         // second-stage traffic elicited by interactivity
+                       // (§3.1: DSCOPE's responses draw follow-on
+                       // connections from other addresses)
+  };
+  Kind kind = Kind::kBackground;
+  std::string cve_id;  // for kExploit / kUntargetedOgnl
+  int sid = 0;         // Log4Shell variant sid (0 otherwise)
+};
+
+struct InternetConfig {
+  std::uint64_t seed = 0xbadc0ffee;
+  double event_scale = 1.0;          // scale Appendix-E event counts
+  double background_per_day = 100.0; // ambient probes (down-sampled)
+  double credstuff_per_day = 5.0;
+  bool include_untargeted_ognl = true;
+  int exploit_source_pool = 3600;    // distinct CVE-scanner source IPs (§4)
+  double followon_probability = 0.03;  // per exploit session
+};
+
+struct GeneratedTraffic {
+  std::vector<net::TcpSession> sessions;  // sorted by time, ids = index
+  std::vector<TrafficTag> tags;           // parallel to sessions
+
+  std::size_t count_of(TrafficTag::Kind kind) const;
+};
+
+GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const InternetConfig& config);
+
+}  // namespace cvewb::traffic

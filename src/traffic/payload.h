@@ -1,0 +1,38 @@
+// Payload synthesis: the bytes scanners send.
+//
+// Three populations of client banners reach the telescope: exploit
+// payloads rendered from a CVE's ExploitSpec, benign-ish credential
+// stuffing (which trips the over-broad decoy rule and is weeded out by
+// §3.2 root-cause analysis), and background radiation (empty banners,
+// bare GETs, SSH/TLS probes) that matches nothing.
+#pragma once
+
+#include <string>
+
+#include "ids/rule_gen.h"
+#include "util/rng.h"
+
+namespace cvewb::traffic {
+
+/// Render a full exploit payload (HTTP request bytes or raw banner) from a
+/// spec.  Header dressing (Host, User-Agent) varies with the rng, but
+/// every signature token is always present.
+std::string render_exploit_payload(const ids::ExploitSpec& spec, util::Rng& rng);
+
+/// POST /api/v1/auth credential-stuffing attempt with rotating username /
+/// password guesses.  Contains no exploitation markers.
+std::string credential_stuffing_payload(util::Rng& rng);
+
+/// Background radiation banner: empty payload, bare GET /, SSH banner
+/// probe, TLS ClientHello prefix, or junk bytes.
+std::string background_payload(util::Rng& rng);
+
+/// Untargeted OGNL-injection probe (Appendix C / Finding 19): the generic
+/// payload that happens to exploit Confluence (CVE-2022-26134) although it
+/// was not aimed at Confluence.
+std::string untargeted_ognl_payload(util::Rng& rng);
+
+/// A plausible scanner User-Agent.
+std::string scanner_user_agent(util::Rng& rng);
+
+}  // namespace cvewb::traffic

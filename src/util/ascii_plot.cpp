@@ -1,0 +1,99 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace cvewb::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+std::string fmt_num(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000 || (std::abs(v) > 0 && std::abs(v) < 0.01)) {
+    std::snprintf(buf, sizeof buf, "%.2g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_lines(const std::vector<Series>& series, const PlotOptions& opts) {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = opts.y_unit_interval ? 0.0 : std::numeric_limits<double>::infinity();
+  double ymax = opts.y_unit_interval ? 1.0 : -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s.x) {
+      xmin = std::min(xmin, v);
+      xmax = std::max(xmax, v);
+    }
+    if (!opts.y_unit_interval) {
+      for (double v : s.y) {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+      }
+    }
+  }
+  if (!(xmin < xmax)) xmax = xmin + 1;
+  if (!(ymin < ymax)) ymax = ymin + 1;
+
+  const int w = std::max(opts.width, 8);
+  const int h = std::max(opts.height, 4);
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof kGlyphs];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double fx = (s.x[i] - xmin) / (xmax - xmin);
+      const double fy = (s.y[i] - ymin) / (ymax - ymin);
+      int col = static_cast<int>(std::lround(fx * (w - 1)));
+      int row = (h - 1) - static_cast<int>(std::lround(fy * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  out += "  " + fmt_num(ymax) + "\n";
+  for (const auto& rowstr : grid) {
+    out += "  |" + rowstr + "\n";
+  }
+  out += "  " + fmt_num(ymin) + " +" + std::string(static_cast<std::size_t>(w), '-') + "\n";
+  out += "    " + fmt_num(xmin) + std::string(static_cast<std::size_t>(std::max(1, w - 16)), ' ') +
+         fmt_num(xmax);
+  if (!opts.x_label.empty()) out += "   [" + opts.x_label + "]";
+  out += "\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += "    ";
+    out += kGlyphs[si % sizeof kGlyphs];
+    out += " = " + series[si].name + "\n";
+  }
+  return out;
+}
+
+std::string render_bars(const std::vector<std::pair<std::string, double>>& bars, int width) {
+  double maxv = 0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    maxv = std::max(maxv, v);
+    label_w = std::max(label_w, label.size());
+  }
+  if (maxv <= 0) maxv = 1;
+  std::string out;
+  for (const auto& [label, v] : bars) {
+    const int n = static_cast<int>(std::lround(v / maxv * width));
+    out += "  " + label + std::string(label_w - label.size(), ' ') + " |" +
+           std::string(static_cast<std::size_t>(std::max(0, n)), '#') + " " + fmt_num(v) + "\n";
+  }
+  return out;
+}
+
+}  // namespace cvewb::util

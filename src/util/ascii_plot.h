@@ -1,0 +1,36 @@
+// Terminal rendering of the paper's figures.
+//
+// Every figure in the evaluation is either a CDF or a histogram; the bench
+// binaries print both the numeric series (CSV-ish) and a compact ASCII
+// rendering so the *shape* (who wins, where crossovers fall) is visible
+// without external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cvewb::util {
+
+/// One named series of (x, y) points, assumed sorted by x.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 72;        // plot columns (excluding axis labels)
+  int height = 16;       // plot rows
+  std::string x_label;
+  std::string y_label;
+  bool y_unit_interval = false;  // clamp y axis to [0,1] (CDFs)
+};
+
+/// Render line series onto a character grid.  Multiple series use distinct
+/// glyphs ('*', '+', 'o', ...); a legend line is appended.
+std::string render_lines(const std::vector<Series>& series, const PlotOptions& opts);
+
+/// Render a labelled horizontal bar chart (used for histograms / tables).
+std::string render_bars(const std::vector<std::pair<std::string, double>>& bars, int width = 48);
+
+}  // namespace cvewb::util

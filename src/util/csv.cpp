@@ -1,0 +1,101 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace cvewb::util {
+
+std::string csv_escape(std::string_view v) {
+  const bool needs_quote = v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(v);
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  if (!at_row_start_) out_ << ',';
+  out_ << csv_escape(v);
+  at_row_start_ = false;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return field(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return field(std::string_view(buf));
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+std::optional<std::vector<std::string>> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) return std::nullopt;  // quote mid-field
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return std::nullopt;
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::optional<std::vector<std::vector<std::string>>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) {
+      auto fields = parse_csv_line(line);
+      if (!fields) return std::nullopt;
+      rows.push_back(std::move(*fields));
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return rows;
+}
+
+}  // namespace cvewb::util

@@ -1,0 +1,42 @@
+// Minimal RFC-4180-style CSV emission for bench/figure series output.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvewb::util {
+
+/// Incremental CSV writer.  Fields containing separators, quotes, or
+/// newlines are quoted and inner quotes doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(double v, int precision = 6);
+  CsvWriter& field(std::int64_t v);
+  void end_row();
+
+  /// Convenience: write a full row of string fields.
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  bool at_row_start_ = true;
+};
+
+/// Escape a single CSV field (exposed for testing).
+std::string csv_escape(std::string_view v);
+
+/// Parse one CSV record (RFC-4180 quoting; no embedded newlines).
+/// Returns nullopt on malformed quoting.
+std::optional<std::vector<std::string>> parse_csv_line(std::string_view line);
+
+/// Parse a whole CSV document into rows (blank lines skipped).
+/// Returns nullopt if any line is malformed.
+std::optional<std::vector<std::vector<std::string>>> parse_csv(std::string_view text);
+
+}  // namespace cvewb::util

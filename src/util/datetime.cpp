@@ -1,0 +1,142 @@
+#include "util/datetime.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace cvewb::util {
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  // Howard Hinnant's algorithm; era-based, correct for the proleptic
+  // Gregorian calendar over the full int range we use.
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+Civil civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  Civil c;
+  c.year = static_cast<int>(y + (m <= 2));
+  c.month = static_cast<int>(m);
+  c.day = static_cast<int>(d);
+  return c;
+}
+
+TimePoint from_civil(const Civil& c) {
+  const std::int64_t days = days_from_civil(c.year, c.month, c.day);
+  return TimePoint(days * 86400 + c.hour * 3600 + c.minute * 60 + c.second);
+}
+
+Civil to_civil(TimePoint t) {
+  std::int64_t s = t.unix_seconds();
+  std::int64_t days = s / 86400;
+  std::int64_t rem = s % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  Civil c = civil_from_days(days);
+  c.hour = static_cast<int>(rem / 3600);
+  c.minute = static_cast<int>((rem % 3600) / 60);
+  c.second = static_cast<int>(rem % 60);
+  return c;
+}
+
+namespace {
+
+bool parse_int(std::string_view s, int& out) {
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+std::optional<TimePoint> parse_date(std::string_view s) {
+  // Accept "YYYY-MM-DD" optionally followed by "THH:MM:SS" and optional 'Z'.
+  if (s.size() < 10) return std::nullopt;
+  Civil c;
+  if (!parse_int(s.substr(0, 4), c.year) || s[4] != '-' ||
+      !parse_int(s.substr(5, 2), c.month) || s[7] != '-' ||
+      !parse_int(s.substr(8, 2), c.day)) {
+    return std::nullopt;
+  }
+  if (c.month < 1 || c.month > 12 || c.day < 1 || c.day > 31) return std::nullopt;
+  if (s.size() == 10) return from_civil(c);
+  if (s.size() < 19 || s[10] != 'T') return std::nullopt;
+  if (!parse_int(s.substr(11, 2), c.hour) || s[13] != ':' ||
+      !parse_int(s.substr(14, 2), c.minute) || s[16] != ':' ||
+      !parse_int(s.substr(17, 2), c.second)) {
+    return std::nullopt;
+  }
+  if (s.size() == 19 || (s.size() == 20 && s[19] == 'Z')) return from_civil(c);
+  return std::nullopt;
+}
+
+std::optional<Duration> parse_offset(std::string_view s) {
+  // Grammar: [-] <int> 'd' [ ' ' <int> 'h' ]
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  if (s.empty() || s == "-") return std::nullopt;
+  bool neg = false;
+  if (s.front() == '-') {
+    neg = true;
+    s.remove_prefix(1);
+  }
+  const auto dpos = s.find('d');
+  if (dpos == std::string_view::npos) return std::nullopt;
+  int days = 0;
+  if (!parse_int(s.substr(0, dpos), days) || days < 0) return std::nullopt;
+  std::int64_t total = static_cast<std::int64_t>(days) * 86400;
+  std::string_view rest = s.substr(dpos + 1);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (!rest.empty()) {
+    if (rest.back() != 'h') return std::nullopt;
+    int hours = 0;
+    if (!parse_int(rest.substr(0, rest.size() - 1), hours) || hours < 0) return std::nullopt;
+    total += static_cast<std::int64_t>(hours) * 3600;
+  }
+  return Duration(neg ? -total : total);
+}
+
+std::string format_date(TimePoint t) {
+  const Civil c = to_civil(t);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string format_datetime(TimePoint t) {
+  const Civil c = to_civil(t);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02dZ", c.year, c.month, c.day, c.hour,
+                c.minute, c.second);
+  return buf;
+}
+
+std::string format_offset(Duration d) {
+  std::int64_t s = d.total_seconds();
+  const bool neg = s < 0;
+  if (neg) s = -s;
+  const std::int64_t days = s / 86400;
+  const std::int64_t hours = (s % 86400) / 3600;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s%lldd %lldh", neg ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(hours));
+  return buf;
+}
+
+}  // namespace cvewb::util

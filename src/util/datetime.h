@@ -1,0 +1,114 @@
+// Civil-calendar UTC time arithmetic for the measurement pipeline.
+//
+// The paper's datasets express lifecycle events either as absolute civil
+// dates ("2021-12-10") or as signed day/hour offsets from a CVE's
+// publication date ("-198d 11h").  Everything downstream (desiderata,
+// windows of vulnerability, exposure analysis) is plain integer arithmetic
+// on these, so we represent time as whole seconds since the Unix epoch and
+// implement the civil-date conversion directly (Howard Hinnant's
+// days-from-civil algorithm) rather than depending on the system timezone
+// database.  All times are UTC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cvewb::util {
+
+/// Signed span of time with whole-second resolution.
+///
+/// Arithmetic is plain int64 math; overflow is not a practical concern for
+/// the two-year study window (~6.3e7 seconds).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t seconds) : secs_(seconds) {}
+
+  static constexpr Duration seconds(std::int64_t n) { return Duration(n); }
+  static constexpr Duration minutes(std::int64_t n) { return Duration(n * 60); }
+  static constexpr Duration hours(std::int64_t n) { return Duration(n * 3600); }
+  static constexpr Duration days(std::int64_t n) { return Duration(n * 86400); }
+
+  constexpr std::int64_t total_seconds() const { return secs_; }
+  constexpr double total_hours() const { return static_cast<double>(secs_) / 3600.0; }
+  constexpr double total_days() const { return static_cast<double>(secs_) / 86400.0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(secs_ + o.secs_); }
+  constexpr Duration operator-(Duration o) const { return Duration(secs_ - o.secs_); }
+  constexpr Duration operator-() const { return Duration(-secs_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(secs_ * k); }
+  constexpr Duration& operator+=(Duration o) { secs_ += o.secs_; return *this; }
+  constexpr Duration& operator-=(Duration o) { secs_ -= o.secs_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  std::int64_t secs_ = 0;
+};
+
+/// A single UTC instant, whole seconds since 1970-01-01T00:00:00Z.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t unix_seconds) : secs_(unix_seconds) {}
+
+  constexpr std::int64_t unix_seconds() const { return secs_; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(secs_ + d.total_seconds()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(secs_ - d.total_seconds()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration(secs_ - o.secs_); }
+  constexpr TimePoint& operator+=(Duration d) { secs_ += d.total_seconds(); return *this; }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  std::int64_t secs_ = 0;
+};
+
+/// Broken-down civil (proleptic Gregorian) UTC date-time.
+struct Civil {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+};
+
+/// Days since 1970-01-01 for a civil date (valid for all Gregorian dates).
+std::int64_t days_from_civil(int year, int month, int day);
+
+/// Inverse of days_from_civil.
+Civil civil_from_days(std::int64_t days);
+
+/// Construct a TimePoint from civil UTC fields.
+TimePoint from_civil(const Civil& c);
+
+/// Break a TimePoint into civil UTC fields.
+Civil to_civil(TimePoint t);
+
+/// Parse "YYYY-MM-DD" (midnight UTC) or "YYYY-MM-DDTHH:MM:SS[Z]".
+/// Returns nullopt on malformed input.
+std::optional<TimePoint> parse_date(std::string_view s);
+
+/// Parse a signed day/hour offset in the paper's Appendix-E notation:
+/// "90d 12h", "-0d 7h", "1d", "-121d 10h".  The sign applies to the whole
+/// quantity, so "-0d 7h" is minus seven hours.  Returns nullopt on
+/// malformed input or the placeholder "-".
+std::optional<Duration> parse_offset(std::string_view s);
+
+/// Format a TimePoint as "YYYY-MM-DD" (UTC).
+std::string format_date(TimePoint t);
+
+/// Format a TimePoint as "YYYY-MM-DDTHH:MM:SSZ".
+std::string format_datetime(TimePoint t);
+
+/// Format a Duration in Appendix-E notation, e.g. "-198d 11h".
+std::string format_offset(Duration d);
+
+/// True if `t` falls inside [begin, end).
+constexpr bool in_window(TimePoint t, TimePoint begin, TimePoint end) {
+  return begin <= t && t < end;
+}
+
+}  // namespace cvewb::util

@@ -1,0 +1,83 @@
+// Minimal JSON value model, serializer, and parser.
+//
+// §8.2 of the paper calls for researchers to publish *machine-readable
+// disclosure artifacts*; report/disclosure_artifact emits and consumes
+// them as JSON.  This is a small, strict implementation: UTF-8 pass-
+// through, no comments, numbers as doubles, objects preserve insertion
+// order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvewb::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object representation.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+/// A JSON value (null / bool / number / string / array / object).
+class Json {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;                      // null
+  Json(std::nullptr_t) {}                // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  Json(double n) : type_(Type::kNumber), number_(n) {}    // NOLINT
+  Json(int n) : Json(static_cast<double>(n)) {}           // NOLINT
+  Json(std::int64_t n) : Json(static_cast<double>(n)) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}           // NOLINT
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}      // NOLINT
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}   // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Typed accessors; throw std::logic_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Append a field (object) or element (array); converts a null value to
+  /// the needed container type.
+  void set(std::string key, Json value);
+  void push_back(Json value);
+
+  /// Serialize; `indent` < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Parse a JSON document.  Returns nullopt on malformed input (error
+/// details via the second overload).
+std::optional<Json> parse_json(std::string_view text);
+std::optional<Json> parse_json(std::string_view text, std::string& error);
+
+/// Escape a string for embedding in JSON (exposed for tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace cvewb::util

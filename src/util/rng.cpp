@@ -1,0 +1,40 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cvewb::util {
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("exponential mean must be > 0");
+  // Inverse CDF; 1-uniform() is in (0,1] so log() is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mu, double sigma) {
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return mu + sigma * u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("weights must have positive sum");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;  // guard against FP rounding at the boundary
+}
+
+}  // namespace cvewb::util

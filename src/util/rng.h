@@ -1,0 +1,98 @@
+// Deterministic pseudorandom generation for simulation.
+//
+// Everything stochastic in the library (telescope churn, scanner timing,
+// synthetic catalogs) draws from this generator so that a fixed seed yields
+// a bit-identical study.  xoshiro256** is used for state advancement and
+// splitmix64 for seeding, both public-domain algorithms by Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cvewb::util {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256** engine.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedc0de) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n); n must be > 0.  Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    const std::uint64_t threshold = -n % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(uniform_u64(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mu = 0.0, double sigma = 1.0);
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child generator; streams are decorrelated by
+  /// hashing the label into the parent's output.
+  Rng fork(std::uint64_t label) {
+    std::uint64_t mix = next() ^ (label * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(mix));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace cvewb::util

@@ -1,0 +1,128 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cvewb::util {
+
+namespace {
+char lower_ch(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+char upper_ch(char c) { return static_cast<char>(std::toupper(static_cast<unsigned char>(c))); }
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), lower_ch);
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), upper_ch);
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower_ch(a[i]) != lower_ch(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_trim(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  for (auto part : split(s, sep)) {
+    part = trim(part);
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::size_t ifind(std::string_view haystack, std::string_view needle, std::size_t from) {
+  if (needle.empty()) return from <= haystack.size() ? from : std::string_view::npos;
+  if (needle.size() > haystack.size()) return std::string_view::npos;
+  for (std::size_t i = from; i + needle.size() <= haystack.size(); ++i) {
+    bool ok = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      if (lower_ch(haystack[i + j]) != lower_ch(needle[j])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::string replace_all(std::string s, std::string_view from, std::string_view to) {
+  if (from.empty()) return s;
+  std::size_t pos = 0;
+  while ((pos = s.find(from.data(), pos, from.size())) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string percent_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_val(s[i + 1]);
+      const int lo = hex_val(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+}  // namespace cvewb::util

@@ -1,0 +1,48 @@
+// Small string utilities shared across modules (parsing rule options,
+// HTTP headers, payload normalization).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvewb::util {
+
+/// ASCII lowercase copy of `s`.
+std::string to_lower(std::string_view s);
+
+/// ASCII uppercase copy of `s`.
+std::string to_upper(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on a separator, trimming whitespace and dropping empty fields.
+std::vector<std::string_view> split_trim(std::string_view s, char sep);
+
+/// True if `s` begins with `prefix` (case sensitive).
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix` (case sensitive).
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive substring search; returns npos when absent.
+std::size_t ifind(std::string_view haystack, std::string_view needle, std::size_t from = 0);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+/// Join elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Percent-decode a URI component ("%2e" -> '.', '+' left intact).  Invalid
+/// escapes are passed through verbatim, matching lenient server behaviour.
+std::string percent_decode(std::string_view s);
+
+}  // namespace cvewb::util

@@ -1,0 +1,96 @@
+#include "data/cve_table_io.h"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace cvewb::data {
+namespace {
+
+TEST(CveTableIo, RoundTripsTheFullAppendix) {
+  const std::string csv = cve_table_to_csv(appendix_e());
+  std::string error;
+  const auto parsed = cve_table_from_csv(csv, error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), appendix_e().size());
+  for (std::size_t i = 0; i < parsed->size(); ++i) {
+    const auto& a = appendix_e()[i];
+    const auto& b = (*parsed)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.published, b.published);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.description, b.description);
+    EXPECT_DOUBLE_EQ(a.impact, b.impact);
+    EXPECT_EQ(a.d_minus_p.has_value(), b.d_minus_p.has_value()) << a.id;
+    if (a.d_minus_p) {
+      // Offsets round-trip at hour resolution (the table's own precision).
+      EXPECT_EQ(a.d_minus_p->total_seconds() / 3600, b.d_minus_p->total_seconds() / 3600);
+    }
+    EXPECT_EQ(a.exploitability, b.exploitability);
+    EXPECT_EQ(a.vendor, b.vendor);
+    EXPECT_EQ(a.cwe, b.cwe);
+    EXPECT_EQ(a.protocol, b.protocol);
+    EXPECT_EQ(a.service_port, b.service_port);
+    EXPECT_EQ(a.talos_disclosed, b.talos_disclosed);
+  }
+}
+
+TEST(CveTableIo, DescriptionsWithCommasSurvive) {
+  std::vector<CveRecord> records = {appendix_e().front()};
+  records[0].description = "a, \"quoted\", description";
+  std::string error;
+  const auto parsed = cve_table_from_csv(cve_table_to_csv(records), error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ((*parsed)[0].description, "a, \"quoted\", description");
+}
+
+struct BadTableCase {
+  const char* name;
+  const char* mutation_target;  // substring of a valid CSV to replace
+  const char* replacement;
+  const char* expected_error_fragment;
+};
+
+class BadTables : public ::testing::TestWithParam<BadTableCase> {};
+
+TEST_P(BadTables, RejectedWithDiagnostic) {
+  std::string csv = cve_table_to_csv({appendix_e().front()});
+  const auto pos = csv.find(GetParam().mutation_target);
+  ASSERT_NE(pos, std::string::npos) << GetParam().name;
+  csv.replace(pos, std::string(GetParam().mutation_target).size(), GetParam().replacement);
+  std::string error;
+  const auto parsed = cve_table_from_csv(csv, error);
+  EXPECT_FALSE(parsed.has_value()) << GetParam().name;
+  EXPECT_NE(error.find(GetParam().expected_error_fragment), std::string::npos)
+      << GetParam().name << ": " << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BadTables,
+    ::testing::Values(
+        BadTableCase{"bad_header", "cve,published", "id,published", "unexpected column"},
+        BadTableCase{"bad_date", "2021-04-21", "not-a-date", "bad published date"},
+        BadTableCase{"bad_port", ",443,", ",70000,", "bad service port"},
+        BadTableCase{"bad_impact", ",10,", ",11,", "impact out of range"},
+        BadTableCase{"bad_flag", ",443,0", ",443,x", "bad talos flag"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(CveTableIo, EmptyDocumentRejected) {
+  std::string error;
+  EXPECT_FALSE(cve_table_from_csv("", error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CsvParsing, QuotedFieldsAndEscapes) {
+  const auto fields = util::parse_csv_line(R"(a,"b,c","say ""hi""",)");
+  ASSERT_TRUE(fields.has_value());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[1], "b,c");
+  EXPECT_EQ((*fields)[2], "say \"hi\"");
+  EXPECT_EQ((*fields)[3], "");
+  EXPECT_FALSE(util::parse_csv_line("\"unterminated").has_value());
+  EXPECT_FALSE(util::parse_csv_line("mid\"quote").has_value());
+}
+
+}  // namespace
+}  // namespace cvewb::data

@@ -1,0 +1,99 @@
+#include "data/cvss.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::data {
+namespace {
+
+struct ScoreCase {
+  const char* vector;
+  double expected;
+};
+
+class KnownScores : public ::testing::TestWithParam<ScoreCase> {};
+
+TEST_P(KnownScores, Match) {
+  const auto vector = parse_cvss(GetParam().vector);
+  ASSERT_TRUE(vector.has_value()) << GetParam().vector;
+  EXPECT_DOUBLE_EQ(cvss_base_score(*vector), GetParam().expected) << GetParam().vector;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FirstOrgReference, KnownScores,
+    ::testing::Values(
+        // The ubiquitous unauthenticated-network-RCE vector.
+        ScoreCase{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8},
+        // Log4Shell: scope changed -> 10.0.
+        ScoreCase{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0},
+        // Apache 41773 (path traversal as published).
+        ScoreCase{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5},
+        // Stored-XSS-ish vector.
+        ScoreCase{"CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1},
+        // Local high-complexity example.
+        ScoreCase{"CVSS:3.1/AV:L/AC:H/PR:L/UI:R/S:U/C:H/I:H/A:H", 6.7},
+        // Information disclosure only.
+        ScoreCase{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", 5.3},
+        // No impact at all -> 0.
+        ScoreCase{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0},
+        // DoS-style availability-only.
+        ScoreCase{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 7.5}),
+    [](const auto& info) { return "case_" + std::to_string(info.index); });
+
+TEST(CvssParse, RoundTripsCanonicalString) {
+  const char* text = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H";
+  const auto vector = parse_cvss(text);
+  ASSERT_TRUE(vector.has_value());
+  EXPECT_EQ(vector->to_string(), text);
+  const auto reparsed = parse_cvss(vector->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_DOUBLE_EQ(cvss_base_score(*reparsed), cvss_base_score(*vector));
+}
+
+TEST(CvssParse, OrderInsensitiveAndPrefixOptional) {
+  const auto a = parse_cvss("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H");
+  const auto b = parse_cvss("CVSS:3.0/C:H/I:H/A:H/AV:N/AC:L/PR:N/UI:N/S:U");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(cvss_base_score(*a), cvss_base_score(*b));
+}
+
+TEST(CvssParse, RejectsMalformed) {
+  EXPECT_FALSE(parse_cvss("").has_value());
+  EXPECT_FALSE(parse_cvss("AV:N/AC:L").has_value());  // missing base metrics
+  EXPECT_FALSE(parse_cvss("AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H").has_value());
+  EXPECT_FALSE(parse_cvss("CVSS:2.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H").has_value());
+  EXPECT_FALSE(parse_cvss("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:F").has_value());
+}
+
+TEST(CvssRoundup, SpecBehaviour) {
+  EXPECT_DOUBLE_EQ(cvss_roundup(4.02), 4.1);
+  EXPECT_DOUBLE_EQ(cvss_roundup(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(cvss_roundup(4.001), 4.1);
+  EXPECT_DOUBLE_EQ(cvss_roundup(0.0), 0.0);
+}
+
+TEST(CvssScores, PrivilegeWeightDependsOnScope) {
+  // PR:L is worth more under changed scope (0.68 vs 0.62).
+  const auto unchanged = parse_cvss("AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H");
+  const auto changed = parse_cvss("AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H");
+  EXPECT_DOUBLE_EQ(cvss_base_score(*unchanged), 8.8);
+  EXPECT_DOUBLE_EQ(cvss_base_score(*changed), 9.9);
+}
+
+TEST(CvssSeverity, Bands) {
+  EXPECT_EQ(cvss_severity(0.0), "None");
+  EXPECT_EQ(cvss_severity(3.9), "Low");
+  EXPECT_EQ(cvss_severity(5.0), "Medium");
+  EXPECT_EQ(cvss_severity(8.8), "High");
+  EXPECT_EQ(cvss_severity(9.8), "Critical");
+}
+
+TEST(CvssScores, MonotoneInImpact) {
+  // Raising any CIA metric never lowers the score.
+  const auto low = parse_cvss("AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N");
+  const auto high = parse_cvss("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N");
+  EXPECT_LT(cvss_base_score(*low), cvss_base_score(*high));
+}
+
+}  // namespace
+}  // namespace cvewb::data

@@ -1,0 +1,99 @@
+#include "data/kev.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/appendix_e.h"
+
+namespace cvewb::data {
+namespace {
+
+class KevTest : public ::testing::Test {
+ protected:
+  KevCatalog catalog_ = synthesize_kev(7);
+};
+
+TEST_F(KevTest, CatalogHas424Entries) { EXPECT_EQ(catalog_.entries.size(), 424u); }
+
+TEST_F(KevTest, FortyFourSharedWithStudy) {
+  EXPECT_EQ(catalog_.shared_with_study().size(), 44u);  // 70 % of 63
+}
+
+TEST_F(KevTest, SharedEntriesAreRealStudyCves) {
+  for (const KevEntry* entry : catalog_.shared_with_study()) {
+    const CveRecord* rec = find_cve(entry->cve_id);
+    ASSERT_NE(rec, nullptr) << entry->cve_id;
+    EXPECT_EQ(rec->published, entry->nvd_published);
+    EXPECT_DOUBLE_EQ(rec->impact, entry->impact);
+  }
+}
+
+TEST_F(KevTest, EighteenPercentAddedBeforePublication) {
+  int early = 0;
+  for (const auto& entry : catalog_.entries) {
+    if (entry.date_added < entry.nvd_published) ++early;
+  }
+  EXPECT_NEAR(static_cast<double>(early) / 424.0, 0.18, 0.015);  // Finding 16
+}
+
+TEST_F(KevTest, Figure11CountsExact) {
+  // 26/44 DSCOPE-first, 22/44 by more than 30 days.
+  int dscope_first = 0;
+  int dscope_first_30d = 0;
+  for (const KevEntry* entry : catalog_.shared_with_study()) {
+    const CveRecord* rec = find_cve(entry->cve_id);
+    const auto attack = rec->first_attack();
+    ASSERT_TRUE(attack.has_value());
+    const double delta_days = (*attack - entry->date_added).total_days();
+    if (delta_days < 0) ++dscope_first;
+    if (delta_days < -30) ++dscope_first_30d;
+  }
+  EXPECT_EQ(dscope_first, 26);
+  EXPECT_EQ(dscope_first_30d, 22);
+}
+
+TEST_F(KevTest, ImpactSkewsHighButBelowStudied) {
+  // Finding 15: KEV biased high, less extreme than DSCOPE's set.
+  double kev_crit = 0;
+  for (const auto& entry : catalog_.entries) kev_crit += entry.impact >= 9.0 ? 1 : 0;
+  kev_crit /= static_cast<double>(catalog_.entries.size());
+  double studied_crit = 0;
+  for (const auto& rec : appendix_e()) studied_crit += rec.impact >= 9.0 ? 1 : 0;
+  studied_crit /= static_cast<double>(appendix_e().size());
+  EXPECT_GT(kev_crit, 0.25);
+  EXPECT_LT(kev_crit, studied_crit);
+}
+
+TEST_F(KevTest, DeterministicForSeed) {
+  const KevCatalog again = synthesize_kev(7);
+  ASSERT_EQ(again.entries.size(), catalog_.entries.size());
+  for (std::size_t i = 0; i < again.entries.size(); ++i) {
+    EXPECT_EQ(again.entries[i].cve_id, catalog_.entries[i].cve_id);
+    EXPECT_EQ(again.entries[i].date_added, catalog_.entries[i].date_added);
+  }
+}
+
+TEST_F(KevTest, DifferentSeedChangesOverlapNotCalibration) {
+  const KevCatalog other = synthesize_kev(12345);
+  EXPECT_EQ(other.entries.size(), 424u);
+  EXPECT_EQ(other.shared_with_study().size(), 44u);
+  std::set<std::string> a;
+  std::set<std::string> b;
+  for (const auto* e : catalog_.shared_with_study()) a.insert(e->cve_id);
+  for (const auto* e : other.shared_with_study()) b.insert(e->cve_id);
+  EXPECT_NE(a, b);  // the chosen overlap differs by seed
+}
+
+TEST_F(KevTest, SortedByPublication) {
+  for (std::size_t i = 1; i < catalog_.entries.size(); ++i) {
+    EXPECT_LE(catalog_.entries[i - 1].nvd_published, catalog_.entries[i].nvd_published);
+  }
+}
+
+TEST(KevLaunch, MatchesHistory) {
+  EXPECT_EQ(util::format_date(kev_launch()), "2021-11-03");
+}
+
+}  // namespace
+}  // namespace cvewb::data

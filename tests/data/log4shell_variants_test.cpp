@@ -1,0 +1,65 @@
+#include "data/log4shell_variants.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace cvewb::data {
+namespace {
+
+TEST(Log4ShellVariants, FifteenSignaturesInFiveGroups) {
+  const auto& variants = log4shell_variants();
+  EXPECT_EQ(variants.size(), 15u);
+  std::map<char, int> groups;
+  for (const auto& v : variants) ++groups[v.group];
+  EXPECT_EQ(groups.size(), 5u);
+  EXPECT_EQ(groups['A'], 6);
+  EXPECT_EQ(groups['B'], 2);
+  EXPECT_EQ(groups['C'], 4);
+  EXPECT_EQ(groups['D'], 2);
+  EXPECT_EQ(groups['E'], 1);
+}
+
+TEST(Log4ShellVariants, GroupReleaseOffsetsMatchTable6) {
+  std::map<char, std::int64_t> offsets;
+  for (const auto& v : log4shell_variants()) offsets[v.group] = v.group_d_minus_p.total_seconds();
+  EXPECT_EQ(offsets['A'], 9 * 3600);
+  EXPECT_EQ(offsets['B'], 17 * 3600);
+  EXPECT_EQ(offsets['C'], 86400 + 15 * 3600);
+  EXPECT_EQ(offsets['D'], 3 * 86400 + 11 * 3600);
+  EXPECT_EQ(offsets['E'], 90 * 86400 + 3 * 3600);
+}
+
+TEST(Log4ShellVariants, KnownRows) {
+  const auto& variants = log4shell_variants();
+  // 58723: header/jndi, matched 6h *before* its release.
+  const auto it_58723 =
+      std::find_if(variants.begin(), variants.end(), [](const auto& v) { return v.sid == 58723; });
+  ASSERT_NE(it_58723, variants.end());
+  EXPECT_EQ(it_58723->a_minus_d.total_seconds(), -6 * 3600);
+  EXPECT_EQ(it_58723->context, InjectionContext::kHttpHeader);
+  EXPECT_EQ(it_58723->match, MatchKind::kJndi);
+  // 58751: SMTP carrier with extraneous-text adaptation.
+  const auto it_58751 =
+      std::find_if(variants.begin(), variants.end(), [](const auto& v) { return v.sid == 58751; });
+  ASSERT_NE(it_58751, variants.end());
+  EXPECT_EQ(it_58751->context, InjectionContext::kSmtp);
+  EXPECT_FALSE(it_58751->adaptation.empty());
+}
+
+TEST(Log4ShellVariants, SidsUnique) {
+  std::map<int, int> sids;
+  for (const auto& v : log4shell_variants()) ++sids[v.sid];
+  for (const auto& [sid, count] : sids) EXPECT_EQ(count, 1) << sid;
+}
+
+TEST(Log4ShellVariants, ToStringCoversAllEnumerators) {
+  EXPECT_EQ(to_string(InjectionContext::kHttpMethod), "HTTP Request Method");
+  EXPECT_EQ(to_string(InjectionContext::kSmtp), "SMTP");
+  EXPECT_EQ(to_string(MatchKind::kAny), "jndi/lower/upper");
+  EXPECT_EQ(to_string(MatchKind::kLower), "lower");
+}
+
+}  // namespace
+}  // namespace cvewb::data

@@ -1,0 +1,80 @@
+#include "data/nvd.h"
+
+#include "data/cvss.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::data {
+namespace {
+
+TEST(NvdMixture, WeightsSumToOne) {
+  double total = 0;
+  for (const auto& [score, weight] : nvd_score_mixture()) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 10.0);
+    EXPECT_GT(weight, 0.0);
+    total += weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(NvdMixture, QuantileIsMonotone) {
+  double prev = 0;
+  for (double u = 0.0; u <= 1.0; u += 0.01) {
+    const double q = nvd_score_quantile(u);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(NvdMixture, QuantileClampsOutOfRange) {
+  EXPECT_DOUBLE_EQ(nvd_score_quantile(-1.0), nvd_score_quantile(0.0));
+  EXPECT_DOUBLE_EQ(nvd_score_quantile(2.0), nvd_score_quantile(1.0));
+}
+
+TEST(NvdPopulation, MedianNearSevenCriticalTailNearFifteenPercent) {
+  const auto impacts = population_impacts(10000);
+  double critical = 0;
+  for (double v : impacts) critical += v >= 9.0 ? 1 : 0;
+  EXPECT_NEAR(critical / 10000.0, 0.15, 0.03);
+  EXPECT_NEAR(impacts[5000], 7.2, 0.5);
+}
+
+TEST(NvdPopulation, VectorBackedRecordsScoreConsistently) {
+  util::Rng rng(11);
+  const auto population = synthesize_population_with_vectors(500, rng);
+  ASSERT_EQ(population.size(), 500u);
+  for (const auto& rec : population) {
+    const auto vector = parse_cvss(rec.cvss_vector);
+    ASSERT_TRUE(vector.has_value()) << rec.cvss_vector;
+    EXPECT_DOUBLE_EQ(rec.impact, cvss_base_score(*vector)) << rec.cvss_vector;
+  }
+}
+
+TEST(NvdPopulation, VectorBackedShapeMatchesMixtureRoughly) {
+  util::Rng rng(12);
+  const auto population = synthesize_population_with_vectors(5000, rng);
+  double critical = 0;
+  double low = 0;
+  for (const auto& rec : population) {
+    critical += rec.impact >= 9.0 ? 1 : 0;
+    low += rec.impact < 4.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(critical / 5000.0, 0.15, 0.05);
+  EXPECT_LT(low / 5000.0, 0.10);
+}
+
+TEST(NvdPopulation, SynthesizeIsDeterministicPerRng) {
+  util::Rng a(3);
+  util::Rng b(3);
+  const auto pa = synthesize_population(100, a);
+  const auto pb = synthesize_population(100, b);
+  ASSERT_EQ(pa.size(), 100u);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].published, pb[i].published);
+    EXPECT_DOUBLE_EQ(pa[i].impact, pb[i].impact);
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::data

@@ -1,0 +1,99 @@
+#include "ids/aho_corasick.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cvewb::ids {
+namespace {
+
+TEST(AhoCorasick, FindsAllPatterns) {
+  AhoCorasick ac;
+  const auto a = ac.add("he");
+  const auto b = ac.add("she");
+  const auto c = ac.add("his");
+  const auto d = ac.add("hers");
+  ac.build();
+  const auto hits = ac.find_all("ushers");
+  EXPECT_EQ(hits, (std::vector<std::size_t>{a, b, d}));
+  EXPECT_EQ(ac.find_all("his house"), std::vector<std::size_t>{c});
+  EXPECT_EQ(ac.find_all("to her"), std::vector<std::size_t>{a});
+}
+
+TEST(AhoCorasick, CaseInsensitive) {
+  AhoCorasick ac;
+  const auto id = ac.add("${JNDI:");
+  ac.build();
+  EXPECT_EQ(ac.find_all("x=${jndi:ldap://x}"), std::vector<std::size_t>{id});
+  EXPECT_EQ(ac.find_all("x=${JnDi:ldap://x}"), std::vector<std::size_t>{id});
+}
+
+TEST(AhoCorasick, BinaryBytes) {
+  AhoCorasick ac;
+  const auto id = ac.add(std::string("\x90\x90\xff", 3));
+  ac.build();
+  EXPECT_EQ(ac.find_all(std::string("aa\x90\x90\xff:bb", 8)), std::vector<std::size_t>{id});
+}
+
+TEST(AhoCorasick, NoMatches) {
+  AhoCorasick ac;
+  ac.add("needle");
+  ac.build();
+  EXPECT_TRUE(ac.find_all("haystack without it").empty());
+  EXPECT_TRUE(ac.find_all("").empty());
+}
+
+TEST(AhoCorasick, DuplicatePatternsGetDistinctIds) {
+  AhoCorasick ac;
+  const auto a = ac.add("dup");
+  const auto b = ac.add("dup");
+  ac.build();
+  EXPECT_EQ(ac.find_all("duplicate"), (std::vector<std::size_t>{a, b}));
+}
+
+TEST(AhoCorasick, ScanReportsEndOffsets) {
+  AhoCorasick ac;
+  ac.add("ab");
+  ac.build();
+  std::vector<std::size_t> ends;
+  ac.scan("abxab", [&](std::size_t, std::size_t end) { ends.push_back(end); });
+  EXPECT_EQ(ends, (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(AhoCorasick, UsageErrors) {
+  AhoCorasick ac;
+  EXPECT_THROW(ac.add(""), std::invalid_argument);
+  ac.add("x");
+  EXPECT_THROW(ac.find_all("x"), std::logic_error);  // before build
+  ac.build();
+  EXPECT_THROW(ac.add("y"), std::logic_error);  // after build
+  ac.build();                                   // idempotent
+}
+
+TEST(AhoCorasick, PropertyMatchesNaiveSearch) {
+  // Property: over random texts, AC hit-set equals the naive
+  // case-insensitive substring check for every pattern.
+  util::Rng rng(77);
+  const std::vector<std::string> patterns = {"${jndi", "exec", "aaa", "GET /", "%2e%2e",
+                                             "luaopen_os", "ab"};
+  AhoCorasick ac;
+  for (const auto& p : patterns) ac.add(p);
+  ac.build();
+  const std::string alphabet = "ab{}$%2e./GETjndiexecluaopen_os ";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.uniform_int(0, 80));
+    for (int i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.uniform_u64(alphabet.size())]);
+    }
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      if (util::ifind(text, patterns[i]) != std::string_view::npos) expected.push_back(i);
+    }
+    EXPECT_EQ(ac.find_all(text), expected) << "text: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::ids

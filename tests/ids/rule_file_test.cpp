@@ -1,0 +1,129 @@
+#include "ids/rule_file.h"
+
+#include "ids/rule_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cvewb::ids {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(RuleFile, VariablesExpandInHeaders) {
+  std::stringstream in(
+      "# Talos-style preamble\n"
+      "portvar WEB_PORTS [80,8090]\n"
+      "\n"
+      "alert tcp $EXTERNAL_NET any -> $HOME_NET $WEB_PORTS "
+      "(msg:\"v\"; content:\"probe\"; sid:1;)\n");
+  const RuleSet rules = load_ruleset(in);
+  ASSERT_EQ(rules.size(), 1u);
+  const Rule* rule = rules.find_sid(1);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_TRUE(rule->src_ports.any);
+  EXPECT_TRUE(rule->dst_ports.permits(8090));
+  EXPECT_FALSE(rule->dst_ports.permits(22));
+}
+
+TEST(RuleFile, DefaultVariablesAvailable) {
+  std::stringstream in(
+      "alert tcp $EXTERNAL_NET any -> $HTTP_SERVERS $HTTP_PORTS "
+      "(msg:\"d\"; content:\"x\"; sid:2;)\n");
+  const RuleSet rules = load_ruleset(in);
+  EXPECT_TRUE(rules.find_sid(2)->dst_ports.permits(8443));
+}
+
+TEST(RuleFile, VariablesComposeRecursively) {
+  std::stringstream in(
+      "portvar BASE [80]\n"
+      "portvar ALIAS $BASE\n"
+      "alert tcp any any -> any $ALIAS (msg:\"r\"; content:\"x\"; sid:3;)\n");
+  const RuleSet rules = load_ruleset(in);
+  EXPECT_TRUE(rules.find_sid(3)->dst_ports.permits(80));
+}
+
+TEST(RuleFile, DollarInsideContentIsNotAVariable) {
+  std::stringstream in(
+      R"(alert tcp any any -> any any (msg:"j"; content:"${jndi:"; nocase; sid:4;))"
+      "\n");
+  const RuleSet rules = load_ruleset(in);
+  EXPECT_EQ(rules.find_sid(4)->contents[0].pattern, "${jndi:");
+}
+
+TEST(RuleFile, UndefinedVariableRejected) {
+  std::stringstream in("alert tcp $NOPE any -> any any (msg:\"u\"; content:\"x\"; sid:5;)\n");
+  EXPECT_THROW(load_ruleset(in), ParseError);
+}
+
+TEST(RuleFile, CyclicVariablesRejected) {
+  std::stringstream definitions("portvar A $B\n");
+  // Defining A in terms of undefined B fails immediately...
+  EXPECT_THROW(load_ruleset(definitions), ParseError);
+  // ...and self-reference cannot be constructed through the API, because
+  // definitions expand eagerly.  Direct expansion still guards the depth:
+  VariableMap cyclic;
+  cyclic["A"] = "$A";
+  EXPECT_THROW(expand_variables("$A", cyclic, 1), ParseError);
+}
+
+TEST(RuleFile, IncludeRejectedWithoutFileContext) {
+  std::stringstream in("include other.rules\n");
+  EXPECT_THROW(load_ruleset(in), ParseError);
+}
+
+class RuleFileOnDisk : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = fs::temp_directory_path() /
+                 ("cvewb_rules_test_" + std::to_string(::getpid()));
+    fs::create_directories(directory_);
+  }
+  void TearDown() override { fs::remove_all(directory_); }
+
+  void write(const std::string& name, const std::string& text) {
+    std::ofstream out(directory_ / name);
+    out << text;
+  }
+
+  fs::path directory_;
+};
+
+TEST_F(RuleFileOnDisk, IncludesResolveRelativeToFile) {
+  write("main.rules",
+        "portvar WEB [8090]\n"
+        "include extra/confluence.rules\n"
+        "alert tcp any any -> any $WEB (msg:\"main\"; content:\"a\"; sid:10;)\n");
+  fs::create_directories(directory_ / "extra");
+  write("extra/confluence.rules",
+        "alert tcp any any -> any $WEB (msg:\"included\"; content:\"b\"; sid:11;)\n");
+  const RuleSet rules = load_ruleset_file(directory_ / "main.rules");
+  EXPECT_EQ(rules.size(), 2u);
+  ASSERT_NE(rules.find_sid(11), nullptr);
+  // The include sees variables defined before it in the including file.
+  EXPECT_TRUE(rules.find_sid(11)->dst_ports.permits(8090));
+}
+
+TEST_F(RuleFileOnDisk, MissingIncludeFails) {
+  write("main.rules", "include nope.rules\n");
+  EXPECT_THROW(load_ruleset_file(directory_ / "main.rules"), ParseError);
+}
+
+TEST_F(RuleFileOnDisk, RecursiveIncludeDepthLimited) {
+  write("loop.rules", "include loop.rules\n");
+  EXPECT_THROW(load_ruleset_file(directory_ / "loop.rules"), ParseError);
+}
+
+TEST_F(RuleFileOnDisk, StudyRulesetRoundTripsThroughDisk) {
+  // Serialize the full synthetic ruleset and load it back from a file.
+  write("study.rules", generate_study_ruleset().serialize());
+  const RuleSet loaded = load_ruleset_file(directory_ / "study.rules");
+  EXPECT_EQ(loaded.size(), generate_study_ruleset().size());
+  EXPECT_NE(loaded.find_sid(58722), nullptr);  // Log4Shell group A
+}
+
+}  // namespace
+}  // namespace cvewb::ids

@@ -1,0 +1,179 @@
+#include "ids/rule_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ids/matcher.h"
+#include "ids/rule_parser.h"
+#include "traffic/obfuscation.h"
+#include "traffic/payload.h"
+
+namespace cvewb::ids {
+namespace {
+
+net::TcpSession session_with(const std::string& payload, std::uint16_t port) {
+  net::TcpSession s;
+  s.open_time = util::TimePoint(1640000000);
+  s.src = net::IPv4(198, 51, 100, 9);
+  s.dst = net::IPv4(3, 208, 0, 1);
+  s.src_port = 50000;
+  s.dst_port = port;
+  s.payload = payload;
+  return s;
+}
+
+TEST(StudyRuleset, CoversEveryStudiedCvePlusVariantsAndDecoy) {
+  const RuleSet ruleset = generate_study_ruleset();
+  // 62 generic rules + 15 Log4Shell variants + 1 decoy.
+  EXPECT_EQ(ruleset.size(), 78u);
+  for (const auto& rec : data::appendix_e()) {
+    EXPECT_FALSE(ruleset.rules_for_cve(rec.id).empty()) << rec.id;
+  }
+  ASSERT_NE(ruleset.find_sid(49999), nullptr);
+  EXPECT_TRUE(ruleset.find_sid(49999)->broad);
+}
+
+TEST(StudyRuleset, PublicationTimesMatchAppendixOffsets) {
+  const RuleSet ruleset = generate_study_ruleset();
+  for (const auto& rec : data::appendix_e()) {
+    if (rec.id == "CVE-2021-44228") continue;
+    const auto coverage = ruleset.coverage_available(rec.id);
+    if (rec.fix_deployed()) {
+      ASSERT_TRUE(coverage.has_value()) << rec.id;
+      EXPECT_EQ(*coverage, *rec.fix_deployed()) << rec.id;
+    } else {
+      EXPECT_FALSE(coverage.has_value()) << rec.id;
+    }
+  }
+  // Log4Shell coverage = earliest variant group (A: P + 9h).
+  const auto log4shell = ruleset.coverage_available("CVE-2021-44228");
+  ASSERT_TRUE(log4shell.has_value());
+  EXPECT_EQ(*log4shell, data::find_cve("CVE-2021-44228")->published + util::Duration::hours(9));
+}
+
+TEST(StudyRuleset, EveryExploitPayloadMatchesExactlyItsOwnCve) {
+  // The load-bearing generator invariant: each CVE's payload trips its own
+  // signature and no other CVE's.
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(5);
+  for (const auto& rec : data::appendix_e()) {
+    if (rec.id == "CVE-2021-44228") continue;
+    const ExploitSpec spec = spec_for(rec);
+    const auto payload = traffic::render_exploit_payload(spec, rng);
+    const auto matches = matcher.match_all(session_with(payload, rec.service_port));
+    ASSERT_FALSE(matches.empty()) << rec.id << " payload unmatched";
+    for (const auto* rule : matches) {
+      EXPECT_EQ(rule->cve, rec.id) << "payload for " << rec.id << " cross-matched sid "
+                                   << rule->sid;
+    }
+  }
+}
+
+TEST(StudyRuleset, PayloadsMatchOnNonStandardPortsViaRewrite) {
+  // §3.1 port-insensitivity: spray traffic on odd ports is still detected.
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(6);
+  const auto* rec = data::find_cve("CVE-2022-26134");
+  const auto payload = traffic::render_exploit_payload(spec_for(*rec), rng);
+  EXPECT_FALSE(matcher.match_all(session_with(payload, 31337)).empty());
+
+  MatcherOptions strict;
+  strict.port_insensitive = false;
+  const Matcher port_bound(ruleset.rules(), strict);
+  EXPECT_TRUE(port_bound.match_all(session_with(payload, 31337)).empty());
+  EXPECT_FALSE(port_bound.match_all(session_with(payload, rec->service_port)).empty());
+}
+
+TEST(Log4ShellVariants, EachPayloadMatchesExactlyItsSid) {
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(7);
+  for (const auto& variant : data::log4shell_variants()) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto payload = traffic::log4shell_payload(variant, rng);
+      const auto matches = matcher.match_all(session_with(payload, 8080));
+      ASSERT_FALSE(matches.empty()) << "sid " << variant.sid << " payload unmatched";
+      for (const auto* rule : matches) {
+        EXPECT_EQ(rule->sid, variant.sid)
+            << "variant " << variant.sid << " payload also matched sid " << rule->sid;
+      }
+    }
+  }
+}
+
+TEST(Log4ShellVariants, AttributionSurvivesEarliestPublishedSelection) {
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(8);
+  for (const auto& variant : data::log4shell_variants()) {
+    const auto payload = traffic::log4shell_payload(variant, rng);
+    const Rule* best = matcher.earliest_published_match(session_with(payload, 80));
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->sid, variant.sid);
+  }
+}
+
+TEST(UntargetedOgnl, MatchesConfluenceSignatureOnly) {
+  // Finding 19: the generic OGNL probe trips the Confluence rule even
+  // though it was not aimed at Confluence.
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(9);
+  const auto payload = traffic::untargeted_ognl_payload(rng);
+  const auto matches = matcher.match_all(session_with(payload, 8161));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0]->cve, "CVE-2022-26134");
+}
+
+TEST(Decoy, MatchesCredentialStuffingNotExploits) {
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(10);
+  const auto stuffing = traffic::credential_stuffing_payload(rng);
+  const auto matches = matcher.match_all(session_with(stuffing, 443));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0]->cve, std::string(kDecoyCveId));
+}
+
+TEST(Background, MatchesNothing) {
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const auto payload = traffic::background_payload(rng);
+    EXPECT_TRUE(matcher.match_all(session_with(payload, 80)).empty()) << payload;
+  }
+}
+
+TEST(RuleSetOps, PortInsensitiveRewriteClearsConstraints) {
+  const RuleSet ruleset = generate_study_ruleset();
+  const RuleSet widened = ruleset.port_insensitive();
+  ASSERT_EQ(widened.size(), ruleset.size());
+  for (const auto& rule : widened.rules()) {
+    EXPECT_TRUE(rule.dst_ports.any);
+    EXPECT_TRUE(rule.src_ports.any);
+  }
+}
+
+TEST(RuleSetOps, SerializeParsesBack) {
+  const RuleSet ruleset = generate_study_ruleset();
+  const auto reparsed = parse_rules(ruleset.serialize());
+  EXPECT_EQ(reparsed.size(), ruleset.size());
+}
+
+TEST(RuleSetOps, WindowFilterDropsUnknownCves) {
+  const RuleSet ruleset = generate_study_ruleset();
+  std::map<std::string, util::TimePoint> published;
+  for (const auto& rec : data::appendix_e()) published[rec.id] = rec.published;
+  const RuleSet filtered =
+      ruleset.filtered_to_cve_window(data::study_begin(), data::study_end(), published);
+  // The decoy's bogus CVE has no publication entry, so it drops out.
+  EXPECT_EQ(filtered.size(), ruleset.size() - 1);
+  EXPECT_EQ(filtered.find_sid(49999), nullptr);
+}
+
+}  // namespace
+}  // namespace cvewb::ids

@@ -1,0 +1,209 @@
+#include "ids/rule_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::ids {
+namespace {
+
+TEST(RuleParser, FullRule) {
+  const Rule rule = parse_rule(
+      R"(alert tcp any any -> any [80,8090] (msg:"Confluence OGNL injection"; )"
+      R"(content:"${(#"; http_uri; nocase; content:"io.IOUtils"; http_uri; )"
+      R"(metadata: cve CVE-2022-26134, published 2022-06-20T14:00:00Z; sid:50042; rev:2;))");
+  EXPECT_EQ(rule.msg, "Confluence OGNL injection");
+  EXPECT_EQ(rule.sid, 50042);
+  EXPECT_EQ(rule.rev, 2);
+  EXPECT_EQ(rule.cve, "CVE-2022-26134");
+  ASSERT_TRUE(rule.published.has_value());
+  EXPECT_EQ(util::format_datetime(*rule.published), "2022-06-20T14:00:00Z");
+  ASSERT_EQ(rule.contents.size(), 2u);
+  EXPECT_EQ(rule.contents[0].pattern, "${(#");
+  EXPECT_TRUE(rule.contents[0].nocase);
+  EXPECT_EQ(rule.contents[0].buffer, Buffer::kHttpUri);
+  EXPECT_FALSE(rule.contents[1].nocase);
+  ASSERT_FALSE(rule.dst_ports.any);
+  EXPECT_TRUE(rule.dst_ports.permits(8090));
+  EXPECT_FALSE(rule.dst_ports.permits(443));
+}
+
+TEST(RuleParser, HexEscapes) {
+  const Rule rule =
+      parse_rule(R"(alert tcp any any -> any any (msg:"hex"; content:"a|3a 3B|b"; sid:1;))");
+  EXPECT_EQ(rule.contents[0].pattern, "a:;b");
+}
+
+TEST(RuleParser, NegatedContentAndModifiers) {
+  const Rule rule = parse_rule(
+      R"(alert tcp any any -> any any (msg:"m"; content:"root"; offset:4; depth:16; )"
+      R"(content:!"harmless"; http_client_body; sid:2;))");
+  EXPECT_FALSE(rule.contents[0].negated);
+  EXPECT_EQ(rule.contents[0].offset, 4);
+  EXPECT_EQ(rule.contents[0].depth, 16);
+  EXPECT_TRUE(rule.contents[1].negated);
+  EXPECT_EQ(rule.contents[1].buffer, Buffer::kHttpClientBody);
+}
+
+TEST(RuleParser, DistanceWithin) {
+  const Rule rule = parse_rule(
+      R"(alert tcp any any -> any any (msg:"m"; content:"EVAL"; content:"luaopen"; )"
+      R"(distance:0; within:200; sid:3;))");
+  EXPECT_EQ(rule.contents[1].distance, 0);
+  EXPECT_EQ(rule.contents[1].within, 200);
+}
+
+TEST(RuleParser, NegatedPortList) {
+  const Rule rule =
+      parse_rule(R"(alert tcp any any -> any ![22,23] (msg:"m"; content:"x"; sid:4;))");
+  EXPECT_FALSE(rule.dst_ports.permits(22));
+  EXPECT_TRUE(rule.dst_ports.permits(80));
+}
+
+TEST(RuleParser, BroadPolicyFlag) {
+  const Rule rule = parse_rule(
+      R"(alert tcp any any -> any any (msg:"m"; content:"/api"; http_uri; )"
+      R"(metadata: policy broad; sid:5;))");
+  EXPECT_TRUE(rule.broad);
+}
+
+TEST(RuleParser, EscapedQuoteInsideContent) {
+  const Rule rule = parse_rule(
+      R"(alert tcp any any -> any any (msg:"m"; content:"filename=\"shell.jsp\""; sid:6;))");
+  EXPECT_EQ(rule.contents[0].pattern, "filename=\"shell.jsp\"");
+}
+
+struct BadRuleCase {
+  const char* name;
+  const char* text;
+};
+
+class BadRules : public ::testing::TestWithParam<BadRuleCase> {};
+
+TEST_P(BadRules, Rejected) {
+  EXPECT_THROW(parse_rule(GetParam().text), ParseError) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BadRules,
+    ::testing::Values(
+        BadRuleCase{"no_parens", "alert tcp any any -> any any"},
+        BadRuleCase{"bad_header", "alert tcp any -> any (msg:\"m\"; content:\"x\"; sid:1;)"},
+        BadRuleCase{"bad_action", "pass tcp any any -> any any (content:\"x\"; sid:1;)"},
+        BadRuleCase{"bad_proto", "alert udp any any -> any any (content:\"x\"; sid:1;)"},
+        BadRuleCase{"no_sid", "alert tcp any any -> any any (content:\"x\";)"},
+        BadRuleCase{"no_content", "alert tcp any any -> any any (msg:\"m\"; sid:1;)"},
+        BadRuleCase{"empty_content", "alert tcp any any -> any any (content:\"\"; sid:1;)"},
+        BadRuleCase{"unknown_option", "alert tcp any any -> any any (content:\"x\"; zap:1; sid:1;)"},
+        BadRuleCase{"nocase_without_content", "alert tcp any any -> any any (nocase; sid:1;)"},
+        BadRuleCase{"bad_port", "alert tcp any any -> any [99999] (content:\"x\"; sid:1;)"},
+        BadRuleCase{"bad_hex", "alert tcp any any -> any any (content:\"|zz|\"; sid:1;)"},
+        BadRuleCase{"unterminated_hex", "alert tcp any any -> any any (content:\"|3a\"; sid:1;)"},
+        BadRuleCase{"bad_published",
+                    "alert tcp any any -> any any (content:\"x\"; metadata: published "
+                    "someday; sid:1;)"}),
+    [](const auto& info) { return std::string("case_") + std::to_string(info.index); });
+
+TEST(RuleParser, ParseRulesSkipsCommentsAndBlanks) {
+  const auto rules = parse_rules(
+      "# comment\n"
+      "\n"
+      "alert tcp any any -> any any (msg:\"a\"; content:\"x\"; sid:1;)\n"
+      "alert tcp any any -> any 80 (msg:\"b\"; content:\"y\"; sid:2;)\n");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[1].sid, 2);
+}
+
+TEST(RuleParser, ParseErrorCarriesLineNumber) {
+  try {
+    parse_rules("# ok\nalert tcp any any -> any any (sid:1;)\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(RuleSerializer, RoundTripsThroughParser) {
+  const char* text =
+      R"(alert tcp any any -> any [8090] (msg:"rt"; content:"${(#"; http_uri; nocase; )"
+      R"(content:!"benign"; http_client_body; metadata: cve CVE-2022-26134, )"
+      R"(published 2022-06-20T14:00:00Z; sid:7; rev:3;))";
+  const Rule rule = parse_rule(text);
+  const Rule reparsed = parse_rule(serialize_rule(rule));
+  EXPECT_EQ(reparsed.msg, rule.msg);
+  EXPECT_EQ(reparsed.sid, rule.sid);
+  EXPECT_EQ(reparsed.rev, rule.rev);
+  EXPECT_EQ(reparsed.cve, rule.cve);
+  EXPECT_EQ(reparsed.published, rule.published);
+  ASSERT_EQ(reparsed.contents.size(), rule.contents.size());
+  for (std::size_t i = 0; i < rule.contents.size(); ++i) {
+    EXPECT_EQ(reparsed.contents[i].pattern, rule.contents[i].pattern);
+    EXPECT_EQ(reparsed.contents[i].buffer, rule.contents[i].buffer);
+    EXPECT_EQ(reparsed.contents[i].negated, rule.contents[i].negated);
+    EXPECT_EQ(reparsed.contents[i].nocase, rule.contents[i].nocase);
+  }
+  EXPECT_EQ(reparsed.dst_ports.ports, rule.dst_ports.ports);
+}
+
+TEST(RuleParser, FastPatternDesignation) {
+  const Rule rule = parse_rule(
+      R"(alert tcp any any -> any any (msg:"f"; content:"a-very-long-pattern-here"; )"
+      R"(content:"short"; fast_pattern; sid:13;))");
+  EXPECT_FALSE(rule.contents[0].fast_pattern);
+  EXPECT_TRUE(rule.contents[1].fast_pattern);
+  // Explicit designation overrides the longest-content heuristic.
+  ASSERT_NE(rule.longest_positive_content(), nullptr);
+  EXPECT_EQ(rule.longest_positive_content()->pattern, "short");
+  // And it round-trips through serialization.
+  const Rule reparsed = parse_rule(serialize_rule(rule));
+  EXPECT_TRUE(reparsed.contents[1].fast_pattern);
+}
+
+TEST(RuleParser, PcreOption) {
+  const Rule rule = parse_rule(
+      R"(alert tcp any any -> any any (msg:"p"; content:"${"; http_uri; )"
+      R"(pcre:"/\x24\{(jndi|lower:j)/Ui"; sid:9;))");
+  ASSERT_TRUE(rule.pcre.has_value());
+  EXPECT_EQ(rule.pcre->buffer, Buffer::kHttpUri);
+  EXPECT_TRUE(rule.pcre->regex.search("/?x=${LOWER:j}ndi"));
+  EXPECT_FALSE(rule.pcre->regex.search("/?plain"));
+}
+
+TEST(RuleParser, PcreOnlyRuleIsValid) {
+  const Rule rule =
+      parse_rule(R"(alert tcp any any -> any any (msg:"p"; pcre:"/eval\(.+\)/i"; sid:10;))");
+  EXPECT_TRUE(rule.contents.empty());
+  ASSERT_TRUE(rule.pcre.has_value());
+  EXPECT_EQ(rule.longest_positive_content(), nullptr);
+}
+
+TEST(RuleParser, BadPcreRejected) {
+  EXPECT_THROW(
+      parse_rule(R"(alert tcp any any -> any any (msg:"p"; pcre:"/(bad/"; sid:11;))"),
+      ParseError);
+}
+
+TEST(RuleSerializer, PcreRoundTrips) {
+  const char* text =
+      R"(alert tcp any any -> any any (msg:"p"; content:"x"; pcre:"/a(b|c)+d/i"; sid:12;))";
+  const Rule rule = parse_rule(text);
+  const Rule reparsed = parse_rule(serialize_rule(rule));
+  ASSERT_TRUE(reparsed.pcre.has_value());
+  EXPECT_EQ(reparsed.pcre->source, rule.pcre->source);
+  EXPECT_TRUE(reparsed.pcre->regex.search("xxabcbdxx"));
+}
+
+TEST(Rule, LongestPositiveContent) {
+  Rule rule;
+  ContentMatch a;
+  a.pattern = "short";
+  ContentMatch b;
+  b.pattern = "much-longer-pattern";
+  b.negated = true;
+  ContentMatch c;
+  c.pattern = "medium-one";
+  rule.contents = {a, b, c};
+  ASSERT_NE(rule.longest_positive_content(), nullptr);
+  EXPECT_EQ(rule.longest_positive_content()->pattern, "medium-one");
+}
+
+}  // namespace
+}  // namespace cvewb::ids

@@ -1,0 +1,89 @@
+// Parameterized sweeps over all nine studied desiderata: invariants that
+// must hold for each row of Table 4 regardless of the data.
+#include <gtest/gtest.h>
+
+#include "lifecycle/markov.h"
+#include "lifecycle/scenario.h"
+#include "lifecycle/windows.h"
+
+namespace cvewb::lifecycle {
+namespace {
+
+class DesideratumSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const Desideratum& desideratum() const { return studied_desiderata()[GetParam()]; }
+  static const std::vector<Timeline>& timelines() {
+    static const std::vector<Timeline> all = study_timelines();
+    return all;
+  }
+};
+
+TEST_P(DesideratumSweep, AccountingPartitionsThePopulation) {
+  const Satisfaction sat = evaluate(desideratum(), timelines());
+  EXPECT_EQ(sat.evaluated + sat.unknown, timelines().size());
+  EXPECT_LE(sat.satisfied, sat.evaluated);
+  EXPECT_GE(sat.rate(), 0.0);
+  EXPECT_LE(sat.rate(), 1.0);
+}
+
+TEST_P(DesideratumSweep, WindowMassAgreesWithSatisfaction) {
+  // The ECDF mass at/right of zero must equal the discrete satisfaction
+  // rate -- the two views of the same data (Fig. 5 vs Table 4).
+  const auto& d = desideratum();
+  const Satisfaction sat = evaluate(d, timelines());
+  const stats::Ecdf windows = window_ecdf(d.before, d.after, timelines());
+  ASSERT_EQ(windows.size(), sat.evaluated);
+  EXPECT_NEAR(1.0 - windows.at(-1e-9), sat.rate(), 1e-12);
+}
+
+TEST_P(DesideratumSweep, BaselineReproducedByMarkovModel) {
+  const auto& d = desideratum();
+  const auto probs = pair_probabilities(cert_model());
+  EXPECT_NEAR(probs[index_of(d.before)][index_of(d.after)], d.cert_baseline, 0.005)
+      << d.label();
+}
+
+TEST_P(DesideratumSweep, SkillIsMonotoneInObservedRate) {
+  const auto& d = desideratum();
+  double prev = -1e9;  // skill(0, b) = -b/(1-b) is unboundedly negative as b -> 1
+  for (double rate = 0.0; rate <= 1.0; rate += 0.1) {
+    const double s = skill(rate, d.cert_baseline);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(skill(1.0, d.cert_baseline), 1.0);
+  EXPECT_DOUBLE_EQ(skill(d.cert_baseline, d.cert_baseline), 0.0);
+}
+
+TEST_P(DesideratumSweep, ShiftingBeforeEventEarlierNeverHurts) {
+  const auto& d = desideratum();
+  const stats::Ecdf windows = window_ecdf(d.before, d.after, timelines());
+  if (windows.empty()) GTEST_SKIP();
+  const double base = shifted_satisfaction(windows, 0.0);
+  for (double shift : {1.0, 7.0, 30.0, 365.0}) {
+    EXPECT_GE(shifted_satisfaction(windows, shift), base) << d.label() << " shift " << shift;
+  }
+}
+
+TEST_P(DesideratumSweep, DelayedDeploymentNeverImprovesDRows) {
+  const auto& d = desideratum();
+  if (d.before != Event::kFixDeployed) GTEST_SKIP();
+  const auto delayed = delayed_deployment_scenario(timelines(), 30.0);
+  const double base = evaluate(d, timelines()).rate();
+  const double slow = evaluate(d, delayed).rate();
+  EXPECT_LE(slow, base + 1e-12) << d.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, DesideratumSweep, ::testing::Range<std::size_t>(0, 9),
+                         [](const auto& info) {
+                           const auto& d = studied_desiderata()[info.param];
+                           std::string name = d.label();
+                           for (char& c : name) {
+                             if (c == ' ') c = '_';
+                             if (c == '<') c = 'b';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace cvewb::lifecycle

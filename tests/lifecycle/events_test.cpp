@@ -1,0 +1,36 @@
+#include "lifecycle/events.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cvewb::lifecycle {
+namespace {
+
+TEST(Events, LettersRoundTrip) {
+  for (Event e : kAllEvents) {
+    const auto parsed = event_from_letter(event_letter(e));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, e);
+  }
+}
+
+TEST(Events, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (Event e : kAllEvents) names.insert(event_name(e));
+  EXPECT_EQ(names.size(), kEventCount);
+}
+
+TEST(Events, ParseRejectsUnknown) {
+  EXPECT_FALSE(event_from_letter("Z").has_value());
+  EXPECT_FALSE(event_from_letter("VA").has_value());
+  EXPECT_FALSE(event_from_letter("").has_value());
+}
+
+TEST(Events, IndexMatchesEnumeratorOrder) {
+  EXPECT_EQ(index_of(Event::kVendorAwareness), 0u);
+  EXPECT_EQ(index_of(Event::kAttacks), 5u);
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,120 @@
+#include "lifecycle/exposure.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::lifecycle {
+namespace {
+
+using util::TimePoint;
+
+Timeline make_timeline(const std::string& id, std::int64_t p, std::int64_t d) {
+  Timeline tl(id);
+  tl.set(Event::kPublicAwareness, TimePoint(p));
+  tl.set(Event::kVendorAwareness, TimePoint(p));
+  tl.set(Event::kFixReady, TimePoint(d));
+  tl.set(Event::kFixDeployed, TimePoint(d));
+  tl.set(Event::kAttacks, TimePoint(p));
+  return tl;
+}
+
+constexpr std::int64_t kDay = 86400;
+
+TEST(IsMitigated, BoundaryAtDeployment) {
+  const Timeline tl = make_timeline("c", 0, 10 * kDay);
+  EXPECT_FALSE(is_mitigated({"c", TimePoint(10 * kDay - 1)}, tl));
+  EXPECT_TRUE(is_mitigated({"c", TimePoint(10 * kDay)}, tl));
+}
+
+TEST(IsMitigated, NoDeploymentMeansUnmitigated) {
+  Timeline tl("c");
+  tl.set(Event::kPublicAwareness, TimePoint(0));
+  EXPECT_FALSE(is_mitigated({"c", TimePoint(1000 * kDay)}, tl));
+}
+
+TEST(SplitExposure, SegmentsByDeploymentInstant) {
+  const std::vector<Timeline> tls = {make_timeline("c", 0, 5 * kDay)};
+  std::vector<ExploitEvent> events;
+  for (int day : {1, 2, 3, 7, 9}) events.push_back({"c", TimePoint(day * kDay)});
+  const ExposureSplit split = split_exposure(events, tls);
+  EXPECT_EQ(split.unmitigated_days.size(), 3u);
+  EXPECT_EQ(split.mitigated_days.size(), 2u);
+  EXPECT_DOUBLE_EQ(split.mitigated_fraction(), 0.4);
+}
+
+TEST(SplitExposure, UnmitigatedWithinWindow) {
+  const std::vector<Timeline> tls = {make_timeline("c", 0, 100 * kDay)};
+  std::vector<ExploitEvent> events = {
+      {"c", TimePoint(-5 * kDay)},  // pre-publication exposure
+      {"c", TimePoint(10 * kDay)},
+      {"c", TimePoint(20 * kDay)},
+      {"c", TimePoint(50 * kDay)},
+  };
+  const ExposureSplit split = split_exposure(events, tls);
+  ASSERT_EQ(split.unmitigated_days.size(), 4u);
+  EXPECT_DOUBLE_EQ(split.unmitigated_within(30.0), 0.5);  // 2 of 4 in (0, 30]
+}
+
+TEST(SplitExposure, UnknownCveIgnored) {
+  const std::vector<Timeline> tls = {make_timeline("c", 0, kDay)};
+  const ExposureSplit split = split_exposure({{"other", TimePoint(0)}}, tls);
+  EXPECT_EQ(split.total(), 0u);
+}
+
+TEST(PerEventSkill, SubstitutesEventTimeForAttacks) {
+  // One CVE, fix deployed at day 5; 9 of 10 events after deployment.
+  const std::vector<Timeline> tls = {make_timeline("c", 0, 5 * kDay)};
+  std::vector<ExploitEvent> events;
+  events.push_back({"c", TimePoint(1 * kDay)});
+  for (int i = 0; i < 9; ++i) events.push_back({"c", TimePoint((6 + i) * kDay)});
+  const SkillTable table = per_event_skill(events, tls);
+  for (const auto& row : table.rows) {
+    if (row.desideratum == "D < A") {
+      EXPECT_DOUBLE_EQ(row.satisfied, 0.9);
+      EXPECT_EQ(row.evaluated, 10u);
+    }
+    if (row.desideratum == "P < A") {
+      EXPECT_DOUBLE_EQ(row.satisfied, 1.0);
+    }
+  }
+}
+
+TEST(PerEventSkill, NonAttackDesiderataWeightedByEvents) {
+  // F < P is fixed per CVE; with two CVEs at 90/10 event split, the rate
+  // is event-weighted.
+  Timeline good = make_timeline("good", 10 * kDay, 0);  // F before P
+  Timeline bad = make_timeline("bad", 0, 10 * kDay);    // F after P
+  std::vector<ExploitEvent> events;
+  for (int i = 0; i < 90; ++i) events.push_back({"good", TimePoint(20 * kDay)});
+  for (int i = 0; i < 10; ++i) events.push_back({"bad", TimePoint(20 * kDay)});
+  const SkillTable table = per_event_skill(events, {good, bad});
+  for (const auto& row : table.rows) {
+    if (row.desideratum == "F < P") {
+      EXPECT_DOUBLE_EQ(row.satisfied, 0.9);
+    }
+  }
+}
+
+TEST(CvesPerBin, DistinctCountsAndMitigationSplit) {
+  const std::vector<Timeline> tls = {make_timeline("a", 0, 7 * kDay),
+                                     make_timeline("b", 0, 0)};
+  std::vector<ExploitEvent> events = {
+      {"a", TimePoint(1 * kDay)},  // bin [0,5): a unmitigated
+      {"a", TimePoint(2 * kDay)},  // same CVE, same bin: counted once
+      {"b", TimePoint(1 * kDay)},  // bin [0,5): b mitigated
+      {"a", TimePoint(8 * kDay)},  // bin [5,10): a mitigated
+  };
+  const CveBinSeries series = cves_per_bin(events, tls, 5.0, 0.0, 10.0);
+  ASSERT_EQ(series.bin_start_days.size(), 2u);
+  EXPECT_EQ(series.without_rule[0], 1u);
+  EXPECT_EQ(series.with_rule[0], 1u);
+  EXPECT_EQ(series.with_rule[1], 1u);
+  EXPECT_EQ(series.without_rule[1], 0u);
+}
+
+TEST(CvesPerBin, RejectsBadRange) {
+  EXPECT_THROW(cves_per_bin({}, {}, 5.0, 10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(cves_per_bin({}, {}, 0.0, 0.0, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

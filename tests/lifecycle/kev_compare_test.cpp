@@ -1,0 +1,73 @@
+#include "lifecycle/kev_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cvewb::lifecycle {
+namespace {
+
+class KevCompareTest : public ::testing::Test {
+ protected:
+  data::KevCatalog catalog_ = data::synthesize_kev(7);
+  std::vector<Timeline> timelines_ = study_timelines();
+};
+
+TEST_F(KevCompareTest, PrePublicationRateMatchesFinding16) {
+  EXPECT_NEAR(kev_pre_publication_rate(catalog_), 0.18, 0.015);
+}
+
+TEST_F(KevCompareTest, AttackMinusPublicationCoversCatalog) {
+  const auto days = kev_attack_minus_publication_days(catalog_);
+  EXPECT_EQ(days.size(), catalog_.entries.size());
+  // DSCOPE sees a higher rate of *very long* pre-publication exploitation
+  // (Finding 16): its earliest lead exceeds KEV's typical one.
+  double dscope_min = 0;
+  for (const auto& tl : timelines_) {
+    const auto d = tl.diff(Event::kPublicAwareness, Event::kAttacks);
+    if (d) dscope_min = std::min(dscope_min, d->total_days());
+  }
+  EXPECT_LT(dscope_min, -300.0);
+}
+
+TEST_F(KevCompareTest, SharedDeltasCover44Cves) {
+  const auto deltas = shared_deltas(catalog_, timelines_);
+  EXPECT_EQ(deltas.size(), 44u);
+}
+
+TEST_F(KevCompareTest, Finding17Statistics) {
+  const KevComparison cmp = compare_with_kev(catalog_, timelines_);
+  EXPECT_EQ(cmp.studied_cves, 63u);
+  EXPECT_EQ(cmp.shared, 44u);
+  EXPECT_NEAR(cmp.shared_fraction(), 0.70, 0.01);
+  EXPECT_EQ(cmp.dscope_first, 26u);
+  EXPECT_NEAR(cmp.dscope_first_fraction(), 0.59, 0.01);
+  EXPECT_EQ(cmp.dscope_first_30d, 22u);
+  EXPECT_NEAR(cmp.dscope_first_30d_fraction(), 0.50, 0.01);
+}
+
+TEST_F(KevCompareTest, EmptyCatalogYieldsZeros) {
+  const data::KevCatalog empty;
+  EXPECT_DOUBLE_EQ(kev_pre_publication_rate(empty), 0.0);
+  const KevComparison cmp = compare_with_kev(empty, timelines_);
+  EXPECT_EQ(cmp.shared, 0u);
+  EXPECT_DOUBLE_EQ(cmp.dscope_first_fraction(), 0.0);
+}
+
+TEST_F(KevCompareTest, DscopeSeesLowerPrePublicationRateThanKev) {
+  // Finding 16: 10 % (DSCOPE) vs 18 % (KEV).
+  std::size_t early = 0;
+  std::size_t known = 0;
+  for (const auto& tl : timelines_) {
+    const auto pre = tl.precedes(Event::kAttacks, Event::kPublicAwareness);
+    if (!pre) continue;
+    ++known;
+    early += *pre ? 1 : 0;
+  }
+  const double dscope_rate = static_cast<double>(early) / static_cast<double>(known);
+  EXPECT_NEAR(dscope_rate, 0.10, 0.02);
+  EXPECT_LT(dscope_rate, kev_pre_publication_rate(catalog_));
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

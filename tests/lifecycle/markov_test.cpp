@@ -1,0 +1,126 @@
+#include "lifecycle/markov.h"
+
+#include <gtest/gtest.h>
+
+#include "lifecycle/desiderata.h"
+
+namespace cvewb::lifecycle {
+namespace {
+
+double pair_prob(const PairProbabilities& probs, Event a, Event b) {
+  return probs[index_of(a)][index_of(b)];
+}
+
+TEST(CertModel, ReproducesEveryPublishedBaseline) {
+  // The load-bearing result: the uniform-transition Markov process with
+  // F<-V, D<-F preconditions and X=>P=>V causal propagation yields exactly
+  // the baseline frequencies Householder & Spring published (and that the
+  // paper copies into Table 4).
+  const PairProbabilities probs = pair_probabilities(cert_model());
+  EXPECT_NEAR(pair_prob(probs, Event::kVendorAwareness, Event::kAttacks), 0.75, 1e-9);
+  EXPECT_NEAR(pair_prob(probs, Event::kFixReady, Event::kPublicAwareness), 1.0 / 9, 1e-9);
+  EXPECT_NEAR(pair_prob(probs, Event::kFixReady, Event::kExploitPublic), 1.0 / 3, 1e-9);
+  EXPECT_NEAR(pair_prob(probs, Event::kFixReady, Event::kAttacks), 3.0 / 8, 1e-9);
+  EXPECT_NEAR(pair_prob(probs, Event::kFixDeployed, Event::kPublicAwareness), 1.0 / 27, 1e-9);
+  EXPECT_NEAR(pair_prob(probs, Event::kFixDeployed, Event::kExploitPublic), 1.0 / 6, 1e-9);
+  EXPECT_NEAR(pair_prob(probs, Event::kFixDeployed, Event::kAttacks), 3.0 / 16, 1e-9);
+  EXPECT_NEAR(pair_prob(probs, Event::kPublicAwareness, Event::kAttacks), 2.0 / 3, 1e-9);
+  EXPECT_NEAR(pair_prob(probs, Event::kExploitPublic, Event::kAttacks), 0.5, 1e-9);
+}
+
+TEST(CertModel, BaselinesMatchStudiedDesiderataConstants) {
+  const PairProbabilities probs = pair_probabilities(cert_model());
+  for (const auto& d : studied_desiderata()) {
+    EXPECT_NEAR(pair_prob(probs, d.before, d.after), d.cert_baseline, 0.005) << d.label();
+  }
+}
+
+TEST(CertModel, PairProbabilitiesAreComplementary) {
+  const PairProbabilities probs = pair_probabilities(cert_model());
+  for (Event a : kAllEvents) {
+    for (Event b : kAllEvents) {
+      if (a == b) continue;
+      // Ties are impossible in a sequential process: P(a<b) + P(b<a) = 1.
+      EXPECT_NEAR(pair_prob(probs, a, b) + pair_prob(probs, b, a), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(UnconstrainedModel, EverythingIsACoinFlip) {
+  const PairProbabilities probs = pair_probabilities(unconstrained_model());
+  for (Event a : kAllEvents) {
+    for (Event b : kAllEvents) {
+      if (a == b) continue;
+      EXPECT_NEAR(pair_prob(probs, a, b), 0.5, 1e-9);
+    }
+  }
+}
+
+TEST(ValidHistories, CountsMatchConstraintStructure) {
+  EXPECT_EQ(count_valid_histories(unconstrained_model()), 720);
+  // V<F<D + X<P... propagation X=>P means P must not precede... the
+  // extension reading is "cause before effect": X before P, P before V is
+  // forbidden, i.e. V<=P<=X ordering constraints plus V<F<D.
+  const int cert_histories = count_valid_histories(cert_model());
+  EXPECT_GT(cert_histories, 0);
+  EXPECT_LT(cert_histories, 720);
+}
+
+TEST(ExtensionModel, UniformOverValidHistoriesDiffersFromMarkov) {
+  // The Markov process weights histories non-uniformly: branch-heavy
+  // prefixes get less mass.  Verify the two backends disagree somewhere
+  // (this is why naive permutation counting cannot reproduce the paper).
+  const PairProbabilities markov = pair_probabilities(cert_model());
+  const PairProbabilities ext = extension_probabilities(cert_model());
+  bool differs = false;
+  for (Event a : kAllEvents) {
+    for (Event b : kAllEvents) {
+      if (std::abs(pair_prob(markov, a, b) - pair_prob(ext, a, b)) > 0.01) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SampleHistory, CompleteAndCausallyValid) {
+  util::Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const auto order = sample_history(cert_model(), rng);
+    ASSERT_EQ(order.size(), kEventCount);
+    std::array<std::size_t, kEventCount> pos{};
+    for (std::size_t j = 0; j < order.size(); ++j) pos[index_of(order[j])] = j;
+    EXPECT_LT(pos[index_of(Event::kVendorAwareness)], pos[index_of(Event::kFixReady)]);
+    EXPECT_LT(pos[index_of(Event::kFixReady)], pos[index_of(Event::kFixDeployed)]);
+    // Causal propagation: when the effect has not yet occurred, it fires
+    // immediately after its cause -- so P is never later than X+1 and V is
+    // never later than P+1 in the sequence.
+    EXPECT_LE(pos[index_of(Event::kPublicAwareness)], pos[index_of(Event::kExploitPublic)] + 1);
+    EXPECT_LE(pos[index_of(Event::kVendorAwareness)], pos[index_of(Event::kPublicAwareness)] + 1);
+  }
+}
+
+TEST(MonteCarloBackend, AgreesWithExactDp) {
+  util::Rng rng(33);
+  const PairProbabilities exact = pair_probabilities(cert_model());
+  const PairProbabilities sampled = sample_probabilities(cert_model(), rng, 200000);
+  for (Event a : kAllEvents) {
+    for (Event b : kAllEvents) {
+      if (a == b) continue;
+      EXPECT_NEAR(pair_prob(sampled, a, b), pair_prob(exact, a, b), 0.01);
+    }
+  }
+}
+
+TEST(DeadlockedModel, YieldsNoMass) {
+  OrderingModel cyclic;
+  cyclic.preconditions[index_of(Event::kVendorAwareness)] = event_bit(Event::kFixReady);
+  cyclic.preconditions[index_of(Event::kFixReady)] = event_bit(Event::kVendorAwareness);
+  const PairProbabilities probs = pair_probabilities(cyclic);
+  double total = 0;
+  for (const auto& row : probs) {
+    for (double cell : row) total += cell;
+  }
+  EXPECT_DOUBLE_EQ(total, 0.0);
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,84 @@
+#include "lifecycle/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::lifecycle {
+namespace {
+
+const Desideratum kDBeforeA{Event::kFixDeployed, Event::kAttacks, 0.187};
+
+TEST(IdsInDisclosure, MovesOnlyEligibleDeployments) {
+  const auto baseline = study_timelines();
+  const auto scenario = ids_in_disclosure_scenario(baseline, 30.0);
+  ASSERT_EQ(scenario.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    const auto p = baseline[i].at(Event::kPublicAwareness);
+    const auto d_before = baseline[i].at(Event::kFixDeployed);
+    const auto d_after = scenario[i].at(Event::kFixDeployed);
+    ASSERT_EQ(d_before.has_value(), d_after.has_value());
+    if (!d_before) continue;
+    const double days = (*d_before - *p).total_days();
+    if (days > 0 && days <= 30.0) {
+      EXPECT_EQ(*d_after, *p) << baseline[i].cve_id();
+    } else {
+      EXPECT_EQ(*d_after, *d_before) << baseline[i].cve_id();
+    }
+  }
+}
+
+TEST(IdsInDisclosure, Finding7Improvement) {
+  // D < A satisfaction rises from ~0.56 to ~0.65 and skill improves by
+  // roughly a third when IDS vendors join coordinated disclosure.
+  const auto baseline = study_timelines();
+  const auto scenario = ids_in_disclosure_scenario(baseline, 30.0);
+  const ScenarioImpact impact = compare_scenario(baseline, scenario, kDBeforeA);
+  EXPECT_NEAR(impact.before.satisfied, 0.56, 0.04);
+  EXPECT_NEAR(impact.after.satisfied, 0.65, 0.05);
+  EXPECT_GT(impact.skill_improvement(), 0.15);
+  EXPECT_LT(impact.skill_improvement(), 0.60);
+}
+
+TEST(IdsInDisclosure, FixReadyNeverAfterDeployment) {
+  const auto scenario = ids_in_disclosure_scenario(study_timelines(), 30.0);
+  for (const auto& tl : scenario) {
+    const auto f = tl.at(Event::kFixReady);
+    const auto d = tl.at(Event::kFixDeployed);
+    if (f && d) {
+      EXPECT_LE(*f, *d) << tl.cve_id();
+    }
+  }
+}
+
+TEST(DelayedDeployment, ThirtyDayDelayGutsProtection) {
+  // §5 fn. 2: the registered-user 30-day rule delay "drastically reduces
+  // the effectiveness of IDS".
+  const auto baseline = study_timelines();
+  const auto delayed = delayed_deployment_scenario(baseline, 30.0);
+  const ScenarioImpact impact = compare_scenario(baseline, delayed, kDBeforeA);
+  EXPECT_LT(impact.after.satisfied, impact.before.satisfied - 0.10);
+}
+
+TEST(DelayedDeployment, ShiftsEveryDeployedFix) {
+  const auto baseline = study_timelines();
+  const auto delayed = delayed_deployment_scenario(baseline, 7.0);
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    const auto before = baseline[i].at(Event::kFixDeployed);
+    const auto after = delayed[i].at(Event::kFixDeployed);
+    if (before) {
+      ASSERT_TRUE(after.has_value());
+      EXPECT_DOUBLE_EQ((*after - *before).total_days(), 7.0);
+    } else {
+      EXPECT_FALSE(after.has_value());
+    }
+  }
+}
+
+TEST(ScenarioImpact, SkillImprovementGuardsZeroBaseline) {
+  ScenarioImpact impact;
+  impact.before.skill = 0.0;
+  impact.after.skill = 0.5;
+  EXPECT_DOUBLE_EQ(impact.skill_improvement(), 0.0);
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,132 @@
+#include "lifecycle/state_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cvewb::lifecycle {
+namespace {
+
+TEST(CvdState, LabelUsesCertNotation) {
+  CvdState state;
+  EXPECT_EQ(state.label(), "vfdpxa");
+  state = state.with(Event::kVendorAwareness).with(Event::kPublicAwareness);
+  EXPECT_EQ(state.label(), "VfdPxa");
+  EXPECT_TRUE(state.occurred(Event::kVendorAwareness));
+  EXPECT_FALSE(state.occurred(Event::kFixReady));
+}
+
+TEST(CvdState, TerminalAndCounts) {
+  CvdState state;
+  EXPECT_TRUE(state.is_initial());
+  for (Event e : kAllEvents) state = state.with(e);
+  EXPECT_TRUE(state.is_terminal());
+  EXPECT_EQ(state.occurred_count(), kEventCount);
+}
+
+TEST(ClassifyState, RiskBands) {
+  CvdState quiet = CvdState().with(Event::kVendorAwareness).with(Event::kFixReady);
+  EXPECT_EQ(classify_state(quiet), StateRisk::kQuiet);
+  CvdState racing = quiet.with(Event::kPublicAwareness);
+  EXPECT_EQ(classify_state(racing), StateRisk::kRacing);
+  CvdState exposed = racing.with(Event::kAttacks);
+  EXPECT_EQ(classify_state(exposed), StateRisk::kExposed);
+  CvdState defended = exposed.with(Event::kFixDeployed);
+  EXPECT_EQ(classify_state(defended), StateRisk::kDefendedLate);
+  CvdState clean = quiet.with(Event::kFixDeployed).with(Event::kPublicAwareness);
+  EXPECT_EQ(classify_state(clean), StateRisk::kQuiet);
+}
+
+class CertStateMachine : public ::testing::Test {
+ protected:
+  StateMachine machine_{cert_model()};
+};
+
+TEST_F(CertStateMachine, ReachableStatesRespectCausality) {
+  for (const CvdState state : machine_.states()) {
+    // F requires V; D requires F.
+    if (state.occurred(Event::kFixReady)) {
+      EXPECT_TRUE(state.occurred(Event::kVendorAwareness));
+    }
+    if (state.occurred(Event::kFixDeployed)) {
+      EXPECT_TRUE(state.occurred(Event::kFixReady));
+    }
+    // Propagation closure: X implies P implies V.
+    if (state.occurred(Event::kExploitPublic)) {
+      EXPECT_TRUE(state.occurred(Event::kPublicAwareness)) << state.label();
+    }
+    if (state.occurred(Event::kPublicAwareness)) {
+      EXPECT_TRUE(state.occurred(Event::kVendorAwareness)) << state.label();
+    }
+  }
+  // Far fewer than 2^6 states are reachable under these rules.
+  EXPECT_LT(machine_.states().size(), 40u);
+  EXPECT_GT(machine_.states().size(), 10u);
+}
+
+TEST_F(CertStateMachine, TransitionsLandInReachableStates) {
+  std::set<std::uint8_t> reachable;
+  for (const CvdState s : machine_.states()) reachable.insert(s.mask());
+  for (const Transition& t : machine_.transitions()) {
+    EXPECT_TRUE(reachable.count(t.from.mask()));
+    EXPECT_TRUE(reachable.count(t.to.mask()));
+    EXPECT_GT(t.to.occurred_count(), t.from.occurred_count());
+    EXPECT_TRUE(t.to.occurred(t.via));
+  }
+}
+
+TEST_F(CertStateMachine, ExactlySeventyHistoriesAsInCertPaper) {
+  // Householder & Spring report 70 possible histories for their model;
+  // the causal structure recovered from their baseline probabilities
+  // (F<-V, D<-F, X=>P=>V) yields exactly that count.
+  EXPECT_EQ(machine_.history_count(), 70u);
+  EXPECT_EQ(machine_.states().size(), 20u);
+}
+
+TEST_F(CertStateMachine, HistoriesAreCompleteAndCounted) {
+  const auto histories = machine_.histories();
+  EXPECT_EQ(histories.size(), machine_.history_count());
+  for (const auto& history : histories) {
+    EXPECT_EQ(history.size(), kEventCount);  // every event exactly once
+    std::set<Event> seen(history.begin(), history.end());
+    EXPECT_EQ(seen.size(), kEventCount);
+  }
+}
+
+TEST_F(CertStateMachine, HistoryCountMatchesMarkovSupport) {
+  // Every sampled Markov history must appear in the enumerated set.
+  const auto histories = machine_.histories();
+  std::set<std::vector<Event>> all(histories.begin(), histories.end());
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(all.count(sample_history(cert_model(), rng)));
+  }
+}
+
+TEST_F(CertStateMachine, VisitProbabilities) {
+  EXPECT_DOUBLE_EQ(machine_.visit_probability(CvdState()), 1.0);
+  const CvdState terminal((1u << kEventCount) - 1);
+  EXPECT_NEAR(machine_.visit_probability(terminal), 1.0, 1e-9);
+  // The fully-quiet "vendor knows, public doesn't" path state.
+  const CvdState vendor_only = CvdState().with(Event::kVendorAwareness);
+  const double p = machine_.visit_probability(vendor_only);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(UnconstrainedStateMachine, FullHypercube) {
+  const StateMachine machine{unconstrained_model()};
+  EXPECT_EQ(machine.states().size(), 64u);
+  EXPECT_EQ(machine.history_count(), 720u);
+}
+
+TEST_F(CertStateMachine, ExposedStatesExist) {
+  std::size_t exposed = 0;
+  for (const CvdState state : machine_.states()) {
+    exposed += classify_state(state) == StateRisk::kExposed ? 1 : 0;
+  }
+  EXPECT_GT(exposed, 0u);
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

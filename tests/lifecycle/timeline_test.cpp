@@ -1,0 +1,102 @@
+#include "lifecycle/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "data/talos.h"
+
+namespace cvewb::lifecycle {
+namespace {
+
+using data::find_cve;
+using util::Duration;
+using util::TimePoint;
+
+TEST(Timeline, DiffAndPrecedes) {
+  Timeline tl("CVE-TEST");
+  tl.set(Event::kPublicAwareness, TimePoint(1000));
+  tl.set(Event::kAttacks, TimePoint(4000));
+  const auto d = tl.diff(Event::kPublicAwareness, Event::kAttacks);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->total_seconds(), 3000);
+  EXPECT_TRUE(*tl.precedes(Event::kPublicAwareness, Event::kAttacks));
+  EXPECT_FALSE(*tl.precedes(Event::kAttacks, Event::kPublicAwareness));
+}
+
+TEST(Timeline, TiesCountAsSatisfied) {
+  Timeline tl("CVE-TEST");
+  tl.set(Event::kFixDeployed, TimePoint(10));
+  tl.set(Event::kAttacks, TimePoint(10));
+  EXPECT_TRUE(*tl.precedes(Event::kFixDeployed, Event::kAttacks));
+}
+
+TEST(Timeline, MissingEventsYieldNullopt) {
+  Timeline tl("CVE-TEST");
+  tl.set(Event::kPublicAwareness, TimePoint(0));
+  EXPECT_FALSE(tl.precedes(Event::kPublicAwareness, Event::kAttacks).has_value());
+  EXPECT_FALSE(tl.diff(Event::kFixReady, Event::kAttacks).has_value());
+  EXPECT_EQ(tl.known_count(), 1u);
+}
+
+TEST(TimelineFromRecord, StandardHeuristics) {
+  const auto* rec = find_cve("CVE-2021-44228");
+  ASSERT_NE(rec, nullptr);
+  const Timeline tl = timeline_from_record(*rec);
+  EXPECT_EQ(tl.cve_id(), "CVE-2021-44228");
+  EXPECT_EQ(*tl.at(Event::kPublicAwareness), rec->published);
+  EXPECT_EQ(*tl.at(Event::kFixReady), *rec->fix_deployed());
+  EXPECT_EQ(*tl.at(Event::kFixDeployed), *rec->fix_deployed());  // immediate deploy
+  EXPECT_EQ(*tl.at(Event::kExploitPublic), *rec->exploit_public());
+  EXPECT_EQ(*tl.at(Event::kAttacks), *rec->first_attack());
+  // V = min(P, F): the rule shipped after publication, so V = P here.
+  EXPECT_EQ(*tl.at(Event::kVendorAwareness), rec->published);
+}
+
+TEST(TimelineFromRecord, VendorAwarenessUsesEarlierRule) {
+  const auto* rec = find_cve("CVE-2021-27561");  // rule 198 days before P
+  ASSERT_NE(rec, nullptr);
+  const Timeline tl = timeline_from_record(*rec);
+  EXPECT_EQ(*tl.at(Event::kVendorAwareness), *rec->fix_deployed());
+}
+
+TEST(TimelineFromRecord, TalosDisclosurePullsVendorAwarenessEarlier) {
+  const auto* rec = find_cve("CVE-2021-21799");
+  ASSERT_NE(rec, nullptr);
+  const Timeline with = timeline_from_record(*rec);
+  EXPECT_EQ(*with.at(Event::kVendorAwareness), *data::talos_disclosure(rec->id));
+
+  TimelineOptions no_talos;
+  no_talos.use_talos_disclosures = false;
+  const Timeline without = timeline_from_record(*rec, no_talos);
+  EXPECT_GT(*without.at(Event::kVendorAwareness), *with.at(Event::kVendorAwareness));
+}
+
+TEST(TimelineFromRecord, DeploymentDelayShiftsOnlyD) {
+  const auto* rec = find_cve("CVE-2021-44228");
+  TimelineOptions options;
+  options.deployment_delay = Duration::days(30);  // §5 fn. 2 ablation
+  const Timeline tl = timeline_from_record(*rec, options);
+  EXPECT_EQ(*tl.at(Event::kFixDeployed) - *tl.at(Event::kFixReady), Duration::days(30));
+}
+
+TEST(StudyTimelines, OnePerStudiedCve) {
+  const auto timelines = study_timelines();
+  EXPECT_EQ(timelines.size(), 63u);
+  for (const auto& tl : timelines) {
+    EXPECT_TRUE(tl.has(Event::kPublicAwareness));
+    EXPECT_TRUE(tl.has(Event::kVendorAwareness));
+  }
+}
+
+TEST(StudyTimelines, MissingDataStaysMissing) {
+  const auto timelines = study_timelines();
+  const auto it = std::find_if(timelines.begin(), timelines.end(), [](const Timeline& tl) {
+    return tl.cve_id() == "CVE-2022-44877";
+  });
+  ASSERT_NE(it, timelines.end());
+  EXPECT_FALSE(it->has(Event::kFixDeployed));
+  EXPECT_FALSE(it->has(Event::kAttacks));
+  EXPECT_FALSE(it->has(Event::kExploitPublic));
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

@@ -1,0 +1,78 @@
+#include "lifecycle/trends.h"
+
+#include <gtest/gtest.h>
+
+#include "data/appendix_e.h"
+
+namespace cvewb::lifecycle {
+namespace {
+
+const Desideratum kPBeforeA{Event::kPublicAwareness, Event::kAttacks, 0.667};
+
+TEST(Trends, BucketsPartitionTheStudy) {
+  util::Rng rng(1);
+  const auto trend = skill_trend(study_timelines(), kPBeforeA, data::study_begin(),
+                                 data::study_end(), 182.5, rng, 100);
+  ASSERT_EQ(trend.size(), 4u);  // two years / half-year buckets
+  std::size_t total = 0;
+  for (const auto& point : trend) {
+    EXPECT_LE(point.period_start, point.period_end);
+    total += point.cves;
+  }
+  // Every studied CVE with both P and A lands in exactly one bucket.
+  std::size_t expected = 0;
+  for (const auto& tl : study_timelines()) {
+    expected += tl.precedes(Event::kPublicAwareness, Event::kAttacks).has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Trends, RatesAreProbabilitiesWithSaneCis) {
+  util::Rng rng(2);
+  const auto trend = skill_trend(study_timelines(), kPBeforeA, data::study_begin(),
+                                 data::study_end(), 365.0, rng, 200);
+  for (const auto& point : trend) {
+    if (point.cves == 0) continue;
+    EXPECT_GE(point.satisfied, 0.0);
+    EXPECT_LE(point.satisfied, 1.0);
+    EXPECT_LE(point.satisfied_ci.lo, point.satisfied);
+    EXPECT_GE(point.satisfied_ci.hi, point.satisfied);
+  }
+}
+
+TEST(Trends, SlopeOfFlatSeriesIsZero) {
+  std::vector<TrendPoint> flat(3);
+  for (int i = 0; i < 3; ++i) {
+    flat[static_cast<std::size_t>(i)].period_start =
+        util::TimePoint(i * 365 * 86400LL);
+    flat[static_cast<std::size_t>(i)].period_end =
+        util::TimePoint((i + 1) * 365 * 86400LL);
+    flat[static_cast<std::size_t>(i)].cves = 10;
+    flat[static_cast<std::size_t>(i)].satisfied = 0.8;
+  }
+  EXPECT_NEAR(trend_slope_per_year(flat), 0.0, 1e-9);
+}
+
+TEST(Trends, SlopeDetectsLinearImprovement) {
+  std::vector<TrendPoint> rising(3);
+  for (int i = 0; i < 3; ++i) {
+    rising[static_cast<std::size_t>(i)].period_start =
+        util::TimePoint(i * 365 * 86400LL);
+    rising[static_cast<std::size_t>(i)].period_end =
+        util::TimePoint((i + 1) * 365 * 86400LL);
+    rising[static_cast<std::size_t>(i)].cves = 10;
+    rising[static_cast<std::size_t>(i)].satisfied = 0.5 + 0.1 * i;
+  }
+  EXPECT_NEAR(trend_slope_per_year(rising), 0.1, 1e-3);
+}
+
+TEST(Trends, EmptyAndDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(trend_slope_per_year({}), 0.0);
+  std::vector<TrendPoint> one(1);
+  one[0].cves = 5;
+  one[0].satisfied = 0.7;
+  EXPECT_DOUBLE_EQ(trend_slope_per_year(one), 0.0);
+}
+
+}  // namespace
+}  // namespace cvewb::lifecycle

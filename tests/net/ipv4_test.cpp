@@ -1,0 +1,64 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::net {
+namespace {
+
+TEST(IPv4, FormatAndParseRoundTrip) {
+  const IPv4 addr(192, 168, 1, 42);
+  EXPECT_EQ(addr.to_string(), "192.168.1.42");
+  const auto parsed = IPv4::parse("192.168.1.42");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, addr);
+}
+
+TEST(IPv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(IPv4::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(IPv4::parse("1.2.3").has_value());
+  EXPECT_FALSE(IPv4::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IPv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IPv4::parse("1.2.3.4 ").has_value());
+}
+
+TEST(IPv4, Ordering) {
+  EXPECT_LT(IPv4(1, 0, 0, 0), IPv4(2, 0, 0, 0));
+  EXPECT_EQ(IPv4(0x01020304u), IPv4(1, 2, 3, 4));
+}
+
+TEST(Prefix, ContainsAndSize) {
+  const auto prefix = Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->size(), 1ull << 24);
+  EXPECT_TRUE(prefix->contains(IPv4(10, 255, 1, 2)));
+  EXPECT_FALSE(prefix->contains(IPv4(11, 0, 0, 0)));
+}
+
+TEST(Prefix, MasksHostBits) {
+  const Prefix prefix(IPv4(10, 1, 2, 3), 16);
+  EXPECT_EQ(prefix.base(), IPv4(10, 1, 0, 0));
+  EXPECT_EQ(prefix.to_string(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix prefix(IPv4(1, 2, 3, 4), 0);
+  EXPECT_TRUE(prefix.contains(IPv4(255, 255, 255, 255)));
+  EXPECT_EQ(prefix.size(), 1ull << 32);
+}
+
+TEST(Prefix, ParseRejectsBadLength) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").has_value());
+}
+
+TEST(Prefix, SampleStaysInside) {
+  const auto prefix = *Prefix::parse("172.16.0.0/12");
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(prefix.contains(prefix.sample(rng)));
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::net

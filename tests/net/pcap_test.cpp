@@ -1,0 +1,138 @@
+#include "net/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cvewb::net {
+namespace {
+
+TcpSession make_session(std::uint64_t id, const std::string& payload) {
+  TcpSession s;
+  s.id = id;
+  s.open_time = util::TimePoint(1620000000 + static_cast<std::int64_t>(id));
+  s.src = IPv4(198, 51, 100, static_cast<std::uint8_t>(id % 250 + 1));
+  s.dst = IPv4(3, 208, 0, 7);
+  s.src_port = static_cast<std::uint16_t>(40000 + id);
+  s.dst_port = 8090;
+  s.payload = payload;
+  return s;
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  std::stringstream buffer;
+  {
+    PcapWriter writer(buffer);
+    writer.write_session(make_session(0, "GET / HTTP/1.1\r\n\r\n"));
+    writer.write_session(make_session(1, ""));
+    writer.write_session(make_session(2, std::string("\x00\x01\xff", 3)));
+    EXPECT_EQ(writer.packets_written(), 3u);
+  }
+  PcapReader reader(buffer);
+  ASSERT_EQ(reader.sessions().size(), 3u);
+  EXPECT_EQ(reader.skipped_packets(), 0u);
+  const auto& sessions = reader.sessions();
+  EXPECT_EQ(sessions[0].payload, "GET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(sessions[1].payload.empty());
+  EXPECT_EQ(sessions[2].payload, std::string("\x00\x01\xff", 3));
+  EXPECT_EQ(sessions[0].src, IPv4(198, 51, 100, 1));
+  EXPECT_EQ(sessions[0].dst, IPv4(3, 208, 0, 7));
+  EXPECT_EQ(sessions[0].src_port, 40000);
+  EXPECT_EQ(sessions[0].dst_port, 8090);
+  EXPECT_EQ(sessions[0].open_time.unix_seconds(), 1620000000);
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "not a pcap file at all";
+  EXPECT_THROW(PcapReader reader(buffer), std::runtime_error);
+}
+
+TEST(Pcap, RejectsTruncatedHeader) {
+  std::stringstream buffer;
+  const char magic[4] = {'\xd4', '\xc3', '\xb2', '\xa1'};
+  buffer.write(magic, 4);
+  EXPECT_THROW(PcapReader reader(buffer), std::runtime_error);
+}
+
+TEST(Pcap, SegmentedSessionsReassemble) {
+  std::stringstream buffer;
+  const std::string payload = "GET /long HTTP/1.1\r\nHost: example\r\n\r\n" +
+                              std::string(5000, 'B') + "tail";
+  {
+    PcapWriter writer(buffer, 1460);  // Ethernet MSS segmentation
+    writer.write_session(make_session(3, payload));
+    EXPECT_EQ(writer.packets_written(), 4u);  // ceil(5041 / 1460)
+  }
+  PcapReader reader(buffer);
+  ASSERT_EQ(reader.sessions().size(), 1u);
+  EXPECT_EQ(reader.sessions()[0].payload, payload);
+}
+
+TEST(Pcap, InterleavedFlowsReassembleIndependently) {
+  // Write two segmented sessions, then interleave their packets manually
+  // by alternating write order at the session level (the reader keys on
+  // the 5-tuple, so ordering across flows must not matter).
+  std::stringstream a_buf;
+  std::stringstream b_buf;
+  const std::string pa(3000, 'a');
+  const std::string pb(3000, 'b');
+  {
+    PcapWriter wa(a_buf, 1000);
+    wa.write_session(make_session(1, pa));
+    PcapWriter wb(b_buf, 1000);
+    wb.write_session(make_session(2, pb));
+  }
+  // Interleave packet records from both files under one global header.
+  const std::string a = a_buf.str();
+  const std::string b = b_buf.str();
+  const std::size_t header = 24;
+  std::string merged = a.substr(0, header);
+  std::size_t pa_pos = header;
+  std::size_t pb_pos = header;
+  const auto next_record = [](const std::string& src, std::size_t& pos) {
+    const auto incl = static_cast<std::size_t>(static_cast<unsigned char>(src[pos + 8])) |
+                      (static_cast<std::size_t>(static_cast<unsigned char>(src[pos + 9])) << 8);
+    const std::string record = src.substr(pos, 16 + incl);
+    pos += 16 + incl;
+    return record;
+  };
+  for (int i = 0; i < 3; ++i) {
+    merged += next_record(a, pa_pos);
+    merged += next_record(b, pb_pos);
+  }
+  std::stringstream merged_stream(merged);
+  PcapReader reader(merged_stream);
+  ASSERT_EQ(reader.sessions().size(), 2u);
+  EXPECT_EQ(reader.sessions()[0].payload, pa);
+  EXPECT_EQ(reader.sessions()[1].payload, pb);
+}
+
+TEST(Pcap, FlowReuseStartsNewSession) {
+  // The same 5-tuple appearing again with seq=1 models cloud IP reuse.
+  std::stringstream buffer;
+  {
+    PcapWriter writer(buffer);
+    writer.write_session(make_session(1, "first"));
+    writer.write_session(make_session(1, "second"));  // identical 5-tuple
+  }
+  PcapReader reader(buffer);
+  ASSERT_EQ(reader.sessions().size(), 2u);
+  EXPECT_EQ(reader.sessions()[0].payload, "first");
+  EXPECT_EQ(reader.sessions()[1].payload, "second");
+}
+
+TEST(Pcap, LargePayloadSurvives) {
+  std::stringstream buffer;
+  const std::string big(60000, 'x');
+  {
+    PcapWriter writer(buffer);
+    writer.write_session(make_session(7, big));
+  }
+  PcapReader reader(buffer);
+  ASSERT_EQ(reader.sessions().size(), 1u);
+  EXPECT_EQ(reader.sessions()[0].payload, big);
+}
+
+}  // namespace
+}  // namespace cvewb::net

@@ -1,0 +1,86 @@
+#include "report/disclosure_artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/talos.h"
+
+namespace cvewb::report {
+namespace {
+
+TEST(DisclosureArtifact, BuiltFromTimelineCarriesAllEvents) {
+  const auto timelines = lifecycle::study_timelines();
+  const auto it = std::find_if(timelines.begin(), timelines.end(), [](const auto& tl) {
+    return tl.cve_id() == "CVE-2021-44228";
+  });
+  ASSERT_NE(it, timelines.end());
+  const DisclosureArtifact artifact = artifact_for(*it);
+  EXPECT_EQ(artifact.cve_id, "CVE-2021-44228");
+  EXPECT_FALSE(artifact.disclosures.empty());
+  ASSERT_EQ(artifact.fixes.size(), 1u);
+  EXPECT_EQ(artifact.fixes[0].party, "ids-vendor");
+  ASSERT_TRUE(artifact.public_awareness.has_value());
+  ASSERT_EQ(artifact.known_exploitation.size(), 1u);
+  EXPECT_EQ(artifact.known_exploitation[0].party, "telescope");
+}
+
+TEST(DisclosureArtifact, TalosDisclosureListedAsSeparateParty) {
+  const auto timelines = lifecycle::study_timelines();
+  const auto it = std::find_if(timelines.begin(), timelines.end(), [](const auto& tl) {
+    return tl.cve_id() == "CVE-2021-21799";
+  });
+  ASSERT_NE(it, timelines.end());
+  const DisclosureArtifact artifact = artifact_for(*it);
+  ASSERT_GE(artifact.disclosures.size(), 2u);
+  EXPECT_EQ(artifact.disclosures[0].party, "ids-vendor");
+  EXPECT_EQ(artifact.disclosures[0].date, *data::talos_disclosure("CVE-2021-21799"));
+}
+
+TEST(DisclosureArtifact, RetrospectiveExploitationFlagged) {
+  const auto timelines = lifecycle::study_timelines();
+  const auto it = std::find_if(timelines.begin(), timelines.end(), [](const auto& tl) {
+    return tl.cve_id() == "CVE-2022-1388";  // attacks a year before publication
+  });
+  ASSERT_NE(it, timelines.end());
+  const DisclosureArtifact artifact = artifact_for(*it);
+  ASSERT_EQ(artifact.known_exploitation.size(), 1u);
+  EXPECT_NE(artifact.known_exploitation[0].note.find("retrospectively"), std::string::npos);
+}
+
+TEST(DisclosureArtifact, JsonRoundTrip) {
+  const auto timelines = lifecycle::study_timelines();
+  const DisclosureArtifact original = artifact_for(timelines.front());
+  const auto parsed = DisclosureArtifact::from_json(original.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cve_id, original.cve_id);
+  EXPECT_EQ(parsed->disclosures.size(), original.disclosures.size());
+  EXPECT_EQ(parsed->public_awareness, original.public_awareness);
+  EXPECT_EQ(parsed->known_exploitation.size(), original.known_exploitation.size());
+  for (std::size_t i = 0; i < original.disclosures.size(); ++i) {
+    EXPECT_EQ(parsed->disclosures[i].party, original.disclosures[i].party);
+    EXPECT_EQ(parsed->disclosures[i].date, original.disclosures[i].date);
+    EXPECT_EQ(parsed->disclosures[i].note, original.disclosures[i].note);
+  }
+}
+
+TEST(DisclosureArtifact, DocumentRoundTripCoversWholeStudy) {
+  const auto timelines = lifecycle::study_timelines();
+  const util::Json document = artifacts_document(timelines);
+  const auto parsed = parse_artifacts_document(document.dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), timelines.size());
+  EXPECT_EQ((*parsed)[0].cve_id, timelines[0].cve_id());
+}
+
+TEST(DisclosureArtifact, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_artifacts_document("not json").has_value());
+  EXPECT_FALSE(parse_artifacts_document("{}").has_value());
+  EXPECT_FALSE(parse_artifacts_document(R"({"artifacts":[{"no_cve":1}]})").has_value());
+  EXPECT_FALSE(
+      parse_artifacts_document(R"({"artifacts":[{"cve":"C","disclosures":[{"party":"v"}]}]})")
+          .has_value());  // event missing date
+}
+
+}  // namespace
+}  // namespace cvewb::report

@@ -1,0 +1,86 @@
+#include "report/export.h"
+
+#include "report/disclosure_artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cvewb::report {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = fs::temp_directory_path() /
+                 ("cvewb_export_test_" + std::to_string(::getpid()));
+    fs::remove_all(directory_);
+  }
+  void TearDown() override { fs::remove_all(directory_); }
+
+  fs::path directory_;
+};
+
+TEST_F(ExportTest, WritesFigureCsvAndGnuplot) {
+  ExportedFigure figure;
+  figure.name = "fig_test";
+  figure.title = "Test figure";
+  figure.x_label = "days";
+  figure.cdf = true;
+  figure.series = {util::Series{"a", {0.0, 1.0}, {0.0, 1.0}},
+                   util::Series{"b", {0.0, 2.0}, {0.5, 1.0}}};
+  const fs::path csv = write_figure(directory_, figure);
+  EXPECT_TRUE(fs::exists(csv));
+  const std::string csv_text = slurp(csv);
+  EXPECT_NE(csv_text.find("series,x,y"), std::string::npos);
+  EXPECT_NE(csv_text.find("a,0,0"), std::string::npos);
+  EXPECT_NE(csv_text.find("b,2,1"), std::string::npos);
+  const std::string gp_text = slurp(directory_ / "fig_test.gp");
+  EXPECT_NE(gp_text.find("set title \"Test figure\""), std::string::npos);
+  EXPECT_NE(gp_text.find("fig_test.csv"), std::string::npos);
+  EXPECT_NE(gp_text.find("set yrange [0:1]"), std::string::npos);
+}
+
+TEST_F(ExportTest, WritesTableMarkdown) {
+  const fs::path path = write_table(directory_, "t1", "| a |\n");
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(slurp(path), "| a |\n");
+}
+
+TEST_F(ExportTest, ExportStudyProducesFullArtifactSet) {
+  pipeline::StudyConfig config;
+  config.seed = 5;
+  config.event_scale = 0.02;
+  config.background_per_day = 2.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  const auto study = pipeline::run_study(config);
+  const auto written = export_study(directory_, study);
+  ASSERT_GE(written.size(), 5u);
+  for (const auto& path : written) {
+    EXPECT_TRUE(fs::exists(path)) << path;
+    EXPECT_GT(fs::file_size(path), 10u) << path;
+  }
+  EXPECT_TRUE(fs::exists(directory_ / "table4.md"));
+  EXPECT_TRUE(fs::exists(directory_ / "fig07_exposure.csv"));
+  EXPECT_TRUE(fs::exists(directory_ / "disclosure_artifacts.json"));
+  // The JSON must parse back.
+  const auto artifacts =
+      parse_artifacts_document(slurp(directory_ / "disclosure_artifacts.json"));
+  ASSERT_TRUE(artifacts.has_value());
+  EXPECT_EQ(artifacts->size(), study.reconstruction.timelines.size());
+}
+
+}  // namespace
+}  // namespace cvewb::report

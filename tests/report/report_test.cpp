@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/figures.h"
+#include "report/table.h"
+
+namespace cvewb::report {
+namespace {
+
+TEST(TextTable, AlignsAndRenders) {
+  TextTable table({"Desideratum", "Rate"});
+  table.add_row({"V < A", "0.90"});
+  table.add_row({"D < A (long)", "0.56"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Desideratum  | Rate |"), std::string::npos);
+  EXPECT_NE(out.find("| V < A        | 0.90 |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsColumnMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(0.5), "0.50");
+  EXPECT_EQ(fmt(-0.214, 2), "-0.21");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+}
+
+TEST(PaperConstants, NineEntriesEach) {
+  EXPECT_EQ(paper_table4_satisfied().size(), 9u);
+  EXPECT_EQ(paper_table4_skill().size(), 9u);
+  EXPECT_EQ(paper_table5_satisfied().size(), 9u);
+  EXPECT_EQ(paper_table5_skill().size(), 9u);
+}
+
+TEST(SkillTableRender, IncludesPaperColumnsWhenProvided) {
+  const auto table = lifecycle::skill_table(lifecycle::study_timelines());
+  const std::string out =
+      render_skill_table(table, &paper_table4_satisfied(), &paper_table4_skill());
+  EXPECT_NE(out.find("Paper satisfied"), std::string::npos);
+  EXPECT_NE(out.find("V < A"), std::string::npos);
+  EXPECT_NE(out.find("X < A"), std::string::npos);
+}
+
+TEST(Figures, EcdfSeriesMonotone) {
+  const stats::Ecdf ecdf({3.0, 1.0, 2.0, 2.0});
+  const util::Series series = ecdf_series("test", ecdf);
+  ASSERT_FALSE(series.x.empty());
+  for (std::size_t i = 1; i < series.x.size(); ++i) {
+    EXPECT_GE(series.x[i], series.x[i - 1]);
+    EXPECT_GE(series.y[i], series.y[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(series.y.back(), 1.0);
+}
+
+TEST(Figures, HistogramSeriesUsesBinCenters) {
+  stats::Histogram hist(0.0, 10.0, 2);
+  hist.add(1.0);
+  hist.add(6.0);
+  hist.add(7.0);
+  const util::Series series = histogram_series("h", hist);
+  ASSERT_EQ(series.x.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.x[0], 2.5);
+  EXPECT_DOUBLE_EQ(series.y[1], 2.0);
+}
+
+TEST(Figures, PrintFigureEmitsCsvAndPlot) {
+  std::ostringstream out;
+  util::Series s{"cdf", {0.0, 1.0}, {0.0, 1.0}};
+  util::PlotOptions options;
+  options.y_unit_interval = true;
+  print_figure(out, "Figure T: test", {s}, options);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Figure T: test =="), std::string::npos);
+  EXPECT_NE(text.find("series,x,y"), std::string::npos);
+  EXPECT_NE(text.find("cdf,0,0"), std::string::npos);
+}
+
+TEST(Figures, PrintComparisonShowsDelta) {
+  std::ostringstream out;
+  print_comparison(out, "D < A", 0.56, 0.58);
+  EXPECT_NE(out.str().find("paper=0.56"), std::string::npos);
+  EXPECT_NE(out.str().find("measured=0.58"), std::string::npos);
+  EXPECT_NE(out.str().find("+0.02"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvewb::report

@@ -1,0 +1,57 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::stats {
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+TEST(Bootstrap, PointEstimateMatchesStatistic) {
+  util::Rng rng(1);
+  const std::vector<double> sample = {1, 2, 3, 4, 5};
+  const Interval ci = bootstrap_ci(sample, mean_of, rng, 200);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, IntervalCoversTrueMeanUsually) {
+  util::Rng rng(2);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.normal(10.0, 2.0));
+  const Interval ci = bootstrap_ci(sample, mean_of, rng, 500, 0.95);
+  EXPECT_LT(ci.lo, 10.3);
+  EXPECT_GT(ci.hi, 9.7);
+  EXPECT_LT(ci.hi - ci.lo, 1.5);
+}
+
+TEST(Bootstrap, DegenerateSampleCollapses) {
+  util::Rng rng(3);
+  const Interval ci = bootstrap_ci({7.0, 7.0, 7.0}, mean_of, rng, 100);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(Bootstrap, RejectsBadInputs) {
+  util::Rng rng(4);
+  EXPECT_THROW(bootstrap_ci({}, mean_of, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci({1.0}, mean_of, rng, 1), std::invalid_argument);
+}
+
+TEST(BootstrapProportion, MatchesObservedRate) {
+  util::Rng rng(5);
+  std::vector<bool> outcomes(100, false);
+  for (int i = 0; i < 30; ++i) outcomes[static_cast<std::size_t>(i)] = true;
+  const Interval ci = bootstrap_proportion(outcomes, rng, 500);
+  EXPECT_DOUBLE_EQ(ci.point, 0.3);
+  EXPECT_GT(ci.lo, 0.15);
+  EXPECT_LT(ci.hi, 0.45);
+}
+
+}  // namespace
+}  // namespace cvewb::stats

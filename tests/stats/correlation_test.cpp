@@ -1,0 +1,89 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cvewb::stats {
+namespace {
+
+TEST(Pearson, PerfectAndInverse) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputYieldsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, Errors) {
+  EXPECT_THROW(pearson({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Ranks, TiesShareAverageRank) {
+  const auto r = ranks({10, 20, 20, 30});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  // Spearman sees through monotone transforms; Pearson does not.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(i / 3.0));
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 0.95);
+}
+
+TEST(Spearman, IndependentSamplesNearZero) {
+  util::Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(spearman(x, y), 0.0, 0.05);
+}
+
+TEST(ChiSquareUpperTail, KnownValues) {
+  // P(X >= 3.841 | dof 1) = 0.05; P(X >= 0) = 1.
+  EXPECT_NEAR(chi_square_upper_tail(3.841, 1), 0.05, 0.001);
+  EXPECT_NEAR(chi_square_upper_tail(5.991, 2), 0.05, 0.001);
+  EXPECT_NEAR(chi_square_upper_tail(18.307, 10), 0.05, 0.001);
+  EXPECT_DOUBLE_EQ(chi_square_upper_tail(0.0, 5), 1.0);
+  EXPECT_LT(chi_square_upper_tail(100.0, 2), 1e-10);
+}
+
+TEST(ChiSquareUniform, UniformSampleNotRejected) {
+  util::Rng rng(4);
+  std::vector<std::size_t> counts(16, 0);
+  for (int i = 0; i < 16000; ++i) ++counts[rng.uniform_u64(counts.size())];
+  const ChiSquare result = chi_square_uniform(counts);
+  EXPECT_EQ(result.dof, 15u);
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+TEST(ChiSquareUniform, SkewedSampleRejected) {
+  std::vector<std::size_t> counts(10, 100);
+  counts[0] = 1000;
+  const ChiSquare result = chi_square_uniform(counts);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(ChiSquareUniform, Errors) {
+  EXPECT_THROW(chi_square_uniform({5}), std::invalid_argument);
+  EXPECT_THROW(chi_square_uniform({0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvewb::stats

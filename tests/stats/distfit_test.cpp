@@ -1,0 +1,47 @@
+#include "stats/distfit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cvewb::stats {
+namespace {
+
+TEST(ExponentialCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(exponential_cdf(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(exponential_cdf(-1.0, 5.0), 0.0);
+  EXPECT_NEAR(exponential_cdf(5.0, 5.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(FitExponential, RecoversMeanAndFitsWell) {
+  util::Rng rng(6);
+  std::vector<double> sample;
+  for (int i = 0; i < 5000; ++i) sample.push_back(rng.exponential(12.0));
+  const ExponentialFit fit = fit_exponential(sample);
+  EXPECT_NEAR(fit.mean, 12.0, 0.5);
+  EXPECT_LT(fit.ks, 0.03);  // a true exponential sample fits tightly
+}
+
+TEST(FitExponential, DetectsNonExponential) {
+  // A uniform sample on [10, 11] is far from exponential.
+  util::Rng rng(7);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.uniform(10.0, 11.0));
+  const ExponentialFit fit = fit_exponential(sample);
+  EXPECT_GT(fit.ks, 0.3);
+}
+
+TEST(FitExponential, RejectsBadInput) {
+  EXPECT_THROW(fit_exponential({}), std::invalid_argument);
+  EXPECT_THROW(fit_exponential({1.0, -0.1}), std::invalid_argument);
+}
+
+TEST(FitExponential, AllZerosYieldsKsOne) {
+  const ExponentialFit fit = fit_exponential({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(fit.ks, 1.0);
+}
+
+}  // namespace
+}  // namespace cvewb::stats

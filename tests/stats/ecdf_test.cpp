@@ -1,0 +1,77 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cvewb::stats {
+namespace {
+
+TEST(Ecdf, StepFunctionValues) {
+  const Ecdf f({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(f.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  const Ecdf f({1.0, 1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(f.at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(f.at(0.999), 0.0);
+}
+
+TEST(Ecdf, EmptySample) {
+  const Ecdf f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f.at(0.0), 0.0);
+  EXPECT_THROW(f.quantile(0.5), std::logic_error);
+}
+
+TEST(Ecdf, Quantiles) {
+  const Ecdf f({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(f.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 40.0);
+}
+
+TEST(Ecdf, QuantileIsInverseOfAt) {
+  // Property: for every sample point x, at(quantile(at(x))) == at(x).
+  util::Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.normal());
+  const Ecdf f(sample);
+  for (double x : f.sorted()) {
+    const double p = f.at(x);
+    EXPECT_LE(f.quantile(p), x + 1e-12);
+  }
+}
+
+TEST(Ecdf, CurveIsMonotoneAndEndsAtOne) {
+  util::Rng rng(9);
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back(rng.uniform());
+  const Ecdf f(sample);
+  const auto curve = f.curve(64);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Ecdf, KsDistanceIdenticalIsZero) {
+  const Ecdf f({1, 2, 3});
+  EXPECT_DOUBLE_EQ(Ecdf::ks_distance(f, f), 0.0);
+}
+
+TEST(Ecdf, KsDistanceDisjointIsOne) {
+  const Ecdf f({1, 2});
+  const Ecdf g({10, 20});
+  EXPECT_DOUBLE_EQ(Ecdf::ks_distance(f, g), 1.0);
+}
+
+}  // namespace
+}  // namespace cvewb::stats

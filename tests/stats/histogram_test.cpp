@@ -1,0 +1,66 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::stats {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.999);
+  EXPECT_DOUBLE_EQ(h.count(0), 2);
+  EXPECT_DOUBLE_EQ(h.count(1), 1);
+  EXPECT_DOUBLE_EQ(h.count(4), 1);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2);
+  EXPECT_DOUBLE_EQ(h.total(), 3);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-10.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), -5.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 2.5);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(DistinctPerBin, CountsEachCategoryOnce) {
+  DistinctPerBin bins(0.0, 10.0, 2);
+  bins.add(1.0, 7);
+  bins.add(2.0, 7);  // same category, same bin
+  bins.add(3.0, 8);
+  bins.add(6.0, 7);  // same category, other bin
+  EXPECT_EQ(bins.distinct(0), 2u);
+  EXPECT_EQ(bins.distinct(1), 1u);
+}
+
+TEST(DistinctPerBin, IgnoresOutOfRange) {
+  DistinctPerBin bins(0.0, 10.0, 2);
+  bins.add(-1.0, 1);
+  bins.add(10.0, 2);
+  EXPECT_EQ(bins.distinct(0), 0u);
+  EXPECT_EQ(bins.distinct(1), 0u);
+}
+
+}  // namespace
+}  // namespace cvewb::stats

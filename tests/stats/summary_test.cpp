@@ -1,0 +1,41 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Summary, OddMedianAndSingleton) {
+  EXPECT_DOUBLE_EQ(summarize({3.0, 1.0, 2.0}).median, 2.0);
+  const Summary one = summarize({42.0});
+  EXPECT_DOUBLE_EQ(one.median, 42.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(Summary, ThrowsOnEmpty) { EXPECT_THROW(summarize({}), std::invalid_argument); }
+
+TEST(FractionBelow, StrictThreshold) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_below(v, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(v, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below({}, 1.0), 0.0);
+}
+
+TEST(WeightedFractionBelow, WeightsApplied) {
+  EXPECT_DOUBLE_EQ(weighted_fraction_below({1.0, 5.0}, {3.0, 1.0}, 2.0), 0.75);
+  EXPECT_THROW(weighted_fraction_below({1.0}, {1.0, 2.0}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cvewb::stats

@@ -1,0 +1,71 @@
+#include "stats/survival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvewb::stats {
+namespace {
+
+TEST(KaplanMeier, NoCensoringMatchesEcdfComplement) {
+  // Without censoring, S(t) = 1 - ECDF(t).
+  const auto curve = kaplan_meier({{1, true}, {2, true}, {3, true}, {4, true}});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].survival, 0.75);
+  EXPECT_DOUBLE_EQ(curve[1].survival, 0.50);
+  EXPECT_DOUBLE_EQ(curve[3].survival, 0.0);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 0.5), 1.0);
+}
+
+TEST(KaplanMeier, TextbookCensoredExample) {
+  // Classic worked example: events at 6 (3 ties), censor at 6, events at
+  // 7, 10; censored 9, 11+.
+  const auto curve = kaplan_meier({{6, true},
+                                   {6, true},
+                                   {6, true},
+                                   {6, false},
+                                   {7, true},
+                                   {9, false},
+                                   {10, true},
+                                   {11, false}});
+  // S(6) = 1 - 3/8 = 0.625; S(7) = 0.625 * (1 - 1/4) = 0.46875;
+  // S(10) = 0.46875 * (1 - 1/2) = 0.234375.
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].survival, 0.625);
+  EXPECT_DOUBLE_EQ(curve[1].survival, 0.46875);
+  EXPECT_DOUBLE_EQ(curve[2].survival, 0.234375);
+  EXPECT_EQ(curve[0].at_risk, 8u);
+  EXPECT_EQ(curve[1].at_risk, 4u);
+}
+
+TEST(KaplanMeier, AllCensoredStaysAtOne) {
+  const auto curve = kaplan_meier({{5, false}, {9, false}});
+  EXPECT_TRUE(curve.empty());
+  EXPECT_DOUBLE_EQ(survival_at(curve, 100.0), 1.0);
+  EXPECT_TRUE(std::isnan(median_survival(curve)));
+}
+
+TEST(KaplanMeier, MedianSurvival) {
+  const auto curve = kaplan_meier({{1, true}, {2, true}, {3, true}, {4, true}});
+  EXPECT_DOUBLE_EQ(median_survival(curve), 2.0);
+}
+
+TEST(KaplanMeier, CensoringRaisesTailSurvivalVsNaiveDrop) {
+  // Dropping censored subjects (the naive CDF approach) underestimates
+  // survival relative to Kaplan-Meier handling.
+  const auto km = kaplan_meier({{1, true}, {2, false}, {3, true}, {4, false}, {5, true}});
+  const auto naive = kaplan_meier({{1, true}, {3, true}, {5, true}});
+  EXPECT_GT(survival_at(km, 3.0), survival_at(naive, 3.0));
+}
+
+TEST(KaplanMeier, RejectsNegativeDurations) {
+  EXPECT_THROW(kaplan_meier({{-1, true}}), std::invalid_argument);
+}
+
+TEST(KaplanMeier, EmptyInput) {
+  EXPECT_TRUE(kaplan_meier({}).empty());
+}
+
+}  // namespace
+}  // namespace cvewb::stats

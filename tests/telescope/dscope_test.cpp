@@ -1,0 +1,146 @@
+#include "telescope/dscope.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/appendix_e.h"
+
+namespace cvewb::telescope {
+namespace {
+
+DscopeConfig small_config() {
+  DscopeConfig config;
+  config.lanes = 10;
+  config.lifetime = util::Duration::minutes(10);
+  config.begin = data::study_begin();
+  config.end = data::study_end();
+  config.seed = 99;
+  return config;
+}
+
+class DscopeTest : public ::testing::Test {
+ protected:
+  Dscope dscope_{small_config(), IpPool::aws_like(100000)};
+};
+
+TEST_F(DscopeTest, SlotBoundaries) {
+  const auto begin = data::study_begin();
+  EXPECT_EQ(dscope_.slot_of(begin), 0);
+  EXPECT_EQ(dscope_.slot_of(begin + util::Duration::minutes(10) - util::Duration(1)), 0);
+  EXPECT_EQ(dscope_.slot_of(begin + util::Duration::minutes(10)), 1);
+  EXPECT_EQ(dscope_.slot_of(begin - util::Duration(1)), -1);  // floor, not truncation
+}
+
+TEST_F(DscopeTest, InstanceLifetimeIsTenMinutes) {
+  const Instance inst = dscope_.instance_at(3, data::study_begin() + util::Duration::hours(5));
+  EXPECT_EQ((inst.end - inst.start).total_seconds(), 600);
+  EXPECT_TRUE(inst.active_at(inst.start));
+  EXPECT_FALSE(inst.active_at(inst.end));
+}
+
+TEST_F(DscopeTest, ScheduleIsDeterministic) {
+  const Dscope again(small_config(), IpPool::aws_like(100000));
+  const auto t = data::study_begin() + util::Duration::days(100);
+  for (int lane = 0; lane < 10; ++lane) {
+    EXPECT_EQ(dscope_.instance_at(lane, t).ip, again.instance_at(lane, t).ip);
+  }
+}
+
+TEST_F(DscopeTest, ChurnChangesAddresses) {
+  // Across consecutive slots a lane almost always lands on a new IP.
+  const auto t0 = data::study_begin();
+  int changed = 0;
+  for (int slot = 0; slot < 50; ++slot) {
+    const auto a = dscope_.instance_at(0, t0 + util::Duration::minutes(10 * slot));
+    const auto b = dscope_.instance_at(0, t0 + util::Duration::minutes(10 * (slot + 1)));
+    changed += a.ip != b.ip ? 1 : 0;
+  }
+  EXPECT_GE(changed, 49);
+}
+
+TEST_F(DscopeTest, ManyUniqueIpsOverTime) {
+  // The telescope touches a large slice of the pool over the study
+  // (the paper's 5 M unique IPs at full scale).
+  std::set<std::uint32_t> ips;
+  const auto t0 = data::study_begin();
+  for (int slot = 0; slot < 1000; ++slot) {
+    for (int lane = 0; lane < 10; ++lane) {
+      ips.insert(dscope_.instance_at(lane, t0 + util::Duration::minutes(10 * slot)).ip.value());
+    }
+  }
+  EXPECT_GT(ips.size(), 9000u);  // ~10k slots, mostly distinct addresses
+}
+
+TEST_F(DscopeTest, SampleActiveReturnsLiveInstance) {
+  util::Rng rng(1);
+  const auto t = data::study_begin() + util::Duration::days(30);
+  for (int i = 0; i < 100; ++i) {
+    const Instance inst = dscope_.sample_active(t, rng);
+    EXPECT_TRUE(inst.active_at(t));
+    EXPECT_TRUE(dscope_.pool().contains(inst.ip));
+  }
+}
+
+TEST_F(DscopeTest, HolderOfFindsSampledInstance) {
+  util::Rng rng(2);
+  const auto t = data::study_begin() + util::Duration::days(200);
+  const Instance inst = dscope_.sample_active(t, rng);
+  const auto holder = dscope_.holder_of(inst.ip, t);
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(holder->lane, inst.lane);
+  EXPECT_FALSE(dscope_.holder_of(net::IPv4(192, 168, 1, 1), t).has_value());
+}
+
+TEST_F(DscopeTest, PhysicalCaptureFractionMatchesGeometry) {
+  // Property: a random pool address is held by the telescope with
+  // probability ~ lanes / pool size.
+  util::Rng rng(3);
+  const double pool_size = 20000;
+  const Dscope dense(small_config(), IpPool::aws_like(static_cast<std::uint64_t>(pool_size)));
+  int captured = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const auto t = data::study_begin() + util::Duration(rng.uniform_int(0, 86400 * 700));
+    const net::IPv4 target = dense.pool().address_at(rng.uniform_u64(dense.pool().size()));
+    captured += dense.holder_of(target, t).has_value() ? 1 : 0;
+  }
+  const double expected = 10.0 / pool_size;
+  const double observed = static_cast<double>(captured) / trials;
+  EXPECT_NEAR(observed, expected, expected * 0.8);
+}
+
+TEST_F(DscopeTest, TotalInstanceSlots) {
+  // 730 days * 144 slots/day * 10 lanes.
+  EXPECT_EQ(dscope_.total_instance_slots(), 730LL * 144 * 10);
+}
+
+TEST(DscopeValidation, RejectsBadConfig) {
+  DscopeConfig bad = small_config();
+  bad.lanes = 0;
+  EXPECT_THROW(Dscope(bad, IpPool::aws_like(1000)), std::invalid_argument);
+  bad = small_config();
+  bad.end = bad.begin;
+  EXPECT_THROW(Dscope(bad, IpPool::aws_like(1000)), std::invalid_argument);
+}
+
+TEST(SessionStore, StatsAndOrdering) {
+  SessionStore store;
+  net::TcpSession a;
+  a.open_time = util::TimePoint(200);
+  a.src = net::IPv4(1, 1, 1, 1);
+  a.dst = net::IPv4(2, 2, 2, 2);
+  net::TcpSession b;
+  b.open_time = util::TimePoint(100);
+  b.src = net::IPv4(1, 1, 1, 1);
+  b.dst = net::IPv4(3, 3, 3, 3);
+  store.add(a);
+  store.add(b);
+  EXPECT_EQ(store.unique_sources(), 1u);
+  EXPECT_EQ(store.unique_destinations(), 2u);
+  store.sort_by_time();
+  EXPECT_EQ(store.sessions()[0].open_time, util::TimePoint(100));
+}
+
+}  // namespace
+}  // namespace cvewb::telescope

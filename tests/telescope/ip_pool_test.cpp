@@ -1,0 +1,74 @@
+#include "telescope/ip_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cvewb::telescope {
+namespace {
+
+TEST(IpPool, AddressesStayInsidePrefixes) {
+  const IpPool pool = IpPool::aws_like(100000);
+  for (std::uint64_t i = 0; i < pool.size(); i += 997) {
+    EXPECT_TRUE(pool.contains(pool.address_at(i)));
+  }
+}
+
+TEST(IpPool, VirtualSizeClampedToCapacity) {
+  const IpPool small(std::vector<net::Prefix>{*net::Prefix::parse("10.0.0.0/24")}, 1000000);
+  EXPECT_EQ(small.size(), 256u);
+  EXPECT_EQ(small.prefix_capacity(), 256u);
+}
+
+TEST(IpPool, DistinctIndicesYieldDistinctAddressesInSmallPool) {
+  const IpPool pool(std::vector<net::Prefix>{*net::Prefix::parse("10.0.0.0/22")}, 1024);
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t i = 0; i < pool.size(); ++i) {
+    EXPECT_TRUE(seen.insert(pool.address_at(i).value()).second) << i;
+  }
+}
+
+TEST(IpPool, SpreadsAcrossPrefixes) {
+  const IpPool pool = IpPool::aws_like(1000000);
+  std::set<std::uint32_t> top_octets;
+  for (std::uint64_t i = 0; i < pool.size(); i += 1000) {
+    top_octets.insert(pool.address_at(i).value() >> 24);
+  }
+  EXPECT_GE(top_octets.size(), 4u);  // multiple provider blocks in use
+}
+
+TEST(IpPool, Errors) {
+  EXPECT_THROW(IpPool({}, 10), std::invalid_argument);
+  const IpPool pool(std::vector<net::Prefix>{*net::Prefix::parse("10.0.0.0/30")}, 4);
+  EXPECT_THROW(pool.address_at(4), std::out_of_range);
+}
+
+TEST(IpPool, ContainsRejectsOutsiders) {
+  const IpPool pool = IpPool::aws_like(1000);
+  EXPECT_FALSE(pool.contains(net::IPv4(192, 168, 0, 1)));
+}
+
+TEST(IpPool, OffsetOfIsConsistentWithAddressAt) {
+  const IpPool pool = IpPool::aws_like(50000);
+  // address_at places index at offset index * floor(capacity / size).
+  const std::uint64_t spread = pool.prefix_capacity() / pool.size();
+  for (std::uint64_t index = 0; index < pool.size(); index += 997) {
+    const auto offset = pool.offset_of(pool.address_at(index));
+    ASSERT_TRUE(offset.has_value()) << index;
+    EXPECT_EQ(*offset, index * spread) << index;
+  }
+  EXPECT_FALSE(pool.offset_of(net::IPv4(192, 168, 0, 1)).has_value());
+}
+
+TEST(IpPool, OffsetsAreDenseAndOrderedAcrossPrefixes) {
+  const IpPool pool(std::vector<net::Prefix>{*net::Prefix::parse("10.0.0.0/30"),
+                                             *net::Prefix::parse("172.16.0.0/30")},
+                    8);
+  EXPECT_EQ(*pool.offset_of(net::IPv4(10, 0, 0, 0)), 0u);
+  EXPECT_EQ(*pool.offset_of(net::IPv4(10, 0, 0, 3)), 3u);
+  EXPECT_EQ(*pool.offset_of(net::IPv4(172, 16, 0, 0)), 4u);
+  EXPECT_EQ(*pool.offset_of(net::IPv4(172, 16, 0, 3)), 7u);
+}
+
+}  // namespace
+}  // namespace cvewb::telescope

@@ -1,0 +1,85 @@
+#include "traffic/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::traffic {
+namespace {
+
+using data::appendix_e;
+using data::find_cve;
+
+TEST(ExpectedUnmitigated, MitigatedBeforeAttackIsZero) {
+  // CVE-2022-26134: rule deployed 2h before the first attack.
+  const auto* rec = find_cve("CVE-2022-26134");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(expected_unmitigated_fraction(*rec, TimingModel{}), 0.0);
+}
+
+TEST(ExpectedUnmitigated, NoRuleMeansFullyExposed) {
+  const auto* rec = find_cve("CVE-2021-31166");  // D missing
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(expected_unmitigated_fraction(*rec, TimingModel{}), 1.0);
+}
+
+TEST(ExpectedUnmitigated, NoAttackMeansNoExposure) {
+  const auto* rec = find_cve("CVE-2022-44877");  // A missing
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(expected_unmitigated_fraction(*rec, TimingModel{}), 0.0);
+}
+
+TEST(ExpectedUnmitigated, GrowsWithBurstWeight) {
+  const auto* rec = find_cve("CVE-2021-36260");  // ~20-day exposure window
+  ASSERT_NE(rec, nullptr);
+  TimingModel light{3.0, 0.1};
+  TimingModel heavy{3.0, 0.9};
+  EXPECT_LT(expected_unmitigated_fraction(*rec, light),
+            expected_unmitigated_fraction(*rec, heavy));
+}
+
+TEST(Calibration, CoversEveryCve) {
+  const auto models = calibrate_timing();
+  EXPECT_EQ(models.size(), appendix_e().size());
+  for (const auto& [cve, model] : models) {
+    EXPECT_GT(model.burst_mean_days, 0.0) << cve;
+    EXPECT_GE(model.burst_weight, 0.0) << cve;
+    EXPECT_LE(model.burst_weight, 1.0) << cve;
+  }
+}
+
+TEST(Calibration, HitsMitigatedFractionTarget) {
+  // The aggregate expected unmitigated share must land on the Table-5
+  // target (5 % of events before deployment).
+  const CalibrationTargets targets;
+  const auto models = calibrate_timing(targets);
+  double unmitigated = 0;
+  double total = 0;
+  for (const auto& rec : appendix_e()) {
+    if (!rec.first_attack()) continue;
+    total += rec.events;
+    unmitigated += rec.events * expected_unmitigated_fraction(rec, models.at(rec.id));
+  }
+  EXPECT_NEAR(unmitigated / total, 1.0 - targets.mitigated_fraction, 0.01);
+}
+
+TEST(Calibration, RespondsToTarget) {
+  CalibrationTargets strict;
+  strict.mitigated_fraction = 0.99;
+  CalibrationTargets loose;
+  loose.mitigated_fraction = 0.90;
+  const auto strict_models = calibrate_timing(strict);
+  const auto loose_models = calibrate_timing(loose);
+  const auto* rec = find_cve("CVE-2021-36260");
+  EXPECT_LE(strict_models.at(rec->id).burst_weight, loose_models.at(rec->id).burst_weight);
+}
+
+TEST(Calibration, EarlyWindowCvesKeepStrongBursts) {
+  // Exploitation concentrates right after disclosure: CVEs whose exposure
+  // opens immediately (Log4Shell) keep more burst mass than late-window
+  // ones (Hikvision at +30 d) after calibration.
+  const auto models = calibrate_timing();
+  EXPECT_GT(models.at("CVE-2021-44228").burst_weight,
+            models.at("CVE-2021-36260").burst_weight);
+}
+
+}  // namespace
+}  // namespace cvewb::traffic

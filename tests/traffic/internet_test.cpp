@@ -1,0 +1,175 @@
+#include "traffic/internet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "data/appendix_e.h"
+#include "data/log4shell_variants.h"
+#include "pipeline/study.h"
+
+namespace cvewb::traffic {
+namespace {
+
+class InternetTest : public ::testing::Test {
+ protected:
+  static const GeneratedTraffic& traffic() {
+    static const GeneratedTraffic generated = [] {
+      pipeline::StudyConfig study;
+      study.telescope_lanes = 20;
+      study.pool_size = 100000;
+      const auto dscope = pipeline::make_study_telescope(study);
+      InternetConfig config;
+      config.seed = 42;
+      config.event_scale = 0.05;  // ~6 k exploit events: fast but realistic
+      config.background_per_day = 20.0;
+      config.credstuff_per_day = 2.0;
+      return generate_traffic(dscope, config);
+    }();
+    return generated;
+  }
+};
+
+TEST_F(InternetTest, TagsParallelSessions) {
+  EXPECT_EQ(traffic().sessions.size(), traffic().tags.size());
+  EXPECT_GT(traffic().sessions.size(), 5000u);
+}
+
+TEST_F(InternetTest, SessionsSortedAndIdsSequential) {
+  const auto& sessions = traffic().sessions;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_EQ(sessions[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(sessions[i].open_time, sessions[i - 1].open_time);
+    }
+  }
+}
+
+TEST_F(InternetTest, AllKindsPresent) {
+  EXPECT_GT(traffic().count_of(TrafficTag::Kind::kExploit), 4000u);
+  EXPECT_GT(traffic().count_of(TrafficTag::Kind::kBackground), 5000u);
+  EXPECT_GT(traffic().count_of(TrafficTag::Kind::kCredentialStuffing), 500u);
+  EXPECT_GT(traffic().count_of(TrafficTag::Kind::kUntargetedOgnl), 50u);
+  EXPECT_GT(traffic().count_of(TrafficTag::Kind::kFollowOn), 20u);
+}
+
+TEST_F(InternetTest, FollowOnSessionsComeFromDifferentSourcesAfterExploits) {
+  const auto& sessions = traffic().sessions;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (traffic().tags[i].kind != TrafficTag::Kind::kFollowOn) continue;
+    // Second-stage fetches are plain GETs that match no study signature.
+    EXPECT_NE(sessions[i].payload.find("Wget/"), std::string::npos);
+    EXPECT_FALSE(traffic().tags[i].cve_id.empty());
+  }
+}
+
+TEST_F(InternetTest, EveryStudiedCveEmitsTraffic) {
+  std::map<std::string, int> events;
+  for (const auto& tag : traffic().tags) {
+    if (tag.kind == TrafficTag::Kind::kExploit) ++events[tag.cve_id];
+  }
+  for (const auto& rec : data::appendix_e()) {
+    if (!rec.first_attack()) continue;
+    EXPECT_GT(events[rec.id], 0) << rec.id;
+  }
+}
+
+TEST_F(InternetTest, FirstExploitEventMatchesAppendixInstant) {
+  std::map<std::string, util::TimePoint> first;
+  const auto& sessions = traffic().sessions;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& tag = traffic().tags[i];
+    if (tag.kind != TrafficTag::Kind::kExploit) continue;
+    const auto it = first.find(tag.cve_id);
+    if (it == first.end() || sessions[i].open_time < it->second) {
+      first[tag.cve_id] = sessions[i].open_time;
+    }
+  }
+  for (const auto& rec : data::appendix_e()) {
+    const auto attack = rec.first_attack();
+    if (!attack) continue;
+    ASSERT_TRUE(first.count(rec.id)) << rec.id;
+    if (rec.id == "CVE-2021-44228") {
+      // Log4Shell's first capture is the earliest Table-6 variant match
+      // (group A header signature matched 6 h before its release: P + 3 h).
+      util::TimePoint earliest = data::study_end();
+      for (const auto& v : data::log4shell_variants()) {
+        earliest = std::min(earliest, rec.published + v.group_d_minus_p + v.a_minus_d);
+      }
+      EXPECT_EQ(first.at(rec.id), earliest);
+      continue;
+    }
+    // First attacks that predate the window are clamped to its start.
+    EXPECT_EQ(first.at(rec.id), std::max(*attack, data::study_begin())) << rec.id;
+  }
+}
+
+TEST_F(InternetTest, PrePublicationExploitsAimAtServicePort) {
+  const auto& sessions = traffic().sessions;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& tag = traffic().tags[i];
+    if (tag.kind != TrafficTag::Kind::kExploit) continue;
+    const auto* rec = data::find_cve(tag.cve_id);
+    if (sessions[i].open_time < rec->published) {
+      EXPECT_EQ(sessions[i].dst_port, rec->service_port) << tag.cve_id;
+    }
+  }
+}
+
+TEST_F(InternetTest, UntargetedOgnlAvoidsConfluencePortAndPrecedesPublication) {
+  const auto* confluence = data::find_cve("CVE-2022-26134");
+  const auto& sessions = traffic().sessions;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (traffic().tags[i].kind != TrafficTag::Kind::kUntargetedOgnl) continue;
+    EXPECT_NE(sessions[i].dst_port, confluence->service_port);
+    EXPECT_LT(sessions[i].open_time, confluence->published);
+  }
+}
+
+TEST_F(InternetTest, SourcePoolsAreBounded) {
+  std::set<std::uint32_t> exploit_sources;
+  const auto& sessions = traffic().sessions;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (traffic().tags[i].kind == TrafficTag::Kind::kExploit) {
+      exploit_sources.insert(sessions[i].src.value());
+    }
+  }
+  // §4: CVE traffic came from a small set of sources.
+  EXPECT_LT(exploit_sources.size(), 4000u);
+  EXPECT_GT(exploit_sources.size(), 100u);
+}
+
+TEST_F(InternetTest, DeterministicForSeed) {
+  pipeline::StudyConfig study;
+  study.telescope_lanes = 20;
+  study.pool_size = 100000;
+  const auto dscope = pipeline::make_study_telescope(study);
+  InternetConfig config;
+  config.seed = 77;
+  config.event_scale = 0.01;
+  config.background_per_day = 5.0;
+  const auto a = generate_traffic(dscope, config);
+  const auto b = generate_traffic(dscope, config);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); i += 37) {
+    EXPECT_EQ(a.sessions[i].open_time, b.sessions[i].open_time);
+    EXPECT_EQ(a.sessions[i].payload, b.sessions[i].payload);
+    EXPECT_EQ(a.sessions[i].dst, b.sessions[i].dst);
+  }
+}
+
+TEST_F(InternetTest, DestinationsAreTelescopeInstances) {
+  pipeline::StudyConfig study;
+  study.telescope_lanes = 20;
+  study.pool_size = 100000;
+  const auto dscope = pipeline::make_study_telescope(study);
+  const auto& sessions = traffic().sessions;
+  for (std::size_t i = 0; i < sessions.size(); i += 101) {
+    EXPECT_TRUE(dscope.holder_of(sessions[i].dst, sessions[i].open_time).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::traffic

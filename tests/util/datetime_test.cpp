@@ -1,0 +1,106 @@
+#include "util/datetime.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::util {
+namespace {
+
+TEST(DaysFromCivil, EpochIsZero) { EXPECT_EQ(days_from_civil(1970, 1, 1), 0); }
+
+TEST(DaysFromCivil, KnownDates) {
+  EXPECT_EQ(days_from_civil(1970, 1, 2), 1);
+  EXPECT_EQ(days_from_civil(1969, 12, 31), -1);
+  EXPECT_EQ(days_from_civil(2000, 3, 1), 11017);
+  EXPECT_EQ(days_from_civil(2021, 12, 10), 18971);  // Log4Shell publication
+}
+
+TEST(DaysFromCivil, LeapYearHandling) {
+  // 2020 is a leap year, 2100 is not.
+  EXPECT_EQ(days_from_civil(2020, 3, 1) - days_from_civil(2020, 2, 28), 2);
+  EXPECT_EQ(days_from_civil(2100, 3, 1) - days_from_civil(2100, 2, 28), 1);
+  EXPECT_EQ(days_from_civil(2000, 3, 1) - days_from_civil(2000, 2, 28), 2);  // 400-rule
+}
+
+TEST(CivilRoundTrip, AllDaysInStudyEra) {
+  // Property: civil_from_days inverts days_from_civil across 1990-2040.
+  for (std::int64_t day = days_from_civil(1990, 1, 1); day <= days_from_civil(2040, 1, 1);
+       ++day) {
+    const Civil c = civil_from_days(day);
+    ASSERT_EQ(days_from_civil(c.year, c.month, c.day), day) << "day " << day;
+  }
+}
+
+TEST(ParseDate, DateOnly) {
+  const auto t = parse_date("2021-12-10");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(format_date(*t), "2021-12-10");
+  EXPECT_EQ(to_civil(*t).hour, 0);
+}
+
+TEST(ParseDate, DateTime) {
+  const auto t = parse_date("2021-12-10T19:30:05Z");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(format_datetime(*t), "2021-12-10T19:30:05Z");
+}
+
+TEST(ParseDate, RejectsMalformed) {
+  EXPECT_FALSE(parse_date("").has_value());
+  EXPECT_FALSE(parse_date("2021-13-01").has_value());
+  EXPECT_FALSE(parse_date("2021-00-10").has_value());
+  EXPECT_FALSE(parse_date("2021-1-1").has_value());
+  EXPECT_FALSE(parse_date("2021-12-10T25").has_value());
+  EXPECT_FALSE(parse_date("not-a-date").has_value());
+}
+
+TEST(ParseOffset, PositiveDaysHours) {
+  const auto d = parse_offset("90d 12h");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->total_seconds(), 90 * 86400 + 12 * 3600);
+}
+
+TEST(ParseOffset, NegativeZeroDays) {
+  // "-0d 7h" means minus seven hours: the sign applies to the whole value.
+  const auto d = parse_offset("-0d 7h");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->total_seconds(), -7 * 3600);
+}
+
+TEST(ParseOffset, DaysOnly) {
+  const auto d = parse_offset("1d");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->total_days(), 1.0);
+}
+
+TEST(ParseOffset, PlaceholderAndGarbage) {
+  EXPECT_FALSE(parse_offset("-").has_value());
+  EXPECT_FALSE(parse_offset("").has_value());
+  EXPECT_FALSE(parse_offset("12h").has_value());
+  EXPECT_FALSE(parse_offset("3x 4h").has_value());
+}
+
+TEST(FormatOffset, RoundTripsParseOffset) {
+  for (const char* text : {"90d 12h", "-198d 11h", "0d 13h", "-0d 7h", "518d 12h"}) {
+    const auto d = parse_offset(text);
+    ASSERT_TRUE(d.has_value()) << text;
+    EXPECT_EQ(format_offset(*d), text);
+  }
+}
+
+TEST(DurationArithmetic, Basics) {
+  const Duration d = Duration::days(2) + Duration::hours(3);
+  EXPECT_EQ(d.total_seconds(), 2 * 86400 + 3 * 3600);
+  EXPECT_DOUBLE_EQ((-d).total_days(), -d.total_days());
+  EXPECT_LT(Duration::hours(1), Duration::days(1));
+}
+
+TEST(TimePointArithmetic, DifferenceAndShift) {
+  const TimePoint a = *parse_date("2021-03-01");
+  const TimePoint b = *parse_date("2021-03-11");
+  EXPECT_DOUBLE_EQ((b - a).total_days(), 10.0);
+  EXPECT_EQ(a + Duration::days(10), b);
+  EXPECT_TRUE(in_window(a, a, b));
+  EXPECT_FALSE(in_window(b, a, b));
+}
+
+}  // namespace
+}  // namespace cvewb::util

@@ -1,0 +1,100 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::util {
+namespace {
+
+TEST(Json, BuildAndDumpCompact) {
+  Json doc{JsonObject{}};
+  doc.set("cve", "CVE-2021-44228");
+  doc.set("impact", 10.0);
+  doc.set("exploited", true);
+  doc.set("fix", Json());
+  Json events{JsonArray{}};
+  events.push_back("P");
+  events.push_back(2021);
+  doc.set("events", std::move(events));
+  EXPECT_EQ(doc.dump(),
+            R"({"cve":"CVE-2021-44228","impact":10,"exploited":true,"fix":null,)"
+            R"("events":["P",2021]})");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json doc{JsonObject{}};
+  doc.set("a", 1);
+  const std::string pretty = doc.dump(2);
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(Json, EscapesControlAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const char* text =
+      R"({"schema":"v1","values":[1,2.5,-3e2,true,false,null,"s"],"nested":{"k":"v"}})";
+  const auto parsed = parse_json(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto reparsed = parse_json(parsed->dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*parsed, *reparsed);
+  EXPECT_EQ(parsed->find("schema")->as_string(), "v1");
+  EXPECT_DOUBLE_EQ(parsed->find("values")->as_array()[2].as_number(), -300.0);
+  EXPECT_EQ(parsed->find("nested")->find("k")->as_string(), "v");
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  const auto parsed = parse_json(R"(["Aé€"])");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_array()[0].as_string(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+struct BadJsonCase {
+  const char* text;
+};
+class BadJson : public ::testing::TestWithParam<BadJsonCase> {};
+
+TEST_P(BadJson, Rejected) {
+  std::string error;
+  EXPECT_FALSE(parse_json(GetParam().text, error).has_value()) << GetParam().text;
+  EXPECT_FALSE(error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, BadJson,
+                         ::testing::Values(BadJsonCase{""}, BadJsonCase{"{"},
+                                           BadJsonCase{"[1,]"}, BadJsonCase{"{\"a\":}"},
+                                           BadJsonCase{"{\"a\" 1}"}, BadJsonCase{"tru"},
+                                           BadJsonCase{"\"unterminated"},
+                                           BadJsonCase{"[1] trailing"},
+                                           BadJsonCase{"{\"a\":1,}"}, BadJsonCase{"nan"},
+                                           BadJsonCase{"\"bad \\u12\""}),
+                         [](const auto& info) { return "case_" + std::to_string(info.index); });
+
+TEST(Json, TypeErrorsThrow) {
+  const Json number{1.5};
+  EXPECT_THROW(number.as_string(), std::logic_error);
+  EXPECT_THROW(number.as_array(), std::logic_error);
+  EXPECT_EQ(number.find("x"), nullptr);
+  Json array{JsonArray{}};
+  EXPECT_THROW(array.set("k", 1), std::logic_error);
+}
+
+TEST(Json, NullPromotesToContainerOnMutation) {
+  Json object;
+  object.set("k", "v");
+  EXPECT_EQ(object.type(), Json::Type::kObject);
+  Json array;
+  array.push_back(1);
+  EXPECT_EQ(array.type(), Json::Type::kArray);
+}
+
+TEST(Json, IntegersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+}  // namespace
+}  // namespace cvewb::util

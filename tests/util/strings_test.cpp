@@ -1,0 +1,73 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::util {
+namespace {
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_lower("HeLLo-123"), "hello-123");
+  EXPECT_EQ(to_upper("HeLLo-123"), "HELLO-123");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("foo", "fooo"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\r\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitTrimDropsEmpties) {
+  const auto parts = split_trim(" a , , b ", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("GET /", "GET "));
+  EXPECT_FALSE(starts_with("GE", "GET "));
+  EXPECT_TRUE(ends_with("file.rules", ".rules"));
+  EXPECT_FALSE(ends_with("x", ".rules"));
+}
+
+TEST(Strings, IFind) {
+  EXPECT_EQ(ifind("Hello ${JNDI:ldap}", "${jndi"), 6u);
+  EXPECT_EQ(ifind("abc", "zz"), std::string_view::npos);
+  EXPECT_EQ(ifind("aaa", "a", 1), 1u);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a.b.c", ".", "->"), "a->b->c");
+  EXPECT_EQ(replace_all("xxx", "x", "xx"), "xxxxxx");  // no infinite loop
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, PercentDecode) {
+  EXPECT_EQ(percent_decode("%2e%2e/%2E%2E"), "../..");
+  EXPECT_EQ(percent_decode("%24%7Bjndi%3A"), "${jndi:");
+  EXPECT_EQ(percent_decode("no-escapes"), "no-escapes");
+  // Invalid escapes pass through verbatim (lenient-server behaviour).
+  EXPECT_EQ(percent_decode("%zz%2"), "%zz%2");
+}
+
+}  // namespace
+}  // namespace cvewb::util

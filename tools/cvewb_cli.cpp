@@ -1,0 +1,188 @@
+// cvewb -- command-line front end for the CVE Wayback Machine library.
+//
+//   cvewb study [--seed N] [--scale F]    run the study, print Tables 4/5
+//   cvewb rules                           print the synthetic study ruleset
+//   cvewb baselines                       print the CERT Markov baselines
+//   cvewb artifacts [--seed N]            emit §8.2 disclosure artifacts (JSON)
+//   cvewb pcap <file> [--seed N] [--scale F]
+//                                         write a capture archive to <file>
+//   cvewb lifecycle <CVE-id>              print one CVE's lifecycle timeline
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ids/rule_gen.h"
+#include "data/cve_table_io.h"
+#include "lifecycle/markov.h"
+#include "net/pcap.h"
+#include "pipeline/study.h"
+#include "report/disclosure_artifact.h"
+#include "report/export.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace cvewb;
+
+struct Options {
+  std::uint64_t seed = 2023;
+  double scale = 0.1;
+  std::vector<std::string> positional;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--scale" && i + 1 < argc) {
+      options.scale = std::strtod(argv[++i], nullptr);
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+pipeline::StudyConfig study_config(const Options& options) {
+  pipeline::StudyConfig config;
+  config.seed = options.seed;
+  config.event_scale = options.scale;
+  return config;
+}
+
+int cmd_study(const Options& options) {
+  const auto result = pipeline::run_study(study_config(options));
+  std::cout << "sessions: " << result.traffic.sessions.size()
+            << ", matched: " << result.reconstruction.sessions_matched
+            << ", CVEs: " << result.reconstruction.timelines.size() << "\n\n";
+  std::cout << "Table 4 (per-CVE):\n"
+            << report::render_skill_table(result.table4, &report::paper_table4_satisfied(),
+                                          &report::paper_table4_skill())
+            << "\nTable 5 (per-event):\n"
+            << report::render_skill_table(result.table5, &report::paper_table5_satisfied(),
+                                          &report::paper_table5_skill());
+  std::cout << "\nmitigated exposure: "
+            << report::fmt(result.exposure.mitigated_fraction() * 100, 1) << "%\n";
+  return 0;
+}
+
+int cmd_rules() {
+  std::cout << ids::generate_study_ruleset().serialize();
+  return 0;
+}
+
+int cmd_baselines() {
+  const auto probs = lifecycle::pair_probabilities(lifecycle::cert_model());
+  report::TextTable table({"desideratum", "baseline f_d"});
+  for (const auto& d : lifecycle::studied_desiderata()) {
+    table.add_row({d.label(),
+                   report::fmt(probs[lifecycle::index_of(d.before)][lifecycle::index_of(d.after)],
+                               4)});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_artifacts(const Options&) {
+  const auto timelines = lifecycle::study_timelines();
+  std::cout << report::artifacts_document(timelines).dump(2) << "\n";
+  return 0;
+}
+
+int cmd_pcap(const Options& options) {
+  if (options.positional.empty()) {
+    std::cerr << "usage: cvewb pcap <file> [--seed N] [--scale F]\n";
+    return 2;
+  }
+  const auto config = study_config(options);
+  const auto dscope = pipeline::make_study_telescope(config);
+  traffic::InternetConfig internet;
+  internet.seed = config.seed;
+  internet.event_scale = config.event_scale;
+  const auto traffic = traffic::generate_traffic(dscope, internet);
+  std::ofstream out(options.positional[0], std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot open " << options.positional[0] << "\n";
+    return 1;
+  }
+  net::PcapWriter writer(out, 1460);
+  for (const auto& session : traffic.sessions) writer.write_session(session);
+  std::cout << "wrote " << writer.packets_written() << " packets ("
+            << traffic.sessions.size() << " sessions) to " << options.positional[0] << "\n";
+  return 0;
+}
+
+int cmd_dataset() {
+  std::cout << data::cve_table_to_csv(data::appendix_e());
+  return 0;
+}
+
+int cmd_export(const Options& options) {
+  if (options.positional.empty()) {
+    std::cerr << "usage: cvewb export <directory> [--seed N] [--scale F]\n";
+    return 2;
+  }
+  const auto result = pipeline::run_study(study_config(options));
+  const auto written = report::export_study(options.positional[0], result);
+  for (const auto& path : written) std::cout << "wrote " << path.string() << "\n";
+  return 0;
+}
+
+int cmd_lifecycle(const Options& options) {
+  if (options.positional.empty()) {
+    std::cerr << "usage: cvewb lifecycle <CVE-id>\n";
+    return 2;
+  }
+  const auto& id = options.positional[0];
+  for (const auto& tl : lifecycle::study_timelines()) {
+    if (tl.cve_id() != id) continue;
+    const auto published = tl.at(lifecycle::Event::kPublicAwareness);
+    report::TextTable table({"event", "instant", "offset from P"});
+    for (lifecycle::Event e : lifecycle::kAllEvents) {
+      const auto t = tl.at(e);
+      table.add_row({std::string(lifecycle::event_name(e)),
+                     t ? util::format_datetime(*t) : std::string("-"),
+                     t && published ? util::format_offset(*t - *published) : std::string("-")});
+    }
+    std::cout << table.render();
+    return 0;
+  }
+  std::cerr << id << " is not one of the 63 studied CVEs\n";
+  return 1;
+}
+
+void usage() {
+  std::cerr << "usage: cvewb <study|rules|baselines|artifacts|pcap|export|dataset|lifecycle> [options]\n"
+               "  study      run the end-to-end study (--seed, --scale)\n"
+               "  rules      print the synthetic Snort-subset study ruleset\n"
+               "  baselines  print the CERT Markov baseline probabilities\n"
+               "  artifacts  emit machine-readable disclosure artifacts (JSON)\n"
+               "  pcap FILE  generate a capture archive (--seed, --scale)\n"
+               "  export DIR write tables/figures/artifacts to a directory\n"
+               "  dataset    dump the studied-CVE table as CSV\n"
+               "  lifecycle CVE-YYYY-NNNN  print one studied CVE's timeline\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Options options = parse_options(argc, argv);
+  if (command == "study") return cmd_study(options);
+  if (command == "rules") return cmd_rules();
+  if (command == "baselines") return cmd_baselines();
+  if (command == "artifacts") return cmd_artifacts(options);
+  if (command == "pcap") return cmd_pcap(options);
+  if (command == "export") return cmd_export(options);
+  if (command == "dataset") return cmd_dataset();
+  if (command == "lifecycle") return cmd_lifecycle(options);
+  usage();
+  return 2;
+}
