@@ -1,0 +1,177 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cvewb::faults {
+
+namespace {
+
+/// Draw the blackout schedule inside the corpus time span.
+std::vector<BlackoutWindow> draw_blackouts(const FaultPlan& plan, util::TimePoint t_min,
+                                           util::TimePoint t_max, util::Rng& rng) {
+  std::vector<BlackoutWindow> windows;
+  windows.reserve(static_cast<std::size_t>(std::max(0, plan.blackout_count)));
+  const std::int64_t span = (t_max - t_min).total_seconds();
+  const std::int64_t duration = std::max<std::int64_t>(1, plan.blackout_duration.total_seconds());
+  for (int i = 0; i < plan.blackout_count; ++i) {
+    BlackoutWindow w;
+    w.lane = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(std::max(1, plan.lanes))));
+    const std::int64_t latest_start = std::max<std::int64_t>(0, span - duration);
+    const std::int64_t start = latest_start > 0 ? rng.uniform_int(0, latest_start) : 0;
+    w.begin = t_min + util::Duration(start);
+    w.end = w.begin + util::Duration(duration);
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+bool blacked_out(const std::vector<BlackoutWindow>& windows, int lane, util::TimePoint t) {
+  for (const auto& w : windows) {
+    if (w.lane == lane && w.begin <= t && t < w.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultedCorpus inject_faults(const traffic::GeneratedTraffic& corpus, const FaultPlan& plan,
+                            std::uint64_t seed) {
+  return FaultInjector(plan, seed).run(corpus);
+}
+
+FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus) const {
+  FaultedCorpus out;
+  out.log.sessions_in = corpus.sessions.size();
+  if (corpus.sessions.empty() || !plan_.any()) {
+    out.traffic = corpus;
+    out.log.sessions_out = corpus.sessions.size();
+    return out;
+  }
+  const bool have_tags = corpus.tags.size() == corpus.sessions.size();
+
+  util::Rng rng(seed_ ^ 0xFA017ULL);
+  util::Rng blackout_rng = rng.fork(0xb1ac);
+  util::Rng skew_rng = rng.fork(0x5e3a);
+  util::Rng session_rng = rng.fork(0x5e55);
+  util::Rng reorder_rng = rng.fork(0x0d3a);
+
+  auto& log = out.log;
+  const auto add_record = [&log](FaultKind kind, std::uint64_t id, std::int64_t detail) {
+    log.records.push_back(FaultRecord{kind, id, detail});
+    ++log.counts[static_cast<std::size_t>(kind)];
+  };
+
+  // Blackout schedule over the corpus time span.
+  util::TimePoint t_min = corpus.sessions.front().open_time;
+  util::TimePoint t_max = t_min;
+  for (const auto& s : corpus.sessions) {
+    t_min = std::min(t_min, s.open_time);
+    t_max = std::max(t_max, s.open_time);
+  }
+  if (plan_.blackout_count > 0) {
+    log.blackouts = draw_blackouts(plan_, t_min, t_max, blackout_rng);
+  }
+
+  // Per-lane clock skew table.
+  std::vector<std::int64_t> lane_skew;
+  if (plan_.clock_skew_max.total_seconds() != 0) {
+    const std::int64_t max_skew = std::abs(plan_.clock_skew_max.total_seconds());
+    lane_skew.resize(static_cast<std::size_t>(std::max(1, plan_.lanes)));
+    for (auto& skew : lane_skew) skew = skew_rng.uniform_int(-max_skew, max_skew);
+  }
+
+  // Single ordered pass over the corpus; every RNG draw happens in input
+  // order, so the run is a pure function of (corpus, plan, seed).
+  auto& sessions = out.traffic.sessions;
+  auto& tags = out.traffic.tags;
+  sessions.reserve(corpus.sessions.size());
+  if (have_tags) tags.reserve(corpus.tags.size());
+  for (std::size_t i = 0; i < corpus.sessions.size(); ++i) {
+    const net::TcpSession& original = corpus.sessions[i];
+    const int lane = lane_of(original.dst.value(), plan_.lanes);
+
+    if (blacked_out(log.blackouts, lane, original.open_time)) {
+      add_record(FaultKind::kLaneBlackout, original.id, lane);
+      continue;
+    }
+    if (plan_.session_loss_rate > 0 && session_rng.chance(plan_.session_loss_rate)) {
+      add_record(FaultKind::kSessionLoss, original.id, 0);
+      continue;
+    }
+
+    net::TcpSession session = original;
+    if (!lane_skew.empty()) {
+      const std::int64_t skew = lane_skew[static_cast<std::size_t>(lane)];
+      if (skew != 0) {
+        session.open_time += util::Duration(skew);
+        add_record(FaultKind::kClockSkew, session.id, skew);
+      }
+    }
+    if (plan_.snaplen > 0 && session.payload.size() > plan_.snaplen) {
+      const auto cut = static_cast<std::int64_t>(session.payload.size() - plan_.snaplen);
+      session.payload.resize(plan_.snaplen);
+      add_record(FaultKind::kTruncation, session.id, cut);
+    }
+    if (plan_.corruption_rate > 0 && !session.payload.empty() &&
+        session_rng.chance(plan_.corruption_rate)) {
+      const auto flips = std::max<std::int64_t>(
+          1, std::llround(plan_.corruption_byte_fraction *
+                          static_cast<double>(session.payload.size())));
+      for (std::int64_t f = 0; f < flips; ++f) {
+        const auto pos = session_rng.uniform_u64(session.payload.size());
+        session.payload[pos] = static_cast<char>(
+            static_cast<unsigned char>(session.payload[pos]) ^
+            static_cast<unsigned char>(session_rng.uniform_int(1, 255)));
+      }
+      add_record(FaultKind::kCorruption, session.id, flips);
+    }
+
+    const bool duplicate =
+        plan_.duplication_rate > 0 && session_rng.chance(plan_.duplication_rate);
+    if (duplicate) add_record(FaultKind::kDuplication, session.id, 0);
+
+    if (have_tags) {
+      tags.push_back(corpus.tags[i]);
+      if (duplicate) tags.push_back(corpus.tags[i]);
+    }
+    if (duplicate) sessions.push_back(session);  // same record, delivered twice
+    sessions.push_back(std::move(session));
+  }
+
+  // Out-of-order delivery: displace a fraction of records by a bounded
+  // number of positions, then stable-sort by the perturbed position.
+  if (plan_.reorder_rate > 0 && sessions.size() > 1) {
+    std::vector<std::int64_t> order(sessions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<std::int64_t>(i);
+      if (!reorder_rng.chance(plan_.reorder_rate)) continue;
+      const std::int64_t displacement =
+          reorder_rng.uniform_int(1, std::max(1, plan_.reorder_max_displacement));
+      const std::int64_t sign = reorder_rng.chance(0.5) ? -1 : 1;
+      order[i] += sign * displacement;
+      add_record(FaultKind::kReorder, sessions[i].id, sign * displacement);
+    }
+    std::vector<std::size_t> index(sessions.size());
+    for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;
+    std::stable_sort(index.begin(), index.end(),
+                     [&order](std::size_t a, std::size_t b) { return order[a] < order[b]; });
+    std::vector<net::TcpSession> reordered;
+    reordered.reserve(sessions.size());
+    std::vector<traffic::TrafficTag> reordered_tags;
+    if (have_tags) reordered_tags.reserve(tags.size());
+    for (std::size_t i : index) {
+      reordered.push_back(std::move(sessions[i]));
+      if (have_tags) reordered_tags.push_back(tags[i]);
+    }
+    sessions = std::move(reordered);
+    if (have_tags) tags = std::move(reordered_tags);
+  }
+
+  log.sessions_out = sessions.size();
+  return out;
+}
+
+}  // namespace cvewb::faults

@@ -1,0 +1,49 @@
+// Deterministic fault injection over a captured corpus.
+//
+// Sits between `traffic::generate_traffic` and `pipeline::reconstruct`:
+// takes the pristine capture (sessions + ground-truth tags), applies a
+// FaultPlan, and returns the degraded corpus plus a FaultLog describing
+// exactly what was done.  Injection is a pure function of
+// (corpus, plan, seed): identical inputs yield bit-identical outputs, so
+// degraded runs are as reproducible as clean ones.
+//
+// Ground-truth tags ride along with their sessions through every fault
+// (drops remove the tag, duplicates copy it), keeping the tag vector
+// parallel to the session vector for validation of degraded runs.
+#pragma once
+
+#include "faults/fault_model.h"
+#include "traffic/internet.h"
+
+namespace cvewb::faults {
+
+/// A degraded corpus plus the injection ground truth.
+struct FaultedCorpus {
+  traffic::GeneratedTraffic traffic;
+  FaultLog log;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed) : plan_(plan), seed_(seed) {}
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Apply the plan to `corpus`.  Fault classes are applied in a fixed
+  /// order -- blackout, loss, clock skew, truncation, corruption,
+  /// duplication, reorder -- so duplicates are exact copies of their
+  /// (already truncated / corrupted) originals and the FaultLog counts
+  /// reconcile exactly with what reconstruction can observe.
+  FaultedCorpus run(const traffic::GeneratedTraffic& corpus) const;
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_;
+};
+
+/// Convenience wrapper: FaultInjector(plan, seed).run(corpus).
+FaultedCorpus inject_faults(const traffic::GeneratedTraffic& corpus, const FaultPlan& plan,
+                            std::uint64_t seed);
+
+}  // namespace cvewb::faults

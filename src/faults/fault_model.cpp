@@ -1,0 +1,40 @@
+#include "faults/fault_model.h"
+
+#include "util/rng.h"
+
+namespace cvewb::faults {
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLaneBlackout: return "lane_blackout";
+    case FaultKind::kSessionLoss: return "session_loss";
+    case FaultKind::kTruncation: return "truncation";
+    case FaultKind::kCorruption: return "corruption";
+    case FaultKind::kDuplication: return "duplication";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kClockSkew: return "clock_skew";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::any() const {
+  return blackout_count > 0 || session_loss_rate > 0 || snaplen > 0 ||
+         corruption_rate > 0 || duplication_rate > 0 || reorder_rate > 0 ||
+         clock_skew_max.total_seconds() != 0;
+}
+
+bool FaultLog::consistent() const {
+  std::array<std::size_t, kFaultKindCount> recount{};
+  for (const auto& record : records) ++recount[static_cast<std::size_t>(record.kind)];
+  if (recount != counts) return false;
+  return sessions_out ==
+         sessions_in - dropped() + count(FaultKind::kDuplication);
+}
+
+int lane_of(std::uint32_t dst_ip, int lanes) {
+  if (lanes <= 0) return 0;
+  std::uint64_t h = static_cast<std::uint64_t>(dst_ip) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<int>(util::splitmix64(h) % static_cast<std::uint64_t>(lanes));
+}
+
+}  // namespace cvewb::faults

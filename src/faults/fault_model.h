@@ -1,0 +1,124 @@
+// Degraded-capture fault model: what a real telescope deployment loses.
+//
+// The paper's collection ran for two years on churning cloud instances; in
+// practice such a capture is never pristine.  This module names the fault
+// classes we inject between traffic generation and reconstruction so that
+// every downstream consumer can be tested against them:
+//
+//   kLaneBlackout  -- a contiguous outage of one collection lane (instance
+//                     crash / churn gap): every session that lane would
+//                     have captured during the window is lost;
+//   kSessionLoss   -- i.i.d. record loss (dropped pcap buffers);
+//   kTruncation    -- payload cut to a snaplen, as tcpdump -s would;
+//   kCorruption    -- random byte flips inside the payload;
+//   kDuplication   -- the same record delivered twice (replayed capture
+//                     segment);
+//   kReorder       -- records delivered out of chronological order;
+//   kClockSkew     -- a per-lane clock offset applied to timestamps.
+//
+// A FaultPlan gives the rate for each class; a FaultLog records exactly
+// which sessions were touched (the injection ground truth that the
+// DataQualityReport reconciles against).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/datetime.h"
+
+namespace cvewb::faults {
+
+enum class FaultKind : std::uint8_t {
+  kLaneBlackout,
+  kSessionLoss,
+  kTruncation,
+  kCorruption,
+  kDuplication,
+  kReorder,
+  kClockSkew,
+};
+inline constexpr std::size_t kFaultKindCount = 7;
+
+std::string_view fault_kind_name(FaultKind kind);
+
+/// Injection rates for one degraded-capture scenario.  All fields default
+/// to "no fault"; a default-constructed plan is a no-op.
+struct FaultPlan {
+  /// Pseudo-lane count used by blackouts and clock skew.  Sessions are
+  /// assigned to lanes by hashing their destination address, mirroring how
+  /// each telescope instance owns the traffic to its own IP.
+  int lanes = 300;
+
+  /// Lane blackouts: `blackout_count` outages of `blackout_duration` each,
+  /// at seed-determined lanes and instants inside the corpus time span.
+  int blackout_count = 0;
+  util::Duration blackout_duration = util::Duration::hours(6);
+
+  /// Probability that any individual session record is lost.
+  double session_loss_rate = 0.0;
+
+  /// Truncate payloads to this many bytes (0 = capture full payloads).
+  std::size_t snaplen = 0;
+
+  /// Probability that a session's payload suffers byte corruption, and the
+  /// fraction of its bytes flipped when it does (at least one byte).
+  double corruption_rate = 0.0;
+  double corruption_byte_fraction = 0.01;
+
+  /// Probability that a session record is delivered twice.
+  double duplication_rate = 0.0;
+
+  /// Probability that a record is displaced from chronological delivery
+  /// order, and the maximum displacement in record positions.
+  double reorder_rate = 0.0;
+  int reorder_max_displacement = 64;
+
+  /// Per-lane clock skew, drawn uniformly in [-max, +max] per lane.
+  util::Duration clock_skew_max = util::Duration(0);
+
+  /// True when any fault class is active.
+  bool any() const;
+};
+
+/// One injected lane outage.
+struct BlackoutWindow {
+  int lane = 0;
+  util::TimePoint begin;
+  util::TimePoint end;
+};
+
+/// One injected fault against one session record.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kSessionLoss;
+  std::uint64_t session_id = 0;  // id in the pre-fault corpus
+  std::int64_t detail = 0;       // bytes cut / bytes flipped / skew seconds /
+                                 // displacement, depending on kind
+};
+
+/// Ground truth of one injection run.
+struct FaultLog {
+  std::vector<BlackoutWindow> blackouts;
+  std::vector<FaultRecord> records;
+  std::array<std::size_t, kFaultKindCount> counts{};  // per-kind totals
+  std::size_t sessions_in = 0;   // corpus size before injection
+  std::size_t sessions_out = 0;  // corpus size after injection
+
+  std::size_t count(FaultKind kind) const {
+    return counts[static_cast<std::size_t>(kind)];
+  }
+  std::size_t dropped() const {
+    return count(FaultKind::kLaneBlackout) + count(FaultKind::kSessionLoss);
+  }
+
+  /// Internal consistency: `counts` agrees with `records`, and the session
+  /// arithmetic in/out balances.  Violations indicate an injector bug.
+  bool consistent() const;
+};
+
+/// The pseudo-lane a destination address belongs to (stable across plans
+/// and seeds, so repeated runs agree on capture geometry).
+int lane_of(std::uint32_t dst_ip, int lanes);
+
+}  // namespace cvewb::faults

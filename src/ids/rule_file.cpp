@@ -20,6 +20,9 @@ struct LoadContext {
   VariableMap variables;
   RuleSet rules;
   int include_depth = 0;
+  /// When set, ParseErrors are recorded here instead of propagating.
+  std::vector<SkippedRuleLine>* skipped = nullptr;
+  std::string source = "<stream>";
 };
 
 void load_stream(std::istream& in, LoadContext& context,
@@ -58,7 +61,10 @@ void handle_line(std::string_view line, std::size_t line_number, LoadContext& co
     if (!nested) throw ParseError(line_number, "cannot open include " + target.string());
     ++context.include_depth;
     const std::filesystem::path nested_dir = target.parent_path();
+    std::string outer_source = std::move(context.source);
+    context.source = target.string();
     load_stream(nested, context, &nested_dir);
+    context.source = std::move(outer_source);
     --context.include_depth;
     return;
   }
@@ -73,7 +79,16 @@ void load_stream(std::istream& in, LoadContext& context,
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    handle_line(line, line_number, context, base_directory);
+    if (context.skipped == nullptr) {
+      handle_line(line, line_number, context, base_directory);
+      continue;
+    }
+    try {
+      handle_line(line, line_number, context, base_directory);
+    } catch (const ParseError& error) {
+      context.skipped->push_back(SkippedRuleLine{line_number, context.source,
+                                                 std::string(util::trim(line)), error.what()});
+    }
   }
 }
 
@@ -136,6 +151,31 @@ RuleSet load_ruleset_file(const std::filesystem::path& path, VariableMap variabl
   const std::filesystem::path directory = path.parent_path();
   load_stream(in, context, &directory);
   return std::move(context.rules);
+}
+
+LenientLoadResult load_ruleset_lenient(std::istream& in, VariableMap variables) {
+  LenientLoadResult result;
+  LoadContext context;
+  context.variables = std::move(variables);
+  context.skipped = &result.skipped;
+  load_stream(in, context, nullptr);
+  result.rules = std::move(context.rules);
+  return result;
+}
+
+LenientLoadResult load_ruleset_file_lenient(const std::filesystem::path& path,
+                                            VariableMap variables) {
+  std::ifstream in(path);
+  if (!in) throw ParseError(0, "cannot open " + path.string());
+  LenientLoadResult result;
+  LoadContext context;
+  context.variables = std::move(variables);
+  context.skipped = &result.skipped;
+  context.source = path.string();
+  const std::filesystem::path directory = path.parent_path();
+  load_stream(in, context, &directory);
+  result.rules = std::move(context.rules);
+  return result;
 }
 
 }  // namespace cvewb::ids

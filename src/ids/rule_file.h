@@ -14,6 +14,7 @@
 #include <istream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "ids/rule_parser.h"
 #include "ids/ruleset.h"
@@ -38,6 +39,30 @@ RuleSet load_ruleset(std::istream& in, VariableMap variables = default_variables
 RuleSet load_ruleset_file(const std::filesystem::path& path,
                           VariableMap variables = default_variables(),
                           int max_include_depth = 8);
+
+/// One input line rejected by the lenient loader.
+struct SkippedRuleLine {
+  std::size_t line_number = 0;
+  std::string source;  // file path, or "<stream>" for stream loads
+  std::string text;    // the offending line (trimmed)
+  std::string reason;  // the ParseError message
+};
+
+/// Result of a lenient load: every parseable rule, plus a report of the
+/// lines that were skipped instead of aborting the whole load.
+struct LenientLoadResult {
+  RuleSet rules;
+  std::vector<SkippedRuleLine> skipped;
+};
+
+/// Lenient variants of the loaders above: lines raising ParseError are
+/// recorded in `skipped` and the load continues (a production ruleset with
+/// a handful of unsupported rules still mostly loads).  Strict loading
+/// remains the default elsewhere.
+LenientLoadResult load_ruleset_lenient(std::istream& in,
+                                       VariableMap variables = default_variables());
+LenientLoadResult load_ruleset_file_lenient(const std::filesystem::path& path,
+                                            VariableMap variables = default_variables());
 
 /// Expand $NAME references using `variables` (exposed for tests).
 /// Throws ParseError when a referenced variable is undefined.

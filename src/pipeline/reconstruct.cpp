@@ -1,10 +1,13 @@
 #include "pipeline/reconstruct.h"
 
 #include <algorithm>
+#include <charconv>
+#include <unordered_set>
 
 #include "data/appendix_e.h"
 #include "data/exploit_db.h"
 #include "data/talos.h"
+#include "net/http.h"
 
 namespace cvewb::pipeline {
 
@@ -20,20 +23,103 @@ bool is_untargeted(const net::TcpSession& session, const data::CveRecord& record
   return session.open_time < record.published && session.dst_port != record.service_port;
 }
 
+/// Dedup identity: (time, 5-tuple, payload) packed into one byte string.
+std::string dedup_key(const net::TcpSession& session) {
+  std::string key;
+  key.reserve(20 + session.payload.size());
+  const auto append_raw = [&key](const void* data, std::size_t n) {
+    key.append(static_cast<const char*>(data), n);
+  };
+  const std::int64_t t = session.open_time.unix_seconds();
+  const std::uint32_t src = session.src.value();
+  const std::uint32_t dst = session.dst.value();
+  append_raw(&t, sizeof t);
+  append_raw(&src, sizeof src);
+  append_raw(&dst, sizeof dst);
+  append_raw(&session.src_port, sizeof session.src_port);
+  append_raw(&session.dst_port, sizeof session.dst_port);
+  key += session.payload;
+  return key;
+}
+
+/// True when an HTTP request advertises more body than was captured (the
+/// signature a snaplen truncation leaves behind).
+bool looks_truncated(const net::HttpRequest& request) {
+  const auto content_length = request.header("Content-Length");
+  if (!content_length) return false;
+  std::size_t declared = 0;
+  const char* begin = content_length->data();
+  const char* end = begin + content_length->size();
+  if (std::from_chars(begin, end, declared).ec != std::errc()) return false;
+  return declared > request.body.size();
+}
+
+/// Hygiene pass over a possibly degraded corpus: dedup, clamp, classify.
+std::vector<net::TcpSession> hygiene_pass(const std::vector<net::TcpSession>& sessions,
+                                          const ReconstructOptions& options,
+                                          SessionQuality& quality) {
+  std::vector<net::TcpSession> cleaned;
+  cleaned.reserve(sessions.size());
+  std::unordered_set<std::string> seen;
+  if (options.dedup) seen.reserve(sessions.size() * 2);
+  for (const auto& session : sessions) {
+    if (options.dedup && !seen.insert(dedup_key(session)).second) {
+      ++quality.duplicates_removed;
+      continue;
+    }
+    net::TcpSession copy = session;
+    bool clamped = false;
+    if (options.window_begin && copy.open_time < *options.window_begin) {
+      copy.open_time = *options.window_begin;
+      clamped = true;
+    }
+    if (options.window_end && copy.open_time >= *options.window_end) {
+      copy.open_time = *options.window_end - util::Duration(1);
+      clamped = true;
+    }
+    quality.timestamps_clamped += clamped ? 1 : 0;
+    if (copy.payload.empty()) {
+      ++quality.empty_payloads;
+    } else {
+      const auto parsed = net::parse_payload(copy.payload);
+      if (!parsed.http) {
+        ++quality.non_http_payloads;
+      } else if (looks_truncated(*parsed.http)) {
+        ++quality.truncated_http;
+      }
+    }
+    cleaned.push_back(std::move(copy));
+  }
+  return cleaned;
+}
+
 }  // namespace
 
 Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
                            const ids::RuleSet& ruleset, const ReconstructOptions& options) {
   Reconstruction out;
   out.sessions_scanned = sessions.size();
+  out.quality.sessions_in = sessions.size();
+
+  // 0. Hygiene: dedup exact repeats, clamp out-of-window timestamps, and
+  //    classify malformed payloads.  Counters only -- never a throw.
+  const std::vector<net::TcpSession> cleaned = hygiene_pass(sessions, options, out.quality);
 
   // 1. Post-facto signature evaluation, earliest-published match retained.
+  //    A session whose (possibly corrupted) payload faults the matcher is
+  //    counted and skipped rather than aborting the run.
   ids::MatcherOptions matcher_options;
   matcher_options.port_insensitive = options.port_insensitive;
   const ids::Matcher matcher(ruleset.rules(), matcher_options);
   std::vector<ids::Detection> detections;
-  for (const auto& session : sessions) {
-    const ids::Rule* rule = matcher.earliest_published_match(session);
+  for (const auto& session : cleaned) {
+    const ids::Rule* rule = nullptr;
+    try {
+      rule = matcher.earliest_published_match(session);
+    } catch (const std::exception&) {
+      ++out.quality.match_errors;
+      continue;
+    }
     if (rule == nullptr) continue;
     detections.push_back(ids::Detection{rule, &session});
   }

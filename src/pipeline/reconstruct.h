@@ -11,9 +11,17 @@
 // The reconstruction never looks at generator ground truth; tests compare
 // its output against both the ground-truth tags and the embedded
 // Appendix-E dataset ("dataset mode" vs "pipeline mode" agreement).
+//
+// Robustness: the input corpus is allowed to be degraded (see faults/) --
+// duplicated, out-of-order, truncated, corrupted, or clock-skewed records
+// are tolerated.  A hygiene pass dedups exact repeats, clamps timestamps
+// to the deployment window, and tallies a per-session error taxonomy in
+// `Reconstruction::quality`; reconstruction itself never throws on
+// malformed session content.
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +41,26 @@ struct ReconstructedCve {
   util::TimePoint first_attack;
 };
 
+/// Per-session error taxonomy accumulated by the hygiene pass.  These are
+/// counters, never throw sites: a degraded corpus yields large numbers
+/// here, not an aborted reconstruction.
+struct SessionQuality {
+  std::size_t sessions_in = 0;          // corpus size as handed in
+  std::size_t duplicates_removed = 0;   // exact (time, 5-tuple, payload) repeats
+  std::size_t timestamps_clamped = 0;   // out-of-window instants pulled back
+  std::size_t empty_payloads = 0;       // no client banner captured
+  std::size_t non_http_payloads = 0;    // raw/binary banner (or corrupted head)
+  std::size_t truncated_http = 0;       // Content-Length promises more body
+                                        // than was captured (snaplen cut)
+  std::size_t match_errors = 0;         // matcher faults swallowed per session
+
+  /// Sessions flagged by any taxonomy bucket (a session can hit several).
+  std::size_t total_flagged() const {
+    return duplicates_removed + timestamps_clamped + empty_payloads + non_http_payloads +
+           truncated_http + match_errors;
+  }
+};
+
 struct Reconstruction {
   /// Timelines for every CVE with surviving exploit traffic, with A taken
   /// from the reconstructed first attack.
@@ -40,7 +68,11 @@ struct Reconstruction {
   /// Every surviving exploit event (IDS-matched, RCA-kept, targeted).
   std::vector<lifecycle::ExploitEvent> events;
   std::map<std::string, ReconstructedCve> per_cve;
+  /// RCA verdicts.  The Detection pointers inside `rca.kept_detections`
+  /// reference reconstruction-internal storage and are not valid after
+  /// reconstruct() returns; use `events` / `per_cve` instead.
   ids::RcaReport rca;
+  SessionQuality quality;
 
   std::size_t sessions_scanned = 0;
   std::size_t sessions_matched = 0;
@@ -51,6 +83,14 @@ struct ReconstructOptions {
   bool port_insensitive = true;
   /// §5 fn.2 ablation: deployment delay added to rule availability.
   util::Duration deployment_delay = util::Duration(0);
+  /// Drop exact duplicate records (same time, 5-tuple, and payload) before
+  /// matching, keeping the first occurrence.
+  bool dedup = true;
+  /// When set, clamp session timestamps into [window_begin, window_end):
+  /// clock-skewed records cannot move lifecycle events outside the
+  /// deployment window.
+  std::optional<util::TimePoint> window_begin;
+  std::optional<util::TimePoint> window_end;
 };
 
 Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,

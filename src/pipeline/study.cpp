@@ -27,9 +27,26 @@ StudyResult run_study(const StudyConfig& config) {
   internet.credstuff_per_day = config.credstuff_per_day;
   result.traffic = traffic::generate_traffic(dscope, internet);
 
+  // Degrade the capture before reconstruction when a fault plan is active.
+  if (config.faults.any()) {
+    faults::FaultedCorpus degraded =
+        faults::inject_faults(result.traffic, config.faults, config.seed ^ 0xFA017ULL);
+    result.traffic = std::move(degraded.traffic);
+    result.fault_log = std::move(degraded.log);
+  } else {
+    result.fault_log.sessions_in = result.traffic.sessions.size();
+    result.fault_log.sessions_out = result.traffic.sessions.size();
+  }
+
+  // Reconstruction clamps timestamps to the deployment window unless the
+  // caller supplied explicit bounds.
+  ReconstructOptions reconstruct_options = config.reconstruct;
+  if (!reconstruct_options.window_begin) reconstruct_options.window_begin = data::study_begin();
+  if (!reconstruct_options.window_end) reconstruct_options.window_end = data::study_end();
+
   result.ruleset = ids::generate_study_ruleset();
   result.reconstruction =
-      reconstruct(result.traffic.sessions, result.ruleset, config.reconstruct);
+      reconstruct(result.traffic.sessions, result.ruleset, reconstruct_options);
 
   result.table4 = lifecycle::skill_table(result.reconstruction.timelines);
   result.table5 =

@@ -1,13 +1,15 @@
 // End-to-end study driver: one call reruns the whole measurement.
 //
 // Builds the telescope, synthesizes two years of Internet traffic,
-// evaluates the synthetic Talos ruleset post-facto, reconstructs CVE
-// lifecycles, and computes the headline analyses (Tables 4/5, exposure
-// splits).  Every bench and example sits on top of this.
+// optionally degrades the capture through the fault injector, evaluates
+// the synthetic Talos ruleset post-facto, reconstructs CVE lifecycles, and
+// computes the headline analyses (Tables 4/5, exposure splits).  Every
+// bench and example sits on top of this.
 #pragma once
 
 #include <cstdint>
 
+#include "faults/fault_injector.h"
 #include "lifecycle/exposure.h"
 #include "lifecycle/skill.h"
 #include "pipeline/reconstruct.h"
@@ -26,10 +28,18 @@ struct StudyConfig {
   int telescope_lanes = 300;
   std::uint64_t pool_size = 5'000'000;
   ReconstructOptions reconstruct;
+  /// Degraded-capture scenario applied between traffic generation and
+  /// reconstruction.  The default plan is a no-op (pristine capture).
+  faults::FaultPlan faults;
 };
 
 struct StudyResult {
+  /// The capture as reconstruction saw it: pristine for the default plan,
+  /// degraded when `StudyConfig::faults` is active (ground-truth tags stay
+  /// parallel to the sessions either way).
   traffic::GeneratedTraffic traffic;
+  /// Injection ground truth; empty counters for a pristine run.
+  faults::FaultLog fault_log;
   ids::RuleSet ruleset;
   Reconstruction reconstruction;
   lifecycle::SkillTable table4;          // per-CVE skill (reconstructed)

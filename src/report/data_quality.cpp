@@ -1,0 +1,103 @@
+#include "report/data_quality.h"
+
+#include "report/table.h"
+
+namespace cvewb::report {
+
+namespace {
+
+std::int64_t as_i64(std::size_t v) { return static_cast<std::int64_t>(v); }
+
+}  // namespace
+
+std::vector<QualityMismatch> DataQualityReport::reconcile() const {
+  std::vector<QualityMismatch> mismatches;
+  const auto check = [&mismatches](std::string what, std::size_t expected, std::size_t actual) {
+    if (expected != actual) {
+      mismatches.push_back(QualityMismatch{std::move(what), as_i64(expected), as_i64(actual)});
+    }
+  };
+  const std::size_t dropped = injected_count(faults::FaultKind::kLaneBlackout) +
+                              injected_count(faults::FaultKind::kSessionLoss);
+  check("captured = generated - dropped + duplicated",
+        sessions_generated - dropped + injected_count(faults::FaultKind::kDuplication),
+        sessions_captured);
+  check("pipeline scanned the captured corpus", sessions_captured, sessions_scanned);
+  check("pipeline scanned the captured corpus (hygiene view)", sessions_captured,
+        observed.sessions_in);
+  check("dedup removed exactly the injected duplicates",
+        injected_count(faults::FaultKind::kDuplication), observed.duplicates_removed);
+  return mismatches;
+}
+
+std::string DataQualityReport::render() const {
+  std::string out = "Data quality report\n";
+  out += "  capture: " + std::to_string(sessions_generated) + " generated -> " +
+         std::to_string(sessions_captured) + " captured";
+  if (blackout_windows > 0) {
+    out += " (" + std::to_string(blackout_windows) + " blackout windows)";
+  }
+  out += "\n\n";
+
+  TextTable table({"fault", "injected", "observed as", "observed"});
+  const auto row = [&table](faults::FaultKind kind, std::size_t injected_n,
+                            const std::string& observed_as, std::size_t observed_n) {
+    table.add_row({std::string(faults::fault_kind_name(kind)), std::to_string(injected_n),
+                   observed_as, std::to_string(observed_n)});
+  };
+  row(faults::FaultKind::kLaneBlackout, injected_count(faults::FaultKind::kLaneBlackout),
+      "(session dropped)", 0);
+  row(faults::FaultKind::kSessionLoss, injected_count(faults::FaultKind::kSessionLoss),
+      "(session dropped)", 0);
+  row(faults::FaultKind::kTruncation, injected_count(faults::FaultKind::kTruncation),
+      "truncated_http", observed.truncated_http);
+  row(faults::FaultKind::kCorruption, injected_count(faults::FaultKind::kCorruption),
+      "non_http_payloads", observed.non_http_payloads);
+  row(faults::FaultKind::kDuplication, injected_count(faults::FaultKind::kDuplication),
+      "duplicates_removed", observed.duplicates_removed);
+  row(faults::FaultKind::kReorder, injected_count(faults::FaultKind::kReorder), "(tolerated)", 0);
+  row(faults::FaultKind::kClockSkew, injected_count(faults::FaultKind::kClockSkew),
+      "timestamps_clamped", observed.timestamps_clamped);
+  out += table.render();
+
+  out += "\n  scanned " + std::to_string(sessions_scanned) + ", matched " +
+         std::to_string(sessions_matched) + ", reconstructed " +
+         std::to_string(cves_reconstructed) + " CVEs";
+  out += "\n  taxonomy: empty=" + std::to_string(observed.empty_payloads) +
+         " non_http=" + std::to_string(observed.non_http_payloads) +
+         " truncated_http=" + std::to_string(observed.truncated_http) +
+         " clamped=" + std::to_string(observed.timestamps_clamped) +
+         " match_errors=" + std::to_string(observed.match_errors) + "\n";
+
+  const auto mismatches = reconcile();
+  if (mismatches.empty()) {
+    out += "  reconciliation: OK (FaultLog and reconstruction counters agree)\n";
+  } else {
+    out += "  reconciliation: " + std::to_string(mismatches.size()) + " MISMATCH(ES)\n";
+    for (const auto& m : mismatches) {
+      out += "    " + m.what + ": expected " + std::to_string(m.expected) + ", got " +
+             std::to_string(m.actual) + "\n";
+    }
+  }
+  return out;
+}
+
+DataQualityReport data_quality_report(const faults::FaultLog& log,
+                                      const pipeline::Reconstruction& reconstruction) {
+  DataQualityReport report;
+  report.sessions_generated = log.sessions_in;
+  report.sessions_captured = log.sessions_out;
+  report.injected = log.counts;
+  report.blackout_windows = log.blackouts.size();
+  report.observed = reconstruction.quality;
+  report.sessions_scanned = reconstruction.sessions_scanned;
+  report.sessions_matched = reconstruction.sessions_matched;
+  report.cves_reconstructed = reconstruction.timelines.size();
+  return report;
+}
+
+DataQualityReport data_quality_report(const pipeline::StudyResult& study) {
+  return data_quality_report(study.fault_log, study.reconstruction);
+}
+
+}  // namespace cvewb::report

@@ -1,0 +1,65 @@
+// Data-quality reporting for degraded-capture runs.
+//
+// Closes the fault-injection loop: the FaultLog says what the injector did
+// to the capture (ground truth), the reconstruction's SessionQuality says
+// what the pipeline observed while surviving it.  This report puts the two
+// side by side and checks the invariants that must hold exactly --
+// reconciliation failures indicate a pipeline bug, not noisy data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_model.h"
+#include "pipeline/study.h"
+
+namespace cvewb::report {
+
+/// One failed reconciliation check.
+struct QualityMismatch {
+  std::string what;
+  std::int64_t expected = 0;
+  std::int64_t actual = 0;
+};
+
+struct DataQualityReport {
+  // --- capture side (injection ground truth) ---
+  std::size_t sessions_generated = 0;  // pristine corpus size
+  std::size_t sessions_captured = 0;   // after faults; reconstruction input
+  std::array<std::size_t, faults::kFaultKindCount> injected{};  // per FaultKind
+  std::size_t blackout_windows = 0;
+
+  // --- reconstruction side (observed while scanning) ---
+  pipeline::SessionQuality observed;
+  std::size_t sessions_scanned = 0;
+  std::size_t sessions_matched = 0;
+  std::size_t cves_reconstructed = 0;
+
+  std::size_t injected_count(faults::FaultKind kind) const {
+    return injected[static_cast<std::size_t>(kind)];
+  }
+
+  /// Exact-reconciliation checks between FaultLog and reconstruction:
+  ///   * session arithmetic: captured = generated - dropped + duplicated;
+  ///   * the pipeline scanned exactly the captured corpus;
+  ///   * dedup removed exactly the injected duplicates;
+  ///   * observed truncation >= injected truncations that cut an HTTP body
+  ///     short is not checkable without ground truth, so truncation and
+  ///     corruption are reported but not reconciled.
+  /// Returns the empty vector when every check holds.
+  std::vector<QualityMismatch> reconcile() const;
+
+  /// Monospace report: per-fault injected counts next to the observed
+  /// taxonomy, plus the reconciliation verdict.
+  std::string render() const;
+};
+
+/// Assemble the report for a study run (pristine or degraded).
+DataQualityReport data_quality_report(const pipeline::StudyResult& study);
+
+/// Assemble from the raw parts (for callers outside run_study).
+DataQualityReport data_quality_report(const faults::FaultLog& log,
+                                      const pipeline::Reconstruction& reconstruction);
+
+}  // namespace cvewb::report

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <tuple>
 
 namespace cvewb::telescope {
 
@@ -70,10 +73,32 @@ void SessionStore::add(net::TcpSession session) {
 }
 
 void SessionStore::sort_by_time() {
+  const auto identity = [](const net::TcpSession& s) {
+    return std::tuple(s.open_time, s.src.value(), s.dst.value(), s.src_port, s.dst_port,
+                      std::string_view(s.payload), s.id);
+  };
   std::sort(sessions_.begin(), sessions_.end(),
-            [](const net::TcpSession& a, const net::TcpSession& b) {
-              return std::pair(a.open_time, a.id) < std::pair(b.open_time, b.id);
+            [&identity](const net::TcpSession& a, const net::TcpSession& b) {
+              return identity(a) < identity(b);
             });
+}
+
+std::size_t SessionStore::dedup() {
+  std::set<std::tuple<std::int64_t, std::uint32_t, std::uint32_t, std::uint16_t, std::uint16_t,
+                      std::string>>
+      seen;
+  const std::size_t before = sessions_.size();
+  std::vector<net::TcpSession> kept;
+  kept.reserve(sessions_.size());
+  for (auto& session : sessions_) {
+    auto key = std::tuple(session.open_time.unix_seconds(), session.src.value(),
+                          session.dst.value(), session.src_port, session.dst_port,
+                          session.payload);
+    if (!seen.insert(std::move(key)).second) continue;
+    kept.push_back(std::move(session));
+  }
+  sessions_ = std::move(kept);
+  return before - sessions_.size();
 }
 
 std::size_t SessionStore::unique_sources() const {

@@ -64,6 +64,9 @@ class Dscope {
 };
 
 /// Append-only capture store with the §4 representativity counters.
+/// Robust to degraded input: exact duplicate records can be removed and
+/// the chronological sort is fully deterministic even when ids collide
+/// (e.g. the same record delivered twice by a faulty capture).
 class SessionStore {
  public:
   void add(net::TcpSession session);
@@ -71,8 +74,15 @@ class SessionStore {
   const std::vector<net::TcpSession>& sessions() const { return sessions_; }
   std::size_t size() const { return sessions_.size(); }
 
-  /// Sorts sessions by (time, id); analyses assume chronological order.
+  /// Sorts sessions chronologically.  Ties are broken by the full record
+  /// identity (source, destination, ports, payload, id) so the order is
+  /// deterministic regardless of insertion order or duplicated ids.
   void sort_by_time();
+
+  /// Removes exact duplicates by (time, 5-tuple, payload), keeping the
+  /// first occurrence in store order (stable).  Returns how many records
+  /// were removed.
+  std::size_t dedup();
 
   std::size_t unique_sources() const;
   std::size_t unique_destinations() const;

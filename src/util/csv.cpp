@@ -49,6 +49,7 @@ std::optional<std::vector<std::string>> parse_csv_line(std::string_view line) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  bool closed_quote = false;  // field ended with a closing quote
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (in_quotes) {
@@ -58,19 +59,22 @@ std::optional<std::vector<std::string>> parse_csv_line(std::string_view line) {
           ++i;
         } else {
           in_quotes = false;
+          closed_quote = true;
         }
       } else {
-        current.push_back(c);
+        current.push_back(c);  // embedded newlines are field content
       }
       continue;
     }
     if (c == '"') {
-      if (!current.empty()) return std::nullopt;  // quote mid-field
+      if (!current.empty() || closed_quote) return std::nullopt;  // quote mid-field
       in_quotes = true;
     } else if (c == ',') {
       fields.push_back(std::move(current));
       current.clear();
+      closed_quote = false;
     } else {
+      if (closed_quote) return std::nullopt;  // text after a closing quote
       current.push_back(c);
     }
   }
@@ -80,21 +84,32 @@ std::optional<std::vector<std::string>> parse_csv_line(std::string_view line) {
 }
 
 std::optional<std::vector<std::vector<std::string>>> parse_csv(std::string_view text) {
+  // Records must be split with quote awareness: a newline inside a quoted
+  // field is data, not a record separator (RFC 4180 §2.6).
   std::vector<std::vector<std::string>> rows;
   std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) end = text.size();
-    std::string_view line = text.substr(start, end - start);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (!line.empty()) {
-      auto fields = parse_csv_line(line);
-      if (!fields) return std::nullopt;
-      rows.push_back(std::move(*fields));
+  bool in_quotes = false;
+  const auto flush_record = [&rows](std::string_view record) -> bool {
+    if (!record.empty() && record.back() == '\r') record.remove_suffix(1);
+    if (record.empty()) return true;  // blank record: skipped
+    auto fields = parse_csv_line(record);
+    if (!fields) return false;
+    rows.push_back(std::move(*fields));
+    return true;
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') {
+      // Toggle on every quote; a doubled quote inside a quoted field
+      // toggles twice and leaves the state unchanged.
+      in_quotes = !in_quotes;
+    } else if (c == '\n' && !in_quotes) {
+      if (!flush_record(text.substr(start, i - start))) return std::nullopt;
+      start = i + 1;
     }
-    if (end == text.size()) break;
-    start = end + 1;
   }
+  if (in_quotes) return std::nullopt;  // unterminated quoted field
+  if (!flush_record(text.substr(start))) return std::nullopt;
   return rows;
 }
 

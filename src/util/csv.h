@@ -31,12 +31,13 @@ class CsvWriter {
 /// Escape a single CSV field (exposed for testing).
 std::string csv_escape(std::string_view v);
 
-/// Parse one CSV record (RFC-4180 quoting; no embedded newlines).
-/// Returns nullopt on malformed quoting.
+/// Parse one CSV record (RFC-4180 quoting, including embedded newlines
+/// inside quoted fields).  Returns nullopt on malformed quoting.
 std::optional<std::vector<std::string>> parse_csv_line(std::string_view line);
 
-/// Parse a whole CSV document into rows (blank lines skipped).
-/// Returns nullopt if any line is malformed.
+/// Parse a whole CSV document into rows.  Record separators are LF or
+/// CRLF; newlines inside quoted fields are field content per RFC 4180.
+/// Blank records are skipped.  Returns nullopt on malformed quoting.
 std::optional<std::vector<std::vector<std::string>>> parse_csv(std::string_view text);
 
 }  // namespace cvewb::util

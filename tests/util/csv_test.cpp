@@ -31,5 +31,57 @@ TEST(Csv, RowHelper) {
   EXPECT_EQ(out.str(), "\"a,b\",c\n");
 }
 
+TEST(Csv, ParsesLineWithQuoting) {
+  const auto fields = parse_csv_line("a,\"b,c\",\"say \"\"hi\"\"\",");
+  ASSERT_TRUE(fields.has_value());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[0], "a");
+  EXPECT_EQ((*fields)[1], "b,c");
+  EXPECT_EQ((*fields)[2], "say \"hi\"");
+  EXPECT_EQ((*fields)[3], "");
+}
+
+TEST(Csv, ParsesEmbeddedNewlinesInQuotedFields) {
+  // RFC 4180 §2.6: a quoted field may span records.
+  const auto rows = parse_csv("a,\"line\nbreak\",c\r\nd,\"x\r\ny\",f\n");
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "line\nbreak", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"d", "x\r\ny", "f"}));
+}
+
+TEST(Csv, RejectsMalformedQuoting) {
+  EXPECT_FALSE(parse_csv_line("a,\"unterminated").has_value());
+  EXPECT_FALSE(parse_csv("a,\"open\nstill open").has_value());
+  EXPECT_FALSE(parse_csv_line("a,\"b\"c").has_value());
+}
+
+TEST(Csv, RoundTripsThroughEscapeAndWriter) {
+  // Every awkward field must survive csv_escape -> parse_csv intact,
+  // including quotes, separators, CRLF, and leading/trailing whitespace.
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "a,b", "say \"hi\""},
+      {"line\nbreak", "crlf\r\nfield", ""},
+      {" leading", "trailing ", "\"\""},
+      {"multi\n\nblank\nlines", ",", "\n"},
+  };
+  std::ostringstream out;
+  CsvWriter csv(out);
+  for (const auto& row : rows) csv.row(row);
+  const auto parsed = parse_csv(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, rows);
+
+  // And field-by-field against csv_escape directly.
+  for (const auto& row : rows) {
+    for (const auto& field : row) {
+      const auto back = parse_csv_line(csv_escape(field));
+      ASSERT_TRUE(back.has_value()) << field;
+      ASSERT_EQ(back->size(), 1u) << field;
+      EXPECT_EQ((*back)[0], field);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cvewb::util
