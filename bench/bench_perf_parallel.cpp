@@ -1,0 +1,86 @@
+// Parallel study-engine scaling: wall-clock for the full run_study
+// pipeline (traffic synthesis -> fault-free capture -> IDS matching ->
+// reconstruction) at 1/2/4/8 worker threads, with speedup relative to the
+// threads=1 serial reference path.  Results are also written to
+// BENCH_parallel.json (pass a path as argv[1] to redirect).
+//
+// Set CVEWB_SCALE to down-sample; the acceptance target (>= 3x at 8
+// threads, event_scale=1.0) assumes >= 8 physical cores -- on fewer cores
+// the table documents whatever the host can do, and the cross-thread
+// agreement check still proves the outputs identical.
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+
+#include "common.h"
+#include "util/json.h"
+
+using namespace cvewb;
+
+namespace {
+
+double run_once(pipeline::StudyConfig config, int threads, std::size_t& events_out,
+                double& skill_out) {
+  config.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const pipeline::StudyResult result = pipeline::run_study(config);
+  const auto stop = std::chrono::steady_clock::now();
+  events_out = result.reconstruction.events.size();
+  skill_out = result.table4.mean_skill();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  pipeline::StudyConfig config = bench::study_config();
+
+  bench::header("Parallel study engine: run_study wall-clock vs threads");
+  std::cout << "event_scale=" << config.event_scale
+            << "  hardware_concurrency=" << std::thread::hardware_concurrency() << "\n\n";
+  std::cout << "  threads    seconds    speedup\n";
+
+  util::Json runs;
+  double serial_seconds = 0;
+  std::size_t serial_events = 0;
+  double serial_skill = 0;
+  bool outputs_agree = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::size_t events = 0;
+    double skill = 0;
+    const double seconds = run_once(config, threads, events, skill);
+    if (threads == 1) {
+      serial_seconds = seconds;
+      serial_events = events;
+      serial_skill = skill;
+    } else if (events != serial_events || skill != serial_skill) {
+      outputs_agree = false;
+    }
+    const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
+    std::cout << "  " << std::setw(7) << threads << std::fixed << std::setprecision(3)
+              << std::setw(11) << seconds << std::setprecision(2) << std::setw(10) << speedup
+              << "x\n";
+    util::Json row;
+    row.set("threads", threads);
+    row.set("seconds", seconds);
+    row.set("speedup", speedup);
+    runs.push_back(std::move(row));
+  }
+  std::cout << "\n  outputs identical across thread counts: "
+            << (outputs_agree ? "yes" : "NO -- DETERMINISM BUG") << "\n";
+
+  util::Json doc;
+  doc.set("bench", "bench_perf_parallel");
+  doc.set("pipeline", "run_study");
+  doc.set("event_scale", config.event_scale);
+  doc.set("hardware_concurrency", static_cast<int>(std::thread::hardware_concurrency()));
+  doc.set("outputs_agree", outputs_agree);
+  doc.set("runs", std::move(runs));
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  std::cout << "  wrote " << out_path << "\n";
+  return outputs_agree ? 0 : 1;
+}

@@ -4,10 +4,22 @@
 #include <cmath>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace cvewb::faults {
 
 namespace {
+
+/// Named RNG streams for the injector; every draw site seeds as
+/// `util::stream_seed(seed, kStream*, shard)` so the per-session pass can
+/// be sharded without changing its output (see DESIGN.md).
+constexpr std::uint64_t kStreamBlackout = 0xb1ac;
+constexpr std::uint64_t kStreamSkew = 0x5e3a;
+constexpr std::uint64_t kStreamSession = 0x5e55;  // shard = chunk index
+constexpr std::uint64_t kStreamReorder = 0x0d3a;
+
+/// Sessions per injection chunk (fixed, thread-count independent).
+constexpr std::size_t kInjectionChunkSize = 8192;
 
 /// Draw the blackout schedule inside the corpus time span.
 std::vector<BlackoutWindow> draw_blackouts(const FaultPlan& plan, util::TimePoint t_min,
@@ -35,14 +47,22 @@ bool blacked_out(const std::vector<BlackoutWindow>& windows, int lane, util::Tim
   return false;
 }
 
+/// Output of one injection chunk, merged back in input order.
+struct ChunkOut {
+  std::vector<net::TcpSession> sessions;
+  std::vector<traffic::TrafficTag> tags;
+  std::vector<FaultRecord> records;
+};
+
 }  // namespace
 
 FaultedCorpus inject_faults(const traffic::GeneratedTraffic& corpus, const FaultPlan& plan,
-                            std::uint64_t seed) {
-  return FaultInjector(plan, seed).run(corpus);
+                            std::uint64_t seed, util::ThreadPool* pool) {
+  return FaultInjector(plan, seed).run(corpus, pool);
 }
 
-FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus) const {
+FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus,
+                                 util::ThreadPool* pool) const {
   FaultedCorpus out;
   out.log.sessions_in = corpus.sessions.size();
   if (corpus.sessions.empty() || !plan_.any()) {
@@ -51,18 +71,8 @@ FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus) const 
     return out;
   }
   const bool have_tags = corpus.tags.size() == corpus.sessions.size();
-
-  util::Rng rng(seed_ ^ 0xFA017ULL);
-  util::Rng blackout_rng = rng.fork(0xb1ac);
-  util::Rng skew_rng = rng.fork(0x5e3a);
-  util::Rng session_rng = rng.fork(0x5e55);
-  util::Rng reorder_rng = rng.fork(0x0d3a);
-
+  const std::uint64_t seed = seed_ ^ 0xFA017ULL;
   auto& log = out.log;
-  const auto add_record = [&log](FaultKind kind, std::uint64_t id, std::int64_t detail) {
-    log.records.push_back(FaultRecord{kind, id, detail});
-    ++log.counts[static_cast<std::size_t>(kind)];
-  };
 
   // Blackout schedule over the corpus time span.
   util::TimePoint t_min = corpus.sessions.front().open_time;
@@ -72,78 +82,106 @@ FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus) const 
     t_max = std::max(t_max, s.open_time);
   }
   if (plan_.blackout_count > 0) {
+    util::Rng blackout_rng(util::stream_seed(seed, kStreamBlackout));
     log.blackouts = draw_blackouts(plan_, t_min, t_max, blackout_rng);
   }
 
   // Per-lane clock skew table.
   std::vector<std::int64_t> lane_skew;
   if (plan_.clock_skew_max.total_seconds() != 0) {
+    util::Rng skew_rng(util::stream_seed(seed, kStreamSkew));
     const std::int64_t max_skew = std::abs(plan_.clock_skew_max.total_seconds());
     lane_skew.resize(static_cast<std::size_t>(std::max(1, plan_.lanes)));
     for (auto& skew : lane_skew) skew = skew_rng.uniform_int(-max_skew, max_skew);
   }
 
-  // Single ordered pass over the corpus; every RNG draw happens in input
-  // order, so the run is a pure function of (corpus, plan, seed).
+  // Per-session pass, sharded over contiguous chunks.  Each chunk draws
+  // only from its own stream and writes only its own slot, so the merged
+  // result (and the record order inside the FaultLog) is exactly the
+  // serial single-pass output.
+  const std::size_t chunks = util::shard_count(corpus.sessions.size(), kInjectionChunkSize);
+  std::vector<ChunkOut> chunk_out(chunks);
+  util::for_each_shard(pool, chunks, [&](std::size_t chunk) {
+    util::Rng session_rng(util::stream_seed(seed, kStreamSession, chunk));
+    ChunkOut& slot = chunk_out[chunk];
+    const std::size_t first = chunk * kInjectionChunkSize;
+    const std::size_t last = std::min(corpus.sessions.size(), first + kInjectionChunkSize);
+    const auto add_record = [&slot](FaultKind kind, std::uint64_t id, std::int64_t detail) {
+      slot.records.push_back(FaultRecord{kind, id, detail});
+    };
+    for (std::size_t i = first; i < last; ++i) {
+      const net::TcpSession& original = corpus.sessions[i];
+      const int lane = lane_of(original.dst.value(), plan_.lanes);
+
+      if (blacked_out(log.blackouts, lane, original.open_time)) {
+        add_record(FaultKind::kLaneBlackout, original.id, lane);
+        continue;
+      }
+      if (plan_.session_loss_rate > 0 && session_rng.chance(plan_.session_loss_rate)) {
+        add_record(FaultKind::kSessionLoss, original.id, 0);
+        continue;
+      }
+
+      net::TcpSession session = original;
+      if (!lane_skew.empty()) {
+        const std::int64_t skew = lane_skew[static_cast<std::size_t>(lane)];
+        if (skew != 0) {
+          session.open_time += util::Duration(skew);
+          add_record(FaultKind::kClockSkew, session.id, skew);
+        }
+      }
+      if (plan_.snaplen > 0 && session.payload.size() > plan_.snaplen) {
+        const auto cut = static_cast<std::int64_t>(session.payload.size() - plan_.snaplen);
+        session.payload.resize(plan_.snaplen);
+        add_record(FaultKind::kTruncation, session.id, cut);
+      }
+      if (plan_.corruption_rate > 0 && !session.payload.empty() &&
+          session_rng.chance(plan_.corruption_rate)) {
+        const auto flips = std::max<std::int64_t>(
+            1, std::llround(plan_.corruption_byte_fraction *
+                            static_cast<double>(session.payload.size())));
+        for (std::int64_t f = 0; f < flips; ++f) {
+          const auto pos = session_rng.uniform_u64(session.payload.size());
+          session.payload[pos] = static_cast<char>(
+              static_cast<unsigned char>(session.payload[pos]) ^
+              static_cast<unsigned char>(session_rng.uniform_int(1, 255)));
+        }
+        add_record(FaultKind::kCorruption, session.id, flips);
+      }
+
+      const bool duplicate =
+          plan_.duplication_rate > 0 && session_rng.chance(plan_.duplication_rate);
+      if (duplicate) add_record(FaultKind::kDuplication, session.id, 0);
+
+      if (have_tags) {
+        slot.tags.push_back(corpus.tags[i]);
+        if (duplicate) slot.tags.push_back(corpus.tags[i]);
+      }
+      if (duplicate) slot.sessions.push_back(session);  // same record, delivered twice
+      slot.sessions.push_back(std::move(session));
+    }
+  });
+
+  // Merge chunk outputs in input order.
   auto& sessions = out.traffic.sessions;
   auto& tags = out.traffic.tags;
   sessions.reserve(corpus.sessions.size());
   if (have_tags) tags.reserve(corpus.tags.size());
-  for (std::size_t i = 0; i < corpus.sessions.size(); ++i) {
-    const net::TcpSession& original = corpus.sessions[i];
-    const int lane = lane_of(original.dst.value(), plan_.lanes);
-
-    if (blacked_out(log.blackouts, lane, original.open_time)) {
-      add_record(FaultKind::kLaneBlackout, original.id, lane);
-      continue;
+  for (auto& slot : chunk_out) {
+    for (auto& session : slot.sessions) sessions.push_back(std::move(session));
+    for (auto& tag : slot.tags) tags.push_back(std::move(tag));
+    for (const auto& record : slot.records) {
+      log.records.push_back(record);
+      ++log.counts[static_cast<std::size_t>(record.kind)];
     }
-    if (plan_.session_loss_rate > 0 && session_rng.chance(plan_.session_loss_rate)) {
-      add_record(FaultKind::kSessionLoss, original.id, 0);
-      continue;
-    }
-
-    net::TcpSession session = original;
-    if (!lane_skew.empty()) {
-      const std::int64_t skew = lane_skew[static_cast<std::size_t>(lane)];
-      if (skew != 0) {
-        session.open_time += util::Duration(skew);
-        add_record(FaultKind::kClockSkew, session.id, skew);
-      }
-    }
-    if (plan_.snaplen > 0 && session.payload.size() > plan_.snaplen) {
-      const auto cut = static_cast<std::int64_t>(session.payload.size() - plan_.snaplen);
-      session.payload.resize(plan_.snaplen);
-      add_record(FaultKind::kTruncation, session.id, cut);
-    }
-    if (plan_.corruption_rate > 0 && !session.payload.empty() &&
-        session_rng.chance(plan_.corruption_rate)) {
-      const auto flips = std::max<std::int64_t>(
-          1, std::llround(plan_.corruption_byte_fraction *
-                          static_cast<double>(session.payload.size())));
-      for (std::int64_t f = 0; f < flips; ++f) {
-        const auto pos = session_rng.uniform_u64(session.payload.size());
-        session.payload[pos] = static_cast<char>(
-            static_cast<unsigned char>(session.payload[pos]) ^
-            static_cast<unsigned char>(session_rng.uniform_int(1, 255)));
-      }
-      add_record(FaultKind::kCorruption, session.id, flips);
-    }
-
-    const bool duplicate =
-        plan_.duplication_rate > 0 && session_rng.chance(plan_.duplication_rate);
-    if (duplicate) add_record(FaultKind::kDuplication, session.id, 0);
-
-    if (have_tags) {
-      tags.push_back(corpus.tags[i]);
-      if (duplicate) tags.push_back(corpus.tags[i]);
-    }
-    if (duplicate) sessions.push_back(session);  // same record, delivered twice
-    sessions.push_back(std::move(session));
   }
 
   // Out-of-order delivery: displace a fraction of records by a bounded
   // number of positions, then stable-sort by the perturbed position.
+  // Cross-chunk by design, so it stays a serial pass over the merged
+  // corpus with its own stream.
   if (plan_.reorder_rate > 0 && sessions.size() > 1) {
+    util::Rng reorder_rng(util::stream_seed(seed, kStreamReorder));
     std::vector<std::int64_t> order(sessions.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
       order[i] = static_cast<std::int64_t>(i);
@@ -152,7 +190,8 @@ FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus) const 
           reorder_rng.uniform_int(1, std::max(1, plan_.reorder_max_displacement));
       const std::int64_t sign = reorder_rng.chance(0.5) ? -1 : 1;
       order[i] += sign * displacement;
-      add_record(FaultKind::kReorder, sessions[i].id, sign * displacement);
+      log.records.push_back(FaultRecord{FaultKind::kReorder, sessions[i].id, sign * displacement});
+      ++log.counts[static_cast<std::size_t>(FaultKind::kReorder)];
     }
     std::vector<std::size_t> index(sessions.size());
     for (std::size_t i = 0; i < index.size(); ++i) index[i] = i;

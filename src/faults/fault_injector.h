@@ -15,6 +15,10 @@
 #include "faults/fault_model.h"
 #include "traffic/internet.h"
 
+namespace cvewb::util {
+class ThreadPool;
+}
+
 namespace cvewb::faults {
 
 /// A degraded corpus plus the injection ground truth.
@@ -35,15 +39,23 @@ class FaultInjector {
   /// duplication, reorder -- so duplicates are exact copies of their
   /// (already truncated / corrupted) originals and the FaultLog counts
   /// reconcile exactly with what reconstruction can observe.
-  FaultedCorpus run(const traffic::GeneratedTraffic& corpus) const;
+  ///
+  /// The per-session pass is sharded over contiguous fixed-size chunks,
+  /// each drawing from its own RNG stream
+  /// (`util::stream_seed(seed, stream, chunk_index)`), and chunk outputs
+  /// are merged in input order -- so a degraded corpus is a pure function
+  /// of (corpus, plan, seed) at any thread count.  `pool == nullptr` runs
+  /// the chunks inline (the serial reference path).
+  FaultedCorpus run(const traffic::GeneratedTraffic& corpus,
+                    util::ThreadPool* pool = nullptr) const;
 
  private:
   FaultPlan plan_;
   std::uint64_t seed_;
 };
 
-/// Convenience wrapper: FaultInjector(plan, seed).run(corpus).
+/// Convenience wrapper: FaultInjector(plan, seed).run(corpus, pool).
 FaultedCorpus inject_faults(const traffic::GeneratedTraffic& corpus, const FaultPlan& plan,
-                            std::uint64_t seed);
+                            std::uint64_t seed, util::ThreadPool* pool = nullptr);
 
 }  // namespace cvewb::faults

@@ -4,6 +4,7 @@
 
 #include "net/http.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace cvewb::ids {
 
@@ -177,6 +178,29 @@ const Rule* Matcher::earliest_published_match(const net::TcpSession& session) co
     if (key(rule) < key(best)) best = rule;
   }
   return best;
+}
+
+CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
+                         util::ThreadPool* pool, std::size_t chunk_size) {
+  CorpusMatch out;
+  out.matches.assign(sessions.size(), nullptr);
+  if (sessions.empty()) return out;
+  if (chunk_size == 0) chunk_size = 1;
+  const std::size_t chunks = util::shard_count(sessions.size(), chunk_size);
+  std::vector<std::size_t> chunk_errors(chunks, 0);
+  util::for_each_shard(pool, chunks, [&](std::size_t chunk) {
+    const std::size_t first = chunk * chunk_size;
+    const std::size_t last = std::min(sessions.size(), first + chunk_size);
+    for (std::size_t i = first; i < last; ++i) {
+      try {
+        out.matches[i] = matcher.earliest_published_match(sessions[i]);
+      } catch (const std::exception&) {
+        ++chunk_errors[chunk];
+      }
+    }
+  });
+  for (const std::size_t errors : chunk_errors) out.errors += errors;
+  return out;
 }
 
 }  // namespace cvewb::ids

@@ -19,6 +19,10 @@
 #include "ids/rule.h"
 #include "net/tcp_session.h"
 
+namespace cvewb::util {
+class ThreadPool;
+}
+
 namespace cvewb::ids {
 
 struct MatcherOptions {
@@ -63,5 +67,23 @@ class Matcher {
   std::vector<std::vector<std::size_t>> pattern_to_rules_;  // AC id -> rule indices
   std::vector<std::size_t> unfiltered_rules_;  // rules without a positive content
 };
+
+/// Whole-corpus evaluation, the pipeline's hottest stage.
+struct CorpusMatch {
+  /// Parallel to the input sessions: the retained rule per session
+  /// (earliest-published-match semantics) or nullptr.
+  std::vector<const Rule*> matches;
+  /// Sessions whose (possibly corrupted) payload faulted the matcher;
+  /// counted and skipped, never thrown.
+  std::size_t errors = 0;
+};
+
+/// Evaluate every session against the matcher.  Sessions are partitioned
+/// into contiguous fixed-size chunks matched independently (the Matcher is
+/// immutable after construction), and per-chunk results are merged back in
+/// session order -- so the result is byte-identical to the serial loop at
+/// any thread count.  `pool == nullptr` runs the chunks inline.
+CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
+                         util::ThreadPool* pool = nullptr, std::size_t chunk_size = 4096);
 
 }  // namespace cvewb::ids

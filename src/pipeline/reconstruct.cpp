@@ -106,22 +106,19 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
   const std::vector<net::TcpSession> cleaned = hygiene_pass(sessions, options, out.quality);
 
   // 1. Post-facto signature evaluation, earliest-published match retained.
-  //    A session whose (possibly corrupted) payload faults the matcher is
-  //    counted and skipped rather than aborting the run.
+  //    Sessions are matched in contiguous chunks (in parallel when the
+  //    options carry a pool) and merged back in session order.  A session
+  //    whose (possibly corrupted) payload faults the matcher is counted
+  //    and skipped rather than aborting the run.
   ids::MatcherOptions matcher_options;
   matcher_options.port_insensitive = options.port_insensitive;
   const ids::Matcher matcher(ruleset.rules(), matcher_options);
+  const ids::CorpusMatch matched = ids::match_corpus(matcher, cleaned, options.pool);
+  out.quality.match_errors += matched.errors;
   std::vector<ids::Detection> detections;
-  for (const auto& session : cleaned) {
-    const ids::Rule* rule = nullptr;
-    try {
-      rule = matcher.earliest_published_match(session);
-    } catch (const std::exception&) {
-      ++out.quality.match_errors;
-      continue;
-    }
-    if (rule == nullptr) continue;
-    detections.push_back(ids::Detection{rule, &session});
+  for (std::size_t i = 0; i < cleaned.size(); ++i) {
+    if (matched.matches[i] == nullptr) continue;
+    detections.push_back(ids::Detection{matched.matches[i], &cleaned[i]});
   }
   out.sessions_matched = detections.size();
 

@@ -32,6 +32,10 @@
 #include "lifecycle/timeline.h"
 #include "net/tcp_session.h"
 
+namespace cvewb::util {
+class ThreadPool;
+}
+
 namespace cvewb::pipeline {
 
 struct ReconstructedCve {
@@ -91,6 +95,10 @@ struct ReconstructOptions {
   /// deployment window.
   std::optional<util::TimePoint> window_begin;
   std::optional<util::TimePoint> window_end;
+  /// Optional executor for IDS evaluation (the reconstruction hot path):
+  /// sessions are matched in contiguous chunks and merged in session
+  /// order, so output is byte-identical with or without a pool.
+  util::ThreadPool* pool = nullptr;
 };
 
 Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,

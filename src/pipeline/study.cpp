@@ -1,11 +1,26 @@
 #include "pipeline/study.h"
 
-#include <set>
+#include <algorithm>
+#include <optional>
 
 #include "data/appendix_e.h"
 #include "ids/rule_gen.h"
+#include "util/thread_pool.h"
 
 namespace cvewb::pipeline {
+
+namespace {
+
+/// Unique count via sort+unique over a flat vector: the corpus holds
+/// millions of sessions, where a node-based std::set spends most of its
+/// time on allocation and pointer chasing.
+std::size_t unique_count(std::vector<std::uint32_t>& values) {
+  std::sort(values.begin(), values.end());
+  return static_cast<std::size_t>(
+      std::distance(values.begin(), std::unique(values.begin(), values.end())));
+}
+
+}  // namespace
 
 telescope::Dscope make_study_telescope(const StudyConfig& config) {
   telescope::DscopeConfig dscope_config;
@@ -20,17 +35,28 @@ StudyResult run_study(const StudyConfig& config) {
   StudyResult result;
   const telescope::Dscope dscope = make_study_telescope(config);
 
+  // One pool shared by every sharded stage; `threads == 1` skips pool
+  // construction entirely and runs each shard inline, which is the
+  // reference the determinism tests compare parallel runs against.
+  std::optional<util::ThreadPool> pool_storage;
+  util::ThreadPool* pool = nullptr;
+  if (config.threads != 1) {
+    pool_storage.emplace(config.threads <= 0 ? 0u : static_cast<unsigned>(config.threads));
+    pool = &*pool_storage;
+  }
+
   traffic::InternetConfig internet;
   internet.seed = config.seed;
   internet.event_scale = config.event_scale;
   internet.background_per_day = config.background_per_day;
   internet.credstuff_per_day = config.credstuff_per_day;
+  internet.pool = pool;
   result.traffic = traffic::generate_traffic(dscope, internet);
 
   // Degrade the capture before reconstruction when a fault plan is active.
   if (config.faults.any()) {
     faults::FaultedCorpus degraded =
-        faults::inject_faults(result.traffic, config.faults, config.seed ^ 0xFA017ULL);
+        faults::inject_faults(result.traffic, config.faults, config.seed ^ 0xFA017ULL, pool);
     result.traffic = std::move(degraded.traffic);
     result.fault_log = std::move(degraded.log);
   } else {
@@ -43,6 +69,7 @@ StudyResult run_study(const StudyConfig& config) {
   ReconstructOptions reconstruct_options = config.reconstruct;
   if (!reconstruct_options.window_begin) reconstruct_options.window_begin = data::study_begin();
   if (!reconstruct_options.window_end) reconstruct_options.window_end = data::study_end();
+  reconstruct_options.pool = pool;
 
   result.ruleset = ids::generate_study_ruleset();
   result.reconstruction =
@@ -54,14 +81,16 @@ StudyResult run_study(const StudyConfig& config) {
   result.exposure =
       lifecycle::split_exposure(result.reconstruction.events, result.reconstruction.timelines);
 
-  std::set<std::uint32_t> dst_ips;
-  std::set<std::uint32_t> src_ips;
+  std::vector<std::uint32_t> dst_ips;
+  std::vector<std::uint32_t> src_ips;
+  dst_ips.reserve(result.traffic.sessions.size());
+  src_ips.reserve(result.traffic.sessions.size());
   for (const auto& session : result.traffic.sessions) {
-    dst_ips.insert(session.dst.value());
-    src_ips.insert(session.src.value());
+    dst_ips.push_back(session.dst.value());
+    src_ips.push_back(session.src.value());
   }
-  result.unique_telescope_ips = dst_ips.size();
-  result.unique_source_ips = src_ips.size();
+  result.unique_telescope_ips = unique_count(dst_ips);
+  result.unique_source_ips = unique_count(src_ips);
   return result;
 }
 

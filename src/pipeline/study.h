@@ -20,6 +20,13 @@ namespace cvewb::pipeline {
 
 struct StudyConfig {
   std::uint64_t seed = 1;
+  /// Worker threads for the sharded stages (traffic synthesis, fault
+  /// injection, IDS matching).  0 = hardware concurrency, 1 = run every
+  /// shard inline on the calling thread (the serial reference path).  Any
+  /// value yields byte-identical results: shards seed their own RNG
+  /// streams via util::stream_seed and merge in a fixed order, so the
+  /// thread count only changes wall-clock time (see DESIGN.md).
+  int threads = 0;
   /// Scale on Appendix-E event counts (1.0 = the paper's ~117 k events;
   /// tests use smaller scales).
   double event_scale = 1.0;

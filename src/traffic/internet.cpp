@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <functional>
 
 #include "data/log4shell_variants.h"
 #include "net/http.h"
@@ -12,6 +13,7 @@
 #include "traffic/exploit_scanner.h"
 #include "traffic/obfuscation.h"
 #include "traffic/payload.h"
+#include "util/thread_pool.h"
 
 namespace cvewb::traffic {
 
@@ -20,6 +22,26 @@ namespace {
 using net::IPv4;
 using net::TcpSession;
 using util::TimePoint;
+
+/// Named RNG streams (see DESIGN.md, "Sharding & determinism").  Every
+/// probe producer seeds its generator as
+/// `util::stream_seed(config.seed, kStream*, shard_index)` -- a pure
+/// function of the config, never of thread count or execution order.
+constexpr std::uint64_t kStreamExploit = 1;     // shard = CVE index
+constexpr std::uint64_t kStreamFollowOn = 2;    // shard = CVE index
+constexpr std::uint64_t kStreamOgnl = 3;        // single shard
+constexpr std::uint64_t kStreamBackground = 4;  // shard = time shard
+constexpr std::uint64_t kStreamCredstuff = 5;   // shard = time shard
+constexpr std::uint64_t kStreamPlacement = 6;   // shard = probe chunk
+
+/// Time-shard span for the open-ended Poisson generators (background
+/// radiation, credential stuffing): ~23 shards over the two-year window.
+/// A function of the window only, never of the thread count.
+constexpr double kTimeShardDays = 32.0;
+
+/// Probes per telescope-placement shard (fixed count, so the shard
+/// boundaries depend only on the merged corpus).
+constexpr std::size_t kPlacementShardSize = 16384;
 
 /// Scanner source address pools.  Exploit scanners draw from a small
 /// dedicated pool (the paper saw just 3.6 k sources of CVE traffic);
@@ -60,45 +82,59 @@ std::uint16_t exploit_dst_port(const data::CveRecord& rec, TimePoint when, util:
   return static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
 }
 
-}  // namespace
-
-std::size_t GeneratedTraffic::count_of(TrafficTag::Kind kind) const {
-  std::size_t n = 0;
-  for (const auto& tag : tags) n += tag.kind == kind ? 1 : 0;
-  return n;
+/// Second-stage connections elicited by interactivity, from *different*
+/// source addresses shortly after an exploit lands (§3.1's observation
+/// about DSCOPE's interactive design).  Drawn per exploit actor from that
+/// actor's own follow-on stream so actors stay independent shards.
+void append_followons(std::vector<PendingProbe>& probes, const InternetConfig& config,
+                      TimePoint end, util::Rng& fo_rng) {
+  if (config.followon_probability <= 0) return;
+  const std::size_t exploit_count = probes.size();
+  for (std::size_t i = 0; i < exploit_count; ++i) {
+    const PendingProbe& probe = probes[i];
+    if (probe.tag.kind != TrafficTag::Kind::kExploit) continue;
+    if (!fo_rng.chance(config.followon_probability)) continue;
+    PendingProbe second;
+    second.time = probe.time + util::Duration::seconds(fo_rng.uniform_int(30, 1800));
+    if (second.time >= end) continue;
+    second.src = background_source(static_cast<std::uint32_t>(fo_rng.uniform_u64(1 << 20)));
+    second.dst_port = probe.dst_port;
+    net::HttpRequest req;
+    req.uri = "/" + std::to_string(fo_rng.uniform_int(100000, 999999)) + ".sh";
+    req.add_header("Host", "198.51.100.77");
+    req.add_header("User-Agent", "Wget/1.20.3 (linux-gnu)");
+    second.payload = req.serialize();
+    second.tag = {TrafficTag::Kind::kFollowOn, probe.tag.cve_id, 0};
+    probes.push_back(std::move(second));
+  }
 }
 
-GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const InternetConfig& config) {
-  util::Rng rng(config.seed);
-  const TimePoint begin = dscope.config().begin;
-  const TimePoint end = dscope.config().end;
+/// One exploit-scanner actor: every probe (and follow-on) for one CVE.
+std::vector<PendingProbe> exploit_actor_probes(const data::CveRecord& rec,
+                                               std::size_t cve_index,
+                                               const InternetConfig& config, TimePoint begin,
+                                               TimePoint end,
+                                               const std::map<std::string, TimingModel>& timing) {
+  util::Rng actor_rng(util::stream_seed(config.seed, kStreamExploit, cve_index));
   std::vector<PendingProbe> probes;
-
-  // --- Exploit scanners, one actor per studied CVE.
-  const auto timing = calibrate_timing();
-  std::uint64_t cve_index = 0;
-  for (const auto& rec : data::appendix_e()) {
-    util::Rng actor_rng = rng.fork(cve_index++);
-    if (rec.id == "CVE-2021-44228") {
-      // Table-6 variant traffic.
-      const int total =
-          std::max(1, static_cast<int>(std::lround(rec.events * config.event_scale)));
-      const auto counts = log4shell_variant_counts(total);
-      const auto& variants = data::log4shell_variants();
-      for (std::size_t v = 0; v < variants.size(); ++v) {
-        for (const TimePoint t : log4shell_variant_times(variants[v], counts[v], actor_rng)) {
-          if (!util::in_window(t, begin, end)) continue;
-          PendingProbe probe;
-          probe.time = t;
-          probe.src = exploit_source(config.exploit_source_pool, actor_rng);
-          probe.dst_port = exploit_dst_port(rec, t, actor_rng);
-          probe.payload = log4shell_payload(variants[v], actor_rng);
-          probe.tag = {TrafficTag::Kind::kExploit, rec.id, variants[v].sid};
-          probes.push_back(std::move(probe));
-        }
+  if (rec.id == "CVE-2021-44228") {
+    // Table-6 variant traffic.
+    const int total = std::max(1, static_cast<int>(std::lround(rec.events * config.event_scale)));
+    const auto counts = log4shell_variant_counts(total);
+    const auto& variants = data::log4shell_variants();
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      for (const TimePoint t : log4shell_variant_times(variants[v], counts[v], actor_rng)) {
+        if (!util::in_window(t, begin, end)) continue;
+        PendingProbe probe;
+        probe.time = t;
+        probe.src = exploit_source(config.exploit_source_pool, actor_rng);
+        probe.dst_port = exploit_dst_port(rec, t, actor_rng);
+        probe.payload = log4shell_payload(variants[v], actor_rng);
+        probe.tag = {TrafficTag::Kind::kExploit, rec.id, variants[v].sid};
+        probes.push_back(std::move(probe));
       }
-      continue;
     }
+  } else {
     const auto it = timing.find(rec.id);
     const TimingModel model = it == timing.end() ? TimingModel{} : it->second;
     const ids::ExploitSpec spec = ids::spec_for(rec);
@@ -113,110 +149,170 @@ GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const Interne
       probes.push_back(std::move(probe));
     }
   }
+  util::Rng fo_rng(util::stream_seed(config.seed, kStreamFollowOn, cve_index));
+  append_followons(probes, config, end, fo_rng);
+  return probes;
+}
 
-  // --- Untargeted OGNL scanning (Appendix C): generic probes from the
-  // start of the study until Confluence's publication, on arbitrary ports.
+/// Untargeted OGNL scanning (Appendix C): generic probes from the start of
+/// the study until Confluence's publication, on arbitrary ports.
+std::vector<PendingProbe> untargeted_ognl_probes(const InternetConfig& config, TimePoint begin) {
+  std::vector<PendingProbe> probes;
+  const data::CveRecord* confluence = data::find_cve("CVE-2022-26134");
+  if (confluence == nullptr) return probes;
+  util::Rng ognl_rng(util::stream_seed(config.seed, kStreamOgnl));
+  const double span_days = (confluence->published - begin).total_days();
+  const int count = std::max(1, static_cast<int>(span_days / 4.0));  // ~2 per week
+  for (int i = 0; i < count; ++i) {
+    PendingProbe probe;
+    probe.time = begin + util::Duration::seconds(static_cast<std::int64_t>(
+                             ognl_rng.uniform(0.0, span_days) * 86400.0));
+    probe.src = exploit_source(config.exploit_source_pool, ognl_rng);
+    // Deliberately not the Confluence port: these scanners are after
+    // OGNL endpoints generally (Finding 19).
+    std::uint16_t port = 0;
+    do {
+      port = static_cast<std::uint16_t>(ognl_rng.uniform_int(80, 10000));
+    } while (port == confluence->service_port);
+    probe.dst_port = port;
+    probe.payload = untargeted_ognl_payload(ognl_rng);
+    probe.tag = {TrafficTag::Kind::kUntargetedOgnl, confluence->id, 0};
+    probes.push_back(std::move(probe));
+  }
+  return probes;
+}
+
+/// One time shard of ambient background radiation.
+std::vector<PendingProbe> background_shard_probes(const InternetConfig& config,
+                                                  std::size_t shard, TimePoint shard_begin,
+                                                  TimePoint shard_end) {
+  util::Rng bg_rng(util::stream_seed(config.seed, kStreamBackground, shard));
+  BackgroundConfig bg;
+  bg.probes_per_day = config.background_per_day;
+  std::vector<PendingProbe> probes;
+  for (auto& raw : generate_background(shard_begin, shard_end, bg, bg_rng)) {
+    PendingProbe probe;
+    probe.time = raw.time;
+    probe.src = background_source(raw.source_index);
+    probe.dst_port = raw.dst_port;
+    probe.payload = std::move(raw.payload);
+    probe.tag = {TrafficTag::Kind::kBackground, "", 0};
+    probes.push_back(std::move(probe));
+  }
+  return probes;
+}
+
+/// One time shard of credential stuffing (matches the decoy rule; §3.2).
+std::vector<PendingProbe> credstuff_shard_probes(const InternetConfig& config,
+                                                 std::size_t shard, TimePoint shard_begin,
+                                                 TimePoint shard_end) {
+  util::Rng cs_rng(util::stream_seed(config.seed, kStreamCredstuff, shard));
+  std::vector<PendingProbe> probes;
+  for (auto& raw : generate_credential_stuffing(shard_begin, shard_end,
+                                                config.credstuff_per_day, cs_rng)) {
+    PendingProbe probe;
+    probe.time = raw.time;
+    probe.src = IPv4(0xCB007100u + raw.source_index);  // 203.0.113.x botnet
+    probe.dst_port = 443;
+    probe.payload = std::move(raw.payload);
+    probe.tag = {TrafficTag::Kind::kCredentialStuffing, "", 0};
+    probes.push_back(std::move(probe));
+  }
+  return probes;
+}
+
+}  // namespace
+
+std::size_t GeneratedTraffic::count_of(TrafficTag::Kind kind) const {
+  std::size_t n = 0;
+  for (const auto& tag : tags) n += tag.kind == kind ? 1 : 0;
+  return n;
+}
+
+GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const InternetConfig& config) {
+  const TimePoint begin = dscope.config().begin;
+  const TimePoint end = dscope.config().end;
+
+  // Shared read-only inputs, materialized before any shard runs.
+  const auto timing = calibrate_timing();
+  const auto& records = data::appendix_e();
+
+  // Time-shard boundaries for the Poisson generators: integer-second
+  // bounds, last shard ends exactly at the window end.
+  const std::int64_t span_seconds = (end - begin).total_seconds();
+  const auto time_shards = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil((end - begin).total_days() / kTimeShardDays))));
+  const auto shard_bound = [&](std::size_t s) {
+    return begin + util::Duration(span_seconds * static_cast<std::int64_t>(s) /
+                                  static_cast<std::int64_t>(time_shards));
+  };
+
+  // --- The shard task list.  Order is fixed (exploit actors in Appendix-E
+  // order, OGNL, background time shards, credential-stuffing time shards);
+  // each task's output depends only on (config, seed, shard), so the merge
+  // below is identical at any thread count.
+  std::vector<std::function<std::vector<PendingProbe>()>> tasks;
+  tasks.reserve(records.size() + 1 + 2 * time_shards);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    tasks.push_back([&, i] {
+      return exploit_actor_probes(records[i], i, config, begin, end, timing);
+    });
+  }
   if (config.include_untargeted_ognl) {
-    const data::CveRecord* confluence = data::find_cve("CVE-2022-26134");
-    if (confluence != nullptr) {
-      util::Rng ognl_rng = rng.fork(0x09171);
-      const double span_days = (confluence->published - begin).total_days();
-      const int count = std::max(1, static_cast<int>(span_days / 4.0));  // ~2 per week
-      for (int i = 0; i < count; ++i) {
-        PendingProbe probe;
-        probe.time = begin + util::Duration::seconds(static_cast<std::int64_t>(
-                                 ognl_rng.uniform(0.0, span_days) * 86400.0));
-        probe.src = exploit_source(config.exploit_source_pool, ognl_rng);
-        // Deliberately not the Confluence port: these scanners are after
-        // OGNL endpoints generally (Finding 19).
-        std::uint16_t port = 0;
-        do {
-          port = static_cast<std::uint16_t>(ognl_rng.uniform_int(80, 10000));
-        } while (port == confluence->service_port);
-        probe.dst_port = port;
-        probe.payload = untargeted_ognl_payload(ognl_rng);
-        probe.tag = {TrafficTag::Kind::kUntargetedOgnl, confluence->id, 0};
-        probes.push_back(std::move(probe));
-      }
-    }
+    tasks.push_back([&] { return untargeted_ognl_probes(config, begin); });
+  }
+  for (std::size_t s = 0; s < time_shards; ++s) {
+    tasks.push_back(
+        [&, s] { return background_shard_probes(config, s, shard_bound(s), shard_bound(s + 1)); });
+  }
+  for (std::size_t s = 0; s < time_shards; ++s) {
+    tasks.push_back(
+        [&, s] { return credstuff_shard_probes(config, s, shard_bound(s), shard_bound(s + 1)); });
   }
 
-  // --- Follow-on traffic: interactivity elicits second-stage connections
-  // from *different* source addresses shortly after an exploit lands
-  // (§3.1's observation about DSCOPE's interactive design).
-  if (config.followon_probability > 0) {
-    util::Rng fo_rng = rng.fork(0xf0110);
-    std::vector<PendingProbe> followons;
-    for (const auto& probe : probes) {
-      if (probe.tag.kind != TrafficTag::Kind::kExploit) continue;
-      if (!fo_rng.chance(config.followon_probability)) continue;
-      PendingProbe second;
-      second.time = probe.time + util::Duration::seconds(fo_rng.uniform_int(30, 1800));
-      if (second.time >= end) continue;
-      second.src = background_source(static_cast<std::uint32_t>(fo_rng.uniform_u64(1 << 20)));
-      second.dst_port = probe.dst_port;
-      net::HttpRequest req;
-      req.uri = "/" + std::to_string(fo_rng.uniform_int(100000, 999999)) + ".sh";
-      req.add_header("Host", "198.51.100.77");
-      req.add_header("User-Agent", "Wget/1.20.3 (linux-gnu)");
-      second.payload = req.serialize();
-      second.tag = {TrafficTag::Kind::kFollowOn, probe.tag.cve_id, 0};
-      followons.push_back(std::move(second));
-    }
-    for (auto& probe : followons) probes.push_back(std::move(probe));
-  }
+  std::vector<std::vector<PendingProbe>> shard_probes(tasks.size());
+  util::for_each_shard(config.pool, tasks.size(),
+                       [&](std::size_t shard) { shard_probes[shard] = tasks[shard](); });
 
-  // --- Ambient background radiation.
-  {
-    util::Rng bg_rng = rng.fork(0xb46);
-    BackgroundConfig bg;
-    bg.probes_per_day = config.background_per_day;
-    for (auto& raw : generate_background(begin, end, bg, bg_rng)) {
-      PendingProbe probe;
-      probe.time = raw.time;
-      probe.src = background_source(raw.source_index);
-      probe.dst_port = raw.dst_port;
-      probe.payload = std::move(raw.payload);
-      probe.tag = {TrafficTag::Kind::kBackground, "", 0};
-      probes.push_back(std::move(probe));
-    }
+  // --- Merge in task order, then order chronologically.  stable_sort over
+  // the deterministic merge keeps equal-time probes in task order.
+  std::size_t total = 0;
+  for (const auto& shard : shard_probes) total += shard.size();
+  std::vector<PendingProbe> probes;
+  probes.reserve(total);
+  for (auto& shard : shard_probes) {
+    for (auto& probe : shard) probes.push_back(std::move(probe));
   }
-
-  // --- Credential stuffing (matches the decoy rule; §3.2).
-  {
-    util::Rng cs_rng = rng.fork(0xc4ed);
-    for (auto& raw :
-         generate_credential_stuffing(begin, end, config.credstuff_per_day, cs_rng)) {
-      PendingProbe probe;
-      probe.time = raw.time;
-      probe.src = IPv4(0xCB007100u + raw.source_index);  // 203.0.113.x botnet
-      probe.dst_port = 443;
-      probe.payload = std::move(raw.payload);
-      probe.tag = {TrafficTag::Kind::kCredentialStuffing, "", 0};
-      probes.push_back(std::move(probe));
-    }
-  }
+  std::stable_sort(probes.begin(), probes.end(),
+                   [](const PendingProbe& a, const PendingProbe& b) { return a.time < b.time; });
 
   // --- Place captures on telescope instances and materialize sessions.
-  std::sort(probes.begin(), probes.end(),
-            [](const PendingProbe& a, const PendingProbe& b) { return a.time < b.time; });
+  // Sharded over fixed-size probe chunks; ids equal the chronological
+  // index either way.
   GeneratedTraffic traffic;
-  traffic.sessions.reserve(probes.size());
-  traffic.tags.reserve(probes.size());
-  util::Rng placement_rng = rng.fork(0x91ace);
-  for (auto& probe : probes) {
-    const telescope::Instance instance = dscope.sample_active(probe.time, placement_rng);
-    TcpSession session;
-    session.id = traffic.sessions.size();
-    session.open_time = probe.time;
-    session.src = probe.src;
-    session.dst = instance.ip;
-    session.src_port = static_cast<std::uint16_t>(placement_rng.uniform_int(1024, 65535));
-    session.dst_port = probe.dst_port;
-    session.payload = std::move(probe.payload);
-    traffic.sessions.push_back(std::move(session));
-    traffic.tags.push_back(std::move(probe.tag));
-  }
+  traffic.sessions.resize(probes.size());
+  traffic.tags.resize(probes.size());
+  const std::size_t placement_shards = util::shard_count(probes.size(), kPlacementShardSize);
+  util::for_each_shard(config.pool, placement_shards, [&](std::size_t shard) {
+    util::Rng placement_rng(util::stream_seed(config.seed, kStreamPlacement, shard));
+    const std::size_t first = shard * kPlacementShardSize;
+    const std::size_t last = std::min(probes.size(), first + kPlacementShardSize);
+    for (std::size_t i = first; i < last; ++i) {
+      PendingProbe& probe = probes[i];
+      const telescope::Instance instance = dscope.sample_active(probe.time, placement_rng);
+      TcpSession session;
+      session.id = i;
+      session.open_time = probe.time;
+      session.src = probe.src;
+      session.dst = instance.ip;
+      session.src_port = static_cast<std::uint16_t>(placement_rng.uniform_int(1024, 65535));
+      session.dst_port = probe.dst_port;
+      session.payload = std::move(probe.payload);
+      traffic.sessions[i] = std::move(session);
+      traffic.tags[i] = std::move(probe.tag);
+    }
+  });
   return traffic;
 }
 

@@ -17,6 +17,10 @@
 #include "traffic/calibration.h"
 #include "util/rng.h"
 
+namespace cvewb::util {
+class ThreadPool;
+}
+
 namespace cvewb::traffic {
 
 struct TrafficTag {
@@ -43,6 +47,12 @@ struct InternetConfig {
   bool include_untargeted_ognl = true;
   int exploit_source_pool = 3600;    // distinct CVE-scanner source IPs (§4)
   double followon_probability = 0.03;  // per exploit session
+
+  /// Optional executor for the sharded generators.  Output is a pure
+  /// function of (dscope, config-minus-pool): every shard seeds its own
+  /// Rng via util::stream_seed, so a null pool (the serial reference
+  /// path) and any worker count produce byte-identical traffic.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct GeneratedTraffic {

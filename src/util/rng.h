@@ -19,6 +19,21 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Pure per-shard stream derivation: a child seed that depends only on
+/// (seed, stream, shard) -- never on any generator's state -- so shards of
+/// a parallel computation can seed independent Rng streams whose output is
+/// identical at any thread count or execution order.  `stream` names the
+/// producer (exploit actors, background radiation, placement, ...);
+/// `shard` is the shard index within that producer.
+constexpr std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream,
+                                    std::uint64_t shard = 0) {
+  std::uint64_t state = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t a = splitmix64(state);
+  state ^= shard * 0xbf58476d1ce4e5b9ULL;
+  const std::uint64_t b = splitmix64(state);
+  return a ^ b;
+}
+
 /// Deterministic xoshiro256** engine.  Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

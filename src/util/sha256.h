@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4) for pinning corpus digests in regression tests.
+//
+// The seed-sweep guard hashes the serialized serial-reference corpus and
+// compares against a recorded digest, so any accidental reordering of the
+// per-shard RNG streams (which would silently change every downstream
+// figure) fails loudly instead.  Streaming interface; no dependencies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cvewb::util {
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view text) { update(text.data(), text.size()); }
+
+  /// Finalize and return the 32-byte digest.  The hasher must be reset()
+  /// before further use.
+  std::array<std::uint8_t, 32> digest();
+
+  /// Finalize and return the digest as lowercase hex.
+  std::string hex_digest();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience: lowercase-hex SHA-256 of `text`.
+std::string sha256_hex(std::string_view text);
+
+}  // namespace cvewb::util

@@ -1,0 +1,73 @@
+// Work-queue executor for the sharded study engine.
+//
+// The pipeline's hot stages (traffic synthesis, fault injection, IDS
+// matching) are decomposed into shards whose outputs are pure functions of
+// (config, seed, shard_index); the pool only decides *when* each shard
+// runs, never *what* it produces, so results are byte-identical at any
+// thread count.  `for_each_shard` is the bridge: with a null pool it runs
+// shards inline in index order (the serial reference path), otherwise it
+// fans them out and rethrows the lowest-indexed shard failure.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cvewb::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` asks for std::thread::hardware_concurrency() (at least
+  /// one); any other value is the exact worker count.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains the queue -- every task submitted before destruction runs to
+  /// completion -- then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Queue a task; the future carries its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run `fn(shard)` for every shard in [0, shards).  With a null pool (or a
+/// single worker, or a single shard) the shards run inline in index order;
+/// otherwise they run concurrently on the pool.  If any shard throws, the
+/// exception from the lowest-indexed failing shard is rethrown after all
+/// shards finish, so the failure surfaced is thread-count-independent.
+void for_each_shard(ThreadPool* pool, std::size_t shards,
+                    const std::function<void(std::size_t)>& fn);
+
+/// Number of shards needed to cover `items` at `per_shard` items each.
+constexpr std::size_t shard_count(std::size_t items, std::size_t per_shard) {
+  return per_shard == 0 ? 1 : (items + per_shard - 1) / per_shard;
+}
+
+}  // namespace cvewb::util

@@ -1,0 +1,153 @@
+// Golden determinism: run_study with threads=1 (every shard inline, the
+// serial reference path) and threads=4 must produce byte-identical
+// StudyResults -- sessions, ground-truth tags, fault log, reconstruction,
+// Table 4/5 rows, exposure split -- for every tested seed, with and
+// without an active fault plan.  This is the proof obligation behind the
+// sharded engine's contract (DESIGN.md, "Sharding & determinism").
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "pipeline/study.h"
+#include "util/sha256.h"
+
+namespace cvewb::pipeline {
+namespace {
+
+void put_time(std::ostringstream& out, util::TimePoint t) { out << t.unix_seconds() << ' '; }
+
+/// Exact byte serialization of everything the study reports.  Doubles are
+/// written as hexfloat so equality means bit-equality.
+std::string serialize_study(const StudyResult& r) {
+  std::ostringstream out;
+  out << std::hexfloat;
+
+  out << "sessions " << r.traffic.sessions.size() << '\n';
+  for (const auto& s : r.traffic.sessions) {
+    out << s.id << ' ';
+    put_time(out, s.open_time);
+    out << s.src.value() << ' ' << s.dst.value() << ' ' << s.src_port << ' ' << s.dst_port << ' '
+        << s.payload.size() << ':' << s.payload << '\n';
+  }
+  out << "tags " << r.traffic.tags.size() << '\n';
+  for (const auto& tag : r.traffic.tags) {
+    out << static_cast<int>(tag.kind) << ' ' << tag.cve_id << ' ' << tag.sid << '\n';
+  }
+
+  out << "fault_log " << r.fault_log.sessions_in << ' ' << r.fault_log.sessions_out << '\n';
+  for (const auto count : r.fault_log.counts) out << count << ' ';
+  out << '\n';
+  for (const auto& record : r.fault_log.records) {
+    out << static_cast<int>(record.kind) << ' ' << record.session_id << ' ' << record.detail
+        << '\n';
+  }
+  for (const auto& w : r.fault_log.blackouts) {
+    out << w.lane << ' ';
+    put_time(out, w.begin);
+    put_time(out, w.end);
+    out << '\n';
+  }
+
+  const auto& rec = r.reconstruction;
+  out << "reconstruction " << rec.sessions_scanned << ' ' << rec.sessions_matched << '\n';
+  out << rec.quality.sessions_in << ' ' << rec.quality.duplicates_removed << ' '
+      << rec.quality.timestamps_clamped << ' ' << rec.quality.empty_payloads << ' '
+      << rec.quality.non_http_payloads << ' ' << rec.quality.truncated_http << ' '
+      << rec.quality.match_errors << '\n';
+  for (const auto& verdict : rec.rca.verdicts) {
+    out << verdict.cve_id << ' ' << (verdict.kept ? 1 : 0) << '\n';
+  }
+  for (const auto& [cve_id, cve] : rec.per_cve) {
+    out << cve_id << ' ' << cve.exploit_events << ' ' << cve.untargeted_sessions << ' ';
+    put_time(out, cve.first_attack);
+    out << '\n';
+  }
+  for (const auto& event : rec.events) {
+    out << event.cve_id << ' ';
+    put_time(out, event.time);
+    out << '\n';
+  }
+  for (const auto& tl : rec.timelines) {
+    out << tl.cve_id();
+    for (const auto event : lifecycle::kAllEvents) {
+      out << ' ';
+      if (const auto t = tl.at(event)) {
+        out << t->unix_seconds();
+      } else {
+        out << '-';
+      }
+    }
+    out << '\n';
+  }
+
+  for (const auto* table : {&r.table4, &r.table5}) {
+    out << "table\n";
+    for (const auto& row : table->rows) {
+      out << row.desideratum << ' ' << row.satisfied << ' ' << row.baseline << ' ' << row.skill
+          << ' ' << row.evaluated << '\n';
+    }
+  }
+  out << "exposure\n";
+  for (const double d : r.exposure.mitigated_days) out << d << ' ';
+  out << '\n';
+  for (const double d : r.exposure.unmitigated_days) out << d << ' ';
+  out << '\n';
+  out << "unique " << r.unique_telescope_ips << ' ' << r.unique_source_ips << '\n';
+  return out.str();
+}
+
+StudyConfig small_config(std::uint64_t seed, int threads, bool with_faults) {
+  StudyConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  config.event_scale = 0.03;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  if (with_faults) {
+    config.faults.blackout_count = 2;
+    config.faults.blackout_duration = util::Duration::hours(12);
+    config.faults.session_loss_rate = 0.03;
+    config.faults.snaplen = 300;
+    config.faults.corruption_rate = 0.02;
+    config.faults.duplication_rate = 0.04;
+    config.faults.reorder_rate = 0.05;
+    config.faults.clock_skew_max = util::Duration::minutes(10);
+    config.faults.lanes = 10;
+  }
+  return config;
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelDeterminism, PristineRunIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial = serialize_study(run_study(small_config(GetParam(), 1, false)));
+  const std::string parallel = serialize_study(run_study(small_config(GetParam(), 4, false)));
+  // Compare digests first for a readable failure, then the full bytes so
+  // a regression pinpoints the first diverging record.
+  ASSERT_EQ(util::sha256_hex(serial), util::sha256_hex(parallel));
+  ASSERT_EQ(serial, parallel);
+}
+
+TEST_P(ParallelDeterminism, FaultedRunIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial = serialize_study(run_study(small_config(GetParam(), 1, true)));
+  const std::string parallel = serialize_study(run_study(small_config(GetParam(), 4, true)));
+  ASSERT_EQ(util::sha256_hex(serial), util::sha256_hex(parallel));
+  ASSERT_EQ(serial, parallel);
+}
+
+TEST_P(ParallelDeterminism, HardwareConcurrencyAgreesWithSerial) {
+  // threads=0 resolves to whatever the host offers; output must not care.
+  const std::string serial = serialize_study(run_study(small_config(GetParam(), 1, true)));
+  const std::string hw = serialize_study(run_study(small_config(GetParam(), 0, true)));
+  ASSERT_EQ(serial, hw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism,
+                         ::testing::Values(11ULL, 5081ULL, 900913ULL),
+                         [](const auto& info) { return "seed_" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace cvewb::pipeline

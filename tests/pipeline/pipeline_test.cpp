@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "ids/rule_gen.h"
 #include "report/table.h"
@@ -167,6 +168,20 @@ TEST_F(PipelineTest, DeploymentDelayAblationWeakensMitigation) {
     if (row.desideratum == "D < A") slow_rate = row.satisfied;
   }
   EXPECT_LT(slow_rate, base_rate - 0.03);  // §5 fn. 2
+}
+
+TEST_F(PipelineTest, UniqueIpTallyMatchesSetBaseline) {
+  // The tally is computed by sort+unique over a flat vector (the corpus
+  // holds millions of sessions at full scale); it must agree exactly with
+  // the straightforward std::set method it replaced.
+  std::set<std::uint32_t> dst_ips;
+  std::set<std::uint32_t> src_ips;
+  for (const auto& session : result().traffic.sessions) {
+    dst_ips.insert(session.dst.value());
+    src_ips.insert(session.src.value());
+  }
+  EXPECT_EQ(result().unique_telescope_ips, dst_ips.size());
+  EXPECT_EQ(result().unique_source_ips, src_ips.size());
 }
 
 TEST_F(PipelineTest, TelescopeCountersPopulated) {

@@ -1,0 +1,70 @@
+// Seed-sweep digest regression for the traffic generator.
+//
+// Pins SHA-256 digests of the serial-reference corpus for two seeds.  The
+// sharded generator's output is a pure function of (config, seed) built
+// from named per-shard RNG streams; if anyone accidentally reorders those
+// streams, resizes a shard, or changes a draw site, every downstream
+// figure silently shifts -- this test makes that loud instead.  When a
+// change is *intentional*, re-pin the digests and say so in the PR.
+#include "traffic/internet.h"
+
+#include <gtest/gtest.h>
+
+#include "pipeline/study.h"
+#include "util/sha256.h"
+
+namespace cvewb::traffic {
+namespace {
+
+std::string corpus_digest(std::uint64_t seed) {
+  pipeline::StudyConfig study;
+  study.telescope_lanes = 10;
+  study.pool_size = 50000;
+  const auto dscope = pipeline::make_study_telescope(study);
+  InternetConfig config;
+  config.seed = seed;
+  config.event_scale = 0.02;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  const GeneratedTraffic traffic = generate_traffic(dscope, config);
+
+  util::Sha256 hasher;
+  const auto put_u64 = [&hasher](std::uint64_t v) {
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    hasher.update(bytes, sizeof(bytes));
+  };
+  for (std::size_t i = 0; i < traffic.sessions.size(); ++i) {
+    const auto& s = traffic.sessions[i];
+    put_u64(s.id);
+    put_u64(static_cast<std::uint64_t>(s.open_time.unix_seconds()));
+    put_u64(s.src.value());
+    put_u64(s.dst.value());
+    put_u64(s.src_port);
+    put_u64(s.dst_port);
+    put_u64(s.payload.size());
+    hasher.update(s.payload);
+    const auto& tag = traffic.tags[i];
+    put_u64(static_cast<std::uint64_t>(tag.kind));
+    put_u64(static_cast<std::uint64_t>(tag.sid));
+    hasher.update(tag.cve_id);
+  }
+  return hasher.hex_digest();
+}
+
+TEST(CorpusDigest, PinnedSerialDigestSeed42) {
+  EXPECT_EQ(corpus_digest(42),
+            "6e9aa5d963c84427825e8d35b2ec298eeaa0f43438a442e5cf69499ac441acaa");
+}
+
+TEST(CorpusDigest, PinnedSerialDigestSeed20230412) {
+  EXPECT_EQ(corpus_digest(20230412),
+            "469df617b14a895167a6ef3af4f678ac15e25b9717be0a6c6a70066c6ff591ff");
+}
+
+TEST(CorpusDigest, SeedsProduceDistinctCorpora) {
+  EXPECT_NE(corpus_digest(42), corpus_digest(20230412));
+}
+
+}  // namespace
+}  // namespace cvewb::traffic

@@ -1,0 +1,51 @@
+// FIPS 180-4 test vectors for the digest used by the corpus regression
+// guard, plus streaming-equivalence checks.
+#include "util/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cvewb::util {
+namespace {
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(hasher.hex_digest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const std::string text = "The CVE Wayback Machine measures coordinated disclosure.";
+  for (std::size_t split = 0; split <= text.size(); split += 7) {
+    Sha256 hasher;
+    hasher.update(text.substr(0, split));
+    hasher.update(text.substr(split));
+    EXPECT_EQ(hasher.hex_digest(), sha256_hex(text)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths that straddle the 55/56/64-byte padding edges.
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const std::string a(len, 'x');
+    Sha256 hasher;
+    hasher.update(a);
+    EXPECT_EQ(hasher.hex_digest(), sha256_hex(a)) << len;
+    EXPECT_NE(sha256_hex(a), sha256_hex(a + "y"));
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::util
