@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/observability.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -57,12 +58,13 @@ struct ChunkOut {
 }  // namespace
 
 FaultedCorpus inject_faults(const traffic::GeneratedTraffic& corpus, const FaultPlan& plan,
-                            std::uint64_t seed, util::ThreadPool* pool) {
-  return FaultInjector(plan, seed).run(corpus, pool);
+                            std::uint64_t seed, util::ThreadPool* pool, obs::Observability* observability) {
+  return FaultInjector(plan, seed).run(corpus, pool, observability);
 }
 
-FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus,
-                                 util::ThreadPool* pool) const {
+FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus, util::ThreadPool* pool,
+                                 obs::Observability* observability) const {
+  obs::Span inject_span(obs::tracer_of(observability), "faults/inject");
   FaultedCorpus out;
   out.log.sessions_in = corpus.sessions.size();
   if (corpus.sessions.empty() || !plan_.any()) {
@@ -102,6 +104,7 @@ FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus,
   const std::size_t chunks = util::shard_count(corpus.sessions.size(), kInjectionChunkSize);
   std::vector<ChunkOut> chunk_out(chunks);
   util::for_each_shard(pool, chunks, [&](std::size_t chunk) {
+    obs::Span chunk_span(obs::tracer_of(observability), "faults/chunk");
     util::Rng session_rng(util::stream_seed(seed, kStreamSession, chunk));
     ChunkOut& slot = chunk_out[chunk];
     const std::size_t first = chunk * kInjectionChunkSize;
@@ -181,6 +184,7 @@ FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus,
   // Cross-chunk by design, so it stays a serial pass over the merged
   // corpus with its own stream.
   if (plan_.reorder_rate > 0 && sessions.size() > 1) {
+    obs::Span reorder_span(obs::tracer_of(observability), "faults/reorder");
     util::Rng reorder_rng(util::stream_seed(seed, kStreamReorder));
     std::vector<std::int64_t> order(sessions.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
@@ -210,6 +214,9 @@ FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus,
   }
 
   log.sessions_out = sessions.size();
+  obs::count(observability, "faults/sessions_in", log.sessions_in);
+  obs::count(observability, "faults/sessions_out", log.sessions_out);
+  obs::count(observability, "faults/records", log.records.size());
   return out;
 }
 

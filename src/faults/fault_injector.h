@@ -18,6 +18,9 @@
 namespace cvewb::util {
 class ThreadPool;
 }
+namespace cvewb::obs {
+struct Observability;
+}
 
 namespace cvewb::faults {
 
@@ -45,17 +48,19 @@ class FaultInjector {
   /// (`util::stream_seed(seed, stream, chunk_index)`), and chunk outputs
   /// are merged in input order -- so a degraded corpus is a pure function
   /// of (corpus, plan, seed) at any thread count.  `pool == nullptr` runs
-  /// the chunks inline (the serial reference path).
-  FaultedCorpus run(const traffic::GeneratedTraffic& corpus,
-                    util::ThreadPool* pool = nullptr) const;
+  /// the chunks inline (the serial reference path).  `obs` is an optional
+  /// tracing/metrics side-channel; it never influences the output.
+  FaultedCorpus run(const traffic::GeneratedTraffic& corpus, util::ThreadPool* pool = nullptr,
+                    obs::Observability* observability = nullptr) const;
 
  private:
   FaultPlan plan_;
   std::uint64_t seed_;
 };
 
-/// Convenience wrapper: FaultInjector(plan, seed).run(corpus, pool).
+/// Convenience wrapper: FaultInjector(plan, seed).run(corpus, pool, observability).
 FaultedCorpus inject_faults(const traffic::GeneratedTraffic& corpus, const FaultPlan& plan,
-                            std::uint64_t seed, util::ThreadPool* pool = nullptr);
+                            std::uint64_t seed, util::ThreadPool* pool = nullptr,
+                            obs::Observability* observability = nullptr);
 
 }  // namespace cvewb::faults

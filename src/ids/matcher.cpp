@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/http.h"
+#include "obs/observability.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -181,7 +182,9 @@ const Rule* Matcher::earliest_published_match(const net::TcpSession& session) co
 }
 
 CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
-                         util::ThreadPool* pool, std::size_t chunk_size) {
+                         util::ThreadPool* pool, std::size_t chunk_size,
+                         obs::Observability* observability) {
+  obs::Span corpus_span(obs::tracer_of(observability), "ids/match_corpus");
   CorpusMatch out;
   out.matches.assign(sessions.size(), nullptr);
   if (sessions.empty()) return out;
@@ -189,6 +192,7 @@ CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSessi
   const std::size_t chunks = util::shard_count(sessions.size(), chunk_size);
   std::vector<std::size_t> chunk_errors(chunks, 0);
   util::for_each_shard(pool, chunks, [&](std::size_t chunk) {
+    obs::Span batch_span(obs::tracer_of(observability), "ids/match_batch");
     const std::size_t first = chunk * chunk_size;
     const std::size_t last = std::min(sessions.size(), first + chunk_size);
     for (std::size_t i = first; i < last; ++i) {
@@ -198,8 +202,16 @@ CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSessi
         ++chunk_errors[chunk];
       }
     }
+    obs::observe(observability, "ids/batch_sessions", last - first);
   });
   for (const std::size_t errors : chunk_errors) out.errors += errors;
+  if (observability != nullptr) {
+    std::size_t matched = 0;
+    for (const Rule* rule : out.matches) matched += rule == nullptr ? 0 : 1;
+    obs::count(observability, "ids/sessions_scanned", sessions.size());
+    obs::count(observability, "ids/sessions_matched", matched);
+    obs::count(observability, "ids/match_errors", out.errors);
+  }
   return out;
 }
 

@@ -22,6 +22,9 @@
 namespace cvewb::util {
 class ThreadPool;
 }
+namespace cvewb::obs {
+struct Observability;
+}
 
 namespace cvewb::ids {
 
@@ -83,7 +86,10 @@ struct CorpusMatch {
 /// immutable after construction), and per-chunk results are merged back in
 /// session order -- so the result is byte-identical to the serial loop at
 /// any thread count.  `pool == nullptr` runs the chunks inline.
+/// `observability` traces per-batch spans and tallies match counters; it
+/// is a strict side-channel and never changes the result.
 CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
-                         util::ThreadPool* pool = nullptr, std::size_t chunk_size = 4096);
+                         util::ThreadPool* pool = nullptr, std::size_t chunk_size = 4096,
+                         obs::Observability* observability = nullptr);
 
 }  // namespace cvewb::ids

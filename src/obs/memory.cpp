@@ -1,0 +1,59 @@
+#include "obs/memory.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include <cstdio>
+
+namespace cvewb::obs {
+
+MemorySample sample_memory() {
+  MemorySample sample;
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    sample.peak_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    sample.peak_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+    sample.supported = true;
+  }
+#endif
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long size_pages = 0;
+    unsigned long long resident_pages = 0;
+    if (std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages) == 2) {
+      const long page = sysconf(_SC_PAGESIZE);
+      sample.current_rss_bytes =
+          static_cast<std::uint64_t>(resident_pages) * static_cast<std::uint64_t>(page);
+      sample.supported = true;
+    }
+    std::fclose(statm);
+  }
+#endif
+#if defined(__GLIBC__) && (__GLIBC__ > 2 || (__GLIBC__ == 2 && __GLIBC_MINOR__ >= 33))
+  const struct mallinfo2 info = mallinfo2();
+  sample.heap_in_use_bytes = static_cast<std::uint64_t>(info.uordblks);
+#endif
+  return sample;
+}
+
+util::Json MemorySample::to_json() const {
+  util::Json doc;
+  doc.set("supported", supported);
+  doc.set("current_rss_bytes", static_cast<std::int64_t>(current_rss_bytes));
+  doc.set("peak_rss_bytes", static_cast<std::int64_t>(peak_rss_bytes));
+  doc.set("heap_in_use_bytes", static_cast<std::int64_t>(heap_in_use_bytes));
+  return doc;
+}
+
+}  // namespace cvewb::obs

@@ -1,0 +1,28 @@
+// Process-memory high-water probe.
+//
+// The paper's pipeline boiled 3 TB of capture down in bounded memory; the
+// reproduction tracks where its own ceiling is.  `sample_memory()` reads
+// the platform's cheap sources -- current RSS from /proc/self/statm, peak
+// RSS (the high-water mark) from getrusage, heap-in-use from mallinfo2
+// where glibc provides it -- and reports zeros with `supported == false`
+// anywhere those are unavailable, so callers never need platform gates.
+#pragma once
+
+#include <cstdint>
+
+#include "util/json.h"
+
+namespace cvewb::obs {
+
+struct MemorySample {
+  std::uint64_t current_rss_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;       // process high-water (ru_maxrss)
+  std::uint64_t heap_in_use_bytes = 0;    // allocator-reported, 0 if unknown
+  bool supported = false;
+
+  util::Json to_json() const;
+};
+
+MemorySample sample_memory();
+
+}  // namespace cvewb::obs

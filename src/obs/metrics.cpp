@@ -1,0 +1,206 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cvewb::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+/// CAS max loop over a relaxed atomic.
+template <typename T>
+void atomic_max(std::atomic<T>& cell, T value) {
+  T current = cell.load(std::memory_order_relaxed);
+  while (current < value &&
+         !cell.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+void atomic_min(std::atomic<T>& cell, T value) {
+  T current = cell.load(std::memory_order_relaxed);
+  while (current > value &&
+         !cell.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+/// One thread's private accumulation: plain relaxed atomics so an export
+/// racing a writer reads torn-free values without synchronizing the
+/// writer's fast path.
+struct MetricsRegistry::Slab {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  struct HistCell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  std::array<HistCell, kMaxHistograms> histograms{};
+};
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)),
+      gauges_(std::make_unique<std::array<GaugeCell, kMaxGauges>>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+std::size_t MetricsRegistry::bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+std::size_t MetricsRegistry::register_name(
+    std::vector<std::string>& names, std::map<std::string, std::size_t, std::less<>>& index,
+    std::string_view name, std::size_t capacity, const char* kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index.find(name);
+  if (it != index.end()) return it->second;
+  if (names.size() >= capacity) {
+    throw std::length_error(std::string("MetricsRegistry: too many ") + kind);
+  }
+  const std::size_t id = names.size();
+  names.emplace_back(name);
+  index.emplace(std::string(name), id);
+  return id;
+}
+
+CounterId MetricsRegistry::counter(std::string_view name) {
+  return CounterId{register_name(counter_names_, counter_index_, name, kMaxCounters, "counters")};
+}
+
+GaugeId MetricsRegistry::gauge(std::string_view name) {
+  return GaugeId{register_name(gauge_names_, gauge_index_, name, kMaxGauges, "gauges")};
+}
+
+HistogramId MetricsRegistry::histogram(std::string_view name) {
+  return HistogramId{
+      register_name(histogram_names_, histogram_index_, name, kMaxHistograms, "histograms")};
+}
+
+MetricsRegistry::Slab* MetricsRegistry::slab() {
+  struct CacheEntry {
+    std::uint64_t registry_id;
+    Slab* slab;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& entry : cache) {
+    if (entry.registry_id == id_) return entry.slab;
+  }
+  auto owned = std::make_unique<Slab>();
+  Slab* raw = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slabs_.push_back(std::move(owned));
+  }
+  cache.push_back(CacheEntry{id_, raw});
+  return raw;
+}
+
+void MetricsRegistry::add(CounterId id, std::uint64_t delta) {
+  slab()->counters[id.index].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::gauge_set(GaugeId id, std::int64_t value) {
+  GaugeCell& cell = (*gauges_)[id.index];
+  cell.value.store(value, std::memory_order_relaxed);
+  atomic_max(cell.max, value);
+}
+
+void MetricsRegistry::gauge_add(GaugeId id, std::int64_t delta) {
+  GaugeCell& cell = (*gauges_)[id.index];
+  const std::int64_t now = cell.value.fetch_add(delta, std::memory_order_relaxed) + delta;
+  atomic_max(cell.max, now);
+}
+
+void MetricsRegistry::observe(HistogramId id, std::uint64_t value) {
+  Slab::HistCell& cell = slab()->histograms[id.index];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(cell.min, value);
+  atomic_max(cell.max, value);
+  cell.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& slab : slabs_) total += slab->counters[i].load(std::memory_order_relaxed);
+    out.counters.emplace(counter_names_[i], total);
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    const GaugeCell& cell = (*gauges_)[i];
+    GaugeSnapshot gauge;
+    gauge.value = cell.value.load(std::memory_order_relaxed);
+    const std::int64_t raw_max = cell.max.load(std::memory_order_relaxed);
+    gauge.max = raw_max == std::numeric_limits<std::int64_t>::min() ? gauge.value : raw_max;
+    out.gauges.emplace(gauge_names_[i], gauge);
+  }
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    HistogramSnapshot hist;
+    hist.buckets.assign(kHistogramBuckets, 0);
+    std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& slab : slabs_) {
+      const Slab::HistCell& cell = slab->histograms[i];
+      hist.count += cell.count.load(std::memory_order_relaxed);
+      hist.sum += cell.sum.load(std::memory_order_relaxed);
+      min = std::min(min, cell.min.load(std::memory_order_relaxed));
+      hist.max = std::max(hist.max, cell.max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        hist.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    hist.min = hist.count == 0 ? 0 : min;
+    out.histograms.emplace(histogram_names_[i], hist);
+  }
+  return out;
+}
+
+util::Json MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  util::Json counters{util::JsonObject{}};
+  for (const auto& [name, value] : snap.counters) {
+    counters.set(name, static_cast<std::int64_t>(value));
+  }
+  util::Json gauges{util::JsonObject{}};
+  for (const auto& [name, gauge] : snap.gauges) {
+    util::Json row;
+    row.set("value", gauge.value);
+    row.set("max", gauge.max);
+    gauges.set(name, std::move(row));
+  }
+  util::Json histograms{util::JsonObject{}};
+  for (const auto& [name, hist] : snap.histograms) {
+    util::Json row;
+    row.set("count", static_cast<std::int64_t>(hist.count));
+    row.set("sum", static_cast<std::int64_t>(hist.sum));
+    row.set("min", static_cast<std::int64_t>(hist.min));
+    row.set("max", static_cast<std::int64_t>(hist.max));
+    row.set("mean", hist.mean());
+    util::Json buckets{util::JsonArray{}};
+    // Trailing empty buckets are noise; emit up to the last non-zero one.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+      if (hist.buckets[b] != 0) last = b + 1;
+    }
+    for (std::size_t b = 0; b < last; ++b) {
+      buckets.push_back(static_cast<std::int64_t>(hist.buckets[b]));
+    }
+    row.set("log2_buckets", std::move(buckets));
+    histograms.set(name, std::move(row));
+  }
+  util::Json doc;
+  doc.set("counters", std::move(counters));
+  doc.set("gauges", std::move(gauges));
+  doc.set("histograms", std::move(histograms));
+  return doc;
+}
+
+}  // namespace cvewb::obs

@@ -1,0 +1,121 @@
+// Thread-safe counter / gauge / histogram registry.
+//
+// Counters and histograms accumulate into per-thread slabs of relaxed
+// atomics -- a writing thread touches only its own cache lines, so N
+// threads hammering the same counter never contend -- and are merged
+// exactly on `snapshot()`.  Gauges represent instantaneous global state
+// (queue depth, RSS) and are single atomic cells with a CAS-maintained
+// high-water mark.
+//
+// Registration (name -> id) takes the registry mutex; hot paths should
+// register once and reuse the id, but name-keyed convenience lookups are
+// fine at shard/chunk granularity.  Metrics are a strict side-channel:
+// nothing in here feeds back into pipeline results.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cvewb::obs {
+
+struct CounterId {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+};
+struct GaugeId {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+};
+struct HistogramId {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+};
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;  // last set value
+  std::int64_t max = 0;    // high-water across every set/add
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  /// Log2 buckets: bucket 0 counts value 0, bucket b >= 1 counts values
+  /// in [2^(b-1), 2^b); the last bucket also absorbs everything larger.
+  std::vector<std::uint64_t> buckets;
+
+  double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kMaxCounters = 256;
+  static constexpr std::size_t kMaxGauges = 128;
+  static constexpr std::size_t kMaxHistograms = 64;
+  static constexpr std::size_t kHistogramBuckets = 44;  // value 0 + log2 up to 2^43
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-register; a second call with the same name returns the same
+  /// id.  Throws std::length_error past the per-kind capacity.
+  CounterId counter(std::string_view name);
+  GaugeId gauge(std::string_view name);
+  HistogramId histogram(std::string_view name);
+
+  void add(CounterId id, std::uint64_t delta = 1);
+  void gauge_set(GaugeId id, std::int64_t value);
+  void gauge_add(GaugeId id, std::int64_t delta);
+  void observe(HistogramId id, std::uint64_t value);
+
+  /// Merge every thread's accumulation.  Exact when no writer is
+  /// concurrently active (the pipeline snapshots after stages complete).
+  MetricsSnapshot snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  util::Json to_json() const;
+
+  /// Bucket index a value lands in (exposed for tests).
+  static std::size_t bucket_of(std::uint64_t value);
+
+ private:
+  struct Slab;
+  Slab* slab();
+  std::size_t register_name(std::vector<std::string>& names,
+                            std::map<std::string, std::size_t, std::less<>>& index,
+                            std::string_view name, std::size_t capacity, const char* kind);
+
+  struct GaugeCell {
+    std::atomic<std::int64_t> value{0};
+    std::atomic<std::int64_t> max{std::numeric_limits<std::int64_t>::min()};
+  };
+
+  const std::uint64_t id_;  // keys the thread-local slab cache
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::map<std::string, std::size_t, std::less<>> counter_index_;
+  std::map<std::string, std::size_t, std::less<>> gauge_index_;
+  std::map<std::string, std::size_t, std::less<>> histogram_index_;
+  std::unique_ptr<std::array<GaugeCell, kMaxGauges>> gauges_;
+  std::vector<std::unique_ptr<Slab>> slabs_;
+};
+
+}  // namespace cvewb::obs

@@ -1,0 +1,57 @@
+#include "obs/observability.h"
+
+#include "util/thread_pool.h"
+
+namespace cvewb::obs {
+
+util::Json Observability::to_json() const {
+  util::Json doc = metrics.to_json();
+  doc.set("memory", sample_memory().to_json());
+  return doc;
+}
+
+PhaseSpan::PhaseSpan(Observability* obs, std::string name) : obs_(obs), name_(std::move(name)) {
+  if (obs_ != nullptr) start_us_ = obs_->tracer.now_us();
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (obs_ == nullptr) return;
+  const std::uint64_t dur_us = obs_->tracer.now_us() - start_us_;
+  obs_->tracer.record("phase/" + name_, start_us_, dur_us);
+  obs_->metrics.add(obs_->metrics.counter("phase_us/" + name_), dur_us);
+  const MemorySample memory = sample_memory();
+  if (memory.supported) {
+    obs_->metrics.gauge_set(obs_->metrics.gauge("mem/current_rss_bytes"),
+                            static_cast<std::int64_t>(memory.current_rss_bytes));
+    obs_->metrics.gauge_set(obs_->metrics.gauge("mem/peak_rss_bytes"),
+                            static_cast<std::int64_t>(memory.peak_rss_bytes));
+    obs_->metrics.gauge_set(obs_->metrics.gauge("mem/heap_in_use_bytes"),
+                            static_cast<std::int64_t>(memory.heap_in_use_bytes));
+  }
+}
+
+void export_pool_stats(Observability* obs, const util::ThreadPool& pool) {
+  if (obs == nullptr) return;
+  const util::ThreadPoolStats stats = pool.stats();
+  auto& metrics = obs->metrics;
+  metrics.add(metrics.counter("pool/tasks_submitted"), stats.submitted);
+  metrics.add(metrics.counter("pool/tasks_completed"), stats.completed);
+  metrics.add(metrics.counter("pool/task_run_us"), stats.task_run_us);
+  metrics.add(metrics.counter("pool/task_wait_us"), stats.task_wait_us);
+  metrics.add(metrics.counter("pool/idle_us_total"), stats.idle_us_total());
+  metrics.gauge_set(metrics.gauge("pool/workers"), static_cast<std::int64_t>(pool.size()));
+  metrics.gauge_set(metrics.gauge("pool/queue_depth"),
+                    static_cast<std::int64_t>(stats.queue_depth));
+  metrics.gauge_set(metrics.gauge("pool/max_queue_depth"),
+                    static_cast<std::int64_t>(stats.max_queue_depth));
+  const HistogramId idle = metrics.histogram("pool/worker_idle_us");
+  for (const std::uint64_t us : stats.worker_idle_us) metrics.observe(idle, us);
+  if (stats.completed > 0) {
+    const HistogramId wait = metrics.histogram("pool/mean_task_wait_us");
+    metrics.observe(wait, stats.task_wait_us / stats.completed);
+    const HistogramId run = metrics.histogram("pool/mean_task_run_us");
+    metrics.observe(run, stats.task_run_us / stats.completed);
+  }
+}
+
+}  // namespace cvewb::obs

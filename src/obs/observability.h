@@ -1,0 +1,70 @@
+// The bundle a pipeline run carries when observability is on.
+//
+// `StudyConfig.observability` (and the per-stage configs it fans out to)
+// is a nullable pointer to one of these; a null pointer is "observability
+// off" and every helper below degrades to a no-op, so instrumented code
+// reads naturally and costs nothing unobserved.  The contract, proven by
+// tests/obs/obs_determinism_test.cpp: attaching an Observability changes
+// *only* wall-clock, never a byte of StudyResult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/memory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cvewb::util {
+class ThreadPool;
+}
+
+namespace cvewb::obs {
+
+struct Observability {
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  /// Metrics + a closing memory sample (the trace is exported separately
+  /// via `tracer.to_json()` -- it is a different document format).
+  util::Json to_json() const;
+};
+
+inline Tracer* tracer_of(Observability* obs) { return obs == nullptr ? nullptr : &obs->tracer; }
+
+/// Null-safe metric shorthands for instrumentation sites.  Name lookup
+/// costs one mutex + map probe; use at shard/chunk granularity, not in
+/// per-session loops.
+inline void count(Observability* obs, std::string_view name, std::uint64_t delta = 1) {
+  if (obs != nullptr) obs->metrics.add(obs->metrics.counter(name), delta);
+}
+inline void observe(Observability* obs, std::string_view name, std::uint64_t value) {
+  if (obs != nullptr) obs->metrics.observe(obs->metrics.histogram(name), value);
+}
+inline void gauge_set(Observability* obs, std::string_view name, std::int64_t value) {
+  if (obs != nullptr) obs->metrics.gauge_set(obs->metrics.gauge(name), value);
+}
+
+/// Phase instrumentation for run_study: one trace span named
+/// "phase/<name>", a "phase_us/<name>" wall-clock counter, and RSS
+/// gauges sampled at the phase boundary (their `max` is the pipeline's
+/// observed memory high-water).
+class PhaseSpan {
+ public:
+  PhaseSpan(Observability* obs, std::string name);
+  ~PhaseSpan();
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  Observability* obs_;
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+};
+
+/// Export a pool's execution stats (queue depth, task latency, per-worker
+/// idle time) into the registry under "pool/...".  No-op on null obs.
+void export_pool_stats(Observability* obs, const util::ThreadPool& pool);
+
+}  // namespace cvewb::obs

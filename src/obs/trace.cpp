@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <utility>
+
+namespace cvewb::obs {
+
+namespace {
+
+/// Process-unique tracer ids key the thread-local registration cache, so a
+/// tracer destroyed and another allocated at the same address can never be
+/// confused with it.
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+}  // namespace
+
+struct Tracer::ThreadLog {
+  std::uint32_t tid = 0;
+  std::mutex mutex;  // owner thread appends; exports read concurrently
+  std::vector<TraceEvent> events;
+};
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            epoch_)
+          .count());
+}
+
+Tracer::ThreadLog* Tracer::thread_log() {
+  struct CacheEntry {
+    std::uint64_t tracer_id;
+    ThreadLog* log;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& entry : cache) {
+    if (entry.tracer_id == id_) return entry.log;
+  }
+  auto log = std::make_unique<ThreadLog>();
+  ThreadLog* raw = log.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    raw->tid = static_cast<std::uint32_t>(logs_.size());
+    logs_.push_back(std::move(log));
+  }
+  cache.push_back(CacheEntry{id_, raw});
+  return raw;
+}
+
+void Tracer::record(std::string name, std::uint64_t ts_us, std::uint64_t dur_us) {
+  ThreadLog* log = thread_log();
+  std::lock_guard<std::mutex> lock(log->mutex);
+  log->events.push_back(TraceEvent{std::move(name), ts_us, dur_us, log->tid});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    out.insert(out.end(), log->events.begin(), log->events.end());
+  }
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    n += log->events.size();
+  }
+  return n;
+}
+
+util::Json Tracer::to_json() const {
+  util::Json events_json{util::JsonArray{}};
+  for (const TraceEvent& event : events()) {
+    util::Json row;
+    row.set("name", event.name);
+    row.set("ph", "X");
+    row.set("ts", static_cast<std::int64_t>(event.ts_us));
+    row.set("dur", static_cast<std::int64_t>(event.dur_us));
+    row.set("pid", 1);
+    row.set("tid", static_cast<std::int64_t>(event.tid));
+    events_json.push_back(std::move(row));
+  }
+  util::Json doc;
+  doc.set("traceEvents", std::move(events_json));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+}  // namespace cvewb::obs

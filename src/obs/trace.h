@@ -1,0 +1,90 @@
+// Scoped span tracing emitting Chrome trace-event JSON.
+//
+// A Tracer collects complete ('X') duration events into per-thread
+// buffers: each thread registers once per tracer (one mutex acquisition),
+// then appends to its own log under a per-log mutex that is only ever
+// contended by a concurrent export.  `to_json()` renders the merged
+// buffers as a `{"traceEvents": [...]}` document loadable in
+// chrome://tracing or Perfetto.
+//
+// Tracing is a strict side-channel: spans observe wall-clock only, never
+// touch RNG streams or pipeline data, so an instrumented run produces a
+// byte-identical StudyResult (proven by tests/obs/obs_determinism_test).
+// A null Tracer* makes Span a no-op, which is how the pipeline pays
+// nothing when observability is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace cvewb::obs {
+
+/// One complete ('X') trace event: a closed span on one thread.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;   // span start, microseconds since tracer epoch
+  std::uint64_t dur_us = 0;  // span duration in microseconds
+  std::uint32_t tid = 0;     // tracer-assigned thread id (registration order)
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since tracer construction (steady clock, monotone).
+  std::uint64_t now_us() const;
+
+  /// Append a complete event to the calling thread's buffer.
+  void record(std::string name, std::uint64_t ts_us, std::uint64_t dur_us);
+
+  /// Every recorded event, grouped by tid in registration order; within a
+  /// tid, events appear in span-close order (children before parents).
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+
+  /// Chrome trace-event document: {"traceEvents": [...], ...}.  Each
+  /// event carries the required fields name / ph / ts / dur / pid / tid.
+  util::Json to_json() const;
+
+ private:
+  struct ThreadLog;
+  ThreadLog* thread_log();
+
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+/// RAII span: records one complete trace event from construction to
+/// destruction.  With a null tracer every operation is a no-op.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string name)
+      : tracer_(tracer),
+        name_(tracer == nullptr ? std::string() : std::move(name)),
+        start_us_(tracer == nullptr ? 0 : tracer->now_us()) {}
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->record(std::move(name_), start_us_, tracer_->now_us() - start_us_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace cvewb::obs

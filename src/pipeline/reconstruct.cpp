@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <charconv>
+#include <memory>
 #include <unordered_set>
 
 #include "data/appendix_e.h"
 #include "data/exploit_db.h"
 #include "data/talos.h"
 #include "net/http.h"
+#include "obs/observability.h"
 
 namespace cvewb::pipeline {
 
@@ -97,13 +99,22 @@ std::vector<net::TcpSession> hygiene_pass(const std::vector<net::TcpSession>& se
 
 Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
                            const ids::RuleSet& ruleset, const ReconstructOptions& options) {
+  obs::Observability* observability = options.observability;
+  obs::Span reconstruct_span(obs::tracer_of(observability), "reconstruct");
   Reconstruction out;
   out.sessions_scanned = sessions.size();
   out.quality.sessions_in = sessions.size();
 
   // 0. Hygiene: dedup exact repeats, clamp out-of-window timestamps, and
   //    classify malformed payloads.  Counters only -- never a throw.
-  const std::vector<net::TcpSession> cleaned = hygiene_pass(sessions, options, out.quality);
+  std::vector<net::TcpSession> cleaned;
+  {
+    obs::Span hygiene_span(obs::tracer_of(observability), "reconstruct/hygiene");
+    cleaned = hygiene_pass(sessions, options, out.quality);
+    obs::count(observability, "reconstruct/duplicates_removed", out.quality.duplicates_removed);
+    obs::count(observability, "reconstruct/timestamps_clamped", out.quality.timestamps_clamped);
+    obs::count(observability, "reconstruct/flagged_sessions", out.quality.total_flagged());
+  }
 
   // 1. Post-facto signature evaluation, earliest-published match retained.
   //    Sessions are matched in contiguous chunks (in parallel when the
@@ -112,8 +123,13 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
   //    and skipped rather than aborting the run.
   ids::MatcherOptions matcher_options;
   matcher_options.port_insensitive = options.port_insensitive;
-  const ids::Matcher matcher(ruleset.rules(), matcher_options);
-  const ids::CorpusMatch matched = ids::match_corpus(matcher, cleaned, options.pool);
+  std::unique_ptr<ids::Matcher> matcher;
+  {
+    obs::Span build_span(obs::tracer_of(observability), "reconstruct/build_matcher");
+    matcher = std::make_unique<ids::Matcher>(ruleset.rules(), matcher_options);
+  }
+  const ids::CorpusMatch matched =
+      ids::match_corpus(*matcher, cleaned, options.pool, 4096, observability);
   out.quality.match_errors += matched.errors;
   std::vector<ids::Detection> detections;
   for (std::size_t i = 0; i < cleaned.size(); ++i) {
@@ -123,6 +139,7 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
   out.sessions_matched = detections.size();
 
   // 2. Root-cause analysis drops CVEs whose matches are false positives.
+  obs::Span rca_span(obs::tracer_of(observability), "reconstruct/rca_join");
   out.rca = ids::root_cause_analysis(detections);
 
   // 3. Separate untargeted pre-publication scanning; collect exploit
@@ -171,6 +188,8 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
             [](const lifecycle::ExploitEvent& a, const lifecycle::ExploitEvent& b) {
               return a.time < b.time;
             });
+  obs::count(observability, "reconstruct/exploit_events", out.events.size());
+  obs::count(observability, "reconstruct/timelines", out.timelines.size());
   return out;
 }
 

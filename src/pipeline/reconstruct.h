@@ -35,6 +35,9 @@
 namespace cvewb::util {
 class ThreadPool;
 }
+namespace cvewb::obs {
+struct Observability;
+}
 
 namespace cvewb::pipeline {
 
@@ -99,6 +102,8 @@ struct ReconstructOptions {
   /// sessions are matched in contiguous chunks and merged in session
   /// order, so output is byte-identical with or without a pool.
   util::ThreadPool* pool = nullptr;
+  /// Optional tracing/metrics sink (see obs/); never affects the output.
+  obs::Observability* observability = nullptr;
 };
 
 Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,

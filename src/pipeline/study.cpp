@@ -5,6 +5,7 @@
 
 #include "data/appendix_e.h"
 #include "ids/rule_gen.h"
+#include "obs/observability.h"
 #include "util/thread_pool.h"
 
 namespace cvewb::pipeline {
@@ -32,8 +33,8 @@ telescope::Dscope make_study_telescope(const StudyConfig& config) {
 }
 
 StudyResult run_study(const StudyConfig& config) {
+  obs::Observability* observability = config.observability;
   StudyResult result;
-  const telescope::Dscope dscope = make_study_telescope(config);
 
   // One pool shared by every sharded stage; `threads == 1` skips pool
   // construction entirely and runs each shard inline, which is the
@@ -45,18 +46,29 @@ StudyResult run_study(const StudyConfig& config) {
     pool = &*pool_storage;
   }
 
-  traffic::InternetConfig internet;
-  internet.seed = config.seed;
-  internet.event_scale = config.event_scale;
-  internet.background_per_day = config.background_per_day;
-  internet.credstuff_per_day = config.credstuff_per_day;
-  internet.pool = pool;
-  result.traffic = traffic::generate_traffic(dscope, internet);
+  std::optional<telescope::Dscope> dscope;
+  {
+    obs::PhaseSpan phase(observability, "telescope");
+    dscope.emplace(make_study_telescope(config));
+  }
+
+  {
+    obs::PhaseSpan phase(observability, "traffic");
+    traffic::InternetConfig internet;
+    internet.seed = config.seed;
+    internet.event_scale = config.event_scale;
+    internet.background_per_day = config.background_per_day;
+    internet.credstuff_per_day = config.credstuff_per_day;
+    internet.pool = pool;
+    internet.obs = observability;
+    result.traffic = traffic::generate_traffic(*dscope, internet);
+  }
 
   // Degrade the capture before reconstruction when a fault plan is active.
   if (config.faults.any()) {
-    faults::FaultedCorpus degraded =
-        faults::inject_faults(result.traffic, config.faults, config.seed ^ 0xFA017ULL, pool);
+    obs::PhaseSpan phase(observability, "faults");
+    faults::FaultedCorpus degraded = faults::inject_faults(
+        result.traffic, config.faults, config.seed ^ 0xFA017ULL, pool, observability);
     result.traffic = std::move(degraded.traffic);
     result.fault_log = std::move(degraded.log);
   } else {
@@ -70,27 +82,42 @@ StudyResult run_study(const StudyConfig& config) {
   if (!reconstruct_options.window_begin) reconstruct_options.window_begin = data::study_begin();
   if (!reconstruct_options.window_end) reconstruct_options.window_end = data::study_end();
   reconstruct_options.pool = pool;
+  reconstruct_options.observability = observability;
 
-  result.ruleset = ids::generate_study_ruleset();
-  result.reconstruction =
-      reconstruct(result.traffic.sessions, result.ruleset, reconstruct_options);
-
-  result.table4 = lifecycle::skill_table(result.reconstruction.timelines);
-  result.table5 =
-      lifecycle::per_event_skill(result.reconstruction.events, result.reconstruction.timelines);
-  result.exposure =
-      lifecycle::split_exposure(result.reconstruction.events, result.reconstruction.timelines);
-
-  std::vector<std::uint32_t> dst_ips;
-  std::vector<std::uint32_t> src_ips;
-  dst_ips.reserve(result.traffic.sessions.size());
-  src_ips.reserve(result.traffic.sessions.size());
-  for (const auto& session : result.traffic.sessions) {
-    dst_ips.push_back(session.dst.value());
-    src_ips.push_back(session.src.value());
+  {
+    obs::PhaseSpan phase(observability, "ruleset");
+    result.ruleset = ids::generate_study_ruleset();
   }
-  result.unique_telescope_ips = unique_count(dst_ips);
-  result.unique_source_ips = unique_count(src_ips);
+  {
+    obs::PhaseSpan phase(observability, "reconstruct");
+    result.reconstruction =
+        reconstruct(result.traffic.sessions, result.ruleset, reconstruct_options);
+  }
+
+  {
+    obs::PhaseSpan phase(observability, "analyze");
+    result.table4 = lifecycle::skill_table(result.reconstruction.timelines);
+    result.table5 =
+        lifecycle::per_event_skill(result.reconstruction.events, result.reconstruction.timelines);
+    result.exposure =
+        lifecycle::split_exposure(result.reconstruction.events, result.reconstruction.timelines);
+  }
+
+  {
+    obs::PhaseSpan phase(observability, "unique_ips");
+    std::vector<std::uint32_t> dst_ips;
+    std::vector<std::uint32_t> src_ips;
+    dst_ips.reserve(result.traffic.sessions.size());
+    src_ips.reserve(result.traffic.sessions.size());
+    for (const auto& session : result.traffic.sessions) {
+      dst_ips.push_back(session.dst.value());
+      src_ips.push_back(session.src.value());
+    }
+    result.unique_telescope_ips = unique_count(dst_ips);
+    result.unique_source_ips = unique_count(src_ips);
+  }
+
+  if (pool != nullptr) obs::export_pool_stats(observability, *pool);
   return result;
 }
 

@@ -16,6 +16,10 @@
 #include "telescope/dscope.h"
 #include "traffic/internet.h"
 
+namespace cvewb::obs {
+struct Observability;
+}
+
 namespace cvewb::pipeline {
 
 struct StudyConfig {
@@ -38,6 +42,13 @@ struct StudyConfig {
   /// Degraded-capture scenario applied between traffic generation and
   /// reconstruction.  The default plan is a no-op (pristine capture).
   faults::FaultPlan faults;
+  /// Observability sink (off by default).  When set, every stage emits
+  /// trace spans and metrics into it: phase wall-clock counters
+  /// ("phase_us/<name>"), per-shard spans, thread-pool execution stats
+  /// ("pool/..."), and RSS gauges at phase boundaries.  Strictly a
+  /// side-channel: the StudyResult is byte-identical with observability
+  /// on or off, at any thread count (tests/obs/obs_determinism_test.cpp).
+  obs::Observability* observability = nullptr;
 };
 
 struct StudyResult {

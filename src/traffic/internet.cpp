@@ -8,6 +8,7 @@
 #include "data/log4shell_variants.h"
 #include "net/http.h"
 #include "ids/rule_gen.h"
+#include "obs/observability.h"
 #include "traffic/background.h"
 #include "traffic/credstuff.h"
 #include "traffic/exploit_scanner.h"
@@ -251,29 +252,41 @@ GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const Interne
   // --- The shard task list.  Order is fixed (exploit actors in Appendix-E
   // order, OGNL, background time shards, credential-stuffing time shards);
   // each task's output depends only on (config, seed, shard), so the merge
-  // below is identical at any thread count.
-  std::vector<std::function<std::vector<PendingProbe>()>> tasks;
+  // below is identical at any thread count.  The span name labels the
+  // shard's category in the emitted trace.
+  obs::Span generate_span(obs::tracer_of(config.obs), "traffic/generate");
+  struct ShardTask {
+    const char* span_name;
+    std::function<std::vector<PendingProbe>()> fn;
+  };
+  std::vector<ShardTask> tasks;
   tasks.reserve(records.size() + 1 + 2 * time_shards);
   for (std::size_t i = 0; i < records.size(); ++i) {
-    tasks.push_back([&, i] {
-      return exploit_actor_probes(records[i], i, config, begin, end, timing);
-    });
+    tasks.push_back({"traffic/exploit_actor", [&, i] {
+                       return exploit_actor_probes(records[i], i, config, begin, end, timing);
+                     }});
   }
   if (config.include_untargeted_ognl) {
-    tasks.push_back([&] { return untargeted_ognl_probes(config, begin); });
+    tasks.push_back({"traffic/untargeted_ognl", [&] { return untargeted_ognl_probes(config, begin); }});
   }
   for (std::size_t s = 0; s < time_shards; ++s) {
-    tasks.push_back(
-        [&, s] { return background_shard_probes(config, s, shard_bound(s), shard_bound(s + 1)); });
+    tasks.push_back({"traffic/background_shard", [&, s] {
+                       return background_shard_probes(config, s, shard_bound(s), shard_bound(s + 1));
+                     }});
   }
   for (std::size_t s = 0; s < time_shards; ++s) {
-    tasks.push_back(
-        [&, s] { return credstuff_shard_probes(config, s, shard_bound(s), shard_bound(s + 1)); });
+    tasks.push_back({"traffic/credstuff_shard", [&, s] {
+                       return credstuff_shard_probes(config, s, shard_bound(s), shard_bound(s + 1));
+                     }});
   }
 
   std::vector<std::vector<PendingProbe>> shard_probes(tasks.size());
-  util::for_each_shard(config.pool, tasks.size(),
-                       [&](std::size_t shard) { shard_probes[shard] = tasks[shard](); });
+  util::for_each_shard(config.pool, tasks.size(), [&](std::size_t shard) {
+    obs::Span span(obs::tracer_of(config.obs), tasks[shard].span_name);
+    shard_probes[shard] = tasks[shard].fn();
+    obs::count(config.obs, "traffic/probes_generated", shard_probes[shard].size());
+    obs::observe(config.obs, "traffic/shard_probes", shard_probes[shard].size());
+  });
 
   // --- Merge in task order, then order chronologically.  stable_sort over
   // the deterministic merge keeps equal-time probes in task order.
@@ -281,11 +294,14 @@ GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const Interne
   for (const auto& shard : shard_probes) total += shard.size();
   std::vector<PendingProbe> probes;
   probes.reserve(total);
-  for (auto& shard : shard_probes) {
-    for (auto& probe : shard) probes.push_back(std::move(probe));
+  {
+    obs::Span merge_span(obs::tracer_of(config.obs), "traffic/merge_sort");
+    for (auto& shard : shard_probes) {
+      for (auto& probe : shard) probes.push_back(std::move(probe));
+    }
+    std::stable_sort(probes.begin(), probes.end(),
+                     [](const PendingProbe& a, const PendingProbe& b) { return a.time < b.time; });
   }
-  std::stable_sort(probes.begin(), probes.end(),
-                   [](const PendingProbe& a, const PendingProbe& b) { return a.time < b.time; });
 
   // --- Place captures on telescope instances and materialize sessions.
   // Sharded over fixed-size probe chunks; ids equal the chronological
@@ -293,8 +309,10 @@ GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const Interne
   GeneratedTraffic traffic;
   traffic.sessions.resize(probes.size());
   traffic.tags.resize(probes.size());
+  obs::Span placement_span(obs::tracer_of(config.obs), "traffic/placement");
   const std::size_t placement_shards = util::shard_count(probes.size(), kPlacementShardSize);
   util::for_each_shard(config.pool, placement_shards, [&](std::size_t shard) {
+    obs::Span span(obs::tracer_of(config.obs), "traffic/placement_chunk");
     util::Rng placement_rng(util::stream_seed(config.seed, kStreamPlacement, shard));
     const std::size_t first = shard * kPlacementShardSize;
     const std::size_t last = std::min(probes.size(), first + kPlacementShardSize);
@@ -313,6 +331,7 @@ GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const Interne
       traffic.tags[i] = std::move(probe.tag);
     }
   });
+  obs::count(config.obs, "traffic/sessions_captured", traffic.sessions.size());
   return traffic;
 }
 

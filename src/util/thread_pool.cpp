@@ -5,11 +5,23 @@
 
 namespace cvewb::util {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  stats_.worker_idle_us.assign(threads, 0);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -22,26 +34,44 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 void ThreadPool::enqueue(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(Job{std::move(job), Clock::now()});
+    ++stats_.submitted;
+    stats_.queue_depth = queue_.size();
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, stats_.queue_depth);
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      const Clock::time_point idle_start = Clock::now();
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      stats_.worker_idle_us[worker_index] += elapsed_us(idle_start, Clock::now());
       // Drain before stopping: queued work always runs to completion.
       if (queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();
+      stats_.queue_depth = queue_.size();
+      stats_.task_wait_us += elapsed_us(job.enqueued, Clock::now());
     }
-    job();  // packaged_task: exceptions land in the future, never escape
+    const Clock::time_point run_start = Clock::now();
+    job.fn();  // packaged_task: exceptions land in the future, never escape
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.completed;
+      stats_.task_run_us += elapsed_us(run_start, Clock::now());
+    }
   }
 }
 

@@ -9,8 +9,10 @@
 // fans them out and rethrows the lowest-indexed shard failure.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -20,6 +22,29 @@
 #include <vector>
 
 namespace cvewb::util {
+
+/// Always-on execution statistics, maintained inside the pool's existing
+/// critical sections (a handful of counter updates per *task*, where a
+/// task is a multi-thousand-session shard -- unmeasurable next to the
+/// work).  Read a coherent copy with ThreadPool::stats(); the obs layer
+/// exports it as gauges/counters when observability is enabled.
+struct ThreadPoolStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::size_t queue_depth = 0;      // tasks enqueued but not yet picked up
+  std::size_t max_queue_depth = 0;  // high-water of queue_depth
+  std::uint64_t task_run_us = 0;    // total task execution time
+  std::uint64_t task_wait_us = 0;   // total enqueue -> dequeue latency
+  std::vector<std::uint64_t> worker_idle_us;  // per worker: time blocked waiting
+
+  /// Tasks submitted but not yet finished (queued + running).
+  std::uint64_t in_flight() const { return submitted - completed; }
+  std::uint64_t idle_us_total() const {
+    std::uint64_t total = 0;
+    for (const auto us : worker_idle_us) total += us;
+    return total;
+  }
+};
 
 class ThreadPool {
  public:
@@ -36,6 +61,9 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Coherent copy of the execution stats at this instant.
+  ThreadPoolStats stats() const;
+
   /// Queue a task; the future carries its result or exception.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
@@ -47,13 +75,19 @@ class ThreadPool {
   }
 
  private:
-  void enqueue(std::function<void()> job);
-  void worker_loop();
+  struct Job {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
 
-  std::mutex mutex_;
+  void enqueue(std::function<void()> job);
+  void worker_loop(std::size_t worker_index);
+
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   bool stopping_ = false;
+  ThreadPoolStats stats_;  // guarded by mutex_
   std::vector<std::thread> workers_;
 };
 

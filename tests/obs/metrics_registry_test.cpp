@@ -1,0 +1,193 @@
+// MetricsRegistry: merged totals must be exact under concurrency.
+//
+// The registry accumulates counters/histograms into per-thread slabs and
+// merges on snapshot(); these tests hammer it from many threads and
+// require the merged totals to equal the arithmetic truth -- no lost
+// updates, no double counting.  Compiled into both test_obs and the
+// tsan-labelled test_parallel so a ThreadSanitizer build checks the same
+// claims.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cvewb::obs {
+namespace {
+
+TEST(MetricsRegistry, DuplicateRegistrationReturnsSameId) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("a").index, registry.counter("a").index);
+  EXPECT_NE(registry.counter("a").index, registry.counter("b").index);
+  EXPECT_EQ(registry.gauge("g").index, registry.gauge("g").index);
+  EXPECT_EQ(registry.histogram("h").index, registry.histogram("h").index);
+  // Kinds have independent namespaces: a counter "a" does not collide
+  // with a gauge "a".
+  EXPECT_EQ(registry.gauge("a").index, 1u);
+}
+
+TEST(MetricsRegistry, CountersMergeExactlyAcrossThreads) {
+  MetricsRegistry registry;
+  const CounterId ones = registry.counter("ones");
+  const CounterId weighted = registry.counter("weighted");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncrements = 50'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, ones, weighted, t] {
+      for (std::uint64_t i = 0; i < kIncrements; ++i) {
+        registry.add(ones);
+        registry.add(weighted, static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("ones"), kThreads * kIncrements);
+  // sum over t of (t+1) * kIncrements = kIncrements * kThreads*(kThreads+1)/2
+  EXPECT_EQ(snapshot.counters.at("weighted"), kIncrements * kThreads * (kThreads + 1) / 2);
+}
+
+TEST(MetricsRegistry, HistogramsMergeExactlyAcrossThreads) {
+  MetricsRegistry registry;
+  const HistogramId latency = registry.histogram("latency");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kObservations = 20'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, latency] {
+      for (std::uint64_t i = 0; i < kObservations; ++i) registry.observe(latency, i % 1000);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto snapshot = registry.snapshot();
+  const auto& h = snapshot.histograms.at("latency");
+  EXPECT_EQ(h.count, kThreads * kObservations);
+  // Each thread observes 0..999 repeated kObservations/1000 times.
+  const std::uint64_t per_thread_sum = (999 * 1000 / 2) * (kObservations / 1000);
+  EXPECT_EQ(h.sum, kThreads * per_thread_sum);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 999u);
+  // Every observation lands in exactly one bucket.
+  std::uint64_t bucketed = 0;
+  for (const auto b : h.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, h.count);
+}
+
+TEST(MetricsRegistry, GaugeSetAddAndHighWater) {
+  MetricsRegistry registry;
+  const GaugeId depth = registry.gauge("depth");
+  registry.gauge_set(depth, 5);
+  registry.gauge_add(depth, 3);
+  registry.gauge_add(depth, -6);
+  auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.gauges.at("depth").value, 2);
+  EXPECT_EQ(snapshot.gauges.at("depth").max, 8);
+
+  registry.gauge_set(depth, -10);
+  snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.gauges.at("depth").value, -10);
+  EXPECT_EQ(snapshot.gauges.at("depth").max, 8);  // high-water is sticky
+}
+
+TEST(MetricsRegistry, GaugeHighWaterSurvivesConcurrentAdds) {
+  MetricsRegistry registry;
+  const GaugeId gauge = registry.gauge("seesaw");
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20'000;
+
+  // Each thread adds +1 then -1; value must come back to 0 and the
+  // high-water can never exceed the thread count.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, gauge] {
+      for (int i = 0; i < kRounds; ++i) {
+        registry.gauge_add(gauge, 1);
+        registry.gauge_add(gauge, -1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.gauges.at("seesaw").value, 0);
+  EXPECT_GE(snapshot.gauges.at("seesaw").max, 1);
+  EXPECT_LE(snapshot.gauges.at("seesaw").max, kThreads);
+}
+
+TEST(MetricsRegistry, BucketOfLog2Boundaries) {
+  EXPECT_EQ(MetricsRegistry::bucket_of(0), 0u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1), 1u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(2), 2u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(3), 2u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(4), 3u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1023), 10u);
+  EXPECT_EQ(MetricsRegistry::bucket_of(1024), 11u);
+  // Out-of-range values clamp into the last bucket.
+  EXPECT_EQ(MetricsRegistry::bucket_of(~0ULL), MetricsRegistry::kHistogramBuckets - 1);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationIsSafe) {
+  // Threads racing to register overlapping names must agree on ids and
+  // lose no increments.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 16;
+  constexpr int kIncrements = 2'000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.add(registry.counter("name_" + std::to_string(i % kNames)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), static_cast<std::size_t>(kNames));
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : snapshot.counters) total += value;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistry, TwoRegistriesDoNotShareSlabs) {
+  // The thread-local slab cache is keyed by registry id; a second registry
+  // on the same thread must start from zero, and a registry created after
+  // another died must not inherit its slab.
+  auto first = std::make_unique<MetricsRegistry>();
+  first->add(first->counter("x"), 7);
+  MetricsRegistry second;
+  second.add(second.counter("x"), 1);
+  EXPECT_EQ(first->snapshot().counters.at("x"), 7u);
+  EXPECT_EQ(second.snapshot().counters.at("x"), 1u);
+  first.reset();
+  MetricsRegistry third;
+  third.add(third.counter("x"), 2);
+  EXPECT_EQ(third.snapshot().counters.at("x"), 2u);
+}
+
+TEST(MetricsRegistry, CapacityExhaustionThrows) {
+  MetricsRegistry registry;
+  for (std::size_t i = 0; i < MetricsRegistry::kMaxHistograms; ++i) {
+    registry.histogram("h" + std::to_string(i));
+  }
+  EXPECT_THROW(registry.histogram("one_too_many"), std::length_error);
+}
+
+}  // namespace
+}  // namespace cvewb::obs

@@ -1,0 +1,91 @@
+// Golden determinism with observability on: attaching a tracing/metrics
+// sink to run_study must change *only* wall-clock -- the StudyResult has
+// to stay byte-identical to an unobserved run, at any thread count.  This
+// is the proof obligation behind StudyConfig.observability's "strict
+// side-channel" contract (DESIGN.md, "Observability").
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/observability.h"
+#include "pipeline/study.h"
+#include "util/sha256.h"
+
+#include "../support/study_serialize.h"
+
+namespace cvewb::pipeline {
+namespace {
+
+using test_support::serialize_study;
+
+StudyConfig small_config(std::uint64_t seed, int threads) {
+  StudyConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  config.event_scale = 0.03;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  // Keep the fault injector in the loop: it is one of the instrumented
+  // stages and the most RNG-sensitive one.
+  config.faults.blackout_count = 2;
+  config.faults.blackout_duration = util::Duration::hours(12);
+  config.faults.session_loss_rate = 0.03;
+  config.faults.snaplen = 300;
+  config.faults.corruption_rate = 0.02;
+  config.faults.duplication_rate = 0.04;
+  config.faults.reorder_rate = 0.05;
+  config.faults.clock_skew_max = util::Duration::minutes(10);
+  config.faults.lanes = 10;
+  return config;
+}
+
+class ObsDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+void expect_observed_run_matches(std::uint64_t seed, int threads) {
+  const std::string plain = serialize_study(run_study(small_config(seed, threads)));
+
+  obs::Observability observability;
+  StudyConfig observed_config = small_config(seed, threads);
+  observed_config.observability = &observability;
+  const std::string observed = serialize_study(run_study(observed_config));
+
+  // Digest comparison first for a readable failure, then the full bytes.
+  ASSERT_EQ(util::sha256_hex(plain), util::sha256_hex(observed))
+      << "threads=" << threads << " seed=" << seed;
+  ASSERT_EQ(plain, observed);
+
+  // The equality only proves something if the instrumentation actually
+  // fired: require trace spans and a populated registry.
+  EXPECT_GT(observability.tracer.event_count(), 0u);
+  const auto snapshot = observability.metrics.snapshot();
+  EXPECT_FALSE(snapshot.counters.empty());
+  EXPECT_NE(snapshot.counters.find("phase_us/reconstruct"), snapshot.counters.end());
+}
+
+TEST_P(ObsDeterminism, SerialRunIsByteIdenticalWithObservability) {
+  expect_observed_run_matches(GetParam(), 1);
+}
+
+TEST_P(ObsDeterminism, ParallelRunIsByteIdenticalWithObservability) {
+  expect_observed_run_matches(GetParam(), 4);
+}
+
+TEST_P(ObsDeterminism, ObservedParallelAgreesWithUnobservedSerial) {
+  // The strongest form: serial-unobserved vs parallel-observed, crossing
+  // both axes the contract quantifies over.
+  const std::string reference = serialize_study(run_study(small_config(GetParam(), 1)));
+  obs::Observability observability;
+  StudyConfig config = small_config(GetParam(), 4);
+  config.observability = &observability;
+  const std::string observed = serialize_study(run_study(config));
+  ASSERT_EQ(util::sha256_hex(reference), util::sha256_hex(observed));
+  ASSERT_EQ(reference, observed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObsDeterminism, ::testing::Values(11ULL, 5081ULL, 900913ULL),
+                         [](const auto& info) { return "seed_" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace cvewb::pipeline

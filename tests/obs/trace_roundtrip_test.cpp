@@ -1,0 +1,198 @@
+// Trace-event JSON round trip: whatever the Tracer emits must parse back
+// with util::json and carry every field the Chrome trace viewers require
+// (name, ph, ts, dur, pid, tid), with non-negative monotone-consistent
+// durations and proper span nesting per thread.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/observability.h"
+#include "obs/trace.h"
+#include "pipeline/study.h"
+#include "util/json.h"
+
+namespace cvewb::obs {
+namespace {
+
+struct ParsedEvent {
+  std::string name;
+  double ts = 0;
+  double dur = 0;
+  double tid = 0;
+};
+
+/// Dump -> parse -> extract, asserting the required fields on the way.
+std::vector<ParsedEvent> roundtrip(const Tracer& tracer) {
+  std::string error;
+  const auto doc = util::parse_json(tracer.to_json().dump(2), error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  if (!doc) return {};
+  const util::Json* events = doc->find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events == nullptr) return {};
+  const util::Json* unit = doc->find("displayTimeUnit");
+  EXPECT_NE(unit, nullptr);
+
+  std::vector<ParsedEvent> out;
+  for (const auto& event : events->as_array()) {
+    const util::Json* name = event.find("name");
+    const util::Json* ph = event.find("ph");
+    const util::Json* ts = event.find("ts");
+    const util::Json* dur = event.find("dur");
+    const util::Json* pid = event.find("pid");
+    const util::Json* tid = event.find("tid");
+    EXPECT_NE(name, nullptr) << "event missing name";
+    EXPECT_NE(ph, nullptr);
+    EXPECT_NE(ts, nullptr);
+    EXPECT_NE(dur, nullptr);
+    EXPECT_NE(pid, nullptr);
+    EXPECT_NE(tid, nullptr);
+    if (name == nullptr || ph == nullptr || ts == nullptr || dur == nullptr || pid == nullptr ||
+        tid == nullptr) {
+      return {};
+    }
+    EXPECT_FALSE(name->as_string().empty());
+    EXPECT_EQ(ph->as_string(), "X");  // complete events only
+    EXPECT_GE(ts->as_number(), 0.0);
+    EXPECT_GE(dur->as_number(), 0.0);
+    out.push_back(ParsedEvent{name->as_string(), ts->as_number(), dur->as_number(),
+                              tid->as_number()});
+  }
+  return out;
+}
+
+const ParsedEvent* find_event(const std::vector<ParsedEvent>& events, const std::string& name) {
+  const auto it = std::find_if(events.begin(), events.end(),
+                               [&name](const ParsedEvent& e) { return e.name == name; });
+  return it == events.end() ? nullptr : &*it;
+}
+
+TEST(TraceRoundtrip, NestedSpansParseWithRequiredFields) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer");
+    {
+      Span inner(&tracer, "inner");
+    }
+    Span sibling(&tracer, "sibling");
+  }
+  const auto events = roundtrip(tracer);
+  ASSERT_EQ(events.size(), 3u);
+
+  const ParsedEvent* outer = find_event(events, "outer");
+  const ParsedEvent* inner = find_event(events, "inner");
+  const ParsedEvent* sibling = find_event(events, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  // All on the recording thread.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_EQ(outer->tid, sibling->tid);
+
+  // The inner span is contained in the outer one; the sibling does not
+  // start before the inner one ends.
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+  EXPECT_GE(sibling->ts, inner->ts + inner->dur);
+  EXPECT_LE(sibling->ts + sibling->dur, outer->ts + outer->dur);
+}
+
+TEST(TraceRoundtrip, PerThreadNestingIsWellFormed) {
+  // Several threads each record a nested stack of spans; within every tid
+  // the events must form a proper forest: sorted by start time, each span
+  // either contains the next or ends before it starts (no partial
+  // overlap).
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < 5; ++i) {
+        Span outer(&tracer, "outer_" + std::to_string(t));
+        Span inner(&tracer, "inner_" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto events = roundtrip(tracer);
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 10);
+
+  std::map<double, std::vector<ParsedEvent>> by_tid;
+  for (const auto& event : events) by_tid[event.tid].push_back(event);
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+
+  for (auto& [tid, tid_events] : by_tid) {
+    ASSERT_EQ(tid_events.size(), 10u);
+    std::sort(tid_events.begin(), tid_events.end(),
+              [](const ParsedEvent& a, const ParsedEvent& b) {
+                return a.ts != b.ts ? a.ts < b.ts : a.dur > b.dur;
+              });
+    std::vector<const ParsedEvent*> stack;
+    for (const auto& event : tid_events) {
+      while (!stack.empty() && stack.back()->ts + stack.back()->dur <= event.ts) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        // Still-open ancestor: the child must be fully contained.
+        EXPECT_LE(event.ts + event.dur, stack.back()->ts + stack.back()->dur)
+            << "partial overlap in tid " << tid;
+      }
+      stack.push_back(&event);
+    }
+  }
+}
+
+TEST(TraceRoundtrip, EventsAccessorAgreesWithJson) {
+  Tracer tracer;
+  { Span span(&tracer, "only"); }
+  ASSERT_EQ(tracer.event_count(), 1u);
+  const auto raw = tracer.events();
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0].name, "only");
+
+  const auto parsed = roundtrip(tracer);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, raw[0].name);
+  EXPECT_EQ(static_cast<std::uint64_t>(parsed[0].ts), raw[0].ts_us);
+  EXPECT_EQ(static_cast<std::uint64_t>(parsed[0].dur), raw[0].dur_us);
+}
+
+TEST(TraceRoundtrip, InstrumentedStudyEmitsPhaseSpans) {
+  Observability observability;
+  pipeline::StudyConfig config;
+  config.seed = 7;
+  config.event_scale = 0.01;
+  config.background_per_day = 2.0;
+  config.credstuff_per_day = 0.5;
+  config.telescope_lanes = 5;
+  config.pool_size = 20000;
+  config.threads = 2;
+  config.observability = &observability;
+  (void)pipeline::run_study(config);
+
+  const auto events = roundtrip(observability.tracer);
+  ASSERT_FALSE(events.empty());
+  for (const char* phase : {"phase/telescope", "phase/traffic", "phase/ruleset",
+                            "phase/reconstruct", "phase/analyze", "phase/unique_ips"}) {
+    EXPECT_NE(find_event(events, phase), nullptr) << "missing " << phase;
+  }
+  // Worker-thread spans exist and run on tids other than the main one.
+  const ParsedEvent* shard = find_event(events, "ids/match_batch");
+  ASSERT_NE(shard, nullptr);
+  const ParsedEvent* main_phase = find_event(events, "phase/traffic");
+  ASSERT_NE(main_phase, nullptr);
+  bool worker_tid_seen = false;
+  for (const auto& event : events) worker_tid_seen |= event.tid != main_phase->tid;
+  EXPECT_TRUE(worker_tid_seen);
+}
+
+}  // namespace
+}  // namespace cvewb::obs

@@ -6,96 +6,17 @@
 // sharded engine's contract (DESIGN.md, "Sharding & determinism").
 #include <gtest/gtest.h>
 
-#include <sstream>
 #include <string>
 
 #include "pipeline/study.h"
 #include "util/sha256.h"
 
+#include "../support/study_serialize.h"
+
 namespace cvewb::pipeline {
 namespace {
 
-void put_time(std::ostringstream& out, util::TimePoint t) { out << t.unix_seconds() << ' '; }
-
-/// Exact byte serialization of everything the study reports.  Doubles are
-/// written as hexfloat so equality means bit-equality.
-std::string serialize_study(const StudyResult& r) {
-  std::ostringstream out;
-  out << std::hexfloat;
-
-  out << "sessions " << r.traffic.sessions.size() << '\n';
-  for (const auto& s : r.traffic.sessions) {
-    out << s.id << ' ';
-    put_time(out, s.open_time);
-    out << s.src.value() << ' ' << s.dst.value() << ' ' << s.src_port << ' ' << s.dst_port << ' '
-        << s.payload.size() << ':' << s.payload << '\n';
-  }
-  out << "tags " << r.traffic.tags.size() << '\n';
-  for (const auto& tag : r.traffic.tags) {
-    out << static_cast<int>(tag.kind) << ' ' << tag.cve_id << ' ' << tag.sid << '\n';
-  }
-
-  out << "fault_log " << r.fault_log.sessions_in << ' ' << r.fault_log.sessions_out << '\n';
-  for (const auto count : r.fault_log.counts) out << count << ' ';
-  out << '\n';
-  for (const auto& record : r.fault_log.records) {
-    out << static_cast<int>(record.kind) << ' ' << record.session_id << ' ' << record.detail
-        << '\n';
-  }
-  for (const auto& w : r.fault_log.blackouts) {
-    out << w.lane << ' ';
-    put_time(out, w.begin);
-    put_time(out, w.end);
-    out << '\n';
-  }
-
-  const auto& rec = r.reconstruction;
-  out << "reconstruction " << rec.sessions_scanned << ' ' << rec.sessions_matched << '\n';
-  out << rec.quality.sessions_in << ' ' << rec.quality.duplicates_removed << ' '
-      << rec.quality.timestamps_clamped << ' ' << rec.quality.empty_payloads << ' '
-      << rec.quality.non_http_payloads << ' ' << rec.quality.truncated_http << ' '
-      << rec.quality.match_errors << '\n';
-  for (const auto& verdict : rec.rca.verdicts) {
-    out << verdict.cve_id << ' ' << (verdict.kept ? 1 : 0) << '\n';
-  }
-  for (const auto& [cve_id, cve] : rec.per_cve) {
-    out << cve_id << ' ' << cve.exploit_events << ' ' << cve.untargeted_sessions << ' ';
-    put_time(out, cve.first_attack);
-    out << '\n';
-  }
-  for (const auto& event : rec.events) {
-    out << event.cve_id << ' ';
-    put_time(out, event.time);
-    out << '\n';
-  }
-  for (const auto& tl : rec.timelines) {
-    out << tl.cve_id();
-    for (const auto event : lifecycle::kAllEvents) {
-      out << ' ';
-      if (const auto t = tl.at(event)) {
-        out << t->unix_seconds();
-      } else {
-        out << '-';
-      }
-    }
-    out << '\n';
-  }
-
-  for (const auto* table : {&r.table4, &r.table5}) {
-    out << "table\n";
-    for (const auto& row : table->rows) {
-      out << row.desideratum << ' ' << row.satisfied << ' ' << row.baseline << ' ' << row.skill
-          << ' ' << row.evaluated << '\n';
-    }
-  }
-  out << "exposure\n";
-  for (const double d : r.exposure.mitigated_days) out << d << ' ';
-  out << '\n';
-  for (const double d : r.exposure.unmitigated_days) out << d << ' ';
-  out << '\n';
-  out << "unique " << r.unique_telescope_ips << ' ' << r.unique_source_ips << '\n';
-  return out.str();
-}
+using test_support::serialize_study;
 
 StudyConfig small_config(std::uint64_t seed, int threads, bool with_faults) {
   StudyConfig config;

@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace cvewb::util {
@@ -96,6 +100,115 @@ TEST(ThreadPool, ShardCount) {
   EXPECT_EQ(shard_count(100, 100), 1u);
   EXPECT_EQ(shard_count(101, 100), 2u);
   EXPECT_EQ(shard_count(5, 0), 1u);  // degenerate per-shard size
+}
+
+// Gate that lets a test hold worker threads hostage at a known point and
+// release them deterministically.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  int waiting = 0;
+
+  void wait_open() {
+    std::unique_lock lock(mutex);
+    ++waiting;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+  void wait_for_waiters(int n) {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this, n] { return waiting >= n; });
+  }
+  void release() {
+    std::unique_lock lock(mutex);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+// The completed/task_run_us updates land just *after* a task's future
+// resolves (the worker re-locks to record them), so tests spin briefly for
+// the counters to catch up instead of asserting immediately.
+ThreadPoolStats wait_for_completed(const ThreadPool& pool, std::uint64_t n) {
+  ThreadPoolStats stats = pool.stats();
+  while (stats.completed < n) {
+    std::this_thread::yield();
+    stats = pool.stats();
+  }
+  return stats;
+}
+
+TEST(ThreadPoolStats, QueueDepthTracksSubmittedMinusStarted) {
+  Gate gate;
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    // Two tasks occupy both workers; three more sit in the queue.
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(pool.submit([&gate] { gate.wait_open(); }));
+    }
+    gate.wait_for_waiters(2);  // both workers parked inside a task
+
+    const ThreadPoolStats blocked = pool.stats();
+    EXPECT_EQ(blocked.submitted, 5u);
+    EXPECT_EQ(blocked.completed, 0u);
+    EXPECT_EQ(blocked.in_flight(), 5u);
+    // Reported depth is exactly submitted minus completed minus the two
+    // running tasks.
+    EXPECT_EQ(blocked.queue_depth, 3u);
+    EXPECT_GE(blocked.max_queue_depth, 3u);
+    EXPECT_LE(blocked.max_queue_depth, 5u);
+    EXPECT_EQ(blocked.worker_idle_us.size(), 2u);
+
+    gate.release();
+    for (auto& future : futures) future.get();
+
+    const ThreadPoolStats drained = wait_for_completed(pool, 5);
+    EXPECT_EQ(drained.submitted, 5u);
+    EXPECT_EQ(drained.completed, 5u);
+    EXPECT_EQ(drained.in_flight(), 0u);
+    EXPECT_EQ(drained.queue_depth, 0u);
+    EXPECT_GE(drained.max_queue_depth, 3u);
+  }
+}
+
+TEST(ThreadPoolStats, IdleAndRunTimeAccumulate) {
+  ThreadPool pool(2);
+  // Let the workers idle a moment, then give them measurable work.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(
+        pool.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }));
+  }
+  for (auto& future : futures) future.get();
+
+  const ThreadPoolStats stats = wait_for_completed(pool, 4);
+  EXPECT_EQ(stats.completed, 4u);
+  // 4 tasks x ~5 ms each; generous lower bound to stay robust on loaded
+  // CI machines.
+  EXPECT_GE(stats.task_run_us, 4u * 3000u);
+  // Both workers idled through the initial 20 ms sleep.
+  EXPECT_GE(stats.idle_us_total(), 2u * 10000u);
+  ASSERT_EQ(stats.worker_idle_us.size(), 2u);
+  for (const auto idle : stats.worker_idle_us) EXPECT_GT(idle, 0u);
+}
+
+TEST(ThreadPoolStats, WaitTimeCountsQueueLatency) {
+  Gate gate;
+  ThreadPool pool(1);
+  auto blocker = pool.submit([&gate] { gate.wait_open(); });
+  gate.wait_for_waiters(1);
+  // This task must sit in the queue while the blocker holds the worker.
+  auto queued = pool.submit([] {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  gate.release();
+  blocker.get();
+  queued.get();
+  const ThreadPoolStats stats = wait_for_completed(pool, 2);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_GE(stats.task_wait_us, 5000u);  // the queued task waited ~10 ms
 }
 
 // Stress loop: rapid create/submit/destroy cycles.  Mostly interesting

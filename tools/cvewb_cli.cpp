@@ -7,15 +7,25 @@
 //   cvewb pcap <file> [--seed N] [--scale F]
 //                                         write a capture archive to <file>
 //   cvewb lifecycle <CVE-id>              print one CVE's lifecycle timeline
+//   cvewb trace-verify <file>             validate an emitted trace.json
+//
+// Observability (study / export): --trace-out FILE writes a Chrome
+// trace-event JSON (load in chrome://tracing or Perfetto), --metrics-out
+// FILE writes the counter/gauge/histogram registry plus a memory sample.
+// Both are side-channels: the study's outputs are byte-identical with or
+// without them.  --threads N forwards to StudyConfig.threads.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "ids/rule_gen.h"
 #include "data/cve_table_io.h"
 #include "lifecycle/markov.h"
 #include "net/pcap.h"
+#include "obs/observability.h"
 #include "pipeline/study.h"
 #include "report/disclosure_artifact.h"
 #include "report/export.h"
@@ -28,6 +38,9 @@ using namespace cvewb;
 struct Options {
   std::uint64_t seed = 2023;
   double scale = 0.1;
+  int threads = 0;
+  std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> positional;
 };
 
@@ -39,6 +52,12 @@ Options parse_options(int argc, char** argv) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--scale" && i + 1 < argc) {
       options.scale = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      options.trace_out = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      options.metrics_out = argv[++i];
     } else {
       options.positional.push_back(arg);
     }
@@ -50,11 +69,43 @@ pipeline::StudyConfig study_config(const Options& options) {
   pipeline::StudyConfig config;
   config.seed = options.seed;
   config.event_scale = options.scale;
+  config.threads = options.threads;
   return config;
 }
 
+/// Observability bundle for commands that run the study: engaged when the
+/// user asked for either output file.
+std::unique_ptr<obs::Observability> make_observability(const Options& options) {
+  if (options.trace_out.empty() && options.metrics_out.empty()) return nullptr;
+  return std::make_unique<obs::Observability>();
+}
+
+/// Write the requested trace/metrics files; false (with stderr noise) if
+/// any of them cannot be written.
+bool write_observability(const obs::Observability* observability, const Options& options) {
+  if (observability == nullptr) return true;
+  bool ok = true;
+  const auto write_file = [&ok](const std::string& path, const util::Json& doc) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << "\n";
+      ok = false;
+      return;
+    }
+    out << doc.dump(2) << "\n";
+    std::cerr << "wrote " << path << "\n";
+  };
+  write_file(options.trace_out, observability->tracer.to_json());
+  write_file(options.metrics_out, observability->to_json());
+  return ok;
+}
+
 int cmd_study(const Options& options) {
-  const auto result = pipeline::run_study(study_config(options));
+  auto observability = make_observability(options);
+  pipeline::StudyConfig config = study_config(options);
+  config.observability = observability.get();
+  const auto result = pipeline::run_study(config);
   std::cout << "sessions: " << result.traffic.sessions.size()
             << ", matched: " << result.reconstruction.sessions_matched
             << ", CVEs: " << result.reconstruction.timelines.size() << "\n\n";
@@ -66,6 +117,7 @@ int cmd_study(const Options& options) {
                                           &report::paper_table5_skill());
   std::cout << "\nmitigated exposure: "
             << report::fmt(result.exposure.mitigated_fraction() * 100, 1) << "%\n";
+  if (!write_observability(observability.get(), options)) return 1;
   return 0;
 }
 
@@ -125,9 +177,74 @@ int cmd_export(const Options& options) {
     std::cerr << "usage: cvewb export <directory> [--seed N] [--scale F]\n";
     return 2;
   }
-  const auto result = pipeline::run_study(study_config(options));
+  auto observability = make_observability(options);
+  pipeline::StudyConfig config = study_config(options);
+  config.observability = observability.get();
+  const auto result = pipeline::run_study(config);
   const auto written = report::export_study(options.positional[0], result);
   for (const auto& path : written) std::cout << "wrote " << path.string() << "\n";
+  if (!write_observability(observability.get(), options)) return 1;
+  return 0;
+}
+
+/// Structural validation of an emitted trace file: parseable JSON, a
+/// non-empty `traceEvents` array, and every event carrying the fields the
+/// Chrome trace-event viewers require.  Exits nonzero (with a diagnostic
+/// naming the first offending event) on any violation, so CI smoke tests
+/// can gate on it.
+int cmd_trace_verify(const Options& options) {
+  if (options.positional.empty()) {
+    std::cerr << "usage: cvewb trace-verify <trace.json>\n";
+    return 2;
+  }
+  const std::string& path = options.positional[0];
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  const auto doc = util::parse_json(buffer.str(), parse_error);
+  if (!doc) {
+    std::cerr << path << ": not valid JSON: " << parse_error << "\n";
+    return 1;
+  }
+  const util::Json* events = doc->find("traceEvents");
+  if (events == nullptr) {
+    std::cerr << path << ": missing traceEvents\n";
+    return 1;
+  }
+  if (events->type() != util::Json::Type::kArray || events->as_array().empty()) {
+    std::cerr << path << ": traceEvents is empty\n";
+    return 1;
+  }
+  const auto fail = [&path](std::size_t i, const char* what) {
+    std::cerr << path << ": traceEvents[" << i << "]: " << what << "\n";
+    return 1;
+  };
+  const auto is_string = [](const util::Json* v) {
+    return v != nullptr && v->type() == util::Json::Type::kString;
+  };
+  const auto is_number = [](const util::Json* v) {
+    return v != nullptr && v->type() == util::Json::Type::kNumber;
+  };
+  const util::JsonArray& array = events->as_array();
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const util::Json& event = array[i];
+    if (event.type() != util::Json::Type::kObject) return fail(i, "not an object");
+    const util::Json* name = event.find("name");
+    if (!is_string(name) || name->as_string().empty()) return fail(i, "missing or empty name");
+    const util::Json* ph = event.find("ph");
+    if (!is_string(ph) || ph->as_string() != "X") return fail(i, "ph is not \"X\"");
+    const util::Json* ts = event.find("ts");
+    if (!is_number(ts) || ts->as_number() < 0) return fail(i, "missing or negative ts");
+    const util::Json* dur = event.find("dur");
+    if (!is_number(dur) || dur->as_number() < 0) return fail(i, "missing or negative dur");
+    if (!is_number(event.find("tid"))) return fail(i, "missing tid");
+  }
+  std::cout << path << ": ok (" << array.size() << " events)\n";
   return 0;
 }
 
@@ -155,15 +272,18 @@ int cmd_lifecycle(const Options& options) {
 }
 
 void usage() {
-  std::cerr << "usage: cvewb <study|rules|baselines|artifacts|pcap|export|dataset|lifecycle> [options]\n"
-               "  study      run the end-to-end study (--seed, --scale)\n"
+  std::cerr << "usage: cvewb <study|rules|baselines|artifacts|pcap|export|dataset|lifecycle|trace-verify> [options]\n"
+               "  study      run the end-to-end study (--seed, --scale, --threads,\n"
+               "             --trace-out FILE, --metrics-out FILE)\n"
                "  rules      print the synthetic Snort-subset study ruleset\n"
                "  baselines  print the CERT Markov baseline probabilities\n"
                "  artifacts  emit machine-readable disclosure artifacts (JSON)\n"
                "  pcap FILE  generate a capture archive (--seed, --scale)\n"
                "  export DIR write tables/figures/artifacts to a directory\n"
+               "             (also accepts --trace-out / --metrics-out)\n"
                "  dataset    dump the studied-CVE table as CSV\n"
-               "  lifecycle CVE-YYYY-NNNN  print one studied CVE's timeline\n";
+               "  lifecycle CVE-YYYY-NNNN  print one studied CVE's timeline\n"
+               "  trace-verify FILE  validate an emitted Chrome trace-event file\n";
 }
 
 }  // namespace
@@ -183,6 +303,7 @@ int main(int argc, char** argv) {
   if (command == "export") return cmd_export(options);
   if (command == "dataset") return cmd_dataset();
   if (command == "lifecycle") return cmd_lifecycle(options);
+  if (command == "trace-verify") return cmd_trace_verify(options);
   usage();
   return 2;
 }
