@@ -4,22 +4,26 @@
 // threads=1 serial reference path.  Results are also written to
 // BENCH_parallel.json (pass a path as argv[1] to redirect).
 //
-// Each thread count is run twice -- plain, then with an obs::Observability
-// attached -- which measures the instrumentation overhead (budget: < 5%)
-// and yields a per-stage wall-clock breakdown from the "phase_us/<name>"
-// counters.  The outputs of every run must agree, proving both the
-// thread-count and the observability determinism contracts at bench scale.
+// Each thread count is run three times -- plain, with an obs::Observability
+// attached (instrumentation overhead, budget: < 5%), and against a fully
+// warm stage cache (the warm-cache column; acceptance: >= 2x over the
+// plain leg, since traffic synthesis and reconstruction are served from
+// disk).  The outputs of every run must agree, proving the thread-count,
+// observability, and cache-equivalence determinism contracts at bench
+// scale.
 //
 // Set CVEWB_SCALE to down-sample; the acceptance target (>= 3x at 8
 // threads, event_scale=1.0) assumes >= 8 physical cores -- on fewer cores
 // the table documents whatever the host can do, and the cross-run
 // agreement check still proves the outputs identical.
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <thread>
 
+#include "cache/store.h"
 #include "common.h"
 #include "obs/observability.h"
 #include "util/json.h"
@@ -32,9 +36,10 @@ constexpr const char* kPhases[] = {"telescope", "traffic",  "faults",    "rulese
                                    "reconstruct", "analyze", "unique_ips"};
 
 double run_once(pipeline::StudyConfig config, int threads, obs::Observability* observability,
-                std::size_t& events_out, double& skill_out) {
+                std::size_t& events_out, double& skill_out, const std::string& cache_dir = "") {
   config.threads = threads;
   config.observability = observability;
+  config.cache_dir = cache_dir;
   const auto start = std::chrono::steady_clock::now();
   const pipeline::StudyResult result = pipeline::run_study(config);
   const auto stop = std::chrono::steady_clock::now();
@@ -58,7 +63,7 @@ int main(int argc, char** argv) {
   bench::header("Parallel study engine: run_study wall-clock vs threads");
   std::cout << "event_scale=" << config.event_scale
             << "  hardware_concurrency=" << std::thread::hardware_concurrency() << "\n\n";
-  std::cout << "  threads    seconds    speedup   observed    overhead\n";
+  std::cout << "  threads    seconds    speedup   observed    overhead       warm   warm_spd\n";
 
   // Warm-up run (discarded): the first study pays allocator growth and
   // page faults that would otherwise be charged to the threads=1 row and
@@ -69,6 +74,18 @@ int main(int argc, char** argv) {
     (void)run_once(config, 1, nullptr, events, skill);
   }
 
+  // Populate the stage cache once (the cold leg).  Stage keys deliberately
+  // exclude the thread count, so this single populate serves the warm leg
+  // of every row below.
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "cvewb_bench_parallel_cache";
+  std::filesystem::remove_all(cache_dir);
+  double cold_populate_seconds = 0;
+  std::size_t cold_events = 0;
+  double cold_skill = 0;
+  cold_populate_seconds = run_once(config, 1, nullptr, cold_events, cold_skill,
+                                   cache_dir.string());
+
   util::Json runs{util::JsonArray{}};
   double serial_seconds = 0;
   std::size_t serial_events = 0;
@@ -77,6 +94,7 @@ int main(int argc, char** argv) {
   for (const int threads : {1, 2, 4, 8}) {
     double seconds = 0;
     double observed_seconds = 0;
+    double warm_seconds = 0;
     std::size_t events = 0;
     double skill = 0;
     obs::MetricsSnapshot snapshot;
@@ -109,16 +127,30 @@ int main(int argc, char** argv) {
         snapshot = observability.metrics.snapshot();
         trace_events = observability.tracer.event_count();
       }
+
+      // Warm-cache leg: every stage served from the populated cache.  The
+      // output must match the recomputed runs exactly (the golden cache
+      // test proves this at test scale; the bench re-checks at bench
+      // scale).
+      std::size_t warm_events = 0;
+      double warm_skill = 0;
+      const double warm_repeat = run_once(config, threads, nullptr, warm_events, warm_skill,
+                                          cache_dir.string());
+      if (warm_events != serial_events || warm_skill != serial_skill) outputs_agree = false;
+      if (i == 0 || warm_repeat < warm_seconds) warm_seconds = warm_repeat;
     }
     if (threads == 1) serial_seconds = seconds;
     const double overhead_pct =
         seconds > 0 ? (observed_seconds - seconds) / seconds * 100.0 : 0.0;
 
     const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
+    const double warm_speedup = warm_seconds > 0 ? seconds / warm_seconds : 0;
     std::cout << "  " << std::setw(7) << threads << std::fixed << std::setprecision(3)
               << std::setw(11) << seconds << std::setprecision(2) << std::setw(10) << speedup
               << "x" << std::setprecision(3) << std::setw(11) << observed_seconds
-              << std::setprecision(1) << std::setw(10) << overhead_pct << "%\n";
+              << std::setprecision(1) << std::setw(10) << overhead_pct << "%"
+              << std::setprecision(3) << std::setw(11) << warm_seconds << std::setprecision(2)
+              << std::setw(10) << warm_speedup << "x\n";
 
     util::Json stages{util::JsonObject{}};
     for (const char* phase : kPhases) {
@@ -134,11 +166,14 @@ int main(int argc, char** argv) {
     row.set("speedup", speedup);
     row.set("seconds_observed", observed_seconds);
     row.set("overhead_pct", overhead_pct);
+    row.set("seconds_warm_cache", warm_seconds);
+    row.set("warm_cache_speedup", warm_speedup);
     row.set("trace_events", static_cast<std::int64_t>(trace_events));
     row.set("stages", std::move(stages));
     runs.push_back(std::move(row));
   }
-  std::cout << "\n  outputs identical across thread counts and with observability: "
+  if (cold_events != serial_events || cold_skill != serial_skill) outputs_agree = false;
+  std::cout << "\n  outputs identical across thread counts, with observability, and from cache: "
             << (outputs_agree ? "yes" : "NO -- DETERMINISM BUG") << "\n";
 
   util::Json doc;
@@ -147,7 +182,14 @@ int main(int argc, char** argv) {
   doc.set("event_scale", config.event_scale);
   doc.set("hardware_concurrency", static_cast<int>(std::thread::hardware_concurrency()));
   doc.set("outputs_agree", outputs_agree);
+  const cache::CacheDirStat cache_stat = cache::CacheStore::stat_dir(cache_dir);
+  util::Json cache_doc{util::JsonObject{}};
+  cache_doc.set("cold_populate_seconds", cold_populate_seconds);
+  cache_doc.set("entries", static_cast<std::int64_t>(cache_stat.entries));
+  cache_doc.set("payload_bytes", static_cast<std::int64_t>(cache_stat.payload_bytes));
+  doc.set("cache", std::move(cache_doc));
   doc.set("runs", std::move(runs));
+  std::filesystem::remove_all(cache_dir);
   std::ofstream out(out_path);
   out << doc.dump(2) << "\n";
   std::cout << "  wrote " << out_path << "\n";

@@ -1,0 +1,135 @@
+#include "cache/key.h"
+
+#include <cstring>
+
+namespace cvewb::cache {
+
+namespace {
+
+/// The fault-injection seed derivation used by run_study; keyed (rather
+/// than the raw config seed) so the key mirrors what the stage consumes.
+std::uint64_t fault_seed(const pipeline::StudyConfig& config) {
+  return config.seed ^ 0xFA017ULL;
+}
+
+void hash_window(KeyHasher& hasher, std::string_view name,
+                 const std::optional<util::TimePoint>& t) {
+  hasher.field(name, t.has_value());
+  hasher.field(name, t ? t->unix_seconds() : std::int64_t{0});
+}
+
+/// The shared (hygiene + matching) slice of ReconstructOptions: everything
+/// that shapes the cleaned corpus or the per-session match outcome.
+void hash_match_inputs(KeyHasher& hasher, const pipeline::ReconstructOptions& options,
+                       std::string_view upstream_digest, std::string_view ruleset_digest) {
+  hasher.field("upstream", upstream_digest);
+  hasher.field("ruleset", ruleset_digest);
+  hasher.field("port_insensitive", options.port_insensitive);
+  hasher.field("dedup", options.dedup);
+  hash_window(hasher, "window_begin", options.window_begin);
+  hash_window(hasher, "window_end", options.window_end);
+}
+
+}  // namespace
+
+KeyHasher::KeyHasher(std::string_view stage) {
+  std::uint8_t version[4];
+  for (int i = 0; i < 4; ++i) {
+    version[i] = static_cast<std::uint8_t>((kCacheSchemaVersion >> (8 * i)) & 0xFF);
+  }
+  sha_.update(version, sizeof version);
+  tag('S', stage);
+}
+
+void KeyHasher::tag(char type_tag, std::string_view name) {
+  sha_.update(&type_tag, 1);
+  const std::uint64_t len = name.size();
+  sha_.update(&len, sizeof len);
+  sha_.update(name);
+}
+
+KeyHasher& KeyHasher::field(std::string_view name, std::uint64_t value) {
+  tag('u', name);
+  sha_.update(&value, sizeof value);
+  return *this;
+}
+
+KeyHasher& KeyHasher::field(std::string_view name, std::int64_t value) {
+  tag('i', name);
+  sha_.update(&value, sizeof value);
+  return *this;
+}
+
+KeyHasher& KeyHasher::field(std::string_view name, double value) {
+  tag('d', name);
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  sha_.update(&bits, sizeof bits);
+  return *this;
+}
+
+KeyHasher& KeyHasher::field(std::string_view name, bool value) {
+  tag('b', name);
+  const std::uint8_t byte = value ? 1 : 0;
+  sha_.update(&byte, 1);
+  return *this;
+}
+
+KeyHasher& KeyHasher::field(std::string_view name, std::string_view value) {
+  tag('s', name);
+  const std::uint64_t len = value.size();
+  sha_.update(&len, sizeof len);
+  sha_.update(value);
+  return *this;
+}
+
+std::string KeyHasher::hex() { return sha_.hex_digest(); }
+
+std::string traffic_stage_key(const pipeline::StudyConfig& config) {
+  KeyHasher hasher("traffic");
+  hasher.field("seed", config.seed)
+      .field("event_scale", config.event_scale)
+      .field("background_per_day", config.background_per_day)
+      .field("credstuff_per_day", config.credstuff_per_day)
+      .field("telescope_lanes", static_cast<std::int64_t>(config.telescope_lanes))
+      .field("pool_size", config.pool_size);
+  return hasher.hex();
+}
+
+std::string faults_stage_key(const pipeline::StudyConfig& config,
+                             std::string_view upstream_digest) {
+  const faults::FaultPlan& plan = config.faults;
+  KeyHasher hasher("faults");
+  hasher.field("upstream", upstream_digest)
+      .field("seed", fault_seed(config))
+      .field("lanes", static_cast<std::int64_t>(plan.lanes))
+      .field("blackout_count", static_cast<std::int64_t>(plan.blackout_count))
+      .field("blackout_duration", plan.blackout_duration.total_seconds())
+      .field("session_loss_rate", plan.session_loss_rate)
+      .field("snaplen", static_cast<std::uint64_t>(plan.snaplen))
+      .field("corruption_rate", plan.corruption_rate)
+      .field("corruption_byte_fraction", plan.corruption_byte_fraction)
+      .field("duplication_rate", plan.duplication_rate)
+      .field("reorder_rate", plan.reorder_rate)
+      .field("reorder_max_displacement", static_cast<std::int64_t>(plan.reorder_max_displacement))
+      .field("clock_skew_max", plan.clock_skew_max.total_seconds());
+  return hasher.hex();
+}
+
+std::string ids_stage_key(const pipeline::ReconstructOptions& options,
+                          std::string_view upstream_digest, std::string_view ruleset_digest) {
+  KeyHasher hasher("ids");
+  hash_match_inputs(hasher, options, upstream_digest, ruleset_digest);
+  return hasher.hex();
+}
+
+std::string reconstruct_stage_key(const pipeline::ReconstructOptions& options,
+                                  std::string_view upstream_digest,
+                                  std::string_view ruleset_digest) {
+  KeyHasher hasher("reconstruct");
+  hash_match_inputs(hasher, options, upstream_digest, ruleset_digest);
+  hasher.field("deployment_delay", options.deployment_delay.total_seconds());
+  return hasher.hex();
+}
+
+}  // namespace cvewb::cache

@@ -1,0 +1,77 @@
+// Stage cache keys: SHA-256 over (stage id, upstream artifact digest,
+// the StudyConfig slice the stage actually reads, seed, schema version).
+//
+// The contract (DESIGN.md "Stage cache"):
+//   * every config field a stage consumes feeds its key -- changing the
+//     field changes the key, so stale artifacts can never be served;
+//   * fields that cannot influence a stage's bytes (threads, observability,
+//     cache_dir itself, trace/metrics paths) are deliberately NOT keyed --
+//     a corpus generated at threads=8 is served verbatim to a threads=1
+//     run, which is sound because the engine is thread-count-deterministic;
+//   * downstream stages chain through the SHA-256 of the upstream
+//     artifact's encoded bytes, so any upstream change invalidates
+//     everything after it;
+//   * kCacheSchemaVersion is baked into every key -- bump it whenever a
+//     codec layout or any stage's algorithm changes, and every old entry
+//     silently becomes unreachable (invalidation without deletion).
+//
+// Field values are fed to the hash with type tags and name prefixes, so
+// two adjacent fields can never collude ("ab"+"c" vs "a"+"bc") and a
+// reordered struct cannot alias an old key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pipeline/reconstruct.h"
+#include "pipeline/study.h"
+#include "util/sha256.h"
+
+namespace cvewb::cache {
+
+/// Bump on any codec-layout or stage-semantics change; old entries become
+/// unreachable (they are reclaimed by `cvewb cache gc`).
+inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+
+/// Incremental key builder: named, type-tagged fields over SHA-256.
+class KeyHasher {
+ public:
+  explicit KeyHasher(std::string_view stage);
+
+  KeyHasher& field(std::string_view name, std::uint64_t value);
+  KeyHasher& field(std::string_view name, std::int64_t value);
+  KeyHasher& field(std::string_view name, double value);
+  KeyHasher& field(std::string_view name, bool value);
+  KeyHasher& field(std::string_view name, std::string_view value);
+
+  /// Finalize: 64-char lowercase hex.  The hasher is spent afterwards.
+  std::string hex();
+
+ private:
+  void tag(char type_tag, std::string_view name);
+  util::Sha256 sha_;
+};
+
+/// Traffic generation: (seed, event_scale, traffic rates, telescope
+/// geometry).  No upstream -- this is the pipeline's source stage.
+std::string traffic_stage_key(const pipeline::StudyConfig& config);
+
+/// Fault injection: upstream corpus digest + the full FaultPlan + the
+/// derived injection seed.
+std::string faults_stage_key(const pipeline::StudyConfig& config,
+                             std::string_view upstream_digest);
+
+/// IDS matching (the sub-stage inside reconstruct): upstream corpus digest,
+/// ruleset digest, and the options that shape the matched corpus (hygiene
+/// dedup/window clamp) or the match semantics (port insensitivity).
+std::string ids_stage_key(const pipeline::ReconstructOptions& options,
+                          std::string_view upstream_digest, std::string_view ruleset_digest);
+
+/// Full reconstruction: the IDS-stage inputs plus the lifecycle-join
+/// options (deployment delay).
+std::string reconstruct_stage_key(const pipeline::ReconstructOptions& options,
+                                  std::string_view upstream_digest,
+                                  std::string_view ruleset_digest);
+
+}  // namespace cvewb::cache

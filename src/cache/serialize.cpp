@@ -1,0 +1,387 @@
+#include "cache/serialize.h"
+
+#include <cstring>
+
+namespace cvewb::cache {
+
+namespace {
+
+// Per-artifact format tags: a decoder handed the wrong artifact kind (or
+// garbage that slipped past the store's digest check) fails on the first
+// read instead of misinterpreting the payload.
+constexpr std::uint32_t kTagTraffic = 0x43465254;        // "TRFC"
+constexpr std::uint32_t kTagFaulted = 0x544C4146;        // "FALT"
+constexpr std::uint32_t kTagMatches = 0x4843544D;        // "MTCH"
+constexpr std::uint32_t kTagReconstruction = 0x4E4F4352; // "RCON"
+constexpr std::uint32_t kTagStudy = 0x59445453;          // "STDY"
+
+// Sanity ceiling for decoded element counts: no artifact legitimately
+// holds more elements than bytes remaining, so a huge count from a
+// corrupted length word fails fast instead of driving a giant allocation.
+bool plausible_count(std::uint64_t count, std::string_view blob) {
+  return count <= blob.size();
+}
+
+void put_session(BinWriter& w, const net::TcpSession& s) {
+  w.u64(s.id);
+  w.i64(s.open_time.unix_seconds());
+  w.u32(s.src.value());
+  w.u32(s.dst.value());
+  w.u16(s.src_port);
+  w.u16(s.dst_port);
+  w.str(s.payload);
+}
+
+net::TcpSession get_session(BinReader& r) {
+  net::TcpSession s;
+  s.id = r.u64();
+  s.open_time = util::TimePoint(r.i64());
+  s.src = net::IPv4(r.u32());
+  s.dst = net::IPv4(r.u32());
+  s.src_port = r.u16();
+  s.dst_port = r.u16();
+  s.payload = r.str();
+  return s;
+}
+
+void put_traffic_body(BinWriter& w, const traffic::GeneratedTraffic& traffic) {
+  w.u64(traffic.sessions.size());
+  for (const auto& s : traffic.sessions) put_session(w, s);
+  w.u64(traffic.tags.size());
+  for (const auto& tag : traffic.tags) {
+    w.u8(static_cast<std::uint8_t>(tag.kind));
+    w.str(tag.cve_id);
+    w.i32(tag.sid);
+  }
+}
+
+bool get_traffic_body(BinReader& r, std::string_view blob, traffic::GeneratedTraffic& out) {
+  const std::uint64_t sessions = r.u64();
+  if (!r.ok() || !plausible_count(sessions, blob)) return false;
+  out.sessions.reserve(sessions);
+  for (std::uint64_t i = 0; i < sessions && r.ok(); ++i) out.sessions.push_back(get_session(r));
+  const std::uint64_t tags = r.u64();
+  if (!r.ok() || !plausible_count(tags, blob)) return false;
+  out.tags.reserve(tags);
+  for (std::uint64_t i = 0; i < tags && r.ok(); ++i) {
+    traffic::TrafficTag tag;
+    tag.kind = static_cast<traffic::TrafficTag::Kind>(r.u8());
+    tag.cve_id = r.str();
+    tag.sid = r.i32();
+    out.tags.push_back(std::move(tag));
+  }
+  return r.ok();
+}
+
+void put_fault_log_body(BinWriter& w, const faults::FaultLog& log) {
+  w.u64(log.sessions_in);
+  w.u64(log.sessions_out);
+  for (const auto count : log.counts) w.u64(count);
+  w.u64(log.blackouts.size());
+  for (const auto& b : log.blackouts) {
+    w.i32(b.lane);
+    w.i64(b.begin.unix_seconds());
+    w.i64(b.end.unix_seconds());
+  }
+  w.u64(log.records.size());
+  for (const auto& rec : log.records) {
+    w.u8(static_cast<std::uint8_t>(rec.kind));
+    w.u64(rec.session_id);
+    w.i64(rec.detail);
+  }
+}
+
+bool get_fault_log_body(BinReader& r, std::string_view blob, faults::FaultLog& out) {
+  out.sessions_in = r.u64();
+  out.sessions_out = r.u64();
+  for (auto& count : out.counts) count = r.u64();
+  const std::uint64_t blackouts = r.u64();
+  if (!r.ok() || !plausible_count(blackouts, blob)) return false;
+  out.blackouts.reserve(blackouts);
+  for (std::uint64_t i = 0; i < blackouts && r.ok(); ++i) {
+    faults::BlackoutWindow b;
+    b.lane = r.i32();
+    b.begin = util::TimePoint(r.i64());
+    b.end = util::TimePoint(r.i64());
+    out.blackouts.push_back(b);
+  }
+  const std::uint64_t records = r.u64();
+  if (!r.ok() || !plausible_count(records, blob)) return false;
+  out.records.reserve(records);
+  for (std::uint64_t i = 0; i < records && r.ok(); ++i) {
+    faults::FaultRecord rec;
+    rec.kind = static_cast<faults::FaultKind>(r.u8());
+    rec.session_id = r.u64();
+    rec.detail = r.i64();
+    out.records.push_back(rec);
+  }
+  return r.ok();
+}
+
+void put_reconstruction_body(BinWriter& w, const pipeline::Reconstruction& rec) {
+  w.u64(rec.sessions_scanned);
+  w.u64(rec.sessions_matched);
+  w.u64(rec.quality.sessions_in);
+  w.u64(rec.quality.duplicates_removed);
+  w.u64(rec.quality.timestamps_clamped);
+  w.u64(rec.quality.empty_payloads);
+  w.u64(rec.quality.non_http_payloads);
+  w.u64(rec.quality.truncated_http);
+  w.u64(rec.quality.match_errors);
+
+  w.u64(rec.timelines.size());
+  for (const auto& tl : rec.timelines) {
+    w.str(tl.cve_id());
+    for (const auto event : lifecycle::kAllEvents) {
+      const auto t = tl.at(event);
+      w.boolean(t.has_value());
+      w.i64(t ? t->unix_seconds() : 0);
+    }
+  }
+  w.u64(rec.events.size());
+  for (const auto& event : rec.events) {
+    w.str(event.cve_id);
+    w.i64(event.time.unix_seconds());
+  }
+  w.u64(rec.per_cve.size());
+  for (const auto& [cve_id, cve] : rec.per_cve) {
+    w.str(cve_id);
+    w.str(cve.cve_id);
+    w.u64(cve.exploit_events);
+    w.u64(cve.untargeted_sessions);
+    w.i64(cve.first_attack.unix_seconds());
+  }
+  w.u64(rec.rca.verdicts.size());
+  for (const auto& verdict : rec.rca.verdicts) {
+    w.str(verdict.cve_id);
+    w.u64(verdict.detections);
+    w.u64(verdict.pre_publication);
+    w.u64(verdict.reviewed_exploit);
+    w.boolean(verdict.kept);
+    w.str(verdict.reason);
+  }
+}
+
+bool get_reconstruction_body(BinReader& r, std::string_view blob, pipeline::Reconstruction& out) {
+  out.sessions_scanned = r.u64();
+  out.sessions_matched = r.u64();
+  out.quality.sessions_in = r.u64();
+  out.quality.duplicates_removed = r.u64();
+  out.quality.timestamps_clamped = r.u64();
+  out.quality.empty_payloads = r.u64();
+  out.quality.non_http_payloads = r.u64();
+  out.quality.truncated_http = r.u64();
+  out.quality.match_errors = r.u64();
+
+  const std::uint64_t timelines = r.u64();
+  if (!r.ok() || !plausible_count(timelines, blob)) return false;
+  out.timelines.reserve(timelines);
+  for (std::uint64_t i = 0; i < timelines && r.ok(); ++i) {
+    lifecycle::Timeline tl(r.str());
+    for (const auto event : lifecycle::kAllEvents) {
+      const bool has = r.boolean();
+      const std::int64_t t = r.i64();
+      if (has) tl.set(event, util::TimePoint(t));
+    }
+    out.timelines.push_back(std::move(tl));
+  }
+  const std::uint64_t events = r.u64();
+  if (!r.ok() || !plausible_count(events, blob)) return false;
+  out.events.reserve(events);
+  for (std::uint64_t i = 0; i < events && r.ok(); ++i) {
+    lifecycle::ExploitEvent event;
+    event.cve_id = r.str();
+    event.time = util::TimePoint(r.i64());
+    out.events.push_back(std::move(event));
+  }
+  const std::uint64_t per_cve = r.u64();
+  if (!r.ok() || !plausible_count(per_cve, blob)) return false;
+  for (std::uint64_t i = 0; i < per_cve && r.ok(); ++i) {
+    std::string key = r.str();
+    pipeline::ReconstructedCve cve;
+    cve.cve_id = r.str();
+    cve.exploit_events = r.u64();
+    cve.untargeted_sessions = r.u64();
+    cve.first_attack = util::TimePoint(r.i64());
+    out.per_cve.emplace(std::move(key), std::move(cve));
+  }
+  const std::uint64_t verdicts = r.u64();
+  if (!r.ok() || !plausible_count(verdicts, blob)) return false;
+  out.rca.verdicts.reserve(verdicts);
+  for (std::uint64_t i = 0; i < verdicts && r.ok(); ++i) {
+    ids::RcaVerdict verdict;
+    verdict.cve_id = r.str();
+    verdict.detections = r.u64();
+    verdict.pre_publication = r.u64();
+    verdict.reviewed_exploit = r.u64();
+    verdict.kept = r.boolean();
+    verdict.reason = r.str();
+    out.rca.verdicts.push_back(std::move(verdict));
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+void BinWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void BinWriter::str(std::string_view s) {
+  u64(s.size());
+  out_.append(s.data(), s.size());
+}
+
+std::uint8_t BinReader::u8() {
+  if (!ok_ || pos_ >= data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint64_t BinReader::raw_int(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += n;
+  return v;
+}
+
+double BinReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string BinReader::str() {
+  const std::uint64_t len = u64();
+  if (!ok_ || data_.size() - pos_ < len) {
+    ok_ = false;
+    pos_ = data_.size();
+    return {};
+  }
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+std::string encode_traffic(const traffic::GeneratedTraffic& traffic) {
+  BinWriter w;
+  w.u32(kTagTraffic);
+  put_traffic_body(w, traffic);
+  return w.take();
+}
+
+std::optional<traffic::GeneratedTraffic> decode_traffic(std::string_view blob) {
+  BinReader r(blob);
+  if (r.u32() != kTagTraffic) return std::nullopt;
+  traffic::GeneratedTraffic out;
+  if (!get_traffic_body(r, blob, out) || !r.done()) return std::nullopt;
+  return out;
+}
+
+std::string encode_faulted(const traffic::GeneratedTraffic& traffic, const faults::FaultLog& log) {
+  BinWriter w;
+  w.u32(kTagFaulted);
+  put_traffic_body(w, traffic);
+  put_fault_log_body(w, log);
+  return w.take();
+}
+
+std::optional<DecodedFaulted> decode_faulted(std::string_view blob) {
+  BinReader r(blob);
+  if (r.u32() != kTagFaulted) return std::nullopt;
+  DecodedFaulted out;
+  if (!get_traffic_body(r, blob, out.traffic)) return std::nullopt;
+  if (!get_fault_log_body(r, blob, out.log) || !r.done()) return std::nullopt;
+  return out;
+}
+
+std::string encode_matches(const ids::CorpusMatch& matched, const std::vector<ids::Rule>& rules) {
+  BinWriter w;
+  w.u32(kTagMatches);
+  w.u64(matched.errors);
+  w.u64(matched.matches.size());
+  const ids::Rule* base = rules.data();
+  for (const ids::Rule* rule : matched.matches) {
+    w.i32(rule == nullptr ? -1 : static_cast<std::int32_t>(rule - base));
+  }
+  return w.take();
+}
+
+std::optional<ids::CorpusMatch> decode_matches(std::string_view blob,
+                                               const std::vector<ids::Rule>& rules,
+                                               std::size_t expected_sessions) {
+  BinReader r(blob);
+  if (r.u32() != kTagMatches) return std::nullopt;
+  ids::CorpusMatch out;
+  out.errors = r.u64();
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count != expected_sessions) return std::nullopt;
+  out.matches.reserve(count);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const std::int32_t index = r.i32();
+    if (index < 0) {
+      out.matches.push_back(nullptr);
+    } else if (static_cast<std::size_t>(index) < rules.size()) {
+      out.matches.push_back(&rules[static_cast<std::size_t>(index)]);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+
+std::string encode_reconstruction(const pipeline::Reconstruction& rec) {
+  BinWriter w;
+  w.u32(kTagReconstruction);
+  put_reconstruction_body(w, rec);
+  return w.take();
+}
+
+std::optional<pipeline::Reconstruction> decode_reconstruction(std::string_view blob) {
+  BinReader r(blob);
+  if (r.u32() != kTagReconstruction) return std::nullopt;
+  pipeline::Reconstruction out;
+  if (!get_reconstruction_body(r, blob, out) || !r.done()) return std::nullopt;
+  return out;
+}
+
+std::string encode_study_result(const pipeline::StudyResult& result) {
+  BinWriter w;
+  w.u32(kTagStudy);
+  put_traffic_body(w, result.traffic);
+  put_fault_log_body(w, result.fault_log);
+  put_reconstruction_body(w, result.reconstruction);
+  for (const auto* table : {&result.table4, &result.table5}) {
+    w.u64(table->rows.size());
+    for (const auto& row : table->rows) {
+      w.str(row.desideratum);
+      w.f64(row.satisfied);
+      w.f64(row.baseline);
+      w.f64(row.skill);
+      w.u64(row.evaluated);
+    }
+  }
+  w.u64(result.exposure.mitigated_days.size());
+  for (const double d : result.exposure.mitigated_days) w.f64(d);
+  w.u64(result.exposure.unmitigated_days.size());
+  for (const double d : result.exposure.unmitigated_days) w.f64(d);
+  w.u64(result.unique_telescope_ips);
+  w.u64(result.unique_source_ips);
+  return w.take();
+}
+
+}  // namespace cvewb::cache

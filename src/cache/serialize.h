@@ -1,0 +1,117 @@
+// Canonical binary serialization for pipeline stage artifacts.
+//
+// The stage cache (see cache/store.h) persists the output of each pipeline
+// stage -- generated traffic, fault injection, IDS matching, reconstruction
+// -- and a cached artifact must decode to the *byte-identical* value the
+// stage would have produced.  Everything here is therefore fixed-layout:
+// little-endian fixed-width integers, length-prefixed byte strings, doubles
+// as IEEE-754 bit patterns.  No floating-point text round-trips, no
+// locale, no padding.
+//
+// Decoders are total: any truncated or inconsistent buffer yields nullopt
+// (the store treats it as a cache miss), never a crash or a partial value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "faults/fault_model.h"
+#include "ids/matcher.h"
+#include "pipeline/reconstruct.h"
+#include "pipeline/study.h"
+#include "traffic/internet.h"
+
+namespace cvewb::cache {
+
+/// Append-only little-endian encoder.
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { raw_int(v); }
+  void u32(std::uint32_t v) { raw_int(v); }
+  void u64(std::uint64_t v) { raw_int(v); }
+  void i32(std::int32_t v) { raw_int(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { raw_int(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Length-prefixed byte string (u64 length + raw bytes).
+  void str(std::string_view s);
+
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void raw_int(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  std::string out_;
+};
+
+/// Bounds-checked decoder over a byte buffer.  Every read reports success;
+/// after any failure the reader stays failed (`ok()` is false) and further
+/// reads return zero values, so decode loops need only one final check.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16() { return static_cast<std::uint16_t>(raw_int(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(raw_int(4)); }
+  std::uint64_t u64() { return raw_int(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+
+  bool ok() const { return ok_; }
+  /// True when the whole buffer was consumed without error.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  std::uint64_t raw_int(std::size_t n);
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// -- Stage artifact codecs ------------------------------------------------
+
+/// Traffic stage: sessions + ground-truth tags.
+std::string encode_traffic(const traffic::GeneratedTraffic& traffic);
+std::optional<traffic::GeneratedTraffic> decode_traffic(std::string_view blob);
+
+/// Fault stage: the degraded corpus plus its injection ground truth.
+std::string encode_faulted(const traffic::GeneratedTraffic& traffic, const faults::FaultLog& log);
+struct DecodedFaulted {
+  traffic::GeneratedTraffic traffic;
+  faults::FaultLog log;
+};
+std::optional<DecodedFaulted> decode_faulted(std::string_view blob);
+
+/// IDS matching stage: the retained rule per session as an index into the
+/// matcher's rule vector (-1 = no match), plus the swallowed-error count.
+/// Decoding maps indices back to pointers into `rules`; a count mismatch
+/// or out-of-range index fails the decode (treated as a miss upstream).
+std::string encode_matches(const ids::CorpusMatch& matched, const std::vector<ids::Rule>& rules);
+std::optional<ids::CorpusMatch> decode_matches(std::string_view blob,
+                                               const std::vector<ids::Rule>& rules,
+                                               std::size_t expected_sessions);
+
+/// Reconstruction stage: everything `pipeline::reconstruct` reports except
+/// `rca.kept_detections`, whose pointers reference reconstruction-internal
+/// storage and are documented as invalid after the call returns.
+std::string encode_reconstruction(const pipeline::Reconstruction& rec);
+std::optional<pipeline::Reconstruction> decode_reconstruction(std::string_view blob);
+
+/// Full-study encoding, used for output digests (`cvewb study
+/// --digest-out`) and byte-identity assertions: covers traffic, fault log,
+/// reconstruction, skill tables, exposure split and unique-IP counts.
+std::string encode_study_result(const pipeline::StudyResult& result);
+
+}  // namespace cvewb::cache

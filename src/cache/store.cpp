@@ -1,0 +1,269 @@
+#include "cache/store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <system_error>
+
+#include "cache/key.h"
+#include "obs/observability.h"
+#include "util/sha256.h"
+
+namespace cvewb::cache {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'V', 'W', 'B'};
+constexpr std::size_t kDigestBytes = 32;
+// magic + format version + payload length + payload digest.
+constexpr std::size_t kHeaderBytes = sizeof kMagic + 4 + 8 + kDigestBytes;
+constexpr const char* kEntrySuffix = ".cwbc";
+
+void put_le(std::string& out, std::uint64_t v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t get_le(const char* p, std::size_t n) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string to_hex(const std::uint8_t* bytes, std::size_t n) {
+  static constexpr char kHexDigits[] = "0123456789abcdef";
+  std::string out(n * 2, '0');
+  for (std::size_t i = 0; i < n; ++i) {
+    out[2 * i] = kHexDigits[bytes[i] >> 4];
+    out[2 * i + 1] = kHexDigits[bytes[i] & 0xF];
+  }
+  return out;
+}
+
+/// Validate one entry file's bytes; on success sets `payload_size` (and
+/// optionally extracts the payload and its hex digest).  Corruption of any
+/// kind -- short file, bad magic, version skew, length or digest mismatch
+/// -- is a validation failure, never an exception.
+bool validate_entry(const std::string& raw, std::uint64_t* payload_size, std::string* payload_out,
+                    std::string* payload_sha_hex = nullptr) {
+  if (raw.size() < kHeaderBytes) return false;
+  if (std::string_view(raw.data(), sizeof kMagic) != std::string_view(kMagic, sizeof kMagic)) {
+    return false;
+  }
+  const std::uint64_t version = get_le(raw.data() + 4, 4);
+  if (version != kCacheSchemaVersion) return false;
+  const std::uint64_t length = get_le(raw.data() + 8, 8);
+  if (raw.size() - kHeaderBytes != length) return false;
+  const std::string_view payload(raw.data() + kHeaderBytes, length);
+  util::Sha256 sha;
+  sha.update(payload);
+  const auto digest = sha.digest();
+  if (std::string_view(raw.data() + 16, kDigestBytes) !=
+      std::string_view(reinterpret_cast<const char*>(digest.data()), kDigestBytes)) {
+    return false;
+  }
+  if (payload_size != nullptr) *payload_size = length;
+  if (payload_out != nullptr) payload_out->assign(payload);
+  if (payload_sha_hex != nullptr) *payload_sha_hex = to_hex(digest.data(), digest.size());
+  return true;
+}
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamoff size = in.tellg();
+  if (size < 0) return false;
+  // One sized read: entries run to tens of MB (the traffic corpus), where
+  // a streambuf-iterator copy would dominate the warm path.
+  std::string raw(static_cast<std::size_t>(size), '\0');
+  in.seekg(0);
+  in.read(raw.data(), size);
+  if (!in || in.gcount() != size) return false;
+  out = std::move(raw);
+  return true;
+}
+
+bool is_entry_file(const std::filesystem::path& path) {
+  return path.extension() == kEntrySuffix;
+}
+
+/// A temp file orphaned by a writer that died mid-put; gc reclaims these.
+bool is_stray_temp(const std::filesystem::path& path) {
+  return path.filename().string().find(std::string(kEntrySuffix) + ".tmp.") != std::string::npos;
+}
+
+struct EntryFile {
+  std::filesystem::path path;
+  std::uint64_t file_bytes = 0;
+  std::filesystem::file_time_type mtime;
+  bool valid = false;
+  std::uint64_t payload_bytes = 0;
+};
+
+std::vector<EntryFile> scan_entries(const std::filesystem::path& dir) {
+  std::vector<EntryFile> entries;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(dir, ec);
+  for (; !ec && it != std::filesystem::recursive_directory_iterator(); it.increment(ec)) {
+    const std::filesystem::directory_entry& dirent = *it;
+    std::error_code entry_ec;
+    if (!dirent.is_regular_file(entry_ec) || entry_ec) continue;
+    const bool stray = is_stray_temp(dirent.path());
+    if (!stray && !is_entry_file(dirent.path())) continue;
+    EntryFile entry;
+    entry.path = dirent.path();
+    entry.file_bytes = dirent.file_size(entry_ec);
+    entry.mtime = dirent.last_write_time(entry_ec);
+    std::string raw;
+    entry.valid = !stray && read_file(entry.path, raw) &&
+                  validate_entry(raw, &entry.payload_bytes, nullptr);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+CacheStore::CacheStore(std::filesystem::path dir, obs::Observability* observability)
+    : dir_(std::move(dir)), observability_(observability) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // failure surfaces as misses
+}
+
+std::filesystem::path CacheStore::entry_path(std::string_view key) const {
+  // Two-hex-char fanout keeps any single directory small at telescope-sweep
+  // entry counts.
+  const std::string name(key);
+  return dir_ / name.substr(0, 2) / (name + kEntrySuffix);
+}
+
+std::optional<std::string> CacheStore::get(std::string_view key, std::string_view stage,
+                                           std::string* payload_sha_hex) {
+  obs::Span span(obs::tracer_of(observability_), "cache/get/" + std::string(stage));
+  const std::filesystem::path path = entry_path(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    ++stats_.misses;
+    obs::count(observability_, "cache/miss");
+    return std::nullopt;
+  }
+  std::string raw;
+  std::string payload;
+  if (!read_file(path, raw) || !validate_entry(raw, nullptr, &payload, payload_sha_hex)) {
+    ++stats_.misses;
+    ++stats_.corrupt;
+    obs::count(observability_, "cache/miss");
+    obs::count(observability_, "cache/corrupt");
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  stats_.bytes_read += payload.size();
+  obs::count(observability_, "cache/hit");
+  obs::count(observability_, "cache/bytes", payload.size());
+  return payload;
+}
+
+bool CacheStore::put(std::string_view key, std::string_view payload, std::string_view stage,
+                     std::string* payload_sha_hex) {
+  obs::Span span(obs::tracer_of(observability_), "cache/put/" + std::string(stage));
+  util::Sha256 sha;
+  sha.update(payload);
+  const auto digest = sha.digest();
+  // Fill the digest out-param before any I/O so digest-chaining callers
+  // stay correct even when the write below fails.
+  if (payload_sha_hex != nullptr) *payload_sha_hex = to_hex(digest.data(), digest.size());
+
+  const std::filesystem::path path = entry_path(key);
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) return false;
+
+  std::string entry;
+  entry.reserve(kHeaderBytes + payload.size());
+  entry.append(kMagic, sizeof kMagic);
+  put_le(entry, kCacheSchemaVersion, 4);
+  put_le(entry, payload.size(), 8);
+  entry.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+  entry.append(payload.data(), payload.size());
+
+  // Unique temp name per writer so concurrent processes never interleave
+  // into the same temp file; the final rename is atomic within the
+  // directory, so whichever writer lands last wins with a complete entry.
+  const std::filesystem::path temp =
+      path.parent_path() /
+      (path.filename().string() + ".tmp." + std::to_string(::getpid()) + "." +
+       std::to_string(reinterpret_cast<std::uintptr_t>(&entry)));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(entry.data(), static_cast<std::streamsize>(entry.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(temp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return false;
+  }
+  stats_.bytes_written += payload.size();
+  obs::count(observability_, "cache/bytes", payload.size());
+  return true;
+}
+
+CacheDirStat CacheStore::stat_dir(const std::filesystem::path& dir) {
+  CacheDirStat stat;
+  for (const auto& entry : scan_entries(dir)) {
+    if (entry.valid) {
+      ++stat.entries;
+      stat.payload_bytes += entry.payload_bytes;
+      stat.file_bytes += entry.file_bytes;
+    } else {
+      ++stat.corrupt;
+    }
+  }
+  return stat;
+}
+
+GcResult CacheStore::gc(const std::filesystem::path& dir, std::uint64_t keep_bytes) {
+  GcResult result;
+  std::vector<EntryFile> entries = scan_entries(dir);
+  std::error_code ec;
+
+  // Pass 1: corrupt entries (and orphaned temp files) go unconditionally.
+  for (auto it = entries.begin(); it != entries.end();) {
+    if (it->valid) {
+      ++it;
+      continue;
+    }
+    std::filesystem::remove(it->path, ec);
+    ++result.removed;
+    ++result.corrupt_removed;
+    result.removed_bytes += it->file_bytes;
+    it = entries.erase(it);
+  }
+
+  // Pass 2: evict oldest-first down to the byte budget.
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryFile& a, const EntryFile& b) { return a.mtime < b.mtime; });
+  std::uint64_t total = 0;
+  for (const auto& entry : entries) total += entry.file_bytes;
+  for (const auto& entry : entries) {
+    if (total <= keep_bytes) {
+      ++result.kept;
+      result.kept_bytes += entry.file_bytes;
+      continue;
+    }
+    std::filesystem::remove(entry.path, ec);
+    ++result.removed;
+    result.removed_bytes += entry.file_bytes;
+    total -= entry.file_bytes;
+  }
+  return result;
+}
+
+}  // namespace cvewb::cache

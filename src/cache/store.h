@@ -1,0 +1,100 @@
+// Content-addressed on-disk stage cache.
+//
+// One entry per stage key (see cache/key.h): a small header -- magic,
+// format version, payload length, SHA-256 of the payload -- followed by
+// the payload bytes.  Writes go to a temp file in the same directory and
+// are renamed into place, so a reader never observes a half-written entry
+// and concurrent writers of the same key settle on one complete file.
+//
+// The failure model is "corruption is a miss, never a crash": a missing,
+// truncated, version-skewed, or digest-mismatched entry makes get() return
+// nullopt (and bumps the corrupt counter when the file existed but failed
+// validation); the caller recomputes and re-puts, which heals the entry.
+// Cache I/O errors likewise degrade to recompute -- a full disk or
+// read-only directory slows a run down, it never fails one.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvewb::obs {
+struct Observability;
+}
+
+namespace cvewb::cache {
+
+/// In-process counters for one store (also exported as cache/... metrics
+/// when an Observability is attached).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t corrupt = 0;        // entries that existed but failed validation
+  std::uint64_t bytes_read = 0;     // payload bytes served from cache
+  std::uint64_t bytes_written = 0;  // payload bytes stored on miss
+};
+
+/// Aggregate of a cache directory scan (`cvewb cache stat`).
+struct CacheDirStat {
+  std::uint64_t entries = 0;        // well-formed entries
+  std::uint64_t payload_bytes = 0;  // decoded payload bytes across entries
+  std::uint64_t file_bytes = 0;     // on-disk bytes including headers
+  std::uint64_t corrupt = 0;        // files failing header/digest validation
+};
+
+/// Outcome of a garbage collection pass (`cvewb cache gc`).
+struct GcResult {
+  std::uint64_t removed = 0;         // entries deleted (stale + corrupt + over budget)
+  std::uint64_t removed_bytes = 0;   // on-disk bytes reclaimed
+  std::uint64_t corrupt_removed = 0; // of `removed`, how many failed validation
+  std::uint64_t kept = 0;
+  std::uint64_t kept_bytes = 0;
+};
+
+class CacheStore {
+ public:
+  /// Opens (creating if needed) a cache directory.  `observability` is an
+  /// optional metrics/trace sink; it never influences cached bytes.
+  explicit CacheStore(std::filesystem::path dir, obs::Observability* observability = nullptr);
+
+  /// Fetch the payload stored under `key`.  nullopt on miss or on any
+  /// validation failure (corrupt entries are counted, never thrown).
+  /// `stage` labels the trace span and is not part of addressing.  On a
+  /// hit, `payload_sha_hex` (when non-null) receives the payload's SHA-256
+  /// in hex -- validation computes it anyway, and callers chaining stage
+  /// keys off the artifact digest would otherwise hash the blob twice.
+  std::optional<std::string> get(std::string_view key, std::string_view stage,
+                                 std::string* payload_sha_hex = nullptr);
+
+  /// Store `payload` under `key` atomically (write temp + rename).
+  /// Returns false when the entry could not be written; the cache then
+  /// simply misses next time, so callers never need to check.
+  /// `payload_sha_hex` (when non-null) receives the payload's SHA-256 in
+  /// hex; it is filled in even when the write fails, so digest-chaining
+  /// callers stay correct on a read-only or full cache directory.
+  bool put(std::string_view key, std::string_view payload, std::string_view stage,
+           std::string* payload_sha_hex = nullptr);
+
+  const CacheStats& stats() const { return stats_; }
+  const std::filesystem::path& directory() const { return dir_; }
+
+  /// Scan a cache directory: entry/byte totals plus corrupt-file count.
+  /// Works on any directory; a missing one reports all zeros.
+  static CacheDirStat stat_dir(const std::filesystem::path& dir);
+
+  /// Remove corrupt entries unconditionally, then evict oldest-first until
+  /// at most `keep_bytes` of on-disk entry bytes remain (0 = clear all).
+  static GcResult gc(const std::filesystem::path& dir, std::uint64_t keep_bytes);
+
+ private:
+  std::filesystem::path entry_path(std::string_view key) const;
+
+  std::filesystem::path dir_;
+  obs::Observability* observability_;
+  CacheStats stats_;
+};
+
+}  // namespace cvewb::cache

@@ -1,6 +1,8 @@
 #include "data/cve_table_io.h"
 
 #include <charconv>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/csv.h"
@@ -40,6 +42,113 @@ bool parse_int_field(const std::string& text, long& out) {
   return ec == std::errc() && p == text.data() + text.size();
 }
 
+/// Full-token finite double parse.  std::stod would accept trailing
+/// garbage ("3.5xyz" -> 3.5) and non-finite spellings ("nan", "inf");
+/// NaN in particular defeats range checks because every comparison
+/// against it is false.
+bool parse_double_field(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE) return false;
+  if (!std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+/// Parse one data row into `rec`.  On failure, sets `error` to a message
+/// without row-position context (callers append their own "at data row N")
+/// and returns false.  Shared by the strict and lenient loaders so both
+/// apply identical validation.
+bool parse_cve_row(const std::vector<std::string>& row, CveRecord& rec, std::string& error) {
+  if (row.size() != kColumns) {
+    error = "wrong field count";
+    return false;
+  }
+  rec.id = row[0];
+  const auto published = util::parse_date(row[1]);
+  if (!published) {
+    error = "bad published date";
+    return false;
+  }
+  rec.published = *published;
+  long events = 0;
+  if (!parse_int_field(row[2], events) || events < 0) {
+    error = "bad events count";
+    return false;
+  }
+  rec.events = static_cast<int>(events);
+  rec.description = row[3];
+  if (!parse_double_field(row[4], rec.impact)) {
+    error = "bad impact";
+    return false;
+  }
+  if (rec.impact < 0 || rec.impact > 10) {
+    error = "impact out of range";
+    return false;
+  }
+  rec.d_minus_p = util::parse_offset(row[5]);
+  rec.x_minus_p = util::parse_offset(row[6]);
+  rec.a_minus_p = util::parse_offset(row[7]);
+  if (row[8] != "-") {
+    long exploitability = 0;
+    if (!parse_int_field(row[8], exploitability) || exploitability < 0 || exploitability > 100) {
+      error = "bad exploitability";
+      return false;
+    }
+    rec.exploitability = static_cast<int>(exploitability);
+  }
+  rec.vendor = row[9];
+  rec.cwe = row[10];
+  const auto protocol = protocol_from(row[11]);
+  if (!protocol) {
+    error = "unknown protocol '" + row[11] + "'";
+    return false;
+  }
+  rec.protocol = *protocol;
+  long port = 0;
+  if (!parse_int_field(row[12], port) || port < 1 || port > 65535) {
+    error = "bad service port";
+    return false;
+  }
+  rec.service_port = static_cast<std::uint16_t>(port);
+  if (row[13] != "0" && row[13] != "1") {
+    error = "bad talos flag";
+    return false;
+  }
+  rec.talos_disclosed = row[13] == "1";
+  return true;
+}
+
+/// Structural validation shared by both loaders: CSV quoting and header.
+/// Returns the parsed rows, or nullopt with `error` set.
+std::optional<std::vector<std::vector<std::string>>> parse_table_structure(std::string_view csv,
+                                                                           std::string& error) {
+  auto rows = util::parse_csv(csv);
+  if (!rows) {
+    error = "malformed CSV quoting";
+    return std::nullopt;
+  }
+  if (rows->empty()) {
+    error = "missing header row";
+    return std::nullopt;
+  }
+  const auto& header = (*rows)[0];
+  if (header.size() != kColumns) {
+    error = "expected " + std::to_string(kColumns) + " columns";
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < kColumns; ++i) {
+    if (header[i] != kHeader[i]) {
+      error = "unexpected column '" + header[i] + "'";
+      return std::nullopt;
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
 std::string cve_table_to_csv(const std::vector<CveRecord>& records) {
@@ -70,94 +179,44 @@ std::string cve_table_to_csv(const std::vector<CveRecord>& records) {
 std::optional<std::vector<CveRecord>> cve_table_from_csv(std::string_view csv,
                                                          std::string& error) {
   error.clear();
-  const auto rows = util::parse_csv(csv);
-  if (!rows) {
-    error = "malformed CSV quoting";
-    return std::nullopt;
-  }
-  if (rows->empty()) {
-    error = "missing header row";
-    return std::nullopt;
-  }
-  const auto& header = (*rows)[0];
-  if (header.size() != kColumns) {
-    error = "expected " + std::to_string(kColumns) + " columns";
-    return std::nullopt;
-  }
-  for (std::size_t i = 0; i < kColumns; ++i) {
-    if (header[i] != kHeader[i]) {
-      error = "unexpected column '" + header[i] + "'";
-      return std::nullopt;
-    }
-  }
+  const auto rows = parse_table_structure(csv, error);
+  if (!rows) return std::nullopt;
 
   std::vector<CveRecord> records;
   for (std::size_t r = 1; r < rows->size(); ++r) {
-    const auto& row = (*rows)[r];
-    const std::string where = " at data row " + std::to_string(r);
-    if (row.size() != kColumns) {
-      error = "wrong field count" + where;
-      return std::nullopt;
-    }
     CveRecord rec;
-    rec.id = row[0];
-    const auto published = util::parse_date(row[1]);
-    if (!published) {
-      error = "bad published date" + where;
+    std::string row_error;
+    if (!parse_cve_row((*rows)[r], rec, row_error)) {
+      error = row_error + " at data row " + std::to_string(r);
       return std::nullopt;
     }
-    rec.published = *published;
-    long events = 0;
-    if (!parse_int_field(row[2], events) || events < 0) {
-      error = "bad events count" + where;
-      return std::nullopt;
-    }
-    rec.events = static_cast<int>(events);
-    rec.description = row[3];
-    try {
-      rec.impact = std::stod(row[4]);
-    } catch (...) {
-      error = "bad impact" + where;
-      return std::nullopt;
-    }
-    if (rec.impact < 0 || rec.impact > 10) {
-      error = "impact out of range" + where;
-      return std::nullopt;
-    }
-    rec.d_minus_p = util::parse_offset(row[5]);
-    rec.x_minus_p = util::parse_offset(row[6]);
-    rec.a_minus_p = util::parse_offset(row[7]);
-    if (row[8] != "-") {
-      long exploitability = 0;
-      if (!parse_int_field(row[8], exploitability) || exploitability < 0 ||
-          exploitability > 100) {
-        error = "bad exploitability" + where;
-        return std::nullopt;
-      }
-      rec.exploitability = static_cast<int>(exploitability);
-    }
-    rec.vendor = row[9];
-    rec.cwe = row[10];
-    const auto protocol = protocol_from(row[11]);
-    if (!protocol) {
-      error = "unknown protocol '" + row[11] + "'" + where;
-      return std::nullopt;
-    }
-    rec.protocol = *protocol;
-    long port = 0;
-    if (!parse_int_field(row[12], port) || port < 1 || port > 65535) {
-      error = "bad service port" + where;
-      return std::nullopt;
-    }
-    rec.service_port = static_cast<std::uint16_t>(port);
-    if (row[13] != "0" && row[13] != "1") {
-      error = "bad talos flag" + where;
-      return std::nullopt;
-    }
-    rec.talos_disclosed = row[13] == "1";
     records.push_back(std::move(rec));
   }
   return records;
+}
+
+std::optional<CveTableLoadResult> cve_table_from_csv_lenient(std::string_view csv,
+                                                             std::string& error) {
+  error.clear();
+  const auto rows = parse_table_structure(csv, error);
+  if (!rows) return std::nullopt;
+
+  CveTableLoadResult result;
+  for (std::size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    CveRecord rec;
+    std::string row_error;
+    if (parse_cve_row(row, rec, row_error)) {
+      result.records.push_back(std::move(rec));
+      continue;
+    }
+    SkippedCveRow skipped;
+    skipped.row_number = r;
+    if (!row.empty()) skipped.cve_id = row[0];
+    skipped.reason = std::move(row_error);
+    result.skipped.push_back(std::move(skipped));
+  }
+  return result;
 }
 
 }  // namespace cvewb::data

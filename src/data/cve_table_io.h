@@ -21,7 +21,33 @@ std::string cve_table_to_csv(const std::vector<CveRecord>& records);
 /// Parse a CSV produced by cve_table_to_csv (or hand-edited in the same
 /// schema).  Returns nullopt and sets `error` on malformed input: wrong
 /// header, bad dates/offsets, unknown protocol, out-of-range numbers.
+/// Numeric fields must consume the whole token ("3.5xyz" is rejected, not
+/// truncated to 3.5) and must be finite ("nan"/"inf" are rejected -- NaN
+/// would otherwise slip through range checks, since every comparison
+/// against NaN is false).
 std::optional<std::vector<CveRecord>> cve_table_from_csv(std::string_view csv,
                                                          std::string& error);
+
+/// One data row rejected by the lenient loader.
+struct SkippedCveRow {
+  std::size_t row_number = 0;  // 1-based data row (header excluded)
+  std::string cve_id;          // first field, if present (may be empty)
+  std::string reason;          // same message the strict loader would set
+};
+
+/// Result of a lenient load: every parseable record, plus a report of the
+/// rows that were skipped instead of aborting the whole load.
+struct CveTableLoadResult {
+  std::vector<CveRecord> records;
+  std::vector<SkippedCveRow> skipped;
+};
+
+/// Lenient variant of cve_table_from_csv: a malformed data row is recorded
+/// in `skipped` and the load continues (a hand-edited table with a couple
+/// of bad rows still mostly loads).  Structural errors -- unparseable CSV
+/// quoting or a wrong header -- still fail the whole load via nullopt,
+/// since nothing after them can be trusted.
+std::optional<CveTableLoadResult> cve_table_from_csv_lenient(std::string_view csv,
+                                                             std::string& error);
 
 }  // namespace cvewb::data

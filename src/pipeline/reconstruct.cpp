@@ -5,6 +5,9 @@
 #include <memory>
 #include <unordered_set>
 
+#include "cache/key.h"
+#include "cache/serialize.h"
+#include "cache/store.h"
 #include "data/appendix_e.h"
 #include "data/exploit_db.h"
 #include "data/talos.h"
@@ -128,8 +131,31 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
     obs::Span build_span(obs::tracer_of(observability), "reconstruct/build_matcher");
     matcher = std::make_unique<ids::Matcher>(ruleset.rules(), matcher_options);
   }
-  const ids::CorpusMatch matched =
-      ids::match_corpus(*matcher, cleaned, options.pool, 4096, observability);
+  // The match vector is cacheable on its own: it is a pure function of
+  // (cleaned corpus, ruleset, port sensitivity), so an ablation that only
+  // changes the lifecycle join (e.g. a deployment-delay sweep) reuses the
+  // matching work even though the full reconstruction key changed.
+  const bool cache_usable = options.cache != nullptr && !options.cache_upstream_digest.empty() &&
+                            !options.cache_ruleset_digest.empty();
+  std::string ids_key;
+  ids::CorpusMatch matched;
+  bool match_cached = false;
+  if (cache_usable) {
+    ids_key = cache::ids_stage_key(options, options.cache_upstream_digest,
+                                   options.cache_ruleset_digest);
+    if (const auto blob = options.cache->get(ids_key, "ids")) {
+      if (auto decoded = cache::decode_matches(*blob, matcher->rules(), cleaned.size())) {
+        matched = std::move(*decoded);
+        match_cached = true;
+      }
+    }
+  }
+  if (!match_cached) {
+    matched = ids::match_corpus(*matcher, cleaned, options.pool, 4096, observability);
+    if (cache_usable) {
+      options.cache->put(ids_key, cache::encode_matches(matched, matcher->rules()), "ids");
+    }
+  }
   out.quality.match_errors += matched.errors;
   std::vector<ids::Detection> detections;
   for (std::size_t i = 0; i < cleaned.size(); ++i) {

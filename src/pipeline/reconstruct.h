@@ -38,6 +38,9 @@ class ThreadPool;
 namespace cvewb::obs {
 struct Observability;
 }
+namespace cvewb::cache {
+class CacheStore;
+}
 
 namespace cvewb::pipeline {
 
@@ -104,6 +107,15 @@ struct ReconstructOptions {
   util::ThreadPool* pool = nullptr;
   /// Optional tracing/metrics sink (see obs/); never affects the output.
   obs::Observability* observability = nullptr;
+  /// Optional stage cache for the IDS-matching hot path (see cache/).
+  /// Only consulted when both digests below are supplied: `cache_upstream_
+  /// digest` identifies the input corpus artifact and `cache_ruleset_
+  /// digest` the ruleset, so a cached match vector can never be served
+  /// against different inputs.  run_study wires these; direct callers can
+  /// leave them empty to opt out.
+  cache::CacheStore* cache = nullptr;
+  std::string cache_upstream_digest;
+  std::string cache_ruleset_digest;
 };
 
 Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,

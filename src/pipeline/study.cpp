@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <optional>
 
+#include "cache/key.h"
+#include "cache/serialize.h"
+#include "cache/store.h"
 #include "data/appendix_e.h"
 #include "ids/rule_gen.h"
 #include "obs/observability.h"
+#include "util/sha256.h"
 #include "util/thread_pool.h"
 
 namespace cvewb::pipeline {
@@ -46,31 +50,86 @@ StudyResult run_study(const StudyConfig& config) {
     pool = &*pool_storage;
   }
 
-  std::optional<telescope::Dscope> dscope;
-  {
-    obs::PhaseSpan phase(observability, "telescope");
-    dscope.emplace(make_study_telescope(config));
+  // Optional stage cache.  `corpus_digest` chains the SHA-256 of the
+  // encoded upstream artifact into every downstream stage key, so a cached
+  // stage output can only ever be combined with the exact inputs it was
+  // computed from.  With caching off the digest stays empty and unused.
+  std::optional<cache::CacheStore> cache_storage;
+  cache::CacheStore* stage_cache = nullptr;
+  if (!config.cache_dir.empty()) {
+    cache_storage.emplace(config.cache_dir, observability);
+    stage_cache = &*cache_storage;
   }
+  std::string corpus_digest;
 
   {
     obs::PhaseSpan phase(observability, "traffic");
-    traffic::InternetConfig internet;
-    internet.seed = config.seed;
-    internet.event_scale = config.event_scale;
-    internet.background_per_day = config.background_per_day;
-    internet.credstuff_per_day = config.credstuff_per_day;
-    internet.pool = pool;
-    internet.obs = observability;
-    result.traffic = traffic::generate_traffic(*dscope, internet);
+    bool cached = false;
+    std::string traffic_key;
+    if (stage_cache != nullptr) {
+      traffic_key = cache::traffic_stage_key(config);
+      // get() hands back the payload digest it validated against, which is
+      // exactly the artifact digest downstream keys chain on -- re-hashing
+      // the multi-MB blob here would double the warm path's hashing cost.
+      if (const auto blob = stage_cache->get(traffic_key, "traffic", &corpus_digest)) {
+        if (auto decoded = cache::decode_traffic(*blob)) {
+          result.traffic = std::move(*decoded);
+          cached = true;
+        }
+      }
+    }
+    if (!cached) {
+      // The telescope exists only to place generated probes, so a traffic
+      // cache hit skips building it (and its multi-million-entry IP pool).
+      std::optional<telescope::Dscope> dscope;
+      {
+        obs::PhaseSpan telescope_phase(observability, "telescope");
+        dscope.emplace(make_study_telescope(config));
+      }
+      traffic::InternetConfig internet;
+      internet.seed = config.seed;
+      internet.event_scale = config.event_scale;
+      internet.background_per_day = config.background_per_day;
+      internet.credstuff_per_day = config.credstuff_per_day;
+      internet.pool = pool;
+      internet.obs = observability;
+      result.traffic = traffic::generate_traffic(*dscope, internet);
+      if (stage_cache != nullptr) {
+        const std::string blob = cache::encode_traffic(result.traffic);
+        // put() reports the payload digest it stored (computed even when
+        // the write fails, so the chain stays correct on a broken cache).
+        stage_cache->put(traffic_key, blob, "traffic", &corpus_digest);
+      }
+    }
   }
 
   // Degrade the capture before reconstruction when a fault plan is active.
   if (config.faults.any()) {
     obs::PhaseSpan phase(observability, "faults");
-    faults::FaultedCorpus degraded = faults::inject_faults(
-        result.traffic, config.faults, config.seed ^ 0xFA017ULL, pool, observability);
-    result.traffic = std::move(degraded.traffic);
-    result.fault_log = std::move(degraded.log);
+    bool cached = false;
+    std::string fault_key;
+    if (stage_cache != nullptr) {
+      fault_key = cache::faults_stage_key(config, corpus_digest);
+      std::string faulted_digest;
+      if (const auto blob = stage_cache->get(fault_key, "faults", &faulted_digest)) {
+        if (auto decoded = cache::decode_faulted(*blob)) {
+          result.traffic = std::move(decoded->traffic);
+          result.fault_log = std::move(decoded->log);
+          corpus_digest = faulted_digest;
+          cached = true;
+        }
+      }
+    }
+    if (!cached) {
+      faults::FaultedCorpus degraded = faults::inject_faults(
+          result.traffic, config.faults, config.seed ^ 0xFA017ULL, pool, observability);
+      result.traffic = std::move(degraded.traffic);
+      result.fault_log = std::move(degraded.log);
+      if (stage_cache != nullptr) {
+        const std::string blob = cache::encode_faulted(result.traffic, result.fault_log);
+        stage_cache->put(fault_key, blob, "faults", &corpus_digest);
+      }
+    }
   } else {
     result.fault_log.sessions_in = result.traffic.sessions.size();
     result.fault_log.sessions_out = result.traffic.sessions.size();
@@ -84,14 +143,37 @@ StudyResult run_study(const StudyConfig& config) {
   reconstruct_options.pool = pool;
   reconstruct_options.observability = observability;
 
+  std::string ruleset_digest;
   {
     obs::PhaseSpan phase(observability, "ruleset");
     result.ruleset = ids::generate_study_ruleset();
+    if (stage_cache != nullptr) ruleset_digest = util::sha256_hex(result.ruleset.serialize());
   }
   {
     obs::PhaseSpan phase(observability, "reconstruct");
-    result.reconstruction =
-        reconstruct(result.traffic.sessions, result.ruleset, reconstruct_options);
+    bool cached = false;
+    std::string reconstruct_key;
+    if (stage_cache != nullptr) {
+      reconstruct_key =
+          cache::reconstruct_stage_key(reconstruct_options, corpus_digest, ruleset_digest);
+      if (const auto blob = stage_cache->get(reconstruct_key, "reconstruct")) {
+        if (auto decoded = cache::decode_reconstruction(*blob)) {
+          result.reconstruction = std::move(*decoded);
+          cached = true;
+        }
+      }
+    }
+    if (!cached) {
+      reconstruct_options.cache = stage_cache;
+      reconstruct_options.cache_upstream_digest = corpus_digest;
+      reconstruct_options.cache_ruleset_digest = ruleset_digest;
+      result.reconstruction =
+          reconstruct(result.traffic.sessions, result.ruleset, reconstruct_options);
+      if (stage_cache != nullptr) {
+        stage_cache->put(reconstruct_key, cache::encode_reconstruction(result.reconstruction),
+                         "reconstruct");
+      }
+    }
   }
 
   {

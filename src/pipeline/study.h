@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "faults/fault_injector.h"
 #include "lifecycle/exposure.h"
@@ -42,6 +43,16 @@ struct StudyConfig {
   /// Degraded-capture scenario applied between traffic generation and
   /// reconstruction.  The default plan is a no-op (pristine capture).
   faults::FaultPlan faults;
+  /// On-disk stage cache directory (empty = caching off, today's always-
+  /// recompute behavior).  When set, each expensive stage -- traffic
+  /// generation, fault injection, IDS matching, full reconstruction --
+  /// consults a content-addressed cache keyed on (stage, upstream artifact
+  /// digest, the config slice the stage reads, seed, schema version)
+  /// before executing, and stores its artifact atomically on miss.  A
+  /// cached run's StudyResult is byte-identical to a cold or cache-
+  /// disabled run (tests/cache/cache_golden_test.cpp); corrupted entries
+  /// degrade to recomputes, never failures.  See DESIGN.md "Stage cache".
+  std::string cache_dir;
   /// Observability sink (off by default).  When set, every stage emits
   /// trace spans and metrics into it: phase wall-clock counters
   /// ("phase_us/<name>"), per-shard spans, thread-pool execution stats

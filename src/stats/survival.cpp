@@ -46,6 +46,10 @@ std::vector<SurvivalStep> kaplan_meier(std::vector<SurvivalObservation> observat
 }
 
 double survival_at(const std::vector<SurvivalStep>& curve, double t) {
+  // Before the first event time S(t) is exactly 1.0 by definition; this
+  // also covers an empty curve (no events at all -- e.g. every subject
+  // censored), where S(t) = 1.0 everywhere.
+  if (curve.empty() || t < curve.front().time) return 1.0;
   double survival = 1.0;
   for (const auto& step : curve) {
     if (step.time > t) break;
@@ -55,6 +59,10 @@ double survival_at(const std::vector<SurvivalStep>& curve, double t) {
 }
 
 double median_survival(const std::vector<SurvivalStep>& curve) {
+  // An empty curve (no events: empty input or all-censored observations)
+  // never reaches S = 0.5, so the median is undefined -> NaN, the same
+  // convention as a curve that plateaus above 0.5.
+  if (curve.empty()) return std::numeric_limits<double>::quiet_NaN();
   for (const auto& step : curve) {
     if (step.survival <= 0.5) return step.time;
   }

@@ -32,11 +32,14 @@ struct SurvivalStep {
 /// estimator (censored ties counted at risk through the tied event time).
 std::vector<SurvivalStep> kaplan_meier(std::vector<SurvivalObservation> observations);
 
-/// S(t) from a fitted curve (1.0 before the first step).
+/// S(t) from a fitted curve.  Exactly 1.0 before the first step (for any
+/// t, including negative) and on an empty curve -- a fit with no events
+/// (empty input, or every observation censored) has S(t) = 1.0 everywhere.
 double survival_at(const std::vector<SurvivalStep>& curve, double t);
 
-/// Median survival time; returns NaN when S never reaches 0.5 (more than
-/// half the population is censored before the median).
+/// Median survival time; returns NaN when S never reaches 0.5 -- more than
+/// half the population censored before the median, or an empty curve (no
+/// events at all), where the median is undefined.
 double median_survival(const std::vector<SurvivalStep>& curve);
 
 }  // namespace cvewb::stats

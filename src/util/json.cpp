@@ -18,6 +18,11 @@ double Json::as_number() const {
   return number_;
 }
 
+std::int64_t Json::as_int64() const {
+  if (!is_integer()) throw std::logic_error("Json: not an integer");
+  return int_;
+}
+
 const std::string& Json::as_string() const {
   if (type_ != Type::kString) throw std::logic_error("Json: not a string");
   return string_;
@@ -58,7 +63,11 @@ bool Json::operator==(const Json& other) const {
   switch (type_) {
     case Type::kNull: return true;
     case Type::kBool: return bool_ == other.bool_;
-    case Type::kNumber: return number_ == other.number_;
+    case Type::kNumber:
+      // Integer/integer compares exactly (doubles would collide distinct
+      // values above 2^53); mixed representations promote to double.
+      if (int_backed_ && other.int_backed_) return int_ == other.int_;
+      return number_ == other.number_;
     case Type::kString: return string_ == other.string_;
     case Type::kArray: return array_ == other.array_;
     case Type::kObject: return object_ == other.object_;
@@ -115,7 +124,15 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
   switch (type_) {
     case Type::kNull: out += "null"; break;
     case Type::kBool: out += bool_ ? "true" : "false"; break;
-    case Type::kNumber: out += number_to_string(number_); break;
+    case Type::kNumber:
+      if (int_backed_) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+        out += buf;
+      } else {
+        out += number_to_string(number_);
+      }
+      break;
     case Type::kString:
       out += '"';
       out += json_escape(string_);
@@ -296,6 +313,20 @@ class Parser {
     if (token.empty() || token == "-") {
       fail("expected value");
       return std::nullopt;
+    }
+    // An integer token round-trips exactly through int64 (doubles lose
+    // precision above 2^53).  Out-of-int64-range integers and everything
+    // with a fraction or exponent fall back to double.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      std::int64_t integer = 0;
+      auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(), integer);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        return Json(integer);
+      }
+      if (ec != std::errc::result_out_of_range) {
+        fail("bad number");
+        return std::nullopt;
+      }
     }
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);

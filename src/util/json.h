@@ -3,8 +3,10 @@
 // §8.2 of the paper calls for researchers to publish *machine-readable
 // disclosure artifacts*; report/disclosure_artifact emits and consumes
 // them as JSON.  This is a small, strict implementation: UTF-8 pass-
-// through, no comments, numbers as doubles, objects preserve insertion
-// order.
+// through, no comments, objects preserve insertion order.  Numbers keep
+// an exact int64 representation when built from (or parsed as) integers
+// -- storing them as doubles would silently corrupt values above 2^53 --
+// and are doubles otherwise.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +33,9 @@ class Json {
   Json(std::nullptr_t) {}                // NOLINT(google-explicit-constructor)
   Json(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
   Json(double n) : type_(Type::kNumber), number_(n) {}    // NOLINT
-  Json(int n) : Json(static_cast<double>(n)) {}           // NOLINT
-  Json(std::int64_t n) : Json(static_cast<double>(n)) {}  // NOLINT
+  Json(int n) : Json(static_cast<std::int64_t>(n)) {}     // NOLINT
+  Json(std::int64_t n)                                    // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)), int_(n), int_backed_(true) {}
   Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
   Json(const char* s) : Json(std::string(s)) {}           // NOLINT
   Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}      // NOLINT
@@ -40,10 +43,16 @@ class Json {
 
   Type type() const { return type_; }
   bool is_null() const { return type_ == Type::kNull; }
+  /// True for numbers carrying an exact int64 (built from an integer, or
+  /// parsed from an integer token).  Such numbers serialize exactly even
+  /// beyond 2^53, where a double-backed value would round.
+  bool is_integer() const { return type_ == Type::kNumber && int_backed_; }
 
   /// Typed accessors; throw std::logic_error on type mismatch.
   bool as_bool() const;
   double as_number() const;
+  /// Exact integer value; throws unless is_integer().
+  std::int64_t as_int64() const;
   const std::string& as_string() const;
   const JsonArray& as_array() const;
   const JsonObject& as_object() const;
@@ -67,6 +76,8 @@ class Json {
   Type type_ = Type::kNull;
   bool bool_ = false;
   double number_ = 0;
+  std::int64_t int_ = 0;     // exact value when int_backed_
+  bool int_backed_ = false;  // see is_integer()
   std::string string_;
   JsonArray array_;
   JsonObject object_;

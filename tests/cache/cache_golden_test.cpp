@@ -1,0 +1,151 @@
+// Golden cache equivalence: run_study with a cache directory -- cold
+// (populating), warm (fully served), warm at a different thread count --
+// must produce StudyResults byte-identical to a cache-disabled run, for
+// every tested seed.  And a corrupted cache entry must degrade to a
+// recompute (logged via the cache/corrupt metric) with, again, an
+// identical result.  This is the proof obligation behind enabling
+// `--cache-dir` by default in sweeps (DESIGN.md, "Stage cache").
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/store.h"
+#include "obs/observability.h"
+#include "pipeline/study.h"
+#include "util/sha256.h"
+
+#include "../support/study_serialize.h"
+
+namespace cvewb::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::serialize_study;
+
+StudyConfig small_config(std::uint64_t seed, int threads, const std::string& cache_dir) {
+  StudyConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  config.event_scale = 0.03;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  config.cache_dir = cache_dir;
+  // An active fault plan exercises the faults stage's codec and key too.
+  config.faults.blackout_count = 2;
+  config.faults.blackout_duration = util::Duration::hours(12);
+  config.faults.session_loss_rate = 0.03;
+  config.faults.snaplen = 300;
+  config.faults.corruption_rate = 0.02;
+  config.faults.duplication_rate = 0.04;
+  config.faults.reorder_rate = 0.05;
+  config.faults.clock_skew_max = util::Duration::minutes(10);
+  config.faults.lanes = 10;
+  return config;
+}
+
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "cvewb_cache_golden" / tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+class CacheGolden : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheGolden, ColdWarmAndDisabledRunsAreByteIdentical) {
+  const std::uint64_t seed = GetParam();
+  const fs::path dir = fresh_dir("seed_" + std::to_string(seed));
+
+  // Reference: caching disabled (today's always-recompute behavior).
+  const std::string reference =
+      serialize_study(run_study(small_config(seed, 1, "")));
+
+  // Cold run populates the cache; its bytes must not change.
+  const std::string cold =
+      serialize_study(run_study(small_config(seed, 1, dir.string())));
+  EXPECT_EQ(util::sha256_hex(reference), util::sha256_hex(cold));
+  ASSERT_EQ(reference, cold);
+  EXPECT_GT(cache::CacheStore::stat_dir(dir).entries, 0u);
+
+  // Warm run serves every stage from disk; bytes still identical.
+  obs::Observability warm_obs;
+  auto warm_config = small_config(seed, 1, dir.string());
+  warm_config.observability = &warm_obs;
+  const std::string warm = serialize_study(run_study(warm_config));
+  ASSERT_EQ(reference, warm);
+  const auto counters = warm_obs.metrics.snapshot().counters;
+  EXPECT_GE(counters.at("cache/hit"), 3u);  // traffic, faults, reconstruct
+  EXPECT_EQ(counters.count("cache/corrupt"), 0u);
+
+  // Warm run at a different thread count: cached artifacts computed at
+  // threads=1 serve a threads=4 run (thread count is deliberately not
+  // keyed; the engine is thread-count-deterministic).
+  const std::string warm_parallel =
+      serialize_study(run_study(small_config(seed, 4, dir.string())));
+  ASSERT_EQ(reference, warm_parallel);
+
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheGolden, ::testing::Values(11ULL, 5081ULL, 900913ULL),
+                         [](const auto& info) { return "seed_" + std::to_string(info.param); });
+
+TEST(CacheGoldenCorruption, CorruptEntriesDegradeToIdenticalRecompute) {
+  const std::uint64_t seed = 5081;
+  const fs::path dir = fresh_dir("corruption");
+
+  const std::string reference = serialize_study(run_study(small_config(seed, 1, "")));
+  ASSERT_EQ(reference, serialize_study(run_study(small_config(seed, 1, dir.string()))));
+
+  // Truncate every cached entry: every stage now sees a corrupt file.
+  std::size_t corrupted = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    fs::resize_file(entry.path(), entry.file_size() / 3);
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  obs::Observability observability;
+  auto config = small_config(seed, 1, dir.string());
+  config.observability = &observability;
+  const std::string recomputed = serialize_study(run_study(config));
+  ASSERT_EQ(reference, recomputed);
+
+  const auto counters = observability.metrics.snapshot().counters;
+  EXPECT_GE(counters.at("cache/corrupt"), 1u);
+
+  // The recompute re-put every stage; a further warm run hits cleanly.
+  obs::Observability warm_obs;
+  auto warm_config = small_config(seed, 1, dir.string());
+  warm_config.observability = &warm_obs;
+  ASSERT_EQ(reference, serialize_study(run_study(warm_config)));
+  EXPECT_EQ(warm_obs.metrics.snapshot().counters.count("cache/corrupt"), 0u);
+
+  fs::remove_all(dir);
+}
+
+TEST(CacheGoldenCorruption, UnwritableCacheDirectoryStillProducesCorrectResults) {
+  // Point the cache at a path that cannot be created (a file stands in the
+  // way): every get misses, every put fails, the run still completes with
+  // byte-identical output.
+  const fs::path blocker = fresh_dir("blocked_parent");
+  fs::create_directories(blocker);
+  const fs::path file_in_the_way = blocker / "not_a_directory";
+  std::ofstream(file_in_the_way) << "x";
+
+  const std::uint64_t seed = 11;
+  const std::string reference = serialize_study(run_study(small_config(seed, 1, "")));
+  const std::string blocked = serialize_study(
+      run_study(small_config(seed, 1, (file_in_the_way / "cache").string())));
+  EXPECT_EQ(reference, blocked);
+
+  fs::remove_all(blocker);
+}
+
+}  // namespace
+}  // namespace cvewb::pipeline

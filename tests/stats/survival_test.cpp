@@ -67,5 +67,41 @@ TEST(KaplanMeier, EmptyInput) {
   EXPECT_TRUE(kaplan_meier({}).empty());
 }
 
+// Edge-case contract pins: an empty curve (no events) has S(t) = 1.0 for
+// every t and an undefined (NaN) median; before the first event time the
+// estimator is exactly 1.0, including for negative t.
+TEST(KaplanMeier, EmptyCurveSemantics) {
+  const std::vector<SurvivalStep> empty;
+  EXPECT_DOUBLE_EQ(survival_at(empty, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(survival_at(empty, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(survival_at(empty, 1e9), 1.0);
+  EXPECT_TRUE(std::isnan(median_survival(empty)));
+}
+
+TEST(KaplanMeier, SurvivalBeforeFirstStepIsOne) {
+  const auto curve = kaplan_meier({{10, true}, {20, true}});
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(survival_at(curve, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(survival_at(curve, 9.999), 1.0);
+  // At the first step time itself the drop has happened.
+  EXPECT_DOUBLE_EQ(survival_at(curve, 10.0), 0.5);
+}
+
+TEST(KaplanMeier, MedianOfAllCensoredInputIsNaN) {
+  const auto curve = kaplan_meier({{1, false}, {2, false}, {3, false}});
+  EXPECT_TRUE(curve.empty());
+  EXPECT_TRUE(std::isnan(median_survival(curve)));
+  EXPECT_DOUBLE_EQ(survival_at(curve, 2.0), 1.0);
+}
+
+TEST(KaplanMeier, MedianPlateauAboveHalfIsNaN) {
+  // One event among four subjects: S plateaus at 0.75, never crossing 0.5.
+  const auto curve = kaplan_meier({{1, true}, {2, false}, {3, false}, {4, false}});
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].survival, 0.75);
+  EXPECT_TRUE(std::isnan(median_survival(curve)));
+}
+
 }  // namespace
 }  // namespace cvewb::stats

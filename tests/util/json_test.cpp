@@ -96,5 +96,77 @@ TEST(Json, IntegersDumpWithoutDecimalPoint) {
   EXPECT_EQ(Json(2.5).dump(), "2.5");
 }
 
+// Large integers must survive exactly.  Stored as doubles they silently
+// corrupt above 2^53: 2^53 + 1 rounds to 2^53, and INT64_MAX rounds to
+// 2^63 (not even representable back as int64).
+TEST(Json, LargeIntegersSerializeExactly) {
+  constexpr std::int64_t k2p53 = 9007199254740992;  // 2^53
+  EXPECT_EQ(Json(k2p53).dump(), "9007199254740992");
+  EXPECT_EQ(Json(k2p53 + 1).dump(), "9007199254740993");  // double would round
+  EXPECT_EQ(Json(k2p53 - 1).dump(), "9007199254740991");
+  EXPECT_EQ(Json(-k2p53 - 1).dump(), "-9007199254740993");
+  EXPECT_EQ(Json(std::int64_t{9223372036854775807}).dump(), "9223372036854775807");
+  EXPECT_EQ(Json(std::int64_t{-9223372036854775807} - 1).dump(), "-9223372036854775808");
+}
+
+TEST(Json, IntegerRepresentationAndAccessors) {
+  const Json integer{std::int64_t{42}};
+  EXPECT_TRUE(integer.is_integer());
+  EXPECT_EQ(integer.as_int64(), 42);
+  EXPECT_DOUBLE_EQ(integer.as_number(), 42.0);  // double view still works
+
+  const Json from_int{7};
+  EXPECT_TRUE(from_int.is_integer());
+  EXPECT_EQ(from_int.as_int64(), 7);
+
+  const Json real{2.5};
+  EXPECT_FALSE(real.is_integer());
+  EXPECT_THROW(real.as_int64(), std::logic_error);
+  const Json integral_double{3.0};  // explicit double stays a double
+  EXPECT_FALSE(integral_double.is_integer());
+  EXPECT_THROW(Json("s").as_int64(), std::logic_error);
+}
+
+TEST(Json, IntegerTokensParseExactly) {
+  // Round-trip at and beyond the 2^53 boundary.
+  for (const char* text :
+       {"9007199254740991", "9007199254740992", "9007199254740993", "-9007199254740993",
+        "9223372036854775807", "-9223372036854775808", "0", "-1"}) {
+    const auto parsed = parse_json(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_TRUE(parsed->is_integer()) << text;
+    EXPECT_EQ(parsed->dump(), text);
+  }
+  // Fractions and exponents stay doubles.
+  for (const char* text : {"2.5", "1e3", "-3.25", "1.0"}) {
+    const auto parsed = parse_json(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_FALSE(parsed->is_integer()) << text;
+  }
+  // Integers beyond int64 range degrade to double rather than failing.
+  const auto huge = parse_json("99999999999999999999999999");
+  ASSERT_TRUE(huge.has_value());
+  EXPECT_FALSE(huge->is_integer());
+  EXPECT_GT(huge->as_number(), 9.9e25);
+}
+
+TEST(Json, MixedNumericEquality) {
+  // Same mathematical value compares equal across representations below
+  // 2^53; distinct int64 values never collide.
+  EXPECT_EQ(Json(std::int64_t{3}), Json(3.0));
+  EXPECT_EQ(Json(3.0), Json(std::int64_t{3}));
+  constexpr std::int64_t k2p53 = 9007199254740992;
+  EXPECT_FALSE(Json(k2p53) == Json(k2p53 + 1));  // doubles would compare equal
+  EXPECT_EQ(Json(k2p53), Json(k2p53));
+
+  // Documents round-trip through dump/parse without drift.
+  Json doc{JsonObject{}};
+  doc.set("big", std::int64_t{9007199254740993});
+  const auto reparsed = parse_json(doc.dump());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->find("big")->as_int64(), 9007199254740993);
+  EXPECT_EQ(*reparsed, doc);
+}
+
 }  // namespace
 }  // namespace cvewb::util

@@ -21,6 +21,8 @@
 #include <sstream>
 #include <string>
 
+#include "cache/serialize.h"
+#include "cache/store.h"
 #include "ids/rule_gen.h"
 #include "data/cve_table_io.h"
 #include "lifecycle/markov.h"
@@ -30,6 +32,7 @@
 #include "report/disclosure_artifact.h"
 #include "report/export.h"
 #include "report/table.h"
+#include "util/sha256.h"
 
 namespace {
 
@@ -41,6 +44,9 @@ struct Options {
   int threads = 0;
   std::string trace_out;
   std::string metrics_out;
+  std::string cache_dir;
+  std::string digest_out;
+  std::uint64_t keep_bytes = 0;
   std::vector<std::string> positional;
 };
 
@@ -58,6 +64,12 @@ Options parse_options(int argc, char** argv) {
       options.trace_out = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       options.metrics_out = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      options.cache_dir = argv[++i];
+    } else if (arg == "--digest-out" && i + 1 < argc) {
+      options.digest_out = argv[++i];
+    } else if (arg == "--keep-bytes" && i + 1 < argc) {
+      options.keep_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else {
       options.positional.push_back(arg);
     }
@@ -70,7 +82,25 @@ pipeline::StudyConfig study_config(const Options& options) {
   config.seed = options.seed;
   config.event_scale = options.scale;
   config.threads = options.threads;
+  config.cache_dir = options.cache_dir;
   return config;
+}
+
+/// Write the study's output digest (SHA-256 over the canonical binary
+/// encoding of everything the study reports) when --digest-out was given.
+/// The digest is what the cold/warm CI smoke compares: identical digests
+/// prove the cached rerun reproduced the run byte-for-byte.
+bool write_digest(const pipeline::StudyResult& result, const Options& options) {
+  if (options.digest_out.empty()) return true;
+  const std::string digest = util::sha256_hex(cache::encode_study_result(result));
+  std::ofstream out(options.digest_out);
+  if (!out) {
+    std::cerr << "cannot open " << options.digest_out << "\n";
+    return false;
+  }
+  out << digest << "\n";
+  std::cerr << "result digest " << digest << "\n";
+  return true;
 }
 
 /// Observability bundle for commands that run the study: engaged when the
@@ -117,8 +147,35 @@ int cmd_study(const Options& options) {
                                           &report::paper_table5_skill());
   std::cout << "\nmitigated exposure: "
             << report::fmt(result.exposure.mitigated_fraction() * 100, 1) << "%\n";
-  if (!write_observability(observability.get(), options)) return 1;
-  return 0;
+  bool ok = write_observability(observability.get(), options);
+  ok = write_digest(result, options) && ok;
+  return ok ? 0 : 1;
+}
+
+/// `cvewb cache stat <dir>` / `cvewb cache gc <dir> [--keep-bytes N]`.
+int cmd_cache(const Options& options) {
+  if (options.positional.size() < 2) {
+    std::cerr << "usage: cvewb cache <stat|gc> <dir> [--keep-bytes N]\n";
+    return 2;
+  }
+  const std::string& action = options.positional[0];
+  const std::string& dir = options.positional[1];
+  if (action == "stat") {
+    const auto stat = cache::CacheStore::stat_dir(dir);
+    std::cout << dir << ": " << stat.entries << " entries, " << stat.file_bytes
+              << " bytes on disk (" << stat.payload_bytes << " payload bytes), "
+              << stat.corrupt << " corrupt\n";
+    return 0;
+  }
+  if (action == "gc") {
+    const auto result = cache::CacheStore::gc(dir, options.keep_bytes);
+    std::cout << dir << ": removed " << result.removed << " entries (" << result.removed_bytes
+              << " bytes, " << result.corrupt_removed << " corrupt), kept " << result.kept
+              << " entries (" << result.kept_bytes << " bytes)\n";
+    return 0;
+  }
+  std::cerr << "unknown cache action '" << action << "' (expected stat or gc)\n";
+  return 2;
 }
 
 int cmd_rules() {
@@ -272,9 +329,10 @@ int cmd_lifecycle(const Options& options) {
 }
 
 void usage() {
-  std::cerr << "usage: cvewb <study|rules|baselines|artifacts|pcap|export|dataset|lifecycle|trace-verify> [options]\n"
+  std::cerr << "usage: cvewb <study|rules|baselines|artifacts|pcap|export|dataset|lifecycle|trace-verify|cache> [options]\n"
                "  study      run the end-to-end study (--seed, --scale, --threads,\n"
-               "             --trace-out FILE, --metrics-out FILE)\n"
+               "             --trace-out FILE, --metrics-out FILE, --cache-dir DIR,\n"
+               "             --digest-out FILE)\n"
                "  rules      print the synthetic Snort-subset study ruleset\n"
                "  baselines  print the CERT Markov baseline probabilities\n"
                "  artifacts  emit machine-readable disclosure artifacts (JSON)\n"
@@ -283,7 +341,9 @@ void usage() {
                "             (also accepts --trace-out / --metrics-out)\n"
                "  dataset    dump the studied-CVE table as CSV\n"
                "  lifecycle CVE-YYYY-NNNN  print one studied CVE's timeline\n"
-               "  trace-verify FILE  validate an emitted Chrome trace-event file\n";
+               "  trace-verify FILE  validate an emitted Chrome trace-event file\n"
+               "  cache stat DIR     summarize a stage-cache directory\n"
+               "  cache gc DIR       drop corrupt entries, evict oldest past --keep-bytes N\n";
 }
 
 }  // namespace
@@ -304,6 +364,7 @@ int main(int argc, char** argv) {
   if (command == "dataset") return cmd_dataset();
   if (command == "lifecycle") return cmd_lifecycle(options);
   if (command == "trace-verify") return cmd_trace_verify(options);
+  if (command == "cache") return cmd_cache(options);
   usage();
   return 2;
 }
