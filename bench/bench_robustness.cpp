@@ -6,17 +6,29 @@
 // violated / unknown verdict across every studied desideratum) and how
 // far the mean skill drifts.  The interesting output is the knee: the
 // degradation level at which classifications start to flip.
+// A final chaos leg times recovery itself: a journaled run interrupted at
+// its last stage checkpoint and then resumed, against a cold run of the
+// same configuration.  The resume wall-clock (and its speedup over cold)
+// lands in BENCH_robustness.json (argv[1] redirects the path).
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "cache/serialize.h"
 #include "common.h"
 #include "data/appendix_e.h"
 #include "faults/fault_injector.h"
 #include "lifecycle/desiderata.h"
+#include "obs/observability.h"
+#include "pipeline/supervisor.h"
 #include "report/data_quality.h"
 #include "report/table.h"
+#include "util/json.h"
+#include "util/sha256.h"
 
 namespace {
 
@@ -47,9 +59,22 @@ std::string percent(double v) {
   return buf;
 }
 
+/// One supervised run against `cache_dir`; returns wall-clock seconds and
+/// fills `report`.
+double timed_run(pipeline::StudyConfig config, const std::string& cache_dir,
+                 const std::string& cancel_after, pipeline::RunReport& report) {
+  config.cache_dir = cache_dir;
+  config.chaos_cancel_after_stage = cancel_after;
+  const auto start = std::chrono::steady_clock::now();
+  pipeline::RunSupervisor supervisor(std::move(config));
+  report = supervisor.run();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_robustness.json";
   const auto& study = bench::the_study();
   const auto clean_classes = classify(study.reconstruction.timelines);
   const double clean_skill = study.table4.mean_skill();
@@ -141,6 +166,75 @@ int main() {
     std::cout << "classification stability: " << stable << "/" << clean_classes.size()
               << " CVEs unchanged; mean skill " << degraded.table4.mean_skill() << " (clean "
               << clean_skill << ")\n";
+  }
+
+  {
+    // Chaos leg: how much of a run does a checkpointed interruption save?
+    // Interrupt a journaled run right after its final stage checkpoint
+    // (reconstruct) -- the best case a SIGTERM can hit -- then resume and
+    // compare against a cold run of the same configuration.
+    bench::header("Chaos leg: resume-after-interrupt vs cold run");
+    const std::filesystem::path cache_root =
+        std::filesystem::temp_directory_path() / "cvewb_bench_robustness_cache";
+    std::filesystem::remove_all(cache_root);
+    const pipeline::StudyConfig config = bench::study_config();
+
+    pipeline::RunReport cold_report;
+    const double cold_seconds =
+        timed_run(config, (cache_root / "cold").string(), "", cold_report);
+    const std::string cold_digest =
+        cold_report.ok() ? util::sha256_hex(cache::encode_study_result(*cold_report.result))
+                         : "";
+
+    pipeline::RunReport interrupted_report;
+    const double interrupted_seconds = timed_run(config, (cache_root / "resume").string(),
+                                                 "reconstruct", interrupted_report);
+    const bool interrupted_ok =
+        interrupted_report.status == pipeline::RunStatus::kCancelled &&
+        interrupted_report.resumable;
+
+    obs::Observability resume_obs;
+    pipeline::StudyConfig resume_config = config;
+    resume_config.observability = &resume_obs;
+    pipeline::RunReport resume_report;
+    const double resume_seconds =
+        timed_run(resume_config, (cache_root / "resume").string(), "", resume_report);
+    const std::string resume_digest =
+        resume_report.ok() ? util::sha256_hex(cache::encode_study_result(*resume_report.result))
+                           : "";
+    const auto counters = resume_obs.metrics.snapshot().counters;
+    const auto counter = [&](const char* name) -> std::int64_t {
+      const auto it = counters.find(name);
+      return it == counters.end() ? 0 : static_cast<std::int64_t>(it->second);
+    };
+
+    const bool digests_match = !cold_digest.empty() && cold_digest == resume_digest;
+    const double resume_speedup = resume_seconds > 0 ? cold_seconds / resume_seconds : 0;
+    std::cout << "  cold run:          " << cold_seconds << " s\n"
+              << "  interrupted run:   " << interrupted_seconds << " s (exit: "
+              << pipeline::run_status_name(interrupted_report.status)
+              << (interrupted_report.resumable ? ", resumable" : "") << ")\n"
+              << "  resumed run:       " << resume_seconds << " s  (" << resume_speedup
+              << "x vs cold, " << counter("resume/stages_prior") << " checkpoints adopted, "
+              << counter("cache/hit") << " cache hits)\n"
+              << "  digest convergence: " << (digests_match ? "identical" : "MISMATCH") << "\n";
+
+    util::Json doc;
+    doc.set("bench", "bench_robustness");
+    doc.set("event_scale", config.event_scale);
+    doc.set("cold_seconds", cold_seconds);
+    doc.set("interrupted_seconds", interrupted_seconds);
+    doc.set("interrupted_resumable", interrupted_ok);
+    doc.set("resume_seconds", resume_seconds);
+    doc.set("resume_speedup", resume_speedup);
+    doc.set("resume_stages_prior", counter("resume/stages_prior"));
+    doc.set("resume_cache_hits", counter("cache/hit"));
+    doc.set("digests_match", digests_match);
+    std::filesystem::remove_all(cache_root);
+    std::ofstream out(out_path);
+    out << doc.dump(2) << "\n";
+    std::cout << "  wrote " << out_path << "\n";
+    if (!digests_match || !interrupted_ok) return 1;
   }
   return 0;
 }

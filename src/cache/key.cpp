@@ -96,13 +96,10 @@ std::string traffic_stage_key(const pipeline::StudyConfig& config) {
   return hasher.hex();
 }
 
-std::string faults_stage_key(const pipeline::StudyConfig& config,
-                             std::string_view upstream_digest) {
-  const faults::FaultPlan& plan = config.faults;
-  KeyHasher hasher("faults");
-  hasher.field("upstream", upstream_digest)
-      .field("seed", fault_seed(config))
-      .field("lanes", static_cast<std::int64_t>(plan.lanes))
+namespace {
+
+void hash_fault_plan(KeyHasher& hasher, const faults::FaultPlan& plan) {
+  hasher.field("lanes", static_cast<std::int64_t>(plan.lanes))
       .field("blackout_count", static_cast<std::int64_t>(plan.blackout_count))
       .field("blackout_duration", plan.blackout_duration.total_seconds())
       .field("session_loss_rate", plan.session_loss_rate)
@@ -113,6 +110,15 @@ std::string faults_stage_key(const pipeline::StudyConfig& config,
       .field("reorder_rate", plan.reorder_rate)
       .field("reorder_max_displacement", static_cast<std::int64_t>(plan.reorder_max_displacement))
       .field("clock_skew_max", plan.clock_skew_max.total_seconds());
+}
+
+}  // namespace
+
+std::string faults_stage_key(const pipeline::StudyConfig& config,
+                             std::string_view upstream_digest) {
+  KeyHasher hasher("faults");
+  hasher.field("upstream", upstream_digest).field("seed", fault_seed(config));
+  hash_fault_plan(hasher, config.faults);
   return hasher.hex();
 }
 
@@ -129,6 +135,24 @@ std::string reconstruct_stage_key(const pipeline::ReconstructOptions& options,
   KeyHasher hasher("reconstruct");
   hash_match_inputs(hasher, options, upstream_digest, ruleset_digest);
   hasher.field("deployment_delay", options.deployment_delay.total_seconds());
+  return hasher.hex();
+}
+
+std::string run_key(const pipeline::StudyConfig& config) {
+  KeyHasher hasher("run");
+  // The traffic key already covers the source-stage slice; the fault and
+  // reconstruct slices are hashed directly (their stage keys chain on
+  // artifact digests this function cannot know up front).
+  hasher.field("traffic", traffic_stage_key(config));
+  hasher.field("faults_active", config.faults.any());
+  hasher.field("fault_seed", fault_seed(config));
+  hash_fault_plan(hasher, config.faults);
+  const pipeline::ReconstructOptions& reconstruct = config.reconstruct;
+  hasher.field("port_insensitive", reconstruct.port_insensitive)
+      .field("dedup", reconstruct.dedup)
+      .field("deployment_delay", reconstruct.deployment_delay.total_seconds());
+  hash_window(hasher, "window_begin", reconstruct.window_begin);
+  hash_window(hasher, "window_end", reconstruct.window_end);
   return hasher.hex();
 }
 

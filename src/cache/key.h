@@ -74,4 +74,11 @@ std::string reconstruct_stage_key(const pipeline::ReconstructOptions& options,
                                   std::string_view upstream_digest,
                                   std::string_view ruleset_digest);
 
+/// Identity of one whole study run: every result-shaping config field
+/// across all stages (and nothing else -- threads, observability, cache,
+/// chaos, cancellation, and retry settings are deliberately excluded).
+/// Names the run manifest, so a resumed run only ever picks up checkpoints
+/// from a run that would have produced the same bytes.
+std::string run_key(const pipeline::StudyConfig& config);
+
 }  // namespace cvewb::cache

@@ -7,6 +7,7 @@
 #include <system_error>
 
 #include "cache/key.h"
+#include "chaos/fs_shim.h"
 #include "obs/observability.h"
 #include "util/sha256.h"
 
@@ -99,6 +100,7 @@ struct EntryFile {
   std::uint64_t file_bytes = 0;
   std::filesystem::file_time_type mtime;
   bool valid = false;
+  bool stray_temp = false;  // orphaned *.tmp.* left by a dead/failed writer
   std::uint64_t payload_bytes = 0;
 };
 
@@ -114,6 +116,7 @@ std::vector<EntryFile> scan_entries(const std::filesystem::path& dir) {
     if (!stray && !is_entry_file(dirent.path())) continue;
     EntryFile entry;
     entry.path = dirent.path();
+    entry.stray_temp = stray;
     entry.file_bytes = dirent.file_size(entry_ec);
     entry.mtime = dirent.last_write_time(entry_ec);
     std::string raw;
@@ -126,8 +129,12 @@ std::vector<EntryFile> scan_entries(const std::filesystem::path& dir) {
 
 }  // namespace
 
-CacheStore::CacheStore(std::filesystem::path dir, obs::Observability* observability)
-    : dir_(std::move(dir)), observability_(observability) {
+CacheStore::CacheStore(std::filesystem::path dir, obs::Observability* observability,
+                       chaos::FsShim* fs, util::RetryPolicy retry)
+    : dir_(std::move(dir)),
+      observability_(observability),
+      fs_(fs != nullptr ? fs : &chaos::FsShim::passthrough()),
+      retry_(retry) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // failure surfaces as misses
 }
@@ -149,9 +156,25 @@ std::optional<std::string> CacheStore::get(std::string_view key, std::string_vie
     obs::count(observability_, "cache/miss");
     return std::nullopt;
   }
+  // Transient read failures (EIO under chaos, flaky network filesystems)
+  // are retried under the policy; a read that never succeeds is an I/O
+  // error, distinct from an entry that was read fine but failed validation.
   std::string raw;
+  const bool read_ok = util::retry_io(
+      retry_, nullptr, [&] { return fs_->read_file(path, raw); },
+      [&](int) {
+        ++stats_.retries;
+        obs::count(observability_, "cache/retry");
+      });
+  if (!read_ok) {
+    ++stats_.misses;
+    ++stats_.io_errors;
+    obs::count(observability_, "cache/miss");
+    obs::count(observability_, "cache/io_error");
+    return std::nullopt;
+  }
   std::string payload;
-  if (!read_file(path, raw) || !validate_entry(raw, nullptr, &payload, payload_sha_hex)) {
+  if (!validate_entry(raw, nullptr, &payload, payload_sha_hex)) {
     ++stats_.misses;
     ++stats_.corrupt;
     obs::count(observability_, "cache/miss");
@@ -195,19 +218,30 @@ bool CacheStore::put(std::string_view key, std::string_view payload, std::string
       path.parent_path() /
       (path.filename().string() + ".tmp." + std::to_string(::getpid()) + "." +
        std::to_string(reinterpret_cast<std::uintptr_t>(&entry)));
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(entry.data(), static_cast<std::streamsize>(entry.size()));
-    if (!out) {
-      out.close();
-      std::filesystem::remove(temp, ec);
-      return false;
-    }
-  }
-  std::filesystem::rename(temp, path, ec);
-  if (ec) {
-    std::filesystem::remove(temp, ec);
+  // One attempt = write temp + rename into place.  Any failure unlinks the
+  // temp before reporting -- a failed put must never leave a stray *.tmp.*
+  // behind (gc sweeps the ones left by writers that died outright).
+  // Transient failures are retried with backoff under the policy.
+  const bool stored = util::retry_io(
+      retry_, nullptr,
+      [&] {
+        if (!fs_->write_file(temp, entry)) {
+          fs_->remove(temp);
+          return false;
+        }
+        if (!fs_->rename(temp, path)) {
+          fs_->remove(temp);
+          return false;
+        }
+        return true;
+      },
+      [&](int) {
+        ++stats_.retries;
+        obs::count(observability_, "cache/retry");
+      });
+  if (!stored) {
+    ++stats_.io_errors;
+    obs::count(observability_, "cache/io_error");
     return false;
   }
   stats_.bytes_written += payload.size();
@@ -229,12 +263,15 @@ CacheDirStat CacheStore::stat_dir(const std::filesystem::path& dir) {
   return stat;
 }
 
-GcResult CacheStore::gc(const std::filesystem::path& dir, std::uint64_t keep_bytes) {
+GcResult CacheStore::gc(const std::filesystem::path& dir, std::uint64_t keep_bytes,
+                        obs::Observability* observability) {
   GcResult result;
   std::vector<EntryFile> entries = scan_entries(dir);
   std::error_code ec;
 
-  // Pass 1: corrupt entries (and orphaned temp files) go unconditionally.
+  // Pass 1: corrupt entries and orphaned temp files go unconditionally.
+  // Temps are counted separately (cache/gc_tmp): they are put() writers
+  // that died or failed mid-write, not entries that rotted on disk.
   for (auto it = entries.begin(); it != entries.end();) {
     if (it->valid) {
       ++it;
@@ -242,7 +279,13 @@ GcResult CacheStore::gc(const std::filesystem::path& dir, std::uint64_t keep_byt
     }
     std::filesystem::remove(it->path, ec);
     ++result.removed;
-    ++result.corrupt_removed;
+    if (it->stray_temp) {
+      ++result.tmp_removed;
+      obs::count(observability, "cache/gc_tmp");
+    } else {
+      ++result.corrupt_removed;
+      obs::count(observability, "cache/gc_corrupt");
+    }
     result.removed_bytes += it->file_bytes;
     it = entries.erase(it);
   }

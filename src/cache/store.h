@@ -12,6 +12,13 @@
 // validation); the caller recomputes and re-puts, which heals the entry.
 // Cache I/O errors likewise degrade to recompute -- a full disk or
 // read-only directory slows a run down, it never fails one.
+//
+// All file operations route through a chaos::FsShim (a transparent
+// passthrough by default), so the chaos suite can starve the store of
+// disk, tear its writes, and fail its renames deterministically.  An
+// optional util::RetryPolicy retries transient read/write failures with
+// exponential backoff before degrading; every retry is counted
+// (CacheStats::retries, cache/retry metric).
 #pragma once
 
 #include <cstdint>
@@ -21,8 +28,13 @@
 #include <string_view>
 #include <vector>
 
+#include "util/retry.h"
+
 namespace cvewb::obs {
 struct Observability;
+}
+namespace cvewb::chaos {
+class FsShim;
 }
 
 namespace cvewb::cache {
@@ -35,6 +47,8 @@ struct CacheStats {
   std::uint64_t corrupt = 0;        // entries that existed but failed validation
   std::uint64_t bytes_read = 0;     // payload bytes served from cache
   std::uint64_t bytes_written = 0;  // payload bytes stored on miss
+  std::uint64_t retries = 0;        // I/O attempts retried under the policy
+  std::uint64_t io_errors = 0;      // reads/writes that failed after retries
 };
 
 /// Aggregate of a cache directory scan (`cvewb cache stat`).
@@ -50,6 +64,8 @@ struct GcResult {
   std::uint64_t removed = 0;         // entries deleted (stale + corrupt + over budget)
   std::uint64_t removed_bytes = 0;   // on-disk bytes reclaimed
   std::uint64_t corrupt_removed = 0; // of `removed`, how many failed validation
+  std::uint64_t tmp_removed = 0;     // of `removed`, orphaned temp files (writer
+                                     // died or failed mid-put)
   std::uint64_t kept = 0;
   std::uint64_t kept_bytes = 0;
 };
@@ -57,8 +73,12 @@ struct GcResult {
 class CacheStore {
  public:
   /// Opens (creating if needed) a cache directory.  `observability` is an
-  /// optional metrics/trace sink; it never influences cached bytes.
-  explicit CacheStore(std::filesystem::path dir, obs::Observability* observability = nullptr);
+  /// optional metrics/trace sink; it never influences cached bytes.  `fs`
+  /// routes the store's file I/O (null = the real filesystem); `retry`
+  /// bounds re-attempts of transient read/write failures.  None of the
+  /// three can influence cached bytes -- only whether and when they land.
+  explicit CacheStore(std::filesystem::path dir, obs::Observability* observability = nullptr,
+                      chaos::FsShim* fs = nullptr, util::RetryPolicy retry = {});
 
   /// Fetch the payload stored under `key`.  nullopt on miss or on any
   /// validation failure (corrupt entries are counted, never thrown).
@@ -85,15 +105,20 @@ class CacheStore {
   /// Works on any directory; a missing one reports all zeros.
   static CacheDirStat stat_dir(const std::filesystem::path& dir);
 
-  /// Remove corrupt entries unconditionally, then evict oldest-first until
-  /// at most `keep_bytes` of on-disk entry bytes remain (0 = clear all).
-  static GcResult gc(const std::filesystem::path& dir, std::uint64_t keep_bytes);
+  /// Remove corrupt entries and orphaned temp files unconditionally, then
+  /// evict oldest-first until at most `keep_bytes` of on-disk entry bytes
+  /// remain (0 = clear all).  `observability` (optional) receives
+  /// cache/gc_tmp and cache/gc_corrupt counters.
+  static GcResult gc(const std::filesystem::path& dir, std::uint64_t keep_bytes,
+                     obs::Observability* observability = nullptr);
 
  private:
   std::filesystem::path entry_path(std::string_view key) const;
 
   std::filesystem::path dir_;
   obs::Observability* observability_;
+  chaos::FsShim* fs_;
+  util::RetryPolicy retry_;
   CacheStats stats_;
 };
 

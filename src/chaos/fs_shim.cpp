@@ -1,0 +1,150 @@
+#include "chaos/fs_shim.h"
+
+#include <fstream>
+#include <system_error>
+#include <thread>
+
+#include "obs/observability.h"
+#include "util/rng.h"
+
+namespace cvewb::chaos {
+
+namespace {
+
+bool raw_read(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamoff size = in.tellg();
+  if (size < 0) return false;
+  std::string raw(static_cast<std::size_t>(size), '\0');
+  in.seekg(0);
+  in.read(raw.data(), size);
+  if (!in || in.gcount() != size) return false;
+  out = std::move(raw);
+  return true;
+}
+
+bool raw_write(const std::filesystem::path& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  // Explicit close so a flush-at-close failure is observed here, not
+  // swallowed by the destructor.
+  out.close();
+  return !out.fail();
+}
+
+}  // namespace
+
+FsShim::FsShim(FsFaultPlan plan, obs::Observability* observability)
+    : plan_(plan), observability_(observability) {}
+
+FsShimStats FsShim::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+FsShim& FsShim::passthrough() {
+  static FsShim shim;
+  return shim;
+}
+
+util::Rng FsShim::op_rng(OpClass op_class) {
+  std::uint64_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index = op_counter_[op_class]++;
+    switch (op_class) {
+      case kRead:
+        ++stats_.reads;
+        break;
+      case kWrite:
+        ++stats_.writes;
+        break;
+      case kRename:
+        ++stats_.renames;
+        break;
+    }
+  }
+  util::Rng rng(util::stream_seed(plan_.seed, op_class, index));
+  // The latency decision is always the stream's first draw, so every later
+  // fault decision stays a pure function of (plan, class, index).
+  if (rng.chance(plan_.latency_rate) && plan_.latency.count() > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.injected_latency;
+    }
+    obs::count(observability_, "chaos/latency");
+    obs::count(observability_, "chaos/latency_us",
+               static_cast<std::uint64_t>(plan_.latency.count()));
+    std::this_thread::sleep_for(plan_.latency);
+  }
+  return rng;
+}
+
+bool FsShim::read_file(const std::filesystem::path& path, std::string& out) {
+  if (!plan_.any()) return raw_read(path, out);
+  util::Rng rng = op_rng(kRead);
+  if (rng.uniform() < plan_.eio_read_rate) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.injected_eio;
+    }
+    obs::count(observability_, "chaos/eio");
+    return false;
+  }
+  return raw_read(path, out);
+}
+
+bool FsShim::write_file(const std::filesystem::path& path, std::string_view bytes) {
+  if (!plan_.any()) return raw_write(path, bytes);
+  util::Rng rng = op_rng(kWrite);
+  // One draw spans both write-fault classes (ENOSPC band first, torn band
+  // after), so their rates compose without correlation.
+  const double u = rng.uniform();
+  const bool enospc = u < plan_.enospc_write_rate;
+  const bool torn = !enospc && u < plan_.enospc_write_rate + plan_.torn_write_rate;
+  if (!enospc && !torn) return raw_write(path, bytes);
+
+  // Deterministic partial write: strictly a prefix (never the full file),
+  // its length derived from the same per-op stream.
+  const std::size_t prefix = bytes.empty() ? 0 : rng.uniform_u64(bytes.size());
+  const bool wrote = raw_write(path, bytes.substr(0, prefix));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enospc) {
+      ++stats_.injected_enospc;
+    } else {
+      ++stats_.injected_torn;
+    }
+  }
+  obs::count(observability_, enospc ? "chaos/enospc" : "chaos/torn_write");
+  // ENOSPC: the caller sees the failure (and owns cleaning up the partial
+  // file).  Torn write: the caller sees success -- the corruption must be
+  // caught downstream by validation, never by this return value.
+  return enospc ? false : wrote;
+}
+
+bool FsShim::rename(const std::filesystem::path& from, const std::filesystem::path& to) {
+  if (plan_.any()) {
+    util::Rng rng = op_rng(kRename);
+    if (rng.uniform() < plan_.rename_fail_rate) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.injected_rename_fail;
+      }
+      obs::count(observability_, "chaos/rename_fail");
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  return !ec;
+}
+
+void FsShim::remove(const std::filesystem::path& path) noexcept {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace cvewb::chaos

@@ -1,0 +1,131 @@
+// Deterministic filesystem fault injection for the engine's own I/O.
+//
+// PR 1 injected faults into the *simulated capture*; this shim turns the
+// same philosophy on the engine itself: the stage cache, the run manifest,
+// and the report writers route their file operations through an FsShim,
+// and a seeded FsFaultPlan makes those operations fail the way real disks
+// do -- ENOSPC partway through a write, EIO on read, a torn write that
+// reports success but leaves only a prefix durable, a rename that never
+// lands, injected latency.
+//
+// Injection is a pure function of (plan, op class, op index): each
+// operation class keeps its own counter and derives a per-op RNG via
+// util::stream_seed, so a given plan fails exactly the same operations on
+// every run regardless of wall-clock or interleaving with other classes.
+// A default-constructed shim is a transparent passthrough with no RNG
+// draws and no locking on the read/write paths.
+//
+// The failure model the rest of the engine must uphold against this shim
+// (proven by tests/chaos/): every injected fault degrades -- a retry, a
+// recompute, a skipped checkpoint -- and never a crash, a hang, or a
+// silently wrong StudyResult.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace cvewb::obs {
+struct Observability;
+}
+
+namespace cvewb::chaos {
+
+/// Seeded fault plan; rates are per-operation probabilities in [0, 1].
+/// The default plan injects nothing.
+struct FsFaultPlan {
+  std::uint64_t seed = 0;
+  /// read_file fails (the EIO model: the file exists but cannot be read).
+  double eio_read_rate = 0.0;
+  /// write_file writes a deterministic prefix, then fails (the ENOSPC
+  /// model: the disk filled mid-write; the partial file is left behind for
+  /// the caller's cleanup path to deal with).
+  double enospc_write_rate = 0.0;
+  /// write_file writes a deterministic prefix but *reports success* (the
+  /// torn-write model: buffered bytes lost before they reached the platter;
+  /// nobody saw an error).  Callers must survive the resulting corruption
+  /// by construction -- for cache entries, header+digest validation turns
+  /// it into a miss.
+  double torn_write_rate = 0.0;
+  /// rename fails (cross-device / transient-error model); the source file
+  /// is left in place for the caller to clean up.
+  double rename_fail_rate = 0.0;
+  /// The operation is delayed by `latency` before executing.
+  double latency_rate = 0.0;
+  std::chrono::microseconds latency{0};
+
+  bool any() const {
+    return eio_read_rate > 0 || enospc_write_rate > 0 || torn_write_rate > 0 ||
+           rename_fail_rate > 0 || (latency_rate > 0 && latency.count() > 0);
+  }
+};
+
+/// In-process counters for one shim (also exported as chaos/... metrics
+/// when an Observability is attached).
+struct FsShimStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t renames = 0;
+  std::uint64_t injected_eio = 0;
+  std::uint64_t injected_enospc = 0;
+  std::uint64_t injected_torn = 0;
+  std::uint64_t injected_rename_fail = 0;
+  std::uint64_t injected_latency = 0;
+
+  std::uint64_t injected_total() const {
+    return injected_eio + injected_enospc + injected_torn + injected_rename_fail;
+  }
+};
+
+class FsShim {
+ public:
+  /// Transparent passthrough: real filesystem, no faults, no locking.
+  FsShim() = default;
+  explicit FsShim(FsFaultPlan plan, obs::Observability* observability = nullptr);
+
+  /// Whole-file read into `out`.  False on a missing file, a real I/O
+  /// error, or an injected EIO.
+  bool read_file(const std::filesystem::path& path, std::string& out);
+
+  /// Plain (non-atomic) file write; callers wanting atomicity write a temp
+  /// and rename() it into place, which is exactly how the fault points
+  /// compose: ENOSPC leaves a partial temp and returns false, a torn write
+  /// leaves a partial temp and returns *true*.
+  bool write_file(const std::filesystem::path& path, std::string_view bytes);
+
+  /// Rename `from` onto `to`.  False on a real or injected failure; the
+  /// source file is left in place either way.
+  bool rename(const std::filesystem::path& from, const std::filesystem::path& to);
+
+  /// Remove `path` (missing is fine).  Never injected: cleanup paths must
+  /// stay reliable or every other fault would leak files.
+  void remove(const std::filesystem::path& path) noexcept;
+
+  const FsFaultPlan& plan() const { return plan_; }
+  FsShimStats stats() const;
+
+  /// Shared transparent instance for call sites whose shim is optional.
+  static FsShim& passthrough();
+
+ private:
+  // One counter per operation class so injection for a class is a pure
+  // function of that class's op index (reads never perturb write faults).
+  enum OpClass : std::uint64_t { kRead = 1, kWrite = 2, kRename = 3 };
+
+  /// Bump the class's op counter, apply latency injection, and hand back
+  /// this op's deterministic RNG stream for the fault decisions.
+  util::Rng op_rng(OpClass op_class);
+
+  FsFaultPlan plan_{};
+  obs::Observability* observability_ = nullptr;
+  mutable std::mutex mutex_;
+  std::uint64_t op_counter_[4] = {0, 0, 0, 0};  // indexed by OpClass
+  FsShimStats stats_;
+};
+
+}  // namespace cvewb::chaos

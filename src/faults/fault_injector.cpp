@@ -58,12 +58,14 @@ struct ChunkOut {
 }  // namespace
 
 FaultedCorpus inject_faults(const traffic::GeneratedTraffic& corpus, const FaultPlan& plan,
-                            std::uint64_t seed, util::ThreadPool* pool, obs::Observability* observability) {
-  return FaultInjector(plan, seed).run(corpus, pool, observability);
+                            std::uint64_t seed, util::ThreadPool* pool,
+                            obs::Observability* observability, util::CancelToken* cancel) {
+  return FaultInjector(plan, seed).run(corpus, pool, observability, cancel);
 }
 
 FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus, util::ThreadPool* pool,
-                                 obs::Observability* observability) const {
+                                 obs::Observability* observability,
+                                 util::CancelToken* cancel) const {
   obs::Span inject_span(obs::tracer_of(observability), "faults/inject");
   FaultedCorpus out;
   out.log.sessions_in = corpus.sessions.size();
@@ -163,7 +165,7 @@ FaultedCorpus FaultInjector::run(const traffic::GeneratedTraffic& corpus, util::
       if (duplicate) slot.sessions.push_back(session);  // same record, delivered twice
       slot.sessions.push_back(std::move(session));
     }
-  });
+  }, cancel);
 
   // Merge chunk outputs in input order.
   auto& sessions = out.traffic.sessions;

@@ -16,6 +16,7 @@
 #include "traffic/internet.h"
 
 namespace cvewb::util {
+class CancelToken;
 class ThreadPool;
 }
 namespace cvewb::obs {
@@ -50,17 +51,20 @@ class FaultInjector {
   /// of (corpus, plan, seed) at any thread count.  `pool == nullptr` runs
   /// the chunks inline (the serial reference path).  `obs` is an optional
   /// tracing/metrics side-channel; it never influences the output.
+  /// `cancel` makes each chunk start a cancellation point.
   FaultedCorpus run(const traffic::GeneratedTraffic& corpus, util::ThreadPool* pool = nullptr,
-                    obs::Observability* observability = nullptr) const;
+                    obs::Observability* observability = nullptr,
+                    util::CancelToken* cancel = nullptr) const;
 
  private:
   FaultPlan plan_;
   std::uint64_t seed_;
 };
 
-/// Convenience wrapper: FaultInjector(plan, seed).run(corpus, pool, observability).
+/// Convenience wrapper: FaultInjector(plan, seed).run(corpus, pool, observability, cancel).
 FaultedCorpus inject_faults(const traffic::GeneratedTraffic& corpus, const FaultPlan& plan,
                             std::uint64_t seed, util::ThreadPool* pool = nullptr,
-                            obs::Observability* observability = nullptr);
+                            obs::Observability* observability = nullptr,
+                            util::CancelToken* cancel = nullptr);
 
 }  // namespace cvewb::faults

@@ -183,7 +183,7 @@ const Rule* Matcher::earliest_published_match(const net::TcpSession& session) co
 
 CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
                          util::ThreadPool* pool, std::size_t chunk_size,
-                         obs::Observability* observability) {
+                         obs::Observability* observability, util::CancelToken* cancel) {
   obs::Span corpus_span(obs::tracer_of(observability), "ids/match_corpus");
   CorpusMatch out;
   out.matches.assign(sessions.size(), nullptr);
@@ -203,7 +203,7 @@ CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSessi
       }
     }
     obs::observe(observability, "ids/batch_sessions", last - first);
-  });
+  }, cancel);
   for (const std::size_t errors : chunk_errors) out.errors += errors;
   if (observability != nullptr) {
     std::size_t matched = 0;

@@ -20,6 +20,7 @@
 #include "net/tcp_session.h"
 
 namespace cvewb::util {
+class CancelToken;
 class ThreadPool;
 }
 namespace cvewb::obs {
@@ -90,6 +91,7 @@ struct CorpusMatch {
 /// is a strict side-channel and never changes the result.
 CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
                          util::ThreadPool* pool = nullptr, std::size_t chunk_size = 4096,
-                         obs::Observability* observability = nullptr);
+                         obs::Observability* observability = nullptr,
+                         util::CancelToken* cancel = nullptr);
 
 }  // namespace cvewb::ids

@@ -1,0 +1,179 @@
+#include "pipeline/manifest.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "chaos/fs_shim.h"
+#include "obs/observability.h"
+#include "util/json.h"
+
+namespace cvewb::pipeline {
+
+namespace {
+
+util::Json encode_manifest(const RunManifest& manifest) {
+  // Explicitly an array: a zero-checkpoint manifest (just begun) must
+  // encode as [] so it round-trips through decode_manifest's type check.
+  util::Json stages{util::JsonArray{}};
+  for (const ManifestStage& stage : manifest.stages) {
+    util::Json record;
+    record.set("name", stage.name);
+    record.set("key", stage.key);
+    record.set("digest", stage.digest);
+    stages.push_back(std::move(record));
+  }
+  util::Json doc;
+  doc.set("version", static_cast<std::int64_t>(RunManifest::kVersion));
+  doc.set("run_key", manifest.run_key);
+  doc.set("seed", static_cast<std::int64_t>(manifest.seed));
+  doc.set("status", manifest.status);
+  doc.set("stages", std::move(stages));
+  return doc;
+}
+
+const std::string* find_string(const util::Json& doc, std::string_view key) {
+  const util::Json* value = doc.find(key);
+  if (value == nullptr || value->type() != util::Json::Type::kString) return nullptr;
+  return &value->as_string();
+}
+
+std::optional<RunManifest> decode_manifest(const util::Json& doc) {
+  const util::Json* version = doc.find("version");
+  if (version == nullptr || !version->is_integer() ||
+      version->as_int64() != static_cast<std::int64_t>(RunManifest::kVersion)) {
+    return std::nullopt;
+  }
+  const std::string* run_key = find_string(doc, "run_key");
+  const std::string* status = find_string(doc, "status");
+  const util::Json* seed = doc.find("seed");
+  const util::Json* stages = doc.find("stages");
+  if (run_key == nullptr || status == nullptr || seed == nullptr || !seed->is_integer() ||
+      stages == nullptr || stages->type() != util::Json::Type::kArray) {
+    return std::nullopt;
+  }
+  RunManifest manifest;
+  manifest.run_key = *run_key;
+  manifest.status = *status;
+  manifest.seed = static_cast<std::uint64_t>(seed->as_int64());
+  for (const util::Json& record : stages->as_array()) {
+    const std::string* name = find_string(record, "name");
+    const std::string* key = find_string(record, "key");
+    const std::string* digest = find_string(record, "digest");
+    if (name == nullptr || key == nullptr || digest == nullptr) return std::nullopt;
+    manifest.stages.push_back(ManifestStage{*name, *key, *digest});
+  }
+  return manifest;
+}
+
+}  // namespace
+
+const ManifestStage* RunManifest::find(const std::string& stage_name) const {
+  for (const ManifestStage& stage : stages) {
+    if (stage.name == stage_name) return &stage;
+  }
+  return nullptr;
+}
+
+ManifestJournal::ManifestJournal(std::filesystem::path cache_dir, std::string run_key,
+                                 chaos::FsShim* fs, util::RetryPolicy retry,
+                                 obs::Observability* observability)
+    : path_(cache_dir / ("run-" + run_key + ".manifest.json")),
+      fs_(fs != nullptr ? fs : &chaos::FsShim::passthrough()),
+      retry_(retry),
+      observability_(observability) {
+  manifest_.run_key = std::move(run_key);
+}
+
+ManifestJournal::~ManifestJournal() {
+  // Unwinding past a begun-but-incomplete journal (cancellation, a fatal
+  // stage error) leaves the on-disk record honest about it.
+  if (began_ && !completed_) {
+    try {
+      persist("interrupted");
+    } catch (...) {  // persist() must never throw, but destructors doubly so
+    }
+  }
+}
+
+std::optional<RunManifest> ManifestJournal::load() const {
+  std::string raw;
+  const bool read_ok = util::retry_io(
+      retry_, nullptr, [&] { return fs_->read_file(path_, raw); },
+      [&](int) { obs::count(observability_, "manifest/retry"); });
+  if (!read_ok) return std::nullopt;
+  const std::optional<util::Json> doc = util::parse_json(raw);
+  if (!doc) return std::nullopt;
+  std::optional<RunManifest> manifest = decode_manifest(*doc);
+  if (manifest && manifest->run_key != manifest_.run_key) return std::nullopt;
+  return manifest;
+}
+
+std::size_t ManifestJournal::begin(std::uint64_t seed) {
+  manifest_.seed = seed;
+  manifest_.stages.clear();
+  if (std::optional<RunManifest> prior = load()) {
+    // Only adopt checkpoints from a run of the same configuration (load()
+    // already rejected mismatched run keys) and the same seed recording.
+    if (prior->seed == seed) manifest_.stages = std::move(prior->stages);
+    if (!manifest_.stages.empty()) {
+      obs::count(observability_, "resume/stages_prior", manifest_.stages.size());
+    }
+  }
+  began_ = true;
+  completed_ = false;
+  persist("running");
+  return manifest_.stages.size();
+}
+
+void ManifestJournal::record_stage(const std::string& name, const std::string& key,
+                                   const std::string& digest) {
+  for (ManifestStage& stage : manifest_.stages) {
+    if (stage.name == name) {
+      stage.key = key;
+      stage.digest = digest;
+      persist("running");
+      return;
+    }
+  }
+  manifest_.stages.push_back(ManifestStage{name, key, digest});
+  persist("running");
+}
+
+void ManifestJournal::complete() {
+  completed_ = true;
+  persist("complete");
+}
+
+void ManifestJournal::persist(const std::string& status) {
+  manifest_.status = status;
+  const std::string bytes = encode_manifest(manifest_).dump(2) + "\n";
+  // Same discipline as CacheStore::put: unique temp, atomic rename, temp
+  // unlinked on any failure.  A write that fails even after retries is
+  // recorded and swallowed -- the manifest is accounting, not truth, and a
+  // study must never die because its journal directory filled up.
+  const std::filesystem::path temp =
+      path_.parent_path() /
+      (path_.filename().string() + ".tmp." + std::to_string(::getpid()));
+  const bool stored = util::retry_io(
+      retry_, nullptr,
+      [&] {
+        if (!fs_->write_file(temp, bytes)) {
+          fs_->remove(temp);
+          return false;
+        }
+        if (!fs_->rename(temp, path_)) {
+          fs_->remove(temp);
+          return false;
+        }
+        return true;
+      },
+      [&](int) { obs::count(observability_, "manifest/retry"); });
+  if (!stored) {
+    obs::count(observability_, "manifest/write_failed");
+  } else {
+    obs::count(observability_, "manifest/write");
+  }
+}
+
+}  // namespace cvewb::pipeline

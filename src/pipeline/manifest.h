@@ -1,0 +1,105 @@
+// Journaled run manifest: the checkpoint ledger for interrupted studies.
+//
+// The stage cache alone already makes a rerun skip completed work (every
+// artifact is content-addressed), but it cannot say *why* entries exist or
+// whether a previous run finished.  The manifest closes that gap: a small
+// JSON file in the cache directory, named by cache::run_key, that records
+// -- atomically, after every checkpoint -- which stages of this exact run
+// configuration have completed, with their stage keys and artifact
+// digests, plus the run's lifecycle status (running / interrupted /
+// complete).
+//
+// Update discipline: the journal rewrites the whole file through the
+// chaos::FsShim with temp-file + rename and bounded retries, so a reader
+// never observes a half-written manifest and a SIGKILL between checkpoints
+// loses at most the most recent stage record (the cache entry itself
+// survives, so resume correctness never depends on the manifest -- the
+// manifest is the *accounting*, the cache is the *truth*).  A manifest
+// write that fails even after retries degrades to a recorded metric
+// (manifest/write_failed), never an aborted run.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/retry.h"
+
+namespace cvewb::obs {
+struct Observability;
+}
+namespace cvewb::chaos {
+class FsShim;
+}
+
+namespace cvewb::pipeline {
+
+struct ManifestStage {
+  std::string name;    // pipeline stage ("traffic", "faults", "reconstruct")
+  std::string key;     // content-addressed stage key (cache/key.h)
+  std::string digest;  // SHA-256 of the stage's encoded artifact ("" if unhashed)
+};
+
+struct RunManifest {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::string run_key;  // cache::run_key of the configuration
+  std::uint64_t seed = 0;
+  std::string status;   // "running" | "interrupted" | "complete"
+  std::vector<ManifestStage> stages;  // completed checkpoints, pipeline order
+
+  const ManifestStage* find(const std::string& stage_name) const;
+};
+
+/// Atomically-updated on-disk journal for one run configuration.
+class ManifestJournal {
+ public:
+  /// `fs` routes the journal's file I/O (null = real filesystem); `retry`
+  /// bounds write re-attempts.
+  ManifestJournal(std::filesystem::path cache_dir, std::string run_key,
+                  chaos::FsShim* fs = nullptr, util::RetryPolicy retry = {},
+                  obs::Observability* observability = nullptr);
+
+  /// Mark "interrupted" on destruction unless complete() was reached --
+  /// this is what a cooperative-cancel unwind leaves behind.
+  ~ManifestJournal();
+
+  ManifestJournal(const ManifestJournal&) = delete;
+  ManifestJournal& operator=(const ManifestJournal&) = delete;
+
+  /// Load the manifest file for this run key.  nullopt when absent,
+  /// unparseable, version-skewed, or recording a different run_key (a
+  /// stale manifest from an older configuration is ignored, never trusted).
+  std::optional<RunManifest> load() const;
+
+  /// Start (or resume) the run: adopts the completed stages of a prior
+  /// manifest for the same run_key, counts them (resume/stages_prior
+  /// metric), sets status running, and persists.  Returns the number of
+  /// checkpoints inherited.
+  std::size_t begin(std::uint64_t seed);
+
+  /// Record a completed stage checkpoint and persist.  Re-recording a
+  /// stage (recompute after a corrupt cache entry) replaces its record.
+  void record_stage(const std::string& name, const std::string& key, const std::string& digest);
+
+  /// Mark the run complete and persist.
+  void complete();
+
+  const RunManifest& manifest() const { return manifest_; }
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  void persist(const std::string& status);
+
+  std::filesystem::path path_;
+  chaos::FsShim* fs_;
+  util::RetryPolicy retry_;
+  obs::Observability* observability_;
+  RunManifest manifest_;
+  bool began_ = false;
+  bool completed_ = false;
+};
+
+}  // namespace cvewb::pipeline

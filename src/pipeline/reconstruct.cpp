@@ -151,7 +151,8 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
     }
   }
   if (!match_cached) {
-    matched = ids::match_corpus(*matcher, cleaned, options.pool, 4096, observability);
+    matched = ids::match_corpus(*matcher, cleaned, options.pool, 4096, observability,
+                                options.cancel);
     if (cache_usable) {
       options.cache->put(ids_key, cache::encode_matches(matched, matcher->rules()), "ids");
     }

@@ -33,6 +33,7 @@
 #include "net/tcp_session.h"
 
 namespace cvewb::util {
+class CancelToken;
 class ThreadPool;
 }
 namespace cvewb::obs {
@@ -107,6 +108,9 @@ struct ReconstructOptions {
   util::ThreadPool* pool = nullptr;
   /// Optional tracing/metrics sink (see obs/); never affects the output.
   obs::Observability* observability = nullptr;
+  /// Optional cooperative-cancellation token: each IDS match chunk start is
+  /// a cancellation point (fired token -> util::CancelledError).
+  util::CancelToken* cancel = nullptr;
   /// Optional stage cache for the IDS-matching hot path (see cache/).
   /// Only consulted when both digests below are supplied: `cache_upstream_
   /// digest` identifies the input corpus artifact and `cache_ruleset_

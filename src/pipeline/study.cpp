@@ -9,12 +9,42 @@
 #include "data/appendix_e.h"
 #include "ids/rule_gen.h"
 #include "obs/observability.h"
+#include "pipeline/manifest.h"
 #include "util/sha256.h"
 #include "util/thread_pool.h"
 
 namespace cvewb::pipeline {
 
 namespace {
+
+/// Per-stage cancellation-and-deadline bracket.  Entry is a cancellation
+/// point; when a stage budget is configured the token's deadline is armed
+/// for the stage's duration.  The destructor latches an already-expired
+/// deadline before disarming, so a stage that overran but never hit a
+/// cancellation point still cancels the run at the next stage boundary.
+class StageScope {
+ public:
+  StageScope(const StudyConfig& config, const char* stage) : cancel_(config.cancel) {
+    if (cancel_ == nullptr) return;
+    cancel_->check(stage);
+    if (config.stage_deadline.count() > 0) {
+      cancel_->arm_deadline(std::chrono::steady_clock::now() + config.stage_deadline);
+      armed_ = true;
+    }
+  }
+  ~StageScope() {
+    if (!armed_) return;
+    cancel_->cancelled();  // latch an expired-but-unobserved deadline
+    cancel_->disarm_deadline();
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  util::CancelToken* cancel_;
+  bool armed_ = false;
+};
 
 /// Unique count via sort+unique over a flat vector: the corpus holds
 /// millions of sessions, where a node-based std::set spends most of its
@@ -46,7 +76,8 @@ StudyResult run_study(const StudyConfig& config) {
   std::optional<util::ThreadPool> pool_storage;
   util::ThreadPool* pool = nullptr;
   if (config.threads != 1) {
-    pool_storage.emplace(config.threads <= 0 ? 0u : static_cast<unsigned>(config.threads));
+    pool_storage.emplace(config.threads <= 0 ? 0u : static_cast<unsigned>(config.threads),
+                         config.cancel);
     pool = &*pool_storage;
   }
 
@@ -57,12 +88,36 @@ StudyResult run_study(const StudyConfig& config) {
   std::optional<cache::CacheStore> cache_storage;
   cache::CacheStore* stage_cache = nullptr;
   if (!config.cache_dir.empty()) {
-    cache_storage.emplace(config.cache_dir, observability);
+    cache_storage.emplace(config.cache_dir, observability, config.fs_shim, config.io_retry);
     stage_cache = &*cache_storage;
   }
   std::string corpus_digest;
 
+  // Run journal: rides alongside the cache (no cache directory, no place
+  // to resume from, so no journal either).  Its destructor marks the
+  // manifest "interrupted" when cancellation or a stage failure unwinds
+  // past it -- which is exactly the breadcrumb a resumed run reads.
+  std::optional<ManifestJournal> journal;
+  if (stage_cache != nullptr) {
+    journal.emplace(config.cache_dir, cache::run_key(config), config.fs_shim, config.io_retry,
+                    observability);
+    journal->begin(config.seed);
+  }
+  // Journal a completed stage, then honor the recovery suite's cancel-on-
+  // stage-boundary hook: the cancellation lands after the checkpoint is
+  // durable, exactly like a signal arriving between stages.
+  const auto checkpoint = [&](const char* stage, const std::string& key,
+                              const std::string& digest) {
+    if (journal) journal->record_stage(stage, key, digest);
+    if (config.cancel != nullptr && !config.chaos_cancel_after_stage.empty() &&
+        config.chaos_cancel_after_stage == stage) {
+      config.cancel->request_cancel();
+      config.cancel->check("chaos_cancel_after_stage");
+    }
+  };
+
   {
+    StageScope stage(config, "traffic");
     obs::PhaseSpan phase(observability, "traffic");
     bool cached = false;
     std::string traffic_key;
@@ -93,6 +148,7 @@ StudyResult run_study(const StudyConfig& config) {
       internet.credstuff_per_day = config.credstuff_per_day;
       internet.pool = pool;
       internet.obs = observability;
+      internet.cancel = config.cancel;
       result.traffic = traffic::generate_traffic(*dscope, internet);
       if (stage_cache != nullptr) {
         const std::string blob = cache::encode_traffic(result.traffic);
@@ -101,10 +157,12 @@ StudyResult run_study(const StudyConfig& config) {
         stage_cache->put(traffic_key, blob, "traffic", &corpus_digest);
       }
     }
+    checkpoint("traffic", traffic_key, corpus_digest);
   }
 
   // Degrade the capture before reconstruction when a fault plan is active.
   if (config.faults.any()) {
+    StageScope stage(config, "faults");
     obs::PhaseSpan phase(observability, "faults");
     bool cached = false;
     std::string fault_key;
@@ -121,8 +179,9 @@ StudyResult run_study(const StudyConfig& config) {
       }
     }
     if (!cached) {
-      faults::FaultedCorpus degraded = faults::inject_faults(
-          result.traffic, config.faults, config.seed ^ 0xFA017ULL, pool, observability);
+      faults::FaultedCorpus degraded =
+          faults::inject_faults(result.traffic, config.faults, config.seed ^ 0xFA017ULL, pool,
+                                observability, config.cancel);
       result.traffic = std::move(degraded.traffic);
       result.fault_log = std::move(degraded.log);
       if (stage_cache != nullptr) {
@@ -130,6 +189,7 @@ StudyResult run_study(const StudyConfig& config) {
         stage_cache->put(fault_key, blob, "faults", &corpus_digest);
       }
     }
+    checkpoint("faults", fault_key, corpus_digest);
   } else {
     result.fault_log.sessions_in = result.traffic.sessions.size();
     result.fault_log.sessions_out = result.traffic.sessions.size();
@@ -142,21 +202,25 @@ StudyResult run_study(const StudyConfig& config) {
   if (!reconstruct_options.window_end) reconstruct_options.window_end = data::study_end();
   reconstruct_options.pool = pool;
   reconstruct_options.observability = observability;
+  reconstruct_options.cancel = config.cancel;
 
   std::string ruleset_digest;
   {
+    StageScope stage(config, "ruleset");
     obs::PhaseSpan phase(observability, "ruleset");
     result.ruleset = ids::generate_study_ruleset();
     if (stage_cache != nullptr) ruleset_digest = util::sha256_hex(result.ruleset.serialize());
   }
   {
+    StageScope stage(config, "reconstruct");
     obs::PhaseSpan phase(observability, "reconstruct");
     bool cached = false;
     std::string reconstruct_key;
+    std::string reconstruct_digest;
     if (stage_cache != nullptr) {
       reconstruct_key =
           cache::reconstruct_stage_key(reconstruct_options, corpus_digest, ruleset_digest);
-      if (const auto blob = stage_cache->get(reconstruct_key, "reconstruct")) {
+      if (const auto blob = stage_cache->get(reconstruct_key, "reconstruct", &reconstruct_digest)) {
         if (auto decoded = cache::decode_reconstruction(*blob)) {
           result.reconstruction = std::move(*decoded);
           cached = true;
@@ -171,12 +235,14 @@ StudyResult run_study(const StudyConfig& config) {
           reconstruct(result.traffic.sessions, result.ruleset, reconstruct_options);
       if (stage_cache != nullptr) {
         stage_cache->put(reconstruct_key, cache::encode_reconstruction(result.reconstruction),
-                         "reconstruct");
+                         "reconstruct", &reconstruct_digest);
       }
     }
+    checkpoint("reconstruct", reconstruct_key, reconstruct_digest);
   }
 
   {
+    StageScope stage(config, "analyze");
     obs::PhaseSpan phase(observability, "analyze");
     result.table4 = lifecycle::skill_table(result.reconstruction.timelines);
     result.table5 =
@@ -186,6 +252,7 @@ StudyResult run_study(const StudyConfig& config) {
   }
 
   {
+    StageScope stage(config, "unique_ips");
     obs::PhaseSpan phase(observability, "unique_ips");
     std::vector<std::uint32_t> dst_ips;
     std::vector<std::uint32_t> src_ips;
@@ -199,6 +266,7 @@ StudyResult run_study(const StudyConfig& config) {
     result.unique_source_ips = unique_count(src_ips);
   }
 
+  if (journal) journal->complete();
   if (pool != nullptr) obs::export_pool_stats(observability, *pool);
   return result;
 }

@@ -7,6 +7,7 @@
 // bench and example sits on top of this.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -16,9 +17,14 @@
 #include "pipeline/reconstruct.h"
 #include "telescope/dscope.h"
 #include "traffic/internet.h"
+#include "util/cancel.h"
+#include "util/retry.h"
 
 namespace cvewb::obs {
 struct Observability;
+}
+namespace cvewb::chaos {
+class FsShim;
 }
 
 namespace cvewb::pipeline {
@@ -60,6 +66,32 @@ struct StudyConfig {
   /// side-channel: the StudyResult is byte-identical with observability
   /// on or off, at any thread count (tests/obs/obs_determinism_test.cpp).
   obs::Observability* observability = nullptr;
+  /// Cooperative-cancellation token (null = not cancellable).  Threaded
+  /// into the thread pool and every sharded stage: a fired token surfaces
+  /// as util::CancelledError from the next cancellation point (stage
+  /// boundaries and shard starts).  Cancellation never corrupts state --
+  /// completed stage artifacts are already in the cache and journal, so an
+  /// interrupted run resumes from the last checkpoint.  Like threads and
+  /// observability, the token cannot influence result bytes, only whether
+  /// they are produced.  See DESIGN.md "Failure model".
+  util::CancelToken* cancel = nullptr;
+  /// Per-stage wall-clock budget (0 = unlimited).  Each top-level stage
+  /// arms the token's deadline on entry and disarms it on exit; an expired
+  /// deadline cancels the run with reason kDeadline at the next
+  /// cancellation point.  Requires `cancel` to be set.
+  std::chrono::milliseconds stage_deadline{0};
+  /// Retry policy for cache and manifest I/O (default: no retries).
+  util::RetryPolicy io_retry;
+  /// Filesystem shim routed into the stage cache and run manifest (null =
+  /// the real filesystem).  The chaos suite injects deterministic I/O
+  /// faults through this; every injected fault degrades to a recompute,
+  /// never a different result.
+  chaos::FsShim* fs_shim = nullptr;
+  /// Test hook for the recovery suite: after the named stage's checkpoint
+  /// is journaled ("traffic", "faults", "reconstruct"), request
+  /// cancellation on `cancel` -- simulating a signal that lands exactly on
+  /// a stage boundary.  Empty = disabled.
+  std::string chaos_cancel_after_stage;
 };
 
 struct StudyResult {

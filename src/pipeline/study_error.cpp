@@ -1,0 +1,25 @@
+#include "pipeline/study_error.h"
+
+namespace cvewb::pipeline {
+
+const char* error_class_name(ErrorClass error_class) {
+  switch (error_class) {
+    case ErrorClass::kRetryable:
+      return "retryable";
+    case ErrorClass::kDegradable:
+      return "degradable";
+    case ErrorClass::kFatal:
+      return "fatal";
+    case ErrorClass::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+StudyError::StudyError(ErrorClass error_class, std::string stage, const std::string& what)
+    : std::runtime_error("study stage '" + stage + "' failed (" +
+                         error_class_name(error_class) + "): " + what),
+      class_(error_class),
+      stage_(std::move(stage)) {}
+
+}  // namespace cvewb::pipeline

@@ -1,0 +1,50 @@
+// Structured failure taxonomy for the study pipeline.
+//
+// Every failure the supervisor can see is classified on one axis: can the
+// run be salvaged, and how?
+//
+//   * kRetryable  -- transient environment trouble (I/O that kept failing
+//                    under the retry policy, a deadline that fired on a
+//                    stage known to be restartable).  Rerunning the same
+//                    command is expected to succeed.
+//   * kDegradable -- the run can continue or conclude with reduced
+//                    fidelity (cache unavailable -> recompute, report
+//                    export failed -> results still in memory).  The
+//                    pipeline normally absorbs these itself; one escaping
+//                    to the supervisor means the degraded path also failed.
+//   * kFatal      -- the configuration or code is wrong (invalid config,
+//                    codec invariant violation).  Retrying cannot help.
+//   * kCancelled  -- cooperative cancellation (user signal or deadline)
+//                    observed at a cancellation point; the run is
+//                    resumable from its journal.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cvewb::pipeline {
+
+enum class ErrorClass {
+  kRetryable,
+  kDegradable,
+  kFatal,
+  kCancelled,
+};
+
+/// Human-readable class name ("retryable", "degradable", ...).
+const char* error_class_name(ErrorClass error_class);
+
+/// A pipeline failure tagged with its class and the stage it escaped from.
+class StudyError : public std::runtime_error {
+ public:
+  StudyError(ErrorClass error_class, std::string stage, const std::string& what);
+
+  ErrorClass error_class() const noexcept { return class_; }
+  const std::string& stage() const noexcept { return stage_; }
+
+ private:
+  ErrorClass class_;
+  std::string stage_;
+};
+
+}  // namespace cvewb::pipeline

@@ -1,0 +1,65 @@
+#include "pipeline/supervisor.h"
+
+#include <new>
+#include <utility>
+
+namespace cvewb::pipeline {
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kComplete:
+      return "complete";
+    case RunStatus::kCancelled:
+      return "cancelled";
+    case RunStatus::kDeadline:
+      return "deadline";
+    case RunStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+RunSupervisor::RunSupervisor(StudyConfig config) : config_(std::move(config)) {
+  cancel_ = config_.cancel != nullptr ? config_.cancel : &own_token_;
+  config_.cancel = cancel_;
+}
+
+RunReport RunSupervisor::run() {
+  RunReport report;
+  // A cache-backed run journals its checkpoints, so any interruption
+  // leaves a resumable state behind; without a cache directory there is
+  // nothing on disk to resume from.
+  const bool journaled = !config_.cache_dir.empty();
+  try {
+    report.result = run_study(config_);
+    report.status = RunStatus::kComplete;
+    return report;
+  } catch (const util::CancelledError& cancelled) {
+    report.status = cancelled.reason() == util::CancelReason::kDeadline ? RunStatus::kDeadline
+                                                                        : RunStatus::kCancelled;
+    report.error_class = ErrorClass::kCancelled;
+    report.message = cancelled.what();
+    report.resumable = journaled;
+  } catch (const StudyError& error) {
+    report.status = RunStatus::kFailed;
+    report.error_class = error.error_class();
+    report.stage = error.stage();
+    report.message = error.what();
+    // Retryable and degradable failures leave the journal intact; a fatal
+    // one (bad config, codec invariant) would fail identically on resume.
+    report.resumable = journaled && error.error_class() != ErrorClass::kFatal;
+  } catch (const std::bad_alloc&) {
+    report.status = RunStatus::kFailed;
+    report.error_class = ErrorClass::kRetryable;  // memory pressure is environmental
+    report.message = "out of memory";
+    report.resumable = journaled;
+  } catch (const std::exception& error) {
+    report.status = RunStatus::kFailed;
+    report.error_class = ErrorClass::kFatal;
+    report.message = error.what();
+    report.resumable = false;
+  }
+  return report;
+}
+
+}  // namespace cvewb::pipeline

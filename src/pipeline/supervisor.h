@@ -1,0 +1,76 @@
+// RunSupervisor: the chaos-hardened front door to run_study.
+//
+// run_study itself reports failure by exception (util::CancelledError from
+// a cancellation point, StudyError from a classified stage failure, plain
+// std::exception from anything unforeseen).  The supervisor owns the
+// cancellation token, brackets the run, and folds every outcome into a
+// RunReport the caller can switch on -- the CLI maps it to exit codes and
+// a resume hint, tests assert on it directly.
+//
+// The supervisor adds no policy of its own beyond classification: retry
+// budgets, deadlines, and the chaos shim all live in StudyConfig and act
+// inside the pipeline.  What the supervisor guarantees is that *no*
+// failure mode escapes as an unclassified exception, and that an
+// interrupted-but-journaled run is reported as resumable.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pipeline/study.h"
+#include "pipeline/study_error.h"
+#include "util/cancel.h"
+
+namespace cvewb::pipeline {
+
+enum class RunStatus {
+  kComplete,     // StudyResult produced
+  kCancelled,    // cooperative cancellation (user signal / test hook)
+  kDeadline,     // a stage deadline expired
+  kFailed,       // classified or unforeseen error; see error_class
+};
+
+const char* run_status_name(RunStatus status);
+
+struct RunReport {
+  RunStatus status = RunStatus::kFailed;
+  /// Set iff status == kComplete.
+  std::optional<StudyResult> result;
+  /// Failure classification (meaningful unless kComplete; cancellation
+  /// reports kCancelled).
+  ErrorClass error_class = ErrorClass::kFatal;
+  /// Stage the failure escaped from, when known ("" otherwise).
+  std::string stage;
+  /// Human-readable failure description ("" on success).
+  std::string message;
+  /// True when a journaled checkpoint state survives on disk: rerunning
+  /// the same configuration resumes from the last completed stage and
+  /// converges to the digest of an uninterrupted run.
+  bool resumable = false;
+
+  bool ok() const { return status == RunStatus::kComplete; }
+};
+
+class RunSupervisor {
+ public:
+  /// The supervisor owns a CancelToken and threads it into the study
+  /// unless `config.cancel` already points at one (an external token wins,
+  /// so a CLI-global signal token keeps working).
+  explicit RunSupervisor(StudyConfig config);
+
+  /// Execute the study, absorbing every failure into the report.  Safe to
+  /// call once per supervisor.
+  RunReport run();
+
+  /// The token the running study observes -- request_cancel() on it (from
+  /// a signal handler or another thread) stops the run at the next
+  /// cancellation point.
+  util::CancelToken& cancel_token() { return *cancel_; }
+
+ private:
+  StudyConfig config_;
+  util::CancelToken own_token_;
+  util::CancelToken* cancel_;
+};
+
+}  // namespace cvewb::pipeline

@@ -1,8 +1,10 @@
 #include "report/export.h"
 
-#include <fstream>
+#include <sstream>
 
+#include "chaos/fs_shim.h"
 #include "lifecycle/windows.h"
+#include "obs/observability.h"
 #include "report/disclosure_artifact.h"
 #include "report/figures.h"
 #include "report/table.h"
@@ -20,19 +22,29 @@ void ensure_directory(const fs::path& directory) {
   if (ec) throw std::runtime_error("export: cannot create " + directory.string());
 }
 
-std::ofstream open_for_write(const fs::path& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("export: cannot write " + path.string());
-  return out;
+/// Land a fully-composed artifact through the shim with bounded retry.
+/// Exhausting the retry budget throws: a lost report file must be loud.
+void write_text(const fs::path& path, const std::string& text, const ExportOptions& options) {
+  chaos::FsShim& shim =
+      options.fs != nullptr ? *options.fs : chaos::FsShim::passthrough();
+  const bool stored = util::retry_io(
+      options.retry, nullptr, [&] { return shim.write_file(path, text); },
+      [&](int) { obs::count(options.observability, "report/retry"); });
+  if (!stored) {
+    obs::count(options.observability, "report/write_failed");
+    throw std::runtime_error("export: cannot write " + path.string());
+  }
+  obs::count(options.observability, "report/write");
 }
 
 }  // namespace
 
-fs::path write_figure(const fs::path& directory, const ExportedFigure& figure) {
+fs::path write_figure(const fs::path& directory, const ExportedFigure& figure,
+                      const ExportOptions& options) {
   ensure_directory(directory);
   const fs::path csv_path = directory / (figure.name + ".csv");
   {
-    auto out = open_for_write(csv_path);
+    std::ostringstream out;
     util::CsvWriter csv(out);
     csv.field("series").field("x").field("y");
     csv.end_row();
@@ -42,10 +54,11 @@ fs::path write_figure(const fs::path& directory, const ExportedFigure& figure) {
         csv.end_row();
       }
     }
+    write_text(csv_path, out.str(), options);
   }
   const fs::path gp_path = directory / (figure.name + ".gp");
   {
-    auto out = open_for_write(gp_path);
+    std::ostringstream out;
     out << "# gnuplot script regenerating \"" << figure.title << "\"\n";
     out << "set datafile separator ','\n";
     out << "set title \"" << figure.title << "\"\n";
@@ -62,28 +75,31 @@ fs::path write_figure(const fs::path& directory, const ExportedFigure& figure) {
           << figure.series[i].name << "\"";
     }
     out << "\n";
+    write_text(gp_path, out.str(), options);
   }
   return csv_path;
 }
 
 fs::path write_table(const fs::path& directory, const std::string& name,
-                     const std::string& markdown) {
+                     const std::string& markdown, const ExportOptions& options) {
   ensure_directory(directory);
   const fs::path path = directory / (name + ".md");
-  auto out = open_for_write(path);
-  out << markdown;
+  write_text(path, markdown, options);
   return path;
 }
 
 std::vector<fs::path> export_study(const fs::path& directory,
-                                   const pipeline::StudyResult& study) {
+                                   const pipeline::StudyResult& study,
+                                   const ExportOptions& options) {
   std::vector<fs::path> written;
   written.push_back(write_table(directory, "table4",
                                 render_skill_table(study.table4, &paper_table4_satisfied(),
-                                                   &paper_table4_skill())));
+                                                   &paper_table4_skill()),
+                                options));
   written.push_back(write_table(directory, "table5",
                                 render_skill_table(study.table5, &paper_table5_satisfied(),
-                                                   &paper_table5_skill())));
+                                                   &paper_table5_skill()),
+                                options));
 
   // Fig. 5 series (windows of vulnerability).
   {
@@ -102,7 +118,7 @@ std::vector<fs::path> export_study(const fs::path& directory,
         ecdf_series("A-P", lifecycle::window_ecdf(Event::kPublicAwareness, Event::kAttacks,
                                                   timelines)),
     };
-    written.push_back(write_figure(directory, figure));
+    written.push_back(write_figure(directory, figure, options));
   }
 
   // Fig. 7 series (exposure split).
@@ -116,15 +132,14 @@ std::vector<fs::path> export_study(const fs::path& directory,
         ecdf_series("mitigated", stats::Ecdf(study.exposure.mitigated_days)),
         ecdf_series("unmitigated", stats::Ecdf(study.exposure.unmitigated_days)),
     };
-    written.push_back(write_figure(directory, figure));
+    written.push_back(write_figure(directory, figure, options));
   }
 
   // §8.2 disclosure artifacts.
   {
     ensure_directory(directory);
     const fs::path path = directory / "disclosure_artifacts.json";
-    auto out = open_for_write(path);
-    out << artifacts_document(study.reconstruction.timelines).dump(2) << "\n";
+    write_text(path, artifacts_document(study.reconstruction.timelines).dump(2) + "\n", options);
     written.push_back(path);
   }
   return written;

@@ -4,6 +4,12 @@
 // each table as markdown, into an output directory -- the workflow a
 // downstream user wants when rebuilding the paper's plots with their own
 // tooling.  Used by `cvewb export` and the export tests.
+//
+// All writers compose their artifact in memory, then land it through a
+// chaos::FsShim (transparent by default) with bounded retry -- the same
+// failure discipline as the stage cache, so the chaos suite can starve and
+// tear report writes too.  A write that fails after retries still throws
+// std::runtime_error: losing a report file is visible, never silent.
 #pragma once
 
 #include <filesystem>
@@ -12,8 +18,21 @@
 
 #include "pipeline/study.h"
 #include "util/ascii_plot.h"
+#include "util/retry.h"
+
+namespace cvewb::chaos {
+class FsShim;
+}
 
 namespace cvewb::report {
+
+/// Failure-handling knobs for the writers; default-constructed options
+/// write straight through to the real filesystem with no retries.
+struct ExportOptions {
+  chaos::FsShim* fs = nullptr;            // null = real filesystem
+  util::RetryPolicy retry;                // bounds re-attempts per file
+  obs::Observability* observability = nullptr;  // report/... metrics sink
+};
 
 /// One exported figure: CSV of all series + a gnuplot script referencing it.
 struct ExportedFigure {
@@ -27,15 +46,18 @@ struct ExportedFigure {
 /// Write `figure` into `directory` as <name>.csv and <name>.gp.
 /// Returns the CSV path.  Throws std::runtime_error on I/O failure.
 std::filesystem::path write_figure(const std::filesystem::path& directory,
-                                   const ExportedFigure& figure);
+                                   const ExportedFigure& figure,
+                                   const ExportOptions& options = {});
 
 /// Write a markdown table file; returns its path.
 std::filesystem::path write_table(const std::filesystem::path& directory,
-                                  const std::string& name, const std::string& markdown);
+                                  const std::string& name, const std::string& markdown,
+                                  const ExportOptions& options = {});
 
 /// Export the full study artifact set (Tables 4/5, Figs. 5/7 series,
 /// disclosure artifacts JSON) into `directory`; returns written paths.
 std::vector<std::filesystem::path> export_study(const std::filesystem::path& directory,
-                                                const pipeline::StudyResult& study);
+                                                const pipeline::StudyResult& study,
+                                                const ExportOptions& options = {});
 
 }  // namespace cvewb::report

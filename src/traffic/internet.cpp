@@ -281,12 +281,15 @@ GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const Interne
   }
 
   std::vector<std::vector<PendingProbe>> shard_probes(tasks.size());
-  util::for_each_shard(config.pool, tasks.size(), [&](std::size_t shard) {
-    obs::Span span(obs::tracer_of(config.obs), tasks[shard].span_name);
-    shard_probes[shard] = tasks[shard].fn();
-    obs::count(config.obs, "traffic/probes_generated", shard_probes[shard].size());
-    obs::observe(config.obs, "traffic/shard_probes", shard_probes[shard].size());
-  });
+  util::for_each_shard(
+      config.pool, tasks.size(),
+      [&](std::size_t shard) {
+        obs::Span span(obs::tracer_of(config.obs), tasks[shard].span_name);
+        shard_probes[shard] = tasks[shard].fn();
+        obs::count(config.obs, "traffic/probes_generated", shard_probes[shard].size());
+        obs::observe(config.obs, "traffic/shard_probes", shard_probes[shard].size());
+      },
+      config.cancel);
 
   // --- Merge in task order, then order chronologically.  stable_sort over
   // the deterministic merge keeps equal-time probes in task order.
@@ -311,26 +314,29 @@ GeneratedTraffic generate_traffic(const telescope::Dscope& dscope, const Interne
   traffic.tags.resize(probes.size());
   obs::Span placement_span(obs::tracer_of(config.obs), "traffic/placement");
   const std::size_t placement_shards = util::shard_count(probes.size(), kPlacementShardSize);
-  util::for_each_shard(config.pool, placement_shards, [&](std::size_t shard) {
-    obs::Span span(obs::tracer_of(config.obs), "traffic/placement_chunk");
-    util::Rng placement_rng(util::stream_seed(config.seed, kStreamPlacement, shard));
-    const std::size_t first = shard * kPlacementShardSize;
-    const std::size_t last = std::min(probes.size(), first + kPlacementShardSize);
-    for (std::size_t i = first; i < last; ++i) {
-      PendingProbe& probe = probes[i];
-      const telescope::Instance instance = dscope.sample_active(probe.time, placement_rng);
-      TcpSession session;
-      session.id = i;
-      session.open_time = probe.time;
-      session.src = probe.src;
-      session.dst = instance.ip;
-      session.src_port = static_cast<std::uint16_t>(placement_rng.uniform_int(1024, 65535));
-      session.dst_port = probe.dst_port;
-      session.payload = std::move(probe.payload);
-      traffic.sessions[i] = std::move(session);
-      traffic.tags[i] = std::move(probe.tag);
-    }
-  });
+  util::for_each_shard(
+      config.pool, placement_shards,
+      [&](std::size_t shard) {
+        obs::Span span(obs::tracer_of(config.obs), "traffic/placement_chunk");
+        util::Rng placement_rng(util::stream_seed(config.seed, kStreamPlacement, shard));
+        const std::size_t first = shard * kPlacementShardSize;
+        const std::size_t last = std::min(probes.size(), first + kPlacementShardSize);
+        for (std::size_t i = first; i < last; ++i) {
+          PendingProbe& probe = probes[i];
+          const telescope::Instance instance = dscope.sample_active(probe.time, placement_rng);
+          TcpSession session;
+          session.id = i;
+          session.open_time = probe.time;
+          session.src = probe.src;
+          session.dst = instance.ip;
+          session.src_port = static_cast<std::uint16_t>(placement_rng.uniform_int(1024, 65535));
+          session.dst_port = probe.dst_port;
+          session.payload = std::move(probe.payload);
+          traffic.sessions[i] = std::move(session);
+          traffic.tags[i] = std::move(probe.tag);
+        }
+      },
+      config.cancel);
   obs::count(config.obs, "traffic/sessions_captured", traffic.sessions.size());
   return traffic;
 }

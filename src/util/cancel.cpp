@@ -1,0 +1,27 @@
+#include "util/cancel.h"
+
+namespace cvewb::util {
+
+const char* cancel_reason_name(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kUser:
+      return "user";
+    case CancelReason::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+CancelledError::CancelledError(CancelReason reason, const std::string& where)
+    : std::runtime_error("cancelled (" + std::string(cancel_reason_name(reason)) + ") at " +
+                         where),
+      reason_(reason) {}
+
+void CancelToken::check(const char* where) const {
+  if (!cancelled()) return;
+  throw CancelledError(reason(), where);
+}
+
+}  // namespace cvewb::util

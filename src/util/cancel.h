@@ -1,0 +1,98 @@
+// Cooperative cancellation for long-running pipeline work.
+//
+// A CancelToken is a tiny shared flag that every sharded stage, the thread
+// pool, and the cache/report I/O layers poll at natural boundaries (stage
+// starts, shard starts, retry loops).  Firing it never interrupts work
+// mid-computation: the next cancellation point throws CancelledError, the
+// stack unwinds through the stage, and everything already checkpointed
+// stays on disk (see pipeline::RunSupervisor for the resume contract).
+//
+// `request_cancel` is a single relaxed atomic store, so it is safe to call
+// from a POSIX signal handler -- this is exactly how the CLI turns SIGINT /
+// SIGTERM into a clean checkpoint-and-exit.
+//
+// Tokens also carry an optional deadline (per-stage budgets): once armed,
+// any cancellation point past the instant observes the token as cancelled
+// with reason kDeadline.  The expiry latches, so one stage blowing its
+// budget cancels the whole run, not just the shard that noticed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cvewb::util {
+
+enum class CancelReason : int {
+  kNone = 0,
+  kUser = 1,      // request_cancel(): operator, signal handler, test hook
+  kDeadline = 2,  // an armed deadline expired
+};
+
+const char* cancel_reason_name(CancelReason reason);
+
+/// Thrown by cancellation points (CancelToken::check) once a token fires.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError(CancelReason reason, const std::string& where);
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+class CancelToken {
+ public:
+  /// Fire the token.  One relaxed store: async-signal-safe, idempotent,
+  /// and the first reason to land wins.
+  void request_cancel(CancelReason reason = CancelReason::kUser) noexcept {
+    int expected = 0;
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+  }
+
+  /// Arm an absolute steady-clock deadline; expiry is observed (and
+  /// latched) by the next cancellation point.  Re-arming replaces the
+  /// previous deadline, so per-stage budgets reset at stage boundaries.
+  void arm_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_us_.store(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  void disarm_deadline() noexcept { deadline_us_.store(0, std::memory_order_relaxed); }
+
+  /// True once fired (explicitly or by deadline expiry, which latches).
+  bool cancelled() const noexcept {
+    if (reason_.load(std::memory_order_relaxed) != 0) return true;
+    const std::int64_t deadline_us = deadline_us_.load(std::memory_order_relaxed);
+    if (deadline_us != 0 &&
+        std::chrono::steady_clock::now().time_since_epoch() >=
+            std::chrono::microseconds(deadline_us)) {
+      // Latch so the expiry survives a later disarm_deadline().
+      int expected = 0;
+      reason_.compare_exchange_strong(expected, static_cast<int>(CancelReason::kDeadline),
+                                      std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Cancellation point: throws CancelledError (tagged with the firing
+  /// reason and `where`) once the token has fired.
+  void check(const char* where) const;
+
+ private:
+  // mutable: cancelled() latches deadline expiry from const observers.
+  mutable std::atomic<int> reason_{0};
+  std::atomic<std::int64_t> deadline_us_{0};  // 0 = no deadline armed
+};
+
+}  // namespace cvewb::util

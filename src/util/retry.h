@@ -1,0 +1,55 @@
+// Bounded retry with exponential backoff for transient I/O failures.
+//
+// The policy is a value (copied into StudyConfig and the cache/report
+// writers), the loop is a header-only helper.  Backoff delays are a pure
+// function of (policy, retry index) -- no jitter -- so a supervised run's
+// retry schedule is as deterministic as everything else in the engine;
+// what varies under fault injection is only wall-clock, never bytes.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/cancel.h"
+
+namespace cvewb::util {
+
+struct RetryPolicy {
+  /// Additional attempts after the first failure; 0 = single attempt
+  /// (today's fail-fast behavior).
+  int max_retries = 0;
+  std::chrono::microseconds backoff_base{500};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds backoff_cap{50'000};
+
+  /// Delay before retry `retry_index` (0-based): base * multiplier^index,
+  /// clamped to the cap.
+  std::chrono::microseconds delay(int retry_index) const {
+    const double us = static_cast<double>(backoff_base.count()) *
+                      std::pow(backoff_multiplier, retry_index);
+    const auto cap = static_cast<double>(backoff_cap.count());
+    return std::chrono::microseconds(static_cast<std::int64_t>(std::min(us, cap)));
+  }
+};
+
+/// Run `attempt` (returning true on success) up to 1 + max_retries times,
+/// sleeping the backoff schedule between attempts.  `on_retry(index)` fires
+/// before each re-attempt (metrics hooks).  A fired CancelToken stops the
+/// loop early -- retrying past a cancellation would stall the very
+/// checkpoint-and-exit path the token exists for.
+template <typename Fn, typename OnRetry>
+bool retry_io(const RetryPolicy& policy, const CancelToken* cancel, Fn&& attempt,
+              OnRetry&& on_retry) {
+  for (int retry_index = 0;; ++retry_index) {
+    if (attempt()) return true;
+    if (retry_index >= policy.max_retries) return false;
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    on_retry(retry_index);
+    const auto delay = policy.delay(retry_index);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+}
+
+}  // namespace cvewb::util

@@ -16,7 +16,7 @@ std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads, CancelToken* cancel) : cancel_(cancel) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   stats_.worker_idle_us.assign(threads, 0);
   workers_.reserve(threads);
@@ -76,16 +76,28 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 }
 
 void for_each_shard(ThreadPool* pool, std::size_t shards,
-                    const std::function<void(std::size_t)>& fn) {
+                    const std::function<void(std::size_t)>& fn, CancelToken* cancel) {
   if (pool == nullptr || pool->size() <= 1 || shards <= 1) {
-    for (std::size_t shard = 0; shard < shards; ++shard) fn(shard);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      if (cancel != nullptr) cancel->check("for_each_shard/inline");
+      fn(shard);
+    }
     return;
   }
   std::vector<std::future<void>> futures;
   futures.reserve(shards);
   for (std::size_t shard = 0; shard < shards; ++shard) {
-    futures.push_back(pool->submit([&fn, shard] { fn(shard); }));
+    // The explicit token check covers pools constructed without one; a
+    // pool-attached token already gates every task at pickup.
+    futures.push_back(pool->submit([&fn, shard, cancel] {
+      if (cancel != nullptr) cancel->check("for_each_shard/shard_start");
+      fn(shard);
+    }));
   }
+  // Collect every future (the pool must fully drain even on failure), then
+  // rethrow the first failure in submission order: the future walk is in
+  // shard order, so "first" is the lowest-indexed failing shard no matter
+  // which worker failed first on the wall clock.
   std::exception_ptr first_error;
   for (auto& future : futures) {
     try {

@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/cancel.h"
+
 namespace cvewb::util {
 
 /// Always-on execution statistics, maintained inside the pool's existing
@@ -49,8 +51,14 @@ struct ThreadPoolStats {
 class ThreadPool {
  public:
   /// `threads == 0` asks for std::thread::hardware_concurrency() (at least
-  /// one); any other value is the exact worker count.
-  explicit ThreadPool(unsigned threads = 0);
+  /// one); any other value is the exact worker count.  When `cancel` is
+  /// supplied, every submitted task observes it at pickup: a task that
+  /// starts after the token fires throws CancelledError into its future
+  /// instead of running its payload, so a cancelled run's queued-but-
+  /// unstarted shards drain in microseconds rather than running to
+  /// completion.  Tasks already executing are never interrupted -- they
+  /// poll the token themselves at their own cancellation points.
+  explicit ThreadPool(unsigned threads = 0, CancelToken* cancel = nullptr);
 
   /// Drains the queue -- every task submitted before destruction runs to
   /// completion -- then joins the workers.
@@ -64,11 +72,19 @@ class ThreadPool {
   /// Coherent copy of the execution stats at this instant.
   ThreadPoolStats stats() const;
 
-  /// Queue a task; the future carries its result or exception.
+  const CancelToken* cancel_token() const { return cancel_; }
+
+  /// Queue a task; the future carries its result or exception (including
+  /// CancelledError when the pool's token fired before the task started).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    CancelToken* cancel = cancel_;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [cancel, fn = std::forward<F>(fn)]() mutable -> R {
+          if (cancel != nullptr) cancel->check("thread_pool/task_start");
+          return fn();
+        });
     std::future<R> future = task->get_future();
     enqueue([task] { (*task)(); });
     return future;
@@ -88,6 +104,7 @@ class ThreadPool {
   std::deque<Job> queue_;
   bool stopping_ = false;
   ThreadPoolStats stats_;  // guarded by mutex_
+  CancelToken* cancel_ = nullptr;
   std::vector<std::thread> workers_;
 };
 
@@ -95,9 +112,12 @@ class ThreadPool {
 /// single worker, or a single shard) the shards run inline in index order;
 /// otherwise they run concurrently on the pool.  If any shard throws, the
 /// exception from the lowest-indexed failing shard is rethrown after all
-/// shards finish, so the failure surfaced is thread-count-independent.
+/// shards finish (the pool always drains), so the failure surfaced is
+/// thread-count-independent.  `cancel` makes every shard start a
+/// cancellation point on both the inline and pooled paths -- a fired token
+/// surfaces as CancelledError from the lowest-indexed unstarted shard.
 void for_each_shard(ThreadPool* pool, std::size_t shards,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn, CancelToken* cancel = nullptr);
 
 /// Number of shards needed to cover `items` at `per_shard` items each.
 constexpr std::size_t shard_count(std::size_t items, std::size_t per_shard) {

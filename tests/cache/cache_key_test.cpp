@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fs_shim.h"
 #include "obs/observability.h"
 #include "pipeline/study.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace cvewb::cache {
@@ -58,9 +60,14 @@ TEST_P(TrafficKeyInsensitive, UnkeyedFieldLeavesTheKeyUnchanged) {
   EXPECT_EQ(traffic_stage_key(base), traffic_stage_key(mutated)) << GetParam().name;
   // The unkeyed fields must not leak into any downstream key either.
   EXPECT_EQ(faults_stage_key(base, "up"), faults_stage_key(mutated, "up")) << GetParam().name;
+  // Nor into the run identity: a resumed run must adopt checkpoints from a
+  // run that differed only in execution knobs.
+  EXPECT_EQ(run_key(base), run_key(mutated)) << GetParam().name;
 }
 
 obs::Observability g_observability;
+util::CancelToken g_cancel_token;
+chaos::FsShim g_fs_shim;
 
 INSTANTIATE_TEST_SUITE_P(
     UnkeyedFields, TrafficKeyInsensitive,
@@ -69,8 +76,33 @@ INSTANTIATE_TEST_SUITE_P(
         ConfigMutation{"threads_hw", [](StudyConfig& c) { c.threads = 0; }},
         ConfigMutation{"observability",
                        [](StudyConfig& c) { c.observability = &g_observability; }},
-        ConfigMutation{"cache_dir", [](StudyConfig& c) { c.cache_dir = "/tmp/some/cache"; }}),
+        ConfigMutation{"cache_dir", [](StudyConfig& c) { c.cache_dir = "/tmp/some/cache"; }},
+        ConfigMutation{"cancel", [](StudyConfig& c) { c.cancel = &g_cancel_token; }},
+        ConfigMutation{"stage_deadline",
+                       [](StudyConfig& c) { c.stage_deadline = std::chrono::milliseconds(5000); }},
+        ConfigMutation{"io_retry", [](StudyConfig& c) { c.io_retry.max_retries = 7; }},
+        ConfigMutation{"fs_shim", [](StudyConfig& c) { c.fs_shim = &g_fs_shim; }},
+        ConfigMutation{"chaos_cancel_after_stage",
+                       [](StudyConfig& c) { c.chaos_cancel_after_stage = "traffic"; }}),
     [](const auto& info) { return std::string(info.param.name); });
+
+// ------------------------------------------------------------------- run
+
+TEST(RunKey, ResultShapingFieldsAreKeyed) {
+  StudyConfig base;
+  const auto mutate = [](const std::function<void(StudyConfig&)>& apply) {
+    StudyConfig mutated;
+    apply(mutated);
+    return run_key(mutated);
+  };
+  EXPECT_NE(run_key(base), mutate([](StudyConfig& c) { c.seed += 1; }));
+  EXPECT_NE(run_key(base), mutate([](StudyConfig& c) { c.event_scale = 0.5; }));
+  EXPECT_NE(run_key(base), mutate([](StudyConfig& c) { c.faults.session_loss_rate = 0.25; }));
+  EXPECT_NE(run_key(base), mutate([](StudyConfig& c) { c.reconstruct.dedup = false; }));
+  EXPECT_NE(run_key(base), mutate([](StudyConfig& c) {
+              c.reconstruct.deployment_delay = util::Duration::hours(24);
+            }));
+}
 
 // ----------------------------------------------------------------- faults
 

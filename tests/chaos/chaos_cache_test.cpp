@@ -1,0 +1,335 @@
+// Chaos sweep over the fs shim and the stage cache: every injected fault
+// class -- EIO reads, ENOSPC writes, torn writes, failed renames -- must
+// degrade (a miss, a recompute, a failed-but-clean put), never crash,
+// never hang, and never change a single byte of the StudyResult.  This is
+// the proof obligation behind DESIGN.md's failure-model contract.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/store.h"
+#include "chaos/fs_shim.h"
+#include "obs/observability.h"
+#include "pipeline/study.h"
+#include "util/sha256.h"
+
+#include "../support/study_serialize.h"
+
+namespace cvewb::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+using cache::CacheStore;
+using pipeline::test_support::serialize_study;
+
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "cvewb_chaos" / tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::size_t count_files_matching(const fs::path& dir, const std::string& needle) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file() && it->path().filename().string().find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// ------------------------------------------------------------- shim itself
+
+TEST(FsShim, PassthroughRoundTripsAndInjectsNothing) {
+  const fs::path dir = fresh_dir("passthrough");
+  FsShim shim;  // default = transparent
+  ASSERT_TRUE(shim.write_file(dir / "a", "hello"));
+  std::string out;
+  ASSERT_TRUE(shim.read_file(dir / "a", out));
+  EXPECT_EQ(out, "hello");
+  ASSERT_TRUE(shim.rename(dir / "a", dir / "b"));
+  ASSERT_TRUE(shim.read_file(dir / "b", out));
+  EXPECT_EQ(out, "hello");
+  EXPECT_FALSE(shim.read_file(dir / "missing", out));
+  EXPECT_EQ(shim.stats().injected_total(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(FsShim, InjectionIsADeterministicFunctionOfThePlan) {
+  // Two shims with the same plan, driven through the same op sequence,
+  // must fail exactly the same operations -- regardless of wall-clock and
+  // of interleaving read ops between the writes (per-class op counters).
+  const fs::path dir = fresh_dir("determinism");
+  FsFaultPlan plan;
+  plan.seed = 20260806;
+  plan.eio_read_rate = 0.35;
+  plan.enospc_write_rate = 0.2;
+  plan.torn_write_rate = 0.2;
+  plan.rename_fail_rate = 0.3;
+
+  const auto drive = [&](FsShim& shim, bool interleave_reads) {
+    std::vector<int> outcomes;
+    std::string scratch;
+    for (int i = 0; i < 64; ++i) {
+      const fs::path target = dir / ("f" + std::to_string(i));
+      outcomes.push_back(shim.write_file(target, std::string(100, 'x')) ? 1 : 0);
+      if (interleave_reads) (void)shim.read_file(target, scratch);
+      outcomes.push_back(shim.rename(target, dir / ("g" + std::to_string(i))) ? 1 : 0);
+    }
+    return outcomes;
+  };
+
+  FsShim first(plan);
+  FsShim second(plan);
+  const auto a = drive(first, false);
+  const auto b = drive(second, true);  // extra reads must not perturb write/rename faults
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(first.stats().injected_enospc, second.stats().injected_enospc);
+  EXPECT_EQ(first.stats().injected_torn, second.stats().injected_torn);
+  EXPECT_EQ(first.stats().injected_rename_fail, second.stats().injected_rename_fail);
+  EXPECT_GT(first.stats().injected_total(), 0u);  // the plan actually bites
+
+  // A different seed produces a different fault pattern (no accidental
+  // plan-independence).
+  FsFaultPlan reseeded = plan;
+  reseeded.seed = 77;
+  FsShim third(reseeded);
+  EXPECT_NE(drive(third, false), a);
+  fs::remove_all(dir);
+}
+
+TEST(FsShim, TornWriteReportsSuccessButLeavesOnlyAPrefix) {
+  const fs::path dir = fresh_dir("torn");
+  FsFaultPlan plan;
+  plan.seed = 3;
+  plan.torn_write_rate = 1.0;
+  FsShim shim(plan);
+  const std::string payload(1000, 'q');
+  // The lie at the heart of the torn-write model: success reported, bytes
+  // not durable.
+  EXPECT_TRUE(shim.write_file(dir / "torn", payload));
+  EXPECT_LT(fs::file_size(dir / "torn"), payload.size());
+  EXPECT_EQ(shim.stats().injected_torn, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(FsShim, EnospcFailsTheWriteAndEioFailsTheRead) {
+  const fs::path dir = fresh_dir("enospc_eio");
+  FsFaultPlan plan;
+  plan.seed = 4;
+  plan.enospc_write_rate = 1.0;
+  plan.eio_read_rate = 1.0;
+  obs::Observability observability;
+  FsShim shim(plan, &observability);
+  EXPECT_FALSE(shim.write_file(dir / "full", std::string(100, 'z')));
+  // A real file that cannot be read: EIO, not a miss.
+  std::ofstream(dir / "present") << "bytes";
+  std::string out;
+  EXPECT_FALSE(shim.read_file(dir / "present", out));
+  EXPECT_EQ(shim.stats().injected_enospc, 1u);
+  EXPECT_EQ(shim.stats().injected_eio, 1u);
+  const auto counters = observability.metrics.snapshot().counters;
+  EXPECT_EQ(counters.at("chaos/enospc"), 1u);
+  EXPECT_EQ(counters.at("chaos/eio"), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(FsShim, FailedRenameLeavesTheSourceInPlace) {
+  const fs::path dir = fresh_dir("rename");
+  FsFaultPlan plan;
+  plan.seed = 5;
+  plan.rename_fail_rate = 1.0;
+  FsShim shim(plan);
+  std::ofstream(dir / "src") << "payload";
+  EXPECT_FALSE(shim.rename(dir / "src", dir / "dst"));
+  EXPECT_TRUE(fs::exists(dir / "src"));
+  EXPECT_FALSE(fs::exists(dir / "dst"));
+  fs::remove_all(dir);
+}
+
+// --------------------------------------------------- cache under injection
+
+TEST(ChaosCache, EioReadDegradesToAnIoErrorMiss) {
+  const fs::path dir = fresh_dir("cache_eio");
+  {
+    CacheStore clean(dir);
+    ASSERT_TRUE(clean.put("deadbeef", "payload", "test"));
+  }
+  FsFaultPlan plan;
+  plan.seed = 6;
+  plan.eio_read_rate = 1.0;
+  obs::Observability observability;
+  FsShim shim(plan, &observability);
+  util::RetryPolicy retry;
+  retry.max_retries = 2;
+  retry.backoff_base = std::chrono::microseconds(1);
+  CacheStore store(dir, &observability, &shim, retry);
+  EXPECT_EQ(store.get("deadbeef", "test"), std::nullopt);
+  EXPECT_EQ(store.stats().io_errors, 1u);
+  EXPECT_EQ(store.stats().retries, 2u);  // 1 + max_retries attempts, all EIO
+  EXPECT_EQ(store.stats().corrupt, 0u);  // I/O error, not validation failure
+  const auto counters = observability.metrics.snapshot().counters;
+  EXPECT_EQ(counters.at("cache/io_error"), 1u);
+  EXPECT_EQ(counters.at("cache/retry"), 2u);
+  EXPECT_EQ(counters.at("cache/miss"), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ChaosCache, FailedPutsNeverLeaveAStrayTemp) {
+  // The put() bugfix under test: write and rename failures must unlink the
+  // temp file before reporting, for every injected failure class.
+  for (const char* mode : {"enospc", "rename"}) {
+    const fs::path dir = fresh_dir(std::string("cache_put_") + mode);
+    FsFaultPlan plan;
+    plan.seed = 7;
+    if (std::string(mode) == "enospc") {
+      plan.enospc_write_rate = 1.0;
+    } else {
+      plan.rename_fail_rate = 1.0;
+    }
+    FsShim shim(plan);
+    CacheStore store(dir, nullptr, &shim);
+    std::string digest;
+    EXPECT_FALSE(store.put("cafe0123", std::string(5000, 'p'), "test", &digest)) << mode;
+    // Digest-chaining callers stay correct even on the failure path.
+    EXPECT_EQ(digest.size(), 64u) << mode;
+    EXPECT_EQ(store.stats().io_errors, 1u) << mode;
+    EXPECT_EQ(count_files_matching(dir, ".tmp."), 0u) << mode;
+    // The failed put degrades to a plain miss on the next get.
+    CacheStore reader(dir);
+    EXPECT_EQ(reader.get("cafe0123", "test"), std::nullopt) << mode;
+    fs::remove_all(dir);
+  }
+}
+
+TEST(ChaosCache, TornWriteIsCaughtByValidationAsACorruptMiss) {
+  const fs::path dir = fresh_dir("cache_torn");
+  FsFaultPlan plan;
+  plan.seed = 8;
+  plan.torn_write_rate = 1.0;
+  FsShim shim(plan);
+  obs::Observability observability;
+  CacheStore store(dir, &observability, &shim);
+  // The torn write reports success; nobody could have known.
+  EXPECT_TRUE(store.put("0badf00d", std::string(2000, 't'), "test"));
+  // Header+digest validation catches it on the way back out: a corrupt
+  // miss (and a recompute upstream), never a wrong payload.
+  CacheStore reader(dir, &observability);
+  EXPECT_EQ(reader.get("0badf00d", "test"), std::nullopt);
+  EXPECT_EQ(reader.stats().corrupt, 1u);
+  EXPECT_EQ(observability.metrics.snapshot().counters.at("cache/corrupt"), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ChaosCache, RetriesHealTransientFaults) {
+  // At a 60% fault rate with a generous retry budget, puts and gets land
+  // with overwhelming probability -- and every retry is counted.
+  const fs::path dir = fresh_dir("cache_retry");
+  FsFaultPlan plan;
+  plan.seed = 9;
+  plan.eio_read_rate = 0.6;
+  plan.enospc_write_rate = 0.6;
+  FsShim shim(plan);
+  util::RetryPolicy retry;
+  retry.max_retries = 40;
+  retry.backoff_base = std::chrono::microseconds(1);
+  retry.backoff_cap = std::chrono::microseconds(10);
+  CacheStore store(dir, nullptr, &shim, retry);
+  ASSERT_TRUE(store.put("feedface", "resilient payload", "test"));
+  const auto got = store.get("feedface", "test");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "resilient payload");
+  EXPECT_GT(store.stats().retries, 0u);
+  EXPECT_EQ(store.stats().io_errors, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(ChaosCache, GcSweepsOrphanedTempFiles) {
+  const fs::path dir = fresh_dir("cache_gc");
+  CacheStore store(dir);
+  ASSERT_TRUE(store.put("00e1e2e3", "kept payload", "test"));
+  // Simulate writers that died outright mid-put (SIGKILL: no cleanup path
+  // ever ran), stranding temps next to a healthy entry.
+  fs::create_directories(dir / "00");
+  std::ofstream(dir / "00" / "dead1.cwbc.tmp.1234.1") << "partial";
+  std::ofstream(dir / "00" / "dead2.cwbc.tmp.5678.2") << std::string(100, 'x');
+  obs::Observability observability;
+  const auto result = CacheStore::gc(dir, 1'000'000, &observability);
+  EXPECT_EQ(result.tmp_removed, 2u);
+  EXPECT_EQ(result.corrupt_removed, 0u);
+  EXPECT_EQ(result.kept, 1u);
+  EXPECT_EQ(observability.metrics.snapshot().counters.at("cache/gc_tmp"), 2u);
+  EXPECT_EQ(count_files_matching(dir, ".tmp."), 0u);
+  // The healthy entry survived the sweep.
+  EXPECT_TRUE(CacheStore(dir).get("00e1e2e3", "test").has_value());
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------- whole study under chaos
+
+pipeline::StudyConfig chaos_study_config(std::uint64_t seed, const std::string& cache_dir) {
+  pipeline::StudyConfig config;
+  config.seed = seed;
+  config.threads = 2;
+  config.event_scale = 0.03;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  config.cache_dir = cache_dir;
+  config.faults.blackout_count = 2;
+  config.faults.blackout_duration = util::Duration::hours(12);
+  config.faults.session_loss_rate = 0.03;
+  config.faults.snaplen = 300;
+  config.faults.corruption_rate = 0.02;
+  config.faults.duplication_rate = 0.04;
+  config.faults.reorder_rate = 0.05;
+  config.faults.clock_skew_max = util::Duration::minutes(10);
+  config.faults.lanes = 10;
+  return config;
+}
+
+TEST(ChaosStudy, AggressiveFaultPlanNeverChangesAByteOfTheResult) {
+  const std::uint64_t seed = 5081;
+  const fs::path dir = fresh_dir("study");
+
+  // Reference: no cache, no chaos.
+  auto reference_config = chaos_study_config(seed, "");
+  const std::string reference = serialize_study(pipeline::run_study(reference_config));
+
+  // Chaos run: every fault class active against the cache, manifest, and
+  // report-free path, with a modest retry budget.
+  FsFaultPlan plan;
+  plan.seed = 424242;
+  plan.eio_read_rate = 0.3;
+  plan.enospc_write_rate = 0.15;
+  plan.torn_write_rate = 0.15;
+  plan.rename_fail_rate = 0.2;
+  obs::Observability observability;
+  FsShim shim(plan, &observability);
+  auto config = chaos_study_config(seed, dir.string());
+  config.fs_shim = &shim;
+  config.io_retry.max_retries = 2;
+  config.io_retry.backoff_base = std::chrono::microseconds(1);
+  config.observability = &observability;
+  const std::string under_chaos = serialize_study(pipeline::run_study(config));
+  EXPECT_EQ(util::sha256_hex(reference), util::sha256_hex(under_chaos));
+  ASSERT_EQ(reference, under_chaos);
+  EXPECT_GT(shim.stats().injected_total(), 0u);  // the plan actually fired
+
+  // A rerun against whatever the chaotic cache left behind (complete
+  // entries, missing entries -- but never accepted-corrupt ones) still
+  // reproduces the reference bytes, this time with no shim at all.
+  auto warm_config = chaos_study_config(seed, dir.string());
+  ASSERT_EQ(reference, serialize_study(pipeline::run_study(warm_config)));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cvewb::chaos

@@ -1,0 +1,126 @@
+// Golden recovery: interrupt a journaled study at every stage boundary, at
+// one and at four threads, across three seeds -- and prove the resumed run
+// converges to a StudyResult byte-identical to an uninterrupted one.  The
+// interruption is the chaos_cancel_after_stage hook, which fires the
+// cancel token immediately after a checkpoint persists: the exact moment a
+// SIGTERM landing on a durable stage boundary would be observed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cache/key.h"
+#include "obs/observability.h"
+#include "pipeline/manifest.h"
+#include "pipeline/supervisor.h"
+#include "util/sha256.h"
+
+#include "../support/study_serialize.h"
+
+namespace cvewb::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::serialize_study;
+
+StudyConfig small_config(std::uint64_t seed, int threads, const std::string& cache_dir) {
+  StudyConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  config.event_scale = 0.03;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  config.cache_dir = cache_dir;
+  // An active fault plan keeps the faults checkpoint a real stage.
+  config.faults.blackout_count = 2;
+  config.faults.blackout_duration = util::Duration::hours(12);
+  config.faults.session_loss_rate = 0.03;
+  config.faults.snaplen = 300;
+  config.faults.corruption_rate = 0.02;
+  config.faults.duplication_rate = 0.04;
+  config.faults.reorder_rate = 0.05;
+  config.faults.clock_skew_max = util::Duration::minutes(10);
+  config.faults.lanes = 10;
+  return config;
+}
+
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "cvewb_recovery" / tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// The checkpointed pipeline stages, in order; cancelling after stage i
+// must leave exactly stages [0, i] journaled.
+const std::vector<std::string> kBoundaries = {"traffic", "faults", "reconstruct"};
+
+class RecoveryGolden : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoveryGolden, InterruptAtAnyBoundaryThenResumeIsByteIdentical) {
+  const std::uint64_t seed = GetParam();
+  // Reference: one uninterrupted, cache-free run.
+  const std::string reference = serialize_study(run_study(small_config(seed, 1, "")));
+  const std::string reference_digest = util::sha256_hex(reference);
+
+  for (int threads : {1, 4}) {
+    for (std::size_t boundary = 0; boundary < kBoundaries.size(); ++boundary) {
+      const std::string& stage = kBoundaries[boundary];
+      const std::string tag =
+          "seed_" + std::to_string(seed) + "_t" + std::to_string(threads) + "_" + stage;
+      const fs::path dir = fresh_dir(tag);
+
+      // Interrupted run: the token fires right after `stage`'s checkpoint
+      // lands in the journal.
+      auto interrupted = small_config(seed, threads, dir.string());
+      interrupted.chaos_cancel_after_stage = stage;
+      const RunReport report = RunSupervisor(interrupted).run();
+      EXPECT_EQ(report.status, RunStatus::kCancelled) << tag;
+      EXPECT_EQ(report.error_class, ErrorClass::kCancelled) << tag;
+      EXPECT_TRUE(report.resumable) << tag;
+      EXPECT_FALSE(report.result.has_value()) << tag;
+
+      // The journal records exactly the completed prefix, as interrupted.
+      const std::string run_key = cache::run_key(interrupted);
+      const auto manifest = ManifestJournal(dir, run_key).load();
+      ASSERT_TRUE(manifest.has_value()) << tag;
+      EXPECT_EQ(manifest->status, "interrupted") << tag;
+      ASSERT_EQ(manifest->stages.size(), boundary + 1) << tag;
+      for (std::size_t i = 0; i <= boundary; ++i) {
+        ASSERT_NE(manifest->find(kBoundaries[i]), nullptr) << tag;
+      }
+
+      // Resume: the same configuration, no hook.  Completed stages are
+      // served from the cache; the journal adopts their checkpoints; the
+      // result is byte-identical to never having been interrupted.
+      obs::Observability observability;
+      auto resumed = small_config(seed, threads, dir.string());
+      resumed.observability = &observability;
+      const RunReport resumed_report = RunSupervisor(resumed).run();
+      ASSERT_TRUE(resumed_report.ok()) << tag << ": " << resumed_report.message;
+      const std::string resumed_bytes = serialize_study(*resumed_report.result);
+      EXPECT_EQ(reference_digest, util::sha256_hex(resumed_bytes)) << tag;
+      ASSERT_EQ(reference, resumed_bytes) << tag;
+
+      const auto counters = observability.metrics.snapshot().counters;
+      EXPECT_EQ(counters.at("resume/stages_prior"), boundary + 1) << tag;
+      EXPECT_GE(counters.at("cache/hit"), boundary + 1) << tag;
+
+      // And the journal now records a completed run.
+      const auto final_manifest = ManifestJournal(dir, run_key).load();
+      ASSERT_TRUE(final_manifest.has_value()) << tag;
+      EXPECT_EQ(final_manifest->status, "complete") << tag;
+      EXPECT_EQ(final_manifest->stages.size(), kBoundaries.size()) << tag;
+
+      fs::remove_all(dir);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryGolden, ::testing::Values(11ULL, 5081ULL, 900913ULL),
+                         [](const auto& info) { return "seed_" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace cvewb::pipeline

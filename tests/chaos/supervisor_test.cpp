@@ -1,0 +1,329 @@
+// Unit coverage for the supervision layer: CancelToken semantics, the
+// retry/backoff policy, the StudyError taxonomy, the manifest journal's
+// update discipline, and RunSupervisor's promise that no failure mode
+// escapes as an unclassified exception.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "cache/key.h"
+#include "chaos/fs_shim.h"
+#include "obs/observability.h"
+#include "pipeline/manifest.h"
+#include "pipeline/study_error.h"
+#include "pipeline/supervisor.h"
+#include "util/cancel.h"
+#include "util/retry.h"
+
+namespace cvewb::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "cvewb_supervisor" / tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// ------------------------------------------------------------ CancelToken
+
+TEST(CancelToken, FirstReasonWinsAndCheckThrows) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check("idle"));
+  token.request_cancel();
+  token.request_cancel(util::CancelReason::kDeadline);  // loses: already fired
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kUser);
+  try {
+    token.check("stage_x");
+    FAIL() << "check must throw once fired";
+  } catch (const util::CancelledError& e) {
+    EXPECT_EQ(e.reason(), util::CancelReason::kUser);
+    EXPECT_NE(std::string(e.what()).find("stage_x"), std::string::npos);
+  }
+}
+
+TEST(CancelToken, DeadlineExpiryLatchesAcrossDisarm) {
+  util::CancelToken token;
+  token.arm_deadline(std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  // Expired but not yet observed: the next observation latches it...
+  EXPECT_TRUE(token.cancelled());
+  // ...so a later disarm (the StageScope destructor) cannot un-cancel.
+  token.disarm_deadline();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kDeadline);
+}
+
+TEST(CancelToken, DisarmBeforeExpiryObservationClearsTheDeadline) {
+  util::CancelToken token;
+  token.arm_deadline(std::chrono::steady_clock::now() + std::chrono::hours(24));
+  EXPECT_FALSE(token.cancelled());
+  token.disarm_deadline();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kNone);
+}
+
+// ------------------------------------------------------------ retry_io
+
+TEST(RetryPolicy, BackoffScheduleIsDeterministicAndCapped) {
+  util::RetryPolicy policy;
+  policy.backoff_base = std::chrono::microseconds(500);
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap = std::chrono::microseconds(3000);
+  EXPECT_EQ(policy.delay(0).count(), 500);
+  EXPECT_EQ(policy.delay(1).count(), 1000);
+  EXPECT_EQ(policy.delay(2).count(), 2000);
+  EXPECT_EQ(policy.delay(3).count(), 3000);  // capped
+  EXPECT_EQ(policy.delay(10).count(), 3000);
+}
+
+TEST(RetryIo, SucceedsAfterTransientFailures) {
+  util::RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.backoff_base = std::chrono::microseconds(0);
+  int attempts = 0;
+  int retries_seen = 0;
+  const bool ok = util::retry_io(
+      policy, nullptr, [&] { return ++attempts == 3; }, [&](int) { ++retries_seen; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(retries_seen, 2);
+}
+
+TEST(RetryIo, ExhaustionReportsFailureAfterExactlyTheBudget) {
+  util::RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_base = std::chrono::microseconds(0);
+  int attempts = 0;
+  const bool ok = util::retry_io(
+      policy, nullptr,
+      [&] {
+        ++attempts;
+        return false;
+      },
+      [](int) {});
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts, 4);  // first try + 3 retries
+}
+
+TEST(RetryIo, FiredCancelTokenStopsRetrying) {
+  util::RetryPolicy policy;
+  policy.max_retries = 100;
+  policy.backoff_base = std::chrono::microseconds(0);
+  util::CancelToken token;
+  token.request_cancel();
+  int attempts = 0;
+  const bool ok = util::retry_io(
+      policy, &token,
+      [&] {
+        ++attempts;
+        return false;
+      },
+      [](int) {});
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts, 1);  // no retries past the cancellation
+}
+
+// ------------------------------------------------------------ StudyError
+
+TEST(StudyError, CarriesClassAndStage) {
+  const StudyError error(ErrorClass::kRetryable, "traffic", "disk full");
+  EXPECT_EQ(error.error_class(), ErrorClass::kRetryable);
+  EXPECT_EQ(error.stage(), "traffic");
+  const std::string what = error.what();
+  EXPECT_NE(what.find("traffic"), std::string::npos);
+  EXPECT_NE(what.find("retryable"), std::string::npos);
+  EXPECT_NE(what.find("disk full"), std::string::npos);
+  EXPECT_STREQ(error_class_name(ErrorClass::kDegradable), "degradable");
+  EXPECT_STREQ(error_class_name(ErrorClass::kFatal), "fatal");
+  EXPECT_STREQ(error_class_name(ErrorClass::kCancelled), "cancelled");
+}
+
+// ------------------------------------------------------- ManifestJournal
+
+TEST(ManifestJournal, RecordsStagesAndRoundTrips) {
+  const fs::path dir = fresh_dir("roundtrip");
+  {
+    ManifestJournal journal(dir, "runkey_a");
+    EXPECT_EQ(journal.begin(42), 0u);  // nothing prior to adopt
+    // A just-begun manifest (zero checkpoints) must already round-trip.
+    const auto just_begun = journal.load();
+    ASSERT_TRUE(just_begun.has_value());
+    EXPECT_EQ(just_begun->status, "running");
+    EXPECT_TRUE(just_begun->stages.empty());
+    journal.record_stage("traffic", "key_t", "digest_t");
+    journal.record_stage("faults", "key_f", "digest_f");
+    // Re-recording (recompute after a corrupt entry) replaces, not appends.
+    journal.record_stage("faults", "key_f", "digest_f2");
+    journal.complete();
+  }
+  ManifestJournal reader(dir, "runkey_a");
+  const auto loaded = reader.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->run_key, "runkey_a");
+  EXPECT_EQ(loaded->seed, 42u);
+  EXPECT_EQ(loaded->status, "complete");
+  ASSERT_EQ(loaded->stages.size(), 2u);
+  ASSERT_NE(loaded->find("faults"), nullptr);
+  EXPECT_EQ(loaded->find("faults")->digest, "digest_f2");
+  EXPECT_EQ(loaded->find("reconstruct"), nullptr);
+  fs::remove_all(dir);
+}
+
+TEST(ManifestJournal, DestructionWithoutCompleteMarksInterrupted) {
+  const fs::path dir = fresh_dir("interrupted");
+  {
+    ManifestJournal journal(dir, "runkey_b");
+    journal.begin(7);
+    journal.record_stage("traffic", "key_t", "digest_t");
+    // No complete(): this is what a cooperative-cancel unwind leaves.
+  }
+  const auto loaded = ManifestJournal(dir, "runkey_b").load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->status, "interrupted");
+  ASSERT_EQ(loaded->stages.size(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ManifestJournal, BeginAdoptsPriorCheckpointsForTheSameRun) {
+  const fs::path dir = fresh_dir("adopt");
+  {
+    ManifestJournal journal(dir, "runkey_c");
+    journal.begin(9);
+    journal.record_stage("traffic", "key_t", "digest_t");
+    journal.record_stage("faults", "key_f", "digest_f");
+  }
+  obs::Observability observability;
+  ManifestJournal resumed(dir, "runkey_c", nullptr, {}, &observability);
+  EXPECT_EQ(resumed.begin(9), 2u);
+  EXPECT_EQ(observability.metrics.snapshot().counters.at("resume/stages_prior"), 2u);
+  // A seed mismatch (same run_key should make this impossible, but belt
+  // and braces) rejects the prior checkpoints wholesale.
+  ManifestJournal reseeded(dir, "runkey_c");
+  EXPECT_EQ(reseeded.begin(10), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(ManifestJournal, LoadRejectsForeignAndMangledManifests) {
+  const fs::path dir = fresh_dir("reject");
+  {
+    ManifestJournal journal(dir, "runkey_d");
+    journal.begin(1);
+    journal.complete();
+  }
+  // A journal for a different run key does not see this manifest (distinct
+  // file name), and a mangled file is ignored, never trusted.
+  EXPECT_FALSE(ManifestJournal(dir, "runkey_other").load().has_value());
+  ManifestJournal reader(dir, "runkey_d");
+  ASSERT_TRUE(reader.load().has_value());
+  std::ofstream(reader.path(), std::ios::trunc) << "{not json";
+  EXPECT_FALSE(reader.load().has_value());
+  fs::remove_all(dir);
+}
+
+TEST(ManifestJournal, PersistFailureDegradesToAMetricNeverAnAbort) {
+  const fs::path dir = fresh_dir("degrade");
+  chaos::FsFaultPlan plan;
+  plan.seed = 12;
+  plan.enospc_write_rate = 1.0;
+  obs::Observability observability;
+  chaos::FsShim shim(plan, &observability);
+  {
+    ManifestJournal journal(dir, "runkey_e", &shim, {}, &observability);
+    EXPECT_NO_THROW(journal.begin(5));
+    EXPECT_NO_THROW(journal.record_stage("traffic", "k", "d"));
+    EXPECT_NO_THROW(journal.complete());
+  }
+  const auto counters = observability.metrics.snapshot().counters;
+  EXPECT_GE(counters.at("manifest/write_failed"), 3u);
+  EXPECT_EQ(counters.count("manifest/write"), 0u);
+  // Nothing durable -- and nothing stranded either.
+  EXPECT_FALSE(ManifestJournal(dir, "runkey_e").load().has_value());
+  fs::remove_all(dir);
+}
+
+// -------------------------------------------------------- RunSupervisor
+
+StudyConfig tiny_config(std::uint64_t seed, const std::string& cache_dir) {
+  StudyConfig config;
+  config.seed = seed;
+  config.threads = 2;
+  config.event_scale = 0.02;
+  config.background_per_day = 3.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 8;
+  config.pool_size = 20000;
+  config.cache_dir = cache_dir;
+  return config;
+}
+
+TEST(RunSupervisor, CompleteRunReportsOkWithAResult) {
+  RunSupervisor supervisor(tiny_config(11, ""));
+  const RunReport report = supervisor.run();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.status, RunStatus::kComplete);
+  ASSERT_TRUE(report.result.has_value());
+  EXPECT_EQ(report.message, "");
+  EXPECT_FALSE(report.resumable);
+}
+
+TEST(RunSupervisor, PreFiredTokenCancelsBeforeAnyStage) {
+  auto config = tiny_config(11, "");
+  RunSupervisor supervisor(config);
+  supervisor.cancel_token().request_cancel();
+  const RunReport report = supervisor.run();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, RunStatus::kCancelled);
+  EXPECT_EQ(report.error_class, ErrorClass::kCancelled);
+  EXPECT_FALSE(report.result.has_value());
+  // No cache dir -> no journal -> nothing to resume from.
+  EXPECT_FALSE(report.resumable);
+}
+
+TEST(RunSupervisor, ExternalTokenWinsOverTheOwnedOne) {
+  util::CancelToken external;
+  auto config = tiny_config(11, "");
+  config.cancel = &external;
+  RunSupervisor supervisor(config);
+  EXPECT_EQ(&supervisor.cancel_token(), &external);
+  external.request_cancel();
+  EXPECT_EQ(supervisor.run().status, RunStatus::kCancelled);
+}
+
+TEST(RunSupervisor, CancellationWithAJournalIsResumable) {
+  const fs::path dir = fresh_dir("resumable");
+  auto config = tiny_config(11, dir.string());
+  config.chaos_cancel_after_stage = "traffic";
+  const RunReport report = RunSupervisor(config).run();
+  EXPECT_EQ(report.status, RunStatus::kCancelled);
+  EXPECT_TRUE(report.resumable);
+  fs::remove_all(dir);
+}
+
+TEST(RunSupervisor, ExpiredStageDeadlineReportsDeadline) {
+  auto config = tiny_config(11, "");
+  config.stage_deadline = std::chrono::milliseconds(1);
+  // The traffic stage takes well over 1ms; some cancellation point inside
+  // it must observe the armed deadline.
+  const RunReport report = RunSupervisor(config).run();
+  EXPECT_EQ(report.status, RunStatus::kDeadline);
+  EXPECT_EQ(report.error_class, ErrorClass::kCancelled);
+  EXPECT_FALSE(report.result.has_value());
+}
+
+TEST(RunSupervisor, StatusAndClassNamesAreStable) {
+  EXPECT_STREQ(run_status_name(RunStatus::kComplete), "complete");
+  EXPECT_STREQ(run_status_name(RunStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(run_status_name(RunStatus::kDeadline), "deadline");
+  EXPECT_STREQ(run_status_name(RunStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace cvewb::pipeline

@@ -16,8 +16,35 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.h"
+
 namespace cvewb::util {
 namespace {
+
+// Gate that lets a test hold worker threads hostage at a known point and
+// release them deterministically.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  int waiting = 0;
+
+  void wait_open() {
+    std::unique_lock lock(mutex);
+    ++waiting;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+  void wait_for_waiters(int n) {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this, n] { return waiting >= n; });
+  }
+  void release() {
+    std::unique_lock lock(mutex);
+    open = true;
+    cv.notify_all();
+  }
+};
 
 TEST(ThreadPool, EveryTaskRunsExactlyOnce) {
   constexpr std::size_t kTasks = 256;
@@ -69,6 +96,84 @@ TEST(ThreadPool, ForEachShardRethrowsLowestIndexedFailure) {
   }
 }
 
+TEST(ThreadPool, ForEachShardFailureIsThreadCountIndependent) {
+  // The same multi-failure workload must surface the same exception at
+  // every pool width (inline included): the lowest-indexed failing shard.
+  const auto run = [](ThreadPool* pool) -> std::string {
+    try {
+      for_each_shard(pool, 24, [](std::size_t shard) {
+        if (shard % 7 == 3) throw std::runtime_error("shard " + std::to_string(shard));
+      });
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "no exception";
+  };
+  EXPECT_EQ(run(nullptr), "shard 3");
+  for (unsigned threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 5; ++round) EXPECT_EQ(run(&pool), "shard 3") << threads;
+  }
+}
+
+TEST(ThreadPool, QueuedTasksObserveCancelToken) {
+  CancelToken token;
+  Gate gate;
+  ThreadPool pool(1, &token);
+  // The blocker occupies the only worker; everything behind it is queued
+  // and must observe the token at pickup, not run to completion.
+  auto blocker = pool.submit([&gate] { gate.wait_open(); });
+  std::vector<std::future<int>> queued;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    queued.push_back(pool.submit([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }));
+  }
+  gate.wait_for_waiters(1);
+  token.request_cancel();
+  gate.release();
+  EXPECT_NO_THROW(blocker.get());  // already running: finishes normally
+  for (auto& future : queued) {
+    // Every queued future is still satisfied -- with CancelledError, never
+    // a broken promise or a hang.
+    EXPECT_THROW(future.get(), CancelledError);
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, ForEachShardCancelSurfacesAsCancelledError) {
+  // Inline path: the token fires inside shard 2; shard 3 never starts.
+  CancelToken inline_token;
+  std::vector<std::size_t> ran;
+  try {
+    for_each_shard(
+        nullptr, 8,
+        [&](std::size_t shard) {
+          ran.push_back(shard);
+          if (shard == 2) inline_token.request_cancel();
+        },
+        &inline_token);
+    FAIL() << "must rethrow CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kUser);
+  }
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+
+  // Pooled path: a pre-fired token stops every shard before it starts.
+  CancelToken pool_token;
+  pool_token.request_cancel();
+  ThreadPool pool(4, &pool_token);
+  std::atomic<int> started{0};
+  EXPECT_THROW(
+      for_each_shard(
+          &pool, 16,
+          [&](std::size_t) { started.fetch_add(1, std::memory_order_relaxed); }, &pool_token),
+      CancelledError);
+  EXPECT_EQ(started.load(), 0);
+}
+
 TEST(ThreadPool, ForEachShardInlineWithoutPool) {
   std::vector<std::size_t> order;
   for_each_shard(nullptr, 8, [&order](std::size_t shard) { order.push_back(shard); });
@@ -101,31 +206,6 @@ TEST(ThreadPool, ShardCount) {
   EXPECT_EQ(shard_count(101, 100), 2u);
   EXPECT_EQ(shard_count(5, 0), 1u);  // degenerate per-shard size
 }
-
-// Gate that lets a test hold worker threads hostage at a known point and
-// release them deterministically.
-struct Gate {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool open = false;
-  int waiting = 0;
-
-  void wait_open() {
-    std::unique_lock lock(mutex);
-    ++waiting;
-    cv.notify_all();
-    cv.wait(lock, [this] { return open; });
-  }
-  void wait_for_waiters(int n) {
-    std::unique_lock lock(mutex);
-    cv.wait(lock, [this, n] { return waiting >= n; });
-  }
-  void release() {
-    std::unique_lock lock(mutex);
-    open = true;
-    cv.notify_all();
-  }
-};
 
 // The completed/task_run_us updates land just *after* a task's future
 // resolves (the worker re-locks to record them), so tests spin briefly for

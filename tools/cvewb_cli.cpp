@@ -14,6 +14,15 @@
 // FILE writes the counter/gauge/histogram registry plus a memory sample.
 // Both are side-channels: the study's outputs are byte-identical with or
 // without them.  --threads N forwards to StudyConfig.threads.
+//
+// Robustness (study): SIGINT/SIGTERM cancel the run cooperatively -- the
+// study checkpoints at the next stage/shard boundary and exits 75
+// (EX_TEMPFAIL); rerunning the same command with the same --cache-dir
+// resumes from the journal and converges to the identical digest.
+// --deadline-ms N bounds each stage's wall clock, --max-retries N bounds
+// cache/report I/O re-attempts (exponential backoff).
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -29,9 +38,11 @@
 #include "net/pcap.h"
 #include "obs/observability.h"
 #include "pipeline/study.h"
+#include "pipeline/supervisor.h"
 #include "report/disclosure_artifact.h"
 #include "report/export.h"
 #include "report/table.h"
+#include "util/cancel.h"
 #include "util/sha256.h"
 
 namespace {
@@ -47,8 +58,21 @@ struct Options {
   std::string cache_dir;
   std::string digest_out;
   std::uint64_t keep_bytes = 0;
+  std::int64_t deadline_ms = 0;  // per-stage budget; 0 = unlimited
+  int max_retries = 0;           // cache/report I/O re-attempts
+  // Test hook: fire the cancel token right after this stage's checkpoint
+  // persists -- a deterministic stand-in for a signal landing exactly on a
+  // stage boundary (the kill-resume smoke uses it; "" = disabled).
+  std::string chaos_cancel_after;
   std::vector<std::string> positional;
 };
+
+/// Process-wide cancellation token: the signal handler fires it, the
+/// supervised study polls it.  request_cancel is one relaxed atomic CAS,
+/// so calling it from the handler is async-signal-safe.
+util::CancelToken g_cancel;
+
+extern "C" void handle_cancel_signal(int) { g_cancel.request_cancel(); }
 
 Options parse_options(int argc, char** argv) {
   Options options;
@@ -70,6 +94,12 @@ Options parse_options(int argc, char** argv) {
       options.digest_out = argv[++i];
     } else if (arg == "--keep-bytes" && i + 1 < argc) {
       options.keep_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      options.deadline_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--max-retries" && i + 1 < argc) {
+      options.max_retries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--chaos-cancel-after" && i + 1 < argc) {
+      options.chaos_cancel_after = argv[++i];
     } else {
       options.positional.push_back(arg);
     }
@@ -83,6 +113,9 @@ pipeline::StudyConfig study_config(const Options& options) {
   config.event_scale = options.scale;
   config.threads = options.threads;
   config.cache_dir = options.cache_dir;
+  if (options.deadline_ms > 0) config.stage_deadline = std::chrono::milliseconds(options.deadline_ms);
+  if (options.max_retries > 0) config.io_retry.max_retries = options.max_retries;
+  config.chaos_cancel_after_stage = options.chaos_cancel_after;
   return config;
 }
 
@@ -135,7 +168,30 @@ int cmd_study(const Options& options) {
   auto observability = make_observability(options);
   pipeline::StudyConfig config = study_config(options);
   config.observability = observability.get();
-  const auto result = pipeline::run_study(config);
+  config.cancel = &g_cancel;
+
+  // Cooperative shutdown: the handler only flips the token; the study
+  // checkpoints at its next cancellation point and unwinds cleanly.
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+  pipeline::RunSupervisor supervisor(config);
+  pipeline::RunReport report = supervisor.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  if (!report.ok()) {
+    std::cerr << "study " << pipeline::run_status_name(report.status)
+              << (report.stage.empty() ? "" : " in stage " + report.stage) << ": "
+              << report.message << "\n";
+    write_observability(observability.get(), options);
+    if (report.resumable) {
+      std::cerr << "checkpoint journaled in " << options.cache_dir
+                << "; rerun the same command to resume\n";
+      return 75;  // EX_TEMPFAIL: incomplete but safely resumable
+    }
+    return 1;
+  }
+  const pipeline::StudyResult& result = *report.result;
   std::cout << "sessions: " << result.traffic.sessions.size()
             << ", matched: " << result.reconstruction.sessions_matched
             << ", CVEs: " << result.reconstruction.timelines.size() << "\n\n";
@@ -170,8 +226,9 @@ int cmd_cache(const Options& options) {
   if (action == "gc") {
     const auto result = cache::CacheStore::gc(dir, options.keep_bytes);
     std::cout << dir << ": removed " << result.removed << " entries (" << result.removed_bytes
-              << " bytes, " << result.corrupt_removed << " corrupt), kept " << result.kept
-              << " entries (" << result.kept_bytes << " bytes)\n";
+              << " bytes, " << result.corrupt_removed << " corrupt, " << result.tmp_removed
+              << " stray temps), kept " << result.kept << " entries (" << result.kept_bytes
+              << " bytes)\n";
     return 0;
   }
   std::cerr << "unknown cache action '" << action << "' (expected stat or gc)\n";
@@ -332,7 +389,8 @@ void usage() {
   std::cerr << "usage: cvewb <study|rules|baselines|artifacts|pcap|export|dataset|lifecycle|trace-verify|cache> [options]\n"
                "  study      run the end-to-end study (--seed, --scale, --threads,\n"
                "             --trace-out FILE, --metrics-out FILE, --cache-dir DIR,\n"
-               "             --digest-out FILE)\n"
+               "             --digest-out FILE, --deadline-ms N, --max-retries N;\n"
+               "             SIGINT/SIGTERM checkpoint and exit 75, rerun to resume)\n"
                "  rules      print the synthetic Snort-subset study ruleset\n"
                "  baselines  print the CERT Markov baseline probabilities\n"
                "  artifacts  emit machine-readable disclosure artifacts (JSON)\n"
