@@ -1,0 +1,363 @@
+#include "daemon/job_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "cache/serialize.h"
+#include "obs/observability.h"
+#include "pipeline/study.h"
+#include "pipeline/supervisor.h"
+#include "util/sha256.h"
+
+namespace cvewb::daemon {
+
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kComplete:
+      return "complete";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kExpired:
+      return "expired";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+struct JobScheduler::Job {
+  std::string id;
+  JobSpec spec;
+  int weight = 1;
+  bool in_backlog = false;  // weight currently counted against capacity
+
+  JobState state = JobState::kQueued;
+  std::string stage;
+  std::string digest;
+  util::Json summary;
+  std::string message;
+  std::string error_class;
+  bool resumable = false;
+  std::string resume_key;
+
+  util::CancelToken token;
+  steady_clock::time_point submitted;
+  steady_clock::time_point started;
+  std::uint64_t wait_us = 0;
+  std::uint64_t run_us = 0;
+};
+
+JobScheduler::JobScheduler(SchedulerConfig config, obs::Observability* observability)
+    : config_(std::move(config)), observability_(observability) {
+  const int workers = std::max(0, config_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() { drain(); }
+
+int JobScheduler::weight_of(double scale) const {
+  if (config_.weight_scale_unit <= 0) return 1;
+  const double units = std::ceil(scale / config_.weight_scale_unit);
+  if (units <= 1) return 1;
+  if (units >= static_cast<double>(std::numeric_limits<int>::max())) {
+    return std::numeric_limits<int>::max();
+  }
+  return static_cast<int>(units);
+}
+
+AdmitResult JobScheduler::submit(const JobSpec& spec) {
+  AdmitResult result;
+  result.capacity = config_.backlog_capacity;
+  const int weight = weight_of(spec.scale);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.submitted;
+  obs::count(observability_, "daemon/jobs_submitted");
+  result.backlog_weight = backlog_weight_;
+  if (draining_) {
+    result.reason = "draining";
+    ++totals_.rejected;
+    obs::count(observability_, "daemon/rejected_total");
+    return result;
+  }
+  if (backlog_weight_ + weight > config_.backlog_capacity) {
+    // Weight-based rejection: the hint scales with how much work is
+    // already waiting, so a backed-off client swarm naturally spreads out.
+    result.reason = "overloaded";
+    result.retry_after = config_.retry_after_per_weight * std::max(1, backlog_weight_);
+    ++totals_.rejected;
+    obs::count(observability_, "daemon/rejected_total");
+    return result;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = "j" + std::to_string(++next_job_number_);
+  job->spec = spec;
+  job->weight = weight;
+  job->in_backlog = true;
+  job->submitted = steady_clock::now();
+  const auto deadline = spec.deadline.count() > 0 ? spec.deadline : config_.default_deadline;
+  if (deadline.count() > 0) {
+    // Armed at admission: queue time spends the same budget as run time,
+    // so a job buried behind a heavy study expires instead of lingering.
+    job->token.arm_deadline(job->submitted + deadline);
+  }
+  backlog_weight_ += weight;
+  obs::gauge_set(observability_, "daemon/backlog_depth", backlog_weight_);
+  jobs_.emplace(job->id, job);
+  queue_.push_back(job);
+  cv_.notify_one();
+
+  result.admitted = true;
+  result.job_id = job->id;
+  result.backlog_weight = backlog_weight_;
+  return result;
+}
+
+void JobScheduler::release_backlog_locked(const std::shared_ptr<Job>& job) {
+  if (!job->in_backlog) return;
+  job->in_backlog = false;
+  backlog_weight_ -= job->weight;
+  obs::gauge_set(observability_, "daemon/backlog_depth", backlog_weight_);
+}
+
+void JobScheduler::finalize_locked(const std::shared_ptr<Job>& job, JobState state,
+                                   std::string message) {
+  release_backlog_locked(job);
+  job->state = state;
+  if (job->message.empty()) job->message = std::move(message);
+  switch (state) {
+    case JobState::kComplete:
+      ++totals_.completed;
+      obs::count(observability_, "daemon/jobs_completed");
+      break;
+    case JobState::kCancelled:
+      ++totals_.cancelled;
+      obs::count(observability_, "daemon/jobs_cancelled");
+      break;
+    case JobState::kExpired:
+      ++totals_.expired;
+      obs::count(observability_, "daemon/deadline_expired_total");
+      break;
+    case JobState::kFailed:
+      ++totals_.failed;
+      obs::count(observability_, "daemon/jobs_failed");
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning:
+      break;
+  }
+}
+
+std::optional<JobStatus> JobScheduler::query(const std::string& job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return std::nullopt;
+  const auto& job = it->second;
+  // Lazy finalization: a queued job whose token already fired (deadline in
+  // queue, cancel racing a query) reports its terminal state immediately
+  // instead of waiting for a worker to pick it up and discard it.
+  if (job->state == JobState::kQueued && job->token.cancelled()) {
+    const bool deadline = job->token.reason() == util::CancelReason::kDeadline;
+    finalize_locked(job, deadline ? JobState::kExpired : JobState::kCancelled,
+                    deadline ? "deadline expired while queued" : "cancelled while queued");
+  }
+
+  JobStatus status;
+  status.id = job->id;
+  status.state = job->state;
+  status.seed = job->spec.seed;
+  status.scale = job->spec.scale;
+  status.stage = job->stage;
+  status.digest = job->digest;
+  status.summary = job->summary;
+  status.message = job->message;
+  status.error_class = job->error_class;
+  status.resumable = job->resumable;
+  status.resume_key = job->resume_key;
+  status.wait_us = job->wait_us;
+  status.run_us = job->run_us;
+  return status;
+}
+
+bool JobScheduler::cancel(const std::string& job_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  const auto& job = it->second;
+  switch (job->state) {
+    case JobState::kQueued:
+      job->token.request_cancel();
+      finalize_locked(job, JobState::kCancelled, "cancelled while queued");
+      return true;
+    case JobState::kRunning:
+      // Fire the token; the study unwinds at its next cancellation point
+      // (checkpoints journaled) and the worker finalizes the job.
+      job->token.request_cancel();
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t JobScheduler::cancel_owner(std::uint64_t owner) {
+  if (owner == 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t cancelled = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job->spec.owner != owner || job->spec.detach) continue;
+    if (job->state == JobState::kQueued) {
+      job->token.request_cancel();
+      finalize_locked(job, JobState::kCancelled, "client disconnected");
+      ++cancelled;
+    } else if (job->state == JobState::kRunning) {
+      job->token.request_cancel();
+      ++cancelled;
+    }
+  }
+  return cancelled;
+}
+
+SchedulerStats JobScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchedulerStats stats = totals_;
+  stats.backlog_weight = backlog_weight_;
+  stats.running = running_;
+  stats.queued = 0;
+  for (const auto& job : queue_) {
+    if (job->state == JobState::kQueued) ++stats.queued;
+  }
+  return stats;
+}
+
+bool JobScheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void JobScheduler::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!draining_) {
+      draining_ = true;
+      // The queue never starts: finalize it as cancelled ("draining") so
+      // clients polling those jobs learn the truth immediately.
+      for (const auto& job : queue_) {
+        if (job->state != JobState::kQueued) continue;
+        job->token.request_cancel();
+        finalize_locked(job, JobState::kCancelled, "daemon draining");
+      }
+      queue_.clear();
+      // Running studies checkpoint-and-unwind; their workers finalize them.
+      for (const auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) job->token.request_cancel();
+      }
+    }
+    cv_.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void JobScheduler::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      if (job->state != JobState::kQueued) continue;  // finalized while queued
+      if (job->token.cancelled()) {
+        const bool deadline = job->token.reason() == util::CancelReason::kDeadline;
+        finalize_locked(job, deadline ? JobState::kExpired : JobState::kCancelled,
+                        deadline ? "deadline expired while queued" : "cancelled while queued");
+        continue;
+      }
+      job->state = JobState::kRunning;
+      job->started = steady_clock::now();
+      job->wait_us = static_cast<std::uint64_t>(
+          duration_cast<microseconds>(job->started - job->submitted).count());
+      release_backlog_locked(job);
+      ++running_;
+      obs::gauge_set(observability_, "daemon/running_jobs",
+                     static_cast<std::int64_t>(running_));
+      obs::observe(observability_, "daemon/job_wait_us", job->wait_us);
+    }
+    run_job(job);
+  }
+}
+
+void JobScheduler::run_job(const std::shared_ptr<Job>& job) {
+  pipeline::StudyConfig config;
+  config.seed = job->spec.seed;
+  config.event_scale = job->spec.scale;
+  config.threads = std::max(1, job->spec.threads);
+  config.cache_dir = config_.cache_dir;
+  config.io_retry = config_.io_retry;
+  config.cancel = &job->token;
+  config.stage_hook = [this, job_weak = std::weak_ptr<Job>(job)](const char* stage) {
+    const auto hooked = job_weak.lock();
+    if (!hooked) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    hooked->stage = stage;
+  };
+
+  pipeline::RunSupervisor supervisor(config);
+  pipeline::RunReport report = supervisor.run();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  --running_;
+  obs::gauge_set(observability_, "daemon/running_jobs", static_cast<std::int64_t>(running_));
+  job->run_us = static_cast<std::uint64_t>(
+      duration_cast<microseconds>(steady_clock::now() - job->started).count());
+  obs::observe(observability_, "daemon/job_run_us", job->run_us);
+  job->resumable = report.resumable;
+  job->resume_key = report.resume_key;
+  switch (report.status) {
+    case pipeline::RunStatus::kComplete: {
+      const pipeline::StudyResult& result = *report.result;
+      job->digest = util::sha256_hex(cache::encode_study_result(result));
+      util::Json summary;
+      summary.set("sessions", util::Json(static_cast<std::int64_t>(result.traffic.sessions.size())));
+      summary.set("matched",
+                  util::Json(static_cast<std::int64_t>(result.reconstruction.sessions_matched)));
+      summary.set("cves",
+                  util::Json(static_cast<std::int64_t>(result.reconstruction.timelines.size())));
+      summary.set("mitigated_fraction", util::Json(result.exposure.mitigated_fraction()));
+      job->summary = std::move(summary);
+      finalize_locked(job, JobState::kComplete, "");
+      break;
+    }
+    case pipeline::RunStatus::kDeadline:
+      finalize_locked(job, JobState::kExpired, report.message);
+      break;
+    case pipeline::RunStatus::kCancelled:
+      finalize_locked(job, JobState::kCancelled, report.message);
+      break;
+    case pipeline::RunStatus::kFailed:
+      job->error_class = pipeline::error_class_name(report.error_class);
+      finalize_locked(job, JobState::kFailed, report.message);
+      break;
+  }
+}
+
+}  // namespace cvewb::daemon

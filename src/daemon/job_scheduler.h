@@ -1,0 +1,193 @@
+// JobScheduler: admission-controlled study execution for the daemon.
+//
+// The scheduler is the robustness boundary between an unbounded client
+// population and a bounded machine.  Every submission is weighed (cost
+// scales with event_scale) against a bounded backlog: work that fits is
+// queued FIFO and executed by a fixed worker pool through the PR 5
+// RunSupervisor (journaled, cancellable, resumable); work that does not
+// fit is rejected *immediately* with a structured `overloaded` verdict and
+// a Retry-After hint -- a million light clients can slam the front door
+// all day without starving the one heavy study already running, and
+// without the daemon ever buffering unbounded state.
+//
+// Each job owns a util::CancelToken threaded into its study: a per-request
+// deadline arms the token at admission (so queue time counts against the
+// budget), a client disconnect or explicit cancel fires it, and graceful
+// drain fires every token at once -- in all cases the backing study
+// unwinds at its next cancellation point with its checkpoints journaled.
+// Zero jobs outlive their reason to exist.
+//
+// Everything observable is exported through obs::MetricsRegistry under
+// daemon/*: backlog depth, rejects, deadline expiries, per-state job
+// counters, queue/run latency histograms.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/cancel.h"
+#include "util/json.h"
+#include "util/retry.h"
+
+namespace cvewb::obs {
+struct Observability;
+}
+
+namespace cvewb::daemon {
+
+struct SchedulerConfig {
+  /// Worker threads executing admitted jobs.  0 is a legitimate (test)
+  /// configuration: jobs queue but never run, which makes admission
+  /// arithmetic exactly observable.
+  int workers = 2;
+  /// Backlog capacity in weight units; admission rejects any submit whose
+  /// weight would push the *queued* total past this.
+  int backlog_capacity = 8;
+  /// Weight quantum: a job's weight is ceil(event_scale / weight_scale_unit),
+  /// at least 1 -- a heavy study consumes proportionally more backlog, so
+  /// admission is cost-based, not count-based.
+  double weight_scale_unit = 0.01;
+  /// Retry-After hint per unit of queued weight at rejection time.
+  std::chrono::milliseconds retry_after_per_weight{50};
+  /// Default per-job deadline when the request names none (0 = unlimited).
+  std::chrono::milliseconds default_deadline{0};
+  /// Shared stage-cache directory ("" = caching and journaling off).
+  /// Concurrent jobs share it: identical studies dedup to one compute via
+  /// content addressing, and interrupted jobs leave resumable journals.
+  std::string cache_dir;
+  /// I/O retry policy forwarded to every study.
+  util::RetryPolicy io_retry;
+};
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kComplete,
+  kCancelled,  // client cancel, disconnect, or drain
+  kExpired,    // per-request deadline fired
+  kFailed,
+};
+
+const char* job_state_name(JobState state);
+
+/// One study submission.
+struct JobSpec {
+  std::uint64_t seed = 7;
+  double scale = 0.01;
+  int threads = 1;
+  std::chrono::milliseconds deadline{0};  // 0 = scheduler default
+  /// Owning connection (0 = none); a disconnect cancels all non-detached
+  /// jobs it owns.
+  std::uint64_t owner = 0;
+  bool detach = false;
+};
+
+/// Admission verdict.
+struct AdmitResult {
+  bool admitted = false;
+  std::string job_id;                       // set when admitted
+  std::string reason;                       // "overloaded" | "draining" when rejected
+  std::chrono::milliseconds retry_after{0};  // backoff hint when rejected
+  int backlog_weight = 0;                   // queued weight after (or at) the decision
+  int capacity = 0;
+};
+
+/// Snapshot of one job for query replies.
+struct JobStatus {
+  std::string id;
+  JobState state = JobState::kQueued;
+  std::uint64_t seed = 0;
+  double scale = 0;
+  std::string stage;        // last completed checkpoint while running
+  std::string digest;       // set when complete
+  util::Json summary;       // small result summary when complete
+  std::string message;      // failure / cancellation detail
+  std::string error_class;  // pipeline taxonomy name when failed
+  bool resumable = false;
+  std::string resume_key;
+  std::uint64_t wait_us = 0;  // admission -> start
+  std::uint64_t run_us = 0;   // start -> terminal
+};
+
+/// Coherent scheduler-wide counters (the same numbers exported as
+/// daemon/* metrics, readable without an Observability attached).
+struct SchedulerStats {
+  int backlog_weight = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerConfig config, obs::Observability* observability = nullptr);
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admission control: weigh the job against the bounded backlog.  Never
+  /// blocks; the rejection path is O(1) so overload cannot slow the
+  /// front door down.
+  AdmitResult submit(const JobSpec& spec);
+
+  /// Status snapshot; nullopt for an unknown id.  Lazily finalizes a
+  /// queued job whose deadline already fired.
+  std::optional<JobStatus> query(const std::string& job_id);
+
+  /// Cancel one job.  Queued jobs finalize immediately; running jobs have
+  /// their token fired and finalize when the study unwinds (checkpointed).
+  /// False when the id is unknown or already terminal.
+  bool cancel(const std::string& job_id);
+
+  /// Disconnect cleanup: cancel every non-detached, non-terminal job the
+  /// owner submitted.  Returns how many were cancelled.
+  std::size_t cancel_owner(std::uint64_t owner);
+
+  SchedulerStats stats() const;
+  bool draining() const;
+
+  /// Graceful drain: reject new work, cancel the queue, fire every running
+  /// job's token (each study checkpoints via its journal and unwinds),
+  /// then join the workers.  Idempotent.
+  void drain();
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+  void finalize_locked(const std::shared_ptr<Job>& job, JobState state, std::string message);
+  void release_backlog_locked(const std::shared_ptr<Job>& job);
+  int weight_of(double scale) const;
+
+  SchedulerConfig config_;
+  obs::Observability* observability_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+  int backlog_weight_ = 0;
+  std::size_t running_ = 0;
+  std::uint64_t next_job_number_ = 0;
+  bool draining_ = false;
+  SchedulerStats totals_;  // guarded by mutex_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cvewb::daemon

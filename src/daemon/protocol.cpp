@@ -1,0 +1,140 @@
+#include "daemon/protocol.h"
+
+#include <cmath>
+
+namespace cvewb::daemon {
+
+namespace {
+
+/// Numeric field helpers: JSON numbers arrive double- or int64-backed;
+/// requests need exact non-negative integers and finite doubles.
+std::optional<std::int64_t> int_field(const util::Json& object, std::string_view key) {
+  const util::Json* value = object.find(key);
+  if (value == nullptr || value->type() != util::Json::Type::kNumber) return std::nullopt;
+  if (value->is_integer()) return value->as_int64();
+  const double d = value->as_number();
+  if (!std::isfinite(d) || d != std::floor(d)) return std::nullopt;
+  return static_cast<std::int64_t>(d);
+}
+
+std::optional<double> number_field(const util::Json& object, std::string_view key) {
+  const util::Json* value = object.find(key);
+  if (value == nullptr || value->type() != util::Json::Type::kNumber) return std::nullopt;
+  const double d = value->as_number();
+  if (!std::isfinite(d)) return std::nullopt;
+  return d;
+}
+
+ParsedRequest bad_request(std::string_view detail) {
+  ParsedRequest out;
+  out.error_reply = error_reply("bad_request", detail);
+  return out;
+}
+
+}  // namespace
+
+const char* request_op_name(RequestOp op) {
+  switch (op) {
+    case RequestOp::kPing:
+      return "ping";
+    case RequestOp::kSubmit:
+      return "submit";
+    case RequestOp::kQuery:
+      return "query";
+    case RequestOp::kCancel:
+      return "cancel";
+    case RequestOp::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+util::Json error_reply(std::string_view code, std::string_view detail) {
+  util::Json reply;
+  reply.set("ok", util::Json(false));
+  reply.set("error", util::Json(std::string(code)));
+  if (!detail.empty()) reply.set("detail", util::Json(std::string(detail)));
+  return reply;
+}
+
+std::string encode_frame(const util::Json& reply) { return reply.dump() + "\n"; }
+
+ParsedRequest parse_request(std::string_view line, const ProtocolLimits& limits) {
+  std::string parse_error;
+  const auto doc = util::parse_json(line, parse_error);
+  if (!doc) {
+    ParsedRequest out;
+    out.error_reply = error_reply("parse_error", parse_error);
+    return out;
+  }
+  if (doc->type() != util::Json::Type::kObject) return bad_request("frame is not an object");
+  const util::Json* op = doc->find("op");
+  if (op == nullptr || op->type() != util::Json::Type::kString) {
+    return bad_request("missing op");
+  }
+
+  Request request;
+  const std::string& name = op->as_string();
+  if (name == "ping") {
+    request.op = RequestOp::kPing;
+  } else if (name == "stats") {
+    request.op = RequestOp::kStats;
+  } else if (name == "submit") {
+    request.op = RequestOp::kSubmit;
+    if (const auto seed = int_field(*doc, "seed")) {
+      if (*seed < 0) return bad_request("seed must be non-negative");
+      request.seed = static_cast<std::uint64_t>(*seed);
+    } else if (doc->find("seed") != nullptr) {
+      return bad_request("seed must be an integer");
+    }
+    if (const auto scale = number_field(*doc, "scale")) {
+      if (*scale <= 0 || *scale > limits.max_scale) {
+        return bad_request("scale out of range (0, " + std::to_string(limits.max_scale) + "]");
+      }
+      request.scale = *scale;
+    } else if (doc->find("scale") != nullptr) {
+      return bad_request("scale must be a finite number");
+    }
+    if (const auto threads = int_field(*doc, "threads")) {
+      if (*threads < 1 || *threads > limits.max_threads) {
+        return bad_request("threads out of range [1, " + std::to_string(limits.max_threads) +
+                           "]");
+      }
+      request.threads = static_cast<int>(*threads);
+    } else if (doc->find("threads") != nullptr) {
+      return bad_request("threads must be an integer");
+    }
+    if (const auto deadline = int_field(*doc, "deadline_ms")) {
+      if (*deadline < 0 || *deadline > limits.max_deadline_ms) {
+        return bad_request("deadline_ms out of range [0, " +
+                           std::to_string(limits.max_deadline_ms) + "]");
+      }
+      request.deadline_ms = *deadline;
+    } else if (doc->find("deadline_ms") != nullptr) {
+      return bad_request("deadline_ms must be an integer");
+    }
+    if (const util::Json* detach = doc->find("detach")) {
+      if (detach->type() != util::Json::Type::kBool) {
+        return bad_request("detach must be a boolean");
+      }
+      request.detach = detach->as_bool();
+    }
+  } else if (name == "query" || name == "cancel") {
+    request.op = name == "query" ? RequestOp::kQuery : RequestOp::kCancel;
+    const util::Json* job = doc->find("job");
+    if (job == nullptr || job->type() != util::Json::Type::kString ||
+        job->as_string().empty()) {
+      return bad_request("missing job id");
+    }
+    if (job->as_string().size() > 64) return bad_request("job id too long");
+    request.job_id = job->as_string();
+  } else {
+    return bad_request("unknown op '" + name + "'");
+  }
+
+  ParsedRequest out;
+  out.request = std::move(request);
+  return out;
+}
+
+}  // namespace cvewb::daemon

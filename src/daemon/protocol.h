@@ -1,0 +1,72 @@
+// cvewbd wire protocol: newline-delimited JSON frames.
+//
+// One request per line, one reply per line, always in order.  The grammar
+// (DESIGN.md "Service contract"):
+//
+//   {"op":"ping"}
+//   {"op":"submit","seed":7,"scale":0.01,"threads":1,
+//    "deadline_ms":5000,"detach":false}
+//   {"op":"query","job":"j1"}
+//   {"op":"cancel","job":"j1"}
+//   {"op":"stats"}
+//
+// Replies always carry "ok" (true/false) and echo "op"; failures carry a
+// structured "error" code -- crucially "overloaded" with a "retry_after_ms"
+// hint when admission control rejects a submit -- so a client never has to
+// scrape prose.  Parsing is strict and bounded: unknown ops, missing
+// fields, out-of-range values, and non-object frames all yield a
+// structured bad_request/parse_error reply, never a crash or a guess.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace cvewb::daemon {
+
+/// Bounds on what a single request may ask for.  Admission control decides
+/// whether the daemon *wants* the work; these decide whether the request
+/// is even well-formed.
+struct ProtocolLimits {
+  double max_scale = 1.0;
+  int max_threads = 16;
+  std::int64_t max_deadline_ms = 3'600'000;  // 1 hour
+};
+
+enum class RequestOp : std::uint8_t { kPing, kSubmit, kQuery, kCancel, kStats };
+
+const char* request_op_name(RequestOp op);
+
+/// A validated request.
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  // submit
+  std::uint64_t seed = 7;
+  double scale = 0.01;
+  int threads = 1;
+  std::int64_t deadline_ms = 0;  // 0 = no deadline
+  bool detach = false;           // survive client disconnect
+  // query / cancel
+  std::string job_id;
+};
+
+/// Outcome of parsing one frame: either a request or a ready-to-send
+/// structured error reply.
+struct ParsedRequest {
+  std::optional<Request> request;
+  util::Json error_reply;  // meaningful iff !request
+};
+
+/// Parse and validate one newline-stripped frame against `limits`.
+ParsedRequest parse_request(std::string_view line, const ProtocolLimits& limits);
+
+/// Structured error frame: {"ok":false,"error":code,"detail":detail}.
+util::Json error_reply(std::string_view code, std::string_view detail);
+
+/// Serialize a reply to its wire form (compact JSON + '\n').
+std::string encode_frame(const util::Json& reply);
+
+}  // namespace cvewb::daemon

@@ -1,0 +1,389 @@
+#include "daemon/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "obs/observability.h"
+
+namespace cvewb::daemon {
+
+using std::chrono::steady_clock;
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags != -1 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != -1;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config, obs::Observability* observability)
+    : config_(std::move(config)),
+      observability_(observability),
+      io_(config_.fault_plan, observability),
+      scheduler_(config_.scheduler, observability) {}
+
+Server::~Server() {
+  for (auto& [id, conn] : connections_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+bool Server::start() {
+  if (::pipe(wake_pipe_) != 0) return false;
+  if (!set_nonblocking(wake_pipe_[0]) || !set_nonblocking(wake_pipe_[1])) return false;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) return false;
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) return false;
+  if (::listen(listen_fd_, 128) != 0) return false;
+  if (!set_nonblocking(listen_fd_)) return false;
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    return false;
+  }
+  bound_port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+void Server::request_shutdown() noexcept {
+  // One write on a nonblocking pipe: async-signal-safe, and a full pipe
+  // just means a wake-up is already pending.
+  const char byte = 's';
+  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+ServerStats Server::stats() const { return stats_; }
+
+void Server::accept_pending() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN (drained) or transient error: poll again
+    if (static_cast<int>(connections_.size()) >= config_.max_connections) {
+      // Full house: tell the client why before hanging up, best effort.
+      const std::string frame =
+          encode_frame(error_reply("overloaded", "connection limit reached"));
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      ++stats_.rejected_connections;
+      obs::count(observability_, "daemon/connections_rejected");
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.id = ++next_conn_id_;
+    conn.last_activity = steady_clock::now();
+    connections_.emplace(conn.id, std::move(conn));
+    ++stats_.accepted;
+    obs::count(observability_, "daemon/connections_accepted");
+    obs::gauge_set(observability_, "daemon/open_connections",
+                   static_cast<std::int64_t>(connections_.size()));
+  }
+}
+
+void Server::close_connection(std::uint64_t conn_id, const char* why) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  ::close(it->second.fd);
+  // The connection's jobs lose their reason to exist with it: fire every
+  // non-detached token so the backing studies unwind promptly.
+  scheduler_.cancel_owner(conn_id);
+  connections_.erase(it);
+  ++stats_.closed;
+  obs::count(observability_, "daemon/connections_closed");
+  obs::count(observability_, std::string("daemon/close_") + why);
+  obs::gauge_set(observability_, "daemon/open_connections",
+                 static_cast<std::int64_t>(connections_.size()));
+}
+
+util::Json Server::dispatch(Connection& conn, const Request& request) {
+  util::Json reply;
+  reply.set("ok", util::Json(true));
+  reply.set("op", util::Json(request_op_name(request.op)));
+  switch (request.op) {
+    case RequestOp::kPing:
+      reply.set("pong", util::Json(true));
+      break;
+    case RequestOp::kSubmit: {
+      JobSpec spec;
+      spec.seed = request.seed;
+      spec.scale = request.scale;
+      spec.threads = request.threads;
+      spec.deadline = std::chrono::milliseconds(request.deadline_ms);
+      spec.owner = conn.id;
+      spec.detach = request.detach;
+      const AdmitResult admitted = scheduler_.submit(spec);
+      if (!admitted.admitted) {
+        reply = error_reply(admitted.reason, "backlog full");
+        reply.set("op", util::Json("submit"));
+        reply.set("retry_after_ms",
+                  util::Json(static_cast<std::int64_t>(admitted.retry_after.count())));
+        reply.set("backlog", util::Json(static_cast<std::int64_t>(admitted.backlog_weight)));
+        reply.set("capacity", util::Json(static_cast<std::int64_t>(admitted.capacity)));
+        break;
+      }
+      reply.set("job", util::Json(admitted.job_id));
+      reply.set("state", util::Json("queued"));
+      reply.set("backlog", util::Json(static_cast<std::int64_t>(admitted.backlog_weight)));
+      break;
+    }
+    case RequestOp::kQuery: {
+      const auto status = scheduler_.query(request.job_id);
+      if (!status) {
+        reply = error_reply("not_found", "unknown job '" + request.job_id + "'");
+        reply.set("op", util::Json("query"));
+        break;
+      }
+      reply.set("job", util::Json(status->id));
+      reply.set("state", util::Json(job_state_name(status->state)));
+      reply.set("seed", util::Json(static_cast<std::int64_t>(status->seed)));
+      reply.set("scale", util::Json(status->scale));
+      if (!status->stage.empty()) reply.set("stage", util::Json(status->stage));
+      if (status->state == JobState::kComplete) {
+        reply.set("digest", util::Json(status->digest));
+        reply.set("summary", status->summary);
+        reply.set("wait_us", util::Json(static_cast<std::int64_t>(status->wait_us)));
+        reply.set("run_us", util::Json(static_cast<std::int64_t>(status->run_us)));
+      }
+      if (!status->message.empty()) reply.set("message", util::Json(status->message));
+      if (!status->error_class.empty()) {
+        reply.set("error_class", util::Json(status->error_class));
+      }
+      if (status->resumable) {
+        reply.set("resumable", util::Json(true));
+        reply.set("resume_key", util::Json(status->resume_key));
+      }
+      break;
+    }
+    case RequestOp::kCancel: {
+      const bool cancelled = scheduler_.cancel(request.job_id);
+      if (!cancelled) {
+        reply = error_reply("not_found", "job '" + request.job_id + "' unknown or terminal");
+        reply.set("op", util::Json("cancel"));
+        break;
+      }
+      reply.set("job", util::Json(request.job_id));
+      reply.set("state", util::Json("cancelling"));
+      break;
+    }
+    case RequestOp::kStats: {
+      const SchedulerStats sched = scheduler_.stats();
+      reply.set("backlog_weight", util::Json(static_cast<std::int64_t>(sched.backlog_weight)));
+      reply.set("queued", util::Json(static_cast<std::int64_t>(sched.queued)));
+      reply.set("running", util::Json(static_cast<std::int64_t>(sched.running)));
+      reply.set("submitted", util::Json(static_cast<std::int64_t>(sched.submitted)));
+      reply.set("rejected", util::Json(static_cast<std::int64_t>(sched.rejected)));
+      reply.set("completed", util::Json(static_cast<std::int64_t>(sched.completed)));
+      reply.set("cancelled", util::Json(static_cast<std::int64_t>(sched.cancelled)));
+      reply.set("expired", util::Json(static_cast<std::int64_t>(sched.expired)));
+      reply.set("failed", util::Json(static_cast<std::int64_t>(sched.failed)));
+      reply.set("connections", util::Json(static_cast<std::int64_t>(connections_.size())));
+      break;
+    }
+  }
+  return reply;
+}
+
+void Server::send_reply(Connection& conn, const util::Json& reply) {
+  conn.out_buf += encode_frame(reply);
+  ++stats_.replies_out;
+  obs::count(observability_, "daemon/replies_out");
+  if (conn.out_buf.size() > config_.max_write_buffer) {
+    // The client is not reading.  Buffering further hands our memory to
+    // the slowest consumer; drop the connection instead.
+    ++stats_.slow_consumer_closes;
+    obs::count(observability_, "daemon/slow_consumer_closes");
+    conn.closing = true;
+  }
+}
+
+void Server::handle_line(Connection& conn, std::string_view line) {
+  ++stats_.frames_in;
+  obs::count(observability_, "daemon/frames_in");
+  if (line.empty()) return;  // bare newline keep-alive
+  const ParsedRequest parsed = parse_request(line, config_.protocol);
+  if (!parsed.request) {
+    send_reply(conn, parsed.error_reply);
+    return;
+  }
+  send_reply(conn, dispatch(conn, *parsed.request));
+}
+
+void Server::handle_readable(Connection& conn) {
+  char chunk[4096];
+  const IoResult result = io_.recv_some(conn.fd, chunk, sizeof chunk);
+  switch (result.status) {
+    case IoStatus::kOk:
+      break;
+    case IoStatus::kWouldBlock:
+      return;
+    case IoStatus::kClosed:
+      conn.closing = true;
+      if (conn.out_buf.empty()) close_connection(conn.id, "eof");
+      return;
+    case IoStatus::kReset:
+      ++stats_.resets;
+      close_connection(conn.id, "reset");
+      return;
+  }
+  conn.last_activity = steady_clock::now();
+  obs::count(observability_, "daemon/bytes_read", result.bytes);
+  conn.in_buf.append(chunk, result.bytes);
+
+  std::size_t start = 0;
+  for (;;) {
+    const auto newline = conn.in_buf.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string_view line(conn.in_buf.data() + start, newline - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    handle_line(conn, line);
+    start = newline + 1;
+  }
+  if (start > 0) conn.in_buf.erase(0, start);
+
+  if (conn.in_buf.size() > config_.max_frame_bytes) {
+    // An unterminated frame past the cap: structured refusal, then close.
+    // Buffering on would hand memory to whoever types the longest line.
+    ++stats_.oversized_frames;
+    obs::count(observability_, "daemon/oversized_frames");
+    util::Json reply = error_reply("frame_too_large", "no newline within limit");
+    reply.set("max_bytes", util::Json(static_cast<std::int64_t>(config_.max_frame_bytes)));
+    send_reply(conn, reply);
+    conn.closing = true;
+  }
+}
+
+void Server::handle_writable(Connection& conn) {
+  if (conn.out_buf.empty()) return;
+  const IoResult result = io_.send_some(conn.fd, conn.out_buf.data(), conn.out_buf.size());
+  switch (result.status) {
+    case IoStatus::kOk:
+      obs::count(observability_, "daemon/bytes_written", result.bytes);
+      conn.out_buf.erase(0, result.bytes);
+      conn.last_activity = steady_clock::now();
+      break;
+    case IoStatus::kWouldBlock:
+      return;
+    case IoStatus::kClosed:
+    case IoStatus::kReset:
+      ++stats_.resets;
+      close_connection(conn.id, "reset");
+      return;
+  }
+  if (conn.out_buf.empty() && conn.closing) close_connection(conn.id, "drained");
+}
+
+void Server::drain_and_close_all() {
+  // Stop the front door first, then let every admitted study reach a
+  // checkpoint: drain() fires all tokens and joins the workers, so by the
+  // time it returns each in-flight run has journaled and unwound.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  scheduler_.drain();
+  // Best-effort flush of pending replies; clients that cannot take them
+  // now were going to learn about the restart anyway.
+  for (auto& [id, conn] : connections_) {
+    while (!conn.out_buf.empty()) {
+      const IoResult result = io_.send_some(conn.fd, conn.out_buf.data(), conn.out_buf.size());
+      if (result.status != IoStatus::kOk || result.bytes == 0) break;
+      conn.out_buf.erase(0, result.bytes);
+    }
+    ::close(conn.fd);
+    ++stats_.closed;
+  }
+  connections_.clear();
+  obs::gauge_set(observability_, "daemon/open_connections", 0);
+}
+
+void Server::run() {
+  std::vector<pollfd> pollfds;
+  std::vector<std::uint64_t> poll_conn_ids;
+  while (!shutdown_requested_) {
+    pollfds.clear();
+    poll_conn_ids.clear();
+    pollfds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) pollfds.push_back({listen_fd_, POLLIN, 0});
+    const std::size_t first_conn = pollfds.size();
+    for (auto& [id, conn] : connections_) {
+      short events = POLLIN;
+      if (!conn.out_buf.empty()) events |= POLLOUT;
+      pollfds.push_back({conn.fd, events, 0});
+      poll_conn_ids.push_back(id);
+    }
+
+    const int timeout_ms = static_cast<int>(config_.poll_interval.count());
+    const int ready = ::poll(pollfds.data(), pollfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (pollfds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
+      }
+      shutdown_requested_ = true;
+      break;
+    }
+    if (listen_fd_ >= 0 && (pollfds[first_conn - 1].revents & POLLIN)) accept_pending();
+
+    for (std::size_t i = 0; i < poll_conn_ids.size(); ++i) {
+      const std::uint64_t conn_id = poll_conn_ids[i];
+      const short revents = pollfds[first_conn + i].revents;
+      auto it = connections_.find(conn_id);
+      if (it == connections_.end()) continue;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // POLLHUP with unread data still delivers the data first on
+        // Linux, but the daemon treats a hung-up client as gone: its
+        // replies have nowhere to go and its jobs no reason to run.
+        ++stats_.resets;
+        close_connection(conn_id, "hup");
+        continue;
+      }
+      if (revents & POLLIN) handle_readable(it->second);
+      it = connections_.find(conn_id);
+      if (it == connections_.end()) continue;
+      if (revents & POLLOUT) handle_writable(it->second);
+    }
+
+    // Timeout sweep: idle connections (slow-loris drips, silent peers) and
+    // closing connections that never drained.
+    const auto now = steady_clock::now();
+    std::vector<std::uint64_t> idle;
+    for (const auto& [id, conn] : connections_) {
+      if (now - conn.last_activity > config_.idle_timeout) idle.push_back(id);
+    }
+    for (const std::uint64_t id : idle) {
+      ++stats_.idle_timeouts;
+      obs::count(observability_, "daemon/idle_timeouts");
+      close_connection(id, "idle_timeout");
+    }
+  }
+  drain_and_close_all();
+}
+
+}  // namespace cvewb::daemon

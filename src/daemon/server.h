@@ -1,0 +1,132 @@
+// cvewbd server: a poll-based TCP front end over the JobScheduler.
+//
+// One event-loop thread owns every socket; the scheduler's worker threads
+// own every study.  The loop speaks the newline-delimited JSON protocol
+// (daemon/protocol.h) and is built to survive clients at their worst:
+//
+//   * read buffers are capped -- a frame that exceeds max_frame_bytes gets
+//     a structured frame_too_large reply and the connection is dropped, so
+//     an attacker cannot buffer unbounded bytes;
+//   * write buffers are capped -- a client that stops reading (slow-loris
+//     in reverse) is closed as a slow consumer rather than ballooning the
+//     daemon's memory;
+//   * idle timeouts -- a connection that neither completes a frame nor
+//     reads replies within idle_timeout is closed (the classic slow-loris
+//     defence), and every timeout is a daemon/idle_timeouts metric;
+//   * disconnect cancels -- closing a connection (gracefully or by reset)
+//     fires the CancelToken of every non-detached job it submitted;
+//   * graceful drain -- request_shutdown() (async-signal-safe, called from
+//     the SIGTERM handler) stops the accept loop, drains the scheduler
+//     (running studies checkpoint via their journals), flushes what can be
+//     flushed, and run() returns so main can exit 0.
+//
+// All I/O goes through the SocketIo fault layer, so the chaos suite can
+// prove those properties under deterministic short reads/writes, stalls,
+// and resets.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "daemon/job_scheduler.h"
+#include "daemon/protocol.h"
+#include "daemon/socket_fault.h"
+
+namespace cvewb::obs {
+struct Observability;
+}
+
+namespace cvewb::daemon {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+  int max_connections = 1024;
+  std::size_t max_frame_bytes = 64 * 1024;
+  std::size_t max_write_buffer = 1 << 20;
+  std::chrono::milliseconds idle_timeout{30'000};
+  /// Poll tick: upper bound on how stale timeout checks can be.
+  std::chrono::milliseconds poll_interval{50};
+  ProtocolLimits protocol;
+  SchedulerConfig scheduler;
+  SocketFaultPlan fault_plan;  // deterministic I/O faults (tests)
+};
+
+/// Aggregate connection-level counters (also exported as daemon/* metrics).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t rejected_connections = 0;  // over max_connections
+  std::uint64_t frames_in = 0;
+  std::uint64_t replies_out = 0;
+  std::uint64_t oversized_frames = 0;
+  std::uint64_t idle_timeouts = 0;
+  std::uint64_t slow_consumer_closes = 0;
+  std::uint64_t resets = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config, obs::Observability* observability = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen.  False (with errno intact) when the socket cannot be
+  /// set up; the server is unusable afterwards.
+  bool start();
+
+  /// Bound port (meaningful after start(); resolves port 0 to the real
+  /// ephemeral port).
+  std::uint16_t port() const { return bound_port_; }
+
+  /// Event loop; returns after request_shutdown() completes the drain.
+  void run();
+
+  /// Async-signal-safe shutdown trigger: one byte down the self-pipe.
+  /// Safe to call from a signal handler or any thread, any number of
+  /// times.
+  void request_shutdown() noexcept;
+
+  JobScheduler& scheduler() { return scheduler_; }
+  ServerStats stats() const;
+  const SocketIo& io() const { return io_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string in_buf;
+    std::string out_buf;
+    std::chrono::steady_clock::time_point last_activity;
+    bool closing = false;  // flush out_buf, then close
+  };
+
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  void handle_line(Connection& conn, std::string_view line);
+  util::Json dispatch(Connection& conn, const Request& request);
+  void send_reply(Connection& conn, const util::Json& reply);
+  void accept_pending();
+  void close_connection(std::uint64_t conn_id, const char* why);
+  void drain_and_close_all();
+
+  ServerConfig config_;
+  obs::Observability* observability_;
+  SocketIo io_;
+  JobScheduler scheduler_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t bound_port_ = 0;
+  std::uint64_t next_conn_id_ = 0;
+  std::map<std::uint64_t, Connection> connections_;
+  ServerStats stats_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace cvewb::daemon

@@ -1,0 +1,111 @@
+#include "daemon/socket_fault.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+
+#include "obs/observability.h"
+#include "util/rng.h"
+
+namespace cvewb::daemon {
+
+SocketIo::SocketIo(SocketFaultPlan plan, obs::Observability* observability)
+    : plan_(plan), observability_(observability) {}
+
+FaultDecision SocketIo::plan_decision(const SocketFaultPlan& plan, std::uint64_t op_class,
+                                      std::uint64_t op_index) {
+  FaultDecision decision;
+  if (!plan.any()) return decision;
+  // One RNG stream per (plan seed, op class, op index): the decision for
+  // read #17 is fixed at plan construction, independent of writes, timing,
+  // or how many connections interleave.
+  util::Rng rng(util::stream_seed(plan.seed ^ 0x50c7e7ULL, op_class, op_index));
+  if (rng.chance(plan.reset_rate)) {
+    decision.reset = true;
+    return decision;
+  }
+  if (rng.chance(plan.stall_rate)) {
+    decision.stall = true;
+    return decision;
+  }
+  const double short_rate =
+      op_class == kReadOp ? plan.short_read_rate : plan.short_write_rate;
+  if (rng.chance(short_rate)) {
+    decision.short_cap = 1 + static_cast<std::size_t>(rng.uniform_u64(7));  // 1..7 bytes
+  }
+  return decision;
+}
+
+FaultDecision SocketIo::next_decision(std::uint64_t op_class) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t index = op_counter_[op_class]++;
+  if (op_class == kReadOp) {
+    ++stats_.reads;
+  } else {
+    ++stats_.writes;
+  }
+  const FaultDecision decision = plan_decision(plan_, op_class, index);
+  if (decision.reset) ++stats_.injected_resets;
+  if (decision.stall) ++stats_.injected_stalls;
+  if (decision.short_cap != 0) {
+    if (op_class == kReadOp) {
+      ++stats_.injected_short_reads;
+    } else {
+      ++stats_.injected_short_writes;
+    }
+  }
+  return decision;
+}
+
+IoResult SocketIo::recv_some(int fd, char* buf, std::size_t cap) {
+  const FaultDecision decision = next_decision(kReadOp);
+  if (decision.reset) {
+    obs::count(observability_, "daemon/fault_resets");
+    return {IoStatus::kReset, 0};
+  }
+  if (decision.stall) {
+    obs::count(observability_, "daemon/fault_stalls");
+    return {IoStatus::kWouldBlock, 0};
+  }
+  if (decision.short_cap != 0 && decision.short_cap < cap) {
+    obs::count(observability_, "daemon/fault_short_reads");
+    cap = decision.short_cap;
+  }
+  const ssize_t n = ::recv(fd, buf, cap, 0);
+  if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (n == 0) return {IoStatus::kClosed, 0};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return {IoStatus::kWouldBlock, 0};
+  }
+  return {IoStatus::kReset, 0};
+}
+
+IoResult SocketIo::send_some(int fd, const char* data, std::size_t len) {
+  const FaultDecision decision = next_decision(kWriteOp);
+  if (decision.reset) {
+    obs::count(observability_, "daemon/fault_resets");
+    return {IoStatus::kReset, 0};
+  }
+  if (decision.stall) {
+    obs::count(observability_, "daemon/fault_stalls");
+    return {IoStatus::kWouldBlock, 0};
+  }
+  if (decision.short_cap != 0 && decision.short_cap < len) {
+    obs::count(observability_, "daemon/fault_short_writes");
+    len = decision.short_cap;
+  }
+  // MSG_NOSIGNAL: a peer that vanished mid-write must surface as an error
+  // return, never a process-wide SIGPIPE.
+  const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+  if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return {IoStatus::kWouldBlock, 0};
+  }
+  return {IoStatus::kReset, 0};
+}
+
+SocketFaultStats SocketIo::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cvewb::daemon

@@ -1,0 +1,121 @@
+// Deterministic socket fault injection for the study service daemon.
+//
+// Same philosophy as chaos::FsShim, turned on the daemon's network I/O:
+// every recv/send the server performs goes through a SocketIo, and a
+// seeded SocketFaultPlan makes those operations fail the way real networks
+// do -- short reads and writes that fragment frames, stalls that starve a
+// connection for a poll round, resets that kill it mid-exchange.
+//
+// Injection is a pure function of (plan, op class, op index): each class
+// keeps its own counter and derives a per-op decision via util::stream_seed,
+// so a given plan perturbs exactly the same operations on every run
+// regardless of wall-clock or scheduling.  A default-constructed SocketIo
+// is a transparent passthrough with no RNG draws.
+//
+// The robustness contract the daemon must uphold against this layer
+// (proven by tests/daemon/): short reads/writes and stalls change framing
+// and latency but never result bytes; a reset cancels the victim's jobs
+// and nothing else -- no crash, no wedge, no skew.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace cvewb::obs {
+struct Observability;
+}
+
+namespace cvewb::daemon {
+
+/// Seeded fault plan; rates are per-operation probabilities in [0, 1].
+/// The default plan injects nothing.
+struct SocketFaultPlan {
+  std::uint64_t seed = 0;
+  /// recv is truncated to a handful of bytes (the tiny-MTU / torn-segment
+  /// model: framing must survive arbitrary fragmentation).
+  double short_read_rate = 0.0;
+  /// send accepts only a prefix (the full-socket-buffer model).
+  double short_write_rate = 0.0;
+  /// The operation makes no progress this round (EAGAIN-like stall).
+  double stall_rate = 0.0;
+  /// The connection is reported reset (ECONNRESET-like); the server must
+  /// clean up the client and cancel its jobs.
+  double reset_rate = 0.0;
+
+  bool any() const {
+    return short_read_rate > 0 || short_write_rate > 0 || stall_rate > 0 || reset_rate > 0;
+  }
+};
+
+/// In-process counters for one fault layer (also exported as daemon/fault_*
+/// metrics when an Observability is attached).
+struct SocketFaultStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t injected_short_reads = 0;
+  std::uint64_t injected_short_writes = 0;
+  std::uint64_t injected_stalls = 0;
+  std::uint64_t injected_resets = 0;
+
+  std::uint64_t injected_total() const {
+    return injected_short_reads + injected_short_writes + injected_stalls + injected_resets;
+  }
+};
+
+/// Outcome of one shimmed socket operation.
+enum class IoStatus : std::uint8_t {
+  kOk,          // `bytes` transferred (possibly fewer than asked)
+  kWouldBlock,  // no progress; retry after the next poll round
+  kClosed,      // orderly EOF from the peer
+  kReset,       // connection error (real, or injected by the plan)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+};
+
+/// The per-operation fault decision, exposed as a pure function so tests
+/// can pin the schedule independently of any socket.
+struct FaultDecision {
+  bool reset = false;
+  bool stall = false;
+  /// 0 = no truncation; otherwise the byte cap for this operation.
+  std::size_t short_cap = 0;
+};
+
+class SocketIo {
+ public:
+  /// Transparent passthrough: real sockets, no faults, no locking.
+  SocketIo() = default;
+  explicit SocketIo(SocketFaultPlan plan, obs::Observability* observability = nullptr);
+
+  /// Nonblocking recv of up to `cap` bytes into `buf`.
+  IoResult recv_some(int fd, char* buf, std::size_t cap);
+
+  /// Nonblocking send of up to `len` bytes from `data`.
+  IoResult send_some(int fd, const char* data, std::size_t len);
+
+  const SocketFaultPlan& plan() const { return plan_; }
+  SocketFaultStats stats() const;
+
+  /// Pure decision function: what the plan injects for operation number
+  /// `op_index` (0-based) of `op_class` (kReadOp / kWriteOp).
+  static FaultDecision plan_decision(const SocketFaultPlan& plan, std::uint64_t op_class,
+                                     std::uint64_t op_index);
+
+  static constexpr std::uint64_t kReadOp = 1;
+  static constexpr std::uint64_t kWriteOp = 2;
+
+ private:
+  FaultDecision next_decision(std::uint64_t op_class);
+
+  SocketFaultPlan plan_{};
+  obs::Observability* observability_ = nullptr;
+  mutable std::mutex mutex_;
+  std::uint64_t op_counter_[3] = {0, 0, 0};  // indexed by op class
+  SocketFaultStats stats_;
+};
+
+}  // namespace cvewb::daemon

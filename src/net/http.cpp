@@ -68,13 +68,40 @@ bool looks_like_http(std::string_view bytes) {
   return false;
 }
 
+const char* http_parse_error_name(HttpParseError error) {
+  switch (error) {
+    case HttpParseError::kNone:
+      return "none";
+    case HttpParseError::kNotHttp:
+      return "not_http";
+    case HttpParseError::kRequestLineTooLong:
+      return "request_line_too_long";
+    case HttpParseError::kHeaderLineTooLong:
+      return "header_line_too_long";
+    case HttpParseError::kTooManyHeaders:
+      return "too_many_headers";
+    case HttpParseError::kBodyTooLarge:
+      return "body_too_large";
+  }
+  return "unknown";
+}
+
 ParsedPayload parse_payload(std::string_view bytes) {
+  return parse_payload(bytes, HttpParseLimits{});
+}
+
+ParsedPayload parse_payload(std::string_view bytes, const HttpParseLimits& limits) {
   ParsedPayload out;
   out.raw = bytes;
+  out.error = HttpParseError::kNotHttp;
   if (!looks_like_http(bytes)) return out;
 
   const auto line_end = bytes.find("\r\n");
   if (line_end == std::string_view::npos) return out;
+  if (line_end > limits.max_request_line) {
+    out.error = HttpParseError::kRequestLineTooLong;
+    return out;
+  }
   const std::string_view request_line = bytes.substr(0, line_end);
   const auto sp1 = request_line.find(' ');
   const auto sp2 = request_line.rfind(' ');
@@ -89,24 +116,45 @@ ParsedPayload parse_payload(std::string_view bytes) {
   while (pos < bytes.size()) {
     const auto eol = bytes.find("\r\n", pos);
     if (eol == std::string_view::npos) {
-      // Truncated header section: keep what parsed so far, no body.
+      // Truncated header section.  Reject an unterminated line past the
+      // header-line bound (a slow-loris-style frame that would otherwise
+      // buffer without limit); keep what parsed so far otherwise, no body.
+      if (bytes.size() - pos > limits.max_header_line) {
+        out.error = HttpParseError::kHeaderLineTooLong;
+        return out;
+      }
+      out.error = HttpParseError::kNone;
       out.http = std::move(req);
       return out;
     }
     if (eol == pos) {  // blank line: end of headers
       pos = eol + 2;
+      if (bytes.size() - pos > limits.max_body_bytes) {
+        out.error = HttpParseError::kBodyTooLarge;
+        return out;
+      }
       req.body = std::string(bytes.substr(pos));
+      out.error = HttpParseError::kNone;
       out.http = std::move(req);
+      return out;
+    }
+    if (eol - pos > limits.max_header_line) {
+      out.error = HttpParseError::kHeaderLineTooLong;
       return out;
     }
     const std::string_view line = bytes.substr(pos, eol - pos);
     const auto colon = line.find(':');
     if (colon != std::string_view::npos) {
+      if (req.headers.size() >= limits.max_headers) {
+        out.error = HttpParseError::kTooManyHeaders;
+        return out;
+      }
       req.add_header(std::string(trim(line.substr(0, colon))),
                      std::string(trim(line.substr(colon + 1))));
     }
     pos = eol + 2;
   }
+  out.error = HttpParseError::kNone;
   out.http = std::move(req);
   return out;
 }

@@ -8,6 +8,7 @@
 // the matcher share this parser.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -39,18 +40,49 @@ struct HttpRequest {
   std::string serialize() const;
 };
 
+/// Explicit parser resource limits.  The parser consumes untrusted bytes
+/// (scanner banners in the study, shared parser surface for any service
+/// front end), so every dimension an attacker controls -- line length,
+/// header count, body size -- is bounded up front and violations surface
+/// as a structured error instead of unbounded growth.
+struct HttpParseLimits {
+  std::size_t max_request_line = 8192;
+  std::size_t max_header_line = 8192;
+  std::size_t max_headers = 128;
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+/// Why a payload failed to parse as HTTP (kNone on success; kNotHttp for
+/// bytes that never looked like a request in the first place).
+enum class HttpParseError : std::uint8_t {
+  kNone,
+  kNotHttp,
+  kRequestLineTooLong,
+  kHeaderLineTooLong,
+  kTooManyHeaders,
+  kBodyTooLarge,
+};
+
+const char* http_parse_error_name(HttpParseError error);
+
 /// Result of attempting to parse raw client bytes.
 struct ParsedPayload {
   /// Present when the payload parsed as an HTTP request.
   std::optional<HttpRequest> http;
   /// The raw bytes, always available (non-HTTP exploits match on these).
   std::string_view raw;
+  /// Structured reason when `http` is absent (kNone when it parsed).
+  HttpParseError error = HttpParseError::kNone;
 };
 
 /// Parse the bytes a client sent.  Never throws: a malformed payload
-/// yields ParsedPayload{.http = nullopt, .raw = bytes}.  Tolerates missing
-/// bodies and truncated requests, which are common in scanner traffic.
+/// yields ParsedPayload{.http = nullopt, .raw = bytes} with `error` naming
+/// the violation.  Tolerates missing bodies and truncated requests, which
+/// are common in scanner traffic.  The default limits are generous enough
+/// that every studied exploit payload parses identically to the historic
+/// unbounded behavior.
 ParsedPayload parse_payload(std::string_view bytes);
+ParsedPayload parse_payload(std::string_view bytes, const HttpParseLimits& limits);
 
 /// True when the bytes look like an HTTP request line (used to fast-path
 /// non-HTTP traffic around the HTTP-buffer rules).

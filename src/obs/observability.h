@@ -45,6 +45,9 @@ inline void observe(Observability* obs, std::string_view name, std::uint64_t val
 inline void gauge_set(Observability* obs, std::string_view name, std::int64_t value) {
   if (obs != nullptr) obs->metrics.gauge_set(obs->metrics.gauge(name), value);
 }
+inline void gauge_add(Observability* obs, std::string_view name, std::int64_t delta) {
+  if (obs != nullptr) obs->metrics.gauge_add(obs->metrics.gauge(name), delta);
+}
 
 /// Phase instrumentation for run_study: one trace span named
 /// "phase/<name>", a "phase_us/<name>" wall-clock counter, and RSS

@@ -109,6 +109,7 @@ StudyResult run_study(const StudyConfig& config) {
   const auto checkpoint = [&](const char* stage, const std::string& key,
                               const std::string& digest) {
     if (journal) journal->record_stage(stage, key, digest);
+    if (config.stage_hook) config.stage_hook(stage);
     if (config.cancel != nullptr && !config.chaos_cancel_after_stage.empty() &&
         config.chaos_cancel_after_stage == stage) {
       config.cancel->request_cancel();

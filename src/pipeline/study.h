@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "faults/fault_injector.h"
@@ -92,6 +93,12 @@ struct StudyConfig {
   /// cancellation on `cancel` -- simulating a signal that lands exactly on
   /// a stage boundary.  Empty = disabled.
   std::string chaos_cancel_after_stage;
+  /// Progress hook: invoked (from the study's calling thread) with each
+  /// stage name as its checkpoint completes.  A service supervising many
+  /// concurrent runs uses this to report per-job progress; like
+  /// observability, it is a pure side-channel -- deliberately excluded
+  /// from every cache key, it can never influence result bytes.
+  std::function<void(const char* stage)> stage_hook;
 };
 
 struct StudyResult {

@@ -3,6 +3,8 @@
 #include <new>
 #include <utility>
 
+#include "cache/key.h"
+
 namespace cvewb::pipeline {
 
 const char* run_status_name(RunStatus status) {
@@ -30,6 +32,7 @@ RunReport RunSupervisor::run() {
   // leaves a resumable state behind; without a cache directory there is
   // nothing on disk to resume from.
   const bool journaled = !config_.cache_dir.empty();
+  if (journaled) report.resume_key = cache::run_key(config_);
   try {
     report.result = run_study(config_);
     report.status = RunStatus::kComplete;

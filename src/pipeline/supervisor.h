@@ -47,6 +47,11 @@ struct RunReport {
   /// the same configuration resumes from the last completed stage and
   /// converges to the digest of an uninterrupted run.
   bool resumable = false;
+  /// cache::run_key of the supervised configuration when journaling was on
+  /// ("" otherwise).  Resubmitting a study whose config hashes to the same
+  /// key adopts the surviving checkpoints -- this is the identity a service
+  /// hands back so clients can resume across daemon restarts.
+  std::string resume_key;
 
   bool ok() const { return status == RunStatus::kComplete; }
 };

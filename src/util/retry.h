@@ -24,13 +24,25 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   std::chrono::microseconds backoff_cap{50'000};
 
+  /// Exponent ceiling for the backoff computation.  Past 2^63 the delay
+  /// exceeds any representable cap anyway, so larger exponents only risk
+  /// overflow, never a different schedule.
+  static constexpr int kMaxBackoffExponent = 63;
+
   /// Delay before retry `retry_index` (0-based): base * multiplier^index,
-  /// clamped to the cap.
+  /// clamped to the cap.  Safe for any retry index: the exponent is capped
+  /// (a caller retrying millions of times must not overflow the double
+  /// computation) and the cap comparison happens in floating point, so an
+  /// inf/NaN product or a cap near microseconds::max() can never feed an
+  /// out-of-range value to the int64 conversion (which would be UB).
   std::chrono::microseconds delay(int retry_index) const {
+    const int exponent = std::clamp(retry_index, 0, kMaxBackoffExponent);
     const double us = static_cast<double>(backoff_base.count()) *
-                      std::pow(backoff_multiplier, retry_index);
+                      std::pow(backoff_multiplier, exponent);
     const auto cap = static_cast<double>(backoff_cap.count());
-    return std::chrono::microseconds(static_cast<std::int64_t>(std::min(us, cap)));
+    if (!(us < cap)) return backoff_cap;  // also catches inf and NaN
+    if (us <= 0) return std::chrono::microseconds{0};
+    return std::chrono::microseconds(static_cast<std::int64_t>(us));
   }
 };
 

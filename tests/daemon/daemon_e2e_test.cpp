@@ -1,0 +1,435 @@
+// End-to-end daemon contract over real sockets: an in-process Server on an
+// ephemeral port, blocking test clients, and the three properties the
+// service must never trade away --
+//
+//   1. determinism: the digest a job reports over the wire is
+//      byte-identical to running the same study in-process, for every
+//      seed x thread combination, including under injected socket faults;
+//   2. bounded admission: K capacity + N excess submissions produce
+//      exactly N structured `overloaded` rejections and no accepted job
+//      is ever dropped;
+//   3. robustness: disconnects cancel owned jobs, oversized frames and
+//      idle connections are refused in bounded memory, and a drain
+//      leaves journaled state a restarted daemon resumes to the same
+//      digest.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/serialize.h"
+#include "daemon/server.h"
+#include "pipeline/study.h"
+#include "util/sha256.h"
+
+namespace cvewb::daemon {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// Blocking newline-framed JSON client against 127.0.0.1:port.
+class TestClient {
+ public:
+  ~TestClient() { close(); }
+
+  bool connect_to(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+
+  bool send_raw(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const auto n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// One newline-terminated frame; nullopt on EOF / error.
+  std::optional<std::string> read_line() {
+    for (;;) {
+      const auto newline = buf_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buf_.substr(0, newline);
+        buf_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const auto n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::nullopt;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::optional<util::Json> round_trip(const util::Json& request) {
+    if (!send_raw(request.dump() + "\n")) return std::nullopt;
+    const auto line = read_line();
+    if (!line) return std::nullopt;
+    std::string error;
+    auto doc = util::parse_json(*line, error);
+    if (!doc) return std::nullopt;
+    return std::move(*doc);
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+util::Json submit_frame(std::uint64_t seed, double scale, int threads) {
+  util::Json frame;
+  frame.set("op", util::Json("submit"));
+  frame.set("seed", util::Json(static_cast<std::int64_t>(seed)));
+  frame.set("scale", util::Json(scale));
+  frame.set("threads", util::Json(static_cast<std::int64_t>(threads)));
+  return frame;
+}
+
+util::Json query_frame(const std::string& job) {
+  util::Json frame;
+  frame.set("op", util::Json("query"));
+  frame.set("job", util::Json(job));
+  return frame;
+}
+
+std::string str(const util::Json& doc, std::string_view key) {
+  const util::Json* value = doc.find(key);
+  return value != nullptr && value->type() == util::Json::Type::kString ? value->as_string()
+                                                                        : std::string();
+}
+
+bool ok(const util::Json& doc) {
+  const util::Json* value = doc.find("ok");
+  return value != nullptr && value->as_bool();
+}
+
+/// Server on an ephemeral port with its event loop on a background thread.
+class LiveServer {
+ public:
+  explicit LiveServer(ServerConfig config) : server_(std::move(config)) {
+    EXPECT_TRUE(server_.start());
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~LiveServer() { stop(); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    server_.request_shutdown();
+    thread_.join();
+  }
+
+  std::uint16_t port() const { return server_.port(); }
+  Server& server() { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+ServerConfig fast_config() {
+  ServerConfig config;
+  config.poll_interval = milliseconds(5);
+  config.scheduler.workers = 2;
+  config.scheduler.backlog_capacity = 16;
+  return config;
+}
+
+std::string reference_digest(std::uint64_t seed, double scale) {
+  pipeline::StudyConfig config;
+  config.seed = seed;
+  config.event_scale = scale;
+  const pipeline::StudyResult result = pipeline::run_study(config);
+  return util::sha256_hex(cache::encode_study_result(result));
+}
+
+/// Submit over the wire, poll to terminal, return the final status reply.
+util::Json run_to_terminal(TestClient& client, std::uint64_t seed, double scale, int threads) {
+  const auto admitted = client.round_trip(submit_frame(seed, scale, threads));
+  EXPECT_TRUE(admitted && ok(*admitted)) << (admitted ? admitted->dump() : "no reply");
+  const std::string job = str(*admitted, "job");
+  const auto give_up = steady_clock::now() + std::chrono::minutes(2);
+  for (;;) {
+    const auto status = client.round_trip(query_frame(job));
+    EXPECT_TRUE(status.has_value());
+    if (!status) return util::Json();
+    const std::string state = str(*status, "state");
+    if (state != "queued" && state != "running") return *status;
+    EXPECT_LT(steady_clock::now(), give_up) << "job " << job << " never reached terminal state";
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+}
+
+constexpr double kScale = 0.005;
+
+// Property 1: the daemon is a determinism-preserving wrapper.  Three
+// seeds, one and four threads each, all six digests equal the in-process
+// reference for their seed.
+TEST(DaemonE2E, GoldenDigestsMatchInProcessStudy) {
+  LiveServer live(fast_config());
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(live.port()));
+  for (const std::uint64_t seed : {3ULL, 7ULL, 11ULL}) {
+    const std::string reference = reference_digest(seed, kScale);
+    for (const int threads : {1, 4}) {
+      const util::Json status = run_to_terminal(client, seed, kScale, threads);
+      ASSERT_EQ(str(status, "state"), "complete") << status.dump();
+      EXPECT_EQ(str(status, "digest"), reference)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// Property 1 under chaos: short reads, short writes, and stalls fragment
+// every frame in both directions, and the digest still matches.
+TEST(DaemonE2E, GoldenDigestSurvivesSocketFaults) {
+  ServerConfig config = fast_config();
+  config.fault_plan.seed = 9;
+  config.fault_plan.short_read_rate = 0.4;
+  config.fault_plan.short_write_rate = 0.4;
+  config.fault_plan.stall_rate = 0.2;
+  LiveServer live(config);
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(live.port()));
+
+  const std::string reference = reference_digest(7, kScale);
+  const util::Json status = run_to_terminal(client, 7, kScale, 2);
+  ASSERT_EQ(str(status, "state"), "complete") << status.dump();
+  EXPECT_EQ(str(status, "digest"), reference);
+
+  const SocketFaultStats faults = live.server().io().stats();
+  EXPECT_GT(faults.injected_total(), 0u) << "fault plan never fired -- test proves nothing";
+}
+
+// Injected resets kill the victim connection and nothing else: a fresh
+// connection resubmits and completes with the right digest.
+TEST(DaemonE2E, ResetVictimReconnectsAndResubmits) {
+  ServerConfig config = fast_config();
+  config.fault_plan.seed = 4;
+  config.fault_plan.reset_rate = 0.05;
+  LiveServer live(config);
+
+  const std::string reference = reference_digest(7, kScale);
+  const auto give_up = steady_clock::now() + std::chrono::minutes(2);
+  for (;;) {
+    ASSERT_LT(steady_clock::now(), give_up) << "no attempt survived the reset plan";
+    TestClient client;
+    ASSERT_TRUE(client.connect_to(live.port()));
+    const auto admitted = client.round_trip(submit_frame(7, kScale, 1));
+    if (!admitted || !ok(*admitted)) continue;  // reset mid-submit: reconnect
+    const std::string job = str(*admitted, "job");
+    std::optional<util::Json> status;
+    bool lost = false;
+    for (;;) {
+      status = client.round_trip(query_frame(job));
+      if (!status) {
+        lost = true;  // reset mid-poll; job was cancelled with the connection
+        break;
+      }
+      const std::string state = str(*status, "state");
+      if (state != "queued" && state != "running") break;
+      std::this_thread::sleep_for(milliseconds(10));
+    }
+    if (lost) continue;
+    const std::string state = str(*status, "state");
+    if (state == "complete") {
+      EXPECT_EQ(str(*status, "digest"), reference);
+      break;
+    }
+    // Cancelled by a reset racing completion: try again on a new connection.
+  }
+}
+
+// Property 2: exact admission arithmetic over the wire.  Workers frozen at
+// zero so nothing dequeues: K submissions are admitted, the next N all
+// come back as structured `overloaded` rejections with a Retry-After
+// hint, and every admitted job is still queryable (none dropped).
+TEST(DaemonE2E, OverloadRejectsExactlyTheExcess) {
+  constexpr int kCapacity = 4;
+  constexpr int kExcess = 5;
+  ServerConfig config = fast_config();
+  config.scheduler.workers = 0;
+  config.scheduler.backlog_capacity = kCapacity;
+  LiveServer live(config);
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(live.port()));
+
+  std::vector<std::string> admitted_jobs;
+  int rejected = 0;
+  for (int i = 0; i < kCapacity + kExcess; ++i) {
+    const auto reply = client.round_trip(submit_frame(7, 0.01, 1));
+    ASSERT_TRUE(reply.has_value());
+    if (ok(*reply)) {
+      admitted_jobs.push_back(str(*reply, "job"));
+      continue;
+    }
+    ++rejected;
+    EXPECT_EQ(str(*reply, "error"), "overloaded");
+    const util::Json* retry_after = reply->find("retry_after_ms");
+    ASSERT_NE(retry_after, nullptr) << reply->dump();
+    EXPECT_GT(retry_after->as_int64(), 0);
+  }
+  EXPECT_EQ(admitted_jobs.size(), static_cast<std::size_t>(kCapacity));
+  EXPECT_EQ(rejected, kExcess);
+  for (const std::string& job : admitted_jobs) {
+    const auto status = client.round_trip(query_frame(job));
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(str(*status, "state"), "queued") << "accepted job dropped: " << job;
+  }
+}
+
+// Property 3a: mass disconnect cancels every owned job -- zero leaked.
+TEST(DaemonE2E, MassDisconnectLeavesZeroJobs) {
+  constexpr int kClients = 6;
+  ServerConfig config = fast_config();
+  config.scheduler.workers = 0;  // jobs stay queued until the disconnect cancels them
+  config.scheduler.backlog_capacity = 2 * kClients;
+  LiveServer live(config);
+
+  for (int i = 0; i < kClients; ++i) {
+    TestClient client;
+    ASSERT_TRUE(client.connect_to(live.port()));
+    const auto reply = client.round_trip(submit_frame(7, 0.01, 1));
+    ASSERT_TRUE(reply && ok(*reply)) << i;
+    client.close();  // owned job loses its reason to exist
+  }
+
+  TestClient control;
+  ASSERT_TRUE(control.connect_to(live.port()));
+  util::Json stats_frame;
+  stats_frame.set("op", util::Json("stats"));
+  const auto give_up = steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    const auto stats = control.round_trip(stats_frame);
+    ASSERT_TRUE(stats.has_value());
+    const std::int64_t queued = stats->find("queued")->as_int64();
+    const std::int64_t running = stats->find("running")->as_int64();
+    if (queued == 0 && running == 0) {
+      EXPECT_GE(stats->find("cancelled")->as_int64(), kClients);
+      break;
+    }
+    ASSERT_LT(steady_clock::now(), give_up)
+        << "jobs leaked after mass disconnect: " << stats->dump();
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+}
+
+// Property 3b: a frame with no newline inside the cap gets a structured
+// frame_too_large reply, then the connection is closed -- bounded memory
+// against a client that just keeps typing.
+TEST(DaemonE2E, OversizedFrameIsRefusedStructurally) {
+  ServerConfig config = fast_config();
+  config.max_frame_bytes = 256;
+  LiveServer live(config);
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(live.port()));
+
+  ASSERT_TRUE(client.send_raw(std::string(2048, 'x')));  // no newline ever
+  const auto reply = client.read_line();
+  ASSERT_TRUE(reply.has_value());
+  std::string error;
+  const auto doc = util::parse_json(*reply, error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(str(*doc, "error"), "frame_too_large");
+  EXPECT_FALSE(client.read_line().has_value());  // then EOF
+}
+
+// Property 3c: a silent connection is closed at the idle timeout (the
+// slow-loris defence) and counted.
+TEST(DaemonE2E, IdleConnectionTimesOut) {
+  ServerConfig config = fast_config();
+  config.idle_timeout = milliseconds(100);
+  LiveServer live(config);
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(live.port()));
+
+  const auto start = steady_clock::now();
+  EXPECT_FALSE(client.read_line().has_value());  // blocks until the server closes us
+  EXPECT_GE(steady_clock::now() - start, milliseconds(50));
+  live.stop();
+  EXPECT_GE(live.server().stats().idle_timeouts, 1u);
+}
+
+// Property 3d: drain checkpoints, restart resumes.  A daemon is
+// shut down mid-study; a second daemon on the same cache dir accepts the
+// resubmission and converges to the reference digest.
+TEST(DaemonE2E, DrainThenRestartResumesToIdenticalDigest) {
+  const std::string cache_dir =
+      (std::filesystem::path(::testing::TempDir()) / "cvewbd_e2e_cache").string();
+  std::filesystem::remove_all(cache_dir);
+  const std::uint64_t kSeed = 13;
+  const double kDrainScale = 0.02;
+
+  {
+    ServerConfig config = fast_config();
+    config.scheduler.cache_dir = cache_dir;
+    LiveServer live(config);
+    TestClient client;
+    ASSERT_TRUE(client.connect_to(live.port()));
+    const auto admitted = client.round_trip(submit_frame(kSeed, kDrainScale, 1));
+    ASSERT_TRUE(admitted && ok(*admitted)) << (admitted ? admitted->dump() : "no reply");
+    // Shut down while the study is (most likely) in flight; the drain
+    // fires its token and the journal keeps whatever stages completed.
+    live.stop();
+  }
+
+  ServerConfig config = fast_config();
+  config.scheduler.cache_dir = cache_dir;
+  LiveServer live(config);
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(live.port()));
+  const util::Json status = run_to_terminal(client, kSeed, kDrainScale, 1);
+  ASSERT_EQ(str(status, "state"), "complete") << status.dump();
+  EXPECT_EQ(str(status, "digest"), reference_digest(kSeed, kDrainScale));
+  std::filesystem::remove_all(cache_dir);
+}
+
+// Ping and stats round-trip; unknown job ids come back structured.
+TEST(DaemonE2E, PingStatsAndUnknownJob) {
+  LiveServer live(fast_config());
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(live.port()));
+
+  util::Json ping;
+  ping.set("op", util::Json("ping"));
+  const auto pong = client.round_trip(ping);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(ok(*pong));
+
+  const auto missing = client.round_trip(query_frame("j424242"));
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(str(*missing, "error"), "not_found");
+
+  util::Json stats_frame;
+  stats_frame.set("op", util::Json("stats"));
+  const auto stats = client.round_trip(stats_frame);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(ok(*stats));
+  EXPECT_EQ(stats->find("connections")->as_int64(), 1);
+}
+
+}  // namespace
+}  // namespace cvewb::daemon

@@ -1,0 +1,118 @@
+// Wire-protocol validation: every malformed, out-of-range, or oversized
+// request must come back as a structured error reply, never an exception
+// or a silently-defaulted field.
+#include "daemon/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace cvewb::daemon {
+namespace {
+
+std::string error_code(const ParsedRequest& parsed) {
+  const util::Json* error = parsed.error_reply.find("error");
+  return error == nullptr ? std::string() : error->as_string();
+}
+
+TEST(Protocol, PingParses) {
+  const auto parsed = parse_request(R"({"op":"ping"})", ProtocolLimits{});
+  ASSERT_TRUE(parsed.request.has_value());
+  EXPECT_EQ(parsed.request->op, RequestOp::kPing);
+}
+
+TEST(Protocol, SubmitParsesAllFields) {
+  const auto parsed = parse_request(
+      R"({"op":"submit","seed":42,"scale":0.25,"threads":4,"deadline_ms":1500,"detach":true})",
+      ProtocolLimits{});
+  ASSERT_TRUE(parsed.request.has_value());
+  const Request& request = *parsed.request;
+  EXPECT_EQ(request.op, RequestOp::kSubmit);
+  EXPECT_EQ(request.seed, 42u);
+  EXPECT_DOUBLE_EQ(request.scale, 0.25);
+  EXPECT_EQ(request.threads, 4);
+  EXPECT_EQ(request.deadline_ms, 1500);
+  EXPECT_TRUE(request.detach);
+}
+
+TEST(Protocol, SubmitDefaults) {
+  const auto parsed = parse_request(R"({"op":"submit"})", ProtocolLimits{});
+  ASSERT_TRUE(parsed.request.has_value());
+  EXPECT_EQ(parsed.request->seed, 7u);
+  EXPECT_DOUBLE_EQ(parsed.request->scale, 0.01);
+  EXPECT_EQ(parsed.request->threads, 1);
+  EXPECT_EQ(parsed.request->deadline_ms, 0);
+  EXPECT_FALSE(parsed.request->detach);
+}
+
+TEST(Protocol, GarbageIsParseError) {
+  const auto parsed = parse_request("not json at all", ProtocolLimits{});
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_EQ(error_code(parsed), "parse_error");
+}
+
+TEST(Protocol, NonObjectAndMissingOpAreBadRequests) {
+  EXPECT_EQ(error_code(parse_request("[1,2,3]", ProtocolLimits{})), "bad_request");
+  EXPECT_EQ(error_code(parse_request(R"({"seed":1})", ProtocolLimits{})), "bad_request");
+  EXPECT_EQ(error_code(parse_request(R"({"op":17})", ProtocolLimits{})), "bad_request");
+  EXPECT_EQ(error_code(parse_request(R"({"op":"reboot"})", ProtocolLimits{})), "bad_request");
+}
+
+TEST(Protocol, OutOfRangeFieldsAreRejected) {
+  ProtocolLimits limits;
+  limits.max_scale = 0.5;
+  limits.max_threads = 8;
+  limits.max_deadline_ms = 10'000;
+  const char* cases[] = {
+      R"({"op":"submit","seed":-1})",
+      R"({"op":"submit","seed":1.5})",
+      R"({"op":"submit","scale":0})",
+      R"({"op":"submit","scale":0.75})",
+      R"({"op":"submit","scale":"big"})",
+      R"({"op":"submit","threads":0})",
+      R"({"op":"submit","threads":9})",
+      R"({"op":"submit","deadline_ms":-5})",
+      R"({"op":"submit","deadline_ms":20000})",
+      R"({"op":"submit","detach":"yes"})",
+  };
+  for (const char* line : cases) {
+    const auto parsed = parse_request(line, limits);
+    EXPECT_FALSE(parsed.request.has_value()) << line;
+    EXPECT_EQ(error_code(parsed), "bad_request") << line;
+  }
+  // The boundary values themselves are admitted.
+  EXPECT_TRUE(parse_request(R"({"op":"submit","scale":0.5,"threads":8,"deadline_ms":10000})",
+                            limits)
+                  .request.has_value());
+}
+
+TEST(Protocol, QueryAndCancelRequireBoundedJobId) {
+  const auto query = parse_request(R"({"op":"query","job":"j12"})", ProtocolLimits{});
+  ASSERT_TRUE(query.request.has_value());
+  EXPECT_EQ(query.request->op, RequestOp::kQuery);
+  EXPECT_EQ(query.request->job_id, "j12");
+
+  EXPECT_EQ(error_code(parse_request(R"({"op":"query"})", ProtocolLimits{})), "bad_request");
+  EXPECT_EQ(error_code(parse_request(R"({"op":"cancel","job":""})", ProtocolLimits{})),
+            "bad_request");
+  const std::string long_id(65, 'x');
+  EXPECT_EQ(error_code(parse_request(R"({"op":"cancel","job":")" + long_id + R"("})",
+                                     ProtocolLimits{})),
+            "bad_request");
+}
+
+TEST(Protocol, ErrorReplyAndFrameShape) {
+  const util::Json reply = error_reply("overloaded", "backlog full");
+  const util::Json* ok = reply.find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->as_bool());
+  EXPECT_EQ(reply.find("error")->as_string(), "overloaded");
+  EXPECT_EQ(reply.find("detail")->as_string(), "backlog full");
+
+  const std::string frame = encode_frame(reply);
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(frame.back(), '\n');
+  // Exactly one newline: the frame never spans or splits protocol lines.
+  EXPECT_EQ(frame.find('\n'), frame.size() - 1);
+}
+
+}  // namespace
+}  // namespace cvewb::daemon

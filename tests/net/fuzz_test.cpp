@@ -52,6 +52,106 @@ TEST(FuzzHttp, ParsePayloadNeverThrows) {
   }
 }
 
+TEST(FuzzHttp, OversizedInputsReturnStructuredErrors) {
+  // Every resource dimension an attacker controls must trip its named
+  // limit instead of growing without bound.
+  net::HttpParseLimits limits;
+  limits.max_request_line = 64;
+  limits.max_header_line = 64;
+  limits.max_headers = 4;
+  limits.max_body_bytes = 128;
+
+  {
+    const std::string bytes = "GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n";
+    const auto parsed = net::parse_payload(bytes, limits);
+    EXPECT_FALSE(parsed.http.has_value());
+    EXPECT_EQ(parsed.error, net::HttpParseError::kRequestLineTooLong);
+  }
+  {
+    const std::string bytes =
+        "GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'b') + "\r\n\r\n";
+    const auto parsed = net::parse_payload(bytes, limits);
+    EXPECT_FALSE(parsed.http.has_value());
+    EXPECT_EQ(parsed.error, net::HttpParseError::kHeaderLineTooLong);
+  }
+  {
+    // An unterminated trailing line past the bound must also reject: this
+    // is the drip-fed frame that previously parsed as "truncated but ok".
+    const std::string bytes = "GET / HTTP/1.1\r\nX-Drip: " + std::string(200, 'c');
+    const auto parsed = net::parse_payload(bytes, limits);
+    EXPECT_FALSE(parsed.http.has_value());
+    EXPECT_EQ(parsed.error, net::HttpParseError::kHeaderLineTooLong);
+  }
+  {
+    std::string bytes = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 10; ++i) bytes += "H" + std::to_string(i) + ": v\r\n";
+    bytes += "\r\n";
+    const auto parsed = net::parse_payload(bytes, limits);
+    EXPECT_FALSE(parsed.http.has_value());
+    EXPECT_EQ(parsed.error, net::HttpParseError::kTooManyHeaders);
+  }
+  {
+    const std::string bytes = "POST / HTTP/1.1\r\n\r\n" + std::string(4096, 'd');
+    const auto parsed = net::parse_payload(bytes, limits);
+    EXPECT_FALSE(parsed.http.has_value());
+    EXPECT_EQ(parsed.error, net::HttpParseError::kBodyTooLarge);
+  }
+  {
+    // Within every limit: parses, and error reads kNone.
+    const auto parsed = net::parse_payload("GET / HTTP/1.1\r\nHost: x\r\n\r\nok", limits);
+    ASSERT_TRUE(parsed.http.has_value());
+    EXPECT_EQ(parsed.error, net::HttpParseError::kNone);
+    EXPECT_EQ(parsed.http->body, "ok");
+  }
+  {
+    const auto parsed = net::parse_payload("\x01\x02garbage", limits);
+    EXPECT_FALSE(parsed.http.has_value());
+    EXPECT_EQ(parsed.error, net::HttpParseError::kNotHttp);
+  }
+}
+
+TEST(FuzzHttp, TornRequestsNeverThrowAndNeverExceedLimits) {
+  // Torn inputs: a valid oversized request truncated at every prefix.  The
+  // parser must fail cleanly or succeed within bounds at every cut.
+  net::HttpParseLimits limits;
+  limits.max_headers = 8;
+  limits.max_header_line = 128;
+  limits.max_body_bytes = 256;
+
+  std::string full = "POST /submit HTTP/1.1\r\n";
+  for (int i = 0; i < 20; ++i) full += "X-Header-" + std::to_string(i) + ": value\r\n";
+  full += "\r\n" + std::string(1024, 'z');
+
+  for (std::size_t cut = 0; cut <= full.size(); cut += 3) {
+    const std::string_view torn(full.data(), cut);
+    const auto parsed = net::parse_payload(torn, limits);
+    if (parsed.http) {
+      EXPECT_LE(parsed.http->headers.size(), limits.max_headers);
+      EXPECT_LE(parsed.http->body.size(), limits.max_body_bytes);
+    } else {
+      EXPECT_NE(parsed.error, net::HttpParseError::kNone);
+    }
+  }
+}
+
+TEST(FuzzHttp, RandomGarbageAgainstTinyLimits) {
+  util::Rng rng(0xf007);
+  net::HttpParseLimits limits;
+  limits.max_request_line = 32;
+  limits.max_header_line = 16;
+  limits.max_headers = 2;
+  limits.max_body_bytes = 8;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string bytes =
+        rng.chance(0.5) ? random_bytes(rng, 400) : "GET " + random_printable(rng, 300);
+    const auto parsed = net::parse_payload(bytes, limits);
+    if (parsed.http) {
+      EXPECT_LE(parsed.http->headers.size(), limits.max_headers);
+      EXPECT_LE(parsed.http->body.size(), limits.max_body_bytes);
+    }
+  }
+}
+
 TEST(FuzzPcap, ReaderFailsCleanlyOnGarbage) {
   util::Rng rng(0xf002);
   for (int i = 0; i < 500; ++i) {

@@ -1,0 +1,120 @@
+// CancelToken concurrency: deadline latching raced against
+// request_cancel() fired the way a signal handler fires it -- a bare
+// relaxed store from another thread, with no synchronization beyond the
+// token's own atomics.  Runs in the tsan-labelled suite so ThreadSanitizer
+// audits every claim here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/cancel.h"
+
+namespace cvewb {
+namespace {
+
+using std::chrono::steady_clock;
+
+TEST(CancelToken, FirstReasonWinsAndLatches) {
+  util::CancelToken token;
+  token.request_cancel(util::CancelReason::kUser);
+  token.request_cancel(util::CancelReason::kDeadline);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kUser);
+}
+
+TEST(CancelToken, DeadlineExpiryLatchesAcrossDisarm) {
+  util::CancelToken token;
+  token.arm_deadline(steady_clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.cancelled());  // observes and latches the expiry
+  token.disarm_deadline();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kDeadline);
+}
+
+TEST(CancelToken, UnobservedExpiryIsLostOnDisarm) {
+  // The documented latch contract is observation-based: a deadline nobody
+  // polled before disarm never fires.  (StageScope guarantees the poll in
+  // its destructor.)
+  util::CancelToken token;
+  token.arm_deadline(steady_clock::now() - std::chrono::milliseconds(1));
+  token.disarm_deadline();
+  EXPECT_FALSE(token.cancelled());
+}
+
+// The cancel-vs-deadline race: an already-expired deadline is being
+// observed (and latched) by a crowd of poller threads while another thread
+// fires request_cancel(kUser) the way a signal handler would.  Exactly one
+// reason must win, every observer must agree on it forever after, and the
+// whole exchange must be clean under TSan.
+TEST(CancelToken, ConcurrentUserCancelVersusExpiredDeadline) {
+  for (int round = 0; round < 200; ++round) {
+    util::CancelToken token;
+    token.arm_deadline(steady_clock::now() - std::chrono::microseconds(1));
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pollers;
+    std::vector<util::CancelReason> first_seen(4, util::CancelReason::kNone);
+    pollers.reserve(first_seen.size());
+    for (std::size_t i = 0; i < first_seen.size(); ++i) {
+      pollers.emplace_back([&token, &go, &first_seen, i] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        while (!token.cancelled()) {
+        }
+        first_seen[i] = token.reason();
+      });
+    }
+    std::thread canceller([&token, &go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      token.request_cancel(util::CancelReason::kUser);  // signal-handler-like
+    });
+
+    go.store(true, std::memory_order_release);
+    for (auto& t : pollers) t.join();
+    canceller.join();
+
+    const util::CancelReason winner = token.reason();
+    ASSERT_TRUE(winner == util::CancelReason::kUser || winner == util::CancelReason::kDeadline);
+    for (const auto seen : first_seen) {
+      // Whoever won the CAS won it for everyone: no observer may have seen
+      // a different reason, and the latch never reverts.
+      EXPECT_EQ(seen, winner);
+    }
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), winner);
+  }
+}
+
+// Hammer request_cancel from several threads while another arms/disarms
+// deadlines: reason must transition kNone -> fired exactly once and stay.
+TEST(CancelToken, ConcurrentCancelAndRearmNeverReverts) {
+  util::CancelToken token;
+  std::atomic<bool> stop{false};
+
+  std::thread armer([&token, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      token.arm_deadline(steady_clock::now() + std::chrono::seconds(60));
+      token.disarm_deadline();
+    }
+  });
+  std::vector<std::thread> cancellers;
+  for (int i = 0; i < 3; ++i) {
+    cancellers.emplace_back([&token] {
+      for (int j = 0; j < 1000; ++j) token.request_cancel(util::CancelReason::kUser);
+    });
+  }
+  for (auto& t : cancellers) t.join();
+  stop.store(true, std::memory_order_release);
+  armer.join();
+
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), util::CancelReason::kUser);
+  EXPECT_THROW(token.check("test"), util::CancelledError);
+}
+
+}  // namespace
+}  // namespace cvewb

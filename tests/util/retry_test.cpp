@@ -1,0 +1,101 @@
+// RetryPolicy backoff schedule: deterministic, monotone up to the cap, and
+// overflow-proof for any attempt count a runaway loop could produce.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+
+#include "util/cancel.h"
+#include "util/retry.h"
+
+namespace cvewb {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(RetryPolicy, DefaultScheduleDoublesUntilCap) {
+  util::RetryPolicy policy;
+  EXPECT_EQ(policy.delay(0), microseconds(500));
+  EXPECT_EQ(policy.delay(1), microseconds(1000));
+  EXPECT_EQ(policy.delay(2), microseconds(2000));
+  EXPECT_EQ(policy.delay(10), microseconds(50'000));  // 500 * 2^10 > cap
+  EXPECT_EQ(policy.delay(11), policy.backoff_cap);
+}
+
+TEST(RetryPolicy, LargeAttemptCountsPinToCapWithoutOverflow) {
+  util::RetryPolicy policy;
+  // Far past the point where multiplier^index overflows a double's
+  // exponent range; the capped exponent must keep every value finite and
+  // exactly equal to the cap.
+  for (const int index : {64, 100, 1'000, 1'000'000, std::numeric_limits<int>::max()}) {
+    EXPECT_EQ(policy.delay(index), policy.backoff_cap) << "retry_index=" << index;
+  }
+}
+
+TEST(RetryPolicy, HugeCapNeverFeedsOutOfRangeCast) {
+  // A cap at microseconds::max() used to make min(us, cap) round up to
+  // 2^63 exactly, which is outside int64 -- UB on the cast.  The schedule
+  // must instead return the cap itself once the product reaches it.
+  util::RetryPolicy policy;
+  policy.backoff_cap = microseconds::max();
+  const auto d = policy.delay(std::numeric_limits<int>::max());
+  EXPECT_EQ(d, policy.backoff_cap);
+  EXPECT_GE(policy.delay(40), microseconds(0));
+}
+
+TEST(RetryPolicy, NegativeIndexAndDegenerateMultipliers) {
+  util::RetryPolicy policy;
+  EXPECT_EQ(policy.delay(-1), policy.delay(0));  // clamped, not UB
+
+  policy.backoff_multiplier = 0.0;  // 0^0 == 1: first delay is the base
+  EXPECT_EQ(policy.delay(0), policy.backoff_base);
+  EXPECT_EQ(policy.delay(5), microseconds(0));
+
+  policy.backoff_multiplier = -2.0;  // a negative product clamps to zero
+  EXPECT_EQ(policy.delay(1), microseconds(0));
+  EXPECT_GE(policy.delay(3).count(), 0);
+}
+
+TEST(RetryPolicy, ExponentCapIsPinned) {
+  // The cap is part of the schedule contract: delays are identical for
+  // every index at or past it.
+  EXPECT_EQ(util::RetryPolicy::kMaxBackoffExponent, 63);
+  util::RetryPolicy policy;
+  policy.backoff_multiplier = 1.0;  // flat schedule: exponent irrelevant
+  EXPECT_EQ(policy.delay(63), policy.delay(1'000'000));
+}
+
+TEST(RetryIo, StopsAfterBudgetAndHonorsCancel) {
+  util::RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_base = microseconds(0);
+
+  int attempts = 0;
+  int retries_seen = 0;
+  const bool ok = util::retry_io(
+      policy, nullptr,
+      [&attempts] {
+        ++attempts;
+        return false;
+      },
+      [&retries_seen](int) { ++retries_seen; });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts, 4);  // 1 + max_retries
+  EXPECT_EQ(retries_seen, 3);
+
+  util::CancelToken cancel;
+  cancel.request_cancel();
+  attempts = 0;
+  const bool cancelled_ok = util::retry_io(
+      policy, &cancel,
+      [&attempts] {
+        ++attempts;
+        return false;
+      },
+      [](int) {});
+  EXPECT_FALSE(cancelled_ok);
+  EXPECT_EQ(attempts, 1);  // a fired token stops the loop before retry 0
+}
+
+}  // namespace
+}  // namespace cvewb

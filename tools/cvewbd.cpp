@@ -1,0 +1,161 @@
+// cvewbd -- study service daemon for the CVE Wayback Machine.
+//
+//   cvewbd [--bind ADDR] [--port N] [--port-file FILE]
+//          [--workers N] [--backlog N] [--cache-dir DIR]
+//          [--deadline-ms N] [--idle-timeout-ms N] [--max-frame-bytes N]
+//          [--metrics-out FILE]
+//          [--fault-seed N] [--fault-short-read R] [--fault-short-write R]
+//          [--fault-stall R] [--fault-reset R]
+//
+// Speaks the newline-delimited JSON protocol on a TCP socket: clients
+// submit studies ({"op":"submit","seed":7,"scale":0.01,...}), poll their
+// job ({"op":"query","job":"j1"}), cancel, or read scheduler stats.  The
+// scheduler admits work against a bounded backlog and rejects the rest
+// with a structured `overloaded` reply carrying a retry_after_ms hint.
+//
+// With --port 0 (the default) the kernel picks an ephemeral port; pass
+// --port-file so scripts can learn it.  SIGTERM/SIGINT trigger a graceful
+// drain: the daemon stops accepting, cancels queued work, fires every
+// running study's cancel token (each checkpoints via its --cache-dir
+// journal), flushes what it can, and exits 0.  Resubmitting against a
+// restarted daemon with the same cache dir resumes from those journals.
+//
+// The --fault-* flags engage the deterministic socket fault layer -- the
+// same plans the chaos tests use -- so operators can rehearse network
+// misbehaviour against a live daemon.
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "daemon/server.h"
+#include "obs/observability.h"
+
+namespace {
+
+using namespace cvewb;
+
+daemon::Server* g_server = nullptr;
+
+extern "C" void handle_shutdown_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+struct Options {
+  daemon::ServerConfig server;
+  std::string port_file;
+  std::string metrics_out;
+  bool parse_ok = true;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  auto& server = options.server;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--bind" && has_value) {
+      server.bind_address = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      server.port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--port-file" && has_value) {
+      options.port_file = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      server.scheduler.workers = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--backlog" && has_value) {
+      server.scheduler.backlog_capacity = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--cache-dir" && has_value) {
+      server.scheduler.cache_dir = argv[++i];
+    } else if (arg == "--deadline-ms" && has_value) {
+      server.scheduler.default_deadline =
+          std::chrono::milliseconds(std::strtoll(argv[++i], nullptr, 10));
+    } else if (arg == "--idle-timeout-ms" && has_value) {
+      server.idle_timeout = std::chrono::milliseconds(std::strtoll(argv[++i], nullptr, 10));
+    } else if (arg == "--max-frame-bytes" && has_value) {
+      server.max_frame_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--metrics-out" && has_value) {
+      options.metrics_out = argv[++i];
+    } else if (arg == "--fault-seed" && has_value) {
+      server.fault_plan.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--fault-short-read" && has_value) {
+      server.fault_plan.short_read_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--fault-short-write" && has_value) {
+      server.fault_plan.short_write_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--fault-stall" && has_value) {
+      server.fault_plan.stall_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--fault-reset" && has_value) {
+      server.fault_plan.reset_rate = std::strtod(argv[++i], nullptr);
+    } else {
+      std::cerr << "unknown or incomplete option '" << arg << "'\n";
+      options.parse_ok = false;
+      return options;
+    }
+  }
+  return options;
+}
+
+void usage() {
+  std::cerr << "usage: cvewbd [--bind ADDR] [--port N] [--port-file FILE]\n"
+               "              [--workers N] [--backlog N] [--cache-dir DIR]\n"
+               "              [--deadline-ms N] [--idle-timeout-ms N]\n"
+               "              [--max-frame-bytes N] [--metrics-out FILE]\n"
+               "              [--fault-seed N] [--fault-short-read R]\n"
+               "              [--fault-short-write R] [--fault-stall R] [--fault-reset R]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+  if (!options.parse_ok) {
+    usage();
+    return 2;
+  }
+
+  obs::Observability observability;
+  daemon::Server server(options.server, &observability);
+  if (!server.start()) {
+    std::cerr << "cvewbd: cannot bind " << options.server.bind_address << ":"
+              << options.server.port << ": " << std::strerror(errno) << "\n";
+    return 1;
+  }
+
+  if (!options.port_file.empty()) {
+    std::ofstream out(options.port_file);
+    if (!out) {
+      std::cerr << "cvewbd: cannot write " << options.port_file << "\n";
+      return 1;
+    }
+    out << server.port() << "\n";
+  }
+  std::cerr << "cvewbd: listening on " << options.server.bind_address << ":" << server.port()
+            << "\n";
+
+  g_server = &server;
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  server.run();  // returns after a signal-triggered graceful drain
+
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_server = nullptr;
+
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out);
+    if (!out) {
+      std::cerr << "cvewbd: cannot write " << options.metrics_out << "\n";
+      return 1;
+    }
+    out << observability.to_json().dump(2) << "\n";
+    std::cerr << "cvewbd: wrote " << options.metrics_out << "\n";
+  }
+
+  const daemon::ServerStats stats = server.stats();
+  std::cerr << "cvewbd: drained (" << stats.accepted << " connections, " << stats.frames_in
+            << " frames in, " << stats.replies_out << " replies out)\n";
+  return 0;
+}

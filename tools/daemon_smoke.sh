@@ -1,0 +1,102 @@
+#!/bin/sh
+# End-to-end smoke for the study service daemon.
+#
+#   daemon_smoke.sh <cvewbd-binary> <cvewb-load-binary> <cvewb-binary> <workdir>
+#
+# Four legs, one daemon lifecycle:
+#
+#  1. Determinism: submit a study over the socket and require the daemon's
+#     digest to be byte-identical to `cvewb study --digest-out` for the
+#     same seed/scale -- the service is a wrapper, never a variable.
+#
+#  2. Overload: burst more submissions than the backlog holds; every
+#     rejection must be a structured `overloaded` reply with a positive
+#     retry_after_ms (cvewb-load exits nonzero otherwise).
+#
+#  3. Graceful drain: park a detached study, SIGTERM the daemon, and
+#     require exit 0 -- the drain cancelled the study at a checkpoint and
+#     journaled it in the shared cache dir.
+#
+#  4. Resume: restart the daemon on the same cache dir, resubmit the same
+#     study, and require its digest to match the reference -- the journal
+#     left by the drain leg (plus the stage cache) must carry the rerun to
+#     the identical result.
+set -eu
+
+CVEWBD=$1
+LOAD=$2
+CVEWB=$3
+DIR=$4
+SEED=7
+SCALE=0.02
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+start_daemon() {
+    # shellcheck disable=SC2086  # deliberate word splitting of extra flags
+    "$CVEWBD" --port 0 --port-file "$DIR/port" --cache-dir "$DIR/cache" $1 \
+        > "$DIR/daemon.log" 2>&1 &
+    DAEMON_PID=$!
+    # Wait for the ephemeral port to land in the port file.
+    i=0
+    while [ ! -s "$DIR/port" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: daemon never wrote $DIR/port" >&2
+            cat "$DIR/daemon.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+stop_daemon() {
+    kill -TERM "$DAEMON_PID" 2>/dev/null || true
+    STATUS=0
+    wait "$DAEMON_PID" || STATUS=$?
+    if [ "$STATUS" -ne 0 ]; then
+        echo "FAIL: daemon exited $STATUS on SIGTERM, expected a clean drain (0)" >&2
+        cat "$DIR/daemon.log" >&2
+        exit 1
+    fi
+}
+
+# Reference digest from the CLI, no daemon involved.
+"$CVEWB" study --seed "$SEED" --scale "$SCALE" \
+    --digest-out "$DIR/reference.txt" > /dev/null 2>&1
+
+# --- Legs 1 + 2: determinism and overload on a live daemon -----------------
+start_daemon "--workers 2 --backlog 4"
+
+"$LOAD" once "$DIR/port" --seed "$SEED" --scale "$SCALE" > "$DIR/daemon_digest.txt"
+cmp "$DIR/reference.txt" "$DIR/daemon_digest.txt" || {
+    echo "FAIL: daemon digest differs from CLI digest" >&2
+    exit 1
+}
+
+"$LOAD" overload "$DIR/port" --burst 24 --scale 0.05 > "$DIR/overload.txt"
+read -r _ ACCEPTED _ REJECTED < "$DIR/overload.txt"
+if [ "$REJECTED" -lt 1 ]; then
+    echo "FAIL: overload burst produced no structured rejections: $(cat "$DIR/overload.txt")" >&2
+    exit 1
+fi
+echo "overload: accepted $ACCEPTED rejected $REJECTED"
+
+# --- Leg 3: SIGTERM drain with a study in flight ---------------------------
+"$LOAD" submit "$DIR/port" --seed 11 --scale "$SCALE" --detach > /dev/null
+stop_daemon
+
+# --- Leg 4: restart on the same cache dir, resubmit, digests converge ------
+rm -f "$DIR/port"
+start_daemon "--workers 2 --backlog 4"
+"$LOAD" once "$DIR/port" --seed 11 --scale "$SCALE" > "$DIR/resumed.txt"
+"$CVEWB" study --seed 11 --scale "$SCALE" \
+    --digest-out "$DIR/reference11.txt" > /dev/null 2>&1
+cmp "$DIR/reference11.txt" "$DIR/resumed.txt" || {
+    echo "FAIL: post-drain resubmission digest differs from reference" >&2
+    exit 1
+}
+stop_daemon
+
+echo "daemon smoke ok"

@@ -1,0 +1,409 @@
+// cvewb-load -- protocol client and load generator for cvewbd.
+//
+//   cvewb-load once PORT [--seed N] [--scale F] [--threads N] [--deadline-ms N]
+//       submit one study, poll to completion, print the result digest on
+//       stdout (the daemon-side digest; compare against `cvewb study
+//       --digest-out` to prove the service is a determinism-preserving
+//       wrapper).  Exits 0 on complete, 75 when the job checkpointed
+//       resumably (cancelled/expired with a journal), 1 otherwise.
+//
+//   cvewb-load submit PORT [--seed N] [--scale F] [--detach]
+//       fire one submission and print the job id without waiting -- the
+//       drain smoke uses this to park a running study before SIGTERM.
+//
+//   cvewb-load swarm PORT --clients N [--p99-ms B]
+//       N sequential short-lived clients, each timing connect-to-first-
+//       reply-byte for a ping while the daemon is (presumably) busy;
+//       prints the latency distribution and fails if p99 exceeds B.
+//
+//   cvewb-load overload PORT --burst N [--scale F]
+//       one connection, N back-to-back submissions; prints
+//       "accepted A rejected R" and requires every rejection to be a
+//       structured `overloaded` reply with a positive retry_after_ms.
+//
+//   cvewb-load disconnect PORT --clients N [--scale F]
+//       N clients submit one job each and slam the connection shut;
+//       a control client then polls stats until queued+running reaches 0
+//       (disconnect must cancel owned jobs) and asserts no job leaked.
+//
+// All modes connect to 127.0.0.1.  PORT may be a number or a file
+// containing one (the daemon's --port-file).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using namespace cvewb;
+using std::chrono::steady_clock;
+
+struct Options {
+  std::string mode;
+  std::uint16_t port = 0;
+  std::uint64_t seed = 7;
+  double scale = 0.01;
+  int threads = 1;
+  std::int64_t deadline_ms = 0;
+  bool detach = false;
+  int clients = 8;
+  int burst = 16;
+  double p99_ms = 2000;
+};
+
+/// Blocking line-oriented protocol client.
+class Client {
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connect_to(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    return true;
+  }
+
+  bool send_line(const std::string& line) {
+    std::string frame = line + "\n";
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const auto n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Read one newline-terminated frame (blocking).
+  bool read_line(std::string& line) {
+    for (;;) {
+      const auto newline = buf_.find('\n');
+      if (newline != std::string::npos) {
+        line = buf_.substr(0, newline);
+        buf_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const auto n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Send a request and parse the JSON reply; exits the process on
+  /// transport or parse failure (load-tester modes treat that as fatal).
+  util::Json round_trip(const util::Json& request) {
+    std::string line;
+    if (!send_line(request.dump()) || !read_line(line)) {
+      std::cerr << "cvewb-load: connection lost mid-exchange\n";
+      std::exit(1);
+    }
+    std::string error;
+    auto doc = util::parse_json(line, error);
+    if (!doc) {
+      std::cerr << "cvewb-load: unparseable reply: " << error << "\n";
+      std::exit(1);
+    }
+    return std::move(*doc);
+  }
+
+  /// Abrupt close without draining -- the disconnect mode wants the
+  /// server to see the connection vanish with a job still attached.
+  void slam() {
+    if (fd_ < 0) return;
+    struct linger lg{1, 0};  // RST instead of FIN where the stack allows
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+util::Json submit_request(const Options& options) {
+  util::Json request;
+  request.set("op", util::Json("submit"));
+  request.set("seed", util::Json(static_cast<std::int64_t>(options.seed)));
+  request.set("scale", util::Json(options.scale));
+  request.set("threads", util::Json(static_cast<std::int64_t>(options.threads)));
+  if (options.deadline_ms > 0) request.set("deadline_ms", util::Json(options.deadline_ms));
+  if (options.detach) request.set("detach", util::Json(true));
+  return request;
+}
+
+std::string string_field(const util::Json& doc, std::string_view key) {
+  const util::Json* value = doc.find(key);
+  if (value == nullptr || value->type() != util::Json::Type::kString) return {};
+  return value->as_string();
+}
+
+std::int64_t int_field(const util::Json& doc, std::string_view key, std::int64_t fallback = 0) {
+  const util::Json* value = doc.find(key);
+  if (value == nullptr || value->type() != util::Json::Type::kNumber) return fallback;
+  return value->as_int64();
+}
+
+bool ok_field(const util::Json& doc) {
+  const util::Json* value = doc.find("ok");
+  return value != nullptr && value->type() == util::Json::Type::kBool && value->as_bool();
+}
+
+int mode_once(const Options& options) {
+  Client client;
+  if (!client.connect_to(options.port)) {
+    std::cerr << "cvewb-load: cannot connect to port " << options.port << "\n";
+    return 1;
+  }
+  const util::Json admitted = client.round_trip(submit_request(options));
+  if (!ok_field(admitted)) {
+    std::cerr << "cvewb-load: submit rejected: " << admitted.dump() << "\n";
+    return 1;
+  }
+  const std::string job = string_field(admitted, "job");
+  for (;;) {
+    util::Json query;
+    query.set("op", util::Json("query"));
+    query.set("job", util::Json(job));
+    const util::Json status = client.round_trip(query);
+    const std::string state = string_field(status, "state");
+    if (state == "queued" || state == "running") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    if (state == "complete") {
+      std::cout << string_field(status, "digest") << "\n";
+      std::cerr << "cvewb-load: " << job << " complete, summary "
+                << (status.find("summary") != nullptr ? status.find("summary")->dump() : "{}")
+                << "\n";
+      return 0;
+    }
+    std::cerr << "cvewb-load: " << job << " " << state << ": " << string_field(status, "message")
+              << "\n";
+    const util::Json* resumable = status.find("resumable");
+    if (resumable != nullptr && resumable->type() == util::Json::Type::kBool &&
+        resumable->as_bool()) {
+      return 75;  // checkpointed; a resubmission will resume
+    }
+    return 1;
+  }
+}
+
+int mode_submit(const Options& options) {
+  Client client;
+  if (!client.connect_to(options.port)) {
+    std::cerr << "cvewb-load: cannot connect to port " << options.port << "\n";
+    return 1;
+  }
+  const util::Json reply = client.round_trip(submit_request(options));
+  if (!ok_field(reply)) {
+    std::cerr << "cvewb-load: submit rejected: " << reply.dump() << "\n";
+    return 1;
+  }
+  std::cout << string_field(reply, "job") << "\n";
+  return 0;
+}
+
+int mode_swarm(const Options& options) {
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<std::size_t>(options.clients));
+  for (int i = 0; i < options.clients; ++i) {
+    Client client;
+    const auto start = steady_clock::now();
+    if (!client.connect_to(options.port)) {
+      std::cerr << "cvewb-load: client " << i << " cannot connect\n";
+      return 1;
+    }
+    util::Json ping;
+    ping.set("op", util::Json("ping"));
+    if (!client.send_line(ping.dump())) return 1;
+    // First byte of the reply is the latency that matters: it proves the
+    // event loop is still turning even when the workers are saturated.
+    char byte = 0;
+    const auto n = ::recv(client.fd(), &byte, 1, 0);
+    if (n != 1) {
+      std::cerr << "cvewb-load: client " << i << " got no reply byte\n";
+      return 1;
+    }
+    const auto elapsed = steady_clock::now() - start;
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto percentile = [&latencies_ms](double p) {
+    const auto index = static_cast<std::size_t>(p * (latencies_ms.size() - 1));
+    return latencies_ms[index];
+  };
+  const double p50 = percentile(0.50);
+  const double p99 = percentile(0.99);
+  std::cout << "clients " << options.clients << " p50_ms " << p50 << " p99_ms " << p99 << "\n";
+  if (p99 > options.p99_ms) {
+    std::cerr << "cvewb-load: p99 " << p99 << "ms exceeds bound " << options.p99_ms << "ms\n";
+    return 1;
+  }
+  return 0;
+}
+
+int mode_overload(const Options& options) {
+  Client client;
+  if (!client.connect_to(options.port)) {
+    std::cerr << "cvewb-load: cannot connect to port " << options.port << "\n";
+    return 1;
+  }
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < options.burst; ++i) {
+    const util::Json reply = client.round_trip(submit_request(options));
+    if (ok_field(reply)) {
+      ++accepted;
+      continue;
+    }
+    // Every rejection must be structured: the overloaded verdict and a
+    // positive Retry-After hint, not a dropped connection or silence.
+    if (string_field(reply, "error") != "overloaded" || int_field(reply, "retry_after_ms") <= 0) {
+      std::cerr << "cvewb-load: unstructured rejection: " << reply.dump() << "\n";
+      return 1;
+    }
+    ++rejected;
+  }
+  std::cout << "accepted " << accepted << " rejected " << rejected << "\n";
+  return 0;
+}
+
+int mode_disconnect(const Options& options) {
+  for (int i = 0; i < options.clients; ++i) {
+    Client client;
+    if (!client.connect_to(options.port)) {
+      std::cerr << "cvewb-load: client " << i << " cannot connect\n";
+      return 1;
+    }
+    const util::Json reply = client.round_trip(submit_request(options));
+    if (!ok_field(reply)) {
+      std::cerr << "cvewb-load: client " << i << " submit rejected: " << reply.dump() << "\n";
+      return 1;
+    }
+    client.slam();
+  }
+  // Control connection: the daemon must notice the disconnects and cancel
+  // every owned job; poll stats until nothing is queued or running.
+  Client control;
+  if (!control.connect_to(options.port)) {
+    std::cerr << "cvewb-load: control client cannot connect\n";
+    return 1;
+  }
+  const auto give_up = steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    util::Json stats;
+    stats.set("op", util::Json("stats"));
+    const util::Json reply = control.round_trip(stats);
+    const std::int64_t queued = int_field(reply, "queued");
+    const std::int64_t running = int_field(reply, "running");
+    if (queued == 0 && running == 0) {
+      std::cout << "drained: cancelled " << int_field(reply, "cancelled") << " of "
+                << int_field(reply, "submitted") << " submitted\n";
+      return 0;
+    }
+    if (steady_clock::now() > give_up) {
+      std::cerr << "cvewb-load: jobs leaked after mass disconnect: queued " << queued
+                << " running " << running << "\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+std::uint16_t resolve_port(const std::string& spec) {
+  // A bare number is a port; anything else is a --port-file to read.
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(spec.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && value > 0 && value < 65536) {
+    return static_cast<std::uint16_t>(value);
+  }
+  std::ifstream in(spec);
+  unsigned long from_file = 0;
+  if (in >> from_file && from_file > 0 && from_file < 65536) {
+    return static_cast<std::uint16_t>(from_file);
+  }
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage: cvewb-load <once|submit|swarm|overload|disconnect> PORT [options]\n"
+               "  once        submit, wait, print digest (--seed --scale --threads --deadline-ms)\n"
+               "  submit      submit and print job id (--seed --scale --detach)\n"
+               "  swarm       ping latency sweep (--clients N --p99-ms B)\n"
+               "  overload    burst submissions (--burst N --scale F)\n"
+               "  disconnect  mass submit-and-slam, verify zero leaked jobs (--clients N)\n"
+               "  PORT is a number or a file written by cvewbd --port-file\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  Options options;
+  options.mode = argv[1];
+  options.port = resolve_port(argv[2]);
+  if (options.port == 0) {
+    std::cerr << "cvewb-load: cannot resolve port from '" << argv[2] << "'\n";
+    return 2;
+  }
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--seed" && has_value) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--scale" && has_value) {
+      options.scale = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--threads" && has_value) {
+      options.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--deadline-ms" && has_value) {
+      options.deadline_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--detach") {
+      options.detach = true;
+    } else if (arg == "--clients" && has_value) {
+      options.clients = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--burst" && has_value) {
+      options.burst = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--p99-ms" && has_value) {
+      options.p99_ms = std::strtod(argv[++i], nullptr);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (options.mode == "once") return mode_once(options);
+  if (options.mode == "submit") return mode_submit(options);
+  if (options.mode == "swarm") return mode_swarm(options);
+  if (options.mode == "overload") return mode_overload(options);
+  if (options.mode == "disconnect") return mode_disconnect(options);
+  usage();
+  return 2;
+}
