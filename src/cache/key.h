@@ -32,7 +32,7 @@ namespace cvewb::cache {
 
 /// Bump on any codec-layout or stage-semantics change; old entries become
 /// unreachable (they are reclaimed by `cvewb cache gc`).
-inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+inline constexpr std::uint32_t kCacheSchemaVersion = 2;
 
 /// Incremental key builder: named, type-tagged fields over SHA-256.
 class KeyHasher {

@@ -142,6 +142,8 @@ void put_reconstruction_body(BinWriter& w, const pipeline::Reconstruction& rec) 
   for (const auto& event : rec.events) {
     w.str(event.cve_id);
     w.i64(event.time.unix_seconds());
+    w.u32(event.src);
+    w.i32(event.sid);
   }
   w.u64(rec.per_cve.size());
   for (const auto& [cve_id, cve] : rec.per_cve) {
@@ -192,6 +194,8 @@ bool get_reconstruction_body(BinReader& r, std::string_view blob, pipeline::Reco
     lifecycle::ExploitEvent event;
     event.cve_id = r.str();
     event.time = util::TimePoint(r.i64());
+    event.src = r.u32();
+    event.sid = r.i32();
     out.events.push_back(std::move(event));
   }
   const std::uint64_t per_cve = r.u64();

@@ -49,11 +49,12 @@ FsShim& FsShim::passthrough() {
   return shim;
 }
 
-util::Rng FsShim::op_rng(OpClass op_class) {
+util::Rng FsShim::op_rng(OpClass op_class, std::uint64_t* index_out) {
   std::uint64_t index = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     index = op_counter_[op_class]++;
+    if (index_out != nullptr) *index_out = index + 1;  // 1-based, like the plan fields
     switch (op_class) {
       case kRead:
         ++stats_.reads;
@@ -84,8 +85,9 @@ util::Rng FsShim::op_rng(OpClass op_class) {
 
 bool FsShim::read_file(const std::filesystem::path& path, std::string& out) {
   if (!plan_.any()) return raw_read(path, out);
-  util::Rng rng = op_rng(kRead);
-  if (rng.uniform() < plan_.eio_read_rate) {
+  std::uint64_t index = 0;
+  util::Rng rng = op_rng(kRead, &index);
+  if (index == plan_.fail_read_at || rng.uniform() < plan_.eio_read_rate) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.injected_eio;
@@ -98,12 +100,15 @@ bool FsShim::read_file(const std::filesystem::path& path, std::string& out) {
 
 bool FsShim::write_file(const std::filesystem::path& path, std::string_view bytes) {
   if (!plan_.any()) return raw_write(path, bytes);
-  util::Rng rng = op_rng(kWrite);
+  std::uint64_t index = 0;
+  util::Rng rng = op_rng(kWrite, &index);
   // One draw spans both write-fault classes (ENOSPC band first, torn band
-  // after), so their rates compose without correlation.
+  // after), so their rates compose without correlation.  The exact-op
+  // triggers override the draw for their own index.
   const double u = rng.uniform();
-  const bool enospc = u < plan_.enospc_write_rate;
-  const bool torn = !enospc && u < plan_.enospc_write_rate + plan_.torn_write_rate;
+  const bool enospc = index == plan_.fail_write_at || u < plan_.enospc_write_rate;
+  const bool torn = !enospc && (index == plan_.torn_write_at ||
+                                u < plan_.enospc_write_rate + plan_.torn_write_rate);
   if (!enospc && !torn) return raw_write(path, bytes);
 
   // Deterministic partial write: strictly a prefix (never the full file),
@@ -127,8 +132,9 @@ bool FsShim::write_file(const std::filesystem::path& path, std::string_view byte
 
 bool FsShim::rename(const std::filesystem::path& from, const std::filesystem::path& to) {
   if (plan_.any()) {
-    util::Rng rng = op_rng(kRename);
-    if (rng.uniform() < plan_.rename_fail_rate) {
+    std::uint64_t index = 0;
+    util::Rng rng = op_rng(kRename, &index);
+    if (index == plan_.fail_rename_at || rng.uniform() < plan_.rename_fail_rate) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.injected_rename_fail;

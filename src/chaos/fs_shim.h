@@ -59,9 +59,21 @@ struct FsFaultPlan {
   double latency_rate = 0.0;
   std::chrono::microseconds latency{0};
 
+  /// Exact-op triggers: fail exactly the Nth operation of the class
+  /// (1-based; 0 = off), independent of the probabilistic rates.  Where a
+  /// rate answers "does the system survive a 5% lossy disk", an exact
+  /// index answers "does the system survive a fault at *this precise
+  /// boundary*" -- the store's crash matrix walks these through every
+  /// WAL/checkpoint write and rename (tests/store/crash_matrix_test.cpp).
+  std::uint64_t fail_read_at = 0;    // injected EIO on the Nth read
+  std::uint64_t fail_write_at = 0;   // injected ENOSPC on the Nth write
+  std::uint64_t torn_write_at = 0;   // torn write (reports success) on the Nth write
+  std::uint64_t fail_rename_at = 0;  // injected failure on the Nth rename
+
   bool any() const {
     return eio_read_rate > 0 || enospc_write_rate > 0 || torn_write_rate > 0 ||
-           rename_fail_rate > 0 || (latency_rate > 0 && latency.count() > 0);
+           rename_fail_rate > 0 || (latency_rate > 0 && latency.count() > 0) ||
+           fail_read_at > 0 || fail_write_at > 0 || torn_write_at > 0 || fail_rename_at > 0;
   }
 };
 
@@ -118,8 +130,10 @@ class FsShim {
   enum OpClass : std::uint64_t { kRead = 1, kWrite = 2, kRename = 3 };
 
   /// Bump the class's op counter, apply latency injection, and hand back
-  /// this op's deterministic RNG stream for the fault decisions.
-  util::Rng op_rng(OpClass op_class);
+  /// this op's deterministic RNG stream for the fault decisions.  The
+  /// 1-based index of this operation within its class lands in
+  /// `index_out` (for the exact-op triggers) when non-null.
+  util::Rng op_rng(OpClass op_class, std::uint64_t* index_out = nullptr);
 
   FsFaultPlan plan_{};
   obs::Observability* observability_ = nullptr;

@@ -5,10 +5,12 @@
 #include <limits>
 #include <utility>
 
+#include "cache/key.h"
 #include "cache/serialize.h"
 #include "obs/observability.h"
 #include "pipeline/study.h"
 #include "pipeline/supervisor.h"
+#include "store/store.h"
 #include "util/sha256.h"
 
 namespace cvewb::daemon {
@@ -16,6 +18,15 @@ namespace cvewb::daemon {
 using std::chrono::duration_cast;
 using std::chrono::microseconds;
 using std::chrono::steady_clock;
+
+namespace {
+
+/// WAL segments accumulated in the shared session store before a
+/// completing worker folds them into a fresh checkpoint (mirrors
+/// run_study's own threshold for the single-process path).
+constexpr std::uint64_t kStoreCheckpointSegments = 8;
+
+}  // namespace
 
 const char* job_state_name(JobState state) {
   switch (state) {
@@ -323,6 +334,23 @@ void JobScheduler::run_job(const std::shared_ptr<Job>& job) {
 
   pipeline::RunSupervisor supervisor(config);
   pipeline::RunReport report = supervisor.run();
+
+  // Ingest the completed run into the shared session store before taking
+  // the scheduler lock -- store I/O must never serialize job bookkeeping.
+  // Best-effort, idempotent on run_key (a re-run of the same config is a
+  // no-op commit): a store failure degrades to a metric, never a failed
+  // job -- the result digest and summary below are already in hand.
+  if (config_.store != nullptr && report.status == pipeline::RunStatus::kComplete) {
+    store::StoreError store_error;
+    if (config_.store->ingest(*report.result, cache::run_key(config), &store_error)) {
+      obs::count(observability_, "daemon/store_ingests");
+      if (config_.store->stats().wal_segments >= kStoreCheckpointSegments) {
+        (void)config_.store->checkpoint(&store_error);
+      }
+    } else {
+      obs::count(observability_, "daemon/store_ingest_failed");
+    }
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   --running_;

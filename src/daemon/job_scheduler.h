@@ -41,6 +41,9 @@
 namespace cvewb::obs {
 struct Observability;
 }
+namespace cvewb::store {
+class Store;
+}
 
 namespace cvewb::daemon {
 
@@ -66,6 +69,14 @@ struct SchedulerConfig {
   std::string cache_dir;
   /// I/O retry policy forwarded to every study.
   util::RetryPolicy io_retry;
+  /// Shared persistent session store (null = store ingestion off).  Every
+  /// completed job ingests its result through this ONE internally-
+  /// synchronized handle -- workers never open per-job handles, so
+  /// concurrent completions serialize on the store's writer lock instead
+  /// of racing on WAL sequence numbers.  Ingest failures are metrics
+  /// (daemon/store_ingest_failed), never job failures.  Owned by the
+  /// caller (the Server), which must outlive the scheduler.
+  store::Store* store = nullptr;
 };
 
 enum class JobState : std::uint8_t {

@@ -1,6 +1,10 @@
 #include "daemon/protocol.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "net/ipv4.h"
+#include "util/datetime.h"
 
 namespace cvewb::daemon {
 
@@ -45,6 +49,10 @@ const char* request_op_name(RequestOp op) {
       return "cancel";
     case RequestOp::kStats:
       return "stats";
+    case RequestOp::kStoreQuery:
+      return "store_query";
+    case RequestOp::kStoreStat:
+      return "store_stat";
   }
   return "unknown";
 }
@@ -118,6 +126,105 @@ ParsedRequest parse_request(std::string_view line, const ProtocolLimits& limits)
         return bad_request("detach must be a boolean");
       }
       request.detach = detach->as_bool();
+    }
+  } else if (name == "store_stat") {
+    request.op = RequestOp::kStoreStat;
+  } else if (name == "store_query") {
+    request.op = RequestOp::kStoreQuery;
+    store::Query& q = request.store_query;
+    if (const util::Json* table = doc->find("table")) {
+      if (table->type() != util::Json::Type::kString) {
+        return bad_request("table must be a string");
+      }
+      if (table->as_string() == "sessions") {
+        q.table = store::Table::kSessions;
+      } else if (table->as_string() == "events") {
+        q.table = store::Table::kEvents;
+      } else {
+        return bad_request("table must be 'sessions' or 'events'");
+      }
+    }
+    const auto string_field = [&](std::string_view key,
+                                  std::optional<std::string>& out) -> const char* {
+      const util::Json* value = doc->find(key);
+      if (value == nullptr) return nullptr;
+      if (value->type() != util::Json::Type::kString || value->as_string().empty() ||
+          value->as_string().size() > 128) {
+        return "must be a non-empty string of at most 128 bytes";
+      }
+      out = value->as_string();
+      return nullptr;
+    };
+    if (const char* why = string_field("cve", q.cve)) {
+      return bad_request(std::string("cve ") + why);
+    }
+    if (const char* why = string_field("run", q.run)) {
+      return bad_request(std::string("run ") + why);
+    }
+    // begin/end: YYYY-MM-DD date or integer unix seconds; half-open.
+    const auto time_field = [&](std::string_view key,
+                                std::optional<std::int64_t>& out) -> bool {
+      const util::Json* value = doc->find(key);
+      if (value == nullptr) return true;
+      if (value->type() == util::Json::Type::kString) {
+        const auto parsed = util::parse_date(value->as_string());
+        if (!parsed) return false;
+        out = parsed->unix_seconds();
+        return true;
+      }
+      if (const auto seconds = int_field(*doc, key)) {
+        out = *seconds;
+        return true;
+      }
+      return false;
+    };
+    if (!time_field("begin", q.time_begin)) {
+      return bad_request("begin must be YYYY-MM-DD or unix seconds");
+    }
+    if (!time_field("end", q.time_end)) {
+      return bad_request("end must be YYYY-MM-DD or unix seconds");
+    }
+    if (q.time_begin && q.time_end && *q.time_end < *q.time_begin) {
+      return bad_request("end precedes begin");
+    }
+    if (const util::Json* src = doc->find("src")) {
+      if (src->type() == util::Json::Type::kString) {
+        const auto parsed = net::IPv4::parse(src->as_string());
+        if (!parsed) return bad_request("src must be a dotted quad or integer");
+        q.src = parsed->value();
+      } else if (const auto raw = int_field(*doc, "src")) {
+        if (*raw < 0 || *raw > 0xFFFF'FFFFll) return bad_request("src out of range");
+        q.src = static_cast<std::uint32_t>(*raw);
+      } else {
+        return bad_request("src must be a dotted quad or integer");
+      }
+    }
+    if (const auto sid = int_field(*doc, "sid")) {
+      if (*sid < INT32_MIN || *sid > INT32_MAX) return bad_request("sid out of range");
+      q.sid = static_cast<std::int32_t>(*sid);
+    } else if (doc->find("sid") != nullptr) {
+      return bad_request("sid must be an integer");
+    }
+    if (const auto limit = int_field(*doc, "limit")) {
+      if (*limit < 0 || *limit > limits.max_store_rows) {
+        return bad_request("limit out of range [0, " + std::to_string(limits.max_store_rows) +
+                           "]");
+      }
+      q.limit = static_cast<std::uint64_t>(*limit);
+    } else if (doc->find("limit") != nullptr) {
+      return bad_request("limit must be an integer");
+    } else {
+      q.limit = static_cast<std::uint64_t>(std::min<std::int64_t>(64, limits.max_store_rows));
+    }
+    if (const util::Json* mode = doc->find("mode")) {
+      if (mode->type() != util::Json::Type::kString) {
+        return bad_request("mode must be a string");
+      }
+      if (mode->as_string() == "brute") {
+        request.store_brute = true;
+      } else if (mode->as_string() != "index") {
+        return bad_request("mode must be 'index' or 'brute'");
+      }
     }
   } else if (name == "query" || name == "cancel") {
     request.op = name == "query" ? RequestOp::kQuery : RequestOp::kCancel;

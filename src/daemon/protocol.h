@@ -9,6 +9,17 @@
 //   {"op":"query","job":"j1"}
 //   {"op":"cancel","job":"j1"}
 //   {"op":"stats"}
+//   {"op":"store_query","table":"events","cve":"CVE-2021-44228",
+//    "begin":"2021-12-10","end":"2021-12-17","src":"203.0.113.9",
+//    "sid":21003,"run":"<runkey hex>","limit":100,"mode":"index"}
+//   {"op":"store_stat"}
+//
+// store_query predicates are all optional and conjunctive; "begin"/"end"
+// accept a YYYY-MM-DD date or an integer unix timestamp (half-open
+// window), "src" a dotted quad or an integer.  The reply carries the
+// match count, the SHA-256 digest of the full canonical match set, and
+// the first `limit` rows -- byte-identical whether served by index scan
+// or brute-force scan (DESIGN.md §13).
 //
 // Replies always carry "ok" (true/false) and echo "op"; failures carry a
 // structured "error" code -- crucially "overloaded" with a "retry_after_ms"
@@ -23,6 +34,7 @@
 #include <string>
 #include <string_view>
 
+#include "store/query.h"
 #include "util/json.h"
 
 namespace cvewb::daemon {
@@ -34,9 +46,20 @@ struct ProtocolLimits {
   double max_scale = 1.0;
   int max_threads = 16;
   std::int64_t max_deadline_ms = 3'600'000;  // 1 hour
+  /// Cap on store_query "limit": rows materialized into one reply frame.
+  /// The result digest always covers the full match set regardless.
+  std::int64_t max_store_rows = 1024;
 };
 
-enum class RequestOp : std::uint8_t { kPing, kSubmit, kQuery, kCancel, kStats };
+enum class RequestOp : std::uint8_t {
+  kPing,
+  kSubmit,
+  kQuery,
+  kCancel,
+  kStats,
+  kStoreQuery,  // index scan over the persistent session store
+  kStoreStat,   // store row/run/WAL/snapshot counters
+};
 
 const char* request_op_name(RequestOp op);
 
@@ -51,6 +74,11 @@ struct Request {
   bool detach = false;           // survive client disconnect
   // query / cancel
   std::string job_id;
+  // store_query: validated predicate set (see store/query.h).  "brute"
+  // selects the linear-scan executor -- exposed so clients can check the
+  // byte-identity contract end-to-end.
+  store::Query store_query;
+  bool store_brute = false;
 };
 
 /// Outcome of parsing one frame: either a request or a ready-to-send

@@ -11,10 +11,14 @@
 #include <cstring>
 #include <vector>
 
+#include "net/ipv4.h"
 #include "obs/observability.h"
+#include "store/store.h"
 
 namespace cvewb::daemon {
 
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
 using std::chrono::steady_clock;
 
 namespace {
@@ -24,13 +28,34 @@ bool set_nonblocking(int fd) {
   return flags != -1 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != -1;
 }
 
+/// Open the shared session store when a directory is configured.  A store
+/// that cannot be opened (structural corruption with no valid fallback)
+/// is a metric plus nullptr, not a dead daemon: studies still run, store
+/// ops answer with a structured no_store error.
+std::unique_ptr<store::Store> open_server_store(const ServerConfig& config,
+                                                obs::Observability* observability) {
+  if (config.store_dir.empty()) return nullptr;
+  store::StoreOptions options;
+  options.observability = observability;
+  store::StoreError error;
+  auto opened = store::Store::open(config.store_dir, options, &error);
+  if (opened == nullptr) obs::count(observability, "daemon/store_open_failed");
+  return opened;
+}
+
+SchedulerConfig scheduler_config_with_store(SchedulerConfig scheduler, store::Store* store) {
+  scheduler.store = store;
+  return scheduler;
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config, obs::Observability* observability)
     : config_(std::move(config)),
       observability_(observability),
       io_(config_.fault_plan, observability),
-      scheduler_(config_.scheduler, observability) {}
+      store_(open_server_store(config_, observability)),
+      scheduler_(scheduler_config_with_store(config_.scheduler, store_.get()), observability) {}
 
 Server::~Server() {
   for (auto& [id, conn] : connections_) {
@@ -203,6 +228,74 @@ util::Json Server::dispatch(Connection& conn, const Request& request) {
       reply.set("expired", util::Json(static_cast<std::int64_t>(sched.expired)));
       reply.set("failed", util::Json(static_cast<std::int64_t>(sched.failed)));
       reply.set("connections", util::Json(static_cast<std::int64_t>(connections_.size())));
+      break;
+    }
+    case RequestOp::kStoreQuery: {
+      if (store_ == nullptr) {
+        reply = error_reply("no_store", "no session store configured (--store-dir)");
+        reply.set("op", util::Json("store_query"));
+        break;
+      }
+      const auto started = steady_clock::now();
+      const store::QueryResult result = store_->query(
+          request.store_query,
+          request.store_brute ? store::QueryMode::kBrute : store::QueryMode::kIndex);
+      const auto elapsed =
+          duration_cast<microseconds>(steady_clock::now() - started).count();
+      obs::count(observability_, "daemon/store_queries");
+      obs::observe(observability_, "daemon/store_query_us",
+                   static_cast<std::uint64_t>(elapsed));
+      obs::observe(observability_, "daemon/store_query_rows", result.matched);
+      const bool sessions = request.store_query.table == store::Table::kSessions;
+      reply.set("table", util::Json(sessions ? "sessions" : "events"));
+      reply.set("mode", util::Json(result.used_index ? "index" : "brute"));
+      reply.set("matched", util::Json(static_cast<std::int64_t>(result.matched)));
+      reply.set("scanned", util::Json(static_cast<std::int64_t>(result.scanned)));
+      reply.set("digest", util::Json(result.digest_hex));
+      util::Json rows{util::JsonArray{}};
+      for (const auto& row : result.rows) {
+        util::Json encoded;
+        encoded.set("run", util::Json(row.run_key));
+        encoded.set("seq", util::Json(static_cast<std::int64_t>(row.seq)));
+        encoded.set("time", util::Json(row.time));
+        encoded.set("src", util::Json(net::IPv4(row.src).to_string()));
+        encoded.set("cve", util::Json(row.cve));
+        encoded.set("sid", util::Json(static_cast<std::int64_t>(row.sid)));
+        if (sessions) {
+          encoded.set("dst", util::Json(net::IPv4(row.dst).to_string()));
+          encoded.set("sport", util::Json(static_cast<std::int64_t>(row.src_port)));
+          encoded.set("dport", util::Json(static_cast<std::int64_t>(row.dst_port)));
+          encoded.set("kind", util::Json(static_cast<std::int64_t>(row.kind)));
+          encoded.set("payload_bytes",
+                      util::Json(static_cast<std::int64_t>(row.payload_bytes)));
+        }
+        rows.push_back(std::move(encoded));
+      }
+      reply.set("rows", std::move(rows));
+      break;
+    }
+    case RequestOp::kStoreStat: {
+      if (store_ == nullptr) {
+        reply = error_reply("no_store", "no session store configured (--store-dir)");
+        reply.set("op", util::Json("store_stat"));
+        break;
+      }
+      const store::StoreStats stat = store_->stats();
+      reply.set("session_rows", util::Json(static_cast<std::int64_t>(stat.session_rows)));
+      reply.set("event_rows", util::Json(static_cast<std::int64_t>(stat.event_rows)));
+      reply.set("runs", util::Json(static_cast<std::int64_t>(stat.runs)));
+      reply.set("last_lsn", util::Json(static_cast<std::int64_t>(stat.last_lsn)));
+      reply.set("snapshot_lsn", util::Json(static_cast<std::int64_t>(stat.snapshot_lsn)));
+      reply.set("wal_segments", util::Json(static_cast<std::int64_t>(stat.wal_segments)));
+      reply.set("wal_bytes", util::Json(static_cast<std::int64_t>(stat.wal_bytes)));
+      reply.set("snapshot_bytes",
+                util::Json(static_cast<std::int64_t>(stat.snapshot_bytes)));
+      reply.set("payload_bytes", util::Json(static_cast<std::int64_t>(stat.payload_bytes)));
+      reply.set("dropped_segments",
+                util::Json(static_cast<std::int64_t>(stat.dropped_segments)));
+      reply.set("queries_index", util::Json(static_cast<std::int64_t>(stat.queries_index)));
+      reply.set("queries_brute", util::Json(static_cast<std::int64_t>(stat.queries_brute)));
+      reply.set("mapped", util::Json(stat.snapshot_mapped));
       break;
     }
   }

@@ -38,6 +38,9 @@
 namespace cvewb::obs {
 struct Observability;
 }
+namespace cvewb::store {
+class Store;
+}
 
 namespace cvewb::daemon {
 
@@ -53,6 +56,16 @@ struct ServerConfig {
   ProtocolLimits protocol;
   SchedulerConfig scheduler;
   SocketFaultPlan fault_plan;  // deterministic I/O faults (tests)
+  /// Persistent session store directory ("" = store ops disabled).  When
+  /// set, the server opens ONE shared store::Store at construction:
+  /// scheduler workers ingest every completed study through it, and
+  /// store_query / store_stat serve index scans from it on the event-loop
+  /// thread (reads take the store's shared lock, so a long ingest never
+  /// blocks behind the poll loop or vice versa).  An unopenable store
+  /// (structural corruption) degrades to a daemon/store_open_failed
+  /// metric and structured no_store replies -- the daemon still serves
+  /// studies.
+  std::string store_dir;
 };
 
 /// Aggregate connection-level counters (also exported as daemon/* metrics).
@@ -95,6 +108,9 @@ class Server {
   JobScheduler& scheduler() { return scheduler_; }
   ServerStats stats() const;
   const SocketIo& io() const { return io_; }
+  /// The shared session store; nullptr when store_dir is empty or the
+  /// store failed to open.
+  store::Store* store() { return store_.get(); }
 
  private:
   struct Connection {
@@ -118,6 +134,9 @@ class Server {
   ServerConfig config_;
   obs::Observability* observability_;
   SocketIo io_;
+  /// Declared before scheduler_: the scheduler holds a raw pointer into
+  /// this store, so it must be constructed first and destroyed last.
+  std::unique_ptr<store::Store> store_;
   JobScheduler scheduler_;
 
   int listen_fd_ = -1;

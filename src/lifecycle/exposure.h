@@ -8,6 +8,7 @@
 // yields Figs. 6 and 7 and Findings 9-12.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,9 +20,16 @@
 namespace cvewb::lifecycle {
 
 /// One observed exploit event (an IDS-matched session targeting a CVE).
+/// `src` and `sid` carry the attacking source address and the retained
+/// rule's signature id so downstream consumers (the persistent session
+/// store's secondary indexes, per-source analyses) never have to re-join
+/// events against the capture; the exposure aggregations below ignore
+/// them.
 struct ExploitEvent {
   std::string cve_id;
   util::TimePoint time;
+  std::uint32_t src = 0;  // attacking source address, host order
+  int sid = 0;            // retained (earliest-published) rule's sid
 };
 
 /// Table 5: desideratum satisfaction on a per-exploit-event basis.  For

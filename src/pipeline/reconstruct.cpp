@@ -183,7 +183,8 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
     const util::TimePoint t = detection.session->open_time;
     if (cve.exploit_events == 0 || t < cve.first_attack) cve.first_attack = t;
     ++cve.exploit_events;
-    out.events.push_back(lifecycle::ExploitEvent{record->id, t});
+    out.events.push_back(lifecycle::ExploitEvent{record->id, t, detection.session->src.value(),
+                                                 detection.rule->sid});
   }
 
   // 4. Join with the public datasets into full lifecycles.  A comes from

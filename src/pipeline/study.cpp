@@ -10,12 +10,17 @@
 #include "ids/rule_gen.h"
 #include "obs/observability.h"
 #include "pipeline/manifest.h"
+#include "store/store.h"
 #include "util/sha256.h"
 #include "util/thread_pool.h"
 
 namespace cvewb::pipeline {
 
 namespace {
+
+/// WAL segments accumulated in the session store before run_study folds
+/// them into a fresh checkpoint snapshot.
+constexpr std::uint64_t kStoreCheckpointSegments = 8;
 
 /// Per-stage cancellation-and-deadline bracket.  Entry is a cancellation
 /// point; when a stage budget is configured the token's deadline is armed
@@ -265,6 +270,33 @@ StudyResult run_study(const StudyConfig& config) {
     }
     result.unique_telescope_ips = unique_count(dst_ips);
     result.unique_source_ips = unique_count(src_ips);
+  }
+
+  // Populate the persistent session store, keyed by the same run_key the
+  // journal uses.  Strictly best-effort: a store failure (full disk,
+  // injected fault, damaged directory) degrades to a metric, never a
+  // failed study -- the StudyResult in hand is already complete.
+  if (!config.store_dir.empty()) {
+    StageScope stage(config, "store");
+    obs::PhaseSpan phase(observability, "store_populate");
+    store::StoreOptions store_options;
+    store_options.observability = observability;
+    store_options.fs = config.fs_shim;
+    store_options.retry = config.io_retry;
+    store::StoreError store_error;
+    if (auto store = store::Store::open(config.store_dir, store_options, &store_error)) {
+      if (store->ingest(result, cache::run_key(config), &store_error)) {
+        // Fold the WAL into a fresh snapshot once enough segments pile
+        // up; queries stay fast and recovery stays short.
+        if (store->stats().wal_segments >= kStoreCheckpointSegments) {
+          store->checkpoint(&store_error);
+        }
+      } else {
+        obs::count(observability, "store/populate_failed");
+      }
+    } else {
+      obs::count(observability, "store/populate_failed");
+    }
   }
 
   if (journal) journal->complete();

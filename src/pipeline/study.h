@@ -60,6 +60,16 @@ struct StudyConfig {
   /// disabled run (tests/cache/cache_golden_test.cpp); corrupted entries
   /// degrade to recomputes, never failures.  See DESIGN.md "Stage cache".
   std::string cache_dir;
+  /// Persistent indexed session store directory (empty = off).  When
+  /// set, the completed study's sessions and exploit events are ingested
+  /// into the crash-safe columnar store under `cache::run_key(config)` so
+  /// later CVE/window/source/SID queries are index scans instead of
+  /// pipeline reruns (see src/store and DESIGN.md §13).  Ingest is
+  /// idempotent per run_key and strictly best-effort: store I/O failures
+  /// degrade to a `store/populate_failed` metric, never a failed study.
+  /// Like cache_dir, the value is deliberately excluded from every cache
+  /// key -- it can never influence result bytes.
+  std::string store_dir;
   /// Observability sink (off by default).  When set, every stage emits
   /// trace spans and metrics into it: phase wall-clock counters
   /// ("phase_us/<name>"), per-shard spans, thread-pool execution stats

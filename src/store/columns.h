@@ -1,0 +1,148 @@
+// Column accessors over the two-tier (mapped base + owned delta) layout.
+//
+// A store's rows live in two places: the checkpoint snapshot (served
+// straight from the mapped file through ColumnView's memcpy reads) and
+// the in-memory delta appended by WAL batches committed since that
+// checkpoint.  Column<T> stitches the two into one zero-copy logical
+// array; a checkpoint folds the delta into a new snapshot and empties it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace cvewb::store {
+
+/// Unaligned read-only view of `count` little-endian T values.
+template <typename T>
+class ColumnView {
+ public:
+  ColumnView() = default;
+  ColumnView(const char* data, std::size_t count) : data_(data), count_(count) {}
+
+  std::size_t size() const { return count_; }
+  T operator[](std::size_t i) const {
+    T value;
+    std::memcpy(&value, data_ + i * sizeof(T), sizeof(T));
+    return value;
+  }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// Base (snapshot-backed) plus delta (in-memory) column.
+template <typename T>
+struct Column {
+  ColumnView<T> base;
+  std::vector<T> delta;
+
+  std::size_t size() const { return base.size() + delta.size(); }
+  T operator[](std::size_t i) const {
+    return i < base.size() ? base[i] : delta[i - base.size()];
+  }
+  void clear() {
+    base = {};
+    delta.clear();
+  }
+};
+
+/// A sorted postings list: parallel (key, row) arrays ordered by
+/// (key, row).  The base pair comes from a snapshot index section; the
+/// delta pair is rebuilt in memory from appended rows.  Because delta
+/// rows always have larger row ids than base rows, an equal-key probe of
+/// base-then-delta yields rows in ascending global order without a merge.
+struct Postings {
+  ColumnView<std::uint64_t> base_keys;
+  ColumnView<std::uint64_t> base_rows;
+  std::vector<std::uint64_t> delta_keys;
+  std::vector<std::uint64_t> delta_rows;
+
+  std::size_t size() const { return base_keys.size() + delta_keys.size(); }
+  void clear() {
+    base_keys = {};
+    base_rows = {};
+    delta_keys.clear();
+    delta_rows.clear();
+  }
+
+  /// Append rows matching key == `key` to `out` (ascending row order).
+  void collect_equal(std::uint64_t key, std::vector<std::uint64_t>& out) const;
+  /// Append rows with key in [lo, hi] to `out` (NOT sorted across the
+  /// base/delta boundary for range probes; callers sort).
+  void collect_range(std::uint64_t lo, std::uint64_t hi, std::vector<std::uint64_t>& out) const;
+  /// Matching row count without materializing (query planning).
+  std::size_t count_equal(std::uint64_t key) const;
+  std::size_t count_range(std::uint64_t lo, std::uint64_t hi) const;
+};
+
+/// Binary search over an unaligned key view: first index with key >= `key`.
+inline std::size_t lower_bound_view(const ColumnView<std::uint64_t>& keys, std::uint64_t key) {
+  std::size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index with key > `key`.
+inline std::size_t upper_bound_view(const ColumnView<std::uint64_t>& keys, std::uint64_t key) {
+  std::size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (keys[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+inline void Postings::collect_equal(std::uint64_t key, std::vector<std::uint64_t>& out) const {
+  const std::size_t b0 = lower_bound_view(base_keys, key);
+  const std::size_t b1 = upper_bound_view(base_keys, key);
+  for (std::size_t i = b0; i < b1; ++i) out.push_back(base_rows[i]);
+  const auto d0 = std::lower_bound(delta_keys.begin(), delta_keys.end(), key);
+  const auto d1 = std::upper_bound(delta_keys.begin(), delta_keys.end(), key);
+  for (auto it = d0; it != d1; ++it) {
+    out.push_back(delta_rows[static_cast<std::size_t>(it - delta_keys.begin())]);
+  }
+}
+
+inline void Postings::collect_range(std::uint64_t lo, std::uint64_t hi,
+                                    std::vector<std::uint64_t>& out) const {
+  const std::size_t b0 = lower_bound_view(base_keys, lo);
+  const std::size_t b1 = upper_bound_view(base_keys, hi);
+  for (std::size_t i = b0; i < b1; ++i) out.push_back(base_rows[i]);
+  const auto d0 = std::lower_bound(delta_keys.begin(), delta_keys.end(), lo);
+  const auto d1 = std::upper_bound(delta_keys.begin(), delta_keys.end(), hi);
+  for (auto it = d0; it != d1; ++it) {
+    out.push_back(delta_rows[static_cast<std::size_t>(it - delta_keys.begin())]);
+  }
+}
+
+inline std::size_t Postings::count_equal(std::uint64_t key) const {
+  const std::size_t base_n = upper_bound_view(base_keys, key) - lower_bound_view(base_keys, key);
+  const auto d0 = std::lower_bound(delta_keys.begin(), delta_keys.end(), key);
+  const auto d1 = std::upper_bound(delta_keys.begin(), delta_keys.end(), key);
+  return base_n + static_cast<std::size_t>(d1 - d0);
+}
+
+inline std::size_t Postings::count_range(std::uint64_t lo, std::uint64_t hi) const {
+  const std::size_t base_n = upper_bound_view(base_keys, hi) - lower_bound_view(base_keys, lo);
+  const auto d0 = std::lower_bound(delta_keys.begin(), delta_keys.end(), lo);
+  const auto d1 = std::upper_bound(delta_keys.begin(), delta_keys.end(), hi);
+  return base_n + static_cast<std::size_t>(d1 - d0);
+}
+
+}  // namespace cvewb::store

@@ -1,0 +1,68 @@
+// Structured error taxonomy for the persistent session store.
+//
+// The store's failure contract mirrors the cache's "corruption is never
+// UB" rule but is stricter about reporting: where the cache silently
+// degrades (a corrupt entry is a miss), the store names what went wrong.
+// A malformed snapshot, a bad magic number, a truncated WAL segment, an
+// injected I/O fault -- each surfaces as a StoreError carrying a code and
+// a human-readable detail string, never an exception, a crash, or a
+// silently wrong query result (proven by tests/store/store_fuzz_test.cpp
+// under ASan).
+#pragma once
+
+#include <string>
+
+namespace cvewb::store {
+
+enum class StoreErrorCode {
+  kNone = 0,
+  /// A read, write, or rename failed (real or chaos-injected) after any
+  /// configured retries.
+  kIo,
+  /// A store or WAL file does not start with the expected magic bytes.
+  kBadMagic,
+  /// Magic matched but the format version is one this build cannot read.
+  kBadVersion,
+  /// The file is shorter than its own header or section table claims.
+  kTruncated,
+  /// Structurally complete but internally inconsistent: digest mismatch,
+  /// out-of-range section offset, dictionary id past the dictionary, a
+  /// payload reference outside the heap.
+  kCorrupt,
+  /// The caller asked for something the store cannot answer: unknown
+  /// table, inverted time window, unknown run key on a run-scoped call.
+  kBadQuery,
+};
+
+struct StoreError {
+  StoreErrorCode code = StoreErrorCode::kNone;
+  std::string detail;
+
+  bool ok() const { return code == StoreErrorCode::kNone; }
+  explicit operator bool() const { return !ok(); }
+};
+
+inline const char* store_error_name(StoreErrorCode code) {
+  switch (code) {
+    case StoreErrorCode::kNone: return "none";
+    case StoreErrorCode::kIo: return "io";
+    case StoreErrorCode::kBadMagic: return "bad_magic";
+    case StoreErrorCode::kBadVersion: return "bad_version";
+    case StoreErrorCode::kTruncated: return "truncated";
+    case StoreErrorCode::kCorrupt: return "corrupt";
+    case StoreErrorCode::kBadQuery: return "bad_query";
+  }
+  return "unknown";
+}
+
+/// Fill `error` (when non-null) and return false; the store's internal
+/// "fail with a structured reason" idiom.
+inline bool fail(StoreError* error, StoreErrorCode code, std::string detail) {
+  if (error != nullptr) {
+    error->code = code;
+    error->detail = std::move(detail);
+  }
+  return false;
+}
+
+}  // namespace cvewb::store

@@ -1,0 +1,157 @@
+// On-disk format of the persistent session store (see DESIGN.md §13).
+//
+// Two file kinds live in a store directory:
+//
+//   snap-<lsn>.cvwbs   checkpoint snapshot: header, section table, then
+//                      8-byte-aligned little-endian sections (columnar
+//                      arrays, string dictionary, payload heap, sorted
+//                      postings indexes).  SHA-256 of the sections region
+//                      is in the header; a snapshot either validates
+//                      completely or is rejected as a unit.
+//   wal-<lsn>.cvwbw    one write-ahead segment per committed ingest
+//                      batch: header + digest + a row-oriented redo
+//                      payload (cache::BinWriter encoding).  Segments are
+//                      written temp-then-rename and read back through the
+//                      same fs shim before the commit is acknowledged, so
+//                      "ingest returned true" implies "the bytes are
+//                      durable and validate".
+//
+// Everything is little-endian with explicit fixed widths; the loaders use
+// memcpy accessors (store/columns.h) so alignment of the mapped file is
+// never assumed beyond the 8-byte section alignment the writer enforces.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cvewb::store {
+
+inline constexpr char kSnapshotMagic[8] = {'C', 'V', 'W', 'B', 'S', 'N', 'P', '1'};
+inline constexpr char kWalMagic[8] = {'C', 'V', 'W', 'B', 'W', 'A', 'L', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kSectionAlign = 8;
+
+/// Fixed-size snapshot header, written verbatim at offset 0.
+/// Layout (all little-endian):
+///   [0,8)    magic
+///   [8,12)   format version (u32)
+///   [12,16)  section count (u32)
+///   [16,24)  last applied WAL lsn (u64)
+///   [24,32)  total bytes of the sections region (u64)
+///   [32,64)  SHA-256 of the sections region (raw 32 bytes)
+inline constexpr std::size_t kSnapshotHeaderBytes = 64;
+
+/// Per-section descriptor following the header: (id u32, reserved u32,
+/// offset u64, length u64), offsets relative to the sections region.
+inline constexpr std::size_t kSectionEntryBytes = 24;
+
+/// Section ids.  Unknown ids in a newer file are a version error, not a
+/// silent skip -- the version field gates that instead.
+enum SectionId : std::uint32_t {
+  kSecDict = 1,        // string dictionary (BinWriter: u64 n, n * str)
+  kSecRuns = 2,        // run table (BinWriter; see store.cpp)
+  kSecPayloadHeap = 3, // raw concatenated session payload bytes
+
+  // sessions table columns (parallel arrays, one section each)
+  kSecSessRun = 10,     // u32: run index
+  kSecSessTime = 11,    // i64: open_time unix seconds
+  kSecSessSrc = 12,     // u32: source address, host order
+  kSecSessDst = 13,     // u32: destination address, host order
+  kSecSessSrcPort = 14, // u16
+  kSecSessDstPort = 15, // u16
+  kSecSessKind = 16,    // u8: traffic::TrafficTag::Kind
+  kSecSessCve = 17,     // u32: dictionary id ("" for background traffic)
+  kSecSessSid = 18,     // i32: ground-truth variant sid (0 = none)
+  kSecSessPayloadOff = 19,  // u64: offset into the payload heap
+  kSecSessPayloadLen = 20,  // u32
+
+  // events table columns
+  kSecEvtRun = 40,   // u32: run index
+  kSecEvtCve = 41,   // u32: dictionary id
+  kSecEvtTime = 42,  // i64
+  kSecEvtSrc = 43,   // u32
+  kSecEvtSid = 44,   // i32: retained rule sid
+
+  // sorted postings indexes: u64 n, n * u64 key, n * u64 row, sorted by
+  // (key, row).  Key encodings are defined by the key_of_* helpers below.
+  kSecIdxSessCve = 80,
+  kSecIdxSessSrc = 81,
+  kSecIdxSessSid = 82,
+  kSecIdxSessTime = 83,
+  kSecIdxEvtCve = 90,
+  kSecIdxEvtSrc = 91,
+  kSecIdxEvtSid = 92,
+  kSecIdxEvtTime = 93,
+};
+
+/// Order-preserving u64 key encodings for the postings indexes.  Signed
+/// values are offset so that unsigned comparison matches signed order;
+/// query-time lookups must use the same mapping as index build.
+inline std::uint64_t key_of_time(std::int64_t unix_seconds) {
+  return static_cast<std::uint64_t>(unix_seconds) ^ (1ull << 63);
+}
+inline std::uint64_t key_of_sid(std::int32_t sid) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(sid) ^ 0x8000'0000u);
+}
+inline std::uint64_t key_of_src(std::uint32_t src) { return src; }
+inline std::uint64_t key_of_dict(std::uint32_t dict_id) { return dict_id; }
+
+/// Append `value`'s little-endian bytes to `out`.  (The build host is
+/// little-endian; memcpy keeps this UB-free regardless of alignment.)
+template <typename T>
+inline void append_pod(std::string& out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+inline void read_pod_at(std::string_view bytes, std::size_t offset, void* dst, std::size_t n) {
+  std::memcpy(dst, bytes.data() + offset, n);
+}
+
+template <typename T>
+inline T read_pod(std::string_view bytes, std::size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+/// WAL segment header: magic, version, lsn, payload length, SHA-256 of the
+/// payload.  The payload is a cache::BinWriter blob (see wal.h).
+inline constexpr std::size_t kWalHeaderBytes = 8 + 4 + 4 + 8 + 8 + 32;  // +4 reserved
+
+inline std::string snapshot_file_name(std::uint64_t lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "snap-%016llu.cvwbs",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+inline std::string wal_file_name(std::uint64_t lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "wal-%016llu.cvwbw",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+/// Parse the lsn out of a store file name; returns false when the name is
+/// not of the given kind.  `stem` is e.g. "snap-" and `ext` ".cvwbs".
+inline bool parse_store_file_name(std::string_view name, std::string_view stem,
+                                  std::string_view ext, std::uint64_t& lsn) {
+  if (name.size() != stem.size() + 16 + ext.size()) return false;
+  if (name.substr(0, stem.size()) != stem) return false;
+  if (name.substr(name.size() - ext.size()) != ext) return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = stem.size(); i < stem.size() + 16; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  lsn = value;
+  return true;
+}
+
+}  // namespace cvewb::store

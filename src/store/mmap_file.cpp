@@ -1,0 +1,69 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace cvewb::store {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    mapped_ = std::exchange(other.mapped_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    owned_ = std::move(other.owned_);
+    other.owned_.clear();
+  }
+  return *this;
+}
+
+void MappedFile::reset() {
+  if (mapped_ != nullptr) {
+    ::munmap(const_cast<char*>(mapped_), size_);
+    mapped_ = nullptr;
+  }
+  size_ = 0;
+  owned_.clear();
+}
+
+bool MappedFile::map(const std::filesystem::path& path) {
+  reset();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
+                          fd, 0);
+      if (addr != MAP_FAILED) {
+        mapped_ = static_cast<const char*>(addr);
+        size_ = static_cast<std::size_t>(st.st_size);
+        ::close(fd);
+        return true;
+      }
+    } else if (::fstat(fd, &st) == 0 && st.st_size == 0) {
+      ::close(fd);
+      return true;  // empty file maps to an empty view
+    }
+    ::close(fd);
+  }
+  // Fallback: plain buffered read.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  owned_ = std::move(buf).str();
+  return true;
+}
+
+void MappedFile::adopt(std::string bytes) {
+  reset();
+  owned_ = std::move(bytes);
+}
+
+}  // namespace cvewb::store

@@ -1,0 +1,51 @@
+// Read-only memory mapping with a graceful owned-buffer fallback.
+//
+// The snapshot loader maps checkpoint files so a multi-gigabyte store
+// opens in O(1) and column reads fault pages on demand.  Two situations
+// fall back to an owned in-memory copy: mmap itself failing (tiny files,
+// exotic filesystems), and a chaos::FsShim with an active fault plan --
+// injected read faults act on whole-file reads, so faulted opens must go
+// through FsShim::read_file to stay deterministic.  Either way the caller
+// sees one contiguous `view()`.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace cvewb::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { reset(); }
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only.  On mmap failure, falls back to reading the
+  /// whole file into an owned buffer.  False when the file cannot be
+  /// opened or read at all.
+  bool map(const std::filesystem::path& path);
+
+  /// Adopt an already-read buffer (the fs-shim-routed open path).
+  void adopt(std::string bytes);
+
+  void reset();
+
+  std::string_view view() const {
+    return mapped_ != nullptr ? std::string_view(mapped_, size_) : std::string_view(owned_);
+  }
+  bool empty() const { return view().empty(); }
+  /// True when view() is backed by an actual mmap (vs an owned copy).
+  bool is_mapped() const { return mapped_ != nullptr; }
+
+ private:
+  const char* mapped_ = nullptr;  // non-null => mmap-backed
+  std::size_t size_ = 0;
+  std::string owned_;
+};
+
+}  // namespace cvewb::store

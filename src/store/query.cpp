@@ -1,0 +1,108 @@
+#include "store/query.h"
+
+#include "cache/serialize.h"
+#include "pipeline/study.h"
+#include "util/sha256.h"
+
+namespace cvewb::store {
+
+void encode_match_row(cache::BinWriter& w, Table table, const MatchRow& row) {
+  w.str(row.run_key);
+  w.u64(row.seq);
+  w.i64(row.time);
+  w.u32(row.src);
+  w.str(row.cve);
+  w.i32(row.sid);
+  if (table == Table::kSessions) {
+    w.u32(row.dst);
+    w.u16(row.src_port);
+    w.u16(row.dst_port);
+    w.u8(row.kind);
+    w.u64(row.payload_bytes);
+  }
+}
+
+bool match_scalar_predicates(const Query& query, std::string_view cve, std::uint32_t src,
+                             std::int32_t sid) {
+  if (query.cve && *query.cve != cve) return false;
+  if (query.src && *query.src != src) return false;
+  if (query.sid && *query.sid != sid) return false;
+  return true;
+}
+
+bool query_in_window(const Query& query, std::int64_t time) {
+  if (query.time_begin && time < *query.time_begin) return false;
+  if (query.time_end && time >= *query.time_end) return false;
+  return true;
+}
+
+void ResultBuilder::accept(Table table, MatchRow row) {
+  cache::BinWriter w;
+  encode_match_row(w, table, row);
+  hasher_.update(w.bytes());
+  ++result_.matched;
+  if (result_.rows.size() < limit_) result_.rows.push_back(std::move(row));
+}
+
+QueryResult ResultBuilder::finish(std::uint64_t scanned, bool used_index) {
+  result_.scanned = scanned;
+  result_.used_index = used_index;
+  result_.digest_hex = hasher_.hex_digest();
+  return std::move(result_);
+}
+
+QueryResult brute_force_study(const pipeline::StudyResult& result, std::string_view run_key,
+                              const Query& query) {
+  ResultBuilder builder(query);
+  std::uint64_t scanned = 0;
+  const bool run_matches = !query.run || *query.run == run_key;
+  if (query.table == Table::kSessions) {
+    const auto& sessions = result.traffic.sessions;
+    const auto& tags = result.traffic.tags;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      ++scanned;
+      if (!run_matches) continue;
+      const auto& s = sessions[i];
+      const std::int64_t t = s.open_time.unix_seconds();
+      const std::string_view cve = i < tags.size() ? std::string_view(tags[i].cve_id)
+                                                   : std::string_view();
+      const std::int32_t sid = i < tags.size() ? tags[i].sid : 0;
+      if (!query_in_window(query, t)) continue;
+      if (!match_scalar_predicates(query, cve, s.src.value(), sid)) continue;
+      MatchRow row;
+      row.run_key = std::string(run_key);
+      row.seq = i;
+      row.time = t;
+      row.src = s.src.value();
+      row.cve = std::string(cve);
+      row.sid = sid;
+      row.dst = s.dst.value();
+      row.src_port = s.src_port;
+      row.dst_port = s.dst_port;
+      row.kind = i < tags.size() ? static_cast<std::uint8_t>(tags[i].kind) : 0;
+      row.payload_bytes = s.payload.size();
+      builder.accept(Table::kSessions, std::move(row));
+    }
+  } else {
+    const auto& events = result.reconstruction.events;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      ++scanned;
+      if (!run_matches) continue;
+      const auto& e = events[i];
+      const std::int64_t t = e.time.unix_seconds();
+      if (!query_in_window(query, t)) continue;
+      if (!match_scalar_predicates(query, e.cve_id, e.src, e.sid)) continue;
+      MatchRow row;
+      row.run_key = std::string(run_key);
+      row.seq = i;
+      row.time = t;
+      row.src = e.src;
+      row.cve = e.cve_id;
+      row.sid = e.sid;
+      builder.accept(Table::kEvents, std::move(row));
+    }
+  }
+  return builder.finish(scanned, /*used_index=*/false);
+}
+
+}  // namespace cvewb::store

@@ -1,0 +1,125 @@
+// Store queries and the byte-identity determinism contract.
+//
+// A Query is a conjunction of optional predicates (CVE id, half-open time
+// window, source address, rule/variant SID, run key) over one of the two
+// tables.  Three executors answer the same Query:
+//
+//   1. the store's index scan (Store::query, QueryMode::kIndex),
+//   2. the store's brute-force linear scan (QueryMode::kBrute),
+//   3. brute_force_study(): a scan over an in-memory StudyResult that
+//      never touches the store at all.
+//
+// All three must produce byte-identical results: rows are emitted in
+// ascending (run ingest order, row-within-run) order, encoded with the
+// single canonical encoder below, and digested with SHA-256 over the FULL
+// match set (the `limit` only caps how many rows are materialized into
+// the reply, never what the digest covers).  tests/store/
+// query_equivalence_test.cpp holds the three executors to this across
+// randomized queries and seeds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/datetime.h"
+#include "util/sha256.h"
+
+namespace cvewb::pipeline {
+struct StudyResult;
+}
+namespace cvewb::cache {
+class BinWriter;
+}
+
+namespace cvewb::store {
+
+enum class Table : std::uint8_t { kSessions = 0, kEvents = 1 };
+
+enum class QueryMode : std::uint8_t {
+  kIndex = 0,  // postings-driven candidate scan (the production path)
+  kBrute = 1,  // full linear scan (the oracle; also exposed for testing)
+};
+
+struct Query {
+  Table table = Table::kSessions;
+  std::optional<std::string> cve;       // exact CVE id
+  std::optional<std::string> run;       // exact run key (hex)
+  std::optional<std::int64_t> time_begin;  // inclusive, unix seconds
+  std::optional<std::int64_t> time_end;    // exclusive, unix seconds
+  std::optional<std::uint32_t> src;     // exact source address, host order
+  std::optional<std::int32_t> sid;      // exact rule / variant sid
+  /// Rows materialized into QueryResult::rows; the digest and `matched`
+  /// always cover the full match set.
+  std::uint64_t limit = 64;
+
+  bool has_predicate() const {
+    return cve || run || time_begin || time_end || src || sid;
+  }
+};
+
+/// One materialized match.  Sessions and events share the struct; fields
+/// that do not apply to events (dst, ports, kind, payload_bytes) are zero
+/// there and excluded from the event encoding.
+struct MatchRow {
+  std::string run_key;
+  std::uint64_t seq = 0;  // row position within its run's table
+  std::int64_t time = 0;
+  std::uint32_t src = 0;
+  std::string cve;
+  std::int32_t sid = 0;
+  // sessions only:
+  std::uint32_t dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t kind = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+struct QueryResult {
+  std::uint64_t matched = 0;   // full match-set cardinality
+  std::uint64_t scanned = 0;   // rows the executor examined
+  bool used_index = false;
+  std::string digest_hex;      // SHA-256 over every matched row's encoding
+  std::vector<MatchRow> rows;  // first min(matched, limit) matches
+};
+
+/// Canonical row encoding shared by every executor (and by the
+/// equivalence tests).  Appends to `w`.
+void encode_match_row(cache::BinWriter& w, Table table, const MatchRow& row);
+
+/// Execute `query` against an in-memory StudyResult as if it were the
+/// sole ingested run (`run_key`).  This is the store-independent oracle:
+/// row order is the study's own order, seq is the row's position in
+/// traffic.sessions / reconstruction.events.
+QueryResult brute_force_study(const pipeline::StudyResult& result, std::string_view run_key,
+                              const Query& query);
+
+/// True when `query`'s fixed predicates accept the row fields given.
+/// (Time-window and run checks are caller-side; this covers cve/src/sid.)
+bool match_scalar_predicates(const Query& query, std::string_view cve, std::uint32_t src,
+                             std::int32_t sid);
+
+/// True when `time` falls inside the query's (optional) half-open window.
+bool query_in_window(const Query& query, std::int64_t time);
+
+/// Streaming result assembly shared by every executor: the digest covers
+/// every accepted row; rows materialize up to the query's limit.  Rows
+/// MUST be accepted in canonical (run, seq) order -- the builder encodes
+/// them as they arrive.
+class ResultBuilder {
+ public:
+  explicit ResultBuilder(const Query& query) : limit_(query.limit) {}
+
+  void accept(Table table, MatchRow row);
+  QueryResult finish(std::uint64_t scanned, bool used_index);
+
+ private:
+  std::uint64_t limit_;
+  util::Sha256 hasher_;
+  QueryResult result_;
+};
+
+}  // namespace cvewb::store

@@ -1,0 +1,1028 @@
+#include "store/store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "cache/serialize.h"
+#include "chaos/fs_shim.h"
+#include "obs/observability.h"
+#include "pipeline/study.h"
+#include "store/format.h"
+#include "store/wal.h"
+#include "util/sha256.h"
+
+namespace cvewb::store {
+
+namespace {
+
+/// (key, row) pair list used while building or rebuilding indexes.
+using PostingVec = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+void sort_postings(PostingVec& postings) {
+  std::sort(postings.begin(), postings.end());
+}
+
+void split_postings(const PostingVec& postings, std::vector<std::uint64_t>& keys,
+                    std::vector<std::uint64_t>& rows) {
+  keys.clear();
+  rows.clear();
+  keys.reserve(postings.size());
+  rows.reserve(postings.size());
+  for (const auto& [key, row] : postings) {
+    keys.push_back(key);
+    rows.push_back(row);
+  }
+}
+
+/// Serialize a postings pair into an index section image.
+std::string encode_index_section(const PostingVec& postings) {
+  std::string out;
+  out.reserve(8 + postings.size() * 16);
+  append_pod<std::uint64_t>(out, postings.size());
+  for (const auto& [key, row] : postings) append_pod<std::uint64_t>(out, key);
+  for (const auto& [key, row] : postings) append_pod<std::uint64_t>(out, row);
+  return out;
+}
+
+}  // namespace
+
+/// Full columnar state: snapshot-backed base views plus in-memory delta.
+struct Store::Tables {
+  // sessions
+  Column<std::uint32_t> sess_run;
+  Column<std::int64_t> sess_time;
+  Column<std::uint32_t> sess_src;
+  Column<std::uint32_t> sess_dst;
+  Column<std::uint16_t> sess_sport;
+  Column<std::uint16_t> sess_dport;
+  Column<std::uint8_t> sess_kind;
+  Column<std::uint32_t> sess_cve;
+  Column<std::int32_t> sess_sid;
+  Column<std::uint64_t> sess_poff;
+  Column<std::uint32_t> sess_plen;
+  std::string_view payload_base;
+  std::string payload_delta;
+
+  // events
+  Column<std::uint32_t> evt_run;
+  Column<std::uint32_t> evt_cve;
+  Column<std::int64_t> evt_time;
+  Column<std::uint32_t> evt_src;
+  Column<std::int32_t> evt_sid;
+
+  Postings idx_sess_cve, idx_sess_src, idx_sess_sid, idx_sess_time;
+  Postings idx_evt_cve, idx_evt_src, idx_evt_sid, idx_evt_time;
+
+  std::size_t n_sessions() const { return sess_time.size(); }
+  std::size_t n_events() const { return evt_time.size(); }
+  std::uint64_t payload_heap_size() const { return payload_base.size() + payload_delta.size(); }
+};
+
+Store::~Store() = default;
+
+// ---------------------------------------------------------------------------
+// Open + recovery
+
+std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions& options,
+                                   StoreError* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    fail(error, StoreErrorCode::kIo, "cannot create store directory: " + ec.message());
+    return nullptr;
+  }
+  std::unique_ptr<Store> store(new Store());
+  store->dir_ = std::move(dir);
+  store->observability_ = options.observability;
+  store->fs_ = options.fs;
+  store->retry_ = options.retry;
+  store->tables_ = std::make_unique<Tables>();
+
+  // Pick the newest valid snapshot; delete the rest.  A store with
+  // snapshot files but no valid one is structurally damaged: refuse to
+  // open rather than silently serve an empty corpus.
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> snaps;
+  for (const auto& entry : std::filesystem::directory_iterator(store->dir_, ec)) {
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(entry.path().filename().string(), "snap-", ".cvwbs", lsn)) {
+      snaps.emplace_back(lsn, entry.path());
+    }
+  }
+  std::sort(snaps.rbegin(), snaps.rend());
+  bool loaded = false;
+  StoreError snap_error;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    if (!loaded && store->load_snapshot(snaps[i].second, &snap_error)) {
+      loaded = true;
+      continue;
+    }
+    // Older than the chosen snapshot, or failed validation: delete.
+    chaos::FsShim& fs = store->fs_ != nullptr ? *store->fs_ : chaos::FsShim::passthrough();
+    fs.remove(snaps[i].second);
+    ++store->dropped_segments_;
+  }
+  if (!snaps.empty() && !loaded) {
+    if (error != nullptr) *error = snap_error;
+    return nullptr;
+  }
+  if (!store->replay_wal(error)) return nullptr;
+  obs::count(store->observability_, "store/opened");
+  obs::gauge_set(store->observability_, "store/session_rows",
+                 static_cast<std::int64_t>(store->tables_->n_sessions()));
+  obs::gauge_set(store->observability_, "store/event_rows",
+                 static_cast<std::int64_t>(store->tables_->n_events()));
+  return store;
+}
+
+bool Store::load_snapshot(const std::filesystem::path& path, StoreError* error) {
+  MappedFile file;
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
+  if (fs_ != nullptr && fs_->plan().any()) {
+    // Route through the shim so injected read faults stay deterministic.
+    std::string bytes;
+    const bool read_ok = util::retry_io(
+        retry_, nullptr, [&] { return fs.read_file(path, bytes); },
+        [&](int) { obs::count(observability_, "store/retry"); });
+    if (!read_ok) return fail(error, StoreErrorCode::kIo, "snapshot read failed");
+    file.adopt(std::move(bytes));
+  } else if (!file.map(path)) {
+    return fail(error, StoreErrorCode::kIo, "snapshot open failed");
+  }
+  const std::string_view bytes = file.view();
+  if (bytes.size() < kSnapshotHeaderBytes) {
+    return fail(error, StoreErrorCode::kTruncated, "snapshot shorter than header");
+  }
+  if (bytes.substr(0, sizeof kSnapshotMagic) !=
+      std::string_view(kSnapshotMagic, sizeof kSnapshotMagic)) {
+    return fail(error, StoreErrorCode::kBadMagic, "snapshot magic mismatch");
+  }
+  const auto version = read_pod<std::uint32_t>(bytes, 8);
+  if (version != kFormatVersion) {
+    return fail(error, StoreErrorCode::kBadVersion, "snapshot version " + std::to_string(version));
+  }
+  const auto section_count = read_pod<std::uint32_t>(bytes, 12);
+  const auto snap_lsn = read_pod<std::uint64_t>(bytes, 16);
+  const auto sections_bytes = read_pod<std::uint64_t>(bytes, 24);
+  const std::size_t table_bytes = static_cast<std::size_t>(section_count) * kSectionEntryBytes;
+  if (bytes.size() < kSnapshotHeaderBytes + table_bytes ||
+      bytes.size() - kSnapshotHeaderBytes - table_bytes != sections_bytes) {
+    return fail(error, StoreErrorCode::kTruncated, "snapshot section region length mismatch");
+  }
+  const std::string_view sections = bytes.substr(kSnapshotHeaderBytes + table_bytes);
+  util::Sha256 hasher;
+  hasher.update(sections);
+  const auto digest = hasher.digest();
+  if (std::memcmp(digest.data(), bytes.data() + 32, digest.size()) != 0) {
+    return fail(error, StoreErrorCode::kCorrupt, "snapshot digest mismatch");
+  }
+
+  // Section table -> (offset, length) by id.
+  struct Span {
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    bool present = false;
+  };
+  std::unordered_map<std::uint32_t, Span> spans;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::size_t at = kSnapshotHeaderBytes + static_cast<std::size_t>(i) * kSectionEntryBytes;
+    const auto id = read_pod<std::uint32_t>(bytes, at);
+    const auto offset = read_pod<std::uint64_t>(bytes, at + 8);
+    const auto length = read_pod<std::uint64_t>(bytes, at + 16);
+    if (offset > sections.size() || length > sections.size() - offset) {
+      return fail(error, StoreErrorCode::kCorrupt, "snapshot section out of range");
+    }
+    spans[id] = Span{offset, length, true};
+  }
+  const auto section = [&](std::uint32_t id) -> std::string_view {
+    const auto it = spans.find(id);
+    if (it == spans.end()) return {};
+    return sections.substr(it->second.offset, it->second.length);
+  };
+  const auto has_section = [&](std::uint32_t id) { return spans.count(id) != 0; };
+
+  // Decode the dictionary.
+  std::vector<std::string> dict;
+  {
+    cache::BinReader r(section(kSecDict));
+    const std::uint64_t n = r.u64();
+    if (!r.ok() || n > section(kSecDict).size()) {
+      return fail(error, StoreErrorCode::kCorrupt, "snapshot dictionary count implausible");
+    }
+    dict.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) dict.push_back(r.str());
+    if (!r.ok() || !r.done()) {
+      return fail(error, StoreErrorCode::kCorrupt, "snapshot dictionary decode failed");
+    }
+  }
+
+  // Decode the run table.
+  std::vector<RunInfo> runs;
+  {
+    cache::BinReader r(section(kSecRuns));
+    const std::uint64_t n = r.u64();
+    if (!r.ok() || n > section(kSecRuns).size()) {
+      return fail(error, StoreErrorCode::kCorrupt, "snapshot run count implausible");
+    }
+    runs.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      RunInfo run;
+      const std::uint32_t name_id = r.u32();
+      if (name_id >= dict.size()) {
+        return fail(error, StoreErrorCode::kCorrupt, "snapshot run name id out of range");
+      }
+      run.run_key = dict[name_id];
+      run.sessions_begin = r.u64();
+      run.sessions_count = r.u64();
+      run.events_begin = r.u64();
+      run.events_count = r.u64();
+      run.lsn = r.u64();
+      runs.push_back(std::move(run));
+    }
+    if (!r.ok() || !r.done()) {
+      return fail(error, StoreErrorCode::kCorrupt, "snapshot run table decode failed");
+    }
+  }
+
+  auto tables = std::make_unique<Tables>();
+  // Fixed-width column loader: the section length must be exactly
+  // rows * width for the table's agreed row count.
+  std::size_t n_sessions = section(kSecSessTime).size() / 8;
+  std::size_t n_events = section(kSecEvtTime).size() / 8;
+  bool shape_ok = true;
+  const auto load_column = [&](auto& column, std::uint32_t id, std::size_t rows) {
+    using T = std::decay_t<decltype(column.base[0])>;
+    const std::string_view data = section(id);
+    if (!has_section(id) || data.size() != rows * sizeof(T)) {
+      shape_ok = false;
+      return;
+    }
+    column.base = ColumnView<T>(data.data(), rows);
+  };
+  load_column(tables->sess_run, kSecSessRun, n_sessions);
+  load_column(tables->sess_time, kSecSessTime, n_sessions);
+  load_column(tables->sess_src, kSecSessSrc, n_sessions);
+  load_column(tables->sess_dst, kSecSessDst, n_sessions);
+  load_column(tables->sess_sport, kSecSessSrcPort, n_sessions);
+  load_column(tables->sess_dport, kSecSessDstPort, n_sessions);
+  load_column(tables->sess_kind, kSecSessKind, n_sessions);
+  load_column(tables->sess_cve, kSecSessCve, n_sessions);
+  load_column(tables->sess_sid, kSecSessSid, n_sessions);
+  load_column(tables->sess_poff, kSecSessPayloadOff, n_sessions);
+  load_column(tables->sess_plen, kSecSessPayloadLen, n_sessions);
+  load_column(tables->evt_run, kSecEvtRun, n_events);
+  load_column(tables->evt_cve, kSecEvtCve, n_events);
+  load_column(tables->evt_time, kSecEvtTime, n_events);
+  load_column(tables->evt_src, kSecEvtSrc, n_events);
+  load_column(tables->evt_sid, kSecEvtSid, n_events);
+  if (!shape_ok) {
+    return fail(error, StoreErrorCode::kCorrupt, "snapshot column shape mismatch");
+  }
+  tables->payload_base = section(kSecPayloadHeap);
+
+  const auto load_index = [&](Postings& postings, std::uint32_t id) {
+    const std::string_view data = section(id);
+    if (data.size() < 8) {
+      shape_ok = false;
+      return;
+    }
+    const auto n = read_pod<std::uint64_t>(data, 0);
+    if (data.size() != 8 + n * 16) {
+      shape_ok = false;
+      return;
+    }
+    postings.base_keys = ColumnView<std::uint64_t>(data.data() + 8, n);
+    postings.base_rows = ColumnView<std::uint64_t>(data.data() + 8 + n * 8, n);
+  };
+  load_index(tables->idx_sess_cve, kSecIdxSessCve);
+  load_index(tables->idx_sess_src, kSecIdxSessSrc);
+  load_index(tables->idx_sess_sid, kSecIdxSessSid);
+  load_index(tables->idx_sess_time, kSecIdxSessTime);
+  load_index(tables->idx_evt_cve, kSecIdxEvtCve);
+  load_index(tables->idx_evt_src, kSecIdxEvtSrc);
+  load_index(tables->idx_evt_sid, kSecIdxEvtSid);
+  load_index(tables->idx_evt_time, kSecIdxEvtTime);
+  if (!shape_ok) {
+    return fail(error, StoreErrorCode::kCorrupt, "snapshot index shape mismatch");
+  }
+
+  // Cheap structural checks that the digest cannot enforce (a crafted
+  // file can be self-consistent with its digest but internally invalid).
+  std::uint64_t sess_cursor = 0, evt_cursor = 0;
+  for (const auto& run : runs) {
+    if (run.sessions_begin != sess_cursor || run.events_begin != evt_cursor) {
+      return fail(error, StoreErrorCode::kCorrupt, "snapshot run extents not contiguous");
+    }
+    sess_cursor += run.sessions_count;
+    evt_cursor += run.events_count;
+  }
+  if (sess_cursor != n_sessions || evt_cursor != n_events) {
+    return fail(error, StoreErrorCode::kCorrupt, "snapshot run extents do not cover tables");
+  }
+
+  // Commit: swap the parsed state in.
+  snapshot_ = std::move(file);
+  tables_ = std::move(tables);
+  dict_ = std::move(dict);
+  dict_index_.clear();
+  for (std::uint32_t i = 0; i < dict_.size(); ++i) dict_index_[dict_[i]] = i;
+  runs_ = std::move(runs);
+  run_index_.clear();
+  for (std::size_t i = 0; i < runs_.size(); ++i) run_index_[runs_[i].run_key] = i;
+  snapshot_lsn_ = snap_lsn;
+  last_lsn_ = snap_lsn;
+  snapshot_bytes_ = bytes.size();
+  wal_segments_ = 0;
+  wal_bytes_ = 0;
+  return true;
+}
+
+bool Store::replay_wal(StoreError* error) {
+  (void)error;
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
+  std::error_code ec;
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(name, "wal-", ".cvwbw", lsn)) {
+      segments.emplace_back(lsn, entry.path());
+    } else if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      // Orphaned temp from a writer that died mid-commit.
+      fs.remove(entry.path());
+      ++dropped_segments_;
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  bool valid_prefix = true;
+  std::uint64_t expected = snapshot_lsn_ + 1;
+  for (const auto& [lsn, path] : segments) {
+    if (lsn <= snapshot_lsn_) {
+      // Folded into the snapshot already; stale leftover of an
+      // interrupted checkpoint GC.
+      fs.remove(path);
+      continue;
+    }
+    bool ok = valid_prefix && lsn == expected;
+    WalBatch batch;
+    if (ok) {
+      std::string bytes;
+      StoreError segment_error;
+      const bool read_ok = util::retry_io(
+          retry_, nullptr, [&] { return fs.read_file(path, bytes); },
+          [&](int) { obs::count(observability_, "store/retry"); });
+      ok = read_ok && decode_segment(bytes, batch, &segment_error) && batch.lsn == lsn;
+      if (ok) {
+        apply_batch(batch);
+        last_lsn_ = lsn;
+        ++wal_segments_;
+        wal_bytes_ += bytes.size();
+        ++expected;
+        obs::count(observability_, "store/recovered_segments");
+        continue;
+      }
+    }
+    // First invalid (or post-gap) segment: drop it and everything after
+    // -- the valid-prefix rule.
+    valid_prefix = false;
+    fs.remove(path);
+    ++dropped_segments_;
+    obs::count(observability_, "store/dropped_segments");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Ingest + checkpoint
+
+std::uint32_t Store::intern(const std::string& s) {
+  const auto it = dict_index_.find(s);
+  if (it != dict_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(dict_.size());
+  dict_.push_back(s);
+  dict_index_[s] = id;
+  return id;
+}
+
+void Store::apply_batch(const WalBatch& batch) {
+  Tables& t = *tables_;
+  const auto run_idx = static_cast<std::uint32_t>(runs_.size());
+  RunInfo run;
+  run.run_key = batch.run_key;
+  intern(run.run_key);  // build_snapshot writes run keys as dictionary ids
+  run.sessions_begin = t.n_sessions();
+  run.sessions_count = batch.sessions.size();
+  run.events_begin = t.n_events();
+  run.events_count = batch.events.size();
+  run.lsn = batch.lsn;
+
+  PostingVec cve_new, src_new, sid_new, time_new;
+  cve_new.reserve(batch.sessions.size());
+  src_new.reserve(batch.sessions.size());
+  sid_new.reserve(batch.sessions.size());
+  time_new.reserve(batch.sessions.size());
+  for (const auto& row : batch.sessions) {
+    const std::uint64_t row_id = t.n_sessions();
+    t.sess_run.delta.push_back(run_idx);
+    t.sess_time.delta.push_back(row.time);
+    t.sess_src.delta.push_back(row.src);
+    t.sess_dst.delta.push_back(row.dst);
+    t.sess_sport.delta.push_back(row.src_port);
+    t.sess_dport.delta.push_back(row.dst_port);
+    t.sess_kind.delta.push_back(row.kind);
+    t.sess_cve.delta.push_back(intern(row.cve));
+    t.sess_sid.delta.push_back(row.sid);
+    t.sess_poff.delta.push_back(t.payload_heap_size());
+    t.sess_plen.delta.push_back(static_cast<std::uint32_t>(row.payload.size()));
+    t.payload_delta += row.payload;
+    cve_new.emplace_back(key_of_dict(t.sess_cve.delta.back()), row_id);
+    src_new.emplace_back(key_of_src(row.src), row_id);
+    sid_new.emplace_back(key_of_sid(row.sid), row_id);
+    time_new.emplace_back(key_of_time(row.time), row_id);
+  }
+  const auto merge_delta = [](Postings& postings, PostingVec& fresh) {
+    if (fresh.empty()) return;
+    PostingVec merged;
+    merged.reserve(postings.delta_keys.size() + fresh.size());
+    for (std::size_t i = 0; i < postings.delta_keys.size(); ++i) {
+      merged.emplace_back(postings.delta_keys[i], postings.delta_rows[i]);
+    }
+    merged.insert(merged.end(), fresh.begin(), fresh.end());
+    sort_postings(merged);
+    split_postings(merged, postings.delta_keys, postings.delta_rows);
+  };
+  merge_delta(t.idx_sess_cve, cve_new);
+  merge_delta(t.idx_sess_src, src_new);
+  merge_delta(t.idx_sess_sid, sid_new);
+  merge_delta(t.idx_sess_time, time_new);
+
+  cve_new.clear();
+  src_new.clear();
+  sid_new.clear();
+  time_new.clear();
+  for (const auto& row : batch.events) {
+    const std::uint64_t row_id = t.n_events();
+    t.evt_run.delta.push_back(run_idx);
+    t.evt_cve.delta.push_back(intern(row.cve));
+    t.evt_time.delta.push_back(row.time);
+    t.evt_src.delta.push_back(row.src);
+    t.evt_sid.delta.push_back(row.sid);
+    cve_new.emplace_back(key_of_dict(t.evt_cve.delta.back()), row_id);
+    src_new.emplace_back(key_of_src(row.src), row_id);
+    sid_new.emplace_back(key_of_sid(row.sid), row_id);
+    time_new.emplace_back(key_of_time(row.time), row_id);
+  }
+  merge_delta(t.idx_evt_cve, cve_new);
+  merge_delta(t.idx_evt_src, src_new);
+  merge_delta(t.idx_evt_sid, sid_new);
+  merge_delta(t.idx_evt_time, time_new);
+
+  run_index_[run.run_key] = runs_.size();
+  runs_.push_back(std::move(run));
+}
+
+bool Store::write_file_validated(const std::filesystem::path& final_path, std::string_view bytes,
+                                 StoreError* error) {
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
+  std::filesystem::path tmp = final_path;
+  tmp += ".tmp";
+  const bool written = util::retry_io(
+      retry_, nullptr, [&] { return fs.write_file(tmp, bytes); },
+      [&](int) { obs::count(observability_, "store/retry"); });
+  if (!written) {
+    fs.remove(tmp);
+    return fail(error, StoreErrorCode::kIo, "store write failed: " + tmp.filename().string());
+  }
+  const bool renamed = util::retry_io(
+      retry_, nullptr, [&] { return fs.rename(tmp, final_path); },
+      [&](int) { obs::count(observability_, "store/retry"); });
+  if (!renamed) {
+    fs.remove(tmp);
+    return fail(error, StoreErrorCode::kIo, "store rename failed: " + tmp.filename().string());
+  }
+  // Read-back validation: a torn write reports success but loses bytes;
+  // without this check such a commit would be acknowledged and then
+  // silently dropped by recovery.  With it, "true" means durable.
+  std::string landed;
+  const bool read_ok = util::retry_io(
+      retry_, nullptr, [&] { return fs.read_file(final_path, landed); },
+      [&](int) { obs::count(observability_, "store/retry"); });
+  if (!read_ok || landed != bytes) {
+    fs.remove(final_path);
+    obs::count(observability_, "store/torn_commits");
+    return fail(error, StoreErrorCode::kIo,
+                "commit failed read-back validation: " + final_path.filename().string());
+  }
+  return true;
+}
+
+bool Store::ingest(const pipeline::StudyResult& result, std::string_view run_key,
+                   StoreError* error) {
+  std::unique_lock lock(mutex_);
+  if (run_index_.count(std::string(run_key)) != 0) {
+    obs::count(observability_, "store/ingest_duplicate");
+    return true;  // idempotent: the run is already durable
+  }
+  WalBatch batch = make_batch(result, run_key);
+  batch.lsn = last_lsn_ + 1;
+  const std::string segment = encode_segment(batch);
+  if (!write_file_validated(dir_ / wal_file_name(batch.lsn), segment, error)) {
+    obs::count(observability_, "store/ingest_failed");
+    return false;
+  }
+  if (crash_after_wal_rename_) _exit(137);  // test hook: simulated hard kill
+  apply_batch(batch);
+  last_lsn_ = batch.lsn;
+  ++wal_segments_;
+  wal_bytes_ += segment.size();
+  obs::count(observability_, "store/ingest_runs");
+  obs::count(observability_, "store/ingest_sessions", batch.sessions.size());
+  obs::count(observability_, "store/ingest_events", batch.events.size());
+  obs::count(observability_, "store/wal_bytes", segment.size());
+  obs::gauge_set(observability_, "store/session_rows",
+                 static_cast<std::int64_t>(tables_->n_sessions()));
+  obs::gauge_set(observability_, "store/event_rows",
+                 static_cast<std::int64_t>(tables_->n_events()));
+  return true;
+}
+
+std::string Store::build_snapshot(std::uint64_t last_lsn) const {
+  const Tables& t = *tables_;
+  const std::size_t n_sessions = t.n_sessions();
+  const std::size_t n_events = t.n_events();
+
+  std::vector<std::pair<std::uint32_t, std::string>> built;
+  built.reserve(24);
+  {
+    cache::BinWriter w;
+    w.u64(dict_.size());
+    for (const auto& s : dict_) w.str(s);
+    built.emplace_back(kSecDict, w.take());
+  }
+  {
+    cache::BinWriter w;
+    w.u64(runs_.size());
+    for (const auto& run : runs_) {
+      // Every run key is interned (apply_batch/intern and the snapshot
+      // loader both guarantee it), so at() always succeeds.
+      w.u32(dict_index_.at(run.run_key));
+      w.u64(run.sessions_begin);
+      w.u64(run.sessions_count);
+      w.u64(run.events_begin);
+      w.u64(run.events_count);
+      w.u64(run.lsn);
+    }
+    built.emplace_back(kSecRuns, w.take());
+  }
+  {
+    std::string heap;
+    heap.reserve(t.payload_heap_size());
+    heap.append(t.payload_base);
+    heap.append(t.payload_delta);
+    built.emplace_back(kSecPayloadHeap, std::move(heap));
+  }
+  const auto dump_column = [&](const auto& column, std::uint32_t id, std::size_t rows) {
+    using T = std::decay_t<decltype(column[0])>;
+    std::string out;
+    out.reserve(rows * sizeof(T));
+    for (std::size_t i = 0; i < rows; ++i) append_pod<T>(out, column[i]);
+    built.emplace_back(id, std::move(out));
+  };
+  dump_column(t.sess_run, kSecSessRun, n_sessions);
+  dump_column(t.sess_time, kSecSessTime, n_sessions);
+  dump_column(t.sess_src, kSecSessSrc, n_sessions);
+  dump_column(t.sess_dst, kSecSessDst, n_sessions);
+  dump_column(t.sess_sport, kSecSessSrcPort, n_sessions);
+  dump_column(t.sess_dport, kSecSessDstPort, n_sessions);
+  dump_column(t.sess_kind, kSecSessKind, n_sessions);
+  dump_column(t.sess_cve, kSecSessCve, n_sessions);
+  dump_column(t.sess_sid, kSecSessSid, n_sessions);
+  dump_column(t.sess_poff, kSecSessPayloadOff, n_sessions);
+  dump_column(t.sess_plen, kSecSessPayloadLen, n_sessions);
+  dump_column(t.evt_run, kSecEvtRun, n_events);
+  dump_column(t.evt_cve, kSecEvtCve, n_events);
+  dump_column(t.evt_time, kSecEvtTime, n_events);
+  dump_column(t.evt_src, kSecEvtSrc, n_events);
+  dump_column(t.evt_sid, kSecEvtSid, n_events);
+
+  // Rebuild every postings index from the merged columns: checkpoint is
+  // also index compaction.
+  const auto build_index = [&](std::uint32_t id, auto key_fn, std::size_t rows) {
+    PostingVec postings;
+    postings.reserve(rows);
+    for (std::uint64_t row = 0; row < rows; ++row) postings.emplace_back(key_fn(row), row);
+    sort_postings(postings);
+    built.emplace_back(id, encode_index_section(postings));
+  };
+  build_index(kSecIdxSessCve, [&](std::uint64_t r) { return key_of_dict(t.sess_cve[r]); },
+              n_sessions);
+  build_index(kSecIdxSessSrc, [&](std::uint64_t r) { return key_of_src(t.sess_src[r]); },
+              n_sessions);
+  build_index(kSecIdxSessSid, [&](std::uint64_t r) { return key_of_sid(t.sess_sid[r]); },
+              n_sessions);
+  build_index(kSecIdxSessTime, [&](std::uint64_t r) { return key_of_time(t.sess_time[r]); },
+              n_sessions);
+  build_index(kSecIdxEvtCve, [&](std::uint64_t r) { return key_of_dict(t.evt_cve[r]); },
+              n_events);
+  build_index(kSecIdxEvtSrc, [&](std::uint64_t r) { return key_of_src(t.evt_src[r]); }, n_events);
+  build_index(kSecIdxEvtSid, [&](std::uint64_t r) { return key_of_sid(t.evt_sid[r]); }, n_events);
+  build_index(kSecIdxEvtTime, [&](std::uint64_t r) { return key_of_time(t.evt_time[r]); },
+              n_events);
+
+  // Lay out the sections region with 8-byte alignment.
+  std::string sections;
+  std::string table;
+  for (auto& [id, data] : built) {
+    while (sections.size() % kSectionAlign != 0) sections.push_back('\0');
+    append_pod<std::uint32_t>(table, id);
+    append_pod<std::uint32_t>(table, 0);  // reserved
+    append_pod<std::uint64_t>(table, sections.size());
+    append_pod<std::uint64_t>(table, data.size());
+    sections += data;
+  }
+
+  std::string file;
+  file.reserve(kSnapshotHeaderBytes + table.size() + sections.size());
+  file.append(kSnapshotMagic, sizeof kSnapshotMagic);
+  append_pod<std::uint32_t>(file, kFormatVersion);
+  append_pod<std::uint32_t>(file, static_cast<std::uint32_t>(built.size()));
+  append_pod<std::uint64_t>(file, last_lsn);
+  append_pod<std::uint64_t>(file, sections.size());
+  util::Sha256 hasher;
+  hasher.update(sections);
+  const auto digest = hasher.digest();
+  file.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+  file += table;
+  file += sections;
+  return file;
+}
+
+bool Store::checkpoint(StoreError* error) {
+  std::unique_lock lock(mutex_);
+  if (last_lsn_ == snapshot_lsn_ && snapshot_bytes_ != 0) return true;  // nothing to fold
+  const std::uint64_t target_lsn = last_lsn_;
+  const std::string image = build_snapshot(target_lsn);
+  const std::filesystem::path snap_path = dir_ / snapshot_file_name(target_lsn);
+  if (!write_file_validated(snap_path, image, error)) {
+    obs::count(observability_, "store/checkpoint_failed");
+    return false;  // old snapshot + WAL still intact; state unchanged
+  }
+  const std::uint64_t old_snapshot_lsn = snapshot_lsn_;
+  // The new snapshot is durable and validated: reload base views from it,
+  // then GC the files it supersedes.  A crash inside the GC is safe --
+  // recovery deletes stale WAL (lsn <= snapshot lsn) and older snapshots.
+  StoreError reload_error;
+  if (!load_snapshot(snap_path, &reload_error)) {
+    // Extremely unlikely (the image just validated); keep serving the old
+    // in-memory state and report.
+    if (error != nullptr) *error = reload_error;
+    obs::count(observability_, "store/checkpoint_failed");
+    return false;
+  }
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
+  if (old_snapshot_lsn != target_lsn) {
+    fs.remove(dir_ / snapshot_file_name(old_snapshot_lsn));
+  }
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(entry.path().filename().string(), "wal-", ".cvwbw", lsn) &&
+        lsn <= target_lsn) {
+      fs.remove(entry.path());
+    }
+  }
+  obs::count(observability_, "store/checkpoints");
+  obs::count(observability_, "store/checkpoint_bytes", image.size());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+namespace {
+
+/// Inclusive key range for the time index matching query_in_window().
+bool time_key_range(const Query& query, std::uint64_t& lo, std::uint64_t& hi) {
+  lo = 0;
+  hi = ~0ull;
+  if (query.time_begin) lo = key_of_time(*query.time_begin);
+  if (query.time_end) {
+    const std::uint64_t end_key = key_of_time(*query.time_end);
+    if (end_key == 0) return false;  // empty window
+    hi = end_key - 1;
+  }
+  return lo <= hi;
+}
+
+}  // namespace
+
+QueryResult Store::query(const Query& query, QueryMode mode) const {
+  std::shared_lock lock(mutex_);
+  return query_locked(query, mode);
+}
+
+QueryResult Store::query_locked(const Query& query, QueryMode mode) const {
+  const Tables& t = *tables_;
+  const bool sessions = query.table == Table::kSessions;
+  const std::size_t n_rows = sessions ? t.n_sessions() : t.n_events();
+  ResultBuilder builder(query);
+
+  // Row -> MatchRow materializer shared by both executors.
+  const auto materialize = [&](std::uint64_t row) {
+    MatchRow out;
+    const std::uint32_t run_idx = sessions ? t.sess_run[row] : t.evt_run[row];
+    const RunInfo& run = runs_[run_idx];
+    out.run_key = run.run_key;
+    out.seq = row - (sessions ? run.sessions_begin : run.events_begin);
+    if (sessions) {
+      out.time = t.sess_time[row];
+      out.src = t.sess_src[row];
+      out.cve = dict_[t.sess_cve[row]];
+      out.sid = t.sess_sid[row];
+      out.dst = t.sess_dst[row];
+      out.src_port = t.sess_sport[row];
+      out.dst_port = t.sess_dport[row];
+      out.kind = t.sess_kind[row];
+      out.payload_bytes = t.sess_plen[row];
+    } else {
+      out.time = t.evt_time[row];
+      out.src = t.evt_src[row];
+      out.cve = dict_[t.evt_cve[row]];
+      out.sid = t.evt_sid[row];
+    }
+    return out;
+  };
+
+  // Full predicate check against the columns (the driving index already
+  // guarantees its own predicate, but re-checking is cheap and keeps one
+  // code path).
+  const auto matches = [&](std::uint64_t row) {
+    const std::int64_t time = sessions ? t.sess_time[row] : t.evt_time[row];
+    if (!query_in_window(query, time)) return false;
+    const std::uint32_t src = sessions ? t.sess_src[row] : t.evt_src[row];
+    const std::int32_t sid = sessions ? t.sess_sid[row] : t.evt_sid[row];
+    const std::uint32_t cve_id = sessions ? t.sess_cve[row] : t.evt_cve[row];
+    if (!match_scalar_predicates(query, dict_[cve_id], src, sid)) return false;
+    if (query.run) {
+      const RunInfo& run = runs_[sessions ? t.sess_run[row] : t.evt_run[row]];
+      if (run.run_key != *query.run) return false;
+    }
+    return true;
+  };
+
+  if (mode == QueryMode::kBrute) {
+    ++queries_brute_;
+    obs::count(observability_, "store/query_brute");
+    for (std::uint64_t row = 0; row < n_rows; ++row) {
+      if (matches(row)) builder.accept(query.table, materialize(row));
+    }
+    return builder.finish(n_rows, /*used_index=*/false);
+  }
+
+  ++queries_index_;
+  obs::count(observability_, "store/query_index");
+
+  // Choose the most selective driving predicate.
+  const Postings& idx_cve = sessions ? t.idx_sess_cve : t.idx_evt_cve;
+  const Postings& idx_src = sessions ? t.idx_sess_src : t.idx_evt_src;
+  const Postings& idx_sid = sessions ? t.idx_sess_sid : t.idx_evt_sid;
+  const Postings& idx_time = sessions ? t.idx_sess_time : t.idx_evt_time;
+
+  enum class Driver { kNone, kEmpty, kCve, kSrc, kSid, kTime, kRun };
+  Driver driver = Driver::kNone;
+  std::size_t best = n_rows + 1;
+  std::uint64_t time_lo = 0, time_hi = 0;
+  std::uint32_t cve_key = 0;
+  if (query.cve) {
+    const auto it = dict_index_.find(*query.cve);
+    if (it == dict_index_.end()) {
+      driver = Driver::kEmpty;  // CVE never seen: provably zero matches
+    } else {
+      cve_key = it->second;
+      const std::size_t count = idx_cve.count_equal(key_of_dict(cve_key));
+      if (count < best) {
+        best = count;
+        driver = Driver::kCve;
+      }
+    }
+  }
+  if (driver != Driver::kEmpty && query.src) {
+    const std::size_t count = idx_src.count_equal(key_of_src(*query.src));
+    if (count < best) {
+      best = count;
+      driver = Driver::kSrc;
+    }
+  }
+  if (driver != Driver::kEmpty && query.sid) {
+    const std::size_t count = idx_sid.count_equal(key_of_sid(*query.sid));
+    if (count < best) {
+      best = count;
+      driver = Driver::kSid;
+    }
+  }
+  if (driver != Driver::kEmpty && (query.time_begin || query.time_end)) {
+    if (!time_key_range(query, time_lo, time_hi)) {
+      driver = Driver::kEmpty;
+    } else {
+      const std::size_t count = idx_time.count_range(time_lo, time_hi);
+      if (count < best) {
+        best = count;
+        driver = Driver::kTime;
+      }
+    }
+  }
+  if (driver != Driver::kEmpty && query.run) {
+    const auto it = run_index_.find(*query.run);
+    if (it == run_index_.end()) {
+      driver = Driver::kEmpty;  // unknown run: provably zero matches
+    } else {
+      const RunInfo& run = runs_[it->second];
+      const std::size_t count = sessions ? run.sessions_count : run.events_count;
+      if (count < best) {
+        best = count;
+        driver = Driver::kRun;
+      }
+    }
+  }
+
+  if (driver == Driver::kEmpty) return builder.finish(0, /*used_index=*/true);
+
+  std::vector<std::uint64_t> candidates;
+  switch (driver) {
+    case Driver::kCve:
+      idx_cve.collect_equal(key_of_dict(cve_key), candidates);
+      break;
+    case Driver::kSrc:
+      idx_src.collect_equal(key_of_src(*query.src), candidates);
+      break;
+    case Driver::kSid:
+      idx_sid.collect_equal(key_of_sid(*query.sid), candidates);
+      break;
+    case Driver::kTime:
+      idx_time.collect_range(time_lo, time_hi, candidates);
+      break;
+    case Driver::kRun: {
+      const RunInfo& run = runs_[run_index_.at(*query.run)];
+      const std::uint64_t begin = sessions ? run.sessions_begin : run.events_begin;
+      const std::uint64_t count = sessions ? run.sessions_count : run.events_count;
+      candidates.reserve(count);
+      for (std::uint64_t row = begin; row < begin + count; ++row) candidates.push_back(row);
+      break;
+    }
+    case Driver::kNone: {
+      // No predicate at all: the "index scan" is the identity scan.
+      candidates.reserve(n_rows);
+      for (std::uint64_t row = 0; row < n_rows; ++row) candidates.push_back(row);
+      break;
+    }
+    case Driver::kEmpty:
+      break;
+  }
+  // Canonical result order is ascending global row id.  Equal-key probes
+  // return ascending rows already, but range probes and safety demand an
+  // explicit sort.
+  std::sort(candidates.begin(), candidates.end());
+  for (const std::uint64_t row : candidates) {
+    if (matches(row)) builder.accept(query.table, materialize(row));
+  }
+  obs::count(observability_, "store/query_rows_scanned", candidates.size());
+  return builder.finish(candidates.size(), driver != Driver::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// Verify + stats
+
+bool Store::verify(StoreError* error) const {
+  std::shared_lock lock(mutex_);
+  const Tables& t = *tables_;
+  const std::size_t n_sessions = t.n_sessions();
+  const std::size_t n_events = t.n_events();
+
+  // Dictionary ids in range.
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    if (t.sess_cve[i] >= dict_.size() || t.sess_run[i] >= runs_.size()) {
+      return fail(error, StoreErrorCode::kCorrupt, "session row references out of range");
+    }
+    if (t.sess_poff[i] > t.payload_heap_size() ||
+        t.sess_plen[i] > t.payload_heap_size() - t.sess_poff[i]) {
+      return fail(error, StoreErrorCode::kCorrupt, "session payload reference out of range");
+    }
+  }
+  for (std::size_t i = 0; i < n_events; ++i) {
+    if (t.evt_cve[i] >= dict_.size() || t.evt_run[i] >= runs_.size()) {
+      return fail(error, StoreErrorCode::kCorrupt, "event row references out of range");
+    }
+  }
+
+  // Run extents contiguous, covering, and consistent with run columns.
+  std::uint64_t sess_cursor = 0, evt_cursor = 0;
+  for (std::size_t r = 0; r < runs_.size(); ++r) {
+    const RunInfo& run = runs_[r];
+    if (run.sessions_begin != sess_cursor || run.events_begin != evt_cursor) {
+      return fail(error, StoreErrorCode::kCorrupt, "run extents not contiguous");
+    }
+    for (std::uint64_t i = run.sessions_begin; i < run.sessions_begin + run.sessions_count; ++i) {
+      if (t.sess_run[i] != r) {
+        return fail(error, StoreErrorCode::kCorrupt, "session run column mismatch");
+      }
+    }
+    for (std::uint64_t i = run.events_begin; i < run.events_begin + run.events_count; ++i) {
+      if (t.evt_run[i] != r) {
+        return fail(error, StoreErrorCode::kCorrupt, "event run column mismatch");
+      }
+    }
+    sess_cursor += run.sessions_count;
+    evt_cursor += run.events_count;
+  }
+  if (sess_cursor != n_sessions || evt_cursor != n_events) {
+    return fail(error, StoreErrorCode::kCorrupt, "run extents do not cover tables");
+  }
+
+  // Every postings index must equal a fresh rebuild from the columns.
+  const auto check_index = [&](const Postings& postings, auto key_fn, std::size_t rows,
+                               const char* name) {
+    PostingVec expected;
+    expected.reserve(rows);
+    for (std::uint64_t row = 0; row < rows; ++row) expected.emplace_back(key_fn(row), row);
+    sort_postings(expected);
+    PostingVec actual;
+    actual.reserve(postings.size());
+    for (std::size_t i = 0; i < postings.base_keys.size(); ++i) {
+      actual.emplace_back(postings.base_keys[i], postings.base_rows[i]);
+    }
+    for (std::size_t i = 0; i < postings.delta_keys.size(); ++i) {
+      actual.emplace_back(postings.delta_keys[i], postings.delta_rows[i]);
+    }
+    sort_postings(actual);
+    if (actual != expected) {
+      return fail(error, StoreErrorCode::kCorrupt, std::string("index mismatch: ") + name);
+    }
+    return true;
+  };
+  const Tables& tt = t;
+  if (!check_index(t.idx_sess_cve, [&](std::uint64_t r) { return key_of_dict(tt.sess_cve[r]); },
+                   n_sessions, "sessions/cve")) {
+    return false;
+  }
+  if (!check_index(t.idx_sess_src, [&](std::uint64_t r) { return key_of_src(tt.sess_src[r]); },
+                   n_sessions, "sessions/src")) {
+    return false;
+  }
+  if (!check_index(t.idx_sess_sid, [&](std::uint64_t r) { return key_of_sid(tt.sess_sid[r]); },
+                   n_sessions, "sessions/sid")) {
+    return false;
+  }
+  if (!check_index(t.idx_sess_time, [&](std::uint64_t r) { return key_of_time(tt.sess_time[r]); },
+                   n_sessions, "sessions/time")) {
+    return false;
+  }
+  if (!check_index(t.idx_evt_cve, [&](std::uint64_t r) { return key_of_dict(tt.evt_cve[r]); },
+                   n_events, "events/cve")) {
+    return false;
+  }
+  if (!check_index(t.idx_evt_src, [&](std::uint64_t r) { return key_of_src(tt.evt_src[r]); },
+                   n_events, "events/src")) {
+    return false;
+  }
+  if (!check_index(t.idx_evt_sid, [&](std::uint64_t r) { return key_of_sid(tt.evt_sid[r]); },
+                   n_events, "events/sid")) {
+    return false;
+  }
+  if (!check_index(t.idx_evt_time, [&](std::uint64_t r) { return key_of_time(tt.evt_time[r]); },
+                   n_events, "events/time")) {
+    return false;
+  }
+  return true;
+}
+
+bool Store::contains_run(std::string_view run_key) const {
+  std::shared_lock lock(mutex_);
+  return run_index_.count(std::string(run_key)) != 0;
+}
+
+std::vector<RunInfo> Store::runs() const {
+  std::shared_lock lock(mutex_);
+  return runs_;
+}
+
+StoreStats Store::stats() const {
+  std::shared_lock lock(mutex_);
+  StoreStats out;
+  out.session_rows = tables_->n_sessions();
+  out.event_rows = tables_->n_events();
+  out.runs = runs_.size();
+  out.last_lsn = last_lsn_;
+  out.snapshot_lsn = snapshot_lsn_;
+  out.wal_segments = wal_segments_;
+  out.wal_bytes = wal_bytes_;
+  out.snapshot_bytes = snapshot_bytes_;
+  out.payload_bytes = tables_->payload_heap_size();
+  out.dropped_segments = dropped_segments_;
+  out.queries_index = queries_index_;
+  out.queries_brute = queries_brute_;
+  out.snapshot_mapped = snapshot_.is_mapped();
+  return out;
+}
+
+}  // namespace cvewb::store

@@ -1,0 +1,182 @@
+// The persistent indexed session store (DESIGN.md §13).
+//
+// A store directory holds the sessions and lifecycle exploit events of
+// every ingested study run in a memory-mapped columnar snapshot plus a
+// write-ahead log of batches committed since the last checkpoint.  Reads
+// ("give me the Log4Shell event curve for week N") are index scans over
+// sorted postings by CVE id, time, source address, and rule SID -- never
+// a pipeline rerun, never a cache-blob re-derivation.
+//
+// Durability contract (tests/store/crash_matrix_test.cpp):
+//   * ingest() is atomic: the batch is encoded into a WAL segment,
+//     written to a temp file, renamed into place, and READ BACK through
+//     the same fs shim for digest validation before the commit is
+//     acknowledged.  True from ingest() implies the batch survives any
+//     subsequent crash; false implies the store is exactly as before.
+//   * checkpoint() writes the merged snapshot temp-then-rename, then
+//     read-back-validates it before deleting the old snapshot and the
+//     folded WAL segments.  A crash (or injected fault) at any boundary
+//     leaves either the old snapshot + WAL or the new snapshot -- both
+//     recover to the identical logical state.
+//   * open() picks the newest valid snapshot, replays the valid WAL
+//     prefix above it, and deletes everything else (invalid or stale
+//     files).  Recovery is idempotent: reopening recovers byte-identical
+//     state.
+//
+// Corruption contract (tests/store/store_fuzz_test.cpp): a truncated,
+// bit-flipped, or bad-magic snapshot with no valid fallback fails open()
+// with a structured StoreError; damaged WAL segments are dropped (with
+// counts in StoreStats), never UB.
+//
+// Concurrency: a Store is internally synchronized with a readers-writer
+// lock -- the daemon queries from its event loop while scheduler workers
+// ingest completed studies.  Multi-process access is NOT coordinated;
+// one process owns a store directory at a time.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "store/columns.h"
+#include "store/error.h"
+#include "store/mmap_file.h"
+#include "store/query.h"
+#include "util/retry.h"
+
+namespace cvewb::obs {
+struct Observability;
+}
+namespace cvewb::chaos {
+class FsShim;
+}
+namespace cvewb::pipeline {
+struct StudyResult;
+}
+
+namespace cvewb::store {
+
+struct StoreOptions {
+  obs::Observability* observability = nullptr;
+  /// Routes every file read/write/rename (null = real filesystem).  When
+  /// the shim carries an active fault plan, snapshot loads go through
+  /// FsShim::read_file instead of mmap so injected read faults stay
+  /// deterministic.
+  chaos::FsShim* fs = nullptr;
+  util::RetryPolicy retry;
+};
+
+struct StoreStats {
+  std::uint64_t session_rows = 0;
+  std::uint64_t event_rows = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t last_lsn = 0;          // newest committed lsn (0 = empty)
+  std::uint64_t snapshot_lsn = 0;      // lsn folded into the live snapshot
+  std::uint64_t wal_segments = 0;      // committed since that snapshot
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t payload_bytes = 0;     // session payload heap size
+  std::uint64_t dropped_segments = 0;  // invalid/stale segments deleted at open
+  std::uint64_t queries_index = 0;
+  std::uint64_t queries_brute = 0;
+  bool snapshot_mapped = false;        // served via mmap (vs owned buffer)
+};
+
+/// Per-run bookkeeping: rows of one run are contiguous in each table.
+struct RunInfo {
+  std::string run_key;
+  std::uint64_t sessions_begin = 0;
+  std::uint64_t sessions_count = 0;
+  std::uint64_t events_begin = 0;
+  std::uint64_t events_count = 0;
+  std::uint64_t lsn = 0;  // the commit that introduced this run
+};
+
+class Store {
+ public:
+  /// Open (creating the directory if needed) and recover.  nullptr on a
+  /// structurally damaged store (see the corruption contract above);
+  /// `error` then carries the reason.
+  static std::unique_ptr<Store> open(std::filesystem::path dir, const StoreOptions& options = {},
+                                     StoreError* error = nullptr);
+
+  /// Commit one study run's rows.  Idempotent on run_key: re-ingesting an
+  /// already-present run is a no-op success.  False only when the commit
+  /// could not be made durable; the in-memory state is then unchanged.
+  bool ingest(const pipeline::StudyResult& result, std::string_view run_key,
+              StoreError* error = nullptr);
+
+  /// Fold base + delta into a fresh snapshot and drop the folded WAL.
+  /// False when the snapshot could not be made durable; the store then
+  /// keeps serving from the previous snapshot + WAL unchanged.
+  bool checkpoint(StoreError* error = nullptr);
+
+  /// Execute `query`.  kIndex drives the scan from the most selective
+  /// applicable postings list; kBrute scans every row.  Both produce
+  /// byte-identical QueryResults (see query.h).
+  QueryResult query(const Query& query, QueryMode mode = QueryMode::kIndex) const;
+
+  /// Deep consistency check: rebuilds every postings index from the
+  /// columns and compares, validates dictionary ids, run extents, and
+  /// payload references.  False with a structured error on any mismatch.
+  bool verify(StoreError* error = nullptr) const;
+
+  bool contains_run(std::string_view run_key) const;
+  std::vector<RunInfo> runs() const;
+  StoreStats stats() const;
+  const std::filesystem::path& directory() const { return dir_; }
+
+  /// Test hook: crash the process (_exit) immediately after the next WAL
+  /// segment rename lands, before the commit is acknowledged or any
+  /// checkpoint runs.  Used by the smoke fixture to simulate a hard kill
+  /// at the worst-timed durable boundary.
+  void crash_after_next_wal_rename_for_test() { crash_after_wal_rename_ = true; }
+
+  ~Store();
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+ private:
+  Store() = default;
+
+  struct Tables;  // full columnar state (see store.cpp)
+
+  bool load_snapshot(const std::filesystem::path& path, StoreError* error);
+  bool replay_wal(StoreError* error);
+  void apply_batch(const struct WalBatch& batch);
+  std::string build_snapshot(std::uint64_t last_lsn) const;
+  bool write_file_validated(const std::filesystem::path& final_path, std::string_view bytes,
+                            StoreError* error);
+  QueryResult query_locked(const Query& query, QueryMode mode) const;
+  std::uint32_t intern(const std::string& s);
+
+  std::filesystem::path dir_;
+  obs::Observability* observability_ = nullptr;
+  chaos::FsShim* fs_ = nullptr;
+  util::RetryPolicy retry_;
+
+  mutable std::shared_mutex mutex_;
+  MappedFile snapshot_;
+  std::unique_ptr<Tables> tables_;
+  std::vector<RunInfo> runs_;
+  std::unordered_map<std::string, std::size_t> run_index_;  // run_key -> runs_ slot
+  std::vector<std::string> dict_;                            // id -> string
+  std::unordered_map<std::string, std::uint32_t> dict_index_;
+  std::uint64_t last_lsn_ = 0;
+  std::uint64_t snapshot_lsn_ = 0;
+  std::uint64_t snapshot_bytes_ = 0;
+  std::uint64_t wal_segments_ = 0;
+  std::uint64_t wal_bytes_ = 0;
+  std::uint64_t dropped_segments_ = 0;
+  mutable std::uint64_t queries_index_ = 0;
+  mutable std::uint64_t queries_brute_ = 0;
+  bool crash_after_wal_rename_ = false;
+};
+
+}  // namespace cvewb::store

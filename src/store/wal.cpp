@@ -1,0 +1,151 @@
+#include "store/wal.h"
+
+#include "cache/serialize.h"
+#include "pipeline/study.h"
+#include "store/format.h"
+#include "util/sha256.h"
+
+namespace cvewb::store {
+
+WalBatch make_batch(const pipeline::StudyResult& result, std::string_view run_key) {
+  WalBatch batch;
+  batch.run_key = std::string(run_key);
+  const auto& sessions = result.traffic.sessions;
+  const auto& tags = result.traffic.tags;
+  batch.sessions.reserve(sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& s = sessions[i];
+    WalSessionRow row;
+    row.time = s.open_time.unix_seconds();
+    row.src = s.src.value();
+    row.dst = s.dst.value();
+    row.src_port = s.src_port;
+    row.dst_port = s.dst_port;
+    if (i < tags.size()) {
+      row.kind = static_cast<std::uint8_t>(tags[i].kind);
+      row.cve = tags[i].cve_id;
+      row.sid = tags[i].sid;
+    }
+    row.payload = s.payload;
+    batch.sessions.push_back(std::move(row));
+  }
+  batch.events.reserve(result.reconstruction.events.size());
+  for (const auto& e : result.reconstruction.events) {
+    WalEventRow row;
+    row.cve = e.cve_id;
+    row.time = e.time.unix_seconds();
+    row.src = e.src;
+    row.sid = e.sid;
+    batch.events.push_back(std::move(row));
+  }
+  return batch;
+}
+
+std::string encode_segment(const WalBatch& batch) {
+  cache::BinWriter w;
+  w.str(batch.run_key);
+  w.u64(batch.sessions.size());
+  for (const auto& row : batch.sessions) {
+    w.i64(row.time);
+    w.u32(row.src);
+    w.u32(row.dst);
+    w.u16(row.src_port);
+    w.u16(row.dst_port);
+    w.u8(row.kind);
+    w.str(row.cve);
+    w.i32(row.sid);
+    w.str(row.payload);
+  }
+  w.u64(batch.events.size());
+  for (const auto& row : batch.events) {
+    w.str(row.cve);
+    w.i64(row.time);
+    w.u32(row.src);
+    w.i32(row.sid);
+  }
+  const std::string payload = w.take();
+
+  std::string file;
+  file.reserve(kWalHeaderBytes + payload.size());
+  file.append(kWalMagic, sizeof kWalMagic);
+  append_pod<std::uint32_t>(file, kFormatVersion);
+  append_pod<std::uint32_t>(file, 0);  // reserved
+  append_pod<std::uint64_t>(file, batch.lsn);
+  append_pod<std::uint64_t>(file, payload.size());
+  util::Sha256 hasher;
+  hasher.update(payload);
+  const auto digest = hasher.digest();
+  file.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+  file += payload;
+  return file;
+}
+
+bool decode_segment(std::string_view bytes, WalBatch& out, StoreError* error) {
+  if (bytes.size() < kWalHeaderBytes) {
+    return fail(error, StoreErrorCode::kTruncated, "wal segment shorter than header");
+  }
+  if (bytes.substr(0, sizeof kWalMagic) != std::string_view(kWalMagic, sizeof kWalMagic)) {
+    return fail(error, StoreErrorCode::kBadMagic, "wal segment magic mismatch");
+  }
+  const auto version = read_pod<std::uint32_t>(bytes, 8);
+  if (version != kFormatVersion) {
+    return fail(error, StoreErrorCode::kBadVersion,
+                "wal segment version " + std::to_string(version));
+  }
+  const auto lsn = read_pod<std::uint64_t>(bytes, 16);
+  const auto payload_len = read_pod<std::uint64_t>(bytes, 24);
+  if (payload_len != bytes.size() - kWalHeaderBytes) {
+    return fail(error, StoreErrorCode::kTruncated, "wal payload length mismatch");
+  }
+  const std::string_view stored_digest = bytes.substr(32, 32);
+  const std::string_view payload = bytes.substr(kWalHeaderBytes);
+  util::Sha256 hasher;
+  hasher.update(payload);
+  const auto digest = hasher.digest();
+  if (std::memcmp(digest.data(), stored_digest.data(), digest.size()) != 0) {
+    return fail(error, StoreErrorCode::kCorrupt, "wal payload digest mismatch");
+  }
+
+  cache::BinReader r(payload);
+  WalBatch batch;
+  batch.lsn = lsn;
+  batch.run_key = r.str();
+  const std::uint64_t n_sessions = r.u64();
+  if (!r.ok() || n_sessions > payload.size()) {
+    return fail(error, StoreErrorCode::kCorrupt, "wal session count implausible");
+  }
+  batch.sessions.reserve(n_sessions);
+  for (std::uint64_t i = 0; i < n_sessions && r.ok(); ++i) {
+    WalSessionRow row;
+    row.time = r.i64();
+    row.src = r.u32();
+    row.dst = r.u32();
+    row.src_port = r.u16();
+    row.dst_port = r.u16();
+    row.kind = r.u8();
+    row.cve = r.str();
+    row.sid = r.i32();
+    row.payload = r.str();
+    batch.sessions.push_back(std::move(row));
+  }
+  const std::uint64_t n_events = r.u64();
+  if (!r.ok() || n_events > payload.size()) {
+    return fail(error, StoreErrorCode::kCorrupt, "wal event count implausible");
+  }
+  batch.events.reserve(n_events);
+  for (std::uint64_t i = 0; i < n_events && r.ok(); ++i) {
+    WalEventRow row;
+    row.cve = r.str();
+    row.time = r.i64();
+    row.src = r.u32();
+    row.sid = r.i32();
+    batch.events.push_back(std::move(row));
+  }
+  if (!r.ok() || !r.done()) {
+    return fail(error, StoreErrorCode::kCorrupt, "wal payload decode failed");
+  }
+  out = std::move(batch);
+  return true;
+}
+
+}  // namespace cvewb::store

@@ -1,0 +1,79 @@
+// Write-ahead segments: the store's redo log.
+//
+// One segment per committed ingest batch, named wal-<lsn>.cvwbw with
+// strictly increasing lsns.  A segment is a header (magic, version, lsn,
+// payload length, payload SHA-256) followed by a row-oriented BinWriter
+// payload carrying everything needed to re-apply the batch: the run key
+// and the raw session/event rows with inline strings.  Segments are
+// immutable once renamed into place; a checkpoint at lsn L deletes every
+// segment with lsn <= L after the new snapshot has been read back and
+// validated.
+//
+// Recovery replays segments in ascending lsn order on top of the chosen
+// snapshot, stopping at the first segment that fails validation (or at a
+// gap in the lsn sequence) and deleting it and everything after it -- the
+// classic valid-prefix rule.  Because commits are read back before being
+// acknowledged, an acknowledged ingest always survives recovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/error.h"
+#include "util/datetime.h"
+
+namespace cvewb::pipeline {
+struct StudyResult;
+}
+
+namespace cvewb::store {
+
+/// One session row as carried in a WAL batch (strings inline; the
+/// snapshot builder dictionary-encodes them later).
+struct WalSessionRow {
+  std::int64_t time = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t kind = 0;
+  std::string cve;  // empty for background traffic
+  std::int32_t sid = 0;
+  std::string payload;
+};
+
+/// One lifecycle exploit-event row.
+struct WalEventRow {
+  std::string cve;
+  std::int64_t time = 0;
+  std::uint32_t src = 0;
+  std::int32_t sid = 0;
+};
+
+/// A decoded ingest batch: all rows for one run.
+struct WalBatch {
+  std::uint64_t lsn = 0;
+  std::string run_key;
+  std::vector<WalSessionRow> sessions;
+  std::vector<WalEventRow> events;
+};
+
+/// Build a batch from a completed study.  Sessions come from the (possibly
+/// degraded) capture with their ground-truth tags; events from the
+/// reconstruction.  Row order is the study's own deterministic order, so
+/// the per-run sequence number (row position within the run) is derivable
+/// from the StudyResult alone -- the query-equivalence oracle depends on
+/// that.
+WalBatch make_batch(const pipeline::StudyResult& result, std::string_view run_key);
+
+/// Serialize `batch` into a complete segment file image (header included).
+std::string encode_segment(const WalBatch& batch);
+
+/// Parse and validate a segment file image.  On failure returns false with
+/// a structured error (bad magic / version skew / truncation / digest
+/// mismatch) and leaves `out` unspecified.
+bool decode_segment(std::string_view bytes, WalBatch& out, StoreError* error);
+
+}  // namespace cvewb::store

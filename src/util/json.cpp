@@ -337,7 +337,30 @@ class Parser {
     return Json(v);
   }
 
+  /// Bounds recursion across parse_array/parse_object: entered on '[' or
+  /// '{', left when that container completes.  The cap turns a
+  /// deeply-nested hostile document into a parse error instead of a
+  /// stack overflow.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(int& depth) : depth_(depth) { ++depth_; }
+    ~DepthGuard() { --depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    int& depth_;
+  };
+
+  bool enter_container() {
+    if (depth_ < kJsonMaxParseDepth) return true;
+    fail("nesting too deep (max " + std::to_string(kJsonMaxParseDepth) + ")");
+    return false;
+  }
+
   std::optional<Json> parse_array() {
+    if (!enter_container()) return std::nullopt;
+    const DepthGuard guard(depth_);
     consume('[');
     JsonArray array;
     skip_ws();
@@ -357,6 +380,8 @@ class Parser {
   }
 
   std::optional<Json> parse_object() {
+    if (!enter_container()) return std::nullopt;
+    const DepthGuard guard(depth_);
     consume('{');
     JsonObject object;
     skip_ws();
@@ -386,6 +411,7 @@ class Parser {
   std::string_view text_;
   std::string& error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  // open containers on the parse stack
 };
 
 }  // namespace

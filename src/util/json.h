@@ -83,6 +83,14 @@ class Json {
   JsonObject object_;
 };
 
+/// Maximum container nesting depth the parser accepts.  The parser is
+/// recursive-descent, so without a cap a short hostile document --
+/// thousands of '[' in one daemon frame -- converts O(input bytes) into
+/// O(input bytes) of C++ stack and overflows it.  Exceeding the cap is an
+/// ordinary parse error ("nesting too deep"), never UB
+/// (tests/util/json_test.cpp, tests/daemon/protocol_test.cpp).
+inline constexpr int kJsonMaxParseDepth = 128;
+
 /// Parse a JSON document.  Returns nullopt on malformed input (error
 /// details via the second overload).
 std::optional<Json> parse_json(std::string_view text);

@@ -77,6 +77,7 @@ INSTANTIATE_TEST_SUITE_P(
         ConfigMutation{"observability",
                        [](StudyConfig& c) { c.observability = &g_observability; }},
         ConfigMutation{"cache_dir", [](StudyConfig& c) { c.cache_dir = "/tmp/some/cache"; }},
+        ConfigMutation{"store_dir", [](StudyConfig& c) { c.store_dir = "/tmp/some/store"; }},
         ConfigMutation{"cancel", [](StudyConfig& c) { c.cancel = &g_cancel_token; }},
         ConfigMutation{"stage_deadline",
                        [](StudyConfig& c) { c.stage_deadline = std::chrono::milliseconds(5000); }},

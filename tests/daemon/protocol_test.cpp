@@ -99,6 +99,82 @@ TEST(Protocol, QueryAndCancelRequireBoundedJobId) {
             "bad_request");
 }
 
+TEST(Protocol, DeeplyNestedFrameIsAParseErrorNotAStackOverflow) {
+  // A hostile client can mail kilobytes of '[' in one frame; the JSON
+  // parser's recursion cap must turn that into a structured parse_error
+  // (the daemon stays up) instead of exhausting the event-loop stack.
+  std::string frame(50'000, '[');
+  const auto parsed = parse_request(frame, ProtocolLimits{});
+  EXPECT_FALSE(parsed.request.has_value());
+  EXPECT_EQ(error_code(parsed), "parse_error");
+
+  std::string objects;
+  for (int i = 0; i < 50'000; ++i) objects += R"({"op":)";
+  const auto parsed_objects = parse_request(objects, ProtocolLimits{});
+  EXPECT_FALSE(parsed_objects.request.has_value());
+  EXPECT_EQ(error_code(parsed_objects), "parse_error");
+}
+
+TEST(Protocol, StoreQueryParsesAllPredicates) {
+  const auto parsed = parse_request(
+      R"({"op":"store_query","table":"events","cve":"CVE-2021-44228",)"
+      R"("begin":"2021-12-10","end":"2021-12-17","src":"203.0.113.9",)"
+      R"("sid":21003,"run":"abc123","limit":100,"mode":"brute"})",
+      ProtocolLimits{});
+  ASSERT_TRUE(parsed.request.has_value());
+  const Request& request = *parsed.request;
+  EXPECT_EQ(request.op, RequestOp::kStoreQuery);
+  EXPECT_EQ(request.store_query.table, store::Table::kEvents);
+  ASSERT_TRUE(request.store_query.cve.has_value());
+  EXPECT_EQ(*request.store_query.cve, "CVE-2021-44228");
+  ASSERT_TRUE(request.store_query.run.has_value());
+  EXPECT_EQ(*request.store_query.run, "abc123");
+  ASSERT_TRUE(request.store_query.time_begin.has_value());
+  ASSERT_TRUE(request.store_query.time_end.has_value());
+  EXPECT_LT(*request.store_query.time_begin, *request.store_query.time_end);
+  ASSERT_TRUE(request.store_query.src.has_value());
+  EXPECT_EQ(*request.store_query.src, 0xCB007109u);  // 203.0.113.9
+  ASSERT_TRUE(request.store_query.sid.has_value());
+  EXPECT_EQ(*request.store_query.sid, 21003);
+  EXPECT_EQ(request.store_query.limit, 100u);
+  EXPECT_TRUE(request.store_brute);
+}
+
+TEST(Protocol, StoreQueryDefaultsAndStat) {
+  const auto parsed = parse_request(R"({"op":"store_query"})", ProtocolLimits{});
+  ASSERT_TRUE(parsed.request.has_value());
+  EXPECT_EQ(parsed.request->store_query.table, store::Table::kSessions);
+  EXPECT_FALSE(parsed.request->store_query.has_predicate());
+  EXPECT_EQ(parsed.request->store_query.limit, 64u);
+  EXPECT_FALSE(parsed.request->store_brute);
+
+  const auto stat = parse_request(R"({"op":"store_stat"})", ProtocolLimits{});
+  ASSERT_TRUE(stat.request.has_value());
+  EXPECT_EQ(stat.request->op, RequestOp::kStoreStat);
+}
+
+TEST(Protocol, StoreQueryRejectsMalformedPredicates) {
+  ProtocolLimits limits;
+  limits.max_store_rows = 200;
+  const char* cases[] = {
+      R"({"op":"store_query","table":"nonsense"})",
+      R"({"op":"store_query","cve":""})",
+      R"({"op":"store_query","begin":"not-a-date"})",
+      R"({"op":"store_query","begin":"2021-12-17","end":"2021-12-10"})",
+      R"({"op":"store_query","src":"299.1.2.3"})",
+      R"({"op":"store_query","src":-4})",
+      R"({"op":"store_query","sid":3000000000})",
+      R"({"op":"store_query","limit":-1})",
+      R"({"op":"store_query","limit":201})",
+      R"({"op":"store_query","mode":"psychic"})",
+  };
+  for (const char* line : cases) {
+    const auto parsed = parse_request(line, limits);
+    EXPECT_FALSE(parsed.request.has_value()) << line;
+    EXPECT_EQ(error_code(parsed), "bad_request") << line;
+  }
+}
+
 TEST(Protocol, ErrorReplyAndFrameShape) {
   const util::Json reply = error_reply("overloaded", "backlog full");
   const util::Json* ok = reply.find("ok");

@@ -1,0 +1,162 @@
+// The crash matrix: walk a deterministic fault through EVERY file
+// operation of a fixed ingest/checkpoint sequence -- each write, each
+// rename, each validation read-back -- then reopen cleanly and demand
+// that the recovered store equals a reference built from exactly the
+// acknowledged commits.  This is the durability contract of store.h
+// ("true from ingest() implies the batch survives; false implies the
+// store is exactly as before") checked at every boundary, not just the
+// happy path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/fs_shim.h"
+#include "store/store.h"
+#include "store_support.h"
+
+namespace cvewb::store {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::fresh_dir;
+using test_support::shared_study;
+using test_support::store_fingerprint;
+
+constexpr std::uint64_t kSeeds[] = {11, 12, 13};
+
+std::string run_key_of(std::uint64_t seed) { return "run-" + std::to_string(seed); }
+
+/// Run the fixed sequence -- ingest 11, ingest 12, checkpoint, ingest 13
+/// -- against `store`, recording which ingests were acknowledged.
+std::vector<bool> run_sequence(Store& store) {
+  std::vector<bool> acked;
+  acked.push_back(store.ingest(shared_study(11), run_key_of(11)));
+  acked.push_back(store.ingest(shared_study(12), run_key_of(12)));
+  (void)store.checkpoint();  // allowed to fail; never changes logical state
+  acked.push_back(store.ingest(shared_study(13), run_key_of(13)));
+  return acked;
+}
+
+/// Fingerprint of a clean store holding exactly the acknowledged runs,
+/// memoized per acknowledgment pattern (at most 2^3 reference builds).
+const std::string& reference_fingerprint(const std::vector<bool>& acked) {
+  static std::map<std::vector<bool>, std::string> cache;
+  auto it = cache.find(acked);
+  if (it != cache.end()) return it->second;
+  std::string tag = "reference";
+  for (const bool a : acked) tag += a ? '1' : '0';
+  auto store = Store::open(fresh_dir(tag));
+  EXPECT_NE(store, nullptr);
+  for (std::size_t i = 0; i < acked.size(); ++i) {
+    if (acked[i]) {
+      EXPECT_TRUE(store->ingest(shared_study(kSeeds[i]), run_key_of(kSeeds[i])));
+    }
+  }
+  return cache.emplace(acked, store_fingerprint(*store)).first->second;
+}
+
+struct FaultPoint {
+  const char* name;
+  void (*arm)(chaos::FsFaultPlan&, std::uint64_t index);
+};
+
+// The sequence performs 4 writes, 4 renames, and 4 validation read-backs
+// when nothing fails; a fault shifts later indices, so sweeping a little
+// past that covers every reachable boundary (the tail indices are clean
+// control runs where the fault never fires).
+constexpr std::uint64_t kSweepOps = 6;
+
+constexpr FaultPoint kFaultPoints[] = {
+    {"fail_write", [](chaos::FsFaultPlan& p, std::uint64_t i) { p.fail_write_at = i; }},
+    {"torn_write", [](chaos::FsFaultPlan& p, std::uint64_t i) { p.torn_write_at = i; }},
+    {"fail_rename", [](chaos::FsFaultPlan& p, std::uint64_t i) { p.fail_rename_at = i; }},
+    {"fail_read", [](chaos::FsFaultPlan& p, std::uint64_t i) { p.fail_read_at = i; }},
+};
+
+TEST(CrashMatrix, EveryFaultBoundaryRecoversToExactlyTheAcknowledgedCommits) {
+  for (const FaultPoint& point : kFaultPoints) {
+    for (std::uint64_t index = 1; index <= kSweepOps; ++index) {
+      SCOPED_TRACE(std::string(point.name) + "@" + std::to_string(index));
+      const fs::path dir =
+          fresh_dir(std::string("matrix-") + point.name + "-" + std::to_string(index));
+
+      chaos::FsFaultPlan plan;
+      plan.seed = 0xC5A5;
+      point.arm(plan, index);
+      chaos::FsShim shim(plan);
+      StoreOptions options;
+      options.fs = &shim;
+
+      std::vector<bool> acked;
+      {
+        StoreError error;
+        auto store = Store::open(dir, options, &error);
+        ASSERT_NE(store, nullptr) << error.detail;  // empty dir: nothing to fault yet
+        acked = run_sequence(*store);
+        // The live store must already equal the acknowledged set -- a
+        // failed commit may not leave partial in-memory state behind.
+        EXPECT_EQ(store_fingerprint(*store), reference_fingerprint(acked));
+        for (std::size_t i = 0; i < acked.size(); ++i) {
+          EXPECT_EQ(store->contains_run(run_key_of(kSeeds[i])), acked[i]);
+        }
+      }
+
+      // Reopen with a pristine filesystem: recovery must reconstruct
+      // exactly the acknowledged commits from what actually hit disk.
+      StoreError error;
+      auto reopened = Store::open(dir, {}, &error);
+      ASSERT_NE(reopened, nullptr) << error.detail;
+      EXPECT_EQ(store_fingerprint(*reopened), reference_fingerprint(acked));
+      EXPECT_TRUE(reopened->verify(&error)) << error.detail;
+
+      // Failed commits may leak nothing that survives recovery: after
+      // reopen the directory holds no orphaned temp files.
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+      }
+
+      // And the recovered store is fully writable going forward.
+      EXPECT_TRUE(reopened->ingest(shared_study(11), "run-again"));
+      EXPECT_TRUE(reopened->contains_run("run-again"));
+    }
+  }
+}
+
+TEST(CrashMatrix, ProbabilisticFaultStormNeverYieldsAPhantomOrLostCommit) {
+  // Beyond the exact-boundary sweep: a lossy-disk storm where every op
+  // class can fail.  Whatever subset of commits gets acknowledged, the
+  // reopened store must hold exactly that subset.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("storm seed " + std::to_string(seed));
+    const fs::path dir = fresh_dir("storm-" + std::to_string(seed));
+    chaos::FsFaultPlan plan;
+    plan.seed = seed;
+    plan.eio_read_rate = 0.15;
+    plan.enospc_write_rate = 0.15;
+    plan.torn_write_rate = 0.1;
+    plan.rename_fail_rate = 0.15;
+    chaos::FsShim shim(plan);
+    StoreOptions options;
+    options.fs = &shim;
+
+    std::vector<bool> acked;
+    {
+      auto store = Store::open(dir, options);
+      ASSERT_NE(store, nullptr);
+      acked = run_sequence(*store);
+    }
+    StoreError error;
+    auto reopened = Store::open(dir, {}, &error);
+    ASSERT_NE(reopened, nullptr) << error.detail;
+    EXPECT_EQ(store_fingerprint(*reopened), reference_fingerprint(acked));
+    EXPECT_TRUE(reopened->verify(&error)) << error.detail;
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::store

@@ -1,0 +1,244 @@
+// The determinism contract of query.h, held by force: three executors --
+// the store's index scan, the store's brute-force linear scan, and the
+// store-independent brute_force_study() oracle -- must produce
+// byte-identical results (digest, match count, and every materialized
+// row) for every query, including randomized ones drawn from the actual
+// corpus.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/study.h"
+#include "store/query.h"
+#include "store/store.h"
+#include "store_support.h"
+#include "util/rng.h"
+
+namespace cvewb::store {
+namespace {
+
+using test_support::fresh_dir;
+using test_support::shared_study;
+
+constexpr std::uint64_t kSeeds[] = {11, 12, 13};
+
+std::string run_key_of(std::uint64_t seed) { return "run-" + std::to_string(seed); }
+
+/// One store for the whole binary: all three seeds ingested, with a
+/// checkpoint between runs 12 and 13 so queries exercise the mixed
+/// snapshot + WAL-delta read path, not just one of them.
+const Store& equivalence_store() {
+  static const std::unique_ptr<Store> store = [] {
+    auto s = Store::open(fresh_dir("equivalence"));
+    if (s == nullptr) return s;
+    StoreError error;
+    EXPECT_TRUE(s->ingest(shared_study(11), run_key_of(11), &error)) << error.detail;
+    EXPECT_TRUE(s->ingest(shared_study(12), run_key_of(12), &error)) << error.detail;
+    EXPECT_TRUE(s->checkpoint(&error)) << error.detail;
+    EXPECT_TRUE(s->ingest(shared_study(13), run_key_of(13), &error)) << error.detail;
+    return s;
+  }();
+  EXPECT_NE(store, nullptr);
+  return *store;
+}
+
+std::string describe(const Query& q) {
+  std::string out = q.table == Table::kSessions ? "sessions" : "events";
+  if (q.cve) out += " cve=" + *q.cve;
+  if (q.run) out += " run=" + *q.run;
+  if (q.time_begin) out += " begin=" + std::to_string(*q.time_begin);
+  if (q.time_end) out += " end=" + std::to_string(*q.time_end);
+  if (q.src) out += " src=" + std::to_string(*q.src);
+  if (q.sid) out += " sid=" + std::to_string(*q.sid);
+  out += " limit=" + std::to_string(q.limit);
+  return out;
+}
+
+/// Byte-identity between two executors' answers.  `scanned` is the one
+/// field allowed to differ (it reports effort, not results).
+void expect_identical(const QueryResult& a, const QueryResult& b, const Query& q,
+                      const char* what) {
+  SCOPED_TRACE(std::string(what) + ": " + describe(q));
+  EXPECT_EQ(a.matched, b.matched);
+  EXPECT_EQ(a.digest_hex, b.digest_hex);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    SCOPED_TRACE("row " + std::to_string(i));
+    const MatchRow& x = a.rows[i];
+    const MatchRow& y = b.rows[i];
+    EXPECT_EQ(x.run_key, y.run_key);
+    EXPECT_EQ(x.seq, y.seq);
+    EXPECT_EQ(x.time, y.time);
+    EXPECT_EQ(x.src, y.src);
+    EXPECT_EQ(x.cve, y.cve);
+    EXPECT_EQ(x.sid, y.sid);
+    EXPECT_EQ(x.dst, y.dst);
+    EXPECT_EQ(x.src_port, y.src_port);
+    EXPECT_EQ(x.dst_port, y.dst_port);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.payload_bytes, y.payload_bytes);
+  }
+}
+
+/// Anchor values for predicates come from a real row so randomized
+/// queries actually hit data instead of matching nothing every time.
+struct Anchor {
+  std::int64_t time = 0;
+  std::uint32_t src = 0;
+  std::string cve;
+  std::int32_t sid = 0;
+};
+
+Anchor draw_anchor(util::Rng& rng, const pipeline::StudyResult& study, Table table) {
+  Anchor anchor;
+  if (table == Table::kSessions && !study.traffic.sessions.empty()) {
+    const std::size_t i = rng.uniform_u64(study.traffic.sessions.size());
+    const auto& s = study.traffic.sessions[i];
+    anchor.time = s.open_time.unix_seconds();
+    anchor.src = s.src.value();
+    if (i < study.traffic.tags.size()) {
+      anchor.cve = study.traffic.tags[i].cve_id;
+      anchor.sid = study.traffic.tags[i].sid;
+    }
+  } else if (table == Table::kEvents && !study.reconstruction.events.empty()) {
+    const std::size_t i = rng.uniform_u64(study.reconstruction.events.size());
+    const auto& e = study.reconstruction.events[i];
+    anchor.time = e.time.unix_seconds();
+    anchor.src = e.src;
+    anchor.cve = e.cve_id;
+    anchor.sid = e.sid;
+  }
+  return anchor;
+}
+
+Query random_query(util::Rng& rng, const pipeline::StudyResult& study) {
+  Query q;
+  q.table = rng.uniform() < 0.5 ? Table::kSessions : Table::kEvents;
+  const Anchor anchor = draw_anchor(rng, study, q.table);
+  if (rng.uniform() < 0.45) q.cve = anchor.cve;
+  if (rng.uniform() < 0.35) q.src = anchor.src;
+  if (rng.uniform() < 0.35) q.sid = anchor.sid;
+  if (rng.uniform() < 0.5) {
+    // Window around the anchor instant, up to two weeks wide; one side
+    // is sometimes left open.
+    const auto half = static_cast<std::int64_t>(rng.uniform_u64(86'400 * 14));
+    if (rng.uniform() < 0.8) q.time_begin = anchor.time - half;
+    if (rng.uniform() < 0.8) q.time_end = anchor.time + half + 1;
+  }
+  constexpr std::uint64_t kLimits[] = {0, 1, 7, 64, 1'000'000};
+  q.limit = kLimits[rng.uniform_u64(5)];
+  return q;
+}
+
+TEST(QueryEquivalence, RandomizedQueriesAgreeAcrossAllThreeExecutors) {
+  const Store& store = equivalence_store();
+  for (const std::uint64_t seed : kSeeds) {
+    const pipeline::StudyResult& study = shared_study(seed);
+    util::Rng rng(0xE9 + seed * 7919);
+    std::uint64_t nonempty = 0;
+    for (int iteration = 0; iteration < 30; ++iteration) {
+      Query q = random_query(rng, study);
+      q.run = run_key_of(seed);
+      const QueryResult via_index = store.query(q, QueryMode::kIndex);
+      const QueryResult via_brute = store.query(q, QueryMode::kBrute);
+      const QueryResult oracle = brute_force_study(study, run_key_of(seed), q);
+      expect_identical(via_index, via_brute, q, "index vs store-brute");
+      expect_identical(via_index, oracle, q, "index vs study oracle");
+      // The index path must never examine more rows than the full scan.
+      EXPECT_LE(via_index.scanned, via_brute.scanned) << describe(q);
+      if (via_index.matched > 0) ++nonempty;
+    }
+    // The anchor-drawn predicates must actually exercise matching rows;
+    // thirty all-empty queries would mean the generator is broken.
+    EXPECT_GT(nonempty, 0u) << "seed " << seed;
+  }
+}
+
+TEST(QueryEquivalence, MultiRunQueriesAgreeAcrossBothStoreExecutors) {
+  const Store& store = equivalence_store();
+  util::Rng rng(0xA11);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    const std::uint64_t seed = kSeeds[rng.uniform_u64(3)];
+    // No run predicate: matches span every ingested run; the oracle
+    // cannot answer these, but index and brute must still agree.
+    const Query q = random_query(rng, shared_study(seed));
+    const QueryResult via_index = store.query(q, QueryMode::kIndex);
+    const QueryResult via_brute = store.query(q, QueryMode::kBrute);
+    expect_identical(via_index, via_brute, q, "index vs store-brute");
+  }
+}
+
+TEST(QueryEquivalence, EdgeQueries) {
+  const Store& store = equivalence_store();
+  const pipeline::StudyResult& study = shared_study(11);
+
+  // Empty half-open window: begin == end can match nothing.
+  Query empty_window;
+  empty_window.table = Table::kEvents;
+  empty_window.time_begin = 0;
+  empty_window.time_end = 0;
+  for (const auto mode : {QueryMode::kIndex, QueryMode::kBrute}) {
+    const QueryResult r = store.query(empty_window, mode);
+    EXPECT_EQ(r.matched, 0u);
+    EXPECT_TRUE(r.rows.empty());
+  }
+  expect_identical(store.query(empty_window), store.query(empty_window, QueryMode::kBrute),
+                   empty_window, "empty window");
+
+  // Unknown CVE and unknown run match nothing, identically.
+  Query unknown_cve;
+  unknown_cve.cve = "CVE-1999-0000";
+  expect_identical(store.query(unknown_cve), store.query(unknown_cve, QueryMode::kBrute),
+                   unknown_cve, "unknown cve");
+  EXPECT_EQ(store.query(unknown_cve).matched, 0u);
+
+  Query unknown_run;
+  unknown_run.run = "run-99";
+  expect_identical(store.query(unknown_run), store.query(unknown_run, QueryMode::kBrute),
+                   unknown_run, "unknown run");
+  EXPECT_EQ(store.query(unknown_run).matched, 0u);
+  expect_identical(store.query(unknown_run, QueryMode::kBrute),
+                   brute_force_study(study, run_key_of(11), unknown_run), unknown_run,
+                   "unknown run vs oracle");
+
+  // limit=0 materializes nothing but the digest still covers the full
+  // match set; limit > matched materializes everything.
+  Query log4shell;
+  log4shell.table = Table::kEvents;
+  log4shell.run = run_key_of(11);
+  if (!study.reconstruction.events.empty()) {
+    log4shell.cve = study.reconstruction.events.front().cve_id;
+  }
+  Query capped = log4shell;
+  capped.limit = 0;
+  Query uncapped = log4shell;
+  uncapped.limit = 1'000'000'000;
+  const QueryResult with_cap = store.query(capped);
+  const QueryResult without_cap = store.query(uncapped);
+  EXPECT_TRUE(with_cap.rows.empty());
+  EXPECT_EQ(with_cap.matched, without_cap.matched);
+  EXPECT_EQ(with_cap.digest_hex, without_cap.digest_hex);
+  EXPECT_EQ(without_cap.rows.size(), without_cap.matched);
+  expect_identical(with_cap, brute_force_study(study, run_key_of(11), capped), capped,
+                   "limit 0 vs oracle");
+}
+
+TEST(QueryEquivalence, IndexModeWithoutPredicateFallsBackToBrute) {
+  const Store& store = equivalence_store();
+  Query all;
+  all.limit = 0;
+  const QueryResult r = store.query(all, QueryMode::kIndex);
+  EXPECT_FALSE(r.used_index);
+  EXPECT_EQ(r.scanned, store.stats().session_rows);
+
+  Query by_cve;
+  by_cve.cve = "CVE-2021-44228";
+  EXPECT_TRUE(store.query(by_cve, QueryMode::kIndex).used_index);
+  EXPECT_FALSE(store.query(by_cve, QueryMode::kBrute).used_index);
+}
+
+}  // namespace
+}  // namespace cvewb::store

@@ -1,0 +1,337 @@
+// Store-file fuzzing: truncations, bit flips, and bad magic/version
+// against both on-disk formats.  The corruption contract (store.h): a
+// damaged snapshot with no valid fallback fails open() with a structured
+// StoreError; damaged WAL segments are dropped under the valid-prefix
+// rule with the drop counted in stats -- and in no case UB, a crash, or
+// a silently wrong answer.  The suite runs under the sanitizer build, so
+// "no UB" is enforced, not assumed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/error.h"
+#include "store/format.h"
+#include "store/store.h"
+#include "store_support.h"
+#include "util/rng.h"
+
+namespace cvewb::store {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::fresh_dir;
+using test_support::shared_study;
+using test_support::store_fingerprint;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void spew(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The single store file in `dir` matching stem/ext, or an empty path.
+fs::path find_store_file(const fs::path& dir, const char* stem, const char* ext) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(entry.path().filename().string(), stem, ext, lsn)) {
+      return entry.path();
+    }
+  }
+  return {};
+}
+
+struct FileFixture {
+  std::string name;   // the on-disk file name (lsn-encoded)
+  std::string bytes;  // pristine contents
+};
+
+/// One checkpointed store: the directory holds exactly one snapshot.
+const FileFixture& pristine_snapshot() {
+  static const FileFixture fixture = [] {
+    const fs::path dir = fresh_dir("fuzz-snapshot-source");
+    auto store = Store::open(dir);
+    EXPECT_NE(store, nullptr);
+    EXPECT_TRUE(store->ingest(shared_study(11), "run-11"));
+    EXPECT_TRUE(store->checkpoint());
+    const fs::path path = find_store_file(dir, "snap-", ".cvwbs");
+    EXPECT_FALSE(path.empty());
+    return FileFixture{path.filename().string(), slurp(path)};
+  }();
+  return fixture;
+}
+
+/// One uncheckpointed store: the directory holds exactly one WAL segment.
+const FileFixture& pristine_wal() {
+  static const FileFixture fixture = [] {
+    const fs::path dir = fresh_dir("fuzz-wal-source");
+    auto store = Store::open(dir);
+    EXPECT_NE(store, nullptr);
+    EXPECT_TRUE(store->ingest(shared_study(11), "run-11"));
+    const fs::path path = find_store_file(dir, "wal-", ".cvwbw");
+    EXPECT_FALSE(path.empty());
+    return FileFixture{path.filename().string(), slurp(path)};
+  }();
+  return fixture;
+}
+
+/// Open a fresh directory seeded with one mutated snapshot and demand a
+/// structured rejection (optionally a specific code).
+void expect_snapshot_rejected(const std::string& tag, const std::string& mutated,
+                              std::optional<StoreErrorCode> want_code = std::nullopt) {
+  SCOPED_TRACE(tag);
+  const fs::path dir = fresh_dir("fuzz-" + tag);
+  spew(dir / pristine_snapshot().name, mutated);
+  StoreError error;
+  auto store = Store::open(dir, {}, &error);
+  EXPECT_EQ(store, nullptr);
+  EXPECT_NE(error.code, StoreErrorCode::kNone);
+  EXPECT_FALSE(error.detail.empty());
+  if (want_code) {
+    EXPECT_EQ(error.code, *want_code) << store_error_name(error.code);
+  }
+}
+
+/// Open a fresh directory seeded with one mutated WAL segment: the store
+/// must open, drop the segment, and stay fully usable.
+void expect_wal_dropped(const std::string& tag, const std::string& mutated) {
+  SCOPED_TRACE(tag);
+  const fs::path dir = fresh_dir("fuzz-" + tag);
+  spew(dir / pristine_wal().name, mutated);
+  StoreError error;
+  auto store = Store::open(dir, {}, &error);
+  ASSERT_NE(store, nullptr) << error.detail;
+  EXPECT_FALSE(store->contains_run("run-11"));
+  EXPECT_GE(store->stats().dropped_segments, 1u);
+  EXPECT_TRUE(store->verify(&error)) << error.detail;
+  // The quarantine is complete: normal commits work from here on.
+  EXPECT_TRUE(store->ingest(shared_study(12), "run-12", &error)) << error.detail;
+  EXPECT_TRUE(store->contains_run("run-12"));
+}
+
+TEST(StoreFuzz, TruncatedSnapshotIsAStructuredError) {
+  const std::string& bytes = pristine_snapshot().bytes;
+  ASSERT_GT(bytes.size(), kSnapshotHeaderBytes + kSectionEntryBytes);
+  const std::size_t lengths[] = {0,
+                                 1,
+                                 7,
+                                 kSnapshotHeaderBytes - 1,
+                                 kSnapshotHeaderBytes,
+                                 kSnapshotHeaderBytes + kSectionEntryBytes,
+                                 bytes.size() / 2,
+                                 bytes.size() - 1};
+  for (const std::size_t length : lengths) {
+    expect_snapshot_rejected("snap-truncate-" + std::to_string(length), bytes.substr(0, length));
+  }
+  // The canonical cases carry the canonical code.
+  expect_snapshot_rejected("snap-truncate-empty", "", StoreErrorCode::kTruncated);
+  expect_snapshot_rejected("snap-truncate-tail", bytes.substr(0, bytes.size() - 1),
+                           StoreErrorCode::kTruncated);
+}
+
+TEST(StoreFuzz, BitFlippedSnapshotIsAStructuredError) {
+  const std::string& bytes = pristine_snapshot().bytes;
+  const auto flipped = [&](std::size_t offset, std::uint8_t mask) {
+    std::string copy = bytes;
+    copy[offset] = static_cast<char>(static_cast<std::uint8_t>(copy[offset]) ^ mask);
+    return copy;
+  };
+  // Magic, version, and digest bytes each have a named failure.
+  expect_snapshot_rejected("snap-flip-magic", flipped(3, 0x40), StoreErrorCode::kBadMagic);
+  expect_snapshot_rejected("snap-flip-version", flipped(8, 0x08), StoreErrorCode::kBadVersion);
+  expect_snapshot_rejected("snap-flip-digest", flipped(32, 0x01), StoreErrorCode::kCorrupt);
+  // Every byte of the section region is covered by the header digest, so
+  // any flip there is kCorrupt.  Sample offsets across the whole region
+  // (dictionary, run table, columns, payload heap, postings).
+  const auto section_count =
+      read_pod<std::uint32_t>(std::string_view(bytes), 12);
+  const std::size_t sections_start =
+      kSnapshotHeaderBytes + static_cast<std::size_t>(section_count) * kSectionEntryBytes;
+  ASSERT_LT(sections_start, bytes.size());
+  util::Rng rng(0xF1177);
+  for (int i = 0; i < 32; ++i) {
+    const std::size_t offset =
+        sections_start + rng.uniform_u64(bytes.size() - sections_start);
+    const auto mask = static_cast<std::uint8_t>(1u << rng.uniform_u64(8));
+    expect_snapshot_rejected("snap-flip-" + std::to_string(offset) + "-" + std::to_string(mask),
+                             flipped(offset, mask), StoreErrorCode::kCorrupt);
+  }
+}
+
+TEST(StoreFuzz, ForeignMagicAndFutureVersionAreNamedErrors) {
+  std::string wrong_magic = pristine_snapshot().bytes;
+  wrong_magic.replace(0, 8, "NOTASNAP");
+  expect_snapshot_rejected("snap-bad-magic", wrong_magic, StoreErrorCode::kBadMagic);
+
+  std::string future = pristine_snapshot().bytes;
+  future[8] = 99;  // version little-endian low byte
+  expect_snapshot_rejected("snap-future-version", future, StoreErrorCode::kBadVersion);
+
+  // A WAL segment dropped into a snapshot's file name: magic mismatch.
+  expect_snapshot_rejected("snap-is-wal", pristine_wal().bytes, StoreErrorCode::kBadMagic);
+}
+
+TEST(StoreFuzz, DamagedWalSegmentsAreDroppedNotFatal) {
+  const std::string& bytes = pristine_wal().bytes;
+  ASSERT_GT(bytes.size(), kWalHeaderBytes);
+  // Truncations at and around every header boundary.
+  for (const std::size_t length :
+       {std::size_t{0}, std::size_t{1}, std::size_t{8}, kWalHeaderBytes - 1, kWalHeaderBytes,
+        bytes.size() / 2, bytes.size() - 1}) {
+    expect_wal_dropped("wal-truncate-" + std::to_string(length), bytes.substr(0, length));
+  }
+  // Bit flips in the magic, the lsn, the payload length, the digest, and
+  // sampled payload bytes.
+  const auto flipped = [&](std::size_t offset) {
+    std::string copy = bytes;
+    copy[offset] = static_cast<char>(copy[offset] ^ 0x10);
+    return copy;
+  };
+  for (const std::size_t offset : {std::size_t{0}, std::size_t{16}, std::size_t{24},
+                                   std::size_t{40}, kWalHeaderBytes, bytes.size() - 1}) {
+    expect_wal_dropped("wal-flip-" + std::to_string(offset), flipped(offset));
+  }
+  util::Rng rng(0xF1178);
+  for (int i = 0; i < 16; ++i) {
+    const std::size_t offset = kWalHeaderBytes + rng.uniform_u64(bytes.size() - kWalHeaderBytes);
+    expect_wal_dropped("wal-flip-payload-" + std::to_string(offset), flipped(offset));
+  }
+}
+
+TEST(StoreFuzz, ValidPrefixRuleDropsEverythingAfterTheFirstDamagedSegment) {
+  // Two committed segments; damaging the first must drop both (recovery
+  // never applies a segment above a gap), damaging the second only it.
+  const fs::path source = fresh_dir("fuzz-prefix-source");
+  std::string fingerprint_first_only;
+  {
+    auto store = Store::open(source);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->ingest(shared_study(11), "run-11"));
+    fingerprint_first_only = store_fingerprint(*store);
+    ASSERT_TRUE(store->ingest(shared_study(12), "run-12"));
+  }
+  std::vector<fs::path> segments;
+  for (const auto& entry : fs::directory_iterator(source)) {
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(entry.path().filename().string(), "wal-", ".cvwbw", lsn)) {
+      segments.push_back(entry.path());
+    }
+  }
+  ASSERT_EQ(segments.size(), 2u);
+  std::sort(segments.begin(), segments.end());
+
+  const auto copy_with_damage = [&](const fs::path& dir, const fs::path& victim) {
+    for (const fs::path& segment : segments) {
+      std::string bytes = slurp(segment);
+      if (segment == victim) bytes.resize(bytes.size() / 2);
+      spew(dir / segment.filename(), bytes);
+    }
+  };
+
+  {
+    const fs::path dir = fresh_dir("fuzz-prefix-first");
+    copy_with_damage(dir, segments[0]);
+    auto store = Store::open(dir);
+    ASSERT_NE(store, nullptr);
+    EXPECT_FALSE(store->contains_run("run-11"));
+    EXPECT_FALSE(store->contains_run("run-12"));
+    EXPECT_EQ(store->stats().dropped_segments, 2u);
+  }
+  {
+    const fs::path dir = fresh_dir("fuzz-prefix-second");
+    copy_with_damage(dir, segments[1]);
+    auto store = Store::open(dir);
+    ASSERT_NE(store, nullptr);
+    EXPECT_TRUE(store->contains_run("run-11"));
+    EXPECT_FALSE(store->contains_run("run-12"));
+    EXPECT_EQ(store->stats().dropped_segments, 1u);
+    EXPECT_EQ(store_fingerprint(*store), fingerprint_first_only);
+    StoreError error;
+    EXPECT_TRUE(store->verify(&error)) << error.detail;
+  }
+}
+
+TEST(StoreFuzz, DamagedWalAboveAnIntactSnapshotKeepsTheSnapshot) {
+  const fs::path source = fresh_dir("fuzz-snap-plus-wal-source");
+  std::string fingerprint_snapshot_only;
+  {
+    auto store = Store::open(source);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->ingest(shared_study(11), "run-11"));
+    ASSERT_TRUE(store->checkpoint());
+    fingerprint_snapshot_only = store_fingerprint(*store);
+    ASSERT_TRUE(store->ingest(shared_study(12), "run-12"));
+  }
+  const fs::path wal = find_store_file(source, "wal-", ".cvwbw");
+  ASSERT_FALSE(wal.empty());
+  std::string bytes = slurp(wal);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  spew(wal, bytes);
+
+  auto store = Store::open(source);
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(store->contains_run("run-11"));
+  EXPECT_FALSE(store->contains_run("run-12"));
+  EXPECT_GE(store->stats().dropped_segments, 1u);
+  EXPECT_EQ(store_fingerprint(*store), fingerprint_snapshot_only);
+}
+
+TEST(StoreFuzz, CorruptNewestSnapshotFallsBackToAnOlderValidOne) {
+  const fs::path dir = fresh_dir("fuzz-snap-fallback");
+  std::string old_name;
+  std::string old_bytes;
+  std::string fingerprint_old;
+  {
+    auto store = Store::open(dir);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->ingest(shared_study(11), "run-11"));
+    ASSERT_TRUE(store->checkpoint());
+    fingerprint_old = store_fingerprint(*store);
+    const fs::path old_snap = find_store_file(dir, "snap-", ".cvwbs");
+    ASSERT_FALSE(old_snap.empty());
+    old_name = old_snap.filename().string();
+    old_bytes = slurp(old_snap);
+    ASSERT_TRUE(store->ingest(shared_study(12), "run-12"));
+    ASSERT_TRUE(store->checkpoint());  // replaces the snapshot, removes the old
+  }
+  // Resurrect the superseded snapshot, then corrupt the newest one
+  // (located by lsn -- find_store_file would return either).
+  spew(dir / old_name, old_bytes);
+  fs::path newest;
+  std::uint64_t newest_lsn = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(entry.path().filename().string(), "snap-", ".cvwbs", lsn) &&
+        lsn > newest_lsn) {
+      newest_lsn = lsn;
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  ASSERT_NE(newest.filename().string(), old_name);
+  std::string bytes = slurp(newest);
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x01);  // digest byte
+  spew(newest, bytes);
+
+  StoreError error;
+  auto store = Store::open(dir, {}, &error);
+  ASSERT_NE(store, nullptr) << error.detail;
+  EXPECT_TRUE(store->contains_run("run-11"));
+  EXPECT_FALSE(store->contains_run("run-12"));
+  EXPECT_GE(store->stats().dropped_segments, 1u);
+  EXPECT_EQ(store_fingerprint(*store), fingerprint_old);
+  EXPECT_TRUE(store->verify(&error)) << error.detail;
+  // The damaged file was quarantined on open.
+  EXPECT_FALSE(fs::exists(newest));
+}
+
+}  // namespace
+}  // namespace cvewb::store

@@ -1,0 +1,137 @@
+// Store lifecycle basics: ingest, reopen, idempotency, checkpoint
+// folding, and the deep verify pass -- the plumbing the crash matrix and
+// equivalence suites build on.
+#include "store/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "pipeline/study.h"
+#include "store/format.h"
+#include "store_support.h"
+
+namespace cvewb::store {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::fresh_dir;
+using test_support::shared_study;
+using test_support::store_fingerprint;
+
+TEST(StoreRoundtrip, EmptyStoreOpensAndAnswers) {
+  const fs::path dir = fresh_dir("empty");
+  StoreError error;
+  auto store = Store::open(dir, {}, &error);
+  ASSERT_NE(store, nullptr) << error.detail;
+  EXPECT_EQ(store->stats().session_rows, 0u);
+  EXPECT_EQ(store->stats().runs, 0u);
+  Query all;
+  const QueryResult result = store->query(all);
+  EXPECT_EQ(result.matched, 0u);
+  EXPECT_TRUE(store->verify(&error)) << error.detail;
+}
+
+TEST(StoreRoundtrip, IngestReopenPreservesEveryRow) {
+  const fs::path dir = fresh_dir("roundtrip");
+  const pipeline::StudyResult& study = shared_study(11);
+  std::string fingerprint;
+  {
+    auto store = Store::open(dir);
+    ASSERT_NE(store, nullptr);
+    StoreError error;
+    ASSERT_TRUE(store->ingest(study, "run-11", &error)) << error.detail;
+    EXPECT_EQ(store->stats().session_rows, study.traffic.sessions.size());
+    EXPECT_EQ(store->stats().event_rows, study.reconstruction.events.size());
+    EXPECT_EQ(store->stats().runs, 1u);
+    EXPECT_EQ(store->stats().wal_segments, 1u);
+    EXPECT_TRUE(store->contains_run("run-11"));
+    EXPECT_FALSE(store->contains_run("run-99"));
+    EXPECT_TRUE(store->verify(&error)) << error.detail;
+    fingerprint = store_fingerprint(*store);
+  }
+  // Reopen: WAL replay must recover the identical logical state.
+  auto reopened = Store::open(dir);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(store_fingerprint(*reopened), fingerprint);
+  StoreError error;
+  EXPECT_TRUE(reopened->verify(&error)) << error.detail;
+}
+
+TEST(StoreRoundtrip, ReingestIsIdempotent) {
+  const fs::path dir = fresh_dir("idempotent");
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->ingest(shared_study(11), "run-11"));
+  const std::string fingerprint = store_fingerprint(*store);
+  const std::uint64_t lsn = store->stats().last_lsn;
+  // Same run key again: no-op success, nothing changes.
+  EXPECT_TRUE(store->ingest(shared_study(11), "run-11"));
+  EXPECT_EQ(store->stats().last_lsn, lsn);
+  EXPECT_EQ(store_fingerprint(*store), fingerprint);
+}
+
+TEST(StoreRoundtrip, CheckpointFoldsWalAndPreservesState) {
+  const fs::path dir = fresh_dir("checkpoint");
+  std::string fingerprint;
+  {
+    auto store = Store::open(dir);
+    ASSERT_NE(store, nullptr);
+    ASSERT_TRUE(store->ingest(shared_study(11), "run-11"));
+    ASSERT_TRUE(store->ingest(shared_study(12), "run-12"));
+    fingerprint = store_fingerprint(*store);
+    StoreError error;
+    ASSERT_TRUE(store->checkpoint(&error)) << error.detail;
+    EXPECT_EQ(store->stats().wal_segments, 0u);
+    EXPECT_EQ(store->stats().snapshot_lsn, store->stats().last_lsn);
+    EXPECT_GT(store->stats().snapshot_bytes, 0u);
+    EXPECT_EQ(store_fingerprint(*store), fingerprint);
+    EXPECT_TRUE(store->verify(&error)) << error.detail;
+    // Checkpoint with nothing new to fold is a no-op success.
+    EXPECT_TRUE(store->checkpoint(&error));
+  }
+  // No WAL left on disk; exactly one snapshot; reopen serves it (mmap'd).
+  std::size_t wal_files = 0;
+  std::size_t snapshots = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(name, "wal-", ".cvwbw", lsn)) ++wal_files;
+    if (parse_store_file_name(name, "snap-", ".cvwbs", lsn)) ++snapshots;
+  }
+  EXPECT_EQ(wal_files, 0u);
+  EXPECT_EQ(snapshots, 1u);
+  auto reopened = Store::open(dir);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(store_fingerprint(*reopened), fingerprint);
+  EXPECT_TRUE(reopened->stats().snapshot_mapped);
+  // Delta on top of a snapshot: ingest more, reopen again.
+  ASSERT_TRUE(reopened->ingest(shared_study(13), "run-13"));
+  const std::string grown = store_fingerprint(*reopened);
+  auto reopened_again = Store::open(dir);
+  ASSERT_NE(reopened_again, nullptr);
+  EXPECT_EQ(store_fingerprint(*reopened_again), grown);
+  StoreError error;
+  EXPECT_TRUE(reopened_again->verify(&error)) << error.detail;
+}
+
+TEST(StoreRoundtrip, RunExtentsAreContiguousAndOrdered) {
+  const fs::path dir = fresh_dir("extents");
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->ingest(shared_study(11), "run-11"));
+  ASSERT_TRUE(store->ingest(shared_study(12), "run-12"));
+  const auto runs = store->runs();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].run_key, "run-11");
+  EXPECT_EQ(runs[1].run_key, "run-12");
+  EXPECT_EQ(runs[0].sessions_begin, 0u);
+  EXPECT_EQ(runs[1].sessions_begin, runs[0].sessions_count);
+  EXPECT_EQ(runs[0].events_begin, 0u);
+  EXPECT_EQ(runs[1].events_begin, runs[0].events_count);
+  EXPECT_LT(runs[0].lsn, runs[1].lsn);
+}
+
+}  // namespace
+}  // namespace cvewb::store

@@ -1,0 +1,66 @@
+// Shared fixtures for the store test suite: a small-but-real study the
+// whole binary computes once per seed, fresh temp directories, and a
+// whole-store fingerprint built purely from query digests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "pipeline/study.h"
+#include "store/query.h"
+#include "store/store.h"
+
+namespace cvewb::store::test_support {
+
+inline std::filesystem::path fresh_dir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "cvewb_store" / tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline pipeline::StudyConfig small_config(std::uint64_t seed) {
+  pipeline::StudyConfig config;
+  config.seed = seed;
+  config.threads = 1;
+  config.event_scale = 0.03;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  return config;
+}
+
+/// One study per seed per test binary: the store tests ingest the same
+/// corpus many times, and the study itself is the expensive part.
+inline const pipeline::StudyResult& shared_study(std::uint64_t seed) {
+  static std::map<std::uint64_t, pipeline::StudyResult> cache;
+  auto it = cache.find(seed);
+  if (it == cache.end()) it = cache.emplace(seed, run_study(small_config(seed))).first;
+  return it->second;
+}
+
+/// Logical fingerprint of everything a store serves: the full-match-set
+/// digests of both tables (predicate-free brute scans) plus the run list.
+/// Two stores with equal fingerprints answer every query identically.
+inline std::string store_fingerprint(const Store& store) {
+  Query all;
+  all.limit = 0;
+  all.table = Table::kSessions;
+  const QueryResult sessions = store.query(all, QueryMode::kBrute);
+  all.table = Table::kEvents;
+  const QueryResult events = store.query(all, QueryMode::kBrute);
+  std::string fingerprint = sessions.digest_hex + "/" + events.digest_hex;
+  for (const RunInfo& run : store.runs()) {
+    fingerprint += "/" + run.run_key + ":" + std::to_string(run.sessions_count) + ":" +
+                   std::to_string(run.events_count);
+  }
+  return fingerprint;
+}
+
+}  // namespace cvewb::store::test_support

@@ -66,7 +66,7 @@ inline std::string serialize_study(const StudyResult& r) {
   for (const auto& event : rec.events) {
     out << event.cve_id << ' ';
     put_time(out, event.time);
-    out << '\n';
+    out << ' ' << event.src << ' ' << event.sid << '\n';
   }
   for (const auto& tl : rec.timelines) {
     out << tl.cve_id();

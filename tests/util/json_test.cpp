@@ -168,5 +168,46 @@ TEST(Json, MixedNumericEquality) {
   EXPECT_EQ(*reparsed, doc);
 }
 
+TEST(Json, NestingAtTheCapParses) {
+  // Exactly kJsonMaxParseDepth open containers is legal and round-trips.
+  std::string text;
+  for (int i = 0; i < kJsonMaxParseDepth; ++i) text += '[';
+  text += "7";
+  for (int i = 0; i < kJsonMaxParseDepth; ++i) text += ']';
+  const auto parsed = parse_json(text);
+  ASSERT_TRUE(parsed.has_value());
+  const Json* inner = &*parsed;
+  for (int i = 0; i < kJsonMaxParseDepth; ++i) {
+    ASSERT_EQ(inner->type(), Json::Type::kArray);
+    ASSERT_EQ(inner->as_array().size(), 1u);
+    inner = &inner->as_array()[0];
+  }
+  EXPECT_EQ(inner->as_int64(), 7);
+}
+
+TEST(Json, NestingPastTheCapIsAParseErrorNotAStackOverflow) {
+  // A few bytes of hostile input per stack frame: without the depth cap
+  // this recursive-descent parse would overflow the stack long before the
+  // 100k mark.  With it, the parse fails with a structured error.
+  for (const char open : {'[', '{'}) {
+    std::string text(100'000, open);
+    if (open == '{') {
+      // Keep each level structurally valid up to the point of failure.
+      text.clear();
+      for (int i = 0; i < 100'000; ++i) text += R"({"k":)";
+    }
+    std::string error;
+    const auto parsed = parse_json(text, error);
+    EXPECT_FALSE(parsed.has_value());
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+  }
+  // One past the cap fails the same way.
+  std::string text(static_cast<std::size_t>(kJsonMaxParseDepth) + 1, '[');
+  text += "1";
+  std::string error;
+  EXPECT_FALSE(parse_json(text, error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace cvewb::util

@@ -30,8 +30,11 @@
 #include <sstream>
 #include <string>
 
+#include "cache/key.h"
 #include "cache/serialize.h"
 #include "cache/store.h"
+#include "net/ipv4.h"
+#include "store/store.h"
 #include "ids/rule_gen.h"
 #include "data/cve_table_io.h"
 #include "lifecycle/markov.h"
@@ -57,6 +60,21 @@ struct Options {
   std::string metrics_out;
   std::string cache_dir;
   std::string digest_out;
+  std::string store_dir;
+  // store query predicates (strings; validated/parsed by cmd_store)
+  std::string table = "sessions";
+  std::string cve;
+  std::string run;
+  std::string begin;
+  std::string end;
+  std::string src;
+  std::string sid;
+  std::string mode = "index";
+  std::int64_t limit = 64;
+  // Test hook: _exit(137) right after the next WAL segment rename lands,
+  // before the commit is acknowledged -- the store smoke test's
+  // worst-timed hard kill.
+  bool crash_after_wal = false;
   std::uint64_t keep_bytes = 0;
   std::int64_t deadline_ms = 0;  // per-stage budget; 0 = unlimited
   int max_retries = 0;           // cache/report I/O re-attempts
@@ -92,6 +110,28 @@ Options parse_options(int argc, char** argv) {
       options.cache_dir = argv[++i];
     } else if (arg == "--digest-out" && i + 1 < argc) {
       options.digest_out = argv[++i];
+    } else if (arg == "--store-dir" && i + 1 < argc) {
+      options.store_dir = argv[++i];
+    } else if (arg == "--table" && i + 1 < argc) {
+      options.table = argv[++i];
+    } else if (arg == "--cve" && i + 1 < argc) {
+      options.cve = argv[++i];
+    } else if (arg == "--run" && i + 1 < argc) {
+      options.run = argv[++i];
+    } else if (arg == "--begin" && i + 1 < argc) {
+      options.begin = argv[++i];
+    } else if (arg == "--end" && i + 1 < argc) {
+      options.end = argv[++i];
+    } else if (arg == "--src" && i + 1 < argc) {
+      options.src = argv[++i];
+    } else if (arg == "--sid" && i + 1 < argc) {
+      options.sid = argv[++i];
+    } else if (arg == "--mode" && i + 1 < argc) {
+      options.mode = argv[++i];
+    } else if (arg == "--limit" && i + 1 < argc) {
+      options.limit = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--crash-after-wal") {
+      options.crash_after_wal = true;
     } else if (arg == "--keep-bytes" && i + 1 < argc) {
       options.keep_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
@@ -113,6 +153,7 @@ pipeline::StudyConfig study_config(const Options& options) {
   config.event_scale = options.scale;
   config.threads = options.threads;
   config.cache_dir = options.cache_dir;
+  config.store_dir = options.store_dir;
   if (options.deadline_ms > 0) config.stage_deadline = std::chrono::milliseconds(options.deadline_ms);
   if (options.max_retries > 0) config.io_retry.max_retries = options.max_retries;
   config.chaos_cancel_after_stage = options.chaos_cancel_after;
@@ -232,6 +273,152 @@ int cmd_cache(const Options& options) {
     return 0;
   }
   std::cerr << "unknown cache action '" << action << "' (expected stat or gc)\n";
+  return 2;
+}
+
+/// `cvewb store <ingest|query|stat|verify> <dir>` -- the persistent
+/// indexed session store (DESIGN.md §13).
+///
+///   ingest  run the study (--seed/--scale/--cache-dir apply) and commit
+///           its sessions + events under cache::run_key; idempotent.
+///           --crash-after-wal hard-kills the process right after the WAL
+///           rename (crash-recovery smoke hook).
+///   query   index scan (--table, --cve, --run, --begin, --end, --src,
+///           --sid, --limit, --mode index|brute); prints the match count,
+///           the full-match-set digest, and up to --limit rows.
+///   stat    row/run/WAL/snapshot counters.
+///   verify  deep consistency check (rebuilds and compares every index).
+int cmd_store(const Options& options) {
+  if (options.positional.size() < 2) {
+    std::cerr << "usage: cvewb store <ingest|query|stat|verify> <dir> [options]\n";
+    return 2;
+  }
+  const std::string& action = options.positional[0];
+  const std::string& dir = options.positional[1];
+  store::StoreError error;
+  auto store = store::Store::open(dir, {}, &error);
+  if (store == nullptr) {
+    std::cerr << dir << ": cannot open store: " << store::store_error_name(error.code) << ": "
+              << error.detail << "\n";
+    return 1;
+  }
+
+  if (action == "ingest") {
+    pipeline::StudyConfig config = study_config(options);
+    config.store_dir.clear();  // this command IS the ingest; don't do it twice
+    const std::string run_key = cache::run_key(config);
+    if (store->contains_run(run_key)) {
+      std::cout << "run " << run_key << " already ingested\n";
+      return 0;
+    }
+    const pipeline::StudyResult result = pipeline::run_study(config);
+    if (options.crash_after_wal) store->crash_after_next_wal_rename_for_test();
+    if (!store->ingest(result, run_key, &error)) {
+      std::cerr << "ingest failed: " << store::store_error_name(error.code) << ": "
+                << error.detail << "\n";
+      return 1;
+    }
+    const store::StoreStats stats = store->stats();
+    std::cout << "ingested run " << run_key << ": " << stats.session_rows << " session rows, "
+              << stats.event_rows << " event rows, " << stats.runs << " runs, lsn "
+              << stats.last_lsn << "\n";
+    return 0;
+  }
+
+  if (action == "query") {
+    store::Query query;
+    if (options.table == "events") {
+      query.table = store::Table::kEvents;
+    } else if (options.table != "sessions") {
+      std::cerr << "--table must be sessions or events\n";
+      return 2;
+    }
+    if (!options.cve.empty()) query.cve = options.cve;
+    if (!options.run.empty()) query.run = options.run;
+    const auto parse_time = [](const std::string& text) -> std::optional<std::int64_t> {
+      if (const auto date = util::parse_date(text)) return date->unix_seconds();
+      char* rest = nullptr;
+      const long long seconds = std::strtoll(text.c_str(), &rest, 10);
+      if (rest == text.c_str() || *rest != '\0') return std::nullopt;
+      return seconds;
+    };
+    if (!options.begin.empty()) {
+      query.time_begin = parse_time(options.begin);
+      if (!query.time_begin) {
+        std::cerr << "--begin must be YYYY-MM-DD or unix seconds\n";
+        return 2;
+      }
+    }
+    if (!options.end.empty()) {
+      query.time_end = parse_time(options.end);
+      if (!query.time_end) {
+        std::cerr << "--end must be YYYY-MM-DD or unix seconds\n";
+        return 2;
+      }
+    }
+    if (!options.src.empty()) {
+      const auto addr = net::IPv4::parse(options.src);
+      if (!addr) {
+        std::cerr << "--src must be a dotted quad\n";
+        return 2;
+      }
+      query.src = addr->value();
+    }
+    if (!options.sid.empty()) {
+      query.sid = static_cast<std::int32_t>(std::strtol(options.sid.c_str(), nullptr, 10));
+    }
+    if (options.limit >= 0) query.limit = static_cast<std::uint64_t>(options.limit);
+    store::QueryMode mode = store::QueryMode::kIndex;
+    if (options.mode == "brute") {
+      mode = store::QueryMode::kBrute;
+    } else if (options.mode != "index") {
+      std::cerr << "--mode must be index or brute\n";
+      return 2;
+    }
+    const store::QueryResult result = store->query(query, mode);
+    std::cout << "matched " << result.matched << " scanned " << result.scanned << " mode "
+              << (result.used_index ? "index" : "brute") << "\n"
+              << "digest " << result.digest_hex << "\n";
+    for (const auto& row : result.rows) {
+      std::cout << row.run_key << ' ' << row.seq << ' '
+                << util::format_datetime(util::TimePoint(row.time)) << ' '
+                << net::IPv4(row.src).to_string() << ' ' << row.cve << ' ' << row.sid;
+      if (query.table == store::Table::kSessions) {
+        std::cout << ' ' << net::IPv4(row.dst).to_string() << ' ' << row.src_port << ' '
+                  << row.dst_port << ' ' << static_cast<int>(row.kind) << ' '
+                  << row.payload_bytes;
+      }
+      std::cout << '\n';
+    }
+    return 0;
+  }
+
+  if (action == "stat") {
+    const store::StoreStats stats = store->stats();
+    std::cout << dir << ": " << stats.runs << " runs, " << stats.session_rows
+              << " session rows, " << stats.event_rows << " event rows\n"
+              << "  lsn " << stats.last_lsn << " (snapshot " << stats.snapshot_lsn << "), "
+              << stats.wal_segments << " wal segments (" << stats.wal_bytes << " bytes), "
+              << "snapshot " << stats.snapshot_bytes << " bytes"
+              << (stats.snapshot_mapped ? " (mmap)" : "") << ", payload heap "
+              << stats.payload_bytes << " bytes, " << stats.dropped_segments
+              << " segments dropped at open\n";
+    return 0;
+  }
+
+  if (action == "verify") {
+    if (!store->verify(&error)) {
+      std::cerr << dir << ": verify FAILED: " << store::store_error_name(error.code) << ": "
+                << error.detail << "\n";
+      return 1;
+    }
+    std::cout << dir << ": ok (" << store->stats().session_rows << " session rows, "
+              << store->stats().event_rows << " event rows, every index consistent)\n";
+    return 0;
+  }
+
+  std::cerr << "unknown store action '" << action
+            << "' (expected ingest, query, stat, or verify)\n";
   return 2;
 }
 
@@ -386,10 +573,11 @@ int cmd_lifecycle(const Options& options) {
 }
 
 void usage() {
-  std::cerr << "usage: cvewb <study|rules|baselines|artifacts|pcap|export|dataset|lifecycle|trace-verify|cache> [options]\n"
+  std::cerr << "usage: cvewb <study|rules|baselines|artifacts|pcap|export|dataset|lifecycle|trace-verify|cache|store> [options]\n"
                "  study      run the end-to-end study (--seed, --scale, --threads,\n"
                "             --trace-out FILE, --metrics-out FILE, --cache-dir DIR,\n"
-               "             --digest-out FILE, --deadline-ms N, --max-retries N;\n"
+               "             --store-dir DIR, --digest-out FILE, --deadline-ms N,\n"
+               "             --max-retries N;\n"
                "             SIGINT/SIGTERM checkpoint and exit 75, rerun to resume)\n"
                "  rules      print the synthetic Snort-subset study ruleset\n"
                "  baselines  print the CERT Markov baseline probabilities\n"
@@ -401,7 +589,13 @@ void usage() {
                "  lifecycle CVE-YYYY-NNNN  print one studied CVE's timeline\n"
                "  trace-verify FILE  validate an emitted Chrome trace-event file\n"
                "  cache stat DIR     summarize a stage-cache directory\n"
-               "  cache gc DIR       drop corrupt entries, evict oldest past --keep-bytes N\n";
+               "  cache gc DIR       drop corrupt entries, evict oldest past --keep-bytes N\n"
+               "  store ingest DIR   run the study and commit it to the session store\n"
+               "  store query DIR    index-scan the store (--table sessions|events, --cve,\n"
+               "                     --run, --begin, --end, --src, --sid, --limit,\n"
+               "                     --mode index|brute); prints count + digest + rows\n"
+               "  store stat DIR     store row/run/WAL/snapshot counters\n"
+               "  store verify DIR   deep consistency check (rebuild + compare indexes)\n";
 }
 
 }  // namespace
@@ -423,6 +617,7 @@ int main(int argc, char** argv) {
   if (command == "lifecycle") return cmd_lifecycle(options);
   if (command == "trace-verify") return cmd_trace_verify(options);
   if (command == "cache") return cmd_cache(options);
+  if (command == "store") return cmd_store(options);
   usage();
   return 2;
 }

@@ -1,7 +1,7 @@
 // cvewbd -- study service daemon for the CVE Wayback Machine.
 //
 //   cvewbd [--bind ADDR] [--port N] [--port-file FILE]
-//          [--workers N] [--backlog N] [--cache-dir DIR]
+//          [--workers N] [--backlog N] [--cache-dir DIR] [--store-dir DIR]
 //          [--deadline-ms N] [--idle-timeout-ms N] [--max-frame-bytes N]
 //          [--metrics-out FILE]
 //          [--fault-seed N] [--fault-short-read R] [--fault-short-write R]
@@ -68,6 +68,8 @@ Options parse_options(int argc, char** argv) {
       server.scheduler.backlog_capacity = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--cache-dir" && has_value) {
       server.scheduler.cache_dir = argv[++i];
+    } else if (arg == "--store-dir" && has_value) {
+      server.store_dir = argv[++i];
     } else if (arg == "--deadline-ms" && has_value) {
       server.scheduler.default_deadline =
           std::chrono::milliseconds(std::strtoll(argv[++i], nullptr, 10));
@@ -99,6 +101,7 @@ Options parse_options(int argc, char** argv) {
 void usage() {
   std::cerr << "usage: cvewbd [--bind ADDR] [--port N] [--port-file FILE]\n"
                "              [--workers N] [--backlog N] [--cache-dir DIR]\n"
+               "              [--store-dir DIR]\n"
                "              [--deadline-ms N] [--idle-timeout-ms N]\n"
                "              [--max-frame-bytes N] [--metrics-out FILE]\n"
                "              [--fault-seed N] [--fault-short-read R]\n"

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Crash-recovery smoke for the persistent session store CLI.
+#
+#   store_smoke.sh <cvewb-binary> <workdir>
+#
+# Legs:
+#
+#  1. Reference: ingest a small study into a clean store; record the
+#     full-match-set digests of both tables and require verify to pass.
+#
+#  2. Hard kill at the worst-timed boundary: the same ingest into a fresh
+#     store with --crash-after-wal, which _exit(137)s the process
+#     immediately after the WAL segment rename lands -- the batch is
+#     durable but the commit was never acknowledged or applied.  Reopening
+#     the store must recover the run by WAL replay: stat sees it, verify
+#     passes, and both table digests are byte-identical to the reference.
+#
+#  3. Idempotency: re-running the ingest against the recovered store is a
+#     no-op success ("already ingested"), not a duplicate run.
+set -eu
+
+CVEWB=$1
+DIR=$2
+SEED=7
+SCALE=0.005
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+ingest() {
+    # Shared cache dir: every leg reruns the same study, so legs 2+ are
+    # warm and the smoke stays fast.
+    "$CVEWB" store ingest "$1" --seed "$SEED" --scale "$SCALE" --threads 2 \
+        --cache-dir "$DIR/cache" $2
+}
+
+digest() {
+    # The digest covers the full match set regardless of --limit.
+    "$CVEWB" store query "$1" --table "$2" --limit 0 | sed -n 's/^digest //p'
+}
+
+# --- Leg 1: clean reference ------------------------------------------------
+ingest "$DIR/ref" "" > /dev/null
+"$CVEWB" store verify "$DIR/ref" > /dev/null
+REF_SESSIONS=$(digest "$DIR/ref" sessions)
+REF_EVENTS=$(digest "$DIR/ref" events)
+[ -n "$REF_SESSIONS" ] && [ -n "$REF_EVENTS" ] || {
+    echo "FAIL: reference digests empty" >&2
+    exit 1
+}
+
+# --- Leg 2: kill after the WAL rename, reopen, compare ---------------------
+STATUS=0
+ingest "$DIR/crash" "--crash-after-wal" > /dev/null 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 137 ]; then
+    echo "FAIL: crash-after-wal ingest exited $STATUS, expected 137" >&2
+    exit 1
+fi
+"$CVEWB" store verify "$DIR/crash" > /dev/null || {
+    echo "FAIL: recovered store failed verify" >&2
+    exit 1
+}
+"$CVEWB" store stat "$DIR/crash" | grep -q "1 runs" || {
+    echo "FAIL: recovered store does not contain the crashed run" >&2
+    exit 1
+}
+CRASH_SESSIONS=$(digest "$DIR/crash" sessions)
+CRASH_EVENTS=$(digest "$DIR/crash" events)
+[ "$CRASH_SESSIONS" = "$REF_SESSIONS" ] || {
+    echo "FAIL: sessions digest after crash recovery differs from reference" >&2
+    echo "  reference: $REF_SESSIONS" >&2
+    echo "  recovered: $CRASH_SESSIONS" >&2
+    exit 1
+}
+[ "$CRASH_EVENTS" = "$REF_EVENTS" ] || {
+    echo "FAIL: events digest after crash recovery differs from reference" >&2
+    exit 1
+}
+
+# --- Leg 3: re-ingest is idempotent ----------------------------------------
+ingest "$DIR/crash" "" | grep -q "already ingested" || {
+    echo "FAIL: re-ingest into the recovered store was not a no-op" >&2
+    exit 1
+}
+
+echo "store smoke: ok (crash at WAL boundary recovered to identical digests)"
