@@ -1,31 +1,52 @@
 // Parallel study-engine scaling: wall-clock for the full run_study
 // pipeline (traffic synthesis -> fault-free capture -> IDS matching ->
-// reconstruction) at 1/2/4/8 worker threads, with speedup relative to the
-// threads=1 serial reference path.  Results are also written to
-// BENCH_parallel.json (pass a path as argv[1] to redirect).
+// reconstruction) across worker-thread counts and event scales, with
+// speedup relative to the threads=1 serial reference path.  Results are
+// written to BENCH_parallel.json (pass a path as argv[1] to redirect).
 //
-// Each thread count is run three times -- plain, with an obs::Observability
-// attached (instrumentation overhead, budget: < 5%), and against a fully
-// warm stage cache (the warm-cache column; acceptance: >= 2x over the
-// plain leg, since traffic synthesis and reconstruction are served from
-// disk).  The outputs of every run must agree, proving the thread-count,
-// observability, and cache-equivalence determinism contracts at bench
-// scale.
+// At the base scale each thread count runs four legs -- plain, DAG-off
+// (barrier-per-stage scheduling, isolating what stage overlap buys), with
+// an obs::Observability attached (instrumentation overhead plus the
+// per-stage breakdown the overlap ratio is computed from), and against a
+// fully warm stage cache.  The outputs of every leg must agree,
+// proving the thread-count, scheduling, observability, and
+// cache-equivalence determinism contracts at bench scale.
 //
-// Set CVEWB_SCALE to down-sample; the acceptance target (>= 3x at 8
-// threads, event_scale=1.0) assumes >= 8 physical cores -- on fewer cores
-// the table documents whatever the host can do, and the cross-run
-// agreement check still proves the outputs identical.
+// Set CVEWB_EVENT_SCALES to a comma-separated multiplier list (e.g.
+// "1,10,100") to sweep the corpus size; multipliers apply on top of
+// CVEWB_SCALE, repeats shrink as the corpus grows, and the expensive
+// observed/warm/DAG-off legs run only at the base multiplier.
+//
+// Gates (the "gates" object in the JSON; scaling_gate.sh consumes it):
+//   - reconstruct_speedup: the SoA reconstruct() engine vs the retained
+//     pre-rewrite reconstruct_baseline(), same corpus, single-threaded,
+//     in-process.  Must be >= 2x on any host -- no multicore required.
+//   - parallel_speedup_2t / _4t: run_study speedup at 2/4 threads.  Gated
+//     only when the host actually has the cores; on fewer cores the gate
+//     reports "skipped (N core)" instead of silently passing -- the trap
+//     where hardware_concurrency=1 made every speedup row 1.0x and the
+//     bench still exited 0.
+//   - sessions_per_sec: reconstruction throughput at the best thread
+//     count, recorded for trend tracking (no fixed threshold; hosts vary).
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <thread>
+#include <vector>
 
+#include "cache/serialize.h"
 #include "cache/store.h"
 #include "common.h"
+#include "data/appendix_e.h"
+#include "ids/rule_gen.h"
 #include "obs/observability.h"
+#include "pipeline/reconstruct_baseline.h"
+#include "traffic/internet.h"
 #include "util/json.h"
 
 using namespace cvewb;
@@ -35,156 +56,355 @@ namespace {
 constexpr const char* kPhases[] = {"telescope", "traffic",  "faults",    "ruleset",
                                    "reconstruct", "analyze", "unique_ips"};
 
-double run_once(pipeline::StudyConfig config, int threads, obs::Observability* observability,
-                std::size_t& events_out, double& skill_out, const std::string& cache_dir = "") {
+struct RunLeg {
+  double seconds = 0;
+  std::size_t events = 0;
+  double skill = 0;
+  std::size_t sessions = 0;
+};
+
+RunLeg run_once(pipeline::StudyConfig config, int threads, obs::Observability* observability,
+                const std::string& cache_dir = "", bool stage_dag = true) {
   config.threads = threads;
+  config.stage_dag = stage_dag;
   config.observability = observability;
   config.cache_dir = cache_dir;
+  RunLeg leg;
   const auto start = std::chrono::steady_clock::now();
   const pipeline::StudyResult result = pipeline::run_study(config);
   const auto stop = std::chrono::steady_clock::now();
-  events_out = result.reconstruction.events.size();
-  skill_out = result.table4.mean_skill();
-  return std::chrono::duration<double>(stop - start).count();
+  leg.seconds = std::chrono::duration<double>(stop - start).count();
+  leg.events = result.reconstruction.events.size();
+  leg.skill = result.table4.mean_skill();
+  leg.sessions = result.traffic.sessions.size();
+  return leg;
+}
+
+/// CVEWB_EVENT_SCALES: comma-separated multipliers on the base event
+/// scale (default just {1}).  Values <= 0 are dropped.
+std::vector<double> event_scale_multipliers() {
+  std::vector<double> scales;
+  if (const char* raw = std::getenv("CVEWB_EVENT_SCALES")) {
+    std::stringstream stream(raw);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      const double v = std::atof(token.c_str());
+      if (v > 0) scales.push_back(v);
+    }
+  }
+  if (scales.empty()) scales.push_back(1.0);
+  std::sort(scales.begin(), scales.end());
+  return scales;
 }
 
 /// Best-of-N wall-clock: scheduler/allocator noise only ever slows a run
-/// down, so the minimum is the least-contaminated estimate.  Plain and
-/// instrumented repeats are interleaved so bursty host noise (shared-CPU
-/// containers) lands on both sides of the overhead comparison.
-constexpr int kRepeats = 5;
+/// down, so the minimum is the least-contaminated estimate.  Repeats
+/// shrink as the corpus grows (a 100x corpus needs no 5 repeats to beat
+/// timer noise).
+int repeats_for(double multiplier) {
+  if (multiplier <= 1.0) return 5;
+  if (multiplier <= 10.0) return 3;
+  return 2;
+}
+
+struct Gate {
+  std::string status;  // "pass" | "fail" | "skipped (N core)" | "recorded"
+  double value = 0;
+  double threshold = 0;
+};
+
+util::Json gate_json(const Gate& gate) {
+  util::Json doc;
+  doc.set("status", gate.status);
+  doc.set("value", gate.value);
+  if (gate.threshold > 0) doc.set("threshold", gate.threshold);
+  return doc;
+}
+
+/// In-process engine gate: the SoA reconstruct() vs the retained
+/// pre-rewrite baseline on one corpus, single-threaded, interleaved
+/// best-of-3.  Also byte-compares the encoded reconstructions -- the
+/// equivalence test at bench scale.
+Gate reconstruct_gate(const pipeline::StudyConfig& config, bool& outputs_agree,
+                      double& baseline_seconds, double& rewrite_seconds) {
+  const telescope::Dscope dscope = pipeline::make_study_telescope(config);
+  traffic::InternetConfig internet;
+  internet.seed = config.seed;
+  internet.event_scale = config.event_scale;
+  internet.background_per_day = config.background_per_day;
+  internet.credstuff_per_day = config.credstuff_per_day;
+  const traffic::GeneratedTraffic corpus = traffic::generate_traffic(dscope, internet);
+  const ids::RuleSet ruleset = ids::generate_study_ruleset();
+  pipeline::ReconstructOptions options;
+  options.window_begin = data::study_begin();
+  options.window_end = data::study_end();
+
+  baseline_seconds = 0;
+  rewrite_seconds = 0;
+  std::string baseline_bytes;
+  std::string rewrite_bytes;
+  for (int i = 0; i < 3; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    const pipeline::Reconstruction old_rec =
+        pipeline::reconstruct_baseline(corpus.sessions, ruleset, options);
+    auto stop = std::chrono::steady_clock::now();
+    const double old_seconds = std::chrono::duration<double>(stop - start).count();
+    if (i == 0 || old_seconds < baseline_seconds) baseline_seconds = old_seconds;
+    if (i == 0) baseline_bytes = cache::encode_reconstruction(old_rec);
+
+    start = std::chrono::steady_clock::now();
+    const pipeline::Reconstruction new_rec =
+        pipeline::reconstruct(corpus.sessions, ruleset, options);
+    stop = std::chrono::steady_clock::now();
+    const double new_seconds = std::chrono::duration<double>(stop - start).count();
+    if (i == 0 || new_seconds < rewrite_seconds) rewrite_seconds = new_seconds;
+    if (i == 0) rewrite_bytes = cache::encode_reconstruction(new_rec);
+  }
+  if (baseline_bytes != rewrite_bytes) outputs_agree = false;
+
+  Gate gate;
+  gate.threshold = 2.0;
+  gate.value = rewrite_seconds > 0 ? baseline_seconds / rewrite_seconds : 0;
+  gate.status = gate.value >= gate.threshold ? "pass" : "fail";
+  return gate;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
-  pipeline::StudyConfig config = bench::study_config();
+  const pipeline::StudyConfig base_config = bench::study_config();
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<double> multipliers = event_scale_multipliers();
 
   bench::header("Parallel study engine: run_study wall-clock vs threads");
-  std::cout << "event_scale=" << config.event_scale
-            << "  hardware_concurrency=" << std::thread::hardware_concurrency() << "\n\n";
-  std::cout << "  threads    seconds    speedup   observed    overhead       warm   warm_spd\n";
+  std::cout << "event_scale=" << base_config.event_scale << "  cores_detected=" << cores
+            << "  scale_multipliers=";
+  for (std::size_t i = 0; i < multipliers.size(); ++i) {
+    std::cout << (i ? "," : "") << multipliers[i];
+  }
+  std::cout << "\n";
+  if (cores == 1) {
+    std::cout << "  NOTE: 1 core detected -- parallel speedup gates are SKIPPED, not passed.\n";
+  }
+
+  bool outputs_agree = true;
+
+  // Engine gate first: cheap, single-threaded, and meaningful on any host.
+  double baseline_seconds = 0;
+  double rewrite_seconds = 0;
+  const Gate engine_gate =
+      reconstruct_gate(base_config, outputs_agree, baseline_seconds, rewrite_seconds);
+  std::cout << "\n  reconstruct engine: baseline " << std::fixed << std::setprecision(3)
+            << baseline_seconds << "s  rewrite " << rewrite_seconds << "s  speedup "
+            << std::setprecision(2) << engine_gate.value << "x  [" << engine_gate.status
+            << ", gate >= " << engine_gate.threshold << "x]\n";
 
   // Warm-up run (discarded): the first study pays allocator growth and
   // page faults that would otherwise be charged to the threads=1 row and
   // skew its plain-vs-observed overhead comparison.
-  {
-    std::size_t events = 0;
-    double skill = 0;
-    (void)run_once(config, 1, nullptr, events, skill);
-  }
+  (void)run_once(base_config, 1, nullptr);
 
   // Populate the stage cache once (the cold leg).  Stage keys deliberately
-  // exclude the thread count, so this single populate serves the warm leg
-  // of every row below.
+  // exclude the thread count and DAG toggle, so this single populate
+  // serves the warm leg of every base-scale row below.
   const std::filesystem::path cache_dir =
       std::filesystem::temp_directory_path() / "cvewb_bench_parallel_cache";
   std::filesystem::remove_all(cache_dir);
-  double cold_populate_seconds = 0;
-  std::size_t cold_events = 0;
-  double cold_skill = 0;
-  cold_populate_seconds = run_once(config, 1, nullptr, cold_events, cold_skill,
-                                   cache_dir.string());
+  const RunLeg cold = run_once(base_config, 1, nullptr, cache_dir.string());
 
   util::Json runs{util::JsonArray{}};
-  double serial_seconds = 0;
   std::size_t serial_events = 0;
   double serial_skill = 0;
-  bool outputs_agree = true;
-  for (const int threads : {1, 2, 4, 8}) {
-    double seconds = 0;
-    double observed_seconds = 0;
-    double warm_seconds = 0;
-    std::size_t events = 0;
-    double skill = 0;
-    obs::MetricsSnapshot snapshot;
-    std::size_t trace_events = 0;
-    for (int i = 0; i < kRepeats; ++i) {
-      // Plain leg.
-      const double plain_seconds = run_once(config, threads, nullptr, events, skill);
-      if (threads == 1 && i == 0) {
-        serial_events = events;
-        serial_skill = skill;
-      } else if (events != serial_events || skill != serial_skill) {
-        outputs_agree = false;
-      }
-      if (i == 0 || plain_seconds < seconds) seconds = plain_seconds;
+  double best_sessions_per_sec = 0;
+  double speedup_2t = 0;
+  double speedup_4t = 0;
+  bool have_serial = false;
 
-      // Instrumented leg: same config plus a fresh tracing/metrics sink
-      // (fresh so the per-stage counters kept from the best repeat
-      // describe exactly one run).  The result must not change; the
-      // wall-clock delta is the obs overhead.
-      obs::Observability observability;
-      std::size_t observed_events = 0;
-      double observed_skill = 0;
-      const double repeat_seconds =
-          run_once(config, threads, &observability, observed_events, observed_skill);
-      if (observed_events != serial_events || observed_skill != serial_skill) {
-        outputs_agree = false;
+  for (const double multiplier : multipliers) {
+    pipeline::StudyConfig config = base_config;
+    config.event_scale = base_config.event_scale * multiplier;
+    const bool base_scale = multiplier == multipliers.front();
+    const int repeats = repeats_for(multiplier);
+    const std::vector<int> thread_counts =
+        base_scale ? std::vector<int>{1, 2, 4, 8} : std::vector<int>{1, 4};
+
+    std::cout << "\n  [scale x" << std::setprecision(0) << multiplier << std::setprecision(3)
+              << "  sessions/run below]\n"
+              << "  threads    seconds    speedup     no_dag   dag_gain   observed   overhead"
+                 "       warm    sess/sec\n";
+
+    double scale_serial_seconds = 0;
+    std::size_t scale_serial_events = 0;
+    double scale_serial_skill = 0;
+    for (const int threads : thread_counts) {
+      RunLeg best;
+      RunLeg best_no_dag;
+      double observed_seconds = 0;
+      double warm_seconds = 0;
+      obs::MetricsSnapshot snapshot;
+      std::size_t trace_events = 0;
+      for (int i = 0; i < repeats; ++i) {
+        // Plain leg (DAG on -- the default scheduling).
+        const RunLeg plain = run_once(config, threads, nullptr);
+        if (threads == 1 && i == 0) {
+          scale_serial_events = plain.events;
+          scale_serial_skill = plain.skill;
+          if (base_scale && !have_serial) {
+            serial_events = plain.events;
+            serial_skill = plain.skill;
+            have_serial = true;
+          }
+        } else if (plain.events != scale_serial_events || plain.skill != scale_serial_skill) {
+          outputs_agree = false;
+        }
+        if (i == 0 || plain.seconds < best.seconds) best = plain;
+
+        if (!base_scale) continue;
+
+        // DAG-off leg: the historical barrier-per-stage sequence.  Output
+        // must be byte-identical; the wall-clock delta is what dependency
+        // scheduling buys.
+        const RunLeg no_dag = run_once(config, threads, nullptr, "", /*stage_dag=*/false);
+        if (no_dag.events != scale_serial_events || no_dag.skill != scale_serial_skill) {
+          outputs_agree = false;
+        }
+        if (i == 0 || no_dag.seconds < best_no_dag.seconds) best_no_dag = no_dag;
+
+        // Instrumented leg: same config plus a fresh tracing/metrics sink
+        // (fresh so the per-stage counters kept from the best repeat
+        // describe exactly one run).  The result must not change; the
+        // wall-clock delta is the obs overhead, and the per-stage counters
+        // feed the overlap ratio below.
+        obs::Observability observability;
+        const RunLeg observed = run_once(config, threads, &observability);
+        if (observed.events != scale_serial_events || observed.skill != scale_serial_skill) {
+          outputs_agree = false;
+        }
+        if (i == 0 || observed.seconds < observed_seconds) {
+          observed_seconds = observed.seconds;
+          snapshot = observability.metrics.snapshot();
+          trace_events = observability.tracer.event_count();
+        }
+
+        // Warm-cache leg: every stage served from the populated cache.
+        const RunLeg warm = run_once(config, threads, nullptr, cache_dir.string());
+        if (warm.events != scale_serial_events || warm.skill != scale_serial_skill) {
+          outputs_agree = false;
+        }
+        if (i == 0 || warm.seconds < warm_seconds) warm_seconds = warm.seconds;
       }
-      if (i == 0 || repeat_seconds < observed_seconds) {
-        observed_seconds = repeat_seconds;
-        snapshot = observability.metrics.snapshot();
-        trace_events = observability.tracer.event_count();
+      if (threads == 1) scale_serial_seconds = best.seconds;
+
+      const double speedup = best.seconds > 0 ? scale_serial_seconds / best.seconds : 0;
+      const double dag_gain =
+          base_scale && best.seconds > 0 ? best_no_dag.seconds / best.seconds : 0;
+      const double overhead_pct =
+          base_scale && best.seconds > 0
+              ? (observed_seconds - best.seconds) / best.seconds * 100.0
+              : 0.0;
+      const double sessions_per_sec =
+          best.seconds > 0 ? static_cast<double>(best.sessions) / best.seconds : 0;
+      best_sessions_per_sec = std::max(best_sessions_per_sec, sessions_per_sec);
+      if (base_scale && threads == 2) speedup_2t = speedup;
+      if (base_scale && threads == 4) speedup_4t = speedup;
+
+      std::cout << "  " << std::setw(7) << threads << std::fixed << std::setprecision(3)
+                << std::setw(11) << best.seconds << std::setprecision(2) << std::setw(10)
+                << speedup << "x" << std::setprecision(3) << std::setw(11)
+                << (base_scale ? best_no_dag.seconds : 0.0) << std::setprecision(2)
+                << std::setw(10) << dag_gain << "x" << std::setprecision(3) << std::setw(11)
+                << observed_seconds << std::setprecision(1) << std::setw(10) << overhead_pct
+                << "%" << std::setprecision(3) << std::setw(11) << warm_seconds
+                << std::setprecision(0) << std::setw(12) << sessions_per_sec << "\n";
+
+      // Per-stage wall-clock from the observed leg, plus the overlap
+      // ratio: sum(stage seconds) / wall.  1.0 means pure sequence; above
+      // 1.0 means the DAG actually ran stages concurrently.
+      util::Json stages{util::JsonObject{}};
+      double stage_sum = 0;
+      for (const char* phase : kPhases) {
+        const auto it = snapshot.counters.find(std::string("phase_us/") + phase);
+        // A pristine bench skips the fault stage; absent phases report 0.
+        const double stage_seconds = it == snapshot.counters.end() ? 0.0 : it->second / 1e6;
+        stage_sum += stage_seconds;
+        stages.set(phase, stage_seconds);
       }
 
-      // Warm-cache leg: every stage served from the populated cache.  The
-      // output must match the recomputed runs exactly (the golden cache
-      // test proves this at test scale; the bench re-checks at bench
-      // scale).
-      std::size_t warm_events = 0;
-      double warm_skill = 0;
-      const double warm_repeat = run_once(config, threads, nullptr, warm_events, warm_skill,
-                                          cache_dir.string());
-      if (warm_events != serial_events || warm_skill != serial_skill) outputs_agree = false;
-      if (i == 0 || warm_repeat < warm_seconds) warm_seconds = warm_repeat;
+      util::Json row;
+      row.set("scale_multiplier", multiplier);
+      row.set("event_scale", config.event_scale);
+      row.set("threads", threads);
+      row.set("sessions", static_cast<std::int64_t>(best.sessions));
+      row.set("seconds", best.seconds);
+      row.set("speedup", speedup);
+      row.set("sessions_per_sec", sessions_per_sec);
+      if (base_scale) {
+        row.set("seconds_no_dag", best_no_dag.seconds);
+        row.set("dag_gain", dag_gain);
+        row.set("seconds_observed", observed_seconds);
+        row.set("overhead_pct", overhead_pct);
+        row.set("seconds_warm_cache", warm_seconds);
+        row.set("warm_cache_speedup", warm_seconds > 0 ? best.seconds / warm_seconds : 0);
+        row.set("trace_events", static_cast<std::int64_t>(trace_events));
+        row.set("stage_seconds_sum", stage_sum);
+        row.set("overlap_ratio", observed_seconds > 0 ? stage_sum / observed_seconds : 0);
+        row.set("stages", std::move(stages));
+      }
+      runs.push_back(std::move(row));
     }
-    if (threads == 1) serial_seconds = seconds;
-    const double overhead_pct =
-        seconds > 0 ? (observed_seconds - seconds) / seconds * 100.0 : 0.0;
-
-    const double speedup = seconds > 0 ? serial_seconds / seconds : 0;
-    const double warm_speedup = warm_seconds > 0 ? seconds / warm_seconds : 0;
-    std::cout << "  " << std::setw(7) << threads << std::fixed << std::setprecision(3)
-              << std::setw(11) << seconds << std::setprecision(2) << std::setw(10) << speedup
-              << "x" << std::setprecision(3) << std::setw(11) << observed_seconds
-              << std::setprecision(1) << std::setw(10) << overhead_pct << "%"
-              << std::setprecision(3) << std::setw(11) << warm_seconds << std::setprecision(2)
-              << std::setw(10) << warm_speedup << "x\n";
-
-    util::Json stages{util::JsonObject{}};
-    for (const char* phase : kPhases) {
-      const auto it = snapshot.counters.find(std::string("phase_us/") + phase);
-      // A pristine bench skips the fault stage; absent phases report 0.
-      const double stage_seconds = it == snapshot.counters.end() ? 0.0 : it->second / 1e6;
-      stages.set(phase, stage_seconds);
-    }
-
-    util::Json row;
-    row.set("threads", threads);
-    row.set("seconds", seconds);
-    row.set("speedup", speedup);
-    row.set("seconds_observed", observed_seconds);
-    row.set("overhead_pct", overhead_pct);
-    row.set("seconds_warm_cache", warm_seconds);
-    row.set("warm_cache_speedup", warm_speedup);
-    row.set("trace_events", static_cast<std::int64_t>(trace_events));
-    row.set("stages", std::move(stages));
-    runs.push_back(std::move(row));
   }
-  if (cold_events != serial_events || cold_skill != serial_skill) outputs_agree = false;
-  std::cout << "\n  outputs identical across thread counts, with observability, and from cache: "
+  if (cold.events != serial_events || cold.skill != serial_skill) outputs_agree = false;
+  std::cout << "\n  outputs identical across thread counts, scheduling, observability, and"
+               " cache: "
             << (outputs_agree ? "yes" : "NO -- DETERMINISM BUG") << "\n";
+
+  // Gates.  Parallel speedups are gated only when the host has the cores;
+  // a 1-core host reports "skipped (1 core)" so CI cannot mistake "no
+  // parallelism available" for "parallelism works".
+  const auto parallel_gate = [&](double value, unsigned required_cores, double threshold) {
+    Gate gate;
+    gate.value = value;
+    gate.threshold = threshold;
+    if (cores < required_cores) {
+      gate.status = "skipped (" + std::to_string(cores) + " core)";
+    } else {
+      gate.status = value >= threshold ? "pass" : "fail";
+    }
+    return gate;
+  };
+  const Gate gate_2t = parallel_gate(speedup_2t, 2, 1.2);
+  const Gate gate_4t = parallel_gate(speedup_4t, 4, 2.0);
+  Gate throughput_gate;
+  throughput_gate.status = "recorded";
+  throughput_gate.value = best_sessions_per_sec;
+  std::cout << "  gates: reconstruct_speedup=" << std::setprecision(2) << engine_gate.value
+            << "x [" << engine_gate.status << "]  2t=" << gate_2t.value << "x ["
+            << gate_2t.status << "]  4t=" << gate_4t.value << "x [" << gate_4t.status
+            << "]  sessions/sec=" << std::setprecision(0) << best_sessions_per_sec << "\n";
+
+  util::Json gates{util::JsonObject{}};
+  gates.set("reconstruct_speedup", gate_json(engine_gate));
+  gates.set("parallel_speedup_2t", gate_json(gate_2t));
+  gates.set("parallel_speedup_4t", gate_json(gate_4t));
+  gates.set("sessions_per_sec", gate_json(throughput_gate));
 
   util::Json doc;
   doc.set("bench", "bench_perf_parallel");
   doc.set("pipeline", "run_study");
-  doc.set("event_scale", config.event_scale);
-  doc.set("hardware_concurrency", static_cast<int>(std::thread::hardware_concurrency()));
+  doc.set("event_scale", base_config.event_scale);
+  doc.set("cores_detected", static_cast<int>(cores));
+  // Kept for readers of the old schema; cores_detected is the same value.
+  doc.set("hardware_concurrency", static_cast<int>(cores));
   doc.set("outputs_agree", outputs_agree);
+  util::Json baseline_doc{util::JsonObject{}};
+  baseline_doc.set("seconds_baseline_engine", baseline_seconds);
+  baseline_doc.set("seconds_rewrite_engine", rewrite_seconds);
+  doc.set("reconstruct_engines", std::move(baseline_doc));
+  doc.set("gates", std::move(gates));
   const cache::CacheDirStat cache_stat = cache::CacheStore::stat_dir(cache_dir);
   util::Json cache_doc{util::JsonObject{}};
-  cache_doc.set("cold_populate_seconds", cold_populate_seconds);
+  cache_doc.set("cold_populate_seconds", cold.seconds);
   cache_doc.set("entries", static_cast<std::int64_t>(cache_stat.entries));
   cache_doc.set("payload_bytes", static_cast<std::int64_t>(cache_stat.payload_bytes));
   doc.set("cache", std::move(cache_doc));
@@ -193,5 +413,8 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << doc.dump(2) << "\n";
   std::cout << "  wrote " << out_path << "\n";
-  return outputs_agree ? 0 : 1;
+
+  const bool gates_ok =
+      engine_gate.status != "fail" && gate_2t.status != "fail" && gate_4t.status != "fail";
+  return outputs_agree && gates_ok ? 0 : 1;
 }

@@ -57,16 +57,28 @@ void AhoCorasick::build() {
       }
     }
   }
+  // Pack the goto function and output flags into the dense scan tables.
+  flat_next_.resize(nodes_.size() * 256);
+  has_output_.resize(nodes_.size());
+  for (std::size_t state = 0; state < nodes_.size(); ++state) {
+    std::copy(nodes_[state].next, nodes_[state].next + 256, flat_next_.data() + state * 256);
+    has_output_[state] = nodes_[state].outputs.empty() ? 0 : 1;
+  }
   built_ = true;
 }
 
 std::vector<std::size_t> AhoCorasick::find_all(std::string_view text) const {
-  if (!built_) throw std::logic_error("AhoCorasick: find_all before build");
   std::vector<std::size_t> hits;
+  find_all_into(text, hits);
+  return hits;
+}
+
+void AhoCorasick::find_all_into(std::string_view text, std::vector<std::size_t>& hits) const {
+  if (!built_) throw std::logic_error("AhoCorasick: find_all before build");
+  hits.clear();
   scan(text, [&](std::size_t id, std::size_t) { hits.push_back(id); });
   std::sort(hits.begin(), hits.end());
   hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
-  return hits;
 }
 
 }  // namespace cvewb::ids

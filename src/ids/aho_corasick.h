@@ -27,6 +27,10 @@ class AhoCorasick {
   /// ascending).  Requires build().
   std::vector<std::size_t> find_all(std::string_view text) const;
 
+  /// Allocation-reusing variant: clears `hits` (keeping capacity) and
+  /// fills it with the same deduplicated ascending ids find_all returns.
+  void find_all_into(std::string_view text, std::vector<std::size_t>& hits) const;
+
   /// Invoke `fn(pattern_id, end_offset)` for every occurrence.
   template <typename Fn>
   void scan(std::string_view text, Fn&& fn) const;
@@ -52,16 +56,29 @@ class AhoCorasick {
   std::vector<Node> nodes_{1};
   std::size_t patterns_ = 0;
   bool built_ = false;
+
+  // Dense scan tables, laid out by build().  The node structs carry a
+  // 1 KiB transition row plus an outputs vector each, so walking them
+  // per byte costs two dependent loads (row, then outputs begin/end) per
+  // character.  The flat copy packs all transitions contiguously and
+  // folds "does this state emit anything" into one byte, so the common
+  // no-hit byte touches exactly one int32 row entry and one flag byte.
+  std::vector<std::int32_t> flat_next_;   // [state * 256 + folded byte]
+  std::vector<std::uint8_t> has_output_;  // [state] -> outputs non-empty
 };
 
 template <typename Fn>
 void AhoCorasick::scan(std::string_view text, Fn&& fn) const {
   std::int32_t state = 0;
+  const std::int32_t* next = flat_next_.data();
+  const std::uint8_t* emit = has_output_.data();
   for (std::size_t i = 0; i < text.size(); ++i) {
     const unsigned char c = fold(text[i]);
-    state = nodes_[static_cast<std::size_t>(state)].next[c];
-    for (std::size_t id : nodes_[static_cast<std::size_t>(state)].outputs) {
-      fn(id, i + 1);
+    state = next[(static_cast<std::size_t>(state) << 8) + c];
+    if (emit[static_cast<std::size_t>(state)]) {
+      for (std::size_t id : nodes_[static_cast<std::size_t>(state)].outputs) {
+        fn(id, i + 1);
+      }
     }
   }
 }

@@ -1,8 +1,10 @@
 #include "ids/matcher.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <limits>
 
-#include "net/http.h"
 #include "obs/observability.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -19,7 +21,7 @@ std::size_t search(std::string_view text, std::string_view pattern, std::size_t 
   return text.find(pattern, from);
 }
 
-std::string_view buffer_for(const SessionBuffers& buffers, Buffer b) {
+std::string_view buffer_for(const BufferViews& buffers, Buffer b) {
   switch (b) {
     case Buffer::kRaw: return buffers.raw;
     case Buffer::kHttpUri: return buffers.uri_decoded;
@@ -30,6 +32,27 @@ std::string_view buffer_for(const SessionBuffers& buffers, Buffer b) {
     case Buffer::kHttpMethod: return buffers.method;
   }
   return {};
+}
+
+BufferViews views_of(const SessionBuffers& buffers) {
+  BufferViews views;
+  views.raw = buffers.raw;
+  views.method = buffers.method;
+  views.uri_raw = buffers.uri_raw;
+  views.uri_decoded = buffers.uri_decoded;
+  views.headers = buffers.headers;
+  views.cookie = buffers.cookie;
+  views.body = buffers.body;
+  views.is_http = buffers.is_http;
+  return views;
+}
+
+/// (published, sid) retention key: earliest publication wins, unpublished
+/// rules sort last, ties broken by sid.
+std::pair<std::int64_t, int> retention_key(const Rule* rule) {
+  const std::int64_t t = rule->published ? rule->published->unix_seconds()
+                                         : std::numeric_limits<std::int64_t>::max();
+  return {t, rule->sid};
 }
 
 }  // namespace
@@ -58,10 +81,105 @@ SessionBuffers extract_buffers(const net::TcpSession& session) {
   return buffers;
 }
 
+BufferViews extract_buffer_views(std::string_view payload, MatchScratch& scratch) {
+  scratch.arena.reset();
+  BufferViews views;
+  views.raw = payload;
+  if (net::parse_request_view(payload, scratch.request) != net::HttpParseError::kNone) {
+    return views;
+  }
+  const net::HttpRequestView& req = scratch.request;
+  views.is_http = true;
+  views.method = req.method;
+  views.uri_raw = req.uri;
+  if (req.uri.find('%') == std::string_view::npos) {
+    // percent_decode only rewrites %XX escapes, so an escape-free URI
+    // decodes to itself: alias the raw view (the aliasing is what lets
+    // collect_candidates skip the concatenated prefilter copy).
+    views.uri_decoded = req.uri;
+  } else {
+    char* decoded = scratch.arena.allocate_array<char>(req.uri.size());
+    views.uri_decoded = std::string_view(decoded, util::percent_decode_to(req.uri, decoded));
+  }
+  // Join the non-Cookie headers ("Name: value\n" lines) into one arena
+  // buffer; the Cookie value stays a payload view (last Cookie wins, as in
+  // extract_buffers).
+  std::size_t joined = 0;
+  for (const auto& [name, value] : req.headers) {
+    if (util::iequals(name, "Cookie")) {
+      views.cookie = value;
+      continue;
+    }
+    joined += name.size() + 2 + value.size() + 1;
+  }
+  if (joined > 0) {
+    char* buf = scratch.arena.allocate_array<char>(joined);
+    char* dst = buf;
+    for (const auto& [name, value] : req.headers) {
+      if (util::iequals(name, "Cookie")) continue;
+      std::memcpy(dst, name.data(), name.size());
+      dst += name.size();
+      *dst++ = ':';
+      *dst++ = ' ';
+      std::memcpy(dst, value.data(), value.size());
+      dst += value.size();
+      *dst++ = '\n';
+    }
+    views.headers = std::string_view(buf, joined);
+  }
+  views.body = req.body;
+  return views;
+}
+
+void classify_payload(std::string_view payload, bool is_http,
+                      const net::HttpRequestView& request, SessionClassCounts& counts) {
+  if (payload.empty()) {
+    ++counts.empty_payloads;
+    return;
+  }
+  if (!is_http) {
+    ++counts.non_http_payloads;
+    return;
+  }
+  const auto content_length = request.header("Content-Length");
+  if (!content_length) return;
+  std::size_t declared = 0;
+  const char* begin = content_length->data();
+  const char* end = begin + content_length->size();
+  if (std::from_chars(begin, end, declared).ec != std::errc()) return;
+  if (declared > request.body.size()) ++counts.truncated_http;
+}
+
+SessionClassCounts classify_corpus(const std::vector<SessionRef>& sessions,
+                                   util::ThreadPool* pool, util::CancelToken* cancel) {
+  SessionClassCounts total;
+  if (sessions.empty()) return total;
+  constexpr std::size_t kChunk = 4096;
+  const std::size_t chunks = util::shard_count(sessions.size(), kChunk);
+  std::vector<SessionClassCounts> per_chunk(chunks);
+  util::for_each_shard(pool, chunks, [&](std::size_t chunk) {
+    net::HttpRequestView request;
+    const std::size_t first = chunk * kChunk;
+    const std::size_t last = std::min(sessions.size(), first + kChunk);
+    for (std::size_t i = first; i < last; ++i) {
+      const bool is_http =
+          net::parse_request_view(sessions[i].payload, request) == net::HttpParseError::kNone;
+      classify_payload(sessions[i].payload, is_http, request, per_chunk[chunk]);
+    }
+  }, cancel);
+  for (const SessionClassCounts& c : per_chunk) {
+    total.empty_payloads += c.empty_payloads;
+    total.non_http_payloads += c.non_http_payloads;
+    total.truncated_http += c.truncated_http;
+  }
+  return total;
+}
+
 Matcher::Matcher(std::vector<Rule> rules, MatcherOptions options)
     : rules_(std::move(rules)), options_(options) {
   pattern_to_rules_.reserve(rules_.size());
   for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (!rules_[i].src_ports.any) src_port_sensitive_ = true;
     const ContentMatch* fast = rules_[i].longest_positive_content();
     if (fast == nullptr) {
       unfiltered_rules_.push_back(i);
@@ -76,9 +194,15 @@ Matcher::Matcher(std::vector<Rule> rules, MatcherOptions options)
 
 bool Matcher::rule_matches(const Rule& rule, const net::TcpSession& session,
                            const SessionBuffers& buffers, bool port_insensitive) {
+  return rule_matches(rule, session.src_port, session.dst_port, views_of(buffers),
+                      port_insensitive);
+}
+
+bool Matcher::rule_matches(const Rule& rule, std::uint16_t src_port, std::uint16_t dst_port,
+                           const BufferViews& buffers, bool port_insensitive) {
   if (!port_insensitive) {
-    if (!rule.src_ports.permits(session.src_port)) return false;
-    if (!rule.dst_ports.permits(session.dst_port)) return false;
+    if (!rule.src_ports.permits(src_port)) return false;
+    if (!rule.dst_ports.permits(dst_port)) return false;
   }
   // Content verification: contents are checked in order; `distance` and
   // `within` are relative to the end of the previous match in the same
@@ -133,19 +257,29 @@ bool Matcher::rule_matches(const Rule& rule, const net::TcpSession& session,
   return true;
 }
 
-std::vector<const Rule*> Matcher::match_all(const net::TcpSession& session) const {
-  const SessionBuffers buffers = extract_buffers(session);
-  std::vector<std::size_t> candidates;
+void Matcher::collect_candidates(const BufferViews& buffers, MatchScratch& scratch) const {
+  std::vector<std::size_t>& candidates = scratch.candidates;
+  candidates.clear();
   if (options_.use_prefilter && prefilter_.pattern_count() > 0) {
     // The prefilter text must contain every buffer a fast pattern might
     // live in; the decoded URI is the only buffer not literally a
-    // substring of the raw payload.
-    std::string text(buffers.raw);
-    if (buffers.is_http) {
-      text += '\n';
-      text += buffers.uri_decoded;
+    // substring of the raw payload, so non-HTTP payloads -- and HTTP
+    // payloads whose URI decoded to itself (the aliased view) -- scan the
+    // raw payload in place.
+    std::string_view text = buffers.raw;
+    const bool uri_aliased = buffers.uri_decoded.data() == buffers.uri_raw.data() &&
+                             buffers.uri_decoded.size() == buffers.uri_raw.size();
+    if (buffers.is_http && !uri_aliased) {
+      char* buf =
+          scratch.arena.allocate_array<char>(buffers.raw.size() + 1 + buffers.uri_decoded.size());
+      std::memcpy(buf, buffers.raw.data(), buffers.raw.size());
+      buf[buffers.raw.size()] = '\n';
+      std::memcpy(buf + buffers.raw.size() + 1, buffers.uri_decoded.data(),
+                  buffers.uri_decoded.size());
+      text = std::string_view(buf, buffers.raw.size() + 1 + buffers.uri_decoded.size());
     }
-    for (std::size_t id : prefilter_.find_all(text)) {
+    prefilter_.find_all_into(text, scratch.hits);
+    for (std::size_t id : scratch.hits) {
       for (std::size_t rule_idx : pattern_to_rules_[id]) candidates.push_back(rule_idx);
     }
     candidates.insert(candidates.end(), unfiltered_rules_.begin(), unfiltered_rules_.end());
@@ -155,35 +289,54 @@ std::vector<const Rule*> Matcher::match_all(const net::TcpSession& session) cons
     candidates.resize(rules_.size());
     for (std::size_t i = 0; i < rules_.size(); ++i) candidates[i] = i;
   }
+}
+
+std::vector<const Rule*> Matcher::match_all(const net::TcpSession& session) const {
+  MatchScratch scratch;
+  const BufferViews buffers = extract_buffer_views(session.payload, scratch);
+  collect_candidates(buffers, scratch);
   std::vector<const Rule*> matches;
-  for (std::size_t idx : candidates) {
-    if (rule_matches(rules_[idx], session, buffers, options_.port_insensitive)) {
+  for (std::size_t idx : scratch.candidates) {
+    if (rule_matches(rules_[idx], session.src_port, session.dst_port, buffers,
+                     options_.port_insensitive)) {
       matches.push_back(&rules_[idx]);
     }
   }
   return matches;
 }
 
-const Rule* Matcher::earliest_published_match(const net::TcpSession& session) const {
+const Rule* Matcher::earliest_published_match(const BufferViews& buffers, std::uint16_t src_port,
+                                              std::uint16_t dst_port,
+                                              MatchScratch& scratch) const {
+  collect_candidates(buffers, scratch);
+  // Candidates are verified in ascending ruleset order and the comparison
+  // is strict, so ties retain the first-seen rule -- the same rule the
+  // match_all + min scan retained historically.
   const Rule* best = nullptr;
-  for (const Rule* rule : match_all(session)) {
-    if (best == nullptr) {
-      best = rule;
-      continue;
-    }
-    const auto key = [](const Rule* r) {
-      const std::int64_t t = r->published ? r->published->unix_seconds()
-                                          : std::numeric_limits<std::int64_t>::max();
-      return std::pair<std::int64_t, int>(t, r->sid);
-    };
-    if (key(rule) < key(best)) best = rule;
+  for (std::size_t idx : scratch.candidates) {
+    const Rule& rule = rules_[idx];
+    if (!rule_matches(rule, src_port, dst_port, buffers, options_.port_insensitive)) continue;
+    if (best == nullptr || retention_key(&rule) < retention_key(best)) best = &rule;
   }
   return best;
 }
 
-CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
+const Rule* Matcher::earliest_published_match(const SessionRef& session,
+                                              MatchScratch& scratch) const {
+  const BufferViews buffers = extract_buffer_views(session.payload, scratch);
+  return earliest_published_match(buffers, session.src_port, session.dst_port, scratch);
+}
+
+const Rule* Matcher::earliest_published_match(const net::TcpSession& session) const {
+  MatchScratch scratch;
+  return earliest_published_match(
+      SessionRef{session.payload, session.src_port, session.dst_port}, scratch);
+}
+
+CorpusMatch match_corpus(const Matcher& matcher, const std::vector<SessionRef>& sessions,
                          util::ThreadPool* pool, std::size_t chunk_size,
-                         obs::Observability* observability, util::CancelToken* cancel) {
+                         obs::Observability* observability, util::CancelToken* cancel,
+                         SessionClassCounts* counts, const std::vector<std::uint32_t>* weights) {
   obs::Span corpus_span(obs::tracer_of(observability), "ids/match_corpus");
   CorpusMatch out;
   out.matches.assign(sessions.size(), nullptr);
@@ -191,28 +344,69 @@ CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSessi
   if (chunk_size == 0) chunk_size = 1;
   const std::size_t chunks = util::shard_count(sessions.size(), chunk_size);
   std::vector<std::size_t> chunk_errors(chunks, 0);
+  std::vector<SessionClassCounts> chunk_counts(counts == nullptr ? 0 : chunks);
   util::for_each_shard(pool, chunks, [&](std::size_t chunk) {
     obs::Span batch_span(obs::tracer_of(observability), "ids/match_batch");
+    MatchScratch scratch;
     const std::size_t first = chunk * chunk_size;
     const std::size_t last = std::min(sessions.size(), first + chunk_size);
     for (std::size_t i = first; i < last; ++i) {
+      const std::size_t w = weights == nullptr ? 1 : (*weights)[i];
       try {
-        out.matches[i] = matcher.earliest_published_match(sessions[i]);
+        // One parse feeds both the taxonomy and the matcher.
+        const BufferViews buffers = extract_buffer_views(sessions[i].payload, scratch);
+        if (counts != nullptr) {
+          // Classification depends only on the payload, so every session a
+          // representative stands for classifies identically: count once,
+          // scale by the multiplicity.
+          SessionClassCounts one;
+          classify_payload(sessions[i].payload, buffers.is_http, scratch.request, one);
+          chunk_counts[chunk].empty_payloads += one.empty_payloads * w;
+          chunk_counts[chunk].non_http_payloads += one.non_http_payloads * w;
+          chunk_counts[chunk].truncated_http += one.truncated_http * w;
+        }
+        out.matches[i] = matcher.earliest_published_match(buffers, sessions[i].src_port,
+                                                          sessions[i].dst_port, scratch);
       } catch (const std::exception&) {
-        ++chunk_errors[chunk];
+        // The throw is a function of the payload too: all w members would
+        // have faulted.
+        chunk_errors[chunk] += w;
       }
     }
     obs::observe(observability, "ids/batch_sessions", last - first);
   }, cancel);
   for (const std::size_t errors : chunk_errors) out.errors += errors;
+  if (counts != nullptr) {
+    for (const SessionClassCounts& c : chunk_counts) {
+      counts->empty_payloads += c.empty_payloads;
+      counts->non_http_payloads += c.non_http_payloads;
+      counts->truncated_http += c.truncated_http;
+    }
+  }
   if (observability != nullptr) {
+    std::size_t scanned = 0;
     std::size_t matched = 0;
-    for (const Rule* rule : out.matches) matched += rule == nullptr ? 0 : 1;
-    obs::count(observability, "ids/sessions_scanned", sessions.size());
+    for (std::size_t i = 0; i < out.matches.size(); ++i) {
+      const std::size_t w = weights == nullptr ? 1 : (*weights)[i];
+      scanned += w;
+      matched += out.matches[i] == nullptr ? 0 : w;
+    }
+    obs::count(observability, "ids/sessions_scanned", scanned);
     obs::count(observability, "ids/sessions_matched", matched);
     obs::count(observability, "ids/match_errors", out.errors);
   }
   return out;
+}
+
+CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
+                         util::ThreadPool* pool, std::size_t chunk_size,
+                         obs::Observability* observability, util::CancelToken* cancel) {
+  std::vector<SessionRef> refs;
+  refs.reserve(sessions.size());
+  for (const auto& session : sessions) {
+    refs.push_back(SessionRef{session.payload, session.src_port, session.dst_port});
+  }
+  return match_corpus(matcher, refs, pool, chunk_size, observability, cancel, nullptr);
 }
 
 }  // namespace cvewb::ids

@@ -9,6 +9,12 @@
 //     are still detected (on by default, §3.1);
 //   * earliest-published-match selection -- when several signatures match
 //     a session, the one with the earliest publication time is retained.
+//
+// Hot-path layout: the per-session work runs entirely on views and a
+// reusable MatchScratch (arena + vectors), so matching a session performs
+// no heap allocation after warm-up.  The legacy SessionBuffers /
+// TcpSession entry points remain as thin wrappers over the same core --
+// they cannot diverge from the view path.
 #pragma once
 
 #include <memory>
@@ -17,7 +23,9 @@
 
 #include "ids/aho_corasick.h"
 #include "ids/rule.h"
+#include "net/http.h"
 #include "net/tcp_session.h"
+#include "util/arena.h"
 
 namespace cvewb::util {
 class CancelToken;
@@ -34,7 +42,8 @@ struct MatcherOptions {
   bool use_prefilter = true;
 };
 
-/// Extracted per-session match buffers (exposed for tests).
+/// Extracted per-session match buffers (owning-string variant, kept for
+/// tests and one-off callers; the corpus path uses BufferViews).
 struct SessionBuffers {
   std::string_view raw;
   std::string method;
@@ -47,6 +56,67 @@ struct SessionBuffers {
 };
 SessionBuffers extract_buffers(const net::TcpSession& session);
 
+/// Zero-copy match buffers: views into the session payload, except the
+/// decoded URI and joined headers, which live in the MatchScratch arena.
+/// Valid until the next extract_buffer_views on the same scratch.
+struct BufferViews {
+  std::string_view raw;
+  std::string_view method;
+  std::string_view uri_raw;
+  std::string_view uri_decoded;
+  std::string_view headers;
+  std::string_view cookie;
+  std::string_view body;
+  bool is_http = false;
+};
+
+/// Reusable per-worker matching state: one parse view, one arena (rewound
+/// per session, so capacity is paid once per worker, not per session), and
+/// the prefilter/candidate vectors.  Not thread-safe -- one per shard.
+struct MatchScratch {
+  net::HttpRequestView request;
+  util::Arena arena;
+  std::vector<std::size_t> hits;        // prefilter pattern ids
+  std::vector<std::size_t> candidates;  // rule indices to verify
+};
+
+/// Parse `payload` and build its match buffers into `scratch` (arena is
+/// reset first).  Semantically identical to extract_buffers -- both sit on
+/// the same parser -- minus the string copies.
+BufferViews extract_buffer_views(std::string_view payload, MatchScratch& scratch);
+
+/// The fields of a session the matcher actually reads, as a cheap POD.
+/// The SoA pipeline hands the matcher one contiguous vector of these
+/// instead of full TcpSession records.
+struct SessionRef {
+  std::string_view payload;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+/// Payload-taxonomy counters (the hygiene classification of
+/// pipeline::SessionQuality), folded into the match pass so the corpus is
+/// parsed once.  Plain commutative sums: chunk-parallel accumulation is
+/// order-independent.
+struct SessionClassCounts {
+  std::size_t empty_payloads = 0;
+  std::size_t non_http_payloads = 0;
+  std::size_t truncated_http = 0;
+};
+
+/// Classify one payload given its parse outcome ("truncated" = the request
+/// advertises more Content-Length body than was captured -- the signature
+/// a snaplen cut leaves behind).  `request` is only read when `is_http`.
+void classify_payload(std::string_view payload, bool is_http,
+                      const net::HttpRequestView& request, SessionClassCounts& counts);
+
+/// Classification-only sweep, for when the match vector came from cache
+/// and the match pass (which normally carries the classification) did not
+/// run.  Chunk-parallel; same counts as the match pass, by construction.
+SessionClassCounts classify_corpus(const std::vector<SessionRef>& sessions,
+                                   util::ThreadPool* pool = nullptr,
+                                   util::CancelToken* cancel = nullptr);
+
 class Matcher {
  public:
   explicit Matcher(std::vector<Rule> rules, MatcherOptions options = {});
@@ -58,15 +128,40 @@ class Matcher {
   /// rules sort last), ties broken by sid.  nullptr when nothing matches.
   const Rule* earliest_published_match(const net::TcpSession& session) const;
 
+  /// Hot-path variant: allocation-free after scratch warm-up.
+  const Rule* earliest_published_match(const SessionRef& session, MatchScratch& scratch) const;
+
+  /// Pre-extracted-buffers variant for callers that already parsed the
+  /// payload (match_corpus parses once and feeds both classification and
+  /// matching).  `buffers` must have been extracted into `scratch`.
+  const Rule* earliest_published_match(const BufferViews& buffers, std::uint16_t src_port,
+                                       std::uint16_t dst_port, MatchScratch& scratch) const;
+
   /// Verify a single rule against a session (no prefilter).
   static bool rule_matches(const Rule& rule, const net::TcpSession& session,
                            const SessionBuffers& buffers, bool port_insensitive);
 
+  /// View-based core the overload above delegates to.
+  static bool rule_matches(const Rule& rule, std::uint16_t src_port, std::uint16_t dst_port,
+                           const BufferViews& buffers, bool port_insensitive);
+
   const std::vector<Rule>& rules() const { return rules_; }
 
+  /// True when at least one rule constrains source ports.  When false the
+  /// match verdict is a pure function of (payload, dst_port) -- even with
+  /// port_insensitive off -- so callers may deduplicate sessions on that
+  /// pair and match one representative per group (see
+  /// pipeline::build_match_groups).
+  bool src_port_sensitive() const { return src_port_sensitive_; }
+
  private:
+  /// Fill scratch.candidates with the rule indices to verify (ascending,
+  /// deduplicated): prefilter hits plus always-verified unfiltered rules.
+  void collect_candidates(const BufferViews& buffers, MatchScratch& scratch) const;
+
   std::vector<Rule> rules_;
   MatcherOptions options_;
+  bool src_port_sensitive_ = false;
   AhoCorasick prefilter_;
   std::vector<std::vector<std::size_t>> pattern_to_rules_;  // AC id -> rule indices
   std::vector<std::size_t> unfiltered_rules_;  // rules without a positive content
@@ -88,7 +183,25 @@ struct CorpusMatch {
 /// session order -- so the result is byte-identical to the serial loop at
 /// any thread count.  `pool == nullptr` runs the chunks inline.
 /// `observability` traces per-batch spans and tallies match counters; it
-/// is a strict side-channel and never changes the result.
+/// is a strict side-channel and never changes the result.  When `counts`
+/// is non-null the pass also classifies every payload (parse-once: the
+/// parse the matcher needs anyway feeds the taxonomy).
+///
+/// `weights`, when non-null, must be parallel to `sessions`: each entry is
+/// the multiplicity the session stands for (group-match-scatter: the
+/// caller collapsed equivalent sessions to one representative).  Matching
+/// is unaffected; classification counts, match errors, and the scanned /
+/// matched observability counters are scaled by the weight, so the totals
+/// equal what the expanded corpus would have produced.
+CorpusMatch match_corpus(const Matcher& matcher, const std::vector<SessionRef>& sessions,
+                         util::ThreadPool* pool = nullptr, std::size_t chunk_size = 4096,
+                         obs::Observability* observability = nullptr,
+                         util::CancelToken* cancel = nullptr,
+                         SessionClassCounts* counts = nullptr,
+                         const std::vector<std::uint32_t>* weights = nullptr);
+
+/// Compatibility overload over full session records; delegates to the
+/// SessionRef path.
 CorpusMatch match_corpus(const Matcher& matcher, const std::vector<net::TcpSession>& sessions,
                          util::ThreadPool* pool = nullptr, std::size_t chunk_size = 4096,
                          obs::Observability* observability = nullptr,

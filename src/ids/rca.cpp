@@ -39,13 +39,15 @@ std::size_t RcaReport::kept_cves() const {
 
 std::size_t RcaReport::dropped_cves() const { return verdicts.size() - kept_cves(); }
 
-RcaReport root_cause_analysis(const std::vector<Detection>& detections,
-                              const PayloadClassifier& classify, double exploit_threshold) {
-  // Group detections by CVE.
-  std::map<std::string, std::vector<const Detection*>> by_cve;
-  for (const auto& d : detections) {
-    if (d.rule == nullptr || d.session == nullptr) continue;
-    by_cve[d.rule->cve].push_back(&d);
+RcaReport root_cause_analysis_refs(const std::vector<DetectionRef>& detections,
+                                   const PayloadClassifier& classify, double exploit_threshold,
+                                   std::vector<std::size_t>* kept_indices) {
+  // Group detections by CVE (map order = CVE ascending, the verdict and
+  // kept-detection order contract).
+  std::map<std::string, std::vector<std::size_t>> by_cve;
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (detections[i].rule == nullptr) continue;
+    by_cve[detections[i].rule->cve].push_back(i);
   }
 
   RcaReport report;
@@ -56,13 +58,13 @@ RcaReport root_cause_analysis(const std::vector<Detection>& detections,
     bool any_broad = false;
     std::size_t pre_pub = 0;
     std::size_t pre_pub_exploit = 0;
-    for (const Detection* d : group) {
-      if (d->rule->broad) any_broad = true;
-      const bool before_publication =
-          !d->rule->published || d->session->open_time < *d->rule->published;
+    for (const std::size_t i : group) {
+      const DetectionRef& d = detections[i];
+      if (d.rule->broad) any_broad = true;
+      const bool before_publication = !d.rule->published || d.open_time < *d.rule->published;
       if (!before_publication) continue;
       ++pre_pub;
-      if (classify(d->session->payload)) ++pre_pub_exploit;
+      if (classify(d.payload)) ++pre_pub_exploit;
     }
     verdict.pre_publication = pre_pub;
     verdict.reviewed_exploit = pre_pub_exploit;
@@ -80,8 +82,8 @@ RcaReport root_cause_analysis(const std::vector<Detection>& detections,
       // Broad rules with no pre-publication traffic still get a payload
       // review of their overall matches.
       std::size_t exploit = 0;
-      for (const Detection* d : group) {
-        if (classify(d->session->payload)) ++exploit;
+      for (const std::size_t i : group) {
+        if (classify(detections[i].payload)) ++exploit;
       }
       if (static_cast<double>(exploit) <
           exploit_threshold * static_cast<double>(group.size())) {
@@ -89,10 +91,33 @@ RcaReport root_cause_analysis(const std::vector<Detection>& detections,
         verdict.reason = "over-broad signature; matches fail payload review";
       }
     }
-    if (verdict.kept) {
-      for (const Detection* d : group) report.kept_detections.push_back(*d);
+    if (verdict.kept && kept_indices != nullptr) {
+      kept_indices->insert(kept_indices->end(), group.begin(), group.end());
     }
     report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+RcaReport root_cause_analysis(const std::vector<Detection>& detections,
+                              const PayloadClassifier& classify, double exploit_threshold) {
+  // Wrap into refs and run the shared core; the null-session filter
+  // matches the historical grouping predicate.
+  std::vector<DetectionRef> refs;
+  std::vector<std::size_t> original;  // ref index -> detections index
+  refs.reserve(detections.size());
+  original.reserve(detections.size());
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    const Detection& d = detections[i];
+    if (d.rule == nullptr || d.session == nullptr) continue;
+    refs.push_back(DetectionRef{d.rule, d.session->open_time, d.session->payload});
+    original.push_back(i);
+  }
+  std::vector<std::size_t> kept;
+  RcaReport report = root_cause_analysis_refs(refs, classify, exploit_threshold, &kept);
+  report.kept_detections.reserve(kept.size());
+  for (const std::size_t ref_idx : kept) {
+    report.kept_detections.push_back(detections[original[ref_idx]]);
   }
   return report;
 }

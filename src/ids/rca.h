@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ids/rule.h"
@@ -59,5 +60,24 @@ struct RcaReport {
 RcaReport root_cause_analysis(const std::vector<Detection>& detections,
                               const PayloadClassifier& classify = default_payload_classifier(),
                               double exploit_threshold = 0.5);
+
+/// One IDS detection by value: the three session fields RCA reads, without
+/// requiring a materialized TcpSession.  The SoA reconstruction engine
+/// feeds these; root_cause_analysis wraps its Detections into refs, so the
+/// two entry points share one verdict core and cannot diverge.
+struct DetectionRef {
+  const Rule* rule = nullptr;
+  util::TimePoint open_time;
+  std::string_view payload;
+};
+
+/// Ref-based RCA core.  `kept_detections` in the returned report is left
+/// empty; instead `kept_indices` (when non-null) receives the indices into
+/// `detections` that survived review, ordered by (CVE ascending, input
+/// order) -- exactly the historical kept_detections order.
+RcaReport root_cause_analysis_refs(const std::vector<DetectionRef>& detections,
+                                   const PayloadClassifier& classify = default_payload_classifier(),
+                                   double exploit_threshold = 0.5,
+                                   std::vector<std::size_t>* kept_indices = nullptr);
 
 }  // namespace cvewb::ids

@@ -19,6 +19,18 @@ std::string_view HttpRequest::cookie() const {
   return v.value_or(std::string_view{});
 }
 
+std::optional<std::string_view> HttpRequestView::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return std::nullopt;
+}
+
+std::string_view HttpRequestView::cookie() const {
+  const auto v = header("Cookie");
+  return v.value_or(std::string_view{});
+}
+
 void HttpRequest::add_header(std::string name, std::string value) {
   headers.emplace_back(std::move(name), std::move(value));
 }
@@ -90,27 +102,26 @@ ParsedPayload parse_payload(std::string_view bytes) {
   return parse_payload(bytes, HttpParseLimits{});
 }
 
-ParsedPayload parse_payload(std::string_view bytes, const HttpParseLimits& limits) {
-  ParsedPayload out;
-  out.raw = bytes;
-  out.error = HttpParseError::kNotHttp;
-  if (!looks_like_http(bytes)) return out;
+HttpParseError parse_request_view(std::string_view bytes, HttpRequestView& out,
+                                  const HttpParseLimits& limits) {
+  out.method = {};
+  out.uri = {};
+  out.version = {};
+  out.headers.clear();
+  out.body = {};
+  if (!looks_like_http(bytes)) return HttpParseError::kNotHttp;
 
   const auto line_end = bytes.find("\r\n");
-  if (line_end == std::string_view::npos) return out;
-  if (line_end > limits.max_request_line) {
-    out.error = HttpParseError::kRequestLineTooLong;
-    return out;
-  }
+  if (line_end == std::string_view::npos) return HttpParseError::kNotHttp;
+  if (line_end > limits.max_request_line) return HttpParseError::kRequestLineTooLong;
   const std::string_view request_line = bytes.substr(0, line_end);
   const auto sp1 = request_line.find(' ');
   const auto sp2 = request_line.rfind(' ');
-  if (sp1 == std::string_view::npos || sp2 == sp1) return out;
+  if (sp1 == std::string_view::npos || sp2 == sp1) return HttpParseError::kNotHttp;
 
-  HttpRequest req;
-  req.method = std::string(request_line.substr(0, sp1));
-  req.uri = std::string(trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1)));
-  req.version = std::string(request_line.substr(sp2 + 1));
+  out.method = request_line.substr(0, sp1);
+  out.uri = trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.version = request_line.substr(sp2 + 1);
 
   std::size_t pos = line_end + 2;
   while (pos < bytes.size()) {
@@ -120,41 +131,43 @@ ParsedPayload parse_payload(std::string_view bytes, const HttpParseLimits& limit
       // header-line bound (a slow-loris-style frame that would otherwise
       // buffer without limit); keep what parsed so far otherwise, no body.
       if (bytes.size() - pos > limits.max_header_line) {
-        out.error = HttpParseError::kHeaderLineTooLong;
-        return out;
+        return HttpParseError::kHeaderLineTooLong;
       }
-      out.error = HttpParseError::kNone;
-      out.http = std::move(req);
-      return out;
+      return HttpParseError::kNone;
     }
     if (eol == pos) {  // blank line: end of headers
       pos = eol + 2;
-      if (bytes.size() - pos > limits.max_body_bytes) {
-        out.error = HttpParseError::kBodyTooLarge;
-        return out;
-      }
-      req.body = std::string(bytes.substr(pos));
-      out.error = HttpParseError::kNone;
-      out.http = std::move(req);
-      return out;
+      if (bytes.size() - pos > limits.max_body_bytes) return HttpParseError::kBodyTooLarge;
+      out.body = bytes.substr(pos);
+      return HttpParseError::kNone;
     }
-    if (eol - pos > limits.max_header_line) {
-      out.error = HttpParseError::kHeaderLineTooLong;
-      return out;
-    }
+    if (eol - pos > limits.max_header_line) return HttpParseError::kHeaderLineTooLong;
     const std::string_view line = bytes.substr(pos, eol - pos);
     const auto colon = line.find(':');
     if (colon != std::string_view::npos) {
-      if (req.headers.size() >= limits.max_headers) {
-        out.error = HttpParseError::kTooManyHeaders;
-        return out;
-      }
-      req.add_header(std::string(trim(line.substr(0, colon))),
-                     std::string(trim(line.substr(colon + 1))));
+      if (out.headers.size() >= limits.max_headers) return HttpParseError::kTooManyHeaders;
+      out.headers.emplace_back(trim(line.substr(0, colon)), trim(line.substr(colon + 1)));
     }
     pos = eol + 2;
   }
-  out.error = HttpParseError::kNone;
+  return HttpParseError::kNone;
+}
+
+ParsedPayload parse_payload(std::string_view bytes, const HttpParseLimits& limits) {
+  ParsedPayload out;
+  out.raw = bytes;
+  HttpRequestView view;
+  out.error = parse_request_view(bytes, view, limits);
+  if (out.error != HttpParseError::kNone) return out;
+  HttpRequest req;
+  req.method = std::string(view.method);
+  req.uri = std::string(view.uri);
+  req.version = std::string(view.version);
+  req.headers.reserve(view.headers.size());
+  for (const auto& [key, value] : view.headers) {
+    req.add_header(std::string(key), std::string(value));
+  }
+  req.body = std::string(view.body);
   out.http = std::move(req);
   return out;
 }

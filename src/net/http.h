@@ -40,6 +40,29 @@ struct HttpRequest {
   std::string serialize() const;
 };
 
+/// Zero-copy view of a parsed HTTP/1.x request: every field is a
+/// string_view into the payload bytes handed to parse_request_view (all
+/// request components are verbatim substrings of the wire bytes, so no
+/// component ever needs owning storage).  The matcher's hot path parses
+/// millions of payloads per study; this view plus a reused `headers`
+/// vector replaces the per-session HttpRequest string allocations.
+/// Invalidated when the underlying payload goes away.
+struct HttpRequestView {
+  std::string_view method;
+  std::string_view uri;
+  std::string_view version;
+  /// Ordered header list; duplicate names preserved as sent.  Reused
+  /// across parses -- capacity survives, contents are overwritten.
+  std::vector<std::pair<std::string_view, std::string_view>> headers;
+  std::string_view body;
+
+  /// First header value matching `name` (ASCII case-insensitive).
+  std::optional<std::string_view> header(std::string_view name) const;
+
+  /// Value of the Cookie header ("" when absent).
+  std::string_view cookie() const;
+};
+
 /// Explicit parser resource limits.  The parser consumes untrusted bytes
 /// (scanner banners in the study, shared parser surface for any service
 /// front end), so every dimension an attacker controls -- line length,
@@ -83,6 +106,15 @@ struct ParsedPayload {
 /// unbounded behavior.
 ParsedPayload parse_payload(std::string_view bytes);
 ParsedPayload parse_payload(std::string_view bytes, const HttpParseLimits& limits);
+
+/// Zero-copy variant: parse `bytes` into `out` (views into `bytes`),
+/// returning kNone on success and the violation otherwise.  `out.headers`
+/// is cleared but keeps its capacity, so a caller-owned scratch view makes
+/// repeated parsing allocation-free after warm-up.  parse_payload is a
+/// deep-copying wrapper over this function, so the two can never disagree
+/// on what parses or how.
+HttpParseError parse_request_view(std::string_view bytes, HttpRequestView& out,
+                                  const HttpParseLimits& limits = HttpParseLimits{});
 
 /// True when the bytes look like an HTTP request line (used to fast-path
 /// non-HTTP traffic around the HTTP-buffer rules).

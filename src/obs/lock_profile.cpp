@@ -1,0 +1,63 @@
+#include "obs/lock_profile.h"
+
+#include "obs/observability.h"
+
+namespace cvewb::obs {
+
+void LockContentionProfiler::attach(util::TimedMutex& mutex) {
+  const char* name = mutex.name();
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    const std::string prefix = std::string("lock/") + name;
+    MutexIds ids;
+    ids.acquire_total = metrics_->counter(prefix + "/acquire_total");
+    ids.contended_total = metrics_->counter(prefix + "/contended_total");
+    ids.held_us = metrics_->histogram(prefix + "/held_us");
+    ids.blocked_us = metrics_->histogram(prefix + "/blocked_us");
+    it = by_name_.emplace(name, ids).first;
+  }
+  by_pointer_[name] = &it->second;
+  attached_.push_back(&mutex);
+  mutex.attach(this);
+}
+
+void LockContentionProfiler::detach_all() {
+  for (util::TimedMutex* mutex : attached_) mutex->detach();
+  attached_.clear();
+}
+
+const LockContentionProfiler::MutexIds* LockContentionProfiler::ids_for(const char* name) const {
+  const auto fast = by_pointer_.find(name);
+  if (fast != by_pointer_.end()) return fast->second;
+  const auto slow = by_name_.find(name);
+  return slow == by_name_.end() ? nullptr : &slow->second;
+}
+
+void LockContentionProfiler::on_acquire(const char* name, std::uint64_t blocked_us,
+                                        bool contended) {
+  const MutexIds* ids = ids_for(name);
+  if (ids == nullptr) return;  // never attached under this name
+  metrics_->add(ids->acquire_total);
+  metrics_->observe(ids->blocked_us, blocked_us);
+  if (contended) {
+    metrics_->add(ids->contended_total);
+    if (tracer_ != nullptr && blocked_us >= kTraceBlockedThresholdUs) {
+      const std::uint64_t now = tracer_->now_us();
+      tracer_->record(std::string("lock/") + name + "/blocked",
+                      now > blocked_us ? now - blocked_us : 0, blocked_us);
+    }
+  }
+}
+
+void LockContentionProfiler::on_release(const char* name, std::uint64_t held_us) {
+  const MutexIds* ids = ids_for(name);
+  if (ids == nullptr) return;
+  metrics_->observe(ids->held_us, held_us);
+}
+
+void attach_lock_profiler(Observability* obs, util::TimedMutex& mutex) {
+  if (obs == nullptr) return;
+  obs->locks.attach(mutex);
+}
+
+}  // namespace cvewb::obs

@@ -1,0 +1,76 @@
+// Lock-contention profiler: util::TimedMutex timings -> metrics + trace.
+//
+// Attached to the pipeline's named mutexes (thread-pool queue, stage-DAG
+// state, job-scheduler admission) when observability is on, it exports
+// per-mutex acquisition counts and held/blocked duration histograms
+// through the existing MetricsRegistry:
+//
+//   lock/<name>/acquire_total    counter: every acquisition
+//   lock/<name>/contended_total  counter: acquisitions that had to block
+//   lock/<name>/held_us          histogram: hold duration per release
+//   lock/<name>/blocked_us       histogram: wait duration per contended
+//                                acquisition (uncontended -> bucket 0)
+//
+// Long blocks additionally emit a Chrome-trace span ("lock/<name>/
+// blocked") on the blocking thread, so contention shows up in the same
+// Perfetto timeline as the stage spans around it.  Metric ids are
+// registered up front (at attach), so the hot-path callbacks touch only
+// the registry's lock-free per-thread slabs -- safe to fire from every
+// worker at once, and contention numbers survive the registry's exact
+// snapshot merge like any other metric.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timed_mutex.h"
+
+namespace cvewb::obs {
+
+struct Observability;
+
+class LockContentionProfiler : public util::LockProfiler {
+ public:
+  /// Blocked durations at or above this emit a trace span (when a tracer
+  /// is wired); shorter waits only land in the histograms.
+  static constexpr std::uint64_t kTraceBlockedThresholdUs = 100;
+
+  LockContentionProfiler(MetricsRegistry* metrics, Tracer* tracer)
+      : metrics_(metrics), tracer_(tracer) {}
+
+  /// Register the four per-mutex metric ids and attach to the mutex.  Not
+  /// thread-safe against concurrent attach/detach (run setup only).
+  void attach(util::TimedMutex& mutex);
+  /// Detach every mutex this profiler was attached to (run teardown).
+  void detach_all();
+
+  void on_acquire(const char* name, std::uint64_t blocked_us, bool contended) override;
+  void on_release(const char* name, std::uint64_t held_us) override;
+
+ private:
+  struct MutexIds {
+    CounterId acquire_total;
+    CounterId contended_total;
+    HistogramId held_us;
+    HistogramId blocked_us;
+  };
+
+  const MutexIds* ids_for(const char* name) const;
+
+  MetricsRegistry* metrics_;
+  Tracer* tracer_;
+  // Keyed by mutex name pointer identity first (the common case: each
+  // call site passes the same string literal), falling back to string
+  // compare so two mutexes sharing a name alias the same series.
+  std::map<std::string, MutexIds> by_name_;
+  std::map<const char*, const MutexIds*> by_pointer_;
+  std::vector<util::TimedMutex*> attached_;
+};
+
+/// Attach `mutex` to the bundle's lock profiler; no-op when obs is null.
+void attach_lock_profiler(Observability* obs, util::TimedMutex& mutex);
+
+}  // namespace cvewb::obs

@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/lock_profile.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -25,6 +26,13 @@ namespace cvewb::obs {
 struct Observability {
   Tracer tracer;
   MetricsRegistry metrics;
+  /// Lock-contention profiler over the run's named mutexes (see
+  /// lock_profile.h).  Mutexes are attached by run_study / the daemon when
+  /// this bundle is wired in; attached mutexes must be detached (or
+  /// destroyed) before the bundle goes away.
+  LockContentionProfiler locks{&metrics, &tracer};
+
+  ~Observability() { locks.detach_all(); }
 
   /// Metrics + a closing memory sample (the trace is exported separately
   /// via `tracer.to_json()` -- it is a different document format).

@@ -1,9 +1,7 @@
 #include "pipeline/reconstruct.h"
 
 #include <algorithm>
-#include <charconv>
 #include <memory>
-#include <unordered_set>
 
 #include "cache/key.h"
 #include "cache/serialize.h"
@@ -11,8 +9,8 @@
 #include "data/appendix_e.h"
 #include "data/exploit_db.h"
 #include "data/talos.h"
-#include "net/http.h"
 #include "obs/observability.h"
+#include "pipeline/session_frame.h"
 
 namespace cvewb::pipeline {
 
@@ -21,85 +19,15 @@ namespace {
 using lifecycle::Event;
 using lifecycle::Timeline;
 
-/// Appendix-C style review: pre-publication traffic that does not aim at
-/// the vulnerable service's port is general-purpose scanning that happens
-/// to trip the signature, not targeted exploitation of this CVE.
-bool is_untargeted(const net::TcpSession& session, const data::CveRecord& record) {
-  return session.open_time < record.published && session.dst_port != record.service_port;
-}
-
-/// Dedup identity: (time, 5-tuple, payload) packed into one byte string.
-std::string dedup_key(const net::TcpSession& session) {
-  std::string key;
-  key.reserve(20 + session.payload.size());
-  const auto append_raw = [&key](const void* data, std::size_t n) {
-    key.append(static_cast<const char*>(data), n);
-  };
-  const std::int64_t t = session.open_time.unix_seconds();
-  const std::uint32_t src = session.src.value();
-  const std::uint32_t dst = session.dst.value();
-  append_raw(&t, sizeof t);
-  append_raw(&src, sizeof src);
-  append_raw(&dst, sizeof dst);
-  append_raw(&session.src_port, sizeof session.src_port);
-  append_raw(&session.dst_port, sizeof session.dst_port);
-  key += session.payload;
-  return key;
-}
-
-/// True when an HTTP request advertises more body than was captured (the
-/// signature a snaplen truncation leaves behind).
-bool looks_truncated(const net::HttpRequest& request) {
-  const auto content_length = request.header("Content-Length");
-  if (!content_length) return false;
-  std::size_t declared = 0;
-  const char* begin = content_length->data();
-  const char* end = begin + content_length->size();
-  if (std::from_chars(begin, end, declared).ec != std::errc()) return false;
-  return declared > request.body.size();
-}
-
-/// Hygiene pass over a possibly degraded corpus: dedup, clamp, classify.
-std::vector<net::TcpSession> hygiene_pass(const std::vector<net::TcpSession>& sessions,
-                                          const ReconstructOptions& options,
-                                          SessionQuality& quality) {
-  std::vector<net::TcpSession> cleaned;
-  cleaned.reserve(sessions.size());
-  std::unordered_set<std::string> seen;
-  if (options.dedup) seen.reserve(sessions.size() * 2);
-  for (const auto& session : sessions) {
-    if (options.dedup && !seen.insert(dedup_key(session)).second) {
-      ++quality.duplicates_removed;
-      continue;
-    }
-    net::TcpSession copy = session;
-    bool clamped = false;
-    if (options.window_begin && copy.open_time < *options.window_begin) {
-      copy.open_time = *options.window_begin;
-      clamped = true;
-    }
-    if (options.window_end && copy.open_time >= *options.window_end) {
-      copy.open_time = *options.window_end - util::Duration(1);
-      clamped = true;
-    }
-    quality.timestamps_clamped += clamped ? 1 : 0;
-    if (copy.payload.empty()) {
-      ++quality.empty_payloads;
-    } else {
-      const auto parsed = net::parse_payload(copy.payload);
-      if (!parsed.http) {
-        ++quality.non_http_payloads;
-      } else if (looks_truncated(*parsed.http)) {
-        ++quality.truncated_http;
-      }
-    }
-    cleaned.push_back(std::move(copy));
-  }
-  return cleaned;
-}
-
 }  // namespace
 
+// The SoA engine.  Output contract: byte-identical to
+// reconstruct_baseline() (the retained pre-rewrite implementation); the
+// contract is enforced by tests/pipeline/reconstruct_equivalence_test.cpp
+// across every fault class.  The hot loops run on views and per-worker
+// scratch arenas -- no per-session heap allocation -- and the corpus is
+// parsed exactly once per pass (the match pass carries the payload
+// taxonomy that hygiene used to re-parse for).
 Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
                            const ids::RuleSet& ruleset, const ReconstructOptions& options) {
   obs::Observability* observability = options.observability;
@@ -108,15 +36,20 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
   out.sessions_scanned = sessions.size();
   out.quality.sessions_in = sessions.size();
 
-  // 0. Hygiene: dedup exact repeats, clamp out-of-window timestamps, and
-  //    classify malformed payloads.  Counters only -- never a throw.
-  std::vector<net::TcpSession> cleaned;
+  // 0. Hygiene: dedup exact repeats and clamp out-of-window timestamps
+  //    into the column frame.  Payload classification moved into the match
+  //    pass (one parse instead of two); counters only -- never a throw.
+  SessionFrame frame;
   {
     obs::Span hygiene_span(obs::tracer_of(observability), "reconstruct/hygiene");
-    cleaned = hygiene_pass(sessions, options, out.quality);
-    obs::count(observability, "reconstruct/duplicates_removed", out.quality.duplicates_removed);
-    obs::count(observability, "reconstruct/timestamps_clamped", out.quality.timestamps_clamped);
-    obs::count(observability, "reconstruct/flagged_sessions", out.quality.total_flagged());
+    SessionFrameOptions frame_options;
+    frame_options.dedup = options.dedup;
+    frame_options.window_begin = options.window_begin;
+    frame_options.window_end = options.window_end;
+    frame_options.pool = options.pool;
+    frame_options.cancel = options.cancel;
+    frame = build_session_frame(sessions, frame_options, out.quality.duplicates_removed,
+                                out.quality.timestamps_clamped);
   }
 
   // 1. Post-facto signature evaluation, earliest-published match retained.
@@ -144,47 +77,96 @@ Reconstruction reconstruct(const std::vector<net::TcpSession>& sessions,
     ids_key = cache::ids_stage_key(options, options.cache_upstream_digest,
                                    options.cache_ruleset_digest);
     if (const auto blob = options.cache->get(ids_key, "ids")) {
-      if (auto decoded = cache::decode_matches(*blob, matcher->rules(), cleaned.size())) {
+      if (auto decoded = cache::decode_matches(*blob, matcher->rules(), frame.size())) {
         matched = std::move(*decoded);
         match_cached = true;
       }
     }
   }
+  ids::SessionClassCounts class_counts;
   if (!match_cached) {
-    matched = ids::match_corpus(*matcher, cleaned, options.pool, 4096, observability,
-                                options.cancel);
+    // Group-match-scatter: when the verdict cannot depend on source ports
+    // (port-insensitive matching, or no rule constrains them), rows with
+    // the same (payload, dst_port) match identically.  Telescope corpora
+    // replay each exploit payload against many destinations, so matching
+    // one representative per group and scattering the verdict collapses
+    // the scan by the payload duplication factor.  Classification and
+    // error counts are weight-scaled inside match_corpus, so every byte of
+    // the result -- including the cached encoding below -- is identical to
+    // the ungrouped pass.
+    if (options.port_insensitive || !matcher->src_port_sensitive()) {
+      const MatchGroups groups = build_match_groups(frame.refs);
+      obs::count(observability, "reconstruct/match_groups", groups.unique.size());
+      const ids::CorpusMatch unique_matched =
+          ids::match_corpus(*matcher, groups.unique, options.pool, 4096, observability,
+                            options.cancel, &class_counts, &groups.multiplicity);
+      matched.errors = unique_matched.errors;
+      matched.matches.resize(frame.size());
+      for (std::size_t row = 0; row < frame.size(); ++row) {
+        matched.matches[row] = unique_matched.matches[groups.group_of[row]];
+      }
+    } else {
+      matched = ids::match_corpus(*matcher, frame.refs, options.pool, 4096, observability,
+                                  options.cancel, &class_counts);
+    }
     if (cache_usable) {
       options.cache->put(ids_key, cache::encode_matches(matched, matcher->rules()), "ids");
     }
+  } else {
+    // The match pass normally carries the payload taxonomy; on a cache hit
+    // it did not run, so classify on its own (same per-session function).
+    class_counts = ids::classify_corpus(frame.refs, options.pool, options.cancel);
   }
+  out.quality.empty_payloads += class_counts.empty_payloads;
+  out.quality.non_http_payloads += class_counts.non_http_payloads;
+  out.quality.truncated_http += class_counts.truncated_http;
   out.quality.match_errors += matched.errors;
-  std::vector<ids::Detection> detections;
-  for (std::size_t i = 0; i < cleaned.size(); ++i) {
-    if (matched.matches[i] == nullptr) continue;
-    detections.push_back(ids::Detection{matched.matches[i], &cleaned[i]});
+  obs::count(observability, "reconstruct/duplicates_removed", out.quality.duplicates_removed);
+  obs::count(observability, "reconstruct/timestamps_clamped", out.quality.timestamps_clamped);
+  obs::count(observability, "reconstruct/flagged_sessions", out.quality.total_flagged());
+
+  // Matched rows -> detection refs (frame row kept alongside).
+  std::vector<ids::DetectionRef> detections;
+  std::vector<std::uint32_t> detection_row;
+  for (std::size_t row = 0; row < frame.size(); ++row) {
+    if (matched.matches[row] == nullptr) continue;
+    detections.push_back(
+        ids::DetectionRef{matched.matches[row], frame.open_time[row], frame.refs[row].payload});
+    detection_row.push_back(static_cast<std::uint32_t>(row));
   }
   out.sessions_matched = detections.size();
 
   // 2. Root-cause analysis drops CVEs whose matches are false positives.
+  //    (kept_detections stays empty in the ref-based engine -- it held
+  //    pointers into engine-internal storage and was documented invalid
+  //    after return; `events` / `per_cve` are the supported outputs.)
   obs::Span rca_span(obs::tracer_of(observability), "reconstruct/rca_join");
-  out.rca = ids::root_cause_analysis(detections);
+  std::vector<std::size_t> kept;
+  out.rca = ids::root_cause_analysis_refs(detections, ids::default_payload_classifier(), 0.5,
+                                          &kept);
 
   // 3. Separate untargeted pre-publication scanning; collect exploit
-  //    events per CVE.
-  for (const auto& detection : out.rca.kept_detections) {
-    const data::CveRecord* record = data::find_cve(detection.rule->cve);
+  //    events per CVE.  `kept` is ordered (CVE ascending, detection input
+  //    order) -- the historical kept_detections walk.
+  for (const std::size_t det : kept) {
+    const ids::Rule* rule = detections[det].rule;
+    const std::uint32_t row = detection_row[det];
+    const data::CveRecord* record = data::find_cve(rule->cve);
     if (record == nullptr) continue;  // CVE outside the study population
     auto& cve = out.per_cve[record->id];
     cve.cve_id = record->id;
-    if (is_untargeted(*detection.session, *record)) {
+    // Appendix-C review: pre-publication traffic not aimed at the
+    // vulnerable service's port is untargeted scanning.
+    if (frame.open_time[row] < record->published &&
+        frame.refs[row].dst_port != record->service_port) {
       ++cve.untargeted_sessions;
       continue;
     }
-    const util::TimePoint t = detection.session->open_time;
+    const util::TimePoint t = frame.open_time[row];
     if (cve.exploit_events == 0 || t < cve.first_attack) cve.first_attack = t;
     ++cve.exploit_events;
-    out.events.push_back(lifecycle::ExploitEvent{record->id, t, detection.session->src.value(),
-                                                 detection.rule->sid});
+    out.events.push_back(
+        lifecycle::ExploitEvent{record->id, t, frame.src_value[row], rule->sid});
   }
 
   // 4. Join with the public datasets into full lifecycles.  A comes from

@@ -1,0 +1,189 @@
+#include "pipeline/reconstruct_baseline.h"
+
+#include <algorithm>
+#include <charconv>
+#include <memory>
+#include <unordered_set>
+
+#include "data/appendix_e.h"
+#include "data/exploit_db.h"
+#include "data/talos.h"
+#include "net/http.h"
+#include "obs/observability.h"
+
+namespace cvewb::pipeline {
+
+namespace {
+
+using lifecycle::Event;
+using lifecycle::Timeline;
+
+/// Appendix-C style review: pre-publication traffic that does not aim at
+/// the vulnerable service's port is general-purpose scanning that happens
+/// to trip the signature, not targeted exploitation of this CVE.
+bool is_untargeted(const net::TcpSession& session, const data::CveRecord& record) {
+  return session.open_time < record.published && session.dst_port != record.service_port;
+}
+
+/// Dedup identity: (time, 5-tuple, payload) packed into one byte string.
+std::string dedup_key(const net::TcpSession& session) {
+  std::string key;
+  key.reserve(20 + session.payload.size());
+  const auto append_raw = [&key](const void* data, std::size_t n) {
+    key.append(static_cast<const char*>(data), n);
+  };
+  const std::int64_t t = session.open_time.unix_seconds();
+  const std::uint32_t src = session.src.value();
+  const std::uint32_t dst = session.dst.value();
+  append_raw(&t, sizeof t);
+  append_raw(&src, sizeof src);
+  append_raw(&dst, sizeof dst);
+  append_raw(&session.src_port, sizeof session.src_port);
+  append_raw(&session.dst_port, sizeof session.dst_port);
+  key += session.payload;
+  return key;
+}
+
+/// True when an HTTP request advertises more body than was captured (the
+/// signature a snaplen truncation leaves behind).
+bool looks_truncated(const net::HttpRequest& request) {
+  const auto content_length = request.header("Content-Length");
+  if (!content_length) return false;
+  std::size_t declared = 0;
+  const char* begin = content_length->data();
+  const char* end = begin + content_length->size();
+  if (std::from_chars(begin, end, declared).ec != std::errc()) return false;
+  return declared > request.body.size();
+}
+
+/// Hygiene pass over a possibly degraded corpus: dedup, clamp, classify.
+std::vector<net::TcpSession> hygiene_pass(const std::vector<net::TcpSession>& sessions,
+                                          const ReconstructOptions& options,
+                                          SessionQuality& quality) {
+  std::vector<net::TcpSession> cleaned;
+  cleaned.reserve(sessions.size());
+  std::unordered_set<std::string> seen;
+  if (options.dedup) seen.reserve(sessions.size() * 2);
+  for (const auto& session : sessions) {
+    if (options.dedup && !seen.insert(dedup_key(session)).second) {
+      ++quality.duplicates_removed;
+      continue;
+    }
+    net::TcpSession copy = session;
+    bool clamped = false;
+    if (options.window_begin && copy.open_time < *options.window_begin) {
+      copy.open_time = *options.window_begin;
+      clamped = true;
+    }
+    if (options.window_end && copy.open_time >= *options.window_end) {
+      copy.open_time = *options.window_end - util::Duration(1);
+      clamped = true;
+    }
+    quality.timestamps_clamped += clamped ? 1 : 0;
+    if (copy.payload.empty()) {
+      ++quality.empty_payloads;
+    } else {
+      const auto parsed = net::parse_payload(copy.payload);
+      if (!parsed.http) {
+        ++quality.non_http_payloads;
+      } else if (looks_truncated(*parsed.http)) {
+        ++quality.truncated_http;
+      }
+    }
+    cleaned.push_back(std::move(copy));
+  }
+  return cleaned;
+}
+
+}  // namespace
+
+Reconstruction reconstruct_baseline(const std::vector<net::TcpSession>& sessions,
+                                    const ids::RuleSet& ruleset,
+                                    const ReconstructOptions& options) {
+  obs::Observability* observability = options.observability;
+  obs::Span reconstruct_span(obs::tracer_of(observability), "reconstruct");
+  Reconstruction out;
+  out.sessions_scanned = sessions.size();
+  out.quality.sessions_in = sessions.size();
+
+  // 0. Hygiene: dedup exact repeats, clamp out-of-window timestamps, and
+  //    classify malformed payloads.  Counters only -- never a throw.
+  std::vector<net::TcpSession> cleaned;
+  {
+    obs::Span hygiene_span(obs::tracer_of(observability), "reconstruct/hygiene");
+    cleaned = hygiene_pass(sessions, options, out.quality);
+  }
+
+  // 1. Post-facto signature evaluation, earliest-published match retained.
+  ids::MatcherOptions matcher_options;
+  matcher_options.port_insensitive = options.port_insensitive;
+  std::unique_ptr<ids::Matcher> matcher;
+  {
+    obs::Span build_span(obs::tracer_of(observability), "reconstruct/build_matcher");
+    matcher = std::make_unique<ids::Matcher>(ruleset.rules(), matcher_options);
+  }
+  ids::CorpusMatch matched =
+      ids::match_corpus(*matcher, cleaned, options.pool, 4096, observability, options.cancel);
+  out.quality.match_errors += matched.errors;
+  std::vector<ids::Detection> detections;
+  for (std::size_t i = 0; i < cleaned.size(); ++i) {
+    if (matched.matches[i] == nullptr) continue;
+    detections.push_back(ids::Detection{matched.matches[i], &cleaned[i]});
+  }
+  out.sessions_matched = detections.size();
+
+  // 2. Root-cause analysis drops CVEs whose matches are false positives.
+  obs::Span rca_span(obs::tracer_of(observability), "reconstruct/rca_join");
+  out.rca = ids::root_cause_analysis(detections);
+
+  // 3. Separate untargeted pre-publication scanning; collect exploit
+  //    events per CVE.
+  for (const auto& detection : out.rca.kept_detections) {
+    const data::CveRecord* record = data::find_cve(detection.rule->cve);
+    if (record == nullptr) continue;  // CVE outside the study population
+    auto& cve = out.per_cve[record->id];
+    cve.cve_id = record->id;
+    if (is_untargeted(*detection.session, *record)) {
+      ++cve.untargeted_sessions;
+      continue;
+    }
+    const util::TimePoint t = detection.session->open_time;
+    if (cve.exploit_events == 0 || t < cve.first_attack) cve.first_attack = t;
+    ++cve.exploit_events;
+    out.events.push_back(lifecycle::ExploitEvent{record->id, t, detection.session->src.value(),
+                                                 detection.rule->sid});
+  }
+
+  // 4. Join with the public datasets into full lifecycles.  A comes from
+  //    the reconstruction; everything else follows the §5 heuristics.
+  for (const auto& [cve_id, rec_cve] : out.per_cve) {
+    if (rec_cve.exploit_events == 0) continue;
+    const data::CveRecord* record = data::find_cve(cve_id);
+    Timeline tl(cve_id);
+    tl.set(Event::kPublicAwareness, record->published);
+    if (const auto fix = ruleset.coverage_available(cve_id)) {
+      tl.set(Event::kFixReady, *fix);
+      tl.set(Event::kFixDeployed, *fix + options.deployment_delay);
+    }
+    if (const auto exploit = data::exploit_public_date(cve_id)) {
+      tl.set(Event::kExploitPublic, *exploit);
+    }
+    tl.set(Event::kAttacks, rec_cve.first_attack);
+    util::TimePoint vendor = record->published;
+    if (const auto fix = tl.at(Event::kFixReady)) vendor = std::min(vendor, *fix);
+    if (const auto disclosed = data::talos_disclosure(cve_id)) {
+      vendor = std::min(vendor, *disclosed);
+    }
+    tl.set(Event::kVendorAwareness, vendor);
+    out.timelines.push_back(std::move(tl));
+  }
+  std::sort(out.timelines.begin(), out.timelines.end(),
+            [](const Timeline& a, const Timeline& b) { return a.cve_id() < b.cve_id(); });
+  std::sort(out.events.begin(), out.events.end(),
+            [](const lifecycle::ExploitEvent& a, const lifecycle::ExploitEvent& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+}  // namespace cvewb::pipeline

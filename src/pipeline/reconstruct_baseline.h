@@ -1,0 +1,25 @@
+// Reference reconstruction engine (pre-SoA), kept verbatim.
+//
+// reconstruct() was rewritten around a structure-of-arrays frame and
+// view-based matching; its output contract is "byte-identical to this
+// implementation".  The old engine is retained (minus the stage-cache
+// branch, which is orthogonal) as the executable form of that contract:
+// tests/pipeline/reconstruct_equivalence_test.cpp runs both engines over
+// the PR 1 fault corpus and compares results field by field, and
+// bench_perf_parallel measures the new engine's speedup against this one
+// on the same corpus -- an in-process baseline that works on any host.
+//
+// Do not "optimize" this file; its value is being the unchanged original.
+#pragma once
+
+#include "pipeline/reconstruct.h"
+
+namespace cvewb::pipeline {
+
+/// The historical engine.  Honors the same ReconstructOptions except the
+/// cache fields, which it ignores (it always recomputes).
+Reconstruction reconstruct_baseline(const std::vector<net::TcpSession>& sessions,
+                                    const ids::RuleSet& ruleset,
+                                    const ReconstructOptions& options = {});
+
+}  // namespace cvewb::pipeline

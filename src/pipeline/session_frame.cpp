@@ -1,0 +1,225 @@
+#include "pipeline/session_frame.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/thread_pool.h"
+
+namespace cvewb::pipeline {
+
+namespace {
+
+constexpr std::size_t kHashChunk = 8192;
+// Partition by the hash top bits: identical records share a hash, hence a
+// partition, so per-partition keep-first-in-input-order is globally exact.
+constexpr std::size_t kPartitions = 64;
+constexpr unsigned kPartitionShift = 58;  // 64 - log2(kPartitions)
+
+/// Word-at-a-time mixer (splitmix64 finalizer per 8-byte lane).  Any
+/// deterministic hash works here -- duplicates are confirmed by full field
+/// comparison -- so the only requirements are collision quality and speed
+/// over payload bytes.
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h * 0x94d049bb133111ebULL;
+}
+
+/// Hash of the historical dedup identity: unix-second open time, 5-tuple,
+/// payload bytes (session id deliberately excluded, as in the old key
+/// string).  Payload is consumed 8 bytes per mix round.
+std::uint64_t record_hash(const net::TcpSession& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = mix64(h, static_cast<std::uint64_t>(s.open_time.unix_seconds()));
+  h = mix64(h, (static_cast<std::uint64_t>(s.src.value()) << 32) | s.dst.value());
+  h = mix64(h, (static_cast<std::uint64_t>(s.src_port) << 16) | s.dst_port);
+  const char* data = s.payload.data();
+  std::size_t n = s.payload.size();
+  h = mix64(h, n);
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data, 8);
+    h = mix64(h, word);
+    data += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, data, n);
+    h = mix64(h, word);
+  }
+  return h;
+}
+
+bool records_equal(const net::TcpSession& a, const net::TcpSession& b) {
+  return a.open_time.unix_seconds() == b.open_time.unix_seconds() &&
+         a.src.value() == b.src.value() && a.dst.value() == b.dst.value() &&
+         a.src_port == b.src_port && a.dst_port == b.dst_port && a.payload == b.payload;
+}
+
+/// Hash of the match-group identity: dst_port plus payload bytes, 8 bytes
+/// per mix round.  Same collision contract as record_hash -- the grouping
+/// confirms every probe hit with a full payload comparison.
+std::uint64_t group_hash(const ids::SessionRef& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = mix64(h, r.dst_port);
+  const char* data = r.payload.data();
+  std::size_t n = r.payload.size();
+  h = mix64(h, n);
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data, 8);
+    h = mix64(h, word);
+    data += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, data, n);
+    h = mix64(h, word);
+  }
+  return h;
+}
+
+}  // namespace
+
+SessionFrame build_session_frame(const std::vector<net::TcpSession>& sessions,
+                                 const SessionFrameOptions& options,
+                                 std::size_t& duplicates_removed,
+                                 std::size_t& timestamps_clamped) {
+  const std::size_t n = sessions.size();
+  std::vector<std::uint8_t> duplicate(options.dedup ? n : 0, 0);
+  if (options.dedup && n > 0) {
+    // 1. Hash every record (chunk-parallel; pure per-record function).
+    std::vector<std::uint64_t> hashes(n);
+    const std::size_t hash_chunks = util::shard_count(n, kHashChunk);
+    util::for_each_shard(options.pool, hash_chunks, [&](std::size_t chunk) {
+      const std::size_t first = chunk * kHashChunk;
+      const std::size_t last = std::min(n, first + kHashChunk);
+      for (std::size_t i = first; i < last; ++i) hashes[i] = record_hash(sessions[i]);
+    }, options.cancel);
+
+    // 2. Bucket indices by partition, in input order.
+    std::vector<std::vector<std::uint32_t>> buckets(kPartitions);
+    for (auto& bucket : buckets) bucket.reserve(n / kPartitions + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      buckets[hashes[i] >> kPartitionShift].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // 3. Mark duplicates per partition (partition-parallel; partitions
+    //    touch disjoint `duplicate` slots).  Bucket order is input order,
+    //    so "first occurrence" is well-defined inside each partition.
+    //    Kept records live in a linear-probe table keyed by their 64-bit
+    //    hash: a probe hit is confirmed by full field comparison, a probe
+    //    past every colliding entry inserts the record as kept.
+    util::for_each_shard(options.pool, kPartitions, [&](std::size_t p) {
+      constexpr std::uint32_t kEmpty = 0xffffffffu;
+      std::size_t capacity = 16;
+      while (capacity < buckets[p].size() * 2) capacity <<= 1;
+      const std::size_t mask = capacity - 1;
+      std::vector<std::uint32_t> table(capacity, kEmpty);
+      for (const std::uint32_t idx : buckets[p]) {
+        const std::uint64_t h = hashes[idx];
+        // Top bits select the partition, so probe on the low bits.
+        std::size_t slot = static_cast<std::size_t>(h) & mask;
+        bool is_dup = false;
+        while (table[slot] != kEmpty) {
+          const std::uint32_t prior = table[slot];
+          if (hashes[prior] == h && records_equal(sessions[prior], sessions[idx])) {
+            is_dup = true;
+            break;
+          }
+          slot = (slot + 1) & mask;
+        }
+        if (is_dup) {
+          duplicate[idx] = 1;
+        } else {
+          table[slot] = idx;
+        }
+      }
+    }, options.cancel);
+  }
+
+  // 4. Fill the kept columns in input order, clamping as we go.
+  SessionFrame frame;
+  std::size_t kept = n;
+  if (options.dedup) {
+    kept = 0;
+    for (std::size_t i = 0; i < n; ++i) kept += duplicate[i] == 0 ? 1 : 0;
+    duplicates_removed += n - kept;
+  }
+  frame.input_index.reserve(kept);
+  frame.open_time.reserve(kept);
+  frame.src_value.reserve(kept);
+  frame.refs.reserve(kept);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (options.dedup && duplicate[i] != 0) continue;
+    const net::TcpSession& s = sessions[i];
+    util::TimePoint t = s.open_time;
+    bool clamped = false;
+    if (options.window_begin && t < *options.window_begin) {
+      t = *options.window_begin;
+      clamped = true;
+    }
+    if (options.window_end && t >= *options.window_end) {
+      t = *options.window_end - util::Duration(1);
+      clamped = true;
+    }
+    timestamps_clamped += clamped ? 1 : 0;
+    frame.input_index.push_back(static_cast<std::uint32_t>(i));
+    frame.open_time.push_back(t);
+    frame.src_value.push_back(s.src.value());
+    frame.refs.push_back(ids::SessionRef{s.payload, s.src_port, s.dst_port});
+  }
+  return frame;
+}
+
+MatchGroups build_match_groups(const std::vector<ids::SessionRef>& refs) {
+  MatchGroups groups;
+  const std::size_t n = refs.size();
+  groups.group_of.resize(n);
+  if (n == 0) return groups;
+  // Single linear-probe table over all rows: this is a sequential walk (a
+  // frame of hundreds of thousands of rows groups in low milliseconds, a
+  // rounding error next to the scan it saves), and a sequential walk makes
+  // first-occurrence order trivial.  Slots hold group ids; the probe chain
+  // is confirmed against the representative's payload and dst_port.
+  std::vector<std::uint64_t> hashes(n);
+  for (std::size_t i = 0; i < n; ++i) hashes[i] = group_hash(refs[i]);
+  constexpr std::uint32_t kEmpty = 0xffffffffu;
+  std::size_t capacity = 16;
+  while (capacity < n * 2) capacity <<= 1;
+  const std::size_t mask = capacity - 1;
+  std::vector<std::uint32_t> table(capacity, kEmpty);
+  std::vector<std::uint64_t> group_hash_of;  // group id -> hash, for probes
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = hashes[i];
+    std::size_t slot = static_cast<std::size_t>(h) & mask;
+    std::uint32_t group = kEmpty;
+    while (table[slot] != kEmpty) {
+      const std::uint32_t candidate = table[slot];
+      const ids::SessionRef& rep = groups.unique[candidate];
+      if (group_hash_of[candidate] == h && rep.dst_port == refs[i].dst_port &&
+          rep.payload == refs[i].payload) {
+        group = candidate;
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+    if (group == kEmpty) {
+      group = static_cast<std::uint32_t>(groups.unique.size());
+      table[slot] = group;
+      groups.unique.push_back(refs[i]);
+      groups.multiplicity.push_back(0);
+      group_hash_of.push_back(h);
+    }
+    groups.group_of[i] = group;
+    ++groups.multiplicity[group];
+  }
+  return groups;
+}
+
+}  // namespace cvewb::pipeline

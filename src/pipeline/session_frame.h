@@ -1,0 +1,90 @@
+// Structure-of-arrays session layout for the reconstruction hot path.
+//
+// The historical hygiene pass copied every surviving TcpSession (payload
+// string and all) and built a per-session dedup key string -- two heap
+// allocations per session before matching even started.  A SessionFrame
+// replaces that with parallel columns over the *input* corpus: payload
+// views plus the handful of scalar fields the downstream stages read
+// (clamped open time, source address, ports).  Nothing is copied; the
+// frame borrows the input vector and is invalidated when it goes away.
+//
+// Deduplication is hash-partitioned so it parallelizes without changing
+// the result: records are hashed over the exact historical identity
+// (unix-second open time, 5-tuple, payload bytes), every record with the
+// same identity lands in the same partition, and each partition keeps the
+// first occurrence in input order -- byte-for-byte the semantics of the
+// old sequential unordered_set walk, at any thread count.  Hash collisions
+// are resolved by full field comparison, so the dedup is exact, never
+// probabilistic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ids/matcher.h"
+#include "net/tcp_session.h"
+#include "util/datetime.h"
+
+namespace cvewb::util {
+class CancelToken;
+class ThreadPool;
+}
+
+namespace cvewb::pipeline {
+
+/// One row per kept (deduplicated) session, in input order.  Columns are
+/// parallel; `refs` carries the match-hot fields (payload view + ports)
+/// contiguously for the IDS scan.
+struct SessionFrame {
+  std::vector<std::uint32_t> input_index;  // row -> index into the input corpus
+  std::vector<util::TimePoint> open_time;  // clamped into the study window
+  std::vector<std::uint32_t> src_value;    // source address, IPv4 value
+  std::vector<ids::SessionRef> refs;       // payload view + src/dst port
+
+  std::size_t size() const { return refs.size(); }
+};
+
+struct SessionFrameOptions {
+  /// Drop exact duplicate records (same unix second, 5-tuple, payload),
+  /// keeping the first occurrence in input order.
+  bool dedup = true;
+  /// When set, clamp open times into [window_begin, window_end).
+  std::optional<util::TimePoint> window_begin;
+  std::optional<util::TimePoint> window_end;
+  util::ThreadPool* pool = nullptr;
+  util::CancelToken* cancel = nullptr;
+};
+
+/// Build the frame: hash (parallel), dedup (parallel over partitions),
+/// then fill the kept columns.  `duplicates_removed` / `timestamps_clamped`
+/// receive the hygiene counters (added to, not assigned).
+SessionFrame build_session_frame(const std::vector<net::TcpSession>& sessions,
+                                 const SessionFrameOptions& options,
+                                 std::size_t& duplicates_removed,
+                                 std::size_t& timestamps_clamped);
+
+/// Group index over a frame's refs keyed on (payload bytes, dst_port).
+/// Valid only when the match verdict ignores source ports -- i.e. the
+/// matcher runs port-insensitive, or no rule constrains src ports
+/// (Matcher::src_port_sensitive() == false).  Then every row in a group
+/// matches identically, so the corpus pass can scan one representative per
+/// group and scatter the verdict back.  Telescope corpora are dominated by
+/// replayed exploit payloads hitting many destinations, so groups collapse
+/// the scan by the payload duplication factor.
+///
+/// Exactness: `unique[group_of[row]]` has byte-identical payload and equal
+/// dst_port to `refs[row]`; representatives appear in first-occurrence
+/// order; `multiplicity[g]` is the exact member count (feeds the weighted
+/// classification / error counts in ids::match_corpus).  Collisions are
+/// resolved by full payload comparison -- the grouping is exact, never
+/// probabilistic.
+struct MatchGroups {
+  std::vector<std::uint32_t> group_of;      // row -> group id
+  std::vector<ids::SessionRef> unique;      // group id -> representative ref
+  std::vector<std::uint32_t> multiplicity;  // group id -> member count
+};
+
+MatchGroups build_match_groups(const std::vector<ids::SessionRef>& refs);
+
+}  // namespace cvewb::pipeline

@@ -12,6 +12,7 @@
 #include "pipeline/manifest.h"
 #include "store/store.h"
 #include "util/sha256.h"
+#include "util/stage_dag.h"
 #include "util/thread_pool.h"
 
 namespace cvewb::pipeline {
@@ -60,6 +61,16 @@ std::size_t unique_count(std::vector<std::uint32_t>& values) {
       std::distance(values.begin(), std::unique(values.begin(), values.end())));
 }
 
+/// Detaches the run's mutexes from the obs lock profiler on every exit
+/// path.  Declared after the pool and DAG storage, so unwinding runs the
+/// detach before either owning object (and its mutex) is destroyed.
+struct LockProfileGuard {
+  obs::Observability* obs;
+  ~LockProfileGuard() {
+    if (obs != nullptr) obs->locks.detach_all();
+  }
+};
+
 }  // namespace
 
 telescope::Dscope make_study_telescope(const StudyConfig& config) {
@@ -85,6 +96,15 @@ StudyResult run_study(const StudyConfig& config) {
                          config.cancel);
     pool = &*pool_storage;
   }
+  // Stage scheduling: dependency-driven overlap on the pool, unless the
+  // caller opted out, runs serially anyway, or configured per-stage
+  // deadlines (defined over a stage sequence -- the token has one deadline
+  // slot, and overlapping stages would fight over it).
+  const bool use_dag = config.stage_dag && pool != nullptr && pool->size() > 1 &&
+                       config.stage_deadline.count() <= 0;
+  std::optional<util::StageDag> dag_storage;  // declared before the guard below
+  LockProfileGuard lock_profile_guard{observability};
+  if (pool != nullptr) obs::attach_lock_profiler(observability, pool->queue_mutex());
 
   // Optional stage cache.  `corpus_digest` chains the SHA-256 of the
   // encoded upstream artifact into every downstream stage key, so a cached
@@ -122,7 +142,22 @@ StudyResult run_study(const StudyConfig& config) {
     }
   };
 
-  {
+  // Reconstruction clamps timestamps to the deployment window unless the
+  // caller supplied explicit bounds.
+  ReconstructOptions reconstruct_options = config.reconstruct;
+  if (!reconstruct_options.window_begin) reconstruct_options.window_begin = data::study_begin();
+  if (!reconstruct_options.window_end) reconstruct_options.window_end = data::study_end();
+  reconstruct_options.pool = pool;
+  reconstruct_options.observability = observability;
+  reconstruct_options.cancel = config.cancel;
+  std::string ruleset_digest;
+
+  // Stage bodies, shared verbatim by the sequential path and the DAG
+  // scheduler.  Nodes communicate only through their declared dependencies
+  // (`result` fields, `corpus_digest`, `ruleset_digest`), which is what
+  // makes overlap a pure scheduling change.
+
+  const auto traffic_stage = [&] {
     StageScope stage(config, "traffic");
     obs::PhaseSpan phase(observability, "traffic");
     bool cached = false;
@@ -164,10 +199,16 @@ StudyResult run_study(const StudyConfig& config) {
       }
     }
     checkpoint("traffic", traffic_key, corpus_digest);
-  }
+  };
 
-  // Degrade the capture before reconstruction when a fault plan is active.
-  if (config.faults.any()) {
+  // Degrade the capture before reconstruction when a fault plan is active;
+  // otherwise just record the pristine corpus size.
+  const auto faults_stage = [&] {
+    if (!config.faults.any()) {
+      result.fault_log.sessions_in = result.traffic.sessions.size();
+      result.fault_log.sessions_out = result.traffic.sessions.size();
+      return;
+    }
     StageScope stage(config, "faults");
     obs::PhaseSpan phase(observability, "faults");
     bool cached = false;
@@ -196,28 +237,16 @@ StudyResult run_study(const StudyConfig& config) {
       }
     }
     checkpoint("faults", fault_key, corpus_digest);
-  } else {
-    result.fault_log.sessions_in = result.traffic.sessions.size();
-    result.fault_log.sessions_out = result.traffic.sessions.size();
-  }
+  };
 
-  // Reconstruction clamps timestamps to the deployment window unless the
-  // caller supplied explicit bounds.
-  ReconstructOptions reconstruct_options = config.reconstruct;
-  if (!reconstruct_options.window_begin) reconstruct_options.window_begin = data::study_begin();
-  if (!reconstruct_options.window_end) reconstruct_options.window_end = data::study_end();
-  reconstruct_options.pool = pool;
-  reconstruct_options.observability = observability;
-  reconstruct_options.cancel = config.cancel;
-
-  std::string ruleset_digest;
-  {
+  const auto ruleset_stage = [&] {
     StageScope stage(config, "ruleset");
     obs::PhaseSpan phase(observability, "ruleset");
     result.ruleset = ids::generate_study_ruleset();
     if (stage_cache != nullptr) ruleset_digest = util::sha256_hex(result.ruleset.serialize());
-  }
-  {
+  };
+
+  const auto reconstruct_stage = [&] {
     StageScope stage(config, "reconstruct");
     obs::PhaseSpan phase(observability, "reconstruct");
     bool cached = false;
@@ -245,9 +274,9 @@ StudyResult run_study(const StudyConfig& config) {
       }
     }
     checkpoint("reconstruct", reconstruct_key, reconstruct_digest);
-  }
+  };
 
-  {
+  const auto analyze_stage = [&] {
     StageScope stage(config, "analyze");
     obs::PhaseSpan phase(observability, "analyze");
     result.table4 = lifecycle::skill_table(result.reconstruction.timelines);
@@ -255,9 +284,9 @@ StudyResult run_study(const StudyConfig& config) {
         lifecycle::per_event_skill(result.reconstruction.events, result.reconstruction.timelines);
     result.exposure =
         lifecycle::split_exposure(result.reconstruction.events, result.reconstruction.timelines);
-  }
+  };
 
-  {
+  const auto unique_ips_stage = [&] {
     StageScope stage(config, "unique_ips");
     obs::PhaseSpan phase(observability, "unique_ips");
     std::vector<std::uint32_t> dst_ips;
@@ -270,13 +299,13 @@ StudyResult run_study(const StudyConfig& config) {
     }
     result.unique_telescope_ips = unique_count(dst_ips);
     result.unique_source_ips = unique_count(src_ips);
-  }
+  };
 
   // Populate the persistent session store, keyed by the same run_key the
   // journal uses.  Strictly best-effort: a store failure (full disk,
   // injected fault, damaged directory) degrades to a metric, never a
   // failed study -- the StudyResult in hand is already complete.
-  if (!config.store_dir.empty()) {
+  const auto store_stage = [&] {
     StageScope stage(config, "store");
     obs::PhaseSpan phase(observability, "store_populate");
     store::StoreOptions store_options;
@@ -297,6 +326,33 @@ StudyResult run_study(const StudyConfig& config) {
     } else {
       obs::count(observability, "store/populate_failed");
     }
+  };
+
+  if (use_dag) {
+    // The dependency graph.  traffic -> faults -> reconstruct is the
+    // checkpointed chain (journal order preserved by construction);
+    // ruleset overlaps traffic, unique-IP counting overlaps reconstruct.
+    util::StageDag& dag = dag_storage.emplace(pool, config.cancel);
+    obs::attach_lock_profiler(observability, dag.state_mutex());
+    const auto traffic_node = dag.add("traffic", traffic_stage);
+    const auto ruleset_node = dag.add("ruleset", ruleset_stage);
+    const auto faults_node = dag.add("faults", faults_stage, {traffic_node});
+    const auto reconstruct_node =
+        dag.add("reconstruct", reconstruct_stage, {faults_node, ruleset_node});
+    const auto unique_node = dag.add("unique_ips", unique_ips_stage, {faults_node});
+    const auto analyze_node = dag.add("analyze", analyze_stage, {reconstruct_node});
+    if (!config.store_dir.empty()) {
+      dag.add("store", store_stage, {analyze_node, unique_node});
+    }
+    dag.run();
+  } else {
+    traffic_stage();
+    faults_stage();
+    ruleset_stage();
+    reconstruct_stage();
+    analyze_stage();
+    unique_ips_stage();
+    if (!config.store_dir.empty()) store_stage();
   }
 
   if (journal) journal->complete();

@@ -39,6 +39,17 @@ struct StudyConfig {
   /// streams via util::stream_seed and merge in a fixed order, so the
   /// thread count only changes wall-clock time (see DESIGN.md).
   int threads = 0;
+  /// Dependency-driven stage scheduling (on by default).  When a pool is
+  /// active, independent stages overlap on it -- ruleset compilation runs
+  /// beside traffic synthesis, unique-IP counting beside reconstruction --
+  /// instead of the historical barrier-per-stage sequence.  Pure
+  /// scheduling: the stage bodies, their merge order, and every checkpoint
+  /// order are unchanged, so StudyResult stays byte-identical with the DAG
+  /// on or off (tests/pipeline/scaling_golden_test.cpp).  Ignored (forced
+  /// sequential) when `threads == 1` or when `stage_deadline` is set --
+  /// per-stage deadlines are defined over a stage *sequence*, and the
+  /// token has one deadline slot.
+  bool stage_dag = true;
   /// Scale on Appendix-E event counts (1.0 = the paper's ~117 k events;
   /// tests use smaller scales).
   double event_scale = 1.0;
@@ -103,11 +114,15 @@ struct StudyConfig {
   /// cancellation on `cancel` -- simulating a signal that lands exactly on
   /// a stage boundary.  Empty = disabled.
   std::string chaos_cancel_after_stage;
-  /// Progress hook: invoked (from the study's calling thread) with each
-  /// stage name as its checkpoint completes.  A service supervising many
-  /// concurrent runs uses this to report per-job progress; like
-  /// observability, it is a pure side-channel -- deliberately excluded
-  /// from every cache key, it can never influence result bytes.
+  /// Progress hook: invoked with each stage name as its checkpoint
+  /// completes.  Called from the study's calling thread on the sequential
+  /// path; with the stage DAG active it may fire from a pool worker, so
+  /// hooks must be thread-safe.  Checkpointed stages form a dependency
+  /// chain either way, so invocations never overlap and arrive in the
+  /// fixed stage order.  A service supervising many concurrent runs uses
+  /// this to report per-job progress; like observability, it is a pure
+  /// side-channel -- deliberately excluded from every cache key, it can
+  /// never influence result bytes.
   std::function<void(const char* stage)> stage_hook;
 };
 

@@ -1,0 +1,134 @@
+// Bump-pointer arena allocator for per-chunk scratch storage.
+//
+// The reconstruction hot loop runs millions of sessions through parse /
+// decode / join steps whose scratch buffers would otherwise be allocated
+// and freed per session.  An Arena turns that churn into pointer bumps:
+// allocate whatever the current session needs, then `reset()` before the
+// next one -- the chunks stay owned by the arena, so the steady state
+// performs zero heap operations.
+//
+// Not thread-safe by design: each worker owns its own Arena (one per
+// match-scratch), exactly like the per-shard RNG streams.  Alignment is
+// respected per allocation; `reset()` keeps every chunk but rewinds the
+// bump pointers, and `release()` frees all chunks back to the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace cvewb::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `size` bytes aligned to `align` (a power of two).  Oversized
+  /// requests get a dedicated chunk, so any size succeeds.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    if (size == 0) size = 1;
+    if (chunk_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_];
+      const std::size_t aligned = align_up(c.used, align);
+      if (aligned + size <= c.capacity) {
+        c.used = aligned + size;
+        ++allocations_;
+        return c.data.get() + aligned;
+      }
+    }
+    return allocate_slow(size, align);
+  }
+
+  /// Typed array allocation (uninitialized storage).
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Copy `bytes` into the arena and return a view of the copy.
+  std::string_view copy(std::string_view bytes) {
+    char* dst = static_cast<char*>(allocate(bytes.size(), 1));
+    std::memcpy(dst, bytes.data(), bytes.size());
+    return std::string_view(dst, bytes.size());
+  }
+
+  /// Rewind every chunk without freeing: the next allocations reuse the
+  /// same storage.  Views handed out before reset() are invalidated.
+  void reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    chunk_ = 0;
+  }
+
+  /// Free every chunk back to the heap.
+  void release() {
+    chunks_.clear();
+    chunks_.shrink_to_fit();
+    chunk_ = 0;
+  }
+
+  /// Bytes currently handed out (diagnostic; includes alignment padding).
+  std::size_t bytes_used() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.used;
+    return total;
+  }
+  /// Bytes held by the arena across all chunks.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.capacity;
+    return total;
+  }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  /// Total successful allocate() calls since construction (diagnostic).
+  std::uint64_t allocation_count() const { return allocations_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t align_up(std::size_t n, std::size_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  void* allocate_slow(std::size_t size, std::size_t align) {
+    // Advance to (or create) a chunk that fits.  Alignment is satisfied by
+    // starting the search at offset 0 of each candidate chunk: new[]
+    // storage is max_align-aligned, so align_up(0, align) == 0.
+    while (++chunk_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_];
+      const std::size_t aligned = align_up(c.used, align);
+      if (aligned + size <= c.capacity) {
+        c.used = aligned + size;
+        ++allocations_;
+        return c.data.get() + aligned;
+      }
+    }
+    Chunk fresh;
+    fresh.capacity = size > chunk_bytes_ ? size : chunk_bytes_;
+    fresh.data = std::make_unique<char[]>(fresh.capacity);
+    fresh.used = size;
+    chunks_.push_back(std::move(fresh));
+    chunk_ = chunks_.size() - 1;
+    ++allocations_;
+    return chunks_.back().data.get();
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;  // current bump chunk
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace cvewb::util

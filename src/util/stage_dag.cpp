@@ -1,0 +1,165 @@
+#include "util/stage_dag.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace cvewb::util {
+
+StageDag::NodeId StageDag::add(std::string name, std::function<void()> fn,
+                               std::vector<NodeId> deps) {
+  if (ran_) throw std::logic_error("StageDag::add after run");
+  const NodeId id = nodes_.size();
+  for (const NodeId dep : deps) {
+    if (dep >= id) throw std::invalid_argument("StageDag: dependency must precede dependent");
+  }
+  Node node;
+  node.name = std::move(name);
+  node.fn = std::move(fn);
+  node.remaining_deps = deps.size();
+  node.deps = std::move(deps);
+  nodes_.push_back(std::move(node));
+  for (const NodeId dep : nodes_.back().deps) nodes_[dep].dependents.push_back(id);
+  return id;
+}
+
+StageDag::NodeState StageDag::state(NodeId id) const {
+  std::lock_guard<TimedMutex> lock(mutex_);
+  return nodes_[id].state;
+}
+
+void StageDag::run() {
+  if (ran_) throw std::logic_error("StageDag::run called twice");
+  ran_ = true;
+  if (pool_ == nullptr || pool_->size() <= 1) {
+    run_inline();
+  } else {
+    run_pooled();
+  }
+  rethrow_first_failure();
+}
+
+void StageDag::run_inline() {
+  // Id order is a topological order (deps precede dependents by
+  // construction), so a single pass settles every node.  State updates
+  // still take the mutex: state() may be probed from test hooks.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    bool dep_failed;
+    {
+      std::lock_guard<TimedMutex> lock(mutex_);
+      dep_failed = nodes_[id].dep_failed;
+      nodes_[id].state = dep_failed ? NodeState::skipped : NodeState::running;
+    }
+    std::exception_ptr error;
+    if (!dep_failed) {
+      try {
+        if (cancel_ != nullptr) cancel_->check("stage_dag/node_start");
+        nodes_[id].fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<TimedMutex> lock(mutex_);
+      if (!dep_failed) {
+        nodes_[id].state = error ? NodeState::failed : NodeState::done;
+        nodes_[id].error = error;
+      }
+      ++terminal_;
+      if (dep_failed || error) {
+        for (const NodeId dependent : nodes_[id].dependents) {
+          nodes_[dependent].dep_failed = true;
+        }
+      }
+    }
+  }
+}
+
+void StageDag::run_pooled() {
+  std::vector<NodeId> roots;
+  {
+    std::lock_guard<TimedMutex> lock(mutex_);
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (nodes_[id].remaining_deps == 0) {
+        nodes_[id].state = NodeState::running;
+        roots.push_back(id);
+      }
+    }
+  }
+  for (const NodeId id : roots) {
+    pool_->post([this, id] { execute_node(id); });
+  }
+  // Helping wait: drain pool tasks (our nodes, or shards those nodes fan
+  // out) on this thread while the graph settles.  When the queue is empty
+  // the remaining nodes are running on workers; a bounded cv wait picks up
+  // their completion notifications.
+  std::unique_lock<TimedMutex> lock(mutex_);
+  while (terminal_ < nodes_.size()) {
+    lock.unlock();
+    const bool helped = pool_->try_run_one();
+    lock.lock();
+    if (!helped && terminal_ < nodes_.size()) {
+      cv_.wait_for(lock, std::chrono::milliseconds(1),
+                   [this] { return terminal_ == nodes_.size(); });
+    }
+  }
+}
+
+void StageDag::execute_node(NodeId id) {
+  std::exception_ptr error;
+  try {
+    if (cancel_ != nullptr) cancel_->check("stage_dag/node_start");
+    nodes_[id].fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::vector<NodeId> newly_ready;
+  {
+    std::lock_guard<TimedMutex> lock(mutex_);
+    settle(id, error ? NodeState::failed : NodeState::done, error, newly_ready);
+    // Notify while still holding the lock.  The coordinator can return --
+    // and the caller destroy this DAG -- the instant it observes the final
+    // terminal_ count, so a notify after the unlock would race with
+    // destruction.  Under the lock it cannot observe that count yet.
+    // After the unlock this thread touches only pool_ for the newly-ready
+    // posts, and those nodes are non-terminal, so the DAG provably
+    // outlives the posts.
+    cv_.notify_all();
+  }
+  for (const NodeId ready : newly_ready) {
+    pool_->post([this, ready] { execute_node(ready); });
+  }
+}
+
+void StageDag::settle(NodeId id, NodeState state, std::exception_ptr error,
+                      std::vector<NodeId>& newly_ready) {
+  Node& node = nodes_[id];
+  node.state = state;
+  node.error = std::move(error);
+  ++terminal_;
+  const bool bad = state != NodeState::done;
+  for (const NodeId dep_id : node.dependents) {
+    Node& dependent = nodes_[dep_id];
+    if (bad) dependent.dep_failed = true;
+    if (--dependent.remaining_deps != 0) continue;
+    if (dependent.dep_failed) {
+      // Skipping is itself a terminal event for *its* dependents -- the
+      // cascade settles the whole doomed subtree in one pass.
+      settle(dep_id, NodeState::skipped, nullptr, newly_ready);
+    } else {
+      dependent.state = NodeState::running;
+      newly_ready.push_back(dep_id);
+    }
+  }
+}
+
+void StageDag::rethrow_first_failure() const {
+  std::lock_guard<TimedMutex> lock(mutex_);
+  for (const Node& node : nodes_) {
+    // Lowest-id failure: the same exception a sequential walk in id order
+    // would have surfaced first, regardless of wall-clock failure order.
+    if (node.state == NodeState::failed && node.error) std::rethrow_exception(node.error);
+  }
+}
+
+}  // namespace cvewb::util

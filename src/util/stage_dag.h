@@ -1,0 +1,119 @@
+// Dependency-driven stage executor for run_study.
+//
+// PR 7 and earlier ran the pipeline as a barrier-per-stage sequence:
+// every traffic shard had to finish before the first fault chunk started,
+// every fault chunk before the first IDS batch, and so on -- even though
+// e.g. ruleset compilation depends on nothing and unique-IP counting does
+// not depend on reconstruction.  StageDag replaces the barriers with an
+// explicit dependency graph: each stage is a node, edges are data
+// dependencies, and a node is submitted to the thread pool the moment its
+// last dependency completes, so independent stages overlap.
+//
+// Determinism contract (the load-bearing part): the DAG changes only
+// *when* a stage runs, never what it computes -- every node body is the
+// same pure-function-of-(config, seed) shard work as the sequential path,
+// and nodes communicate exclusively through their declared dependencies.
+// tests/pipeline/scaling_golden_test.cpp proves StudyResult is
+// byte-identical with the DAG on and off at every thread count.
+//
+// Failure semantics (thread-count-independent, property-tested in
+// tests/util/stage_dag_test.cpp):
+//   - a node that throws is `failed`; its transitive dependents are
+//     `skipped` (never run); unrelated branches run to completion;
+//   - run() drains every runnable node, then rethrows the failure of the
+//     lowest-id failed node -- the same exception the sequential order
+//     would have surfaced first;
+//   - a fired CancelToken fails nodes at their start checkpoint, so
+//     cancellation/deadline propagates mid-DAG like any other failure.
+//
+// The coordinator and any caller-side waits are *helping* waits (they
+// drain pool tasks via try_run_one), so a DAG node may itself fan out
+// with for_each_shard without deadlocking the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/cancel.h"
+#include "util/thread_pool.h"
+#include "util/timed_mutex.h"
+
+namespace cvewb::util {
+
+class StageDag {
+ public:
+  using NodeId = std::size_t;
+
+  enum class NodeState {
+    pending,  // waiting on dependencies
+    running,  // submitted / executing
+    done,     // body returned
+    failed,   // body threw (exception kept for rethrow)
+    skipped,  // a transitive dependency failed; body never ran
+  };
+
+  /// `pool == nullptr` (or a single-worker pool) selects the inline
+  /// scheduler: nodes run on the calling thread in id order, which is a
+  /// valid topological order because dependencies must precede dependents.
+  /// `cancel` makes every node start a cancellation point.
+  explicit StageDag(ThreadPool* pool, CancelToken* cancel = nullptr)
+      : pool_(pool), cancel_(cancel) {}
+
+  StageDag(const StageDag&) = delete;
+  StageDag& operator=(const StageDag&) = delete;
+
+  /// Add a node.  Every dependency must be a previously returned id (deps
+  /// strictly less than the new node's id), which keeps the graph acyclic
+  /// by construction; violations throw std::invalid_argument.
+  NodeId add(std::string name, std::function<void()> fn, std::vector<NodeId> deps = {});
+
+  /// Execute the graph; callable once.  Returns when every node is
+  /// terminal (done/failed/skipped), then rethrows the lowest-id failure
+  /// if any node failed.
+  void run();
+
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Post-run introspection (also valid before run: everything pending).
+  NodeState state(NodeId id) const;
+  const std::string& name(NodeId id) const { return nodes_[id].name; }
+
+  /// The scheduler-state mutex ("dag/state"), exposed for the obs
+  /// lock-contention profiler.
+  TimedMutex& state_mutex() { return mutex_; }
+
+ private:
+  struct Node {
+    std::string name;
+    std::function<void()> fn;
+    std::vector<NodeId> deps;
+    std::vector<NodeId> dependents;
+    std::size_t remaining_deps = 0;
+    bool dep_failed = false;
+    NodeState state = NodeState::pending;
+    std::exception_ptr error;
+  };
+
+  void run_inline();
+  void run_pooled();
+  void execute_node(NodeId id);
+  /// Record a terminal transition and collect newly-ready dependents.
+  /// Caller must hold mutex_; skipping cascades recursively.
+  void settle(NodeId id, NodeState state, std::exception_ptr error,
+              std::vector<NodeId>& newly_ready);
+  void rethrow_first_failure() const;
+
+  ThreadPool* pool_;
+  CancelToken* cancel_;
+  std::vector<Node> nodes_;
+  bool ran_ = false;
+
+  mutable TimedMutex mutex_{"dag/state"};
+  std::condition_variable_any cv_;
+  std::size_t terminal_ = 0;  // nodes in a terminal state; guarded by mutex_
+};
+
+}  // namespace cvewb::util

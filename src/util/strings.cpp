@@ -107,21 +107,27 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   return out;
 }
 
-std::string percent_decode(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
+std::size_t percent_decode_to(std::string_view s, char* out) {
+  char* dst = out;
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '%' && i + 2 < s.size()) {
       const int hi = hex_val(s[i + 1]);
       const int lo = hex_val(s[i + 2]);
       if (hi >= 0 && lo >= 0) {
-        out.push_back(static_cast<char>(hi * 16 + lo));
+        *dst++ = static_cast<char>(hi * 16 + lo);
         i += 2;
         continue;
       }
     }
-    out.push_back(s[i]);
+    *dst++ = s[i];
   }
+  return static_cast<std::size_t>(dst - out);
+}
+
+std::string percent_decode(std::string_view s) {
+  std::string out;
+  out.resize(s.size());
+  out.resize(percent_decode_to(s, out.data()));
   return out;
 }
 

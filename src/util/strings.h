@@ -45,4 +45,10 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 /// escapes are passed through verbatim, matching lenient server behaviour.
 std::string percent_decode(std::string_view s);
 
+/// Allocation-free variant for hot paths: decode into caller storage of at
+/// least `s.size()` bytes (decoding never grows the input) and return the
+/// decoded length.  percent_decode is implemented on top of this, so the
+/// two cannot diverge.
+std::size_t percent_decode_to(std::string_view s, char* out);
+
 }  // namespace cvewb::util

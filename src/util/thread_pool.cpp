@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(unsigned threads, CancelToken* cancel) : cancel_(cancel) 
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<TimedMutex> lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -35,13 +35,13 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPoolStats ThreadPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<TimedMutex> lock(mutex_);
   return stats_;
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<TimedMutex> lock(mutex_);
     queue_.push_back(Job{std::move(job), Clock::now()});
     ++stats_.submitted;
     stats_.queue_depth = queue_.size();
@@ -50,11 +50,34 @@ void ThreadPool::enqueue(std::function<void()> job) {
   cv_.notify_one();
 }
 
+void ThreadPool::finish_job(Clock::time_point run_start, bool helped) {
+  std::lock_guard<TimedMutex> lock(mutex_);
+  ++stats_.completed;
+  if (helped) ++stats_.helped;
+  stats_.task_run_us += elapsed_us(run_start, Clock::now());
+}
+
+bool ThreadPool::try_run_one() {
+  Job job;
+  {
+    std::lock_guard<TimedMutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    job = std::move(queue_.front());
+    queue_.pop_front();
+    stats_.queue_depth = queue_.size();
+    stats_.task_wait_us += elapsed_us(job.enqueued, Clock::now());
+  }
+  const Clock::time_point run_start = Clock::now();
+  job.fn();  // packaged_task: exceptions land in the future, never escape
+  finish_job(run_start, /*helped=*/true);
+  return true;
+}
+
 void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<TimedMutex> lock(mutex_);
       const Clock::time_point idle_start = Clock::now();
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       stats_.worker_idle_us[worker_index] += elapsed_us(idle_start, Clock::now());
@@ -67,11 +90,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     const Clock::time_point run_start = Clock::now();
     job.fn();  // packaged_task: exceptions land in the future, never escape
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.completed;
-      stats_.task_run_us += elapsed_us(run_start, Clock::now());
-    }
+    finish_job(run_start, /*helped=*/false);
   }
 }
 
@@ -98,8 +117,21 @@ void for_each_shard(ThreadPool* pool, std::size_t shards,
   // rethrow the first failure in submission order: the future walk is in
   // shard order, so "first" is the lowest-indexed failing shard no matter
   // which worker failed first on the wall clock.
+  //
+  // While futures are pending, help: drain queued tasks on this thread.
+  // That makes nested fan-out deadlock-free -- a DAG node blocked here can
+  // always make progress on the very shards it is waiting for -- and keeps
+  // the caller productive instead of parked.  When the queue is empty but
+  // a future is still unready, its task is *running* on some thread, so a
+  // blocking wait terminates (inductively: every running task terminates).
   std::exception_ptr first_error;
   for (auto& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!pool->try_run_one()) {
+        future.wait();
+        break;
+      }
+    }
     try {
       future.get();
     } catch (...) {

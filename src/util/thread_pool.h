@@ -7,6 +7,16 @@
 // thread count.  `for_each_shard` is the bridge: with a null pool it runs
 // shards inline in index order (the serial reference path), otherwise it
 // fans them out and rethrows the lowest-indexed shard failure.
+//
+// Nested fan-out is deadlock-free by construction: a task that blocks on
+// futures of other pool tasks (a stage-DAG node waiting on its shards)
+// first *helps* -- it drains queued tasks on its own thread via
+// `try_run_one()` -- so every queued task is runnable even when all
+// workers are themselves blocked inside `for_each_shard`.
+//
+// The queue mutex is a util::TimedMutex ("pool/queue"): attach the obs
+// lock-contention profiler to make queue contention a measurable number
+// (lock/pool/queue/... metrics) instead of a guess.
 #pragma once
 
 #include <chrono>
@@ -22,6 +32,7 @@
 #include <vector>
 
 #include "util/cancel.h"
+#include "util/timed_mutex.h"
 
 namespace cvewb::util {
 
@@ -33,6 +44,7 @@ namespace cvewb::util {
 struct ThreadPoolStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
+  std::uint64_t helped = 0;         // tasks run by helping (non-worker) threads
   std::size_t queue_depth = 0;      // tasks enqueued but not yet picked up
   std::size_t max_queue_depth = 0;  // high-water of queue_depth
   std::uint64_t task_run_us = 0;    // total task execution time
@@ -74,6 +86,22 @@ class ThreadPool {
 
   const CancelToken* cancel_token() const { return cancel_; }
 
+  /// The queue mutex, exposed so a run can attach the obs lock-contention
+  /// profiler (obs::attach_lock_profiler); named "pool/queue".
+  TimedMutex& queue_mutex() { return mutex_; }
+
+  /// Pop one queued task and run it on the calling thread.  Returns false
+  /// when the queue is empty.  This is how blocked waiters (nested
+  /// for_each_shard, the stage-DAG coordinator) keep the pool saturated
+  /// instead of deadlocking on tasks nobody is free to run.
+  bool try_run_one();
+
+  /// Fire-and-forget: queue a raw task with no future and no cancel gate
+  /// at pickup.  The callable must not let exceptions escape; intended for
+  /// schedulers (StageDag) that do their own completion and cancellation
+  /// bookkeeping and must observe the task finishing even under cancel.
+  void post(std::function<void()> job) { enqueue(std::move(job)); }
+
   /// Queue a task; the future carries its result or exception (including
   /// CancelledError when the pool's token fired before the task started).
   template <typename F>
@@ -98,9 +126,10 @@ class ThreadPool {
 
   void enqueue(std::function<void()> job);
   void worker_loop(std::size_t worker_index);
+  void finish_job(std::chrono::steady_clock::time_point run_start, bool helped);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  mutable TimedMutex mutex_{"pool/queue"};
+  std::condition_variable_any cv_;
   std::deque<Job> queue_;
   bool stopping_ = false;
   ThreadPoolStats stats_;  // guarded by mutex_
@@ -110,12 +139,13 @@ class ThreadPool {
 
 /// Run `fn(shard)` for every shard in [0, shards).  With a null pool (or a
 /// single worker, or a single shard) the shards run inline in index order;
-/// otherwise they run concurrently on the pool.  If any shard throws, the
-/// exception from the lowest-indexed failing shard is rethrown after all
-/// shards finish (the pool always drains), so the failure surfaced is
-/// thread-count-independent.  `cancel` makes every shard start a
-/// cancellation point on both the inline and pooled paths -- a fired token
-/// surfaces as CancelledError from the lowest-indexed unstarted shard.
+/// otherwise they run concurrently on the pool while the calling thread
+/// helps drain the queue.  If any shard throws, the exception from the
+/// lowest-indexed failing shard is rethrown after all shards finish (the
+/// pool always drains), so the failure surfaced is thread-count-
+/// independent.  `cancel` makes every shard start a cancellation point on
+/// both the inline and pooled paths -- a fired token surfaces as
+/// CancelledError from the lowest-indexed unstarted shard.
 void for_each_shard(ThreadPool* pool, std::size_t shards,
                     const std::function<void(std::size_t)>& fn, CancelToken* cancel = nullptr);
 

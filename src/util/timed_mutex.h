@@ -1,0 +1,116 @@
+// Named mutex with optional held/blocked duration profiling.
+//
+// The nano-node "timed locks" idiom (SNIPPETS.md 1-3) made lock
+// contention visible by wrapping every mutex in a timer that reports how
+// long it was blocked acquiring and how long it was held.  TimedMutex is
+// that idea as a first-class type: a std::mutex plus a name, and an
+// optionally-attached LockProfiler sink that receives one callback per
+// acquisition (blocked duration, contended flag) and one per release
+// (held duration).
+//
+// The hot path pays nothing when no profiler is attached: lock() is one
+// relaxed atomic load and a branch in front of the plain mutex -- no
+// clock reads, no allocation.  This is the runtime analogue of nano's
+// compile-time NANO_TIMED_LOCKS switch, and the existing <5% obs
+// overhead gate in bench_perf_parallel is the regression check.
+//
+// The profiler pointer is attached/detached at quiescent points (run
+// setup/teardown); callbacks may fire concurrently from many threads, so
+// sinks must be thread-safe (obs::LockContentionProfiler records into the
+// lock-free MetricsRegistry slabs).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace cvewb::util {
+
+/// Sink for lock acquisition/release timings.  Implementations must be
+/// thread-safe: callbacks arrive from every thread touching the mutex.
+class LockProfiler {
+ public:
+  virtual ~LockProfiler() = default;
+  /// After an acquisition: how long the caller waited.  `contended` is
+  /// true when the fast-path try_lock failed and the caller had to block.
+  virtual void on_acquire(const char* name, std::uint64_t blocked_us, bool contended) = 0;
+  /// After a release: how long the mutex was held.
+  virtual void on_release(const char* name, std::uint64_t held_us) = 0;
+};
+
+/// std::mutex with a stable name and an optional profiler.  Satisfies
+/// BasicLockable, so std::lock_guard / std::unique_lock work unchanged.
+class TimedMutex {
+ public:
+  explicit TimedMutex(const char* name) : name_(name) {}
+
+  TimedMutex(const TimedMutex&) = delete;
+  TimedMutex& operator=(const TimedMutex&) = delete;
+
+  const char* name() const { return name_; }
+
+  /// Attach / detach a profiler.  Call at quiescent points only (before
+  /// workers start, after they join): a detach does not wait for in-flight
+  /// callbacks on other threads.
+  void attach(LockProfiler* profiler) { profiler_.store(profiler, std::memory_order_release); }
+  void detach() { profiler_.store(nullptr, std::memory_order_release); }
+  bool profiled() const { return profiler_.load(std::memory_order_relaxed) != nullptr; }
+
+  void lock() {
+    LockProfiler* profiler = profiler_.load(std::memory_order_acquire);
+    if (profiler == nullptr) {  // zero-overhead path: no clock reads
+      mutex_.lock();
+      return;
+    }
+    if (mutex_.try_lock()) {
+      profiler->on_acquire(name_, 0, false);
+    } else {
+      const auto wait_start = std::chrono::steady_clock::now();
+      mutex_.lock();
+      const auto blocked_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                  std::chrono::steady_clock::now() - wait_start)
+                                  .count();
+      profiler->on_acquire(name_, static_cast<std::uint64_t>(blocked_us), true);
+    }
+    held_since_us_ = now_us();
+  }
+
+  bool try_lock() {
+    LockProfiler* profiler = profiler_.load(std::memory_order_acquire);
+    if (!mutex_.try_lock()) return false;
+    if (profiler != nullptr) {
+      profiler->on_acquire(name_, 0, false);
+      held_since_us_ = now_us();
+    }
+    return true;
+  }
+
+  void unlock() {
+    LockProfiler* profiler = profiler_.load(std::memory_order_acquire);
+    if (profiler == nullptr) {
+      mutex_.unlock();
+      return;
+    }
+    // Read the acquire stamp while still holding the mutex (the member is
+    // guarded by it), release first, then report -- reporting must not
+    // inflate the held window it describes (SNIPPETS.md idiom).
+    const std::uint64_t held_us = now_us() - held_since_us_;
+    mutex_.unlock();
+    profiler->on_release(name_, held_us);
+  }
+
+ private:
+  static std::uint64_t now_us() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
+  }
+
+  std::mutex mutex_;
+  const char* name_;
+  std::atomic<LockProfiler*> profiler_{nullptr};
+  std::uint64_t held_since_us_ = 0;  // guarded by mutex_
+};
+
+}  // namespace cvewb::util

@@ -79,6 +79,10 @@ INSTANTIATE_TEST_SUITE_P(
         ConfigMutation{"cache_dir", [](StudyConfig& c) { c.cache_dir = "/tmp/some/cache"; }},
         ConfigMutation{"store_dir", [](StudyConfig& c) { c.store_dir = "/tmp/some/store"; }},
         ConfigMutation{"cancel", [](StudyConfig& c) { c.cancel = &g_cancel_token; }},
+        // Stage scheduling is pure execution order: the DAG and the
+        // barrier sequence produce byte-identical artifacts, so an
+        // artifact computed either way serves both.
+        ConfigMutation{"stage_dag", [](StudyConfig& c) { c.stage_dag = false; }},
         ConfigMutation{"stage_deadline",
                        [](StudyConfig& c) { c.stage_deadline = std::chrono::milliseconds(5000); }},
         ConfigMutation{"io_retry", [](StudyConfig& c) { c.io_retry.max_retries = 7; }},

@@ -86,6 +86,59 @@ TEST(Matcher, PortSensitivityToggle) {
   EXPECT_EQ(loose.match_all(http_session("probe", 80)).size(), 1u);
 }
 
+TEST(Matcher, SrcPortSensitivityIsDetectedFromTheRuleset) {
+  // Drives the group-match-scatter eligibility check: grouping sessions on
+  // (payload, dst_port) is only sound when no rule reads the source port.
+  const Matcher dst_only(parse_rules(
+      R"(alert tcp any any -> any [8090] (msg:"d"; content:"probe"; sid:1;))"));
+  EXPECT_FALSE(dst_only.src_port_sensitive());
+  const Matcher src_constrained(parse_rules(
+      R"(alert tcp any [51000] -> any any (msg:"s"; content:"probe"; sid:2;))"));
+  EXPECT_TRUE(src_constrained.src_port_sensitive());
+}
+
+TEST(MatchCorpus, WeightedPassEqualsTheExpandedCorpus) {
+  // The weighted representative pass must report the same classification
+  // totals and per-representative verdicts as physically repeating each
+  // session `weight` times.
+  auto rules = parse_rules(
+      R"(alert tcp any any -> any any (msg:"p"; content:"probe"; sid:1;))");
+  const Matcher matcher(std::move(rules));
+  const std::string hit = "probe payload";
+  const std::string miss = jndi_uri_request();
+  const std::string empty;
+
+  std::vector<SessionRef> unique = {SessionRef{hit, 51000, 80},
+                                    SessionRef{miss, 51001, 80},
+                                    SessionRef{empty, 51002, 80}};
+  const std::vector<std::uint32_t> weights = {3, 2, 4};
+  std::vector<SessionRef> expanded;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    for (std::uint32_t w = 0; w < weights[i]; ++w) expanded.push_back(unique[i]);
+  }
+
+  SessionClassCounts weighted_counts;
+  const CorpusMatch weighted = match_corpus(matcher, unique, nullptr, 4096, nullptr,
+                                            nullptr, &weighted_counts, &weights);
+  SessionClassCounts expanded_counts;
+  const CorpusMatch full = match_corpus(matcher, expanded, nullptr, 4096, nullptr,
+                                        nullptr, &expanded_counts);
+
+  EXPECT_EQ(weighted_counts.empty_payloads, expanded_counts.empty_payloads);
+  EXPECT_EQ(weighted_counts.non_http_payloads, expanded_counts.non_http_payloads);
+  EXPECT_EQ(weighted_counts.truncated_http, expanded_counts.truncated_http);
+  EXPECT_EQ(weighted.errors, full.errors);
+  ASSERT_EQ(weighted.matches.size(), 3u);
+  // Scattering the representatives' verdicts reproduces the expanded pass.
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    for (std::uint32_t w = 0; w < weights[i]; ++w) {
+      EXPECT_EQ(full.matches[row], weighted.matches[i]) << "row " << row;
+      ++row;
+    }
+  }
+}
+
 TEST(Matcher, NegatedContentVetoes) {
   auto rules = parse_rules(
       R"(alert tcp any any -> any any (msg:"n"; content:"attack"; content:!"simulation"; sid:1;))");

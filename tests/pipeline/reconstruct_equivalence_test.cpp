@@ -1,0 +1,190 @@
+// Engine-equivalence regression: the SoA/arena reconstruct() against the
+// retained pre-rewrite baseline, byte for byte.  reconstruct_baseline is
+// the executable output contract of the rewrite (kept verbatim from
+// before the hot-loop rework), so any divergence here is a correctness
+// bug in the new engine, not a tolerance question.  Corpora cover the
+// pristine capture plus each fault class in isolation -- truncation,
+// corruption, duplication, reorder, clock skew, blackouts, loss -- since
+// each stresses a different reconstruct path (short payloads, garbage
+// bytes in the parser, exact-dup suppression, out-of-order opens).
+// A repeated run_study sweep at the end exercises arena reuse across
+// studies; ASan rides along in the sanitizer job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cache/serialize.h"
+#include "data/appendix_e.h"
+#include "faults/fault_injector.h"
+#include "ids/rule_gen.h"
+#include "pipeline/reconstruct.h"
+#include "pipeline/reconstruct_baseline.h"
+#include "pipeline/session_frame.h"
+#include "pipeline/study.h"
+#include "traffic/internet.h"
+#include "util/rng.h"
+#include "util/sha256.h"
+
+#include "../support/study_serialize.h"
+
+namespace cvewb::pipeline {
+namespace {
+
+// Small corpus shared by every fault-class case (built once; the fault
+// injector copies it per plan).
+const traffic::GeneratedTraffic& base_corpus() {
+  static const traffic::GeneratedTraffic corpus = [] {
+    StudyConfig config;
+    config.seed = 5081;
+    config.event_scale = 0.03;
+    config.background_per_day = 5.0;
+    config.credstuff_per_day = 1.0;
+    config.telescope_lanes = 10;
+    config.pool_size = 50000;
+    const telescope::Dscope dscope = make_study_telescope(config);
+    traffic::InternetConfig internet;
+    internet.seed = config.seed;
+    internet.event_scale = config.event_scale;
+    internet.background_per_day = config.background_per_day;
+    internet.credstuff_per_day = config.credstuff_per_day;
+    return traffic::generate_traffic(dscope, internet);
+  }();
+  return corpus;
+}
+
+void expect_engines_agree(const std::vector<net::TcpSession>& sessions, const char* label) {
+  const ids::RuleSet ruleset = ids::generate_study_ruleset();
+  ReconstructOptions options;
+  options.window_begin = data::study_begin();
+  options.window_end = data::study_end();
+  const Reconstruction baseline = reconstruct_baseline(sessions, ruleset, options);
+  const Reconstruction rewrite = reconstruct(sessions, ruleset, options);
+  const std::string baseline_bytes = cache::encode_reconstruction(baseline);
+  const std::string rewrite_bytes = cache::encode_reconstruction(rewrite);
+  ASSERT_EQ(util::sha256_hex(baseline_bytes), util::sha256_hex(rewrite_bytes)) << label;
+  ASSERT_EQ(baseline_bytes, rewrite_bytes) << label;
+}
+
+TEST(ReconstructEquivalence, PristineCorpus) {
+  expect_engines_agree(base_corpus().sessions, "pristine");
+}
+
+struct FaultCase {
+  const char* name;
+  void (*arm)(faults::FaultPlan&);
+};
+
+class ReconstructEquivalenceFaults : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(ReconstructEquivalenceFaults, EnginesAgreeUnderTheFaultClass) {
+  faults::FaultPlan plan;
+  plan.lanes = 10;
+  GetParam().arm(plan);
+  const faults::FaultedCorpus degraded = faults::inject_faults(base_corpus(), plan, 5081);
+  expect_engines_agree(degraded.traffic.sessions, GetParam().name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultClasses, ReconstructEquivalenceFaults,
+    ::testing::Values(
+        // Truncation: snaplen cuts payloads mid-request -- partial HTTP
+        // lines, short buffers, the views' bounds checks.
+        FaultCase{"snaplen", [](faults::FaultPlan& p) { p.snaplen = 120; }},
+        // Corruption: garbage bytes through the parser and percent-decoder
+        // (including '%' bytes that disable the URI aliasing fast path).
+        FaultCase{"corruption",
+                  [](faults::FaultPlan& p) {
+                    p.corruption_rate = 0.08;
+                    p.corruption_byte_fraction = 0.10;
+                  }},
+        // Duplication: the hash-partitioned exact-dup suppression table.
+        FaultCase{"duplication", [](faults::FaultPlan& p) { p.duplication_rate = 0.10; }},
+        // Reorder + skew: out-of-order opens through the SoA time columns.
+        FaultCase{"reorder",
+                  [](faults::FaultPlan& p) {
+                    p.reorder_rate = 0.10;
+                    p.reorder_max_displacement = 16;
+                    p.clock_skew_max = util::Duration::minutes(10);
+                  }},
+        // Loss + blackouts: sparse inputs and window-edge sessions.
+        FaultCase{"loss",
+                  [](faults::FaultPlan& p) {
+                    p.session_loss_rate = 0.08;
+                    p.blackout_count = 2;
+                    p.blackout_duration = util::Duration::hours(12);
+                  }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ReconstructEquivalence, RepeatedStudiesReuseArenasCleanly) {
+  // Arena scratch is reused across sessions within a run and torn down
+  // between runs; repeated full studies through the same process must be
+  // byte-stable (and come out clean under ASan in the sanitizer job).
+  StudyConfig config;
+  config.seed = 11;
+  config.threads = 2;
+  config.event_scale = 0.03;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50000;
+  config.faults.duplication_rate = 0.04;
+  config.faults.snaplen = 300;
+  config.faults.lanes = 10;
+  const std::string first = test_support::serialize_study(run_study(config));
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(first, test_support::serialize_study(run_study(config))) << "round " << round;
+  }
+}
+
+TEST(MatchGroups, GroupsAreAnExactPartitionOnPayloadAndDstPort) {
+  // Randomized property over the grouping the scatter path relies on:
+  // every row's representative carries byte-identical payload and equal
+  // dst_port (src ports deliberately vary inside a group), multiplicities
+  // sum back to the row count, representatives appear in first-occurrence
+  // order, and no two groups share a key.
+  util::Rng rng(0x6d617463);
+  const std::vector<std::string> payloads = {
+      "", "probe", "probe", "GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+      std::string(1000, 'A'), std::string(1000, 'A') + "B"};
+  for (int round = 0; round < 20; ++round) {
+    std::vector<ids::SessionRef> refs;
+    const std::size_t n = 1 + rng.uniform_u64(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& payload = payloads[rng.uniform_u64(payloads.size())];
+      refs.push_back(ids::SessionRef{payload,
+                                     static_cast<std::uint16_t>(rng.uniform_u64(4)),
+                                     static_cast<std::uint16_t>(rng.uniform_u64(3))});
+    }
+    const MatchGroups groups = build_match_groups(refs);
+    ASSERT_EQ(groups.group_of.size(), n);
+    ASSERT_EQ(groups.unique.size(), groups.multiplicity.size());
+    std::size_t members = 0;
+    for (const std::uint32_t m : groups.multiplicity) members += m;
+    EXPECT_EQ(members, n);
+    std::vector<std::uint32_t> seen_first;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t g = groups.group_of[i];
+      ASSERT_LT(g, groups.unique.size());
+      EXPECT_EQ(groups.unique[g].payload, refs[i].payload) << "row " << i;
+      EXPECT_EQ(groups.unique[g].dst_port, refs[i].dst_port) << "row " << i;
+      // First-occurrence order: group ids appear for the first time in
+      // ascending sequence as the rows are walked.
+      if (std::find(seen_first.begin(), seen_first.end(), g) == seen_first.end()) {
+        EXPECT_EQ(g, seen_first.size());
+        seen_first.push_back(g);
+      }
+    }
+    for (std::size_t a = 0; a < groups.unique.size(); ++a) {
+      for (std::size_t b = a + 1; b < groups.unique.size(); ++b) {
+        EXPECT_FALSE(groups.unique[a].payload == groups.unique[b].payload &&
+                     groups.unique[a].dst_port == groups.unique[b].dst_port)
+            << "groups " << a << " and " << b << " share a key";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvewb::pipeline

@@ -1,0 +1,125 @@
+// Arena allocator semantics: the per-worker scratch arena behind the
+// match pass.  The load-bearing properties are steady-state reuse (after
+// reset(), repeated identical workloads perform zero further heap
+// operations) and correctness of alignment / oversized handling, since
+// parse views and decoded buffers live in this storage for a whole
+// session's match.
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace cvewb::util {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndWritable) {
+  Arena arena;
+  char* a = static_cast<char*>(arena.allocate(64));
+  char* b = static_cast<char*>(arena.allocate(64));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  std::memset(a, 0xAA, 64);
+  std::memset(b, 0xBB, 64);
+  EXPECT_EQ(static_cast<unsigned char>(a[63]), 0xAA);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0xBB);
+  EXPECT_GE(arena.bytes_used(), std::size_t{128});
+}
+
+TEST(Arena, RespectsAlignment) {
+  // The arena aligns offsets within max_align-aligned chunks, so any
+  // alignment up to alignof(max_align_t) is honored (that is the contract;
+  // nothing in the match path asks for more).
+  Arena arena;
+  (void)arena.allocate(1, 1);  // misalign the bump pointer
+  void* p8 = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p8) % 8, 0u);
+  (void)arena.allocate(3, 1);
+  void* pmax = arena.allocate(16, alignof(std::max_align_t));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(pmax) % alignof(std::max_align_t), 0u);
+  double* d = arena.allocate_array<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(Arena, ZeroByteRequestYieldsAValidPointer) {
+  Arena arena;
+  void* p = arena.allocate(0);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(arena.allocation_count(), 1u);
+}
+
+TEST(Arena, CopyReturnsViewOfTheCopy) {
+  Arena arena;
+  std::string original = "GET /index.html HTTP/1.1";
+  const std::string_view view = arena.copy(original);
+  EXPECT_EQ(view, original);
+  EXPECT_NE(view.data(), original.data());
+  original[0] = 'X';  // the arena copy must be independent storage
+  EXPECT_EQ(view[0], 'G');
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(1024);
+  void* big = arena.allocate(64 * 1024);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5C, 64 * 1024);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{64 * 1024});
+  // Small allocations keep working after an oversized one.
+  void* small = arena.allocate(16);
+  EXPECT_NE(small, nullptr);
+}
+
+TEST(Arena, ResetReusesStorageWithoutGrowingReservation) {
+  Arena arena(4096);
+  // Prime: allocate a representative workload, forcing chunk growth.
+  for (int i = 0; i < 64; ++i) (void)arena.allocate(256);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t chunks = arena.chunk_count();
+  ASSERT_GT(chunks, 1u);
+
+  // Steady state: identical workloads after reset() must bump through the
+  // same chunks -- reservation and chunk count frozen.
+  for (int round = 0; round < 50; ++round) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    for (int i = 0; i < 64; ++i) (void)arena.allocate(256);
+    EXPECT_EQ(arena.bytes_reserved(), reserved) << "round " << round;
+    EXPECT_EQ(arena.chunk_count(), chunks) << "round " << round;
+  }
+}
+
+TEST(Arena, ResetRewindsToTheFirstChunk) {
+  Arena arena(1024);
+  char* first = static_cast<char*>(arena.allocate(16));
+  (void)arena.allocate(900);
+  (void)arena.allocate(900);  // spills into a second chunk
+  ASSERT_GE(arena.chunk_count(), 2u);
+  arena.reset();
+  // After rewind the next allocation comes from the front of chunk 0 --
+  // the exact address the first allocation returned.
+  char* again = static_cast<char*>(arena.allocate(16));
+  EXPECT_EQ(first, again);
+}
+
+TEST(Arena, ReleaseFreesEverything) {
+  Arena arena(1024);
+  for (int i = 0; i < 16; ++i) (void)arena.allocate(512);
+  ASSERT_GT(arena.bytes_reserved(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  // And the arena is still usable afterwards.
+  EXPECT_NE(arena.allocate(64), nullptr);
+}
+
+TEST(Arena, AllocationCountTracksEverySuccess) {
+  Arena arena(256);
+  const std::uint64_t before = arena.allocation_count();
+  for (int i = 0; i < 100; ++i) (void)arena.allocate(100);  // forces slow paths too
+  EXPECT_EQ(arena.allocation_count(), before + 100);
+}
+
+}  // namespace
+}  // namespace cvewb::util

@@ -1,0 +1,218 @@
+// StageDag property tests: the dependency-driven stage executor behind
+// run_study's overlapping schedule.  The properties that make overlap a
+// pure scheduling change -- no node before its dependencies, failures
+// skip exactly the transitive dependents, the lowest-id failure is the
+// one rethrown, cancellation fails nodes at their start -- are checked
+// over randomized DAG topologies at several pool widths, including the
+// inline (pool-less) scheduler the sequential path uses.
+#include "util/stage_dag.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/cancel.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cvewb::util {
+namespace {
+
+struct PoolCase {
+  const char* name;
+  unsigned workers;  // 0 = no pool (inline scheduler)
+};
+
+class StageDagPools : public ::testing::TestWithParam<PoolCase> {
+ protected:
+  ThreadPool* pool() {
+    if (GetParam().workers == 0) return nullptr;
+    storage_.emplace(GetParam().workers);
+    return &*storage_;
+  }
+
+ private:
+  std::optional<ThreadPool> storage_;
+};
+
+TEST_P(StageDagPools, RunsEveryNodeExactlyOnceRespectingDependencies) {
+  ThreadPool* pool = this->pool();
+  // 30 random topologies; each node asserts every dependency finished
+  // before it started (the core safety property of the scheduler).
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_u64(14));
+    StageDag dag(pool);
+    std::vector<std::unique_ptr<std::atomic<bool>>> done;
+    std::vector<std::vector<StageDag::NodeId>> deps_of(n);
+    std::atomic<int> runs{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      done.push_back(std::make_unique<std::atomic<bool>>(false));
+      std::vector<StageDag::NodeId> deps;
+      for (std::size_t d = 0; d < i; ++d) {
+        if (rng.uniform_u64(100) < 35) deps.push_back(d);
+      }
+      deps_of[i] = deps;
+      dag.add("node" + std::to_string(i), [&, i] {
+        for (const StageDag::NodeId dep : deps_of[i]) {
+          EXPECT_TRUE(done[dep]->load()) << "node " << i << " ran before dep " << dep;
+        }
+        done[i]->store(true);
+        runs.fetch_add(1);
+      }, deps);
+    }
+    dag.run();
+    EXPECT_EQ(runs.load(), static_cast<int>(n)) << "seed " << seed;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(dag.state(i), StageDag::NodeState::done) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(StageDagPools, FailureSkipsExactlyTheTransitiveDependents) {
+  ThreadPool* pool = this->pool();
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 7919);
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_u64(12));
+    const std::size_t bomb = rng.uniform_u64(n);
+    StageDag dag(pool);
+    std::vector<std::vector<StageDag::NodeId>> deps_of(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<StageDag::NodeId> deps;
+      for (std::size_t d = 0; d < i; ++d) {
+        if (rng.uniform_u64(100) < 35) deps.push_back(d);
+      }
+      deps_of[i] = deps;
+      dag.add("node" + std::to_string(i), [i, bomb] {
+        if (i == bomb) throw std::runtime_error("bomb node " + std::to_string(i));
+      }, deps);
+    }
+    // Reference answer: transitive closure of dependents of `bomb`.
+    std::set<std::size_t> expect_skipped;
+    for (std::size_t i = bomb + 1; i < n; ++i) {
+      for (const StageDag::NodeId dep : deps_of[i]) {
+        if (dep == bomb || expect_skipped.count(dep) > 0) {
+          expect_skipped.insert(i);
+          break;
+        }
+      }
+    }
+    EXPECT_THROW(dag.run(), std::runtime_error) << "seed " << seed;
+    for (std::size_t i = 0; i < n; ++i) {
+      const StageDag::NodeState state = dag.state(i);
+      if (i == bomb) {
+        EXPECT_EQ(state, StageDag::NodeState::failed) << "seed " << seed << " node " << i;
+      } else if (expect_skipped.count(i) > 0) {
+        EXPECT_EQ(state, StageDag::NodeState::skipped) << "seed " << seed << " node " << i;
+      } else {
+        // Unrelated branches run to completion despite the failure.
+        EXPECT_EQ(state, StageDag::NodeState::done) << "seed " << seed << " node " << i;
+      }
+    }
+  }
+}
+
+TEST_P(StageDagPools, LowestIdFailureIsTheOneRethrown) {
+  ThreadPool* pool = this->pool();
+  StageDag dag(pool);
+  // Two independent bombs; the sequential order would have surfaced the
+  // lower id first, so that is the exception run() must rethrow at every
+  // thread count.
+  dag.add("a", [] { throw std::runtime_error("first"); });
+  dag.add("b", [] {});
+  dag.add("c", [] { throw std::logic_error("second"); });
+  try {
+    dag.run();
+    FAIL() << "run() should have rethrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+  EXPECT_EQ(dag.state(0), StageDag::NodeState::failed);
+  EXPECT_EQ(dag.state(1), StageDag::NodeState::done);
+  EXPECT_EQ(dag.state(2), StageDag::NodeState::failed);
+}
+
+TEST_P(StageDagPools, CancellationFailsNodesAtTheirStart) {
+  ThreadPool* pool = this->pool();
+  CancelToken cancel;
+  StageDag dag(pool, &cancel);
+  std::atomic<int> late_runs{0};
+  // Node 0 fires the token; its dependents must observe the cancellation
+  // at their start checkpoint and never run their bodies.
+  const auto root = dag.add("trigger", [&cancel] { cancel.request_cancel(); });
+  const auto mid = dag.add("mid", [&late_runs] { late_runs.fetch_add(1); }, {root});
+  dag.add("leaf", [&late_runs] { late_runs.fetch_add(1); }, {mid});
+  EXPECT_THROW(dag.run(), CancelledError);
+  EXPECT_EQ(late_runs.load(), 0);
+  EXPECT_EQ(dag.state(0), StageDag::NodeState::done);
+  EXPECT_EQ(dag.state(1), StageDag::NodeState::failed);  // cancelled at start
+  EXPECT_EQ(dag.state(2), StageDag::NodeState::skipped);
+}
+
+TEST_P(StageDagPools, DeadlineExpiryPropagatesLikeCancellation) {
+  ThreadPool* pool = this->pool();
+  CancelToken cancel;
+  cancel.arm_deadline(std::chrono::steady_clock::now());  // already expired
+  StageDag dag(pool, &cancel);
+  std::atomic<int> runs{0};
+  dag.add("a", [&runs] { runs.fetch_add(1); });
+  try {
+    dag.run();
+    FAIL() << "run() should have thrown CancelledError";
+  } catch (const CancelledError& error) {
+    EXPECT_EQ(error.reason(), CancelReason::kDeadline);
+  }
+  EXPECT_EQ(runs.load(), 0);
+}
+
+TEST_P(StageDagPools, NodesMayFanOutOnTheSamePool) {
+  ThreadPool* pool = this->pool();
+  // Each DAG node itself shards work onto the same pool -- exactly what
+  // the reconstruct stage does.  Helping waits make this deadlock-free
+  // even when every worker is occupied by a DAG node.
+  StageDag dag(pool);
+  std::atomic<int> total{0};
+  for (int node = 0; node < 4; ++node) {
+    dag.add("fanout" + std::to_string(node), [&total, pool] {
+      for_each_shard(pool, 8, [&total](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  dag.run();
+  EXPECT_EQ(total.load(), 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, StageDagPools,
+                         ::testing::Values(PoolCase{"inline", 0}, PoolCase{"one_worker", 1},
+                                           PoolCase{"four_workers", 4},
+                                           PoolCase{"eight_workers", 8}),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+TEST(StageDag, RejectsForwardAndSelfDependencies) {
+  StageDag dag(nullptr);
+  const auto a = dag.add("a", [] {});
+  EXPECT_THROW(dag.add("bad", [] {}, {a + 1}), std::invalid_argument);  // forward
+  EXPECT_THROW(dag.add("bad", [] {}, {99}), std::invalid_argument);     // unknown
+  dag.add("b", [] {}, {a});
+}
+
+TEST(StageDag, RunIsSingleShot) {
+  StageDag dag(nullptr);
+  dag.add("a", [] {});
+  dag.run();
+  EXPECT_THROW(dag.run(), std::logic_error);
+}
+
+TEST(StageDag, StatesVisibleBeforeRun) {
+  StageDag dag(nullptr);
+  const auto a = dag.add("a", [] {});
+  EXPECT_EQ(dag.state(a), StageDag::NodeState::pending);
+  EXPECT_EQ(dag.name(a), "a");
+  EXPECT_EQ(dag.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cvewb::util

@@ -56,6 +56,7 @@ struct Options {
   std::uint64_t seed = 2023;
   double scale = 0.1;
   int threads = 0;
+  bool stage_dag = true;  // --no-dag forces the barrier-per-stage sequence
   std::string trace_out;
   std::string metrics_out;
   std::string cache_dir;
@@ -130,6 +131,8 @@ Options parse_options(int argc, char** argv) {
       options.mode = argv[++i];
     } else if (arg == "--limit" && i + 1 < argc) {
       options.limit = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--no-dag") {
+      options.stage_dag = false;
     } else if (arg == "--crash-after-wal") {
       options.crash_after_wal = true;
     } else if (arg == "--keep-bytes" && i + 1 < argc) {
@@ -152,6 +155,7 @@ pipeline::StudyConfig study_config(const Options& options) {
   config.seed = options.seed;
   config.event_scale = options.scale;
   config.threads = options.threads;
+  config.stage_dag = options.stage_dag;
   config.cache_dir = options.cache_dir;
   config.store_dir = options.store_dir;
   if (options.deadline_ms > 0) config.stage_deadline = std::chrono::milliseconds(options.deadline_ms);
@@ -577,7 +581,8 @@ void usage() {
                "  study      run the end-to-end study (--seed, --scale, --threads,\n"
                "             --trace-out FILE, --metrics-out FILE, --cache-dir DIR,\n"
                "             --store-dir DIR, --digest-out FILE, --deadline-ms N,\n"
-               "             --max-retries N;\n"
+               "             --max-retries N, --no-dag (barrier-per-stage scheduling;\n"
+               "             results are byte-identical either way);\n"
                "             SIGINT/SIGTERM checkpoint and exit 75, rerun to resume)\n"
                "  rules      print the synthetic Snort-subset study ruleset\n"
                "  baselines  print the CERT Markov baseline probabilities\n"

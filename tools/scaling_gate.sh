@@ -1,0 +1,62 @@
+#!/bin/sh
+# Scaling regression gate over bench_perf_parallel.
+#
+#   scaling_gate.sh <bench_perf_parallel-binary> <workdir>
+#
+# Runs the parallel bench at a downscaled corpus (CVEWB_SCALE, default
+# 0.02) and enforces its gates object:
+#
+#   - reconstruct_speedup: the SoA engine must stay >= 2x over the
+#     retained pre-rewrite baseline.  In-process and single-threaded, so
+#     it gates on every host, including 1-core CI runners.
+#   - parallel_speedup_2t / _4t: run_study scaling.  The bench marks
+#     these "skipped (N core)" on hosts without the cores; this script
+#     treats a skip as a skip -- and additionally REQUIRES the skip
+#     marker on 1-core hosts, so "no parallelism available" can never be
+#     recorded as "parallelism works" (the silent hardware_concurrency=1
+#     trap this gate exists to close).
+#
+# The bench itself exits nonzero on any gate status "fail" or on a
+# determinism mismatch between legs; this wrapper adds the JSON sanity
+# checks and prints the gate lines into the test log.
+set -eu
+
+BENCH=$1
+DIR=$2
+
+mkdir -p "$DIR"
+OUT="$DIR/BENCH_parallel.json"
+
+# Keep the gate fast: tiny corpus unless the caller overrides.
+CVEWB_SCALE="${CVEWB_SCALE:-0.02}" "$BENCH" "$OUT"
+
+# The bench passed; now require the report to actually carry the fields
+# the gate contract promises (a schema regression should fail loudly).
+for field in cores_detected reconstruct_speedup parallel_speedup_2t \
+             parallel_speedup_4t sessions_per_sec; do
+  grep -q "\"$field\"" "$OUT" || {
+    echo "scaling_gate: $OUT is missing \"$field\"" >&2
+    exit 1
+  }
+done
+
+if grep -q '"status": *"fail"' "$OUT"; then
+  echo "scaling_gate: a gate failed (bench should have exited nonzero):" >&2
+  grep -B1 '"status": *"fail"' "$OUT" >&2
+  exit 1
+fi
+
+cores=$(sed -n 's/.*"cores_detected": *\([0-9]*\).*/\1/p' "$OUT" | head -n1)
+if [ "$cores" = "1" ]; then
+  # On a single core the parallel gates must be marked skipped, never pass.
+  skips=$(grep -c '"status": *"skipped (1 core)"' "$OUT" || true)
+  if [ "$skips" -lt 2 ]; then
+    echo "scaling_gate: 1 core detected but parallel gates not marked skipped" >&2
+    exit 1
+  fi
+  echo "scaling_gate: 1 core -- parallel speedup gates skipped (recorded, not passed)"
+else
+  echo "scaling_gate: $cores cores -- parallel speedup gates enforced"
+fi
+
+echo "scaling_gate: OK"
