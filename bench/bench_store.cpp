@@ -12,12 +12,22 @@
 //      SID) timed against their brute-scan twins, with byte-identical
 //      digests asserted along the way.
 //
+//   5. compound-predicate queries through the planner's intersection
+//      path vs their brute twins (gate: >= 10x), and
+//   6. an incremental checkpoint of a one-run delta vs the full rewrite
+//      compaction performs over the whole tier chain (gate: >= 5x).
+//
 // Results land in BENCH_store.json (argv[1] redirects the path).  The
 // headline invariant -- index-scan latency at least 50x faster than the
 // warm-cache rerun that would otherwise produce the same rows -- fails
-// the process when violated.
+// the process when violated.  The compound and checkpoint gates record a
+// `skipped` marker (with the reason) instead of failing when their
+// preconditions don't hold at the bench scale -- e.g. the planner finds
+// no second selective predicate worth intersecting -- so the JSON never
+// silently conflates "passed" with "never ran".
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -179,6 +189,111 @@ int main(int argc, char** argv) {
   std::cout << "  index scan vs warm-cache rerun: " << speedup_vs_warm << "x (require >= 50x)\n"
             << "  digest convergence: " << (digests_ok ? "identical" : "MISMATCH") << "\n";
 
+  // Leg 5: compound predicates through the intersection path.  The gate
+  // only arms when the planner actually intersects -- a single-driver or
+  // brute verdict at this corpus scale is a skip, not a fail.
+  bool gates_ok = true;
+  util::Json compound_gate;
+  compound_gate.set("gate", "compound_intersect_vs_brute");
+  compound_gate.set("required_speedup", 10.0);
+  {
+    // Two individually selective predicates that provably co-occur: the
+    // rule SID of one exploit event and the one-week window containing
+    // it (the event itself satisfies both, so matched >= 1 and neither
+    // posting probe is empty).
+    store::Query q;
+    q.table = store::Table::kEvents;
+    q.sid = some_event.sid;
+    q.time_begin = some_event.time.unix_seconds();
+    q.time_end = some_event.time.unix_seconds() + 7 * 86'400;
+    const auto report = s->plan(q);
+    const auto via_index = s->query(q, store::QueryMode::kIndex);
+    const auto via_brute = s->query(q, store::QueryMode::kBrute);
+    digests_ok = digests_ok && via_index.digest_hex == via_brute.digest_hex;
+    compound_gate.set("plan", report.plan);
+    compound_gate.set("matched", static_cast<std::int64_t>(via_index.matched));
+    if (report.plan.rfind("intersect(", 0) != 0) {
+      compound_gate.set("skipped", true);
+      compound_gate.set("reason", "planner chose '" + report.plan +
+                                      "' -- no second selective predicate at this scale");
+      std::cout << "  compound gate SKIPPED (plan " << report.plan << ")\n";
+    } else {
+      const double index_us = mean_query_us(*s, q, store::QueryMode::kIndex, kReps);
+      const double brute_us = mean_query_us(*s, q, store::QueryMode::kBrute, kReps);
+      const double speedup = index_us > 0 ? brute_us / index_us : 0;
+      compound_gate.set("index_scan_us", index_us);
+      compound_gate.set("brute_scan_us", brute_us);
+      compound_gate.set("speedup", speedup);
+      if (brute_us < 100.0) {
+        // A 10x ratio needs the brute twin to cost well above the fixed
+        // per-query overhead (~2-3 us); at down-sampled scales the whole
+        // events table brute-scans in tens of microseconds.
+        compound_gate.set("skipped", true);
+        compound_gate.set("reason",
+                          "table too small at this scale: brute twin under 100 us, speedup "
+                          "not measurable above fixed per-query overhead");
+        std::cout << "  compound " << report.plan << ": " << speedup
+                  << "x, gate SKIPPED (brute twin " << brute_us << " us < 100 us floor)\n";
+      } else {
+        compound_gate.set("skipped", false);
+        compound_gate.set("pass", speedup >= 10.0);
+        std::cout << "  compound " << report.plan << ": " << via_index.matched
+                  << " matched, index " << index_us << " us, brute " << brute_us << " us ("
+                  << speedup << "x, require >= 10x)\n";
+        if (speedup < 10.0) {
+          std::cerr << "compound intersection gate FAILED\n";
+          gates_ok = false;
+        }
+      }
+    }
+  }
+
+  // Leg 6: incremental checkpoint vs full rewrite.  Build an 8-run base
+  // tier, land a 1-run delta, and compare the segment append against the
+  // compaction that rewrites the whole chain.  A delta 1/9th the size
+  // should checkpoint well over 5x faster than the full rewrite.
+  util::Json checkpoint_gate;
+  checkpoint_gate.set("gate", "incremental_checkpoint_vs_full_rewrite");
+  checkpoint_gate.set("required_speedup", 5.0);
+  {
+    bool base_ok = true;
+    for (int r = 2; r <= 8 && base_ok; ++r) {
+      base_ok = s->ingest(cold, "bench-run-" + std::to_string(r), &error);
+    }
+    base_ok = base_ok && s->checkpoint(&error) && s->ingest(cold, "bench-run-9", &error);
+    if (!base_ok) {
+      checkpoint_gate.set("skipped", true);
+      checkpoint_gate.set("reason", "base tier setup failed: " + error.detail);
+      std::cout << "  checkpoint gate SKIPPED (" << error.detail << ")\n";
+    } else {
+      start = std::chrono::steady_clock::now();
+      const bool incr_ok = s->checkpoint(&error);  // 1-run segment append
+      const double incremental_seconds = seconds_since(start);
+      start = std::chrono::steady_clock::now();
+      const bool compact_ok = s->compact(&error);  // 9-run full rewrite
+      const double full_rewrite_seconds = seconds_since(start);
+      if (!incr_ok || !compact_ok) {
+        checkpoint_gate.set("skipped", true);
+        checkpoint_gate.set("reason", "checkpoint/compact failed: " + error.detail);
+        std::cout << "  checkpoint gate SKIPPED (" << error.detail << ")\n";
+      } else {
+        const double speedup =
+            incremental_seconds > 0 ? full_rewrite_seconds / incremental_seconds : 1e9;
+        checkpoint_gate.set("skipped", false);
+        checkpoint_gate.set("incremental_seconds", incremental_seconds);
+        checkpoint_gate.set("full_rewrite_seconds", full_rewrite_seconds);
+        checkpoint_gate.set("speedup", speedup);
+        checkpoint_gate.set("pass", speedup >= 5.0);
+        std::cout << "  incremental checkpoint " << incremental_seconds << " s vs full rewrite "
+                  << full_rewrite_seconds << " s (" << speedup << "x, require >= 5x)\n";
+        if (speedup < 5.0) {
+          std::cerr << "incremental checkpoint gate FAILED\n";
+          gates_ok = false;
+        }
+      }
+    }
+  }
+
   util::Json doc;
   doc.set("bench", "bench_store");
   doc.set("event_scale", config.event_scale);
@@ -195,11 +310,15 @@ int main(int argc, char** argv) {
   doc.set("worst_index_scan_us", worst_index_us);
   doc.set("speedup_vs_warm_rerun", speedup_vs_warm);
   doc.set("digests_match", digests_ok);
+  util::Json gates{util::JsonArray{}};
+  gates.push_back(std::move(compound_gate));
+  gates.push_back(std::move(checkpoint_gate));
+  doc.set("gates", std::move(gates));
   std::ofstream out(out_path);
   out << doc.dump(2) << "\n";
   std::cout << "  wrote " << out_path << "\n";
 
   std::filesystem::remove_all(scratch);
-  if (!digests_ok || speedup_vs_warm < 50.0) return 1;
+  if (!digests_ok || !gates_ok || speedup_vs_warm < 50.0) return 1;
   return 0;
 }

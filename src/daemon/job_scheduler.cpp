@@ -21,10 +21,11 @@ using std::chrono::steady_clock;
 
 namespace {
 
-/// WAL segments accumulated in the shared session store before a
-/// completing worker folds them into a fresh checkpoint (mirrors
-/// run_study's own threshold for the single-process path).
-constexpr std::uint64_t kStoreCheckpointSegments = 8;
+/// Base tiers (snapshot + range segments) accumulated in the shared
+/// session store before a completing worker compacts the chain back into
+/// one snapshot (mirrors run_study's threshold for the single-process
+/// path).  Checkpoints are incremental and run on every completion.
+constexpr std::uint64_t kStoreCompactTiers = 8;
 
 }  // namespace
 
@@ -344,8 +345,11 @@ void JobScheduler::run_job(const std::shared_ptr<Job>& job) {
     store::StoreError store_error;
     if (config_.store->ingest(*report.result, cache::run_key(config), &store_error)) {
       obs::count(observability_, "daemon/store_ingests");
-      if (config_.store->stats().wal_segments >= kStoreCheckpointSegments) {
-        (void)config_.store->checkpoint(&store_error);
+      // Incremental fold of just this run's delta; compact the chain
+      // once enough range segments accumulate.
+      (void)config_.store->checkpoint(&store_error);
+      if (config_.store->stats().base_segments >= kStoreCompactTiers) {
+        (void)config_.store->compact(&store_error);
       }
     } else {
       obs::count(observability_, "daemon/store_ingest_failed");

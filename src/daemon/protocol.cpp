@@ -18,7 +18,18 @@ std::optional<std::int64_t> int_field(const util::Json& object, std::string_view
   if (value->is_integer()) return value->as_int64();
   const double d = value->as_number();
   if (!std::isfinite(d) || d != std::floor(d)) return std::nullopt;
+  // Integer-valued but outside int64: casting would be UB (a frame like
+  // {"limit":1e300} must be a bad_request, not undefined behavior).  2^63
+  // is exactly representable, so >= catches everything the cast cannot.
+  if (d >= 9223372036854775808.0 || d < -9223372036854775808.0) return std::nullopt;
   return static_cast<std::int64_t>(d);
+}
+
+bool is_lower_hex(std::string_view s) {
+  for (const char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return !s.empty();
 }
 
 std::optional<double> number_field(const util::Json& object, std::string_view key) {
@@ -51,6 +62,8 @@ const char* request_op_name(RequestOp op) {
       return "stats";
     case RequestOp::kStoreQuery:
       return "store_query";
+    case RequestOp::kStorePlan:
+      return "store_plan";
     case RequestOp::kStoreStat:
       return "store_stat";
   }
@@ -129,8 +142,8 @@ ParsedRequest parse_request(std::string_view line, const ProtocolLimits& limits)
     }
   } else if (name == "store_stat") {
     request.op = RequestOp::kStoreStat;
-  } else if (name == "store_query") {
-    request.op = RequestOp::kStoreQuery;
+  } else if (name == "store_query" || name == "store_plan") {
+    request.op = name == "store_query" ? RequestOp::kStoreQuery : RequestOp::kStorePlan;
     store::Query& q = request.store_query;
     if (const util::Json* table = doc->find("table")) {
       if (table->type() != util::Json::Type::kString) {
@@ -160,6 +173,12 @@ ParsedRequest parse_request(std::string_view line, const ProtocolLimits& limits)
     }
     if (const char* why = string_field("run", q.run)) {
       return bad_request(std::string("run ") + why);
+    }
+    // Run keys on the wire are cache-key digests: lowercase hex only.  A
+    // key that cannot exist must be rejected up front, not silently
+    // matched against nothing.
+    if (q.run && !is_lower_hex(*q.run)) {
+      return bad_request("run must be a lowercase hex run key");
     }
     // begin/end: YYYY-MM-DD date or integer unix seconds; half-open.
     const auto time_field = [&](std::string_view key,

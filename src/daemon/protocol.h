@@ -12,14 +12,18 @@
 //   {"op":"store_query","table":"events","cve":"CVE-2021-44228",
 //    "begin":"2021-12-10","end":"2021-12-17","src":"203.0.113.9",
 //    "sid":21003,"run":"<runkey hex>","limit":100,"mode":"index"}
+//   {"op":"store_plan","table":"events","cve":"CVE-2021-44228",...}
 //   {"op":"store_stat"}
 //
 // store_query predicates are all optional and conjunctive; "begin"/"end"
 // accept a YYYY-MM-DD date or an integer unix timestamp (half-open
-// window), "src" a dotted quad or an integer.  The reply carries the
-// match count, the SHA-256 digest of the full canonical match set, and
-// the first `limit` rows -- byte-identical whether served by index scan
-// or brute-force scan (DESIGN.md §13).
+// window), "src" a dotted quad or an integer, "run" a lowercase-hex run
+// key.  The reply carries the match count, the SHA-256 digest of the
+// full canonical match set, the executed plan label, and the first
+// `limit` rows -- byte-identical whether served by index scan or
+// brute-force scan (DESIGN.md §13).  store_plan takes the same predicate
+// fields and returns the planner's verdict -- chosen shape plus every
+// applicable probe's measured cardinality -- without executing anything.
 //
 // Replies always carry "ok" (true/false) and echo "op"; failures carry a
 // structured "error" code -- crucially "overloaded" with a "retry_after_ms"
@@ -58,6 +62,7 @@ enum class RequestOp : std::uint8_t {
   kCancel,
   kStats,
   kStoreQuery,  // index scan over the persistent session store
+  kStorePlan,   // planner verdict for a store query, without executing
   kStoreStat,   // store row/run/WAL/snapshot counters
 };
 

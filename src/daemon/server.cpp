@@ -249,6 +249,9 @@ util::Json Server::dispatch(Connection& conn, const Request& request) {
       const bool sessions = request.store_query.table == store::Table::kSessions;
       reply.set("table", util::Json(sessions ? "sessions" : "events"));
       reply.set("mode", util::Json(result.used_index ? "index" : "brute"));
+      reply.set("plan", util::Json(result.plan));
+      reply.set("postings_examined",
+                util::Json(static_cast<std::int64_t>(result.postings_examined)));
       reply.set("matched", util::Json(static_cast<std::int64_t>(result.matched)));
       reply.set("scanned", util::Json(static_cast<std::int64_t>(result.scanned)));
       reply.set("digest", util::Json(result.digest_hex));
@@ -272,6 +275,35 @@ util::Json Server::dispatch(Connection& conn, const Request& request) {
         rows.push_back(std::move(encoded));
       }
       reply.set("rows", std::move(rows));
+      break;
+    }
+    case RequestOp::kStorePlan: {
+      if (store_ == nullptr) {
+        reply = error_reply("no_store", "no session store configured (--store-dir)");
+        reply.set("op", util::Json("store_plan"));
+        break;
+      }
+      const store::PlanReport report = store_->plan(request.store_query);
+      obs::count(observability_, "daemon/store_plans");
+      reply.set("table", util::Json(request.store_query.table == store::Table::kSessions
+                                        ? "sessions"
+                                        : "events"));
+      reply.set("plan", util::Json(report.plan));
+      reply.set("mode", util::Json(report.used_index ? "index" : "brute"));
+      reply.set("table_rows", util::Json(static_cast<std::int64_t>(report.table_rows)));
+      reply.set("postings_examined",
+                util::Json(static_cast<std::int64_t>(report.postings_examined)));
+      reply.set("estimated_candidates",
+                util::Json(static_cast<std::int64_t>(report.estimated_candidates)));
+      util::Json indexes{util::JsonArray{}};
+      for (const auto& estimate : report.indexes) {
+        util::Json encoded;
+        encoded.set("index", util::Json(estimate.index));
+        encoded.set("cardinality", util::Json(static_cast<std::int64_t>(estimate.cardinality)));
+        encoded.set("driver", util::Json(estimate.driver));
+        indexes.push_back(std::move(encoded));
+      }
+      reply.set("indexes", std::move(indexes));
       break;
     }
     case RequestOp::kStoreStat: {

@@ -1,11 +1,10 @@
 #include "data/cve_table_io.h"
 
-#include <charconv>
-#include <cmath>
-#include <cstdlib>
+#include <cstdint>
 #include <sstream>
 
 #include "util/csv.h"
+#include "util/strings.h"
 
 namespace cvewb::data {
 
@@ -37,25 +36,19 @@ std::optional<Protocol> protocol_from(const std::string& name) {
   return std::nullopt;
 }
 
+// Full-token numeric parses via the shared util::parse_* helpers, which
+// reject trailing garbage, overflow, and non-finite spellings
+// (util/strings.h).  The CLI flag parsers use the same helpers, so the
+// two validation paths cannot drift apart again.
 bool parse_int_field(const std::string& text, long& out) {
-  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
-  return ec == std::errc() && p == text.data() + text.size();
+  std::int64_t value = 0;
+  if (!util::parse_i64(text, value)) return false;
+  out = static_cast<long>(value);
+  return true;
 }
 
-/// Full-token finite double parse.  std::stod would accept trailing
-/// garbage ("3.5xyz" -> 3.5) and non-finite spellings ("nan", "inf");
-/// NaN in particular defeats range checks because every comparison
-/// against it is false.
 bool parse_double_field(const std::string& text, double& out) {
-  if (text.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size()) return false;
-  if (errno == ERANGE) return false;
-  if (!std::isfinite(value)) return false;
-  out = value;
-  return true;
+  return util::parse_finite_double(text, out);
 }
 
 /// Parse one data row into `rec`.  On failure, sets `error` to a message

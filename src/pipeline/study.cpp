@@ -19,9 +19,10 @@ namespace cvewb::pipeline {
 
 namespace {
 
-/// WAL segments accumulated in the session store before run_study folds
-/// them into a fresh checkpoint snapshot.
-constexpr std::uint64_t kStoreCheckpointSegments = 8;
+/// Base tiers (snapshot + range segments) accumulated in the session
+/// store before run_study compacts the chain back into one snapshot.
+/// Checkpoints themselves are incremental and run on every completion.
+constexpr std::uint64_t kStoreCompactTiers = 8;
 
 /// Per-stage cancellation-and-deadline bracket.  Entry is a cancellation
 /// point; when a stage budget is configured the token's deadline is armed
@@ -315,10 +316,13 @@ StudyResult run_study(const StudyConfig& config) {
     store::StoreError store_error;
     if (auto store = store::Store::open(config.store_dir, store_options, &store_error)) {
       if (store->ingest(result, cache::run_key(config), &store_error)) {
-        // Fold the WAL into a fresh snapshot once enough segments pile
-        // up; queries stay fast and recovery stays short.
-        if (store->stats().wal_segments >= kStoreCheckpointSegments) {
-          store->checkpoint(&store_error);
+        // Checkpoints are incremental -- the new tier holds only this
+        // run's delta -- so fold on every completion; recovery stays
+        // short and queries never replay WAL.  Compact the tier chain
+        // back into a single snapshot once enough segments pile up.
+        store->checkpoint(&store_error);
+        if (store->stats().base_segments >= kStoreCompactTiers) {
+          store->compact(&store_error);
         }
       } else {
         obs::count(observability, "store/populate_failed");

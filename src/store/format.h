@@ -1,13 +1,23 @@
 // On-disk format of the persistent session store (see DESIGN.md §13).
 //
-// Two file kinds live in a store directory:
+// Three file kinds live in a store directory:
 //
-//   snap-<lsn>.cvwbs   checkpoint snapshot: header, section table, then
-//                      8-byte-aligned little-endian sections (columnar
-//                      arrays, string dictionary, payload heap, sorted
-//                      postings indexes).  SHA-256 of the sections region
-//                      is in the header; a snapshot either validates
-//                      completely or is rejected as a unit.
+//   snap-<lsn>.cvwbs   base snapshot covering commits [1, lsn]: header,
+//                      section table, then 8-byte-aligned little-endian
+//                      sections (columnar arrays, string dictionary,
+//                      payload heap, sorted postings indexes).  SHA-256 of
+//                      the sections region is in the header; a snapshot
+//                      either validates completely or is rejected as a
+//                      unit.
+//   seg-<from>-<to>.cvwbg  range-partitioned segment covering commits
+//                      [from, to], from > 1.  Identical container layout
+//                      to a snapshot (same header, sections, digest) with
+//                      a kSecRange section carrying the lsn range; all
+//                      row, run, and dictionary ids inside are
+//                      segment-local.  Checkpoints append one of these
+//                      instead of rewriting the whole snapshot; a
+//                      compaction pass folds snapshot + segments back into
+//                      a single snap- file.
 //   wal-<lsn>.cvwbw    one write-ahead segment per committed ingest
 //                      batch: header + digest + a row-oriented redo
 //                      payload (cache::BinWriter encoding).  Segments are
@@ -54,6 +64,10 @@ enum SectionId : std::uint32_t {
   kSecDict = 1,        // string dictionary (BinWriter: u64 n, n * str)
   kSecRuns = 2,        // run table (BinWriter; see store.cpp)
   kSecPayloadHeap = 3, // raw concatenated session payload bytes
+  kSecRange = 4,       // commit range: from_lsn u64, to_lsn u64.  Absent
+                       // in legacy snapshots (implied [1, header lsn]);
+                       // mandatory in seg- files, where it must agree
+                       // with the file name.
 
   // sessions table columns (parallel arrays, one section each)
   kSecSessRun = 10,     // u32: run index
@@ -137,6 +151,14 @@ inline std::string wal_file_name(std::uint64_t lsn) {
   return buf;
 }
 
+inline std::string segment_file_name(std::uint64_t from_lsn, std::uint64_t to_lsn) {
+  char buf[56];
+  std::snprintf(buf, sizeof buf, "seg-%016llu-%016llu.cvwbg",
+                static_cast<unsigned long long>(from_lsn),
+                static_cast<unsigned long long>(to_lsn));
+  return buf;
+}
+
 /// Parse the lsn out of a store file name; returns false when the name is
 /// not of the given kind.  `stem` is e.g. "snap-" and `ext` ".cvwbs".
 inline bool parse_store_file_name(std::string_view name, std::string_view stem,
@@ -151,6 +173,33 @@ inline bool parse_store_file_name(std::string_view name, std::string_view stem,
     value = value * 10 + static_cast<std::uint64_t>(c - '0');
   }
   lsn = value;
+  return true;
+}
+
+/// Parse "seg-<from16>-<to16>.cvwbg"; returns false (without touching the
+/// outputs) on any other name.
+inline bool parse_segment_file_name(std::string_view name, std::uint64_t& from_lsn,
+                                    std::uint64_t& to_lsn) {
+  constexpr std::string_view stem = "seg-";
+  constexpr std::string_view ext = ".cvwbg";
+  if (name.size() != stem.size() + 16 + 1 + 16 + ext.size()) return false;
+  if (name.substr(0, stem.size()) != stem) return false;
+  if (name[stem.size() + 16] != '-') return false;
+  if (name.substr(name.size() - ext.size()) != ext) return false;
+  const auto digits = [&](std::size_t at, std::uint64_t& out) {
+    std::uint64_t value = 0;
+    for (std::size_t i = at; i < at + 16; ++i) {
+      const char c = name[i];
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = value;
+    return true;
+  };
+  std::uint64_t from = 0, to = 0;
+  if (!digits(stem.size(), from) || !digits(stem.size() + 17, to)) return false;
+  from_lsn = from;
+  to_lsn = to;
   return true;
 }
 

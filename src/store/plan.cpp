@@ -1,0 +1,100 @@
+#include "store/plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvewb::store {
+
+const char* plan_index_name(PlanIndex index) {
+  switch (index) {
+    case PlanIndex::kCve:
+      return "cve";
+    case PlanIndex::kRun:
+      return "run";
+    case PlanIndex::kTime:
+      return "time";
+    case PlanIndex::kSrc:
+      return "src";
+    case PlanIndex::kSid:
+      return "sid";
+  }
+  return "?";
+}
+
+std::string QueryPlan::label() const {
+  switch (choice) {
+    case Choice::kEmpty:
+      return "empty";
+    case Choice::kBrute:
+      return "brute";
+    case Choice::kSingleIndex:
+      return std::string("single(") + plan_index_name(drivers.front().index) + ")";
+    case Choice::kIntersect: {
+      std::string out = "intersect(";
+      for (std::size_t i = 0; i < drivers.size(); ++i) {
+        if (i != 0) out += ',';
+        out += plan_index_name(drivers[i].index);
+      }
+      out += ')';
+      return out;
+    }
+  }
+  return "?";
+}
+
+QueryPlan choose_plan(std::vector<IndexEstimate> estimates, std::uint64_t table_rows) {
+  QueryPlan plan;
+  if (estimates.empty()) {
+    plan.choice = QueryPlan::Choice::kBrute;
+    plan.estimated_candidates = table_rows;
+    return plan;
+  }
+  for (const IndexEstimate& estimate : estimates) {
+    if (estimate.cardinality == 0) {
+      plan.choice = QueryPlan::Choice::kEmpty;
+      plan.estimated_candidates = 0;
+      return plan;
+    }
+  }
+  // table_rows > 0 from here on: every probe found at least one posting.
+  std::sort(estimates.begin(), estimates.end(), [](const IndexEstimate& a, const IndexEstimate& b) {
+    if (a.cardinality != b.cardinality) return a.cardinality < b.cardinality;
+    return static_cast<int>(a.index) < static_cast<int>(b.index);
+  });
+
+  // Greedy driver selection: starting from the most selective probe, admit
+  // the next probe iff merging its postings is cheaper than re-checking
+  // the candidate rows it is expected to eliminate (independence model:
+  // each extra probe scales the expected intersection by c_i/n).
+  const double n = static_cast<double>(table_rows);
+  std::vector<IndexEstimate> drivers{estimates.front()};
+  double postings = static_cast<double>(estimates.front().cardinality);
+  double expected = static_cast<double>(estimates.front().cardinality);
+  for (std::size_t i = 1; i < estimates.size(); ++i) {
+    const double ci = static_cast<double>(estimates[i].cardinality);
+    const double shrunk = expected * (ci / n);
+    const double cost_now = postings * kPlanPostingCost + expected * kPlanCheckCost;
+    const double cost_with = (postings + ci) * kPlanPostingCost + shrunk * kPlanCheckCost;
+    if (cost_with < cost_now) {
+      drivers.push_back(estimates[i]);
+      postings += ci;
+      expected = shrunk;
+    }
+  }
+
+  const double cost_brute = n * kPlanCheckCost;
+  const double cost_index = postings * kPlanPostingCost + expected * kPlanCheckCost;
+  if (cost_index <= cost_brute) {
+    plan.choice = drivers.size() == 1 ? QueryPlan::Choice::kSingleIndex
+                                      : QueryPlan::Choice::kIntersect;
+    plan.drivers = std::move(drivers);
+    plan.postings_examined = static_cast<std::uint64_t>(postings);
+    plan.estimated_candidates = static_cast<std::uint64_t>(std::llround(expected));
+  } else {
+    plan.choice = QueryPlan::Choice::kBrute;
+    plan.estimated_candidates = table_rows;
+  }
+  return plan;
+}
+
+}  // namespace cvewb::store

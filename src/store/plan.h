@@ -1,0 +1,83 @@
+// Selectivity-estimating query planner for the session store.
+//
+// For each applicable predicate the store measures the exact cardinality
+// of its postings probe (the count of (key, row) entries the probe would
+// visit) and hands the list to choose_plan(), which picks one of four
+// shapes:
+//
+//   kEmpty      some predicate is provably unsatisfiable (unknown CVE or
+//               run key, empty time window, zero-cardinality probe) --
+//               the result is empty without touching any index or row.
+//   kBrute      full linear scan.  Chosen when no predicate applies, or
+//               when the best probe is so unselective that walking its
+//               postings and sorting the candidates costs more than the
+//               straight column scan.
+//   kSingleIndex  drive from the single most selective probe, re-checking
+//               every candidate row against the full predicate set.
+//   kIntersect  materialize two or more sorted posting streams and k-way
+//               sorted-merge them before any row is touched; only the
+//               (usually tiny) intersection is re-checked and
+//               materialized.
+//
+// Determinism contract: plan choice can never change result bytes.  Every
+// shape feeds the surviving candidate rows -- always in ascending global
+// row order -- through the same full-predicate re-check and the same
+// ResultBuilder, so matched / digest_hex / rows are identical across
+// shapes by construction; only `scanned` and `postings_examined` vary.
+// tests/store/planner_test.cpp holds choose_plan to the cost model below
+// and tests/store/query_equivalence_test.cpp holds the executors to the
+// byte-identity claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cvewb::store {
+
+/// The secondary indexes a plan can draw on, in canonical label order.
+enum class PlanIndex : std::uint8_t { kCve = 0, kRun = 1, kTime = 2, kSrc = 3, kSid = 4 };
+
+const char* plan_index_name(PlanIndex index);
+
+/// One applicable predicate, as the store measured it.
+struct IndexEstimate {
+  PlanIndex index = PlanIndex::kCve;
+  /// Exact postings (or run-extent) cardinality of this probe.  Zero means
+  /// the predicate is provably unsatisfiable.
+  std::uint64_t cardinality = 0;
+};
+
+struct QueryPlan {
+  enum class Choice : std::uint8_t { kEmpty, kBrute, kSingleIndex, kIntersect };
+
+  Choice choice = Choice::kBrute;
+  /// The probes the plan drives from, most selective first.  Empty for
+  /// kBrute and kEmpty; exactly one entry for kSingleIndex; >= 2 for
+  /// kIntersect.
+  std::vector<IndexEstimate> drivers;
+  /// Postings entries the chosen shape will visit across all drivers.
+  std::uint64_t postings_examined = 0;
+  /// Candidate rows the shape expects to re-check (independence estimate
+  /// for kIntersect; exact for the other shapes).
+  std::uint64_t estimated_candidates = 0;
+
+  /// Canonical label, e.g. "empty", "brute", "single(cve)",
+  /// "intersect(cve,sid)".  Drivers are listed most selective first.
+  std::string label() const;
+};
+
+/// Cost model constants (unit: one postings visit).  A candidate re-check
+/// reads up to four columns plus the sort/materialize overhead, so it is
+/// costed at kPlanCheckCost postings visits.  Documented in DESIGN.md §13.
+inline constexpr std::uint64_t kPlanPostingCost = 1;
+inline constexpr std::uint64_t kPlanCheckCost = 4;
+
+/// Pick the cheapest shape for the measured probe cardinalities over a
+/// table of `table_rows` rows.  Pure and deterministic: the same inputs
+/// always yield the same plan.  Ties prefer the index shapes over brute
+/// (an index scan's candidates are never more than brute's), and fewer
+/// drivers over more.
+QueryPlan choose_plan(std::vector<IndexEstimate> estimates, std::uint64_t table_rows);
+
+}  // namespace cvewb::store

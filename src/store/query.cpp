@@ -31,6 +31,10 @@ bool match_scalar_predicates(const Query& query, std::string_view cve, std::uint
 }
 
 bool query_in_window(const Query& query, std::int64_t time) {
+  // The empty-window guard is redundant with the two edge checks below,
+  // but it pins the contract explicitly: begin >= end admits nothing,
+  // independent of any arithmetic on `time` (query.h, "edge semantics").
+  if (query_window_empty(query)) return false;
   if (query.time_begin && time < *query.time_begin) return false;
   if (query.time_end && time >= *query.time_end) return false;
   return true;

@@ -47,6 +47,12 @@ struct Query {
   Table table = Table::kSessions;
   std::optional<std::string> cve;       // exact CVE id
   std::optional<std::string> run;       // exact run key (hex)
+  /// The window is half-open: [time_begin, time_end).  Edge semantics are
+  /// pinned, not incidental: a window with time_begin >= time_end (equal
+  /// OR inverted) matches exactly zero rows in every executor --
+  /// query_window_empty() below is the single definition all three share,
+  /// and the planner short-circuits such a query to an empty result
+  /// without consulting any index.
   std::optional<std::int64_t> time_begin;  // inclusive, unix seconds
   std::optional<std::int64_t> time_end;    // exclusive, unix seconds
   std::optional<std::uint32_t> src;     // exact source address, host order
@@ -84,6 +90,13 @@ struct QueryResult {
   bool used_index = false;
   std::string digest_hex;      // SHA-256 over every matched row's encoding
   std::vector<MatchRow> rows;  // first min(matched, limit) matches
+  /// Planner verdict for this execution, e.g. "single(cve)",
+  /// "intersect(cve,sid)", "brute", "empty" (see store/plan.h).  Purely
+  /// diagnostic: plan choice can never change matched/digest_hex/rows --
+  /// only `scanned` and `postings_examined` vary with it.
+  std::string plan;
+  /// Postings entries visited across every index the plan consulted.
+  std::uint64_t postings_examined = 0;
 };
 
 /// Canonical row encoding shared by every executor (and by the
@@ -102,7 +115,17 @@ QueryResult brute_force_study(const pipeline::StudyResult& result, std::string_v
 bool match_scalar_predicates(const Query& query, std::string_view cve, std::uint32_t src,
                              std::int32_t sid);
 
+/// True when the query carries a provably-empty time window: both edges
+/// present and time_begin >= time_end (the window is half-open, so equal
+/// edges select nothing).  Every executor consults this one definition so
+/// degenerate windows deterministically match zero rows everywhere --
+/// index scan, brute scan, and brute_force_study alike.
+inline bool query_window_empty(const Query& query) {
+  return query.time_begin && query.time_end && *query.time_begin >= *query.time_end;
+}
+
 /// True when `time` falls inside the query's (optional) half-open window.
+/// A query for which query_window_empty() holds admits no time at all.
 bool query_in_window(const Query& query, std::int64_t time);
 
 /// Streaming result assembly shared by every executor: the digest covers

@@ -24,18 +24,6 @@ void sort_postings(PostingVec& postings) {
   std::sort(postings.begin(), postings.end());
 }
 
-void split_postings(const PostingVec& postings, std::vector<std::uint64_t>& keys,
-                    std::vector<std::uint64_t>& rows) {
-  keys.clear();
-  rows.clear();
-  keys.reserve(postings.size());
-  rows.reserve(postings.size());
-  for (const auto& [key, row] : postings) {
-    keys.push_back(key);
-    rows.push_back(row);
-  }
-}
-
 /// Serialize a postings pair into an index section image.
 std::string encode_index_section(const PostingVec& postings) {
   std::string out;
@@ -46,38 +34,220 @@ std::string encode_index_section(const PostingVec& postings) {
   return out;
 }
 
+/// Inclusive key range for the time index matching query_in_window().
+bool time_key_range(const Query& query, std::uint64_t& lo, std::uint64_t& hi) {
+  lo = 0;
+  hi = ~0ull;
+  if (query.time_begin) lo = key_of_time(*query.time_begin);
+  if (query.time_end) {
+    const std::uint64_t end_key = key_of_time(*query.time_end);
+    if (end_key == 0) return false;  // empty window
+    hi = end_key - 1;
+  }
+  return lo <= hi;
+}
+
 }  // namespace
 
-/// Full columnar state: snapshot-backed base views plus in-memory delta.
-struct Store::Tables {
-  // sessions
-  Column<std::uint32_t> sess_run;
-  Column<std::int64_t> sess_time;
-  Column<std::uint32_t> sess_src;
-  Column<std::uint32_t> sess_dst;
-  Column<std::uint16_t> sess_sport;
-  Column<std::uint16_t> sess_dport;
-  Column<std::uint8_t> sess_kind;
-  Column<std::uint32_t> sess_cve;
-  Column<std::int32_t> sess_sid;
-  Column<std::uint64_t> sess_poff;
-  Column<std::uint32_t> sess_plen;
-  std::string_view payload_base;
-  std::string payload_delta;
+/// One immutable base tier: a mapped snap-/seg- container covering commits
+/// [from_lsn, to_lsn].  Every id inside the file is tier-local (rows, run
+/// indexes, dictionary ids); the *_begin offsets place the tier's rows and
+/// runs in the store-wide global order.
+struct Store::Tier {
+  MappedFile file;
+  std::filesystem::path path;
+  std::uint64_t from_lsn = 0;
+  std::uint64_t to_lsn = 0;
+  std::uint64_t bytes = 0;
 
-  // events
-  Column<std::uint32_t> evt_run;
-  Column<std::uint32_t> evt_cve;
-  Column<std::int64_t> evt_time;
-  Column<std::uint32_t> evt_src;
-  Column<std::int32_t> evt_sid;
+  std::uint64_t sess_begin = 0;  // global row id of this tier's first session
+  std::uint64_t evt_begin = 0;
+  std::uint64_t run_begin = 0;  // global run index of this tier's first run
 
+  std::vector<std::string> dict;  // tier-local dictionary
+  std::unordered_map<std::string, std::uint32_t> dict_index;
+
+  struct TierRun {
+    std::uint32_t name_id = 0;  // run key, as a local dictionary id
+    std::uint64_t sessions_begin = 0, sessions_count = 0;
+    std::uint64_t events_begin = 0, events_count = 0;
+    std::uint64_t lsn = 0;
+  };
+  std::vector<TierRun> runs;  // local extents
+
+  ColumnView<std::uint32_t> sess_run;  // local run index
+  ColumnView<std::int64_t> sess_time;
+  ColumnView<std::uint32_t> sess_src;
+  ColumnView<std::uint32_t> sess_dst;
+  ColumnView<std::uint16_t> sess_sport;
+  ColumnView<std::uint16_t> sess_dport;
+  ColumnView<std::uint8_t> sess_kind;
+  ColumnView<std::uint32_t> sess_cve;  // local dictionary id
+  ColumnView<std::int32_t> sess_sid;
+  ColumnView<std::uint64_t> sess_poff;  // tier-local heap offset
+  ColumnView<std::uint32_t> sess_plen;
+  std::string_view payload;
+
+  ColumnView<std::uint32_t> evt_run;
+  ColumnView<std::uint32_t> evt_cve;
+  ColumnView<std::int64_t> evt_time;
+  ColumnView<std::uint32_t> evt_src;
+  ColumnView<std::int32_t> evt_sid;
+
+  // Sorted postings over local rows (base views only; delta unused).
   Postings idx_sess_cve, idx_sess_src, idx_sess_sid, idx_sess_time;
   Postings idx_evt_cve, idx_evt_src, idx_evt_sid, idx_evt_time;
 
   std::size_t n_sessions() const { return sess_time.size(); }
   std::size_t n_events() const { return evt_time.size(); }
-  std::uint64_t payload_heap_size() const { return payload_base.size() + payload_delta.size(); }
+};
+
+/// The tier chain plus the in-memory delta (rows committed since the last
+/// checkpoint).  Delta row ids are GLOBAL (base totals + local position),
+/// delta run ids are global run-table indexes, and delta cve ids index the
+/// store's delta dictionary (Store::dict_) -- so folding the delta into a
+/// new tier never renumbers anything the delta postings point at.
+struct Store::Tables {
+  std::vector<std::unique_ptr<Tier>> tiers;
+  std::uint64_t base_sessions = 0;
+  std::uint64_t base_events = 0;
+  std::size_t base_runs = 0;
+  std::uint64_t base_payload = 0;
+
+  std::vector<std::uint32_t> d_sess_run;  // global run index
+  std::vector<std::int64_t> d_sess_time;
+  std::vector<std::uint32_t> d_sess_src;
+  std::vector<std::uint32_t> d_sess_dst;
+  std::vector<std::uint16_t> d_sess_sport;
+  std::vector<std::uint16_t> d_sess_dport;
+  std::vector<std::uint8_t> d_sess_kind;
+  std::vector<std::uint32_t> d_sess_cve;  // delta dictionary id
+  std::vector<std::int32_t> d_sess_sid;
+  std::vector<std::uint64_t> d_sess_poff;  // delta-local heap offset
+  std::vector<std::uint32_t> d_sess_plen;
+  std::string d_payload;
+
+  std::vector<std::uint32_t> d_evt_run;
+  std::vector<std::uint32_t> d_evt_cve;
+  std::vector<std::int64_t> d_evt_time;
+  std::vector<std::uint32_t> d_evt_src;
+  std::vector<std::int32_t> d_evt_sid;
+
+  // Delta-only postings (base views empty); rows are global ids.
+  Postings idx_sess_cve, idx_sess_src, idx_sess_sid, idx_sess_time;
+  Postings idx_evt_cve, idx_evt_src, idx_evt_sid, idx_evt_time;
+
+  std::size_t n_sessions() const { return base_sessions + d_sess_time.size(); }
+  std::size_t n_events() const { return base_events + d_evt_time.size(); }
+  std::uint64_t payload_heap_size() const { return base_payload + d_payload.size(); }
+
+  void clear_delta() {
+    d_sess_run.clear();
+    d_sess_time.clear();
+    d_sess_src.clear();
+    d_sess_dst.clear();
+    d_sess_sport.clear();
+    d_sess_dport.clear();
+    d_sess_kind.clear();
+    d_sess_cve.clear();
+    d_sess_sid.clear();
+    d_sess_poff.clear();
+    d_sess_plen.clear();
+    d_payload.clear();
+    d_evt_run.clear();
+    d_evt_cve.clear();
+    d_evt_time.clear();
+    d_evt_src.clear();
+    d_evt_sid.clear();
+    idx_sess_cve.clear();
+    idx_sess_src.clear();
+    idx_sess_sid.clear();
+    idx_sess_time.clear();
+    idx_evt_cve.clear();
+    idx_evt_src.clear();
+    idx_evt_sid.clear();
+    idx_evt_time.clear();
+  }
+
+  /// Resolved location of one global row: a tier + local index, or the
+  /// delta (tier == nullptr).
+  struct Ref {
+    const Tier* tier = nullptr;
+    std::size_t local = 0;
+  };
+
+  /// Resolve a global session row.  `cursor` is the caller's tier hint for
+  /// ascending row sequences; it self-heals on non-monotonic access.
+  Ref sess_ref(std::uint64_t row, std::size_t& cursor) const {
+    if (row >= base_sessions) return {nullptr, static_cast<std::size_t>(row - base_sessions)};
+    if (cursor >= tiers.size() || row < tiers[cursor]->sess_begin) cursor = 0;
+    while (tiers[cursor]->sess_begin + tiers[cursor]->n_sessions() <= row) ++cursor;
+    return {tiers[cursor].get(), static_cast<std::size_t>(row - tiers[cursor]->sess_begin)};
+  }
+  Ref evt_ref(std::uint64_t row, std::size_t& cursor) const {
+    if (row >= base_events) return {nullptr, static_cast<std::size_t>(row - base_events)};
+    if (cursor >= tiers.size() || row < tiers[cursor]->evt_begin) cursor = 0;
+    while (tiers[cursor]->evt_begin + tiers[cursor]->n_events() <= row) ++cursor;
+    return {tiers[cursor].get(), static_cast<std::size_t>(row - tiers[cursor]->evt_begin)};
+  }
+
+  std::int64_t sess_time(Ref r) const {
+    return r.tier != nullptr ? r.tier->sess_time[r.local] : d_sess_time[r.local];
+  }
+  std::uint32_t sess_src(Ref r) const {
+    return r.tier != nullptr ? r.tier->sess_src[r.local] : d_sess_src[r.local];
+  }
+  std::uint32_t sess_dst(Ref r) const {
+    return r.tier != nullptr ? r.tier->sess_dst[r.local] : d_sess_dst[r.local];
+  }
+  std::uint16_t sess_sport(Ref r) const {
+    return r.tier != nullptr ? r.tier->sess_sport[r.local] : d_sess_sport[r.local];
+  }
+  std::uint16_t sess_dport(Ref r) const {
+    return r.tier != nullptr ? r.tier->sess_dport[r.local] : d_sess_dport[r.local];
+  }
+  std::uint8_t sess_kind(Ref r) const {
+    return r.tier != nullptr ? r.tier->sess_kind[r.local] : d_sess_kind[r.local];
+  }
+  std::int32_t sess_sid(Ref r) const {
+    return r.tier != nullptr ? r.tier->sess_sid[r.local] : d_sess_sid[r.local];
+  }
+  std::uint32_t sess_plen(Ref r) const {
+    return r.tier != nullptr ? r.tier->sess_plen[r.local] : d_sess_plen[r.local];
+  }
+  /// Global run index of a session row.
+  std::uint32_t sess_run(Ref r) const {
+    return r.tier != nullptr
+               ? static_cast<std::uint32_t>(r.tier->run_begin) + r.tier->sess_run[r.local]
+               : d_sess_run[r.local];
+  }
+  std::string_view sess_cve(Ref r, const std::vector<std::string>& delta_dict) const {
+    return r.tier != nullptr ? std::string_view(r.tier->dict[r.tier->sess_cve[r.local]])
+                             : std::string_view(delta_dict[d_sess_cve[r.local]]);
+  }
+  std::string_view sess_payload(Ref r) const {
+    if (r.tier != nullptr) return r.tier->payload.substr(r.tier->sess_poff[r.local], r.tier->sess_plen[r.local]);
+    return std::string_view(d_payload).substr(d_sess_poff[r.local], d_sess_plen[r.local]);
+  }
+
+  std::int64_t evt_time(Ref r) const {
+    return r.tier != nullptr ? r.tier->evt_time[r.local] : d_evt_time[r.local];
+  }
+  std::uint32_t evt_src(Ref r) const {
+    return r.tier != nullptr ? r.tier->evt_src[r.local] : d_evt_src[r.local];
+  }
+  std::int32_t evt_sid(Ref r) const {
+    return r.tier != nullptr ? r.tier->evt_sid[r.local] : d_evt_sid[r.local];
+  }
+  std::uint32_t evt_run(Ref r) const {
+    return r.tier != nullptr
+               ? static_cast<std::uint32_t>(r.tier->run_begin) + r.tier->evt_run[r.local]
+               : d_evt_run[r.local];
+  }
+  std::string_view evt_cve(Ref r, const std::vector<std::string>& delta_dict) const {
+    return r.tier != nullptr ? std::string_view(r.tier->dict[r.tier->evt_cve[r.local]])
+                             : std::string_view(delta_dict[d_evt_cve[r.local]]);
+  }
 };
 
 Store::~Store() = default;
@@ -99,90 +269,154 @@ std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions
   store->fs_ = options.fs;
   store->retry_ = options.retry;
   store->tables_ = std::make_unique<Tables>();
+  chaos::FsShim& fs = store->fs_ != nullptr ? *store->fs_ : chaos::FsShim::passthrough();
+
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> snaps;
+  struct SegFile {
+    std::uint64_t from = 0, to = 0;
+    std::filesystem::path path;
+  };
+  std::vector<SegFile> segs;
+  for (const auto& entry : std::filesystem::directory_iterator(store->dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t lsn = 0, from = 0, to = 0;
+    if (parse_store_file_name(name, "snap-", ".cvwbs", lsn)) {
+      snaps.emplace_back(lsn, entry.path());
+    } else if (parse_segment_file_name(name, from, to)) {
+      segs.push_back(SegFile{from, to, entry.path()});
+    }
+  }
+
+  // Adopt a freshly loaded tier on top of the current chain, extending the
+  // global run table.
+  const auto adopt = [&](std::unique_ptr<Tier> tier) {
+    Tables& t = *store->tables_;
+    tier->sess_begin = t.base_sessions;
+    tier->evt_begin = t.base_events;
+    tier->run_begin = t.base_runs;
+    t.base_sessions += tier->n_sessions();
+    t.base_events += tier->n_events();
+    t.base_runs += tier->runs.size();
+    t.base_payload += tier->payload.size();
+    for (const auto& run : tier->runs) {
+      RunInfo info;
+      info.run_key = tier->dict[run.name_id];
+      info.sessions_begin = tier->sess_begin + run.sessions_begin;
+      info.sessions_count = run.sessions_count;
+      info.events_begin = tier->evt_begin + run.events_begin;
+      info.events_count = run.events_count;
+      info.lsn = run.lsn;
+      store->run_index_[info.run_key] = store->runs_.size();
+      store->runs_.push_back(std::move(info));
+    }
+    store->covered_lsn_ = tier->to_lsn;
+    store->last_lsn_ = tier->to_lsn;
+    t.tiers.push_back(std::move(tier));
+  };
 
   // Pick the newest valid snapshot; delete the rest.  A store with
   // snapshot files but no valid one is structurally damaged: refuse to
   // open rather than silently serve an empty corpus.
-  std::vector<std::pair<std::uint64_t, std::filesystem::path>> snaps;
-  for (const auto& entry : std::filesystem::directory_iterator(store->dir_, ec)) {
-    std::uint64_t lsn = 0;
-    if (parse_store_file_name(entry.path().filename().string(), "snap-", ".cvwbs", lsn)) {
-      snaps.emplace_back(lsn, entry.path());
-    }
-  }
   std::sort(snaps.rbegin(), snaps.rend());
   bool loaded = false;
   StoreError snap_error;
-  for (std::size_t i = 0; i < snaps.size(); ++i) {
-    if (!loaded && store->load_snapshot(snaps[i].second, &snap_error)) {
-      loaded = true;
-      continue;
+  for (const auto& [lsn, path] : snaps) {
+    if (!loaded) {
+      std::unique_ptr<Tier> tier;
+      if (store->load_container(path, 1, lsn, tier, &snap_error)) {
+        adopt(std::move(tier));
+        loaded = true;
+        continue;
+      }
     }
     // Older than the chosen snapshot, or failed validation: delete.
-    chaos::FsShim& fs = store->fs_ != nullptr ? *store->fs_ : chaos::FsShim::passthrough();
-    fs.remove(snaps[i].second);
+    fs.remove(path);
     ++store->dropped_segments_;
   }
   if (!snaps.empty() && !loaded) {
     if (error != nullptr) *error = snap_error;
     return nullptr;
   }
+
+  // Chain segments above the snapshot: each must start exactly at
+  // covered+1.  Among same-from candidates prefer the widest coverage.
+  // Stale (fully covered), gapped, and invalid segments are deleted --
+  // the same valid-prefix rule the WAL replay uses.
+  std::sort(segs.begin(), segs.end(), [](const SegFile& a, const SegFile& b) {
+    if (a.from != b.from) return a.from < b.from;
+    return a.to > b.to;
+  });
+  for (auto& seg : segs) {
+    if (seg.to > store->covered_lsn_ && seg.from == store->covered_lsn_ + 1) {
+      std::unique_ptr<Tier> tier;
+      if (store->load_container(seg.path, seg.from, seg.to, tier, nullptr)) {
+        adopt(std::move(tier));
+        continue;
+      }
+    }
+    fs.remove(seg.path);
+    ++store->dropped_segments_;
+    obs::count(store->observability_, "store/dropped_segments");
+  }
+
   if (!store->replay_wal(error)) return nullptr;
   obs::count(store->observability_, "store/opened");
   obs::gauge_set(store->observability_, "store/session_rows",
                  static_cast<std::int64_t>(store->tables_->n_sessions()));
   obs::gauge_set(store->observability_, "store/event_rows",
                  static_cast<std::int64_t>(store->tables_->n_events()));
+  obs::gauge_set(store->observability_, "store/base_segments",
+                 static_cast<std::int64_t>(store->tables_->tiers.size()));
   return store;
 }
 
-bool Store::load_snapshot(const std::filesystem::path& path, StoreError* error) {
+bool Store::load_container(const std::filesystem::path& path, std::uint64_t expect_from,
+                           std::uint64_t expect_to, std::unique_ptr<Tier>& out,
+                           StoreError* error) {
   MappedFile file;
   chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
   if (fs_ != nullptr && fs_->plan().any()) {
     // Route through the shim so injected read faults stay deterministic.
-    std::string bytes;
+    std::string read_bytes;
     const bool read_ok = util::retry_io(
-        retry_, nullptr, [&] { return fs.read_file(path, bytes); },
+        retry_, nullptr, [&] { return fs.read_file(path, read_bytes); },
         [&](int) { obs::count(observability_, "store/retry"); });
-    if (!read_ok) return fail(error, StoreErrorCode::kIo, "snapshot read failed");
-    file.adopt(std::move(bytes));
+    if (!read_ok) return fail(error, StoreErrorCode::kIo, "container read failed");
+    file.adopt(std::move(read_bytes));
   } else if (!file.map(path)) {
-    return fail(error, StoreErrorCode::kIo, "snapshot open failed");
+    return fail(error, StoreErrorCode::kIo, "container open failed");
   }
   const std::string_view bytes = file.view();
   if (bytes.size() < kSnapshotHeaderBytes) {
-    return fail(error, StoreErrorCode::kTruncated, "snapshot shorter than header");
+    return fail(error, StoreErrorCode::kTruncated, "container shorter than header");
   }
   if (bytes.substr(0, sizeof kSnapshotMagic) !=
       std::string_view(kSnapshotMagic, sizeof kSnapshotMagic)) {
-    return fail(error, StoreErrorCode::kBadMagic, "snapshot magic mismatch");
+    return fail(error, StoreErrorCode::kBadMagic, "container magic mismatch");
   }
   const auto version = read_pod<std::uint32_t>(bytes, 8);
   if (version != kFormatVersion) {
-    return fail(error, StoreErrorCode::kBadVersion, "snapshot version " + std::to_string(version));
+    return fail(error, StoreErrorCode::kBadVersion, "container version " + std::to_string(version));
   }
   const auto section_count = read_pod<std::uint32_t>(bytes, 12);
-  const auto snap_lsn = read_pod<std::uint64_t>(bytes, 16);
+  const auto header_lsn = read_pod<std::uint64_t>(bytes, 16);
   const auto sections_bytes = read_pod<std::uint64_t>(bytes, 24);
   const std::size_t table_bytes = static_cast<std::size_t>(section_count) * kSectionEntryBytes;
   if (bytes.size() < kSnapshotHeaderBytes + table_bytes ||
       bytes.size() - kSnapshotHeaderBytes - table_bytes != sections_bytes) {
-    return fail(error, StoreErrorCode::kTruncated, "snapshot section region length mismatch");
+    return fail(error, StoreErrorCode::kTruncated, "container section region length mismatch");
   }
   const std::string_view sections = bytes.substr(kSnapshotHeaderBytes + table_bytes);
   util::Sha256 hasher;
   hasher.update(sections);
   const auto digest = hasher.digest();
   if (std::memcmp(digest.data(), bytes.data() + 32, digest.size()) != 0) {
-    return fail(error, StoreErrorCode::kCorrupt, "snapshot digest mismatch");
+    return fail(error, StoreErrorCode::kCorrupt, "container digest mismatch");
   }
 
-  // Section table -> (offset, length) by id.
   struct Span {
     std::uint64_t offset = 0;
     std::uint64_t length = 0;
-    bool present = false;
   };
   std::unordered_map<std::uint32_t, Span> spans;
   for (std::uint32_t i = 0; i < section_count; ++i) {
@@ -191,9 +425,9 @@ bool Store::load_snapshot(const std::filesystem::path& path, StoreError* error) 
     const auto offset = read_pod<std::uint64_t>(bytes, at + 8);
     const auto length = read_pod<std::uint64_t>(bytes, at + 16);
     if (offset > sections.size() || length > sections.size() - offset) {
-      return fail(error, StoreErrorCode::kCorrupt, "snapshot section out of range");
+      return fail(error, StoreErrorCode::kCorrupt, "container section out of range");
     }
-    spans[id] = Span{offset, length, true};
+    spans[id] = Span{offset, length};
   }
   const auto section = [&](std::uint32_t id) -> std::string_view {
     const auto it = spans.find(id);
@@ -202,86 +436,97 @@ bool Store::load_snapshot(const std::filesystem::path& path, StoreError* error) 
   };
   const auto has_section = [&](std::uint32_t id) { return spans.count(id) != 0; };
 
-  // Decode the dictionary.
-  std::vector<std::string> dict;
+  // The commit range: explicit in segments (and new snapshots), implied
+  // [1, header lsn] in legacy snapshots.  It must agree with the header
+  // and with the caller's expectation from the file name.
+  std::uint64_t from_lsn = 1, to_lsn = header_lsn;
+  if (has_section(kSecRange)) {
+    const std::string_view range = section(kSecRange);
+    if (range.size() != 16) {
+      return fail(error, StoreErrorCode::kCorrupt, "container range section malformed");
+    }
+    from_lsn = read_pod<std::uint64_t>(range, 0);
+    to_lsn = read_pod<std::uint64_t>(range, 8);
+  }
+  if (to_lsn != header_lsn) {
+    return fail(error, StoreErrorCode::kCorrupt, "container range disagrees with header lsn");
+  }
+  if (from_lsn != expect_from || to_lsn != expect_to) {
+    return fail(error, StoreErrorCode::kCorrupt, "container range does not match its file name");
+  }
+
+  auto tier = std::make_unique<Tier>();
   {
     cache::BinReader r(section(kSecDict));
     const std::uint64_t n = r.u64();
     if (!r.ok() || n > section(kSecDict).size()) {
-      return fail(error, StoreErrorCode::kCorrupt, "snapshot dictionary count implausible");
+      return fail(error, StoreErrorCode::kCorrupt, "container dictionary count implausible");
     }
-    dict.reserve(n);
-    for (std::uint64_t i = 0; i < n && r.ok(); ++i) dict.push_back(r.str());
+    tier->dict.reserve(n);
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) tier->dict.push_back(r.str());
     if (!r.ok() || !r.done()) {
-      return fail(error, StoreErrorCode::kCorrupt, "snapshot dictionary decode failed");
+      return fail(error, StoreErrorCode::kCorrupt, "container dictionary decode failed");
     }
   }
-
-  // Decode the run table.
-  std::vector<RunInfo> runs;
   {
     cache::BinReader r(section(kSecRuns));
     const std::uint64_t n = r.u64();
     if (!r.ok() || n > section(kSecRuns).size()) {
-      return fail(error, StoreErrorCode::kCorrupt, "snapshot run count implausible");
+      return fail(error, StoreErrorCode::kCorrupt, "container run count implausible");
     }
-    runs.reserve(n);
+    tier->runs.reserve(n);
     for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
-      RunInfo run;
-      const std::uint32_t name_id = r.u32();
-      if (name_id >= dict.size()) {
-        return fail(error, StoreErrorCode::kCorrupt, "snapshot run name id out of range");
+      Tier::TierRun run;
+      run.name_id = r.u32();
+      if (run.name_id >= tier->dict.size()) {
+        return fail(error, StoreErrorCode::kCorrupt, "container run name id out of range");
       }
-      run.run_key = dict[name_id];
       run.sessions_begin = r.u64();
       run.sessions_count = r.u64();
       run.events_begin = r.u64();
       run.events_count = r.u64();
       run.lsn = r.u64();
-      runs.push_back(std::move(run));
+      tier->runs.push_back(run);
     }
     if (!r.ok() || !r.done()) {
-      return fail(error, StoreErrorCode::kCorrupt, "snapshot run table decode failed");
+      return fail(error, StoreErrorCode::kCorrupt, "container run table decode failed");
     }
   }
 
-  auto tables = std::make_unique<Tables>();
-  // Fixed-width column loader: the section length must be exactly
-  // rows * width for the table's agreed row count.
-  std::size_t n_sessions = section(kSecSessTime).size() / 8;
-  std::size_t n_events = section(kSecEvtTime).size() / 8;
+  const std::size_t n_sessions = section(kSecSessTime).size() / 8;
+  const std::size_t n_events = section(kSecEvtTime).size() / 8;
   bool shape_ok = true;
   const auto load_column = [&](auto& column, std::uint32_t id, std::size_t rows) {
-    using T = std::decay_t<decltype(column.base[0])>;
+    using T = std::decay_t<decltype(column[0])>;
     const std::string_view data = section(id);
     if (!has_section(id) || data.size() != rows * sizeof(T)) {
       shape_ok = false;
       return;
     }
-    column.base = ColumnView<T>(data.data(), rows);
+    column = ColumnView<T>(data.data(), rows);
   };
-  load_column(tables->sess_run, kSecSessRun, n_sessions);
-  load_column(tables->sess_time, kSecSessTime, n_sessions);
-  load_column(tables->sess_src, kSecSessSrc, n_sessions);
-  load_column(tables->sess_dst, kSecSessDst, n_sessions);
-  load_column(tables->sess_sport, kSecSessSrcPort, n_sessions);
-  load_column(tables->sess_dport, kSecSessDstPort, n_sessions);
-  load_column(tables->sess_kind, kSecSessKind, n_sessions);
-  load_column(tables->sess_cve, kSecSessCve, n_sessions);
-  load_column(tables->sess_sid, kSecSessSid, n_sessions);
-  load_column(tables->sess_poff, kSecSessPayloadOff, n_sessions);
-  load_column(tables->sess_plen, kSecSessPayloadLen, n_sessions);
-  load_column(tables->evt_run, kSecEvtRun, n_events);
-  load_column(tables->evt_cve, kSecEvtCve, n_events);
-  load_column(tables->evt_time, kSecEvtTime, n_events);
-  load_column(tables->evt_src, kSecEvtSrc, n_events);
-  load_column(tables->evt_sid, kSecEvtSid, n_events);
+  load_column(tier->sess_run, kSecSessRun, n_sessions);
+  load_column(tier->sess_time, kSecSessTime, n_sessions);
+  load_column(tier->sess_src, kSecSessSrc, n_sessions);
+  load_column(tier->sess_dst, kSecSessDst, n_sessions);
+  load_column(tier->sess_sport, kSecSessSrcPort, n_sessions);
+  load_column(tier->sess_dport, kSecSessDstPort, n_sessions);
+  load_column(tier->sess_kind, kSecSessKind, n_sessions);
+  load_column(tier->sess_cve, kSecSessCve, n_sessions);
+  load_column(tier->sess_sid, kSecSessSid, n_sessions);
+  load_column(tier->sess_poff, kSecSessPayloadOff, n_sessions);
+  load_column(tier->sess_plen, kSecSessPayloadLen, n_sessions);
+  load_column(tier->evt_run, kSecEvtRun, n_events);
+  load_column(tier->evt_cve, kSecEvtCve, n_events);
+  load_column(tier->evt_time, kSecEvtTime, n_events);
+  load_column(tier->evt_src, kSecEvtSrc, n_events);
+  load_column(tier->evt_sid, kSecEvtSid, n_events);
   if (!shape_ok) {
-    return fail(error, StoreErrorCode::kCorrupt, "snapshot column shape mismatch");
+    return fail(error, StoreErrorCode::kCorrupt, "container column shape mismatch");
   }
-  tables->payload_base = section(kSecPayloadHeap);
+  tier->payload = section(kSecPayloadHeap);
 
-  const auto load_index = [&](Postings& postings, std::uint32_t id) {
+  const auto load_index = [&](Postings& postings, std::uint32_t id, std::size_t rows) {
     const std::string_view data = section(id);
     if (data.size() < 8) {
       shape_ok = false;
@@ -294,47 +539,62 @@ bool Store::load_snapshot(const std::filesystem::path& path, StoreError* error) 
     }
     postings.base_keys = ColumnView<std::uint64_t>(data.data() + 8, n);
     postings.base_rows = ColumnView<std::uint64_t>(data.data() + 8 + n * 8, n);
+    for (std::size_t i = 0; i < postings.base_rows.size(); ++i) {
+      if (postings.base_rows[i] >= rows) shape_ok = false;
+    }
   };
-  load_index(tables->idx_sess_cve, kSecIdxSessCve);
-  load_index(tables->idx_sess_src, kSecIdxSessSrc);
-  load_index(tables->idx_sess_sid, kSecIdxSessSid);
-  load_index(tables->idx_sess_time, kSecIdxSessTime);
-  load_index(tables->idx_evt_cve, kSecIdxEvtCve);
-  load_index(tables->idx_evt_src, kSecIdxEvtSrc);
-  load_index(tables->idx_evt_sid, kSecIdxEvtSid);
-  load_index(tables->idx_evt_time, kSecIdxEvtTime);
+  load_index(tier->idx_sess_cve, kSecIdxSessCve, n_sessions);
+  load_index(tier->idx_sess_src, kSecIdxSessSrc, n_sessions);
+  load_index(tier->idx_sess_sid, kSecIdxSessSid, n_sessions);
+  load_index(tier->idx_sess_time, kSecIdxSessTime, n_sessions);
+  load_index(tier->idx_evt_cve, kSecIdxEvtCve, n_events);
+  load_index(tier->idx_evt_src, kSecIdxEvtSrc, n_events);
+  load_index(tier->idx_evt_sid, kSecIdxEvtSid, n_events);
+  load_index(tier->idx_evt_time, kSecIdxEvtTime, n_events);
   if (!shape_ok) {
-    return fail(error, StoreErrorCode::kCorrupt, "snapshot index shape mismatch");
+    return fail(error, StoreErrorCode::kCorrupt, "container index shape mismatch");
   }
 
-  // Cheap structural checks that the digest cannot enforce (a crafted
-  // file can be self-consistent with its digest but internally invalid).
-  std::uint64_t sess_cursor = 0, evt_cursor = 0;
-  for (const auto& run : runs) {
+  // Structural checks the digest cannot enforce (a crafted file can be
+  // self-consistent with its digest but internally invalid).
+  std::uint64_t sess_cursor = 0, evt_cursor = 0, prev_lsn = from_lsn == 0 ? 0 : from_lsn - 1;
+  for (const auto& run : tier->runs) {
     if (run.sessions_begin != sess_cursor || run.events_begin != evt_cursor) {
-      return fail(error, StoreErrorCode::kCorrupt, "snapshot run extents not contiguous");
+      return fail(error, StoreErrorCode::kCorrupt, "container run extents not contiguous");
     }
+    if (run.lsn <= prev_lsn || run.lsn > to_lsn) {
+      return fail(error, StoreErrorCode::kCorrupt, "container run lsn outside its range");
+    }
+    prev_lsn = run.lsn;
     sess_cursor += run.sessions_count;
     evt_cursor += run.events_count;
   }
   if (sess_cursor != n_sessions || evt_cursor != n_events) {
-    return fail(error, StoreErrorCode::kCorrupt, "snapshot run extents do not cover tables");
+    return fail(error, StoreErrorCode::kCorrupt, "container run extents do not cover tables");
+  }
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    if (tier->sess_cve[i] >= tier->dict.size() || tier->sess_run[i] >= tier->runs.size()) {
+      return fail(error, StoreErrorCode::kCorrupt, "container session row references out of range");
+    }
+    if (tier->sess_poff[i] > tier->payload.size() ||
+        tier->sess_plen[i] > tier->payload.size() - tier->sess_poff[i]) {
+      return fail(error, StoreErrorCode::kCorrupt, "container payload reference out of range");
+    }
+  }
+  for (std::size_t i = 0; i < n_events; ++i) {
+    if (tier->evt_cve[i] >= tier->dict.size() || tier->evt_run[i] >= tier->runs.size()) {
+      return fail(error, StoreErrorCode::kCorrupt, "container event row references out of range");
+    }
   }
 
-  // Commit: swap the parsed state in.
-  snapshot_ = std::move(file);
-  tables_ = std::move(tables);
-  dict_ = std::move(dict);
-  dict_index_.clear();
-  for (std::uint32_t i = 0; i < dict_.size(); ++i) dict_index_[dict_[i]] = i;
-  runs_ = std::move(runs);
-  run_index_.clear();
-  for (std::size_t i = 0; i < runs_.size(); ++i) run_index_[runs_[i].run_key] = i;
-  snapshot_lsn_ = snap_lsn;
-  last_lsn_ = snap_lsn;
-  snapshot_bytes_ = bytes.size();
-  wal_segments_ = 0;
-  wal_bytes_ = 0;
+  tier->dict_index.reserve(tier->dict.size());
+  for (std::uint32_t i = 0; i < tier->dict.size(); ++i) tier->dict_index[tier->dict[i]] = i;
+  tier->file = std::move(file);
+  tier->path = path;
+  tier->from_lsn = from_lsn;
+  tier->to_lsn = to_lsn;
+  tier->bytes = bytes.size();
+  out = std::move(tier);
   return true;
 }
 
@@ -356,10 +616,10 @@ bool Store::replay_wal(StoreError* error) {
   }
   std::sort(segments.begin(), segments.end());
   bool valid_prefix = true;
-  std::uint64_t expected = snapshot_lsn_ + 1;
+  std::uint64_t expected = covered_lsn_ + 1;
   for (const auto& [lsn, path] : segments) {
-    if (lsn <= snapshot_lsn_) {
-      // Folded into the snapshot already; stale leftover of an
+    if (lsn <= covered_lsn_) {
+      // Folded into the base tiers already; stale leftover of an
       // interrupted checkpoint GC.
       fs.remove(path);
       continue;
@@ -394,7 +654,7 @@ bool Store::replay_wal(StoreError* error) {
 }
 
 // ---------------------------------------------------------------------------
-// Ingest + checkpoint
+// Ingest + checkpoint + compaction
 
 std::uint32_t Store::intern(const std::string& s) {
   const auto it = dict_index_.find(s);
@@ -407,10 +667,9 @@ std::uint32_t Store::intern(const std::string& s) {
 
 void Store::apply_batch(const WalBatch& batch) {
   Tables& t = *tables_;
-  const auto run_idx = static_cast<std::uint32_t>(runs_.size());
+  const auto run_idx = static_cast<std::uint32_t>(runs_.size());  // global
   RunInfo run;
   run.run_key = batch.run_key;
-  intern(run.run_key);  // build_snapshot writes run keys as dictionary ids
   run.sessions_begin = t.n_sessions();
   run.sessions_count = batch.sessions.size();
   run.events_begin = t.n_events();
@@ -423,20 +682,20 @@ void Store::apply_batch(const WalBatch& batch) {
   sid_new.reserve(batch.sessions.size());
   time_new.reserve(batch.sessions.size());
   for (const auto& row : batch.sessions) {
-    const std::uint64_t row_id = t.n_sessions();
-    t.sess_run.delta.push_back(run_idx);
-    t.sess_time.delta.push_back(row.time);
-    t.sess_src.delta.push_back(row.src);
-    t.sess_dst.delta.push_back(row.dst);
-    t.sess_sport.delta.push_back(row.src_port);
-    t.sess_dport.delta.push_back(row.dst_port);
-    t.sess_kind.delta.push_back(row.kind);
-    t.sess_cve.delta.push_back(intern(row.cve));
-    t.sess_sid.delta.push_back(row.sid);
-    t.sess_poff.delta.push_back(t.payload_heap_size());
-    t.sess_plen.delta.push_back(static_cast<std::uint32_t>(row.payload.size()));
-    t.payload_delta += row.payload;
-    cve_new.emplace_back(key_of_dict(t.sess_cve.delta.back()), row_id);
+    const std::uint64_t row_id = t.n_sessions();  // global
+    t.d_sess_run.push_back(run_idx);
+    t.d_sess_time.push_back(row.time);
+    t.d_sess_src.push_back(row.src);
+    t.d_sess_dst.push_back(row.dst);
+    t.d_sess_sport.push_back(row.src_port);
+    t.d_sess_dport.push_back(row.dst_port);
+    t.d_sess_kind.push_back(row.kind);
+    t.d_sess_cve.push_back(intern(row.cve));
+    t.d_sess_sid.push_back(row.sid);
+    t.d_sess_poff.push_back(t.d_payload.size());
+    t.d_sess_plen.push_back(static_cast<std::uint32_t>(row.payload.size()));
+    t.d_payload += row.payload;
+    cve_new.emplace_back(key_of_dict(t.d_sess_cve.back()), row_id);
     src_new.emplace_back(key_of_src(row.src), row_id);
     sid_new.emplace_back(key_of_sid(row.sid), row_id);
     time_new.emplace_back(key_of_time(row.time), row_id);
@@ -450,7 +709,14 @@ void Store::apply_batch(const WalBatch& batch) {
     }
     merged.insert(merged.end(), fresh.begin(), fresh.end());
     sort_postings(merged);
-    split_postings(merged, postings.delta_keys, postings.delta_rows);
+    postings.delta_keys.clear();
+    postings.delta_rows.clear();
+    postings.delta_keys.reserve(merged.size());
+    postings.delta_rows.reserve(merged.size());
+    for (const auto& [key, row] : merged) {
+      postings.delta_keys.push_back(key);
+      postings.delta_rows.push_back(row);
+    }
   };
   merge_delta(t.idx_sess_cve, cve_new);
   merge_delta(t.idx_sess_src, src_new);
@@ -462,13 +728,13 @@ void Store::apply_batch(const WalBatch& batch) {
   sid_new.clear();
   time_new.clear();
   for (const auto& row : batch.events) {
-    const std::uint64_t row_id = t.n_events();
-    t.evt_run.delta.push_back(run_idx);
-    t.evt_cve.delta.push_back(intern(row.cve));
-    t.evt_time.delta.push_back(row.time);
-    t.evt_src.delta.push_back(row.src);
-    t.evt_sid.delta.push_back(row.sid);
-    cve_new.emplace_back(key_of_dict(t.evt_cve.delta.back()), row_id);
+    const std::uint64_t row_id = t.n_events();  // global
+    t.d_evt_run.push_back(run_idx);
+    t.d_evt_cve.push_back(intern(row.cve));
+    t.d_evt_time.push_back(row.time);
+    t.d_evt_src.push_back(row.src);
+    t.d_evt_sid.push_back(row.sid);
+    cve_new.emplace_back(key_of_dict(t.d_evt_cve.back()), row_id);
     src_new.emplace_back(key_of_src(row.src), row_id);
     sid_new.emplace_back(key_of_sid(row.sid), row_id);
     time_new.emplace_back(key_of_time(row.time), row_id);
@@ -547,88 +813,150 @@ bool Store::ingest(const pipeline::StudyResult& result, std::string_view run_key
   return true;
 }
 
-std::string Store::build_snapshot(std::uint64_t last_lsn) const {
+std::string Store::build_container(std::uint64_t from_lsn, std::uint64_t to_lsn,
+                                   std::size_t run_lo, std::size_t run_hi) const {
   const Tables& t = *tables_;
-  const std::size_t n_sessions = t.n_sessions();
-  const std::size_t n_events = t.n_events();
+  const std::uint64_t sess_lo = run_lo < run_hi ? runs_[run_lo].sessions_begin : t.n_sessions();
+  const std::uint64_t evt_lo = run_lo < run_hi ? runs_[run_lo].events_begin : t.n_events();
+  std::uint64_t sess_hi = sess_lo, evt_hi = evt_lo;
+  if (run_lo < run_hi) {
+    const RunInfo& last = runs_[run_hi - 1];
+    sess_hi = last.sessions_begin + last.sessions_count;
+    evt_hi = last.events_begin + last.events_count;
+  }
+  const std::size_t n_sessions = static_cast<std::size_t>(sess_hi - sess_lo);
+  const std::size_t n_events = static_cast<std::size_t>(evt_hi - evt_lo);
+
+  // Container-local dictionary: run keys first (run order), then cve
+  // strings in row order -- deterministic for a given logical state.
+  std::vector<std::string> dict;
+  std::unordered_map<std::string, std::uint32_t> dict_ix;
+  const auto intern_local = [&](std::string_view s) {
+    const auto it = dict_ix.find(std::string(s));
+    if (it != dict_ix.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(dict.size());
+    dict.emplace_back(s);
+    dict_ix[dict.back()] = id;
+    return id;
+  };
+  for (std::size_t r = run_lo; r < run_hi; ++r) intern_local(runs_[r].run_key);
+
+  // One pass over the window: columns, payload heap (recomputed local
+  // offsets), and postings all at once, via the tier/delta row resolver.
+  std::string c_sess_run, c_sess_time, c_sess_src, c_sess_dst, c_sess_sport, c_sess_dport,
+      c_sess_kind, c_sess_cve, c_sess_sid, c_sess_poff, c_sess_plen;
+  std::string heap;
+  PostingVec pv_sess_cve, pv_sess_src, pv_sess_sid, pv_sess_time;
+  {
+    std::size_t cursor = 0;
+    for (std::uint64_t row = sess_lo; row < sess_hi; ++row) {
+      const Tables::Ref ref = t.sess_ref(row, cursor);
+      const std::uint64_t local = row - sess_lo;
+      append_pod<std::uint32_t>(c_sess_run, static_cast<std::uint32_t>(t.sess_run(ref) - run_lo));
+      const std::int64_t time = t.sess_time(ref);
+      append_pod<std::int64_t>(c_sess_time, time);
+      const std::uint32_t src = t.sess_src(ref);
+      append_pod<std::uint32_t>(c_sess_src, src);
+      append_pod<std::uint32_t>(c_sess_dst, t.sess_dst(ref));
+      append_pod<std::uint16_t>(c_sess_sport, t.sess_sport(ref));
+      append_pod<std::uint16_t>(c_sess_dport, t.sess_dport(ref));
+      append_pod<std::uint8_t>(c_sess_kind, t.sess_kind(ref));
+      const std::uint32_t cve_id = intern_local(t.sess_cve(ref, dict_));
+      append_pod<std::uint32_t>(c_sess_cve, cve_id);
+      const std::int32_t sid = t.sess_sid(ref);
+      append_pod<std::int32_t>(c_sess_sid, sid);
+      const std::string_view payload = t.sess_payload(ref);
+      append_pod<std::uint64_t>(c_sess_poff, heap.size());
+      append_pod<std::uint32_t>(c_sess_plen, static_cast<std::uint32_t>(payload.size()));
+      heap.append(payload);
+      pv_sess_cve.emplace_back(key_of_dict(cve_id), local);
+      pv_sess_src.emplace_back(key_of_src(src), local);
+      pv_sess_sid.emplace_back(key_of_sid(sid), local);
+      pv_sess_time.emplace_back(key_of_time(time), local);
+    }
+  }
+  std::string c_evt_run, c_evt_cve, c_evt_time, c_evt_src, c_evt_sid;
+  PostingVec pv_evt_cve, pv_evt_src, pv_evt_sid, pv_evt_time;
+  {
+    std::size_t cursor = 0;
+    for (std::uint64_t row = evt_lo; row < evt_hi; ++row) {
+      const Tables::Ref ref = t.evt_ref(row, cursor);
+      const std::uint64_t local = row - evt_lo;
+      append_pod<std::uint32_t>(c_evt_run, static_cast<std::uint32_t>(t.evt_run(ref) - run_lo));
+      const std::uint32_t cve_id = intern_local(t.evt_cve(ref, dict_));
+      append_pod<std::uint32_t>(c_evt_cve, cve_id);
+      const std::int64_t time = t.evt_time(ref);
+      append_pod<std::int64_t>(c_evt_time, time);
+      const std::uint32_t src = t.evt_src(ref);
+      append_pod<std::uint32_t>(c_evt_src, src);
+      const std::int32_t sid = t.evt_sid(ref);
+      append_pod<std::int32_t>(c_evt_sid, sid);
+      pv_evt_cve.emplace_back(key_of_dict(cve_id), local);
+      pv_evt_src.emplace_back(key_of_src(src), local);
+      pv_evt_sid.emplace_back(key_of_sid(sid), local);
+      pv_evt_time.emplace_back(key_of_time(time), local);
+    }
+  }
 
   std::vector<std::pair<std::uint32_t, std::string>> built;
-  built.reserve(24);
+  built.reserve(28);
   {
     cache::BinWriter w;
-    w.u64(dict_.size());
-    for (const auto& s : dict_) w.str(s);
+    w.u64(dict.size());
+    for (const auto& s : dict) w.str(s);
     built.emplace_back(kSecDict, w.take());
   }
   {
     cache::BinWriter w;
-    w.u64(runs_.size());
-    for (const auto& run : runs_) {
-      // Every run key is interned (apply_batch/intern and the snapshot
-      // loader both guarantee it), so at() always succeeds.
-      w.u32(dict_index_.at(run.run_key));
-      w.u64(run.sessions_begin);
+    w.u64(run_hi - run_lo);
+    for (std::size_t r = run_lo; r < run_hi; ++r) {
+      const RunInfo& run = runs_[r];
+      w.u32(dict_ix.at(run.run_key));
+      w.u64(run.sessions_begin - sess_lo);
       w.u64(run.sessions_count);
-      w.u64(run.events_begin);
+      w.u64(run.events_begin - evt_lo);
       w.u64(run.events_count);
       w.u64(run.lsn);
     }
     built.emplace_back(kSecRuns, w.take());
   }
   {
-    std::string heap;
-    heap.reserve(t.payload_heap_size());
-    heap.append(t.payload_base);
-    heap.append(t.payload_delta);
-    built.emplace_back(kSecPayloadHeap, std::move(heap));
+    std::string range;
+    append_pod<std::uint64_t>(range, from_lsn);
+    append_pod<std::uint64_t>(range, to_lsn);
+    built.emplace_back(kSecRange, std::move(range));
   }
-  const auto dump_column = [&](const auto& column, std::uint32_t id, std::size_t rows) {
-    using T = std::decay_t<decltype(column[0])>;
-    std::string out;
-    out.reserve(rows * sizeof(T));
-    for (std::size_t i = 0; i < rows; ++i) append_pod<T>(out, column[i]);
-    built.emplace_back(id, std::move(out));
-  };
-  dump_column(t.sess_run, kSecSessRun, n_sessions);
-  dump_column(t.sess_time, kSecSessTime, n_sessions);
-  dump_column(t.sess_src, kSecSessSrc, n_sessions);
-  dump_column(t.sess_dst, kSecSessDst, n_sessions);
-  dump_column(t.sess_sport, kSecSessSrcPort, n_sessions);
-  dump_column(t.sess_dport, kSecSessDstPort, n_sessions);
-  dump_column(t.sess_kind, kSecSessKind, n_sessions);
-  dump_column(t.sess_cve, kSecSessCve, n_sessions);
-  dump_column(t.sess_sid, kSecSessSid, n_sessions);
-  dump_column(t.sess_poff, kSecSessPayloadOff, n_sessions);
-  dump_column(t.sess_plen, kSecSessPayloadLen, n_sessions);
-  dump_column(t.evt_run, kSecEvtRun, n_events);
-  dump_column(t.evt_cve, kSecEvtCve, n_events);
-  dump_column(t.evt_time, kSecEvtTime, n_events);
-  dump_column(t.evt_src, kSecEvtSrc, n_events);
-  dump_column(t.evt_sid, kSecEvtSid, n_events);
-
-  // Rebuild every postings index from the merged columns: checkpoint is
-  // also index compaction.
-  const auto build_index = [&](std::uint32_t id, auto key_fn, std::size_t rows) {
-    PostingVec postings;
-    postings.reserve(rows);
-    for (std::uint64_t row = 0; row < rows; ++row) postings.emplace_back(key_fn(row), row);
+  built.emplace_back(kSecPayloadHeap, std::move(heap));
+  built.emplace_back(kSecSessRun, std::move(c_sess_run));
+  built.emplace_back(kSecSessTime, std::move(c_sess_time));
+  built.emplace_back(kSecSessSrc, std::move(c_sess_src));
+  built.emplace_back(kSecSessDst, std::move(c_sess_dst));
+  built.emplace_back(kSecSessSrcPort, std::move(c_sess_sport));
+  built.emplace_back(kSecSessDstPort, std::move(c_sess_dport));
+  built.emplace_back(kSecSessKind, std::move(c_sess_kind));
+  built.emplace_back(kSecSessCve, std::move(c_sess_cve));
+  built.emplace_back(kSecSessSid, std::move(c_sess_sid));
+  built.emplace_back(kSecSessPayloadOff, std::move(c_sess_poff));
+  built.emplace_back(kSecSessPayloadLen, std::move(c_sess_plen));
+  built.emplace_back(kSecEvtRun, std::move(c_evt_run));
+  built.emplace_back(kSecEvtCve, std::move(c_evt_cve));
+  built.emplace_back(kSecEvtTime, std::move(c_evt_time));
+  built.emplace_back(kSecEvtSrc, std::move(c_evt_src));
+  built.emplace_back(kSecEvtSid, std::move(c_evt_sid));
+  const auto build_index = [&](std::uint32_t id, PostingVec& postings) {
     sort_postings(postings);
     built.emplace_back(id, encode_index_section(postings));
   };
-  build_index(kSecIdxSessCve, [&](std::uint64_t r) { return key_of_dict(t.sess_cve[r]); },
-              n_sessions);
-  build_index(kSecIdxSessSrc, [&](std::uint64_t r) { return key_of_src(t.sess_src[r]); },
-              n_sessions);
-  build_index(kSecIdxSessSid, [&](std::uint64_t r) { return key_of_sid(t.sess_sid[r]); },
-              n_sessions);
-  build_index(kSecIdxSessTime, [&](std::uint64_t r) { return key_of_time(t.sess_time[r]); },
-              n_sessions);
-  build_index(kSecIdxEvtCve, [&](std::uint64_t r) { return key_of_dict(t.evt_cve[r]); },
-              n_events);
-  build_index(kSecIdxEvtSrc, [&](std::uint64_t r) { return key_of_src(t.evt_src[r]); }, n_events);
-  build_index(kSecIdxEvtSid, [&](std::uint64_t r) { return key_of_sid(t.evt_sid[r]); }, n_events);
-  build_index(kSecIdxEvtTime, [&](std::uint64_t r) { return key_of_time(t.evt_time[r]); },
-              n_events);
+  build_index(kSecIdxSessCve, pv_sess_cve);
+  build_index(kSecIdxSessSrc, pv_sess_src);
+  build_index(kSecIdxSessSid, pv_sess_sid);
+  build_index(kSecIdxSessTime, pv_sess_time);
+  build_index(kSecIdxEvtCve, pv_evt_cve);
+  build_index(kSecIdxEvtSrc, pv_evt_src);
+  build_index(kSecIdxEvtSid, pv_evt_sid);
+  build_index(kSecIdxEvtTime, pv_evt_time);
+  (void)n_sessions;
+  (void)n_events;
 
   // Lay out the sections region with 8-byte alignment.
   std::string sections;
@@ -647,7 +975,7 @@ std::string Store::build_snapshot(std::uint64_t last_lsn) const {
   file.append(kSnapshotMagic, sizeof kSnapshotMagic);
   append_pod<std::uint32_t>(file, kFormatVersion);
   append_pod<std::uint32_t>(file, static_cast<std::uint32_t>(built.size()));
-  append_pod<std::uint64_t>(file, last_lsn);
+  append_pod<std::uint64_t>(file, to_lsn);
   append_pod<std::uint64_t>(file, sections.size());
   util::Sha256 hasher;
   hasher.update(sections);
@@ -660,30 +988,51 @@ std::string Store::build_snapshot(std::uint64_t last_lsn) const {
 
 bool Store::checkpoint(StoreError* error) {
   std::unique_lock lock(mutex_);
-  if (last_lsn_ == snapshot_lsn_ && snapshot_bytes_ != 0) return true;  // nothing to fold
+  if (last_lsn_ == covered_lsn_) return true;  // nothing to fold
+  Tables& t = *tables_;
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
   const std::uint64_t target_lsn = last_lsn_;
-  const std::string image = build_snapshot(target_lsn);
-  const std::filesystem::path snap_path = dir_ / snapshot_file_name(target_lsn);
-  if (!write_file_validated(snap_path, image, error)) {
+  // First checkpoint writes a full snapshot; later ones append a range
+  // segment holding only the delta.
+  const bool full = t.tiers.empty();
+  const std::uint64_t from_lsn = full ? 1 : covered_lsn_ + 1;
+  const std::size_t run_lo = t.base_runs;
+  const std::string image = build_container(from_lsn, target_lsn, run_lo, runs_.size());
+  const std::filesystem::path path =
+      dir_ / (full ? snapshot_file_name(target_lsn) : segment_file_name(from_lsn, target_lsn));
+  if (!write_file_validated(path, image, error)) {
     obs::count(observability_, "store/checkpoint_failed");
-    return false;  // old snapshot + WAL still intact; state unchanged
+    return false;  // old tiers + WAL still intact; state unchanged
   }
-  const std::uint64_t old_snapshot_lsn = snapshot_lsn_;
-  // The new snapshot is durable and validated: reload base views from it,
-  // then GC the files it supersedes.  A crash inside the GC is safe --
-  // recovery deletes stale WAL (lsn <= snapshot lsn) and older snapshots.
+  std::unique_ptr<Tier> tier;
   StoreError reload_error;
-  if (!load_snapshot(snap_path, &reload_error)) {
-    // Extremely unlikely (the image just validated); keep serving the old
-    // in-memory state and report.
+  if (!load_container(path, from_lsn, target_lsn, tier, &reload_error)) {
+    // Extremely unlikely (the image just validated); drop the file, keep
+    // serving the old in-memory state, and report.
+    fs.remove(path);
     if (error != nullptr) *error = reload_error;
     obs::count(observability_, "store/checkpoint_failed");
     return false;
   }
-  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
-  if (old_snapshot_lsn != target_lsn) {
-    fs.remove(dir_ / snapshot_file_name(old_snapshot_lsn));
-  }
+  // The new tier is durable and validated: fold the delta into it.  Delta
+  // rows already carry global ids equal to base totals + position, so
+  // adoption does not renumber anything.
+  tier->sess_begin = t.base_sessions;
+  tier->evt_begin = t.base_events;
+  tier->run_begin = t.base_runs;
+  t.base_sessions += tier->n_sessions();
+  t.base_events += tier->n_events();
+  t.base_runs += tier->runs.size();
+  t.base_payload += tier->payload.size();
+  t.tiers.push_back(std::move(tier));
+  t.clear_delta();
+  dict_.clear();
+  dict_index_.clear();
+  covered_lsn_ = target_lsn;
+  wal_segments_ = 0;
+  wal_bytes_ = 0;
+  // GC the folded WAL.  A crash inside the GC is safe -- recovery deletes
+  // stale segments (lsn <= covered) on the next open.
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     std::uint64_t lsn = 0;
@@ -693,33 +1042,189 @@ bool Store::checkpoint(StoreError* error) {
     }
   }
   obs::count(observability_, "store/checkpoints");
+  obs::count(observability_, full ? "store/checkpoint_full" : "store/checkpoint_segment");
   obs::count(observability_, "store/checkpoint_bytes", image.size());
+  obs::gauge_set(observability_, "store/base_segments",
+                 static_cast<std::int64_t>(t.tiers.size()));
+  return true;
+}
+
+bool Store::compact(StoreError* error) {
+  std::unique_lock lock(mutex_);
+  Tables& t = *tables_;
+  if (t.tiers.size() < 2) return true;  // nothing to merge
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
+  const std::uint64_t to_lsn = covered_lsn_;
+  // Merge the base tiers only; the delta and its WAL are untouched, so
+  // compaction never changes logical state or global row ids.
+  const std::string image = build_container(1, to_lsn, 0, t.base_runs);
+  const std::filesystem::path path = dir_ / snapshot_file_name(to_lsn);
+  if (!write_file_validated(path, image, error)) {
+    obs::count(observability_, "store/compact_failed");
+    return false;  // old tiers keep serving unchanged
+  }
+  std::unique_ptr<Tier> tier;
+  StoreError reload_error;
+  if (!load_container(path, 1, to_lsn, tier, &reload_error)) {
+    fs.remove(path);
+    if (error != nullptr) *error = reload_error;
+    obs::count(observability_, "store/compact_failed");
+    return false;
+  }
+  std::vector<std::filesystem::path> superseded;
+  superseded.reserve(t.tiers.size());
+  for (const auto& old : t.tiers) superseded.push_back(old->path);
+  tier->sess_begin = 0;
+  tier->evt_begin = 0;
+  tier->run_begin = 0;
+  std::vector<std::unique_ptr<Tier>> merged;
+  merged.push_back(std::move(tier));
+  t.tiers.swap(merged);
+  merged.clear();  // unmap the old tiers before deleting their files
+  for (const auto& old_path : superseded) {
+    if (old_path != path) fs.remove(old_path);
+  }
+  ++compactions_;
+  obs::count(observability_, "store/compactions");
+  obs::count(observability_, "store/compact_bytes", image.size());
+  obs::gauge_set(observability_, "store/base_segments", 1);
   return true;
 }
 
 // ---------------------------------------------------------------------------
 // Queries
 
-namespace {
-
-/// Inclusive key range for the time index matching query_in_window().
-bool time_key_range(const Query& query, std::uint64_t& lo, std::uint64_t& hi) {
-  lo = 0;
-  hi = ~0ull;
-  if (query.time_begin) lo = key_of_time(*query.time_begin);
-  if (query.time_end) {
-    const std::uint64_t end_key = key_of_time(*query.time_end);
-    if (end_key == 0) return false;  // empty window
-    hi = end_key - 1;
-  }
-  return lo <= hi;
-}
-
-}  // namespace
-
 QueryResult Store::query(const Query& query, QueryMode mode) const {
   std::shared_lock lock(mutex_);
   return query_locked(query, mode);
+}
+
+std::vector<IndexEstimate> Store::measure_probes(const Query& query, std::uint64_t& time_lo,
+                                                 std::uint64_t& time_hi) const {
+  const Tables& t = *tables_;
+  const bool sessions = query.table == Table::kSessions;
+  std::vector<IndexEstimate> out;
+  if (query.cve) {
+    std::uint64_t n = 0;
+    for (const auto& tier : t.tiers) {
+      const auto it = tier->dict_index.find(*query.cve);
+      if (it == tier->dict_index.end()) continue;
+      n += (sessions ? tier->idx_sess_cve : tier->idx_evt_cve).count_equal(key_of_dict(it->second));
+    }
+    const auto it = dict_index_.find(*query.cve);
+    if (it != dict_index_.end()) {
+      n += (sessions ? t.idx_sess_cve : t.idx_evt_cve).count_equal(key_of_dict(it->second));
+    }
+    out.push_back(IndexEstimate{PlanIndex::kCve, n});
+  }
+  if (query.run) {
+    const auto it = run_index_.find(*query.run);
+    std::uint64_t n = 0;
+    if (it != run_index_.end()) {
+      const RunInfo& run = runs_[it->second];
+      n = sessions ? run.sessions_count : run.events_count;
+    }
+    out.push_back(IndexEstimate{PlanIndex::kRun, n});
+  }
+  if (query.time_begin || query.time_end) {
+    std::uint64_t n = 0;
+    if (time_key_range(query, time_lo, time_hi)) {
+      for (const auto& tier : t.tiers) {
+        n += (sessions ? tier->idx_sess_time : tier->idx_evt_time).count_range(time_lo, time_hi);
+      }
+      n += (sessions ? t.idx_sess_time : t.idx_evt_time).count_range(time_lo, time_hi);
+    }
+    out.push_back(IndexEstimate{PlanIndex::kTime, n});
+  }
+  if (query.src) {
+    std::uint64_t n = 0;
+    const std::uint64_t key = key_of_src(*query.src);
+    for (const auto& tier : t.tiers) {
+      n += (sessions ? tier->idx_sess_src : tier->idx_evt_src).count_equal(key);
+    }
+    n += (sessions ? t.idx_sess_src : t.idx_evt_src).count_equal(key);
+    out.push_back(IndexEstimate{PlanIndex::kSrc, n});
+  }
+  if (query.sid) {
+    std::uint64_t n = 0;
+    const std::uint64_t key = key_of_sid(*query.sid);
+    for (const auto& tier : t.tiers) {
+      n += (sessions ? tier->idx_sess_sid : tier->idx_evt_sid).count_equal(key);
+    }
+    n += (sessions ? t.idx_sess_sid : t.idx_evt_sid).count_equal(key);
+    out.push_back(IndexEstimate{PlanIndex::kSid, n});
+  }
+  return out;
+}
+
+void Store::collect_probe(const Query& query, PlanIndex which, std::uint64_t time_lo,
+                          std::uint64_t time_hi, std::vector<std::uint64_t>& out) const {
+  const Tables& t = *tables_;
+  const bool sessions = query.table == Table::kSessions;
+  // Per-tier local rows are offset into global ids.  Equal-key probes come
+  // out ascending by construction (tiers ascend, delta rows are larger
+  // than every base row); range probes are sorted at the end.
+  const auto offset_from = [&](const Tier& tier, std::size_t before) {
+    const std::uint64_t off = sessions ? tier.sess_begin : tier.evt_begin;
+    for (std::size_t i = before; i < out.size(); ++i) out[i] += off;
+  };
+  switch (which) {
+    case PlanIndex::kCve: {
+      for (const auto& tier : t.tiers) {
+        const auto it = tier->dict_index.find(*query.cve);
+        if (it == tier->dict_index.end()) continue;
+        const std::size_t before = out.size();
+        (sessions ? tier->idx_sess_cve : tier->idx_evt_cve)
+            .collect_equal(key_of_dict(it->second), out);
+        offset_from(*tier, before);
+      }
+      const auto it = dict_index_.find(*query.cve);
+      if (it != dict_index_.end()) {
+        (sessions ? t.idx_sess_cve : t.idx_evt_cve).collect_equal(key_of_dict(it->second), out);
+      }
+      break;
+    }
+    case PlanIndex::kRun: {
+      const auto it = run_index_.find(*query.run);
+      if (it == run_index_.end()) break;
+      const RunInfo& run = runs_[it->second];
+      const std::uint64_t begin = sessions ? run.sessions_begin : run.events_begin;
+      const std::uint64_t count = sessions ? run.sessions_count : run.events_count;
+      out.reserve(out.size() + count);
+      for (std::uint64_t row = begin; row < begin + count; ++row) out.push_back(row);
+      break;
+    }
+    case PlanIndex::kTime: {
+      for (const auto& tier : t.tiers) {
+        const std::size_t before = out.size();
+        (sessions ? tier->idx_sess_time : tier->idx_evt_time).collect_range(time_lo, time_hi, out);
+        offset_from(*tier, before);
+      }
+      (sessions ? t.idx_sess_time : t.idx_evt_time).collect_range(time_lo, time_hi, out);
+      std::sort(out.begin(), out.end());
+      break;
+    }
+    case PlanIndex::kSrc: {
+      const std::uint64_t key = key_of_src(*query.src);
+      for (const auto& tier : t.tiers) {
+        const std::size_t before = out.size();
+        (sessions ? tier->idx_sess_src : tier->idx_evt_src).collect_equal(key, out);
+        offset_from(*tier, before);
+      }
+      (sessions ? t.idx_sess_src : t.idx_evt_src).collect_equal(key, out);
+      break;
+    }
+    case PlanIndex::kSid: {
+      const std::uint64_t key = key_of_sid(*query.sid);
+      for (const auto& tier : t.tiers) {
+        const std::size_t before = out.size();
+        (sessions ? tier->idx_sess_sid : tier->idx_evt_sid).collect_equal(key, out);
+        offset_from(*tier, before);
+      }
+      (sessions ? t.idx_sess_sid : t.idx_evt_sid).collect_equal(key, out);
+      break;
+    }
+  }
 }
 
 QueryResult Store::query_locked(const Query& query, QueryMode mode) const {
@@ -728,166 +1233,151 @@ QueryResult Store::query_locked(const Query& query, QueryMode mode) const {
   const std::size_t n_rows = sessions ? t.n_sessions() : t.n_events();
   ResultBuilder builder(query);
 
-  // Row -> MatchRow materializer shared by both executors.
-  const auto materialize = [&](std::uint64_t row) {
+  std::size_t cursor = 0;
+  const auto ref_of = [&](std::uint64_t row) {
+    return sessions ? t.sess_ref(row, cursor) : t.evt_ref(row, cursor);
+  };
+
+  // Full predicate check against the columns (a driving index already
+  // guarantees its own predicate, but re-checking is cheap and keeps one
+  // code path for every plan shape).
+  const auto matches = [&](Tables::Ref ref) {
+    const std::int64_t time = sessions ? t.sess_time(ref) : t.evt_time(ref);
+    if (!query_in_window(query, time)) return false;
+    const std::uint32_t src = sessions ? t.sess_src(ref) : t.evt_src(ref);
+    const std::int32_t sid = sessions ? t.sess_sid(ref) : t.evt_sid(ref);
+    const std::string_view cve = sessions ? t.sess_cve(ref, dict_) : t.evt_cve(ref, dict_);
+    if (!match_scalar_predicates(query, cve, src, sid)) return false;
+    if (query.run) {
+      const std::uint32_t run_idx = sessions ? t.sess_run(ref) : t.evt_run(ref);
+      if (runs_[run_idx].run_key != *query.run) return false;
+    }
+    return true;
+  };
+
+  const auto materialize = [&](std::uint64_t row, Tables::Ref ref) {
     MatchRow out;
-    const std::uint32_t run_idx = sessions ? t.sess_run[row] : t.evt_run[row];
+    const std::uint32_t run_idx = sessions ? t.sess_run(ref) : t.evt_run(ref);
     const RunInfo& run = runs_[run_idx];
     out.run_key = run.run_key;
     out.seq = row - (sessions ? run.sessions_begin : run.events_begin);
     if (sessions) {
-      out.time = t.sess_time[row];
-      out.src = t.sess_src[row];
-      out.cve = dict_[t.sess_cve[row]];
-      out.sid = t.sess_sid[row];
-      out.dst = t.sess_dst[row];
-      out.src_port = t.sess_sport[row];
-      out.dst_port = t.sess_dport[row];
-      out.kind = t.sess_kind[row];
-      out.payload_bytes = t.sess_plen[row];
+      out.time = t.sess_time(ref);
+      out.src = t.sess_src(ref);
+      out.cve = std::string(t.sess_cve(ref, dict_));
+      out.sid = t.sess_sid(ref);
+      out.dst = t.sess_dst(ref);
+      out.src_port = t.sess_sport(ref);
+      out.dst_port = t.sess_dport(ref);
+      out.kind = t.sess_kind(ref);
+      out.payload_bytes = t.sess_plen(ref);
     } else {
-      out.time = t.evt_time[row];
-      out.src = t.evt_src[row];
-      out.cve = dict_[t.evt_cve[row]];
-      out.sid = t.evt_sid[row];
+      out.time = t.evt_time(ref);
+      out.src = t.evt_src(ref);
+      out.cve = std::string(t.evt_cve(ref, dict_));
+      out.sid = t.evt_sid(ref);
     }
     return out;
   };
 
-  // Full predicate check against the columns (the driving index already
-  // guarantees its own predicate, but re-checking is cheap and keeps one
-  // code path).
-  const auto matches = [&](std::uint64_t row) {
-    const std::int64_t time = sessions ? t.sess_time[row] : t.evt_time[row];
-    if (!query_in_window(query, time)) return false;
-    const std::uint32_t src = sessions ? t.sess_src[row] : t.evt_src[row];
-    const std::int32_t sid = sessions ? t.sess_sid[row] : t.evt_sid[row];
-    const std::uint32_t cve_id = sessions ? t.sess_cve[row] : t.evt_cve[row];
-    if (!match_scalar_predicates(query, dict_[cve_id], src, sid)) return false;
-    if (query.run) {
-      const RunInfo& run = runs_[sessions ? t.sess_run[row] : t.evt_run[row]];
-      if (run.run_key != *query.run) return false;
+  const auto brute_scan = [&] {
+    for (std::uint64_t row = 0; row < n_rows; ++row) {
+      const Tables::Ref ref = ref_of(row);
+      if (matches(ref)) builder.accept(query.table, materialize(row, ref));
     }
-    return true;
   };
 
   if (mode == QueryMode::kBrute) {
     ++queries_brute_;
     obs::count(observability_, "store/query_brute");
-    for (std::uint64_t row = 0; row < n_rows; ++row) {
-      if (matches(row)) builder.accept(query.table, materialize(row));
-    }
-    return builder.finish(n_rows, /*used_index=*/false);
+    brute_scan();
+    QueryResult result = builder.finish(n_rows, /*used_index=*/false);
+    result.plan = "brute";
+    return result;
   }
 
   ++queries_index_;
   obs::count(observability_, "store/query_index");
-
-  // Choose the most selective driving predicate.
-  const Postings& idx_cve = sessions ? t.idx_sess_cve : t.idx_evt_cve;
-  const Postings& idx_src = sessions ? t.idx_sess_src : t.idx_evt_src;
-  const Postings& idx_sid = sessions ? t.idx_sess_sid : t.idx_evt_sid;
-  const Postings& idx_time = sessions ? t.idx_sess_time : t.idx_evt_time;
-
-  enum class Driver { kNone, kEmpty, kCve, kSrc, kSid, kTime, kRun };
-  Driver driver = Driver::kNone;
-  std::size_t best = n_rows + 1;
   std::uint64_t time_lo = 0, time_hi = 0;
-  std::uint32_t cve_key = 0;
-  if (query.cve) {
-    const auto it = dict_index_.find(*query.cve);
-    if (it == dict_index_.end()) {
-      driver = Driver::kEmpty;  // CVE never seen: provably zero matches
-    } else {
-      cve_key = it->second;
-      const std::size_t count = idx_cve.count_equal(key_of_dict(cve_key));
-      if (count < best) {
-        best = count;
-        driver = Driver::kCve;
-      }
-    }
-  }
-  if (driver != Driver::kEmpty && query.src) {
-    const std::size_t count = idx_src.count_equal(key_of_src(*query.src));
-    if (count < best) {
-      best = count;
-      driver = Driver::kSrc;
-    }
-  }
-  if (driver != Driver::kEmpty && query.sid) {
-    const std::size_t count = idx_sid.count_equal(key_of_sid(*query.sid));
-    if (count < best) {
-      best = count;
-      driver = Driver::kSid;
-    }
-  }
-  if (driver != Driver::kEmpty && (query.time_begin || query.time_end)) {
-    if (!time_key_range(query, time_lo, time_hi)) {
-      driver = Driver::kEmpty;
-    } else {
-      const std::size_t count = idx_time.count_range(time_lo, time_hi);
-      if (count < best) {
-        best = count;
-        driver = Driver::kTime;
-      }
-    }
-  }
-  if (driver != Driver::kEmpty && query.run) {
-    const auto it = run_index_.find(*query.run);
-    if (it == run_index_.end()) {
-      driver = Driver::kEmpty;  // unknown run: provably zero matches
-    } else {
-      const RunInfo& run = runs_[it->second];
-      const std::size_t count = sessions ? run.sessions_count : run.events_count;
-      if (count < best) {
-        best = count;
-        driver = Driver::kRun;
-      }
-    }
-  }
+  const std::vector<IndexEstimate> estimates = measure_probes(query, time_lo, time_hi);
+  const QueryPlan plan = choose_plan(estimates, n_rows);
 
-  if (driver == Driver::kEmpty) return builder.finish(0, /*used_index=*/true);
+  switch (plan.choice) {
+    case QueryPlan::Choice::kEmpty: {
+      obs::count(observability_, "store/plan_empty");
+      QueryResult result = builder.finish(0, /*used_index=*/true);
+      result.plan = plan.label();
+      return result;
+    }
+    case QueryPlan::Choice::kBrute: {
+      // Planner-chosen linear scan (also the no-predicate case): counts as
+      // a brute execution even under kIndex mode.
+      obs::count(observability_, "store/plan_brute");
+      brute_scan();
+      QueryResult result = builder.finish(n_rows, /*used_index=*/false);
+      result.plan = plan.label();
+      return result;
+    }
+    case QueryPlan::Choice::kSingleIndex:
+    case QueryPlan::Choice::kIntersect: {
+      obs::count(observability_, plan.choice == QueryPlan::Choice::kSingleIndex
+                                     ? "store/plan_single"
+                                     : "store/plan_intersect");
+      // Materialize the driver posting streams (each sorted ascending) and
+      // k-way intersect, most selective first, before touching any row.
+      std::vector<std::uint64_t> candidates;
+      collect_probe(query, plan.drivers.front().index, time_lo, time_hi, candidates);
+      std::uint64_t postings_visited = candidates.size();
+      std::vector<std::uint64_t> next, merged;
+      for (std::size_t i = 1; i < plan.drivers.size(); ++i) {
+        next.clear();
+        collect_probe(query, plan.drivers[i].index, time_lo, time_hi, next);
+        postings_visited += next.size();
+        merged.clear();
+        std::set_intersection(candidates.begin(), candidates.end(), next.begin(), next.end(),
+                              std::back_inserter(merged));
+        candidates.swap(merged);
+      }
+      // Candidates are ascending global rows: canonical emission order.
+      for (const std::uint64_t row : candidates) {
+        const Tables::Ref ref = ref_of(row);
+        if (matches(ref)) builder.accept(query.table, materialize(row, ref));
+      }
+      obs::count(observability_, "store/query_rows_scanned", candidates.size());
+      obs::count(observability_, "store/plan_postings", postings_visited);
+      QueryResult result = builder.finish(candidates.size(), /*used_index=*/true);
+      result.plan = plan.label();
+      result.postings_examined = postings_visited;
+      return result;
+    }
+  }
+  QueryResult result = builder.finish(0, /*used_index=*/false);  // unreachable
+  result.plan = "?";
+  return result;
+}
 
-  std::vector<std::uint64_t> candidates;
-  switch (driver) {
-    case Driver::kCve:
-      idx_cve.collect_equal(key_of_dict(cve_key), candidates);
-      break;
-    case Driver::kSrc:
-      idx_src.collect_equal(key_of_src(*query.src), candidates);
-      break;
-    case Driver::kSid:
-      idx_sid.collect_equal(key_of_sid(*query.sid), candidates);
-      break;
-    case Driver::kTime:
-      idx_time.collect_range(time_lo, time_hi, candidates);
-      break;
-    case Driver::kRun: {
-      const RunInfo& run = runs_[run_index_.at(*query.run)];
-      const std::uint64_t begin = sessions ? run.sessions_begin : run.events_begin;
-      const std::uint64_t count = sessions ? run.sessions_count : run.events_count;
-      candidates.reserve(count);
-      for (std::uint64_t row = begin; row < begin + count; ++row) candidates.push_back(row);
-      break;
-    }
-    case Driver::kNone: {
-      // No predicate at all: the "index scan" is the identity scan.
-      candidates.reserve(n_rows);
-      for (std::uint64_t row = 0; row < n_rows; ++row) candidates.push_back(row);
-      break;
-    }
-    case Driver::kEmpty:
-      break;
+PlanReport Store::plan(const Query& query) const {
+  std::shared_lock lock(mutex_);
+  const Tables& t = *tables_;
+  const bool sessions = query.table == Table::kSessions;
+  const std::uint64_t n_rows = sessions ? t.n_sessions() : t.n_events();
+  std::uint64_t time_lo = 0, time_hi = 0;
+  const std::vector<IndexEstimate> estimates = measure_probes(query, time_lo, time_hi);
+  const QueryPlan chosen = choose_plan(estimates, n_rows);
+  PlanReport out;
+  out.plan = chosen.label();
+  out.used_index = chosen.choice != QueryPlan::Choice::kBrute;
+  out.table_rows = n_rows;
+  out.postings_examined = chosen.postings_examined;
+  out.estimated_candidates = chosen.estimated_candidates;
+  out.indexes.reserve(estimates.size());
+  for (const IndexEstimate& estimate : estimates) {
+    bool driver = false;
+    for (const IndexEstimate& d : chosen.drivers) driver = driver || d.index == estimate.index;
+    out.indexes.push_back(
+        PlanIndexCardinality{plan_index_name(estimate.index), estimate.cardinality, driver});
   }
-  // Canonical result order is ascending global row id.  Equal-key probes
-  // return ascending rows already, but range probes and safety demand an
-  // explicit sort.
-  std::sort(candidates.begin(), candidates.end());
-  for (const std::uint64_t row : candidates) {
-    if (matches(row)) builder.accept(query.table, materialize(row));
-  }
-  obs::count(observability_, "store/query_rows_scanned", candidates.size());
-  return builder.finish(candidates.size(), driver != Driver::kNone);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -896,55 +1386,10 @@ QueryResult Store::query_locked(const Query& query, QueryMode mode) const {
 bool Store::verify(StoreError* error) const {
   std::shared_lock lock(mutex_);
   const Tables& t = *tables_;
-  const std::size_t n_sessions = t.n_sessions();
-  const std::size_t n_events = t.n_events();
 
-  // Dictionary ids in range.
-  for (std::size_t i = 0; i < n_sessions; ++i) {
-    if (t.sess_cve[i] >= dict_.size() || t.sess_run[i] >= runs_.size()) {
-      return fail(error, StoreErrorCode::kCorrupt, "session row references out of range");
-    }
-    if (t.sess_poff[i] > t.payload_heap_size() ||
-        t.sess_plen[i] > t.payload_heap_size() - t.sess_poff[i]) {
-      return fail(error, StoreErrorCode::kCorrupt, "session payload reference out of range");
-    }
-  }
-  for (std::size_t i = 0; i < n_events; ++i) {
-    if (t.evt_cve[i] >= dict_.size() || t.evt_run[i] >= runs_.size()) {
-      return fail(error, StoreErrorCode::kCorrupt, "event row references out of range");
-    }
-  }
-
-  // Run extents contiguous, covering, and consistent with run columns.
-  std::uint64_t sess_cursor = 0, evt_cursor = 0;
-  for (std::size_t r = 0; r < runs_.size(); ++r) {
-    const RunInfo& run = runs_[r];
-    if (run.sessions_begin != sess_cursor || run.events_begin != evt_cursor) {
-      return fail(error, StoreErrorCode::kCorrupt, "run extents not contiguous");
-    }
-    for (std::uint64_t i = run.sessions_begin; i < run.sessions_begin + run.sessions_count; ++i) {
-      if (t.sess_run[i] != r) {
-        return fail(error, StoreErrorCode::kCorrupt, "session run column mismatch");
-      }
-    }
-    for (std::uint64_t i = run.events_begin; i < run.events_begin + run.events_count; ++i) {
-      if (t.evt_run[i] != r) {
-        return fail(error, StoreErrorCode::kCorrupt, "event run column mismatch");
-      }
-    }
-    sess_cursor += run.sessions_count;
-    evt_cursor += run.events_count;
-  }
-  if (sess_cursor != n_sessions || evt_cursor != n_events) {
-    return fail(error, StoreErrorCode::kCorrupt, "run extents do not cover tables");
-  }
-
-  // Every postings index must equal a fresh rebuild from the columns.
-  const auto check_index = [&](const Postings& postings, auto key_fn, std::size_t rows,
-                               const char* name) {
-    PostingVec expected;
-    expected.reserve(rows);
-    for (std::uint64_t row = 0; row < rows; ++row) expected.emplace_back(key_fn(row), row);
+  // Rebuild-and-compare for one postings list.
+  const auto check_postings = [&](const Postings& postings, PostingVec expected,
+                                  const char* name) {
     sort_postings(expected);
     PostingVec actual;
     actual.reserve(postings.size());
@@ -960,38 +1405,178 @@ bool Store::verify(StoreError* error) const {
     }
     return true;
   };
-  const Tables& tt = t;
-  if (!check_index(t.idx_sess_cve, [&](std::uint64_t r) { return key_of_dict(tt.sess_cve[r]); },
-                   n_sessions, "sessions/cve")) {
-    return false;
+
+  // Per tier: id ranges, payload references, local run extents, and every
+  // index against a rebuild from the tier's own columns.
+  for (const auto& tier_ptr : t.tiers) {
+    const Tier& tier = *tier_ptr;
+    const std::size_t n_sessions = tier.n_sessions();
+    const std::size_t n_events = tier.n_events();
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      if (tier.sess_cve[i] >= tier.dict.size() || tier.sess_run[i] >= tier.runs.size()) {
+        return fail(error, StoreErrorCode::kCorrupt, "tier session row references out of range");
+      }
+      if (tier.sess_poff[i] > tier.payload.size() ||
+          tier.sess_plen[i] > tier.payload.size() - tier.sess_poff[i]) {
+        return fail(error, StoreErrorCode::kCorrupt, "tier payload reference out of range");
+      }
+    }
+    for (std::size_t i = 0; i < n_events; ++i) {
+      if (tier.evt_cve[i] >= tier.dict.size() || tier.evt_run[i] >= tier.runs.size()) {
+        return fail(error, StoreErrorCode::kCorrupt, "tier event row references out of range");
+      }
+    }
+    std::uint64_t sess_cursor = 0, evt_cursor = 0;
+    for (std::size_t r = 0; r < tier.runs.size(); ++r) {
+      const Tier::TierRun& run = tier.runs[r];
+      if (run.sessions_begin != sess_cursor || run.events_begin != evt_cursor) {
+        return fail(error, StoreErrorCode::kCorrupt, "tier run extents not contiguous");
+      }
+      // Cross-check against the global run table entry this row maps to.
+      const std::size_t g = tier.run_begin + r;
+      if (g >= runs_.size() || runs_[g].run_key != tier.dict[run.name_id] ||
+          runs_[g].sessions_begin != tier.sess_begin + run.sessions_begin ||
+          runs_[g].sessions_count != run.sessions_count ||
+          runs_[g].events_begin != tier.evt_begin + run.events_begin ||
+          runs_[g].events_count != run.events_count || runs_[g].lsn != run.lsn) {
+        return fail(error, StoreErrorCode::kCorrupt, "tier run disagrees with global run table");
+      }
+      sess_cursor += run.sessions_count;
+      evt_cursor += run.events_count;
+    }
+    if (sess_cursor != n_sessions || evt_cursor != n_events) {
+      return fail(error, StoreErrorCode::kCorrupt, "tier run extents do not cover tables");
+    }
+    const auto rebuild = [&](auto key_fn, std::size_t rows) {
+      PostingVec expected;
+      expected.reserve(rows);
+      for (std::uint64_t row = 0; row < rows; ++row) expected.emplace_back(key_fn(row), row);
+      return expected;
+    };
+    if (!check_postings(tier.idx_sess_cve,
+                        rebuild([&](std::uint64_t r) { return key_of_dict(tier.sess_cve[r]); },
+                                n_sessions),
+                        "tier sessions/cve") ||
+        !check_postings(tier.idx_sess_src,
+                        rebuild([&](std::uint64_t r) { return key_of_src(tier.sess_src[r]); },
+                                n_sessions),
+                        "tier sessions/src") ||
+        !check_postings(tier.idx_sess_sid,
+                        rebuild([&](std::uint64_t r) { return key_of_sid(tier.sess_sid[r]); },
+                                n_sessions),
+                        "tier sessions/sid") ||
+        !check_postings(tier.idx_sess_time,
+                        rebuild([&](std::uint64_t r) { return key_of_time(tier.sess_time[r]); },
+                                n_sessions),
+                        "tier sessions/time") ||
+        !check_postings(tier.idx_evt_cve,
+                        rebuild([&](std::uint64_t r) { return key_of_dict(tier.evt_cve[r]); },
+                                n_events),
+                        "tier events/cve") ||
+        !check_postings(tier.idx_evt_src,
+                        rebuild([&](std::uint64_t r) { return key_of_src(tier.evt_src[r]); },
+                                n_events),
+                        "tier events/src") ||
+        !check_postings(tier.idx_evt_sid,
+                        rebuild([&](std::uint64_t r) { return key_of_sid(tier.evt_sid[r]); },
+                                n_events),
+                        "tier events/sid") ||
+        !check_postings(tier.idx_evt_time,
+                        rebuild([&](std::uint64_t r) { return key_of_time(tier.evt_time[r]); },
+                                n_events),
+                        "tier events/time")) {
+      return false;
+    }
   }
-  if (!check_index(t.idx_sess_src, [&](std::uint64_t r) { return key_of_src(tt.sess_src[r]); },
-                   n_sessions, "sessions/src")) {
-    return false;
+
+  // Delta: id ranges, payload references, and postings (global rows).
+  const std::size_t d_sessions = t.d_sess_time.size();
+  const std::size_t d_events = t.d_evt_time.size();
+  for (std::size_t i = 0; i < d_sessions; ++i) {
+    if (t.d_sess_cve[i] >= dict_.size() || t.d_sess_run[i] < t.base_runs ||
+        t.d_sess_run[i] >= runs_.size()) {
+      return fail(error, StoreErrorCode::kCorrupt, "delta session row references out of range");
+    }
+    if (t.d_sess_poff[i] > t.d_payload.size() ||
+        t.d_sess_plen[i] > t.d_payload.size() - t.d_sess_poff[i]) {
+      return fail(error, StoreErrorCode::kCorrupt, "delta payload reference out of range");
+    }
   }
-  if (!check_index(t.idx_sess_sid, [&](std::uint64_t r) { return key_of_sid(tt.sess_sid[r]); },
-                   n_sessions, "sessions/sid")) {
-    return false;
+  for (std::size_t i = 0; i < d_events; ++i) {
+    if (t.d_evt_cve[i] >= dict_.size() || t.d_evt_run[i] < t.base_runs ||
+        t.d_evt_run[i] >= runs_.size()) {
+      return fail(error, StoreErrorCode::kCorrupt, "delta event row references out of range");
+    }
   }
-  if (!check_index(t.idx_sess_time, [&](std::uint64_t r) { return key_of_time(tt.sess_time[r]); },
-                   n_sessions, "sessions/time")) {
-    return false;
+  {
+    const auto rebuild = [&](auto key_fn, std::size_t rows, std::uint64_t base) {
+      PostingVec expected;
+      expected.reserve(rows);
+      for (std::uint64_t row = 0; row < rows; ++row) {
+        expected.emplace_back(key_fn(row), base + row);
+      }
+      return expected;
+    };
+    if (!check_postings(t.idx_sess_cve,
+                        rebuild([&](std::uint64_t r) { return key_of_dict(t.d_sess_cve[r]); },
+                                d_sessions, t.base_sessions),
+                        "delta sessions/cve") ||
+        !check_postings(t.idx_sess_src,
+                        rebuild([&](std::uint64_t r) { return key_of_src(t.d_sess_src[r]); },
+                                d_sessions, t.base_sessions),
+                        "delta sessions/src") ||
+        !check_postings(t.idx_sess_sid,
+                        rebuild([&](std::uint64_t r) { return key_of_sid(t.d_sess_sid[r]); },
+                                d_sessions, t.base_sessions),
+                        "delta sessions/sid") ||
+        !check_postings(t.idx_sess_time,
+                        rebuild([&](std::uint64_t r) { return key_of_time(t.d_sess_time[r]); },
+                                d_sessions, t.base_sessions),
+                        "delta sessions/time") ||
+        !check_postings(t.idx_evt_cve,
+                        rebuild([&](std::uint64_t r) { return key_of_dict(t.d_evt_cve[r]); },
+                                d_events, t.base_events),
+                        "delta events/cve") ||
+        !check_postings(t.idx_evt_src,
+                        rebuild([&](std::uint64_t r) { return key_of_src(t.d_evt_src[r]); },
+                                d_events, t.base_events),
+                        "delta events/src") ||
+        !check_postings(t.idx_evt_sid,
+                        rebuild([&](std::uint64_t r) { return key_of_sid(t.d_evt_sid[r]); },
+                                d_events, t.base_events),
+                        "delta events/sid") ||
+        !check_postings(t.idx_evt_time,
+                        rebuild([&](std::uint64_t r) { return key_of_time(t.d_evt_time[r]); },
+                                d_events, t.base_events),
+                        "delta events/time")) {
+      return false;
+    }
   }
-  if (!check_index(t.idx_evt_cve, [&](std::uint64_t r) { return key_of_dict(tt.evt_cve[r]); },
-                   n_events, "events/cve")) {
-    return false;
+
+  // Global run table: contiguous, covering, and consistent with the run
+  // columns across the tier/delta boundary.
+  std::uint64_t sess_cursor = 0, evt_cursor = 0;
+  std::size_t sess_tier_cursor = 0, evt_tier_cursor = 0;
+  for (std::size_t r = 0; r < runs_.size(); ++r) {
+    const RunInfo& run = runs_[r];
+    if (run.sessions_begin != sess_cursor || run.events_begin != evt_cursor) {
+      return fail(error, StoreErrorCode::kCorrupt, "run extents not contiguous");
+    }
+    for (std::uint64_t i = run.sessions_begin; i < run.sessions_begin + run.sessions_count; ++i) {
+      if (t.sess_run(t.sess_ref(i, sess_tier_cursor)) != r) {
+        return fail(error, StoreErrorCode::kCorrupt, "session run column mismatch");
+      }
+    }
+    for (std::uint64_t i = run.events_begin; i < run.events_begin + run.events_count; ++i) {
+      if (t.evt_run(t.evt_ref(i, evt_tier_cursor)) != r) {
+        return fail(error, StoreErrorCode::kCorrupt, "event run column mismatch");
+      }
+    }
+    sess_cursor += run.sessions_count;
+    evt_cursor += run.events_count;
   }
-  if (!check_index(t.idx_evt_src, [&](std::uint64_t r) { return key_of_src(tt.evt_src[r]); },
-                   n_events, "events/src")) {
-    return false;
-  }
-  if (!check_index(t.idx_evt_sid, [&](std::uint64_t r) { return key_of_sid(tt.evt_sid[r]); },
-                   n_events, "events/sid")) {
-    return false;
-  }
-  if (!check_index(t.idx_evt_time, [&](std::uint64_t r) { return key_of_time(tt.evt_time[r]); },
-                   n_events, "events/time")) {
-    return false;
+  if (sess_cursor != t.n_sessions() || evt_cursor != t.n_events()) {
+    return fail(error, StoreErrorCode::kCorrupt, "run extents do not cover tables");
   }
   return true;
 }
@@ -1008,20 +1593,26 @@ std::vector<RunInfo> Store::runs() const {
 
 StoreStats Store::stats() const {
   std::shared_lock lock(mutex_);
+  const Tables& t = *tables_;
   StoreStats out;
-  out.session_rows = tables_->n_sessions();
-  out.event_rows = tables_->n_events();
+  out.session_rows = t.n_sessions();
+  out.event_rows = t.n_events();
   out.runs = runs_.size();
   out.last_lsn = last_lsn_;
-  out.snapshot_lsn = snapshot_lsn_;
+  out.snapshot_lsn = covered_lsn_;
+  out.base_segments = t.tiers.size();
+  out.compactions = compactions_;
   out.wal_segments = wal_segments_;
   out.wal_bytes = wal_bytes_;
-  out.snapshot_bytes = snapshot_bytes_;
-  out.payload_bytes = tables_->payload_heap_size();
+  out.payload_bytes = t.payload_heap_size();
   out.dropped_segments = dropped_segments_;
   out.queries_index = queries_index_;
   out.queries_brute = queries_brute_;
-  out.snapshot_mapped = snapshot_.is_mapped();
+  out.snapshot_mapped = !t.tiers.empty();
+  for (const auto& tier : t.tiers) {
+    out.snapshot_bytes += tier->bytes;
+    out.snapshot_mapped = out.snapshot_mapped && tier->file.is_mapped();
+  }
   return out;
 }
 

@@ -1,11 +1,13 @@
 // The persistent indexed session store (DESIGN.md §13).
 //
 // A store directory holds the sessions and lifecycle exploit events of
-// every ingested study run in a memory-mapped columnar snapshot plus a
-// write-ahead log of batches committed since the last checkpoint.  Reads
-// ("give me the Log4Shell event curve for week N") are index scans over
-// sorted postings by CVE id, time, source address, and rule SID -- never
-// a pipeline rerun, never a cache-blob re-derivation.
+// every ingested study run in a chain of memory-mapped columnar base
+// tiers -- one full snapshot plus zero or more range-partitioned
+// segments -- and a write-ahead log of batches committed since the last
+// checkpoint.  Reads ("give me the Log4Shell event curve for week N")
+// are planner-chosen index scans over sorted postings by CVE id, time,
+// source address, and rule SID -- never a pipeline rerun, never a
+// cache-blob re-derivation.
 //
 // Durability contract (tests/store/crash_matrix_test.cpp):
 //   * ingest() is atomic: the batch is encoded into a WAL segment,
@@ -13,20 +15,28 @@
 //     the same fs shim for digest validation before the commit is
 //     acknowledged.  True from ingest() implies the batch survives any
 //     subsequent crash; false implies the store is exactly as before.
-//   * checkpoint() writes the merged snapshot temp-then-rename, then
-//     read-back-validates it before deleting the old snapshot and the
-//     folded WAL segments.  A crash (or injected fault) at any boundary
-//     leaves either the old snapshot + WAL or the new snapshot -- both
-//     recover to the identical logical state.
-//   * open() picks the newest valid snapshot, replays the valid WAL
-//     prefix above it, and deletes everything else (invalid or stale
-//     files).  Recovery is idempotent: reopening recovers byte-identical
-//     state.
+//   * checkpoint() is INCREMENTAL: it folds only the delta (commits
+//     since the last checkpoint) into a new base tier -- a full
+//     snap-<lsn>.cvwbs when no base exists yet, a range segment
+//     seg-<from>-<to>.cvwbg appended on top otherwise -- written
+//     temp-then-rename and read-back-validated before the folded WAL
+//     segments are deleted.  A crash (or injected fault) at any boundary
+//     leaves either the old tiers + WAL or the old tiers + the new tier
+//     -- both recover to the identical logical state.
+//   * compact() merges every base tier back into a single full snapshot
+//     under the same temp-then-rename + read-back rules; the superseded
+//     tier files are deleted only after the merged snapshot validates.
+//     Compaction never changes logical state.
+//   * open() picks the newest valid snapshot, extends it with the
+//     longest valid chain of contiguous segments, replays the valid WAL
+//     prefix above that coverage, and deletes everything else (invalid,
+//     stale, or unreachable files).  Recovery is idempotent: reopening
+//     recovers byte-identical state.
 //
 // Corruption contract (tests/store/store_fuzz_test.cpp): a truncated,
 // bit-flipped, or bad-magic snapshot with no valid fallback fails open()
-// with a structured StoreError; damaged WAL segments are dropped (with
-// counts in StoreStats), never UB.
+// with a structured StoreError; damaged segments and WAL are dropped
+// under the valid-prefix rule (with counts in StoreStats), never UB.
 //
 // Concurrency: a Store is internally synchronized with a readers-writer
 // lock -- the daemon queries from its event loop while scheduler workers
@@ -47,6 +57,7 @@
 #include "store/columns.h"
 #include "store/error.h"
 #include "store/mmap_file.h"
+#include "store/plan.h"
 #include "store/query.h"
 #include "util/retry.h"
 
@@ -77,15 +88,17 @@ struct StoreStats {
   std::uint64_t event_rows = 0;
   std::uint64_t runs = 0;
   std::uint64_t last_lsn = 0;          // newest committed lsn (0 = empty)
-  std::uint64_t snapshot_lsn = 0;      // lsn folded into the live snapshot
-  std::uint64_t wal_segments = 0;      // committed since that snapshot
+  std::uint64_t snapshot_lsn = 0;      // lsn covered by the base tiers
+  std::uint64_t base_segments = 0;     // base tiers (snapshot + range segments)
+  std::uint64_t compactions = 0;       // compact() passes that landed
+  std::uint64_t wal_segments = 0;      // committed since that coverage
   std::uint64_t wal_bytes = 0;
-  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t snapshot_bytes = 0;    // total bytes across base tiers
   std::uint64_t payload_bytes = 0;     // session payload heap size
-  std::uint64_t dropped_segments = 0;  // invalid/stale segments deleted at open
+  std::uint64_t dropped_segments = 0;  // invalid/stale files deleted at open
   std::uint64_t queries_index = 0;
   std::uint64_t queries_brute = 0;
-  bool snapshot_mapped = false;        // served via mmap (vs owned buffer)
+  bool snapshot_mapped = false;        // every tier served via mmap
 };
 
 /// Per-run bookkeeping: rows of one run are contiguous in each table.
@@ -96,6 +109,23 @@ struct RunInfo {
   std::uint64_t events_begin = 0;
   std::uint64_t events_count = 0;
   std::uint64_t lsn = 0;  // the commit that introduced this run
+};
+
+/// One applicable predicate as the planner saw it (see Store::plan).
+struct PlanIndexCardinality {
+  std::string index;              // "cve", "run", "time", "src", "sid"
+  std::uint64_t cardinality = 0;  // exact postings-probe cardinality
+  bool driver = false;            // chosen to drive the plan
+};
+
+/// Planner verdict for a query, without executing it.
+struct PlanReport {
+  std::string plan;  // canonical label, e.g. "intersect(cve,sid)"
+  bool used_index = false;
+  std::uint64_t table_rows = 0;
+  std::uint64_t postings_examined = 0;    // postings the plan would visit
+  std::uint64_t estimated_candidates = 0;
+  std::vector<PlanIndexCardinality> indexes;
 };
 
 class Store {
@@ -112,19 +142,32 @@ class Store {
   bool ingest(const pipeline::StudyResult& result, std::string_view run_key,
               StoreError* error = nullptr);
 
-  /// Fold base + delta into a fresh snapshot and drop the folded WAL.
-  /// False when the snapshot could not be made durable; the store then
-  /// keeps serving from the previous snapshot + WAL unchanged.
+  /// Fold the delta into a new base tier (full snapshot when no base
+  /// exists, appended range segment otherwise) and drop the folded WAL.
+  /// False when the tier could not be made durable; the store then keeps
+  /// serving from the previous tiers + WAL unchanged.
   bool checkpoint(StoreError* error = nullptr);
 
-  /// Execute `query`.  kIndex drives the scan from the most selective
-  /// applicable postings list; kBrute scans every row.  Both produce
+  /// Merge every base tier into a single full snapshot and delete the
+  /// superseded tier files.  Logical state never changes; a no-op success
+  /// with fewer than two tiers.  False when the merged snapshot could not
+  /// be made durable (the existing tiers keep serving unchanged).
+  bool compact(StoreError* error = nullptr);
+
+  /// Execute `query`.  kIndex lets the selectivity planner pick the shape
+  /// (index intersection / single index / brute / empty -- see plan.h);
+  /// kBrute forces the full linear scan.  All shapes produce
   /// byte-identical QueryResults (see query.h).
   QueryResult query(const Query& query, QueryMode mode = QueryMode::kIndex) const;
 
+  /// Plan `query` without executing it: the shape the planner would pick
+  /// plus every applicable probe's measured cardinality.
+  PlanReport plan(const Query& query) const;
+
   /// Deep consistency check: rebuilds every postings index from the
   /// columns and compares, validates dictionary ids, run extents, and
-  /// payload references.  False with a structured error on any mismatch.
+  /// payload references across every tier and the delta.  False with a
+  /// structured error on any mismatch.
   bool verify(StoreError* error = nullptr) const;
 
   bool contains_run(std::string_view run_key) const;
@@ -145,15 +188,26 @@ class Store {
  private:
   Store() = default;
 
-  struct Tables;  // full columnar state (see store.cpp)
+  struct Tier;    // one immutable mapped base tier (see store.cpp)
+  struct Tables;  // tier chain + in-memory delta (see store.cpp)
 
-  bool load_snapshot(const std::filesystem::path& path, StoreError* error);
+  bool load_container(const std::filesystem::path& path, std::uint64_t expect_from,
+                      std::uint64_t expect_to, std::unique_ptr<Tier>& out, StoreError* error);
   bool replay_wal(StoreError* error);
   void apply_batch(const struct WalBatch& batch);
-  std::string build_snapshot(std::uint64_t last_lsn) const;
+  std::string build_container(std::uint64_t from_lsn, std::uint64_t to_lsn, std::size_t run_lo,
+                              std::size_t run_hi) const;
   bool write_file_validated(const std::filesystem::path& final_path, std::string_view bytes,
                             StoreError* error);
   QueryResult query_locked(const Query& query, QueryMode mode) const;
+  /// Measure every applicable predicate's exact probe cardinality across
+  /// all tiers + the delta (planner input).  Fills the time key range when
+  /// a window predicate applies.
+  std::vector<IndexEstimate> measure_probes(const Query& query, std::uint64_t& time_lo,
+                                            std::uint64_t& time_hi) const;
+  /// Append the sorted ascending global candidate rows of one probe.
+  void collect_probe(const Query& query, PlanIndex which, std::uint64_t time_lo,
+                     std::uint64_t time_hi, std::vector<std::uint64_t>& out) const;
   std::uint32_t intern(const std::string& s);
 
   std::filesystem::path dir_;
@@ -162,18 +216,17 @@ class Store {
   util::RetryPolicy retry_;
 
   mutable std::shared_mutex mutex_;
-  MappedFile snapshot_;
   std::unique_ptr<Tables> tables_;
   std::vector<RunInfo> runs_;
   std::unordered_map<std::string, std::size_t> run_index_;  // run_key -> runs_ slot
-  std::vector<std::string> dict_;                            // id -> string
+  std::vector<std::string> dict_;  // delta dictionary: id -> string
   std::unordered_map<std::string, std::uint32_t> dict_index_;
   std::uint64_t last_lsn_ = 0;
-  std::uint64_t snapshot_lsn_ = 0;
-  std::uint64_t snapshot_bytes_ = 0;
+  std::uint64_t covered_lsn_ = 0;  // base-tier coverage (StoreStats::snapshot_lsn)
   std::uint64_t wal_segments_ = 0;
   std::uint64_t wal_bytes_ = 0;
   std::uint64_t dropped_segments_ = 0;
+  std::uint64_t compactions_ = 0;
   mutable std::uint64_t queries_index_ = 0;
   mutable std::uint64_t queries_brute_ = 0;
   bool crash_after_wal_rename_ = false;

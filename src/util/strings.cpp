@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
 
 namespace cvewb::util {
 
@@ -129,6 +133,38 @@ std::string percent_decode(std::string_view s) {
   out.resize(s.size());
   out.resize(percent_decode_to(s, out.data()));
   return out;
+}
+
+bool parse_i64(std::string_view s, std::int64_t& out) {
+  std::int64_t value = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || p != s.data() + s.size()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  // from_chars already rejects '-' for unsigned types, but be explicit:
+  // the whole point is never to wrap a negative token.
+  if (!s.empty() && s.front() == '-') return false;
+  std::uint64_t value = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || p != s.data() + s.size()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_finite_double(std::string_view s, double& out) {
+  if (s.empty() || is_space(s.front())) return false;
+  const std::string token(s);  // strtod needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  if (errno == ERANGE) return false;
+  if (!std::isfinite(value)) return false;
+  out = value;
+  return true;
 }
 
 }  // namespace cvewb::util

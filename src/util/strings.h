@@ -2,6 +2,7 @@
 // HTTP headers, payload normalization).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +41,23 @@ std::string replace_all(std::string s, std::string_view from, std::string_view t
 
 /// Join elements with a separator.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Full-token signed integer parse: the ENTIRE token must be a decimal
+/// integer that fits std::int64_t.  Rejects empty tokens, leading
+/// whitespace, trailing garbage ("12x"), and overflow -- the silent
+/// strtol failure modes that turn a typo'd flag into a wrong run.  On
+/// failure `out` is untouched.
+bool parse_i64(std::string_view s, std::int64_t& out);
+
+/// Full-token unsigned variant; additionally rejects any '-' sign (strtoull
+/// would happily wrap "-1" to 2^64-1).
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Full-token finite double parse.  Rejects trailing garbage ("3.5xyz"),
+/// overflow, and the non-finite spellings ("nan", "inf") -- NaN in
+/// particular defeats range checks because every comparison against it is
+/// false.  On failure `out` is untouched.
+bool parse_finite_double(std::string_view s, double& out);
 
 /// Percent-decode a URI component ("%2e" -> '.', '+' left intact).  Invalid
 /// escapes are passed through verbatim, matching lenient server behaviour.

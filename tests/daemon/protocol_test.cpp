@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <string>
+
+#include "util/rng.h"
+
 namespace cvewb::daemon {
 namespace {
 
@@ -172,6 +177,115 @@ TEST(Protocol, StoreQueryRejectsMalformedPredicates) {
     const auto parsed = parse_request(line, limits);
     EXPECT_FALSE(parsed.request.has_value()) << line;
     EXPECT_EQ(error_code(parsed), "bad_request") << line;
+  }
+}
+
+TEST(Protocol, HugeIntegerValuedDoublesAreBadRequestsNotUndefinedBehavior) {
+  // JSON numbers like 1e300 are integer-valued doubles far outside
+  // int64; casting them is UB, so every integer field must reject them
+  // with a structured bad_request instead of silently clamping.  Runs
+  // under UBSan, so a regression here is a build failure, not a flake.
+  const char* cases[] = {
+      R"({"op":"store_query","limit":1e300})",
+      R"({"op":"store_query","limit":-1e300})",
+      R"({"op":"store_query","sid":1e300})",
+      R"({"op":"store_query","src":1e300})",
+      R"({"op":"store_query","begin":1e300})",
+      R"({"op":"store_query","end":-1e300})",
+      R"({"op":"submit","seed":1e300})",
+      R"({"op":"submit","deadline_ms":1e300})",
+      R"({"op":"submit","threads":9.3e18})",
+  };
+  for (const char* line : cases) {
+    const auto parsed = parse_request(line, ProtocolLimits{});
+    EXPECT_FALSE(parsed.request.has_value()) << line;
+    EXPECT_EQ(error_code(parsed), "bad_request") << line;
+  }
+  // 2^63 is exactly on the boundary: the first unrepresentable value.
+  EXPECT_EQ(error_code(parse_request(R"({"op":"store_query","begin":9223372036854775808})",
+                                     ProtocolLimits{})),
+            "bad_request");
+  // Large but representable integer-valued doubles still parse.
+  const auto ok = parse_request(R"({"op":"store_query","begin":4e18})", ProtocolLimits{});
+  ASSERT_TRUE(ok.request.has_value());
+  EXPECT_EQ(*ok.request->store_query.time_begin, 4'000'000'000'000'000'000ll);
+}
+
+TEST(Protocol, RunKeyMustBeLowercaseHex) {
+  for (const char* bad : {R"({"op":"store_query","run":"RUN-11"})",
+                          R"({"op":"store_query","run":"xyz"})",
+                          R"({"op":"store_query","run":"Abc123"})",
+                          R"({"op":"store_query","run":"abc 123"})",
+                          R"({"op":"store_plan","run":"0x1234"})"}) {
+    const auto parsed = parse_request(bad, ProtocolLimits{});
+    EXPECT_FALSE(parsed.request.has_value()) << bad;
+    EXPECT_EQ(error_code(parsed), "bad_request") << bad;
+  }
+  const auto good =
+      parse_request(R"({"op":"store_query","run":"00ffab12"})", ProtocolLimits{});
+  ASSERT_TRUE(good.request.has_value());
+  EXPECT_EQ(*good.request->store_query.run, "00ffab12");
+}
+
+TEST(Protocol, StorePlanSharesTheStoreQueryGrammar) {
+  const auto parsed = parse_request(
+      R"({"op":"store_plan","table":"events","cve":"CVE-2021-44228",)"
+      R"("begin":"2021-12-10","end":"2021-12-17","sid":21003})",
+      ProtocolLimits{});
+  ASSERT_TRUE(parsed.request.has_value());
+  EXPECT_EQ(parsed.request->op, RequestOp::kStorePlan);
+  EXPECT_EQ(parsed.request->store_query.table, store::Table::kEvents);
+  EXPECT_EQ(*parsed.request->store_query.cve, "CVE-2021-44228");
+  EXPECT_EQ(*parsed.request->store_query.sid, 21003);
+  // And the same rejections.
+  EXPECT_EQ(error_code(parse_request(R"({"op":"store_plan","table":"nonsense"})",
+                                     ProtocolLimits{})),
+            "bad_request");
+  EXPECT_EQ(error_code(parse_request(R"({"op":"store_plan","limit":1e300})",
+                                     ProtocolLimits{})),
+            "bad_request");
+}
+
+TEST(Protocol, MutatedFramesNeverCrashAndAlwaysAnswerStructurally) {
+  // Byte-level fuzzing of valid frames: whatever the mutation does, the
+  // parser must return either a validated request or a structured error
+  // reply carrying an "error" code -- no exception, no UB, no third state.
+  const std::string seeds[] = {
+      R"({"op":"submit","seed":42,"scale":0.25,"threads":4,"deadline_ms":1500})",
+      R"({"op":"store_query","table":"events","cve":"CVE-2021-44228",)"
+      R"("begin":"2021-12-10","end":"2021-12-17","src":"203.0.113.9",)"
+      R"("sid":21003,"run":"abc123","limit":100,"mode":"brute"})",
+      R"({"op":"store_plan","table":"sessions","sid":7,"src":16909060})",
+      R"({"op":"query","job":"j1"})",
+  };
+  util::Rng rng(0xF82);
+  for (int iteration = 0; iteration < 4000; ++iteration) {
+    std::string frame = seeds[rng.uniform_u64(std::size(seeds))];
+    const std::size_t mutations = 1 + rng.uniform_u64(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      const std::size_t at = rng.uniform_u64(frame.size());
+      const char c = static_cast<char>(rng.uniform_u64(256));
+      switch (rng.uniform_u64(3)) {
+        case 0:  // flip
+          frame[at] = c;
+          break;
+        case 1:  // drop
+          frame = frame.substr(0, at) + frame.substr(at + 1);
+          break;
+        default:  // insert
+          frame = frame.substr(0, at) + c + frame.substr(at);
+          break;
+      }
+      if (frame.empty()) frame.push_back('{');
+    }
+    const auto parsed = parse_request(frame, ProtocolLimits{});
+    if (!parsed.request.has_value()) {
+      const util::Json* error = parsed.error_reply.find("error");
+      ASSERT_NE(error, nullptr) << frame;
+      EXPECT_FALSE(error->as_string().empty()) << frame;
+      // The reply must itself survive encoding.
+      EXPECT_FALSE(encode_frame(parsed.error_reply).empty());
+    }
   }
 }
 

@@ -127,6 +127,79 @@ TEST(CrashMatrix, EveryFaultBoundaryRecoversToExactlyTheAcknowledgedCommits) {
   }
 }
 
+/// The tier-chain sequence: every durable boundary the incremental
+/// checkpoint and compaction paths add.  The first checkpoint writes the
+/// full snapshot, the second appends a range segment on top, compact()
+/// merges them back into one snapshot and deletes the superseded files.
+std::vector<bool> run_extended_sequence(Store& store) {
+  std::vector<bool> acked;
+  acked.push_back(store.ingest(shared_study(11), run_key_of(11)));
+  (void)store.checkpoint();  // full snapshot
+  acked.push_back(store.ingest(shared_study(12), run_key_of(12)));
+  (void)store.checkpoint();  // range segment appended on top
+  acked.push_back(store.ingest(shared_study(13), run_key_of(13)));
+  (void)store.compact();  // snapshot + segment -> merged snapshot
+  return acked;
+}
+
+// Clean extended run: 6 writes (3 WAL, snapshot, segment, merged
+// snapshot), 6 renames, and up to 9 shimmed reads (6 validation
+// read-backs + 3 checkpoint/compaction container reloads).  Sweeping to
+// 10 covers every reachable boundary of every class with clean-control
+// tail indices.
+constexpr std::uint64_t kExtendedSweepOps = 10;
+
+TEST(CrashMatrix, SegmentAndCompactionBoundariesRecoverToExactlyTheAcknowledgedCommits) {
+  for (const FaultPoint& point : kFaultPoints) {
+    for (std::uint64_t index = 1; index <= kExtendedSweepOps; ++index) {
+      SCOPED_TRACE(std::string(point.name) + "@" + std::to_string(index));
+      const fs::path dir =
+          fresh_dir(std::string("tiermatrix-") + point.name + "-" + std::to_string(index));
+
+      chaos::FsFaultPlan plan;
+      plan.seed = 0x71E5;
+      point.arm(plan, index);
+      chaos::FsShim shim(plan);
+      StoreOptions options;
+      options.fs = &shim;
+
+      std::vector<bool> acked;
+      {
+        StoreError error;
+        auto store = Store::open(dir, options, &error);
+        ASSERT_NE(store, nullptr) << error.detail;
+        acked = run_extended_sequence(*store);
+        // Checkpoint and compaction may fail under the fault but must
+        // never change logical state: the live store still equals the
+        // acknowledged set.
+        EXPECT_EQ(store_fingerprint(*store), reference_fingerprint(acked));
+        StoreError verify_error;
+        EXPECT_TRUE(store->verify(&verify_error)) << verify_error.detail;
+      }
+
+      StoreError error;
+      auto reopened = Store::open(dir, {}, &error);
+      ASSERT_NE(reopened, nullptr) << error.detail;
+      EXPECT_EQ(store_fingerprint(*reopened), reference_fingerprint(acked));
+      EXPECT_TRUE(reopened->verify(&error)) << error.detail;
+
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+      }
+
+      // The recovered chain must remain fully operable: another ingest,
+      // a checkpoint folding it, and a compaction all land cleanly and
+      // leave the logical state at acknowledged + the new run.
+      EXPECT_TRUE(reopened->ingest(shared_study(11), "run-again"));
+      EXPECT_TRUE(reopened->checkpoint(&error)) << error.detail;
+      EXPECT_TRUE(reopened->compact(&error)) << error.detail;
+      EXPECT_TRUE(reopened->contains_run("run-again"));
+      EXPECT_TRUE(reopened->verify(&error)) << error.detail;
+      EXPECT_LE(reopened->stats().base_segments, 1u);
+    }
+  }
+}
+
 TEST(CrashMatrix, ProbabilisticFaultStormNeverYieldsAPhantomOrLostCommit) {
   // Beyond the exact-boundary sweep: a lossy-disk storm where every op
   // class can fail.  Whatever subset of commits gets acknowledged, the
@@ -149,6 +222,37 @@ TEST(CrashMatrix, ProbabilisticFaultStormNeverYieldsAPhantomOrLostCommit) {
       auto store = Store::open(dir, options);
       ASSERT_NE(store, nullptr);
       acked = run_sequence(*store);
+    }
+    StoreError error;
+    auto reopened = Store::open(dir, {}, &error);
+    ASSERT_NE(reopened, nullptr) << error.detail;
+    EXPECT_EQ(store_fingerprint(*reopened), reference_fingerprint(acked));
+    EXPECT_TRUE(reopened->verify(&error)) << error.detail;
+  }
+}
+
+TEST(CrashMatrix, FaultStormOverTheTierChainSequence) {
+  // The same lossy disk pointed at the checkpoint-segment-compaction
+  // sequence: however many tiers survive, recovery yields exactly the
+  // acknowledged commits.
+  for (std::uint64_t seed = 21; seed <= 28; ++seed) {
+    SCOPED_TRACE("tier storm seed " + std::to_string(seed));
+    const fs::path dir = fresh_dir("tierstorm-" + std::to_string(seed));
+    chaos::FsFaultPlan plan;
+    plan.seed = seed;
+    plan.eio_read_rate = 0.15;
+    plan.enospc_write_rate = 0.15;
+    plan.torn_write_rate = 0.1;
+    plan.rename_fail_rate = 0.15;
+    chaos::FsShim shim(plan);
+    StoreOptions options;
+    options.fs = &shim;
+
+    std::vector<bool> acked;
+    {
+      auto store = Store::open(dir, options);
+      ASSERT_NE(store, nullptr);
+      acked = run_extended_sequence(*store);
     }
     StoreError error;
     auto reopened = Store::open(dir, {}, &error);

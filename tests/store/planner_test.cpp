@@ -1,0 +1,216 @@
+// Property tests for the selectivity-estimating planner (store/plan.h).
+// choose_plan is a pure function of (estimates, table_rows), so these
+// tests hold it to the documented cost model directly -- no store, no
+// I/O -- including a randomized sweep that recomputes the model from
+// scratch and checks the planner never picks a dominated shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/plan.h"
+#include "util/rng.h"
+
+namespace cvewb::store {
+namespace {
+
+using Choice = QueryPlan::Choice;
+
+IndexEstimate est(PlanIndex index, std::uint64_t cardinality) {
+  IndexEstimate e;
+  e.index = index;
+  e.cardinality = cardinality;
+  return e;
+}
+
+double shape_cost(const std::vector<IndexEstimate>& drivers, std::uint64_t table_rows) {
+  double postings = 0;
+  double expected = 0;
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    const double ci = static_cast<double>(drivers[i].cardinality);
+    postings += ci;
+    expected = i == 0 ? ci : expected * (ci / static_cast<double>(table_rows));
+  }
+  return postings * kPlanPostingCost + expected * kPlanCheckCost;
+}
+
+TEST(Planner, NoApplicablePredicateIsBrute) {
+  const QueryPlan plan = choose_plan({}, 5000);
+  EXPECT_EQ(plan.choice, Choice::kBrute);
+  EXPECT_TRUE(plan.drivers.empty());
+  EXPECT_EQ(plan.estimated_candidates, 5000u);
+  EXPECT_EQ(plan.label(), "brute");
+}
+
+TEST(Planner, AnyZeroCardinalityProbeShortCircuitsToEmpty) {
+  // Even a probe that would otherwise be a perfect driver cannot save a
+  // query with one provably unsatisfiable predicate.
+  const QueryPlan plan =
+      choose_plan({est(PlanIndex::kCve, 3), est(PlanIndex::kSid, 0), est(PlanIndex::kTime, 9)},
+                  10'000);
+  EXPECT_EQ(plan.choice, Choice::kEmpty);
+  EXPECT_TRUE(plan.drivers.empty());
+  EXPECT_EQ(plan.postings_examined, 0u);
+  EXPECT_EQ(plan.estimated_candidates, 0u);
+  EXPECT_EQ(plan.label(), "empty");
+}
+
+TEST(Planner, SingleSelectiveProbeDrivesASingleIndexScan) {
+  const QueryPlan plan = choose_plan({est(PlanIndex::kSrc, 12)}, 100'000);
+  EXPECT_EQ(plan.choice, Choice::kSingleIndex);
+  ASSERT_EQ(plan.drivers.size(), 1u);
+  EXPECT_EQ(plan.drivers[0].index, PlanIndex::kSrc);
+  EXPECT_EQ(plan.postings_examined, 12u);
+  EXPECT_EQ(plan.estimated_candidates, 12u);
+  EXPECT_EQ(plan.label(), "single(src)");
+}
+
+TEST(Planner, TwoSelectiveProbesIntersectMostSelectiveFirst) {
+  // Admitting the second probe is worth it iff merging its postings is
+  // cheaper than re-checking the candidates it eliminates: c2 must stay
+  // under ~kPlanCheckCost * c1.  3000 < 4 * 1000, so it is admitted.
+  const QueryPlan plan =
+      choose_plan({est(PlanIndex::kCve, 3000), est(PlanIndex::kSid, 1000)}, 1'000'000);
+  EXPECT_EQ(plan.choice, Choice::kIntersect);
+  ASSERT_EQ(plan.drivers.size(), 2u);
+  EXPECT_EQ(plan.drivers[0].index, PlanIndex::kSid);  // 1000 < 3000
+  EXPECT_EQ(plan.drivers[1].index, PlanIndex::kCve);
+  EXPECT_EQ(plan.postings_examined, 4000u);
+  EXPECT_EQ(plan.label(), "intersect(sid,cve)");
+}
+
+TEST(Planner, UnselectiveSecondProbeIsNotAdmitted) {
+  // The second probe covers nearly the whole table: merging its postings
+  // costs more than re-checking the few candidates it would eliminate.
+  const QueryPlan plan =
+      choose_plan({est(PlanIndex::kCve, 10), est(PlanIndex::kTime, 99'000)}, 100'000);
+  EXPECT_EQ(plan.choice, Choice::kSingleIndex);
+  ASSERT_EQ(plan.drivers.size(), 1u);
+  EXPECT_EQ(plan.drivers[0].index, PlanIndex::kCve);
+}
+
+TEST(Planner, CostTieAtTheBruteBoundaryPrefersTheIndex) {
+  // Single-probe cost is (kPlanPostingCost + kPlanCheckCost) * c = 5c and
+  // brute cost is kPlanCheckCost * n = 4n, so c = 4n/5 is the exact tie.
+  const std::uint64_t n = 1000;
+  EXPECT_EQ(choose_plan({est(PlanIndex::kTime, 800)}, n).choice, Choice::kSingleIndex);
+  EXPECT_EQ(choose_plan({est(PlanIndex::kTime, 801)}, n).choice, Choice::kBrute);
+  // A probe over the whole table (or more: multi-tier postings can exceed
+  // the row count) is always dominated by the straight scan.
+  const QueryPlan plan = choose_plan({est(PlanIndex::kTime, 3 * n)}, n);
+  EXPECT_EQ(plan.choice, Choice::kBrute);
+  EXPECT_EQ(plan.estimated_candidates, n);
+}
+
+TEST(Planner, DeterministicAcrossInputOrderings) {
+  std::vector<IndexEstimate> estimates = {est(PlanIndex::kCve, 70), est(PlanIndex::kRun, 500),
+                                          est(PlanIndex::kTime, 65), est(PlanIndex::kSid, 70)};
+  const QueryPlan reference = choose_plan(estimates, 10'000);
+  std::sort(estimates.begin(), estimates.end(),
+            [](const IndexEstimate& a, const IndexEstimate& b) {
+              return static_cast<int>(a.index) < static_cast<int>(b.index);
+            });
+  do {
+    const QueryPlan plan = choose_plan(estimates, 10'000);
+    EXPECT_EQ(plan.choice, reference.choice);
+    EXPECT_EQ(plan.label(), reference.label());
+    EXPECT_EQ(plan.postings_examined, reference.postings_examined);
+    EXPECT_EQ(plan.estimated_candidates, reference.estimated_candidates);
+  } while (std::next_permutation(estimates.begin(), estimates.end(),
+                                 [](const IndexEstimate& a, const IndexEstimate& b) {
+                                   return static_cast<int>(a.index) < static_cast<int>(b.index);
+                                 }));
+  // Equal cardinalities (cve=70, sid=70) break ties by canonical index
+  // order, so cve must sort ahead of sid wherever both are drivers.
+  for (std::size_t i = 0; i + 1 < reference.drivers.size(); ++i) {
+    const auto& a = reference.drivers[i];
+    const auto& b = reference.drivers[i + 1];
+    EXPECT_TRUE(a.cardinality < b.cardinality ||
+                (a.cardinality == b.cardinality &&
+                 static_cast<int>(a.index) < static_cast<int>(b.index)));
+  }
+}
+
+TEST(Planner, RandomizedPlansAreNeverDominated) {
+  util::Rng rng(0x9A71);
+  constexpr PlanIndex kAll[] = {PlanIndex::kCve, PlanIndex::kRun, PlanIndex::kTime,
+                                PlanIndex::kSrc, PlanIndex::kSid};
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    const std::uint64_t n = 1 + rng.uniform_u64(1'000'000);
+    std::vector<IndexEstimate> estimates;
+    const std::size_t count = 1 + rng.uniform_u64(5);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Skewed cardinalities: mostly selective, sometimes table-sized+.
+      std::uint64_t c = rng.uniform_u64(n + 1);
+      if (rng.uniform() < 0.3) c = rng.uniform_u64(32);
+      if (rng.uniform() < 0.1) c = n + rng.uniform_u64(n + 1);
+      estimates.push_back(est(kAll[i], c));
+    }
+    const QueryPlan plan = choose_plan(estimates, n);
+
+    const bool any_zero = std::any_of(estimates.begin(), estimates.end(),
+                                      [](const IndexEstimate& e) { return e.cardinality == 0; });
+    if (any_zero) {
+      EXPECT_EQ(plan.choice, Choice::kEmpty);
+      continue;
+    }
+    const double cost_brute = static_cast<double>(n) * kPlanCheckCost;
+    switch (plan.choice) {
+      case Choice::kEmpty:
+        ADD_FAILURE() << "empty plan without a zero-cardinality probe";
+        break;
+      case Choice::kBrute: {
+        // Brute is only legal when every single-index alternative is
+        // strictly costlier (the tie rule prefers the index).
+        for (const IndexEstimate& e : estimates) {
+          EXPECT_GT(shape_cost({e}, n), cost_brute)
+              << "brute chosen though single(" << plan_index_name(e.index) << ") is no worse";
+        }
+        break;
+      }
+      case Choice::kSingleIndex:
+      case Choice::kIntersect: {
+        ASSERT_GE(plan.drivers.size(), plan.choice == Choice::kIntersect ? 2u : 1u);
+        // The chosen shape must beat brute and any prefix of itself.
+        const double cost = shape_cost(plan.drivers, n);
+        EXPECT_LE(cost, cost_brute);
+        // Drivers are estimates, most selective first, no duplicates.
+        std::uint64_t postings = 0;
+        for (std::size_t i = 0; i < plan.drivers.size(); ++i) {
+          postings += plan.drivers[i].cardinality;
+          if (i > 0) {
+            EXPECT_GE(plan.drivers[i].cardinality, plan.drivers[i - 1].cardinality);
+          }
+          const auto same = [&](const IndexEstimate& e) {
+            return e.index == plan.drivers[i].index &&
+                   e.cardinality == plan.drivers[i].cardinality;
+          };
+          EXPECT_TRUE(std::any_of(estimates.begin(), estimates.end(), same));
+        }
+        EXPECT_EQ(plan.postings_examined, postings);
+        // The driver set is greedily optimal: dropping the last admitted
+        // driver can never be cheaper (it was admitted on cost).
+        if (plan.drivers.size() >= 2) {
+          std::vector<IndexEstimate> prefix(plan.drivers.begin(), plan.drivers.end() - 1);
+          EXPECT_LT(cost, shape_cost(prefix, n));
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST(Planner, LabelsAreCanonical) {
+  EXPECT_EQ(choose_plan({}, 10).label(), "brute");
+  EXPECT_EQ(choose_plan({est(PlanIndex::kRun, 0)}, 10).label(), "empty");
+  EXPECT_EQ(choose_plan({est(PlanIndex::kTime, 1)}, 1000).label(), "single(time)");
+  EXPECT_EQ(choose_plan({est(PlanIndex::kSid, 5), est(PlanIndex::kSrc, 4)}, 100'000).label(),
+            "intersect(src,sid)");
+  EXPECT_EQ(std::string(plan_index_name(PlanIndex::kCve)), "cve");
+  EXPECT_EQ(std::string(plan_index_name(PlanIndex::kRun)), "run");
+}
+
+}  // namespace
+}  // namespace cvewb::store

@@ -226,6 +226,127 @@ TEST(QueryEquivalence, EdgeQueries) {
                    "limit 0 vs oracle");
 }
 
+/// Compound queries: 2-4 predicates anchored on a real row, so the
+/// index-intersection path (not just single-index scans) answers them.
+Query random_compound_query(util::Rng& rng, const pipeline::StudyResult& study,
+                            std::uint64_t seed) {
+  Query q;
+  q.table = rng.uniform() < 0.5 ? Table::kSessions : Table::kEvents;
+  const Anchor anchor = draw_anchor(rng, study, q.table);
+  // Draw predicate subsets until at least two apply.
+  std::size_t applied = 0;
+  while (applied < 2) {
+    q.cve.reset();
+    q.run.reset();
+    q.src.reset();
+    q.sid.reset();
+    q.time_begin.reset();
+    q.time_end.reset();
+    applied = 0;
+    if (rng.uniform() < 0.6) {
+      q.cve = anchor.cve;
+      ++applied;
+    }
+    if (rng.uniform() < 0.5) {
+      q.run = run_key_of(seed);
+      ++applied;
+    }
+    if (rng.uniform() < 0.5) {
+      q.src = anchor.src;
+      ++applied;
+    }
+    if (rng.uniform() < 0.5) {
+      q.sid = anchor.sid;
+      ++applied;
+    }
+    if (rng.uniform() < 0.5) {
+      const auto half = static_cast<std::int64_t>(rng.uniform_u64(86'400 * 3));
+      q.time_begin = anchor.time - half;
+      q.time_end = anchor.time + half + 1;
+      ++applied;
+    }
+  }
+  // A contradictory twist on ~1 in 5 queries: the predicates are each
+  // individually satisfiable but jointly (or trivially) match nothing.
+  const double twist = rng.uniform();
+  if (twist < 0.1) {
+    q.time_begin = anchor.time + 1000;
+    q.time_end = anchor.time + 999;  // begin > end: empty by contract
+  } else if (twist < 0.2) {
+    q.time_begin = anchor.time;
+    q.time_end = anchor.time;  // begin == end: empty half-open window
+  }
+  constexpr std::uint64_t kLimits[] = {0, 1, 7, 64, 1'000'000};
+  q.limit = kLimits[rng.uniform_u64(5)];
+  return q;
+}
+
+TEST(QueryEquivalence, CompoundPredicateQueriesAgreeAcrossAllThreeExecutors) {
+  const Store& store = equivalence_store();
+  for (const std::uint64_t seed : kSeeds) {
+    const pipeline::StudyResult& study = shared_study(seed);
+    util::Rng rng(0xC0 + seed * 104'729);
+    std::uint64_t nonempty = 0;
+    std::uint64_t intersected = 0;
+    for (int iteration = 0; iteration < 40; ++iteration) {
+      Query q = random_compound_query(rng, study, seed);
+      const bool per_run = q.run.has_value();
+      const QueryResult via_index = store.query(q, QueryMode::kIndex);
+      const QueryResult via_brute = store.query(q, QueryMode::kBrute);
+      expect_identical(via_index, via_brute, q, "compound index vs store-brute");
+      if (per_run) {
+        const QueryResult oracle = brute_force_study(study, run_key_of(seed), q);
+        expect_identical(via_index, oracle, q, "compound index vs study oracle");
+      }
+      EXPECT_LE(via_index.scanned, via_brute.scanned) << describe(q);
+      // The executed plan string must match what the planner reports for
+      // the same query, and brute mode must always say "brute".
+      EXPECT_EQ(via_index.plan, store.plan(q).plan) << describe(q);
+      EXPECT_EQ(via_brute.plan, "brute") << describe(q);
+      if (via_index.matched > 0) ++nonempty;
+      if (via_index.plan.rfind("intersect(", 0) == 0) ++intersected;
+    }
+    EXPECT_GT(nonempty, 0u) << "seed " << seed;
+    // Compound anchored predicates must exercise the k-way intersection
+    // path, not collapse to single-index scans every time.
+    EXPECT_GT(intersected, 0u) << "seed " << seed;
+  }
+}
+
+TEST(QueryEquivalence, DegenerateTimeWindowsMatchNothingInAllExecutors) {
+  const Store& store = equivalence_store();
+  const pipeline::StudyResult& study = shared_study(11);
+  ASSERT_FALSE(study.reconstruction.events.empty());
+  const auto& e = study.reconstruction.events.front();
+
+  // Anchored at a real event's instant, so a half-open [t, t+1) window
+  // does match -- proving the zero matches below come from the window
+  // semantics, not from missing data.
+  Query hit;
+  hit.table = Table::kEvents;
+  hit.run = run_key_of(11);
+  hit.cve = e.cve_id;
+  hit.time_begin = e.time.unix_seconds();
+  hit.time_end = e.time.unix_seconds() + 1;
+  EXPECT_GT(store.query(hit).matched, 0u);
+
+  for (const std::int64_t end_delta : {0, -1, -86'400}) {
+    Query q = hit;
+    q.time_end = e.time.unix_seconds() + end_delta;
+    SCOPED_TRACE(describe(q));
+    const QueryResult via_index = store.query(q, QueryMode::kIndex);
+    const QueryResult via_brute = store.query(q, QueryMode::kBrute);
+    const QueryResult oracle = brute_force_study(study, run_key_of(11), q);
+    EXPECT_EQ(via_index.matched, 0u);
+    EXPECT_TRUE(via_index.rows.empty());
+    expect_identical(via_index, via_brute, q, "degenerate window index vs brute");
+    expect_identical(via_index, oracle, q, "degenerate window index vs oracle");
+    // The planner proves the window empty without touching any postings.
+    EXPECT_EQ(store.plan(q).plan, "empty");
+    EXPECT_EQ(via_index.postings_examined, 0u);
+  }
+}
+
 TEST(QueryEquivalence, IndexModeWithoutPredicateFallsBackToBrute) {
   const Store& store = equivalence_store();
   Query all;

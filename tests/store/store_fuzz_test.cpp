@@ -7,11 +7,13 @@
 // "no UB" is enforced, not assumed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "store/error.h"
@@ -300,7 +302,10 @@ TEST(StoreFuzz, CorruptNewestSnapshotFallsBackToAnOlderValidOne) {
     old_name = old_snap.filename().string();
     old_bytes = slurp(old_snap);
     ASSERT_TRUE(store->ingest(shared_study(12), "run-12"));
-    ASSERT_TRUE(store->checkpoint());  // replaces the snapshot, removes the old
+    ASSERT_TRUE(store->checkpoint());  // appends a range segment on top
+    // Compaction merges snapshot + segment into a single newer snapshot
+    // and removes both superseded files.
+    ASSERT_TRUE(store->compact());
   }
   // Resurrect the superseded snapshot, then corrupt the newest one
   // (located by lsn -- find_store_file would return either).
@@ -331,6 +336,106 @@ TEST(StoreFuzz, CorruptNewestSnapshotFallsBackToAnOlderValidOne) {
   EXPECT_TRUE(store->verify(&error)) << error.detail;
   // The damaged file was quarantined on open.
   EXPECT_FALSE(fs::exists(newest));
+}
+
+/// Pristine three-tier chain (snapshot + two range segments) for the
+/// segment fuzz cases below: run-11 in the snapshot, run-12 in the first
+/// segment, run-13 in the second.
+const std::vector<std::pair<std::string, std::string>>& pristine_tier_chain() {
+  static const std::vector<std::pair<std::string, std::string>> files = [] {
+    const fs::path dir = fresh_dir("fuzz-tier-source");
+    auto store = Store::open(dir);
+    EXPECT_NE(store, nullptr);
+    for (const std::uint64_t seed : {11, 12, 13}) {
+      EXPECT_TRUE(store->ingest(shared_study(seed), "run-" + std::to_string(seed)));
+      EXPECT_TRUE(store->checkpoint());
+    }
+    EXPECT_EQ(store->stats().base_segments, 3u);
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      out.emplace_back(entry.path().filename().string(), slurp(entry.path()));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }();
+  return files;
+}
+
+TEST(StoreFuzz, DamagedSegmentsAreDroppedToTheValidChainPrefix) {
+  // Corrupt each segment of the chain in turn: open must keep the valid
+  // prefix below it and drop (and quarantine) everything above.
+  std::vector<std::string> seg_names;
+  for (const auto& [name, bytes] : pristine_tier_chain()) {
+    std::uint64_t from = 0, to = 0;
+    if (parse_segment_file_name(name, from, to)) seg_names.push_back(name);
+  }
+  ASSERT_EQ(seg_names.size(), 2u);
+  std::sort(seg_names.begin(), seg_names.end());
+
+  struct Case {
+    const char* tag;
+    std::size_t corrupt;           // index into seg_names
+    bool expect_run12, expect_run13;
+  } cases[] = {
+      {"lower-segment", 0, false, false},  // gap: the upper segment is unreachable
+      {"upper-segment", 1, true, false},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.tag);
+    const fs::path dir = fresh_dir(std::string("fuzz-seg-") + c.tag);
+    for (const auto& [name, bytes] : pristine_tier_chain()) {
+      if (name == seg_names[c.corrupt]) {
+        std::string mutated = bytes;
+        mutated[40] ^= 0x01;  // a digest byte: validation must fail
+        spew(dir / name, mutated);
+      } else {
+        spew(dir / name, bytes);
+      }
+    }
+    StoreError error;
+    auto store = Store::open(dir, {}, &error);
+    ASSERT_NE(store, nullptr) << error.detail;
+    EXPECT_TRUE(store->contains_run("run-11"));
+    EXPECT_EQ(store->contains_run("run-12"), c.expect_run12);
+    EXPECT_EQ(store->contains_run("run-13"), c.expect_run13);
+    EXPECT_GE(store->stats().dropped_segments, 1u);
+    EXPECT_TRUE(store->verify(&error)) << error.detail;
+    EXPECT_FALSE(fs::exists(dir / seg_names[c.corrupt]));
+    // The surviving chain keeps working: ingest, checkpoint, compact.
+    EXPECT_TRUE(store->ingest(shared_study(14), "run-14", &error)) << error.detail;
+    EXPECT_TRUE(store->checkpoint(&error)) << error.detail;
+    EXPECT_TRUE(store->compact(&error)) << error.detail;
+    EXPECT_TRUE(store->verify(&error)) << error.detail;
+  }
+}
+
+TEST(StoreFuzz, MisnamedSegmentRangeIsDroppedNotTrusted) {
+  // A segment whose file name disagrees with its kSecRange section must
+  // be rejected at load, not silently adopted under the wrong range.
+  std::string lower_seg;
+  for (const auto& [name, bytes] : pristine_tier_chain()) {
+    std::uint64_t from = 0, to = 0;
+    if (parse_segment_file_name(name, from, to) && lower_seg.empty()) lower_seg = name;
+  }
+  const fs::path dir = fresh_dir("fuzz-seg-misnamed");
+  for (const auto& [name, bytes] : pristine_tier_chain()) {
+    std::uint64_t from = 0, to = 0;
+    if (name == lower_seg) {
+      ASSERT_TRUE(parse_segment_file_name(name, from, to));
+      // Shift the claimed range up by one: still well-formed, still a
+      // chainable position, but the embedded kSecRange disagrees.
+      spew(dir / segment_file_name(from, to + 1), bytes);
+    } else {
+      spew(dir / name, bytes);
+    }
+  }
+  StoreError error;
+  auto store = Store::open(dir, {}, &error);
+  ASSERT_NE(store, nullptr) << error.detail;
+  EXPECT_TRUE(store->contains_run("run-11"));
+  EXPECT_FALSE(store->contains_run("run-12"));
+  EXPECT_GE(store->stats().dropped_segments, 1u);
+  EXPECT_TRUE(store->verify(&error)) << error.detail;
 }
 
 }  // namespace

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pipeline/study.h"
 #include "store/format.h"
@@ -113,6 +116,76 @@ TEST(StoreRoundtrip, CheckpointFoldsWalAndPreservesState) {
   ASSERT_NE(reopened_again, nullptr);
   EXPECT_EQ(store_fingerprint(*reopened_again), grown);
   StoreError error;
+  EXPECT_TRUE(reopened_again->verify(&error)) << error.detail;
+}
+
+TEST(StoreRoundtrip, IncrementalCheckpointsGrowASegmentChainAndCompactionMergesIt) {
+  const fs::path dir = fresh_dir("tierchain");
+  std::string fingerprint;
+  {
+    auto store = Store::open(dir);
+    ASSERT_NE(store, nullptr);
+    StoreError error;
+    // Three checkpoint rounds: full snapshot, then two range segments.
+    ASSERT_TRUE(store->ingest(shared_study(11), "run-11"));
+    ASSERT_TRUE(store->checkpoint(&error)) << error.detail;
+    ASSERT_TRUE(store->ingest(shared_study(12), "run-12"));
+    ASSERT_TRUE(store->checkpoint(&error)) << error.detail;
+    ASSERT_TRUE(store->ingest(shared_study(13), "run-13"));
+    ASSERT_TRUE(store->checkpoint(&error)) << error.detail;
+    fingerprint = store_fingerprint(*store);
+    EXPECT_EQ(store->stats().base_segments, 3u);
+    EXPECT_EQ(store->stats().wal_segments, 0u);
+    EXPECT_EQ(store->stats().snapshot_lsn, store->stats().last_lsn);
+    EXPECT_TRUE(store->verify(&error)) << error.detail;
+  }
+  // On disk: one snapshot, two segments named by their lsn ranges.
+  std::size_t snapshots = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t lsn = 0, from = 0, to = 0;
+    if (parse_store_file_name(name, "snap-", ".cvwbs", lsn)) ++snapshots;
+    if (parse_segment_file_name(name, from, to)) ranges.emplace_back(from, to);
+  }
+  EXPECT_EQ(snapshots, 1u);
+  ASSERT_EQ(ranges.size(), 2u);
+  std::sort(ranges.begin(), ranges.end());
+  EXPECT_EQ(ranges[0].first, 2u);  // segment chain starts above snap lsn 1
+  EXPECT_EQ(ranges[0].second + 1, ranges[1].first);  // contiguous coverage
+
+  // Reopen serves the whole chain mapped, byte-identically.
+  auto reopened = Store::open(dir);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->stats().base_segments, 3u);
+  EXPECT_TRUE(reopened->stats().snapshot_mapped);
+  EXPECT_EQ(store_fingerprint(*reopened), fingerprint);
+
+  // Compaction merges the chain into one snapshot without changing
+  // logical state, and deletes the superseded tier files.
+  StoreError error;
+  ASSERT_TRUE(reopened->compact(&error)) << error.detail;
+  EXPECT_EQ(reopened->stats().base_segments, 1u);
+  EXPECT_EQ(reopened->stats().compactions, 1u);
+  EXPECT_EQ(store_fingerprint(*reopened), fingerprint);
+  EXPECT_TRUE(reopened->verify(&error)) << error.detail;
+  // Compacting a single tier is a no-op success.
+  EXPECT_TRUE(reopened->compact(&error));
+  EXPECT_EQ(reopened->stats().compactions, 1u);
+
+  std::size_t files_after = 0, segments_after = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t from = 0, to = 0;
+    ++files_after;
+    if (parse_segment_file_name(name, from, to)) ++segments_after;
+  }
+  EXPECT_EQ(segments_after, 0u);
+  EXPECT_EQ(files_after, 1u);  // just the merged snapshot
+
+  auto reopened_again = Store::open(dir);
+  ASSERT_NE(reopened_again, nullptr);
+  EXPECT_EQ(store_fingerprint(*reopened_again), fingerprint);
   EXPECT_TRUE(reopened_again->verify(&error)) << error.detail;
 }
 

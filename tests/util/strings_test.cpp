@@ -69,5 +69,61 @@ TEST(Strings, PercentDecode) {
   EXPECT_EQ(percent_decode("%zz%2"), "%zz%2");
 }
 
+TEST(Strings, ParseI64AcceptsOnlyFullDecimalTokens) {
+  std::int64_t v = -1;
+  EXPECT_TRUE(parse_i64("0", v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parse_i64("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(parse_i64("9223372036854775807", v));
+  EXPECT_EQ(v, 9223372036854775807ll);
+  EXPECT_TRUE(parse_i64("-9223372036854775808", v));
+
+  v = 99;
+  EXPECT_FALSE(parse_i64("", v));
+  EXPECT_FALSE(parse_i64("12x", v));        // trailing garbage
+  EXPECT_FALSE(parse_i64(" 12", v));        // leading whitespace
+  EXPECT_FALSE(parse_i64("12 ", v));
+  EXPECT_FALSE(parse_i64("0x10", v));       // no hex
+  EXPECT_FALSE(parse_i64("1e3", v));        // no scientific notation
+  EXPECT_FALSE(parse_i64("9223372036854775808", v));   // overflow
+  EXPECT_FALSE(parse_i64("-9223372036854775809", v));  // underflow
+  EXPECT_EQ(v, 99);  // failures leave `out` untouched
+}
+
+TEST(Strings, ParseU64RejectsAnyMinusSign) {
+  std::uint64_t v = 7;
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, 18446744073709551615ull);
+  // strtoull would wrap "-1" to 2^64-1; full-token parse must not.
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("-0", v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("3.5", v));
+  EXPECT_EQ(v, 18446744073709551615ull);
+}
+
+TEST(Strings, ParseFiniteDoubleRejectsNonFiniteAndPartialTokens) {
+  double v = -1;
+  EXPECT_TRUE(parse_finite_double("0.25", v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(parse_finite_double("-3e2", v));
+  EXPECT_DOUBLE_EQ(v, -300.0);
+
+  v = 99;
+  EXPECT_FALSE(parse_finite_double("", v));
+  EXPECT_FALSE(parse_finite_double("3.5xyz", v));
+  EXPECT_FALSE(parse_finite_double(" 1", v));
+  // NaN defeats every later range check (all comparisons false), and
+  // infinities defeat "finite budget" assumptions -- both are rejected
+  // even though strtod parses them happily.
+  EXPECT_FALSE(parse_finite_double("nan", v));
+  EXPECT_FALSE(parse_finite_double("inf", v));
+  EXPECT_FALSE(parse_finite_double("-inf", v));
+  EXPECT_FALSE(parse_finite_double("1e999", v));  // ERANGE overflow
+  EXPECT_EQ(v, 99);
+}
+
 }  // namespace
 }  // namespace cvewb::util

@@ -23,6 +23,7 @@
 // cache/report I/O re-attempts (exponential backoff).
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -47,6 +48,7 @@
 #include "report/table.h"
 #include "util/cancel.h"
 #include "util/sha256.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -72,6 +74,7 @@ struct Options {
   std::string sid;
   std::string mode = "index";
   std::int64_t limit = 64;
+  bool explain = false;  // store query: print the planner's verdict too
   // Test hook: _exit(137) right after the next WAL segment rename lands,
   // before the commit is acknowledged -- the store smoke test's
   // worst-timed hard kill.
@@ -93,16 +96,39 @@ util::CancelToken g_cancel;
 
 extern "C" void handle_cancel_signal(int) { g_cancel.request_cancel(); }
 
-Options parse_options(int argc, char** argv) {
-  Options options;
+/// Parse the flags after the command word into `options`.  Numeric flags
+/// go through the shared full-token parsers (util/strings.h): a typo'd
+/// value ("--seed 1x", "--scale nan", "--limit 9e99") is a usage error
+/// with a diagnostic and a false return, never a silently-zeroed number
+/// (the strtol failure mode this replaced).
+bool parse_options(int argc, char** argv, Options& options) {
+  const auto bad_value = [](const std::string& flag, const char* want, const char* got) {
+    std::cerr << "cvewb: " << flag << " expects " << want << ", got '" << got << "'\n";
+    return false;
+  };
+  const auto int_in_range = [&](const std::string& flag, const char* text, std::int64_t lo,
+                                std::int64_t hi, std::int64_t& out) {
+    std::int64_t value = 0;
+    if (!util::parse_i64(text, value) || value < lo || value > hi) {
+      return bad_value(flag, "an integer in range", text);
+    }
+    out = value;
+    return true;
+  };
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
-      options.seed = std::strtoull(argv[++i], nullptr, 10);
+      if (!util::parse_u64(argv[++i], options.seed)) {
+        return bad_value(arg, "a non-negative integer", argv[i]);
+      }
     } else if (arg == "--scale" && i + 1 < argc) {
-      options.scale = std::strtod(argv[++i], nullptr);
+      if (!util::parse_finite_double(argv[++i], options.scale)) {
+        return bad_value(arg, "a finite number", argv[i]);
+      }
     } else if (arg == "--threads" && i + 1 < argc) {
-      options.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      std::int64_t threads = 0;
+      if (!int_in_range(arg, argv[++i], 0, 4096, threads)) return false;
+      options.threads = static_cast<int>(threads);
     } else if (arg == "--trace-out" && i + 1 < argc) {
       options.trace_out = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -130,24 +156,34 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--mode" && i + 1 < argc) {
       options.mode = argv[++i];
     } else if (arg == "--limit" && i + 1 < argc) {
-      options.limit = std::strtoll(argv[++i], nullptr, 10);
+      if (!util::parse_i64(argv[++i], options.limit)) {
+        return bad_value(arg, "an integer", argv[i]);
+      }
+    } else if (arg == "--explain") {
+      options.explain = true;
     } else if (arg == "--no-dag") {
       options.stage_dag = false;
     } else if (arg == "--crash-after-wal") {
       options.crash_after_wal = true;
     } else if (arg == "--keep-bytes" && i + 1 < argc) {
-      options.keep_bytes = std::strtoull(argv[++i], nullptr, 10);
+      if (!util::parse_u64(argv[++i], options.keep_bytes)) {
+        return bad_value(arg, "a non-negative integer", argv[i]);
+      }
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
-      options.deadline_ms = std::strtoll(argv[++i], nullptr, 10);
+      if (!util::parse_i64(argv[++i], options.deadline_ms)) {
+        return bad_value(arg, "an integer", argv[i]);
+      }
     } else if (arg == "--max-retries" && i + 1 < argc) {
-      options.max_retries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      std::int64_t retries = 0;
+      if (!int_in_range(arg, argv[++i], 0, 1000000, retries)) return false;
+      options.max_retries = static_cast<int>(retries);
     } else if (arg == "--chaos-cancel-after" && i + 1 < argc) {
       options.chaos_cancel_after = argv[++i];
     } else {
       options.positional.push_back(arg);
     }
   }
-  return options;
+  return true;
 }
 
 pipeline::StudyConfig study_config(const Options& options) {
@@ -280,21 +316,24 @@ int cmd_cache(const Options& options) {
   return 2;
 }
 
-/// `cvewb store <ingest|query|stat|verify> <dir>` -- the persistent
-/// indexed session store (DESIGN.md §13).
+/// `cvewb store <ingest|query|stat|compact|verify> <dir>` -- the
+/// persistent indexed session store (DESIGN.md §13).
 ///
-///   ingest  run the study (--seed/--scale/--cache-dir apply) and commit
-///           its sessions + events under cache::run_key; idempotent.
-///           --crash-after-wal hard-kills the process right after the WAL
-///           rename (crash-recovery smoke hook).
-///   query   index scan (--table, --cve, --run, --begin, --end, --src,
-///           --sid, --limit, --mode index|brute); prints the match count,
-///           the full-match-set digest, and up to --limit rows.
-///   stat    row/run/WAL/snapshot counters.
-///   verify  deep consistency check (rebuilds and compares every index).
+///   ingest   run the study (--seed/--scale/--cache-dir apply) and commit
+///            its sessions + events under cache::run_key; idempotent.
+///            --crash-after-wal hard-kills the process right after the WAL
+///            rename (crash-recovery smoke hook).
+///   query    planned scan (--table, --cve, --run, --begin, --end, --src,
+///            --sid, --limit, --mode index|brute); prints count, plan
+///            label, full-match-set digest, and up to --limit rows.
+///            --explain additionally prints the planner's verdict (per-index
+///            cardinalities, drivers, cost estimates) before executing.
+///   stat     row/run/WAL/tier counters.
+///   compact  merge the base tier chain into a single snapshot.
+///   verify   deep consistency check (rebuilds and compares every index).
 int cmd_store(const Options& options) {
   if (options.positional.size() < 2) {
-    std::cerr << "usage: cvewb store <ingest|query|stat|verify> <dir> [options]\n";
+    std::cerr << "usage: cvewb store <ingest|query|stat|compact|verify> <dir> [options]\n";
     return 2;
   }
   const std::string& action = options.positional[0];
@@ -341,9 +380,8 @@ int cmd_store(const Options& options) {
     if (!options.run.empty()) query.run = options.run;
     const auto parse_time = [](const std::string& text) -> std::optional<std::int64_t> {
       if (const auto date = util::parse_date(text)) return date->unix_seconds();
-      char* rest = nullptr;
-      const long long seconds = std::strtoll(text.c_str(), &rest, 10);
-      if (rest == text.c_str() || *rest != '\0') return std::nullopt;
+      std::int64_t seconds = 0;
+      if (!util::parse_i64(text, seconds)) return std::nullopt;
       return seconds;
     };
     if (!options.begin.empty()) {
@@ -369,7 +407,12 @@ int cmd_store(const Options& options) {
       query.src = addr->value();
     }
     if (!options.sid.empty()) {
-      query.sid = static_cast<std::int32_t>(std::strtol(options.sid.c_str(), nullptr, 10));
+      std::int64_t sid = 0;
+      if (!util::parse_i64(options.sid, sid) || sid < INT32_MIN || sid > INT32_MAX) {
+        std::cerr << "--sid must be a 32-bit integer\n";
+        return 2;
+      }
+      query.sid = static_cast<std::int32_t>(sid);
     }
     if (options.limit >= 0) query.limit = static_cast<std::uint64_t>(options.limit);
     store::QueryMode mode = store::QueryMode::kIndex;
@@ -379,9 +422,22 @@ int cmd_store(const Options& options) {
       std::cerr << "--mode must be index or brute\n";
       return 2;
     }
+    if (options.explain) {
+      const store::PlanReport report = store->plan(query);
+      std::cout << "plan " << report.plan << " (" << (report.used_index ? "index" : "brute")
+                << ")\n"
+                << "  table rows " << report.table_rows << ", postings examined "
+                << report.postings_examined << ", estimated candidates "
+                << report.estimated_candidates << "\n";
+      for (const auto& estimate : report.indexes) {
+        std::cout << "  index " << estimate.index << ": cardinality " << estimate.cardinality
+                  << (estimate.driver ? " (driver)" : "") << "\n";
+      }
+    }
     const store::QueryResult result = store->query(query, mode);
     std::cout << "matched " << result.matched << " scanned " << result.scanned << " mode "
-              << (result.used_index ? "index" : "brute") << "\n"
+              << (result.used_index ? "index" : "brute") << " plan " << result.plan
+              << " postings " << result.postings_examined << "\n"
               << "digest " << result.digest_hex << "\n";
     for (const auto& row : result.rows) {
       std::cout << row.run_key << ' ' << row.seq << ' '
@@ -403,10 +459,24 @@ int cmd_store(const Options& options) {
               << " session rows, " << stats.event_rows << " event rows\n"
               << "  lsn " << stats.last_lsn << " (snapshot " << stats.snapshot_lsn << "), "
               << stats.wal_segments << " wal segments (" << stats.wal_bytes << " bytes), "
-              << "snapshot " << stats.snapshot_bytes << " bytes"
-              << (stats.snapshot_mapped ? " (mmap)" : "") << ", payload heap "
-              << stats.payload_bytes << " bytes, " << stats.dropped_segments
-              << " segments dropped at open\n";
+              << stats.base_segments << " base tiers (" << stats.snapshot_bytes << " bytes"
+              << (stats.snapshot_mapped ? ", mmap" : "") << ", " << stats.compactions
+              << " compactions), payload heap " << stats.payload_bytes << " bytes, "
+              << stats.dropped_segments << " segments dropped at open\n";
+    return 0;
+  }
+
+  if (action == "compact") {
+    const std::uint64_t before = store->stats().base_segments;
+    if (!store->compact(&error)) {
+      std::cerr << dir << ": compact failed: " << store::store_error_name(error.code) << ": "
+                << error.detail << "\n";
+      return 1;
+    }
+    const store::StoreStats stats = store->stats();
+    std::cout << dir << ": compacted " << before << " -> " << stats.base_segments
+              << " base tiers (snapshot lsn " << stats.snapshot_lsn << ", "
+              << stats.snapshot_bytes << " bytes)\n";
     return 0;
   }
 
@@ -422,7 +492,7 @@ int cmd_store(const Options& options) {
   }
 
   std::cerr << "unknown store action '" << action
-            << "' (expected ingest, query, stat, or verify)\n";
+            << "' (expected ingest, query, stat, compact, or verify)\n";
   return 2;
 }
 
@@ -596,10 +666,12 @@ void usage() {
                "  cache stat DIR     summarize a stage-cache directory\n"
                "  cache gc DIR       drop corrupt entries, evict oldest past --keep-bytes N\n"
                "  store ingest DIR   run the study and commit it to the session store\n"
-               "  store query DIR    index-scan the store (--table sessions|events, --cve,\n"
-               "                     --run, --begin, --end, --src, --sid, --limit,\n"
-               "                     --mode index|brute); prints count + digest + rows\n"
-               "  store stat DIR     store row/run/WAL/snapshot counters\n"
+               "  store query DIR    planned scan over the store (--table sessions|events,\n"
+               "                     --cve, --run, --begin, --end, --src, --sid, --limit,\n"
+               "                     --mode index|brute, --explain); prints count + plan\n"
+               "                     + digest + rows\n"
+               "  store stat DIR     store row/run/WAL/tier counters\n"
+               "  store compact DIR  merge the base tier chain into one snapshot\n"
                "  store verify DIR   deep consistency check (rebuild + compare indexes)\n";
 }
 
@@ -611,7 +683,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  const Options options = parse_options(argc, argv);
+  Options options;
+  if (!parse_options(argc, argv, options)) return 2;
   if (command == "study") return cmd_study(options);
   if (command == "rules") return cmd_rules();
   if (command == "baselines") return cmd_baselines();

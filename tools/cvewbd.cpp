@@ -24,7 +24,7 @@
 // same plans the chaos tests use -- so operators can rehearse network
 // misbehaviour against a live daemon.
 #include <csignal>
-#include <cstdlib>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,6 +32,7 @@
 
 #include "daemon/server.h"
 #include "obs/observability.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -50,49 +51,88 @@ struct Options {
   bool parse_ok = true;
 };
 
+// Every numeric flag goes through the shared full-token parsers
+// (util/strings.h), so a typo'd value is a startup usage error rather
+// than a silently-zeroed worker count or a wrapped port number.
 Options parse_options(int argc, char** argv) {
   Options options;
   auto& server = options.server;
-  for (int i = 1; i < argc; ++i) {
+  const auto reject = [&options](const std::string& flag, const char* want, const char* got) {
+    std::cerr << "cvewbd: " << flag << " expects " << want << ", got '" << got << "'\n";
+    options.parse_ok = false;
+  };
+  const auto parse_int = [&](const std::string& flag, const char* text, std::int64_t lo,
+                             std::int64_t hi, std::int64_t& out) {
+    std::int64_t value = 0;
+    if (!util::parse_i64(text, value) || value < lo || value > hi) {
+      reject(flag, "an integer in range", text);
+      return false;
+    }
+    out = value;
+    return true;
+  };
+  const auto parse_rate = [&](const std::string& flag, const char* text, double& out) {
+    double value = 0;
+    if (!util::parse_finite_double(text, value) || value < 0.0 || value > 1.0) {
+      reject(flag, "a rate in [0,1]", text);
+      return false;
+    }
+    out = value;
+    return true;
+  };
+  for (int i = 1; i < argc && options.parse_ok; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
+    std::int64_t value = 0;
     if (arg == "--bind" && has_value) {
       server.bind_address = argv[++i];
     } else if (arg == "--port" && has_value) {
-      server.port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (parse_int(arg, argv[++i], 0, 65535, value)) {
+        server.port = static_cast<std::uint16_t>(value);
+      }
     } else if (arg == "--port-file" && has_value) {
       options.port_file = argv[++i];
     } else if (arg == "--workers" && has_value) {
-      server.scheduler.workers = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (parse_int(arg, argv[++i], 0, 4096, value)) {
+        server.scheduler.workers = static_cast<int>(value);
+      }
     } else if (arg == "--backlog" && has_value) {
-      server.scheduler.backlog_capacity = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (parse_int(arg, argv[++i], 0, 1 << 20, value)) {
+        server.scheduler.backlog_capacity = static_cast<int>(value);
+      }
     } else if (arg == "--cache-dir" && has_value) {
       server.scheduler.cache_dir = argv[++i];
     } else if (arg == "--store-dir" && has_value) {
       server.store_dir = argv[++i];
     } else if (arg == "--deadline-ms" && has_value) {
-      server.scheduler.default_deadline =
-          std::chrono::milliseconds(std::strtoll(argv[++i], nullptr, 10));
+      if (parse_int(arg, argv[++i], 0, INT64_MAX / 1000000, value)) {
+        server.scheduler.default_deadline = std::chrono::milliseconds(value);
+      }
     } else if (arg == "--idle-timeout-ms" && has_value) {
-      server.idle_timeout = std::chrono::milliseconds(std::strtoll(argv[++i], nullptr, 10));
+      if (parse_int(arg, argv[++i], 0, INT64_MAX / 1000000, value)) {
+        server.idle_timeout = std::chrono::milliseconds(value);
+      }
     } else if (arg == "--max-frame-bytes" && has_value) {
-      server.max_frame_bytes = std::strtoull(argv[++i], nullptr, 10);
+      if (!util::parse_u64(argv[++i], server.max_frame_bytes)) {
+        reject(arg, "a non-negative integer", argv[i]);
+      }
     } else if (arg == "--metrics-out" && has_value) {
       options.metrics_out = argv[++i];
     } else if (arg == "--fault-seed" && has_value) {
-      server.fault_plan.seed = std::strtoull(argv[++i], nullptr, 10);
+      if (!util::parse_u64(argv[++i], server.fault_plan.seed)) {
+        reject(arg, "a non-negative integer", argv[i]);
+      }
     } else if (arg == "--fault-short-read" && has_value) {
-      server.fault_plan.short_read_rate = std::strtod(argv[++i], nullptr);
+      parse_rate(arg, argv[++i], server.fault_plan.short_read_rate);
     } else if (arg == "--fault-short-write" && has_value) {
-      server.fault_plan.short_write_rate = std::strtod(argv[++i], nullptr);
+      parse_rate(arg, argv[++i], server.fault_plan.short_write_rate);
     } else if (arg == "--fault-stall" && has_value) {
-      server.fault_plan.stall_rate = std::strtod(argv[++i], nullptr);
+      parse_rate(arg, argv[++i], server.fault_plan.stall_rate);
     } else if (arg == "--fault-reset" && has_value) {
-      server.fault_plan.reset_rate = std::strtod(argv[++i], nullptr);
+      parse_rate(arg, argv[++i], server.fault_plan.reset_rate);
     } else {
       std::cerr << "unknown or incomplete option '" << arg << "'\n";
       options.parse_ok = false;
-      return options;
     }
   }
   return options;

@@ -35,7 +35,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "util/json.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -338,9 +339,8 @@ int mode_disconnect(const Options& options) {
 
 std::uint16_t resolve_port(const std::string& spec) {
   // A bare number is a port; anything else is a --port-file to read.
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(spec.c_str(), &end, 10);
-  if (end != nullptr && *end == '\0' && value > 0 && value < 65536) {
+  std::uint64_t value = 0;
+  if (util::parse_u64(spec, value) && value > 0 && value < 65536) {
     return static_cast<std::uint16_t>(value);
   }
   std::ifstream in(spec);
@@ -375,25 +375,38 @@ int main(int argc, char** argv) {
     std::cerr << "cvewb-load: cannot resolve port from '" << argv[2] << "'\n";
     return 2;
   }
+  // Numeric flags go through the shared full-token parsers so a mangled
+  // value aborts the load run instead of hammering the daemon with a
+  // zeroed client count.
+  const auto bad_value = [](const std::string& flag, const char* got) {
+    std::cerr << "cvewb-load: bad value for " << flag << ": '" << got << "'\n";
+    return 2;
+  };
+  const auto parse_count = [](const char* text, int& out) {
+    std::int64_t value = 0;
+    if (!util::parse_i64(text, value) || value < 0 || value > 1 << 20) return false;
+    out = static_cast<int>(value);
+    return true;
+  };
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
     if (arg == "--seed" && has_value) {
-      options.seed = std::strtoull(argv[++i], nullptr, 10);
+      if (!util::parse_u64(argv[++i], options.seed)) return bad_value(arg, argv[i]);
     } else if (arg == "--scale" && has_value) {
-      options.scale = std::strtod(argv[++i], nullptr);
+      if (!util::parse_finite_double(argv[++i], options.scale)) return bad_value(arg, argv[i]);
     } else if (arg == "--threads" && has_value) {
-      options.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (!parse_count(argv[++i], options.threads)) return bad_value(arg, argv[i]);
     } else if (arg == "--deadline-ms" && has_value) {
-      options.deadline_ms = std::strtoll(argv[++i], nullptr, 10);
+      if (!util::parse_i64(argv[++i], options.deadline_ms)) return bad_value(arg, argv[i]);
     } else if (arg == "--detach") {
       options.detach = true;
     } else if (arg == "--clients" && has_value) {
-      options.clients = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (!parse_count(argv[++i], options.clients)) return bad_value(arg, argv[i]);
     } else if (arg == "--burst" && has_value) {
-      options.burst = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (!parse_count(argv[++i], options.burst)) return bad_value(arg, argv[i]);
     } else if (arg == "--p99-ms" && has_value) {
-      options.p99_ms = std::strtod(argv[++i], nullptr);
+      if (!util::parse_finite_double(argv[++i], options.p99_ms)) return bad_value(arg, argv[i]);
     } else {
       usage();
       return 2;
