@@ -28,6 +28,7 @@
 #include "report/data_quality.h"
 #include "report/table.h"
 #include "util/json.h"
+#include "util/memory_budget.h"
 #include "util/sha256.h"
 
 namespace {
@@ -168,6 +169,10 @@ int main(int argc, char** argv) {
               << clean_skill << ")\n";
   }
 
+  util::Json doc;
+  doc.set("bench", "bench_robustness");
+  bool leg_failed = false;
+
   {
     // Chaos leg: how much of a run does a checkpointed interruption save?
     // Interrupt a journaled run right after its final stage checkpoint
@@ -219,8 +224,6 @@ int main(int argc, char** argv) {
               << counter("cache/hit") << " cache hits)\n"
               << "  digest convergence: " << (digests_match ? "identical" : "MISMATCH") << "\n";
 
-    util::Json doc;
-    doc.set("bench", "bench_robustness");
     doc.set("event_scale", config.event_scale);
     doc.set("cold_seconds", cold_seconds);
     doc.set("interrupted_seconds", interrupted_seconds);
@@ -231,10 +234,87 @@ int main(int argc, char** argv) {
     doc.set("resume_cache_hits", counter("cache/hit"));
     doc.set("digests_match", digests_match);
     std::filesystem::remove_all(cache_root);
-    std::ofstream out(out_path);
-    out << doc.dump(2) << "\n";
-    std::cout << "  wrote " << out_path << "\n";
-    if (!digests_match || !interrupted_ok) return 1;
+    if (!digests_match || !interrupted_ok) leg_failed = true;
   }
-  return 0;
+
+  {
+    // Memory-budget degradation leg: rerun the study with the soft
+    // watermark pinned at 100% / 50% / 25% of the workload's measured peak
+    // footprint.  Soft pressure may only trade speed for memory (smaller
+    // arena chunks, cache writes skipped) -- the StudyResult digest must
+    // stay byte-identical at every level.  Legs that skipped work say so
+    // explicitly (`skipped` markers), so a reader can tell "unchanged
+    // because nothing was gated" from "unchanged despite gating".
+    bench::header("Memory-budget degradation: throughput at 100% / 50% / 25% of peak");
+    const std::filesystem::path cache_root =
+        std::filesystem::temp_directory_path() / "cvewb_bench_robustness_budget";
+    std::filesystem::remove_all(cache_root);
+    const pipeline::StudyConfig config = bench::study_config();
+
+    const auto budget_run = [&](const std::string& tag, std::uint64_t soft_bytes,
+                                pipeline::RunReport& report, std::uint64_t& skipped) {
+      util::ScopedBudgetLimits limits(soft_bytes, /*hard_bytes=*/0);
+      obs::Observability obs;
+      pipeline::StudyConfig leg = config;
+      leg.observability = &obs;
+      const double seconds = timed_run(leg, (cache_root / tag).string(), "", report);
+      const auto counters = obs.metrics.snapshot().counters;
+      const auto it = counters.find("cache/skipped_budget");
+      skipped = it == counters.end() ? 0 : it->second;
+      return seconds;
+    };
+
+    pipeline::RunReport full_report;
+    std::uint64_t full_skipped = 0;
+    const double full_seconds = budget_run("full", 0, full_report, full_skipped);
+    const std::string full_digest =
+        full_report.ok() ? util::sha256_hex(cache::encode_study_result(*full_report.result))
+                         : "";
+    const std::uint64_t peak = util::MemoryBudget::process().peak();
+    std::cout << "  unlimited run: " << full_seconds << " s, peak charged footprint " << peak
+              << " bytes\n";
+
+    report::TextTable table({"soft budget", "seconds", "throughput", "digest", "skipped"});
+    util::JsonArray legs;
+    for (const double fraction : {1.0, 0.5, 0.25}) {
+      const auto soft = static_cast<std::uint64_t>(static_cast<double>(peak) * fraction);
+      pipeline::RunReport report;
+      std::uint64_t skipped = 0;
+      const double seconds =
+          budget_run(percent(fraction), soft == 0 ? 1 : soft, report, skipped);
+      const std::string digest =
+          report.ok() ? util::sha256_hex(cache::encode_study_result(*report.result)) : "";
+      const bool match = !full_digest.empty() && digest == full_digest;
+      if (!match) leg_failed = true;
+      const double throughput = seconds > 0 ? full_seconds / seconds : 0;
+      char ratio[32];
+      std::snprintf(ratio, sizeof ratio, "%.2fx", throughput);
+      table.add_row({percent(fraction) + " of peak", std::to_string(seconds), ratio,
+                     match ? "identical" : "MISMATCH",
+                     skipped > 0 ? std::to_string(skipped) + " cache writes" : "none"});
+      util::Json leg;
+      leg.set("budget_fraction", fraction);
+      leg.set("soft_limit_bytes", static_cast<std::int64_t>(soft));
+      leg.set("seconds", seconds);
+      leg.set("throughput_vs_unlimited", throughput);
+      leg.set("digest_match", match);
+      leg.set("skipped_cache_writes", static_cast<std::int64_t>(skipped));
+      leg.set("degraded", skipped > 0);
+      legs.push_back(std::move(leg));
+    }
+    std::cout << table.render();
+    std::cout << "Soft pressure trades only speed for footprint: every leg must land on the\n"
+              << "unlimited digest, and the `skipped` column shows which legs actually shed\n"
+              << "work rather than merely fitting under the watermark.\n";
+
+    doc.set("peak_bytes", static_cast<std::int64_t>(peak));
+    doc.set("unlimited_seconds", full_seconds);
+    doc.set("memory_legs", util::Json(std::move(legs)));
+    std::filesystem::remove_all(cache_root);
+  }
+
+  std::ofstream out(out_path);
+  out << doc.dump(2) << "\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return leg_failed ? 1 : 0;
 }

@@ -9,6 +9,7 @@
 #include "cache/key.h"
 #include "chaos/fs_shim.h"
 #include "obs/observability.h"
+#include "util/memory_budget.h"
 #include "util/sha256.h"
 
 namespace cvewb::cache {
@@ -173,6 +174,18 @@ std::optional<std::string> CacheStore::get(std::string_view key, std::string_vie
     obs::count(observability_, "cache/io_error");
     return std::nullopt;
   }
+  // Decode-side charged allocation: the payload copy below is the codec's
+  // big transient buffer.  An injected failpoint or a hard-watermark probe
+  // degrades to a miss-and-recompute, exactly like corruption.
+  try {
+    util::gate_allocation(raw.size(), "cache/get");
+  } catch (const util::ResourceExhausted&) {
+    ++stats_.misses;
+    ++stats_.io_errors;
+    obs::count(observability_, "cache/miss");
+    obs::count(observability_, "cache/io_error");
+    return std::nullopt;
+  }
   std::string payload;
   if (!validate_entry(raw, nullptr, &payload, payload_sha_hex)) {
     ++stats_.misses;
@@ -197,6 +210,26 @@ bool CacheStore::put(std::string_view key, std::string_view payload, std::string
   // Fill the digest out-param before any I/O so digest-chaining callers
   // stay correct even when the write below fails.
   if (payload_sha_hex != nullptr) *payload_sha_hex = to_hex(digest.data(), digest.size());
+
+  // Graceful degradation under memory pressure: a cache write buffers the
+  // whole entry in memory, so once the process budget passes its soft
+  // watermark new writes are skipped -- the run recomputes next time
+  // instead of deepening the pressure now.  Result bytes are unaffected
+  // (the digest out-param above is already filled).
+  if (util::MemoryBudget::process().pressure() != util::MemoryBudget::Pressure::kNone) {
+    ++stats_.skipped_budget;
+    obs::count(observability_, "cache/skipped_budget");
+    return false;
+  }
+  // Encode-side charged allocation (header + payload copy): injected
+  // failpoints and the hard watermark degrade to an unwritten entry.
+  try {
+    util::gate_allocation(kHeaderBytes + payload.size(), "cache/put");
+  } catch (const util::ResourceExhausted&) {
+    ++stats_.io_errors;
+    obs::count(observability_, "cache/io_error");
+    return false;
+  }
 
   const std::filesystem::path path = entry_path(key);
   std::error_code ec;

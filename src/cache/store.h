@@ -49,6 +49,7 @@ struct CacheStats {
   std::uint64_t bytes_written = 0;  // payload bytes stored on miss
   std::uint64_t retries = 0;        // I/O attempts retried under the policy
   std::uint64_t io_errors = 0;      // reads/writes that failed after retries
+  std::uint64_t skipped_budget = 0; // writes skipped under memory-budget pressure
 };
 
 /// Aggregate of a cache directory scan (`cvewb cache stat`).

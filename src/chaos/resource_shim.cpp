@@ -1,0 +1,96 @@
+#include "chaos/resource_shim.h"
+
+#include "obs/observability.h"
+#include "util/memory_budget.h"
+
+namespace cvewb::chaos {
+
+namespace {
+
+std::atomic<ResourceShim*> g_current{nullptr};
+
+/// Adapter installed into util::set_alloc_failpoint so util::Arena (which
+/// must not depend on chaos) reaches the process shim.
+bool alloc_failpoint_adapter(std::uint64_t bytes, const char* site) {
+  ResourceShim* shim = g_current.load(std::memory_order_acquire);
+  return shim != nullptr && shim->should_fail_alloc(bytes, site);
+}
+
+}  // namespace
+
+ResourceShim::ResourceShim(ResourceFaultPlan plan, obs::Observability* observability)
+    : plan_(plan), observability_(observability) {}
+
+ResourceShimStats ResourceShim::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ResourceShim* ResourceShim::current() noexcept {
+  return g_current.load(std::memory_order_acquire);
+}
+
+void ResourceShim::install(ResourceShim* shim) noexcept {
+  g_current.store(shim, std::memory_order_release);
+  util::set_alloc_failpoint(shim != nullptr ? &alloc_failpoint_adapter : nullptr);
+}
+
+util::Rng ResourceShim::op_rng(OpClass op_class, std::uint64_t* index_out) {
+  std::uint64_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index = op_counter_[op_class]++;
+    if (index_out != nullptr) *index_out = index + 1;  // 1-based, like the plan fields
+    switch (op_class) {
+      case kAlloc:
+        ++stats_.allocs;
+        break;
+      case kFd:
+        ++stats_.fds;
+        break;
+    }
+  }
+  return util::Rng(util::stream_seed(plan_.seed, op_class, index));
+}
+
+bool ResourceShim::should_fail_alloc(std::uint64_t bytes, const char* site) {
+  (void)bytes;
+  std::uint64_t index = 0;
+  util::Rng rng = op_rng(kAlloc, &index);
+  if (!plan_.any()) return false;
+  if (index == plan_.fail_alloc_at || rng.uniform() < plan_.alloc_fail_rate) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.injected_alloc_failures;
+    }
+    obs::count(observability_, "chaos/alloc_fail");
+    if (site != nullptr) obs::count(observability_, std::string("chaos/alloc_fail/") + site);
+    return true;
+  }
+  return false;
+}
+
+bool ResourceShim::should_fail_fd() {
+  std::uint64_t index = 0;
+  util::Rng rng = op_rng(kFd, &index);
+  if (!plan_.any()) return false;
+  const bool in_window =
+      plan_.fail_fd_from > 0 && index >= plan_.fail_fd_from && index <= plan_.fail_fd_to;
+  if (index == plan_.fail_fd_at || in_window || rng.uniform() < plan_.fd_fail_rate) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.injected_fd_failures;
+    }
+    obs::count(observability_, "chaos/fd_fail");
+    return true;
+  }
+  return false;
+}
+
+ScopedResourceShim::ScopedResourceShim(ResourceShim& shim) : previous_(ResourceShim::current()) {
+  ResourceShim::install(&shim);
+}
+
+ScopedResourceShim::~ScopedResourceShim() { ResourceShim::install(previous_); }
+
+}  // namespace cvewb::chaos

@@ -1,0 +1,124 @@
+// Deterministic resource-exhaustion fault injection (OOM / fd limits).
+//
+// The PR 5 fs shim makes the engine's *disk* fail on schedule; this shim
+// does the same for the two resources a long-running service actually
+// exhausts first: memory and file descriptors.  Charged allocation sites
+// (util::Arena chunk growth, cache blob codecs, SessionFrame column
+// fills, store snapshot/WAL builders) consult the installed shim through
+// util::alloc_failpoint(); fd acquisition sites (daemon accept(), store
+// open()/mmap()) call should_fail_fd() directly.
+//
+// Injection is a pure function of (plan, op class, op index), exactly like
+// chaos::FsShim: each class keeps its own counter and derives a per-op RNG
+// via util::stream_seed, so a plan fails exactly the same operations on
+// every run.  The exact-op triggers (`fail_alloc_at`, `fail_fd_at`) are
+// one-shot by construction -- the Nth operation of the class fails, every
+// other one succeeds -- which is what lets the OOM matrix walk a failpoint
+// across *every* charged allocation of a study and require that each
+// induced failure either retries to a byte-identical digest or surfaces
+// as a structured resource_exhausted (tests/health/oom_matrix_test.cpp).
+//
+// Installation is process-global (ScopedResourceShim), matching how real
+// resource exhaustion arrives: it hits whatever code path happens to
+// allocate next, not a carefully threaded parameter.  A default
+// (no-plan) shim still counts operations -- the matrix needs the op
+// census before it can sweep -- but injects nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "util/rng.h"
+
+namespace cvewb::obs {
+struct Observability;
+}
+
+namespace cvewb::chaos {
+
+/// Seeded resource fault plan; rates are per-operation probabilities in
+/// [0, 1].  The default plan injects nothing.
+struct ResourceFaultPlan {
+  std::uint64_t seed = 0;
+  /// A charged allocation fails (the malloc-returned-null model).
+  double alloc_fail_rate = 0.0;
+  /// An fd acquisition fails (the EMFILE model: the table is full).
+  double fd_fail_rate = 0.0;
+
+  /// Exact-op triggers, 1-based, 0 = off: fail exactly the Nth operation
+  /// of the class, independent of the rates.
+  std::uint64_t fail_alloc_at = 0;
+  std::uint64_t fail_fd_at = 0;
+
+  /// fd-exhaustion window: every fd acquisition with index in
+  /// [fail_fd_from, fail_fd_to] fails (both 1-based, 0 = off).  Models a
+  /// process sitting at its NOFILE limit for a stretch -- the daemon's
+  /// EMFILE e2e slams accepts through such a window and requires running
+  /// jobs to finish byte-identical (tests/health/fd_exhaustion_test.cpp).
+  std::uint64_t fail_fd_from = 0;
+  std::uint64_t fail_fd_to = 0;
+
+  bool any() const {
+    return alloc_fail_rate > 0 || fd_fail_rate > 0 || fail_alloc_at > 0 || fail_fd_at > 0 ||
+           (fail_fd_from > 0 && fail_fd_to >= fail_fd_from);
+  }
+};
+
+struct ResourceShimStats {
+  std::uint64_t allocs = 0;  // charged allocation sites consulted
+  std::uint64_t fds = 0;     // fd acquisitions consulted
+  std::uint64_t injected_alloc_failures = 0;
+  std::uint64_t injected_fd_failures = 0;
+};
+
+class ResourceShim {
+ public:
+  /// Transparent: counts operations, injects nothing.
+  ResourceShim() = default;
+  explicit ResourceShim(ResourceFaultPlan plan, obs::Observability* observability = nullptr);
+
+  /// Consult (and count) one charged allocation of `bytes` at `site`.
+  /// True = this operation must fail.
+  bool should_fail_alloc(std::uint64_t bytes, const char* site);
+
+  /// Consult (and count) one fd acquisition.  True = simulate EMFILE.
+  bool should_fail_fd();
+
+  const ResourceFaultPlan& plan() const { return plan_; }
+  ResourceShimStats stats() const;
+
+  /// The process-installed shim, or null when none is active.
+  static ResourceShim* current() noexcept;
+
+ private:
+  friend class ScopedResourceShim;
+  static void install(ResourceShim* shim) noexcept;
+
+  enum OpClass : std::uint64_t { kAlloc = 1, kFd = 2 };
+
+  util::Rng op_rng(OpClass op_class, std::uint64_t* index_out);
+
+  ResourceFaultPlan plan_{};
+  obs::Observability* observability_ = nullptr;
+  mutable std::mutex mutex_;
+  std::uint64_t op_counter_[3] = {0, 0, 0};  // indexed by OpClass
+  ResourceShimStats stats_;
+};
+
+/// RAII installation: routes util::alloc_failpoint() and the fd sites at
+/// this shim for the scope, restores the previous shim on exit.  Nesting
+/// is supported (inner shim wins); installation is process-wide, so scopes
+/// on concurrent threads must not overlap distinct shims.
+class ScopedResourceShim {
+ public:
+  explicit ScopedResourceShim(ResourceShim& shim);
+  ScopedResourceShim(const ScopedResourceShim&) = delete;
+  ScopedResourceShim& operator=(const ScopedResourceShim&) = delete;
+  ~ScopedResourceShim();
+
+ private:
+  ResourceShim* previous_;
+};
+
+}  // namespace cvewb::chaos

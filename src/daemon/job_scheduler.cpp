@@ -11,6 +11,7 @@
 #include "pipeline/study.h"
 #include "pipeline/supervisor.h"
 #include "store/store.h"
+#include "util/memory_budget.h"
 #include "util/sha256.h"
 
 namespace cvewb::daemon {
@@ -113,6 +114,26 @@ AdmitResult JobScheduler::submit(const JobSpec& spec) {
     ++totals_.rejected;
     obs::count(observability_, "daemon/rejected_total");
     return result;
+  }
+  // Memory dimension: work the backlog can take but the memory budget
+  // cannot is still overload.  Detached jobs are refused at soft pressure
+  // outright -- they outlive their connection, so under pressure they are
+  // the retention the daemon sheds first; everything else is weighed as a
+  // projected footprint against the remaining hard-watermark headroom.
+  {
+    util::MemoryBudget& budget = util::MemoryBudget::process();
+    const bool pressured = budget.pressure() != util::MemoryBudget::Pressure::kNone;
+    const std::uint64_t projected =
+        config_.bytes_per_weight * static_cast<std::uint64_t>(weight);
+    if ((spec.detach && pressured) ||
+        (config_.bytes_per_weight > 0 && projected > budget.remaining())) {
+      result.reason = "overloaded";
+      result.retry_after = config_.retry_after_per_weight * std::max(1, backlog_weight_ + weight);
+      ++totals_.rejected;
+      obs::count(observability_, "daemon/rejected_total");
+      obs::count(observability_, "daemon/rejected_memory");
+      return result;
+    }
   }
 
   auto job = std::make_shared<Job>();

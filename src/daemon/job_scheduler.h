@@ -61,6 +61,15 @@ struct SchedulerConfig {
   double weight_scale_unit = 0.01;
   /// Retry-After hint per unit of queued weight at rejection time.
   std::chrono::milliseconds retry_after_per_weight{50};
+  /// Memory-admission dimension: projected working-set bytes per weight
+  /// unit.  When non-zero, a submit whose projected footprint
+  /// (weight * bytes_per_weight) exceeds the process MemoryBudget's
+  /// remaining hard-watermark headroom is rejected with the same
+  /// structured `overloaded` + retry_after verdict as a full backlog --
+  /// admission is bounded by memory, not just queue depth.  Independent of
+  /// this knob, detached jobs (which nobody can cancel by disconnecting)
+  /// are refused outright while the budget reports soft pressure.
+  std::uint64_t bytes_per_weight = 0;
   /// Default per-job deadline when the request names none (0 = unlimited).
   std::chrono::milliseconds default_deadline{0};
   /// Shared stage-cache directory ("" = caching and journaling off).

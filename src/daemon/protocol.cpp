@@ -66,6 +66,8 @@ const char* request_op_name(RequestOp op) {
       return "store_plan";
     case RequestOp::kStoreStat:
       return "store_stat";
+    case RequestOp::kStoreScrub:
+      return "store_scrub";
   }
   return "unknown";
 }
@@ -142,6 +144,14 @@ ParsedRequest parse_request(std::string_view line, const ProtocolLimits& limits)
     }
   } else if (name == "store_stat") {
     request.op = RequestOp::kStoreStat;
+  } else if (name == "store_scrub") {
+    request.op = RequestOp::kStoreScrub;
+    if (const util::Json* repair = doc->find("repair")) {
+      if (repair->type() != util::Json::Type::kBool) {
+        return bad_request("repair must be a boolean");
+      }
+      request.store_repair = repair->as_bool();
+    }
   } else if (name == "store_query" || name == "store_plan") {
     request.op = name == "store_query" ? RequestOp::kStoreQuery : RequestOp::kStorePlan;
     store::Query& q = request.store_query;

@@ -14,6 +14,7 @@
 //    "sid":21003,"run":"<runkey hex>","limit":100,"mode":"index"}
 //   {"op":"store_plan","table":"events","cve":"CVE-2021-44228",...}
 //   {"op":"store_stat"}
+//   {"op":"store_scrub","repair":false}
 //
 // store_query predicates are all optional and conjunctive; "begin"/"end"
 // accept a YYYY-MM-DD date or an integer unix timestamp (half-open
@@ -64,6 +65,7 @@ enum class RequestOp : std::uint8_t {
   kStoreQuery,  // index scan over the persistent session store
   kStorePlan,   // planner verdict for a store query, without executing
   kStoreStat,   // store row/run/WAL/snapshot counters
+  kStoreScrub,  // integrity sweep over every store file; optional repair
 };
 
 const char* request_op_name(RequestOp op);
@@ -84,6 +86,9 @@ struct Request {
   // byte-identity contract end-to-end.
   store::Query store_query;
   bool store_brute = false;
+  // store_scrub: when true, quarantine damaged files and rebuild from the
+  // surviving WAL/archive chain instead of merely reporting damage.
+  bool store_repair = false;
 };
 
 /// Outcome of parsing one frame: either a request or a ready-to-send

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <vector>
 
+#include "chaos/resource_shim.h"
 #include "net/ipv4.h"
 #include "obs/observability.h"
 #include "store/store.h"
@@ -101,10 +102,40 @@ void Server::request_shutdown() noexcept {
 
 ServerStats Server::stats() const { return stats_; }
 
+void Server::on_accept_fd_exhausted() {
+  // The descriptor table is full: accepting again right away would fail
+  // right away.  Pause the front door (pending clients queue in the kernel
+  // backlog), sweep connections already idle past half the timeout to free
+  // descriptors, and let the poll loop retry after the backoff.
+  ++stats_.accept_fd_exhausted;
+  obs::count(observability_, "daemon/accept_fd_exhausted");
+  accept_paused_until_ = steady_clock::now() + config_.accept_retry_backoff;
+  const auto now = steady_clock::now();
+  std::vector<std::uint64_t> idle;
+  for (const auto& [id, conn] : connections_) {
+    if (now - conn.last_activity > config_.idle_timeout / 2) idle.push_back(id);
+  }
+  for (const std::uint64_t id : idle) {
+    obs::count(observability_, "daemon/fd_pressure_closes");
+    close_connection(id, "fd_pressure");
+  }
+}
+
 void Server::accept_pending() {
   for (;;) {
+    // fd-acquisition failpoint: an installed resource shim exhausts the
+    // descriptor table deterministically, exercising the same path a
+    // process at its NOFILE limit takes.
+    if (chaos::ResourceShim* shim = chaos::ResourceShim::current();
+        shim != nullptr && shim->should_fail_fd()) {
+      on_accept_fd_exhausted();
+      return;
+    }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN (drained) or transient error: poll again
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE || errno == ENOMEM) on_accept_fd_exhausted();
+      return;  // EAGAIN (drained) or transient error: poll again
+    }
     if (static_cast<int>(connections_.size()) >= config_.max_connections) {
       // Full house: tell the client why before hanging up, best effort.
       const std::string frame =
@@ -330,14 +361,67 @@ util::Json Server::dispatch(Connection& conn, const Request& request) {
       reply.set("mapped", util::Json(stat.snapshot_mapped));
       break;
     }
+    case RequestOp::kStoreScrub: {
+      if (store_ == nullptr) {
+        reply = error_reply("no_store", "no session store configured (--store-dir)");
+        reply.set("op", util::Json("store_scrub"));
+        break;
+      }
+      store::ScrubOptions options;
+      options.repair = request.store_repair;
+      store::ScrubReport report;
+      store::StoreError error;
+      const bool ok = store_->scrub(options, &report, &error);
+      obs::count(observability_, "daemon/store_scrubs");
+      if (!ok) {
+        reply = error_reply(error.code == store::StoreErrorCode::kCorrupt ? "store_damaged"
+                                                                          : "scrub_failed",
+                            error.detail);
+        reply.set("op", util::Json("store_scrub"));
+      }
+      reply.set("repair", util::Json(options.repair));
+      reply.set("files_scanned", util::Json(static_cast<std::int64_t>(report.files_scanned)));
+      reply.set("snapshots", util::Json(static_cast<std::int64_t>(report.snapshots)));
+      reply.set("segments", util::Json(static_cast<std::int64_t>(report.segments)));
+      reply.set("wal_segments", util::Json(static_cast<std::int64_t>(report.wal_segments)));
+      reply.set("archives", util::Json(static_cast<std::int64_t>(report.archives)));
+      util::Json damaged{util::JsonArray{}};
+      for (const auto& name : report.damaged) damaged.push_back(util::Json(name));
+      reply.set("damaged", std::move(damaged));
+      util::Json quarantined{util::JsonArray{}};
+      for (const auto& name : report.quarantined) quarantined.push_back(util::Json(name));
+      reply.set("quarantined", std::move(quarantined));
+      reply.set("lost_lsns", util::Json(static_cast<std::int64_t>(report.lost_lsns)));
+      reply.set("repaired", util::Json(report.repaired));
+      reply.set("verify_ok", util::Json(report.verify_ok));
+      break;
+    }
   }
   return reply;
+}
+
+bool Server::charge_connection_buffers(Connection& conn) {
+  const std::uint64_t need =
+      static_cast<std::uint64_t>(conn.in_buf.capacity()) + conn.out_buf.capacity();
+  if (need <= conn.buffer_charge.bytes()) return true;
+  if (conn.buffer_charge.acquire(util::MemoryBudget::process(), need)) return true;
+  // The hard watermark refused the growth: this connection's buffers are
+  // exactly the memory the process cannot afford.  Structured refusal
+  // (appended directly -- send_reply would recurse into this gate), then
+  // flush-and-close.
+  ++stats_.buffer_budget_closes;
+  obs::count(observability_, "daemon/buffer_budget_closes");
+  conn.out_buf += encode_frame(
+      error_reply("resource_exhausted", "connection buffers exceed the memory budget"));
+  conn.closing = true;
+  return false;
 }
 
 void Server::send_reply(Connection& conn, const util::Json& reply) {
   conn.out_buf += encode_frame(reply);
   ++stats_.replies_out;
   obs::count(observability_, "daemon/replies_out");
+  charge_connection_buffers(conn);
   if (conn.out_buf.size() > config_.max_write_buffer) {
     // The client is not reading.  Buffering further hands our memory to
     // the slowest consumer; drop the connection instead.
@@ -379,6 +463,7 @@ void Server::handle_readable(Connection& conn) {
   conn.last_activity = steady_clock::now();
   obs::count(observability_, "daemon/bytes_read", result.bytes);
   conn.in_buf.append(chunk, result.bytes);
+  if (!charge_connection_buffers(conn)) return;  // refusal queued; flush then close
 
   std::size_t start = 0;
   for (;;) {
@@ -423,6 +508,29 @@ void Server::handle_writable(Connection& conn) {
   if (conn.out_buf.empty() && conn.closing) close_connection(conn.id, "drained");
 }
 
+void Server::maybe_scheduled_scrub(steady_clock::time_point now) {
+  if (config_.scrub_interval.count() <= 0 || store_ == nullptr) return;
+  // Arm on the first tick so a freshly started daemon does not scrub
+  // before it has served anything.
+  if (last_scrub_.time_since_epoch().count() == 0) {
+    last_scrub_ = now;
+    return;
+  }
+  if (now - last_scrub_ < config_.scrub_interval) return;
+  // Only when the loop is otherwise idle: a scrub holds the store's writer
+  // lock, and no connection should watch its half-read frame stall for it.
+  for (const auto& [id, conn] : connections_) {
+    if (!conn.in_buf.empty() || !conn.out_buf.empty()) return;
+  }
+  last_scrub_ = now;
+  ++stats_.scheduled_scrubs;
+  obs::count(observability_, "daemon/scheduled_scrubs");
+  store::ScrubOptions options;
+  options.repair = true;  // self-healing: quarantine damage, rebuild from the WAL/archive chain
+  store::ScrubReport report;
+  store_->scrub(options, &report, nullptr);
+}
+
 void Server::drain_and_close_all() {
   // Stop the front door first, then let every admitted study reach a
   // checkpoint: drain() fires all tokens and joins the workers, so by the
@@ -454,7 +562,12 @@ void Server::run() {
     pollfds.clear();
     poll_conn_ids.clear();
     pollfds.push_back({wake_pipe_[0], POLLIN, 0});
-    if (listen_fd_ >= 0) pollfds.push_back({listen_fd_, POLLIN, 0});
+    // While paused after EMFILE/ENFILE the listen socket stays OUT of the
+    // poll set: a pending connection would otherwise turn the backoff into
+    // a busy loop.  The kernel backlog holds the clients meanwhile.
+    const bool listen_polled =
+        listen_fd_ >= 0 && steady_clock::now() >= accept_paused_until_;
+    if (listen_polled) pollfds.push_back({listen_fd_, POLLIN, 0});
     const std::size_t first_conn = pollfds.size();
     for (auto& [id, conn] : connections_) {
       short events = POLLIN;
@@ -474,7 +587,7 @@ void Server::run() {
       shutdown_requested_ = true;
       break;
     }
-    if (listen_fd_ >= 0 && (pollfds[first_conn - 1].revents & POLLIN)) accept_pending();
+    if (listen_polled && (pollfds[1].revents & POLLIN)) accept_pending();
 
     for (std::size_t i = 0; i < poll_conn_ids.size(); ++i) {
       const std::uint64_t conn_id = poll_conn_ids[i];
@@ -507,6 +620,8 @@ void Server::run() {
       obs::count(observability_, "daemon/idle_timeouts");
       close_connection(id, "idle_timeout");
     }
+
+    maybe_scheduled_scrub(now);
   }
   drain_and_close_all();
 }

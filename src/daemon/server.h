@@ -34,6 +34,7 @@
 #include "daemon/job_scheduler.h"
 #include "daemon/protocol.h"
 #include "daemon/socket_fault.h"
+#include "util/memory_budget.h"
 
 namespace cvewb::obs {
 struct Observability;
@@ -56,6 +57,17 @@ struct ServerConfig {
   ProtocolLimits protocol;
   SchedulerConfig scheduler;
   SocketFaultPlan fault_plan;  // deterministic I/O faults (tests)
+  /// How long to stop calling accept() after the descriptor table is
+  /// exhausted (EMFILE/ENFILE, real or injected).  During the pause the
+  /// listen socket is dropped from the poll set -- pending connections
+  /// wait in the kernel backlog instead of spinning the loop -- and an
+  /// immediate idle sweep tries to free descriptors.
+  std::chrono::milliseconds accept_retry_backoff{200};
+  /// Periodic self-healing store scrub, run from the event loop when no
+  /// connection has pending I/O.  0 = disabled.  A damaged file found by
+  /// the sweep is quarantined and the store rebuilt from its WAL/archive
+  /// chain (store::Store::scrub with repair=true).
+  std::chrono::milliseconds scrub_interval{0};
   /// Persistent session store directory ("" = store ops disabled).  When
   /// set, the server opens ONE shared store::Store at construction:
   /// scheduler workers ingest every completed study through it, and
@@ -79,6 +91,9 @@ struct ServerStats {
   std::uint64_t idle_timeouts = 0;
   std::uint64_t slow_consumer_closes = 0;
   std::uint64_t resets = 0;
+  std::uint64_t accept_fd_exhausted = 0;  // EMFILE/ENFILE accept pauses
+  std::uint64_t buffer_budget_closes = 0;  // connection buffers refused by the memory budget
+  std::uint64_t scheduled_scrubs = 0;      // idle-loop store scrubs
 };
 
 class Server {
@@ -120,6 +135,10 @@ class Server {
     std::string out_buf;
     std::chrono::steady_clock::time_point last_activity;
     bool closing = false;  // flush out_buf, then close
+    /// Ledger entry covering both buffers' capacity; re-acquired as they
+    /// grow.  A refusal (hard watermark) closes the connection with a
+    /// structured `resource_exhausted` instead of buffering unbounded.
+    util::BudgetCharge buffer_charge;
   };
 
   void handle_readable(Connection& conn);
@@ -128,6 +147,14 @@ class Server {
   util::Json dispatch(Connection& conn, const Request& request);
   void send_reply(Connection& conn, const util::Json& reply);
   void accept_pending();
+  /// Descriptor-table exhaustion: pause accepting, sweep for freeable
+  /// connections, export the metric.  Pending clients wait in the kernel
+  /// backlog until the pause lapses.
+  void on_accept_fd_exhausted();
+  /// Grow `conn.buffer_charge` to cover both buffers; false (and the
+  /// connection marked closing) when the budget's hard watermark refuses.
+  bool charge_connection_buffers(Connection& conn);
+  void maybe_scheduled_scrub(std::chrono::steady_clock::time_point now);
   void close_connection(std::uint64_t conn_id, const char* why);
   void drain_and_close_all();
 
@@ -146,6 +173,9 @@ class Server {
   std::map<std::uint64_t, Connection> connections_;
   ServerStats stats_;
   bool shutdown_requested_ = false;
+  /// accept() stays paused until this instant after EMFILE/ENFILE.
+  std::chrono::steady_clock::time_point accept_paused_until_{};
+  std::chrono::steady_clock::time_point last_scrub_{};
 };
 
 }  // namespace cvewb::daemon

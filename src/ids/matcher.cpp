@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "obs/observability.h"
+#include "util/cancel.h"
+#include "util/memory_budget.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -367,6 +369,13 @@ CorpusMatch match_corpus(const Matcher& matcher, const std::vector<SessionRef>& 
         }
         out.matches[i] = matcher.earliest_published_match(buffers, sessions[i].src_port,
                                                           sessions[i].dst_port, scratch);
+      } catch (const util::ResourceExhausted&) {
+        // Exhaustion is a property of the process, not the payload:
+        // absorbing it here would silently drop matches.  Surface it so
+        // the supervisor can fail the run as retryable resource_exhausted.
+        throw;
+      } catch (const util::CancelledError&) {
+        throw;
       } catch (const std::exception&) {
         // The throw is a function of the payload too: all w members would
         // have faulted.

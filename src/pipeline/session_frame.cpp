@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "util/memory_budget.h"
 #include "util/thread_pool.h"
 
 namespace cvewb::pipeline {
@@ -151,6 +152,14 @@ SessionFrame build_session_frame(const std::vector<net::TcpSession>& sessions,
     for (std::size_t i = 0; i < n; ++i) kept += duplicate[i] == 0 ? 1 : 0;
     duplicates_removed += n - kept;
   }
+  // The column fills are the frame's one bulk allocation (four parallel
+  // arrays sized by the kept-session count); gate them as a charged site
+  // so the OOM matrix can fail exactly here and the budget's hard
+  // watermark is enforced before the reserves touch the heap.
+  util::gate_allocation(
+      kept * (sizeof(std::uint32_t) + sizeof(util::TimePoint) + sizeof(std::uint32_t) +
+              sizeof(ids::SessionRef)),
+      "frame/columns");
   frame.input_index.reserve(kept);
   frame.open_time.reserve(kept);
   frame.src_value.reserve(kept);

@@ -109,6 +109,13 @@ struct StudyConfig {
   /// faults through this; every injected fault degrades to a recompute,
   /// never a different result.
   chaos::FsShim* fs_shim = nullptr;
+  /// Reduced-footprint retries the supervisor may spend when a run fails
+  /// with resource exhaustion (memory budget hard watermark, allocation
+  /// failure): the retry reruns at threads=1 with the stage DAG off, the
+  /// lowest-footprint configuration that still produces byte-identical
+  /// results.  0 disables (the OOM matrix uses both settings).  Like
+  /// threads, deliberately excluded from every cache key.
+  int resource_retries = 1;
   /// Test hook for the recovery suite: after the named stage's checkpoint
   /// is journaled ("traffic", "faults", "reconstruct"), request
   /// cancellation on `cancel` -- simulating a signal that lands exactly on

@@ -22,4 +22,10 @@ StudyError::StudyError(ErrorClass error_class, std::string stage, const std::str
       class_(error_class),
       stage_(std::move(stage)) {}
 
+StudyError StudyError::resource_exhausted(std::string stage, const std::string& what) {
+  StudyError error(ErrorClass::kRetryable, std::move(stage), "resource exhausted: " + what);
+  error.resource_ = true;
+  return error;
+}
+
 }  // namespace cvewb::pipeline

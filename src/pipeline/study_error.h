@@ -39,12 +39,22 @@ class StudyError : public std::runtime_error {
  public:
   StudyError(ErrorClass error_class, std::string stage, const std::string& what);
 
+  /// The process ran out of a machine resource (memory budget hard
+  /// watermark, allocation failure, fd exhaustion) at `stage`.  Classified
+  /// retryable -- the environment, not the run, is at fault -- and tagged
+  /// so the supervisor retries at reduced footprint instead of verbatim
+  /// (DESIGN.md §15).
+  static StudyError resource_exhausted(std::string stage, const std::string& what);
+
   ErrorClass error_class() const noexcept { return class_; }
   const std::string& stage() const noexcept { return stage_; }
+  /// True for failures built by resource_exhausted().
+  bool is_resource_exhausted() const noexcept { return resource_; }
 
  private:
   ErrorClass class_;
   std::string stage_;
+  bool resource_ = false;
 };
 
 }  // namespace cvewb::pipeline

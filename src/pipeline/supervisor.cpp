@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "cache/key.h"
+#include "util/memory_budget.h"
 
 namespace cvewb::pipeline {
 
@@ -27,14 +28,35 @@ RunSupervisor::RunSupervisor(StudyConfig config) : config_(std::move(config)) {
 }
 
 RunReport RunSupervisor::run() {
+  RunReport report = run_once(config_);
+  // Resource exhaustion is environmental and footprint-sensitive: the same
+  // study at threads=1 with the stage DAG off allocates a fraction of the
+  // peak (one arena, no overlapped stages).  One in-place retry at that
+  // reduced footprint converts most budget trips into a completed run --
+  // byte-identical by the determinism contract (thread count and DAG are
+  // excluded from result bytes and cache keys).  A cancelled first attempt
+  // is never retried: the user asked to stop, not to try harder.
+  if (report.status == RunStatus::kFailed && report.resource_exhausted &&
+      config_.resource_retries > 0 && (cancel_ == nullptr || !cancel_->cancelled())) {
+    StudyConfig reduced = config_;
+    reduced.threads = 1;
+    reduced.stage_dag = false;
+    RunReport retried = run_once(reduced);
+    retried.resource_retried = true;
+    return retried;
+  }
+  return report;
+}
+
+RunReport RunSupervisor::run_once(const StudyConfig& config) {
   RunReport report;
   // A cache-backed run journals its checkpoints, so any interruption
   // leaves a resumable state behind; without a cache directory there is
   // nothing on disk to resume from.
-  const bool journaled = !config_.cache_dir.empty();
-  if (journaled) report.resume_key = cache::run_key(config_);
+  const bool journaled = !config.cache_dir.empty();
+  if (journaled) report.resume_key = cache::run_key(config);
   try {
-    report.result = run_study(config_);
+    report.result = run_study(config);
     report.status = RunStatus::kComplete;
     return report;
   } catch (const util::CancelledError& cancelled) {
@@ -48,13 +70,24 @@ RunReport RunSupervisor::run() {
     report.error_class = error.error_class();
     report.stage = error.stage();
     report.message = error.what();
+    report.resource_exhausted = error.is_resource_exhausted();
     // Retryable and degradable failures leave the journal intact; a fatal
     // one (bad config, codec invariant) would fail identically on resume.
     report.resumable = journaled && error.error_class() != ErrorClass::kFatal;
+  } catch (const util::ResourceExhausted& error) {
+    // A charged allocation site (arena growth, column fill, codec buffer)
+    // hit the budget's hard watermark or an injected failpoint outside a
+    // stage that wraps it -- still structured, still retryable.
+    report.status = RunStatus::kFailed;
+    report.error_class = ErrorClass::kRetryable;
+    report.message = error.what();
+    report.resource_exhausted = true;
+    report.resumable = journaled;
   } catch (const std::bad_alloc&) {
     report.status = RunStatus::kFailed;
     report.error_class = ErrorClass::kRetryable;  // memory pressure is environmental
     report.message = "out of memory";
+    report.resource_exhausted = true;
     report.resumable = journaled;
   } catch (const std::exception& error) {
     report.status = RunStatus::kFailed;

@@ -47,6 +47,14 @@ struct RunReport {
   /// the same configuration resumes from the last completed stage and
   /// converges to the digest of an uninterrupted run.
   bool resumable = false;
+  /// The failure was resource exhaustion (memory budget hard watermark,
+  /// allocation failure, fd limits) -- retryable, and retried by the
+  /// supervisor itself at reduced footprint when the budget allows.
+  bool resource_exhausted = false;
+  /// This report came from a reduced-footprint retry (threads=1, DAG off)
+  /// after a resource_exhausted first attempt.  Determinism contract:
+  /// the retried digest is byte-identical to an unfaulted run's.
+  bool resource_retried = false;
   /// cache::run_key of the supervised configuration when journaling was on
   /// ("" otherwise).  Resubmitting a study whose config hashes to the same
   /// key adopts the surviving checkpoints -- this is the identity a service
@@ -73,6 +81,8 @@ class RunSupervisor {
   util::CancelToken& cancel_token() { return *cancel_; }
 
  private:
+  RunReport run_once(const StudyConfig& config);
+
   StudyConfig config_;
   util::CancelToken own_token_;
   util::CancelToken* cancel_;

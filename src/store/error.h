@@ -32,6 +32,11 @@ enum class StoreErrorCode {
   /// The caller asked for something the store cannot answer: unknown
   /// table, inverted time window, unknown run key on a run-scoped call.
   kBadQuery,
+  /// The process ran out of a machine resource opening or building store
+  /// state: ENOMEM/EMFILE/ENFILE from open/mmap (real or injected via
+  /// chaos::ResourceShim), or the memory budget's hard watermark refusing
+  /// a snapshot/WAL build buffer.  Retryable once pressure subsides.
+  kResource,
 };
 
 struct StoreError {
@@ -51,6 +56,7 @@ inline const char* store_error_name(StoreErrorCode code) {
     case StoreErrorCode::kTruncated: return "truncated";
     case StoreErrorCode::kCorrupt: return "corrupt";
     case StoreErrorCode::kBadQuery: return "bad_query";
+    case StoreErrorCode::kResource: return "resource";
   }
   return "unknown";
 }

@@ -25,6 +25,17 @@
 //                      same fs shim before the commit is acknowledged, so
 //                      "ingest returned true" implies "the bytes are
 //                      durable and validate".
+//   arc-<lsn>.cvwba    an archived WAL segment: byte-identical to the
+//                      wal- file it was renamed from when a checkpoint
+//                      folded it into a base tier.  Archives are inert
+//                      redundancy -- recovery only replays them when the
+//                      base tier that folded them is missing or damaged
+//                      (e.g. quarantined by Store::scrub), re-deriving
+//                      the lost commits.
+//
+// Files that fail validation during a repairing scrub are set aside by
+// appending ".quar" to the name; quarantined files are never read, written
+// or deleted by the store afterwards.
 //
 // Everything is little-endian with explicit fixed widths; the loaders use
 // memcpy accessors (store/columns.h) so alignment of the mapped file is
@@ -147,6 +158,13 @@ inline std::string snapshot_file_name(std::uint64_t lsn) {
 inline std::string wal_file_name(std::uint64_t lsn) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "wal-%016llu.cvwbw",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+inline std::string archive_file_name(std::uint64_t lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "arc-%016llu.cvwba",
                 static_cast<unsigned long long>(lsn));
   return buf;
 }

@@ -5,11 +5,40 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "chaos/resource_shim.h"
+
 namespace cvewb::store {
+
+namespace {
+
+/// Classify an errno from open/mmap/read: resource exhaustion is its own
+/// code (the caller may retry once pressure subsides), everything else is
+/// plain I/O.
+StoreErrorCode code_of_errno(int err) {
+  switch (err) {
+    case ENOMEM:
+    case EMFILE:
+    case ENFILE:
+    case EAGAIN:
+      return StoreErrorCode::kResource;
+    default:
+      return StoreErrorCode::kIo;
+  }
+}
+
+bool fail_errno(StoreError* error, const char* op, int err) {
+  return fail(error, code_of_errno(err),
+              std::string(op) + " failed: " + std::strerror(err) + " (errno " +
+                  std::to_string(err) + ")");
+}
+
+}  // namespace
 
 MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   if (this != &other) {
@@ -31,8 +60,16 @@ void MappedFile::reset() {
   owned_.clear();
 }
 
-bool MappedFile::map(const std::filesystem::path& path) {
+bool MappedFile::map(const std::filesystem::path& path, StoreError* error) {
   reset();
+  // fd-acquisition failpoint: an installed resource shim can exhaust the
+  // descriptor table deterministically -- the open below never happens and
+  // the caller sees exactly what a process at its NOFILE limit would.
+  if (chaos::ResourceShim* shim = chaos::ResourceShim::current();
+      shim != nullptr && shim->should_fail_fd()) {
+    return fail_errno(error, "open (injected)", EMFILE);
+  }
+  int saved_errno = 0;
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd >= 0) {
     struct stat st{};
@@ -45,18 +82,29 @@ bool MappedFile::map(const std::filesystem::path& path) {
         ::close(fd);
         return true;
       }
+      saved_errno = errno;  // ENOMEM here is the classic mmap exhaustion
     } else if (::fstat(fd, &st) == 0 && st.st_size == 0) {
       ::close(fd);
       return true;  // empty file maps to an empty view
     }
     ::close(fd);
+  } else {
+    saved_errno = errno;
   }
-  // Fallback: plain buffered read.
+  // Fallback: plain buffered read (covers tiny files and exotic
+  // filesystems where mmap fails but reads work).
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) {
+    return saved_errno != 0 ? fail_errno(error, mapped_ == nullptr ? "open/mmap" : "mmap",
+                                         saved_errno)
+                            : fail(error, StoreErrorCode::kIo,
+                                   "open failed: " + path.filename().string());
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
-  if (!in.good() && !in.eof()) return false;
+  if (!in.good() && !in.eof()) {
+    return fail(error, StoreErrorCode::kIo, "read failed: " + path.filename().string());
+  }
   owned_ = std::move(buf).str();
   return true;
 }

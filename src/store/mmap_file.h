@@ -14,6 +14,8 @@
 #include <string>
 #include <string_view>
 
+#include "store/error.h"
+
 namespace cvewb::store {
 
 class MappedFile {
@@ -27,8 +29,14 @@ class MappedFile {
 
   /// Map `path` read-only.  On mmap failure, falls back to reading the
   /// whole file into an owned buffer.  False when the file cannot be
-  /// opened or read at all.
-  bool map(const std::filesystem::path& path);
+  /// opened or read at all -- with `error` (when non-null) carrying a
+  /// structured StoreError that preserves the errno class: resource
+  /// exhaustion (ENOMEM/EMFILE/ENFILE, or an injected fd fault from
+  /// chaos::ResourceShim) reports kResource, everything else kIo.  The
+  /// open and mmap calls are fd-acquisition failpoints for the resource
+  /// shim, so fd exhaustion on the snapshot-load path is a deterministic,
+  /// testable failure, never an abort.
+  bool map(const std::filesystem::path& path, StoreError* error = nullptr);
 
   /// Adopt an already-read buffer (the fs-shim-routed open path).
   void adopt(std::string bytes);

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "cache/serialize.h"
@@ -11,6 +12,7 @@
 #include "pipeline/study.h"
 #include "store/format.h"
 #include "store/wal.h"
+#include "util/memory_budget.h"
 #include "util/sha256.h"
 
 namespace cvewb::store {
@@ -59,6 +61,11 @@ struct Store::Tier {
   std::uint64_t from_lsn = 0;
   std::uint64_t to_lsn = 0;
   std::uint64_t bytes = 0;
+  // Resident-memory ledger entry for this mapping (released on unmap).
+  // Mapped pages are reclaimable, but a tier pins its decoded dictionary
+  // and the working set of whatever queries touch it -- charging the file
+  // size is the honest upper bound the budget's watermarks act on.
+  util::BudgetCharge budget;
 
   std::uint64_t sess_begin = 0;  // global row id of this tier's first session
   std::uint64_t evt_begin = 0;
@@ -269,7 +276,14 @@ std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions
   store->fs_ = options.fs;
   store->retry_ = options.retry;
   store->tables_ = std::make_unique<Tables>();
-  chaos::FsShim& fs = store->fs_ != nullptr ? *store->fs_ : chaos::FsShim::passthrough();
+  if (!store->recover(error)) return nullptr;
+  obs::count(store->observability_, "store/opened");
+  return store;
+}
+
+bool Store::recover(StoreError* error) {
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
+  std::error_code ec;
 
   std::vector<std::pair<std::uint64_t, std::filesystem::path>> snaps;
   struct SegFile {
@@ -277,7 +291,7 @@ std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions
     std::filesystem::path path;
   };
   std::vector<SegFile> segs;
-  for (const auto& entry : std::filesystem::directory_iterator(store->dir_, ec)) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
     std::uint64_t lsn = 0, from = 0, to = 0;
     if (parse_store_file_name(name, "snap-", ".cvwbs", lsn)) {
@@ -290,7 +304,7 @@ std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions
   // Adopt a freshly loaded tier on top of the current chain, extending the
   // global run table.
   const auto adopt = [&](std::unique_ptr<Tier> tier) {
-    Tables& t = *store->tables_;
+    Tables& t = *tables_;
     tier->sess_begin = t.base_sessions;
     tier->evt_begin = t.base_events;
     tier->run_begin = t.base_runs;
@@ -306,11 +320,11 @@ std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions
       info.events_begin = tier->evt_begin + run.events_begin;
       info.events_count = run.events_count;
       info.lsn = run.lsn;
-      store->run_index_[info.run_key] = store->runs_.size();
-      store->runs_.push_back(std::move(info));
+      run_index_[info.run_key] = runs_.size();
+      runs_.push_back(std::move(info));
     }
-    store->covered_lsn_ = tier->to_lsn;
-    store->last_lsn_ = tier->to_lsn;
+    covered_lsn_ = tier->to_lsn;
+    last_lsn_ = tier->to_lsn;
     t.tiers.push_back(std::move(tier));
   };
 
@@ -323,7 +337,7 @@ std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions
   for (const auto& [lsn, path] : snaps) {
     if (!loaded) {
       std::unique_ptr<Tier> tier;
-      if (store->load_container(path, 1, lsn, tier, &snap_error)) {
+      if (load_container(path, 1, lsn, tier, &snap_error)) {
         adopt(std::move(tier));
         loaded = true;
         continue;
@@ -331,11 +345,11 @@ std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions
     }
     // Older than the chosen snapshot, or failed validation: delete.
     fs.remove(path);
-    ++store->dropped_segments_;
+    ++dropped_segments_;
   }
   if (!snaps.empty() && !loaded) {
     if (error != nullptr) *error = snap_error;
-    return nullptr;
+    return false;
   }
 
   // Chain segments above the snapshot: each must start exactly at
@@ -347,44 +361,48 @@ std::unique_ptr<Store> Store::open(std::filesystem::path dir, const StoreOptions
     return a.to > b.to;
   });
   for (auto& seg : segs) {
-    if (seg.to > store->covered_lsn_ && seg.from == store->covered_lsn_ + 1) {
+    if (seg.to > covered_lsn_ && seg.from == covered_lsn_ + 1) {
       std::unique_ptr<Tier> tier;
-      if (store->load_container(seg.path, seg.from, seg.to, tier, nullptr)) {
+      if (load_container(seg.path, seg.from, seg.to, tier, nullptr)) {
         adopt(std::move(tier));
         continue;
       }
     }
     fs.remove(seg.path);
-    ++store->dropped_segments_;
-    obs::count(store->observability_, "store/dropped_segments");
+    ++dropped_segments_;
+    obs::count(observability_, "store/dropped_segments");
   }
 
-  if (!store->replay_wal(error)) return nullptr;
-  obs::count(store->observability_, "store/opened");
-  obs::gauge_set(store->observability_, "store/session_rows",
-                 static_cast<std::int64_t>(store->tables_->n_sessions()));
-  obs::gauge_set(store->observability_, "store/event_rows",
-                 static_cast<std::int64_t>(store->tables_->n_events()));
-  obs::gauge_set(store->observability_, "store/base_segments",
-                 static_cast<std::int64_t>(store->tables_->tiers.size()));
-  return store;
+  if (!replay_wal(error)) return false;
+  obs::gauge_set(observability_, "store/session_rows",
+                 static_cast<std::int64_t>(tables_->n_sessions()));
+  obs::gauge_set(observability_, "store/event_rows",
+                 static_cast<std::int64_t>(tables_->n_events()));
+  obs::gauge_set(observability_, "store/base_segments",
+                 static_cast<std::int64_t>(tables_->tiers.size()));
+  return true;
 }
 
 bool Store::load_container(const std::filesystem::path& path, std::uint64_t expect_from,
-                           std::uint64_t expect_to, std::unique_ptr<Tier>& out,
-                           StoreError* error) {
+                           std::uint64_t expect_to, std::unique_ptr<Tier>& out, StoreError* error,
+                           bool force_read) {
   MappedFile file;
   chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
-  if (fs_ != nullptr && fs_->plan().any()) {
-    // Route through the shim so injected read faults stay deterministic.
+  if (force_read || (fs_ != nullptr && fs_->plan().any())) {
+    // Route through the shim so injected read faults stay deterministic;
+    // scrub forces this path so it validates the file's CURRENT disk
+    // bytes rather than pages a live mapping may have cached.
     std::string read_bytes;
     const bool read_ok = util::retry_io(
         retry_, nullptr, [&] { return fs.read_file(path, read_bytes); },
         [&](int) { obs::count(observability_, "store/retry"); });
     if (!read_ok) return fail(error, StoreErrorCode::kIo, "container read failed");
     file.adopt(std::move(read_bytes));
-  } else if (!file.map(path)) {
-    return fail(error, StoreErrorCode::kIo, "container open failed");
+  } else {
+    StoreError map_error;
+    if (!file.map(path, &map_error)) {
+      return fail(error, map_error.code, "container open failed: " + map_error.detail);
+    }
   }
   const std::string_view bytes = file.view();
   if (bytes.size() < kSnapshotHeaderBytes) {
@@ -456,6 +474,11 @@ bool Store::load_container(const std::filesystem::path& path, std::uint64_t expe
   }
 
   auto tier = std::make_unique<Tier>();
+  if (!tier->budget.acquire(util::MemoryBudget::process(), bytes.size())) {
+    return fail(error, StoreErrorCode::kResource,
+                "memory budget refused " + std::to_string(bytes.size()) + "-byte container " +
+                    path.filename().string());
+  }
   {
     cache::BinReader r(section(kSecDict));
     const std::uint64_t n = r.u64();
@@ -602,53 +625,93 @@ bool Store::replay_wal(StoreError* error) {
   (void)error;
   chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
   std::error_code ec;
-  std::vector<std::pair<std::uint64_t, std::filesystem::path>> segments;
+  // Redo sources above the base-tier coverage, per lsn: the live wal- file
+  // when present, with the arc- archive twin as a fallback copy.  Archives
+  // at or below the coverage are inert redundancy and are left untouched.
+  struct Copies {
+    std::filesystem::path wal, arc;
+  };
+  std::map<std::uint64_t, Copies> sources;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
     std::uint64_t lsn = 0;
     if (parse_store_file_name(name, "wal-", ".cvwbw", lsn)) {
-      segments.emplace_back(lsn, entry.path());
+      if (lsn <= covered_lsn_) {
+        // Folded into the base tiers already; stale leftover of an
+        // interrupted checkpoint retirement pass.
+        fs.remove(entry.path());
+      } else {
+        sources[lsn].wal = entry.path();
+      }
+    } else if (parse_store_file_name(name, "arc-", ".cvwba", lsn)) {
+      if (lsn > covered_lsn_) sources[lsn].arc = entry.path();
     } else if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
       // Orphaned temp from a writer that died mid-commit.
       fs.remove(entry.path());
       ++dropped_segments_;
     }
   }
-  std::sort(segments.begin(), segments.end());
+
   bool valid_prefix = true;
   std::uint64_t expected = covered_lsn_ + 1;
-  for (const auto& [lsn, path] : segments) {
-    if (lsn <= covered_lsn_) {
-      // Folded into the base tiers already; stale leftover of an
-      // interrupted checkpoint GC.
-      fs.remove(path);
-      continue;
-    }
-    bool ok = valid_prefix && lsn == expected;
-    WalBatch batch;
-    if (ok) {
-      std::string bytes;
-      StoreError segment_error;
-      const bool read_ok = util::retry_io(
-          retry_, nullptr, [&] { return fs.read_file(path, bytes); },
-          [&](int) { obs::count(observability_, "store/retry"); });
-      ok = read_ok && decode_segment(bytes, batch, &segment_error) && batch.lsn == lsn;
-      if (ok) {
-        apply_batch(batch);
-        last_lsn_ = lsn;
-        ++wal_segments_;
-        wal_bytes_ += bytes.size();
-        ++expected;
-        obs::count(observability_, "store/recovered_segments");
-        continue;
+  for (const auto& [lsn, copies] : sources) {
+    std::vector<std::filesystem::path> candidates;
+    if (!copies.wal.empty()) candidates.push_back(copies.wal);
+    if (!copies.arc.empty()) candidates.push_back(copies.arc);
+    bool applied = false;
+    if (valid_prefix && lsn == expected) {
+      for (std::size_t i = 0; i < candidates.size() && !applied; ++i) {
+        std::string bytes;
+        StoreError segment_error;
+        WalBatch batch;
+        const bool read_ok = util::retry_io(
+            retry_, nullptr, [&] { return fs.read_file(candidates[i], bytes); },
+            [&](int) { obs::count(observability_, "store/retry"); });
+        if (read_ok && decode_segment(bytes, batch, &segment_error) && batch.lsn == lsn) {
+          apply_batch(batch);
+          last_lsn_ = lsn;
+          ++wal_segments_;
+          wal_bytes_ += bytes.size();
+          ++expected;
+          applied = true;
+          obs::count(observability_, "store/recovered_segments");
+          if (candidates[i] == copies.arc) {
+            obs::count(observability_, "store/recovered_from_archive");
+          }
+          // Damaged copies we skipped over on the way here are worthless.
+          for (std::size_t j = 0; j < i; ++j) {
+            fs.remove(candidates[j]);
+            ++dropped_segments_;
+            obs::count(observability_, "store/dropped_segments");
+          }
+        }
       }
     }
-    // First invalid (or post-gap) segment: drop it and everything after
-    // -- the valid-prefix rule.
-    valid_prefix = false;
-    fs.remove(path);
-    ++dropped_segments_;
-    obs::count(observability_, "store/dropped_segments");
+    if (!applied) {
+      // First lsn with no valid copy (or past a gap): the prefix ends.
+      // Every remaining copy above it is unreachable, and a future commit
+      // will reuse these lsns -- keeping them would let two divergent
+      // histories interleave, so they all go.
+      valid_prefix = false;
+      for (const auto& path : candidates) {
+        fs.remove(path);
+        ++dropped_segments_;
+        obs::count(observability_, "store/dropped_segments");
+      }
+    }
+  }
+
+  // Recount the archive chain (the loop above may have consumed copies).
+  archive_segments_ = 0;
+  archive_bytes_ = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(entry.path().filename().string(), "arc-", ".cvwba", lsn)) {
+      ++archive_segments_;
+      std::error_code size_ec;
+      const auto size = std::filesystem::file_size(entry.path(), size_ec);
+      archive_bytes_ += size_ec ? 0 : size;
+    }
   }
   return true;
 }
@@ -792,6 +855,21 @@ bool Store::ingest(const pipeline::StudyResult& result, std::string_view run_key
   }
   WalBatch batch = make_batch(result, run_key);
   batch.lsn = last_lsn_ + 1;
+  // Gate the segment encode as a charged allocation site: the OOM matrix
+  // can fail exactly here, and the budget's hard watermark refuses commits
+  // the process has no memory to encode -- structurally, before any bytes
+  // move.  Nothing durable or in-memory has changed yet.
+  std::size_t encode_estimate = 64 + batch.run_key.size();
+  for (const auto& row : batch.sessions) {
+    encode_estimate += 48 + row.cve.size() + row.payload.size();
+  }
+  for (const auto& row : batch.events) encode_estimate += 32 + row.cve.size();
+  try {
+    util::gate_allocation(encode_estimate, "store/wal");
+  } catch (const util::ResourceExhausted& e) {
+    obs::count(observability_, "store/ingest_failed");
+    return fail(error, StoreErrorCode::kResource, e.what());
+  }
   const std::string segment = encode_segment(batch);
   if (!write_file_validated(dir_ / wal_file_name(batch.lsn), segment, error)) {
     obs::count(observability_, "store/ingest_failed");
@@ -988,6 +1066,10 @@ std::string Store::build_container(std::uint64_t from_lsn, std::uint64_t to_lsn,
 
 bool Store::checkpoint(StoreError* error) {
   std::unique_lock lock(mutex_);
+  return checkpoint_locked(error);
+}
+
+bool Store::checkpoint_locked(StoreError* error) {
   if (last_lsn_ == covered_lsn_) return true;  // nothing to fold
   Tables& t = *tables_;
   chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
@@ -997,6 +1079,17 @@ bool Store::checkpoint(StoreError* error) {
   const bool full = t.tiers.empty();
   const std::uint64_t from_lsn = full ? 1 : covered_lsn_ + 1;
   const std::size_t run_lo = t.base_runs;
+  // Gate the container build (delta rows + payload): a charged site for
+  // the OOM matrix and the budget's hard watermark, refused structurally
+  // with the old tiers + WAL still serving.
+  try {
+    util::gate_allocation(
+        t.d_payload.size() + t.d_sess_time.size() * 128 + t.d_evt_time.size() * 64,
+        "store/snapshot");
+  } catch (const util::ResourceExhausted& e) {
+    obs::count(observability_, "store/checkpoint_failed");
+    return fail(error, StoreErrorCode::kResource, e.what());
+  }
   const std::string image = build_container(from_lsn, target_lsn, run_lo, runs_.size());
   const std::filesystem::path path =
       dir_ / (full ? snapshot_file_name(target_lsn) : segment_file_name(from_lsn, target_lsn));
@@ -1031,14 +1124,26 @@ bool Store::checkpoint(StoreError* error) {
   covered_lsn_ = target_lsn;
   wal_segments_ = 0;
   wal_bytes_ = 0;
-  // GC the folded WAL.  A crash inside the GC is safe -- recovery deletes
-  // stale segments (lsn <= covered) on the next open.
+  // Retire the folded WAL: archive each segment (rename to arc-) as redo
+  // redundancy for scrub repair rather than discarding it.  A rename
+  // failure (real or injected) falls back to the old delete-on-fold
+  // behavior -- recovery treats a missing archive as a plain gap.  A crash
+  // anywhere in this pass is safe: stale wal- files (lsn <= covered) are
+  // removed on the next open, stale arc- files are kept.
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     std::uint64_t lsn = 0;
     if (parse_store_file_name(entry.path().filename().string(), "wal-", ".cvwbw", lsn) &&
         lsn <= target_lsn) {
-      fs.remove(entry.path());
+      std::error_code size_ec;
+      const auto size = std::filesystem::file_size(entry.path(), size_ec);
+      if (fs.rename(entry.path(), dir_ / archive_file_name(lsn))) {
+        ++archive_segments_;
+        archive_bytes_ += size_ec ? 0 : size;
+        obs::count(observability_, "store/archived_segments");
+      } else {
+        fs.remove(entry.path());
+      }
     }
   }
   obs::count(observability_, "store/checkpoints");
@@ -1051,10 +1156,21 @@ bool Store::checkpoint(StoreError* error) {
 
 bool Store::compact(StoreError* error) {
   std::unique_lock lock(mutex_);
+  return compact_locked(error);
+}
+
+bool Store::compact_locked(StoreError* error) {
   Tables& t = *tables_;
   if (t.tiers.size() < 2) return true;  // nothing to merge
   chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
   const std::uint64_t to_lsn = covered_lsn_;
+  try {
+    util::gate_allocation(t.base_payload + t.base_sessions * 128 + t.base_events * 64,
+                          "store/snapshot");
+  } catch (const util::ResourceExhausted& e) {
+    obs::count(observability_, "store/compact_failed");
+    return fail(error, StoreErrorCode::kResource, e.what());
+  }
   // Merge the base tiers only; the delta and its WAL are untouched, so
   // compaction never changes logical state or global row ids.
   const std::string image = build_container(1, to_lsn, 0, t.base_runs);
@@ -1385,6 +1501,10 @@ PlanReport Store::plan(const Query& query) const {
 
 bool Store::verify(StoreError* error) const {
   std::shared_lock lock(mutex_);
+  return verify_locked(error);
+}
+
+bool Store::verify_locked(StoreError* error) const {
   const Tables& t = *tables_;
 
   // Rebuild-and-compare for one postings list.
@@ -1581,6 +1701,121 @@ bool Store::verify(StoreError* error) const {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Scrub: detect damage against current disk bytes, quarantine, auto-repair
+
+bool Store::check_segment_file(const std::filesystem::path& path, std::uint64_t lsn) {
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
+  std::string bytes;
+  const bool read_ok = util::retry_io(
+      retry_, nullptr, [&] { return fs.read_file(path, bytes); },
+      [&](int) { obs::count(observability_, "store/retry"); });
+  if (!read_ok) return false;
+  WalBatch batch;
+  StoreError segment_error;
+  return decode_segment(bytes, batch, &segment_error) && batch.lsn == lsn;
+}
+
+bool Store::scrub(const ScrubOptions& options, ScrubReport* report, StoreError* error) {
+  std::unique_lock lock(mutex_);
+  ScrubReport local;
+  ScrubReport& r = report != nullptr ? *report : local;
+  r = ScrubReport{};
+  chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
+  ++scrubs_;
+  obs::count(observability_, "store/scrubs");
+
+  // Phase 1: re-validate every store-owned file against its current disk
+  // bytes.  Containers get the full deep load (digest + structural
+  // checks) into a throwaway tier; redo segments get a decode + lsn
+  // cross-check.  Quarantined, temp, and foreign files are not ours to
+  // judge and are skipped.
+  std::vector<std::filesystem::path> damaged;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t lsn = 0, from = 0, to = 0;
+    bool ok = true;
+    StoreError file_error;
+    if (parse_store_file_name(name, "snap-", ".cvwbs", lsn)) {
+      ++r.snapshots;
+      std::unique_ptr<Tier> probe;
+      ok = load_container(entry.path(), 1, lsn, probe, &file_error, /*force_read=*/true);
+    } else if (parse_segment_file_name(name, from, to)) {
+      ++r.segments;
+      std::unique_ptr<Tier> probe;
+      ok = load_container(entry.path(), from, to, probe, &file_error, /*force_read=*/true);
+    } else if (parse_store_file_name(name, "wal-", ".cvwbw", lsn)) {
+      ++r.wal_segments;
+      ok = check_segment_file(entry.path(), lsn);
+    } else if (parse_store_file_name(name, "arc-", ".cvwba", lsn)) {
+      ++r.archives;
+      ok = check_segment_file(entry.path(), lsn);
+    } else {
+      continue;
+    }
+    ++r.files_scanned;
+    if (!ok) {
+      r.damaged.push_back(name);
+      damaged.push_back(entry.path());
+      obs::count(observability_, "store/scrub_damaged");
+    }
+  }
+
+  if (damaged.empty()) {
+    r.verify_ok = verify_locked(error);
+    return r.verify_ok;
+  }
+  if (!options.repair) {
+    r.verify_ok = verify_locked(nullptr);
+    return fail(error, StoreErrorCode::kCorrupt,
+                std::to_string(damaged.size()) + " damaged store file(s)");
+  }
+
+  // Phase 2: quarantine the damaged files, then rebuild in place from the
+  // survivors.  The arc- archive chain makes commits above a quarantined
+  // base tier replayable; anything beyond the surviving valid prefix is
+  // genuinely lost and reported as such.
+  for (const auto& path : damaged) {
+    std::filesystem::path quar = path;
+    quar += ".quar";
+    if (fs.rename(path, quar)) {
+      // Report the store file's own name (matching `damaged`); the .quar
+      // twin is derivable and the rename-failed fallback has no twin.
+      r.quarantined.push_back(path.filename().string());
+    } else {
+      // Cannot even rename it: discard, or recovery would trip over it.
+      fs.remove(path);
+      r.quarantined.push_back(path.filename().string());
+    }
+    ++quarantined_files_;
+    obs::count(observability_, "store/quarantined_files");
+  }
+  const std::uint64_t prior_last = last_lsn_;
+  tables_ = std::make_unique<Tables>();
+  runs_.clear();
+  run_index_.clear();
+  dict_.clear();
+  dict_index_.clear();
+  last_lsn_ = 0;
+  covered_lsn_ = 0;
+  wal_segments_ = 0;
+  wal_bytes_ = 0;
+  if (!recover(error)) return false;
+  r.lost_lsns = prior_last > last_lsn_ ? prior_last - last_lsn_ : 0;
+
+  // Phase 3: re-materialize a clean base -- fold whatever recovery
+  // replayed, then merge the chain into one fresh full snapshot.  Both
+  // passes rebuild every postings index from the columns, so a repaired
+  // store's secondary indexes are provably consistent (verify below).
+  if (!checkpoint_locked(error)) return false;
+  if (!compact_locked(error)) return false;
+  r.repaired = true;
+  obs::count(observability_, "store/scrub_repairs");
+  r.verify_ok = verify_locked(error);
+  return r.verify_ok;
+}
+
 bool Store::contains_run(std::string_view run_key) const {
   std::shared_lock lock(mutex_);
   return run_index_.count(std::string(run_key)) != 0;
@@ -1606,6 +1841,10 @@ StoreStats Store::stats() const {
   out.wal_bytes = wal_bytes_;
   out.payload_bytes = t.payload_heap_size();
   out.dropped_segments = dropped_segments_;
+  out.archive_segments = archive_segments_;
+  out.archive_bytes = archive_bytes_;
+  out.scrubs = scrubs_;
+  out.quarantined_files = quarantined_files_;
   out.queries_index = queries_index_;
   out.queries_brute = queries_brute_;
   out.snapshot_mapped = !t.tiers.empty();

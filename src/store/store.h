@@ -20,9 +20,13 @@
 //     snap-<lsn>.cvwbs when no base exists yet, a range segment
 //     seg-<from>-<to>.cvwbg appended on top otherwise -- written
 //     temp-then-rename and read-back-validated before the folded WAL
-//     segments are deleted.  A crash (or injected fault) at any boundary
-//     leaves either the old tiers + WAL or the old tiers + the new tier
-//     -- both recover to the identical logical state.
+//     segments are retired.  Retirement archives each folded segment
+//     (rename to arc-<lsn>.cvwba) instead of deleting it: the archive
+//     chain is redo redundancy that scrub() replays when a base tier is
+//     later damaged (falling back to deletion when the rename itself
+//     fails).  A crash (or injected fault) at any boundary leaves either
+//     the old tiers + WAL or the old tiers + the new tier -- both recover
+//     to the identical logical state.
 //   * compact() merges every base tier back into a single full snapshot
 //     under the same temp-then-rename + read-back rules; the superseded
 //     tier files are deleted only after the merged snapshot validates.
@@ -96,9 +100,40 @@ struct StoreStats {
   std::uint64_t snapshot_bytes = 0;    // total bytes across base tiers
   std::uint64_t payload_bytes = 0;     // session payload heap size
   std::uint64_t dropped_segments = 0;  // invalid/stale files deleted at open
+  std::uint64_t archive_segments = 0;  // folded WAL kept as arc- redundancy
+  std::uint64_t archive_bytes = 0;
+  std::uint64_t scrubs = 0;            // scrub() passes (either mode)
+  std::uint64_t quarantined_files = 0; // damaged files set aside by repair
   std::uint64_t queries_index = 0;
   std::uint64_t queries_brute = 0;
   bool snapshot_mapped = false;        // every tier served via mmap
+};
+
+struct ScrubOptions {
+  /// false: detect-and-report only -- damaged files are named in the
+  /// report, nothing on disk or in memory changes.  true: quarantine each
+  /// damaged file (rename to <name>.quar), re-run recovery in place over
+  /// the survivors (the arc- archive chain makes commits above a lost base
+  /// tier replayable), and re-materialize one fresh full snapshot with all
+  /// postings indexes rebuilt from the columns.
+  bool repair = false;
+};
+
+struct ScrubReport {
+  std::uint64_t files_scanned = 0;  // store-owned files examined
+  std::uint64_t snapshots = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t wal_segments = 0;
+  std::uint64_t archives = 0;
+  std::vector<std::string> damaged;      // file names failing validation
+  std::vector<std::string> quarantined;  // set aside by repair (".quar")
+  /// Commits that could not be re-derived from the surviving files: the
+  /// gap between the pre-scrub last lsn and the recovered one.  Non-zero
+  /// means damage hit live WAL (or a hole in the archive chain) -- that
+  /// redo data exists nowhere else.
+  std::uint64_t lost_lsns = 0;
+  bool repaired = false;   // repair ran: recovery + fresh snapshot landed
+  bool verify_ok = false;  // post-scrub deep verify() of the served state
 };
 
 /// Per-run bookkeeping: rows of one run are contiguous in each table.
@@ -170,6 +205,19 @@ class Store {
   /// structured error on any mismatch.
   bool verify(StoreError* error = nullptr) const;
 
+  /// Walk every store file -- snapshots, segments, WAL, archives -- and
+  /// re-validate each against its current on-disk bytes (section digests
+  /// and structural checks for containers, payload digests and lsn
+  /// cross-checks for redo segments).  Reads bypass the live mappings, so
+  /// damage written underneath an mmap is still detected.  With
+  /// ScrubOptions::repair, damaged files are quarantined and the store is
+  /// rebuilt in place from the survivors (see ScrubOptions); query-visible
+  /// state after a repair equals a clean store holding the recoverable
+  /// prefix, proven by tests/store/scrub_test.cpp.  Returns true only when
+  /// the store is clean (or repaired) AND the post-scrub verify passes.
+  bool scrub(const ScrubOptions& options = {}, ScrubReport* report = nullptr,
+             StoreError* error = nullptr);
+
   bool contains_run(std::string_view run_key) const;
   std::vector<RunInfo> runs() const;
   StoreStats stats() const;
@@ -191,9 +239,21 @@ class Store {
   struct Tier;    // one immutable mapped base tier (see store.cpp)
   struct Tables;  // tier chain + in-memory delta (see store.cpp)
 
+  /// `force_read` bypasses mmap and reads the file's current disk bytes
+  /// (the scrub path: damage written under a live mapping must be seen).
   bool load_container(const std::filesystem::path& path, std::uint64_t expect_from,
-                      std::uint64_t expect_to, std::unique_ptr<Tier>& out, StoreError* error);
+                      std::uint64_t expect_to, std::unique_ptr<Tier>& out, StoreError* error,
+                      bool force_read = false);
+  /// Recovery body shared by open() and scrub repair: scan the directory,
+  /// pick the newest valid snapshot, chain segments, replay WAL +
+  /// archives.  Assumes empty in-memory state.
+  bool recover(StoreError* error);
   bool replay_wal(StoreError* error);
+  /// Validate one wal-/arc- redo segment against its disk bytes.
+  bool check_segment_file(const std::filesystem::path& path, std::uint64_t lsn);
+  bool checkpoint_locked(StoreError* error);
+  bool compact_locked(StoreError* error);
+  bool verify_locked(StoreError* error) const;
   void apply_batch(const struct WalBatch& batch);
   std::string build_container(std::uint64_t from_lsn, std::uint64_t to_lsn, std::size_t run_lo,
                               std::size_t run_hi) const;
@@ -226,6 +286,10 @@ class Store {
   std::uint64_t wal_segments_ = 0;
   std::uint64_t wal_bytes_ = 0;
   std::uint64_t dropped_segments_ = 0;
+  std::uint64_t archive_segments_ = 0;
+  std::uint64_t archive_bytes_ = 0;
+  std::uint64_t scrubs_ = 0;
+  std::uint64_t quarantined_files_ = 0;
   std::uint64_t compactions_ = 0;
   mutable std::uint64_t queries_index_ = 0;
   mutable std::uint64_t queries_brute_ = 0;

@@ -11,31 +11,58 @@
 // match-scratch), exactly like the per-shard RNG streams.  Alignment is
 // respected per allocation; `reset()` keeps every chunk but rewinds the
 // bump pointers, and `release()` frees all chunks back to the heap.
+//
+// Resource model (DESIGN.md §15): the fast path stays a pure pointer
+// bump; only chunk *growth* (the slow path) is a charged allocation.
+// Growth consults the injected allocation failpoint, charges the process
+// MemoryBudget, and converts any failure -- injected, budget hard
+// watermark, or a real bad_alloc from operator new -- into a structured
+// util::ResourceExhausted instead of letting bad_alloc escape the hot
+// loop.  Under soft budget pressure new chunks shrink (result-neutral:
+// chunking never affects what callers are handed, only how it is
+// batched).  Requests large enough to risk size arithmetic overflow are
+// refused up front.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
+#include <new>
+#include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/memory_budget.h"
 
 namespace cvewb::util {
 
 class Arena {
  public:
   static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+  /// Largest single request the arena will attempt.  Anything bigger is a
+  /// corrupted size computation, not a real workload: refusing it here
+  /// keeps the alignment arithmetic overflow-free by construction.
+  static constexpr std::size_t kMaxRequestBytes = std::numeric_limits<std::size_t>::max() / 4;
 
   explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
       : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+  ~Arena() { release(); }
 
   /// Allocate `size` bytes aligned to `align` (a power of two).  Oversized
-  /// requests get a dedicated chunk, so any size succeeds.
+  /// requests get a dedicated chunk, so any size up to kMaxRequestBytes
+  /// succeeds; past it (or past the memory budget's hard watermark, or an
+  /// injected failpoint) the failure is a structured ResourceExhausted.
   void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
     if (size == 0) size = 1;
+    if (size > kMaxRequestBytes) {
+      throw ResourceExhausted("arena: request of " + std::to_string(size) +
+                              " bytes exceeds the huge-request guard");
+    }
     if (chunk_ < chunks_.size()) {
       Chunk& c = chunks_[chunk_];
       const std::size_t aligned = align_up(c.used, align);
@@ -48,9 +75,15 @@ class Arena {
     return allocate_slow(size, align);
   }
 
-  /// Typed array allocation (uninitialized storage).
+  /// Typed array allocation (uninitialized storage).  The element-count
+  /// multiply is overflow-checked: a poisoned count surfaces as a
+  /// structured ResourceExhausted, never a silently small allocation.
   template <typename T>
   T* allocate_array(std::size_t count) {
+    if (count != 0 && count > kMaxRequestBytes / sizeof(T)) {
+      throw ResourceExhausted("arena: array of " + std::to_string(count) + " x " +
+                              std::to_string(sizeof(T)) + " bytes overflows");
+    }
     return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
   }
 
@@ -68,11 +101,13 @@ class Arena {
     chunk_ = 0;
   }
 
-  /// Free every chunk back to the heap.
+  /// Free every chunk back to the heap (and release their budget charge).
   void release() {
     chunks_.clear();
     chunks_.shrink_to_fit();
     chunk_ = 0;
+    MemoryBudget::process().release(charged_bytes_);
+    charged_bytes_ = 0;
   }
 
   /// Bytes currently handed out (diagnostic; includes alignment padding).
@@ -116,8 +151,29 @@ class Arena {
       }
     }
     Chunk fresh;
-    fresh.capacity = size > chunk_bytes_ ? size : chunk_bytes_;
-    fresh.data = std::make_unique<char[]>(fresh.capacity);
+    // Under soft budget pressure new chunks shrink toward the request
+    // size: the arena keeps working, it just stops reserving ahead.
+    std::size_t target = chunk_bytes_;
+    MemoryBudget& budget = MemoryBudget::process();
+    if (budget.pressure() != MemoryBudget::Pressure::kNone && target > kSoftPressureChunkBytes) {
+      target = kSoftPressureChunkBytes;
+    }
+    fresh.capacity = size > target ? size : target;
+    // Charged growth: the injected failpoint and the budget's hard
+    // watermark both refuse here, before operator new is attempted.
+    gate_allocation(fresh.capacity, "arena");
+    if (!budget.try_charge(fresh.capacity)) {
+      throw ResourceExhausted("arena: chunk of " + std::to_string(fresh.capacity) +
+                              " bytes refused by the memory budget");
+    }
+    try {
+      fresh.data = std::unique_ptr<char[]>(new char[fresh.capacity]);
+    } catch (const std::bad_alloc&) {
+      budget.release(fresh.capacity);
+      throw ResourceExhausted("arena: allocation of " + std::to_string(fresh.capacity) +
+                              " bytes failed (out of memory)");
+    }
+    charged_bytes_ += fresh.capacity;
     fresh.used = size;
     chunks_.push_back(std::move(fresh));
     chunk_ = chunks_.size() - 1;
@@ -126,9 +182,11 @@ class Arena {
   }
 
   std::size_t chunk_bytes_;
+  static constexpr std::size_t kSoftPressureChunkBytes = 16 * 1024;
   std::vector<Chunk> chunks_;
   std::size_t chunk_ = 0;  // current bump chunk
   std::uint64_t allocations_ = 0;
+  std::size_t charged_bytes_ = 0;  // ledger entry released by release()
 };
 
 }  // namespace cvewb::util

@@ -1,0 +1,86 @@
+#include "util/memory_budget.h"
+
+#include <limits>
+
+namespace cvewb::util {
+
+namespace {
+
+std::atomic<AllocFailpoint> g_alloc_failpoint{nullptr};
+
+}  // namespace
+
+void set_alloc_failpoint(AllocFailpoint hook) noexcept {
+  g_alloc_failpoint.store(hook, std::memory_order_release);
+}
+
+AllocFailpoint alloc_failpoint() noexcept {
+  return g_alloc_failpoint.load(std::memory_order_acquire);
+}
+
+void MemoryBudget::set_limits(std::uint64_t soft_bytes, std::uint64_t hard_bytes) noexcept {
+  if (hard_bytes != 0 && soft_bytes != 0 && hard_bytes < soft_bytes) hard_bytes = soft_bytes;
+  soft_.store(soft_bytes, std::memory_order_relaxed);
+  hard_.store(hard_bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t MemoryBudget::remaining() const noexcept {
+  const std::uint64_t hard = hard_limit();
+  if (hard == 0) return std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t used = charged();
+  return used >= hard ? 0 : hard - used;
+}
+
+bool MemoryBudget::try_charge(std::uint64_t bytes) noexcept {
+  if (bytes == 0) return true;
+  // CAS loop: the charge must be refused atomically with the watermark
+  // check, or two racing chargers could both land past the hard limit.
+  std::uint64_t used = charged_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t hard = hard_limit();
+    if (hard != 0 && (bytes > hard || used > hard - bytes)) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (charged_.compare_exchange_weak(used, used + bytes, std::memory_order_relaxed)) {
+      const std::uint64_t now = used + bytes;
+      std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+      while (now > peak &&
+             !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+  }
+}
+
+void MemoryBudget::release(std::uint64_t bytes) noexcept {
+  if (bytes == 0) return;
+  std::uint64_t used = charged_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next = bytes >= used ? 0 : used - bytes;
+    if (charged_.compare_exchange_weak(used, next, std::memory_order_relaxed)) return;
+  }
+}
+
+MemoryBudget& MemoryBudget::process() {
+  static MemoryBudget budget;
+  return budget;
+}
+
+void gate_allocation(std::uint64_t bytes, const char* site) {
+  if (const AllocFailpoint hook = alloc_failpoint(); hook != nullptr) {
+    if (hook(bytes, site)) {
+      throw ResourceExhausted(std::string("injected allocation failure at ") +
+                              (site != nullptr ? site : "?"));
+    }
+  }
+  MemoryBudget& budget = MemoryBudget::process();
+  if (!budget.try_charge(bytes)) {
+    throw ResourceExhausted(std::string("memory budget exhausted at ") +
+                            (site != nullptr ? site : "?") + " (" + std::to_string(bytes) +
+                            " bytes over hard watermark)");
+  }
+  budget.release(bytes);  // probe only; owners hold persistent charges
+}
+
+}  // namespace cvewb::util

@@ -1,0 +1,183 @@
+// Process-wide memory budget with soft/hard watermarks.
+//
+// The daemon runs studies, the store maps snapshots, and the cache buffers
+// blobs all in one process; when the machine is short on memory the kernel
+// answers with OOM-kills, not polite errors.  The budget turns "we are
+// close to the edge" into a first-class signal the engine can act on
+// *before* malloc fails:
+//
+//   * soft watermark -- advisory pressure.  Charging past it never fails,
+//     but `pressure()` flips to kSoft and the engine degrades gracefully:
+//     arenas grow in smaller chunks, the stage cache skips writes
+//     (`cache/skipped_budget`), the daemon stops admitting detached jobs.
+//     Degradation is strictly result-neutral: the same inputs produce the
+//     same StudyResult bytes at any pressure level (proven by
+//     tests/health/degraded_budget_golden_test.cpp).
+//   * hard watermark -- a charge that would cross it is refused.  Owning
+//     call sites surface the refusal as a structured error
+//     (util::ResourceExhausted -> StudyError resource_exhausted ->
+//     supervisor retry at reduced footprint), never a crash.
+//
+// Charging discipline (see DESIGN.md §15): long-lived owners -- arena
+// chunks, store tier mappings, daemon connection buffers -- hold a
+// persistent charge released with the resource (BudgetCharge).  Transient
+// bulk allocations -- cache blobs, codec buffers, column fills -- *probe*
+// via gate_allocation(): the hard watermark is enforced at the moment of
+// allocation without long-term ledger entries.
+//
+// There is exactly one budget per process (`MemoryBudget::process()`),
+// matching the resource it models; tests scope limit changes with
+// ScopedBudgetLimits.  All operations are lock-free atomics: charging
+// sits on the arena slow path and the store open path, never on a
+// per-session hot loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cvewb::util {
+
+/// Structured "the process is out of <memory|descriptors>" failure.  Not a
+/// std::bad_alloc: bad_alloc escaping a hot path is exactly the unstructured
+/// behavior this layer exists to replace.  The pipeline supervisor maps it
+/// to a retryable `resource_exhausted` StudyError.
+class ResourceExhausted : public std::runtime_error {
+ public:
+  explicit ResourceExhausted(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Injected allocation-failure hook.  chaos::ResourceShim installs one so
+/// charged allocation sites fail deterministically under test plans; null
+/// (the default) means no injection.  Returns true when the allocation at
+/// `site` must fail.  The hook must be thread-safe and must not allocate.
+using AllocFailpoint = bool (*)(std::uint64_t bytes, const char* site);
+
+void set_alloc_failpoint(AllocFailpoint hook) noexcept;
+AllocFailpoint alloc_failpoint() noexcept;
+
+class MemoryBudget {
+ public:
+  enum class Pressure {
+    kNone,  // below the soft watermark (or unlimited)
+    kSoft,  // soft <= charged < hard: degrade, keep answering
+    kHard,  // charged >= hard: refuse new charges
+  };
+
+  MemoryBudget() = default;
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// 0 = unlimited for either watermark.  A hard limit below the soft
+  /// limit is clamped up to it (soft must trip first by construction).
+  void set_limits(std::uint64_t soft_bytes, std::uint64_t hard_bytes) noexcept;
+
+  std::uint64_t soft_limit() const noexcept { return soft_.load(std::memory_order_relaxed); }
+  std::uint64_t hard_limit() const noexcept { return hard_.load(std::memory_order_relaxed); }
+  std::uint64_t charged() const noexcept { return charged_.load(std::memory_order_relaxed); }
+  std::uint64_t peak() const noexcept { return peak_.load(std::memory_order_relaxed); }
+  std::uint64_t hard_denials() const noexcept { return denials_.load(std::memory_order_relaxed); }
+
+  Pressure pressure() const noexcept {
+    const std::uint64_t used = charged();
+    const std::uint64_t hard = hard_limit();
+    if (hard != 0 && used >= hard) return Pressure::kHard;
+    const std::uint64_t soft = soft_limit();
+    if (soft != 0 && used >= soft) return Pressure::kSoft;
+    return Pressure::kNone;
+  }
+
+  /// Bytes left before the hard watermark; uint64 max when unlimited.
+  std::uint64_t remaining() const noexcept;
+
+  /// Charge `bytes` against the ledger.  False (and nothing charged) when
+  /// the charge would land at or past the hard watermark; the soft
+  /// watermark never refuses.
+  bool try_charge(std::uint64_t bytes) noexcept;
+
+  /// Undo a successful try_charge.  Releasing more than was charged clamps
+  /// at zero (defensive; the RAII holders make it unreachable).
+  void release(std::uint64_t bytes) noexcept;
+
+  /// The one budget the process shares (default: unlimited).
+  static MemoryBudget& process();
+
+ private:
+  std::atomic<std::uint64_t> soft_{0};
+  std::atomic<std::uint64_t> hard_{0};
+  std::atomic<std::uint64_t> charged_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> denials_{0};
+};
+
+/// Gate a sizable allocation at `site`: first the injected failpoint (the
+/// deterministic OOM matrix), then a probe of the process budget's hard
+/// watermark.  Throws ResourceExhausted on either; on success nothing
+/// stays charged -- owners that hold memory long-term follow up with a
+/// BudgetCharge.
+void gate_allocation(std::uint64_t bytes, const char* site);
+
+/// RAII ledger entry for a long-lived owner (arena chunk, tier mapping,
+/// connection buffer): acquire() charges, the destructor releases.
+class BudgetCharge {
+ public:
+  BudgetCharge() = default;
+  BudgetCharge(const BudgetCharge&) = delete;
+  BudgetCharge& operator=(const BudgetCharge&) = delete;
+  BudgetCharge(BudgetCharge&& other) noexcept { *this = static_cast<BudgetCharge&&>(other); }
+  BudgetCharge& operator=(BudgetCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~BudgetCharge() { reset(); }
+
+  /// Charge `bytes` on `budget`; false when the hard watermark refuses
+  /// (the holder stays empty).  Re-acquiring releases the previous charge.
+  bool acquire(MemoryBudget& budget, std::uint64_t bytes) noexcept {
+    reset();
+    if (!budget.try_charge(bytes)) return false;
+    budget_ = &budget;
+    bytes_ = bytes;
+    return true;
+  }
+
+  void reset() noexcept {
+    if (budget_ != nullptr) budget_->release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  std::uint64_t bytes() const noexcept { return bytes_; }
+  bool held() const noexcept { return budget_ != nullptr; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Test/bench scope: set process-budget limits, restore the previous ones
+/// on exit (charges themselves always balance via their owners).
+class ScopedBudgetLimits {
+ public:
+  ScopedBudgetLimits(std::uint64_t soft_bytes, std::uint64_t hard_bytes)
+      : prev_soft_(MemoryBudget::process().soft_limit()),
+        prev_hard_(MemoryBudget::process().hard_limit()) {
+    MemoryBudget::process().set_limits(soft_bytes, hard_bytes);
+  }
+  ScopedBudgetLimits(const ScopedBudgetLimits&) = delete;
+  ScopedBudgetLimits& operator=(const ScopedBudgetLimits&) = delete;
+  ~ScopedBudgetLimits() { MemoryBudget::process().set_limits(prev_soft_, prev_hard_); }
+
+ private:
+  std::uint64_t prev_soft_;
+  std::uint64_t prev_hard_;
+};
+
+}  // namespace cvewb::util

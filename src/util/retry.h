@@ -46,11 +46,32 @@ struct RetryPolicy {
   }
 };
 
+/// Sleep `delay`, waking early (returning false) if `cancel` fires.  The
+/// sleep is sliced so a cancellation request -- a user signal, a deadline
+/// expiring mid-backoff -- interrupts within one slice instead of
+/// stalling for the full (possibly capped-at-50ms-or-more) delay.
+template <typename Duration>
+inline bool backoff_sleep(Duration delay, const CancelToken* cancel) {
+  constexpr std::chrono::microseconds kSlice{500};
+  auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(delay);
+  while (remaining.count() > 0) {
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    const auto step = remaining < kSlice ? remaining : kSlice;
+    std::this_thread::sleep_for(step);
+    remaining -= step;
+  }
+  return cancel == nullptr || !cancel->cancelled();
+}
+
 /// Run `attempt` (returning true on success) up to 1 + max_retries times,
 /// sleeping the backoff schedule between attempts.  `on_retry(index)` fires
 /// before each re-attempt (metrics hooks).  A fired CancelToken stops the
 /// loop early -- retrying past a cancellation would stall the very
-/// checkpoint-and-exit path the token exists for.
+/// checkpoint-and-exit path the token exists for.  Cancellation during the
+/// backoff sleep itself also stops the loop *without* running another
+/// attempt: the attempt budget is spent on real attempts only, and the
+/// caller's structured error from the last failed attempt stays intact
+/// (tests/health/retry_resource_test.cpp).
 template <typename Fn, typename OnRetry>
 bool retry_io(const RetryPolicy& policy, const CancelToken* cancel, Fn&& attempt,
               OnRetry&& on_retry) {
@@ -59,8 +80,7 @@ bool retry_io(const RetryPolicy& policy, const CancelToken* cancel, Fn&& attempt
     if (retry_index >= policy.max_retries) return false;
     if (cancel != nullptr && cancel->cancelled()) return false;
     on_retry(retry_index);
-    const auto delay = policy.delay(retry_index);
-    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    if (!backoff_sleep(policy.delay(retry_index), cancel)) return false;
   }
 }
 

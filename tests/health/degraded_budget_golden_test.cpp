@@ -1,0 +1,133 @@
+// Golden proof that memory-budget degradation is result-neutral.
+//
+// Under soft pressure the engine changes *how* it works -- arenas grow in
+// smaller chunks, the stage cache skips writes, the daemon stops admitting
+// detached jobs -- but never *what* it computes: the StudyResult digest is
+// byte-identical to an unpressured run.  Past the hard watermark the
+// failure is a structured, retryable resource_exhausted, and the same
+// configuration runs clean once pressure subsides.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "cache/serialize.h"
+#include "obs/observability.h"
+#include "pipeline/study.h"
+#include "pipeline/supervisor.h"
+#include "util/memory_budget.h"
+#include "util/sha256.h"
+
+namespace cvewb::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kScale = 0.01;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "cvewb_health" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+StudyConfig small_config() {
+  StudyConfig config;
+  config.seed = 5;
+  config.threads = 1;
+  config.event_scale = kScale;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50'000;
+  return config;
+}
+
+std::string digest_of(const StudyResult& result) {
+  return util::sha256_hex(cache::encode_study_result(result));
+}
+
+/// Unpressured reference digest, computed once per binary.
+const std::string& reference_digest() {
+  static const std::string digest = digest_of(run_study(small_config()));
+  return digest;
+}
+
+TEST(DegradedBudgetGolden, SoftPressureIsResultNeutral) {
+  const std::string reference = reference_digest();
+
+  // Permanent soft pressure: a 1-byte soft watermark plus a 1-byte held
+  // charge keeps pressure() at kSoft for the whole run, so every
+  // degradation path (small arena chunks, cache skip-writes) is live.
+  util::ScopedBudgetLimits limits(1, 0);
+  util::BudgetCharge pressure;
+  ASSERT_TRUE(pressure.acquire(util::MemoryBudget::process(), 1));
+  ASSERT_EQ(util::MemoryBudget::process().pressure(),
+            util::MemoryBudget::Pressure::kSoft);
+
+  obs::Observability observability;
+  StudyConfig degraded = small_config();
+  degraded.cache_dir = fresh_dir("degraded_cache").string();
+  degraded.observability = &observability;
+  EXPECT_EQ(digest_of(run_study(degraded)), reference)
+      << "soft-pressure degradation changed result bytes";
+
+  // The degradation actually engaged: the stage cache refused its writes
+  // under pressure instead of spending memory on encode buffers.
+  const auto counters = observability.metrics.snapshot().counters;
+  const auto skipped = counters.find("cache/skipped_budget");
+  ASSERT_NE(skipped, counters.end()) << "cache never consulted the budget";
+  EXPECT_GT(skipped->second, 0u);
+}
+
+TEST(DegradedBudgetGolden, HardWatermarkIsStructuredAndRecoverable) {
+  const std::string reference = reference_digest();
+
+  StudyConfig config = small_config();
+  config.resource_retries = 0;  // surface the first refusal, no retry
+  {
+    // A hard watermark no study fits under: the first charged allocation
+    // (arena chunk, column fill, codec buffer) is refused.
+    util::ScopedBudgetLimits limits(1, 1024);
+    RunSupervisor supervisor(config);
+    const RunReport report = supervisor.run();
+    EXPECT_EQ(report.status, RunStatus::kFailed) << report.message;
+    EXPECT_TRUE(report.resource_exhausted) << report.message;
+    EXPECT_EQ(report.error_class, ErrorClass::kRetryable);
+    EXPECT_FALSE(report.resource_retried);
+  }
+  // Pressure subsided (limits restored): the identical configuration now
+  // completes, byte-identical to the never-pressured reference.
+  RunSupervisor supervisor(config);
+  const RunReport report = supervisor.run();
+  ASSERT_TRUE(report.ok()) << report.message;
+  EXPECT_EQ(digest_of(*report.result), reference);
+}
+
+TEST(DegradedBudgetGolden, SupervisorRetriesAtReducedFootprintUnderTransientPressure) {
+  const std::string reference = reference_digest();
+
+  // A one-shot injected allocation failure models transient pressure: the
+  // first attempt dies on it, the supervisor's reduced-footprint retry
+  // (threads=1, DAG off) runs after the failpoint is spent and must
+  // converge to the reference digest.  The OOM matrix sweeps this same
+  // contract across every sampled failpoint position.
+  static int fires;
+  fires = 0;
+  util::set_alloc_failpoint(+[](std::uint64_t, const char*) {
+    return ++fires == 1;  // exactly the first charged allocation fails
+  });
+  StudyConfig config = small_config();
+  config.resource_retries = 1;
+  RunSupervisor supervisor(config);
+  const RunReport report = supervisor.run();
+  util::set_alloc_failpoint(nullptr);
+  ASSERT_TRUE(report.ok()) << report.message;
+  EXPECT_TRUE(report.resource_retried);
+  EXPECT_EQ(digest_of(*report.result), reference)
+      << "reduced-footprint retry changed result bytes";
+}
+
+}  // namespace
+}  // namespace cvewb::pipeline

@@ -1,0 +1,173 @@
+// Memory-budget semantics: the ledger the whole resource model stands on.
+// The load-bearing properties are watermark arithmetic (soft signals, hard
+// refuses, landing exactly at hard is the last admissible charge), balanced
+// accounting through the RAII holders, and the probe-only contract of
+// gate_allocation -- a successful gate must leave nothing charged, or every
+// transient codec buffer would leak ledger entries.
+#include "util/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace cvewb::util {
+namespace {
+
+TEST(MemoryBudget, ChargeReleaseLedgerBalances) {
+  MemoryBudget budget;
+  EXPECT_EQ(budget.charged(), 0u);
+  EXPECT_TRUE(budget.try_charge(100));
+  EXPECT_TRUE(budget.try_charge(50));
+  EXPECT_EQ(budget.charged(), 150u);
+  EXPECT_EQ(budget.peak(), 150u);
+  budget.release(50);
+  EXPECT_EQ(budget.charged(), 100u);
+  EXPECT_EQ(budget.peak(), 150u);  // peak is a high-water mark
+  budget.release(100);
+  EXPECT_EQ(budget.charged(), 0u);
+  // Defensive clamp: over-release never wraps the ledger.
+  budget.release(1u << 20);
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(MemoryBudget, ZeroByteChargesAreFreeEvenAtTheHardWatermark) {
+  MemoryBudget budget;
+  budget.set_limits(0, 10);
+  ASSERT_TRUE(budget.try_charge(10));
+  EXPECT_TRUE(budget.try_charge(0));
+  EXPECT_EQ(budget.charged(), 10u);
+}
+
+TEST(MemoryBudget, SoftWatermarkSignalsWithoutRefusing) {
+  MemoryBudget budget;
+  budget.set_limits(100, 0);  // soft only; hard unlimited
+  EXPECT_EQ(budget.pressure(), MemoryBudget::Pressure::kNone);
+  ASSERT_TRUE(budget.try_charge(99));
+  EXPECT_EQ(budget.pressure(), MemoryBudget::Pressure::kNone);
+  ASSERT_TRUE(budget.try_charge(1));  // lands exactly at soft
+  EXPECT_EQ(budget.pressure(), MemoryBudget::Pressure::kSoft);
+  // Soft never refuses, no matter how far past it the ledger runs.
+  EXPECT_TRUE(budget.try_charge(1u << 20));
+  EXPECT_EQ(budget.pressure(), MemoryBudget::Pressure::kSoft);
+  EXPECT_EQ(budget.hard_denials(), 0u);
+}
+
+TEST(MemoryBudget, HardWatermarkRefusesPastTheLimit) {
+  MemoryBudget budget;
+  budget.set_limits(0, 100);
+  // Landing exactly at the hard watermark is the last admissible charge...
+  ASSERT_TRUE(budget.try_charge(100));
+  EXPECT_EQ(budget.pressure(), MemoryBudget::Pressure::kHard);
+  // ...and anything past it is refused without touching the ledger.
+  EXPECT_FALSE(budget.try_charge(1));
+  EXPECT_EQ(budget.charged(), 100u);
+  EXPECT_EQ(budget.hard_denials(), 1u);
+  // A single oversized charge is refused even from an empty ledger.
+  budget.release(100);
+  EXPECT_FALSE(budget.try_charge(101));
+  EXPECT_EQ(budget.charged(), 0u);
+  EXPECT_EQ(budget.hard_denials(), 2u);
+}
+
+TEST(MemoryBudget, HardLimitBelowSoftIsClampedUp) {
+  MemoryBudget budget;
+  budget.set_limits(100, 50);
+  EXPECT_EQ(budget.soft_limit(), 100u);
+  EXPECT_EQ(budget.hard_limit(), 100u);  // soft must trip first by construction
+}
+
+TEST(MemoryBudget, RemainingReportsHeadroomToTheHardWatermark) {
+  MemoryBudget budget;
+  EXPECT_EQ(budget.remaining(), std::numeric_limits<std::uint64_t>::max());
+  budget.set_limits(0, 100);
+  EXPECT_EQ(budget.remaining(), 100u);
+  ASSERT_TRUE(budget.try_charge(40));
+  EXPECT_EQ(budget.remaining(), 60u);
+  ASSERT_TRUE(budget.try_charge(60));
+  EXPECT_EQ(budget.remaining(), 0u);
+}
+
+TEST(MemoryBudget, BudgetChargeReleasesOnDestruction) {
+  MemoryBudget budget;
+  {
+    BudgetCharge charge;
+    EXPECT_FALSE(charge.held());
+    ASSERT_TRUE(charge.acquire(budget, 64));
+    EXPECT_TRUE(charge.held());
+    EXPECT_EQ(charge.bytes(), 64u);
+    EXPECT_EQ(budget.charged(), 64u);
+  }
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(MemoryBudget, BudgetChargeReacquireReplacesThePreviousCharge) {
+  MemoryBudget budget;
+  BudgetCharge charge;
+  ASSERT_TRUE(charge.acquire(budget, 64));
+  // Growing a buffer re-acquires for the new capacity; the old entry is
+  // released first so the ledger never double-counts one owner.
+  ASSERT_TRUE(charge.acquire(budget, 256));
+  EXPECT_EQ(budget.charged(), 256u);
+  EXPECT_EQ(charge.bytes(), 256u);
+  charge.reset();
+  EXPECT_EQ(budget.charged(), 0u);
+  EXPECT_FALSE(charge.held());
+}
+
+TEST(MemoryBudget, FailedAcquireLeavesTheHolderEmptyAndReleasesThePrior) {
+  MemoryBudget budget;
+  budget.set_limits(0, 100);
+  BudgetCharge charge;
+  ASSERT_TRUE(charge.acquire(budget, 80));
+  // The re-acquire releases the 80 first; 200 then fails against hard=100,
+  // so the holder ends empty -- the refusal is total, not partial.
+  EXPECT_FALSE(charge.acquire(budget, 200));
+  EXPECT_FALSE(charge.held());
+  EXPECT_EQ(charge.bytes(), 0u);
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(MemoryBudget, BudgetChargeMoveTransfersOwnership) {
+  MemoryBudget budget;
+  BudgetCharge a;
+  ASSERT_TRUE(a.acquire(budget, 32));
+  BudgetCharge b = std::move(a);
+  EXPECT_FALSE(a.held());
+  EXPECT_TRUE(b.held());
+  EXPECT_EQ(budget.charged(), 32u);
+  b.reset();
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(MemoryBudget, ScopedLimitsRestoreOnExit) {
+  MemoryBudget& process = MemoryBudget::process();
+  const std::uint64_t prev_soft = process.soft_limit();
+  const std::uint64_t prev_hard = process.hard_limit();
+  {
+    ScopedBudgetLimits limits(1u << 20, 1u << 21);
+    EXPECT_EQ(process.soft_limit(), 1u << 20);
+    EXPECT_EQ(process.hard_limit(), 1u << 21);
+  }
+  EXPECT_EQ(process.soft_limit(), prev_soft);
+  EXPECT_EQ(process.hard_limit(), prev_hard);
+}
+
+TEST(MemoryBudget, GateAllocationProbesWithoutHoldingACharge) {
+  const std::uint64_t baseline = MemoryBudget::process().charged();
+  ScopedBudgetLimits limits(0, baseline + 4096);
+  EXPECT_NO_THROW(gate_allocation(1024, "test"));
+  // Probe only: a successful gate leaves the ledger where it found it.
+  EXPECT_EQ(MemoryBudget::process().charged(), baseline);
+}
+
+TEST(MemoryBudget, GateAllocationThrowsPastTheHardWatermark) {
+  const std::uint64_t baseline = MemoryBudget::process().charged();
+  ScopedBudgetLimits limits(0, baseline + 100);
+  EXPECT_THROW(gate_allocation(101, "test"), ResourceExhausted);
+  EXPECT_EQ(MemoryBudget::process().charged(), baseline);
+  EXPECT_NO_THROW(gate_allocation(100, "test"));
+}
+
+}  // namespace
+}  // namespace cvewb::util

@@ -1,0 +1,128 @@
+// The OOM matrix: walk a deterministic allocation failpoint across the
+// charged allocations of a full supervised study and require that every
+// induced failure resolves one of exactly two ways --
+//
+//   * with the supervisor's resource retry enabled, the run completes and
+//     its digest is byte-identical to the unfaulted reference;
+//   * with retries disabled, the run either completes identically (the
+//     failing site absorbed the fault structurally: a skipped cache write,
+//     a best-effort store ingest) or fails with a structured, retryable
+//     resource_exhausted report.
+//
+// Never a crash, never a wrong digest, never an unclassified exception --
+// under ASan/UBSan when CVEWB_SANITIZE is on.  A transparent shim first
+// counts the op census; the sweep then samples failpoint positions across
+// that range (every position is admissible; the sample bounds wall-clock
+// on the 1-core CI container).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cache/serialize.h"
+#include "chaos/resource_shim.h"
+#include "pipeline/study.h"
+#include "pipeline/supervisor.h"
+#include "util/sha256.h"
+
+namespace cvewb::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kScale = 0.005;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "cvewb_health_oom" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+StudyConfig matrix_config(const std::string& tag, int resource_retries) {
+  StudyConfig config;
+  config.seed = 7;
+  config.threads = 1;
+  config.event_scale = kScale;
+  config.background_per_day = 5.0;
+  config.credstuff_per_day = 1.0;
+  config.telescope_lanes = 10;
+  config.pool_size = 50'000;
+  config.resource_retries = resource_retries;
+  // Cache and store on: their codec buffers and snapshot/WAL builders are
+  // charged allocation sites, so the sweep covers them too.
+  config.cache_dir = fresh_dir(tag + "_cache").string();
+  config.store_dir = fresh_dir(tag + "_store").string();
+  return config;
+}
+
+std::string digest_of(const StudyResult& result) {
+  return util::sha256_hex(cache::encode_study_result(result));
+}
+
+TEST(OomMatrix, EveryInducedAllocationFailureIsRetriedOrStructured) {
+  // Census pass: a transparent shim counts every charged allocation of an
+  // unfaulted supervised run and yields the reference digest.
+  std::uint64_t census = 0;
+  std::string reference;
+  {
+    chaos::ResourceShim shim;
+    chaos::ScopedResourceShim scope(shim);
+    RunSupervisor supervisor(matrix_config("census", 0));
+    const RunReport report = supervisor.run();
+    ASSERT_TRUE(report.ok()) << report.message;
+    reference = digest_of(*report.result);
+    census = shim.stats().allocs;
+    EXPECT_EQ(shim.stats().injected_alloc_failures, 0u);
+  }
+  ASSERT_GT(census, 0u) << "no charged allocation sites consulted the shim";
+
+  // Sample failpoint positions across the census: both endpoints plus
+  // evenly spaced interior points.
+  constexpr std::uint64_t kSamples = 6;
+  std::vector<std::uint64_t> positions;
+  const std::uint64_t points = std::min(kSamples, census);
+  for (std::uint64_t i = 0; i < points; ++i) {
+    const std::uint64_t k =
+        points == 1 ? 1 : 1 + i * (census - 1) / (points - 1);
+    if (positions.empty() || positions.back() != k) positions.push_back(k);
+  }
+
+  int run = 0;
+  for (const std::uint64_t k : positions) {
+    for (const int retries : {1, 0}) {
+      const std::string tag = "k" + std::to_string(k) + "_r" + std::to_string(retries);
+      chaos::ResourceFaultPlan plan;
+      plan.fail_alloc_at = k;
+      chaos::ResourceShim shim(plan);
+      chaos::ScopedResourceShim scope(shim);
+      RunSupervisor supervisor(matrix_config(tag, retries));
+      const RunReport report = supervisor.run();
+      ++run;
+      EXPECT_GE(shim.stats().injected_alloc_failures, 1u)
+          << tag << ": the failpoint never fired";
+      if (retries == 1) {
+        // One-shot failure + one reduced-footprint retry: the run must
+        // complete, byte-identical.
+        ASSERT_TRUE(report.ok()) << tag << ": " << report.message;
+        EXPECT_EQ(digest_of(*report.result), reference) << tag;
+      } else if (report.ok()) {
+        // The failing site absorbed the fault structurally; the result
+        // must still be byte-identical.
+        EXPECT_EQ(digest_of(*report.result), reference) << tag;
+      } else {
+        EXPECT_EQ(report.status, RunStatus::kFailed) << tag << ": " << report.message;
+        EXPECT_TRUE(report.resource_exhausted)
+            << tag << ": unstructured failure: " << report.message;
+        EXPECT_EQ(report.error_class, ErrorClass::kRetryable) << tag;
+      }
+    }
+  }
+  EXPECT_EQ(run, static_cast<int>(positions.size()) * 2);
+}
+
+}  // namespace
+}  // namespace cvewb::pipeline

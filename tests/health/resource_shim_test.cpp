@@ -1,0 +1,164 @@
+// Resource-shim semantics: the deterministic OOM/fd fault layer under the
+// health suite.  The properties the OOM matrix and the fd-exhaustion e2e
+// lean on are all here: injection is a pure function of (plan, op class,
+// op index); the exact-op triggers are one-shot; the fd window fails a
+// contiguous stretch and nothing else; a transparent shim counts the op
+// census without perturbing anything; and the installed shim is what
+// util::gate_allocation and store::MappedFile actually consult.
+#include "chaos/resource_shim.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/error.h"
+#include "store/mmap_file.h"
+#include "util/memory_budget.h"
+
+namespace cvewb::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "cvewb_health" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(ResourceShim, TransparentShimCountsButNeverInjects) {
+  ResourceShim shim;  // default plan: census only
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(shim.should_fail_alloc(1024, "test"));
+    EXPECT_FALSE(shim.should_fail_fd());
+  }
+  const ResourceShimStats stats = shim.stats();
+  EXPECT_EQ(stats.allocs, 32u);
+  EXPECT_EQ(stats.fds, 32u);
+  EXPECT_EQ(stats.injected_alloc_failures, 0u);
+  EXPECT_EQ(stats.injected_fd_failures, 0u);
+}
+
+TEST(ResourceShim, ExactAllocTriggerIsOneShot) {
+  ResourceFaultPlan plan;
+  plan.fail_alloc_at = 3;
+  ResourceShim shim(plan);
+  std::vector<bool> failed;
+  for (int i = 0; i < 6; ++i) failed.push_back(shim.should_fail_alloc(64, "test"));
+  EXPECT_EQ(failed, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(shim.stats().injected_alloc_failures, 1u);
+  EXPECT_EQ(shim.stats().allocs, 6u);
+}
+
+TEST(ResourceShim, ExactFdTriggerIsIndependentOfTheAllocCounter) {
+  ResourceFaultPlan plan;
+  plan.fail_fd_at = 2;
+  ResourceShim shim(plan);
+  // Alloc ops advance their own counter; the fd trigger must not care.
+  EXPECT_FALSE(shim.should_fail_alloc(64, "test"));
+  EXPECT_FALSE(shim.should_fail_alloc(64, "test"));
+  EXPECT_FALSE(shim.should_fail_fd());
+  EXPECT_TRUE(shim.should_fail_fd());
+  EXPECT_FALSE(shim.should_fail_fd());
+  EXPECT_EQ(shim.stats().injected_fd_failures, 1u);
+  EXPECT_EQ(shim.stats().injected_alloc_failures, 0u);
+}
+
+TEST(ResourceShim, FdWindowFailsExactlyTheCoveredStretch) {
+  ResourceFaultPlan plan;
+  plan.fail_fd_from = 2;
+  plan.fail_fd_to = 4;
+  ResourceShim shim(plan);
+  std::vector<bool> failed;
+  for (int i = 0; i < 6; ++i) failed.push_back(shim.should_fail_fd());
+  EXPECT_EQ(failed, (std::vector<bool>{false, true, true, true, false, false}));
+  EXPECT_EQ(shim.stats().injected_fd_failures, 3u);
+}
+
+TEST(ResourceShim, RateInjectionIsDeterministicPerPlan) {
+  ResourceFaultPlan plan;
+  plan.seed = 7;
+  plan.alloc_fail_rate = 0.5;
+  ResourceShim first(plan);
+  ResourceShim second(plan);
+  int failures = 0;
+  for (int i = 0; i < 128; ++i) {
+    const bool a = first.should_fail_alloc(64, "test");
+    const bool b = second.should_fail_alloc(64, "test");
+    EXPECT_EQ(a, b) << "op " << i << " diverged between identical plans";
+    failures += a ? 1 : 0;
+  }
+  // A 0.5 rate over 128 ops fails some and passes some (deterministically).
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 128);
+}
+
+TEST(ResourceShim, ScopedInstallNestsAndRestores) {
+  EXPECT_EQ(ResourceShim::current(), nullptr);
+  ResourceShim outer;
+  {
+    ScopedResourceShim outer_scope(outer);
+    EXPECT_EQ(ResourceShim::current(), &outer);
+    ResourceShim inner;
+    {
+      ScopedResourceShim inner_scope(inner);
+      EXPECT_EQ(ResourceShim::current(), &inner);
+    }
+    EXPECT_EQ(ResourceShim::current(), &outer);
+  }
+  EXPECT_EQ(ResourceShim::current(), nullptr);
+}
+
+TEST(ResourceShim, GateAllocationRoutesThroughTheInstalledShim) {
+  ResourceFaultPlan plan;
+  plan.fail_alloc_at = 1;
+  ResourceShim shim(plan);
+  ScopedResourceShim scope(shim);
+  EXPECT_THROW(util::gate_allocation(4096, "test"), util::ResourceExhausted);
+  // One-shot: the very next gated allocation goes through.
+  EXPECT_NO_THROW(util::gate_allocation(4096, "test"));
+  EXPECT_EQ(shim.stats().injected_alloc_failures, 1u);
+  EXPECT_EQ(shim.stats().allocs, 2u);
+}
+
+TEST(ResourceShim, UninstalledShimLeavesGateAllocationAlone) {
+  ASSERT_EQ(ResourceShim::current(), nullptr);
+  EXPECT_NO_THROW(util::gate_allocation(4096, "test"));
+}
+
+// Satellite regression: fd exhaustion on the snapshot-load path must come
+// back as a structured StoreError with the resource class -- previously an
+// open/mmap failure was indistinguishable from generic I/O trouble.
+TEST(ResourceShim, MappedFileReportsFdExhaustionAsAResourceError) {
+  const fs::path dir = fresh_dir("mmap_fd");
+  const fs::path file = dir / "blob.bin";
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << std::string(4096, 'x');
+  }
+  ResourceFaultPlan plan;
+  plan.fail_fd_at = 1;
+  ResourceShim shim(plan);
+  {
+    ScopedResourceShim scope(shim);
+    store::MappedFile mapped;
+    store::StoreError error;
+    EXPECT_FALSE(mapped.map(file, &error));
+    EXPECT_EQ(error.code, store::StoreErrorCode::kResource) << error.detail;
+    EXPECT_FALSE(error.detail.empty());
+  }
+  EXPECT_EQ(shim.stats().injected_fd_failures, 1u);
+  // Pressure gone (shim uninstalled): the same file maps fine.
+  store::MappedFile mapped;
+  store::StoreError error;
+  ASSERT_TRUE(mapped.map(file, &error)) << error.detail;
+  EXPECT_EQ(mapped.view().size(), 4096u);
+}
+
+}  // namespace
+}  // namespace cvewb::chaos

@@ -1,0 +1,174 @@
+// retry_io under cancellation and deadlines: the interplay the supervisor
+// and the store's I/O retries depend on.  The contract under test: the
+// attempt budget is spent on real attempts only -- a cancellation that
+// lands during the backoff sleep stops the loop *without* running another
+// attempt, and whatever structured error the last real attempt produced
+// stays intact for the caller to report.
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/cancel.h"
+
+namespace cvewb::util {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(RetryResource, AttemptBudgetIsSpentOnRealAttemptsOnly) {
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.backoff_base = microseconds(100);
+  int attempts = 0;
+  std::vector<int> retry_indexes;
+  const bool ok = retry_io(
+      policy, nullptr,
+      [&] {
+        ++attempts;
+        return false;
+      },
+      [&](int index) { retry_indexes.push_back(index); });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts, 3);  // 1 + max_retries
+  EXPECT_EQ(retry_indexes, (std::vector<int>{0, 1}));
+}
+
+TEST(RetryResource, SuccessStopsTheSchedule) {
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.backoff_base = microseconds(100);
+  int attempts = 0;
+  const bool ok = retry_io(
+      policy, nullptr,
+      [&] {
+        ++attempts;
+        return attempts == 3;
+      },
+      [](int) {});
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RetryResource, PreCancelledTokenRunsOneAttemptAndNeverRetries) {
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  CancelToken cancel;
+  cancel.request_cancel();
+  int attempts = 0;
+  int retries = 0;
+  const bool ok = retry_io(
+      policy, &cancel,
+      [&] {
+        ++attempts;
+        return false;
+      },
+      [&](int) { ++retries; });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts, 1);  // the attempt itself is not a cancellation point
+  EXPECT_EQ(retries, 0);
+}
+
+TEST(RetryResource, CancelDuringBackoffStopsWithoutConsumingAnAttempt) {
+  RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.backoff_base = milliseconds(500);  // would be a visible stall if slept
+  policy.backoff_cap = milliseconds(500);
+  CancelToken cancel;
+  int attempts = 0;
+  int retries = 0;
+  std::string last_error;
+  const auto start = steady_clock::now();
+  const bool ok = retry_io(
+      policy, &cancel,
+      [&] {
+        ++attempts;
+        last_error = "resource_exhausted: attempt " + std::to_string(attempts);
+        return false;
+      },
+      [&](int) {
+        ++retries;
+        // The cancellation lands between the retry decision and the sleep --
+        // exactly the window where a naive loop would burn another attempt.
+        cancel.request_cancel();
+      });
+  const auto elapsed = steady_clock::now() - start;
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts, 1);  // the budget was NOT spent on a post-cancel attempt
+  EXPECT_EQ(retries, 1);
+  // The caller's structured error from the last real attempt is intact.
+  EXPECT_EQ(last_error, "resource_exhausted: attempt 1");
+  // And the loop returned promptly instead of sleeping out the backoff.
+  EXPECT_LT(elapsed, milliseconds(400));
+}
+
+TEST(RetryResource, CrossThreadCancelInterruptsTheBackoffSlice) {
+  RetryPolicy policy;
+  policy.max_retries = 1;
+  policy.backoff_base = std::chrono::seconds(2);
+  policy.backoff_cap = std::chrono::seconds(2);
+  CancelToken cancel;
+  int attempts = 0;
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(milliseconds(20));
+    cancel.request_cancel();
+  });
+  const auto start = steady_clock::now();
+  const bool ok = retry_io(
+      policy, &cancel,
+      [&] {
+        ++attempts;
+        return false;
+      },
+      [](int) {});
+  const auto elapsed = steady_clock::now() - start;
+  canceller.join();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts, 1);
+  // Sliced sleep: a signal 20ms in must not stall for the full 2s delay.
+  EXPECT_LT(elapsed, milliseconds(1000));
+}
+
+TEST(RetryResource, DeadlineExpiryDuringBackoffStopsTheLoop) {
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_base = std::chrono::seconds(2);
+  policy.backoff_cap = std::chrono::seconds(2);
+  CancelToken cancel;
+  cancel.arm_deadline(steady_clock::now() + milliseconds(10));
+  int attempts = 0;
+  const auto start = steady_clock::now();
+  const bool ok = retry_io(
+      policy, &cancel,
+      [&] {
+        ++attempts;
+        return false;
+      },
+      [](int) {});
+  const auto elapsed = steady_clock::now() - start;
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(cancel.reason(), CancelReason::kDeadline);
+  EXPECT_LT(elapsed, milliseconds(1000));
+}
+
+TEST(RetryResource, DelayScheduleIsDeterministicAndCapped) {
+  RetryPolicy policy;
+  policy.backoff_base = microseconds(500);
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap = microseconds(50'000);
+  EXPECT_EQ(policy.delay(0), microseconds(500));
+  EXPECT_EQ(policy.delay(1), microseconds(1000));
+  EXPECT_EQ(policy.delay(2), microseconds(2000));
+  EXPECT_EQ(policy.delay(6), microseconds(32'000));
+  EXPECT_EQ(policy.delay(7), microseconds(50'000));  // capped
+  EXPECT_EQ(policy.delay(1000), microseconds(50'000));  // huge index: capped, no overflow
+}
+
+}  // namespace
+}  // namespace cvewb::util

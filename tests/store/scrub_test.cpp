@@ -1,0 +1,317 @@
+// Store::scrub property tests -- the self-healing half of the resource-
+// resilience PR.  Contracts proven here (store/store.h):
+//
+//   * a clean store scrubs clean: every file validates, verify passes,
+//     nothing is quarantined;
+//   * exactly the damaged region is detected: one corrupted file yields
+//     exactly one entry in ScrubReport::damaged, named correctly;
+//   * scrub without repair never mutates the directory -- detection is a
+//     read-only sweep ending in a structured kCorrupt error;
+//   * repairable damage heals completely: after scrub(repair=true) the
+//     store's query digests equal a never-damaged reference store's
+//     (lost_lsns == 0), the damaged file sits quarantined as *.quar, and
+//     one fresh snapshot with rebuilt indexes serves everything;
+//   * unrepairable damage (a live WAL segment with no archived twin) is
+//     reported honestly: lost_lsns counts the commits the surviving
+//     chain cannot re-derive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "store/error.h"
+#include "store/format.h"
+#include "store/store.h"
+#include "store_support.h"
+
+namespace cvewb::store {
+namespace {
+
+namespace fs = std::filesystem;
+using test_support::fresh_dir;
+using test_support::shared_study;
+using test_support::store_fingerprint;
+
+void flip_byte(const fs::path& path, std::size_t offset) {
+  std::fstream io(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(io.is_open()) << path;
+  io.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  io.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  io.seekp(static_cast<std::streamoff>(offset));
+  io.write(&byte, 1);
+}
+
+/// Directory listing snapshot: name -> file size.
+std::map<std::string, std::uintmax_t> listing(const fs::path& dir) {
+  std::map<std::string, std::uintmax_t> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    out.emplace(entry.path().filename().string(), fs::file_size(entry.path()));
+  }
+  return out;
+}
+
+/// Build the canonical scrub fixture: snapshot (run-11), range segment
+/// (run-12), archived WAL for both, plus a live WAL segment (run-13).
+std::string build_store(const fs::path& dir) {
+  auto store = Store::open(dir);
+  EXPECT_NE(store, nullptr);
+  StoreError error;
+  EXPECT_TRUE(store->ingest(shared_study(11), "run-11", &error)) << error.detail;
+  EXPECT_TRUE(store->checkpoint(&error)) << error.detail;
+  EXPECT_TRUE(store->ingest(shared_study(12), "run-12", &error)) << error.detail;
+  EXPECT_TRUE(store->checkpoint(&error)) << error.detail;
+  EXPECT_TRUE(store->ingest(shared_study(13), "run-13", &error)) << error.detail;
+  return store_fingerprint(*store);
+}
+
+fs::path file_of_kind(const fs::path& dir, const char* stem, const char* ext) {
+  std::vector<fs::path> found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::uint64_t lsn = 0;
+    if (parse_store_file_name(entry.path().filename().string(), stem, ext, lsn)) {
+      found.push_back(entry.path());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  EXPECT_FALSE(found.empty()) << stem;
+  return found.empty() ? fs::path{} : found.front();
+}
+
+TEST(StoreScrub, CleanStoreScrubsClean) {
+  const fs::path dir = fresh_dir("scrub-clean");
+  build_store(dir);
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  ScrubReport report;
+  StoreError error;
+  EXPECT_TRUE(store->scrub({}, &report, &error)) << error.detail;
+  EXPECT_TRUE(report.verify_ok);
+  EXPECT_TRUE(report.damaged.empty());
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_FALSE(report.repaired);
+  // The fixture shape is fully accounted for: snapshot + segment + live
+  // wal + two archives.
+  EXPECT_EQ(report.snapshots, 1u);
+  EXPECT_EQ(report.segments, 1u);
+  EXPECT_EQ(report.wal_segments, 1u);
+  EXPECT_EQ(report.archives, 2u);
+  EXPECT_EQ(report.files_scanned, 5u);
+  EXPECT_EQ(store->stats().scrubs, 1u);
+  EXPECT_EQ(store->stats().quarantined_files, 0u);
+}
+
+TEST(StoreScrub, SingleDamagedRegionIsDetectedExactly) {
+  // Corrupt each file kind in turn; scrub must name exactly that file.
+  struct Case {
+    const char* tag;
+    const char* stem;
+    const char* ext;
+  } cases[] = {
+      {"snapshot", "snap-", ".cvwbs"},
+      {"segment", "seg-", ".cvwbg"},  // via the seg parse below
+      {"wal", "wal-", ".cvwbw"},
+      {"archive", "arc-", ".cvwba"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.tag);
+    const fs::path dir = fresh_dir(std::string("scrub-detect-") + c.tag);
+    build_store(dir);
+    fs::path victim;
+    if (std::string(c.stem) == "seg-") {
+      for (const auto& entry : fs::directory_iterator(dir)) {
+        std::uint64_t from = 0, to = 0;
+        if (parse_segment_file_name(entry.path().filename().string(), from, to)) {
+          victim = entry.path();
+        }
+      }
+    } else {
+      victim = file_of_kind(dir, c.stem, c.ext);
+    }
+    ASSERT_FALSE(victim.empty());
+    auto store = Store::open(dir);
+    ASSERT_NE(store, nullptr);
+    // Flip a byte in the body, past every header: each container/segment
+    // digest must catch it.
+    flip_byte(victim, fs::file_size(victim) - 3);
+    const auto before = listing(dir);
+    ScrubReport report;
+    StoreError error;
+    EXPECT_FALSE(store->scrub({}, &report, &error));
+    EXPECT_EQ(error.code, StoreErrorCode::kCorrupt) << error.detail;
+    ASSERT_EQ(report.damaged.size(), 1u);
+    EXPECT_EQ(report.damaged[0], victim.filename().string());
+    EXPECT_TRUE(report.quarantined.empty());
+    EXPECT_FALSE(report.repaired);
+    // Detection without repair is a read-only sweep.
+    EXPECT_EQ(listing(dir), before);
+  }
+}
+
+TEST(StoreScrub, RepairableDamageHealsToTheCleanReferenceDigests) {
+  // Damage the snapshot: every commit it folded survives in the arc-
+  // chain, so a repairing scrub must converge to the reference store's
+  // exact query digests with zero lost commits.
+  const fs::path dir = fresh_dir("scrub-repair-snapshot");
+  const std::string reference = build_store(dir);
+  const fs::path snap = file_of_kind(dir, "snap-", ".cvwbs");
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  flip_byte(snap, fs::file_size(snap) - 3);
+
+  ScrubOptions options;
+  options.repair = true;
+  ScrubReport report;
+  StoreError error;
+  ASSERT_TRUE(store->scrub(options, &report, &error)) << error.detail;
+  EXPECT_TRUE(report.repaired);
+  EXPECT_TRUE(report.verify_ok);
+  EXPECT_EQ(report.lost_lsns, 0u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], snap.filename().string());
+  EXPECT_TRUE(fs::exists(snap.string() + ".quar"));
+  EXPECT_FALSE(fs::exists(snap));
+  EXPECT_EQ(store_fingerprint(*store), reference);
+  EXPECT_EQ(store->stats().quarantined_files, 1u);
+  EXPECT_TRUE(store->verify(&error)) << error.detail;
+
+  // The healed store reopens to the same state and keeps committing.
+  store.reset();
+  auto reopened = Store::open(dir, {}, &error);
+  ASSERT_NE(reopened, nullptr) << error.detail;
+  EXPECT_EQ(store_fingerprint(*reopened), reference);
+  EXPECT_TRUE(reopened->ingest(shared_study(14), "run-14", &error)) << error.detail;
+  EXPECT_TRUE(reopened->contains_run("run-14"));
+}
+
+TEST(StoreScrub, DamagedArchiveIsQuarantinedWithoutLogicalLoss) {
+  // An archive is inert redundancy: damaging one must cost nothing --
+  // repair quarantines it and the rebuilt store matches the reference.
+  const fs::path dir = fresh_dir("scrub-repair-archive");
+  const std::string reference = build_store(dir);
+  const fs::path arc = file_of_kind(dir, "arc-", ".cvwba");
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  flip_byte(arc, fs::file_size(arc) - 3);
+
+  ScrubOptions options;
+  options.repair = true;
+  ScrubReport report;
+  StoreError error;
+  ASSERT_TRUE(store->scrub(options, &report, &error)) << error.detail;
+  EXPECT_TRUE(report.repaired);
+  EXPECT_EQ(report.lost_lsns, 0u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], arc.filename().string());
+  EXPECT_EQ(store_fingerprint(*store), reference);
+}
+
+TEST(StoreScrub, UnarchivedWalDamageIsReportedAsLostCommits) {
+  // The live WAL segment (run-13) has not been folded by a checkpoint, so
+  // no archive twin exists: repair must succeed structurally but report
+  // exactly one unrecoverable commit, and the store must serve the
+  // surviving prefix.
+  const fs::path dir = fresh_dir("scrub-lossy-wal");
+  build_store(dir);
+  const fs::path wal = file_of_kind(dir, "wal-", ".cvwbw");
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  const std::uint64_t last_before = store->stats().last_lsn;
+  flip_byte(wal, fs::file_size(wal) - 3);
+
+  ScrubOptions options;
+  options.repair = true;
+  ScrubReport report;
+  StoreError error;
+  ASSERT_TRUE(store->scrub(options, &report, &error)) << error.detail;
+  EXPECT_TRUE(report.repaired);
+  EXPECT_TRUE(report.verify_ok);
+  EXPECT_EQ(report.lost_lsns, 1u);
+  EXPECT_EQ(store->stats().last_lsn, last_before - 1);
+  EXPECT_TRUE(store->contains_run("run-11"));
+  EXPECT_TRUE(store->contains_run("run-12"));
+  EXPECT_FALSE(store->contains_run("run-13"));
+  EXPECT_TRUE(store->verify(&error)) << error.detail;
+  // Re-ingesting the lost run restores full coverage (idempotent key).
+  EXPECT_TRUE(store->ingest(shared_study(13), "run-13", &error)) << error.detail;
+  EXPECT_TRUE(store->contains_run("run-13"));
+}
+
+TEST(StoreScrub, RepairRebuildsOneFreshSnapshotWithConsistentIndexes) {
+  // After a repairing scrub the base tier is exactly one snapshot at the
+  // recovered lsn (phase 3 checkpoints + compacts), with every postings
+  // index rebuilt -- verify()'s rebuild-and-compare pass must agree.
+  const fs::path dir = fresh_dir("scrub-rebuild");
+  build_store(dir);
+  const fs::path seg = [&] {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      std::uint64_t from = 0, to = 0;
+      if (parse_segment_file_name(entry.path().filename().string(), from, to)) {
+        return entry.path();
+      }
+    }
+    return fs::path{};
+  }();
+  ASSERT_FALSE(seg.empty());
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  flip_byte(seg, fs::file_size(seg) - 3);
+
+  ScrubOptions options;
+  options.repair = true;
+  ScrubReport report;
+  StoreError error;
+  ASSERT_TRUE(store->scrub(options, &report, &error)) << error.detail;
+  EXPECT_EQ(report.lost_lsns, 0u);  // the folded commits survive as archives
+  const StoreStats stats = store->stats();
+  EXPECT_EQ(stats.base_segments, 1u);
+  EXPECT_EQ(stats.snapshot_lsn, stats.last_lsn);
+  EXPECT_EQ(stats.wal_segments, 0u);
+  EXPECT_TRUE(store->verify(&error)) << error.detail;
+  // Index and brute executors agree after the rebuild (spot check).
+  Query by_run;
+  by_run.run = "run-12";
+  const QueryResult via_index = store->query(by_run, QueryMode::kIndex);
+  const QueryResult via_brute = store->query(by_run, QueryMode::kBrute);
+  EXPECT_EQ(via_index.digest_hex, via_brute.digest_hex);
+  EXPECT_GT(via_index.matched, 0u);
+}
+
+TEST(StoreScrub, QuarantinedFilesAreNeverTouchedAgain) {
+  const fs::path dir = fresh_dir("scrub-quar-inert");
+  const std::string reference = build_store(dir);
+  const fs::path snap = file_of_kind(dir, "snap-", ".cvwbs");
+  {
+    auto store = Store::open(dir);
+    ASSERT_NE(store, nullptr);
+    flip_byte(snap, fs::file_size(snap) - 3);
+    ScrubOptions options;
+    options.repair = true;
+    ASSERT_TRUE(store->scrub(options));
+  }
+  const fs::path quar = snap.string() + ".quar";
+  ASSERT_TRUE(fs::exists(quar));
+  const auto quar_size = fs::file_size(quar);
+  // Reopen, commit, checkpoint, compact, scrub again: the .quar file must
+  // survive all of it byte-for-byte untouched.
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  StoreError error;
+  ASSERT_TRUE(store->ingest(shared_study(14), "run-14", &error)) << error.detail;
+  ASSERT_TRUE(store->checkpoint(&error)) << error.detail;
+  ASSERT_TRUE(store->compact(&error)) << error.detail;
+  ScrubReport report;
+  ASSERT_TRUE(store->scrub({}, &report, &error)) << error.detail;
+  EXPECT_TRUE(report.damaged.empty());
+  EXPECT_TRUE(fs::exists(quar));
+  EXPECT_EQ(fs::file_size(quar), quar_size);
+}
+
+}  // namespace
+}  // namespace cvewb::store

@@ -94,17 +94,21 @@ TEST(StoreRoundtrip, CheckpointFoldsWalAndPreservesState) {
     // Checkpoint with nothing new to fold is a no-op success.
     EXPECT_TRUE(store->checkpoint(&error));
   }
-  // No WAL left on disk; exactly one snapshot; reopen serves it (mmap'd).
+  // No live WAL left on disk (each folded segment was retired to an
+  // arc- archive); exactly one snapshot; reopen serves it (mmap'd).
   std::size_t wal_files = 0;
   std::size_t snapshots = 0;
+  std::size_t archives = 0;
   for (const auto& entry : fs::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
     std::uint64_t lsn = 0;
     if (parse_store_file_name(name, "wal-", ".cvwbw", lsn)) ++wal_files;
     if (parse_store_file_name(name, "snap-", ".cvwbs", lsn)) ++snapshots;
+    if (parse_store_file_name(name, "arc-", ".cvwba", lsn)) ++archives;
   }
   EXPECT_EQ(wal_files, 0u);
   EXPECT_EQ(snapshots, 1u);
+  EXPECT_EQ(archives, 2u);  // one per folded ingest
   auto reopened = Store::open(dir);
   ASSERT_NE(reopened, nullptr);
   EXPECT_EQ(store_fingerprint(*reopened), fingerprint);
@@ -173,15 +177,18 @@ TEST(StoreRoundtrip, IncrementalCheckpointsGrowASegmentChainAndCompactionMergesI
   EXPECT_TRUE(reopened->compact(&error));
   EXPECT_EQ(reopened->stats().compactions, 1u);
 
-  std::size_t files_after = 0, segments_after = 0;
+  std::size_t files_after = 0, segments_after = 0, archives_after = 0;
   for (const auto& entry : fs::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
-    std::uint64_t from = 0, to = 0;
+    std::uint64_t from = 0, to = 0, lsn = 0;
     ++files_after;
     if (parse_segment_file_name(name, from, to)) ++segments_after;
+    if (parse_store_file_name(name, "arc-", ".cvwba", lsn)) ++archives_after;
   }
   EXPECT_EQ(segments_after, 0u);
-  EXPECT_EQ(files_after, 1u);  // just the merged snapshot
+  EXPECT_EQ(archives_after, 3u);  // the retired WAL chain stays as redundancy
+  EXPECT_EQ(files_after, 4u);     // merged snapshot + 3 archives
+  EXPECT_EQ(reopened->stats().archive_segments, 3u);
 
   auto reopened_again = Store::open(dir);
   ASSERT_NE(reopened_again, nullptr);

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -17,8 +18,13 @@
 namespace cvewb::store::test_support {
 
 inline std::filesystem::path fresh_dir(const std::string& tag) {
+  // gtest_discover_tests runs every test as its own process, and `ctest -j`
+  // can schedule two tests of the same suite concurrently -- so the same
+  // tag from two processes must never race on one remove_all'd path.  Key
+  // the root by pid.
   const std::filesystem::path dir =
-      std::filesystem::path(::testing::TempDir()) / "cvewb_store" / tag;
+      std::filesystem::path(::testing::TempDir()) /
+      ("cvewb_store." + std::to_string(::getpid())) / tag;
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;

@@ -12,6 +12,9 @@
 #include <cstring>
 #include <string>
 
+#include "chaos/resource_shim.h"
+#include "util/memory_budget.h"
+
 namespace cvewb::util {
 namespace {
 
@@ -119,6 +122,61 @@ TEST(Arena, AllocationCountTracksEverySuccess) {
   const std::uint64_t before = arena.allocation_count();
   for (int i = 0; i < 100; ++i) (void)arena.allocate(100);  // forces slow paths too
   EXPECT_EQ(arena.allocation_count(), before + 100);
+}
+
+// --- Resource-model hardening (DESIGN.md §15): chunk growth is a charged
+// allocation; every failure mode is a structured ResourceExhausted.
+
+TEST(Arena, HugeRequestIsRefusedUpFront) {
+  Arena arena;
+  EXPECT_THROW(arena.allocate(Arena::kMaxRequestBytes + 1), ResourceExhausted);
+  // The refusal reserved nothing and the arena keeps working.
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_NE(arena.allocate(64), nullptr);
+}
+
+TEST(Arena, ArrayCountOverflowIsRefused) {
+  Arena arena;
+  const std::size_t poisoned = Arena::kMaxRequestBytes / sizeof(double) + 1;
+  EXPECT_THROW(arena.allocate_array<double>(poisoned), ResourceExhausted);
+  EXPECT_NE(arena.allocate_array<double>(8), nullptr);
+}
+
+TEST(Arena, InjectedChunkFailureIsStructuredAndRecoverable) {
+  chaos::ResourceFaultPlan plan;
+  plan.fail_alloc_at = 1;  // the very first chunk growth fails
+  chaos::ResourceShim shim(plan);
+  chaos::ScopedResourceShim scope(shim);
+  Arena arena;
+  EXPECT_THROW(arena.allocate(64), ResourceExhausted);
+  // One-shot injection: the next growth succeeds and the arena is intact.
+  EXPECT_NE(arena.allocate(64), nullptr);
+  EXPECT_EQ(shim.stats().injected_alloc_failures, 1u);
+}
+
+TEST(Arena, HardWatermarkRefusesChunkGrowthWithoutLeakingACharge) {
+  const std::uint64_t baseline = MemoryBudget::process().charged();
+  ScopedBudgetLimits limits(0, baseline + 4096);
+  Arena arena(64 * 1024);  // any chunk would overshoot the hard watermark
+  EXPECT_THROW(arena.allocate(100), ResourceExhausted);
+  EXPECT_EQ(MemoryBudget::process().charged(), baseline);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+}
+
+TEST(Arena, ChunksShrinkUnderSoftPressureAndChargesBalance) {
+  const std::uint64_t baseline = MemoryBudget::process().charged();
+  ScopedBudgetLimits limits(1, 0);
+  BudgetCharge pressure;
+  ASSERT_TRUE(pressure.acquire(MemoryBudget::process(), 1));
+  ASSERT_EQ(MemoryBudget::process().pressure(), MemoryBudget::Pressure::kSoft);
+  Arena arena;  // default 64 KiB chunks when unpressured
+  (void)arena.allocate(100);
+  EXPECT_EQ(arena.bytes_reserved(), std::size_t{16 * 1024})
+      << "soft pressure should cap fresh chunks at the reduced size";
+  // The chunk is a charged owner; release() returns its ledger entry.
+  EXPECT_EQ(MemoryBudget::process().charged(), baseline + 1 + 16 * 1024);
+  arena.release();
+  EXPECT_EQ(MemoryBudget::process().charged(), baseline + 1);
 }
 
 }  // namespace

@@ -75,6 +75,7 @@ struct Options {
   std::string mode = "index";
   std::int64_t limit = 64;
   bool explain = false;  // store query: print the planner's verdict too
+  bool repair = false;   // store scrub: quarantine damage and rebuild
   // Test hook: _exit(137) right after the next WAL segment rename lands,
   // before the commit is acknowledged -- the store smoke test's
   // worst-timed hard kill.
@@ -161,6 +162,8 @@ bool parse_options(int argc, char** argv, Options& options) {
       }
     } else if (arg == "--explain") {
       options.explain = true;
+    } else if (arg == "--repair") {
+      options.repair = true;
     } else if (arg == "--no-dag") {
       options.stage_dag = false;
     } else if (arg == "--crash-after-wal") {
@@ -316,7 +319,7 @@ int cmd_cache(const Options& options) {
   return 2;
 }
 
-/// `cvewb store <ingest|query|stat|compact|verify> <dir>` -- the
+/// `cvewb store <ingest|query|stat|checkpoint|compact|verify|scrub> <dir>` -- the
 /// persistent indexed session store (DESIGN.md §13).
 ///
 ///   ingest   run the study (--seed/--scale/--cache-dir apply) and commit
@@ -329,11 +332,16 @@ int cmd_cache(const Options& options) {
 ///            --explain additionally prints the planner's verdict (per-index
 ///            cardinalities, drivers, cost estimates) before executing.
 ///   stat     row/run/WAL/tier counters.
+///   checkpoint  fold the live WAL into the base tier chain (each folded
+///            segment is retired to an arc- archive).
 ///   compact  merge the base tier chain into a single snapshot.
 ///   verify   deep consistency check (rebuilds and compares every index).
+///   scrub    re-validate every store file against its current on-disk
+///            bytes; with --repair, quarantine damaged files and rebuild
+///            from the surviving WAL/archive chain.
 int cmd_store(const Options& options) {
   if (options.positional.size() < 2) {
-    std::cerr << "usage: cvewb store <ingest|query|stat|compact|verify> <dir> [options]\n";
+    std::cerr << "usage: cvewb store <ingest|query|stat|checkpoint|compact|verify|scrub> <dir> [options]\n";
     return 2;
   }
   const std::string& action = options.positional[0];
@@ -466,6 +474,19 @@ int cmd_store(const Options& options) {
     return 0;
   }
 
+  if (action == "checkpoint") {
+    if (!store->checkpoint(&error)) {
+      std::cerr << dir << ": checkpoint failed: " << store::store_error_name(error.code) << ": "
+                << error.detail << "\n";
+      return 1;
+    }
+    const store::StoreStats stats = store->stats();
+    std::cout << dir << ": checkpointed to lsn " << stats.snapshot_lsn << " ("
+              << stats.base_segments << " base tiers, " << stats.archive_segments
+              << " archives, " << stats.wal_segments << " live wal segments)\n";
+    return 0;
+  }
+
   if (action == "compact") {
     const std::uint64_t before = store->stats().base_segments;
     if (!store->compact(&error)) {
@@ -491,8 +512,34 @@ int cmd_store(const Options& options) {
     return 0;
   }
 
+  if (action == "scrub") {
+    store::ScrubOptions scrub_options;
+    scrub_options.repair = options.repair;
+    store::ScrubReport report;
+    const bool ok = store->scrub(scrub_options, &report, &error);
+    std::cout << dir << ": scanned " << report.files_scanned << " files (" << report.snapshots
+              << " snapshots, " << report.segments << " segments, " << report.wal_segments
+              << " wal, " << report.archives << " archives)\n";
+    for (const auto& name : report.damaged) std::cout << "  damaged: " << name << "\n";
+    for (const auto& name : report.quarantined) std::cout << "  quarantined: " << name << "\n";
+    if (report.repaired) {
+      std::cout << "  repaired: rebuilt from the surviving WAL/archive chain";
+      if (report.lost_lsns > 0) std::cout << " (" << report.lost_lsns << " commits unrecoverable)";
+      std::cout << "\n";
+    }
+    if (!ok) {
+      std::cerr << dir << ": scrub FAILED: " << store::store_error_name(error.code) << ": "
+                << error.detail
+                << (options.repair ? "" : " (re-run with --repair to quarantine and rebuild)")
+                << "\n";
+      return 1;
+    }
+    std::cout << dir << ": ok (every file digest-clean, every index consistent)\n";
+    return 0;
+  }
+
   std::cerr << "unknown store action '" << action
-            << "' (expected ingest, query, stat, compact, or verify)\n";
+            << "' (expected ingest, query, stat, checkpoint, compact, verify, or scrub)\n";
   return 2;
 }
 
@@ -672,7 +719,10 @@ void usage() {
                "                     + digest + rows\n"
                "  store stat DIR     store row/run/WAL/tier counters\n"
                "  store compact DIR  merge the base tier chain into one snapshot\n"
-               "  store verify DIR   deep consistency check (rebuild + compare indexes)\n";
+               "  store verify DIR   deep consistency check (rebuild + compare indexes)\n"
+               "  store scrub DIR    re-validate every file against its on-disk bytes;\n"
+               "                     --repair quarantines damage and rebuilds from the\n"
+               "                     surviving WAL/archive chain\n";
 }
 
 }  // namespace

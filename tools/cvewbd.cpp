@@ -4,6 +4,8 @@
 //          [--workers N] [--backlog N] [--cache-dir DIR] [--store-dir DIR]
 //          [--deadline-ms N] [--idle-timeout-ms N] [--max-frame-bytes N]
 //          [--metrics-out FILE]
+//          [--scrub-interval-ms N] [--budget-soft-bytes N]
+//          [--budget-hard-bytes N] [--bytes-per-weight N]
 //          [--fault-seed N] [--fault-short-read R] [--fault-short-write R]
 //          [--fault-stall R] [--fault-reset R]
 //
@@ -32,6 +34,7 @@
 
 #include "daemon/server.h"
 #include "obs/observability.h"
+#include "util/memory_budget.h"
 #include "util/strings.h"
 
 namespace {
@@ -48,6 +51,10 @@ struct Options {
   daemon::ServerConfig server;
   std::string port_file;
   std::string metrics_out;
+  // Process memory-budget watermarks (0 = unlimited), applied to
+  // util::MemoryBudget::process() before the server starts.
+  std::uint64_t budget_soft_bytes = 0;
+  std::uint64_t budget_hard_bytes = 0;
   bool parse_ok = true;
 };
 
@@ -57,6 +64,8 @@ struct Options {
 Options parse_options(int argc, char** argv) {
   Options options;
   auto& server = options.server;
+  auto& soft_bytes = options.budget_soft_bytes;
+  auto& hard_bytes = options.budget_hard_bytes;
   const auto reject = [&options](const std::string& flag, const char* want, const char* got) {
     std::cerr << "cvewbd: " << flag << " expects " << want << ", got '" << got << "'\n";
     options.parse_ok = false;
@@ -116,6 +125,22 @@ Options parse_options(int argc, char** argv) {
       if (!util::parse_u64(argv[++i], server.max_frame_bytes)) {
         reject(arg, "a non-negative integer", argv[i]);
       }
+    } else if (arg == "--scrub-interval-ms" && has_value) {
+      if (parse_int(arg, argv[++i], 0, INT64_MAX / 1000000, value)) {
+        server.scrub_interval = std::chrono::milliseconds(value);
+      }
+    } else if (arg == "--budget-soft-bytes" && has_value) {
+      if (!util::parse_u64(argv[++i], soft_bytes)) {
+        reject(arg, "a non-negative integer", argv[i]);
+      }
+    } else if (arg == "--budget-hard-bytes" && has_value) {
+      if (!util::parse_u64(argv[++i], hard_bytes)) {
+        reject(arg, "a non-negative integer", argv[i]);
+      }
+    } else if (arg == "--bytes-per-weight" && has_value) {
+      if (!util::parse_u64(argv[++i], server.scheduler.bytes_per_weight)) {
+        reject(arg, "a non-negative integer", argv[i]);
+      }
     } else if (arg == "--metrics-out" && has_value) {
       options.metrics_out = argv[++i];
     } else if (arg == "--fault-seed" && has_value) {
@@ -144,6 +169,8 @@ void usage() {
                "              [--store-dir DIR]\n"
                "              [--deadline-ms N] [--idle-timeout-ms N]\n"
                "              [--max-frame-bytes N] [--metrics-out FILE]\n"
+               "              [--scrub-interval-ms N] [--budget-soft-bytes N]\n"
+               "              [--budget-hard-bytes N] [--bytes-per-weight N]\n"
                "              [--fault-seed N] [--fault-short-read R]\n"
                "              [--fault-short-write R] [--fault-stall R] [--fault-reset R]\n";
 }
@@ -156,6 +183,11 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+
+  // Watermarks first: the server's store open and connection buffers
+  // charge the process budget from the very first allocation.
+  util::MemoryBudget::process().set_limits(options.budget_soft_bytes,
+                                           options.budget_hard_bytes);
 
   obs::Observability observability;
   daemon::Server server(options.server, &observability);

@@ -1,0 +1,117 @@
+#!/bin/sh
+# Self-healing scrub smoke for the persistent session store CLI.
+#
+#   scrub_smoke.sh <cvewb-binary> <workdir>
+#
+# Legs:
+#
+#  1. Reference: ingest two runs with a checkpoint after each, so the
+#     store carries the full tier shape (snapshot + range segment + two
+#     arc- archives); record both table digests and require a clean scrub
+#     to exit 0.
+#
+#  2. Detect: truncate a stale archive -- the one class of file a normal
+#     open never reads, so only the scrub sweep can catch the damage.
+#     `store scrub` without --repair must exit nonzero, name the damaged
+#     file, and leave the directory untouched.
+#
+#  3. Repair: `store scrub --repair` must quarantine the damaged archive
+#     (a .quar file appears), rebuild, and exit 0 with zero lost commits;
+#     verify passes and both table digests still match the reference --
+#     the base tiers carry the data, so losing stale redundancy is
+#     lossless.
+#
+#  4. Steady state: a second scrub of the repaired store is clean, and the
+#     quarantined file is still there, byte-for-byte untouched.
+set -eu
+
+CVEWB=$1
+DIR=$2
+STORE=$DIR/store
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+ingest() {
+    # Shared cache dir: the study reruns are warm, the smoke stays fast.
+    "$CVEWB" store ingest "$STORE" --seed "$1" --scale 0.005 --threads 2 \
+        --cache-dir "$DIR/cache" > /dev/null
+    "$CVEWB" store checkpoint "$STORE" > /dev/null
+}
+
+digest() {
+    "$CVEWB" store query "$STORE" --table "$1" --limit 0 | sed -n 's/^digest //p'
+}
+
+# --- Leg 1: reference shape + clean scrub ----------------------------------
+ingest 7
+ingest 8
+"$CVEWB" store verify "$STORE" > /dev/null
+REF_SESSIONS=$(digest sessions)
+REF_EVENTS=$(digest events)
+[ -n "$REF_SESSIONS" ] && [ -n "$REF_EVENTS" ] || {
+    echo "FAIL: reference digests empty" >&2
+    exit 1
+}
+ARC=$(ls "$STORE"/arc-*.cvwba | head -n 1)
+[ -n "$ARC" ] || {
+    echo "FAIL: checkpoints produced no arc- archives" >&2
+    exit 1
+}
+"$CVEWB" store scrub "$STORE" > /dev/null || {
+    echo "FAIL: clean store failed scrub" >&2
+    exit 1
+}
+
+# --- Leg 2: damage a stale archive; scrub detects, refuses to touch it -----
+truncate -s -1 "$ARC"
+STATUS=0
+SCRUB_OUT=$("$CVEWB" store scrub "$STORE" 2>&1) || STATUS=$?
+if [ "$STATUS" -eq 0 ]; then
+    echo "FAIL: scrub exited 0 on a damaged archive" >&2
+    exit 1
+fi
+echo "$SCRUB_OUT" | grep -q "damaged: $(basename "$ARC")" || {
+    echo "FAIL: scrub did not name the damaged archive" >&2
+    echo "$SCRUB_OUT" >&2
+    exit 1
+}
+[ -f "$ARC" ] || {
+    echo "FAIL: read-only scrub moved the damaged file" >&2
+    exit 1
+}
+
+# --- Leg 3: repair quarantines and rebuilds losslessly ---------------------
+"$CVEWB" store scrub "$STORE" --repair > /dev/null || {
+    echo "FAIL: scrub --repair did not recover the store" >&2
+    exit 1
+}
+[ -f "$ARC.quar" ] || {
+    echo "FAIL: damaged archive was not quarantined" >&2
+    exit 1
+}
+"$CVEWB" store verify "$STORE" > /dev/null || {
+    echo "FAIL: repaired store failed verify" >&2
+    exit 1
+}
+[ "$(digest sessions)" = "$REF_SESSIONS" ] || {
+    echo "FAIL: sessions digest changed across quarantine+rebuild" >&2
+    exit 1
+}
+[ "$(digest events)" = "$REF_EVENTS" ] || {
+    echo "FAIL: events digest changed across quarantine+rebuild" >&2
+    exit 1
+}
+
+# --- Leg 4: quarantine is permanent, steady state is clean -----------------
+QUAR_SUM=$(cksum "$ARC.quar")
+"$CVEWB" store scrub "$STORE" > /dev/null || {
+    echo "FAIL: repaired store failed a steady-state scrub" >&2
+    exit 1
+}
+[ "$(cksum "$ARC.quar")" = "$QUAR_SUM" ] || {
+    echo "FAIL: a later scrub touched the quarantined file" >&2
+    exit 1
+}
+
+echo "scrub smoke: ok (damage detected, quarantined, rebuilt to identical digests)"
