@@ -375,7 +375,9 @@ util::Json Server::dispatch(Connection& conn, const Request& request) {
       obs::count(observability_, "daemon/store_scrubs");
       if (!ok) {
         reply = error_reply(error.code == store::StoreErrorCode::kCorrupt ? "store_damaged"
-                                                                          : "scrub_failed",
+                            : error.code == store::StoreErrorCode::kResource
+                                ? "resource_exhausted"
+                                : "scrub_failed",
                             error.detail);
         reply.set("op", util::Json("store_scrub"));
       }
@@ -400,19 +402,25 @@ util::Json Server::dispatch(Connection& conn, const Request& request) {
   return reply;
 }
 
-bool Server::charge_connection_buffers(Connection& conn) {
+bool Server::charge_connection_buffers(Connection& conn, bool queue_refusal) {
   const std::uint64_t need =
       static_cast<std::uint64_t>(conn.in_buf.capacity()) + conn.out_buf.capacity();
   if (need <= conn.buffer_charge.bytes()) return true;
-  if (conn.buffer_charge.acquire(util::MemoryBudget::process(), need)) return true;
+  // resize() charges only the delta and KEEPS the previous charge on
+  // refusal: the buffers that charge covered are still live while the
+  // connection flushes and closes, so dropping the ledger entry first
+  // (acquire's semantics) would leave them entirely unaccounted.
+  if (conn.buffer_charge.resize(util::MemoryBudget::process(), need)) return true;
   // The hard watermark refused the growth: this connection's buffers are
   // exactly the memory the process cannot afford.  Structured refusal
   // (appended directly -- send_reply would recurse into this gate), then
   // flush-and-close.
   ++stats_.buffer_budget_closes;
   obs::count(observability_, "daemon/buffer_budget_closes");
-  conn.out_buf += encode_frame(
-      error_reply("resource_exhausted", "connection buffers exceed the memory budget"));
+  if (queue_refusal) {
+    conn.out_buf += encode_frame(
+        error_reply("resource_exhausted", "connection buffers exceed the memory budget"));
+  }
   conn.closing = true;
   return false;
 }
@@ -421,7 +429,10 @@ void Server::send_reply(Connection& conn, const util::Json& reply) {
   conn.out_buf += encode_frame(reply);
   ++stats_.replies_out;
   obs::count(observability_, "daemon/replies_out");
-  charge_connection_buffers(conn);
+  // The reply whose growth might trip the budget is already queued -- the
+  // client gets it and then the close; a second refusal frame on top would
+  // only grow the unaccounted tail further.
+  charge_connection_buffers(conn, /*queue_refusal=*/false);
   if (conn.out_buf.size() > config_.max_write_buffer) {
     // The client is not reading.  Buffering further hands our memory to
     // the slowest consumer; drop the connection instead.

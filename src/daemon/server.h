@@ -153,7 +153,11 @@ class Server {
   void on_accept_fd_exhausted();
   /// Grow `conn.buffer_charge` to cover both buffers; false (and the
   /// connection marked closing) when the budget's hard watermark refuses.
-  bool charge_connection_buffers(Connection& conn);
+  /// The previous charge is kept on refusal -- the buffers it covered are
+  /// still live while the connection drains.  `queue_refusal=false`
+  /// suppresses the resource_exhausted frame, for call sites where the
+  /// reply that triggered the refusal is itself already queued.
+  bool charge_connection_buffers(Connection& conn, bool queue_refusal = true);
   void maybe_scheduled_scrub(std::chrono::steady_clock::time_point now);
   void close_connection(std::uint64_t conn_id, const char* why);
   void drain_and_close_all();

@@ -37,6 +37,12 @@ enum class StoreErrorCode {
   /// chaos::ResourceShim), or the memory budget's hard watermark refusing
   /// a snapshot/WAL build buffer.  Retryable once pressure subsides.
   kResource,
+  /// This Store handle survived a failed scrub repair: it still serves the
+  /// pre-scrub in-memory state, but disk may have moved underneath it, so
+  /// every mutating operation is refused until the store is reopened
+  /// (reopen recovers from the on-disk state, which each step left
+  /// internally consistent).
+  kUnavailable,
 };
 
 struct StoreError {
@@ -57,6 +63,7 @@ inline const char* store_error_name(StoreErrorCode code) {
     case StoreErrorCode::kCorrupt: return "corrupt";
     case StoreErrorCode::kBadQuery: return "bad_query";
     case StoreErrorCode::kResource: return "resource";
+    case StoreErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

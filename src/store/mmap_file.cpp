@@ -8,7 +8,9 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "chaos/resource_shim.h"
@@ -70,8 +72,10 @@ bool MappedFile::map(const std::filesystem::path& path, StoreError* error) {
     return fail_errno(error, "open (injected)", EMFILE);
   }
   int saved_errno = 0;
+  bool opened = false;
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd >= 0) {
+    opened = true;
     struct stat st{};
     if (::fstat(fd, &st) == 0 && st.st_size > 0) {
       void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
@@ -95,17 +99,27 @@ bool MappedFile::map(const std::filesystem::path& path, StoreError* error) {
   // filesystems where mmap fails but reads work).
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return saved_errno != 0 ? fail_errno(error, mapped_ == nullptr ? "open/mmap" : "mmap",
-                                         saved_errno)
-                            : fail(error, StoreErrorCode::kIo,
-                                   "open failed: " + path.filename().string());
+    return saved_errno != 0
+               ? fail_errno(error, opened ? "mmap" : "open", saved_errno)
+               : fail(error, StoreErrorCode::kIo, "open failed: " + path.filename().string());
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (!in.good() && !in.eof()) {
-    return fail(error, StoreErrorCode::kIo, "read failed: " + path.filename().string());
+  // The buffered read heaps the whole file -- under the very exhaustion
+  // this code classifies, that allocation can throw.  Convert it to the
+  // same structured kResource the mmap ENOMEM path produces.
+  try {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      return fail(error, StoreErrorCode::kIo, "read failed: " + path.filename().string());
+    }
+    owned_ = std::move(buf).str();
+  } catch (const std::bad_alloc&) {
+    return fail(error, StoreErrorCode::kResource,
+                "read fallback allocation failed: " + path.filename().string());
+  } catch (const std::length_error&) {
+    return fail(error, StoreErrorCode::kResource,
+                "read fallback allocation failed: " + path.filename().string());
   }
-  owned_ = std::move(buf).str();
   return true;
 }
 

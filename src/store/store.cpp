@@ -385,7 +385,7 @@ bool Store::recover(StoreError* error) {
 
 bool Store::load_container(const std::filesystem::path& path, std::uint64_t expect_from,
                            std::uint64_t expect_to, std::unique_ptr<Tier>& out, StoreError* error,
-                           bool force_read) {
+                           bool force_read, bool charge_budget) {
   MappedFile file;
   chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
   if (force_read || (fs_ != nullptr && fs_->plan().any())) {
@@ -474,7 +474,8 @@ bool Store::load_container(const std::filesystem::path& path, std::uint64_t expe
   }
 
   auto tier = std::make_unique<Tier>();
-  if (!tier->budget.acquire(util::MemoryBudget::process(), bytes.size())) {
+  if (charge_budget &&
+      !tier->budget.acquire(util::MemoryBudget::process(), bytes.size())) {
     return fail(error, StoreErrorCode::kResource,
                 "memory budget refused " + std::to_string(bytes.size()) + "-byte container " +
                     path.filename().string());
@@ -849,6 +850,10 @@ bool Store::write_file_validated(const std::filesystem::path& final_path, std::s
 bool Store::ingest(const pipeline::StudyResult& result, std::string_view run_key,
                    StoreError* error) {
   std::unique_lock lock(mutex_);
+  if (repair_failed_) {
+    return fail(error, StoreErrorCode::kUnavailable,
+                "a scrub repair failed; reopen the store to resume ingest");
+  }
   if (run_index_.count(std::string(run_key)) != 0) {
     obs::count(observability_, "store/ingest_duplicate");
     return true;  // idempotent: the run is already durable
@@ -1066,6 +1071,10 @@ std::string Store::build_container(std::uint64_t from_lsn, std::uint64_t to_lsn,
 
 bool Store::checkpoint(StoreError* error) {
   std::unique_lock lock(mutex_);
+  if (repair_failed_) {
+    return fail(error, StoreErrorCode::kUnavailable,
+                "a scrub repair failed; reopen the store to resume checkpoints");
+  }
   return checkpoint_locked(error);
 }
 
@@ -1156,6 +1165,10 @@ bool Store::checkpoint_locked(StoreError* error) {
 
 bool Store::compact(StoreError* error) {
   std::unique_lock lock(mutex_);
+  if (repair_failed_) {
+    return fail(error, StoreErrorCode::kUnavailable,
+                "a scrub repair failed; reopen the store to resume compaction");
+  }
   return compact_locked(error);
 }
 
@@ -1704,16 +1717,28 @@ bool Store::verify_locked(StoreError* error) const {
 // ---------------------------------------------------------------------------
 // Scrub: detect damage against current disk bytes, quarantine, auto-repair
 
-bool Store::check_segment_file(const std::filesystem::path& path, std::uint64_t lsn) {
+bool Store::check_segment_file(const std::filesystem::path& path, std::uint64_t lsn,
+                               StoreError* error) {
   chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
   std::string bytes;
   const bool read_ok = util::retry_io(
       retry_, nullptr, [&] { return fs.read_file(path, bytes); },
       [&](int) { obs::count(observability_, "store/retry"); });
-  if (!read_ok) return false;
+  if (!read_ok) {
+    return fail(error, StoreErrorCode::kIo,
+                "redo segment read failed: " + path.filename().string());
+  }
   WalBatch batch;
   StoreError segment_error;
-  return decode_segment(bytes, batch, &segment_error) && batch.lsn == lsn;
+  if (!decode_segment(bytes, batch, &segment_error)) {
+    if (error != nullptr) *error = segment_error;
+    return false;
+  }
+  if (batch.lsn != lsn) {
+    return fail(error, StoreErrorCode::kCorrupt,
+                "redo segment lsn disagrees with its file name: " + path.filename().string());
+  }
+  return true;
 }
 
 bool Store::scrub(const ScrubOptions& options, ScrubReport* report, StoreError* error) {
@@ -1721,15 +1746,20 @@ bool Store::scrub(const ScrubOptions& options, ScrubReport* report, StoreError* 
   ScrubReport local;
   ScrubReport& r = report != nullptr ? *report : local;
   r = ScrubReport{};
+  if (repair_failed_) {
+    return fail(error, StoreErrorCode::kUnavailable,
+                "a previous scrub repair failed; reopen the store");
+  }
   chaos::FsShim& fs = fs_ != nullptr ? *fs_ : chaos::FsShim::passthrough();
   ++scrubs_;
   obs::count(observability_, "store/scrubs");
 
   // Phase 1: re-validate every store-owned file against its current disk
   // bytes.  Containers get the full deep load (digest + structural
-  // checks) into a throwaway tier; redo segments get a decode + lsn
-  // cross-check.  Quarantined, temp, and foreign files are not ours to
-  // judge and are skipped.
+  // checks) into a throwaway tier -- a validation probe, so it skips the
+  // memory-budget charge its live twin already holds; redo segments get a
+  // decode + lsn cross-check.  Quarantined, temp, and foreign files are
+  // not ours to judge and are skipped.
   std::vector<std::filesystem::path> damaged;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
@@ -1740,22 +1770,35 @@ bool Store::scrub(const ScrubOptions& options, ScrubReport* report, StoreError* 
     if (parse_store_file_name(name, "snap-", ".cvwbs", lsn)) {
       ++r.snapshots;
       std::unique_ptr<Tier> probe;
-      ok = load_container(entry.path(), 1, lsn, probe, &file_error, /*force_read=*/true);
+      ok = load_container(entry.path(), 1, lsn, probe, &file_error, /*force_read=*/true,
+                          /*charge_budget=*/false);
     } else if (parse_segment_file_name(name, from, to)) {
       ++r.segments;
       std::unique_ptr<Tier> probe;
-      ok = load_container(entry.path(), from, to, probe, &file_error, /*force_read=*/true);
+      ok = load_container(entry.path(), from, to, probe, &file_error, /*force_read=*/true,
+                          /*charge_budget=*/false);
     } else if (parse_store_file_name(name, "wal-", ".cvwbw", lsn)) {
       ++r.wal_segments;
-      ok = check_segment_file(entry.path(), lsn);
+      ok = check_segment_file(entry.path(), lsn, &file_error);
     } else if (parse_store_file_name(name, "arc-", ".cvwba", lsn)) {
       ++r.archives;
-      ok = check_segment_file(entry.path(), lsn);
+      ok = check_segment_file(entry.path(), lsn, &file_error);
     } else {
       continue;
     }
     ++r.files_scanned;
     if (!ok) {
+      // Only structural damage -- a digest, decode, or shape mismatch the
+      // disk bytes themselves prove -- condemns a file.  A read failure or
+      // a resource refusal is pressure, not corruption: quarantining on it
+      // would turn a transient exhaustion spike into permanent data loss
+      // (lost_lsns), so the sweep aborts with the transient error instead.
+      if (file_error.code == StoreErrorCode::kIo ||
+          file_error.code == StoreErrorCode::kResource) {
+        obs::count(observability_, "store/scrub_aborts");
+        return fail(error, file_error.code,
+                    "scrub aborted at " + name + ": " + file_error.detail);
+      }
       r.damaged.push_back(name);
       damaged.push_back(entry.path());
       obs::count(observability_, "store/scrub_damaged");
@@ -1772,10 +1815,11 @@ bool Store::scrub(const ScrubOptions& options, ScrubReport* report, StoreError* 
                 std::to_string(damaged.size()) + " damaged store file(s)");
   }
 
-  // Phase 2: quarantine the damaged files, then rebuild in place from the
-  // survivors.  The arc- archive chain makes commits above a quarantined
-  // base tier replayable; anything beyond the surviving valid prefix is
-  // genuinely lost and reported as such.
+  // Phase 2: quarantine the damaged files (phase 1 only condemns on
+  // structural evidence, so everything here is provably corrupt), then
+  // rebuild from the survivors.  The arc- archive chain makes commits
+  // above a quarantined base tier replayable; anything beyond the
+  // surviving valid prefix is genuinely lost and reported as such.
   for (const auto& path : damaged) {
     std::filesystem::path quar = path;
     quar += ".quar";
@@ -1791,29 +1835,68 @@ bool Store::scrub(const ScrubOptions& options, ScrubReport* report, StoreError* 
     ++quarantined_files_;
     obs::count(observability_, "store/quarantined_files");
   }
+
+  // The rebuild runs on the live members (recover() owns them), but the
+  // prior in-memory state is kept aside: if any step below fails, the
+  // prior tables come back, so a half-repaired store never serves empty
+  // or partially rebuilt results.  Disk may then be ahead of memory (a
+  // checkpoint or compaction may have landed before the failure), so the
+  // handle also turns read-only -- repair_failed_ makes every mutating
+  // call return kUnavailable until the store is reopened, rather than
+  // letting a later checkpoint write files that contradict the chain.
   const std::uint64_t prior_last = last_lsn_;
+  auto prior_tables = std::move(tables_);
+  auto prior_runs = std::move(runs_);
+  auto prior_run_index = std::move(run_index_);
+  auto prior_dict = std::move(dict_);
+  auto prior_dict_index = std::move(dict_index_);
+  const std::uint64_t prior_covered = covered_lsn_;
+  const std::uint64_t prior_wal_segments = wal_segments_;
+  const std::uint64_t prior_wal_bytes = wal_bytes_;
   tables_ = std::make_unique<Tables>();
-  runs_.clear();
-  run_index_.clear();
-  dict_.clear();
-  dict_index_.clear();
+  runs_ = {};
+  run_index_ = {};
+  dict_ = {};
+  dict_index_ = {};
   last_lsn_ = 0;
   covered_lsn_ = 0;
   wal_segments_ = 0;
   wal_bytes_ = 0;
-  if (!recover(error)) return false;
-  r.lost_lsns = prior_last > last_lsn_ ? prior_last - last_lsn_ : 0;
+  const auto restore_prior = [&] {
+    tables_ = std::move(prior_tables);
+    runs_ = std::move(prior_runs);
+    run_index_ = std::move(prior_run_index);
+    dict_ = std::move(prior_dict);
+    dict_index_ = std::move(prior_dict_index);
+    last_lsn_ = prior_last;
+    covered_lsn_ = prior_covered;
+    wal_segments_ = prior_wal_segments;
+    wal_bytes_ = prior_wal_bytes;
+    repair_failed_ = true;
+    obs::count(observability_, "store/scrub_repair_failed");
+  };
 
-  // Phase 3: re-materialize a clean base -- fold whatever recovery
-  // replayed, then merge the chain into one fresh full snapshot.  Both
-  // passes rebuild every postings index from the columns, so a repaired
-  // store's secondary indexes are provably consistent (verify below).
-  if (!checkpoint_locked(error)) return false;
-  if (!compact_locked(error)) return false;
+  // Phase 3: re-materialize a clean base -- replay the surviving chain,
+  // fold it, then merge into one fresh full snapshot.  Both passes rebuild
+  // every postings index from the columns, so a repaired store's secondary
+  // indexes are provably consistent (verify below).
+  StoreError rebuild_error;
+  if (!recover(&rebuild_error) || !checkpoint_locked(&rebuild_error) ||
+      !compact_locked(&rebuild_error)) {
+    restore_prior();
+    if (error != nullptr) *error = rebuild_error;
+    return false;
+  }
+  r.lost_lsns = prior_last > last_lsn_ ? prior_last - last_lsn_ : 0;
+  r.verify_ok = verify_locked(&rebuild_error);
+  if (!r.verify_ok) {
+    restore_prior();
+    if (error != nullptr) *error = rebuild_error;
+    return false;
+  }
   r.repaired = true;
   obs::count(observability_, "store/scrub_repairs");
-  r.verify_ok = verify_locked(error);
-  return r.verify_ok;
+  return true;
 }
 
 bool Store::contains_run(std::string_view run_key) const {

@@ -209,12 +209,20 @@ class Store {
   /// re-validate each against its current on-disk bytes (section digests
   /// and structural checks for containers, payload digests and lsn
   /// cross-checks for redo segments).  Reads bypass the live mappings, so
-  /// damage written underneath an mmap is still detected.  With
+  /// damage written underneath an mmap is still detected.  Only STRUCTURAL
+  /// failure (digest/decode/shape mismatch) condemns a file; a transient
+  /// read failure or resource refusal aborts the sweep with that error
+  /// instead -- pressure must never be mistaken for damage, or a scrub
+  /// under memory exhaustion would quarantine healthy data.  With
   /// ScrubOptions::repair, damaged files are quarantined and the store is
-  /// rebuilt in place from the survivors (see ScrubOptions); query-visible
-  /// state after a repair equals a clean store holding the recoverable
-  /// prefix, proven by tests/store/scrub_test.cpp.  Returns true only when
-  /// the store is clean (or repaired) AND the post-scrub verify passes.
+  /// rebuilt from the survivors (see ScrubOptions); query-visible state
+  /// after a repair equals a clean store holding the recoverable prefix,
+  /// proven by tests/store/scrub_test.cpp.  If the rebuild itself fails,
+  /// the pre-scrub in-memory state is restored (queries keep answering
+  /// exactly what they answered before) and the handle turns read-only:
+  /// mutating calls return kUnavailable until the store is reopened.
+  /// Returns true only when the store is clean (or repaired) AND the
+  /// post-scrub verify passes.
   bool scrub(const ScrubOptions& options = {}, ScrubReport* report = nullptr,
              StoreError* error = nullptr);
 
@@ -241,16 +249,24 @@ class Store {
 
   /// `force_read` bypasses mmap and reads the file's current disk bytes
   /// (the scrub path: damage written under a live mapping must be seen).
+  /// `charge_budget=false` skips the tier's memory-budget charge -- for
+  /// scrub's throwaway validation probes, whose live twin already holds an
+  /// identical charge; charging again would make the probe fail kResource
+  /// exactly when memory is tight, and a validation pass must never
+  /// mistake pressure for damage.
   bool load_container(const std::filesystem::path& path, std::uint64_t expect_from,
                       std::uint64_t expect_to, std::unique_ptr<Tier>& out, StoreError* error,
-                      bool force_read = false);
+                      bool force_read = false, bool charge_budget = true);
   /// Recovery body shared by open() and scrub repair: scan the directory,
   /// pick the newest valid snapshot, chain segments, replay WAL +
   /// archives.  Assumes empty in-memory state.
   bool recover(StoreError* error);
   bool replay_wal(StoreError* error);
-  /// Validate one wal-/arc- redo segment against its disk bytes.
-  bool check_segment_file(const std::filesystem::path& path, std::uint64_t lsn);
+  /// Validate one wal-/arc- redo segment against its disk bytes.  On
+  /// failure `error` distinguishes a read failure (kIo -- transient, not
+  /// evidence of damage) from a decode/lsn mismatch (structural).
+  bool check_segment_file(const std::filesystem::path& path, std::uint64_t lsn,
+                          StoreError* error);
   bool checkpoint_locked(StoreError* error);
   bool compact_locked(StoreError* error);
   bool verify_locked(StoreError* error) const;
@@ -294,6 +310,10 @@ class Store {
   mutable std::uint64_t queries_index_ = 0;
   mutable std::uint64_t queries_brute_ = 0;
   bool crash_after_wal_rename_ = false;
+  /// A scrub repair failed after quarantine: in-memory state was restored
+  /// to the pre-scrub snapshot but disk may be ahead of it, so mutating
+  /// operations are refused (kUnavailable) until the store is reopened.
+  bool repair_failed_ = false;
 };
 
 }  // namespace cvewb::store

@@ -92,7 +92,9 @@ class MemoryBudget {
   std::uint64_t remaining() const noexcept;
 
   /// Charge `bytes` against the ledger.  False (and nothing charged) when
-  /// the charge would land at or past the hard watermark; the soft
+  /// the charge would land strictly past the hard watermark -- landing
+  /// exactly at it is the last admissible charge, after which pressure()
+  /// reports kHard and every further charge is refused.  The soft
   /// watermark never refuses.
   bool try_charge(std::uint64_t bytes) noexcept;
 
@@ -144,6 +146,23 @@ class BudgetCharge {
     reset();
     if (!budget.try_charge(bytes)) return false;
     budget_ = &budget;
+    bytes_ = bytes;
+    return true;
+  }
+
+  /// Grow or shrink the held charge to `bytes` total on `budget`.  Growth
+  /// charges only the delta, and on refusal the PREVIOUS charge is kept --
+  /// the owner still holds the memory it held, so the ledger must keep
+  /// saying so (acquire() would drop it first and leave the owner's live
+  /// buffers unaccounted).  Shrinking releases the difference and cannot
+  /// fail.  With no charge held (or a different budget) this is acquire().
+  bool resize(MemoryBudget& budget, std::uint64_t bytes) noexcept {
+    if (budget_ != &budget) return acquire(budget, bytes);
+    if (bytes > bytes_) {
+      if (!budget.try_charge(bytes - bytes_)) return false;
+    } else {
+      budget.release(bytes_ - bytes);
+    }
     bytes_ = bytes;
     return true;
   }

@@ -128,6 +128,37 @@ TEST(MemoryBudget, FailedAcquireLeavesTheHolderEmptyAndReleasesThePrior) {
   EXPECT_EQ(budget.charged(), 0u);
 }
 
+TEST(MemoryBudget, ResizeKeepsThePriorChargeWhenGrowthIsRefused) {
+  MemoryBudget budget;
+  budget.set_limits(0, 100);
+  BudgetCharge charge;
+  ASSERT_TRUE(charge.resize(budget, 80));  // empty holder: plain acquire
+  EXPECT_EQ(budget.charged(), 80u);
+  // Growth past hard is refused, but the owner still holds the 80 bytes of
+  // live buffers the old charge covered -- the ledger must keep saying so
+  // (acquire() would release first and leave them unaccounted).
+  EXPECT_FALSE(charge.resize(budget, 200));
+  EXPECT_TRUE(charge.held());
+  EXPECT_EQ(charge.bytes(), 80u);
+  EXPECT_EQ(budget.charged(), 80u);
+  EXPECT_EQ(budget.hard_denials(), 1u);
+}
+
+TEST(MemoryBudget, ResizeChargesOnlyTheDeltaAndShrinksFreely) {
+  MemoryBudget budget;
+  budget.set_limits(0, 100);
+  BudgetCharge charge;
+  ASSERT_TRUE(charge.resize(budget, 60));
+  ASSERT_TRUE(charge.resize(budget, 100));  // delta of 40 lands exactly at hard
+  EXPECT_EQ(budget.charged(), 100u);
+  EXPECT_EQ(charge.bytes(), 100u);
+  ASSERT_TRUE(charge.resize(budget, 25));  // shrinking releases the difference
+  EXPECT_EQ(budget.charged(), 25u);
+  EXPECT_EQ(charge.bytes(), 25u);
+  charge.reset();
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
 TEST(MemoryBudget, BudgetChargeMoveTransfersOwnership) {
   MemoryBudget budget;
   BudgetCharge a;

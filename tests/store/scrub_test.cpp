@@ -24,10 +24,12 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fs_shim.h"
 #include "store/error.h"
 #include "store/format.h"
 #include "store/store.h"
 #include "store_support.h"
+#include "util/memory_budget.h"
 
 namespace cvewb::store {
 namespace {
@@ -281,6 +283,124 @@ TEST(StoreScrub, RepairRebuildsOneFreshSnapshotWithConsistentIndexes) {
   const QueryResult via_brute = store->query(by_run, QueryMode::kBrute);
   EXPECT_EQ(via_index.digest_hex, via_brute.digest_hex);
   EXPECT_GT(via_index.matched, 0u);
+}
+
+TEST(StoreScrub, ValidationProbesDoNotChargeTheMemoryBudget) {
+  // The live tiers already hold a budget charge for every mapped
+  // container; scrub's throwaway validation probes must not charge the
+  // same bytes again, or a sweep at the edge of the budget would read a
+  // refusal as damage and (under repair) quarantine healthy data.  Pin
+  // the hard watermark to current usage plus a sliver: a probe that
+  // charged a whole container would be refused here.
+  const fs::path dir = fresh_dir("scrub-budget-probe");
+  build_store(dir);
+  auto store = Store::open(dir);
+  ASSERT_NE(store, nullptr);
+  util::ScopedBudgetLimits limits(0, util::MemoryBudget::process().charged() + 64);
+  ScrubReport report;
+  StoreError error;
+  EXPECT_TRUE(store->scrub({}, &report, &error)) << error.detail;
+  EXPECT_TRUE(report.verify_ok);
+  EXPECT_TRUE(report.damaged.empty());
+  EXPECT_EQ(store->stats().quarantined_files, 0u);
+}
+
+TEST(StoreScrub, TransientReadFailureAbortsWithoutCondemningFiles) {
+  // A read that fails after retries is pressure, not proof of damage:
+  // the sweep must abort with kIo, mutate nothing, and succeed once the
+  // fault passes -- never quarantine the unreadable file.
+  const fs::path dir = fresh_dir("scrub-read-abort");
+  const std::string reference = build_store(dir);
+  // Pass 1: count the reads open() consumes under an armed-but-inert plan
+  // (exact-op index far past any real op; any() true routes reads through
+  // the shim), so pass 2 can aim the injected EIO at the sweep's first read.
+  std::uint64_t open_reads = 0;
+  {
+    chaos::FsFaultPlan census;
+    census.fail_read_at = 1'000'000;
+    chaos::FsShim shim(census);
+    StoreOptions options;
+    options.fs = &shim;
+    auto store = Store::open(dir, options);
+    ASSERT_NE(store, nullptr);
+    open_reads = shim.stats().reads;
+  }
+  chaos::FsFaultPlan plan;
+  plan.fail_read_at = open_reads + 1;
+  chaos::FsShim shim(plan);
+  StoreOptions options;
+  options.fs = &shim;
+  StoreError error;
+  auto store = Store::open(dir, options, &error);
+  ASSERT_NE(store, nullptr) << error.detail;
+  const auto before = listing(dir);
+  ScrubOptions repair;
+  repair.repair = true;
+  ScrubReport report;
+  EXPECT_FALSE(store->scrub(repair, &report, &error));
+  EXPECT_EQ(error.code, StoreErrorCode::kIo) << error.detail;
+  EXPECT_TRUE(report.damaged.empty());
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_FALSE(report.repaired);
+  EXPECT_EQ(listing(dir), before);  // the abort is strictly read-only
+  EXPECT_EQ(store_fingerprint(*store), reference);
+  // The exact-op fault is past: the next sweep runs clean end to end.
+  EXPECT_TRUE(store->scrub(repair, &report, &error)) << error.detail;
+  EXPECT_TRUE(report.damaged.empty());
+  EXPECT_TRUE(report.verify_ok);
+}
+
+TEST(StoreScrub, RepairRebuildFailureRestoresPriorStateAndTurnsReadOnly) {
+  // If the rebuild fails after quarantine (here: the checkpoint's first
+  // write), the pre-scrub in-memory state must come back -- queries keep
+  // answering exactly what they answered before, never an empty or
+  // half-rebuilt corpus -- and the handle turns read-only until reopened,
+  // because disk may be ahead of the restored memory image.
+  const fs::path dir = fresh_dir("scrub-repair-fail");
+  const std::string reference = build_store(dir);
+  const fs::path snap = file_of_kind(dir, "snap-", ".cvwbs");
+  chaos::FsFaultPlan plan;
+  plan.fail_write_at = 1;  // open() and the sweep never write; the rebuild does
+  chaos::FsShim shim(plan);
+  StoreOptions options;
+  options.fs = &shim;
+  StoreError error;
+  auto store = Store::open(dir, options, &error);
+  ASSERT_NE(store, nullptr) << error.detail;
+  // With a fault plan armed, open() adopts heap copies of the file bytes,
+  // so the flip below stays invisible until scrub re-reads the disk.
+  flip_byte(snap, fs::file_size(snap) - 3);
+
+  ScrubOptions repair;
+  repair.repair = true;
+  ScrubReport report;
+  ASSERT_FALSE(store->scrub(repair, &report, &error));
+  EXPECT_EQ(error.code, StoreErrorCode::kIo) << error.detail;
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], snap.filename().string());
+  EXPECT_FALSE(report.repaired);
+  EXPECT_FALSE(report.verify_ok);
+  EXPECT_EQ(store_fingerprint(*store), reference);
+
+  StoreError op_error;
+  EXPECT_FALSE(store->ingest(shared_study(14), "run-14", &op_error));
+  EXPECT_EQ(op_error.code, StoreErrorCode::kUnavailable);
+  EXPECT_FALSE(store->checkpoint(&op_error));
+  EXPECT_EQ(op_error.code, StoreErrorCode::kUnavailable);
+  EXPECT_FALSE(store->compact(&op_error));
+  EXPECT_EQ(op_error.code, StoreErrorCode::kUnavailable);
+  EXPECT_FALSE(store->scrub({}, &report, &op_error));
+  EXPECT_EQ(op_error.code, StoreErrorCode::kUnavailable);
+
+  // Reopening recovers the reference state from the surviving redo chain
+  // (the quarantined snapshot's commits all have archived twins) and
+  // fully restores write service.
+  store.reset();
+  auto reopened = Store::open(dir, {}, &error);
+  ASSERT_NE(reopened, nullptr) << error.detail;
+  EXPECT_EQ(store_fingerprint(*reopened), reference);
+  EXPECT_TRUE(reopened->ingest(shared_study(14), "run-14", &error)) << error.detail;
+  EXPECT_TRUE(reopened->contains_run("run-14"));
 }
 
 TEST(StoreScrub, QuarantinedFilesAreNeverTouchedAgain) {
